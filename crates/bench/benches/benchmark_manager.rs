@@ -1,0 +1,91 @@
+//! Experiment E8 — the Benchmark Manager end to end: sample → project →
+//! reconstruct → compare, for UPGMA and Neighbor-Joining on sequence-derived
+//! and true distances.
+//!
+//! This regenerates the head-to-head table the demo shows: reconstruction
+//! quality (Robinson–Foulds) per algorithm, sample size and sequence length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crimson::benchmark::{BenchmarkManager, BenchmarkSpec, DistanceSource, Method};
+use crimson::prelude::*;
+use crimson_bench::workloads;
+use std::hint::black_box;
+
+fn print_quality_table() {
+    workloads::print_table(
+        "E8a: reconstruction quality vs gold standard (normalized RF, lower is better)",
+        "taxa   sites   method   distances        nRF      RF",
+    );
+    let gold = workloads::gold_standard(2_000, 600, 77);
+    let (_dir, mut repo, handle) = workloads::repository_with_gold(&gold, 16, 8192);
+    let mut manager = BenchmarkManager::new(&mut repo, handle);
+    for &sample_size in &[16usize, 64, 256] {
+        for (method, source) in [
+            (Method::Upgma, DistanceSource::SequencesJc),
+            (Method::NeighborJoining, DistanceSource::SequencesJc),
+            (Method::NeighborJoining, DistanceSource::TruePatristic),
+        ] {
+            let report = manager
+                .run(&BenchmarkSpec {
+                    strategy: SamplingStrategy::Uniform { k: sample_size },
+                    method,
+                    distance_source: source,
+                    compute_triplets: false,
+                    seed: 13,
+                })
+                .expect("benchmark run");
+            println!(
+                "{:<6} {:<7} {:<8} {:<16} {:<8.3} {}",
+                sample_size,
+                600,
+                method.name(),
+                source.name(),
+                report.rf.normalized,
+                report.rf.distance
+            );
+        }
+    }
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    print_quality_table();
+
+    let gold = workloads::gold_standard(2_000, 300, 5);
+    let (_dir, mut repo, handle) = workloads::repository_with_gold(&gold, 16, 8192);
+
+    let mut group = c.benchmark_group("E8_benchmark_pipeline");
+    for &sample_size in &[16usize, 64, 128] {
+        for method in [Method::Upgma, Method::NeighborJoining] {
+            group.bench_with_input(
+                BenchmarkId::new(method.name(), sample_size),
+                &sample_size,
+                |b, &k| {
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        let mut manager = BenchmarkManager::new(&mut repo, handle);
+                        black_box(
+                            manager
+                                .run(&BenchmarkSpec {
+                                    strategy: SamplingStrategy::Uniform { k },
+                                    method,
+                                    distance_source: DistanceSource::SequencesJc,
+                                    compute_triplets: false,
+                                    seed,
+                                })
+                                .expect("benchmark run"),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = workloads::criterion_config();
+    targets = bench_pipeline
+}
+criterion_main!(benches);

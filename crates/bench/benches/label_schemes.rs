@@ -1,0 +1,184 @@
+//! Experiment E3 — label size and LCA latency of the labeling schemes on
+//! deep trees, including the frame-depth (`f`) ablation.
+//!
+//! Paper claim: flat Dewey labels grow with depth and "may become large
+//! enough to hurt query performance"; the hierarchical scheme bounds every
+//! label by the constant `f`. This bench prints the label-size table and
+//! measures LCA latency per scheme as the tree gets deeper.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crimson_bench::workloads;
+use labeling::prelude::*;
+use phylo::{NodeId, Tree};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+/// Depths at which every scheme (including flat Dewey) is materialized. Flat
+/// Dewey labels need Θ(depth) space per node, so the deepest setting is kept
+/// at 10 000; the 100 000-level point is reported for the bounded schemes
+/// only and flat Dewey's size is extrapolated analytically (that blow-up *is*
+/// the paper's motivation).
+const DEPTHS: [usize; 3] = [100, 1_000, 10_000];
+const DEEP_ONLY: usize = 100_000;
+const FRAME_DEPTHS: [usize; 5] = [2, 4, 8, 16, 32];
+
+fn query_pairs(tree: &Tree, count: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = tree.node_count() as u32;
+    (0..count).map(|_| (NodeId(rng.gen_range(0..n)), NodeId(rng.gen_range(0..n)))).collect()
+}
+
+/// Print the E3 label-size table (bytes per label vs depth, per scheme).
+fn print_label_size_table() {
+    workloads::print_table(
+        "E3a: label size vs tree depth (caterpillar trees)",
+        "depth      scheme               max_label_B   mean_label_B   total_MB",
+    );
+    for &depth in &DEPTHS {
+        let tree = workloads::deep_tree(depth);
+        let schemes: Vec<(String, LabelStats)> = vec![
+            ("flat-dewey".to_string(), FlatDewey::build(&tree).stats()),
+            ("hierarchical(f=16)".to_string(), HierarchicalDewey::build(&tree, 16).stats()),
+            ("interval".to_string(), IntervalLabels::build(&tree).stats()),
+            ("parent-pointer".to_string(), ParentPointers::build(&tree).stats()),
+        ];
+        for (name, stats) in schemes {
+            println!(
+                "{:<10} {:<20} {:>11} {:>14.1} {:>10.3}",
+                depth,
+                name,
+                stats.max_bytes,
+                stats.mean_bytes,
+                stats.total_bytes as f64 / (1024.0 * 1024.0)
+            );
+        }
+    }
+    // The 100 000-level point: bounded schemes measured, flat Dewey
+    // extrapolated (a label per node of Θ(depth) components would need tens
+    // of gigabytes — the blow-up the hierarchical scheme exists to avoid).
+    {
+        let tree = workloads::deep_tree(DEEP_ONLY);
+        let nodes = tree.node_count() as f64;
+        let analytic_total = nodes * (DEEP_ONLY as f64 / 2.0) * 4.0;
+        println!(
+            "{:<10} {:<20} {:>11} {:>14.1} {:>10.3}  (analytic, not built)",
+            DEEP_ONLY,
+            "flat-dewey",
+            DEEP_ONLY * 4,
+            DEEP_ONLY as f64 / 2.0 * 4.0,
+            analytic_total / (1024.0 * 1024.0)
+        );
+        for (name, stats) in [
+            ("hierarchical(f=16)", HierarchicalDewey::build(&tree, 16).stats()),
+            ("interval", IntervalLabels::build(&tree).stats()),
+            ("parent-pointer", ParentPointers::build(&tree).stats()),
+        ] {
+            println!(
+                "{:<10} {:<20} {:>11} {:>14.1} {:>10.3}",
+                DEEP_ONLY,
+                name,
+                stats.max_bytes,
+                stats.mean_bytes,
+                stats.total_bytes as f64 / (1024.0 * 1024.0)
+            );
+        }
+    }
+
+    workloads::print_table(
+        "E3b: frame-depth ablation (depth 10 000 caterpillar)",
+        "f        max_label_B   layers   frames",
+    );
+    let tree = workloads::deep_tree(10_000);
+    for &f in &FRAME_DEPTHS {
+        let hier = HierarchicalDewey::build(&tree, f);
+        println!(
+            "{:<8} {:>11} {:>8} {:>8}",
+            f,
+            hier.stats().max_bytes,
+            hier.layer_count(),
+            hier.total_frames()
+        );
+    }
+}
+
+fn bench_lca_by_scheme(c: &mut Criterion) {
+    print_label_size_table();
+
+    let mut group = c.benchmark_group("E3_lca_latency");
+    for &depth in &[1_000usize, 10_000, DEEP_ONLY] {
+        let tree = workloads::deep_tree(depth);
+        let pairs = query_pairs(&tree, 256, 7);
+        // Flat Dewey is only materialized up to depth 10 000 (see above).
+        let flat = (depth <= 10_000).then(|| FlatDewey::build(&tree));
+        let hier = HierarchicalDewey::build(&tree, 16);
+        let interval = IntervalLabels::build(&tree);
+        let parent = ParentPointers::build(&tree);
+
+        if let Some(flat) = &flat {
+            group.bench_with_input(BenchmarkId::new("flat-dewey", depth), &pairs, |b, pairs| {
+                b.iter(|| {
+                    for &(x, y) in pairs {
+                        black_box(flat.lca(x, y));
+                    }
+                })
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("hierarchical-f16", depth), &pairs, |b, pairs| {
+            b.iter(|| {
+                for &(x, y) in pairs {
+                    black_box(hier.lca(x, y));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("interval", depth), &pairs, |b, pairs| {
+            b.iter(|| {
+                for &(x, y) in pairs {
+                    black_box(interval.lca(x, y));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("parent-pointer", depth), &pairs, |b, pairs| {
+            b.iter(|| {
+                for &(x, y) in pairs {
+                    black_box(parent.lca(x, y));
+                }
+            })
+        });
+    }
+    group.finish();
+
+    // Frame-depth ablation on query latency.
+    let mut group = c.benchmark_group("E3_frame_depth_ablation");
+    let tree = workloads::deep_tree(10_000);
+    let pairs = query_pairs(&tree, 256, 11);
+    for &f in &FRAME_DEPTHS {
+        let hier = HierarchicalDewey::build(&tree, f);
+        group.bench_with_input(BenchmarkId::from_parameter(f), &pairs, |b, pairs| {
+            b.iter(|| {
+                for &(x, y) in pairs {
+                    black_box(hier.lca(x, y));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_build_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E3_index_build");
+    let tree = workloads::deep_tree(10_000);
+    group.bench_function("flat-dewey", |b| b.iter(|| black_box(FlatDewey::build(&tree))));
+    group.bench_function("hierarchical-f16", |b| {
+        b.iter(|| black_box(HierarchicalDewey::build(&tree, 16)))
+    });
+    group.bench_function("interval", |b| b.iter(|| black_box(IntervalLabels::build(&tree))));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = workloads::criterion_config();
+    targets = bench_lca_by_scheme, bench_build_cost
+}
+criterion_main!(benches);

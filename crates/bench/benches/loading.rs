@@ -1,0 +1,75 @@
+//! Experiment E10 — data loading (§3): Newick/NEXUS parsing and the three
+//! load modes (tree only, tree + species, append species).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crimson::prelude::*;
+use crimson_bench::workloads;
+use std::hint::black_box;
+
+fn bench_parsing(c: &mut Criterion) {
+    workloads::print_table(
+        "E10: format parsing and repository loading",
+        "taxa       artifact             size_KB",
+    );
+
+    let mut group = c.benchmark_group("E10_parse");
+    for &taxa in &[100usize, 1_000, 10_000] {
+        let tree = workloads::simulated_tree(taxa, 51);
+        let newick_text = phylo::newick::write(&tree);
+        let gold = workloads::gold_standard(taxa.min(2_000), 200, 51);
+        let nexus_text = phylo::nexus::write(&gold.to_nexus());
+        println!("{:<10} {:<20} {:.1}", taxa, "newick", newick_text.len() as f64 / 1024.0);
+        println!(
+            "{:<10} {:<20} {:.1}",
+            gold.taxon_count(),
+            "nexus(tree+seq)",
+            nexus_text.len() as f64 / 1024.0
+        );
+        group.bench_with_input(BenchmarkId::new("newick", taxa), &newick_text, |b, text| {
+            b.iter(|| black_box(phylo::newick::parse(text).expect("parse")))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("nexus", gold.taxon_count()),
+            &nexus_text,
+            |b, text| b.iter(|| black_box(phylo::nexus::parse(text).expect("parse"))),
+        );
+    }
+    group.finish();
+
+    // Repository load modes.
+    let mut group = c.benchmark_group("E10_repository_load");
+    for &taxa in &[500usize, 2_000] {
+        let gold = workloads::gold_standard(taxa, 200, 7);
+        let doc = gold.to_nexus();
+        group.bench_with_input(BenchmarkId::new("tree_only", taxa), &doc, |b, doc| {
+            b.iter(|| {
+                let dir = tempfile::tempdir().expect("tempdir");
+                let mut repo = Repository::create(
+                    dir.path().join("load.crimson"),
+                    RepositoryOptions { frame_depth: 16, buffer_pool_pages: 4096 },
+                )
+                .expect("create");
+                black_box(repo.load_nexus("gold", doc, LoadMode::TreeOnly).expect("load"))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("tree_with_species", taxa), &doc, |b, doc| {
+            b.iter(|| {
+                let dir = tempfile::tempdir().expect("tempdir");
+                let mut repo = Repository::create(
+                    dir.path().join("load.crimson"),
+                    RepositoryOptions { frame_depth: 16, buffer_pool_pages: 4096 },
+                )
+                .expect("create");
+                black_box(repo.load_nexus("gold", doc, LoadMode::TreeWithSpecies).expect("load"))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = workloads::criterion_config();
+    targets = bench_parsing
+}
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Shared helpers for the Criterion benchmark harness.
+//!
+//! The real content of this crate lives in `benches/`; this library exposes
+//! small utilities (workload construction, result printing) shared by the
+//! individual benchmark targets. See `EXPERIMENTS.md` for the experiment
+//! index.
+
+pub mod workloads;

@@ -1,0 +1,467 @@
+//! The Benchmark Manager (§2.2): sample → project → reconstruct → compare.
+//!
+//! "The Benchmark Manager tests and evaluates tree inference algorithms
+//! against the gold-standard simulation tree." A run consists of:
+//!
+//! 1. **Sample** a subset of species from the stored gold standard (any
+//!    [`SamplingStrategy`]).
+//! 2. **Project** the gold standard onto the sample — the reference answer.
+//! 3. Build the algorithm's input: either the species **sequences** (with a
+//!    distance correction) or the **true patristic distances** from the
+//!    projection (the idealized, noise-free case).
+//! 4. **Reconstruct** a tree with UPGMA or Neighbor-Joining.
+//! 5. **Compare** the reconstruction against the projection with
+//!    Robinson–Foulds (unrooted and rooted) and optionally triplet distance.
+
+use crate::error::{CrimsonError, CrimsonResult};
+use crate::history::QueryKind;
+use crate::repository::{Repository, TreeHandle};
+use crate::sampling::SamplingStrategy;
+use phylo::distance::patristic_matrix;
+use phylo::Tree;
+use reconstruction::compare::{robinson_foulds, rooted_robinson_foulds, triplet_distance, RfResult};
+use reconstruction::distance::{jc_corrected_matrix, k2p_corrected_matrix, p_distance_matrix};
+use reconstruction::{neighbor_joining, upgma};
+use serde::{Deserialize, Serialize};
+use serde_json::json;
+use std::time::Instant;
+
+/// Reconstruction algorithm to evaluate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Method {
+    /// UPGMA hierarchical clustering (assumes a molecular clock).
+    Upgma,
+    /// Neighbor-Joining (assumes additivity only).
+    NeighborJoining,
+}
+
+impl Method {
+    /// Short name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Upgma => "UPGMA",
+            Method::NeighborJoining => "NJ",
+        }
+    }
+}
+
+/// Where the algorithm's input distances come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DistanceSource {
+    /// True patristic distances read off the projected gold standard — the
+    /// noise-free upper bound on algorithm performance.
+    TruePatristic,
+    /// Raw p-distances computed from stored sequences.
+    SequencesP,
+    /// Jukes–Cantor corrected distances from stored sequences.
+    SequencesJc,
+    /// Kimura two-parameter corrected distances from stored sequences.
+    SequencesK2p,
+}
+
+impl DistanceSource {
+    /// Short name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DistanceSource::TruePatristic => "true-patristic",
+            DistanceSource::SequencesP => "seq-p",
+            DistanceSource::SequencesJc => "seq-jc",
+            DistanceSource::SequencesK2p => "seq-k2p",
+        }
+    }
+}
+
+/// Specification of one benchmark run.
+#[derive(Debug, Clone)]
+pub struct BenchmarkSpec {
+    /// How to choose the species sample.
+    pub strategy: SamplingStrategy,
+    /// The algorithm under evaluation.
+    pub method: Method,
+    /// The algorithm's input distances.
+    pub distance_source: DistanceSource,
+    /// Whether to also compute the (cubic-time) triplet distance.
+    pub compute_triplets: bool,
+    /// RNG seed for sampling.
+    pub seed: u64,
+}
+
+impl Default for BenchmarkSpec {
+    fn default() -> Self {
+        BenchmarkSpec {
+            strategy: SamplingStrategy::Uniform { k: 32 },
+            method: Method::NeighborJoining,
+            distance_source: DistanceSource::SequencesJc,
+            compute_triplets: false,
+            seed: 0,
+        }
+    }
+}
+
+/// Timings of the individual pipeline stages, in milliseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageTimings {
+    /// Sampling time.
+    pub sampling_ms: f64,
+    /// Projection time.
+    pub projection_ms: f64,
+    /// Distance-matrix construction time.
+    pub distances_ms: f64,
+    /// Reconstruction time.
+    pub reconstruction_ms: f64,
+    /// Comparison time.
+    pub comparison_ms: f64,
+}
+
+/// Result of one benchmark run.
+#[derive(Debug, Clone)]
+pub struct BenchmarkReport {
+    /// Number of species in the sample.
+    pub sample_size: usize,
+    /// The evaluated algorithm.
+    pub method: Method,
+    /// The input distance source.
+    pub distance_source: DistanceSource,
+    /// Unrooted Robinson–Foulds comparison against the projected truth.
+    pub rf: RfResult,
+    /// Rooted (clade-based) Robinson–Foulds comparison.
+    pub rooted_rf: RfResult,
+    /// Triplet distance, when requested.
+    pub triplet: Option<f64>,
+    /// Stage timings.
+    pub timings: StageTimings,
+    /// The projected gold-standard subtree (the reference answer).
+    pub reference: Tree,
+    /// The reconstructed tree.
+    pub reconstruction: Tree,
+}
+
+impl BenchmarkReport {
+    /// One line in the style the experiment tables use.
+    pub fn summary_row(&self) -> String {
+        format!(
+            "{:>5} taxa  {:<6} {:<14} RF={:<4} nRF={:.3}  rootedRF={:<4} time[s/p/d/r/c]={:.1}/{:.1}/{:.1}/{:.1}/{:.1}ms",
+            self.sample_size,
+            self.method.name(),
+            self.distance_source.name(),
+            self.rf.distance,
+            self.rf.normalized,
+            self.rooted_rf.distance,
+            self.timings.sampling_ms,
+            self.timings.projection_ms,
+            self.timings.distances_ms,
+            self.timings.reconstruction_ms,
+            self.timings.comparison_ms,
+        )
+    }
+}
+
+/// The Benchmark Manager. Borrows the repository mutably so that runs are
+/// recorded in the Query Repository.
+pub struct BenchmarkManager<'a> {
+    repo: &'a mut Repository,
+    tree: TreeHandle,
+}
+
+impl<'a> BenchmarkManager<'a> {
+    /// Create a manager for the given gold-standard tree.
+    pub fn new(repo: &'a mut Repository, tree: TreeHandle) -> Self {
+        BenchmarkManager { repo, tree }
+    }
+
+    /// Execute one benchmark run.
+    pub fn run(&mut self, spec: &BenchmarkSpec) -> CrimsonResult<BenchmarkReport> {
+        let mut timings = StageTimings::default();
+
+        // 1. Sample.
+        let start = Instant::now();
+        let sample = self.repo.sample(self.tree, &spec.strategy, spec.seed)?;
+        timings.sampling_ms = start.elapsed().as_secs_f64() * 1e3;
+        if sample.len() < 3 {
+            return Err(CrimsonError::InvalidSample(
+                "benchmark runs need at least 3 sampled species".to_string(),
+            ));
+        }
+
+        // 2. Project the gold standard onto the sample (the reference).
+        let start = Instant::now();
+        let reference = self.repo.project(self.tree, &sample)?;
+        timings.projection_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        // 3. Build the algorithm input.
+        let start = Instant::now();
+        let names = self.repo.names_of(&sample)?;
+        let matrix = match spec.distance_source {
+            DistanceSource::TruePatristic => patristic_matrix(&reference)?,
+            DistanceSource::SequencesP => {
+                p_distance_matrix(&self.repo.sequences_for(self.tree, &names)?)?
+            }
+            DistanceSource::SequencesJc => {
+                jc_corrected_matrix(&self.repo.sequences_for(self.tree, &names)?)?
+            }
+            DistanceSource::SequencesK2p => {
+                k2p_corrected_matrix(&self.repo.sequences_for(self.tree, &names)?)?
+            }
+        };
+        timings.distances_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        // 4. Reconstruct.
+        let start = Instant::now();
+        let reconstruction = match spec.method {
+            Method::Upgma => upgma(&matrix)?,
+            Method::NeighborJoining => neighbor_joining(&matrix)?,
+        };
+        timings.reconstruction_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        // 5. Compare.
+        let start = Instant::now();
+        let rf = robinson_foulds(&reference, &reconstruction)?;
+        let rooted_rf = rooted_robinson_foulds(&reference, &reconstruction)?;
+        let triplet = if spec.compute_triplets {
+            Some(triplet_distance(&reference, &reconstruction)?)
+        } else {
+            None
+        };
+        timings.comparison_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        let report = BenchmarkReport {
+            sample_size: sample.len(),
+            method: spec.method,
+            distance_source: spec.distance_source,
+            rf,
+            rooted_rf,
+            triplet,
+            timings,
+            reference,
+            reconstruction,
+        };
+        self.repo.record_query(
+            QueryKind::Benchmark,
+            json!({
+                "tree": self.tree.0,
+                "method": spec.method.name(),
+                "distance_source": spec.distance_source.name(),
+                "sample_size": report.sample_size,
+                "seed": spec.seed,
+            }),
+            &format!(
+                "{} on {} taxa: RF={} (normalized {:.3})",
+                spec.method.name(),
+                report.sample_size,
+                report.rf.distance,
+                report.rf.normalized
+            ),
+        )?;
+        Ok(report)
+    }
+
+    /// Run the same specification for several methods, returning one report
+    /// per method — the head-to-head table the demo shows.
+    pub fn compare_methods(
+        &mut self,
+        spec: &BenchmarkSpec,
+        methods: &[Method],
+    ) -> CrimsonResult<Vec<BenchmarkReport>> {
+        methods
+            .iter()
+            .map(|m| {
+                let mut s = spec.clone();
+                s.method = *m;
+                self.run(&s)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repository::RepositoryOptions;
+    use simulation::gold::GoldStandardBuilder;
+    use simulation::seqevo::Model;
+    use tempfile::tempdir;
+
+    fn gold_repo(
+        leaves: usize,
+        sites: usize,
+        seed: u64,
+    ) -> (tempfile::TempDir, Repository, TreeHandle) {
+        let dir = tempdir().unwrap();
+        let mut repo = Repository::create(
+            dir.path().join("repo.crimson"),
+            RepositoryOptions { frame_depth: 8, buffer_pool_pages: 1024 },
+        )
+        .unwrap();
+        let gold = GoldStandardBuilder::new()
+            .leaves(leaves)
+            .sequence_length(sites)
+            .model(Model::Jc69 { rate: 0.1 })
+            .seed(seed)
+            .build()
+            .unwrap();
+        let handle = repo.load_gold_standard("gold", &gold).unwrap();
+        (dir, repo, handle)
+    }
+
+    #[test]
+    fn true_distance_nj_recovers_projection_exactly() {
+        let (_d, mut repo, handle) = gold_repo(48, 0, 3);
+        let mut manager = BenchmarkManager::new(&mut repo, handle);
+        let report = manager
+            .run(&BenchmarkSpec {
+                strategy: SamplingStrategy::Uniform { k: 16 },
+                method: Method::NeighborJoining,
+                distance_source: DistanceSource::TruePatristic,
+                compute_triplets: true,
+                seed: 1,
+            })
+            .unwrap();
+        assert_eq!(report.sample_size, 16);
+        // With exact additive distances NJ recovers the unrooted topology.
+        assert_eq!(report.rf.distance, 0, "NJ on true distances must be exact");
+        // The triplet distance is rooted, and NJ roots its output arbitrarily,
+        // so it need not be zero — but it must be a valid fraction.
+        let triplet = report.triplet.expect("triplets were requested");
+        assert!((0.0..=1.0).contains(&triplet));
+        assert!(report.summary_row().contains("NJ"));
+    }
+
+    #[test]
+    fn true_distance_upgma_recovers_ultrametric_projection() {
+        // The gold standard is a pure-birth (ultrametric) tree, but the
+        // *projection* is still ultrametric, so UPGMA on true distances is
+        // also exact.
+        let (_d, mut repo, handle) = gold_repo(48, 0, 11);
+        let mut manager = BenchmarkManager::new(&mut repo, handle);
+        let report = manager
+            .run(&BenchmarkSpec {
+                strategy: SamplingStrategy::Uniform { k: 20 },
+                method: Method::Upgma,
+                distance_source: DistanceSource::TruePatristic,
+                compute_triplets: false,
+                seed: 2,
+            })
+            .unwrap();
+        assert_eq!(report.rf.distance, 0, "UPGMA on ultrametric true distances must be exact");
+    }
+
+    #[test]
+    fn sequence_based_run_produces_report_and_history() {
+        let (_d, mut repo, handle) = gold_repo(32, 300, 7);
+        let mut manager = BenchmarkManager::new(&mut repo, handle);
+        let report = manager
+            .run(&BenchmarkSpec {
+                strategy: SamplingStrategy::Uniform { k: 12 },
+                method: Method::NeighborJoining,
+                distance_source: DistanceSource::SequencesJc,
+                compute_triplets: false,
+                seed: 5,
+            })
+            .unwrap();
+        assert_eq!(report.sample_size, 12);
+        assert!(report.rf.normalized <= 1.0);
+        assert_eq!(report.reference.leaf_count(), 12);
+        assert_eq!(report.reconstruction.leaf_count(), 12);
+        // The run was recorded in the query repository.
+        let history = repo.history_of_kind(QueryKind::Benchmark).unwrap();
+        assert_eq!(history.len(), 1);
+        assert_eq!(history[0].params["sample_size"], 12);
+    }
+
+    #[test]
+    fn longer_sequences_reconstruct_no_worse_on_average() {
+        // More data → better (or equal) reconstruction. Averaged over seeds to
+        // damp stochastic flips.
+        let mut short_err = 0usize;
+        let mut long_err = 0usize;
+        for seed in 0..3u64 {
+            let (_d1, mut repo_short, h1) = gold_repo(24, 60, 100 + seed);
+            let mut m1 = BenchmarkManager::new(&mut repo_short, h1);
+            let r1 = m1
+                .run(&BenchmarkSpec {
+                    strategy: SamplingStrategy::Uniform { k: 12 },
+                    method: Method::NeighborJoining,
+                    distance_source: DistanceSource::SequencesJc,
+                    compute_triplets: false,
+                    seed,
+                })
+                .unwrap();
+            short_err += r1.rf.distance;
+
+            let (_d2, mut repo_long, h2) = gold_repo(24, 2000, 100 + seed);
+            let mut m2 = BenchmarkManager::new(&mut repo_long, h2);
+            let r2 = m2
+                .run(&BenchmarkSpec {
+                    strategy: SamplingStrategy::Uniform { k: 12 },
+                    method: Method::NeighborJoining,
+                    distance_source: DistanceSource::SequencesJc,
+                    compute_triplets: false,
+                    seed,
+                })
+                .unwrap();
+            long_err += r2.rf.distance;
+        }
+        assert!(
+            long_err <= short_err,
+            "2000-site alignments ({long_err}) should not reconstruct worse than 60-site ones ({short_err})"
+        );
+    }
+
+    #[test]
+    fn compare_methods_runs_all() {
+        let (_d, mut repo, handle) = gold_repo(32, 200, 13);
+        let mut manager = BenchmarkManager::new(&mut repo, handle);
+        let reports = manager
+            .compare_methods(
+                &BenchmarkSpec {
+                    strategy: SamplingStrategy::Uniform { k: 10 },
+                    distance_source: DistanceSource::SequencesJc,
+                    ..Default::default()
+                },
+                &[Method::Upgma, Method::NeighborJoining],
+            )
+            .unwrap();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].method, Method::Upgma);
+        assert_eq!(reports[1].method, Method::NeighborJoining);
+    }
+
+    #[test]
+    fn missing_sequences_error() {
+        let (_d, mut repo, handle) = gold_repo(16, 0, 1); // no sequences loaded
+        let mut manager = BenchmarkManager::new(&mut repo, handle);
+        let err = manager.run(&BenchmarkSpec {
+            strategy: SamplingStrategy::Uniform { k: 8 },
+            distance_source: DistanceSource::SequencesJc,
+            ..Default::default()
+        });
+        assert!(matches!(err, Err(CrimsonError::MissingSequences(_))));
+    }
+
+    #[test]
+    fn tiny_sample_rejected() {
+        let (_d, mut repo, handle) = gold_repo(16, 50, 2);
+        let mut manager = BenchmarkManager::new(&mut repo, handle);
+        let err = manager.run(&BenchmarkSpec {
+            strategy: SamplingStrategy::Uniform { k: 2 },
+            ..Default::default()
+        });
+        assert!(matches!(err, Err(CrimsonError::InvalidSample(_))));
+    }
+
+    #[test]
+    fn time_respecting_benchmark_runs() {
+        let (_d, mut repo, handle) = gold_repo(64, 150, 21);
+        let mut manager = BenchmarkManager::new(&mut repo, handle);
+        let report = manager
+            .run(&BenchmarkSpec {
+                strategy: SamplingStrategy::TimeRespecting { time: 0.05, k: 16 },
+                method: Method::NeighborJoining,
+                distance_source: DistanceSource::SequencesJc,
+                compute_triplets: false,
+                seed: 3,
+            })
+            .unwrap();
+        assert_eq!(report.sample_size, 16);
+    }
+}

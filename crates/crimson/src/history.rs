@@ -1,0 +1,193 @@
+//! The Query Repository: a persistent history of executed queries.
+//!
+//! "The system also records a history of user input queries in the Query
+//! Repository. Used in conjunction with the Crimson GUI, the Query Repository
+//! makes it convenient for users to recall and rerun historical queries"
+//! (§2.1). Each entry stores the query kind, a JSON parameter payload and a
+//! short human-readable result summary.
+
+use crate::error::{CrimsonError, CrimsonResult};
+use crate::repository::Repository;
+use serde::{Deserialize, Serialize};
+use storage::value::Value;
+
+/// The kind of query an entry records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueryKind {
+    /// A data-loading operation.
+    Load,
+    /// A species sampling query.
+    Sampling,
+    /// A tree projection query.
+    Projection,
+    /// A least-common-ancestor query.
+    Lca,
+    /// A minimal spanning clade query.
+    SpanningClade,
+    /// A tree pattern match.
+    PatternMatch,
+    /// A full benchmark run.
+    Benchmark,
+}
+
+impl QueryKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            QueryKind::Load => "load",
+            QueryKind::Sampling => "sampling",
+            QueryKind::Projection => "projection",
+            QueryKind::Lca => "lca",
+            QueryKind::SpanningClade => "spanning_clade",
+            QueryKind::PatternMatch => "pattern_match",
+            QueryKind::Benchmark => "benchmark",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Self> {
+        Some(match s {
+            "load" => QueryKind::Load,
+            "sampling" => QueryKind::Sampling,
+            "projection" => QueryKind::Projection,
+            "lca" => QueryKind::Lca,
+            "spanning_clade" => QueryKind::SpanningClade,
+            "pattern_match" => QueryKind::PatternMatch,
+            "benchmark" => QueryKind::Benchmark,
+            _ => return None,
+        })
+    }
+}
+
+/// One recorded query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistoryEntry {
+    /// Monotonically increasing id (execution order).
+    pub id: u64,
+    /// What kind of query this was.
+    pub kind: QueryKind,
+    /// JSON-encoded parameters, suitable for re-running the query.
+    pub params: serde_json::Value,
+    /// Short human-readable outcome ("sampled 16 species", "RF = 4", …).
+    pub summary: String,
+}
+
+impl Repository {
+    /// Record a query in the history. Returns the new entry's id.
+    pub fn record_query(
+        &mut self,
+        kind: QueryKind,
+        params: serde_json::Value,
+        summary: &str,
+    ) -> CrimsonResult<u64> {
+        let id = self.next_history_id;
+        self.next_history_id += 1;
+        let params_text = serde_json::to_string(&params)
+            .map_err(|e| CrimsonError::History(e.to_string()))?;
+        self.db.insert(
+            self.history_table,
+            &[
+                Value::Int(id as i64),
+                Value::text(kind.as_str()),
+                Value::text(params_text),
+                Value::text(summary),
+            ],
+        )?;
+        Ok(id)
+    }
+
+    /// All recorded queries in execution order.
+    pub fn query_history(&self) -> CrimsonResult<Vec<HistoryEntry>> {
+        let mut rows = self.db.scan(self.history_table)?;
+        rows.sort_by_key(|(_, row)| row.values[0].as_int().unwrap_or(0));
+        rows.iter()
+            .map(|(_, row)| {
+                let id = row.values[0].as_int().unwrap_or(0) as u64;
+                let kind = QueryKind::from_str(row.values[1].as_text().unwrap_or(""))
+                    .ok_or_else(|| CrimsonError::History("unknown query kind".to_string()))?;
+                let params: serde_json::Value =
+                    serde_json::from_str(row.values[2].as_text().unwrap_or("null"))
+                        .map_err(|e| CrimsonError::History(e.to_string()))?;
+                let summary = row.values[3].as_text().unwrap_or("").to_string();
+                Ok(HistoryEntry { id, kind, params, summary })
+            })
+            .collect()
+    }
+
+    /// Fetch one history entry by id.
+    pub fn history_entry(&self, id: u64) -> CrimsonResult<HistoryEntry> {
+        self.query_history()?
+            .into_iter()
+            .find(|e| e.id == id)
+            .ok_or_else(|| CrimsonError::History(format!("no history entry {id}")))
+    }
+
+    /// Entries of a given kind, in execution order.
+    pub fn history_of_kind(&self, kind: QueryKind) -> CrimsonResult<Vec<HistoryEntry>> {
+        Ok(self.query_history()?.into_iter().filter(|e| e.kind == kind).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repository::RepositoryOptions;
+    use serde_json::json;
+    use tempfile::tempdir;
+
+    fn repo() -> (tempfile::TempDir, Repository) {
+        let dir = tempdir().unwrap();
+        let repo =
+            Repository::create(dir.path().join("repo.crimson"), RepositoryOptions::default())
+                .unwrap();
+        (dir, repo)
+    }
+
+    #[test]
+    fn record_and_list() {
+        let (_d, mut repo) = repo();
+        let id0 = repo
+            .record_query(QueryKind::Sampling, json!({"k": 16, "seed": 1}), "sampled 16 species")
+            .unwrap();
+        let id1 = repo
+            .record_query(QueryKind::Projection, json!({"leaves": 16}), "projected 31 nodes")
+            .unwrap();
+        assert_eq!(id0, 0);
+        assert_eq!(id1, 1);
+        let all = repo.query_history().unwrap();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].kind, QueryKind::Sampling);
+        assert_eq!(all[0].params["k"], 16);
+        assert_eq!(all[1].summary, "projected 31 nodes");
+    }
+
+    #[test]
+    fn fetch_by_id_and_kind() {
+        let (_d, mut repo) = repo();
+        repo.record_query(QueryKind::Lca, json!({"a": 1, "b": 2}), "lca = 0").unwrap();
+        repo.record_query(QueryKind::Lca, json!({"a": 3, "b": 4}), "lca = 1").unwrap();
+        repo.record_query(QueryKind::Benchmark, json!({"method": "nj"}), "rf = 2").unwrap();
+        let entry = repo.history_entry(1).unwrap();
+        assert_eq!(entry.params["a"], 3);
+        assert_eq!(repo.history_of_kind(QueryKind::Lca).unwrap().len(), 2);
+        assert_eq!(repo.history_of_kind(QueryKind::Benchmark).unwrap().len(), 1);
+        assert!(repo.history_entry(99).is_err());
+    }
+
+    #[test]
+    fn history_survives_reopen() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("repo.crimson");
+        {
+            let mut repo = Repository::create(&path, RepositoryOptions::default()).unwrap();
+            repo.record_query(QueryKind::Load, json!({"tree": "gold"}), "loaded 1000 nodes")
+                .unwrap();
+            repo.flush().unwrap();
+        }
+        let mut repo = Repository::open(&path, RepositoryOptions::default()).unwrap();
+        let all = repo.query_history().unwrap();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].kind, QueryKind::Load);
+        // New ids continue after the persisted ones.
+        let id = repo.record_query(QueryKind::Sampling, json!({}), "sampled").unwrap();
+        assert_eq!(id, 1);
+    }
+}

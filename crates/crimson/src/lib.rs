@@ -1,0 +1,60 @@
+//! # crimson — the tree data management system
+//!
+//! This crate ties the substrates together into the system the paper
+//! describes (Figure 3):
+//!
+//! * **Repository Manager** ([`repository`]) — trees are stored *in
+//!   relational form* on the embedded storage engine: a node table carrying
+//!   hierarchical Dewey labels, cumulative evolutionary time and parent
+//!   links; a frame (subtree) table with source nodes; a species table with
+//!   sequence data; and a tree catalog. Secondary B+tree indexes provide
+//!   random access by species name, node id and evolutionary time.
+//! * **Data Loader** ([`loader`]) — loads Newick/NEXUS trees with or without
+//!   species data, and appends species data to existing trees (§3 "Loading
+//!   Data").
+//! * **Structure queries** ([`query`]) — least common ancestor,
+//!   ancestor/descendant, minimal spanning clade, tree projection and tree
+//!   pattern match, all executed against the disk-resident repository.
+//! * **Sampling** ([`sampling`]) — uniform random sampling, sampling with
+//!   respect to an evolutionary time, and user-supplied species lists (§2.2).
+//! * **Benchmark Manager** ([`benchmark`]) — samples the gold standard,
+//!   projects the induced subtree, hands the species data to a reconstruction
+//!   algorithm and scores the result against the projection.
+//! * **Query Repository** ([`history`]) — records executed queries so they
+//!   can be recalled and re-run, as the Crimson GUI does.
+//!
+//! ```no_run
+//! use crimson::prelude::*;
+//! use simulation::gold::GoldStandardBuilder;
+//!
+//! let gold = GoldStandardBuilder::new().leaves(64).sequence_length(200).seed(7).build().unwrap();
+//! let mut repo = Repository::create("demo.crimson", RepositoryOptions::default()).unwrap();
+//! let tree_id = repo.load_gold_standard("gold", &gold).unwrap();
+//! let sample = repo.sample_uniform(tree_id, 16, 1).unwrap();
+//! let projection = repo.project(tree_id, &sample).unwrap();
+//! assert_eq!(projection.leaf_count(), 16);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod benchmark;
+pub mod error;
+pub mod history;
+pub mod loader;
+pub mod query;
+pub mod repository;
+pub mod sampling;
+
+pub use error::CrimsonError;
+pub use repository::{Repository, RepositoryOptions, StoredNodeId, TreeHandle};
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::benchmark::{BenchmarkManager, BenchmarkReport, BenchmarkSpec, Method};
+    pub use crate::error::CrimsonError;
+    pub use crate::history::QueryKind;
+    pub use crate::loader::LoadMode;
+    pub use crate::repository::{Repository, RepositoryOptions, StoredNodeId, TreeHandle};
+    pub use crate::sampling::SamplingStrategy;
+}

@@ -1,0 +1,920 @@
+//! The Repository Manager: relational storage of trees, frames and species.
+//!
+//! Crimson "stores trees in relational form, and uses indexes based on Dewey
+//! labeling to speed up queries" (§2.1), separating tree structure from
+//! species data. The repository owns four tables on the embedded storage
+//! engine:
+//!
+//! | table     | contents                                                    |
+//! |-----------|-------------------------------------------------------------|
+//! | `trees`   | one row per loaded tree: name, root node, counts, frame depth `f` |
+//! | `nodes`   | one row per node: parent, name, branch length, cumulative time, pre-order rank, frame id, local Dewey label |
+//! | `frames`  | one row per frame (subtree of depth ≤ f): parent frame, **source node**, frame rank |
+//! | `species` | one row per taxon with sequence data, linked to its leaf node |
+//!
+//! Secondary indexes give the access paths the paper calls out: species name
+//! → node, node id → row, cumulative evolutionary time → nodes (a B+tree
+//! range scan), parent → children.
+
+use crate::error::{CrimsonError, CrimsonResult};
+use labeling::hierarchical::HierarchicalDewey;
+use phylo::traverse::Traverse;
+use phylo::Tree;
+use simulation::gold::GoldStandard;
+use std::collections::HashMap;
+use std::path::Path;
+use storage::db::{Database, TableId};
+use storage::schema::{ColumnDef, Schema};
+use storage::value::{Value, ValueType};
+
+/// Identifier of a node stored in the repository (stable across sessions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StoredNodeId(pub u64);
+
+impl std::fmt::Display for StoredNodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sn{}", self.0)
+    }
+}
+
+/// Handle of a tree stored in the repository.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TreeHandle(pub u64);
+
+/// Identifier of a stored frame (bounded-depth subtree).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StoredFrameId(pub u64);
+
+/// Options controlling repository creation.
+#[derive(Debug, Clone)]
+pub struct RepositoryOptions {
+    /// Frame depth `f` used for hierarchical labels (≥ 2).
+    pub frame_depth: usize,
+    /// Buffer-pool capacity in pages.
+    pub buffer_pool_pages: usize,
+}
+
+impl Default for RepositoryOptions {
+    fn default() -> Self {
+        RepositoryOptions { frame_depth: 16, buffer_pool_pages: 4096 }
+    }
+}
+
+/// A decoded node row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeRecord {
+    /// The node's stable id.
+    pub id: StoredNodeId,
+    /// Owning tree.
+    pub tree: TreeHandle,
+    /// Parent node, `None` for the root.
+    pub parent: Option<StoredNodeId>,
+    /// Taxon or clade name, if any.
+    pub name: Option<String>,
+    /// Branch length to the parent.
+    pub branch_length: Option<f64>,
+    /// Cumulative branch length from the root ("evolutionary time").
+    pub root_distance: f64,
+    /// Depth in edges from the root.
+    pub depth: u64,
+    /// Pre-order rank within the tree (0 = root).
+    pub preorder: u64,
+    /// Frame (bounded-depth subtree) this node belongs to.
+    pub frame: StoredFrameId,
+    /// Local Dewey label within the frame (1-based child ordinals).
+    pub local_label: Vec<u32>,
+    /// `true` when the node has no children.
+    pub is_leaf: bool,
+    /// Maximum summed branch length from this node down to any descendant
+    /// leaf (0 for leaves) — the "age" of the clade, used by time-respecting
+    /// sampling.
+    pub subtree_height: f64,
+}
+
+/// A decoded frame row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameRecord {
+    /// The frame id.
+    pub id: StoredFrameId,
+    /// Owning tree.
+    pub tree: TreeHandle,
+    /// The frame's root node.
+    pub root_node: StoredNodeId,
+    /// Frame containing the parent of `root_node`, if any.
+    pub parent_frame: Option<StoredFrameId>,
+    /// The paper's *source node*: parent of `root_node` in the stored tree.
+    pub source_node: Option<StoredNodeId>,
+    /// Number of ancestor frames (0 for the frame containing the tree root);
+    /// used for the two-pointer frame walk during cross-frame LCA.
+    pub rank: u64,
+}
+
+/// Summary row for a stored tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeRecord {
+    /// The tree handle.
+    pub handle: TreeHandle,
+    /// The tree's name.
+    pub name: String,
+    /// Root node id.
+    pub root: StoredNodeId,
+    /// Total number of nodes.
+    pub node_count: u64,
+    /// Number of leaves.
+    pub leaf_count: u64,
+    /// Frame depth `f` the labels were built with.
+    pub frame_depth: u64,
+}
+
+/// The Crimson repository: Tree Repository + Species Repository + Query
+/// Repository rolled into one database file.
+pub struct Repository {
+    pub(crate) db: Database,
+    pub(crate) options: RepositoryOptions,
+    pub(crate) trees_table: TableId,
+    pub(crate) nodes_table: TableId,
+    pub(crate) frames_table: TableId,
+    pub(crate) species_table: TableId,
+    pub(crate) history_table: TableId,
+    pub(crate) next_history_id: u64,
+}
+
+impl std::fmt::Debug for Repository {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Repository").field("options", &self.options).finish()
+    }
+}
+
+const TREE_SHIFT: u64 = 32;
+
+impl Repository {
+    // ------------------------------------------------------------------
+    // Construction
+    // ------------------------------------------------------------------
+
+    /// Create a new repository file (truncates an existing one).
+    pub fn create(path: impl AsRef<Path>, options: RepositoryOptions) -> CrimsonResult<Self> {
+        let mut db = Database::create_with_capacity(path, options.buffer_pool_pages)?;
+        let trees_table = db.create_table("trees", trees_schema())?;
+        db.create_index(trees_table, "tree_id", true)?;
+        db.create_index(trees_table, "name", true)?;
+        let nodes_table = db.create_table("nodes", nodes_schema())?;
+        db.create_index(nodes_table, "node_id", true)?;
+        db.create_index(nodes_table, "parent_id", false)?;
+        db.create_index(nodes_table, "name", false)?;
+        db.create_index(nodes_table, "root_dist", false)?;
+        db.create_index(nodes_table, "leaf_of_tree", false)?;
+        db.create_index(nodes_table, "subtree_height", false)?;
+        let frames_table = db.create_table("frames", frames_schema())?;
+        db.create_index(frames_table, "frame_id", true)?;
+        let species_table = db.create_table("species", species_schema())?;
+        db.create_index(species_table, "name", false)?;
+        db.create_index(species_table, "tree_id", false)?;
+        let history_table = db.create_table("query_history", history_schema())?;
+        db.create_index(history_table, "query_id", true)?;
+        db.flush()?;
+        Ok(Repository {
+            db,
+            options,
+            trees_table,
+            nodes_table,
+            frames_table,
+            species_table,
+            history_table,
+            next_history_id: 0,
+        })
+    }
+
+    /// Open an existing repository file.
+    pub fn open(path: impl AsRef<Path>, options: RepositoryOptions) -> CrimsonResult<Self> {
+        let db = Database::open_with_capacity(path, options.buffer_pool_pages)?;
+        let trees_table = db.table("trees")?;
+        let nodes_table = db.table("nodes")?;
+        let frames_table = db.table("frames")?;
+        let species_table = db.table("species")?;
+        let history_table = db.table("query_history")?;
+        let next_history_id = db.row_count(history_table)? as u64;
+        Ok(Repository {
+            db,
+            options,
+            trees_table,
+            nodes_table,
+            frames_table,
+            species_table,
+            history_table,
+            next_history_id,
+        })
+    }
+
+    /// The options this repository was opened with.
+    pub fn options(&self) -> &RepositoryOptions {
+        &self.options
+    }
+
+    /// Flush all dirty state to disk.
+    pub fn flush(&mut self) -> CrimsonResult<()> {
+        self.db.flush()?;
+        Ok(())
+    }
+
+    /// Buffer-pool statistics from the underlying storage engine.
+    pub fn buffer_stats(&self) -> storage::buffer::BufferStats {
+        self.db.buffer_stats()
+    }
+
+    /// Reset buffer-pool statistics.
+    pub fn reset_buffer_stats(&self) {
+        self.db.reset_buffer_stats()
+    }
+
+    /// Drop cached pages to measure cold-start query behaviour.
+    pub fn clear_cache(&self) -> CrimsonResult<()> {
+        self.db.clear_cache()?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Loading
+    // ------------------------------------------------------------------
+
+    /// Load a tree (structure only) under `name`; returns its handle.
+    ///
+    /// Nodes are stored with hierarchical Dewey labels (frame depth taken
+    /// from the repository options), cumulative root distances, pre-order
+    /// ranks and parent links.
+    pub fn load_tree(&mut self, name: &str, tree: &Tree) -> CrimsonResult<TreeHandle> {
+        if tree.is_empty() {
+            return Err(CrimsonError::Phylo(phylo::PhyloError::EmptyTree));
+        }
+        if self.find_tree(name)?.is_some() {
+            return Err(CrimsonError::DuplicateTree(name.to_string()));
+        }
+        let tree_id = self.next_tree_id()?;
+        let handle = TreeHandle(tree_id);
+
+        let labels = HierarchicalDewey::build(tree, self.options.frame_depth);
+        let layer0 = labels.layer(0);
+        let root_dists = tree.all_root_distances();
+        let depths = tree.all_depths();
+        let preorder = tree.preorder_ranks();
+        // Subtree height (max distance to a descendant leaf) in post-order.
+        let mut heights = vec![0.0f64; tree.node_count()];
+        for node in tree.postorder() {
+            let mut h = 0.0f64;
+            for &c in tree.children(node) {
+                h = h.max(heights[c.index()] + tree.node(c).branch_length_or_zero());
+            }
+            heights[node.index()] = h;
+        }
+
+        let node_sid = |n: phylo::NodeId| StoredNodeId((tree_id << TREE_SHIFT) | n.0 as u64);
+        let frame_sid = |f: u32| StoredFrameId((tree_id << TREE_SHIFT) | f as u64);
+
+        // Frame ranks (number of ancestor frames) for the cross-frame walk.
+        let frame_count = layer0.frame_count();
+        let mut frame_rank = vec![0u64; frame_count];
+        for fid in 0..frame_count as u32 {
+            let mut rank = 0u64;
+            let mut cur = fid;
+            while let Some(parent) = layer0.frame(cur).parent_frame {
+                rank += 1;
+                cur = parent;
+            }
+            frame_rank[fid as usize] = rank;
+        }
+
+        // Insert frames.
+        for fid in 0..frame_count as u32 {
+            let frame = layer0.frame(fid);
+            self.db.insert(
+                self.frames_table,
+                &[
+                    Value::Int(frame_sid(fid).0 as i64),
+                    Value::Int(tree_id as i64),
+                    Value::Int(node_sid(phylo::NodeId(frame.root)).0 as i64),
+                    match frame.parent_frame {
+                        Some(p) => Value::Int(frame_sid(p).0 as i64),
+                        None => Value::Int(-1),
+                    },
+                    match frame.source {
+                        Some(s) => Value::Int(node_sid(phylo::NodeId(s)).0 as i64),
+                        None => Value::Int(-1),
+                    },
+                    Value::Int(frame_rank[fid as usize] as i64),
+                ],
+            )?;
+        }
+
+        // Insert nodes in pre-order (keeps heap locality aligned with the
+        // dominant access pattern).
+        let mut leaf_count = 0u64;
+        for node in tree.preorder() {
+            let is_leaf = tree.is_leaf(node);
+            if is_leaf {
+                leaf_count += 1;
+            }
+            let label = labels.label(node);
+            let label_bytes: Vec<u8> =
+                label.path.iter().flat_map(|c| c.to_le_bytes()).collect();
+            self.db.insert(
+                self.nodes_table,
+                &[
+                    Value::Int(node_sid(node).0 as i64),
+                    Value::Int(tree_id as i64),
+                    match tree.parent(node) {
+                        Some(p) => Value::Int(node_sid(p).0 as i64),
+                        None => Value::Int(-1),
+                    },
+                    match tree.name(node) {
+                        Some(n) => Value::text(n),
+                        None => Value::Null,
+                    },
+                    match tree.branch_length(node) {
+                        Some(l) => Value::Float(l),
+                        None => Value::Null,
+                    },
+                    Value::Float(root_dists[node.index()]),
+                    Value::Int(depths[node.index()] as i64),
+                    Value::Int(preorder[node.index()] as i64),
+                    Value::Int(frame_sid(label.frame).0 as i64),
+                    Value::bytes(label_bytes),
+                    Value::Bool(is_leaf),
+                    Value::Int(if is_leaf { tree_id as i64 } else { -1 }),
+                    Value::Float(heights[node.index()]),
+                ],
+            )?;
+        }
+
+        // Insert the tree row last so a partially loaded tree is not visible.
+        self.db.insert(
+            self.trees_table,
+            &[
+                Value::Int(tree_id as i64),
+                Value::text(name),
+                Value::Int(node_sid(tree.root_unchecked()).0 as i64),
+                Value::Int(tree.node_count() as i64),
+                Value::Int(leaf_count as i64),
+                Value::Int(self.options.frame_depth as i64),
+            ],
+        )?;
+        self.db.flush()?;
+        Ok(handle)
+    }
+
+    /// Append species (sequence) data to an already loaded tree. Species
+    /// whose name does not match a leaf of the tree are rejected.
+    pub fn load_species(
+        &mut self,
+        handle: TreeHandle,
+        sequences: &HashMap<String, String>,
+    ) -> CrimsonResult<usize> {
+        let mut loaded = 0usize;
+        for (name, seq) in sequences {
+            let node = self
+                .species_node(handle, name)?
+                .ok_or_else(|| CrimsonError::UnknownSpecies(name.clone()))?;
+            self.db.insert(
+                self.species_table,
+                &[
+                    Value::text(name),
+                    Value::Int(handle.0 as i64),
+                    Value::Int(node.0 as i64),
+                    Value::text(seq.clone()),
+                ],
+            )?;
+            loaded += 1;
+        }
+        self.db.flush()?;
+        Ok(loaded)
+    }
+
+    /// Load a gold standard: the tree plus all of its sequences.
+    pub fn load_gold_standard(
+        &mut self,
+        name: &str,
+        gold: &GoldStandard,
+    ) -> CrimsonResult<TreeHandle> {
+        let handle = self.load_tree(name, &gold.tree)?;
+        if !gold.sequences.is_empty() {
+            self.load_species(handle, &gold.sequences)?;
+        }
+        Ok(handle)
+    }
+
+    // ------------------------------------------------------------------
+    // Catalog access
+    // ------------------------------------------------------------------
+
+    /// Look up a tree by name.
+    pub fn find_tree(&self, name: &str) -> CrimsonResult<Option<TreeRecord>> {
+        let rows = self.db.lookup_rows(self.trees_table, "name", &Value::text(name))?;
+        Ok(rows.into_iter().next().map(|(_, row)| decode_tree_row(&row)))
+    }
+
+    /// Look up a tree by name, failing when absent.
+    pub fn tree_by_name(&self, name: &str) -> CrimsonResult<TreeRecord> {
+        self.find_tree(name)?.ok_or_else(|| CrimsonError::UnknownTree(name.to_string()))
+    }
+
+    /// Look up a tree by handle.
+    pub fn tree_record(&self, handle: TreeHandle) -> CrimsonResult<TreeRecord> {
+        let rows =
+            self.db.lookup_rows(self.trees_table, "tree_id", &Value::Int(handle.0 as i64))?;
+        rows.into_iter()
+            .next()
+            .map(|(_, row)| decode_tree_row(&row))
+            .ok_or(CrimsonError::UnknownTreeId(handle.0))
+    }
+
+    /// All trees currently loaded.
+    pub fn list_trees(&self) -> CrimsonResult<Vec<TreeRecord>> {
+        let rows = self.db.scan(self.trees_table)?;
+        Ok(rows.iter().map(|(_, row)| decode_tree_row(row)).collect())
+    }
+
+    fn next_tree_id(&self) -> CrimsonResult<u64> {
+        let rows = self.db.scan(self.trees_table)?;
+        let max = rows
+            .iter()
+            .map(|(_, row)| row.values[0].as_int().unwrap_or(0) as u64)
+            .max()
+            .unwrap_or(0);
+        Ok(if rows.is_empty() { 1 } else { max + 1 })
+    }
+
+    // ------------------------------------------------------------------
+    // Node / frame access
+    // ------------------------------------------------------------------
+
+    /// Fetch a node row.
+    pub fn node_record(&self, id: StoredNodeId) -> CrimsonResult<NodeRecord> {
+        let rows = self.db.lookup_rows(self.nodes_table, "node_id", &Value::Int(id.0 as i64))?;
+        rows.into_iter()
+            .next()
+            .map(|(_, row)| decode_node_row(&row))
+            .ok_or(CrimsonError::UnknownNode(id.0))
+    }
+
+    /// Fetch a frame row.
+    pub fn frame_record(&self, id: StoredFrameId) -> CrimsonResult<FrameRecord> {
+        let rows =
+            self.db.lookup_rows(self.frames_table, "frame_id", &Value::Int(id.0 as i64))?;
+        rows.into_iter()
+            .next()
+            .map(|(_, row)| decode_frame_row(&row))
+            .ok_or(CrimsonError::UnknownNode(id.0))
+    }
+
+    /// Children of a stored node (via the parent index).
+    pub fn children(&self, id: StoredNodeId) -> CrimsonResult<Vec<StoredNodeId>> {
+        let rows = self.db.lookup_rows(self.nodes_table, "parent_id", &Value::Int(id.0 as i64))?;
+        Ok(rows.iter().map(|(_, row)| StoredNodeId(row.values[0].as_int().unwrap_or(0) as u64)).collect())
+    }
+
+    /// The leaf node a species name maps to in the given tree, if any.
+    pub fn species_node(
+        &self,
+        handle: TreeHandle,
+        name: &str,
+    ) -> CrimsonResult<Option<StoredNodeId>> {
+        let rows = self.db.lookup_rows(self.nodes_table, "name", &Value::text(name))?;
+        for (_, row) in rows {
+            let rec = decode_node_row(&row);
+            if rec.tree == handle && rec.is_leaf {
+                return Ok(Some(rec.id));
+            }
+        }
+        Ok(None)
+    }
+
+    /// The leaf node a species name maps to, failing when absent.
+    pub fn require_species_node(
+        &self,
+        handle: TreeHandle,
+        name: &str,
+    ) -> CrimsonResult<StoredNodeId> {
+        self.species_node(handle, name)?
+            .ok_or_else(|| CrimsonError::UnknownSpecies(name.to_string()))
+    }
+
+    /// All leaf node ids of a tree (via the `leaf_of_tree` index).
+    pub fn leaves(&self, handle: TreeHandle) -> CrimsonResult<Vec<StoredNodeId>> {
+        let rows =
+            self.db.lookup_rows(self.nodes_table, "leaf_of_tree", &Value::Int(handle.0 as i64))?;
+        Ok(rows
+            .iter()
+            .map(|(_, row)| StoredNodeId(row.values[0].as_int().unwrap_or(0) as u64))
+            .collect())
+    }
+
+    /// Sequences stored for the given species names.
+    pub fn sequences_for(
+        &self,
+        handle: TreeHandle,
+        names: &[String],
+    ) -> CrimsonResult<HashMap<String, String>> {
+        let mut out = HashMap::with_capacity(names.len());
+        for name in names {
+            let rows = self.db.lookup_rows(self.species_table, "name", &Value::text(name))?;
+            let mut found = false;
+            for (_, row) in rows {
+                let tree_id = row.values[1].as_int().unwrap_or(-1) as u64;
+                if tree_id == handle.0 {
+                    let seq = row.values[3].as_text().unwrap_or("").to_string();
+                    out.insert(name.clone(), seq);
+                    found = true;
+                    break;
+                }
+            }
+            if !found {
+                return Err(CrimsonError::MissingSequences(name.clone()));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Number of species rows stored for a tree.
+    pub fn species_count(&self, handle: TreeHandle) -> CrimsonResult<usize> {
+        let rows =
+            self.db.lookup_rows(self.species_table, "tree_id", &Value::Int(handle.0 as i64))?;
+        Ok(rows.len())
+    }
+
+    // ------------------------------------------------------------------
+    // Structure primitives: LCA and ancestor tests over stored labels
+    // ------------------------------------------------------------------
+
+    /// Least common ancestor of two stored nodes, computed from the stored
+    /// hierarchical labels (local prefix within a frame; source-node hops
+    /// across frames), without materializing the tree in memory.
+    pub fn lca(&self, a: StoredNodeId, b: StoredNodeId) -> CrimsonResult<StoredNodeId> {
+        if a == b {
+            return Ok(a);
+        }
+        let ra = self.node_record(a)?;
+        let rb = self.node_record(b)?;
+        if ra.frame == rb.frame {
+            return self.local_lca(&ra, &rb);
+        }
+        // Cross-frame: walk the frame chains (two-pointer by frame rank),
+        // replacing each node by the source node of its frame as we lift it.
+        let mut na = ra;
+        let mut nb = rb;
+        let mut fa = self.frame_record(na.frame)?;
+        let mut fb = self.frame_record(nb.frame)?;
+        while fa.id != fb.id {
+            if fa.rank >= fb.rank {
+                let source = fa
+                    .source_node
+                    .expect("a frame of rank > 0 (or differing from its peer) has a source");
+                na = self.node_record(source)?;
+                fa = self.frame_record(na.frame)?;
+            } else {
+                let source = fb
+                    .source_node
+                    .expect("a frame of rank > 0 (or differing from its peer) has a source");
+                nb = self.node_record(source)?;
+                fb = self.frame_record(nb.frame)?;
+            }
+        }
+        self.local_lca(&na, &nb)
+    }
+
+    /// `true` when `ancestor` is an ancestor-or-self of `node` (LCA test, as
+    /// in the paper).
+    pub fn is_ancestor(&self, ancestor: StoredNodeId, node: StoredNodeId) -> CrimsonResult<bool> {
+        Ok(self.lca(ancestor, node)? == ancestor)
+    }
+
+    /// LCA of two nodes known to share a frame: longest common prefix of the
+    /// local labels, resolved to a node by walking at most `f` parent links.
+    fn local_lca(&self, a: &NodeRecord, b: &NodeRecord) -> CrimsonResult<StoredNodeId> {
+        debug_assert_eq!(a.frame, b.frame);
+        let prefix = a
+            .local_label
+            .iter()
+            .zip(b.local_label.iter())
+            .take_while(|(x, y)| x == y)
+            .count();
+        let (mut cur, depth) = if a.local_label.len() <= b.local_label.len() {
+            (a.clone(), a.local_label.len())
+        } else {
+            (b.clone(), b.local_label.len())
+        };
+        for _ in prefix..depth {
+            let parent = cur.parent.expect("non-frame-root node has a parent");
+            cur = self.node_record(parent)?;
+        }
+        Ok(cur.id)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Schemas and row decoding
+// ---------------------------------------------------------------------------
+
+fn trees_schema() -> Schema {
+    Schema::new(vec![
+        ColumnDef::not_null("tree_id", ValueType::Int),
+        ColumnDef::not_null("name", ValueType::Text),
+        ColumnDef::not_null("root_node", ValueType::Int),
+        ColumnDef::not_null("node_count", ValueType::Int),
+        ColumnDef::not_null("leaf_count", ValueType::Int),
+        ColumnDef::not_null("frame_depth", ValueType::Int),
+    ])
+}
+
+fn nodes_schema() -> Schema {
+    Schema::new(vec![
+        ColumnDef::not_null("node_id", ValueType::Int),
+        ColumnDef::not_null("tree_id", ValueType::Int),
+        ColumnDef::not_null("parent_id", ValueType::Int),
+        ColumnDef::new("name", ValueType::Text),
+        ColumnDef::new("branch_length", ValueType::Float),
+        ColumnDef::not_null("root_dist", ValueType::Float),
+        ColumnDef::not_null("depth", ValueType::Int),
+        ColumnDef::not_null("preorder", ValueType::Int),
+        ColumnDef::not_null("frame_id", ValueType::Int),
+        ColumnDef::not_null("label", ValueType::Bytes),
+        ColumnDef::not_null("is_leaf", ValueType::Bool),
+        ColumnDef::not_null("leaf_of_tree", ValueType::Int),
+        ColumnDef::not_null("subtree_height", ValueType::Float),
+    ])
+}
+
+fn frames_schema() -> Schema {
+    Schema::new(vec![
+        ColumnDef::not_null("frame_id", ValueType::Int),
+        ColumnDef::not_null("tree_id", ValueType::Int),
+        ColumnDef::not_null("root_node", ValueType::Int),
+        ColumnDef::not_null("parent_frame", ValueType::Int),
+        ColumnDef::not_null("source_node", ValueType::Int),
+        ColumnDef::not_null("rank", ValueType::Int),
+    ])
+}
+
+fn species_schema() -> Schema {
+    Schema::new(vec![
+        ColumnDef::not_null("name", ValueType::Text),
+        ColumnDef::not_null("tree_id", ValueType::Int),
+        ColumnDef::not_null("node_id", ValueType::Int),
+        ColumnDef::not_null("sequence", ValueType::Text),
+    ])
+}
+
+fn history_schema() -> Schema {
+    Schema::new(vec![
+        ColumnDef::not_null("query_id", ValueType::Int),
+        ColumnDef::not_null("kind", ValueType::Text),
+        ColumnDef::not_null("params", ValueType::Text),
+        ColumnDef::not_null("summary", ValueType::Text),
+    ])
+}
+
+fn decode_tree_row(row: &storage::schema::Row) -> TreeRecord {
+    TreeRecord {
+        handle: TreeHandle(row.values[0].as_int().unwrap_or(0) as u64),
+        name: row.values[1].as_text().unwrap_or("").to_string(),
+        root: StoredNodeId(row.values[2].as_int().unwrap_or(0) as u64),
+        node_count: row.values[3].as_int().unwrap_or(0) as u64,
+        leaf_count: row.values[4].as_int().unwrap_or(0) as u64,
+        frame_depth: row.values[5].as_int().unwrap_or(0) as u64,
+    }
+}
+
+pub(crate) fn decode_node_row(row: &storage::schema::Row) -> NodeRecord {
+    let parent_raw = row.values[2].as_int().unwrap_or(-1);
+    let label_bytes = row.values[9].as_bytes().unwrap_or(&[]);
+    let local_label: Vec<u32> = label_bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    NodeRecord {
+        id: StoredNodeId(row.values[0].as_int().unwrap_or(0) as u64),
+        tree: TreeHandle(row.values[1].as_int().unwrap_or(0) as u64),
+        parent: if parent_raw < 0 { None } else { Some(StoredNodeId(parent_raw as u64)) },
+        name: row.values[3].as_text().map(|s| s.to_string()),
+        branch_length: row.values[4].as_float(),
+        root_distance: row.values[5].as_float().unwrap_or(0.0),
+        depth: row.values[6].as_int().unwrap_or(0) as u64,
+        preorder: row.values[7].as_int().unwrap_or(0) as u64,
+        frame: StoredFrameId(row.values[8].as_int().unwrap_or(0) as u64),
+        local_label,
+        is_leaf: row.values[10].as_bool().unwrap_or(false),
+        subtree_height: row.values[12].as_float().unwrap_or(0.0),
+    }
+}
+
+fn decode_frame_row(row: &storage::schema::Row) -> FrameRecord {
+    let parent_raw = row.values[3].as_int().unwrap_or(-1);
+    let source_raw = row.values[4].as_int().unwrap_or(-1);
+    FrameRecord {
+        id: StoredFrameId(row.values[0].as_int().unwrap_or(0) as u64),
+        tree: TreeHandle(row.values[1].as_int().unwrap_or(0) as u64),
+        root_node: StoredNodeId(row.values[2].as_int().unwrap_or(0) as u64),
+        parent_frame: if parent_raw < 0 { None } else { Some(StoredFrameId(parent_raw as u64)) },
+        source_node: if source_raw < 0 { None } else { Some(StoredNodeId(source_raw as u64)) },
+        rank: row.values[5].as_int().unwrap_or(0) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phylo::builder::{balanced_binary, caterpillar, figure1_tree};
+    use tempfile::tempdir;
+
+    fn repo() -> (tempfile::TempDir, Repository) {
+        let dir = tempdir().unwrap();
+        let repo = Repository::create(
+            dir.path().join("repo.crimson"),
+            RepositoryOptions { frame_depth: 2, buffer_pool_pages: 256 },
+        )
+        .unwrap();
+        (dir, repo)
+    }
+
+    #[test]
+    fn load_figure1_and_inspect() {
+        let (_d, mut repo) = repo();
+        let tree = figure1_tree();
+        let handle = repo.load_tree("fig1", &tree).unwrap();
+        let rec = repo.tree_by_name("fig1").unwrap();
+        assert_eq!(rec.handle, handle);
+        assert_eq!(rec.node_count, 8);
+        assert_eq!(rec.leaf_count, 5);
+        assert_eq!(rec.frame_depth, 2);
+
+        let lla = repo.require_species_node(handle, "Lla").unwrap();
+        let rec = repo.node_record(lla).unwrap();
+        assert!(rec.is_leaf);
+        assert_eq!(rec.depth, 3);
+        assert!((rec.root_distance - 3.0).abs() < 1e-12);
+        assert_eq!(rec.name.as_deref(), Some("Lla"));
+
+        let root = repo.tree_by_name("fig1").unwrap().root;
+        let root_rec = repo.node_record(root).unwrap();
+        assert_eq!(root_rec.parent, None);
+        assert_eq!(repo.children(root).unwrap().len(), 3);
+        assert_eq!(repo.leaves(handle).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn duplicate_tree_name_rejected() {
+        let (_d, mut repo) = repo();
+        let tree = figure1_tree();
+        repo.load_tree("fig1", &tree).unwrap();
+        assert!(matches!(
+            repo.load_tree("fig1", &tree),
+            Err(CrimsonError::DuplicateTree(_))
+        ));
+    }
+
+    #[test]
+    fn lca_matches_in_memory_tree() {
+        let (_d, mut repo) = repo();
+        let tree = figure1_tree();
+        let handle = repo.load_tree("fig1", &tree).unwrap();
+        // Check every pair of leaves against the in-memory reference.
+        let names = ["Bha", "Lla", "Spy", "Syn", "Bsu"];
+        for a in names {
+            for b in names {
+                let sa = repo.require_species_node(handle, a).unwrap();
+                let sb = repo.require_species_node(handle, b).unwrap();
+                let stored_lca = repo.lca(sa, sb).unwrap();
+                let mem_lca =
+                    tree.lca(tree.find_leaf_by_name(a).unwrap(), tree.find_leaf_by_name(b).unwrap());
+                // Compare via names / depth (stored ids differ from NodeIds).
+                let stored_rec = repo.node_record(stored_lca).unwrap();
+                assert_eq!(stored_rec.depth as usize, tree.depth(mem_lca), "lca({a},{b})");
+                assert!(
+                    (stored_rec.root_distance - tree.root_distance(mem_lca)).abs() < 1e-12,
+                    "lca({a},{b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lca_on_deeper_trees_various_frame_depths() {
+        for f in [2usize, 4, 16] {
+            let dir = tempdir().unwrap();
+            let mut repo = Repository::create(
+                dir.path().join("repo.crimson"),
+                RepositoryOptions { frame_depth: f, buffer_pool_pages: 512 },
+            )
+            .unwrap();
+            let tree = caterpillar(60, 1.0);
+            let handle = repo.load_tree("cat", &tree).unwrap();
+            let leaves: Vec<_> = tree.leaf_ids().collect();
+            for i in (0..leaves.len()).step_by(7) {
+                for j in (0..leaves.len()).step_by(11) {
+                    let a = leaves[i];
+                    let b = leaves[j];
+                    let sa = repo
+                        .require_species_node(handle, tree.name(a).unwrap())
+                        .unwrap();
+                    let sb = repo
+                        .require_species_node(handle, tree.name(b).unwrap())
+                        .unwrap();
+                    let stored = repo.node_record(repo.lca(sa, sb).unwrap()).unwrap();
+                    let expected = tree.lca(a, b);
+                    assert_eq!(stored.depth as usize, tree.depth(expected), "f={f} {a} {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn is_ancestor_via_lca() {
+        let (_d, mut repo) = repo();
+        let tree = figure1_tree();
+        let handle = repo.load_tree("fig1", &tree).unwrap();
+        let root = repo.tree_by_name("fig1").unwrap().root;
+        let lla = repo.require_species_node(handle, "Lla").unwrap();
+        let syn = repo.require_species_node(handle, "Syn").unwrap();
+        assert!(repo.is_ancestor(root, lla).unwrap());
+        assert!(repo.is_ancestor(lla, lla).unwrap());
+        assert!(!repo.is_ancestor(lla, root).unwrap());
+        assert!(!repo.is_ancestor(syn, lla).unwrap());
+    }
+
+    #[test]
+    fn species_data_load_and_fetch() {
+        let (_d, mut repo) = repo();
+        let tree = figure1_tree();
+        let handle = repo.load_tree("fig1", &tree).unwrap();
+        let mut seqs = HashMap::new();
+        seqs.insert("Bha".to_string(), "ACGT".to_string());
+        seqs.insert("Lla".to_string(), "ACGA".to_string());
+        assert_eq!(repo.load_species(handle, &seqs).unwrap(), 2);
+        assert_eq!(repo.species_count(handle).unwrap(), 2);
+        let got = repo.sequences_for(handle, &["Bha".to_string()]).unwrap();
+        assert_eq!(got["Bha"], "ACGT");
+        // Missing sequence is an error.
+        assert!(matches!(
+            repo.sequences_for(handle, &["Syn".to_string()]),
+            Err(CrimsonError::MissingSequences(_))
+        ));
+        // Unknown species rejected on load.
+        let mut bad = HashMap::new();
+        bad.insert("NotATaxon".to_string(), "AC".to_string());
+        assert!(matches!(
+            repo.load_species(handle, &bad),
+            Err(CrimsonError::UnknownSpecies(_))
+        ));
+    }
+
+    #[test]
+    fn multiple_trees_coexist() {
+        let (_d, mut repo) = repo();
+        let h1 = repo.load_tree("fig1", &figure1_tree()).unwrap();
+        let h2 = repo.load_tree("balanced", &balanced_binary(4, 1.0)).unwrap();
+        assert_ne!(h1, h2);
+        assert_eq!(repo.list_trees().unwrap().len(), 2);
+        assert_eq!(repo.leaves(h1).unwrap().len(), 5);
+        assert_eq!(repo.leaves(h2).unwrap().len(), 16);
+        // Name lookups are scoped per tree even though both trees may share
+        // leaf names.
+        assert!(repo.species_node(h1, "T3").unwrap().is_none());
+        assert!(repo.species_node(h2, "T3").unwrap().is_some());
+    }
+
+    #[test]
+    fn persistence_across_reopen() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("repo.crimson");
+        let handle;
+        {
+            let mut repo =
+                Repository::create(&path, RepositoryOptions { frame_depth: 4, buffer_pool_pages: 128 })
+                    .unwrap();
+            handle = repo.load_tree("fig1", &figure1_tree()).unwrap();
+            repo.flush().unwrap();
+        }
+        let repo = Repository::open(&path, RepositoryOptions::default()).unwrap();
+        let rec = repo.tree_by_name("fig1").unwrap();
+        assert_eq!(rec.handle, handle);
+        let lla = repo.require_species_node(handle, "Lla").unwrap();
+        let spy = repo.require_species_node(handle, "Spy").unwrap();
+        let lca = repo.node_record(repo.lca(lla, spy).unwrap()).unwrap();
+        assert_eq!(lca.depth, 2);
+    }
+
+    #[test]
+    fn unknown_lookups_error() {
+        let (_d, repo) = repo();
+        assert!(matches!(repo.tree_by_name("ghost"), Err(CrimsonError::UnknownTree(_))));
+        assert!(matches!(repo.node_record(StoredNodeId(999)), Err(CrimsonError::UnknownNode(_))));
+        assert!(matches!(
+            repo.tree_record(TreeHandle(42)),
+            Err(CrimsonError::UnknownTreeId(42))
+        ));
+    }
+
+    #[test]
+    fn empty_tree_rejected() {
+        let (_d, mut repo) = repo();
+        assert!(repo.load_tree("empty", &Tree::new()).is_err());
+    }
+}

@@ -1,0 +1,190 @@
+//! Flat Dewey labeling (ref. \[11\] in the paper).
+//!
+//! Every node's label is the sequence of child ordinals along the path from
+//! the root: in Figure 1 the leaf `Lla` gets `(2.1.1)` and `Spy` gets
+//! `(2.1.2)` (1-based ordinals as in the paper). The least common ancestor of
+//! two nodes is the node whose label is the longest common prefix of their
+//! labels. The scheme is simple and exact, but the label of a node at depth
+//! *d* has *d* components — on the million-level simulation trees the paper
+//! targets, labels become enormous, which is precisely the problem the
+//! hierarchical scheme solves.
+
+use crate::scheme::{LabelStats, LcaScheme};
+use phylo::traverse::Traverse;
+use phylo::{NodeId, Tree};
+
+/// Flat Dewey labels for every node of a tree.
+#[derive(Debug, Clone)]
+pub struct FlatDewey {
+    /// Label of each node, indexed by `NodeId::index()`. Component values are
+    /// 1-based child ordinals, matching the paper's notation.
+    labels: Vec<Vec<u32>>,
+    /// Parent pointers, kept to map an LCA *label* back to the node id
+    /// without a label→node hash map.
+    parents: Vec<Option<NodeId>>,
+}
+
+impl FlatDewey {
+    /// Assign labels to every node of `tree`.
+    ///
+    /// The paper randomly orders outgoing edges before labeling; the order
+    /// has no effect on correctness, so we use the tree's child order (which
+    /// generators randomize when desired).
+    pub fn build(tree: &Tree) -> Self {
+        let n = tree.node_count();
+        let mut labels: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut parents: Vec<Option<NodeId>> = vec![None; n];
+        for node in tree.preorder() {
+            parents[node.index()] = tree.parent(node);
+            for (i, &child) in tree.children(node).iter().enumerate() {
+                let mut label = labels[node.index()].clone();
+                label.push(i as u32 + 1);
+                labels[child.index()] = label;
+            }
+        }
+        FlatDewey { labels, parents }
+    }
+
+    /// The label of `node` (empty for the root).
+    pub fn label(&self, node: NodeId) -> &[u32] {
+        &self.labels[node.index()]
+    }
+
+    /// Render a label the way the paper writes them, e.g. `(2.1.1)`.
+    pub fn label_string(&self, node: NodeId) -> String {
+        let parts: Vec<String> =
+            self.labels[node.index()].iter().map(|c| c.to_string()).collect();
+        format!("({})", parts.join("."))
+    }
+
+    /// Length (number of components) of the longest common prefix of the two
+    /// labels — the *depth* of the LCA.
+    pub fn common_prefix_len(&self, a: NodeId, b: NodeId) -> usize {
+        let la = &self.labels[a.index()];
+        let lb = &self.labels[b.index()];
+        la.iter().zip(lb.iter()).take_while(|(x, y)| x == y).count()
+    }
+}
+
+impl LcaScheme for FlatDewey {
+    fn scheme_name(&self) -> &'static str {
+        "flat-dewey"
+    }
+
+    fn lca(&self, a: NodeId, b: NodeId) -> NodeId {
+        let prefix = self.common_prefix_len(a, b);
+        // The LCA's label is the first `prefix` components of either label;
+        // walk up from the shallower-or-equal node until its depth matches.
+        let (mut node, depth) = if self.labels[a.index()].len() <= self.labels[b.index()].len() {
+            (a, self.labels[a.index()].len())
+        } else {
+            (b, self.labels[b.index()].len())
+        };
+        for _ in prefix..depth {
+            node = self.parents[node.index()].expect("label length says an ancestor exists");
+        }
+        node
+    }
+
+    fn is_ancestor(&self, ancestor: NodeId, node: NodeId) -> bool {
+        let la = &self.labels[ancestor.index()];
+        let lb = &self.labels[node.index()];
+        la.len() <= lb.len() && la[..] == lb[..la.len()]
+    }
+
+    fn label_bytes(&self, node: NodeId) -> usize {
+        self.labels[node.index()].len() * std::mem::size_of::<u32>()
+    }
+
+    fn stats(&self) -> LabelStats {
+        LabelStats::from_sizes(self.labels.iter().map(|l| l.len() * 4))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::validate_against_reference;
+    use phylo::builder::{balanced_binary, caterpillar, figure1_tree};
+
+    #[test]
+    fn figure1_labels_match_paper() {
+        // With insertion order, the left clade is child 1, Syn is child 2,
+        // Bsu child 3 — the paper's example used a random order where the
+        // clade was child 2; the structure of the labels is what matters.
+        let tree = figure1_tree();
+        let d = FlatDewey::build(&tree);
+        let lla = tree.find_leaf_by_name("Lla").unwrap();
+        let spy = tree.find_leaf_by_name("Spy").unwrap();
+        assert_eq!(d.label(lla), &[1, 2, 1]);
+        assert_eq!(d.label(spy), &[1, 2, 2]);
+        assert_eq!(d.label_string(lla), "(1.2.1)");
+        assert_eq!(d.label(tree.root_unchecked()), &[] as &[u32]);
+        // LCA of Lla and Spy is their shared parent, whose label is the
+        // common prefix (1.2).
+        let lca = d.lca(lla, spy);
+        assert_eq!(d.label(lca), &[1, 2]);
+        assert_eq!(lca, tree.parent(lla).unwrap());
+    }
+
+    #[test]
+    fn lca_matches_reference_on_figure1() {
+        let tree = figure1_tree();
+        let d = FlatDewey::build(&tree);
+        let ids: Vec<NodeId> = tree.node_ids().collect();
+        let mut pairs = Vec::new();
+        for &a in &ids {
+            for &b in &ids {
+                pairs.push((a, b));
+            }
+        }
+        validate_against_reference(&d, &tree, &pairs).unwrap();
+    }
+
+    #[test]
+    fn lca_matches_reference_on_balanced_tree() {
+        let tree = balanced_binary(6, 1.0);
+        let d = FlatDewey::build(&tree);
+        let leaves: Vec<NodeId> = tree.leaf_ids().collect();
+        let mut pairs = Vec::new();
+        for (i, &a) in leaves.iter().enumerate() {
+            for &b in leaves.iter().skip(i) {
+                pairs.push((a, b));
+            }
+        }
+        validate_against_reference(&d, &tree, &pairs).unwrap();
+    }
+
+    #[test]
+    fn ancestor_checks() {
+        let tree = figure1_tree();
+        let d = FlatDewey::build(&tree);
+        let root = tree.root_unchecked();
+        let lla = tree.find_leaf_by_name("Lla").unwrap();
+        let syn = tree.find_leaf_by_name("Syn").unwrap();
+        assert!(d.is_ancestor(root, lla));
+        assert!(d.is_ancestor(lla, lla));
+        assert!(!d.is_ancestor(lla, root));
+        assert!(!d.is_ancestor(syn, lla));
+    }
+
+    #[test]
+    fn label_size_grows_linearly_with_depth() {
+        let tree = caterpillar(500, 1.0);
+        let d = FlatDewey::build(&tree);
+        let stats = d.stats();
+        // The deepest leaf has 500+ components of 4 bytes each.
+        assert!(stats.max_bytes >= 500 * 4);
+        // Mean grows with depth too (roughly half the max for a caterpillar).
+        assert!(stats.mean_bytes > 250.0);
+    }
+
+    #[test]
+    fn self_lca_is_identity() {
+        let tree = balanced_binary(4, 1.0);
+        let d = FlatDewey::build(&tree);
+        for node in tree.node_ids() {
+            assert_eq!(d.lca(node, node), node);
+        }
+    }
+}

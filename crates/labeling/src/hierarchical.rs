@@ -1,0 +1,506 @@
+//! Hierarchical (layered) Dewey labeling — the paper's core contribution.
+//!
+//! A flat Dewey label encodes the whole root path, so on a tree of depth one
+//! million a single label has a million components. Crimson instead bounds
+//! every label to a constant `f`:
+//!
+//! 1. The input tree is decomposed into subtrees — **frames** — of at most
+//!    `f` levels ("layer 0"). Each node's label is a Dewey path *local to its
+//!    frame*, so it has fewer than `f` components.
+//! 2. Every layer-0 frame becomes a node one layer up. The **layer-1** tree
+//!    connects frame-nodes exactly as the frames are connected in the
+//!    original tree, and is itself decomposed into frames of at most `f`
+//!    levels. This repeats until a layer consists of a single frame.
+//! 3. When a frame is split off, the node it was split from — its parent in
+//!    the original tree — is recorded as the frame's **source node** (the
+//!    dotted edge from node 6 to node 3 in Figure 4).
+//!
+//! The LCA of two nodes `m`, `n` follows §2.1 literally:
+//!
+//! * same frame → longest common prefix of the local labels;
+//! * different frames → let `r_m`, `r_n` be the layer-above nodes
+//!   representing their frames, recursively compute `l' = LCA(r_m, r_n)`;
+//!   `l'` represents a frame `T'` of the current layer; replace `m` and `n`
+//!   by their ancestors inside `T'` (found by walking frame parents and
+//!   taking the *source node* on the last hop) and finish with a local
+//!   prefix LCA inside `T'`.
+
+use crate::scheme::{LabelStats, LcaScheme};
+use phylo::{NodeId, Tree};
+use serde::{Deserialize, Serialize};
+
+/// A node's hierarchical label: which frame it belongs to and its Dewey path
+/// local to that frame. This is exactly what Crimson stores per node in the
+/// relational Tree Repository.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierLabel {
+    /// Frame (subtree) identifier within the node's layer.
+    pub frame: u32,
+    /// Dewey components local to the frame (1-based ordinals; empty for the
+    /// frame root).
+    pub path: Vec<u32>,
+}
+
+impl HierLabel {
+    /// Size in bytes when stored (frame id + components).
+    pub fn byte_size(&self) -> usize {
+        4 + self.path.len() * 4
+    }
+
+    /// Paper-style rendering, e.g. `f3:(2.1)`.
+    pub fn to_display(&self) -> String {
+        let parts: Vec<String> = self.path.iter().map(|c| c.to_string()).collect();
+        format!("f{}:({})", self.frame, parts.join("."))
+    }
+}
+
+/// Metadata kept per frame; mirrors what the Crimson repository stores in its
+/// subtree table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrameInfo {
+    /// The frame's root node (an id of the layer the frame belongs to).
+    pub root: u32,
+    /// Frame containing the parent of `root`, if any.
+    pub parent_frame: Option<u32>,
+    /// The parent of `root` in the layer tree — the paper's *source node*.
+    pub source: Option<u32>,
+}
+
+/// One layer of the hierarchy. Layer 0's nodes are the original tree nodes;
+/// layer `k+1`'s nodes are layer `k`'s frames.
+#[derive(Debug, Clone)]
+pub struct Layer {
+    /// Parent of each layer node within the layer tree.
+    parents: Vec<Option<u32>>,
+    /// Frame id of each layer node.
+    frame_of: Vec<u32>,
+    /// Local Dewey path of each layer node.
+    labels: Vec<Vec<u32>>,
+    /// Frame metadata.
+    frames: Vec<FrameInfo>,
+}
+
+impl Layer {
+    /// Number of nodes in this layer.
+    pub fn node_count(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// Number of frames this layer was decomposed into.
+    pub fn frame_count(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Frame metadata by id.
+    pub fn frame(&self, id: u32) -> &FrameInfo {
+        &self.frames[id as usize]
+    }
+
+    /// The label of a layer node.
+    pub fn label(&self, node: u32) -> HierLabel {
+        HierLabel { frame: self.frame_of[node as usize], path: self.labels[node as usize].clone() }
+    }
+}
+
+/// The full hierarchical index over one tree.
+#[derive(Debug, Clone)]
+pub struct HierarchicalDewey {
+    frame_depth: usize,
+    layers: Vec<Layer>,
+}
+
+impl HierarchicalDewey {
+    /// Build the index for `tree` with frame depth `f` (maximum number of
+    /// levels per frame, so every local label has fewer than `f` components).
+    /// `f` must be at least 2.
+    pub fn build(tree: &Tree, f: usize) -> Self {
+        assert!(f >= 2, "frame depth must be at least 2");
+        let n = tree.node_count();
+        let mut layers = Vec::new();
+        if n == 0 {
+            return HierarchicalDewey { frame_depth: f, layers };
+        }
+
+        // ---- Layer 0: decompose the original tree. -----------------------
+        let mut parents: Vec<Option<u32>> = vec![None; n];
+        let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for id in tree.node_ids() {
+            if let Some(p) = tree.parent(id) {
+                parents[id.index()] = Some(p.0);
+                children[p.index()].push(id.0);
+            }
+        }
+        let root = tree.root_unchecked().0;
+        layers.push(decompose_layer(&parents, &children, &[root], f));
+
+        // ---- Higher layers: nodes are the previous layer's frames. -------
+        loop {
+            let prev = layers.last().expect("at least layer 0 exists");
+            if prev.frames.len() <= 1 {
+                break;
+            }
+            let m = prev.frames.len();
+            let mut parents: Vec<Option<u32>> = vec![None; m];
+            let mut children: Vec<Vec<u32>> = vec![Vec::new(); m];
+            let mut roots = Vec::new();
+            for (fid, frame) in prev.frames.iter().enumerate() {
+                match frame.parent_frame {
+                    Some(pf) => {
+                        parents[fid] = Some(pf);
+                        children[pf as usize].push(fid as u32);
+                    }
+                    None => roots.push(fid as u32),
+                }
+            }
+            let layer = decompose_layer(&parents, &children, &roots, f);
+            layers.push(layer);
+        }
+
+        HierarchicalDewey { frame_depth: f, layers }
+    }
+
+    /// The frame depth `f` the index was built with.
+    pub fn frame_depth(&self) -> usize {
+        self.frame_depth
+    }
+
+    /// Number of layers (≥ 1 for a non-empty tree).
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Access a layer (0 = original nodes).
+    pub fn layer(&self, k: usize) -> &Layer {
+        &self.layers[k]
+    }
+
+    /// The label the repository stores for an original tree node.
+    pub fn label(&self, node: NodeId) -> HierLabel {
+        self.layers[0].label(node.0)
+    }
+
+    /// Total number of frames across all layers (index size metric for E3).
+    pub fn total_frames(&self) -> usize {
+        self.layers.iter().map(|l| l.frames.len()).sum()
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    fn local_lca(&self, k: usize, a: u32, b: u32) -> u32 {
+        let layer = &self.layers[k];
+        debug_assert_eq!(layer.frame_of[a as usize], layer.frame_of[b as usize]);
+        let la = &layer.labels[a as usize];
+        let lb = &layer.labels[b as usize];
+        let prefix = la.iter().zip(lb.iter()).take_while(|(x, y)| x == y).count();
+        // Walk up from the node whose local depth is smaller (or either if
+        // equal) until its local depth equals the prefix length.
+        let (mut node, depth) =
+            if la.len() <= lb.len() { (a, la.len()) } else { (b, lb.len()) };
+        for _ in prefix..depth {
+            node = layer.parents[node as usize].expect("local depth > 0 implies a parent");
+        }
+        node
+    }
+
+    /// Ancestor-or-self of `node` that lies inside `target_frame`
+    /// (which must be an ancestor frame of the node's frame, or its own).
+    fn ancestor_in_frame(&self, k: usize, node: u32, target_frame: u32) -> u32 {
+        let layer = &self.layers[k];
+        let mut frame = layer.frame_of[node as usize];
+        if frame == target_frame {
+            return node;
+        }
+        loop {
+            let info = &layer.frames[frame as usize];
+            let parent = info
+                .parent_frame
+                .expect("target frame must be an ancestor of the node's frame");
+            if parent == target_frame {
+                return info.source.expect("non-root frames always record a source node");
+            }
+            frame = parent;
+        }
+    }
+
+    fn lca_at_layer(&self, k: usize, a: u32, b: u32) -> u32 {
+        if a == b {
+            return a;
+        }
+        let layer = &self.layers[k];
+        let fa = layer.frame_of[a as usize];
+        let fb = layer.frame_of[b as usize];
+        if fa == fb {
+            return self.local_lca(k, a, b);
+        }
+        // Frames differ: recurse one layer up over the frame representatives.
+        debug_assert!(
+            k + 1 < self.layers.len(),
+            "a layer with more than one frame always has a layer above it"
+        );
+        let lca_frame = self.lca_at_layer(k + 1, fa, fb);
+        let a_anc = self.ancestor_in_frame(k, a, lca_frame);
+        let b_anc = self.ancestor_in_frame(k, b, lca_frame);
+        self.local_lca(k, a_anc, b_anc)
+    }
+}
+
+impl LcaScheme for HierarchicalDewey {
+    fn scheme_name(&self) -> &'static str {
+        "hierarchical-dewey"
+    }
+
+    fn lca(&self, a: NodeId, b: NodeId) -> NodeId {
+        NodeId(self.lca_at_layer(0, a.0, b.0))
+    }
+
+    fn is_ancestor(&self, ancestor: NodeId, node: NodeId) -> bool {
+        // The paper: m is an ancestor of n iff LCA(m, n) = m.
+        self.lca(ancestor, node) == ancestor
+    }
+
+    fn label_bytes(&self, node: NodeId) -> usize {
+        self.layers[0].label(node.0).byte_size()
+    }
+
+    fn stats(&self) -> LabelStats {
+        if self.layers.is_empty() {
+            return LabelStats::from_sizes(std::iter::empty());
+        }
+        LabelStats::from_sizes(
+            self.layers[0].labels.iter().map(|path| 4 + path.len() * 4),
+        )
+    }
+}
+
+/// Decompose one layer's forest (given by parent/children arrays and root
+/// list) into frames of at most `f` levels, assigning local Dewey labels.
+fn decompose_layer(
+    parents: &[Option<u32>],
+    children: &[Vec<u32>],
+    roots: &[u32],
+    f: usize,
+) -> Layer {
+    let n = parents.len();
+    let mut frame_of = vec![u32::MAX; n];
+    let mut labels: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut frames: Vec<FrameInfo> = Vec::new();
+
+    // Iterative DFS carrying (node, local depth within its frame).
+    let mut stack: Vec<(u32, usize)> = Vec::new();
+    for &root in roots {
+        let fid = frames.len() as u32;
+        frames.push(FrameInfo { root, parent_frame: None, source: None });
+        frame_of[root as usize] = fid;
+        labels[root as usize] = Vec::new();
+        stack.push((root, 0));
+        while let Some((node, depth)) = stack.pop() {
+            for (i, &child) in children[node as usize].iter().enumerate() {
+                if depth + 1 < f {
+                    // Child stays in the parent's frame.
+                    frame_of[child as usize] = frame_of[node as usize];
+                    let mut label = labels[node as usize].clone();
+                    label.push(i as u32 + 1);
+                    labels[child as usize] = label;
+                    stack.push((child, depth + 1));
+                } else {
+                    // Child starts a new frame; record the split point.
+                    let child_fid = frames.len() as u32;
+                    frames.push(FrameInfo {
+                        root: child,
+                        parent_frame: Some(frame_of[node as usize]),
+                        source: Some(node),
+                    });
+                    frame_of[child as usize] = child_fid;
+                    labels[child as usize] = Vec::new();
+                    stack.push((child, 0));
+                }
+            }
+        }
+    }
+    Layer { parents: parents.to_vec(), frame_of, labels, frames }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::validate_against_reference;
+    use phylo::builder::{balanced_binary, caterpillar, figure1_tree};
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    fn all_pairs(tree: &Tree) -> Vec<(NodeId, NodeId)> {
+        let ids: Vec<NodeId> = tree.node_ids().collect();
+        let mut pairs = Vec::new();
+        for &a in &ids {
+            for &b in &ids {
+                pairs.push((a, b));
+            }
+        }
+        pairs
+    }
+
+    #[test]
+    fn figure1_structure_with_f2() {
+        let tree = figure1_tree();
+        let h = HierarchicalDewey::build(&tree, 2);
+        // Labels are bounded: every local path has fewer than 2 components.
+        for node in tree.node_ids() {
+            assert!(h.label(node).path.len() < 2, "label too long for {node}");
+        }
+        // The depth-3 tree with f=2 needs more than one layer-0 frame, and
+        // therefore at least two layers.
+        assert!(h.layer(0).frame_count() > 1);
+        assert!(h.layer_count() >= 2);
+        // Every non-root frame records a source node that is the parent of
+        // its root (the dotted edge of Figure 4).
+        let layer0 = h.layer(0);
+        for fid in 0..layer0.frame_count() as u32 {
+            let frame = layer0.frame(fid);
+            match (frame.parent_frame, frame.source) {
+                (None, None) => assert_eq!(frame.root, tree.root_unchecked().0),
+                (Some(_), Some(source)) => {
+                    assert_eq!(tree.parent(NodeId(frame.root)), Some(NodeId(source)));
+                }
+                other => panic!("inconsistent frame metadata: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn figure4_worked_example_lla_syn() {
+        // §2.1: LCA(Syn, Lla) requires going up a layer, computing the LCA of
+        // the frame representatives, resolving the source node, and finishing
+        // locally; the answer is the tree root (node "1" in the paper's
+        // renumbered Figure 4).
+        let tree = figure1_tree();
+        for f in [2usize, 3, 4] {
+            let h = HierarchicalDewey::build(&tree, f);
+            let lla = tree.find_leaf_by_name("Lla").unwrap();
+            let syn = tree.find_leaf_by_name("Syn").unwrap();
+            assert_eq!(h.lca(lla, syn), tree.root_unchecked(), "f={f}");
+            // And the in-clade example: LCA(Lla, Spy) is their parent.
+            let spy = tree.find_leaf_by_name("Spy").unwrap();
+            assert_eq!(h.lca(lla, spy), tree.parent(lla).unwrap(), "f={f}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_figure1_all_pairs() {
+        let tree = figure1_tree();
+        for f in [2usize, 3, 8] {
+            let h = HierarchicalDewey::build(&tree, f);
+            validate_against_reference(&h, &tree, &all_pairs(&tree)).unwrap();
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_balanced_tree() {
+        let tree = balanced_binary(6, 1.0); // depth 6, 127 nodes
+        for f in [2usize, 3, 4] {
+            let h = HierarchicalDewey::build(&tree, f);
+            validate_against_reference(&h, &tree, &all_pairs(&tree)).unwrap();
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_deep_caterpillar() {
+        let tree = caterpillar(300, 1.0);
+        let h = HierarchicalDewey::build(&tree, 8);
+        // Sampled pairs (all-pairs would be 600^2).
+        let mut rng = StdRng::seed_from_u64(42);
+        let ids: Vec<NodeId> = tree.node_ids().collect();
+        let pairs: Vec<(NodeId, NodeId)> = (0..500)
+            .map(|_| (ids[rng.gen_range(0..ids.len())], ids[rng.gen_range(0..ids.len())]))
+            .collect();
+        validate_against_reference(&h, &tree, &pairs).unwrap();
+    }
+
+    #[test]
+    fn labels_are_bounded_by_f() {
+        let tree = caterpillar(1000, 1.0);
+        for f in [2usize, 4, 16] {
+            let h = HierarchicalDewey::build(&tree, f);
+            for node in tree.node_ids() {
+                assert!(h.label(node).path.len() < f);
+            }
+            let stats = h.stats();
+            assert!(stats.max_bytes <= 4 + (f - 1) * 4);
+        }
+    }
+
+    #[test]
+    fn bounded_labels_much_smaller_than_flat_on_deep_trees() {
+        use crate::dewey::FlatDewey;
+        let tree = caterpillar(2000, 1.0);
+        let flat = FlatDewey::build(&tree);
+        let hier = HierarchicalDewey::build(&tree, 8);
+        let flat_stats = flat.stats();
+        let hier_stats = hier.stats();
+        assert!(
+            hier_stats.max_bytes * 50 < flat_stats.max_bytes,
+            "hierarchical max {} should be orders of magnitude below flat max {}",
+            hier_stats.max_bytes,
+            flat_stats.max_bytes
+        );
+        assert!(hier_stats.total_bytes < flat_stats.total_bytes / 10);
+    }
+
+    #[test]
+    fn layer_count_shrinks_with_larger_f() {
+        let tree = caterpillar(4000, 1.0);
+        let small_f = HierarchicalDewey::build(&tree, 2);
+        let big_f = HierarchicalDewey::build(&tree, 64);
+        assert!(big_f.layer_count() < small_f.layer_count());
+        assert!(big_f.total_frames() < small_f.total_frames());
+    }
+
+    #[test]
+    fn single_node_and_shallow_trees() {
+        let mut t = Tree::new();
+        let only = t.add_node();
+        let h = HierarchicalDewey::build(&t, 4);
+        assert_eq!(h.layer_count(), 1);
+        assert_eq!(h.lca(only, only), only);
+        assert!(h.is_ancestor(only, only));
+
+        let shallow = figure1_tree();
+        let h = HierarchicalDewey::build(&shallow, 32);
+        // Tree fits in one frame: a single layer, flat-Dewey-like behaviour.
+        assert_eq!(h.layer(0).frame_count(), 1);
+        assert_eq!(h.layer_count(), 1);
+        validate_against_reference(&h, &shallow, &all_pairs(&shallow)).unwrap();
+    }
+
+    #[test]
+    fn empty_tree_builds() {
+        let t = Tree::new();
+        let h = HierarchicalDewey::build(&t, 4);
+        assert_eq!(h.layer_count(), 0);
+        assert_eq!(h.stats().nodes, 0);
+    }
+
+    #[test]
+    fn label_display_format() {
+        let tree = figure1_tree();
+        let h = HierarchicalDewey::build(&tree, 4);
+        let lla = tree.find_leaf_by_name("Lla").unwrap();
+        let text = h.label(lla).to_display();
+        assert!(text.starts_with("f0:("), "{text}");
+    }
+
+    #[test]
+    fn is_ancestor_matches_reference_on_random_pairs() {
+        let tree = balanced_binary(7, 1.0);
+        let h = HierarchicalDewey::build(&tree, 3);
+        let mut rng = StdRng::seed_from_u64(9);
+        let ids: Vec<NodeId> = tree.node_ids().collect();
+        for _ in 0..2000 {
+            let a = ids[rng.gen_range(0..ids.len())];
+            let b = ids[rng.gen_range(0..ids.len())];
+            assert_eq!(h.is_ancestor(a, b), tree.is_ancestor(a, b), "a={a} b={b}");
+        }
+    }
+}

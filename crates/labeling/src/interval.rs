@@ -1,0 +1,157 @@
+//! Interval (pre/post-order) labeling — the standard XML scheme used as a
+//! baseline.
+//!
+//! Each node is labelled with its pre-order rank and the largest pre-order
+//! rank in its subtree (`[start, end]`). `a` is an ancestor-or-self of `b`
+//! iff `start(a) ≤ start(b) ≤ end(a)`. This answers ancestor/descendant in
+//! O(1) — the reason interval labels dominate XML indexing (paper refs
+//! \[2, 3\]) — but it does **not** identify the least common ancestor by
+//! itself: the LCA must still be located by walking up the tree, which is
+//! exactly the shortcoming the paper calls out when motivating Dewey-style
+//! labels.
+
+use crate::scheme::{LabelStats, LcaScheme};
+use phylo::traverse::Traverse;
+use phylo::{NodeId, Tree};
+
+/// Pre/post-order interval labels for every node.
+#[derive(Debug, Clone)]
+pub struct IntervalLabels {
+    start: Vec<u32>,
+    end: Vec<u32>,
+    parents: Vec<Option<NodeId>>,
+}
+
+impl IntervalLabels {
+    /// Assign `[start, end]` intervals to every node of `tree`.
+    pub fn build(tree: &Tree) -> Self {
+        let n = tree.node_count();
+        let mut start = vec![0u32; n];
+        let mut end = vec![0u32; n];
+        let mut parents = vec![None; n];
+        for (rank, node) in tree.preorder().enumerate() {
+            start[node.index()] = rank as u32;
+            parents[node.index()] = tree.parent(node);
+        }
+        // end = max start in subtree; compute in post-order.
+        for node in tree.postorder() {
+            let mut e = start[node.index()];
+            for &c in tree.children(node) {
+                e = e.max(end[c.index()]);
+            }
+            end[node.index()] = e;
+        }
+        IntervalLabels { start, end, parents }
+    }
+
+    /// The `[start, end]` interval of a node.
+    pub fn interval(&self, node: NodeId) -> (u32, u32) {
+        (self.start[node.index()], self.end[node.index()])
+    }
+}
+
+impl LcaScheme for IntervalLabels {
+    fn scheme_name(&self) -> &'static str {
+        "interval"
+    }
+
+    fn lca(&self, a: NodeId, b: NodeId) -> NodeId {
+        // Intervals give a constant-time ancestor test but no direct LCA;
+        // walk up from `a` until the interval contains `b` (or vice versa).
+        if self.is_ancestor(a, b) {
+            return a;
+        }
+        if self.is_ancestor(b, a) {
+            return b;
+        }
+        let mut cur = a;
+        loop {
+            cur = self.parents[cur.index()].expect("two nodes of one tree always share the root");
+            if self.is_ancestor(cur, b) {
+                return cur;
+            }
+        }
+    }
+
+    fn is_ancestor(&self, ancestor: NodeId, node: NodeId) -> bool {
+        self.start[ancestor.index()] <= self.start[node.index()]
+            && self.start[node.index()] <= self.end[ancestor.index()]
+    }
+
+    fn label_bytes(&self, _node: NodeId) -> usize {
+        8 // start + end, 4 bytes each
+    }
+
+    fn stats(&self) -> LabelStats {
+        LabelStats::from_sizes(self.start.iter().map(|_| 8usize))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::validate_against_reference;
+    use phylo::builder::{balanced_binary, caterpillar, figure1_tree};
+
+    #[test]
+    fn intervals_nest_properly() {
+        let tree = figure1_tree();
+        let iv = IntervalLabels::build(&tree);
+        let root = tree.root_unchecked();
+        let (rs, re) = iv.interval(root);
+        assert_eq!(rs, 0);
+        assert_eq!(re as usize, tree.node_count() - 1);
+        for node in tree.node_ids() {
+            let (s, e) = iv.interval(node);
+            assert!(s <= e);
+            if let Some(p) = tree.parent(node) {
+                let (ps, pe) = iv.interval(p);
+                assert!(ps < s && e <= pe, "child interval must nest inside the parent's");
+            }
+        }
+    }
+
+    #[test]
+    fn ancestor_test_is_exact() {
+        let tree = balanced_binary(5, 1.0);
+        let iv = IntervalLabels::build(&tree);
+        for a in tree.node_ids() {
+            for b in tree.node_ids() {
+                assert_eq!(iv.is_ancestor(a, b), tree.is_ancestor(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn lca_matches_reference() {
+        let tree = figure1_tree();
+        let iv = IntervalLabels::build(&tree);
+        let ids: Vec<NodeId> = tree.node_ids().collect();
+        let mut pairs = Vec::new();
+        for &a in &ids {
+            for &b in &ids {
+                pairs.push((a, b));
+            }
+        }
+        validate_against_reference(&iv, &tree, &pairs).unwrap();
+    }
+
+    #[test]
+    fn constant_label_size() {
+        let tree = caterpillar(200, 1.0);
+        let iv = IntervalLabels::build(&tree);
+        let stats = iv.stats();
+        assert_eq!(stats.max_bytes, 8);
+        assert_eq!(stats.total_bytes, tree.node_count() * 8);
+    }
+
+    #[test]
+    fn leaves_have_point_intervals() {
+        let tree = figure1_tree();
+        let iv = IntervalLabels::build(&tree);
+        for leaf in tree.leaf_ids() {
+            let (s, e) = iv.interval(leaf);
+            assert_eq!(s, e);
+        }
+    }
+}

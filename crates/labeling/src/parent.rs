@@ -1,0 +1,105 @@
+//! Parent-pointer baseline: no labels at all, just pointer chasing.
+//!
+//! This is what "store the tree as adjacency and walk it" looks like — the
+//! natural main-memory representation the paper argues against for huge
+//! trees. LCA costs O(depth) pointer dereferences; on the million-level
+//! simulation trees that is millions of random accesses per query.
+
+use crate::scheme::{LabelStats, LcaScheme};
+use phylo::{NodeId, Tree};
+
+/// Plain parent pointers and depths.
+#[derive(Debug, Clone)]
+pub struct ParentPointers {
+    parents: Vec<Option<NodeId>>,
+    depths: Vec<u32>,
+}
+
+impl ParentPointers {
+    /// Capture parent pointers and depths from `tree`.
+    pub fn build(tree: &Tree) -> Self {
+        let parents: Vec<Option<NodeId>> =
+            tree.node_ids().map(|id| tree.parent(id)).collect();
+        let depths: Vec<u32> = tree.all_depths().into_iter().map(|d| d as u32).collect();
+        ParentPointers { parents, depths }
+    }
+
+    /// Depth of a node (root = 0).
+    pub fn depth(&self, node: NodeId) -> u32 {
+        self.depths[node.index()]
+    }
+}
+
+impl LcaScheme for ParentPointers {
+    fn scheme_name(&self) -> &'static str {
+        "parent-pointer"
+    }
+
+    fn lca(&self, a: NodeId, b: NodeId) -> NodeId {
+        let (mut x, mut y) = (a, b);
+        let (mut dx, mut dy) = (self.depths[x.index()], self.depths[y.index()]);
+        while dx > dy {
+            x = self.parents[x.index()].expect("depth > 0 implies a parent");
+            dx -= 1;
+        }
+        while dy > dx {
+            y = self.parents[y.index()].expect("depth > 0 implies a parent");
+            dy -= 1;
+        }
+        while x != y {
+            x = self.parents[x.index()].expect("nodes share a root");
+            y = self.parents[y.index()].expect("nodes share a root");
+        }
+        x
+    }
+
+    fn is_ancestor(&self, ancestor: NodeId, node: NodeId) -> bool {
+        self.lca(ancestor, node) == ancestor
+    }
+
+    fn label_bytes(&self, _node: NodeId) -> usize {
+        8 // parent pointer + depth
+    }
+
+    fn stats(&self) -> LabelStats {
+        LabelStats::from_sizes(self.parents.iter().map(|_| 8usize))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::validate_against_reference;
+    use phylo::builder::{balanced_binary, figure1_tree};
+
+    #[test]
+    fn matches_reference() {
+        let tree = figure1_tree();
+        let pp = ParentPointers::build(&tree);
+        let ids: Vec<NodeId> = tree.node_ids().collect();
+        let mut pairs = Vec::new();
+        for &a in &ids {
+            for &b in &ids {
+                pairs.push((a, b));
+            }
+        }
+        validate_against_reference(&pp, &tree, &pairs).unwrap();
+    }
+
+    #[test]
+    fn depths_recorded() {
+        let tree = balanced_binary(4, 1.0);
+        let pp = ParentPointers::build(&tree);
+        assert_eq!(pp.depth(tree.root_unchecked()), 0);
+        for leaf in tree.leaf_ids() {
+            assert_eq!(pp.depth(leaf), 4);
+        }
+    }
+
+    #[test]
+    fn stats_constant_per_node() {
+        let tree = balanced_binary(3, 1.0);
+        let pp = ParentPointers::build(&tree);
+        assert_eq!(pp.stats().total_bytes, tree.node_count() * 8);
+    }
+}

@@ -1,0 +1,110 @@
+//! The common interface implemented by every labeling scheme.
+
+use phylo::{NodeId, Tree};
+
+/// Aggregate statistics about the labels a scheme assigned to a tree.
+/// These are the numbers experiment E3 reports (label size vs depth).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LabelStats {
+    /// Number of labelled nodes.
+    pub nodes: usize,
+    /// Total bytes across all labels (per-node auxiliary data included).
+    pub total_bytes: usize,
+    /// Largest single label in bytes.
+    pub max_bytes: usize,
+    /// Mean label size in bytes.
+    pub mean_bytes: f64,
+}
+
+impl LabelStats {
+    /// Compute stats from a per-node byte-size iterator.
+    pub fn from_sizes(sizes: impl Iterator<Item = usize>) -> LabelStats {
+        let mut nodes = 0usize;
+        let mut total = 0usize;
+        let mut max = 0usize;
+        for s in sizes {
+            nodes += 1;
+            total += s;
+            max = max.max(s);
+        }
+        LabelStats {
+            nodes,
+            total_bytes: total,
+            max_bytes: max,
+            mean_bytes: if nodes == 0 { 0.0 } else { total as f64 / nodes as f64 },
+        }
+    }
+}
+
+/// A structure-query index over a fixed tree.
+///
+/// Schemes are built once from a [`Tree`] and then answer ancestor and LCA
+/// queries; they never mutate the tree. The `NodeId`s used in queries are the
+/// ids of the tree the scheme was built from.
+pub trait LcaScheme {
+    /// Human-readable name used in benchmark output.
+    fn scheme_name(&self) -> &'static str;
+
+    /// Least common ancestor of `a` and `b`.
+    fn lca(&self, a: NodeId, b: NodeId) -> NodeId;
+
+    /// `true` when `ancestor` is an ancestor-or-self of `node`.
+    fn is_ancestor(&self, ancestor: NodeId, node: NodeId) -> bool;
+
+    /// Size in bytes of the label material needed to answer queries about
+    /// `node` (what would be stored in the node's database row).
+    fn label_bytes(&self, node: NodeId) -> usize;
+
+    /// Aggregate label statistics over the whole tree.
+    fn stats(&self) -> LabelStats;
+}
+
+/// Check a scheme against the reference parent-walking implementation on a
+/// sample of node pairs; used by tests for cross-validation.
+pub fn validate_against_reference<S: LcaScheme>(
+    scheme: &S,
+    tree: &Tree,
+    pairs: &[(NodeId, NodeId)],
+) -> Result<(), String> {
+    for &(a, b) in pairs {
+        let expected = tree.lca(a, b);
+        let got = scheme.lca(a, b);
+        if expected != got {
+            return Err(format!(
+                "{}: lca({a}, {b}) = {got}, reference says {expected}",
+                scheme.scheme_name()
+            ));
+        }
+        let exp_anc = tree.is_ancestor(a, b);
+        let got_anc = scheme.is_ancestor(a, b);
+        if exp_anc != got_anc {
+            return Err(format!(
+                "{}: is_ancestor({a}, {b}) = {got_anc}, reference says {exp_anc}",
+                scheme.scheme_name()
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_from_sizes() {
+        let s = LabelStats::from_sizes([4usize, 8, 12].into_iter());
+        assert_eq!(s.nodes, 3);
+        assert_eq!(s.total_bytes, 24);
+        assert_eq!(s.max_bytes, 12);
+        assert!((s.mean_bytes - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_empty() {
+        let s = LabelStats::from_sizes(std::iter::empty());
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.total_bytes, 0);
+        assert_eq!(s.mean_bytes, 0.0);
+    }
+}

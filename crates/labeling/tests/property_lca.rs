@@ -1,0 +1,100 @@
+//! Property-based cross-validation of every labeling scheme against the
+//! reference parent-walking LCA on randomly generated trees.
+
+use labeling::prelude::*;
+use phylo::{NodeId, Tree};
+use proptest::prelude::*;
+
+/// Build a random tree from a shape vector: element `i` attaches node `i+1`
+/// to parent `shape[i] % (i+1)`, which yields every possible rooted tree
+/// topology over `n` nodes with positive probability.
+fn tree_from_shape(shape: &[usize]) -> Tree {
+    let mut tree = Tree::new();
+    let mut ids = vec![tree.add_node()];
+    for (i, &s) in shape.iter().enumerate() {
+        let parent = ids[s % (i + 1)];
+        let child = tree
+            .add_child(parent, Some(format!("n{}", i + 1)), Some((s % 7) as f64 * 0.5 + 0.1))
+            .expect("parent id is valid");
+        ids.push(child);
+    }
+    tree
+}
+
+fn sample_pairs(tree: &Tree, count: usize, seed: usize) -> Vec<(NodeId, NodeId)> {
+    let n = tree.node_count();
+    (0..count)
+        .map(|i| {
+            let a = NodeId(((seed + i * 7919) % n) as u32);
+            let b = NodeId(((seed / 3 + i * 104729) % n) as u32);
+            (a, b)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_schemes_agree_with_reference(
+        shape in prop::collection::vec(0usize..1000, 1..120),
+        f in 2usize..10,
+        seed in 0usize..10_000,
+    ) {
+        let tree = tree_from_shape(&shape);
+        let pairs = sample_pairs(&tree, 40, seed);
+
+        let flat = FlatDewey::build(&tree);
+        let hier = HierarchicalDewey::build(&tree, f);
+        let interval = IntervalLabels::build(&tree);
+        let parent = ParentPointers::build(&tree);
+
+        for &(a, b) in &pairs {
+            let expected = tree.lca(a, b);
+            prop_assert_eq!(flat.lca(a, b), expected, "flat-dewey lca({}, {})", a, b);
+            prop_assert_eq!(hier.lca(a, b), expected, "hierarchical lca({}, {}) f={}", a, b, f);
+            prop_assert_eq!(interval.lca(a, b), expected, "interval lca({}, {})", a, b);
+            prop_assert_eq!(parent.lca(a, b), expected, "parent lca({}, {})", a, b);
+
+            let expected_anc = tree.is_ancestor(a, b);
+            prop_assert_eq!(flat.is_ancestor(a, b), expected_anc);
+            prop_assert_eq!(hier.is_ancestor(a, b), expected_anc);
+            prop_assert_eq!(interval.is_ancestor(a, b), expected_anc);
+            prop_assert_eq!(parent.is_ancestor(a, b), expected_anc);
+        }
+    }
+
+    #[test]
+    fn hierarchical_labels_always_bounded(
+        shape in prop::collection::vec(0usize..1000, 1..200),
+        f in 2usize..12,
+    ) {
+        let tree = tree_from_shape(&shape);
+        let hier = HierarchicalDewey::build(&tree, f);
+        for node in tree.node_ids() {
+            prop_assert!(hier.label(node).path.len() < f);
+        }
+        prop_assert!(hier.stats().max_bytes <= 4 + (f - 1) * 4);
+    }
+
+    #[test]
+    fn frame_sources_are_parents_of_frame_roots(
+        shape in prop::collection::vec(0usize..1000, 1..150),
+        f in 2usize..8,
+    ) {
+        let tree = tree_from_shape(&shape);
+        let hier = HierarchicalDewey::build(&tree, f);
+        let layer0 = hier.layer(0);
+        for fid in 0..layer0.frame_count() as u32 {
+            let frame = layer0.frame(fid);
+            match frame.source {
+                Some(src) => {
+                    prop_assert_eq!(tree.parent(NodeId(frame.root)), Some(NodeId(src)));
+                }
+                None => {
+                    prop_assert_eq!(NodeId(frame.root), tree.root_unchecked());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Convenience builder for constructing trees programmatically.
+
+use crate::error::PhyloError;
+use crate::tree::{NodeId, Tree};
+
+/// A small fluent helper for building trees in tests, examples and
+/// generators without having to thread `NodeId`s around by hand.
+///
+/// ```
+/// use phylo::TreeBuilder;
+///
+/// let mut b = TreeBuilder::new();
+/// let root = b.root();
+/// let clade = b.child(root, None, Some(1.5));
+/// b.leaf(clade, "Bha", 0.75);
+/// b.leaf(root, "Syn", 2.5);
+/// let tree = b.finish();
+/// assert_eq!(tree.leaf_count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TreeBuilder {
+    tree: Tree,
+    root: NodeId,
+}
+
+impl Default for TreeBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TreeBuilder {
+    /// Start a new tree with an anonymous root.
+    pub fn new() -> Self {
+        let mut tree = Tree::new();
+        let root = tree.add_node();
+        TreeBuilder { tree, root }
+    }
+
+    /// Start a new tree with a named root.
+    pub fn with_root_name(name: impl Into<String>) -> Self {
+        let mut b = Self::new();
+        b.tree.set_name(b.root, name).expect("root exists");
+        b
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Add an interior (or as-yet childless) node under `parent`.
+    pub fn child(
+        &mut self,
+        parent: NodeId,
+        name: Option<&str>,
+        branch_length: Option<f64>,
+    ) -> NodeId {
+        self.tree
+            .add_child(parent, name.map(|s| s.to_string()), branch_length)
+            .expect("builder parents are always valid")
+    }
+
+    /// Add a named leaf with a branch length under `parent`.
+    pub fn leaf(&mut self, parent: NodeId, name: impl Into<String>, branch_length: f64) -> NodeId {
+        self.tree
+            .add_child(parent, Some(name.into()), Some(branch_length))
+            .expect("builder parents are always valid")
+    }
+
+    /// Access the tree under construction.
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// Mutable access to the tree under construction.
+    pub fn tree_mut(&mut self) -> &mut Tree {
+        &mut self.tree
+    }
+
+    /// Finish building and return the tree.
+    pub fn finish(self) -> Tree {
+        self.tree
+    }
+}
+
+/// Build the example tree from **Figure 1** of the paper:
+///
+/// ```text
+///            root
+///          /  |   \
+///        i1  Syn  Bsu
+///       /  \  2.5  1.25
+///   Bha    i2
+///   0.75  /  \
+///       Lla  Spy
+///       1.0  1.0
+/// ```
+/// where the edge root→i1 has length 1.5 and i1→i2 has length 0.5.
+///
+/// This tree is used throughout the test-suite and the paper's worked
+/// examples (tree projection in Fig. 2, the layered index in Fig. 4, the
+/// time-based sampling example in §2.2).
+pub fn figure1_tree() -> Tree {
+    let mut b = TreeBuilder::new();
+    let root = b.root();
+    let i1 = b.child(root, None, Some(1.5));
+    b.leaf(i1, "Bha", 0.75);
+    let i2 = b.child(i1, None, Some(0.5));
+    b.leaf(i2, "Lla", 1.0);
+    b.leaf(i2, "Spy", 1.0);
+    b.leaf(root, "Syn", 2.5);
+    b.leaf(root, "Bsu", 1.25);
+    b.finish()
+}
+
+/// Build a caterpillar (fully unbalanced) tree with `depth` internal levels;
+/// every internal node has one leaf child and one internal child, except the
+/// deepest which has two leaves. Leaves are named `L0..L<depth>`. Every edge
+/// has length `edge_len`.
+///
+/// Caterpillars are the worst case for flat Dewey labels (label length grows
+/// linearly with depth), so they drive experiment E3.
+pub fn caterpillar(depth: usize, edge_len: f64) -> Tree {
+    assert!(depth >= 1, "caterpillar needs depth >= 1");
+    let mut b = TreeBuilder::new();
+    let mut spine = b.root();
+    for i in 0..depth {
+        b.leaf(spine, format!("L{i}"), edge_len);
+        if i + 1 == depth {
+            b.leaf(spine, format!("L{}", depth), edge_len);
+        } else {
+            spine = b.child(spine, None, Some(edge_len));
+        }
+    }
+    b.finish()
+}
+
+/// Build a complete binary tree with `levels` levels below the root
+/// (so `2^levels` leaves), all edges of length `edge_len`. Leaves are named
+/// `T0..`.
+pub fn balanced_binary(levels: usize, edge_len: f64) -> Tree {
+    let mut b = TreeBuilder::new();
+    let mut frontier = vec![b.root()];
+    for _ in 0..levels {
+        let mut next = Vec::with_capacity(frontier.len() * 2);
+        for parent in frontier {
+            next.push(b.child(parent, None, Some(edge_len)));
+            next.push(b.child(parent, None, Some(edge_len)));
+        }
+        frontier = next;
+    }
+    for (i, leaf) in frontier.into_iter().enumerate() {
+        b.tree_mut().set_name(leaf, format!("T{i}")).expect("leaf exists");
+    }
+    b.finish()
+}
+
+impl TreeBuilder {
+    /// Consume the builder, validating that all leaf names are unique.
+    pub fn finish_checked(self) -> Result<Tree, PhyloError> {
+        self.tree.name_index()?;
+        Ok(self.tree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traverse::Traverse;
+
+    #[test]
+    fn figure1_shape() {
+        let t = figure1_tree();
+        assert_eq!(t.node_count(), 8);
+        assert_eq!(t.leaf_count(), 5);
+        assert_eq!(t.max_depth(), 3);
+        let names: Vec<_> = t.leaf_names();
+        assert_eq!(names, vec!["Bha", "Lla", "Spy", "Syn", "Bsu"]);
+    }
+
+    #[test]
+    fn figure1_distances_match_paper() {
+        let t = figure1_tree();
+        let d = |n: &str| t.root_distance(t.find_leaf_by_name(n).unwrap());
+        assert!((d("Bha") - 2.25).abs() < 1e-12);
+        assert!((d("Lla") - 3.0).abs() < 1e-12);
+        assert!((d("Spy") - 3.0).abs() < 1e-12);
+        assert!((d("Syn") - 2.5).abs() < 1e-12);
+        assert!((d("Bsu") - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn caterpillar_depth_and_leaves() {
+        let t = caterpillar(10, 1.0);
+        assert_eq!(t.max_depth(), 10);
+        assert_eq!(t.leaf_count(), 11);
+        // All internal nodes have out-degree 2.
+        for id in t.node_ids() {
+            if !t.is_leaf(id) {
+                assert_eq!(t.degree(id), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn caterpillar_depth_one() {
+        let t = caterpillar(1, 2.0);
+        assert_eq!(t.leaf_count(), 2);
+        assert_eq!(t.max_depth(), 1);
+    }
+
+    #[test]
+    fn balanced_binary_counts() {
+        let t = balanced_binary(4, 1.0);
+        assert_eq!(t.leaf_count(), 16);
+        assert_eq!(t.node_count(), 31);
+        assert_eq!(t.max_depth(), 4);
+        // Every leaf is named.
+        for leaf in t.leaf_ids() {
+            assert!(t.name(leaf).is_some());
+        }
+    }
+
+    #[test]
+    fn builder_checked_rejects_duplicates() {
+        let mut b = TreeBuilder::new();
+        let r = b.root();
+        b.leaf(r, "A", 1.0);
+        b.leaf(r, "A", 1.0);
+        assert!(b.finish_checked().is_err());
+    }
+
+    #[test]
+    fn builder_with_root_name() {
+        let b = TreeBuilder::with_root_name("origin");
+        let t = b.finish();
+        assert_eq!(t.name(t.root_unchecked()), Some("origin"));
+    }
+
+    #[test]
+    fn preorder_of_figure1_starts_at_root() {
+        let t = figure1_tree();
+        let first = t.preorder().next().unwrap();
+        assert_eq!(first, t.root_unchecked());
+    }
+}

@@ -1,0 +1,113 @@
+//! Error types for the `phylo` crate.
+
+use std::fmt;
+
+/// Errors produced by tree construction and manipulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PhyloError {
+    /// A node id referred to a node that does not exist in the tree arena.
+    InvalidNode(u32),
+    /// The operation requires a non-empty tree but the tree has no nodes.
+    EmptyTree,
+    /// The requested leaf name was not found in the tree.
+    UnknownLeaf(String),
+    /// Attempt to attach a child to itself or to create a parent cycle.
+    WouldCreateCycle,
+    /// The operation requires at least `required` leaves but `actual` were given.
+    TooFewLeaves {
+        /// Minimum number of leaves required by the operation.
+        required: usize,
+        /// Number of leaves actually supplied.
+        actual: usize,
+    },
+    /// A leaf name appears more than once where unique names are required.
+    DuplicateName(String),
+    /// Format parsing failed.
+    Parse(ParseError),
+}
+
+impl fmt::Display for PhyloError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhyloError::InvalidNode(id) => write!(f, "invalid node id {id}"),
+            PhyloError::EmptyTree => write!(f, "operation requires a non-empty tree"),
+            PhyloError::UnknownLeaf(name) => write!(f, "unknown leaf name `{name}`"),
+            PhyloError::WouldCreateCycle => write!(f, "operation would create a cycle"),
+            PhyloError::TooFewLeaves { required, actual } => {
+                write!(f, "operation requires at least {required} leaves, got {actual}")
+            }
+            PhyloError::DuplicateName(name) => write!(f, "duplicate taxon name `{name}`"),
+            PhyloError::Parse(e) => write!(f, "parse error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PhyloError {}
+
+impl From<ParseError> for PhyloError {
+    fn from(e: ParseError) -> Self {
+        PhyloError::Parse(e)
+    }
+}
+
+/// Errors produced while parsing Newick or NEXUS input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input at which the error was detected.
+    pub offset: usize,
+    /// 1-based line number at which the error was detected.
+    pub line: usize,
+    /// Human readable description of what went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Create a new parse error at the given byte offset / line.
+    pub fn new(offset: usize, line: usize, message: impl Into<String>) -> Self {
+        ParseError { offset, line, message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, offset {}: {}", self.line, self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_invalid_node() {
+        let e = PhyloError::InvalidNode(7);
+        assert_eq!(e.to_string(), "invalid node id 7");
+    }
+
+    #[test]
+    fn display_too_few_leaves() {
+        let e = PhyloError::TooFewLeaves { required: 2, actual: 1 };
+        assert!(e.to_string().contains("at least 2"));
+    }
+
+    #[test]
+    fn parse_error_wraps_into_phylo_error() {
+        let p = ParseError::new(12, 3, "unexpected `)`");
+        let e: PhyloError = p.clone().into();
+        match e {
+            PhyloError::Parse(inner) => assert_eq!(inner, p),
+            other => panic!("expected Parse variant, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_error_display_includes_location() {
+        let p = ParseError::new(12, 3, "bad token");
+        let s = p.to_string();
+        assert!(s.contains("line 3"));
+        assert!(s.contains("offset 12"));
+        assert!(s.contains("bad token"));
+    }
+}

@@ -1,0 +1,55 @@
+//! # phylo — phylogenetic tree data model
+//!
+//! This crate provides the in-memory tree substrate used throughout the
+//! Crimson reproduction:
+//!
+//! * an arena-based rooted tree ([`Tree`]) with named nodes and weighted
+//!   (branch-length) edges,
+//! * traversal iterators (pre-order, post-order, level-order, ancestor walks),
+//! * tree operations needed by the paper: induced subtrees, unary-node
+//!   suppression with edge-weight summing, root-distance computation,
+//!   canonical ordering and isomorphism checks,
+//! * parsers and writers for the **Newick** and **NEXUS** interchange formats
+//!   (the paper's input/output format, ref. \[6\]),
+//! * patristic (leaf-to-leaf path) distance matrices,
+//! * a plain-text dendrogram renderer standing in for the Walrus viewer.
+//!
+//! The crate is deliberately free of any storage or indexing concerns; those
+//! live in the `crimson-storage` and `crimson-labeling` crates.
+//!
+//! ## Quick example
+//!
+//! ```
+//! // The sample tree from Figure 1 of the paper.
+//! let tree = phylo::newick::parse(
+//!     "((Bha:0.75,(Lla:1.0,Spy:1.0):0.5):1.5,Syn:2.5,Bsu:1.25);",
+//! ).unwrap();
+//! assert_eq!(tree.leaf_count(), 5);
+//! let bha = tree.find_leaf_by_name("Bha").unwrap();
+//! assert!((tree.root_distance(bha) - 2.25).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod distance;
+pub mod error;
+pub mod newick;
+pub mod nexus;
+pub mod ops;
+pub mod render;
+pub mod traverse;
+pub mod tree;
+
+pub use builder::TreeBuilder;
+pub use error::{ParseError, PhyloError};
+pub use tree::{Node, NodeId, Tree};
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::builder::TreeBuilder;
+    pub use crate::error::{ParseError, PhyloError};
+    pub use crate::traverse::TraversalOrder;
+    pub use crate::tree::{Node, NodeId, Tree};
+}

@@ -1,0 +1,554 @@
+//! Newick format parser and writer.
+//!
+//! The Newick format is the de-facto interchange format for phylogenetic
+//! trees and the tree representation embedded inside NEXUS `TREES` blocks.
+//! The grammar handled here:
+//!
+//! ```text
+//! tree      := subtree ';'
+//! subtree   := leaf | internal
+//! leaf      := label? length?
+//! internal  := '(' subtree (',' subtree)* ')' label? length?
+//! label     := unquoted | quoted
+//! length    := ':' number
+//! ```
+//!
+//! Additionally `[...]` comments are skipped and quoted labels (`'...'`,
+//! with `''` as an escaped quote) are supported, as are underscores standing
+//! in for spaces in unquoted labels (kept verbatim).
+//!
+//! Both the parser and the writer are **iterative**, so trees with depth in
+//! the hundreds of thousands (the paper's simulation trees) do not overflow
+//! the stack.
+
+use crate::error::ParseError;
+use crate::tree::{NodeId, Tree};
+
+/// Parse a single Newick tree from `input`.
+pub fn parse(input: &str) -> Result<Tree, ParseError> {
+    let mut parser = Parser::new(input);
+    let tree = parser.parse_tree()?;
+    parser.skip_ws();
+    if !parser.at_end() {
+        return Err(parser.error("trailing content after ';'"));
+    }
+    Ok(tree)
+}
+
+/// Parse a string that may contain several `;`-terminated Newick trees
+/// (one per statement). Blank segments are ignored.
+pub fn parse_many(input: &str) -> Result<Vec<Tree>, ParseError> {
+    let mut parser = Parser::new(input);
+    let mut trees = Vec::new();
+    loop {
+        parser.skip_ws();
+        if parser.at_end() {
+            break;
+        }
+        trees.push(parser.parse_tree()?);
+    }
+    Ok(trees)
+}
+
+/// Serialize a tree to Newick, including branch lengths when present.
+pub fn write(tree: &Tree) -> String {
+    write_with_options(tree, &WriteOptions::default())
+}
+
+/// Options controlling Newick serialization.
+#[derive(Debug, Clone)]
+pub struct WriteOptions {
+    /// Emit branch lengths (`:0.5`) when the node has one.
+    pub branch_lengths: bool,
+    /// Emit names of interior nodes.
+    pub internal_names: bool,
+    /// Number of decimal places for branch lengths.
+    pub precision: usize,
+}
+
+impl Default for WriteOptions {
+    fn default() -> Self {
+        WriteOptions { branch_lengths: true, internal_names: true, precision: 6 }
+    }
+}
+
+/// Serialize a tree to Newick with explicit [`WriteOptions`].
+///
+/// The writer is an explicit `(node, next child index)` state machine so it
+/// never recurses, even on million-level trees.
+pub fn write_with_options(tree: &Tree, opts: &WriteOptions) -> String {
+    let Some(root) = tree.root() else { return ";".to_string() };
+    let mut out = String::with_capacity(tree.node_count() * 8);
+    // (node, next child index)
+    let mut stack: Vec<(NodeId, usize)> = vec![(root, 0)];
+    while let Some((node, child_idx)) = stack.pop() {
+        let children = tree.children(node);
+        if children.is_empty() {
+            emit_label_and_length(tree, node, opts, true, &mut out);
+            continue;
+        }
+        if child_idx == 0 {
+            out.push('(');
+        }
+        if child_idx < children.len() {
+            if child_idx > 0 {
+                out.push(',');
+            }
+            stack.push((node, child_idx + 1));
+            stack.push((children[child_idx], 0));
+        } else {
+            out.push(')');
+            emit_label_and_length(tree, node, opts, false, &mut out);
+        }
+    }
+    out.push(';');
+    out
+}
+
+fn emit_label_and_length(
+    tree: &Tree,
+    node: NodeId,
+    opts: &WriteOptions,
+    is_leaf: bool,
+    out: &mut String,
+) {
+    if is_leaf || opts.internal_names {
+        if let Some(name) = tree.name(node) {
+            out.push_str(&quote_if_needed(name));
+        }
+    }
+    if opts.branch_lengths {
+        if let Some(len) = tree.branch_length(node) {
+            out.push(':');
+            let formatted = format!("{:.*}", opts.precision, len);
+            // Trim trailing zeros but keep at least one digit after the dot.
+            let trimmed = trim_float(&formatted);
+            out.push_str(&trimmed);
+        }
+    }
+}
+
+fn trim_float(s: &str) -> String {
+    if !s.contains('.') {
+        return s.to_string();
+    }
+    let t = s.trim_end_matches('0');
+    let t = t.strip_suffix('.').map(|p| format!("{p}.0")).unwrap_or_else(|| t.to_string());
+    t
+}
+
+fn quote_if_needed(name: &str) -> String {
+    let needs_quotes = name
+        .chars()
+        .any(|c| c.is_whitespace() || matches!(c, '(' | ')' | ',' | ':' | ';' | '[' | ']' | '\''));
+    if needs_quotes {
+        format!("'{}'", name.replace('\'', "''"))
+    } else {
+        name.to_string()
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser { bytes: input.as_bytes(), pos: 0, line: 1 }
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(self.pos, self.line, msg)
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'[') => {
+                    // Newick comment: skip to the matching ']'. Nested
+                    // comments are not part of the format; first ']' closes.
+                    self.bump();
+                    while let Some(b) = self.bump() {
+                        if b == b']' {
+                            break;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Parse one `subtree ;` statement into a [`Tree`].
+    fn parse_tree(&mut self) -> Result<Tree, ParseError> {
+        self.skip_ws();
+        let mut tree = Tree::new();
+        // Stack of open internal nodes created by '('.
+        let mut open: Vec<NodeId> = Vec::new();
+        // The most recently completed node (leaf or closed internal node);
+        // label/length tokens attach to it.
+        let mut last: Option<NodeId> = None;
+        // Whether we are positioned where a new child may start.
+        let mut expect_node = true;
+
+        loop {
+            self.skip_ws();
+            let Some(b) = self.peek() else {
+                return Err(self.error("unexpected end of input (missing ';')"));
+            };
+            match b {
+                b'(' => {
+                    if !expect_node {
+                        return Err(self.error("unexpected '('"));
+                    }
+                    self.bump();
+                    let node = if let Some(&parent) = open.last() {
+                        tree.add_child(parent, None, None)
+                            .expect("parent node was created by this parser")
+                    } else {
+                        let n = tree.add_node();
+                        tree.set_root(n).expect("node just added");
+                        n
+                    };
+                    open.push(node);
+                    expect_node = true;
+                }
+                b')' => {
+                    self.bump();
+                    if expect_node {
+                        // An empty child slot like "(,A)" — treat as an
+                        // anonymous leaf to be permissive, as real-world
+                        // NEXUS exports occasionally contain them.
+                        let parent = *open
+                            .last()
+                            .ok_or_else(|| self.error("')' without matching '('"))?;
+                        tree.add_child(parent, None, None).expect("parent exists");
+                    }
+                    let closed =
+                        open.pop().ok_or_else(|| self.error("')' without matching '('"))?;
+                    last = Some(closed);
+                    expect_node = false;
+                    // Optional label / branch length handled by subsequent
+                    // iterations (identifier / ':' branches below).
+                }
+                b',' => {
+                    self.bump();
+                    if open.is_empty() {
+                        return Err(self.error("',' outside of any '(...)' group"));
+                    }
+                    expect_node = true;
+                    last = None;
+                }
+                b';' => {
+                    self.bump();
+                    if !open.is_empty() {
+                        return Err(self.error("unbalanced '(': tree ended early"));
+                    }
+                    if tree.is_empty() {
+                        return Err(self.error("empty tree"));
+                    }
+                    return Ok(tree);
+                }
+                b':' => {
+                    self.bump();
+                    let len = self.parse_number()?;
+                    let target = match last {
+                        Some(n) => n,
+                        None => {
+                            // A length with no preceding label: applies to an
+                            // implicit anonymous leaf (e.g. "(:1.0,B:2);").
+                            let node = self.materialize_leaf(&mut tree, &open)?;
+                            last = Some(node);
+                            expect_node = false;
+                            node
+                        }
+                    };
+                    tree.set_branch_length(target, len).expect("node exists");
+                }
+                _ => {
+                    // A label: either for a new leaf, or for the internal
+                    // node just closed by ')'.
+                    let label = self.parse_label()?;
+                    if expect_node {
+                        let node = self.materialize_named_leaf(&mut tree, &open, label)?;
+                        last = Some(node);
+                        expect_node = false;
+                    } else {
+                        let target =
+                            last.ok_or_else(|| self.error("label in unexpected position"))?;
+                        tree.set_name(target, label).expect("node exists");
+                    }
+                }
+            }
+        }
+    }
+
+    fn materialize_leaf(&self, tree: &mut Tree, open: &[NodeId]) -> Result<NodeId, ParseError> {
+        if let Some(&parent) = open.last() {
+            Ok(tree.add_child(parent, None, None).expect("parent exists"))
+        } else {
+            // Single-node tree like "A;" or ":1;"
+            if tree.is_empty() {
+                Ok(tree.add_node())
+            } else {
+                Err(self.error("multiple root nodes"))
+            }
+        }
+    }
+
+    fn materialize_named_leaf(
+        &self,
+        tree: &mut Tree,
+        open: &[NodeId],
+        label: String,
+    ) -> Result<NodeId, ParseError> {
+        let node = self.materialize_leaf(tree, open)?;
+        tree.set_name(node, label).expect("node exists");
+        Ok(node)
+    }
+
+    fn parse_number(&mut self) -> Result<f64, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' | b'.' | b'-' | b'+' | b'e' | b'E' => {
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        if start == self.pos {
+            return Err(self.error("expected a branch length after ':'"));
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("branch length is not valid UTF-8"))?;
+        text.parse::<f64>().map_err(|_| self.error(format!("invalid branch length `{text}`")))
+    }
+
+    fn parse_label(&mut self) -> Result<String, ParseError> {
+        self.skip_ws();
+        if self.peek() == Some(b'\'') {
+            self.bump();
+            let mut label = String::new();
+            loop {
+                match self.bump() {
+                    Some(b'\'') => {
+                        if self.peek() == Some(b'\'') {
+                            self.bump();
+                            label.push('\'');
+                        } else {
+                            return Ok(label);
+                        }
+                    }
+                    Some(b) => label.push(b as char),
+                    None => return Err(self.error("unterminated quoted label")),
+                }
+            }
+        }
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            match b {
+                b'(' | b')' | b',' | b':' | b';' | b'[' | b']' | b'\'' => break,
+                b if b.is_ascii_whitespace() => break,
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        if start == self.pos {
+            return Err(self.error("expected a label"));
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("label is not valid UTF-8"))?;
+        Ok(text.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::figure1_tree;
+    use crate::ops::isomorphic_with_lengths;
+
+    const FIG1: &str = "((Bha:0.75,(Lla:1.0,Spy:1.0):0.5):1.5,Syn:2.5,Bsu:1.25);";
+
+    #[test]
+    fn parse_figure1() {
+        let t = parse(FIG1).unwrap();
+        assert_eq!(t.leaf_count(), 5);
+        assert_eq!(t.node_count(), 8);
+        let lla = t.find_leaf_by_name("Lla").unwrap();
+        assert!((t.root_distance(lla) - 3.0).abs() < 1e-12);
+        assert!(isomorphic_with_lengths(&t, &figure1_tree(), 1e-9));
+    }
+
+    #[test]
+    fn roundtrip_figure1() {
+        let t = figure1_tree();
+        let text = write(&t);
+        let back = parse(&text).unwrap();
+        assert!(isomorphic_with_lengths(&t, &back, 1e-9));
+    }
+
+    #[test]
+    fn parse_single_leaf() {
+        let t = parse("OnlyTaxon;").unwrap();
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.name(t.root_unchecked()), Some("OnlyTaxon"));
+    }
+
+    #[test]
+    fn parse_no_branch_lengths() {
+        let t = parse("((A,B),(C,D));").unwrap();
+        assert_eq!(t.leaf_count(), 4);
+        assert!(t.branch_length(t.find_leaf_by_name("A").unwrap()).is_none());
+    }
+
+    #[test]
+    fn parse_internal_labels() {
+        let t = parse("((A:1,B:2)AB:3,C:4)Root;").unwrap();
+        assert_eq!(t.name(t.root_unchecked()), Some("Root"));
+        let ab = t.find_node_by_name("AB").unwrap();
+        assert!(!t.is_leaf(ab));
+        assert_eq!(t.branch_length(ab), Some(3.0));
+    }
+
+    #[test]
+    fn parse_quoted_labels_and_comments() {
+        let t = parse("('Homo sapiens':1.0[human],'It''s':2.0);").unwrap();
+        assert!(t.find_leaf_by_name("Homo sapiens").is_some());
+        assert!(t.find_leaf_by_name("It's").is_some());
+    }
+
+    #[test]
+    fn parse_scientific_notation_lengths() {
+        let t = parse("(A:1e-3,B:2.5E2);").unwrap();
+        let a = t.find_leaf_by_name("A").unwrap();
+        assert!((t.branch_length(a).unwrap() - 1e-3).abs() < 1e-12);
+        let b = t.find_leaf_by_name("B").unwrap();
+        assert!((t.branch_length(b).unwrap() - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parse_whitespace_and_newlines() {
+        let t = parse("(\n  A : 1.0 ,\n  B : 2.0\n) ;").unwrap();
+        assert_eq!(t.leaf_count(), 2);
+    }
+
+    #[test]
+    fn error_unbalanced_paren() {
+        assert!(parse("((A,B);").is_err());
+        assert!(parse("(A,B));").is_err());
+    }
+
+    #[test]
+    fn error_missing_semicolon() {
+        assert!(parse("(A,B)").is_err());
+    }
+
+    #[test]
+    fn error_trailing_garbage() {
+        assert!(parse("(A,B); extra").is_err());
+    }
+
+    #[test]
+    fn error_empty_input() {
+        assert!(parse("").is_err());
+        assert!(parse("   ").is_err());
+    }
+
+    #[test]
+    fn error_bad_length() {
+        assert!(parse("(A:abc,B);").is_err());
+    }
+
+    #[test]
+    fn parse_many_trees() {
+        let trees = parse_many("(A,B);\n(C,(D,E));\n").unwrap();
+        assert_eq!(trees.len(), 2);
+        assert_eq!(trees[1].leaf_count(), 3);
+    }
+
+    #[test]
+    fn writer_quotes_awkward_names() {
+        let mut t = Tree::new();
+        let r = t.add_node();
+        t.add_child(r, Some("needs space".into()), Some(1.0)).unwrap();
+        t.add_child(r, Some("a:b".into()), None).unwrap();
+        let text = write(&t);
+        assert!(text.contains("'needs space'"));
+        assert!(text.contains("'a:b'"));
+        let back = parse(&text).unwrap();
+        assert!(back.find_leaf_by_name("needs space").is_some());
+        assert!(back.find_leaf_by_name("a:b").is_some());
+    }
+
+    #[test]
+    fn writer_precision_option() {
+        let mut t = Tree::new();
+        let r = t.add_node();
+        t.add_child(r, Some("A".into()), Some(1.0 / 3.0)).unwrap();
+        t.add_child(r, Some("B".into()), Some(2.0)).unwrap();
+        let text =
+            write_with_options(&t, &WriteOptions { precision: 2, ..WriteOptions::default() });
+        assert!(text.contains("A:0.33"), "got {text}");
+        assert!(text.contains("B:2.0"), "got {text}");
+    }
+
+    #[test]
+    fn writer_can_skip_lengths_and_internal_names() {
+        let t = parse("((A:1,B:2)AB:3,C:4)Root;").unwrap();
+        let text = write_with_options(
+            &t,
+            &WriteOptions { branch_lengths: false, internal_names: false, precision: 6 },
+        );
+        assert_eq!(text, "((A,B),C);");
+    }
+
+    #[test]
+    fn deep_tree_roundtrip() {
+        // depth ~20k caterpillar written and re-parsed without stack overflow.
+        let t = crate::builder::caterpillar(20_000, 0.5);
+        let text = write(&t);
+        let back = parse(&text).unwrap();
+        assert_eq!(back.leaf_count(), t.leaf_count());
+        assert_eq!(back.max_depth(), t.max_depth());
+    }
+
+    #[test]
+    fn polytomy_roundtrip() {
+        let t = parse("(A:1,B:1,C:1,D:1,E:1);").unwrap();
+        assert_eq!(t.degree(t.root_unchecked()), 5);
+        let back = parse(&write(&t)).unwrap();
+        assert_eq!(back.degree(back.root_unchecked()), 5);
+    }
+
+    #[test]
+    fn empty_tree_writes_semicolon() {
+        let t = Tree::new();
+        assert_eq!(write(&t), ";");
+    }
+}

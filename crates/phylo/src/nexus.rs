@@ -1,0 +1,618 @@
+//! NEXUS file format support.
+//!
+//! NEXUS (Maddison, Swofford & Maddison 1997 — ref. \[6\] in the paper) is the
+//! standard exchange format for phylogenetic data. Crimson accepts NEXUS as
+//! input and emits NEXUS as one of its output formats, while storing data
+//! relationally internally. This module supports the blocks Crimson needs:
+//!
+//! * `TAXA` — taxon labels (`DIMENSIONS NTAX`, `TAXLABELS`),
+//! * `TREES` — named Newick trees, with optional `TRANSLATE` tables,
+//! * `DATA` / `CHARACTERS` — aligned sequences (`DIMENSIONS NCHAR`,
+//!   `FORMAT DATATYPE=DNA`, `MATRIX`).
+//!
+//! Unknown blocks are skipped so that files written by other tools still load.
+
+use crate::error::ParseError;
+use crate::newick;
+use crate::tree::Tree;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// A parsed NEXUS document.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NexusDocument {
+    /// Taxon labels from the `TAXA` block (possibly empty).
+    pub taxa: Vec<String>,
+    /// Named trees from the `TREES` block, in file order.
+    pub trees: Vec<NamedTree>,
+    /// Aligned sequences from a `DATA`/`CHARACTERS` block, keyed by taxon.
+    pub sequences: HashMap<String, String>,
+    /// Declared number of characters, if a DIMENSIONS command provided one.
+    pub nchar: Option<usize>,
+    /// Declared datatype (e.g. `DNA`), if given.
+    pub datatype: Option<String>,
+}
+
+/// A tree with the name given in the `TREES` block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NamedTree {
+    /// The identifier after `TREE` (e.g. `gold_standard`).
+    pub name: String,
+    /// Whether the tree was flagged as rooted (`[&R]`) — defaults to true.
+    pub rooted: bool,
+    /// The tree itself.
+    pub tree: Tree,
+}
+
+impl NexusDocument {
+    /// Create an empty document.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Convenience: the first tree in the document, if any.
+    pub fn first_tree(&self) -> Option<&Tree> {
+        self.trees.first().map(|t| &t.tree)
+    }
+
+    /// Add a tree under a name.
+    pub fn push_tree(&mut self, name: impl Into<String>, tree: Tree) {
+        self.trees.push(NamedTree { name: name.into(), rooted: true, tree });
+    }
+
+    /// Add a sequence for a taxon (also records the taxon label).
+    pub fn push_sequence(&mut self, taxon: impl Into<String>, seq: impl Into<String>) {
+        let taxon = taxon.into();
+        if !self.taxa.contains(&taxon) {
+            self.taxa.push(taxon.clone());
+        }
+        self.sequences.insert(taxon, seq.into());
+    }
+}
+
+/// Parse a NEXUS document from text.
+pub fn parse(input: &str) -> Result<NexusDocument, ParseError> {
+    let mut doc = NexusDocument::new();
+    let mut lexer = Lexer::new(input);
+
+    let header = lexer.next_word();
+    match header {
+        Some(w) if w.eq_ignore_ascii_case("#NEXUS") => {}
+        _ => return Err(ParseError::new(0, 1, "file does not start with #NEXUS")),
+    }
+
+    while let Some(word) = lexer.next_word() {
+        if !word.eq_ignore_ascii_case("BEGIN") {
+            // Stray token between blocks — ignore for robustness.
+            continue;
+        }
+        let block = lexer
+            .next_word()
+            .ok_or_else(|| lexer.error("BEGIN not followed by a block name"))?;
+        let block = block.trim_end_matches(';').to_ascii_uppercase();
+        match block.as_str() {
+            "TAXA" => parse_taxa_block(&mut lexer, &mut doc)?,
+            "TREES" => parse_trees_block(&mut lexer, &mut doc)?,
+            "DATA" | "CHARACTERS" => parse_data_block(&mut lexer, &mut doc)?,
+            _ => skip_block(&mut lexer)?,
+        }
+    }
+    Ok(doc)
+}
+
+/// Serialize a document to NEXUS text.
+pub fn write(doc: &NexusDocument) -> String {
+    let mut out = String::new();
+    out.push_str("#NEXUS\n\n");
+
+    if !doc.taxa.is_empty() {
+        out.push_str("BEGIN TAXA;\n");
+        let _ = writeln!(out, "    DIMENSIONS NTAX={};", doc.taxa.len());
+        out.push_str("    TAXLABELS");
+        for t in &doc.taxa {
+            out.push(' ');
+            out.push_str(&quote_token(t));
+        }
+        out.push_str(";\nEND;\n\n");
+    }
+
+    if !doc.sequences.is_empty() {
+        let nchar =
+            doc.nchar.unwrap_or_else(|| doc.sequences.values().map(|s| s.len()).max().unwrap_or(0));
+        out.push_str("BEGIN DATA;\n");
+        let _ = writeln!(out, "    DIMENSIONS NTAX={} NCHAR={};", doc.sequences.len(), nchar);
+        let datatype = doc.datatype.clone().unwrap_or_else(|| "DNA".to_string());
+        let _ = writeln!(out, "    FORMAT DATATYPE={} MISSING=? GAP=-;", datatype);
+        out.push_str("    MATRIX\n");
+        // Deterministic order: taxa order first, then any extra keys sorted.
+        let mut emitted = Vec::new();
+        for t in &doc.taxa {
+            if let Some(seq) = doc.sequences.get(t) {
+                let _ = writeln!(out, "        {} {}", quote_token(t), seq);
+                emitted.push(t.clone());
+            }
+        }
+        let mut rest: Vec<_> =
+            doc.sequences.keys().filter(|k| !emitted.contains(k)).cloned().collect();
+        rest.sort();
+        for t in rest {
+            let _ = writeln!(out, "        {} {}", quote_token(&t), doc.sequences[&t]);
+        }
+        out.push_str("    ;\nEND;\n\n");
+    }
+
+    if !doc.trees.is_empty() {
+        out.push_str("BEGIN TREES;\n");
+        for nt in &doc.trees {
+            let flag = if nt.rooted { "[&R] " } else { "[&U] " };
+            let _ = writeln!(
+                out,
+                "    TREE {} = {}{}",
+                quote_token(&nt.name),
+                flag,
+                newick::write(&nt.tree)
+            );
+        }
+        out.push_str("END;\n");
+    }
+    out
+}
+
+fn quote_token(s: &str) -> String {
+    if s.chars().any(|c| c.is_whitespace() || "();,=[]'".contains(c)) {
+        format!("'{}'", s.replace('\'', "''"))
+    } else {
+        s.to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Block parsers
+// ---------------------------------------------------------------------------
+
+fn parse_taxa_block(lexer: &mut Lexer<'_>, doc: &mut NexusDocument) -> Result<(), ParseError> {
+    loop {
+        let Some(cmd) = lexer.next_word() else {
+            return Err(lexer.error("unterminated TAXA block"));
+        };
+        let upper = cmd.to_ascii_uppercase();
+        if upper.starts_with("END") {
+            lexer.skip_to_semicolon_if_needed(&cmd);
+            return Ok(());
+        } else if upper.starts_with("TAXLABELS") {
+            loop {
+                let Some(tok) = lexer.next_token() else {
+                    return Err(lexer.error("unterminated TAXLABELS command"));
+                };
+                if tok == ";" {
+                    break;
+                }
+                doc.taxa.push(trim_token(&tok));
+            }
+        } else {
+            // DIMENSIONS and anything else: skip to ';'.
+            lexer.skip_command(&cmd);
+        }
+    }
+}
+
+fn parse_trees_block(lexer: &mut Lexer<'_>, doc: &mut NexusDocument) -> Result<(), ParseError> {
+    let mut translate: HashMap<String, String> = HashMap::new();
+    loop {
+        let Some(cmd) = lexer.next_word() else {
+            return Err(lexer.error("unterminated TREES block"));
+        };
+        let upper = cmd.to_ascii_uppercase();
+        if upper.starts_with("END") {
+            lexer.skip_to_semicolon_if_needed(&cmd);
+            return Ok(());
+        } else if upper.starts_with("TRANSLATE") {
+            // Pairs "key label," terminated by ';'.
+            loop {
+                let Some(key) = lexer.next_token() else {
+                    return Err(lexer.error("unterminated TRANSLATE command"));
+                };
+                if key == ";" {
+                    break;
+                }
+                let Some(value) = lexer.next_token() else {
+                    return Err(lexer.error("TRANSLATE key without a label"));
+                };
+                let value = value.trim_end_matches(',').to_string();
+                translate.insert(trim_token(&key), trim_token(&value));
+                // The pair may be followed by a ',' token.
+            }
+        } else if upper.starts_with("TREE") {
+            // TREE name = [&R] (...);
+            let Some(name_tok) = lexer.next_word() else {
+                return Err(lexer.error("TREE command without a name"));
+            };
+            let name = trim_token(name_tok.trim_end_matches('='));
+            // Collect raw text up to ';' — the Newick parser handles the rest.
+            let mut rooted = true;
+            let raw = lexer.take_until_semicolon();
+            let raw = raw.trim();
+            let raw = raw.strip_prefix('=').unwrap_or(raw).trim();
+            let raw = if let Some(rest) = raw.strip_prefix("[&U]") {
+                rooted = false;
+                rest.trim()
+            } else if let Some(rest) = raw.strip_prefix("[&R]") {
+                rest.trim()
+            } else {
+                raw
+            };
+            let mut text = raw.to_string();
+            if !text.ends_with(';') {
+                text.push(';');
+            }
+            let mut tree = newick::parse(&text)
+                .map_err(|e| ParseError::new(e.offset, e.line, format!("in TREE {name}: {}", e.message)))?;
+            if !translate.is_empty() {
+                apply_translate(&mut tree, &translate);
+            }
+            doc.trees.push(NamedTree { name, rooted, tree });
+        } else {
+            lexer.skip_command(&cmd);
+        }
+    }
+}
+
+fn apply_translate(tree: &mut Tree, translate: &HashMap<String, String>) {
+    let ids: Vec<_> = tree.node_ids().collect();
+    for id in ids {
+        if let Some(name) = tree.name(id).map(|s| s.to_string()) {
+            if let Some(real) = translate.get(&name) {
+                tree.set_name(id, real.clone()).expect("node exists");
+            }
+        }
+    }
+}
+
+fn parse_data_block(lexer: &mut Lexer<'_>, doc: &mut NexusDocument) -> Result<(), ParseError> {
+    loop {
+        let Some(cmd) = lexer.next_word() else {
+            return Err(lexer.error("unterminated DATA block"));
+        };
+        let upper = cmd.to_ascii_uppercase();
+        if upper.starts_with("END") {
+            lexer.skip_to_semicolon_if_needed(&cmd);
+            return Ok(());
+        } else if upper.starts_with("DIMENSIONS") {
+            let text = lexer.take_until_semicolon();
+            for part in format!("{cmd} {text}").split_whitespace() {
+                let up = part.to_ascii_uppercase();
+                if let Some(v) = up.strip_prefix("NCHAR=") {
+                    doc.nchar = v.trim_end_matches(';').parse().ok();
+                }
+            }
+        } else if upper.starts_with("FORMAT") {
+            let text = lexer.take_until_semicolon();
+            for part in text.split_whitespace() {
+                let up = part.to_ascii_uppercase();
+                if let Some(v) = up.strip_prefix("DATATYPE=") {
+                    doc.datatype = Some(v.trim_end_matches(';').to_string());
+                }
+            }
+        } else if upper.starts_with("MATRIX") {
+            loop {
+                let Some(taxon) = lexer.next_token() else {
+                    return Err(lexer.error("unterminated MATRIX command"));
+                };
+                if taxon == ";" {
+                    break;
+                }
+                let Some(seq) = lexer.next_token() else {
+                    return Err(lexer.error("taxon in MATRIX without a sequence"));
+                };
+                if seq == ";" {
+                    return Err(lexer.error("taxon in MATRIX without a sequence"));
+                }
+                let taxon = trim_token(&taxon);
+                let seq = seq.trim_end_matches(';').to_string();
+                doc.sequences.entry(taxon.clone()).and_modify(|s| s.push_str(&seq)).or_insert(seq);
+                if !doc.taxa.contains(&taxon) {
+                    doc.taxa.push(taxon);
+                }
+            }
+        } else {
+            lexer.skip_command(&cmd);
+        }
+    }
+}
+
+fn skip_block(lexer: &mut Lexer<'_>) -> Result<(), ParseError> {
+    loop {
+        let Some(word) = lexer.next_word() else {
+            return Err(lexer.error("unterminated block"));
+        };
+        if word.to_ascii_uppercase().starts_with("END") {
+            lexer.skip_to_semicolon_if_needed(&word);
+            return Ok(());
+        }
+        lexer.skip_command(&word);
+    }
+}
+
+fn trim_token(tok: &str) -> String {
+    let t = tok.trim().trim_end_matches(',').trim_end_matches(';');
+    let t = t.trim_matches('\'');
+    t.to_string()
+}
+
+// ---------------------------------------------------------------------------
+// A small whitespace/comment-aware tokenizer
+// ---------------------------------------------------------------------------
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(input: &'a str) -> Self {
+        Lexer { bytes: input.as_bytes(), pos: 0, line: 1 }
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(self.pos, self.line, msg)
+    }
+
+    fn skip_ws_and_comments(&mut self) {
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b) if b.is_ascii_whitespace() => {
+                    if *b == b'\n' {
+                        self.line += 1;
+                    }
+                    self.pos += 1;
+                }
+                Some(b'[') => {
+                    // NEXUS comment — but "[&R]" style rooting annotations are
+                    // meaningful inside TREE commands; those are handled by
+                    // take_until_semicolon, which preserves raw text.
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        self.pos += 1;
+                        if b == b']' {
+                            break;
+                        }
+                        if b == b'\n' {
+                            self.line += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Next whitespace-delimited word (no special handling of ';').
+    fn next_word(&mut self) -> Option<String> {
+        self.skip_ws_and_comments();
+        if self.pos >= self.bytes.len() {
+            return None;
+        }
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_whitespace() {
+                break;
+            }
+            self.pos += 1;
+        }
+        Some(String::from_utf8_lossy(&self.bytes[start..self.pos]).to_string())
+    }
+
+    /// Next token where a bare `;` is returned on its own, and quoted labels
+    /// are returned unquoted-aware.
+    fn next_token(&mut self) -> Option<String> {
+        self.skip_ws_and_comments();
+        let &b = self.bytes.get(self.pos)?;
+        if b == b';' {
+            self.pos += 1;
+            return Some(";".to_string());
+        }
+        if b == b'\'' {
+            self.pos += 1;
+            let mut s = String::new();
+            while let Some(&c) = self.bytes.get(self.pos) {
+                self.pos += 1;
+                if c == b'\'' {
+                    if self.bytes.get(self.pos) == Some(&b'\'') {
+                        self.pos += 1;
+                        s.push('\'');
+                    } else {
+                        break;
+                    }
+                } else {
+                    if c == b'\n' {
+                        self.line += 1;
+                    }
+                    s.push(c as char);
+                }
+            }
+            return Some(s);
+        }
+        let start = self.pos;
+        while let Some(&c) = self.bytes.get(self.pos) {
+            if c.is_ascii_whitespace() || c == b';' {
+                break;
+            }
+            self.pos += 1;
+        }
+        Some(String::from_utf8_lossy(&self.bytes[start..self.pos]).to_string())
+    }
+
+    /// Consume raw text (including `[...]` annotations) up to and including
+    /// the next ';' and return it without the ';'.
+    fn take_until_semicolon(&mut self) -> String {
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            self.pos += 1;
+            if b == b'\n' {
+                self.line += 1;
+            }
+            if b == b';' {
+                return String::from_utf8_lossy(&self.bytes[start..self.pos - 1]).to_string();
+            }
+        }
+        String::from_utf8_lossy(&self.bytes[start..self.pos]).to_string()
+    }
+
+    /// Skip the remainder of a command unless the introducing word already
+    /// ended with ';'.
+    fn skip_command(&mut self, introducing_word: &str) {
+        if !introducing_word.ends_with(';') {
+            let _ = self.take_until_semicolon();
+        }
+    }
+
+    /// `END` may appear as `END;` or `END ;` — consume the ';' if separate.
+    fn skip_to_semicolon_if_needed(&mut self, word: &str) {
+        if !word.ends_with(';') {
+            let _ = self.take_until_semicolon();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::figure1_tree;
+    use crate::ops::isomorphic_with_lengths;
+
+    const SAMPLE: &str = r#"#NEXUS
+
+BEGIN TAXA;
+    DIMENSIONS NTAX=5;
+    TAXLABELS Bha Lla Spy Syn Bsu;
+END;
+
+BEGIN DATA;
+    DIMENSIONS NTAX=5 NCHAR=8;
+    FORMAT DATATYPE=DNA MISSING=? GAP=-;
+    MATRIX
+        Bha ACGTACGT
+        Lla ACGTACGA
+        Spy ACGTACCA
+        Syn ACCTACCA
+        Bsu TTGTACCA
+    ;
+END;
+
+BEGIN TREES;
+    TREE gold = [&R] ((Bha:0.75,(Lla:1.0,Spy:1.0):0.5):1.5,Syn:2.5,Bsu:1.25);
+END;
+"#;
+
+    #[test]
+    fn parse_full_document() {
+        let doc = parse(SAMPLE).unwrap();
+        assert_eq!(doc.taxa, vec!["Bha", "Lla", "Spy", "Syn", "Bsu"]);
+        assert_eq!(doc.sequences.len(), 5);
+        assert_eq!(doc.sequences["Bha"], "ACGTACGT");
+        assert_eq!(doc.nchar, Some(8));
+        assert_eq!(doc.datatype.as_deref(), Some("DNA"));
+        assert_eq!(doc.trees.len(), 1);
+        assert_eq!(doc.trees[0].name, "gold");
+        assert!(doc.trees[0].rooted);
+        assert!(isomorphic_with_lengths(&doc.trees[0].tree, &figure1_tree(), 1e-9));
+    }
+
+    #[test]
+    fn roundtrip_document() {
+        let doc = parse(SAMPLE).unwrap();
+        let text = write(&doc);
+        let back = parse(&text).unwrap();
+        assert_eq!(back.taxa, doc.taxa);
+        assert_eq!(back.sequences, doc.sequences);
+        assert_eq!(back.trees.len(), 1);
+        assert!(isomorphic_with_lengths(&back.trees[0].tree, &doc.trees[0].tree, 1e-9));
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        assert!(parse("BEGIN TAXA; END;").is_err());
+    }
+
+    #[test]
+    fn unknown_blocks_skipped() {
+        let text = "#NEXUS\nBEGIN ASSUMPTIONS;\n  OPTIONS DEFTYPE=unord;\nEND;\nBEGIN TREES;\n TREE t = (A,B);\nEND;\n";
+        let doc = parse(text).unwrap();
+        assert_eq!(doc.trees.len(), 1);
+        assert_eq!(doc.trees[0].tree.leaf_count(), 2);
+    }
+
+    #[test]
+    fn translate_table_applied() {
+        let text = "#NEXUS\nBEGIN TREES;\n  TRANSLATE 1 Bha, 2 Lla, 3 Syn;\n  TREE t = ((1:1,2:1):1,3:2);\nEND;\n";
+        let doc = parse(text).unwrap();
+        let tree = &doc.trees[0].tree;
+        assert!(tree.find_leaf_by_name("Bha").is_some());
+        assert!(tree.find_leaf_by_name("Lla").is_some());
+        assert!(tree.find_leaf_by_name("Syn").is_some());
+        assert!(tree.find_leaf_by_name("1").is_none());
+    }
+
+    #[test]
+    fn unrooted_flag_parsed() {
+        let text = "#NEXUS\nBEGIN TREES;\n TREE t = [&U] (A,B,C);\nEND;\n";
+        let doc = parse(text).unwrap();
+        assert!(!doc.trees[0].rooted);
+    }
+
+    #[test]
+    fn multiple_trees() {
+        let text = "#NEXUS\nBEGIN TREES;\n TREE a = (A,B);\n TREE b = ((A,B),C);\nEND;\n";
+        let doc = parse(text).unwrap();
+        assert_eq!(doc.trees.len(), 2);
+        assert_eq!(doc.trees[1].name, "b");
+        assert_eq!(doc.trees[1].tree.leaf_count(), 3);
+    }
+
+    #[test]
+    fn quoted_taxa_names() {
+        let text =
+            "#NEXUS\nBEGIN TAXA;\n TAXLABELS 'Homo sapiens' 'E. coli';\nEND;\n";
+        let doc = parse(text).unwrap();
+        assert_eq!(doc.taxa, vec!["Homo sapiens", "E. coli"]);
+    }
+
+    #[test]
+    fn characters_block_alias() {
+        let text = "#NEXUS\nBEGIN CHARACTERS;\n DIMENSIONS NCHAR=4;\n MATRIX\n A AAAA\n B CCCC\n ;\nEND;\n";
+        let doc = parse(text).unwrap();
+        assert_eq!(doc.sequences["A"], "AAAA");
+        assert_eq!(doc.nchar, Some(4));
+    }
+
+    #[test]
+    fn build_and_write_programmatically() {
+        let mut doc = NexusDocument::new();
+        doc.push_sequence("X", "ACGT");
+        doc.push_sequence("Y", "ACGA");
+        doc.push_tree("demo", figure1_tree());
+        let text = write(&doc);
+        assert!(text.starts_with("#NEXUS"));
+        assert!(text.contains("BEGIN DATA;"));
+        assert!(text.contains("TREE demo"));
+        let back = parse(&text).unwrap();
+        assert_eq!(back.sequences.len(), 2);
+        assert_eq!(back.trees.len(), 1);
+    }
+
+    #[test]
+    fn error_on_unterminated_block() {
+        let text = "#NEXUS\nBEGIN TAXA;\n TAXLABELS A B C";
+        assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn matrix_interleaved_concatenates() {
+        // Same taxon appearing twice in MATRIX gets its chunks concatenated
+        // (interleaved format).
+        let text = "#NEXUS\nBEGIN DATA;\n MATRIX\n A ACGT\n B TTTT\n A GGGG\n B CCCC\n ;\nEND;\n";
+        let doc = parse(text).unwrap();
+        assert_eq!(doc.sequences["A"], "ACGTGGGG");
+        assert_eq!(doc.sequences["B"], "TTTTCCCC");
+    }
+}

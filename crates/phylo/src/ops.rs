@@ -1,0 +1,494 @@
+//! Tree operations: induced subtrees, unary-node suppression, subtree
+//! extraction, canonical ordering and isomorphism.
+//!
+//! These implement the tree-algebra pieces the paper's queries are built on:
+//! *tree projection* (Fig. 2) is "restrict to a leaf set, then suppress
+//! out-degree-1 nodes summing edge weights"; *tree pattern match* needs a
+//! name-aware isomorphism check on the projected tree.
+
+use crate::error::PhyloError;
+use crate::traverse::Traverse;
+use crate::tree::{NodeId, Tree};
+use std::collections::{HashMap, HashSet};
+
+/// Extract the subtree rooted at `root` as a new independent [`Tree`].
+/// Node names and branch lengths are preserved; the new root keeps its
+/// branch length (callers can clear it if undesired).
+pub fn extract_subtree(tree: &Tree, root: NodeId) -> Tree {
+    let mut out = Tree::new();
+    let new_root = out.add_node();
+    if let Some(name) = tree.name(root) {
+        out.set_name(new_root, name).expect("new root exists");
+    }
+    if let Some(bl) = tree.branch_length(root) {
+        out.set_branch_length(new_root, bl).expect("new root exists");
+    }
+    // Iterative copy to stay safe on very deep trees.
+    let mut stack = vec![(root, new_root)];
+    while let Some((old, new)) = stack.pop() {
+        for &child in tree.children(old) {
+            let copied = out
+                .add_child(
+                    new,
+                    tree.name(child).map(|s| s.to_string()),
+                    tree.branch_length(child),
+                )
+                .expect("parent was just created");
+            stack.push((child, copied));
+        }
+    }
+    out
+}
+
+/// Restrict `tree` to the subtree induced by `leaves`: the union of all
+/// root-to-leaf paths for the given leaves, rooted at their LCA.
+/// No unary suppression is performed; see [`suppress_unary`] / [`project`].
+pub fn induced_subtree(tree: &Tree, leaves: &[NodeId]) -> Result<Tree, PhyloError> {
+    if leaves.is_empty() {
+        return Err(PhyloError::TooFewLeaves { required: 1, actual: 0 });
+    }
+    for &l in leaves {
+        tree.try_node(l)?;
+    }
+    // Mark every node on a path from the LCA of the set down to a kept leaf.
+    let mut lca = leaves[0];
+    for &l in &leaves[1..] {
+        lca = tree.lca(lca, l);
+    }
+    let mut keep: HashSet<NodeId> = HashSet::with_capacity(leaves.len() * 2);
+    for &l in leaves {
+        let mut cur = l;
+        loop {
+            if !keep.insert(cur) {
+                break;
+            }
+            if cur == lca {
+                break;
+            }
+            cur = tree.parent(cur).expect("walked past the root before reaching the LCA");
+        }
+    }
+    // Copy the kept nodes in pre-order from the LCA.
+    let mut out = Tree::new();
+    let mut map: HashMap<NodeId, NodeId> = HashMap::with_capacity(keep.len());
+    let new_root = out.add_node();
+    if let Some(name) = tree.name(lca) {
+        out.set_name(new_root, name).expect("root exists");
+    }
+    map.insert(lca, new_root);
+    for node in tree.preorder_from(lca) {
+        if node == lca || !keep.contains(&node) {
+            continue;
+        }
+        let parent = tree.parent(node).expect("non-root kept node has a parent");
+        let new_parent = *map.get(&parent).expect("pre-order guarantees the parent was copied");
+        let copied = out
+            .add_child(new_parent, tree.name(node).map(|s| s.to_string()), tree.branch_length(node))
+            .expect("parent exists");
+        map.insert(node, copied);
+    }
+    Ok(out)
+}
+
+/// Suppress every out-degree-1 interior node in place, merging it with its
+/// single child and **summing the two edge weights** — exactly the rule the
+/// paper applies when projecting (the parent of `Lla` in Fig. 2).
+///
+/// The root is also suppressed if it has a single child (the child becomes
+/// the new root and its branch length is cleared), matching the convention
+/// that reconstruction algorithms never produce unary nodes.
+///
+/// Returns a *new* tree with dense node ids.
+pub fn suppress_unary(tree: &Tree) -> Tree {
+    let Some(root) = tree.root() else { return Tree::new() };
+
+    // Walk down from the root skipping unary chains.
+    let mut effective_root = root;
+    let mut root_skipped = false;
+    while tree.degree(effective_root) == 1 && !tree.is_leaf(effective_root) {
+        effective_root = tree.children(effective_root)[0];
+        root_skipped = true;
+    }
+
+    let mut out = Tree::new();
+    let new_root = out.add_node();
+    if let Some(name) = tree.name(effective_root) {
+        out.set_name(new_root, name).expect("root exists");
+    }
+    if !root_skipped {
+        if let Some(bl) = tree.branch_length(effective_root) {
+            out.set_branch_length(new_root, bl).expect("root exists");
+        }
+    }
+
+    // For each copied node, walk each child through unary chains, accumulating
+    // branch lengths.
+    let mut stack = vec![(effective_root, new_root)];
+    while let Some((old, new)) = stack.pop() {
+        for &child in tree.children(old) {
+            let mut target = child;
+            let mut length = tree.node(child).branch_length_or_zero();
+            let mut saw_length = tree.branch_length(child).is_some();
+            while tree.degree(target) == 1 {
+                let only = tree.children(target)[0];
+                length += tree.node(only).branch_length_or_zero();
+                saw_length |= tree.branch_length(only).is_some();
+                target = only;
+            }
+            let copied = out
+                .add_child(
+                    new,
+                    tree.name(target).map(|s| s.to_string()),
+                    saw_length.then_some(length),
+                )
+                .expect("parent exists");
+            stack.push((target, copied));
+        }
+    }
+    out
+}
+
+/// Project `tree` onto the given `leaves`: induced subtree followed by unary
+/// suppression. This is the *tree projection* operation of §1/§2.2.
+pub fn project(tree: &Tree, leaves: &[NodeId]) -> Result<Tree, PhyloError> {
+    let induced = induced_subtree(tree, leaves)?;
+    Ok(suppress_unary(&induced))
+}
+
+/// Project `tree` onto leaves given by name.
+pub fn project_by_names(tree: &Tree, names: &[&str]) -> Result<Tree, PhyloError> {
+    let mut leaves = Vec::with_capacity(names.len());
+    for name in names {
+        let id = tree
+            .find_leaf_by_name(name)
+            .ok_or_else(|| PhyloError::UnknownLeaf((*name).to_string()))?;
+        leaves.push(id);
+    }
+    project(tree, &leaves)
+}
+
+/// A canonical form of a tree that is invariant under reordering of children.
+///
+/// Two trees have equal canonical forms iff they are isomorphic as rooted,
+/// leaf-labelled trees (names compared exactly; branch lengths ignored).
+pub fn canonical_form(tree: &Tree) -> String {
+    fn recurse(tree: &Tree, node: NodeId, out: &mut String) {
+        if tree.is_leaf(node) {
+            out.push_str(tree.name(node).unwrap_or(""));
+            return;
+        }
+        let mut parts: Vec<String> = tree
+            .children(node)
+            .iter()
+            .map(|&c| {
+                let mut s = String::new();
+                recurse(tree, c, &mut s);
+                s
+            })
+            .collect();
+        parts.sort();
+        out.push('(');
+        out.push_str(&parts.join(","));
+        out.push(')');
+    }
+    let mut s = String::new();
+    if let Some(root) = tree.root() {
+        recurse(tree, root, &mut s);
+    }
+    s
+}
+
+/// `true` when the two trees are isomorphic as rooted, leaf-labelled trees
+/// (topology + names; branch lengths ignored). This is the *exact* tree
+/// pattern match predicate of §2.2.
+pub fn isomorphic(a: &Tree, b: &Tree) -> bool {
+    if a.node_count() != b.node_count() || a.leaf_count() != b.leaf_count() {
+        return false;
+    }
+    canonical_form(a) == canonical_form(b)
+}
+
+/// `true` when the two trees are isomorphic *and* corresponding branch
+/// lengths agree within `tol`.
+pub fn isomorphic_with_lengths(a: &Tree, b: &Tree, tol: f64) -> bool {
+    fn signature(tree: &Tree, node: NodeId, tol: f64) -> String {
+        let bl = tree.branch_length(node).map(|l| format!("{:.*}", decimals(tol), l));
+        let bl = bl.unwrap_or_default();
+        if tree.is_leaf(node) {
+            return format!("{}:{}", tree.name(node).unwrap_or(""), bl);
+        }
+        let mut parts: Vec<String> =
+            tree.children(node).iter().map(|&c| signature(tree, c, tol)).collect();
+        parts.sort();
+        format!("({}):{}", parts.join(","), bl)
+    }
+    fn decimals(tol: f64) -> usize {
+        // Render enough decimal places that differences larger than `tol`
+        // cannot round to the same string.
+        let mut d = 0usize;
+        let mut t = tol.max(1e-12);
+        while t < 1.0 && d < 12 {
+            t *= 10.0;
+            d += 1;
+        }
+        d
+    }
+    match (a.root(), b.root()) {
+        (Some(ra), Some(rb)) => signature(a, ra, tol) == signature(b, rb, tol),
+        (None, None) => true,
+        _ => false,
+    }
+}
+
+/// Count nodes by out-degree; useful for checking reconstruction outputs
+/// ("all nodes in trees produced by reconstruction algorithms have outdegree
+/// greater than 1").
+pub fn degree_histogram(tree: &Tree) -> HashMap<usize, usize> {
+    let mut hist = HashMap::new();
+    for id in tree.node_ids() {
+        if !tree.is_leaf(id) {
+            *hist.entry(tree.degree(id)).or_insert(0) += 1;
+        }
+    }
+    hist
+}
+
+/// `true` if no interior node has out-degree 1 (reconstruction-style tree).
+pub fn is_unary_free(tree: &Tree) -> bool {
+    tree.node_ids().all(|id| tree.is_leaf(id) || tree.degree(id) != 1)
+}
+
+/// `true` if every interior node has out-degree exactly 2.
+pub fn is_binary(tree: &Tree) -> bool {
+    tree.node_ids().all(|id| tree.is_leaf(id) || tree.degree(id) == 2)
+}
+
+/// Relabel a tree's leaves using the provided map (names not present in the
+/// map are left unchanged). Returns the number of leaves renamed.
+pub fn rename_leaves(tree: &mut Tree, renames: &HashMap<String, String>) -> usize {
+    let mut count = 0;
+    let ids: Vec<NodeId> = tree.leaf_ids().collect();
+    for id in ids {
+        if let Some(old) = tree.name(id).map(|s| s.to_string()) {
+            if let Some(new) = renames.get(&old) {
+                tree.set_name(id, new.clone()).expect("leaf exists");
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{balanced_binary, caterpillar, figure1_tree};
+
+    #[test]
+    fn figure2_projection_matches_paper() {
+        // Projecting Figure 1 over {Bha, Lla, Syn} must give Figure 2:
+        // root with children (Syn:2.5) and an interior node at 1.5 with
+        // children Bha:0.75 and Lla:1.5 (1.0 + 0.5 merged).
+        let t = figure1_tree();
+        let p = project_by_names(&t, &["Bha", "Lla", "Syn"]).unwrap();
+        assert_eq!(p.leaf_count(), 3);
+        assert_eq!(p.node_count(), 5);
+        assert!(is_unary_free(&p));
+        let lla = p.find_leaf_by_name("Lla").unwrap();
+        assert!((p.branch_length(lla).unwrap() - 1.5).abs() < 1e-12);
+        let bha = p.find_leaf_by_name("Bha").unwrap();
+        assert!((p.branch_length(bha).unwrap() - 0.75).abs() < 1e-12);
+        let syn = p.find_leaf_by_name("Syn").unwrap();
+        assert!((p.branch_length(syn).unwrap() - 2.5).abs() < 1e-12);
+        // Root-to-leaf distances are preserved by projection.
+        assert!((p.root_distance(lla) - 3.0).abs() < 1e-12);
+        assert!((p.root_distance(bha) - 2.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_of_all_leaves_is_same_topology() {
+        let t = figure1_tree();
+        let all: Vec<&str> = vec!["Bha", "Lla", "Spy", "Syn", "Bsu"];
+        let p = project_by_names(&t, &all).unwrap();
+        assert!(isomorphic(&t, &p));
+    }
+
+    #[test]
+    fn projection_two_leaves() {
+        let t = figure1_tree();
+        let p = project_by_names(&t, &["Lla", "Spy"]).unwrap();
+        // Root of the projection is their LCA; both leaves attach directly.
+        assert_eq!(p.leaf_count(), 2);
+        assert_eq!(p.node_count(), 3);
+    }
+
+    #[test]
+    fn projection_single_leaf() {
+        let t = figure1_tree();
+        let leaf = t.find_leaf_by_name("Syn").unwrap();
+        let p = project(&t, &[leaf]).unwrap();
+        assert_eq!(p.node_count(), 1);
+        assert_eq!(p.name(p.root_unchecked()), Some("Syn"));
+    }
+
+    #[test]
+    fn projection_unknown_leaf_errors() {
+        let t = figure1_tree();
+        assert!(matches!(
+            project_by_names(&t, &["Bha", "Nope"]),
+            Err(PhyloError::UnknownLeaf(_))
+        ));
+    }
+
+    #[test]
+    fn projection_empty_errors() {
+        let t = figure1_tree();
+        assert!(project(&t, &[]).is_err());
+    }
+
+    #[test]
+    fn induced_subtree_keeps_unary_nodes() {
+        let t = figure1_tree();
+        let bha = t.find_leaf_by_name("Bha").unwrap();
+        let lla = t.find_leaf_by_name("Lla").unwrap();
+        let ind = induced_subtree(&t, &[bha, lla]).unwrap();
+        // Path root(i1) -> {Bha, i2 -> Lla}: i2 is unary here.
+        assert!(!is_unary_free(&ind));
+        let sup = suppress_unary(&ind);
+        assert!(is_unary_free(&sup));
+    }
+
+    #[test]
+    fn suppress_unary_root_chain() {
+        // root -> a -> b -> {x, y}; root and a are unary and must disappear.
+        let mut t = Tree::new();
+        let root = t.add_node();
+        let a = t.add_child(root, None, Some(1.0)).unwrap();
+        let b = t.add_child(a, None, Some(2.0)).unwrap();
+        t.add_child(b, Some("x".into()), Some(0.5)).unwrap();
+        t.add_child(b, Some("y".into()), Some(0.25)).unwrap();
+        let s = suppress_unary(&t);
+        assert_eq!(s.node_count(), 3);
+        assert_eq!(s.leaf_count(), 2);
+        assert!(s.branch_length(s.root_unchecked()).is_none());
+    }
+
+    #[test]
+    fn suppress_unary_sums_lengths_along_chain() {
+        // root -> {leaf L:1.0, chain a:1 -> b:2 -> c:3 -> leaf M:4}
+        let mut t = Tree::new();
+        let root = t.add_node();
+        t.add_child(root, Some("L".into()), Some(1.0)).unwrap();
+        let a = t.add_child(root, None, Some(1.0)).unwrap();
+        let b = t.add_child(a, None, Some(2.0)).unwrap();
+        let c = t.add_child(b, None, Some(3.0)).unwrap();
+        t.add_child(c, Some("M".into()), Some(4.0)).unwrap();
+        let s = suppress_unary(&t);
+        let m = s.find_leaf_by_name("M").unwrap();
+        assert!((s.branch_length(m).unwrap() - 10.0).abs() < 1e-12);
+        assert_eq!(s.node_count(), 3);
+    }
+
+    #[test]
+    fn extract_subtree_roundtrip() {
+        let t = figure1_tree();
+        let root = t.root_unchecked();
+        let copy = extract_subtree(&t, root);
+        assert!(isomorphic(&t, &copy));
+        // Extract just the (Lla, Spy) clade.
+        let lla = t.find_leaf_by_name("Lla").unwrap();
+        let clade_root = t.parent(lla).unwrap();
+        let clade = extract_subtree(&t, clade_root);
+        assert_eq!(clade.leaf_count(), 2);
+        assert_eq!(clade.node_count(), 3);
+    }
+
+    #[test]
+    fn canonical_form_is_order_invariant() {
+        // Same topology with children in different orders.
+        let mut a = Tree::new();
+        let ra = a.add_node();
+        a.add_child(ra, Some("X".into()), None).unwrap();
+        a.add_child(ra, Some("Y".into()), None).unwrap();
+        let mut b = Tree::new();
+        let rb = b.add_node();
+        b.add_child(rb, Some("Y".into()), None).unwrap();
+        b.add_child(rb, Some("X".into()), None).unwrap();
+        assert_eq!(canonical_form(&a), canonical_form(&b));
+        assert!(isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn pattern_mismatch_when_leaves_swapped() {
+        // The paper: swapping Bha and Lla in the Fig. 2 pattern no longer
+        // matches the tree.
+        let t = figure1_tree();
+        let p = project_by_names(&t, &["Bha", "Lla", "Syn"]).unwrap();
+        let mut swapped = p.clone();
+        let mut renames = HashMap::new();
+        renames.insert("Bha".to_string(), "Lla".to_string());
+        renames.insert("Lla".to_string(), "Bha".to_string());
+        rename_leaves(&mut swapped, &renames);
+        // Bha and Lla are siblings in this projection, so the unweighted
+        // labelled topology is unchanged by the swap …
+        assert_eq!(canonical_form(&p), canonical_form(&swapped));
+        // … but the weighted pattern no longer matches (Bha:0.75 vs Lla:1.5
+        // exchange places), which is what the paper's example relies on.
+        assert!(!isomorphic_with_lengths(&p, &swapped, 1e-9));
+    }
+
+    #[test]
+    fn isomorphic_with_lengths_tolerance() {
+        let t = figure1_tree();
+        let mut t2 = figure1_tree();
+        let bha = t2.find_leaf_by_name("Bha").unwrap();
+        t2.set_branch_length(bha, 0.75 + 1e-7).unwrap();
+        assert!(isomorphic_with_lengths(&t, &t2, 1e-3));
+        t2.set_branch_length(bha, 0.85).unwrap();
+        assert!(!isomorphic_with_lengths(&t, &t2, 1e-3));
+    }
+
+    #[test]
+    fn degree_histogram_counts() {
+        let t = figure1_tree();
+        let h = degree_histogram(&t);
+        assert_eq!(h.get(&3), Some(&1)); // root
+        assert_eq!(h.get(&2), Some(&2)); // the two interior nodes
+        assert_eq!(h.get(&1), None);
+    }
+
+    #[test]
+    fn binary_checks() {
+        assert!(is_binary(&balanced_binary(3, 1.0)));
+        assert!(is_binary(&caterpillar(5, 1.0)));
+        assert!(!is_binary(&figure1_tree())); // root has degree 3
+        assert!(is_unary_free(&figure1_tree()));
+    }
+
+    #[test]
+    fn projection_on_large_balanced_tree_preserves_distances() {
+        let t = balanced_binary(8, 1.0); // 256 leaves
+        let names: Vec<String> = t.leaf_names().into_iter().step_by(17).collect();
+        let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        let p = project_by_names(&t, &refs).unwrap();
+        assert_eq!(p.leaf_count(), refs.len());
+        assert!(is_unary_free(&p));
+        // Root distances from the projection root equal original distances
+        // minus the (constant) distance from the original root to the LCA.
+        let orig_lca = {
+            let ids: Vec<NodeId> =
+                refs.iter().map(|n| t.find_leaf_by_name(n).unwrap()).collect();
+            let mut l = ids[0];
+            for &x in &ids[1..] {
+                l = t.lca(l, x);
+            }
+            l
+        };
+        let offset = t.root_distance(orig_lca);
+        for name in &refs {
+            let orig = t.root_distance(t.find_leaf_by_name(name).unwrap());
+            let proj = p.root_distance(p.find_leaf_by_name(name).unwrap());
+            assert!((orig - offset - proj).abs() < 1e-9, "distance mismatch for {name}");
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Plain-text dendrogram rendering.
+//!
+//! The original Crimson demo visualized result trees with the Walrus 3D graph
+//! viewer (paper §2.3/§3). This module is the headless stand-in: it renders
+//! trees as indented ASCII dendrograms suitable for terminals, log files and
+//! the example binaries.
+
+use crate::traverse::Traverse;
+use crate::tree::{NodeId, Tree};
+use std::fmt::Write as _;
+
+/// Options for ASCII rendering.
+#[derive(Debug, Clone)]
+pub struct RenderOptions {
+    /// Show branch lengths after each node.
+    pub branch_lengths: bool,
+    /// Show cumulative distance from the root.
+    pub root_distances: bool,
+    /// Maximum number of nodes to print before truncating (0 = unlimited).
+    pub max_nodes: usize,
+    /// Label used for unnamed interior nodes.
+    pub anonymous_label: String,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions {
+            branch_lengths: true,
+            root_distances: false,
+            max_nodes: 0,
+            anonymous_label: "*".to_string(),
+        }
+    }
+}
+
+/// Render a tree as an indented ASCII dendrogram using box-drawing prefixes.
+///
+/// ```text
+/// *
+/// ├── * :1.5
+/// │   ├── Bha :0.75
+/// │   └── * :0.5
+/// │       ├── Lla :1
+/// │       └── Spy :1
+/// ├── Syn :2.5
+/// └── Bsu :1.25
+/// ```
+pub fn ascii(tree: &Tree) -> String {
+    ascii_with_options(tree, &RenderOptions::default())
+}
+
+/// Render with explicit [`RenderOptions`].
+pub fn ascii_with_options(tree: &Tree, opts: &RenderOptions) -> String {
+    let Some(root) = tree.root() else { return String::from("(empty tree)\n") };
+    let mut out = String::new();
+    let mut printed = 0usize;
+    let distances = if opts.root_distances { Some(tree.all_root_distances()) } else { None };
+
+    // Iterative DFS carrying the prefix string and whether the node is the
+    // last child of its parent.
+    let mut stack: Vec<(NodeId, String, bool, bool)> = vec![(root, String::new(), true, true)];
+    while let Some((node, prefix, is_last, is_root)) = stack.pop() {
+        if opts.max_nodes > 0 && printed >= opts.max_nodes {
+            let _ = writeln!(out, "{prefix}… (truncated)");
+            break;
+        }
+        printed += 1;
+        let connector = if is_root {
+            ""
+        } else if is_last {
+            "└── "
+        } else {
+            "├── "
+        };
+        let name = tree.name(node).unwrap_or(&opts.anonymous_label);
+        let mut line = format!("{prefix}{connector}{name}");
+        if opts.branch_lengths {
+            if let Some(bl) = tree.branch_length(node) {
+                let _ = write!(line, " :{}", fmt_num(bl));
+            }
+        }
+        if let Some(d) = &distances {
+            let _ = write!(line, " (d={})", fmt_num(d[node.index()]));
+        }
+        let _ = writeln!(out, "{line}");
+
+        let child_prefix = if is_root {
+            String::new()
+        } else if is_last {
+            format!("{prefix}    ")
+        } else {
+            format!("{prefix}│   ")
+        };
+        let children = tree.children(node);
+        for (i, &c) in children.iter().enumerate().rev() {
+            let last = i == children.len() - 1;
+            stack.push((c, child_prefix.clone(), last, false));
+        }
+    }
+    out
+}
+
+/// A single-line summary of a tree: node/leaf counts, depth and total length.
+pub fn summary(tree: &Tree) -> String {
+    let total_length: f64 =
+        tree.node_ids().map(|id| tree.branch_length(id).unwrap_or(0.0)).sum();
+    format!(
+        "nodes={} leaves={} depth={} total_branch_length={}",
+        tree.node_count(),
+        tree.leaf_count(),
+        tree.max_depth(),
+        fmt_num(total_length)
+    )
+}
+
+/// Render the leaf names in pre-order, one per line — a compact "species
+/// list" view used by the examples.
+pub fn leaf_list(tree: &Tree) -> String {
+    let mut out = String::new();
+    for id in tree.preorder() {
+        if tree.is_leaf(id) {
+            let _ = writeln!(out, "{}", tree.name(id).unwrap_or("<unnamed>"));
+        }
+    }
+    out
+}
+
+fn fmt_num(x: f64) -> String {
+    if (x - x.round()).abs() < 1e-9 {
+        format!("{}", x.round() as i64)
+    } else {
+        let s = format!("{x:.4}");
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{caterpillar, figure1_tree};
+
+    #[test]
+    fn ascii_contains_all_leaf_names() {
+        let t = figure1_tree();
+        let text = ascii(&t);
+        for name in ["Bha", "Lla", "Spy", "Syn", "Bsu"] {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+        assert!(text.contains("└──"));
+        assert!(text.contains("├──"));
+    }
+
+    #[test]
+    fn ascii_branch_lengths_shown() {
+        let t = figure1_tree();
+        let text = ascii(&t);
+        assert!(text.contains(":2.5"));
+        assert!(text.contains(":0.75"));
+    }
+
+    #[test]
+    fn ascii_root_distances_option() {
+        let t = figure1_tree();
+        let text = ascii_with_options(
+            &t,
+            &RenderOptions { root_distances: true, ..RenderOptions::default() },
+        );
+        assert!(text.contains("(d=3)"), "expected cumulative distance for Lla/Spy:\n{text}");
+    }
+
+    #[test]
+    fn ascii_truncation() {
+        let t = caterpillar(100, 1.0);
+        let text = ascii_with_options(&t, &RenderOptions { max_nodes: 10, ..Default::default() });
+        assert!(text.contains("truncated"));
+        assert!(text.lines().count() <= 12);
+    }
+
+    #[test]
+    fn empty_tree_renders_placeholder() {
+        let t = Tree::new();
+        assert!(ascii(&t).contains("empty"));
+    }
+
+    #[test]
+    fn summary_counts() {
+        let t = figure1_tree();
+        let s = summary(&t);
+        assert!(s.contains("nodes=8"));
+        assert!(s.contains("leaves=5"));
+        assert!(s.contains("depth=3"));
+    }
+
+    #[test]
+    fn leaf_list_preorder() {
+        let t = figure1_tree();
+        let rendered = leaf_list(&t);
+        let list: Vec<&str> = rendered.lines().collect();
+        assert_eq!(list, vec!["Bha", "Lla", "Spy", "Syn", "Bsu"]);
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(fmt_num(2.0), "2");
+        assert_eq!(fmt_num(0.75), "0.75");
+        assert_eq!(fmt_num(1.0 / 3.0), "0.3333");
+    }
+}

@@ -1,0 +1,250 @@
+//! Traversal iterators over [`Tree`]s.
+//!
+//! All traversals are iterative (explicit stacks/queues) so that they remain
+//! safe on the very deep simulation trees the paper targets (depth in the
+//! hundreds of thousands).
+
+use crate::tree::{NodeId, Tree};
+use std::collections::VecDeque;
+
+/// The order in which a traversal yields nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraversalOrder {
+    /// Parent before children, children in insertion order (document order).
+    Pre,
+    /// Children before parent.
+    Post,
+    /// Breadth-first, level by level.
+    Level,
+}
+
+/// Pre-order (depth-first, parent first) iterator.
+pub struct PreOrder<'a> {
+    tree: &'a Tree,
+    stack: Vec<NodeId>,
+}
+
+impl<'a> Iterator for PreOrder<'a> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let node = self.stack.pop()?;
+        // Push children in reverse so the first child is visited first.
+        for &c in self.tree.children(node).iter().rev() {
+            self.stack.push(c);
+        }
+        Some(node)
+    }
+}
+
+/// Post-order (children before parent) iterator.
+pub struct PostOrder<'a> {
+    tree: &'a Tree,
+    /// Stack of (node, next child index to expand).
+    stack: Vec<(NodeId, usize)>,
+}
+
+impl<'a> Iterator for PostOrder<'a> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        loop {
+            let &(node, child_idx) = self.stack.last()?;
+            let children = self.tree.children(node);
+            if child_idx < children.len() {
+                let next_child = children[child_idx];
+                self.stack.last_mut().expect("just peeked").1 += 1;
+                self.stack.push((next_child, 0));
+            } else {
+                self.stack.pop();
+                return Some(node);
+            }
+        }
+    }
+}
+
+/// Level-order (breadth-first) iterator.
+pub struct LevelOrder<'a> {
+    tree: &'a Tree,
+    queue: VecDeque<NodeId>,
+}
+
+impl<'a> Iterator for LevelOrder<'a> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let node = self.queue.pop_front()?;
+        for &c in self.tree.children(node) {
+            self.queue.push_back(c);
+        }
+        Some(node)
+    }
+}
+
+/// Iterator over the ancestors of a node, starting with its parent and
+/// ending at the root.
+pub struct Ancestors<'a> {
+    tree: &'a Tree,
+    current: Option<NodeId>,
+}
+
+impl<'a> Iterator for Ancestors<'a> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let parent = self.tree.parent(self.current?);
+        self.current = parent;
+        parent
+    }
+}
+
+/// Extension methods adding traversal iterators to [`Tree`].
+pub trait Traverse {
+    /// Pre-order traversal from the root (empty iterator on an empty tree).
+    fn preorder(&self) -> PreOrder<'_>;
+    /// Pre-order traversal rooted at `start`.
+    fn preorder_from(&self, start: NodeId) -> PreOrder<'_>;
+    /// Post-order traversal from the root.
+    fn postorder(&self) -> PostOrder<'_>;
+    /// Post-order traversal rooted at `start`.
+    fn postorder_from(&self, start: NodeId) -> PostOrder<'_>;
+    /// Level-order traversal from the root.
+    fn levelorder(&self) -> LevelOrder<'_>;
+    /// Ancestors of `node`, nearest first, not including `node` itself.
+    fn ancestors(&self, node: NodeId) -> Ancestors<'_>;
+    /// Leaves of the subtree rooted at `start`, in pre-order.
+    fn leaves_under(&self, start: NodeId) -> Vec<NodeId>;
+    /// Pre-order rank (position in the pre-order sequence) of every node.
+    fn preorder_ranks(&self) -> Vec<usize>;
+}
+
+impl Traverse for Tree {
+    fn preorder(&self) -> PreOrder<'_> {
+        PreOrder { tree: self, stack: self.root().into_iter().collect() }
+    }
+
+    fn preorder_from(&self, start: NodeId) -> PreOrder<'_> {
+        PreOrder { tree: self, stack: vec![start] }
+    }
+
+    fn postorder(&self) -> PostOrder<'_> {
+        PostOrder { tree: self, stack: self.root().map(|r| (r, 0)).into_iter().collect() }
+    }
+
+    fn postorder_from(&self, start: NodeId) -> PostOrder<'_> {
+        PostOrder { tree: self, stack: vec![(start, 0)] }
+    }
+
+    fn levelorder(&self) -> LevelOrder<'_> {
+        LevelOrder { tree: self, queue: self.root().into_iter().collect() }
+    }
+
+    fn ancestors(&self, node: NodeId) -> Ancestors<'_> {
+        Ancestors { tree: self, current: Some(node) }
+    }
+
+    fn leaves_under(&self, start: NodeId) -> Vec<NodeId> {
+        self.preorder_from(start).filter(|&id| self.is_leaf(id)).collect()
+    }
+
+    fn preorder_ranks(&self) -> Vec<usize> {
+        let mut ranks = vec![0usize; self.node_count()];
+        for (rank, id) in self.preorder().enumerate() {
+            ranks[id.index()] = rank;
+        }
+        ranks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::Tree;
+
+    /// root ── a ── (x, y), b
+    fn small() -> (Tree, [NodeId; 5]) {
+        let mut t = Tree::new();
+        let root = t.add_node();
+        let a = t.add_child(root, Some("a".into()), None).unwrap();
+        let x = t.add_child(a, Some("x".into()), None).unwrap();
+        let y = t.add_child(a, Some("y".into()), None).unwrap();
+        let b = t.add_child(root, Some("b".into()), None).unwrap();
+        (t, [root, a, x, y, b])
+    }
+
+    #[test]
+    fn preorder_visits_parent_first() {
+        let (t, [root, a, x, y, b]) = small();
+        let order: Vec<_> = t.preorder().collect();
+        assert_eq!(order, vec![root, a, x, y, b]);
+    }
+
+    #[test]
+    fn postorder_visits_children_first() {
+        let (t, [root, a, x, y, b]) = small();
+        let order: Vec<_> = t.postorder().collect();
+        assert_eq!(order, vec![x, y, a, b, root]);
+    }
+
+    #[test]
+    fn levelorder_visits_by_depth() {
+        let (t, [root, a, x, y, b]) = small();
+        let order: Vec<_> = t.levelorder().collect();
+        assert_eq!(order, vec![root, a, b, x, y]);
+    }
+
+    #[test]
+    fn ancestors_walk_to_root() {
+        let (t, [root, a, x, _, _]) = small();
+        let anc: Vec<_> = t.ancestors(x).collect();
+        assert_eq!(anc, vec![a, root]);
+        assert!(t.ancestors(root).next().is_none());
+    }
+
+    #[test]
+    fn empty_tree_traversals_are_empty() {
+        let t = Tree::new();
+        assert_eq!(t.preorder().count(), 0);
+        assert_eq!(t.postorder().count(), 0);
+        assert_eq!(t.levelorder().count(), 0);
+    }
+
+    #[test]
+    fn traversals_cover_all_nodes_once() {
+        let (t, _) = small();
+        assert_eq!(t.preorder().count(), t.node_count());
+        assert_eq!(t.postorder().count(), t.node_count());
+        assert_eq!(t.levelorder().count(), t.node_count());
+    }
+
+    #[test]
+    fn subtree_traversal() {
+        let (t, [_, a, x, y, _]) = small();
+        let order: Vec<_> = t.preorder_from(a).collect();
+        assert_eq!(order, vec![a, x, y]);
+        let leaves = t.leaves_under(a);
+        assert_eq!(leaves, vec![x, y]);
+    }
+
+    #[test]
+    fn preorder_ranks_match_sequence() {
+        let (t, [root, a, x, y, b]) = small();
+        let ranks = t.preorder_ranks();
+        assert_eq!(ranks[root.index()], 0);
+        assert_eq!(ranks[a.index()], 1);
+        assert_eq!(ranks[x.index()], 2);
+        assert_eq!(ranks[y.index()], 3);
+        assert_eq!(ranks[b.index()], 4);
+    }
+
+    #[test]
+    fn deep_tree_traversal_does_not_overflow() {
+        let mut t = Tree::new();
+        let mut cur = t.add_node();
+        for _ in 0..100_000 {
+            cur = t.add_child(cur, None, None).unwrap();
+        }
+        assert_eq!(t.preorder().count(), 100_001);
+        assert_eq!(t.postorder().count(), 100_001);
+    }
+}

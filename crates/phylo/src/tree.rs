@@ -1,0 +1,588 @@
+//! Arena-based rooted phylogenetic tree.
+//!
+//! Nodes live in a flat `Vec` and are addressed by [`NodeId`]. Every node
+//! except the root has a parent and an incoming branch length (the
+//! "evolutionary time from the parent species to child species" in the
+//! paper's Figure 1). Leaf nodes carry taxon names; interior nodes may be
+//! anonymous or named.
+
+use crate::error::PhyloError;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifier of a node inside a [`Tree`] arena.
+///
+/// Ids are dense indices: the root of a freshly built tree is not necessarily
+/// id 0 (it is whatever the builder created first), but ids never exceed
+/// `tree.node_count()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The arena index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A single node in the arena.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Parent node, `None` for the root.
+    pub parent: Option<NodeId>,
+    /// Children in insertion order.
+    pub children: Vec<NodeId>,
+    /// Taxon name (always set for leaves loaded from data; optional for
+    /// interior nodes).
+    pub name: Option<String>,
+    /// Length of the branch connecting this node to its parent. `None` for
+    /// the root or when the source format omitted lengths.
+    pub branch_length: Option<f64>,
+}
+
+impl Node {
+    fn new() -> Self {
+        Node { parent: None, children: Vec::new(), name: None, branch_length: None }
+    }
+
+    /// `true` when the node has no children.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// Branch length to the parent, defaulting to zero when absent.
+    #[inline]
+    pub fn branch_length_or_zero(&self) -> f64 {
+        self.branch_length.unwrap_or(0.0)
+    }
+}
+
+/// A rooted, edge-weighted phylogenetic tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tree {
+    nodes: Vec<Node>,
+    root: Option<NodeId>,
+}
+
+impl Default for Tree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tree {
+    /// Create an empty tree with no nodes.
+    pub fn new() -> Self {
+        Tree { nodes: Vec::new(), root: None }
+    }
+
+    /// Create an empty tree with capacity for `n` nodes.
+    pub fn with_capacity(n: usize) -> Self {
+        Tree { nodes: Vec::with_capacity(n), root: None }
+    }
+
+    // ------------------------------------------------------------------
+    // Construction
+    // ------------------------------------------------------------------
+
+    /// Add a detached node and return its id. The first node added becomes
+    /// the root unless [`Tree::set_root`] is called later.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node::new());
+        if self.root.is_none() {
+            self.root = Some(id);
+        }
+        id
+    }
+
+    /// Add a node with a name.
+    pub fn add_named_node(&mut self, name: impl Into<String>) -> NodeId {
+        let id = self.add_node();
+        self.nodes[id.index()].name = Some(name.into());
+        id
+    }
+
+    /// Add a new child of `parent` with the given optional name and branch
+    /// length.
+    pub fn add_child(
+        &mut self,
+        parent: NodeId,
+        name: Option<String>,
+        branch_length: Option<f64>,
+    ) -> Result<NodeId, PhyloError> {
+        self.check(parent)?;
+        let child = self.add_node();
+        self.nodes[child.index()].name = name;
+        self.nodes[child.index()].branch_length = branch_length;
+        self.nodes[child.index()].parent = Some(parent);
+        self.nodes[parent.index()].children.push(child);
+        Ok(child)
+    }
+
+    /// Attach an existing detached node as a child of `parent`.
+    pub fn attach(&mut self, parent: NodeId, child: NodeId) -> Result<(), PhyloError> {
+        self.check(parent)?;
+        self.check(child)?;
+        if parent == child {
+            return Err(PhyloError::WouldCreateCycle);
+        }
+        // Walking up from `parent`: if we meet `child` the attach would form a cycle.
+        let mut cur = Some(parent);
+        while let Some(c) = cur {
+            if c == child {
+                return Err(PhyloError::WouldCreateCycle);
+            }
+            cur = self.nodes[c.index()].parent;
+        }
+        if let Some(old_parent) = self.nodes[child.index()].parent {
+            let siblings = &mut self.nodes[old_parent.index()].children;
+            siblings.retain(|&c| c != child);
+        }
+        self.nodes[child.index()].parent = Some(parent);
+        self.nodes[parent.index()].children.push(child);
+        if self.root == Some(child) {
+            // The old root now has a parent; promote the new topmost ancestor.
+            let mut top = parent;
+            while let Some(p) = self.nodes[top.index()].parent {
+                top = p;
+            }
+            self.root = Some(top);
+        }
+        Ok(())
+    }
+
+    /// Explicitly set the root node.
+    pub fn set_root(&mut self, root: NodeId) -> Result<(), PhyloError> {
+        self.check(root)?;
+        self.root = Some(root);
+        Ok(())
+    }
+
+    /// Set or replace a node's name.
+    pub fn set_name(&mut self, id: NodeId, name: impl Into<String>) -> Result<(), PhyloError> {
+        self.check(id)?;
+        self.nodes[id.index()].name = Some(name.into());
+        Ok(())
+    }
+
+    /// Set or replace the branch length of the edge above `id`.
+    pub fn set_branch_length(&mut self, id: NodeId, len: f64) -> Result<(), PhyloError> {
+        self.check(id)?;
+        self.nodes[id.index()].branch_length = Some(len);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The root node, if the tree is non-empty.
+    #[inline]
+    pub fn root(&self) -> Option<NodeId> {
+        self.root
+    }
+
+    /// The root node, panicking on an empty tree. Intended for code paths
+    /// where the tree is known to be populated.
+    #[inline]
+    pub fn root_unchecked(&self) -> NodeId {
+        self.root.expect("tree has no root")
+    }
+
+    /// Total number of nodes (interior + leaves).
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the tree contains no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of leaf nodes.
+    pub fn leaf_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_leaf()).count()
+    }
+
+    /// Borrow a node.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Borrow a node, returning an error for out-of-range ids.
+    pub fn try_node(&self, id: NodeId) -> Result<&Node, PhyloError> {
+        self.nodes.get(id.index()).ok_or(PhyloError::InvalidNode(id.0))
+    }
+
+    /// Parent of `id`, or `None` for the root.
+    #[inline]
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.nodes[id.index()].parent
+    }
+
+    /// Children of `id`.
+    #[inline]
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.nodes[id.index()].children
+    }
+
+    /// Name of `id` if set.
+    #[inline]
+    pub fn name(&self, id: NodeId) -> Option<&str> {
+        self.nodes[id.index()].name.as_deref()
+    }
+
+    /// Branch length of the edge above `id`.
+    #[inline]
+    pub fn branch_length(&self, id: NodeId) -> Option<f64> {
+        self.nodes[id.index()].branch_length
+    }
+
+    /// `true` if `id` has no children.
+    #[inline]
+    pub fn is_leaf(&self, id: NodeId) -> bool {
+        self.nodes[id.index()].is_leaf()
+    }
+
+    /// `true` if `id` is the root.
+    #[inline]
+    pub fn is_root(&self, id: NodeId) -> bool {
+        self.root == Some(id)
+    }
+
+    /// Out-degree of `id`.
+    #[inline]
+    pub fn degree(&self, id: NodeId) -> usize {
+        self.nodes[id.index()].children.len()
+    }
+
+    /// Iterate over every node id in arena order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Iterate over all leaf ids in arena order.
+    pub fn leaf_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.node_ids().filter(move |&id| self.is_leaf(id))
+    }
+
+    /// Collect the names of all leaves (unnamed leaves are skipped).
+    pub fn leaf_names(&self) -> Vec<String> {
+        self.leaf_ids().filter_map(|id| self.name(id).map(|s| s.to_string())).collect()
+    }
+
+    /// Find the first leaf whose name equals `name`.
+    pub fn find_leaf_by_name(&self, name: &str) -> Option<NodeId> {
+        self.leaf_ids().find(|&id| self.name(id) == Some(name))
+    }
+
+    /// Find any node (leaf or interior) whose name equals `name`.
+    pub fn find_node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.node_ids().find(|&id| self.name(id) == Some(name))
+    }
+
+    /// Build a name → id map over all named nodes. Returns an error if a
+    /// name occurs twice.
+    pub fn name_index(&self) -> Result<HashMap<String, NodeId>, PhyloError> {
+        let mut map = HashMap::with_capacity(self.leaf_count());
+        for id in self.node_ids() {
+            if let Some(name) = self.name(id) {
+                if map.insert(name.to_string(), id).is_some() {
+                    return Err(PhyloError::DuplicateName(name.to_string()));
+                }
+            }
+        }
+        Ok(map)
+    }
+
+    // ------------------------------------------------------------------
+    // Measurements
+    // ------------------------------------------------------------------
+
+    /// Number of edges on the path from the root to `id` (root depth = 0).
+    pub fn depth(&self, id: NodeId) -> usize {
+        let mut d = 0;
+        let mut cur = id;
+        while let Some(p) = self.parent(cur) {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// Sum of branch lengths from the root down to `id` (the "total weight
+    /// from the root" used by time-based sampling in §2.2 of the paper).
+    pub fn root_distance(&self, id: NodeId) -> f64 {
+        let mut dist = 0.0;
+        let mut cur = id;
+        while let Some(p) = self.parent(cur) {
+            dist += self.nodes[cur.index()].branch_length_or_zero();
+            cur = p;
+        }
+        dist
+    }
+
+    /// Maximum node depth (in edges) over the whole tree. Returns 0 for an
+    /// empty tree.
+    pub fn max_depth(&self) -> usize {
+        let Some(root) = self.root else { return 0 };
+        // Iterative DFS to stay safe on the paper's million-level trees.
+        let mut max = 0usize;
+        let mut stack = vec![(root, 0usize)];
+        while let Some((node, d)) = stack.pop() {
+            max = max.max(d);
+            for &c in self.children(node) {
+                stack.push((c, d + 1));
+            }
+        }
+        max
+    }
+
+    /// Compute the root distance of every node in a single pass.
+    /// Index the result by `NodeId::index`.
+    pub fn all_root_distances(&self) -> Vec<f64> {
+        let mut dist = vec![0.0; self.node_count()];
+        let Some(root) = self.root else { return dist };
+        let mut stack = vec![root];
+        while let Some(node) = stack.pop() {
+            let base = dist[node.index()];
+            for &c in self.children(node) {
+                dist[c.index()] = base + self.node(c).branch_length_or_zero();
+                stack.push(c);
+            }
+        }
+        dist
+    }
+
+    /// Compute the depth (edge count from root) of every node in one pass.
+    pub fn all_depths(&self) -> Vec<usize> {
+        let mut depth = vec![0usize; self.node_count()];
+        let Some(root) = self.root else { return depth };
+        let mut stack = vec![root];
+        while let Some(node) = stack.pop() {
+            let base = depth[node.index()];
+            for &c in self.children(node) {
+                depth[c.index()] = base + 1;
+                stack.push(c);
+            }
+        }
+        depth
+    }
+
+    /// Least common ancestor computed by walking parent pointers. This is the
+    /// straightforward O(depth) reference implementation; the `labeling`
+    /// crate provides the label-based versions evaluated in the paper.
+    pub fn lca(&self, a: NodeId, b: NodeId) -> NodeId {
+        if a == b {
+            return a;
+        }
+        let da = self.depth(a);
+        let db = self.depth(b);
+        let (mut x, mut y) = (a, b);
+        let (mut dx, mut dy) = (da, db);
+        while dx > dy {
+            x = self.parent(x).expect("depth bookkeeping broken");
+            dx -= 1;
+        }
+        while dy > dx {
+            y = self.parent(y).expect("depth bookkeeping broken");
+            dy -= 1;
+        }
+        while x != y {
+            x = self.parent(x).expect("nodes in different trees");
+            y = self.parent(y).expect("nodes in different trees");
+        }
+        x
+    }
+
+    /// `true` if `ancestor` is an ancestor-or-self of `node`.
+    pub fn is_ancestor(&self, ancestor: NodeId, node: NodeId) -> bool {
+        let mut cur = Some(node);
+        while let Some(c) = cur {
+            if c == ancestor {
+                return true;
+            }
+            cur = self.parent(c);
+        }
+        false
+    }
+
+    fn check(&self, id: NodeId) -> Result<(), PhyloError> {
+        if id.index() < self.nodes.len() {
+            Ok(())
+        } else {
+            Err(PhyloError::InvalidNode(id.0))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build the Figure 1 tree by hand:
+    /// root ── (interior a, 1.5) ── Bha:0.75, (interior b, 0.5) ── Lla:1.0, Spy:1.0
+    ///      ── Syn:2.5
+    ///      ── Bsu:1.25
+    fn fig1() -> (Tree, HashMap<&'static str, NodeId>) {
+        let mut t = Tree::new();
+        let root = t.add_node();
+        let a = t.add_child(root, None, Some(1.5)).unwrap();
+        let bha = t.add_child(a, Some("Bha".into()), Some(0.75)).unwrap();
+        let b = t.add_child(a, None, Some(0.5)).unwrap();
+        let lla = t.add_child(b, Some("Lla".into()), Some(1.0)).unwrap();
+        let spy = t.add_child(b, Some("Spy".into()), Some(1.0)).unwrap();
+        let syn = t.add_child(root, Some("Syn".into()), Some(2.5)).unwrap();
+        let bsu = t.add_child(root, Some("Bsu".into()), Some(1.25)).unwrap();
+        let mut m = HashMap::new();
+        m.insert("root", root);
+        m.insert("a", a);
+        m.insert("b", b);
+        m.insert("Bha", bha);
+        m.insert("Lla", lla);
+        m.insert("Spy", spy);
+        m.insert("Syn", syn);
+        m.insert("Bsu", bsu);
+        (t, m)
+    }
+
+    #[test]
+    fn build_and_count() {
+        let (t, _) = fig1();
+        assert_eq!(t.node_count(), 8);
+        assert_eq!(t.leaf_count(), 5);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn first_node_becomes_root() {
+        let mut t = Tree::new();
+        let r = t.add_node();
+        assert_eq!(t.root(), Some(r));
+    }
+
+    #[test]
+    fn parent_child_links() {
+        let (t, m) = fig1();
+        assert_eq!(t.parent(m["Lla"]), Some(m["b"]));
+        assert_eq!(t.parent(m["root"]), None);
+        assert_eq!(t.children(m["root"]).len(), 3);
+        assert!(t.is_leaf(m["Syn"]));
+        assert!(!t.is_leaf(m["a"]));
+        assert!(t.is_root(m["root"]));
+    }
+
+    #[test]
+    fn depths_and_distances() {
+        let (t, m) = fig1();
+        assert_eq!(t.depth(m["root"]), 0);
+        assert_eq!(t.depth(m["Lla"]), 3);
+        assert_eq!(t.max_depth(), 3);
+        assert!((t.root_distance(m["Lla"]) - 3.0).abs() < 1e-12);
+        assert!((t.root_distance(m["Bha"]) - 2.25).abs() < 1e-12);
+        assert!((t.root_distance(m["Syn"]) - 2.5).abs() < 1e-12);
+        let all = t.all_root_distances();
+        assert!((all[m["Lla"].index()] - 3.0).abs() < 1e-12);
+        let depths = t.all_depths();
+        assert_eq!(depths[m["Spy"].index()], 3);
+    }
+
+    #[test]
+    fn lca_matches_paper_example() {
+        // In the paper, LCA(Lla, Spy) is their parent and LCA(Lla, Syn) is the
+        // node labelled 1 (the child of the root on the left side)... actually
+        // LCA(Lla, Syn) is the root's left subtree ancestor = node `a`'s parent?
+        // From Figure 1, Syn hangs off the root, so LCA(Lla, Syn) is the root.
+        let (t, m) = fig1();
+        assert_eq!(t.lca(m["Lla"], m["Spy"]), m["b"]);
+        assert_eq!(t.lca(m["Lla"], m["Bha"]), m["a"]);
+        assert_eq!(t.lca(m["Lla"], m["Syn"]), m["root"]);
+        assert_eq!(t.lca(m["Bha"], m["Bha"]), m["Bha"]);
+        assert_eq!(t.lca(m["a"], m["Lla"]), m["a"]);
+    }
+
+    #[test]
+    fn ancestor_checks() {
+        let (t, m) = fig1();
+        assert!(t.is_ancestor(m["root"], m["Lla"]));
+        assert!(t.is_ancestor(m["b"], m["Lla"]));
+        assert!(t.is_ancestor(m["Lla"], m["Lla"]));
+        assert!(!t.is_ancestor(m["Lla"], m["b"]));
+        assert!(!t.is_ancestor(m["Syn"], m["Bha"]));
+    }
+
+    #[test]
+    fn name_lookup() {
+        let (t, m) = fig1();
+        assert_eq!(t.find_leaf_by_name("Spy"), Some(m["Spy"]));
+        assert_eq!(t.find_leaf_by_name("nope"), None);
+        let idx = t.name_index().unwrap();
+        assert_eq!(idx["Bsu"], m["Bsu"]);
+        assert_eq!(idx.len(), 5);
+    }
+
+    #[test]
+    fn duplicate_names_detected() {
+        let mut t = Tree::new();
+        let r = t.add_node();
+        t.add_child(r, Some("X".into()), None).unwrap();
+        t.add_child(r, Some("X".into()), None).unwrap();
+        assert!(matches!(t.name_index(), Err(PhyloError::DuplicateName(_))));
+    }
+
+    #[test]
+    fn attach_detects_cycles() {
+        let mut t = Tree::new();
+        let r = t.add_node();
+        let c = t.add_child(r, None, None).unwrap();
+        assert!(matches!(t.attach(c, r), Err(PhyloError::WouldCreateCycle)));
+        assert!(matches!(t.attach(c, c), Err(PhyloError::WouldCreateCycle)));
+    }
+
+    #[test]
+    fn attach_moves_subtree() {
+        let mut t = Tree::new();
+        let r = t.add_node();
+        let a = t.add_child(r, None, None).unwrap();
+        let b = t.add_child(r, None, None).unwrap();
+        let x = t.add_child(a, Some("x".into()), None).unwrap();
+        t.attach(b, x).unwrap();
+        assert_eq!(t.parent(x), Some(b));
+        assert!(!t.children(a).contains(&x));
+        assert!(t.children(b).contains(&x));
+    }
+
+    #[test]
+    fn invalid_node_errors() {
+        let t = Tree::new();
+        assert!(t.try_node(NodeId(3)).is_err());
+        let mut t2 = Tree::new();
+        let r = t2.add_node();
+        assert!(t2.add_child(NodeId(99), None, None).is_err());
+        assert!(t2.add_child(r, None, None).is_ok());
+    }
+
+    #[test]
+    fn deep_tree_iterative_depth() {
+        // A caterpillar of depth 50_000 must not overflow the stack.
+        let mut t = Tree::new();
+        let mut cur = t.add_node();
+        for _ in 0..50_000 {
+            cur = t.add_child(cur, None, Some(1.0)).unwrap();
+        }
+        assert_eq!(t.max_depth(), 50_000);
+        assert!((t.root_distance(cur) - 50_000.0).abs() < 1e-6);
+    }
+}

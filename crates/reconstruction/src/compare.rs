@@ -1,0 +1,523 @@
+//! Tree comparison metrics: Robinson–Foulds, consensus and triplet distance.
+//!
+//! The Benchmark Manager scores a reconstructed tree against the projected
+//! gold-standard subtree. The workhorse metric is the Robinson–Foulds (RF)
+//! distance — the size of the symmetric difference between the two trees'
+//! bipartition (split) sets — computed here with bitset cluster tables, the
+//! same idea behind Day's linear-time comparison cited by the paper
+//! (ref \[1\]). A majority-rule consensus builder (the subject of that
+//! citation) and a triplet distance round out the toolbox.
+
+use phylo::traverse::Traverse;
+use phylo::{NodeId, Tree};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Errors from tree comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompareError {
+    /// The two trees are over different leaf-name sets.
+    LeafSetMismatch {
+        /// Names only present in the first tree.
+        only_in_a: Vec<String>,
+        /// Names only present in the second tree.
+        only_in_b: Vec<String>,
+    },
+    /// A tree has unnamed or duplicate leaves.
+    BadLeaves(String),
+    /// Need at least this many leaves for the metric.
+    TooFewLeaves(usize),
+}
+
+impl fmt::Display for CompareError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompareError::LeafSetMismatch { only_in_a, only_in_b } => write!(
+                f,
+                "leaf sets differ (only in first: {only_in_a:?}; only in second: {only_in_b:?})"
+            ),
+            CompareError::BadLeaves(m) => write!(f, "bad leaves: {m}"),
+            CompareError::TooFewLeaves(n) => write!(f, "need at least {n} leaves"),
+        }
+    }
+}
+
+impl std::error::Error for CompareError {}
+
+/// Result of a Robinson–Foulds comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RfResult {
+    /// Number of splits present in exactly one of the trees.
+    pub distance: usize,
+    /// Maximum possible distance for these trees (sum of internal-edge
+    /// counts), used for normalization.
+    pub max_distance: usize,
+    /// `distance / max_distance`, or 0 when `max_distance` is 0.
+    pub normalized: f64,
+    /// Number of splits shared by both trees.
+    pub shared: usize,
+}
+
+/// A set of leaves represented as a bitset over a fixed leaf ordering.
+type LeafSet = Vec<u64>;
+
+fn empty_set(n: usize) -> LeafSet {
+    vec![0u64; n.div_ceil(64)]
+}
+
+fn set_bit(set: &mut LeafSet, i: usize) {
+    set[i / 64] |= 1 << (i % 64);
+}
+
+fn get_bit(set: &LeafSet, i: usize) -> bool {
+    set[i / 64] & (1 << (i % 64)) != 0
+}
+
+fn union_into(dst: &mut LeafSet, src: &LeafSet) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d |= s;
+    }
+}
+
+fn count_bits(set: &LeafSet) -> usize {
+    set.iter().map(|w| w.count_ones() as usize).sum()
+}
+
+fn complement(set: &LeafSet, n: usize) -> LeafSet {
+    let mut out: LeafSet = set.iter().map(|w| !w).collect();
+    // Mask off the bits beyond n.
+    let excess = out.len() * 64 - n;
+    if excess > 0 {
+        let last = out.len() - 1;
+        out[last] &= u64::MAX >> excess;
+    }
+    out
+}
+
+/// Collect the leaf-name → index map, failing on unnamed or duplicate leaves.
+fn leaf_index(tree: &Tree) -> Result<HashMap<String, usize>, CompareError> {
+    let mut map = HashMap::new();
+    for (i, leaf) in tree.leaf_ids().enumerate() {
+        let name = tree
+            .name(leaf)
+            .ok_or_else(|| CompareError::BadLeaves(format!("leaf {leaf} is unnamed")))?;
+        if map.insert(name.to_string(), i).is_some() {
+            return Err(CompareError::BadLeaves(format!("duplicate leaf name `{name}`")));
+        }
+    }
+    Ok(map)
+}
+
+fn check_same_leaves(
+    a: &HashMap<String, usize>,
+    b: &HashMap<String, usize>,
+) -> Result<(), CompareError> {
+    if a.len() == b.len() && a.keys().all(|k| b.contains_key(k)) {
+        return Ok(());
+    }
+    let mut only_in_a: Vec<String> = a.keys().filter(|k| !b.contains_key(*k)).cloned().collect();
+    let mut only_in_b: Vec<String> = b.keys().filter(|k| !a.contains_key(*k)).cloned().collect();
+    only_in_a.sort();
+    only_in_b.sort();
+    Err(CompareError::LeafSetMismatch { only_in_a, only_in_b })
+}
+
+/// Compute, for every node, the bitset of leaf indices (according to `index`)
+/// below it. Returned as a map from node to set, computed in post-order.
+fn node_leafsets(tree: &Tree, index: &HashMap<String, usize>) -> HashMap<NodeId, LeafSet> {
+    let n = index.len();
+    let mut sets: HashMap<NodeId, LeafSet> = HashMap::with_capacity(tree.node_count());
+    for node in tree.postorder() {
+        let mut set = empty_set(n);
+        if tree.is_leaf(node) {
+            if let Some(name) = tree.name(node) {
+                if let Some(&i) = index.get(name) {
+                    set_bit(&mut set, i);
+                }
+            }
+        } else {
+            for &c in tree.children(node) {
+                let child_set = sets.get(&c).expect("post-order visits children first").clone();
+                union_into(&mut set, &child_set);
+            }
+        }
+        sets.insert(node, set);
+    }
+    sets
+}
+
+/// Collect the non-trivial unrooted splits of a tree (canonicalized so the
+/// side not containing leaf 0 is stored), given a shared leaf index.
+fn splits(tree: &Tree, index: &HashMap<String, usize>) -> HashSet<LeafSet> {
+    let n = index.len();
+    let sets = node_leafsets(tree, index);
+    let mut out = HashSet::new();
+    for node in tree.node_ids() {
+        if tree.is_leaf(node) || tree.parent(node).is_none() {
+            continue; // leaf edges and the root give trivial splits
+        }
+        let set = &sets[&node];
+        let size = count_bits(set);
+        if size <= 1 || size >= n - 1 {
+            continue; // trivial split
+        }
+        let canonical = if get_bit(set, 0) { complement(set, n) } else { set.clone() };
+        out.insert(canonical);
+    }
+    out
+}
+
+/// Collect the non-trivial **rooted clades** (clusters) of a tree.
+fn clades(tree: &Tree, index: &HashMap<String, usize>) -> HashSet<LeafSet> {
+    let n = index.len();
+    let sets = node_leafsets(tree, index);
+    let mut out = HashSet::new();
+    for node in tree.node_ids() {
+        if tree.is_leaf(node) {
+            continue;
+        }
+        let set = &sets[&node];
+        let size = count_bits(set);
+        if size <= 1 || size >= n {
+            continue;
+        }
+        out.insert(set.clone());
+    }
+    out
+}
+
+/// Robinson–Foulds distance over **unrooted splits** — the standard metric
+/// for scoring a reconstruction against the truth when the reconstruction's
+/// rooting is arbitrary (as with Neighbor-Joining).
+pub fn robinson_foulds(a: &Tree, b: &Tree) -> Result<RfResult, CompareError> {
+    let ia = leaf_index(a)?;
+    let ib = leaf_index(b)?;
+    check_same_leaves(&ia, &ib)?;
+    if ia.len() < 3 {
+        return Ok(RfResult { distance: 0, max_distance: 0, normalized: 0.0, shared: 0 });
+    }
+    let sa = splits(a, &ia);
+    let sb = splits(b, &ia);
+    let shared = sa.intersection(&sb).count();
+    let distance = (sa.len() - shared) + (sb.len() - shared);
+    let max_distance = sa.len() + sb.len();
+    let normalized = if max_distance == 0 { 0.0 } else { distance as f64 / max_distance as f64 };
+    Ok(RfResult { distance, max_distance, normalized, shared })
+}
+
+/// Robinson–Foulds distance over **rooted clades**; appropriate when both
+/// trees are meaningfully rooted (e.g. comparing against a projection of the
+/// rooted gold standard with a clock-based method such as UPGMA).
+pub fn rooted_robinson_foulds(a: &Tree, b: &Tree) -> Result<RfResult, CompareError> {
+    let ia = leaf_index(a)?;
+    let ib = leaf_index(b)?;
+    check_same_leaves(&ia, &ib)?;
+    let ca = clades(a, &ia);
+    let cb = clades(b, &ia);
+    let shared = ca.intersection(&cb).count();
+    let distance = (ca.len() - shared) + (cb.len() - shared);
+    let max_distance = ca.len() + cb.len();
+    let normalized = if max_distance == 0 { 0.0 } else { distance as f64 / max_distance as f64 };
+    Ok(RfResult { distance, max_distance, normalized, shared })
+}
+
+/// Majority-rule consensus of a set of trees over the same leaf set: the tree
+/// containing exactly the clades that appear in more than half of the inputs.
+/// This is the linear-time majority tree problem of the paper's ref \[1\].
+pub fn majority_consensus(trees: &[Tree]) -> Result<Tree, CompareError> {
+    if trees.is_empty() {
+        return Err(CompareError::TooFewLeaves(1));
+    }
+    let index = leaf_index(&trees[0])?;
+    for t in &trees[1..] {
+        let it = leaf_index(t)?;
+        check_same_leaves(&index, &it)?;
+    }
+    let n = index.len();
+    let mut names: Vec<String> = vec![String::new(); n];
+    for (name, &i) in &index {
+        names[i] = name.clone();
+    }
+
+    // Count each rooted clade across the inputs.
+    let mut counts: HashMap<LeafSet, usize> = HashMap::new();
+    for t in trees {
+        for clade in clades(t, &index) {
+            *counts.entry(clade).or_insert(0) += 1;
+        }
+    }
+    let majority: Vec<LeafSet> = counts
+        .into_iter()
+        .filter(|(_, c)| 2 * *c > trees.len())
+        .map(|(clade, _)| clade)
+        .collect();
+
+    // Build the consensus: start from the root clade (all leaves), add
+    // majority clades from largest to smallest under their tightest parent.
+    let mut tree = Tree::new();
+    let root = tree.add_node();
+    let mut full = empty_set(n);
+    for i in 0..n {
+        set_bit(&mut full, i);
+    }
+    // (clade, node) pairs already placed, ordered by insertion.
+    let mut placed: Vec<(LeafSet, NodeId)> = vec![(full, root)];
+    let mut ordered = majority;
+    ordered.sort_by_key(|c| std::cmp::Reverse(count_bits(c)));
+    for clade in ordered {
+        let parent = tightest_superset(&placed, &clade);
+        let node = tree.add_child(parent, None, None).expect("parent exists");
+        placed.push((clade, node));
+    }
+    // Attach leaves under their tightest containing clade.
+    for (i, name) in names.iter().enumerate() {
+        let mut single = empty_set(n);
+        set_bit(&mut single, i);
+        let parent = tightest_superset(&placed, &single);
+        tree.add_child(parent, Some(name.clone()), None).expect("parent exists");
+    }
+    Ok(tree)
+}
+
+/// Among the placed clades, find the node of the smallest clade that is a
+/// superset of `target`. Majority clades are pairwise compatible, so the
+/// tightest superset is unique.
+fn tightest_superset(placed: &[(LeafSet, NodeId)], target: &LeafSet) -> NodeId {
+    let mut best: Option<(usize, NodeId)> = None;
+    for (clade, node) in placed {
+        if is_superset(clade, target) {
+            let size = count_bits(clade);
+            if best.map_or(true, |(bs, _)| size < bs) {
+                best = Some((size, *node));
+            }
+        }
+    }
+    best.expect("the root clade contains every leaf").1
+}
+
+fn is_superset(sup: &LeafSet, sub: &LeafSet) -> bool {
+    sup.iter().zip(sub).all(|(a, b)| a & b == *b)
+}
+
+/// Fraction of leaf triplets whose rooted topology differs between the two
+/// trees. Exact O(n³) computation — intended for the sample sizes the
+/// benchmark manager works with (≤ a few hundred taxa).
+pub fn triplet_distance(a: &Tree, b: &Tree) -> Result<f64, CompareError> {
+    let ia = leaf_index(a)?;
+    let ib = leaf_index(b)?;
+    check_same_leaves(&ia, &ib)?;
+    let names: Vec<String> = ia.keys().cloned().collect();
+    if names.len() < 3 {
+        return Err(CompareError::TooFewLeaves(3));
+    }
+    let leaves_a: Vec<NodeId> =
+        names.iter().map(|n| a.find_leaf_by_name(n).expect("leaf exists")).collect();
+    let leaves_b: Vec<NodeId> =
+        names.iter().map(|n| b.find_leaf_by_name(n).expect("leaf exists")).collect();
+    let depths_a = a.all_depths();
+    let depths_b = b.all_depths();
+
+    // Rooted triplet topology: which of the three pairs has the deepest LCA;
+    // 0,1,2 for the pair index, 3 for unresolved (all LCAs equal).
+    let topology = |tree: &Tree, depths: &[usize], x: NodeId, y: NodeId, z: NodeId| -> u8 {
+        let dxy = depths[tree.lca(x, y).index()];
+        let dxz = depths[tree.lca(x, z).index()];
+        let dyz = depths[tree.lca(y, z).index()];
+        if dxy > dxz && dxy > dyz {
+            0
+        } else if dxz > dxy && dxz > dyz {
+            1
+        } else if dyz > dxy && dyz > dxz {
+            2
+        } else {
+            3
+        }
+    };
+
+    let n = names.len();
+    let mut differing = 0usize;
+    let mut total = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            for k in (j + 1)..n {
+                let ta = topology(a, &depths_a, leaves_a[i], leaves_a[j], leaves_a[k]);
+                let tb = topology(b, &depths_b, leaves_b[i], leaves_b[j], leaves_b[k]);
+                if ta != tb {
+                    differing += 1;
+                }
+                total += 1;
+            }
+        }
+    }
+    Ok(differing as f64 / total as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phylo::builder::figure1_tree;
+    use phylo::newick;
+
+    fn t(s: &str) -> Tree {
+        newick::parse(s).unwrap()
+    }
+
+    #[test]
+    fn identical_trees_have_zero_distance() {
+        let a = figure1_tree();
+        let rf = robinson_foulds(&a, &a.clone()).unwrap();
+        assert_eq!(rf.distance, 0);
+        assert_eq!(rf.normalized, 0.0);
+        assert_eq!(rf.shared, rf.max_distance / 2);
+        let rrf = rooted_robinson_foulds(&a, &a.clone()).unwrap();
+        assert_eq!(rrf.distance, 0);
+        assert_eq!(triplet_distance(&a, &a.clone()).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn different_orderings_are_identical() {
+        let a = t("((A,B),(C,D));");
+        let b = t("((D,C),(B,A));");
+        assert_eq!(robinson_foulds(&a, &b).unwrap().distance, 0);
+        assert_eq!(rooted_robinson_foulds(&a, &b).unwrap().distance, 0);
+    }
+
+    #[test]
+    fn maximally_different_quartets() {
+        let a = t("((A,B),(C,D));");
+        let b = t("((A,C),(B,D));");
+        let rf = robinson_foulds(&a, &b).unwrap();
+        // Each tree has exactly one non-trivial split and they differ.
+        assert_eq!(rf.distance, 2);
+        assert_eq!(rf.max_distance, 2);
+        assert_eq!(rf.normalized, 1.0);
+        assert_eq!(rf.shared, 0);
+    }
+
+    #[test]
+    fn star_tree_versus_resolved() {
+        let star = t("(A,B,C,D);");
+        let resolved = t("((A,B),(C,D));");
+        let rf = robinson_foulds(&star, &resolved).unwrap();
+        // The star has no internal splits; distance = 1 (the resolved split),
+        // max = 1.
+        assert_eq!(rf.distance, 1);
+        assert_eq!(rf.max_distance, 1);
+    }
+
+    #[test]
+    fn rooted_vs_unrooted_difference() {
+        // Two rootings of the same unrooted tree: unrooted RF is 0, rooted RF
+        // is not.
+        let a = t("((A,B),(C,D));");
+        let b = t("(A,(B,(C,D)));");
+        assert_eq!(robinson_foulds(&a, &b).unwrap().distance, 0);
+        assert!(rooted_robinson_foulds(&a, &b).unwrap().distance > 0);
+    }
+
+    #[test]
+    fn leaf_set_mismatch_detected() {
+        let a = t("((A,B),C);");
+        let b = t("((A,B),D);");
+        match robinson_foulds(&a, &b) {
+            Err(CompareError::LeafSetMismatch { only_in_a, only_in_b }) => {
+                assert_eq!(only_in_a, vec!["C"]);
+                assert_eq!(only_in_b, vec!["D"]);
+            }
+            other => panic!("expected mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unnamed_leaves_rejected() {
+        let mut a = Tree::new();
+        let r = a.add_node();
+        a.add_child(r, None, None).unwrap();
+        a.add_child(r, Some("X".into()), None).unwrap();
+        assert!(matches!(robinson_foulds(&a, &a.clone()), Err(CompareError::BadLeaves(_))));
+    }
+
+    #[test]
+    fn tiny_trees_distance_zero() {
+        let a = t("(A,B);");
+        let b = t("(B,A);");
+        let rf = robinson_foulds(&a, &b).unwrap();
+        assert_eq!(rf.distance, 0);
+        assert_eq!(rf.max_distance, 0);
+    }
+
+    #[test]
+    fn triplet_distance_detects_swap() {
+        let a = t("((A,B),C);");
+        let b = t("((A,C),B);");
+        let d = triplet_distance(&a, &b).unwrap();
+        assert!((d - 1.0).abs() < 1e-12, "single triplet fully differs, got {d}");
+        let c = t("(A,B,C);"); // unresolved
+        let d2 = triplet_distance(&a, &c).unwrap();
+        assert!((d2 - 1.0).abs() < 1e-12);
+        assert!(triplet_distance(&a, &t("(A,B);")).is_err());
+    }
+
+    #[test]
+    fn triplet_distance_partial() {
+        // 5-leaf trees differing in one clade: some triplets agree, some not.
+        let a = t("(((A,B),C),(D,E));");
+        let b = t("(((A,C),B),(D,E));");
+        let d = triplet_distance(&a, &b).unwrap();
+        assert!(d > 0.0 && d < 1.0, "expected partial disagreement, got {d}");
+    }
+
+    #[test]
+    fn majority_consensus_of_identical_trees_is_that_tree() {
+        let a = t("((A,B),(C,D));");
+        let cons = majority_consensus(&[a.clone(), a.clone(), a.clone()]).unwrap();
+        assert_eq!(robinson_foulds(&a, &cons).unwrap().distance, 0);
+        assert_eq!(rooted_robinson_foulds(&a, &cons).unwrap().distance, 0);
+    }
+
+    #[test]
+    fn majority_consensus_keeps_only_majority_clades() {
+        // Clade {A,B} appears in 2 of 3 trees; clade {C,D} in 2 of 3; the
+        // conflicting clade {B,C} appears once and must be dropped.
+        let t1 = t("((A,B),(C,D));");
+        let t2 = t("((A,B),(C,D));");
+        let t3 = t("(((B,C),A),D);");
+        let cons = majority_consensus(&[t1.clone(), t2, t3]).unwrap();
+        assert_eq!(rooted_robinson_foulds(&t1, &cons).unwrap().distance, 0);
+    }
+
+    #[test]
+    fn majority_consensus_collapses_total_conflict() {
+        // Three trees with three mutually incompatible resolutions: the
+        // consensus is the star tree (no internal clades).
+        let t1 = t("((A,B),C,D);");
+        let t2 = t("((A,C),B,D);");
+        let t3 = t("((A,D),B,C);");
+        let cons = majority_consensus(&[t1, t2, t3]).unwrap();
+        // Star: root plus 4 leaves.
+        assert_eq!(cons.node_count(), 5);
+        assert_eq!(cons.degree(cons.root_unchecked()), 4);
+    }
+
+    #[test]
+    fn majority_consensus_errors() {
+        assert!(majority_consensus(&[]).is_err());
+        let a = t("((A,B),C);");
+        let b = t("((A,B),D);");
+        assert!(majority_consensus(&[a, b]).is_err());
+    }
+
+    #[test]
+    fn figure2_pattern_matches_projection_claim() {
+        // The paper's pattern-match example, cast in RF terms: the Fig. 2
+        // pattern has distance 0 to the projection of Fig. 1 over its leaves,
+        // while the Bha/Lla-swapped pattern does not differ topologically
+        // (they are siblings) — the difference shows up in branch lengths,
+        // which RF ignores by design.
+        let gold = figure1_tree();
+        let projection =
+            phylo::ops::project_by_names(&gold, &["Bha", "Lla", "Syn"]).unwrap();
+        let pattern = t("((Bha:0.75,Lla:1.5):1.5,Syn:2.5);");
+        assert_eq!(robinson_foulds(&projection, &pattern).unwrap().distance, 0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Evolutionary distance estimation from aligned sequences.
+//!
+//! Distance-based reconstruction (UPGMA, NJ) starts from a matrix of pairwise
+//! distances. The raw proportion of differing sites (*p-distance*)
+//! underestimates the true number of substitutions because of multiple hits;
+//! the Jukes–Cantor and Kimura corrections invert the respective models to
+//! recover additive distances.
+
+use phylo::distance::DistanceMatrix;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors from distance estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistanceError {
+    /// Fewer than two sequences were provided.
+    TooFewSequences(usize),
+    /// Sequences have differing lengths (not an alignment).
+    UnequalLengths {
+        /// Name of the first offending taxon.
+        taxon: String,
+        /// Its sequence length.
+        len: usize,
+        /// The expected (first taxon's) length.
+        expected: usize,
+    },
+    /// Sequences are too divergent for the requested correction (the
+    /// correction's logarithm argument became non-positive).
+    Saturated {
+        /// First taxon of the offending pair.
+        a: String,
+        /// Second taxon of the offending pair.
+        b: String,
+        /// The raw p-distance of the pair.
+        p: f64,
+    },
+}
+
+impl fmt::Display for DistanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistanceError::TooFewSequences(n) => write!(f, "need at least 2 sequences, got {n}"),
+            DistanceError::UnequalLengths { taxon, len, expected } => {
+                write!(f, "sequence for `{taxon}` has length {len}, expected {expected}")
+            }
+            DistanceError::Saturated { a, b, p } => {
+                write!(f, "pair ({a}, {b}) is saturated (p = {p:.3}); correction undefined")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DistanceError {}
+
+fn ordered_taxa(sequences: &HashMap<String, String>) -> Vec<String> {
+    let mut taxa: Vec<String> = sequences.keys().cloned().collect();
+    taxa.sort();
+    taxa
+}
+
+fn validate(sequences: &HashMap<String, String>) -> Result<Vec<String>, DistanceError> {
+    if sequences.len() < 2 {
+        return Err(DistanceError::TooFewSequences(sequences.len()));
+    }
+    let taxa = ordered_taxa(sequences);
+    let expected = sequences[&taxa[0]].len();
+    for t in &taxa {
+        let len = sequences[t].len();
+        if len != expected {
+            return Err(DistanceError::UnequalLengths { taxon: t.clone(), len, expected });
+        }
+    }
+    Ok(taxa)
+}
+
+fn raw_p(a: &str, b: &str) -> f64 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    let diffs = a.bytes().zip(b.bytes()).filter(|(x, y)| x != y).count();
+    diffs as f64 / a.len() as f64
+}
+
+/// Fraction of sites that are transitions (A↔G, C↔T) and transversions,
+/// needed by the Kimura correction.
+fn transition_transversion_fractions(a: &str, b: &str) -> (f64, f64) {
+    if a.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mut transitions = 0usize;
+    let mut transversions = 0usize;
+    for (x, y) in a.bytes().zip(b.bytes()) {
+        if x == y {
+            continue;
+        }
+        let purine = |c: u8| c == b'A' || c == b'G';
+        if purine(x) == purine(y) {
+            transitions += 1;
+        } else {
+            transversions += 1;
+        }
+    }
+    (transitions as f64 / a.len() as f64, transversions as f64 / a.len() as f64)
+}
+
+/// Raw p-distance matrix (proportion of differing sites).
+pub fn p_distance_matrix(
+    sequences: &HashMap<String, String>,
+) -> Result<DistanceMatrix, DistanceError> {
+    let taxa = validate(sequences)?;
+    let mut m = DistanceMatrix::zeroed(taxa.clone());
+    for i in 0..taxa.len() {
+        for j in (i + 1)..taxa.len() {
+            m.set(i, j, raw_p(&sequences[&taxa[i]], &sequences[&taxa[j]]));
+        }
+    }
+    Ok(m)
+}
+
+/// Jukes–Cantor corrected distances: `d = -3/4 · ln(1 - 4p/3)`.
+pub fn jc_corrected_matrix(
+    sequences: &HashMap<String, String>,
+) -> Result<DistanceMatrix, DistanceError> {
+    let taxa = validate(sequences)?;
+    let mut m = DistanceMatrix::zeroed(taxa.clone());
+    for i in 0..taxa.len() {
+        for j in (i + 1)..taxa.len() {
+            let p = raw_p(&sequences[&taxa[i]], &sequences[&taxa[j]]);
+            let arg = 1.0 - 4.0 * p / 3.0;
+            if arg <= 0.0 {
+                return Err(DistanceError::Saturated {
+                    a: taxa[i].clone(),
+                    b: taxa[j].clone(),
+                    p,
+                });
+            }
+            m.set(i, j, -0.75 * arg.ln());
+        }
+    }
+    Ok(m)
+}
+
+/// Kimura two-parameter corrected distances:
+/// `d = -1/2 · ln((1 - 2P - Q)·sqrt(1 - 2Q))` with transition fraction `P`
+/// and transversion fraction `Q`.
+pub fn k2p_corrected_matrix(
+    sequences: &HashMap<String, String>,
+) -> Result<DistanceMatrix, DistanceError> {
+    let taxa = validate(sequences)?;
+    let mut m = DistanceMatrix::zeroed(taxa.clone());
+    for i in 0..taxa.len() {
+        for j in (i + 1)..taxa.len() {
+            let (p, q) = transition_transversion_fractions(&sequences[&taxa[i]], &sequences[&taxa[j]]);
+            let a = 1.0 - 2.0 * p - q;
+            let b = 1.0 - 2.0 * q;
+            if a <= 0.0 || b <= 0.0 {
+                return Err(DistanceError::Saturated {
+                    a: taxa[i].clone(),
+                    b: taxa[j].clone(),
+                    p: p + q,
+                });
+            }
+            m.set(i, j, -0.5 * (a * b.sqrt()).ln());
+        }
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seqs(pairs: &[(&str, &str)]) -> HashMap<String, String> {
+        pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+    }
+
+    #[test]
+    fn p_distance_matrix_basics() {
+        let s = seqs(&[("A", "AAAA"), ("B", "AATT"), ("C", "TTTT")]);
+        let m = p_distance_matrix(&s).unwrap();
+        assert_eq!(m.taxa, vec!["A", "B", "C"]);
+        assert!((m.get_by_name("A", "B").unwrap() - 0.5).abs() < 1e-12);
+        assert!((m.get_by_name("A", "C").unwrap() - 1.0).abs() < 1e-12);
+        assert!((m.get_by_name("B", "C").unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn jc_correction_exceeds_p_distance() {
+        let s = seqs(&[("A", "ACGTACGTACGTACGTACGT"), ("B", "ACGTACGTTCGTACGAACGT")]);
+        let p = p_distance_matrix(&s).unwrap();
+        let jc = jc_corrected_matrix(&s).unwrap();
+        let praw = p.get_by_name("A", "B").unwrap();
+        let pjc = jc.get_by_name("A", "B").unwrap();
+        assert!(praw > 0.0);
+        assert!(pjc > praw, "JC correction must inflate the distance ({pjc} vs {praw})");
+    }
+
+    #[test]
+    fn jc_of_identical_sequences_is_zero() {
+        let s = seqs(&[("A", "ACGT"), ("B", "ACGT")]);
+        let jc = jc_corrected_matrix(&s).unwrap();
+        assert_eq!(jc.get_by_name("A", "B").unwrap(), 0.0);
+    }
+
+    #[test]
+    fn saturation_detected() {
+        let s = seqs(&[("A", "AAAA"), ("B", "CCCC")]);
+        assert!(matches!(jc_corrected_matrix(&s), Err(DistanceError::Saturated { .. })));
+    }
+
+    #[test]
+    fn k2p_matches_jc_when_no_transversion_bias() {
+        // With only transitions present, K2P and JC differ; but for identical
+        // sequences both are zero and for moderate mixed changes K2P >= p.
+        let s = seqs(&[
+            ("A", "ACGTACGTACGTACGTACGTACGTACGTACGT"),
+            ("B", "ACGTACGTACGTACGAACGTACGCACGTACGT"),
+        ]);
+        let p = p_distance_matrix(&s).unwrap().get_by_name("A", "B").unwrap();
+        let k = k2p_corrected_matrix(&s).unwrap().get_by_name("A", "B").unwrap();
+        assert!(k >= p);
+    }
+
+    #[test]
+    fn k2p_transition_transversion_fractions() {
+        // A->G transition; A->T transversion.
+        let (p, q) = transition_transversion_fractions("AAAA", "GATA");
+        assert!((p - 0.25).abs() < 1e-12);
+        assert!((q - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let one = seqs(&[("A", "ACGT")]);
+        assert!(matches!(p_distance_matrix(&one), Err(DistanceError::TooFewSequences(1))));
+        let ragged = seqs(&[("A", "ACGT"), ("B", "AC")]);
+        assert!(matches!(
+            p_distance_matrix(&ragged),
+            Err(DistanceError::UnequalLengths { .. })
+        ));
+    }
+
+    #[test]
+    fn matrices_are_symmetric_with_zero_diagonal() {
+        let s = seqs(&[("A", "ACGTAC"), ("B", "ACGTAA"), ("C", "ACCTAA"), ("D", "GCCTAA")]);
+        for m in [
+            p_distance_matrix(&s).unwrap(),
+            jc_corrected_matrix(&s).unwrap(),
+            k2p_corrected_matrix(&s).unwrap(),
+        ] {
+            for i in 0..m.len() {
+                assert_eq!(m.get(i, i), 0.0);
+                for j in 0..m.len() {
+                    assert!((m.get(i, j) - m.get(j, i)).abs() < 1e-12);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Neighbor-Joining (Saitou & Nei 1987).
+//!
+//! The standard distance-based reconstruction algorithm: it recovers the true
+//! tree whenever the input distances are *additive* (fit some tree exactly),
+//! without requiring a molecular clock. NJ produces an unrooted tree; the
+//! result is returned rooted at the final three-way join so that downstream
+//! code (which works on rooted [`Tree`]s) can consume it directly, and the
+//! comparison metrics treat trees as unrooted when appropriate.
+
+use phylo::distance::DistanceMatrix;
+use phylo::{NodeId, PhyloError, Tree};
+
+/// Build a tree from a distance matrix with Neighbor-Joining.
+pub fn neighbor_joining(matrix: &DistanceMatrix) -> Result<Tree, PhyloError> {
+    let n = matrix.len();
+    if n == 0 {
+        return Err(PhyloError::EmptyTree);
+    }
+    let mut tree = Tree::new();
+    if n == 1 {
+        let root = tree.add_node();
+        tree.set_name(root, matrix.taxa[0].clone())?;
+        return Ok(tree);
+    }
+    if n == 2 {
+        let root = tree.add_node();
+        let d = matrix.get(0, 1);
+        tree.add_child(root, Some(matrix.taxa[0].clone()), Some(d / 2.0))?;
+        tree.add_child(root, Some(matrix.taxa[1].clone()), Some(d / 2.0))?;
+        return Ok(tree);
+    }
+
+    // Active nodes and a mutable working distance matrix.
+    let mut active: Vec<NodeId> = Vec::with_capacity(n);
+    for name in &matrix.taxa {
+        let node = tree.add_node();
+        tree.set_name(node, name.clone())?;
+        active.push(node);
+    }
+    let mut dist: Vec<Vec<f64>> =
+        (0..n).map(|i| (0..n).map(|j| matrix.get(i, j)).collect()).collect();
+
+    while active.len() > 3 {
+        let m = active.len();
+        // Row sums for the Q criterion.
+        let row_sums: Vec<f64> = (0..m).map(|i| dist[i].iter().sum()).collect();
+        // Find the pair minimizing Q(i,j) = (m-2)·d(i,j) − r_i − r_j.
+        let (mut bi, mut bj, mut best) = (0usize, 1usize, f64::INFINITY);
+        for i in 0..m {
+            for j in (i + 1)..m {
+                let q = (m as f64 - 2.0) * dist[i][j] - row_sums[i] - row_sums[j];
+                if q < best {
+                    best = q;
+                    bi = i;
+                    bj = j;
+                }
+            }
+        }
+        // Branch lengths from the new internal node u to i and j.
+        let d_ij = dist[bi][bj];
+        let delta = (row_sums[bi] - row_sums[bj]) / (m as f64 - 2.0);
+        let mut li = 0.5 * d_ij + 0.5 * delta;
+        let mut lj = d_ij - li;
+        // Guard against slightly negative lengths from noisy distances.
+        if li < 0.0 {
+            lj += li;
+            li = 0.0;
+        }
+        if lj < 0.0 {
+            li += lj;
+            lj = 0.0;
+        }
+
+        let u = tree.add_node();
+        tree.attach(u, active[bi])?;
+        tree.attach(u, active[bj])?;
+        tree.set_branch_length(active[bi], li.max(0.0))?;
+        tree.set_branch_length(active[bj], lj.max(0.0))?;
+
+        // Distances from u to every other active node.
+        let mut new_row = Vec::with_capacity(m - 2);
+        for k in 0..m {
+            if k == bi || k == bj {
+                continue;
+            }
+            new_row.push(0.5 * (dist[bi][k] + dist[bj][k] - d_ij));
+        }
+        let (hi, lo) = (bj.max(bi), bj.min(bi));
+        active.remove(hi);
+        active.remove(lo);
+        dist.remove(hi);
+        dist.remove(lo);
+        for row in dist.iter_mut() {
+            row.remove(hi);
+            row.remove(lo);
+        }
+        active.push(u);
+        for (row, &d) in dist.iter_mut().zip(new_row.iter()) {
+            row.push(d.max(0.0));
+        }
+        let mut last = new_row.iter().map(|d| d.max(0.0)).collect::<Vec<_>>();
+        last.push(0.0);
+        dist.push(last);
+    }
+
+    // Three nodes left: join them at an (unrooted) central node, which we use
+    // as the root of the returned tree.
+    let root = tree.add_node();
+    let d01 = dist[0][1];
+    let d02 = dist[0][2];
+    let d12 = dist[1][2];
+    let l0 = ((d01 + d02 - d12) / 2.0).max(0.0);
+    let l1 = ((d01 + d12 - d02) / 2.0).max(0.0);
+    let l2 = ((d02 + d12 - d01) / 2.0).max(0.0);
+    for (node, len) in [(active[0], l0), (active[1], l1), (active[2], l2)] {
+        tree.attach(root, node)?;
+        tree.set_branch_length(node, len)?;
+    }
+    tree.set_root(root)?;
+    Ok(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phylo::distance::{patristic_distance, patristic_matrix, DistanceMatrix};
+    use phylo::ops::is_unary_free;
+
+    /// The classic additive (non-ultrametric) example: unrooted tree
+    /// ((A:2,B:3):1,(C:4,D:2)) — distances are additive but violate the clock.
+    fn additive4() -> DistanceMatrix {
+        let mut m = DistanceMatrix::zeroed(vec![
+            "A".to_string(),
+            "B".to_string(),
+            "C".to_string(),
+            "D".to_string(),
+        ]);
+        m.set(0, 1, 5.0); // A-B = 2+3
+        m.set(0, 2, 7.0); // A-C = 2+1+4
+        m.set(0, 3, 5.0); // A-D = 2+1+2
+        m.set(1, 2, 8.0); // B-C = 3+1+4
+        m.set(1, 3, 6.0); // B-D
+        m.set(2, 3, 6.0); // C-D
+        m
+    }
+
+    /// Unrooted split check: in the NJ tree, A and B must be separated from C
+    /// and D by an internal edge (i.e. {A,B} forms a cherry).
+    fn cherry_together(tree: &Tree, x: &str, y: &str) -> bool {
+        let a = tree.find_leaf_by_name(x).unwrap();
+        let b = tree.find_leaf_by_name(y).unwrap();
+        tree.parent(a) == tree.parent(b)
+    }
+
+    #[test]
+    fn recovers_additive_tree() {
+        let m = additive4();
+        let t = neighbor_joining(&m).unwrap();
+        assert_eq!(t.leaf_count(), 4);
+        assert!(is_unary_free(&t));
+        assert!(
+            cherry_together(&t, "A", "B") || cherry_together(&t, "C", "D"),
+            "NJ must separate {{A,B}} from {{C,D}}:\n{}",
+            phylo::render::ascii(&t)
+        );
+        // Path lengths reproduce the input distances (additivity).
+        for (x, y) in [("A", "B"), ("A", "C"), ("B", "D"), ("C", "D")] {
+            let got = patristic_distance(
+                &t,
+                t.find_leaf_by_name(x).unwrap(),
+                t.find_leaf_by_name(y).unwrap(),
+            );
+            let want = m.get_by_name(x, y).unwrap();
+            assert!((got - want).abs() < 1e-9, "{x}-{y}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn recovers_topology_from_patristic_distances_of_known_tree() {
+        // Take the Figure 1 tree, compute its true patristic distances, run NJ
+        // and check that the clade structure {Lla, Spy} and {Bha,(Lla,Spy)} is
+        // recovered (as unrooted splits).
+        let gold = phylo::builder::figure1_tree();
+        let m = patristic_matrix(&gold).unwrap();
+        let t = neighbor_joining(&m).unwrap();
+        assert_eq!(t.leaf_count(), 5);
+        assert!(cherry_together(&t, "Lla", "Spy"));
+        // Distances are reproduced.
+        for (x, y) in [("Bha", "Lla"), ("Syn", "Bsu"), ("Spy", "Syn")] {
+            let got = patristic_distance(
+                &t,
+                t.find_leaf_by_name(x).unwrap(),
+                t.find_leaf_by_name(y).unwrap(),
+            );
+            let want = m.get_by_name(x, y).unwrap();
+            assert!((got - want).abs() < 1e-9, "{x}-{y}");
+        }
+    }
+
+    #[test]
+    fn small_inputs() {
+        let m1 = DistanceMatrix::zeroed(vec!["X".to_string()]);
+        let t1 = neighbor_joining(&m1).unwrap();
+        assert_eq!(t1.node_count(), 1);
+
+        let mut m2 = DistanceMatrix::zeroed(vec!["A".to_string(), "B".to_string()]);
+        m2.set(0, 1, 3.0);
+        let t2 = neighbor_joining(&m2).unwrap();
+        assert_eq!(t2.leaf_count(), 2);
+
+        let mut m3 =
+            DistanceMatrix::zeroed(vec!["A".to_string(), "B".to_string(), "C".to_string()]);
+        m3.set(0, 1, 2.0);
+        m3.set(0, 2, 3.0);
+        m3.set(1, 2, 3.0);
+        let t3 = neighbor_joining(&m3).unwrap();
+        assert_eq!(t3.leaf_count(), 3);
+        assert_eq!(t3.degree(t3.root_unchecked()), 3);
+        // Leaf branch lengths: l(A) = (2+3-3)/2 = 1, etc.
+        let a = t3.find_leaf_by_name("A").unwrap();
+        assert!((t3.branch_length(a).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_matrix_is_error() {
+        assert!(neighbor_joining(&DistanceMatrix::zeroed(vec![])).is_err());
+    }
+
+    #[test]
+    fn larger_random_additive_tree_distances_reproduced() {
+        // Build a random-ish binary tree, compute patristic distances, and
+        // confirm NJ reproduces all pairwise distances (additivity ⇒ exact).
+        use phylo::builder::balanced_binary;
+        let gold = balanced_binary(5, 1.0); // 32 leaves
+        let m = patristic_matrix(&gold).unwrap();
+        let t = neighbor_joining(&m).unwrap();
+        assert_eq!(t.leaf_count(), 32);
+        for i in 0..m.len() {
+            for j in (i + 1)..m.len() {
+                let a = t.find_leaf_by_name(&m.taxa[i]).unwrap();
+                let b = t.find_leaf_by_name(&m.taxa[j]).unwrap();
+                let got = patristic_distance(&t, a, b);
+                assert!(
+                    (got - m.get(i, j)).abs() < 1e-6,
+                    "{} - {}: {} vs {}",
+                    m.taxa[i],
+                    m.taxa[j],
+                    got,
+                    m.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_unary_nodes_in_output() {
+        let m = additive4();
+        let t = neighbor_joining(&m).unwrap();
+        assert!(is_unary_free(&t));
+        for node in t.node_ids() {
+            if !t.is_leaf(node) {
+                assert!(t.degree(node) >= 2);
+            }
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! UPGMA (Unweighted Pair Group Method with Arithmetic mean).
+//!
+//! The simplest distance-based reconstruction algorithm: repeatedly merge the
+//! two closest clusters, placing the new internal node at half the cluster
+//! distance (producing an ultrametric, rooted tree). UPGMA is exact when the
+//! input distances are ultrametric (a molecular clock holds) and serves as
+//! the "weak" baseline algorithm in the benchmark experiments, contrasted
+//! with Neighbor-Joining which only needs additivity.
+
+use phylo::distance::DistanceMatrix;
+use phylo::{PhyloError, Tree};
+
+/// Build a rooted ultrametric tree from a distance matrix using UPGMA.
+///
+/// Cluster heights are half the average pairwise distance, so leaf branch
+/// lengths plus internal branches reproduce the matrix exactly for
+/// ultrametric inputs.
+pub fn upgma(matrix: &DistanceMatrix) -> Result<Tree, PhyloError> {
+    let n = matrix.len();
+    if n == 0 {
+        return Err(PhyloError::EmptyTree);
+    }
+    let mut tree = Tree::new();
+    if n == 1 {
+        let mut t = Tree::new();
+        let root = t.add_node();
+        t.set_name(root, matrix.taxa[0].clone())?;
+        return Ok(t);
+    }
+
+    // Active clusters: (tree node, size, height). Distances kept in a dense
+    // mutable matrix indexed by active-cluster position.
+    struct Cluster {
+        node: phylo::NodeId,
+        size: usize,
+        height: f64,
+    }
+    let mut clusters: Vec<Cluster> = Vec::with_capacity(n);
+    for name in &matrix.taxa {
+        let node = tree.add_node();
+        tree.set_name(node, name.clone())?;
+        clusters.push(Cluster { node, size: 1, height: 0.0 });
+    }
+    let mut dist: Vec<Vec<f64>> =
+        (0..n).map(|i| (0..n).map(|j| matrix.get(i, j)).collect()).collect();
+
+    while clusters.len() > 1 {
+        // Find the closest pair (i < j).
+        let (mut bi, mut bj, mut best) = (0usize, 1usize, f64::INFINITY);
+        for i in 0..clusters.len() {
+            for j in (i + 1)..clusters.len() {
+                if dist[i][j] < best {
+                    best = dist[i][j];
+                    bi = i;
+                    bj = j;
+                }
+            }
+        }
+        let height = best / 2.0;
+        let new_node = tree.add_node();
+        tree.attach(new_node, clusters[bi].node)?;
+        tree.attach(new_node, clusters[bj].node)?;
+        tree.set_branch_length(clusters[bi].node, (height - clusters[bi].height).max(0.0))?;
+        tree.set_branch_length(clusters[bj].node, (height - clusters[bj].height).max(0.0))?;
+
+        // Average-linkage distance from the merged cluster to the rest.
+        let merged_size = clusters[bi].size + clusters[bj].size;
+        let mut new_row = Vec::with_capacity(clusters.len() - 1);
+        for k in 0..clusters.len() {
+            if k == bi || k == bj {
+                continue;
+            }
+            let d = (dist[bi][k] * clusters[bi].size as f64
+                + dist[bj][k] * clusters[bj].size as f64)
+                / merged_size as f64;
+            new_row.push(d);
+        }
+
+        // Remove the two merged clusters (larger index first) and their rows.
+        let (hi, lo) = (bj.max(bi), bj.min(bi));
+        clusters.remove(hi);
+        clusters.remove(lo);
+        dist.remove(hi);
+        dist.remove(lo);
+        for row in dist.iter_mut() {
+            row.remove(hi);
+            row.remove(lo);
+        }
+        // Append the merged cluster.
+        clusters.push(Cluster { node: new_node, size: merged_size, height });
+        for (row, &d) in dist.iter_mut().zip(new_row.iter()) {
+            row.push(d);
+        }
+        let mut last_row = new_row;
+        last_row.push(0.0);
+        dist.push(last_row);
+    }
+
+    let root = clusters[0].node;
+    tree.set_root(root)?;
+    Ok(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phylo::distance::{patristic_matrix, DistanceMatrix};
+    use phylo::ops::{canonical_form, is_binary};
+
+    /// A hand-checkable ultrametric matrix over 4 taxa:
+    /// ((A,B),(C,D)) with heights 1 and 2, root at 3.
+    fn ultrametric4() -> DistanceMatrix {
+        let mut m = DistanceMatrix::zeroed(vec![
+            "A".to_string(),
+            "B".to_string(),
+            "C".to_string(),
+            "D".to_string(),
+        ]);
+        m.set(0, 1, 2.0); // A-B
+        m.set(2, 3, 4.0); // C-D
+        for (i, j) in [(0, 2), (0, 3), (1, 2), (1, 3)] {
+            m.set(i, j, 6.0);
+        }
+        m
+    }
+
+    #[test]
+    fn recovers_ultrametric_topology() {
+        let m = ultrametric4();
+        let t = upgma(&m).unwrap();
+        assert_eq!(t.leaf_count(), 4);
+        assert!(is_binary(&t));
+        assert_eq!(canonical_form(&t), "((A,B),(C,D))");
+        // Heights: A and B join at 1, C and D at 2, root at 3.
+        let a = t.find_leaf_by_name("A").unwrap();
+        let c = t.find_leaf_by_name("C").unwrap();
+        assert!((t.root_distance(a) - 3.0).abs() < 1e-9);
+        assert!((t.root_distance(c) - 3.0).abs() < 1e-9);
+        assert!((t.branch_length(a).unwrap() - 1.0).abs() < 1e-9);
+        assert!((t.branch_length(c).unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn output_is_ultrametric_even_for_noisy_input() {
+        let mut m = ultrametric4();
+        m.set(0, 2, 5.5);
+        m.set(1, 3, 6.5);
+        let t = upgma(&m).unwrap();
+        let depths: Vec<f64> = t.leaf_ids().map(|l| t.root_distance(l)).collect();
+        for d in &depths {
+            assert!((d - depths[0]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn recovers_yule_tree_from_true_distances() {
+        // A pure-birth tree is ultrametric, so UPGMA on its patristic matrix
+        // must recover the exact topology.
+        use phylo::builder::balanced_binary;
+        let gold = balanced_binary(4, 1.0);
+        let m = patristic_matrix(&gold).unwrap();
+        let t = upgma(&m).unwrap();
+        assert_eq!(canonical_form(&t), canonical_form(&gold));
+    }
+
+    #[test]
+    fn single_and_two_taxa() {
+        let m = DistanceMatrix::zeroed(vec!["only".to_string()]);
+        let t = upgma(&m).unwrap();
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.name(t.root_unchecked()), Some("only"));
+
+        let mut m2 = DistanceMatrix::zeroed(vec!["A".to_string(), "B".to_string()]);
+        m2.set(0, 1, 4.0);
+        let t2 = upgma(&m2).unwrap();
+        assert_eq!(t2.leaf_count(), 2);
+        let a = t2.find_leaf_by_name("A").unwrap();
+        assert!((t2.branch_length(a).unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_matrix_is_error() {
+        let m = DistanceMatrix::zeroed(vec![]);
+        assert!(upgma(&m).is_err());
+    }
+
+    #[test]
+    fn all_leaves_named_and_preserved() {
+        let names: Vec<String> = (0..17).map(|i| format!("t{i}")).collect();
+        let mut m = DistanceMatrix::zeroed(names.clone());
+        // A simple metric: |i - j| + 1 off-diagonal (not ultrametric, but a
+        // valid dissimilarity).
+        for i in 0..names.len() {
+            for j in (i + 1)..names.len() {
+                m.set(i, j, (j - i) as f64);
+            }
+        }
+        let t = upgma(&m).unwrap();
+        assert_eq!(t.leaf_count(), 17);
+        let mut got = t.leaf_names();
+        got.sort();
+        let mut want = names;
+        want.sort();
+        assert_eq!(got, want);
+        assert!(is_binary(&t));
+    }
+}

@@ -1,0 +1,305 @@
+//! Gold-standard construction: a simulated tree plus evolved species data.
+//!
+//! A [`GoldStandard`] is the synthetic stand-in for the curated CIPRes
+//! simulation trees: a (possibly very large) phylogeny whose true topology
+//! and branch lengths are known, together with sequences evolved along it.
+//! The Crimson loader ingests it (directly or via NEXUS) and the Benchmark
+//! Manager samples it to evaluate reconstruction algorithms.
+
+use crate::birth_death::{birth_death_tree, BirthDeathConfig};
+use crate::seqevo::{evolve_sequences, Model};
+use phylo::nexus::NexusDocument;
+use phylo::Tree;
+use std::collections::HashMap;
+
+/// A simulated "gold standard": the true tree and the species data evolved
+/// along it.
+#[derive(Debug, Clone)]
+pub struct GoldStandard {
+    /// The true phylogeny.
+    pub tree: Tree,
+    /// Aligned sequences per (leaf) taxon.
+    pub sequences: HashMap<String, String>,
+    /// The substitution model used.
+    pub model: Model,
+    /// The seed everything was generated from.
+    pub seed: u64,
+}
+
+impl GoldStandard {
+    /// Export as a NEXUS document (TAXA + DATA + TREES blocks) — the format
+    /// Crimson's GUI loads and emits.
+    pub fn to_nexus(&self) -> NexusDocument {
+        let mut doc = NexusDocument::new();
+        // Keep the taxa in tree pre-order so the document is deterministic.
+        for name in self.tree.leaf_names() {
+            if let Some(seq) = self.sequences.get(&name) {
+                doc.push_sequence(name, seq.clone());
+            } else {
+                doc.taxa.push(name);
+            }
+        }
+        doc.datatype = Some("DNA".to_string());
+        doc.push_tree("gold_standard", self.tree.clone());
+        doc
+    }
+
+    /// Number of taxa.
+    pub fn taxon_count(&self) -> usize {
+        self.tree.leaf_count()
+    }
+
+    /// Alignment length (0 when no sequences were generated).
+    pub fn sequence_length(&self) -> usize {
+        self.sequences.values().next().map_or(0, |s| s.len())
+    }
+}
+
+/// Errors from gold-standard construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GoldError {
+    /// Fewer than two leaves requested.
+    TooFewLeaves(usize),
+    /// A model parameter was invalid (message explains which).
+    InvalidModel(String),
+}
+
+impl std::fmt::Display for GoldError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GoldError::TooFewLeaves(n) => write!(f, "need at least 2 leaves, got {n}"),
+            GoldError::InvalidModel(m) => write!(f, "invalid model: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GoldError {}
+
+/// Builder for [`GoldStandard`]s.
+#[derive(Debug, Clone)]
+pub struct GoldStandardBuilder {
+    leaves: usize,
+    birth_rate: f64,
+    death_rate: f64,
+    sequence_length: usize,
+    model: Model,
+    seed: u64,
+    taxon_prefix: String,
+}
+
+impl Default for GoldStandardBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GoldStandardBuilder {
+    /// Start with the defaults: 128 taxa, pure-birth tree, JC69, 500 sites.
+    pub fn new() -> Self {
+        GoldStandardBuilder {
+            leaves: 128,
+            birth_rate: 1.0,
+            death_rate: 0.0,
+            sequence_length: 500,
+            model: Model::default(),
+            seed: 0,
+            taxon_prefix: "S".to_string(),
+        }
+    }
+
+    /// Number of extant taxa in the tree.
+    pub fn leaves(mut self, n: usize) -> Self {
+        self.leaves = n;
+        self
+    }
+
+    /// Speciation rate λ.
+    pub fn birth_rate(mut self, rate: f64) -> Self {
+        self.birth_rate = rate;
+        self
+    }
+
+    /// Extinction rate μ (0 for a pure-birth tree).
+    pub fn death_rate(mut self, rate: f64) -> Self {
+        self.death_rate = rate;
+        self
+    }
+
+    /// Alignment length in sites (0 disables sequence simulation).
+    pub fn sequence_length(mut self, sites: usize) -> Self {
+        self.sequence_length = sites;
+        self
+    }
+
+    /// Substitution model.
+    pub fn model(mut self, model: Model) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// RNG seed (tree and sequences both derive from it).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Prefix for generated taxon names.
+    pub fn taxon_prefix(mut self, prefix: impl Into<String>) -> Self {
+        self.taxon_prefix = prefix.into();
+        self
+    }
+
+    /// Generate the gold standard.
+    pub fn build(self) -> Result<GoldStandard, GoldError> {
+        if self.leaves < 2 {
+            return Err(GoldError::TooFewLeaves(self.leaves));
+        }
+        validate_model(&self.model)?;
+        let config = BirthDeathConfig {
+            leaves: self.leaves,
+            birth_rate: self.birth_rate,
+            death_rate: self.death_rate,
+            prune_extinct: true,
+            taxon_prefix: self.taxon_prefix.clone(),
+            seed: self.seed,
+        };
+        let tree = birth_death_tree(&config);
+        let sequences = if self.sequence_length > 0 {
+            evolve_sequences(&tree, &self.model, self.sequence_length, self.seed ^ 0xA5A5_5A5A)
+        } else {
+            HashMap::new()
+        };
+        Ok(GoldStandard { tree, sequences, model: self.model, seed: self.seed })
+    }
+}
+
+fn validate_model(model: &Model) -> Result<(), GoldError> {
+    let check_rate = |rate: f64| {
+        if rate <= 0.0 {
+            Err(GoldError::InvalidModel(format!("rate must be positive, got {rate}")))
+        } else {
+            Ok(())
+        }
+    };
+    let check_freqs = |freqs: &[f64; 4]| {
+        let sum: f64 = freqs.iter().sum();
+        if freqs.iter().any(|&f| f <= 0.0) || (sum - 1.0).abs() > 1e-6 {
+            Err(GoldError::InvalidModel(format!("base frequencies must be positive and sum to 1, got {freqs:?}")))
+        } else {
+            Ok(())
+        }
+    };
+    match model {
+        Model::Jc69 { rate } => check_rate(*rate),
+        Model::K2p { rate, kappa } => {
+            check_rate(*rate)?;
+            if *kappa <= 0.0 {
+                return Err(GoldError::InvalidModel("kappa must be positive".to_string()));
+            }
+            Ok(())
+        }
+        Model::F81 { rate, freqs } => {
+            check_rate(*rate)?;
+            check_freqs(freqs)
+        }
+        Model::Hky85 { rate, kappa, freqs } => {
+            check_rate(*rate)?;
+            if *kappa <= 0.0 {
+                return Err(GoldError::InvalidModel("kappa must be positive".to_string()));
+            }
+            check_freqs(freqs)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_build() {
+        let gold = GoldStandardBuilder::new().leaves(32).sequence_length(100).seed(1).build().unwrap();
+        assert_eq!(gold.taxon_count(), 32);
+        assert_eq!(gold.sequences.len(), 32);
+        assert_eq!(gold.sequence_length(), 100);
+        assert_eq!(gold.model.name(), "JC69");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = GoldStandardBuilder::new().leaves(16).sequence_length(64).seed(5).build().unwrap();
+        let b = GoldStandardBuilder::new().leaves(16).sequence_length(64).seed(5).build().unwrap();
+        assert_eq!(phylo::newick::write(&a.tree), phylo::newick::write(&b.tree));
+        assert_eq!(a.sequences, b.sequences);
+    }
+
+    #[test]
+    fn no_sequences_when_length_zero() {
+        let gold = GoldStandardBuilder::new().leaves(8).sequence_length(0).build().unwrap();
+        assert!(gold.sequences.is_empty());
+        assert_eq!(gold.sequence_length(), 0);
+    }
+
+    #[test]
+    fn birth_death_gold_standard() {
+        let gold = GoldStandardBuilder::new()
+            .leaves(64)
+            .birth_rate(1.0)
+            .death_rate(0.3)
+            .sequence_length(50)
+            .model(Model::K2p { rate: 0.5, kappa: 2.0 })
+            .seed(9)
+            .build()
+            .unwrap();
+        assert_eq!(gold.taxon_count(), 64);
+        assert_eq!(gold.model.name(), "K2P");
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(matches!(
+            GoldStandardBuilder::new().leaves(1).build(),
+            Err(GoldError::TooFewLeaves(1))
+        ));
+        assert!(GoldStandardBuilder::new()
+            .leaves(8)
+            .model(Model::Jc69 { rate: 0.0 })
+            .build()
+            .is_err());
+        assert!(GoldStandardBuilder::new()
+            .leaves(8)
+            .model(Model::Hky85 { rate: 1.0, kappa: 2.0, freqs: [0.5, 0.5, 0.2, 0.2] })
+            .build()
+            .is_err());
+        assert!(GoldStandardBuilder::new()
+            .leaves(8)
+            .model(Model::K2p { rate: 1.0, kappa: -1.0 })
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn nexus_export_roundtrips_through_parser() {
+        let gold = GoldStandardBuilder::new().leaves(12).sequence_length(40).seed(3).build().unwrap();
+        let doc = gold.to_nexus();
+        let text = phylo::nexus::write(&doc);
+        let parsed = phylo::nexus::parse(&text).unwrap();
+        assert_eq!(parsed.trees.len(), 1);
+        assert_eq!(parsed.trees[0].name, "gold_standard");
+        assert_eq!(parsed.sequences.len(), 12);
+        assert_eq!(parsed.trees[0].tree.leaf_count(), 12);
+    }
+
+    #[test]
+    fn custom_taxon_prefix_propagates() {
+        let gold = GoldStandardBuilder::new()
+            .leaves(6)
+            .sequence_length(10)
+            .taxon_prefix("cipres_")
+            .build()
+            .unwrap();
+        for name in gold.sequences.keys() {
+            assert!(name.starts_with("cipres_"));
+        }
+    }
+}

@@ -1,0 +1,509 @@
+//! Nucleotide substitution models and sequence evolution along a tree.
+//!
+//! "The evolution of a bio-molecular sequence is simulated using the tree as
+//! a guide" (§1). A root sequence is drawn from the model's equilibrium base
+//! frequencies and mutated along every branch according to the model's
+//! transition-probability matrix `P(t) = exp(Q·t)`, where `t` is the branch
+//! length times the overall substitution rate.
+//!
+//! Models:
+//!
+//! * **JC69** — Jukes–Cantor: equal base frequencies, single rate (closed
+//!   form).
+//! * **K2P** — Kimura two-parameter: transitions vs transversions via κ
+//!   (closed form).
+//! * **F81** — Felsenstein 1981: arbitrary base frequencies (closed form).
+//! * **HKY85** — Hasegawa–Kishino–Yano: κ *and* arbitrary base frequencies
+//!   (computed by numerically exponentiating the rate matrix).
+//!
+//! Bases are indexed A=0, C=1, G=2, T=3 throughout.
+
+use phylo::traverse::Traverse;
+use phylo::{NodeId, Tree};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Nucleotide alphabet used by the simulator.
+pub const BASES: [char; 4] = ['A', 'C', 'G', 'T'];
+
+/// A 4×4 matrix of probabilities or rates.
+pub type Matrix4 = [[f64; 4]; 4];
+
+/// Substitution model selection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Model {
+    /// Jukes–Cantor 1969 with overall substitution rate `rate`.
+    Jc69 {
+        /// Expected substitutions per site per unit branch length.
+        rate: f64,
+    },
+    /// Kimura 1980 two-parameter model.
+    K2p {
+        /// Expected substitutions per site per unit branch length.
+        rate: f64,
+        /// Transition/transversion rate ratio κ (κ = 1 reduces to JC69).
+        kappa: f64,
+    },
+    /// Felsenstein 1981: unequal base frequencies, one exchange rate.
+    F81 {
+        /// Expected substitutions per site per unit branch length.
+        rate: f64,
+        /// Equilibrium frequencies for A, C, G, T (must sum to 1).
+        freqs: [f64; 4],
+    },
+    /// Hasegawa–Kishino–Yano 1985: κ plus unequal base frequencies.
+    Hky85 {
+        /// Expected substitutions per site per unit branch length.
+        rate: f64,
+        /// Transition/transversion rate ratio κ.
+        kappa: f64,
+        /// Equilibrium frequencies for A, C, G, T (must sum to 1).
+        freqs: [f64; 4],
+    },
+}
+
+impl Default for Model {
+    fn default() -> Self {
+        Model::Jc69 { rate: 1.0 }
+    }
+}
+
+impl Model {
+    /// Short identifier used in logs and experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Model::Jc69 { .. } => "JC69",
+            Model::K2p { .. } => "K2P",
+            Model::F81 { .. } => "F81",
+            Model::Hky85 { .. } => "HKY85",
+        }
+    }
+
+    /// Equilibrium base frequencies.
+    pub fn equilibrium(&self) -> [f64; 4] {
+        match self {
+            Model::Jc69 { .. } | Model::K2p { .. } => [0.25; 4],
+            Model::F81 { freqs, .. } | Model::Hky85 { freqs, .. } => *freqs,
+        }
+    }
+
+    /// Transition probability matrix for a branch of length `t`.
+    pub fn transition_probs(&self, t: f64) -> Matrix4 {
+        let t = t.max(0.0);
+        match self {
+            Model::Jc69 { rate } => {
+                let d = rate * t;
+                let e = (-4.0 / 3.0 * d).exp();
+                let same = 0.25 + 0.75 * e;
+                let diff = 0.25 - 0.25 * e;
+                let mut p = [[diff; 4]; 4];
+                for (i, row) in p.iter_mut().enumerate() {
+                    row[i] = same;
+                }
+                p
+            }
+            Model::K2p { rate, kappa } => {
+                // Rates: transitions α, transversions β with α = κβ and total
+                // rate α + 2β = rate  ⇒  β = rate / (κ + 2).
+                let beta = rate / (kappa + 2.0);
+                let alpha = kappa * beta;
+                let e1 = (-4.0 * beta * t).exp();
+                let e2 = (-2.0 * (alpha + beta) * t).exp();
+                let p_same = 0.25 + 0.25 * e1 + 0.5 * e2;
+                let p_transition = 0.25 + 0.25 * e1 - 0.5 * e2;
+                let p_transversion = 0.25 - 0.25 * e1;
+                let mut p = [[0.0; 4]; 4];
+                for i in 0..4 {
+                    for j in 0..4 {
+                        p[i][j] = if i == j {
+                            p_same
+                        } else if is_transition(i, j) {
+                            p_transition
+                        } else {
+                            p_transversion
+                        };
+                    }
+                }
+                p
+            }
+            Model::F81 { rate, freqs } => {
+                // Closed form: P_ij(t) = e^{-βt} δ_ij + (1 - e^{-βt}) π_j,
+                // with β chosen so the expected rate is `rate`.
+                let sum_sq: f64 = freqs.iter().map(|f| f * f).sum();
+                let beta = rate / (1.0 - sum_sq);
+                let e = (-beta * t).exp();
+                let mut p = [[0.0; 4]; 4];
+                for i in 0..4 {
+                    for j in 0..4 {
+                        p[i][j] = (1.0 - e) * freqs[j] + if i == j { e } else { 0.0 };
+                    }
+                }
+                p
+            }
+            Model::Hky85 { rate, kappa, freqs } => {
+                let q = hky_rate_matrix(*rate, *kappa, freqs);
+                matrix_exp(&q, t)
+            }
+        }
+    }
+}
+
+fn is_transition(i: usize, j: usize) -> bool {
+    // A<->G (0,2) and C<->T (1,3) are transitions.
+    matches!((i, j), (0, 2) | (2, 0) | (1, 3) | (3, 1))
+}
+
+/// Build the HKY85 rate matrix, scaled so the expected substitution rate at
+/// equilibrium equals `rate`.
+fn hky_rate_matrix(rate: f64, kappa: f64, freqs: &[f64; 4]) -> Matrix4 {
+    let mut q = [[0.0f64; 4]; 4];
+    for i in 0..4 {
+        for j in 0..4 {
+            if i == j {
+                continue;
+            }
+            let factor = if is_transition(i, j) { kappa } else { 1.0 };
+            q[i][j] = factor * freqs[j];
+        }
+    }
+    // Diagonal = -(row sum); compute expected rate and normalize.
+    let mut expected = 0.0;
+    for i in 0..4 {
+        let row_sum: f64 = (0..4).filter(|&j| j != i).map(|j| q[i][j]).sum();
+        q[i][i] = -row_sum;
+        expected += freqs[i] * row_sum;
+    }
+    let scale = rate / expected;
+    for row in q.iter_mut() {
+        for cell in row.iter_mut() {
+            *cell *= scale;
+        }
+    }
+    q
+}
+
+/// Numerically compute `exp(Q·t)` by scaling and squaring with a Taylor
+/// expansion of the scaled matrix. Accurate to well below simulation noise
+/// for the branch lengths used here.
+fn matrix_exp(q: &Matrix4, t: f64) -> Matrix4 {
+    // Scale so the largest |entry·t| is small, then square back.
+    let max_entry = q.iter().flatten().fold(0.0f64, |m, &v| m.max(v.abs()));
+    let scaled_norm = max_entry * t;
+    let squarings = if scaled_norm > 0.25 { (scaled_norm / 0.25).log2().ceil() as u32 } else { 0 };
+    let factor = t / f64::from(1u32 << squarings.min(31));
+    // Taylor series exp(A) ≈ Σ A^k / k! for the scaled matrix A = Q·factor.
+    let a = scale(q, factor);
+    let mut result = identity();
+    let mut term = identity();
+    for k in 1..=12 {
+        term = mat_mul(&term, &a);
+        term = scale(&term, 1.0 / k as f64);
+        result = mat_add(&result, &term);
+    }
+    for _ in 0..squarings.min(31) {
+        result = mat_mul(&result, &result);
+    }
+    // Clamp tiny negative values introduced by floating error and renormalize
+    // each row to sum to 1.
+    for row in result.iter_mut() {
+        let mut sum = 0.0;
+        for cell in row.iter_mut() {
+            if *cell < 0.0 {
+                *cell = 0.0;
+            }
+            sum += *cell;
+        }
+        if sum > 0.0 {
+            for cell in row.iter_mut() {
+                *cell /= sum;
+            }
+        }
+    }
+    result
+}
+
+fn identity() -> Matrix4 {
+    let mut m = [[0.0; 4]; 4];
+    for (i, row) in m.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    m
+}
+
+fn mat_mul(a: &Matrix4, b: &Matrix4) -> Matrix4 {
+    let mut out = [[0.0; 4]; 4];
+    for i in 0..4 {
+        for k in 0..4 {
+            let aik = a[i][k];
+            if aik == 0.0 {
+                continue;
+            }
+            for j in 0..4 {
+                out[i][j] += aik * b[k][j];
+            }
+        }
+    }
+    out
+}
+
+fn mat_add(a: &Matrix4, b: &Matrix4) -> Matrix4 {
+    let mut out = [[0.0; 4]; 4];
+    for i in 0..4 {
+        for j in 0..4 {
+            out[i][j] = a[i][j] + b[i][j];
+        }
+    }
+    out
+}
+
+fn scale(a: &Matrix4, s: f64) -> Matrix4 {
+    let mut out = *a;
+    for row in out.iter_mut() {
+        for cell in row.iter_mut() {
+            *cell *= s;
+        }
+    }
+    out
+}
+
+/// Evolve sequences of `length` sites along `tree` under `model`.
+///
+/// Returns a map from **named leaf** to its sequence. Interior sequences are
+/// generated but discarded (Crimson's Species Repository only stores species
+/// data for taxa).
+pub fn evolve_sequences(
+    tree: &Tree,
+    model: &Model,
+    length: usize,
+    seed: u64,
+) -> HashMap<String, String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = HashMap::new();
+    let Some(root) = tree.root() else { return out };
+
+    let equilibrium = model.equilibrium();
+    let root_seq: Vec<u8> =
+        (0..length).map(|_| sample_categorical(&mut rng, &equilibrium)).collect();
+
+    // Iterative DFS carrying each node's sequence; sequences for finished
+    // subtrees are dropped as soon as possible to bound memory.
+    let mut sequences: HashMap<NodeId, Vec<u8>> = HashMap::new();
+    sequences.insert(root, root_seq);
+    for node in tree.preorder() {
+        let seq = sequences.get(&node).expect("parent sequence present in pre-order").clone();
+        if tree.is_leaf(node) {
+            if let Some(name) = tree.name(node) {
+                out.insert(name.to_string(), bases_to_string(&seq));
+            }
+            sequences.remove(&node);
+            continue;
+        }
+        for &child in tree.children(node) {
+            let t = tree.branch_length(child).unwrap_or(0.0);
+            let p = model.transition_probs(t);
+            let child_seq: Vec<u8> =
+                seq.iter().map(|&b| sample_row(&mut rng, &p[b as usize])).collect();
+            sequences.insert(child, child_seq);
+        }
+        sequences.remove(&node);
+    }
+    out
+}
+
+fn sample_categorical(rng: &mut StdRng, probs: &[f64; 4]) -> u8 {
+    sample_row(rng, probs)
+}
+
+fn sample_row(rng: &mut StdRng, probs: &[f64; 4]) -> u8 {
+    let x: f64 = rng.gen();
+    let mut acc = 0.0;
+    for (i, p) in probs.iter().enumerate() {
+        acc += p;
+        if x < acc {
+            return i as u8;
+        }
+    }
+    3
+}
+
+fn bases_to_string(seq: &[u8]) -> String {
+    seq.iter().map(|&b| BASES[b as usize]).collect()
+}
+
+/// Proportion of differing sites between two equal-length sequences — the
+/// raw p-distance used by the reconstruction crate's distance estimators.
+pub fn p_distance(a: &str, b: &str) -> f64 {
+    assert_eq!(a.len(), b.len(), "sequences must be aligned (equal length)");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let diffs = a.bytes().zip(b.bytes()).filter(|(x, y)| x != y).count();
+    diffs as f64 / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::birth_death::yule_tree;
+    use phylo::builder::figure1_tree;
+
+    fn rows_sum_to_one(p: &Matrix4) {
+        for row in p {
+            let sum: f64 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "row sums to {sum}");
+            for &cell in row {
+                assert!((-1e-12..=1.0 + 1e-12).contains(&cell));
+            }
+        }
+    }
+
+    #[test]
+    fn jc69_matrix_properties() {
+        let m = Model::Jc69 { rate: 1.0 };
+        for t in [0.0, 0.01, 0.5, 5.0] {
+            let p = m.transition_probs(t);
+            rows_sum_to_one(&p);
+        }
+        // t = 0 is the identity.
+        let p0 = m.transition_probs(0.0);
+        for i in 0..4 {
+            assert!((p0[i][i] - 1.0).abs() < 1e-12);
+        }
+        // t → ∞ approaches uniform 0.25.
+        let pinf = m.transition_probs(1e6);
+        for row in pinf {
+            for cell in row {
+                assert!((cell - 0.25).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn k2p_reduces_to_jc69_when_kappa_is_one() {
+        let jc = Model::Jc69 { rate: 1.0 };
+        let k2p = Model::K2p { rate: 1.0, kappa: 1.0 };
+        for t in [0.05, 0.3, 2.0] {
+            let a = jc.transition_probs(t);
+            let b = k2p.transition_probs(t);
+            for i in 0..4 {
+                for j in 0..4 {
+                    assert!((a[i][j] - b[i][j]).abs() < 1e-9, "t={t} i={i} j={j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k2p_transitions_more_likely_than_transversions() {
+        let m = Model::K2p { rate: 1.0, kappa: 4.0 };
+        let p = m.transition_probs(0.2);
+        // A -> G (transition) vs A -> C (transversion)
+        assert!(p[0][2] > p[0][1]);
+        rows_sum_to_one(&p);
+    }
+
+    #[test]
+    fn f81_stationary_distribution_preserved() {
+        let freqs = [0.4, 0.3, 0.2, 0.1];
+        let m = Model::F81 { rate: 1.0, freqs };
+        let p = m.transition_probs(0.7);
+        rows_sum_to_one(&p);
+        // π P = π
+        for j in 0..4 {
+            let out: f64 = (0..4).map(|i| freqs[i] * p[i][j]).sum();
+            assert!((out - freqs[j]).abs() < 1e-9);
+        }
+        // Long branches converge to the equilibrium regardless of start.
+        let pinf = m.transition_probs(1e6);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((pinf[i][j] - freqs[j]).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn hky85_matrix_properties() {
+        let freqs = [0.35, 0.15, 0.25, 0.25];
+        let m = Model::Hky85 { rate: 1.0, kappa: 3.0, freqs };
+        for t in [0.0, 0.1, 1.0, 10.0] {
+            let p = m.transition_probs(t);
+            rows_sum_to_one(&p);
+        }
+        // Stationarity: π P(t) = π.
+        let p = m.transition_probs(0.9);
+        for j in 0..4 {
+            let out: f64 = (0..4).map(|i| freqs[i] * p[i][j]).sum();
+            assert!((out - freqs[j]).abs() < 1e-6, "column {j}: {out} vs {}", freqs[j]);
+        }
+        // κ > 1 favours transitions.
+        assert!(p[0][2] > p[0][1]);
+    }
+
+    #[test]
+    fn hky85_reduces_to_f81_when_kappa_is_one() {
+        let freqs = [0.4, 0.3, 0.2, 0.1];
+        let f81 = Model::F81 { rate: 1.0, freqs };
+        let hky = Model::Hky85 { rate: 1.0, kappa: 1.0, freqs };
+        for t in [0.1, 0.6] {
+            let a = f81.transition_probs(t);
+            let b = hky.transition_probs(t);
+            for i in 0..4 {
+                for j in 0..4 {
+                    assert!((a[i][j] - b[i][j]).abs() < 1e-4, "t={t} i={i} j={j}: {} vs {}", a[i][j], b[i][j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn evolve_produces_sequences_for_every_named_leaf() {
+        let tree = figure1_tree();
+        let seqs = evolve_sequences(&tree, &Model::default(), 100, 42);
+        assert_eq!(seqs.len(), 5);
+        for name in ["Bha", "Lla", "Spy", "Syn", "Bsu"] {
+            assert_eq!(seqs[name].len(), 100);
+            assert!(seqs[name].chars().all(|c| "ACGT".contains(c)));
+        }
+    }
+
+    #[test]
+    fn evolution_is_deterministic_per_seed() {
+        let tree = yule_tree(16, 1.0, 1);
+        let a = evolve_sequences(&tree, &Model::default(), 50, 7);
+        let b = evolve_sequences(&tree, &Model::default(), 50, 7);
+        let c = evolve_sequences(&tree, &Model::default(), 50, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn closely_related_taxa_have_more_similar_sequences() {
+        // On the Figure 1 tree, Lla and Spy (patristic distance 2) should on
+        // average be more similar than Lla and Syn (patristic distance 6.5)
+        // for a moderate rate. Use a long sequence to tame variance.
+        let tree = figure1_tree();
+        let seqs =
+            evolve_sequences(&tree, &Model::Jc69 { rate: 0.15 }, 4000, 99);
+        let close = p_distance(&seqs["Lla"], &seqs["Spy"]);
+        let far = p_distance(&seqs["Lla"], &seqs["Syn"]);
+        assert!(close < far, "close={close} far={far}");
+    }
+
+    #[test]
+    fn zero_length_sequences() {
+        let tree = figure1_tree();
+        let seqs = evolve_sequences(&tree, &Model::default(), 0, 1);
+        assert_eq!(seqs.len(), 5);
+        assert!(seqs.values().all(|s| s.is_empty()));
+        assert_eq!(p_distance("", ""), 0.0);
+    }
+
+    #[test]
+    fn p_distance_basics() {
+        assert_eq!(p_distance("ACGT", "ACGT"), 0.0);
+        assert_eq!(p_distance("AAAA", "TTTT"), 1.0);
+        assert!((p_distance("AAAA", "AATT") - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,731 @@
+//! Disk-resident B+tree over order-preserving byte keys.
+//!
+//! The tree stores `(key: Vec<u8>, value: u64)` pairs. Keys are produced by
+//! [`crate::value::Value::encode_key`] (possibly with a record-id suffix for
+//! non-unique indexes), values are packed [`crate::heap::RecordId`]s or
+//! application integers. Leaves are chained left-to-right so range scans —
+//! the access path behind Crimson's "all nodes whose cumulative time exceeds
+//! t" sampling query — are sequential leaf walks.
+//!
+//! Duplicate keys are permitted; uniqueness is enforced one level up (in
+//! [`crate::db::Database`]) where the semantics of the index are known.
+//! Deletion removes entries without rebalancing: the Crimson workload is
+//! load-once/query-many, so space reclamation is not worth the complexity
+//! (documented trade-off, see DESIGN.md).
+
+use crate::buffer::BufferPool;
+use crate::error::{StorageError, StorageResult};
+use crate::page::{Page, PageId, PAGE_SIZE};
+
+const TYPE_LEAF: u8 = 0;
+const TYPE_INTERNAL: u8 = 1;
+
+// Serialized layout:
+//   0       node type (u8)
+//   1..3    key count (u16)
+//   3..11   leaf: next leaf page id / internal: leftmost child page id
+//   11..    entries
+// Leaf entry:      key_len u16 | key bytes | value u64
+// Internal entry:  key_len u16 | key bytes | child u64
+const NODE_HEADER: usize = 11;
+
+/// Maximum key length accepted by the tree. Chosen so that even pathological
+/// keys leave room for a handful of entries per node.
+pub const MAX_KEY_SIZE: usize = 1024;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf { keys: Vec<Vec<u8>>, values: Vec<u64>, next: PageId },
+    Internal { keys: Vec<Vec<u8>>, children: Vec<PageId> },
+}
+
+impl Node {
+    fn serialized_size(&self) -> usize {
+        match self {
+            Node::Leaf { keys, .. } => {
+                NODE_HEADER + keys.iter().map(|k| 2 + k.len() + 8).sum::<usize>()
+            }
+            Node::Internal { keys, .. } => {
+                NODE_HEADER + keys.iter().map(|k| 2 + k.len() + 8).sum::<usize>()
+            }
+        }
+    }
+
+    fn key_count(&self) -> usize {
+        match self {
+            Node::Leaf { keys, .. } => keys.len(),
+            Node::Internal { keys, .. } => keys.len(),
+        }
+    }
+
+    fn write_to(&self, page: &mut Page) {
+        match self {
+            Node::Leaf { keys, values, next } => {
+                page.bytes_mut()[0] = TYPE_LEAF;
+                page.write_u16(1, keys.len() as u16);
+                page.write_u64(3, next.0);
+                let mut off = NODE_HEADER;
+                for (k, v) in keys.iter().zip(values) {
+                    page.write_u16(off, k.len() as u16);
+                    off += 2;
+                    page.write_bytes(off, k);
+                    off += k.len();
+                    page.write_u64(off, *v);
+                    off += 8;
+                }
+            }
+            Node::Internal { keys, children } => {
+                page.bytes_mut()[0] = TYPE_INTERNAL;
+                page.write_u16(1, keys.len() as u16);
+                page.write_u64(3, children[0].0);
+                let mut off = NODE_HEADER;
+                for (k, c) in keys.iter().zip(children.iter().skip(1)) {
+                    page.write_u16(off, k.len() as u16);
+                    off += 2;
+                    page.write_bytes(off, k);
+                    off += k.len();
+                    page.write_u64(off, c.0);
+                    off += 8;
+                }
+            }
+        }
+    }
+
+    fn read_from(page: &Page) -> StorageResult<Node> {
+        let node_type = page.bytes()[0];
+        let count = page.read_u16(1) as usize;
+        let mut off = NODE_HEADER;
+        match node_type {
+            TYPE_LEAF => {
+                let next = PageId(page.read_u64(3));
+                let mut keys = Vec::with_capacity(count);
+                let mut values = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let klen = page.read_u16(off) as usize;
+                    off += 2;
+                    if off + klen + 8 > PAGE_SIZE {
+                        return Err(StorageError::Corrupted("leaf entry overruns page".into()));
+                    }
+                    keys.push(page.read_bytes(off, klen).to_vec());
+                    off += klen;
+                    values.push(page.read_u64(off));
+                    off += 8;
+                }
+                Ok(Node::Leaf { keys, values, next })
+            }
+            TYPE_INTERNAL => {
+                let mut children = Vec::with_capacity(count + 1);
+                children.push(PageId(page.read_u64(3)));
+                let mut keys = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let klen = page.read_u16(off) as usize;
+                    off += 2;
+                    if off + klen + 8 > PAGE_SIZE {
+                        return Err(StorageError::Corrupted("internal entry overruns page".into()));
+                    }
+                    keys.push(page.read_bytes(off, klen).to_vec());
+                    off += klen;
+                    children.push(PageId(page.read_u64(off)));
+                    off += 8;
+                }
+                Ok(Node::Internal { keys, children })
+            }
+            other => Err(StorageError::Corrupted(format!("unknown B+tree node type {other}"))),
+        }
+    }
+}
+
+/// A B+tree rooted at a page in the database file.
+#[derive(Debug, Clone)]
+pub struct BTree {
+    root: PageId,
+}
+
+/// Result of inserting into a subtree: `Split` carries the separator key and
+/// the page id of the newly created right sibling.
+enum InsertResult {
+    Done,
+    Split(Vec<u8>, PageId),
+}
+
+impl BTree {
+    /// Create an empty tree (a single empty leaf).
+    pub fn create(pool: &BufferPool) -> StorageResult<Self> {
+        let root = pool.allocate_page()?;
+        let node = Node::Leaf { keys: Vec::new(), values: Vec::new(), next: PageId::NULL };
+        write_node(pool, root, &node)?;
+        Ok(BTree { root })
+    }
+
+    /// Open an existing tree given its root page (as stored in the catalog).
+    pub fn open(root: PageId) -> Self {
+        BTree { root }
+    }
+
+    /// The current root page id (persist this in the catalog; it changes when
+    /// the root splits).
+    pub fn root(&self) -> PageId {
+        self.root
+    }
+
+    /// Insert a key/value pair. Duplicate keys are allowed and kept in
+    /// insertion order among equals.
+    pub fn insert(&mut self, pool: &BufferPool, key: &[u8], value: u64) -> StorageResult<()> {
+        if key.len() > MAX_KEY_SIZE {
+            return Err(StorageError::RecordTooLarge(key.len()));
+        }
+        match self.insert_rec(pool, self.root, key, value)? {
+            InsertResult::Done => Ok(()),
+            InsertResult::Split(sep, right) => {
+                // Grow the tree by one level.
+                let new_root = pool.allocate_page()?;
+                let node =
+                    Node::Internal { keys: vec![sep], children: vec![self.root, right] };
+                write_node(pool, new_root, &node)?;
+                self.root = new_root;
+                Ok(())
+            }
+        }
+    }
+
+    fn insert_rec(
+        &self,
+        pool: &BufferPool,
+        page: PageId,
+        key: &[u8],
+        value: u64,
+    ) -> StorageResult<InsertResult> {
+        match read_node(pool, page)? {
+            Node::Leaf { mut keys, mut values, next } => {
+                // Upper bound keeps equal keys in insertion order.
+                let pos = keys.partition_point(|k| k.as_slice() <= key);
+                keys.insert(pos, key.to_vec());
+                values.insert(pos, value);
+                let node = Node::Leaf { keys, values, next };
+                if node.serialized_size() <= PAGE_SIZE {
+                    write_node(pool, page, &node)?;
+                    return Ok(InsertResult::Done);
+                }
+                // Split: move the upper half to a new right sibling.
+                let (keys, values, next) = match node {
+                    Node::Leaf { keys, values, next } => (keys, values, next),
+                    Node::Internal { .. } => unreachable!("node was constructed as a leaf"),
+                };
+                let mid = keys.len() / 2;
+                let right_keys = keys[mid..].to_vec();
+                let right_values = values[mid..].to_vec();
+                let left_keys = keys[..mid].to_vec();
+                let left_values = values[..mid].to_vec();
+                let right_page = pool.allocate_page()?;
+                let sep = right_keys[0].clone();
+                let right_node = Node::Leaf { keys: right_keys, values: right_values, next };
+                let left_node =
+                    Node::Leaf { keys: left_keys, values: left_values, next: right_page };
+                write_node(pool, right_page, &right_node)?;
+                write_node(pool, page, &left_node)?;
+                Ok(InsertResult::Split(sep, right_page))
+            }
+            Node::Internal { mut keys, mut children } => {
+                let idx = keys.partition_point(|k| k.as_slice() <= key);
+                let child = children[idx];
+                match self.insert_rec(pool, child, key, value)? {
+                    InsertResult::Done => Ok(InsertResult::Done),
+                    InsertResult::Split(sep, right) => {
+                        keys.insert(idx, sep);
+                        children.insert(idx + 1, right);
+                        let node = Node::Internal { keys, children };
+                        if node.serialized_size() <= PAGE_SIZE {
+                            write_node(pool, page, &node)?;
+                            return Ok(InsertResult::Done);
+                        }
+                        let (keys, children) = match node {
+                            Node::Internal { keys, children } => (keys, children),
+                            Node::Leaf { .. } => unreachable!("node was constructed as internal"),
+                        };
+                        let mid = keys.len() / 2;
+                        let promote = keys[mid].clone();
+                        let right_keys = keys[mid + 1..].to_vec();
+                        let right_children = children[mid + 1..].to_vec();
+                        let left_keys = keys[..mid].to_vec();
+                        let left_children = children[..mid + 1].to_vec();
+                        let right_page = pool.allocate_page()?;
+                        write_node(
+                            pool,
+                            right_page,
+                            &Node::Internal { keys: right_keys, children: right_children },
+                        )?;
+                        write_node(
+                            pool,
+                            page,
+                            &Node::Internal { keys: left_keys, children: left_children },
+                        )?;
+                        Ok(InsertResult::Split(promote, right_page))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Look up the first value stored under exactly `key`.
+    pub fn get(&self, pool: &BufferPool, key: &[u8]) -> StorageResult<Option<u64>> {
+        let (leaf_page, node) = self.descend_to_leaf(pool, key)?;
+        let _ = leaf_page;
+        if let Node::Leaf { keys, values, .. } = node {
+            let pos = keys.partition_point(|k| k.as_slice() < key);
+            if pos < keys.len() && keys[pos] == key {
+                return Ok(Some(values[pos]));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Collect every value stored under exactly `key`.
+    pub fn get_all(&self, pool: &BufferPool, key: &[u8]) -> StorageResult<Vec<u64>> {
+        let mut out = Vec::new();
+        let upper = {
+            let mut k = key.to_vec();
+            k.push(0x00);
+            k
+        };
+        // Equal keys are contiguous, so a bounded range scan collects them.
+        for item in self.range(pool, Some(key), Some(&upper))? {
+            let (k, v) = item?;
+            if k == key {
+                out.push(v);
+            }
+        }
+        Ok(out)
+    }
+
+    /// `true` if at least one entry has exactly `key`.
+    pub fn contains(&self, pool: &BufferPool, key: &[u8]) -> StorageResult<bool> {
+        Ok(self.get(pool, key)?.is_some())
+    }
+
+    /// Remove *one* entry matching `key` (and `value`, when given). Returns
+    /// `true` if an entry was removed. Nodes are not rebalanced.
+    pub fn delete(
+        &self,
+        pool: &BufferPool,
+        key: &[u8],
+        value: Option<u64>,
+    ) -> StorageResult<bool> {
+        // Walk to the leaf, tracking the path (root never shrinks here).
+        let mut page = self.root;
+        loop {
+            let node = read_node(pool, page)?;
+            match node {
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|k| k.as_slice() <= key);
+                    page = children[idx];
+                }
+                Node::Leaf { mut keys, mut values, next } => {
+                    let start = keys.partition_point(|k| k.as_slice() < key);
+                    let mut found = None;
+                    for i in start..keys.len() {
+                        if keys[i] != key {
+                            break;
+                        }
+                        if value.is_none() || value == Some(values[i]) {
+                            found = Some(i);
+                            break;
+                        }
+                    }
+                    let Some(i) = found else { return Ok(false) };
+                    keys.remove(i);
+                    values.remove(i);
+                    write_node(pool, page, &Node::Leaf { keys, values, next })?;
+                    return Ok(true);
+                }
+            }
+        }
+    }
+
+    /// Range scan over `low..high` (byte-wise, low inclusive, high exclusive).
+    /// `None` bounds mean unbounded.
+    pub fn range<'a>(
+        &self,
+        pool: &'a BufferPool,
+        low: Option<&[u8]>,
+        high: Option<&[u8]>,
+    ) -> StorageResult<RangeIter<'a>> {
+        let start_page = match low {
+            // Lower-bound descent: when duplicates of `low` straddle a split,
+            // the leftmost leaf that can contain `low` must be visited.
+            Some(key) => self.descend_to_leaf_lower(pool, key)?,
+            None => self.leftmost_leaf(pool)?,
+        };
+        Ok(RangeIter {
+            pool,
+            current: Some(start_page),
+            buffer: Vec::new(),
+            pos: 0,
+            low: low.map(|k| k.to_vec()),
+            high: high.map(|k| k.to_vec()),
+            exhausted: false,
+        })
+    }
+
+    /// Number of entries in the tree (full scan).
+    pub fn len(&self, pool: &BufferPool) -> StorageResult<usize> {
+        let mut count = 0usize;
+        for item in self.range(pool, None, None)? {
+            item?;
+            count += 1;
+        }
+        Ok(count)
+    }
+
+    /// `true` when the tree holds no entries.
+    pub fn is_empty(&self, pool: &BufferPool) -> StorageResult<bool> {
+        Ok(self.len(pool)? == 0)
+    }
+
+    /// Height of the tree (1 = a single leaf). Used by the labeling ablation
+    /// to report index depth.
+    pub fn height(&self, pool: &BufferPool) -> StorageResult<usize> {
+        let mut h = 1usize;
+        let mut page = self.root;
+        loop {
+            match read_node(pool, page)? {
+                Node::Leaf { .. } => return Ok(h),
+                Node::Internal { children, .. } => {
+                    page = children[0];
+                    h += 1;
+                }
+            }
+        }
+    }
+
+    fn descend_to_leaf(&self, pool: &BufferPool, key: &[u8]) -> StorageResult<(PageId, Node)> {
+        let mut page = self.root;
+        loop {
+            let node = read_node(pool, page)?;
+            match node {
+                Node::Leaf { .. } => return Ok((page, node)),
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|k| k.as_slice() <= key);
+                    page = children[idx];
+                }
+            }
+        }
+    }
+
+    fn descend_to_leaf_lower(&self, pool: &BufferPool, key: &[u8]) -> StorageResult<PageId> {
+        let mut page = self.root;
+        loop {
+            match read_node(pool, page)? {
+                Node::Leaf { .. } => return Ok(page),
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|k| k.as_slice() < key);
+                    page = children[idx];
+                }
+            }
+        }
+    }
+
+    fn leftmost_leaf(&self, pool: &BufferPool) -> StorageResult<PageId> {
+        let mut page = self.root;
+        loop {
+            match read_node(pool, page)? {
+                Node::Leaf { .. } => return Ok(page),
+                Node::Internal { children, .. } => page = children[0],
+            }
+        }
+    }
+}
+
+/// Iterator over a key range, walking the leaf chain.
+pub struct RangeIter<'a> {
+    pool: &'a BufferPool,
+    current: Option<PageId>,
+    buffer: Vec<(Vec<u8>, u64)>,
+    pos: usize,
+    low: Option<Vec<u8>>,
+    high: Option<Vec<u8>>,
+    exhausted: bool,
+}
+
+impl<'a> RangeIter<'a> {
+    fn refill(&mut self) -> StorageResult<()> {
+        self.buffer.clear();
+        self.pos = 0;
+        while self.buffer.is_empty() {
+            let Some(page) = self.current else {
+                self.exhausted = true;
+                return Ok(());
+            };
+            let node = read_node(self.pool, page)?;
+            let Node::Leaf { keys, values, next } = node else {
+                return Err(StorageError::Corrupted("leaf chain contains an internal node".into()));
+            };
+            for (k, v) in keys.into_iter().zip(values) {
+                if let Some(low) = &self.low {
+                    if &k < low {
+                        continue;
+                    }
+                }
+                if let Some(high) = &self.high {
+                    if &k >= high {
+                        self.exhausted = true;
+                        self.current = None;
+                        return Ok(());
+                    }
+                }
+                self.buffer.push((k, v));
+            }
+            self.current = if next.is_null() { None } else { Some(next) };
+            if self.current.is_none() && self.buffer.is_empty() {
+                self.exhausted = true;
+                return Ok(());
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<'a> Iterator for RangeIter<'a> {
+    type Item = StorageResult<(Vec<u8>, u64)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos >= self.buffer.len() {
+            if self.exhausted {
+                return None;
+            }
+            if let Err(e) = self.refill() {
+                self.exhausted = true;
+                return Some(Err(e));
+            }
+            if self.buffer.is_empty() {
+                return None;
+            }
+        }
+        let item = self.buffer[self.pos].clone();
+        self.pos += 1;
+        Some(Ok(item))
+    }
+}
+
+fn read_node(pool: &BufferPool, page: PageId) -> StorageResult<Node> {
+    pool.with_page(page, Node::read_from)?
+}
+
+fn write_node(pool: &BufferPool, page: PageId, node: &Node) -> StorageResult<()> {
+    debug_assert!(node.serialized_size() <= PAGE_SIZE, "node does not fit in a page");
+    debug_assert!(node.key_count() < u16::MAX as usize);
+    pool.with_page_mut(page, |p| node.write_to(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::Pager;
+    use crate::value::Value;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    use tempfile::tempdir;
+
+    fn pool() -> (tempfile::TempDir, BufferPool) {
+        let dir = tempdir().unwrap();
+        let pager = Pager::create(dir.path().join("t.crdb")).unwrap();
+        (dir, BufferPool::with_capacity(pager, 256))
+    }
+
+    #[test]
+    fn empty_tree() {
+        let (_d, pool) = pool();
+        let tree = BTree::create(&pool).unwrap();
+        assert!(tree.is_empty(&pool).unwrap());
+        assert_eq!(tree.get(&pool, b"anything").unwrap(), None);
+        assert_eq!(tree.height(&pool).unwrap(), 1);
+    }
+
+    #[test]
+    fn insert_and_get_small() {
+        let (_d, pool) = pool();
+        let mut tree = BTree::create(&pool).unwrap();
+        for (i, key) in ["delta", "alpha", "charlie", "bravo"].iter().enumerate() {
+            tree.insert(&pool, key.as_bytes(), i as u64).unwrap();
+        }
+        assert_eq!(tree.get(&pool, b"alpha").unwrap(), Some(1));
+        assert_eq!(tree.get(&pool, b"delta").unwrap(), Some(0));
+        assert_eq!(tree.get(&pool, b"echo").unwrap(), None);
+        assert_eq!(tree.len(&pool).unwrap(), 4);
+    }
+
+    #[test]
+    fn insert_many_causes_splits_and_stays_sorted() {
+        let (_d, pool) = pool();
+        let mut tree = BTree::create(&pool).unwrap();
+        let mut keys: Vec<u64> = (0..5000).collect();
+        let mut rng = StdRng::seed_from_u64(7);
+        keys.shuffle(&mut rng);
+        for &k in &keys {
+            tree.insert(&pool, &Value::Int(k as i64).key_bytes(), k).unwrap();
+        }
+        assert!(tree.height(&pool).unwrap() > 1, "5000 keys must split the root");
+        assert_eq!(tree.len(&pool).unwrap(), 5000);
+        // Point lookups.
+        for k in [0u64, 1, 777, 2500, 4999] {
+            assert_eq!(tree.get(&pool, &Value::Int(k as i64).key_bytes()).unwrap(), Some(k));
+        }
+        // Full scan is sorted.
+        let all: Vec<(Vec<u8>, u64)> =
+            tree.range(&pool, None, None).unwrap().collect::<StorageResult<_>>().unwrap();
+        assert_eq!(all.len(), 5000);
+        for w in all.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+        // Values follow the key order (keys encode the value).
+        for (i, (_, v)) in all.iter().enumerate() {
+            assert_eq!(*v, i as u64);
+        }
+    }
+
+    #[test]
+    fn range_scan_bounds() {
+        let (_d, pool) = pool();
+        let mut tree = BTree::create(&pool).unwrap();
+        for k in 0..1000i64 {
+            tree.insert(&pool, &Value::Int(k).key_bytes(), k as u64).unwrap();
+        }
+        let low = Value::Int(100).key_bytes();
+        let high = Value::Int(200).key_bytes();
+        let hits: Vec<u64> = tree
+            .range(&pool, Some(&low), Some(&high))
+            .unwrap()
+            .map(|r| r.unwrap().1)
+            .collect();
+        assert_eq!(hits, (100..200).map(|v| v as u64).collect::<Vec<_>>());
+        // Unbounded low.
+        let hits: Vec<u64> =
+            tree.range(&pool, None, Some(&Value::Int(5).key_bytes())).unwrap().map(|r| r.unwrap().1).collect();
+        assert_eq!(hits, vec![0, 1, 2, 3, 4]);
+        // Unbounded high.
+        let hits: Vec<u64> = tree
+            .range(&pool, Some(&Value::Int(995).key_bytes()), None)
+            .unwrap()
+            .map(|r| r.unwrap().1)
+            .collect();
+        assert_eq!(hits, vec![995, 996, 997, 998, 999]);
+        // Empty range.
+        let hits: Vec<u64> = tree
+            .range(&pool, Some(&Value::Int(500).key_bytes()), Some(&Value::Int(500).key_bytes()))
+            .unwrap()
+            .map(|r| r.unwrap().1)
+            .collect();
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn duplicate_keys_all_retrievable() {
+        let (_d, pool) = pool();
+        let mut tree = BTree::create(&pool).unwrap();
+        for v in 0..50u64 {
+            tree.insert(&pool, b"same-key", v).unwrap();
+        }
+        tree.insert(&pool, b"other", 99).unwrap();
+        let all = tree.get_all(&pool, b"same-key").unwrap();
+        assert_eq!(all.len(), 50);
+        let mut sorted = all.clone();
+        sorted.sort();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_eq!(tree.get_all(&pool, b"other").unwrap(), vec![99]);
+        assert_eq!(tree.get_all(&pool, b"missing").unwrap(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn float_keys_range_scan_matches_numeric_order() {
+        let (_d, pool) = pool();
+        let mut tree = BTree::create(&pool).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut times: Vec<f64> = (0..2000).map(|i| i as f64 * 0.01).collect();
+        times.shuffle(&mut rng);
+        for (i, t) in times.iter().enumerate() {
+            tree.insert(&pool, &Value::Float(*t).key_bytes(), i as u64).unwrap();
+        }
+        // "All nodes with time >= 15.0" — the paper's sampling predicate.
+        let low = Value::Float(15.0).key_bytes();
+        let count = tree.range(&pool, Some(&low), None).unwrap().count();
+        assert_eq!(count, 500); // times 15.00..19.99
+    }
+
+    #[test]
+    fn delete_removes_single_entry() {
+        let (_d, pool) = pool();
+        let mut tree = BTree::create(&pool).unwrap();
+        for k in 0..100i64 {
+            tree.insert(&pool, &Value::Int(k).key_bytes(), k as u64).unwrap();
+        }
+        assert!(tree.delete(&pool, &Value::Int(42).key_bytes(), None).unwrap());
+        assert_eq!(tree.get(&pool, &Value::Int(42).key_bytes()).unwrap(), None);
+        assert!(!tree.delete(&pool, &Value::Int(42).key_bytes(), None).unwrap());
+        assert_eq!(tree.len(&pool).unwrap(), 99);
+        // Delete by (key, value) pair among duplicates.
+        tree.insert(&pool, b"dup", 1).unwrap();
+        tree.insert(&pool, b"dup", 2).unwrap();
+        assert!(tree.delete(&pool, b"dup", Some(2)).unwrap());
+        assert_eq!(tree.get_all(&pool, b"dup").unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn oversized_key_rejected() {
+        let (_d, pool) = pool();
+        let mut tree = BTree::create(&pool).unwrap();
+        let big = vec![1u8; MAX_KEY_SIZE + 1];
+        assert!(tree.insert(&pool, &big, 0).is_err());
+    }
+
+    #[test]
+    fn persists_across_reopen() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("t.crdb");
+        let root;
+        {
+            let pager = Pager::create(&path).unwrap();
+            let pool = BufferPool::with_capacity(pager, 64);
+            let mut tree = BTree::create(&pool).unwrap();
+            for k in 0..3000i64 {
+                tree.insert(&pool, &Value::Int(k).key_bytes(), (k * 2) as u64).unwrap();
+            }
+            root = tree.root();
+            pool.flush().unwrap();
+        }
+        let pager = Pager::open(&path).unwrap();
+        let pool = BufferPool::with_capacity(pager, 64);
+        let tree = BTree::open(root);
+        assert_eq!(tree.get(&pool, &Value::Int(1234).key_bytes()).unwrap(), Some(2468));
+        assert_eq!(tree.len(&pool).unwrap(), 3000);
+    }
+
+    #[test]
+    fn long_string_keys() {
+        let (_d, pool) = pool();
+        let mut tree = BTree::create(&pool).unwrap();
+        for i in 0..200 {
+            let key = format!("{}{:04}", "x".repeat(300), i);
+            tree.insert(&pool, key.as_bytes(), i as u64).unwrap();
+        }
+        assert_eq!(tree.len(&pool).unwrap(), 200);
+        let key = format!("{}{:04}", "x".repeat(300), 150);
+        assert_eq!(tree.get(&pool, key.as_bytes()).unwrap(), Some(150));
+        assert!(tree.height(&pool).unwrap() >= 2);
+    }
+
+    #[test]
+    fn small_buffer_pool_still_correct() {
+        // Forces constant eviction during index build.
+        let dir = tempdir().unwrap();
+        let pager = Pager::create(dir.path().join("t.crdb")).unwrap();
+        let pool = BufferPool::with_capacity(pager, 8);
+        let mut tree = BTree::create(&pool).unwrap();
+        for k in 0..2000i64 {
+            tree.insert(&pool, &Value::Int(k).key_bytes(), k as u64).unwrap();
+        }
+        for k in [0i64, 999, 1500, 1999] {
+            assert_eq!(tree.get(&pool, &Value::Int(k).key_bytes()).unwrap(), Some(k as u64));
+        }
+        assert!(pool.stats().evictions > 0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Catalog: persistent metadata about tables and indexes.
+//!
+//! The catalog is a small JSON document stored in a chain of dedicated pages
+//! (page layout: `len: u32`, `next: u64`, payload). The file header records
+//! the first catalog page. JSON keeps the metadata human-inspectable with a
+//! hex dump and avoids inventing yet another binary format for a structure
+//! that is read once per open and written only on DDL or flush.
+
+use crate::buffer::BufferPool;
+use crate::error::{StorageError, StorageResult};
+use crate::page::{PageId, PAGE_SIZE};
+use crate::schema::Schema;
+use serde::{Deserialize, Serialize};
+
+const CAT_LEN: usize = 0;
+const CAT_NEXT: usize = 4;
+const CAT_HEADER: usize = 12;
+const CAT_PAYLOAD: usize = PAGE_SIZE - CAT_HEADER;
+
+/// Metadata for one secondary index.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IndexMeta {
+    /// Index name (unique per table); by convention `<table>_<column>_idx`.
+    pub name: String,
+    /// Indexed column name.
+    pub column: String,
+    /// Whether duplicate keys are rejected.
+    pub unique: bool,
+    /// Root page of the backing B+tree.
+    pub root_page: u64,
+}
+
+/// Metadata for one table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableMeta {
+    /// Table name.
+    pub name: String,
+    /// Column definitions.
+    pub schema: Schema,
+    /// First page of the backing heap file.
+    pub heap_first_page: u64,
+    /// Secondary indexes.
+    pub indexes: Vec<IndexMeta>,
+}
+
+/// The full catalog.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Catalog {
+    /// All tables, in creation order. A table's position is its `TableId`.
+    pub tables: Vec<TableMeta>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Find a table index by name.
+    pub fn table_id(&self, name: &str) -> Option<usize> {
+        self.tables.iter().position(|t| t.name == name)
+    }
+
+    /// Serialize and persist the catalog, reusing/extending the existing page
+    /// chain starting at the header's catalog root (allocating it on first
+    /// save). Returns the first catalog page.
+    pub fn save(&self, pool: &BufferPool) -> StorageResult<PageId> {
+        let payload =
+            serde_json::to_vec(self).map_err(|e| StorageError::Corrupted(e.to_string()))?;
+        let mut first = pool.catalog_root();
+        if first.is_null() {
+            first = pool.allocate_page()?;
+            pool.set_catalog_root(first);
+        }
+        let mut remaining: &[u8] = &payload;
+        let mut current = first;
+        loop {
+            let chunk_len = remaining.len().min(CAT_PAYLOAD);
+            let (chunk, rest) = remaining.split_at(chunk_len);
+            let existing_next =
+                pool.with_page(current, |p| PageId(p.read_u64(CAT_NEXT)))?;
+            let next = if rest.is_empty() {
+                PageId::NULL
+            } else if existing_next.is_null() {
+                pool.allocate_page()?
+            } else {
+                existing_next
+            };
+            pool.with_page_mut(current, |p| {
+                p.write_u32(CAT_LEN, chunk.len() as u32);
+                p.write_u64(CAT_NEXT, next.0);
+                p.write_bytes(CAT_HEADER, chunk);
+            })?;
+            if rest.is_empty() {
+                break;
+            }
+            remaining = rest;
+            current = next;
+        }
+        Ok(first)
+    }
+
+    /// Load the catalog from the page chain recorded in the file header.
+    /// A null root yields an empty catalog (fresh database).
+    pub fn load(pool: &BufferPool) -> StorageResult<Catalog> {
+        let first = pool.catalog_root();
+        if first.is_null() {
+            return Ok(Catalog::new());
+        }
+        let mut payload = Vec::new();
+        let mut current = first;
+        loop {
+            let (chunk, next) = pool.with_page(current, |p| {
+                let len = p.read_u32(CAT_LEN) as usize;
+                let next = PageId(p.read_u64(CAT_NEXT));
+                (p.read_bytes(CAT_HEADER, len.min(CAT_PAYLOAD)).to_vec(), next)
+            })?;
+            payload.extend_from_slice(&chunk);
+            if next.is_null() {
+                break;
+            }
+            current = next;
+        }
+        if payload.is_empty() {
+            return Ok(Catalog::new());
+        }
+        serde_json::from_slice(&payload)
+            .map_err(|e| StorageError::Corrupted(format!("catalog decode failed: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::Pager;
+    use crate::schema::ColumnDef;
+    use crate::value::ValueType;
+    use tempfile::tempdir;
+
+    fn pool() -> (tempfile::TempDir, BufferPool) {
+        let dir = tempdir().unwrap();
+        let pager = Pager::create(dir.path().join("t.crdb")).unwrap();
+        (dir, BufferPool::with_capacity(pager, 64))
+    }
+
+    fn sample_table(name: &str) -> TableMeta {
+        TableMeta {
+            name: name.to_string(),
+            schema: Schema::new(vec![
+                ColumnDef::not_null("id", ValueType::Int),
+                ColumnDef::new("name", ValueType::Text),
+            ]),
+            heap_first_page: 7,
+            indexes: vec![IndexMeta {
+                name: format!("{name}_name_idx"),
+                column: "name".to_string(),
+                unique: false,
+                root_page: 9,
+            }],
+        }
+    }
+
+    #[test]
+    fn empty_catalog_loads_when_no_root() {
+        let (_d, pool) = pool();
+        let cat = Catalog::load(&pool).unwrap();
+        assert!(cat.tables.is_empty());
+    }
+
+    #[test]
+    fn save_and_load_roundtrip() {
+        let (_d, pool) = pool();
+        let mut cat = Catalog::new();
+        cat.tables.push(sample_table("tree_nodes"));
+        cat.tables.push(sample_table("species"));
+        cat.save(&pool).unwrap();
+        let back = Catalog::load(&pool).unwrap();
+        assert_eq!(back, cat);
+        assert_eq!(back.table_id("species"), Some(1));
+        assert_eq!(back.table_id("missing"), None);
+    }
+
+    #[test]
+    fn resave_grows_and_shrinks() {
+        let (_d, pool) = pool();
+        let mut cat = Catalog::new();
+        // Large catalog spanning multiple pages.
+        for i in 0..200 {
+            cat.tables.push(sample_table(&format!("table_with_a_rather_long_name_{i}")));
+        }
+        cat.save(&pool).unwrap();
+        let back = Catalog::load(&pool).unwrap();
+        assert_eq!(back.tables.len(), 200);
+        // Shrink and resave — must load the small version afterwards.
+        cat.tables.truncate(3);
+        cat.save(&pool).unwrap();
+        let back = Catalog::load(&pool).unwrap();
+        assert_eq!(back.tables.len(), 3);
+    }
+
+    #[test]
+    fn persists_across_reopen() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("t.crdb");
+        {
+            let pager = Pager::create(&path).unwrap();
+            let pool = BufferPool::new(pager);
+            let mut cat = Catalog::new();
+            cat.tables.push(sample_table("persisted"));
+            cat.save(&pool).unwrap();
+            pool.flush().unwrap();
+        }
+        let pager = Pager::open(&path).unwrap();
+        let pool = BufferPool::new(pager);
+        let cat = Catalog::load(&pool).unwrap();
+        assert_eq!(cat.tables.len(), 1);
+        assert_eq!(cat.tables[0].name, "persisted");
+        assert_eq!(cat.tables[0].indexes[0].root_page, 9);
+    }
+}

@@ -1,0 +1,609 @@
+//! The `Database` facade: tables, rows and secondary indexes in one place.
+//!
+//! This is the interface the Crimson repository manager programs against.
+//! It deliberately looks like a minimal embedded record store rather than a
+//! SQL engine: Crimson's queries are point lookups, range scans and full
+//! scans, all of which are expressed directly.
+
+use crate::btree::BTree;
+use crate::buffer::{BufferPool, BufferStats};
+use crate::catalog::{Catalog, IndexMeta, TableMeta};
+use crate::error::{StorageError, StorageResult};
+use crate::heap::{HeapFile, RecordId};
+use crate::page::PageId;
+use crate::pager::Pager;
+use crate::schema::{Row, Schema};
+use crate::value::Value;
+use std::collections::HashMap;
+use std::path::Path;
+
+/// Identifier of a table (its position in the catalog).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TableId(pub usize);
+
+/// An embedded, disk-backed record store with secondary B+tree indexes.
+pub struct Database {
+    pool: BufferPool,
+    catalog: Catalog,
+    heaps: HashMap<usize, HeapFile>,
+    indexes: HashMap<(usize, String), BTree>,
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("tables", &self.catalog.tables.len())
+            .field("buffer", &self.pool)
+            .finish()
+    }
+}
+
+impl Database {
+    /// Create a new database file with the default buffer-pool capacity.
+    pub fn create(path: impl AsRef<Path>) -> StorageResult<Self> {
+        Self::create_with_capacity(path, BufferPool::DEFAULT_CAPACITY)
+    }
+
+    /// Create a new database file with an explicit buffer-pool capacity
+    /// (in pages). Used by the repository-scale experiment (E9).
+    pub fn create_with_capacity(path: impl AsRef<Path>, pages: usize) -> StorageResult<Self> {
+        let pager = Pager::create(path)?;
+        let pool = BufferPool::with_capacity(pager, pages);
+        Ok(Database { pool, catalog: Catalog::new(), heaps: HashMap::new(), indexes: HashMap::new() })
+    }
+
+    /// Open an existing database file.
+    pub fn open(path: impl AsRef<Path>) -> StorageResult<Self> {
+        Self::open_with_capacity(path, BufferPool::DEFAULT_CAPACITY)
+    }
+
+    /// Open an existing database file with an explicit buffer-pool capacity.
+    pub fn open_with_capacity(path: impl AsRef<Path>, pages: usize) -> StorageResult<Self> {
+        let pager = Pager::open(path)?;
+        let pool = BufferPool::with_capacity(pager, pages);
+        let catalog = Catalog::load(&pool)?;
+        let mut heaps = HashMap::new();
+        let mut indexes = HashMap::new();
+        for (tid, table) in catalog.tables.iter().enumerate() {
+            heaps.insert(tid, HeapFile::open(&pool, PageId(table.heap_first_page))?);
+            for idx in &table.indexes {
+                indexes.insert((tid, idx.column.clone()), BTree::open(PageId(idx.root_page)));
+            }
+        }
+        Ok(Database { pool, catalog, heaps, indexes })
+    }
+
+    // ------------------------------------------------------------------
+    // DDL
+    // ------------------------------------------------------------------
+
+    /// Create a table and return its id.
+    pub fn create_table(&mut self, name: &str, schema: Schema) -> StorageResult<TableId> {
+        if self.catalog.table_id(name).is_some() {
+            return Err(StorageError::AlreadyExists(name.to_string()));
+        }
+        let heap = HeapFile::create(&self.pool)?;
+        let meta = TableMeta {
+            name: name.to_string(),
+            schema,
+            heap_first_page: heap.first_page().0,
+            indexes: Vec::new(),
+        };
+        self.catalog.tables.push(meta);
+        let tid = self.catalog.tables.len() - 1;
+        self.heaps.insert(tid, heap);
+        self.catalog.save(&self.pool)?;
+        Ok(TableId(tid))
+    }
+
+    /// Look up a table id by name.
+    pub fn table(&self, name: &str) -> StorageResult<TableId> {
+        self.catalog
+            .table_id(name)
+            .map(TableId)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    /// The schema of a table.
+    pub fn schema(&self, table: TableId) -> StorageResult<&Schema> {
+        self.table_meta(table).map(|t| &t.schema)
+    }
+
+    /// Names of all tables in creation order.
+    pub fn table_names(&self) -> Vec<String> {
+        self.catalog.tables.iter().map(|t| t.name.clone()).collect()
+    }
+
+    /// Create a secondary index over `column`. Existing rows are indexed
+    /// immediately. `unique` enables duplicate-key rejection on later inserts
+    /// (and fails now if existing data already violates it).
+    pub fn create_index(
+        &mut self,
+        table: TableId,
+        column: &str,
+        unique: bool,
+    ) -> StorageResult<()> {
+        let meta = self.table_meta(table)?;
+        let col_idx = meta.schema.column_index(column)?;
+        if meta.indexes.iter().any(|i| i.column == column) {
+            return Err(StorageError::AlreadyExists(format!("{}.{}", meta.name, column)));
+        }
+        let index_name = format!("{}_{}_idx", meta.name, column);
+        let mut btree = BTree::create(&self.pool)?;
+        // Index existing rows.
+        let schema = meta.schema.clone();
+        let heap = self.heap(table)?.clone();
+        for item in heap.scan(&self.pool)? {
+            let (rid, bytes) = item?;
+            let row = schema.decode_row(&bytes)?;
+            let value = &row.values[col_idx];
+            let key = Self::index_key(value, rid, unique);
+            if unique && btree.contains(&self.pool, &key)? {
+                return Err(StorageError::DuplicateKey(format!("{value:?}")));
+            }
+            btree.insert(&self.pool, &key, rid.to_u64())?;
+        }
+        let root = btree.root();
+        self.catalog.tables[table.0].indexes.push(IndexMeta {
+            name: index_name,
+            column: column.to_string(),
+            unique,
+            root_page: root.0,
+        });
+        self.indexes.insert((table.0, column.to_string()), btree);
+        self.catalog.save(&self.pool)?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // DML
+    // ------------------------------------------------------------------
+
+    /// Insert a row, maintaining all indexes. Returns the new record id.
+    pub fn insert(&mut self, table: TableId, values: &[Value]) -> StorageResult<RecordId> {
+        let meta = self.table_meta(table)?.clone();
+        let bytes = meta.schema.encode_row(values)?;
+        // Unique checks before any mutation.
+        for idx in &meta.indexes {
+            if idx.unique {
+                let col = meta.schema.column_index(&idx.column)?;
+                let key = values[col].key_bytes();
+                let btree = self.index(table, &idx.column)?;
+                if btree.contains(&self.pool, &key)? {
+                    return Err(StorageError::DuplicateKey(format!("{:?}", values[col])));
+                }
+            }
+        }
+        let heap = self.heaps.get_mut(&table.0).expect("heap loaded for every table");
+        let rid = heap.insert(&self.pool, &bytes)?;
+        for idx in &meta.indexes {
+            let col = meta.schema.column_index(&idx.column)?;
+            let key = Self::index_key(&values[col], rid, idx.unique);
+            let btree =
+                self.indexes.get_mut(&(table.0, idx.column.clone())).expect("index loaded");
+            let old_root = btree.root();
+            btree.insert(&self.pool, &key, rid.to_u64())?;
+            if btree.root() != old_root {
+                // Root split: persist the new root page in the catalog.
+                let root = btree.root().0;
+                let entry = self.catalog.tables[table.0]
+                    .indexes
+                    .iter_mut()
+                    .find(|i| i.column == idx.column)
+                    .expect("index metadata exists");
+                entry.root_page = root;
+                self.catalog.save(&self.pool)?;
+            }
+        }
+        Ok(rid)
+    }
+
+    /// Fetch a row by record id.
+    pub fn get(&self, table: TableId, rid: RecordId) -> StorageResult<Row> {
+        let meta = self.table_meta(table)?;
+        let heap = self.heap(table)?;
+        let bytes = heap.get(&self.pool, rid)?;
+        meta.schema.decode_row(&bytes)
+    }
+
+    /// Delete a row by record id, maintaining indexes.
+    pub fn delete(&mut self, table: TableId, rid: RecordId) -> StorageResult<()> {
+        let meta = self.table_meta(table)?.clone();
+        let row = self.get(table, rid)?;
+        for idx in &meta.indexes {
+            let col = meta.schema.column_index(&idx.column)?;
+            let key = Self::index_key(&row.values[col], rid, idx.unique);
+            let btree = self.index(table, &idx.column)?;
+            btree.delete(&self.pool, &key, Some(rid.to_u64()))?;
+        }
+        let heap = self.heap(table)?.clone();
+        heap.delete(&self.pool, rid)
+    }
+
+    /// Scan every row of a table, in physical order.
+    pub fn scan(&self, table: TableId) -> StorageResult<Vec<(RecordId, Row)>> {
+        let meta = self.table_meta(table)?;
+        let heap = self.heap(table)?;
+        let mut out = Vec::new();
+        for item in heap.scan(&self.pool)? {
+            let (rid, bytes) = item?;
+            out.push((rid, meta.schema.decode_row(&bytes)?));
+        }
+        Ok(out)
+    }
+
+    /// Number of rows in a table.
+    pub fn row_count(&self, table: TableId) -> StorageResult<usize> {
+        self.heap(table)?.len(&self.pool)
+    }
+
+    // ------------------------------------------------------------------
+    // Index access paths
+    // ------------------------------------------------------------------
+
+    /// Exact-match lookup through the index on `column`.
+    pub fn index_lookup(
+        &self,
+        table: TableId,
+        column: &str,
+        value: &Value,
+    ) -> StorageResult<Vec<RecordId>> {
+        let idx_meta = self.index_meta(table, column)?;
+        let btree = self.index(table, column)?;
+        if idx_meta.unique {
+            Ok(btree
+                .get(&self.pool, &value.key_bytes())?
+                .map(RecordId::from_u64)
+                .into_iter()
+                .collect())
+        } else {
+            // Non-unique keys carry a record-id suffix; scan the value prefix.
+            let low = value.key_bytes();
+            let mut high = low.clone();
+            high.extend_from_slice(&[0xFF; 9]);
+            let mut out = Vec::new();
+            for item in btree.range(&self.pool, Some(&low), Some(&high))? {
+                let (_, v) = item?;
+                out.push(RecordId::from_u64(v));
+            }
+            Ok(out)
+        }
+    }
+
+    /// Range scan through the index on `column`: `low ≤ value < high`
+    /// (`None` = unbounded). Returns record ids in key order.
+    pub fn index_range(
+        &self,
+        table: TableId,
+        column: &str,
+        low: Option<&Value>,
+        high: Option<&Value>,
+    ) -> StorageResult<Vec<RecordId>> {
+        let _ = self.index_meta(table, column)?;
+        let btree = self.index(table, column)?;
+        let low_key = low.map(|v| v.key_bytes());
+        let high_key = high.map(|v| v.key_bytes());
+        let mut out = Vec::new();
+        for item in btree.range(&self.pool, low_key.as_deref(), high_key.as_deref())? {
+            let (_, v) = item?;
+            out.push(RecordId::from_u64(v));
+        }
+        Ok(out)
+    }
+
+    /// Convenience: fetch full rows through [`Database::index_lookup`].
+    pub fn lookup_rows(
+        &self,
+        table: TableId,
+        column: &str,
+        value: &Value,
+    ) -> StorageResult<Vec<(RecordId, Row)>> {
+        let rids = self.index_lookup(table, column, value)?;
+        rids.into_iter().map(|rid| Ok((rid, self.get(table, rid)?))).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Maintenance
+    // ------------------------------------------------------------------
+
+    /// Flush all dirty pages and the catalog to disk.
+    pub fn flush(&mut self) -> StorageResult<()> {
+        self.catalog.save(&self.pool)?;
+        self.pool.flush()
+    }
+
+    /// Buffer-pool statistics (hits, misses, evictions).
+    pub fn buffer_stats(&self) -> BufferStats {
+        self.pool.stats()
+    }
+
+    /// Reset buffer-pool statistics.
+    pub fn reset_buffer_stats(&self) {
+        self.pool.reset_stats()
+    }
+
+    /// Drop cached pages (after flushing) to measure cold-start behaviour.
+    pub fn clear_cache(&self) -> StorageResult<()> {
+        self.pool.clear_cache()
+    }
+
+    /// Total pages allocated in the file.
+    pub fn page_count(&self) -> u64 {
+        self.pool.page_count()
+    }
+
+    /// Direct access to the buffer pool (used by tests and benches).
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    // ------------------------------------------------------------------
+    // Internal helpers
+    // ------------------------------------------------------------------
+
+    fn index_key(value: &Value, rid: RecordId, unique: bool) -> Vec<u8> {
+        let mut key = value.key_bytes();
+        if !unique {
+            key.extend_from_slice(&rid.to_u64().to_be_bytes());
+        }
+        key
+    }
+
+    fn table_meta(&self, table: TableId) -> StorageResult<&TableMeta> {
+        self.catalog
+            .tables
+            .get(table.0)
+            .ok_or_else(|| StorageError::UnknownTable(format!("#{}", table.0)))
+    }
+
+    fn index_meta(&self, table: TableId, column: &str) -> StorageResult<&IndexMeta> {
+        self.table_meta(table)?
+            .indexes
+            .iter()
+            .find(|i| i.column == column)
+            .ok_or_else(|| StorageError::UnknownIndex(column.to_string()))
+    }
+
+    fn heap(&self, table: TableId) -> StorageResult<&HeapFile> {
+        self.heaps
+            .get(&table.0)
+            .ok_or_else(|| StorageError::UnknownTable(format!("#{}", table.0)))
+    }
+
+    fn index(&self, table: TableId, column: &str) -> StorageResult<&BTree> {
+        self.indexes
+            .get(&(table.0, column.to_string()))
+            .ok_or_else(|| StorageError::UnknownIndex(column.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::value::ValueType;
+    use tempfile::tempdir;
+
+    fn species_schema() -> Schema {
+        Schema::new(vec![
+            ColumnDef::not_null("name", ValueType::Text),
+            ColumnDef::not_null("node_id", ValueType::Int),
+            ColumnDef::new("time", ValueType::Float),
+        ])
+    }
+
+    fn fresh() -> (tempfile::TempDir, Database) {
+        let dir = tempdir().unwrap();
+        let db = Database::create(dir.path().join("db.crdb")).unwrap();
+        (dir, db)
+    }
+
+    #[test]
+    fn create_insert_get() {
+        let (_d, mut db) = fresh();
+        let t = db.create_table("species", species_schema()).unwrap();
+        let rid =
+            db.insert(t, &[Value::text("Bha"), Value::Int(1), Value::Float(2.25)]).unwrap();
+        let row = db.get(t, rid).unwrap();
+        assert_eq!(row.values[0], Value::text("Bha"));
+        assert_eq!(db.row_count(t).unwrap(), 1);
+        assert_eq!(db.table_names(), vec!["species"]);
+        assert_eq!(db.table("species").unwrap(), t);
+        assert!(db.table("nope").is_err());
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let (_d, mut db) = fresh();
+        db.create_table("t", species_schema()).unwrap();
+        assert!(matches!(
+            db.create_table("t", species_schema()),
+            Err(StorageError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn schema_validation_on_insert() {
+        let (_d, mut db) = fresh();
+        let t = db.create_table("species", species_schema()).unwrap();
+        assert!(db.insert(t, &[Value::Int(1), Value::Int(2), Value::Null]).is_err());
+        assert!(db.insert(t, &[Value::text("x")]).is_err());
+    }
+
+    #[test]
+    fn unique_index_enforced() {
+        let (_d, mut db) = fresh();
+        let t = db.create_table("species", species_schema()).unwrap();
+        db.create_index(t, "name", true).unwrap();
+        db.insert(t, &[Value::text("Bha"), Value::Int(1), Value::Null]).unwrap();
+        let err = db.insert(t, &[Value::text("Bha"), Value::Int(2), Value::Null]);
+        assert!(matches!(err, Err(StorageError::DuplicateKey(_))));
+        // Different key is fine.
+        db.insert(t, &[Value::text("Lla"), Value::Int(2), Value::Null]).unwrap();
+    }
+
+    #[test]
+    fn non_unique_index_lookup() {
+        let (_d, mut db) = fresh();
+        let t = db.create_table("nodes", species_schema()).unwrap();
+        db.create_index(t, "name", false).unwrap();
+        for i in 0..10 {
+            db.insert(t, &[Value::text("dup"), Value::Int(i), Value::Null]).unwrap();
+        }
+        db.insert(t, &[Value::text("solo"), Value::Int(99), Value::Null]).unwrap();
+        assert_eq!(db.index_lookup(t, "name", &Value::text("dup")).unwrap().len(), 10);
+        assert_eq!(db.index_lookup(t, "name", &Value::text("solo")).unwrap().len(), 1);
+        assert_eq!(db.index_lookup(t, "name", &Value::text("missing")).unwrap().len(), 0);
+        let rows = db.lookup_rows(t, "name", &Value::text("solo")).unwrap();
+        assert_eq!(rows[0].1.values[1], Value::Int(99));
+    }
+
+    #[test]
+    fn index_created_after_data_covers_existing_rows() {
+        let (_d, mut db) = fresh();
+        let t = db.create_table("nodes", species_schema()).unwrap();
+        for i in 0..50 {
+            db.insert(t, &[Value::text(format!("n{i}")), Value::Int(i), Value::Float(i as f64)])
+                .unwrap();
+        }
+        db.create_index(t, "node_id", true).unwrap();
+        let hits = db.index_lookup(t, "node_id", &Value::Int(31)).unwrap();
+        assert_eq!(hits.len(), 1);
+        let row = db.get(t, hits[0]).unwrap();
+        assert_eq!(row.values[0], Value::text("n31"));
+    }
+
+    #[test]
+    fn index_range_scan_on_float_time() {
+        let (_d, mut db) = fresh();
+        let t = db.create_table("nodes", species_schema()).unwrap();
+        db.create_index(t, "time", false).unwrap();
+        for i in 0..100 {
+            db.insert(t, &[Value::text(format!("n{i}")), Value::Int(i), Value::Float(i as f64 * 0.1)])
+                .unwrap();
+        }
+        // time >= 5.0 (the paper's "total weight exceeds t" predicate)
+        let hits = db.index_range(t, "time", Some(&Value::Float(5.0)), None).unwrap();
+        assert_eq!(hits.len(), 50);
+        // 2.0 <= time < 3.0
+        let hits = db
+            .index_range(t, "time", Some(&Value::Float(2.0)), Some(&Value::Float(3.0)))
+            .unwrap();
+        assert_eq!(hits.len(), 10);
+        // Results come back ordered by time.
+        let times: Vec<f64> = hits
+            .iter()
+            .map(|rid| db.get(t, *rid).unwrap().values[2].as_float().unwrap())
+            .collect();
+        for w in times.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn delete_removes_from_indexes() {
+        let (_d, mut db) = fresh();
+        let t = db.create_table("nodes", species_schema()).unwrap();
+        db.create_index(t, "name", false).unwrap();
+        let rid = db.insert(t, &[Value::text("gone"), Value::Int(1), Value::Null]).unwrap();
+        db.insert(t, &[Value::text("kept"), Value::Int(2), Value::Null]).unwrap();
+        db.delete(t, rid).unwrap();
+        assert!(db.get(t, rid).is_err());
+        assert_eq!(db.index_lookup(t, "name", &Value::text("gone")).unwrap().len(), 0);
+        assert_eq!(db.index_lookup(t, "name", &Value::text("kept")).unwrap().len(), 1);
+        assert_eq!(db.row_count(t).unwrap(), 1);
+    }
+
+    #[test]
+    fn scan_returns_all_rows() {
+        let (_d, mut db) = fresh();
+        let t = db.create_table("nodes", species_schema()).unwrap();
+        for i in 0..20 {
+            db.insert(t, &[Value::text(format!("n{i}")), Value::Int(i), Value::Null]).unwrap();
+        }
+        let rows = db.scan(t).unwrap();
+        assert_eq!(rows.len(), 20);
+    }
+
+    #[test]
+    fn persistence_across_reopen() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("db.crdb");
+        {
+            let mut db = Database::create(&path).unwrap();
+            let t = db.create_table("species", species_schema()).unwrap();
+            db.create_index(t, "name", true).unwrap();
+            db.create_index(t, "time", false).unwrap();
+            for i in 0..1000 {
+                db.insert(
+                    t,
+                    &[Value::text(format!("sp{i}")), Value::Int(i), Value::Float(i as f64)],
+                )
+                .unwrap();
+            }
+            db.flush().unwrap();
+        }
+        let db = Database::open(&path).unwrap();
+        let t = db.table("species").unwrap();
+        assert_eq!(db.row_count(t).unwrap(), 1000);
+        let hits = db.index_lookup(t, "name", &Value::text("sp500")).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(db.get(t, hits[0]).unwrap().values[1], Value::Int(500));
+        let range =
+            db.index_range(t, "time", Some(&Value::Float(990.0)), None).unwrap();
+        assert_eq!(range.len(), 10);
+    }
+
+    #[test]
+    fn small_buffer_pool_many_rows() {
+        let dir = tempdir().unwrap();
+        let mut db = Database::create_with_capacity(dir.path().join("db.crdb"), 16).unwrap();
+        let t = db.create_table("nodes", species_schema()).unwrap();
+        db.create_index(t, "node_id", true).unwrap();
+        for i in 0..2000 {
+            db.insert(t, &[Value::text(format!("n{i}")), Value::Int(i), Value::Float(i as f64)])
+                .unwrap();
+        }
+        for probe in [0i64, 555, 1999] {
+            let hits = db.index_lookup(t, "node_id", &Value::Int(probe)).unwrap();
+            assert_eq!(hits.len(), 1, "probe {probe}");
+        }
+        assert!(db.buffer_stats().evictions > 0);
+        assert!(db.page_count() > 16);
+    }
+
+    #[test]
+    fn duplicate_index_rejected_and_unknown_column() {
+        let (_d, mut db) = fresh();
+        let t = db.create_table("nodes", species_schema()).unwrap();
+        db.create_index(t, "name", false).unwrap();
+        assert!(matches!(db.create_index(t, "name", false), Err(StorageError::AlreadyExists(_))));
+        assert!(matches!(db.create_index(t, "ghost", false), Err(StorageError::UnknownColumn(_))));
+        assert!(db.index_lookup(t, "ghost", &Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn unique_index_creation_fails_on_existing_duplicates() {
+        let (_d, mut db) = fresh();
+        let t = db.create_table("nodes", species_schema()).unwrap();
+        db.insert(t, &[Value::text("dup"), Value::Int(1), Value::Null]).unwrap();
+        db.insert(t, &[Value::text("dup"), Value::Int(2), Value::Null]).unwrap();
+        assert!(matches!(db.create_index(t, "name", true), Err(StorageError::DuplicateKey(_))));
+    }
+
+    #[test]
+    fn cold_cache_reads_still_work() {
+        let (_d, mut db) = fresh();
+        let t = db.create_table("nodes", species_schema()).unwrap();
+        db.create_index(t, "node_id", true).unwrap();
+        for i in 0..500 {
+            db.insert(t, &[Value::text(format!("n{i}")), Value::Int(i), Value::Null]).unwrap();
+        }
+        db.clear_cache().unwrap();
+        db.reset_buffer_stats();
+        let hits = db.index_lookup(t, "node_id", &Value::Int(123)).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert!(db.buffer_stats().misses > 0);
+        assert_eq!(db.buffer_stats().hit_ratio(), db.buffer_stats().hit_ratio());
+    }
+}

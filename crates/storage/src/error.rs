@@ -1,0 +1,101 @@
+//! Error handling for the storage engine.
+
+use std::fmt;
+use std::io;
+
+/// Convenience alias used throughout the crate.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+/// Errors produced by the storage engine.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying file I/O failed.
+    Io(io::Error),
+    /// The file is not a Crimson database (bad magic number) or is from an
+    /// incompatible version.
+    InvalidDatabase(String),
+    /// A page id was out of range or referenced a freed page.
+    InvalidPage(u64),
+    /// A record id referenced a missing slot.
+    InvalidRecord {
+        /// Page the record was expected on.
+        page: u64,
+        /// Slot index within the page.
+        slot: u16,
+    },
+    /// A record or key is too large to fit on a single page.
+    RecordTooLarge(usize),
+    /// The named table does not exist.
+    UnknownTable(String),
+    /// The named index does not exist.
+    UnknownIndex(String),
+    /// The named column does not exist in the table schema.
+    UnknownColumn(String),
+    /// A table or index with this name already exists.
+    AlreadyExists(String),
+    /// A row did not match the table schema.
+    SchemaMismatch(String),
+    /// A unique index rejected a duplicate key.
+    DuplicateKey(String),
+    /// Stored bytes could not be decoded (corruption or version skew).
+    Corrupted(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "I/O error: {e}"),
+            StorageError::InvalidDatabase(m) => write!(f, "invalid database file: {m}"),
+            StorageError::InvalidPage(p) => write!(f, "invalid page id {p}"),
+            StorageError::InvalidRecord { page, slot } => {
+                write!(f, "invalid record id (page {page}, slot {slot})")
+            }
+            StorageError::RecordTooLarge(n) => {
+                write!(f, "record of {n} bytes exceeds the maximum page payload")
+            }
+            StorageError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            StorageError::UnknownIndex(i) => write!(f, "unknown index `{i}`"),
+            StorageError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
+            StorageError::AlreadyExists(n) => write!(f, "`{n}` already exists"),
+            StorageError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            StorageError::DuplicateKey(k) => write!(f, "duplicate key {k} in unique index"),
+            StorageError::Corrupted(m) => write!(f, "corrupted data: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(StorageError::InvalidPage(7).to_string().contains("7"));
+        assert!(StorageError::UnknownTable("t".into()).to_string().contains("`t`"));
+        assert!(StorageError::RecordTooLarge(123456).to_string().contains("123456"));
+        assert!(StorageError::InvalidRecord { page: 3, slot: 9 }.to_string().contains("slot 9"));
+    }
+
+    #[test]
+    fn io_error_conversion_preserves_source() {
+        let io_err = io::Error::new(io::ErrorKind::NotFound, "missing");
+        let err: StorageError = io_err.into();
+        assert!(matches!(err, StorageError::Io(_)));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

@@ -1,0 +1,464 @@
+//! Slotted-page heap files: unordered collections of variable-length records.
+//!
+//! Each heap page is laid out as
+//!
+//! ```text
+//! +------------+---------------------+---------------->   <----------------+
+//! | header     | slot directory ...  |   free space    ...   record cells  |
+//! +------------+---------------------+---------------->   <----------------+
+//! 0            12                    12+4*slots        free_end        PAGE_SIZE
+//! ```
+//!
+//! * header: `slot_count: u16`, `free_end: u16`, `next_page: u64`
+//! * slot: `offset: u16`, `len: u16` (offset 0 marks a deleted slot)
+//!
+//! Records are addressed by [`RecordId`] = (page, slot), which is the stable
+//! physical id the rest of the system (indexes, node labels) refers to.
+
+use crate::buffer::BufferPool;
+use crate::error::{StorageError, StorageResult};
+use crate::page::{Page, PageId, PAGE_SIZE};
+use serde::{Deserialize, Serialize};
+
+const HDR_SLOT_COUNT: usize = 0;
+const HDR_FREE_END: usize = 2;
+const HDR_NEXT_PAGE: usize = 4;
+const HEADER_SIZE: usize = 12;
+const SLOT_SIZE: usize = 4;
+
+/// Maximum record payload that fits on one page.
+pub const MAX_RECORD_SIZE: usize = PAGE_SIZE - HEADER_SIZE - SLOT_SIZE;
+
+/// Stable identifier of a record in a heap file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RecordId {
+    /// Page holding the record.
+    pub page: u64,
+    /// Slot index within the page.
+    pub slot: u16,
+}
+
+impl RecordId {
+    /// Pack into a single `u64` (page in the high 48 bits, slot in the low 16)
+    /// for storage inside B+tree payloads.
+    pub fn to_u64(self) -> u64 {
+        (self.page << 16) | self.slot as u64
+    }
+
+    /// Inverse of [`RecordId::to_u64`].
+    pub fn from_u64(v: u64) -> Self {
+        RecordId { page: v >> 16, slot: (v & 0xFFFF) as u16 }
+    }
+}
+
+impl std::fmt::Display for RecordId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}:{}", self.page, self.slot)
+    }
+}
+
+/// A heap file: a linked list of slotted pages.
+#[derive(Debug, Clone)]
+pub struct HeapFile {
+    first_page: PageId,
+    last_page: PageId,
+}
+
+impl HeapFile {
+    /// Create a new heap file with one empty page.
+    pub fn create(pool: &BufferPool) -> StorageResult<Self> {
+        let first = pool.allocate_page()?;
+        pool.with_page_mut(first, init_heap_page)?;
+        Ok(HeapFile { first_page: first, last_page: first })
+    }
+
+    /// Re-open a heap file given its first page (walks to find the tail).
+    pub fn open(pool: &BufferPool, first_page: PageId) -> StorageResult<Self> {
+        let mut last = first_page;
+        loop {
+            let next = pool.with_page(last, |p| PageId(p.read_u64(HDR_NEXT_PAGE)))?;
+            if next.is_null() {
+                break;
+            }
+            last = next;
+        }
+        Ok(HeapFile { first_page, last_page: last })
+    }
+
+    /// First page id (persisted in the catalog).
+    pub fn first_page(&self) -> PageId {
+        self.first_page
+    }
+
+    /// Insert a record, returning its id.
+    pub fn insert(&mut self, pool: &BufferPool, data: &[u8]) -> StorageResult<RecordId> {
+        if data.len() > MAX_RECORD_SIZE {
+            return Err(StorageError::RecordTooLarge(data.len()));
+        }
+        // Try the tail page first.
+        let inserted = pool.with_page_mut(self.last_page, |p| try_insert(p, data))?;
+        if let Some(slot) = inserted {
+            return Ok(RecordId { page: self.last_page.0, slot });
+        }
+        // Allocate and link a new tail page.
+        let new_page = pool.allocate_page()?;
+        pool.with_page_mut(new_page, init_heap_page)?;
+        pool.with_page_mut(self.last_page, |p| p.write_u64(HDR_NEXT_PAGE, new_page.0))?;
+        self.last_page = new_page;
+        let slot = pool
+            .with_page_mut(new_page, |p| try_insert(p, data))?
+            .expect("fresh page always has room for a record below MAX_RECORD_SIZE");
+        Ok(RecordId { page: new_page.0, slot })
+    }
+
+    /// Fetch a record's bytes.
+    pub fn get(&self, pool: &BufferPool, rid: RecordId) -> StorageResult<Vec<u8>> {
+        pool.with_page(PageId(rid.page), |p| read_slot(p, rid.slot))?
+    }
+
+    /// Delete a record (its slot is tombstoned; space is not compacted).
+    pub fn delete(&self, pool: &BufferPool, rid: RecordId) -> StorageResult<()> {
+        pool.with_page_mut(PageId(rid.page), |p| {
+            let slot_count = p.read_u16(HDR_SLOT_COUNT);
+            if rid.slot >= slot_count {
+                return Err(StorageError::InvalidRecord { page: rid.page, slot: rid.slot });
+            }
+            let slot_off = HEADER_SIZE + rid.slot as usize * SLOT_SIZE;
+            p.write_u16(slot_off, 0);
+            p.write_u16(slot_off + 2, 0);
+            Ok(())
+        })?
+    }
+
+    /// Overwrite a record in place when the new payload fits in the old
+    /// slot; otherwise the record is deleted and re-inserted (the returned
+    /// id is the new location).
+    pub fn update(
+        &mut self,
+        pool: &BufferPool,
+        rid: RecordId,
+        data: &[u8],
+    ) -> StorageResult<RecordId> {
+        let fits = pool.with_page_mut(PageId(rid.page), |p| -> StorageResult<bool> {
+            let slot_count = p.read_u16(HDR_SLOT_COUNT);
+            if rid.slot >= slot_count {
+                return Err(StorageError::InvalidRecord { page: rid.page, slot: rid.slot });
+            }
+            let slot_off = HEADER_SIZE + rid.slot as usize * SLOT_SIZE;
+            let offset = p.read_u16(slot_off) as usize;
+            let len = p.read_u16(slot_off + 2) as usize;
+            if offset == 0 {
+                return Err(StorageError::InvalidRecord { page: rid.page, slot: rid.slot });
+            }
+            if data.len() <= len {
+                p.write_bytes(offset, data);
+                p.write_u16(slot_off + 2, data.len() as u16);
+                Ok(true)
+            } else {
+                Ok(false)
+            }
+        })??;
+        if fits {
+            Ok(rid)
+        } else {
+            self.delete(pool, rid)?;
+            self.insert(pool, data)
+        }
+    }
+
+    /// Scan every live record. Returns `(RecordId, bytes)` pairs in physical
+    /// order. The whole scan materializes page-by-page, never holding more
+    /// than one page's records at a time in the closure.
+    pub fn scan<'a>(&self, pool: &'a BufferPool) -> StorageResult<ScanIter<'a>> {
+        Ok(ScanIter {
+            pool,
+            current_page: self.first_page,
+            buffer: Vec::new(),
+            buffer_pos: 0,
+            done: false,
+        })
+    }
+
+    /// Count live records.
+    pub fn len(&self, pool: &BufferPool) -> StorageResult<usize> {
+        let mut count = 0usize;
+        let mut page = self.first_page;
+        loop {
+            let (n, next) = pool.with_page(page, |p| {
+                let slot_count = p.read_u16(HDR_SLOT_COUNT);
+                let mut live = 0usize;
+                for s in 0..slot_count {
+                    let slot_off = HEADER_SIZE + s as usize * SLOT_SIZE;
+                    if p.read_u16(slot_off) != 0 {
+                        live += 1;
+                    }
+                }
+                (live, PageId(p.read_u64(HDR_NEXT_PAGE)))
+            })?;
+            count += n;
+            if next.is_null() {
+                break;
+            }
+            page = next;
+        }
+        Ok(count)
+    }
+}
+
+/// Iterator over the live records of a heap file.
+pub struct ScanIter<'a> {
+    pool: &'a BufferPool,
+    current_page: PageId,
+    buffer: Vec<(RecordId, Vec<u8>)>,
+    buffer_pos: usize,
+    done: bool,
+}
+
+impl<'a> ScanIter<'a> {
+    fn refill(&mut self) -> StorageResult<()> {
+        let pool = self.pool;
+        self.buffer.clear();
+        self.buffer_pos = 0;
+        while self.buffer.is_empty() && !self.done {
+            let page = self.current_page;
+            let next = pool.with_page(page, |p| {
+                let slot_count = p.read_u16(HDR_SLOT_COUNT);
+                for s in 0..slot_count {
+                    let slot_off = HEADER_SIZE + s as usize * SLOT_SIZE;
+                    let offset = p.read_u16(slot_off) as usize;
+                    let len = p.read_u16(slot_off + 2) as usize;
+                    if offset != 0 {
+                        self.buffer.push((
+                            RecordId { page: page.0, slot: s },
+                            p.read_bytes(offset, len).to_vec(),
+                        ));
+                    }
+                }
+                PageId(p.read_u64(HDR_NEXT_PAGE))
+            })?;
+            if next.is_null() {
+                self.done = true;
+            } else {
+                self.current_page = next;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<'a> Iterator for ScanIter<'a> {
+    type Item = StorageResult<(RecordId, Vec<u8>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.buffer_pos >= self.buffer.len() {
+            if let Err(e) = self.refill() {
+                return Some(Err(e));
+            }
+            if self.buffer.is_empty() {
+                return None;
+            }
+        }
+        let item = self.buffer[self.buffer_pos].clone();
+        self.buffer_pos += 1;
+        Some(Ok(item))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Page-level helpers
+// ---------------------------------------------------------------------------
+
+fn init_heap_page(p: &mut Page) {
+    p.write_u16(HDR_SLOT_COUNT, 0);
+    p.write_u16(HDR_FREE_END, PAGE_SIZE as u16);
+    p.write_u64(HDR_NEXT_PAGE, 0);
+}
+
+/// Try to insert `data` into the page; returns the slot on success or `None`
+/// when the page lacks room.
+fn try_insert(p: &mut Page, data: &[u8]) -> Option<u16> {
+    let slot_count = p.read_u16(HDR_SLOT_COUNT) as usize;
+    let free_end = p.read_u16(HDR_FREE_END) as usize;
+    let slots_end = HEADER_SIZE + slot_count * SLOT_SIZE;
+    let needed = data.len() + SLOT_SIZE;
+    if free_end < slots_end || free_end - slots_end < needed {
+        return None;
+    }
+    let new_free_end = free_end - data.len();
+    p.write_bytes(new_free_end, data);
+    let slot_off = HEADER_SIZE + slot_count * SLOT_SIZE;
+    p.write_u16(slot_off, new_free_end as u16);
+    p.write_u16(slot_off + 2, data.len() as u16);
+    p.write_u16(HDR_SLOT_COUNT, (slot_count + 1) as u16);
+    p.write_u16(HDR_FREE_END, new_free_end as u16);
+    Some(slot_count as u16)
+}
+
+fn read_slot(p: &Page, slot: u16) -> StorageResult<Vec<u8>> {
+    let slot_count = p.read_u16(HDR_SLOT_COUNT);
+    if slot >= slot_count {
+        return Err(StorageError::InvalidRecord { page: 0, slot });
+    }
+    let slot_off = HEADER_SIZE + slot as usize * SLOT_SIZE;
+    let offset = p.read_u16(slot_off) as usize;
+    let len = p.read_u16(slot_off + 2) as usize;
+    if offset == 0 {
+        return Err(StorageError::InvalidRecord { page: 0, slot });
+    }
+    Ok(p.read_bytes(offset, len).to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::Pager;
+    use tempfile::tempdir;
+
+    fn pool() -> (tempfile::TempDir, BufferPool) {
+        let dir = tempdir().unwrap();
+        let pager = Pager::create(dir.path().join("t.crdb")).unwrap();
+        (dir, BufferPool::with_capacity(pager, 64))
+    }
+
+    #[test]
+    fn record_id_packing() {
+        let rid = RecordId { page: 123456, slot: 789 };
+        assert_eq!(RecordId::from_u64(rid.to_u64()), rid);
+        assert_eq!(rid.to_string(), "r123456:789");
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let (_d, pool) = pool();
+        let mut heap = HeapFile::create(&pool).unwrap();
+        let a = heap.insert(&pool, b"first record").unwrap();
+        let b = heap.insert(&pool, b"second record, a bit longer").unwrap();
+        assert_eq!(heap.get(&pool, a).unwrap(), b"first record");
+        assert_eq!(heap.get(&pool, b).unwrap(), b"second record, a bit longer");
+        assert_eq!(heap.len(&pool).unwrap(), 2);
+    }
+
+    #[test]
+    fn insert_spills_to_new_pages() {
+        let (_d, pool) = pool();
+        let mut heap = HeapFile::create(&pool).unwrap();
+        let payload = vec![7u8; 1000];
+        let mut rids = Vec::new();
+        for _ in 0..100 {
+            rids.push(heap.insert(&pool, &payload).unwrap());
+        }
+        // 100 × 1 KiB cannot fit on one 8 KiB page.
+        let distinct_pages: std::collections::HashSet<u64> = rids.iter().map(|r| r.page).collect();
+        assert!(distinct_pages.len() > 1);
+        for rid in &rids {
+            assert_eq!(heap.get(&pool, *rid).unwrap().len(), 1000);
+        }
+        assert_eq!(heap.len(&pool).unwrap(), 100);
+    }
+
+    #[test]
+    fn oversized_record_rejected() {
+        let (_d, pool) = pool();
+        let mut heap = HeapFile::create(&pool).unwrap();
+        let too_big = vec![0u8; MAX_RECORD_SIZE + 1];
+        assert!(matches!(heap.insert(&pool, &too_big), Err(StorageError::RecordTooLarge(_))));
+        let just_fits = vec![0u8; MAX_RECORD_SIZE];
+        assert!(heap.insert(&pool, &just_fits).is_ok());
+    }
+
+    #[test]
+    fn delete_and_scan() {
+        let (_d, pool) = pool();
+        let mut heap = HeapFile::create(&pool).unwrap();
+        let a = heap.insert(&pool, b"a").unwrap();
+        let b = heap.insert(&pool, b"b").unwrap();
+        let c = heap.insert(&pool, b"c").unwrap();
+        heap.delete(&pool, b).unwrap();
+        let rows: Vec<(RecordId, Vec<u8>)> =
+            heap.scan(&pool).unwrap().collect::<StorageResult<Vec<_>>>().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, a);
+        assert_eq!(rows[1].0, c);
+        assert!(heap.get(&pool, b).is_err());
+        assert_eq!(heap.len(&pool).unwrap(), 2);
+    }
+
+    #[test]
+    fn update_in_place_and_relocating() {
+        let (_d, pool) = pool();
+        let mut heap = HeapFile::create(&pool).unwrap();
+        let rid = heap.insert(&pool, b"0123456789").unwrap();
+        // Smaller payload stays in place.
+        let same = heap.update(&pool, rid, b"abc").unwrap();
+        assert_eq!(same, rid);
+        assert_eq!(heap.get(&pool, rid).unwrap(), b"abc");
+        // Larger payload relocates.
+        let bigger = vec![9u8; 500];
+        let moved = heap.update(&pool, rid, &bigger).unwrap();
+        assert_ne!(moved, rid);
+        assert_eq!(heap.get(&pool, moved).unwrap(), bigger);
+        assert!(heap.get(&pool, rid).is_err());
+    }
+
+    #[test]
+    fn reopen_finds_tail_page() {
+        let (_d, pool) = pool();
+        let first;
+        {
+            let mut heap = HeapFile::create(&pool).unwrap();
+            first = heap.first_page();
+            let payload = vec![1u8; 2000];
+            for _ in 0..20 {
+                heap.insert(&pool, &payload).unwrap();
+            }
+        }
+        let mut heap = HeapFile::open(&pool, first).unwrap();
+        assert_eq!(heap.len(&pool).unwrap(), 20);
+        // Inserting after reopen appends to the real tail, not the first page.
+        let rid = heap.insert(&pool, b"tail insert").unwrap();
+        assert_eq!(heap.get(&pool, rid).unwrap(), b"tail insert");
+        assert_eq!(heap.len(&pool).unwrap(), 21);
+    }
+
+    #[test]
+    fn scan_empty_heap() {
+        let (_d, pool) = pool();
+        let heap = HeapFile::create(&pool).unwrap();
+        assert_eq!(heap.scan(&pool).unwrap().count(), 0);
+        assert_eq!(heap.len(&pool).unwrap(), 0);
+    }
+
+    #[test]
+    fn get_invalid_slot_errors() {
+        let (_d, pool) = pool();
+        let mut heap = HeapFile::create(&pool).unwrap();
+        let rid = heap.insert(&pool, b"x").unwrap();
+        let bogus = RecordId { page: rid.page, slot: 99 };
+        assert!(heap.get(&pool, bogus).is_err());
+        assert!(heap.delete(&pool, bogus).is_err());
+    }
+
+    #[test]
+    fn many_records_survive_flush_and_reopen() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("t.crdb");
+        let first;
+        let rids: Vec<RecordId>;
+        {
+            let pager = Pager::create(&path).unwrap();
+            let pool = BufferPool::with_capacity(pager, 16);
+            let mut heap = HeapFile::create(&pool).unwrap();
+            first = heap.first_page();
+            rids = (0..500)
+                .map(|i| heap.insert(&pool, format!("record-{i}").as_bytes()).unwrap())
+                .collect();
+            pool.flush().unwrap();
+        }
+        let pager = Pager::open(&path).unwrap();
+        let pool = BufferPool::with_capacity(pager, 16);
+        let heap = HeapFile::open(&pool, first).unwrap();
+        for (i, rid) in rids.iter().enumerate() {
+            assert_eq!(heap.get(&pool, *rid).unwrap(), format!("record-{i}").as_bytes());
+        }
+    }
+}

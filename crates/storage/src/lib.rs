@@ -1,0 +1,62 @@
+//! # crimson-storage — embedded relational storage engine
+//!
+//! The Crimson paper stores phylogenetic trees "in relational form" inside a
+//! relational database and builds indexes over node labels, species names and
+//! evolutionary times. This crate is the from-scratch substrate standing in
+//! for that DBMS: a small, disk-backed, page-oriented storage engine with
+//!
+//! * a file-backed **pager** ([`pager::Pager`]) managing fixed-size pages,
+//! * an LRU **buffer pool** ([`buffer::BufferPool`]) with pin-free
+//!   closure-based access and dirty-page write-back,
+//! * **slotted-page heap files** ([`heap::HeapFile`]) holding variable-length
+//!   records addressed by [`heap::RecordId`],
+//! * **B+tree indexes** ([`btree::BTree`]) over order-preserving binary keys,
+//!   supporting point lookups and range scans (the access paths Crimson needs
+//!   for species names, node labels and cumulative evolutionary time),
+//! * a typed **row/schema layer** ([`schema`], [`value`]) and a **catalog**
+//!   ([`catalog`]) persisting table and index metadata,
+//! * a [`db::Database`] facade tying the pieces together.
+//!
+//! The engine intentionally supports exactly the operational envelope the
+//! paper's workload requires — bulk load, point/range reads, secondary
+//! indexes, and durable flush — rather than a full transactional SQL system.
+//! See `DESIGN.md` §2 for the substitution argument.
+//!
+//! ```
+//! use storage::db::Database;
+//! use storage::schema::{ColumnDef, Schema};
+//! use storage::value::{Value, ValueType};
+//!
+//! let dir = tempfile::tempdir().unwrap();
+//! let mut db = Database::create(dir.path().join("example.crdb")).unwrap();
+//! let schema = Schema::new(vec![
+//!     ColumnDef::new("name", ValueType::Text),
+//!     ColumnDef::new("weight", ValueType::Float),
+//! ]);
+//! let table = db.create_table("species", schema).unwrap();
+//! db.insert(table, &[Value::text("Bha"), Value::Float(0.75)]).unwrap();
+//! db.create_index(table, "name", true).unwrap();
+//! let hits = db.index_lookup(table, "name", &Value::text("Bha")).unwrap();
+//! assert_eq!(hits.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod btree;
+pub mod buffer;
+pub mod catalog;
+pub mod db;
+pub mod error;
+pub mod heap;
+pub mod page;
+pub mod pager;
+pub mod schema;
+pub mod value;
+
+pub use db::Database;
+pub use error::{StorageError, StorageResult};
+pub use heap::RecordId;
+pub use page::{PageId, PAGE_SIZE};
+pub use schema::{ColumnDef, Row, Schema};
+pub use value::{Value, ValueType};

@@ -1,0 +1,180 @@
+//! Page definitions: size, identifiers and small read/write helpers.
+
+/// Size of every page in the database file, in bytes.
+///
+/// 8 KiB balances fan-out of B+tree nodes (hundreds of keys per node for the
+/// short keys Crimson uses) against wasted space for small heap records.
+pub const PAGE_SIZE: usize = 8192;
+
+/// Identifier of a page within the database file. Page 0 is the file header;
+/// page 1 onward hold catalog, heap and index data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u64);
+
+impl PageId {
+    /// Sentinel for "no page" (used for next-page pointers).
+    pub const NULL: PageId = PageId(0);
+
+    /// Byte offset of this page in the database file.
+    #[inline]
+    pub fn offset(self) -> u64 {
+        self.0 * PAGE_SIZE as u64
+    }
+
+    /// `true` when the id is the null sentinel.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::fmt::Display for PageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "page#{}", self.0)
+    }
+}
+
+/// An owned page buffer. The buffer pool hands out access to these via
+/// closures; they are plain byte arrays with helper accessors.
+#[derive(Clone)]
+pub struct Page {
+    data: Box<[u8]>,
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Page {
+    /// A zero-filled page.
+    pub fn new() -> Self {
+        Page { data: vec![0u8; PAGE_SIZE].into_boxed_slice() }
+    }
+
+    /// Wrap an existing full-size buffer.
+    pub fn from_bytes(data: Vec<u8>) -> Self {
+        assert_eq!(data.len(), PAGE_SIZE, "page buffers must be PAGE_SIZE bytes");
+        Page { data: data.into_boxed_slice() }
+    }
+
+    /// Immutable view of the raw bytes.
+    #[inline]
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutable view of the raw bytes.
+    #[inline]
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Read a `u16` at `offset` (little-endian).
+    #[inline]
+    pub fn read_u16(&self, offset: usize) -> u16 {
+        u16::from_le_bytes([self.data[offset], self.data[offset + 1]])
+    }
+
+    /// Write a `u16` at `offset` (little-endian).
+    #[inline]
+    pub fn write_u16(&mut self, offset: usize, value: u16) {
+        self.data[offset..offset + 2].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Read a `u32` at `offset` (little-endian).
+    #[inline]
+    pub fn read_u32(&self, offset: usize) -> u32 {
+        let mut buf = [0u8; 4];
+        buf.copy_from_slice(&self.data[offset..offset + 4]);
+        u32::from_le_bytes(buf)
+    }
+
+    /// Write a `u32` at `offset` (little-endian).
+    #[inline]
+    pub fn write_u32(&mut self, offset: usize, value: u32) {
+        self.data[offset..offset + 4].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Read a `u64` at `offset` (little-endian).
+    #[inline]
+    pub fn read_u64(&self, offset: usize) -> u64 {
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(&self.data[offset..offset + 8]);
+        u64::from_le_bytes(buf)
+    }
+
+    /// Write a `u64` at `offset` (little-endian).
+    #[inline]
+    pub fn write_u64(&mut self, offset: usize, value: u64) {
+        self.data[offset..offset + 8].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Copy `src` into the page starting at `offset`.
+    #[inline]
+    pub fn write_bytes(&mut self, offset: usize, src: &[u8]) {
+        self.data[offset..offset + src.len()].copy_from_slice(src);
+    }
+
+    /// Borrow `len` bytes starting at `offset`.
+    #[inline]
+    pub fn read_bytes(&self, offset: usize, len: usize) -> &[u8] {
+        &self.data[offset..offset + len]
+    }
+}
+
+impl std::fmt::Debug for Page {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Page({} bytes)", self.data.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_id_offsets() {
+        assert_eq!(PageId(0).offset(), 0);
+        assert_eq!(PageId(3).offset(), 3 * PAGE_SIZE as u64);
+        assert!(PageId::NULL.is_null());
+        assert!(!PageId(1).is_null());
+    }
+
+    #[test]
+    fn new_page_is_zeroed() {
+        let p = Page::new();
+        assert_eq!(p.bytes().len(), PAGE_SIZE);
+        assert!(p.bytes().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn integer_roundtrips() {
+        let mut p = Page::new();
+        p.write_u16(10, 0xBEEF);
+        p.write_u32(20, 0xDEADBEEF);
+        p.write_u64(30, u64::MAX - 5);
+        assert_eq!(p.read_u16(10), 0xBEEF);
+        assert_eq!(p.read_u32(20), 0xDEADBEEF);
+        assert_eq!(p.read_u64(30), u64::MAX - 5);
+    }
+
+    #[test]
+    fn byte_slices() {
+        let mut p = Page::new();
+        p.write_bytes(100, b"crimson");
+        assert_eq!(p.read_bytes(100, 7), b"crimson");
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_bytes_rejects_wrong_size() {
+        let _ = Page::from_bytes(vec![0u8; 100]);
+    }
+
+    #[test]
+    fn display_page_id() {
+        assert_eq!(PageId(42).to_string(), "page#42");
+    }
+}

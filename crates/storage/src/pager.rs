@@ -1,0 +1,289 @@
+//! File-backed pager: reads, writes and allocates fixed-size pages.
+//!
+//! The pager owns the database file. Page 0 is the file header carrying a
+//! magic number, a format version, the allocated page count and the page ids
+//! of the catalog root. All higher-level structures (heap files, B+trees,
+//! catalog) live in pages allocated through [`Pager::allocate_page`].
+
+use crate::error::{StorageError, StorageResult};
+use crate::page::{Page, PageId, PAGE_SIZE};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 8] = b"CRIMSON1";
+const FORMAT_VERSION: u32 = 1;
+
+// Header layout (page 0):
+//   0..8    magic
+//   8..12   format version (u32)
+//   12..20  page count (u64)
+//   20..28  catalog root page (u64)
+//   28..36  user metadata page (u64, reserved)
+const HDR_VERSION: usize = 8;
+const HDR_PAGE_COUNT: usize = 12;
+const HDR_CATALOG_ROOT: usize = 20;
+const HDR_USER_META: usize = 28;
+
+/// The pager: owns the file handle and the header page.
+pub struct Pager {
+    file: File,
+    path: PathBuf,
+    page_count: u64,
+    catalog_root: PageId,
+    user_meta: PageId,
+    header_dirty: bool,
+}
+
+impl std::fmt::Debug for Pager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pager")
+            .field("path", &self.path)
+            .field("page_count", &self.page_count)
+            .field("catalog_root", &self.catalog_root)
+            .finish()
+    }
+}
+
+impl Pager {
+    /// Create a new database file, truncating any existing file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> StorageResult<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        let mut pager = Pager {
+            file,
+            path,
+            page_count: 1, // header page
+            catalog_root: PageId::NULL,
+            user_meta: PageId::NULL,
+            header_dirty: true,
+        };
+        pager.write_header()?;
+        Ok(pager)
+    }
+
+    /// Open an existing database file.
+    pub fn open(path: impl AsRef<Path>) -> StorageResult<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
+        let mut header = vec![0u8; PAGE_SIZE];
+        file.seek(SeekFrom::Start(0))?;
+        file.read_exact(&mut header)?;
+        if &header[0..8] != MAGIC {
+            return Err(StorageError::InvalidDatabase("bad magic number".to_string()));
+        }
+        let version = u32::from_le_bytes(header[HDR_VERSION..HDR_VERSION + 4].try_into().unwrap());
+        if version != FORMAT_VERSION {
+            return Err(StorageError::InvalidDatabase(format!(
+                "unsupported format version {version}"
+            )));
+        }
+        let page_count =
+            u64::from_le_bytes(header[HDR_PAGE_COUNT..HDR_PAGE_COUNT + 8].try_into().unwrap());
+        let catalog_root =
+            u64::from_le_bytes(header[HDR_CATALOG_ROOT..HDR_CATALOG_ROOT + 8].try_into().unwrap());
+        let user_meta =
+            u64::from_le_bytes(header[HDR_USER_META..HDR_USER_META + 8].try_into().unwrap());
+        Ok(Pager {
+            file,
+            path,
+            page_count,
+            catalog_root: PageId(catalog_root),
+            user_meta: PageId(user_meta),
+            header_dirty: false,
+        })
+    }
+
+    /// Path of the underlying database file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of pages allocated so far (including the header page).
+    pub fn page_count(&self) -> u64 {
+        self.page_count
+    }
+
+    /// The page id of the catalog root, or NULL when not yet assigned.
+    pub fn catalog_root(&self) -> PageId {
+        self.catalog_root
+    }
+
+    /// Record the page id of the catalog root.
+    pub fn set_catalog_root(&mut self, pid: PageId) {
+        self.catalog_root = pid;
+        self.header_dirty = true;
+    }
+
+    /// An extra application-defined metadata page id (reserved for callers).
+    pub fn user_meta(&self) -> PageId {
+        self.user_meta
+    }
+
+    /// Set the application-defined metadata page id.
+    pub fn set_user_meta(&mut self, pid: PageId) {
+        self.user_meta = pid;
+        self.header_dirty = true;
+    }
+
+    /// Allocate a fresh page at the end of the file and return its id.
+    /// The page contents on disk are undefined until first written.
+    pub fn allocate_page(&mut self) -> StorageResult<PageId> {
+        let pid = PageId(self.page_count);
+        self.page_count += 1;
+        self.header_dirty = true;
+        Ok(pid)
+    }
+
+    /// Read a page from disk. Reading a page that was allocated but never
+    /// written returns a zeroed page (the file may be shorter than the
+    /// logical page count).
+    pub fn read_page(&mut self, pid: PageId) -> StorageResult<Page> {
+        if pid.0 >= self.page_count {
+            return Err(StorageError::InvalidPage(pid.0));
+        }
+        let file_len = self.file.metadata()?.len();
+        if pid.offset() >= file_len {
+            return Ok(Page::new());
+        }
+        let mut buf = vec![0u8; PAGE_SIZE];
+        self.file.seek(SeekFrom::Start(pid.offset()))?;
+        // The trailing page may be short if a crash interrupted a write; treat
+        // missing bytes as zeros.
+        let mut read_total = 0usize;
+        while read_total < PAGE_SIZE {
+            let n = self.file.read(&mut buf[read_total..])?;
+            if n == 0 {
+                break;
+            }
+            read_total += n;
+        }
+        Ok(Page::from_bytes(buf))
+    }
+
+    /// Write a page to disk.
+    pub fn write_page(&mut self, pid: PageId, page: &Page) -> StorageResult<()> {
+        if pid.0 >= self.page_count {
+            return Err(StorageError::InvalidPage(pid.0));
+        }
+        self.file.seek(SeekFrom::Start(pid.offset()))?;
+        self.file.write_all(page.bytes())?;
+        Ok(())
+    }
+
+    /// Persist the header page if it changed since the last sync.
+    pub fn write_header(&mut self) -> StorageResult<()> {
+        if !self.header_dirty {
+            return Ok(());
+        }
+        let mut page = Page::new();
+        page.write_bytes(0, MAGIC);
+        page.write_u32(HDR_VERSION, FORMAT_VERSION);
+        page.write_u64(HDR_PAGE_COUNT, self.page_count);
+        page.write_u64(HDR_CATALOG_ROOT, self.catalog_root.0);
+        page.write_u64(HDR_USER_META, self.user_meta.0);
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.write_all(page.bytes())?;
+        self.header_dirty = false;
+        Ok(())
+    }
+
+    /// Flush everything (header + OS buffers) to stable storage.
+    pub fn sync(&mut self) -> StorageResult<()> {
+        self.write_header()?;
+        self.file.sync_all()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempfile::tempdir;
+
+    #[test]
+    fn create_allocate_write_read() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("t.crdb");
+        let mut pager = Pager::create(&path).unwrap();
+        let pid = pager.allocate_page().unwrap();
+        assert_eq!(pid, PageId(1));
+        let mut page = Page::new();
+        page.write_bytes(0, b"hello pages");
+        pager.write_page(pid, &page).unwrap();
+        let back = pager.read_page(pid).unwrap();
+        assert_eq!(back.read_bytes(0, 11), b"hello pages");
+    }
+
+    #[test]
+    fn reopen_preserves_header() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("t.crdb");
+        {
+            let mut pager = Pager::create(&path).unwrap();
+            let p1 = pager.allocate_page().unwrap();
+            let p2 = pager.allocate_page().unwrap();
+            pager.set_catalog_root(p1);
+            pager.set_user_meta(p2);
+            let mut page = Page::new();
+            page.write_u64(0, 777);
+            pager.write_page(p2, &page).unwrap();
+            pager.sync().unwrap();
+        }
+        let mut pager = Pager::open(&path).unwrap();
+        assert_eq!(pager.page_count(), 3);
+        assert_eq!(pager.catalog_root(), PageId(1));
+        assert_eq!(pager.user_meta(), PageId(2));
+        let page = pager.read_page(PageId(2)).unwrap();
+        assert_eq!(page.read_u64(0), 777);
+    }
+
+    #[test]
+    fn open_rejects_non_database() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("junk.bin");
+        std::fs::write(&path, vec![0u8; PAGE_SIZE]).unwrap();
+        assert!(matches!(Pager::open(&path), Err(StorageError::InvalidDatabase(_))));
+    }
+
+    #[test]
+    fn read_unwritten_allocated_page_is_zeroed() {
+        let dir = tempdir().unwrap();
+        let mut pager = Pager::create(dir.path().join("t.crdb")).unwrap();
+        let pid = pager.allocate_page().unwrap();
+        let page = pager.read_page(pid).unwrap();
+        assert!(page.bytes().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn out_of_range_page_errors() {
+        let dir = tempdir().unwrap();
+        let mut pager = Pager::create(dir.path().join("t.crdb")).unwrap();
+        assert!(matches!(pager.read_page(PageId(5)), Err(StorageError::InvalidPage(5))));
+        let page = Page::new();
+        assert!(matches!(pager.write_page(PageId(5), &page), Err(StorageError::InvalidPage(5))));
+    }
+
+    #[test]
+    fn many_pages_roundtrip() {
+        let dir = tempdir().unwrap();
+        let mut pager = Pager::create(dir.path().join("t.crdb")).unwrap();
+        let mut pids = Vec::new();
+        for i in 0..64u64 {
+            let pid = pager.allocate_page().unwrap();
+            let mut page = Page::new();
+            page.write_u64(0, i * 31);
+            pager.write_page(pid, &page).unwrap();
+            pids.push(pid);
+        }
+        for (i, pid) in pids.iter().enumerate() {
+            let page = pager.read_page(*pid).unwrap();
+            assert_eq!(page.read_u64(0), i as u64 * 31);
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Table schemas and typed rows.
+
+use crate::error::{StorageError, StorageResult};
+use crate::value::{Value, ValueType};
+use serde::{Deserialize, Serialize};
+
+/// Definition of a single column.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnDef {
+    /// Column name (unique within the table).
+    pub name: String,
+    /// Column type.
+    pub value_type: ValueType,
+    /// Whether NULL cells are allowed (default: true).
+    pub nullable: bool,
+}
+
+impl ColumnDef {
+    /// A nullable column.
+    pub fn new(name: impl Into<String>, value_type: ValueType) -> Self {
+        ColumnDef { name: name.into(), value_type, nullable: true }
+    }
+
+    /// A NOT NULL column.
+    pub fn not_null(name: impl Into<String>, value_type: ValueType) -> Self {
+        ColumnDef { name: name.into(), value_type, nullable: false }
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    columns: Vec<ColumnDef>,
+}
+
+impl Schema {
+    /// Create a schema from column definitions.
+    pub fn new(columns: Vec<ColumnDef>) -> Self {
+        Schema { columns }
+    }
+
+    /// The column definitions in order.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// `true` when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Index of the named column.
+    pub fn column_index(&self, name: &str) -> StorageResult<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| StorageError::UnknownColumn(name.to_string()))
+    }
+
+    /// Validate that `values` conforms to this schema.
+    pub fn validate(&self, values: &[Value]) -> StorageResult<()> {
+        if values.len() != self.columns.len() {
+            return Err(StorageError::SchemaMismatch(format!(
+                "expected {} values, got {}",
+                self.columns.len(),
+                values.len()
+            )));
+        }
+        for (col, value) in self.columns.iter().zip(values) {
+            match value.value_type() {
+                None => {
+                    if !col.nullable {
+                        return Err(StorageError::SchemaMismatch(format!(
+                            "column `{}` is NOT NULL",
+                            col.name
+                        )));
+                    }
+                }
+                Some(t) if t != col.value_type => {
+                    return Err(StorageError::SchemaMismatch(format!(
+                        "column `{}` expects {:?}, got {:?}",
+                        col.name, col.value_type, t
+                    )));
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Encode a validated row into record bytes.
+    pub fn encode_row(&self, values: &[Value]) -> StorageResult<Vec<u8>> {
+        self.validate(values)?;
+        let mut out = Vec::with_capacity(values.len() * 12);
+        for v in values {
+            v.encode_cell(&mut out);
+        }
+        Ok(out)
+    }
+
+    /// Decode record bytes into a [`Row`].
+    pub fn decode_row(&self, bytes: &[u8]) -> StorageResult<Row> {
+        let mut values = Vec::with_capacity(self.columns.len());
+        let mut pos = 0usize;
+        for _ in &self.columns {
+            let (v, p) = Value::decode_cell(bytes, pos)?;
+            values.push(v);
+            pos = p;
+        }
+        if pos != bytes.len() {
+            return Err(StorageError::Corrupted(format!(
+                "row has {} trailing bytes",
+                bytes.len() - pos
+            )));
+        }
+        Ok(Row { values })
+    }
+}
+
+/// A decoded row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// Cell values in schema column order.
+    pub values: Vec<Value>,
+}
+
+impl Row {
+    /// Create a row from values (not yet validated against any schema).
+    pub fn new(values: Vec<Value>) -> Self {
+        Row { values }
+    }
+
+    /// Cell at position `idx`.
+    pub fn get(&self, idx: usize) -> Option<&Value> {
+        self.values.get(idx)
+    }
+
+    /// Cell in the named column of `schema`.
+    pub fn get_named<'a>(&'a self, schema: &Schema, name: &str) -> StorageResult<&'a Value> {
+        let idx = schema.column_index(name)?;
+        self.values.get(idx).ok_or_else(|| {
+            StorageError::SchemaMismatch(format!("row is missing column `{name}`"))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn species_schema() -> Schema {
+        Schema::new(vec![
+            ColumnDef::not_null("name", ValueType::Text),
+            ColumnDef::new("sequence", ValueType::Text),
+            ColumnDef::not_null("node_id", ValueType::Int),
+            ColumnDef::new("time", ValueType::Float),
+        ])
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let schema = species_schema();
+        let values = vec![
+            Value::text("Bha"),
+            Value::text("ACGT"),
+            Value::Int(42),
+            Value::Float(2.25),
+        ];
+        let bytes = schema.encode_row(&values).unwrap();
+        let row = schema.decode_row(&bytes).unwrap();
+        assert_eq!(row.values, values);
+        assert_eq!(row.get_named(&schema, "node_id").unwrap(), &Value::Int(42));
+    }
+
+    #[test]
+    fn null_handling() {
+        let schema = species_schema();
+        let values = vec![Value::text("Bha"), Value::Null, Value::Int(1), Value::Null];
+        let bytes = schema.encode_row(&values).unwrap();
+        let row = schema.decode_row(&bytes).unwrap();
+        assert!(row.values[1].is_null());
+        // NOT NULL column rejects NULL.
+        let bad = vec![Value::Null, Value::Null, Value::Int(1), Value::Null];
+        assert!(matches!(schema.encode_row(&bad), Err(StorageError::SchemaMismatch(_))));
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        let schema = species_schema();
+        assert!(schema.encode_row(&[Value::text("x")]).is_err());
+    }
+
+    #[test]
+    fn wrong_type_rejected() {
+        let schema = species_schema();
+        let values = vec![Value::Int(5), Value::Null, Value::Int(1), Value::Null];
+        assert!(matches!(schema.encode_row(&values), Err(StorageError::SchemaMismatch(_))));
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let schema = species_schema();
+        assert!(schema.column_index("nope").is_err());
+        assert_eq!(schema.column_index("time").unwrap(), 3);
+    }
+
+    #[test]
+    fn decode_rejects_trailing_bytes() {
+        let schema = Schema::new(vec![ColumnDef::new("a", ValueType::Int)]);
+        let mut bytes = schema.encode_row(&[Value::Int(1)]).unwrap();
+        bytes.push(0xAB);
+        assert!(schema.decode_row(&bytes).is_err());
+    }
+
+    #[test]
+    fn empty_schema() {
+        let schema = Schema::new(vec![]);
+        assert!(schema.is_empty());
+        let bytes = schema.encode_row(&[]).unwrap();
+        assert!(bytes.is_empty());
+        assert_eq!(schema.decode_row(&bytes).unwrap().values.len(), 0);
+    }
+}

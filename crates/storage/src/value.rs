@@ -1,0 +1,451 @@
+//! Typed values, row cell encoding and order-preserving key encoding.
+//!
+//! Two encodings live here:
+//!
+//! * **cell encoding** ([`Value::encode_cell`] / [`Value::decode_cell`]) —
+//!   compact, self-describing bytes used inside heap records;
+//! * **key encoding** ([`Value::encode_key`]) — bytes whose lexicographic
+//!   order matches the natural order of the values, used as B+tree keys so
+//!   that range scans (e.g. "all nodes with cumulative time ≥ t") work by
+//!   plain byte comparison.
+
+use crate::error::{StorageError, StorageResult};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+
+/// The type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ValueType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+    /// UTF-8 string.
+    Text,
+    /// Raw bytes.
+    Bytes,
+    /// Boolean.
+    Bool,
+}
+
+impl ValueType {
+    /// Single-byte tag used in encodings and the catalog.
+    pub fn tag(self) -> u8 {
+        match self {
+            ValueType::Int => 1,
+            ValueType::Float => 2,
+            ValueType::Text => 3,
+            ValueType::Bytes => 4,
+            ValueType::Bool => 5,
+        }
+    }
+
+    /// Inverse of [`ValueType::tag`].
+    pub fn from_tag(tag: u8) -> StorageResult<Self> {
+        Ok(match tag {
+            1 => ValueType::Int,
+            2 => ValueType::Float,
+            3 => ValueType::Text,
+            4 => ValueType::Bytes,
+            5 => ValueType::Bool,
+            other => {
+                return Err(StorageError::Corrupted(format!("unknown value type tag {other}")))
+            }
+        })
+    }
+}
+
+/// A dynamically typed cell value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL-style NULL.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit IEEE float.
+    Float(f64),
+    /// UTF-8 string.
+    Text(String),
+    /// Raw bytes.
+    Bytes(Vec<u8>),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Convenience constructor for text values.
+    pub fn text(s: impl Into<String>) -> Self {
+        Value::Text(s.into())
+    }
+
+    /// Convenience constructor for byte values.
+    pub fn bytes(b: impl Into<Vec<u8>>) -> Self {
+        Value::Bytes(b.into())
+    }
+
+    /// The value's type, or `None` for NULL.
+    pub fn value_type(&self) -> Option<ValueType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(ValueType::Int),
+            Value::Float(_) => Some(ValueType::Float),
+            Value::Text(_) => Some(ValueType::Text),
+            Value::Bytes(_) => Some(ValueType::Bytes),
+            Value::Bool(_) => Some(ValueType::Bool),
+        }
+    }
+
+    /// `true` for [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Extract an integer (also accepts Bool as 0/1).
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Bool(b) => Some(*b as i64),
+            _ => None,
+        }
+    }
+
+    /// Extract a float (also accepts Int).
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            Value::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Extract a string slice.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Extract raw bytes.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Extract a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            Value::Int(v) => Some(*v != 0),
+            _ => None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Cell encoding (self-describing, compact)
+    // ------------------------------------------------------------------
+
+    /// Append the cell encoding of this value to `out`.
+    pub fn encode_cell(&self, out: &mut Vec<u8>) {
+        match self {
+            Value::Null => out.push(0),
+            Value::Int(v) => {
+                out.push(1);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            Value::Float(v) => {
+                out.push(2);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            Value::Text(s) => {
+                out.push(3);
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            Value::Bytes(b) => {
+                out.push(4);
+                out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+                out.extend_from_slice(b);
+            }
+            Value::Bool(b) => {
+                out.push(5);
+                out.push(*b as u8);
+            }
+        }
+    }
+
+    /// Decode one cell from `buf` starting at `pos`; returns the value and
+    /// the new position.
+    pub fn decode_cell(buf: &[u8], pos: usize) -> StorageResult<(Value, usize)> {
+        let tag = *buf.get(pos).ok_or_else(|| truncated("cell tag"))?;
+        let mut p = pos + 1;
+        let value = match tag {
+            0 => Value::Null,
+            1 => {
+                let raw = read_array::<8>(buf, p)?;
+                p += 8;
+                Value::Int(i64::from_le_bytes(raw))
+            }
+            2 => {
+                let raw = read_array::<8>(buf, p)?;
+                p += 8;
+                Value::Float(f64::from_le_bytes(raw))
+            }
+            3 | 4 => {
+                let raw = read_array::<4>(buf, p)?;
+                p += 4;
+                let len = u32::from_le_bytes(raw) as usize;
+                let bytes = buf.get(p..p + len).ok_or_else(|| truncated("cell payload"))?;
+                p += len;
+                if tag == 3 {
+                    let s = std::str::from_utf8(bytes)
+                        .map_err(|_| StorageError::Corrupted("invalid UTF-8 in text cell".into()))?;
+                    Value::Text(s.to_string())
+                } else {
+                    Value::Bytes(bytes.to_vec())
+                }
+            }
+            5 => {
+                let b = *buf.get(p).ok_or_else(|| truncated("bool cell"))?;
+                p += 1;
+                Value::Bool(b != 0)
+            }
+            other => {
+                return Err(StorageError::Corrupted(format!("unknown cell tag {other}")));
+            }
+        };
+        Ok((value, p))
+    }
+
+    // ------------------------------------------------------------------
+    // Key encoding (order-preserving)
+    // ------------------------------------------------------------------
+
+    /// Append an order-preserving key encoding of this value to `out`.
+    ///
+    /// Ordering across types follows the tag order (Null < Int/Float < Text <
+    /// Bytes < Bool); within a type, byte order equals value order. Int and
+    /// Float share a numeric class only when the caller keeps column types
+    /// homogeneous (which the schema layer enforces), so each uses its own
+    /// tag here.
+    pub fn encode_key(&self, out: &mut Vec<u8>) {
+        match self {
+            Value::Null => out.push(0x00),
+            Value::Int(v) => {
+                out.push(0x10);
+                // Flip the sign bit so negative numbers order below positives.
+                let bits = (*v as u64) ^ (1 << 63);
+                out.extend_from_slice(&bits.to_be_bytes());
+            }
+            Value::Float(v) => {
+                out.push(0x20);
+                out.extend_from_slice(&encode_f64_orderable(*v));
+            }
+            Value::Text(s) => {
+                out.push(0x30);
+                escape_bytes(s.as_bytes(), out);
+            }
+            Value::Bytes(b) => {
+                out.push(0x40);
+                escape_bytes(b, out);
+            }
+            Value::Bool(b) => {
+                out.push(0x50);
+                out.push(*b as u8);
+            }
+        }
+    }
+
+    /// Convenience: the key encoding as an owned buffer.
+    pub fn key_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_key(&mut out);
+        out
+    }
+
+    /// Total order consistent with the key encoding (used by tests and the
+    /// in-memory sort paths). NULLs sort first, NaN sorts above all floats.
+    pub fn order(&self, other: &Value) -> Ordering {
+        self.key_bytes().cmp(&other.key_bytes())
+    }
+}
+
+/// Byte-escape `data` into `out` so that the encoding of a string is never a
+/// prefix of the encoding of a longer string *and* order is preserved:
+/// each 0x00 byte becomes 0x00 0xFF, and the value is terminated by 0x00 0x00.
+fn escape_bytes(data: &[u8], out: &mut Vec<u8>) {
+    for &b in data {
+        if b == 0x00 {
+            out.push(0x00);
+            out.push(0xFF);
+        } else {
+            out.push(b);
+        }
+    }
+    out.push(0x00);
+    out.push(0x00);
+}
+
+/// Order-preserving encoding of an `f64`: positive numbers get the sign bit
+/// flipped; negative numbers are bitwise inverted. NaN maps above +inf.
+fn encode_f64_orderable(v: f64) -> [u8; 8] {
+    let bits = v.to_bits();
+    let transformed = if bits & (1 << 63) == 0 { bits | (1 << 63) } else { !bits };
+    transformed.to_be_bytes()
+}
+
+fn read_array<const N: usize>(buf: &[u8], pos: usize) -> StorageResult<[u8; N]> {
+    let slice = buf.get(pos..pos + N).ok_or_else(|| truncated("fixed-width cell"))?;
+    let mut out = [0u8; N];
+    out.copy_from_slice(slice);
+    Ok(out)
+}
+
+fn truncated(what: &str) -> StorageError {
+    StorageError::Corrupted(format!("truncated {what}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: Value) {
+        let mut buf = Vec::new();
+        v.encode_cell(&mut buf);
+        let (back, used) = Value::decode_cell(&buf, 0).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(used, buf.len());
+    }
+
+    #[test]
+    fn cell_roundtrips() {
+        roundtrip(Value::Null);
+        roundtrip(Value::Int(0));
+        roundtrip(Value::Int(-123456789));
+        roundtrip(Value::Int(i64::MAX));
+        roundtrip(Value::Float(3.25));
+        roundtrip(Value::Float(-0.0));
+        roundtrip(Value::Text("".into()));
+        roundtrip(Value::Text("species name with spaces".into()));
+        roundtrip(Value::Bytes(vec![0, 1, 2, 255]));
+        roundtrip(Value::Bool(true));
+        roundtrip(Value::Bool(false));
+    }
+
+    #[test]
+    fn multiple_cells_sequential_decode() {
+        let values =
+            vec![Value::Int(5), Value::text("abc"), Value::Null, Value::Float(1.5), Value::Bool(true)];
+        let mut buf = Vec::new();
+        for v in &values {
+            v.encode_cell(&mut buf);
+        }
+        let mut pos = 0;
+        let mut decoded = Vec::new();
+        while pos < buf.len() {
+            let (v, p) = Value::decode_cell(&buf, pos).unwrap();
+            decoded.push(v);
+            pos = p;
+        }
+        assert_eq!(decoded, values);
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_bad_tags() {
+        assert!(Value::decode_cell(&[], 0).is_err());
+        assert!(Value::decode_cell(&[1, 0, 0], 0).is_err());
+        assert!(Value::decode_cell(&[99], 0).is_err());
+        // Text with invalid UTF-8.
+        let mut buf = vec![3];
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(Value::decode_cell(&buf, 0).is_err());
+    }
+
+    #[test]
+    fn int_key_order() {
+        let values = [i64::MIN, -100, -1, 0, 1, 42, i64::MAX];
+        for w in values.windows(2) {
+            let a = Value::Int(w[0]).key_bytes();
+            let b = Value::Int(w[1]).key_bytes();
+            assert!(a < b, "{} should sort before {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn float_key_order() {
+        let values = [f64::NEG_INFINITY, -1e9, -1.5, -0.0, 0.0, 1e-12, 2.5, 1e300, f64::INFINITY];
+        for i in 0..values.len() {
+            for j in 0..values.len() {
+                let a = Value::Float(values[i]).key_bytes();
+                let b = Value::Float(values[j]).key_bytes();
+                // -0.0 and 0.0 compare equal numerically but not bytewise;
+                // only require strict agreement when the floats differ.
+                if values[i] < values[j] {
+                    assert!(a < b, "{} should sort before {}", values[i], values[j]);
+                }
+                if values[i] > values[j] {
+                    assert!(a > b, "{} should sort after {}", values[i], values[j]);
+                }
+            }
+        }
+        // NaN sorts at the top of the float class.
+        let nan = Value::Float(f64::NAN).key_bytes();
+        assert!(nan > Value::Float(f64::INFINITY).key_bytes());
+    }
+
+    #[test]
+    fn text_key_order_and_prefix_safety() {
+        let a = Value::text("abc").key_bytes();
+        let b = Value::text("abd").key_bytes();
+        let c = Value::text("ab").key_bytes();
+        assert!(a < b);
+        assert!(c < a);
+        // A string is never a prefix-equal of a longer string's encoding when
+        // compared as keys with appended suffixes.
+        let mut a_with_suffix = Value::text("ab").key_bytes();
+        a_with_suffix.extend_from_slice(&[0xFF; 8]);
+        assert!(a_with_suffix < a || a_with_suffix > a);
+    }
+
+    #[test]
+    fn text_with_nul_bytes_orders_correctly() {
+        let a = Value::Bytes(vec![1, 0, 2]).key_bytes();
+        let b = Value::Bytes(vec![1, 0, 3]).key_bytes();
+        let c = Value::Bytes(vec![1, 1]).key_bytes();
+        assert!(a < b);
+        assert!(a < c);
+    }
+
+    #[test]
+    fn order_method_matches_partial_ord_for_same_type() {
+        assert_eq!(Value::Int(1).order(&Value::Int(2)), Ordering::Less);
+        assert_eq!(Value::text("z").order(&Value::text("a")), Ordering::Greater);
+        assert_eq!(Value::Float(1.0).order(&Value::Float(1.0)), Ordering::Equal);
+        assert_eq!(Value::Null.order(&Value::Int(0)), Ordering::Less);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(5).as_int(), Some(5));
+        assert_eq!(Value::Bool(true).as_int(), Some(1));
+        assert_eq!(Value::Int(5).as_float(), Some(5.0));
+        assert_eq!(Value::text("x").as_text(), Some("x"));
+        assert_eq!(Value::bytes(vec![1]).as_bytes(), Some(&[1u8][..]));
+        assert_eq!(Value::Int(0).as_bool(), Some(false));
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Null.value_type(), None);
+        assert_eq!(Value::Float(1.0).value_type(), Some(ValueType::Float));
+    }
+
+    #[test]
+    fn type_tags_roundtrip() {
+        for t in [ValueType::Int, ValueType::Float, ValueType::Text, ValueType::Bytes, ValueType::Bool]
+        {
+            assert_eq!(ValueType::from_tag(t.tag()).unwrap(), t);
+        }
+        assert!(ValueType::from_tag(77).is_err());
+    }
+}

@@ -1,0 +1,92 @@
+//! The CIPRes-style benchmarking workflow the paper was built for:
+//!
+//! 1. generate a gold-standard simulation tree with sequence data,
+//! 2. load it into the Crimson repository,
+//! 3. sample species (uniformly and with respect to time),
+//! 4. project the gold standard onto each sample,
+//! 5. reconstruct trees with UPGMA and Neighbor-Joining from the sampled
+//!    sequences,
+//! 6. score every reconstruction against the projection with
+//!    Robinson–Foulds.
+//!
+//! ```bash
+//! cargo run --release --example benchmark_pipeline
+//! ```
+
+use crimson::benchmark::{BenchmarkManager, BenchmarkSpec, DistanceSource, Method};
+use crimson::prelude::*;
+use simulation::gold::GoldStandardBuilder;
+use simulation::seqevo::Model;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join("crimson-benchmark");
+    std::fs::create_dir_all(&dir)?;
+    let db_path = dir.join("benchmark.crimson");
+    let _ = std::fs::remove_file(&db_path);
+
+    // 1. A gold standard: 1000 taxa, 800 sites under Jukes-Cantor.
+    println!("generating gold standard (1000 taxa, 800 sites, JC69)…");
+    let gold = GoldStandardBuilder::new()
+        .leaves(1000)
+        .sequence_length(800)
+        .model(Model::Jc69 { rate: 0.1 })
+        .seed(2026)
+        .build()?;
+
+    // 2. Load it.
+    let mut repo = Repository::create(&db_path, RepositoryOptions::default())?;
+    let handle = repo.load_gold_standard("gold_standard", &gold)?;
+    let record = repo.tree_record(handle)?;
+    println!(
+        "loaded `{}`: {} nodes, {} taxa, {} species sequences\n",
+        record.name,
+        record.node_count,
+        record.leaf_count,
+        repo.species_count(handle)?
+    );
+
+    // 3–6. Run the benchmark matrix.
+    println!("{:-^100}", " benchmark runs ");
+    let mut manager = BenchmarkManager::new(&mut repo, handle);
+    for &sample_size in &[16usize, 64, 256] {
+        for strategy in [
+            SamplingStrategy::Uniform { k: sample_size },
+            SamplingStrategy::TimeRespecting { time: 0.5, k: sample_size },
+        ] {
+            let strategy_name = match &strategy {
+                SamplingStrategy::Uniform { .. } => "uniform",
+                SamplingStrategy::TimeRespecting { .. } => "time(0.5)",
+                SamplingStrategy::UserList { .. } => "user",
+            };
+            for (method, source) in [
+                (Method::Upgma, DistanceSource::SequencesJc),
+                (Method::NeighborJoining, DistanceSource::SequencesJc),
+                (Method::NeighborJoining, DistanceSource::TruePatristic),
+            ] {
+                let report = manager.run(&BenchmarkSpec {
+                    strategy: strategy.clone(),
+                    method,
+                    distance_source: source,
+                    compute_triplets: sample_size <= 64,
+                    seed: 42,
+                })?;
+                let triplet = report
+                    .triplet
+                    .map(|t| format!("{t:.3}"))
+                    .unwrap_or_else(|| "-".to_string());
+                println!(
+                    "{:<10} {}   triplet={}",
+                    strategy_name,
+                    report.summary_row(),
+                    triplet
+                );
+            }
+        }
+    }
+
+    // The query repository now holds every run for later recall.
+    let history = repo.history_of_kind(crimson::history::QueryKind::Benchmark)?;
+    println!("\n{} benchmark runs recorded in the query repository", history.len());
+    repo.flush()?;
+    Ok(())
+}

@@ -1,0 +1,11 @@
+//! `crimson-suite` — workspace-level examples and cross-crate integration
+//! tests for the Crimson reproduction. The interesting code lives in
+//! `examples/` and `tests/`; this library only re-exports the member crates
+//! for convenience in those binaries.
+
+pub use crimson;
+pub use labeling;
+pub use phylo;
+pub use reconstruction;
+pub use simulation;
+pub use storage;
