@@ -1,14 +1,18 @@
 //! Property-based cross-validation of every labeling scheme against the
 //! reference parent-walking LCA on randomly generated trees.
+//!
+//! The harness draws many (tree shape, frame depth, query seed) cases from a
+//! seeded generator — the offline stand-in for proptest — so failures are
+//! reproducible from the printed case number.
 
 use labeling::prelude::*;
 use phylo::{NodeId, Tree};
-use proptest::prelude::*;
+use rand::prelude::*;
 
 /// Build a random tree from a shape vector: element `i` attaches node `i+1`
 /// to parent `shape[i] % (i+1)`, which yields every possible rooted tree
 /// topology over `n` nodes with positive probability.
-fn tree_from_shape(shape: &[usize]) -> Tree {
+pub fn tree_from_shape(shape: &[usize]) -> Tree {
     let mut tree = Tree::new();
     let mut ids = vec![tree.add_node()];
     for (i, &s) in shape.iter().enumerate() {
@@ -19,6 +23,12 @@ fn tree_from_shape(shape: &[usize]) -> Tree {
         ids.push(child);
     }
     tree
+}
+
+/// A random shape vector of `1..max_len` elements in `0..1000`.
+pub fn random_shape(rng: &mut StdRng, max_len: usize) -> Vec<usize> {
+    let len = rng.gen_range(1..max_len);
+    (0..len).map(|_| rng.gen_range(0usize..1000)).collect()
 }
 
 fn sample_pairs(tree: &Tree, count: usize, seed: usize) -> Vec<(NodeId, NodeId)> {
@@ -32,15 +42,13 @@ fn sample_pairs(tree: &Tree, count: usize, seed: usize) -> Vec<(NodeId, NodeId)>
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn all_schemes_agree_with_reference(
-        shape in prop::collection::vec(0usize..1000, 1..120),
-        f in 2usize..10,
-        seed in 0usize..10_000,
-    ) {
+#[test]
+fn all_schemes_agree_with_reference() {
+    let mut rng = StdRng::seed_from_u64(0xC1A0);
+    for case in 0..64 {
+        let shape = random_shape(&mut rng, 120);
+        let f = rng.gen_range(2usize..10);
+        let seed = rng.gen_range(0usize..10_000);
         let tree = tree_from_shape(&shape);
         let pairs = sample_pairs(&tree, 40, seed);
 
@@ -51,37 +59,41 @@ proptest! {
 
         for &(a, b) in &pairs {
             let expected = tree.lca(a, b);
-            prop_assert_eq!(flat.lca(a, b), expected, "flat-dewey lca({}, {})", a, b);
-            prop_assert_eq!(hier.lca(a, b), expected, "hierarchical lca({}, {}) f={}", a, b, f);
-            prop_assert_eq!(interval.lca(a, b), expected, "interval lca({}, {})", a, b);
-            prop_assert_eq!(parent.lca(a, b), expected, "parent lca({}, {})", a, b);
+            assert_eq!(flat.lca(a, b), expected, "case {case}: flat-dewey lca({a}, {b})");
+            assert_eq!(hier.lca(a, b), expected, "case {case}: hierarchical lca({a}, {b}) f={f}");
+            assert_eq!(interval.lca(a, b), expected, "case {case}: interval lca({a}, {b})");
+            assert_eq!(parent.lca(a, b), expected, "case {case}: parent lca({a}, {b})");
 
             let expected_anc = tree.is_ancestor(a, b);
-            prop_assert_eq!(flat.is_ancestor(a, b), expected_anc);
-            prop_assert_eq!(hier.is_ancestor(a, b), expected_anc);
-            prop_assert_eq!(interval.is_ancestor(a, b), expected_anc);
-            prop_assert_eq!(parent.is_ancestor(a, b), expected_anc);
+            assert_eq!(flat.is_ancestor(a, b), expected_anc, "case {case}");
+            assert_eq!(hier.is_ancestor(a, b), expected_anc, "case {case}");
+            assert_eq!(interval.is_ancestor(a, b), expected_anc, "case {case}");
+            assert_eq!(parent.is_ancestor(a, b), expected_anc, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn hierarchical_labels_always_bounded(
-        shape in prop::collection::vec(0usize..1000, 1..200),
-        f in 2usize..12,
-    ) {
+#[test]
+fn hierarchical_labels_always_bounded() {
+    let mut rng = StdRng::seed_from_u64(0xB0B);
+    for case in 0..64 {
+        let shape = random_shape(&mut rng, 200);
+        let f = rng.gen_range(2usize..12);
         let tree = tree_from_shape(&shape);
         let hier = HierarchicalDewey::build(&tree, f);
         for node in tree.node_ids() {
-            prop_assert!(hier.label(node).path.len() < f);
+            assert!(hier.label(node).path.len() < f, "case {case}: label exceeds frame depth");
         }
-        prop_assert!(hier.stats().max_bytes <= 4 + (f - 1) * 4);
+        assert!(hier.stats().max_bytes <= 4 + (f - 1) * 4, "case {case}");
     }
+}
 
-    #[test]
-    fn frame_sources_are_parents_of_frame_roots(
-        shape in prop::collection::vec(0usize..1000, 1..150),
-        f in 2usize..8,
-    ) {
+#[test]
+fn frame_sources_are_parents_of_frame_roots() {
+    let mut rng = StdRng::seed_from_u64(0xF00D);
+    for case in 0..64 {
+        let shape = random_shape(&mut rng, 150);
+        let f = rng.gen_range(2usize..8);
         let tree = tree_from_shape(&shape);
         let hier = HierarchicalDewey::build(&tree, f);
         let layer0 = hier.layer(0);
@@ -89,10 +101,14 @@ proptest! {
             let frame = layer0.frame(fid);
             match frame.source {
                 Some(src) => {
-                    prop_assert_eq!(tree.parent(NodeId(frame.root)), Some(NodeId(src)));
+                    assert_eq!(
+                        tree.parent(NodeId(frame.root)),
+                        Some(NodeId(src)),
+                        "case {case}: frame {fid}"
+                    );
                 }
                 None => {
-                    prop_assert_eq!(NodeId(frame.root), tree.root_unchecked());
+                    assert_eq!(NodeId(frame.root), tree.root_unchecked(), "case {case}");
                 }
             }
         }

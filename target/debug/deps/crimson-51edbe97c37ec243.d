@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/crimson-51edbe97c37ec243.d: crates/crimson/src/lib.rs crates/crimson/src/benchmark.rs crates/crimson/src/error.rs crates/crimson/src/history.rs crates/crimson/src/loader.rs crates/crimson/src/query.rs crates/crimson/src/repository.rs crates/crimson/src/sampling.rs
+
+/root/repo/target/debug/deps/crimson-51edbe97c37ec243: crates/crimson/src/lib.rs crates/crimson/src/benchmark.rs crates/crimson/src/error.rs crates/crimson/src/history.rs crates/crimson/src/loader.rs crates/crimson/src/query.rs crates/crimson/src/repository.rs crates/crimson/src/sampling.rs
+
+crates/crimson/src/lib.rs:
+crates/crimson/src/benchmark.rs:
+crates/crimson/src/error.rs:
+crates/crimson/src/history.rs:
+crates/crimson/src/loader.rs:
+crates/crimson/src/query.rs:
+crates/crimson/src/repository.rs:
+crates/crimson/src/sampling.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/crimson-e6ef223e4cd2d0f3.d: crates/crimson/src/lib.rs crates/crimson/src/benchmark.rs crates/crimson/src/error.rs crates/crimson/src/history.rs crates/crimson/src/loader.rs crates/crimson/src/query.rs crates/crimson/src/repository.rs crates/crimson/src/sampling.rs
+
+/root/repo/target/debug/deps/libcrimson-e6ef223e4cd2d0f3.rlib: crates/crimson/src/lib.rs crates/crimson/src/benchmark.rs crates/crimson/src/error.rs crates/crimson/src/history.rs crates/crimson/src/loader.rs crates/crimson/src/query.rs crates/crimson/src/repository.rs crates/crimson/src/sampling.rs
+
+/root/repo/target/debug/deps/libcrimson-e6ef223e4cd2d0f3.rmeta: crates/crimson/src/lib.rs crates/crimson/src/benchmark.rs crates/crimson/src/error.rs crates/crimson/src/history.rs crates/crimson/src/loader.rs crates/crimson/src/query.rs crates/crimson/src/repository.rs crates/crimson/src/sampling.rs
+
+crates/crimson/src/lib.rs:
+crates/crimson/src/benchmark.rs:
+crates/crimson/src/error.rs:
+crates/crimson/src/history.rs:
+crates/crimson/src/loader.rs:
+crates/crimson/src/query.rs:
+crates/crimson/src/repository.rs:
+crates/crimson/src/sampling.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/crimson_bench-6b2ee779395e86c0.d: crates/bench/src/lib.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/crimson_bench-6b2ee779395e86c0: crates/bench/src/lib.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/workloads.rs:

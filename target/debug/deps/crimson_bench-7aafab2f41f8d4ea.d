@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/crimson_bench-7aafab2f41f8d4ea.d: crates/bench/src/lib.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libcrimson_bench-7aafab2f41f8d4ea.rlib: crates/bench/src/lib.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libcrimson_bench-7aafab2f41f8d4ea.rmeta: crates/bench/src/lib.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/workloads.rs:

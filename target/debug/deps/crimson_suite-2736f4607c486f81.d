@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crimson_suite-2736f4607c486f81.d: src/lib.rs
+
+/root/repo/target/debug/deps/crimson_suite-2736f4607c486f81: src/lib.rs
+
+src/lib.rs:

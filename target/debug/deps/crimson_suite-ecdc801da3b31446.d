@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crimson_suite-ecdc801da3b31446.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcrimson_suite-ecdc801da3b31446.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcrimson_suite-ecdc801da3b31446.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_pipeline-f5c56b83134d573f.d: tests/end_to_end_pipeline.rs
+
+/root/repo/target/debug/deps/end_to_end_pipeline-f5c56b83134d573f: tests/end_to_end_pipeline.rs
+
+tests/end_to_end_pipeline.rs:

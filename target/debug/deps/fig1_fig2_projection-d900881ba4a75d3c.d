@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_fig2_projection-d900881ba4a75d3c.d: tests/fig1_fig2_projection.rs
+
+/root/repo/target/debug/deps/fig1_fig2_projection-d900881ba4a75d3c: tests/fig1_fig2_projection.rs
+
+tests/fig1_fig2_projection.rs:

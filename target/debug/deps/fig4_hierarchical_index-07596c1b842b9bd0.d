@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_hierarchical_index-07596c1b842b9bd0.d: tests/fig4_hierarchical_index.rs
+
+/root/repo/target/debug/deps/fig4_hierarchical_index-07596c1b842b9bd0: tests/fig4_hierarchical_index.rs
+
+tests/fig4_hierarchical_index.rs:

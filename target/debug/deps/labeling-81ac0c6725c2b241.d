@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/labeling-81ac0c6725c2b241.d: crates/labeling/src/lib.rs crates/labeling/src/dewey.rs crates/labeling/src/hierarchical.rs crates/labeling/src/interval.rs crates/labeling/src/parent.rs crates/labeling/src/scheme.rs
+
+/root/repo/target/debug/deps/labeling-81ac0c6725c2b241: crates/labeling/src/lib.rs crates/labeling/src/dewey.rs crates/labeling/src/hierarchical.rs crates/labeling/src/interval.rs crates/labeling/src/parent.rs crates/labeling/src/scheme.rs
+
+crates/labeling/src/lib.rs:
+crates/labeling/src/dewey.rs:
+crates/labeling/src/hierarchical.rs:
+crates/labeling/src/interval.rs:
+crates/labeling/src/parent.rs:
+crates/labeling/src/scheme.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/labeling-f6025b68e294e707.d: crates/labeling/src/lib.rs crates/labeling/src/dewey.rs crates/labeling/src/hierarchical.rs crates/labeling/src/interval.rs crates/labeling/src/parent.rs crates/labeling/src/scheme.rs
+
+/root/repo/target/debug/deps/liblabeling-f6025b68e294e707.rlib: crates/labeling/src/lib.rs crates/labeling/src/dewey.rs crates/labeling/src/hierarchical.rs crates/labeling/src/interval.rs crates/labeling/src/parent.rs crates/labeling/src/scheme.rs
+
+/root/repo/target/debug/deps/liblabeling-f6025b68e294e707.rmeta: crates/labeling/src/lib.rs crates/labeling/src/dewey.rs crates/labeling/src/hierarchical.rs crates/labeling/src/interval.rs crates/labeling/src/parent.rs crates/labeling/src/scheme.rs
+
+crates/labeling/src/lib.rs:
+crates/labeling/src/dewey.rs:
+crates/labeling/src/hierarchical.rs:
+crates/labeling/src/interval.rs:
+crates/labeling/src/parent.rs:
+crates/labeling/src/scheme.rs:

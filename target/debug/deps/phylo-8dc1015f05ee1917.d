@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/phylo-8dc1015f05ee1917.d: crates/phylo/src/lib.rs crates/phylo/src/builder.rs crates/phylo/src/distance.rs crates/phylo/src/error.rs crates/phylo/src/newick.rs crates/phylo/src/nexus.rs crates/phylo/src/ops.rs crates/phylo/src/render.rs crates/phylo/src/traverse.rs crates/phylo/src/tree.rs
+
+/root/repo/target/debug/deps/libphylo-8dc1015f05ee1917.rlib: crates/phylo/src/lib.rs crates/phylo/src/builder.rs crates/phylo/src/distance.rs crates/phylo/src/error.rs crates/phylo/src/newick.rs crates/phylo/src/nexus.rs crates/phylo/src/ops.rs crates/phylo/src/render.rs crates/phylo/src/traverse.rs crates/phylo/src/tree.rs
+
+/root/repo/target/debug/deps/libphylo-8dc1015f05ee1917.rmeta: crates/phylo/src/lib.rs crates/phylo/src/builder.rs crates/phylo/src/distance.rs crates/phylo/src/error.rs crates/phylo/src/newick.rs crates/phylo/src/nexus.rs crates/phylo/src/ops.rs crates/phylo/src/render.rs crates/phylo/src/traverse.rs crates/phylo/src/tree.rs
+
+crates/phylo/src/lib.rs:
+crates/phylo/src/builder.rs:
+crates/phylo/src/distance.rs:
+crates/phylo/src/error.rs:
+crates/phylo/src/newick.rs:
+crates/phylo/src/nexus.rs:
+crates/phylo/src/ops.rs:
+crates/phylo/src/render.rs:
+crates/phylo/src/traverse.rs:
+crates/phylo/src/tree.rs:

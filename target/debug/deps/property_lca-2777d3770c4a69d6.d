@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_lca-2777d3770c4a69d6.d: crates/labeling/tests/property_lca.rs
+
+/root/repo/target/debug/deps/property_lca-2777d3770c4a69d6: crates/labeling/tests/property_lca.rs
+
+crates/labeling/tests/property_lca.rs:

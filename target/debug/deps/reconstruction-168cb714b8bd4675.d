@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/reconstruction-168cb714b8bd4675.d: crates/reconstruction/src/lib.rs crates/reconstruction/src/compare.rs crates/reconstruction/src/distance.rs crates/reconstruction/src/nj.rs crates/reconstruction/src/upgma.rs
+
+/root/repo/target/debug/deps/libreconstruction-168cb714b8bd4675.rlib: crates/reconstruction/src/lib.rs crates/reconstruction/src/compare.rs crates/reconstruction/src/distance.rs crates/reconstruction/src/nj.rs crates/reconstruction/src/upgma.rs
+
+/root/repo/target/debug/deps/libreconstruction-168cb714b8bd4675.rmeta: crates/reconstruction/src/lib.rs crates/reconstruction/src/compare.rs crates/reconstruction/src/distance.rs crates/reconstruction/src/nj.rs crates/reconstruction/src/upgma.rs
+
+crates/reconstruction/src/lib.rs:
+crates/reconstruction/src/compare.rs:
+crates/reconstruction/src/distance.rs:
+crates/reconstruction/src/nj.rs:
+crates/reconstruction/src/upgma.rs:

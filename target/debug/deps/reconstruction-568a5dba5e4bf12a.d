@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reconstruction-568a5dba5e4bf12a.d: crates/reconstruction/src/lib.rs crates/reconstruction/src/compare.rs crates/reconstruction/src/distance.rs crates/reconstruction/src/nj.rs crates/reconstruction/src/upgma.rs
+
+/root/repo/target/debug/deps/reconstruction-568a5dba5e4bf12a: crates/reconstruction/src/lib.rs crates/reconstruction/src/compare.rs crates/reconstruction/src/distance.rs crates/reconstruction/src/nj.rs crates/reconstruction/src/upgma.rs
+
+crates/reconstruction/src/lib.rs:
+crates/reconstruction/src/compare.rs:
+crates/reconstruction/src/distance.rs:
+crates/reconstruction/src/nj.rs:
+crates/reconstruction/src/upgma.rs:

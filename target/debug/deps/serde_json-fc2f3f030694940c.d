@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-fc2f3f030694940c.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-fc2f3f030694940c: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/simulation-2bec71ef5630bfc7.d: crates/simulation/src/lib.rs crates/simulation/src/birth_death.rs crates/simulation/src/gold.rs crates/simulation/src/seqevo.rs
+
+/root/repo/target/debug/deps/simulation-2bec71ef5630bfc7: crates/simulation/src/lib.rs crates/simulation/src/birth_death.rs crates/simulation/src/gold.rs crates/simulation/src/seqevo.rs
+
+crates/simulation/src/lib.rs:
+crates/simulation/src/birth_death.rs:
+crates/simulation/src/gold.rs:
+crates/simulation/src/seqevo.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/simulation-f03fc06d99152959.d: crates/simulation/src/lib.rs crates/simulation/src/birth_death.rs crates/simulation/src/gold.rs crates/simulation/src/seqevo.rs
+
+/root/repo/target/debug/deps/libsimulation-f03fc06d99152959.rlib: crates/simulation/src/lib.rs crates/simulation/src/birth_death.rs crates/simulation/src/gold.rs crates/simulation/src/seqevo.rs
+
+/root/repo/target/debug/deps/libsimulation-f03fc06d99152959.rmeta: crates/simulation/src/lib.rs crates/simulation/src/birth_death.rs crates/simulation/src/gold.rs crates/simulation/src/seqevo.rs
+
+crates/simulation/src/lib.rs:
+crates/simulation/src/birth_death.rs:
+crates/simulation/src/gold.rs:
+crates/simulation/src/seqevo.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/storage-4a3adb0940ac198f.d: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/buffer.rs crates/storage/src/catalog.rs crates/storage/src/db.rs crates/storage/src/error.rs crates/storage/src/heap.rs crates/storage/src/page.rs crates/storage/src/pager.rs crates/storage/src/schema.rs crates/storage/src/value.rs
+
+/root/repo/target/debug/deps/storage-4a3adb0940ac198f: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/buffer.rs crates/storage/src/catalog.rs crates/storage/src/db.rs crates/storage/src/error.rs crates/storage/src/heap.rs crates/storage/src/page.rs crates/storage/src/pager.rs crates/storage/src/schema.rs crates/storage/src/value.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/btree.rs:
+crates/storage/src/buffer.rs:
+crates/storage/src/catalog.rs:
+crates/storage/src/db.rs:
+crates/storage/src/error.rs:
+crates/storage/src/heap.rs:
+crates/storage/src/page.rs:
+crates/storage/src/pager.rs:
+crates/storage/src/schema.rs:
+crates/storage/src/value.rs:

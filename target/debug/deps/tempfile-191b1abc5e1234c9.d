@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tempfile-191b1abc5e1234c9.d: vendor/tempfile/src/lib.rs
+
+/root/repo/target/debug/deps/libtempfile-191b1abc5e1234c9.rlib: vendor/tempfile/src/lib.rs
+
+/root/repo/target/debug/deps/libtempfile-191b1abc5e1234c9.rmeta: vendor/tempfile/src/lib.rs
+
+vendor/tempfile/src/lib.rs:

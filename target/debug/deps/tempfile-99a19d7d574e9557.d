@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tempfile-99a19d7d574e9557.d: vendor/tempfile/src/lib.rs
+
+/root/repo/target/debug/deps/tempfile-99a19d7d574e9557: vendor/tempfile/src/lib.rs
+
+vendor/tempfile/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/time_sampling_fig1-723e7ea765ec77f8.d: tests/time_sampling_fig1.rs
+
+/root/repo/target/debug/deps/time_sampling_fig1-723e7ea765ec77f8: tests/time_sampling_fig1.rs
+
+tests/time_sampling_fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/benchmark_pipeline-9229628a82384291.d: examples/benchmark_pipeline.rs
+
+/root/repo/target/debug/examples/benchmark_pipeline-9229628a82384291: examples/benchmark_pipeline.rs
+
+examples/benchmark_pipeline.rs:

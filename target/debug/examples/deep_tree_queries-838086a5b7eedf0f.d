@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/deep_tree_queries-838086a5b7eedf0f.d: examples/deep_tree_queries.rs
+
+/root/repo/target/debug/examples/deep_tree_queries-838086a5b7eedf0f: examples/deep_tree_queries.rs
+
+examples/deep_tree_queries.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b67927169bb65a39.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-b67927169bb65a39: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/repository_tour-d0b4e89075655146.d: examples/repository_tour.rs
+
+/root/repo/target/debug/examples/repository_tour-d0b4e89075655146: examples/repository_tour.rs
+
+examples/repository_tour.rs:

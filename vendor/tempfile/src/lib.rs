@@ -1,0 +1,90 @@
+//! Offline shim for the subset of `tempfile` this workspace uses:
+//! [`tempdir`] / [`TempDir`] — uniquely named directories under the system
+//! temp dir, removed recursively on drop.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A directory in the filesystem that is deleted (recursively) when dropped.
+#[derive(Debug)]
+pub struct TempDir {
+    path: Option<PathBuf>,
+}
+
+impl TempDir {
+    /// Create a fresh temporary directory under `std::env::temp_dir()`.
+    pub fn new() -> std::io::Result<TempDir> {
+        let base = std::env::temp_dir();
+        let pid = std::process::id();
+        loop {
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let nanos = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.subsec_nanos())
+                .unwrap_or(0);
+            let candidate = base.join(format!(".tmp-crimson-{pid}-{n}-{nanos}"));
+            match std::fs::create_dir(&candidate) {
+                Ok(()) => return Ok(TempDir { path: Some(candidate) }),
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        self.path.as_deref().expect("TempDir path is present until drop")
+    }
+
+    /// Persist the directory (skip deletion on drop) and return its path.
+    pub fn keep(mut self) -> PathBuf {
+        self.path.take().expect("TempDir path is present until drop")
+    }
+
+    /// Delete the directory now, reporting any I/O error.
+    pub fn close(mut self) -> std::io::Result<()> {
+        match self.path.take() {
+            Some(p) => std::fs::remove_dir_all(p),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        if let Some(p) = self.path.take() {
+            let _ = std::fs::remove_dir_all(p);
+        }
+    }
+}
+
+/// Create a new [`TempDir`] (the classic `tempfile::tempdir()` entry point).
+pub fn tempdir() -> std::io::Result<TempDir> {
+    TempDir::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_write_drop() {
+        let path;
+        {
+            let dir = tempdir().unwrap();
+            path = dir.path().to_path_buf();
+            std::fs::write(dir.path().join("x.txt"), b"hello").unwrap();
+            assert!(path.exists());
+        }
+        assert!(!path.exists(), "directory must be removed on drop");
+    }
+
+    #[test]
+    fn dirs_are_unique() {
+        let a = tempdir().unwrap();
+        let b = tempdir().unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+}
