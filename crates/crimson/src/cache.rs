@@ -1,0 +1,126 @@
+//! A small two-generation (S3-FIFO-style) LRU cache with O(1) operations.
+//!
+//! Used by the repository for decoded [`crate::repository::NodeRecord`]s and
+//! interval-index entries, so repeated structure queries skip both the
+//! B+tree descent and the row decode. Exact LRU order is not maintained;
+//! instead entries live in a *hot* generation and age into a *cold*
+//! generation when the hot side fills. A hit in the cold generation promotes
+//! the entry back to hot. Anything older than two generations is gone —
+//! which is the same guarantee clock eviction gives the buffer pool below
+//! it, at a fraction of the bookkeeping.
+//!
+//! The cache never holds more than `2 * gen_capacity` entries.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Two-generation LRU cache.
+#[derive(Debug)]
+pub struct LruCache<K: Hash + Eq + Clone, V: Clone> {
+    hot: HashMap<K, V>,
+    cold: HashMap<K, V>,
+    gen_capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
+    /// A cache holding at most `2 * gen_capacity` entries.
+    pub fn new(gen_capacity: usize) -> Self {
+        LruCache {
+            hot: HashMap::new(),
+            cold: HashMap::new(),
+            gen_capacity: gen_capacity.max(1),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Fetch a value, promoting cold hits to the hot generation.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        if let Some(v) = self.hot.get(key) {
+            self.hits += 1;
+            return Some(v.clone());
+        }
+        if let Some(v) = self.cold.remove(key) {
+            self.hits += 1;
+            self.insert(key.clone(), v.clone());
+            return Some(v);
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Insert a value into the hot generation, aging hot → cold when full.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.hot.len() >= self.gen_capacity && !self.hot.contains_key(&key) {
+            self.cold = std::mem::take(&mut self.hot);
+        }
+        self.hot.insert(key, value);
+    }
+
+    /// Number of entries currently cached (both generations).
+    pub fn len(&self) -> usize {
+        self.hot.len() + self.cold.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` counters since creation or the last reset.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Drop all entries and reset counters.
+    pub fn clear(&mut self) {
+        self.hot.clear();
+        self.cold.clear();
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_promotion() {
+        let mut cache: LruCache<u64, String> = LruCache::new(2);
+        assert_eq!(cache.get(&1), None);
+        cache.insert(1, "a".into());
+        cache.insert(2, "b".into());
+        assert_eq!(cache.get(&1).as_deref(), Some("a"));
+        // Third insert ages {1, 2} into the cold generation.
+        cache.insert(3, "c".into());
+        assert!(cache.len() <= 4);
+        // Cold hit promotes back to hot.
+        assert_eq!(cache.get(&2).as_deref(), Some("b"));
+        let (hits, misses) = cache.stats();
+        assert_eq!((hits, misses), (2, 1));
+    }
+
+    #[test]
+    fn capacity_is_bounded() {
+        let mut cache: LruCache<u64, u64> = LruCache::new(8);
+        for i in 0..1000 {
+            cache.insert(i, i);
+            assert!(cache.len() <= 16, "cache exceeded its bound at {i}");
+        }
+        // Old entries are evicted.
+        assert_eq!(cache.get(&0), None);
+        assert_eq!(cache.get(&999), Some(999));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut cache: LruCache<u64, u64> = LruCache::new(4);
+        cache.insert(1, 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), (0, 0));
+    }
+}

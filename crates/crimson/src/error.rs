@@ -30,6 +30,12 @@ pub enum CrimsonError {
     MissingSequences(String),
     /// Serialization of query history failed.
     History(String),
+    /// Stored structures are internally inconsistent (e.g. a frame without a
+    /// source node, a label-walk off the end of a parent chain, or an
+    /// interval-index entry that contradicts the node table). Previously a
+    /// panic; surfaced as a typed error so callers can distinguish a damaged
+    /// repository file from a caller mistake.
+    CorruptRepository(String),
 }
 
 impl fmt::Display for CrimsonError {
@@ -49,6 +55,7 @@ impl fmt::Display for CrimsonError {
                 write!(f, "no sequence data loaded for tree `{name}`")
             }
             CrimsonError::History(m) => write!(f, "query history error: {m}"),
+            CrimsonError::CorruptRepository(m) => write!(f, "corrupt repository: {m}"),
         }
     }
 }

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod benchmark;
+pub(crate) mod cache;
 pub mod error;
 pub mod history;
 pub mod loader;

@@ -1,17 +1,52 @@
 //! Structure queries over the stored tree: minimal spanning clade, tree
 //! projection and tree pattern match (§2.2 of the paper).
 //!
-//! All queries run against the disk-resident repository through the node,
-//! frame and index access paths; none of them materialize the full stored
-//! tree in memory — only the nodes a query touches are fetched, which is the
-//! paper's central argument for a database-backed design.
+//! All queries run against the disk-resident repository; none of them
+//! materialize the full stored tree in memory — only the index entries and
+//! rows a query touches are read, which is the paper's central argument for
+//! a database-backed design.
+//!
+//! ## Access paths
+//!
+//! The engine runs on the persistent **interval index** (see
+//! [`labeling::interval`] for the layout): a node's subtree is the
+//! contiguous key range `[(tree, pre), (tree, end)]`, so
+//!
+//! * `minimal_spanning_clade` is one LCA plus **one range scan** — no
+//!   breadth-first search, no per-node row fetch;
+//! * `project` resolves the consecutive-leaf LCAs the paper's insertion
+//!   algorithm needs either from a **single range scan** over the clade
+//!   (dense selections: a stack over the pre-ordered entries yields every
+//!   pair LCA in one pass) or via per-pair interval walks (sparse
+//!   selections), and fetches node rows only for the ~2k nodes that appear
+//!   in the output;
+//! * `pattern_match` rides on `project`.
+//!
+//! The pre-index implementations (label walks + BFS) are kept as
+//! `*_reference` methods: the property tests cross-validate against them and
+//! the benchmark suite uses them as the page-read baseline.
 
 use crate::error::{CrimsonError, CrimsonResult};
-use crate::repository::{NodeRecord, Repository, StoredNodeId, TreeHandle};
+use crate::repository::{NodeRecord, Repository, StoredNodeId, TreeHandle, TREE_SHIFT};
+use labeling::interval::{interval_key_prefix, IntervalEntry, INTERVAL_KEY_PREFIX};
 use phylo::ops;
 use phylo::{NodeId, Tree};
 use reconstruction::compare::{robinson_foulds, RfResult};
 use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Exclusive upper bound of the key range covering `[.., (tree, end)]`.
+fn clade_high_key(tree: u64, end: u32) -> [u8; INTERVAL_KEY_PREFIX] {
+    match end.checked_add(1) {
+        Some(next) => interval_key_prefix(tree, next),
+        None => interval_key_prefix(tree + 1, 0),
+    }
+}
+
+/// When the clade span exceeds `SPARSE_FACTOR * selection size`, projection
+/// resolves pair LCAs by per-pair interval walks instead of scanning the
+/// whole clade range.
+const SPARSE_FACTOR: u64 = 64;
 
 /// Result of a tree pattern match query.
 #[derive(Debug, Clone)]
@@ -34,8 +69,54 @@ impl Repository {
     // ------------------------------------------------------------------
 
     /// Minimal spanning clade of a set of nodes: all nodes in the subtree
-    /// rooted at their least common ancestor (§2.2).
+    /// rooted at their least common ancestor (§2.2), in pre-order.
+    ///
+    /// Each input node's interval is fetched exactly once; the LCA of the
+    /// whole set is the LCA of its minimum- and maximum-rank members; and
+    /// the clade itself is **one contiguous range scan** over the interval
+    /// index — no per-node row fetch, no breadth-first search.
     pub fn minimal_spanning_clade(
+        &self,
+        nodes: &[StoredNodeId],
+    ) -> CrimsonResult<Vec<StoredNodeId>> {
+        if nodes.is_empty() {
+            return Err(CrimsonError::InvalidSample("empty node set".to_string()));
+        }
+        let tree = nodes[0].0 >> TREE_SHIFT;
+        let mut min: Option<(u32, StoredNodeId)> = None;
+        let mut max: Option<(u32, StoredNodeId)> = None;
+        for &n in nodes {
+            if n.0 >> TREE_SHIFT != tree {
+                return Err(CrimsonError::InvalidSample(
+                    "spanning clade spans multiple trees".to_string(),
+                ));
+            }
+            let (pre, _) = self.interval_of(n)?;
+            if min.map_or(true, |(p, _)| pre < p) {
+                min = Some((pre, n));
+            }
+            if max.map_or(true, |(p, _)| pre > p) {
+                max = Some((pre, n));
+            }
+        }
+        let (min, max) = (min.expect("nodes is non-empty"), max.expect("nodes is non-empty"));
+        let lca = self.lca(min.1, max.1)?;
+        let (lp, le) = self.interval_of(lca)?;
+        let low = interval_key_prefix(tree, lp);
+        let high = clade_high_key(tree, le);
+        let mut out = Vec::with_capacity((le - lp + 1) as usize);
+        for item in self.db.raw_range(self.ivl_by_pre, Some(&low), Some(&high))? {
+            let (_, sid) = item?;
+            out.push(StoredNodeId(sid));
+        }
+        Ok(out)
+    }
+
+    /// Reference implementation of the minimal spanning clade from before
+    /// the interval index: fold pairwise label-walk LCAs, then breadth-first
+    /// collection through the parent index with one row fetch per node.
+    /// Kept for cross-validation and as the page-read baseline.
+    pub fn minimal_spanning_clade_reference(
         &self,
         nodes: &[StoredNodeId],
     ) -> CrimsonResult<Vec<StoredNodeId>> {
@@ -44,10 +125,8 @@ impl Repository {
         }
         let mut lca = nodes[0];
         for &n in &nodes[1..] {
-            lca = self.lca(lca, n)?;
+            lca = self.lca_label_walk(lca, n)?;
         }
-        // Breadth-first collection of the subtree below the LCA via the
-        // parent index.
         let mut out = Vec::new();
         let mut queue = VecDeque::from([lca]);
         while let Some(node) = queue.pop_front() {
@@ -65,10 +144,18 @@ impl Repository {
 
     /// Project the stored tree onto a set of leaf nodes, following the
     /// paper's algorithm: sort the leaves by pre-order, insert them left to
-    /// right, and determine each insertion point by checking
-    /// ancestor/descendant relationships (LCA queries) along the rightmost
-    /// path of the partial tree. Unary nodes never arise; edge weights are
-    /// differences of stored cumulative root distances.
+    /// right, and determine each insertion point from the LCA of consecutive
+    /// leaves along the rightmost path of the partial tree. Unary nodes
+    /// never arise; edge weights are differences of stored cumulative root
+    /// distances.
+    ///
+    /// The consecutive-pair LCAs come from the interval index: a **single
+    /// range scan** over `[pre(lca), end(lca)]` with an ancestor stack when
+    /// the selection is dense in its clade, or per-pair interval walks when
+    /// it is sparse (span > `SPARSE_FACTOR`× the selection size). Node rows
+    /// are fetched (through the record cache) only for nodes that appear in
+    /// the output — ~2k rows for k selected leaves, independent of tree
+    /// size.
     ///
     /// The result is an in-memory [`Tree`] whose leaves carry the stored
     /// species names.
@@ -76,10 +163,132 @@ impl Repository {
         if leaves.is_empty() {
             return Err(CrimsonError::InvalidSample("empty leaf set".to_string()));
         }
-        // Fetch and order the leaf records by pre-order rank.
+        let tree = handle.0;
+        // One interval fetch per input node: validates membership and gives
+        // the pre-order rank to sort by.
+        let mut sel: Vec<(u32, StoredNodeId)> = Vec::with_capacity(leaves.len());
+        for &leaf in leaves {
+            if leaf.0 >> TREE_SHIFT != tree {
+                return Err(CrimsonError::InvalidSample(format!(
+                    "node {leaf} does not belong to tree #{}",
+                    handle.0
+                )));
+            }
+            let (pre, _) = self.interval_of(leaf)?;
+            sel.push((pre, leaf));
+        }
+        sel.sort_by_key(|(pre, _)| *pre);
+        sel.dedup_by_key(|(pre, _)| *pre);
+
+        if sel.len() == 1 {
+            let rec = self.node_record_arc(sel[0].1)?;
+            let mut out = Tree::new();
+            let only = out.add_node();
+            if let Some(name) = &rec.name {
+                out.set_name(only, name.clone())?;
+            }
+            return Ok(out);
+        }
+
+        // Consecutive-pair LCAs through the interval index.
+        let lca_all = self.lca(sel[0].1, sel[sel.len() - 1].1)?;
+        let (lp, le) = self.interval_of(lca_all)?;
+        let span = (le - lp) as u64 + 1;
+        let pair_lcas: Vec<StoredNodeId> = if span <= SPARSE_FACTOR * sel.len() as u64 {
+            self.pair_lcas_by_scan(tree, &sel, lp, le)?
+        } else {
+            let mut out = Vec::with_capacity(sel.len() - 1);
+            for pair in sel.windows(2) {
+                out.push(self.lca(pair[0].1, pair[1].1)?);
+            }
+            out
+        };
+
+        // Fetch rows only for output nodes and run the insertion loop.
+        let mut records = Vec::with_capacity(sel.len());
+        for &(_, sid) in &sel {
+            records.push(self.node_record_arc(sid)?);
+        }
+        let mut lca_records = Vec::with_capacity(pair_lcas.len());
+        for &sid in &pair_lcas {
+            lca_records.push(self.node_record_arc(sid)?);
+        }
+        assemble_projection(&records, &lca_records)
+    }
+
+    /// For consecutive selected ranks, the LCA entries harvested from one
+    /// pre-order range scan over the clade `[lo, hi_end]` of `tree`.
+    ///
+    /// The scan keeps the current root path on a stack (pop everything whose
+    /// interval closed before the incoming entry); when the next selected
+    /// rank arrives, the LCA with the previous selected rank is the deepest
+    /// stack entry whose rank does not exceed it.
+    fn pair_lcas_by_scan(
+        &self,
+        tree: u64,
+        sel: &[(u32, StoredNodeId)],
+        lo: u32,
+        hi_end: u32,
+    ) -> CrimsonResult<Vec<StoredNodeId>> {
+        let low = interval_key_prefix(tree, lo);
+        let high = clade_high_key(tree, hi_end);
+        let mut stack: Vec<IntervalEntry> = Vec::new();
+        let mut out = Vec::with_capacity(sel.len() - 1);
+        let mut next_sel = 0usize;
+        let mut prev_pre: Option<u32> = None;
+        for item in self.db.raw_range(self.ivl_by_pre, Some(&low), Some(&high))? {
+            let (key, _) = item?;
+            let (_, entry) = IntervalEntry::decode_key(&key).ok_or_else(|| {
+                CrimsonError::CorruptRepository("malformed interval-index key".to_string())
+            })?;
+            while stack.last().map_or(false, |top| top.end < entry.pre) {
+                stack.pop();
+            }
+            if next_sel < sel.len() && entry.pre == sel[next_sel].0 {
+                if let Some(prev) = prev_pre {
+                    // Stack ranks ascend; every stack entry covers the
+                    // current rank, so the deepest one with pre <= prev also
+                    // covers prev — the pair LCA.
+                    let idx = stack.partition_point(|e| e.pre <= prev);
+                    let anc = idx
+                        .checked_sub(1)
+                        .and_then(|i| stack.get(i))
+                        .ok_or_else(|| {
+                            CrimsonError::CorruptRepository(format!(
+                                "no common ancestor on the scan stack for ranks {prev} and {}",
+                                entry.pre
+                            ))
+                        })?;
+                    out.push(StoredNodeId((tree << TREE_SHIFT) | anc.node as u64));
+                }
+                prev_pre = Some(entry.pre);
+                next_sel += 1;
+                if next_sel == sel.len() {
+                    return Ok(out);
+                }
+            }
+            stack.push(entry);
+        }
+        Err(CrimsonError::CorruptRepository(format!(
+            "interval scan found {next_sel} of {} selected ranks in [{lo}, {hi_end}]",
+            sel.len()
+        )))
+    }
+
+    /// Reference implementation of projection from before the interval
+    /// index: per-pair label-walk LCAs and uncached row fetches. Kept for
+    /// cross-validation and as the page-read baseline.
+    pub fn project_reference(
+        &self,
+        handle: TreeHandle,
+        leaves: &[StoredNodeId],
+    ) -> CrimsonResult<Tree> {
+        if leaves.is_empty() {
+            return Err(CrimsonError::InvalidSample("empty leaf set".to_string()));
+        }
         let mut records = Vec::with_capacity(leaves.len());
         for &leaf in leaves {
-            let rec = self.node_record(leaf)?;
+            let rec = self.node_record_uncached(leaf)?;
             if rec.tree != handle {
                 return Err(CrimsonError::InvalidSample(format!(
                     "node {leaf} does not belong to tree #{}",
@@ -90,82 +299,22 @@ impl Repository {
         }
         records.sort_by_key(|r| r.preorder);
         records.dedup_by_key(|r| r.id);
+        let records: Vec<Arc<NodeRecord>> = records.into_iter().map(Arc::new).collect();
 
-        let mut out = Tree::new();
         if records.len() == 1 {
+            let mut out = Tree::new();
             let only = out.add_node();
             if let Some(name) = &records[0].name {
                 out.set_name(only, name.clone())?;
             }
             return Ok(out);
         }
-
-        // Rightmost path of the partial projection: (stored record, new node).
-        let mut path: Vec<(NodeRecord, NodeId)> = Vec::new();
-        for rec in records {
-            if path.is_empty() {
-                let node = out.add_node();
-                if let Some(name) = &rec.name {
-                    out.set_name(node, name.clone())?;
-                }
-                path.push((rec, node));
-                continue;
-            }
-            // LCA of the new leaf and the current rightmost leaf.
-            let rightmost = path.last().expect("path is non-empty").0.id;
-            let lca_id = self.lca(rightmost, rec.id)?;
-            let lca_rec = self.node_record(lca_id)?;
-
-            // Pop rightmost-path entries deeper than the LCA.
-            let mut last_popped: Option<(NodeRecord, NodeId)> = None;
-            while path.last().map_or(false, |(r, _)| r.depth > lca_rec.depth) {
-                last_popped = path.pop();
-            }
-
-            let top_is_lca = path.last().map_or(false, |(r, _)| r.id == lca_rec.id);
-            let attach_under = if top_is_lca {
-                path.last().expect("checked above").1
-            } else {
-                // The LCA is a new node on the path: splice it in between the
-                // popped child (if any) and the current top.
-                let parent_info = path.last().map(|(r, n)| (r.root_distance, *n));
-                let lca_node = out.add_node();
-                if let Some(name) = &lca_rec.name {
-                    out.set_name(lca_node, name.clone())?;
-                }
-                if let Some((child_rec, child_node)) = last_popped {
-                    out.attach(lca_node, child_node)?;
-                    out.set_branch_length(
-                        child_node,
-                        child_rec.root_distance - lca_rec.root_distance,
-                    )?;
-                }
-                if let Some((parent_dist, parent_node)) = parent_info {
-                    out.attach(parent_node, lca_node)?;
-                    out.set_branch_length(lca_node, lca_rec.root_distance - parent_dist)?;
-                }
-                path.push((lca_rec.clone(), lca_node));
-                lca_node
-            };
-
-            let leaf_node = out.add_node();
-            if let Some(name) = &rec.name {
-                out.set_name(leaf_node, name.clone())?;
-            }
-            out.attach(attach_under, leaf_node)?;
-            let parent_dist = path.last().expect("attach target is on the path").0.root_distance;
-            out.set_branch_length(leaf_node, rec.root_distance - parent_dist)?;
-            path.push((rec, leaf_node));
+        let mut lca_records = Vec::with_capacity(records.len() - 1);
+        for pair in records.windows(2) {
+            let lca_id = self.lca_label_walk(pair[0].id, pair[1].id)?;
+            lca_records.push(Arc::new(self.node_record_uncached(lca_id)?));
         }
-
-        // The bottom of the path is the projection root.
-        let root_node = path.first().expect("at least one node was inserted").1;
-        let mut top = root_node;
-        while let Some(p) = out.parent(top) {
-            top = p;
-        }
-        out.set_root(top)?;
-        Ok(out)
+        assemble_projection(&records, &lca_records)
     }
 
     /// Project by species names (§3 "user input" selection).
@@ -200,6 +349,84 @@ impl Repository {
         };
         Ok(PatternMatch { exact_topology, exact_with_lengths, rf, projection })
     }
+}
+
+/// The paper's left-to-right insertion algorithm, decoupled from how the
+/// consecutive-pair LCAs were resolved: `records` are the selected nodes in
+/// pre-order and `lca_records[i]` is the LCA of `records[i]` and
+/// `records[i + 1]`. Maintains the rightmost path of the partial projection;
+/// unary nodes never arise; edge weights are differences of stored
+/// cumulative root distances.
+fn assemble_projection(
+    records: &[Arc<NodeRecord>],
+    lca_records: &[Arc<NodeRecord>],
+) -> CrimsonResult<Tree> {
+    debug_assert_eq!(lca_records.len() + 1, records.len());
+    let mut out = Tree::new();
+    // Rightmost path of the partial projection: (stored record, new node).
+    let mut path: Vec<(Arc<NodeRecord>, NodeId)> = Vec::new();
+    for (i, rec) in records.iter().enumerate() {
+        if path.is_empty() {
+            let node = out.add_node();
+            if let Some(name) = &rec.name {
+                out.set_name(node, name.clone())?;
+            }
+            path.push((Arc::clone(rec), node));
+            continue;
+        }
+        // LCA of the new leaf and the current rightmost leaf.
+        let lca_rec = &lca_records[i - 1];
+
+        // Pop rightmost-path entries deeper than the LCA.
+        let mut last_popped: Option<(Arc<NodeRecord>, NodeId)> = None;
+        while path.last().map_or(false, |(r, _)| r.depth > lca_rec.depth) {
+            last_popped = path.pop();
+        }
+
+        let top_is_lca = path.last().map_or(false, |(r, _)| r.id == lca_rec.id);
+        let attach_under = if top_is_lca {
+            path.last().expect("checked above").1
+        } else {
+            // The LCA is a new node on the path: splice it in between the
+            // popped child (if any) and the current top.
+            let parent_info = path.last().map(|(r, n)| (r.root_distance, *n));
+            let lca_node = out.add_node();
+            if let Some(name) = &lca_rec.name {
+                out.set_name(lca_node, name.clone())?;
+            }
+            if let Some((child_rec, child_node)) = last_popped {
+                out.attach(lca_node, child_node)?;
+                out.set_branch_length(
+                    child_node,
+                    child_rec.root_distance - lca_rec.root_distance,
+                )?;
+            }
+            if let Some((parent_dist, parent_node)) = parent_info {
+                out.attach(parent_node, lca_node)?;
+                out.set_branch_length(lca_node, lca_rec.root_distance - parent_dist)?;
+            }
+            path.push((Arc::clone(lca_rec), lca_node));
+            lca_node
+        };
+
+        let leaf_node = out.add_node();
+        if let Some(name) = &rec.name {
+            out.set_name(leaf_node, name.clone())?;
+        }
+        out.attach(attach_under, leaf_node)?;
+        let parent_dist = path.last().expect("attach target is on the path").0.root_distance;
+        out.set_branch_length(leaf_node, rec.root_distance - parent_dist)?;
+        path.push((Arc::clone(rec), leaf_node));
+    }
+
+    // The bottom of the path is the projection root.
+    let root_node = path.first().expect("at least one node was inserted").1;
+    let mut top = root_node;
+    while let Some(p) = out.parent(top) {
+        top = p;
+    }
+    out.set_root(top)?;
+    Ok(out)
 }
 
 #[cfg(test)]

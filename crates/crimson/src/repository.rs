@@ -16,16 +16,27 @@
 //! → node, node id → row, cumulative evolutionary time → nodes (a B+tree
 //! range scan), parent → children.
 
+use crate::cache::LruCache;
 use crate::error::{CrimsonError, CrimsonResult};
 use labeling::hierarchical::HierarchicalDewey;
+use labeling::interval::{interval_key_prefix, IntervalEntry, IntervalLabels};
+use parking_lot::Mutex;
 use phylo::traverse::Traverse;
 use phylo::Tree;
 use simulation::gold::GoldStandard;
 use std::collections::HashMap;
 use std::path::Path;
-use storage::db::{Database, TableId};
+use std::sync::Arc;
+use storage::db::{Database, RawIndexId, TableId};
 use storage::schema::{ColumnDef, Schema};
 use storage::value::{Value, ValueType};
+
+/// Name of the raw index holding covering interval entries keyed by
+/// `(tree_id, pre)`.
+const IVL_BY_PRE: &str = "ivl_by_pre";
+/// Name of the raw index mapping a stored node id to its packed
+/// `(pre, end)` interval.
+const IVL_BY_NODE: &str = "ivl_by_node";
 
 /// Identifier of a node stored in the repository (stable across sessions).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -137,7 +148,23 @@ pub struct Repository {
     pub(crate) species_table: TableId,
     pub(crate) history_table: TableId,
     pub(crate) next_history_id: u64,
+    /// Covering interval index keyed by `(tree_id, pre)`; see
+    /// [`labeling::interval`] for the entry layout.
+    pub(crate) ivl_by_pre: RawIndexId,
+    /// Stored node id → packed `(pre << 32) | end` interval.
+    pub(crate) ivl_by_node: RawIndexId,
+    /// Decoded node rows; node rows are immutable once loaded, so entries
+    /// never need invalidation.
+    record_cache: Mutex<LruCache<StoredNodeId, Arc<NodeRecord>>>,
+    /// Interval entries keyed by `(tree_id << 32) | pre` — the LCA walk's
+    /// working set.
+    entry_cache: Mutex<LruCache<u64, IntervalEntry>>,
 }
+
+/// Generation size of the node-record cache (≤ 2 generations resident).
+const RECORD_CACHE_GEN: usize = 4096;
+/// Generation size of the interval-entry cache.
+const ENTRY_CACHE_GEN: usize = 8192;
 
 impl std::fmt::Debug for Repository {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -145,7 +172,7 @@ impl std::fmt::Debug for Repository {
     }
 }
 
-const TREE_SHIFT: u64 = 32;
+pub(crate) const TREE_SHIFT: u64 = 32;
 
 impl Repository {
     // ------------------------------------------------------------------
@@ -172,6 +199,8 @@ impl Repository {
         db.create_index(species_table, "tree_id", false)?;
         let history_table = db.create_table("query_history", history_schema())?;
         db.create_index(history_table, "query_id", true)?;
+        let ivl_by_pre = db.create_raw_index(IVL_BY_PRE)?;
+        let ivl_by_node = db.create_raw_index(IVL_BY_NODE)?;
         db.flush()?;
         Ok(Repository {
             db,
@@ -182,6 +211,10 @@ impl Repository {
             species_table,
             history_table,
             next_history_id: 0,
+            ivl_by_pre,
+            ivl_by_node,
+            record_cache: Mutex::new(LruCache::new(RECORD_CACHE_GEN)),
+            entry_cache: Mutex::new(LruCache::new(ENTRY_CACHE_GEN)),
         })
     }
 
@@ -194,6 +227,16 @@ impl Repository {
         let species_table = db.table("species")?;
         let history_table = db.table("query_history")?;
         let next_history_id = db.row_count(history_table)? as u64;
+        let ivl_by_pre = db.raw_index(IVL_BY_PRE).map_err(|_| {
+            CrimsonError::CorruptRepository(format!(
+                "repository file lacks the `{IVL_BY_PRE}` interval index"
+            ))
+        })?;
+        let ivl_by_node = db.raw_index(IVL_BY_NODE).map_err(|_| {
+            CrimsonError::CorruptRepository(format!(
+                "repository file lacks the `{IVL_BY_NODE}` interval index"
+            ))
+        })?;
         Ok(Repository {
             db,
             options,
@@ -203,6 +246,10 @@ impl Repository {
             species_table,
             history_table,
             next_history_id,
+            ivl_by_pre,
+            ivl_by_node,
+            record_cache: Mutex::new(LruCache::new(RECORD_CACHE_GEN)),
+            entry_cache: Mutex::new(LruCache::new(ENTRY_CACHE_GEN)),
         })
     }
 
@@ -227,10 +274,23 @@ impl Repository {
         self.db.reset_buffer_stats()
     }
 
-    /// Drop cached pages to measure cold-start query behaviour.
+    /// Drop cached pages, decoded records and interval entries to measure
+    /// cold-start query behaviour.
     pub fn clear_cache(&self) -> CrimsonResult<()> {
         self.db.clear_cache()?;
+        let mut records = self.record_cache.lock();
+        records.clear();
+        debug_assert!(records.is_empty());
+        drop(records);
+        self.entry_cache.lock().clear();
         Ok(())
+    }
+
+    /// `(hits, misses)` of the decoded-record cache, plus the number of
+    /// resident entries: `((hits, misses), len)`.
+    pub fn record_cache_stats(&self) -> ((u64, u64), usize) {
+        let cache = self.record_cache.lock();
+        (cache.stats(), cache.len())
     }
 
     // ------------------------------------------------------------------
@@ -345,6 +405,19 @@ impl Repository {
             )?;
         }
 
+        // Persist the interval index: one covering entry per node keyed by
+        // `(tree_id, pre)` (the structure-query access path), plus the node
+        // id → packed interval map that makes `is_ancestor` two integer
+        // comparisons. Entries arrive in pre-order, i.e. in key order, so
+        // the B+tree build is append-friendly.
+        let intervals = IntervalLabels::build(tree);
+        for entry in intervals.entries(tree) {
+            let sid = node_sid(phylo::NodeId(entry.node));
+            self.db.raw_insert(self.ivl_by_pre, &entry.encode_key(tree_id), sid.0)?;
+            let packed = ((entry.pre as u64) << 32) | entry.end as u64;
+            self.db.raw_insert(self.ivl_by_node, &sid.0.to_be_bytes(), packed)?;
+        }
+
         // Insert the tree row last so a partially loaded tree is not visible.
         self.db.insert(
             self.trees_table,
@@ -446,8 +519,27 @@ impl Repository {
     // Node / frame access
     // ------------------------------------------------------------------
 
-    /// Fetch a node row.
+    /// Fetch a node row (served from the repository's record cache when
+    /// warm; node rows are immutable once loaded, so cached entries never go
+    /// stale).
     pub fn node_record(&self, id: StoredNodeId) -> CrimsonResult<NodeRecord> {
+        Ok((*self.node_record_arc(id)?).clone())
+    }
+
+    /// Fetch a node row as a shared handle — the zero-copy variant the query
+    /// engine uses internally.
+    pub fn node_record_arc(&self, id: StoredNodeId) -> CrimsonResult<Arc<NodeRecord>> {
+        if let Some(rec) = self.record_cache.lock().get(&id) {
+            return Ok(rec);
+        }
+        let rec = Arc::new(self.node_record_uncached(id)?);
+        self.record_cache.lock().insert(id, Arc::clone(&rec));
+        Ok(rec)
+    }
+
+    /// Fetch a node row straight from the node table, bypassing the record
+    /// cache. Reference path for the cache-effectiveness assertions.
+    pub fn node_record_uncached(&self, id: StoredNodeId) -> CrimsonResult<NodeRecord> {
         let rows = self.db.lookup_rows(self.nodes_table, "node_id", &Value::Int(id.0 as i64))?;
         rows.into_iter()
             .next()
@@ -541,18 +633,122 @@ impl Repository {
     }
 
     // ------------------------------------------------------------------
-    // Structure primitives: LCA and ancestor tests over stored labels
+    // Structure primitives over the persistent interval index
     // ------------------------------------------------------------------
 
-    /// Least common ancestor of two stored nodes, computed from the stored
-    /// hierarchical labels (local prefix within a frame; source-node hops
-    /// across frames), without materializing the tree in memory.
+    /// The packed `[pre, end]` interval of a stored node: one point lookup
+    /// in the `ivl_by_node` raw index, no row decode.
+    pub fn interval_of(&self, id: StoredNodeId) -> CrimsonResult<(u32, u32)> {
+        let packed = self
+            .db
+            .raw_get(self.ivl_by_node, &id.0.to_be_bytes())?
+            .ok_or(CrimsonError::UnknownNode(id.0))?;
+        Ok(((packed >> 32) as u32, packed as u32))
+    }
+
+    /// The full interval entry of the node ranked `pre` in `tree` — one
+    /// covering-key probe in the `ivl_by_pre` index, cached across queries.
+    pub(crate) fn interval_entry(&self, tree: u64, pre: u32) -> CrimsonResult<IntervalEntry> {
+        let cache_key = (tree << 32) | pre as u64;
+        if let Some(entry) = self.entry_cache.lock().get(&cache_key) {
+            return Ok(entry);
+        }
+        let low = interval_key_prefix(tree, pre);
+        let high = interval_key_prefix(tree, pre.checked_add(1).unwrap_or(u32::MAX));
+        let mut iter = self.db.raw_range(self.ivl_by_pre, Some(&low), Some(&high))?;
+        let (key, _) = iter
+            .next()
+            .transpose()?
+            .ok_or_else(|| {
+                CrimsonError::CorruptRepository(format!(
+                    "interval index has no entry for tree {tree}, pre {pre}"
+                ))
+            })?;
+        let (_, entry) = IntervalEntry::decode_key(&key).ok_or_else(|| {
+            CrimsonError::CorruptRepository("malformed interval-index key".to_string())
+        })?;
+        self.entry_cache.lock().insert(cache_key, entry);
+        Ok(entry)
+    }
+
+    /// Least common ancestor of two stored nodes, computed entirely inside
+    /// the interval index.
+    ///
+    /// The enclosing-interval tests resolve the ancestor cases in O(1) after
+    /// two point lookups. Otherwise the walk lifts the lower-ranked node
+    /// through its stored `parent_pre` chain until its interval covers the
+    /// higher rank; every ancestor of one node that covers the other node's
+    /// rank is a common ancestor, and the first (deepest) one reached is the
+    /// LCA. Each step is one probe of the compact covering index — no node
+    /// row is fetched or decoded on this path.
     pub fn lca(&self, a: StoredNodeId, b: StoredNodeId) -> CrimsonResult<StoredNodeId> {
         if a == b {
             return Ok(a);
         }
-        let ra = self.node_record(a)?;
-        let rb = self.node_record(b)?;
+        let tree = a.0 >> TREE_SHIFT;
+        if tree != b.0 >> TREE_SHIFT {
+            return Err(CrimsonError::InvalidSample(format!(
+                "lca({a}, {b}): nodes belong to different trees"
+            )));
+        }
+        let (pa, ea) = self.interval_of(a)?;
+        let (pb, eb) = self.interval_of(b)?;
+        if pa <= pb && pb <= ea {
+            return Ok(a);
+        }
+        if pb <= pa && pa <= eb {
+            return Ok(b);
+        }
+        let (lo, hi) = if pa < pb { (pa, pb) } else { (pb, pa) };
+        let mut entry = self.interval_entry(tree, lo)?;
+        loop {
+            if entry.parent_pre == entry.pre {
+                // The root covers every rank of its tree, so reaching it
+                // without covering `hi` means the index contradicts itself.
+                return Err(CrimsonError::CorruptRepository(format!(
+                    "interval walk reached the root of tree {tree} without covering pre {hi}"
+                )));
+            }
+            entry = self.interval_entry(tree, entry.parent_pre)?;
+            if entry.covers(hi) {
+                return Ok(StoredNodeId((tree << TREE_SHIFT) | entry.node as u64));
+            }
+        }
+    }
+
+    /// `true` when `ancestor` is an ancestor-or-self of `node`: two interval
+    /// lookups and two integer comparisons (§2.2's LCA test, at the cost the
+    /// XML-indexing literature promises for interval labels).
+    pub fn is_ancestor(&self, ancestor: StoredNodeId, node: StoredNodeId) -> CrimsonResult<bool> {
+        if ancestor == node {
+            return Ok(true);
+        }
+        if ancestor.0 >> TREE_SHIFT != node.0 >> TREE_SHIFT {
+            return Ok(false);
+        }
+        let (pa, ea) = self.interval_of(ancestor)?;
+        let (pn, _) = self.interval_of(node)?;
+        Ok(pa <= pn && pn <= ea)
+    }
+
+    // ------------------------------------------------------------------
+    // Reference structure primitives over stored hierarchical labels
+    // ------------------------------------------------------------------
+
+    /// Least common ancestor computed from the stored hierarchical Dewey
+    /// labels (local prefix within a frame; source-node hops across frames),
+    /// exactly as §2.1 describes.
+    ///
+    /// This is the pre-interval-index implementation, kept as the reference
+    /// the property tests cross-validate [`Repository::lca`] against and as
+    /// the baseline for the page-read comparisons. It pays one full row
+    /// decode per node visited.
+    pub fn lca_label_walk(&self, a: StoredNodeId, b: StoredNodeId) -> CrimsonResult<StoredNodeId> {
+        if a == b {
+            return Ok(a);
+        }
+        let ra = self.node_record_uncached(a)?;
+        let rb = self.node_record_uncached(b)?;
         if ra.frame == rb.frame {
             return self.local_lca(&ra, &rb);
         }
@@ -564,26 +760,16 @@ impl Repository {
         let mut fb = self.frame_record(nb.frame)?;
         while fa.id != fb.id {
             if fa.rank >= fb.rank {
-                let source = fa
-                    .source_node
-                    .expect("a frame of rank > 0 (or differing from its peer) has a source");
-                na = self.node_record(source)?;
+                let source = fa.source_node.ok_or_else(|| missing_source(&fa))?;
+                na = self.node_record_uncached(source)?;
                 fa = self.frame_record(na.frame)?;
             } else {
-                let source = fb
-                    .source_node
-                    .expect("a frame of rank > 0 (or differing from its peer) has a source");
-                nb = self.node_record(source)?;
+                let source = fb.source_node.ok_or_else(|| missing_source(&fb))?;
+                nb = self.node_record_uncached(source)?;
                 fb = self.frame_record(nb.frame)?;
             }
         }
         self.local_lca(&na, &nb)
-    }
-
-    /// `true` when `ancestor` is an ancestor-or-self of `node` (LCA test, as
-    /// in the paper).
-    pub fn is_ancestor(&self, ancestor: StoredNodeId, node: StoredNodeId) -> CrimsonResult<bool> {
-        Ok(self.lca(ancestor, node)? == ancestor)
     }
 
     /// LCA of two nodes known to share a frame: longest common prefix of the
@@ -602,11 +788,24 @@ impl Repository {
             (b.clone(), b.local_label.len())
         };
         for _ in prefix..depth {
-            let parent = cur.parent.expect("non-frame-root node has a parent");
-            cur = self.node_record(parent)?;
+            let parent = cur.parent.ok_or_else(|| {
+                CrimsonError::CorruptRepository(format!(
+                    "node {} sits below its frame root yet has no parent",
+                    cur.id
+                ))
+            })?;
+            cur = self.node_record_uncached(parent)?;
         }
         Ok(cur.id)
     }
+}
+
+/// Typed error for a frame that should carry a source node but does not.
+fn missing_source(frame: &FrameRecord) -> CrimsonError {
+    CrimsonError::CorruptRepository(format!(
+        "frame {:?} of tree #{} (rank {}) has no source node",
+        frame.id, frame.tree.0, frame.rank
+    ))
 }
 
 // ---------------------------------------------------------------------------

@@ -1,5 +1,5 @@
 //! Interval (pre/post-order) labeling — the standard XML scheme used as a
-//! baseline.
+//! baseline, plus the on-disk entry format the storage layer persists.
 //!
 //! Each node is labelled with its pre-order rank and the largest pre-order
 //! rank in its subtree (`[start, end]`). `a` is an ancestor-or-self of `b`
@@ -8,11 +8,101 @@
 //! \[2, 3\]) — but it does **not** identify the least common ancestor by
 //! itself: the LCA must still be located by walking up the tree, which is
 //! exactly the shortcoming the paper calls out when motivating Dewey-style
-//! labels.
+//! labels. The stored form ([`IntervalEntry`]) therefore carries the
+//! parent's pre-order rank as well, so the walk stays inside the interval
+//! index instead of touching node rows.
+//!
+//! ## Serialized entry layout
+//!
+//! [`IntervalEntry::encode_key`] produces a *covering* B+tree key: every
+//! field a structure query needs rides in the key bytes, so a range scan
+//! answers subtree queries without fetching any row. Layout (big-endian, 25
+//! bytes):
+//!
+//! ```text
+//! tree_id: u64 | pre: u32 | end: u32 | parent_pre: u32 | node: u32 | flags: u8
+//! ```
+//!
+//! Keys sort by `(tree_id, pre)` — the remaining bytes are unique per
+//! `(tree_id, pre)` and never influence ordering in practice — so the
+//! subtree of a node `v` of tree `t` is exactly the contiguous key range
+//! `[(t, pre(v)), (t, end(v)+1))`.
 
 use crate::scheme::{LabelStats, LcaScheme};
 use phylo::traverse::Traverse;
 use phylo::{NodeId, Tree};
+
+/// Length of the `(tree_id, pre)` prefix that determines key order.
+pub const INTERVAL_KEY_PREFIX: usize = 12;
+
+/// Total length of a serialized interval entry key.
+pub const INTERVAL_KEY_LEN: usize = INTERVAL_KEY_PREFIX + 13;
+
+/// The `(tree_id, pre)` key prefix: the lower bound of a node's subtree
+/// range, and the probe key for point lookups.
+pub fn interval_key_prefix(tree_id: u64, pre: u32) -> [u8; INTERVAL_KEY_PREFIX] {
+    let mut key = [0u8; INTERVAL_KEY_PREFIX];
+    key[..8].copy_from_slice(&tree_id.to_be_bytes());
+    key[8..].copy_from_slice(&pre.to_be_bytes());
+    key
+}
+
+/// One node's stored interval entry — everything the structure-query engine
+/// needs, packed into a covering index key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntervalEntry {
+    /// Pre-order rank of the node (0 = root).
+    pub pre: u32,
+    /// Largest pre-order rank in the node's subtree.
+    pub end: u32,
+    /// Pre-order rank of the parent; equals `pre` for the root.
+    pub parent_pre: u32,
+    /// Arena id of the labelled node within its tree.
+    pub node: u32,
+    /// `true` when the node has no children.
+    pub is_leaf: bool,
+}
+
+impl IntervalEntry {
+    /// `true` when this entry's interval covers pre-order rank `pre` (i.e.
+    /// the entry's node is an ancestor-or-self of the node ranked `pre`).
+    #[inline]
+    pub fn covers(&self, pre: u32) -> bool {
+        self.pre <= pre && pre <= self.end
+    }
+
+    /// Serialize as a covering B+tree key (see the module docs for layout).
+    pub fn encode_key(&self, tree_id: u64) -> [u8; INTERVAL_KEY_LEN] {
+        let mut key = [0u8; INTERVAL_KEY_LEN];
+        key[..8].copy_from_slice(&tree_id.to_be_bytes());
+        key[8..12].copy_from_slice(&self.pre.to_be_bytes());
+        key[12..16].copy_from_slice(&self.end.to_be_bytes());
+        key[16..20].copy_from_slice(&self.parent_pre.to_be_bytes());
+        key[20..24].copy_from_slice(&self.node.to_be_bytes());
+        key[24] = self.is_leaf as u8;
+        key
+    }
+
+    /// Inverse of [`IntervalEntry::encode_key`]; returns the tree id and the
+    /// entry, or `None` for malformed bytes.
+    pub fn decode_key(key: &[u8]) -> Option<(u64, IntervalEntry)> {
+        if key.len() != INTERVAL_KEY_LEN {
+            return None;
+        }
+        let u32_at =
+            |i: usize| u32::from_be_bytes(key[i..i + 4].try_into().expect("length checked"));
+        Some((
+            u64::from_be_bytes(key[..8].try_into().expect("length checked")),
+            IntervalEntry {
+                pre: u32_at(8),
+                end: u32_at(12),
+                parent_pre: u32_at(16),
+                node: u32_at(20),
+                is_leaf: key[24] != 0,
+            },
+        ))
+    }
+}
 
 /// Pre/post-order interval labels for every node.
 #[derive(Debug, Clone)]
@@ -47,6 +137,26 @@ impl IntervalLabels {
     /// The `[start, end]` interval of a node.
     pub fn interval(&self, node: NodeId) -> (u32, u32) {
         (self.start[node.index()], self.end[node.index()])
+    }
+
+    /// The stored entries for every node of `tree`, in pre-order — the rows
+    /// the repository persists into its interval index at load time.
+    pub fn entries(&self, tree: &Tree) -> Vec<IntervalEntry> {
+        tree.preorder()
+            .map(|node| {
+                let i = node.index();
+                IntervalEntry {
+                    pre: self.start[i],
+                    end: self.end[i],
+                    parent_pre: match self.parents[i] {
+                        Some(p) => self.start[p.index()],
+                        None => self.start[i],
+                    },
+                    node: node.0,
+                    is_leaf: tree.is_leaf(node),
+                }
+            })
+            .collect()
     }
 }
 
@@ -152,6 +262,65 @@ mod tests {
         for leaf in tree.leaf_ids() {
             let (s, e) = iv.interval(leaf);
             assert_eq!(s, e);
+        }
+    }
+
+    #[test]
+    fn stored_entries_match_labels() {
+        let tree = balanced_binary(4, 1.0);
+        let iv = IntervalLabels::build(&tree);
+        let entries = iv.entries(&tree);
+        assert_eq!(entries.len(), tree.node_count());
+        // Pre-order, contiguous ranks from 0.
+        for (rank, entry) in entries.iter().enumerate() {
+            assert_eq!(entry.pre as usize, rank);
+            let node = NodeId(entry.node);
+            assert_eq!((entry.pre, entry.end), iv.interval(node));
+            assert_eq!(entry.is_leaf, tree.is_leaf(node));
+            match tree.parent(node) {
+                Some(p) => assert_eq!(entry.parent_pre, iv.interval(p).0),
+                None => assert_eq!(entry.parent_pre, entry.pre),
+            }
+        }
+    }
+
+    #[test]
+    fn key_encoding_roundtrips_and_sorts_by_pre() {
+        let tree = caterpillar(30, 1.0);
+        let iv = IntervalLabels::build(&tree);
+        let entries = iv.entries(&tree);
+        let mut keys: Vec<Vec<u8>> =
+            entries.iter().map(|e| e.encode_key(7).to_vec()).collect();
+        for (entry, key) in entries.iter().zip(&keys) {
+            let (tree_id, back) = IntervalEntry::decode_key(key).unwrap();
+            assert_eq!(tree_id, 7);
+            assert_eq!(&back, entry);
+            assert_eq!(&key[..INTERVAL_KEY_PREFIX], &interval_key_prefix(7, entry.pre));
+        }
+        // Byte order == (tree, pre) order.
+        let sorted = keys.clone();
+        keys.sort();
+        assert_eq!(keys, sorted);
+        // A different tree id sorts entirely after.
+        let other = entries[0].encode_key(8);
+        assert!(other.as_slice() > keys.last().unwrap().as_slice());
+        // Malformed input is rejected.
+        assert!(IntervalEntry::decode_key(&keys[0][..10]).is_none());
+    }
+
+    #[test]
+    fn covers_is_ancestor_test() {
+        let tree = figure1_tree();
+        let iv = IntervalLabels::build(&tree);
+        let entries = iv.entries(&tree);
+        let by_node: std::collections::HashMap<u32, &IntervalEntry> =
+            entries.iter().map(|e| (e.node, e)).collect();
+        for a in tree.node_ids() {
+            for b in tree.node_ids() {
+                let ea = by_node[&a.0];
+                let eb = by_node[&b.0];
+                assert_eq!(ea.covers(eb.pre), tree.is_ancestor(a, b), "{a} covers {b}");
+            }
         }
     }
 }

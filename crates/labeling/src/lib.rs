@@ -52,7 +52,7 @@ pub mod scheme;
 
 pub use dewey::FlatDewey;
 pub use hierarchical::HierarchicalDewey;
-pub use interval::IntervalLabels;
+pub use interval::{IntervalEntry, IntervalLabels};
 pub use parent::ParentPointers;
 pub use scheme::{LabelStats, LcaScheme};
 
@@ -60,7 +60,7 @@ pub use scheme::{LabelStats, LcaScheme};
 pub mod prelude {
     pub use crate::dewey::FlatDewey;
     pub use crate::hierarchical::HierarchicalDewey;
-    pub use crate::interval::IntervalLabels;
+    pub use crate::interval::{IntervalEntry, IntervalLabels};
     pub use crate::parent::ParentPointers;
     pub use crate::scheme::{LabelStats, LcaScheme};
 }

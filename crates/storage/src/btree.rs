@@ -13,7 +13,7 @@
 //! load-once/query-many, so space reclamation is not worth the complexity
 //! (documented trade-off, see DESIGN.md).
 
-use crate::buffer::BufferPool;
+use crate::buffer::{BufferPool, PinnedPage};
 use crate::error::{StorageError, StorageResult};
 use crate::page::{Page, PageId, PAGE_SIZE};
 
@@ -267,16 +267,31 @@ impl BTree {
     }
 
     /// Look up the first value stored under exactly `key`.
+    ///
+    /// The descent and the leaf probe both read entries in place through the
+    /// buffer pool — no node is materialized and no key bytes are copied.
     pub fn get(&self, pool: &BufferPool, key: &[u8]) -> StorageResult<Option<u64>> {
-        let (leaf_page, node) = self.descend_to_leaf(pool, key)?;
-        let _ = leaf_page;
-        if let Node::Leaf { keys, values, .. } = node {
-            let pos = keys.partition_point(|k| k.as_slice() < key);
-            if pos < keys.len() && keys[pos] == key {
-                return Ok(Some(values[pos]));
+        let leaf = self.descend_in_place(pool, key, false)?;
+        pool.with_page(leaf, |p| {
+            let count = p.read_u16(1) as usize;
+            let mut off = NODE_HEADER;
+            for _ in 0..count {
+                let klen = p.read_u16(off) as usize;
+                off += 2;
+                if off + klen + 8 > PAGE_SIZE {
+                    return Err(StorageError::Corrupted("leaf entry overruns page".into()));
+                }
+                let entry_key = p.read_bytes(off, klen);
+                if entry_key == key {
+                    return Ok(Some(p.read_u64(off + klen)));
+                }
+                if entry_key > key {
+                    return Ok(None);
+                }
+                off += klen + 8;
             }
-        }
-        Ok(None)
+            Ok(None)
+        })?
     }
 
     /// Collect every value stored under exactly `key`.
@@ -343,6 +358,12 @@ impl BTree {
 
     /// Range scan over `low..high` (byte-wise, low inclusive, high exclusive).
     /// `None` bounds mean unbounded.
+    ///
+    /// The iterator pins one leaf frame at a time and decodes entries lazily
+    /// from the pinned page: no leaf is ever materialized into a key vector,
+    /// entries before `low` are compared in place without allocating, and
+    /// the scan stops at the first key past `high` without touching the rest
+    /// of the leaf chain.
     pub fn range<'a>(
         &self,
         pool: &'a BufferPool,
@@ -352,14 +373,13 @@ impl BTree {
         let start_page = match low {
             // Lower-bound descent: when duplicates of `low` straddle a split,
             // the leftmost leaf that can contain `low` must be visited.
-            Some(key) => self.descend_to_leaf_lower(pool, key)?,
+            Some(key) => self.descend_in_place(pool, key, true)?,
             None => self.leftmost_leaf(pool)?,
         };
+        let cursor = LeafCursor::pin(pool, start_page)?;
         Ok(RangeIter {
             pool,
-            current: Some(start_page),
-            buffer: Vec::new(),
-            pos: 0,
+            cursor: Some(cursor),
             low: low.map(|k| k.to_vec()),
             high: high.map(|k| k.to_vec()),
             exhausted: false,
@@ -397,29 +417,55 @@ impl BTree {
         }
     }
 
-    fn descend_to_leaf(&self, pool: &BufferPool, key: &[u8]) -> StorageResult<(PageId, Node)> {
+    /// Walk from the root to the leaf responsible for `key`, scanning
+    /// internal entries in place (no per-level key materialization).
+    ///
+    /// With `lower = false` the child chosen follows `partition_point(k <=
+    /// key)` (point lookups); with `lower = true` it follows
+    /// `partition_point(k < key)`, landing on the leftmost leaf that can
+    /// contain `key` — required when duplicates of `key` straddle a split.
+    fn descend_in_place(
+        &self,
+        pool: &BufferPool,
+        key: &[u8],
+        lower: bool,
+    ) -> StorageResult<PageId> {
         let mut page = self.root;
         loop {
-            let node = read_node(pool, page)?;
-            match node {
-                Node::Leaf { .. } => return Ok((page, node)),
-                Node::Internal { keys, children } => {
-                    let idx = keys.partition_point(|k| k.as_slice() <= key);
-                    page = children[idx];
+            let next = pool.with_page(page, |p| -> StorageResult<Option<PageId>> {
+                match p.bytes()[0] {
+                    TYPE_LEAF => Ok(None),
+                    TYPE_INTERNAL => {
+                        let count = p.read_u16(1) as usize;
+                        let mut child = PageId(p.read_u64(3));
+                        let mut off = NODE_HEADER;
+                        for _ in 0..count {
+                            let klen = p.read_u16(off) as usize;
+                            off += 2;
+                            if off + klen + 8 > PAGE_SIZE {
+                                return Err(StorageError::Corrupted(
+                                    "internal entry overruns page".into(),
+                                ));
+                            }
+                            let entry_key = p.read_bytes(off, klen);
+                            let descend_right =
+                                if lower { entry_key < key } else { entry_key <= key };
+                            if !descend_right {
+                                break;
+                            }
+                            child = PageId(p.read_u64(off + klen));
+                            off += klen + 8;
+                        }
+                        Ok(Some(child))
+                    }
+                    other => {
+                        Err(StorageError::Corrupted(format!("unknown B+tree node type {other}")))
+                    }
                 }
-            }
-        }
-    }
-
-    fn descend_to_leaf_lower(&self, pool: &BufferPool, key: &[u8]) -> StorageResult<PageId> {
-        let mut page = self.root;
-        loop {
-            match read_node(pool, page)? {
-                Node::Leaf { .. } => return Ok(page),
-                Node::Internal { keys, children } => {
-                    let idx = keys.partition_point(|k| k.as_slice() < key);
-                    page = children[idx];
-                }
+            })??;
+            match next {
+                None => return Ok(page),
+                Some(child) => page = child,
             }
         }
     }
@@ -435,52 +481,99 @@ impl BTree {
     }
 }
 
-/// Iterator over a key range, walking the leaf chain.
+/// Position within one pinned leaf page.
+struct LeafCursor<'a> {
+    page: PinnedPage<'a>,
+    /// Total entries in the leaf.
+    count: usize,
+    /// Index of the next entry to decode.
+    index: usize,
+    /// Byte offset of the next entry.
+    offset: usize,
+    /// Right sibling in the leaf chain.
+    next: PageId,
+}
+
+impl<'a> LeafCursor<'a> {
+    fn pin(pool: &'a BufferPool, pid: PageId) -> StorageResult<LeafCursor<'a>> {
+        let page = pool.pin(pid)?;
+        if page.bytes()[0] != TYPE_LEAF {
+            return Err(StorageError::Corrupted("leaf chain contains an internal node".into()));
+        }
+        let count = page.read_u16(1) as usize;
+        let next = PageId(page.read_u64(3));
+        Ok(LeafCursor { page, count, index: 0, offset: NODE_HEADER, next })
+    }
+
+    /// Borrow the next entry's key and value without copying, advancing the
+    /// cursor. `None` when the leaf is exhausted.
+    fn advance(&mut self) -> StorageResult<Option<(&[u8], u64)>> {
+        if self.index >= self.count {
+            return Ok(None);
+        }
+        let klen = self.page.read_u16(self.offset) as usize;
+        let key_off = self.offset + 2;
+        if key_off + klen + 8 > PAGE_SIZE {
+            return Err(StorageError::Corrupted("leaf entry overruns page".into()));
+        }
+        let value = self.page.read_u64(key_off + klen);
+        self.index += 1;
+        self.offset = key_off + klen + 8;
+        Ok(Some((self.page.read_bytes(key_off, klen), value)))
+    }
+}
+
+/// Iterator over a key range, walking the leaf chain one pinned frame at a
+/// time. Only yielded keys are copied out of the page.
 pub struct RangeIter<'a> {
     pool: &'a BufferPool,
-    current: Option<PageId>,
-    buffer: Vec<(Vec<u8>, u64)>,
-    pos: usize,
+    cursor: Option<LeafCursor<'a>>,
     low: Option<Vec<u8>>,
     high: Option<Vec<u8>>,
     exhausted: bool,
 }
 
 impl<'a> RangeIter<'a> {
-    fn refill(&mut self) -> StorageResult<()> {
-        self.buffer.clear();
-        self.pos = 0;
-        while self.buffer.is_empty() {
-            let Some(page) = self.current else {
+    fn step(&mut self) -> StorageResult<Option<(Vec<u8>, u64)>> {
+        loop {
+            let Some(cursor) = self.cursor.as_mut() else {
                 self.exhausted = true;
-                return Ok(());
+                return Ok(None);
             };
-            let node = read_node(self.pool, page)?;
-            let Node::Leaf { keys, values, next } = node else {
-                return Err(StorageError::Corrupted("leaf chain contains an internal node".into()));
-            };
-            for (k, v) in keys.into_iter().zip(values) {
-                if let Some(low) = &self.low {
-                    if &k < low {
-                        continue;
-                    }
+            match cursor.advance()? {
+                None => {
+                    // Leaf exhausted: move to the right sibling (unpinning
+                    // the current leaf by replacing the cursor).
+                    let next = cursor.next;
+                    self.cursor = if next.is_null() {
+                        None
+                    } else {
+                        Some(LeafCursor::pin(self.pool, next)?)
+                    };
                 }
-                if let Some(high) = &self.high {
-                    if &k >= high {
-                        self.exhausted = true;
-                        self.current = None;
-                        return Ok(());
+                Some((key, value)) => {
+                    if let Some(low) = &self.low {
+                        if key < low.as_slice() {
+                            continue;
+                        }
                     }
+                    if let Some(high) = &self.high {
+                        if key >= high.as_slice() {
+                            self.exhausted = true;
+                            let item = None;
+                            // Drop the pin before returning.
+                            self.cursor = None;
+                            return Ok(item);
+                        }
+                    }
+                    let item = (key.to_vec(), value);
+                    // Keys are sorted: once one passes `low`, all later ones
+                    // do; skip the comparison from here on.
+                    self.low = None;
+                    return Ok(Some(item));
                 }
-                self.buffer.push((k, v));
-            }
-            self.current = if next.is_null() { None } else { Some(next) };
-            if self.current.is_none() && self.buffer.is_empty() {
-                self.exhausted = true;
-                return Ok(());
             }
         }
-        Ok(())
     }
 }
 
@@ -488,21 +581,18 @@ impl<'a> Iterator for RangeIter<'a> {
     type Item = StorageResult<(Vec<u8>, u64)>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        if self.pos >= self.buffer.len() {
-            if self.exhausted {
-                return None;
-            }
-            if let Err(e) = self.refill() {
+        if self.exhausted {
+            return None;
+        }
+        match self.step() {
+            Ok(Some(item)) => Some(Ok(item)),
+            Ok(None) => None,
+            Err(e) => {
                 self.exhausted = true;
-                return Some(Err(e));
-            }
-            if self.buffer.is_empty() {
-                return None;
+                self.cursor = None;
+                Some(Err(e))
             }
         }
-        let item = self.buffer[self.pos].clone();
-        self.pos += 1;
-        Some(Ok(item))
     }
 }
 

@@ -1,34 +1,57 @@
-//! Buffer pool: an LRU page cache between the pager and the access methods.
+//! Buffer pool: a fixed-capacity clock (second-chance) page cache between
+//! the pager and the access methods.
 //!
 //! The paper argues that "simulation trees are huge, yet the portions
 //! retrieved by a single query are relatively small", so queries must not
 //! load whole trees into memory. The buffer pool is the mechanism that makes
-//! that work: access methods ask for pages through closures and only a fixed
-//! number of hot pages stay resident; everything else is written back and
-//! evicted in LRU order.
+//! that work: a bounded set of frames stays resident, everything else is
+//! written back (when dirty) and evicted.
 //!
-//! Access is closure-based (`with_page` / `with_page_mut`) rather than
-//! guard-based to keep lifetimes simple; all state sits behind a single
-//! `parking_lot::Mutex`, which is sufficient for the engine's
-//! one-writer-at-a-time usage while still being `Send + Sync`.
+//! ## Design
+//!
+//! * **Fixed capacity.** Frames live in a pre-sized slot vector; residency
+//!   never exceeds `capacity` pages, regardless of file size.
+//! * **Clock eviction.** Each frame carries a reference bit set on access;
+//!   the clock hand sweeps slots, clearing reference bits and evicting the
+//!   first unpinned, unreferenced frame. This approximates LRU without
+//!   maintaining a recency list on every page hit.
+//! * **`Arc<Page>` frames, zero-clone writes.** Frames hold `Arc<Page>`;
+//!   flush and eviction write through a borrow of the frame's page — no
+//!   `Page` is ever cloned on the write-back path. Mutation goes through
+//!   `Arc::make_mut`, which is in-place unless a pinned reader still holds
+//!   the frame (copy-on-write in that rare case).
+//! * **Pinning.** [`BufferPool::pin`] hands out a [`PinnedPage`] guard that
+//!   keeps the frame resident (the clock skips pinned frames) and gives
+//!   lock-free read access to the page bytes for the guard's lifetime. Range
+//!   scans pin one leaf at a time instead of copying every entry out of the
+//!   page under the pool lock.
+//!
+//! Closure-based access (`with_page` / `with_page_mut`) remains the bread
+//! and butter API; all state sits behind a single `parking_lot::Mutex`,
+//! which is sufficient for the engine's one-writer-at-a-time usage while
+//! still being `Send + Sync`.
 
-use crate::error::StorageResult;
+use crate::error::{StorageError, StorageResult};
 use crate::page::{Page, PageId};
 use crate::pager::Pager;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Arc;
 
-/// Statistics counters exposed for the repository-scale experiment (E9).
+/// Statistics counters exposed for the repository-scale experiment (E9) and
+/// the interval-index page-read assertions.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BufferStats {
     /// Number of page requests satisfied from the cache.
     pub hits: u64,
     /// Number of page requests that had to read from disk.
     pub misses: u64,
-    /// Number of dirty pages written back due to eviction.
+    /// Number of frames evicted to make room (clean or dirty).
     pub evictions: u64,
     /// Number of pages flushed by explicit flush calls.
     pub flushes: u64,
+    /// Number of dirty pages written back during eviction.
+    pub writebacks: u64,
 }
 
 impl BufferStats {
@@ -41,23 +64,34 @@ impl BufferStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Total page requests (hits + misses) — the "page reads" a query cost.
+    pub fn page_reads(&self) -> u64 {
+        self.hits + self.misses
+    }
 }
 
 struct Frame {
-    page: Page,
+    pid: PageId,
+    page: Arc<Page>,
     dirty: bool,
-    last_used: u64,
+    pins: u32,
+    referenced: bool,
 }
 
 struct Inner {
     pager: Pager,
-    frames: HashMap<PageId, Frame>,
+    /// Frame slots; `slots.len() <= capacity` always holds.
+    slots: Vec<Frame>,
+    /// Page id → slot index.
+    map: HashMap<PageId, usize>,
+    /// Clock hand position for the second-chance sweep.
+    hand: usize,
     capacity: usize,
-    clock: u64,
     stats: BufferStats,
 }
 
-/// An LRU buffer pool wrapping a [`Pager`].
+/// A fixed-capacity clock buffer pool wrapping a [`Pager`].
 pub struct BufferPool {
     inner: Mutex<Inner>,
 }
@@ -67,9 +101,42 @@ impl std::fmt::Debug for BufferPool {
         let inner = self.inner.lock();
         f.debug_struct("BufferPool")
             .field("capacity", &inner.capacity)
-            .field("resident", &inner.frames.len())
+            .field("resident", &inner.slots.len())
             .field("stats", &inner.stats)
             .finish()
+    }
+}
+
+/// RAII guard for a pinned page: keeps the frame resident and readable
+/// without holding the pool lock. Dropping the guard unpins the frame.
+pub struct PinnedPage<'a> {
+    pool: &'a BufferPool,
+    pid: PageId,
+    page: Arc<Page>,
+}
+
+impl<'a> PinnedPage<'a> {
+    /// The pinned page's id.
+    pub fn page_id(&self) -> PageId {
+        self.pid
+    }
+}
+
+impl<'a> std::ops::Deref for PinnedPage<'a> {
+    type Target = Page;
+    fn deref(&self) -> &Page {
+        &self.page
+    }
+}
+
+impl<'a> Drop for PinnedPage<'a> {
+    fn drop(&mut self) {
+        let mut inner = self.pool.inner.lock();
+        if let Some(&slot) = inner.map.get(&self.pid) {
+            let frame = &mut inner.slots[slot];
+            debug_assert!(frame.pins > 0, "unpinning a frame that is not pinned");
+            frame.pins = frame.pins.saturating_sub(1);
+        }
     }
 }
 
@@ -84,39 +151,49 @@ impl BufferPool {
 
     /// Wrap a pager with an explicit page capacity (minimum 8).
     pub fn with_capacity(pager: Pager, capacity: usize) -> Self {
+        let capacity = capacity.max(8);
         BufferPool {
             inner: Mutex::new(Inner {
                 pager,
-                frames: HashMap::new(),
-                capacity: capacity.max(8),
-                clock: 0,
+                slots: Vec::with_capacity(capacity.min(4096)),
+                map: HashMap::new(),
+                hand: 0,
+                capacity,
                 stats: BufferStats::default(),
             }),
         }
+    }
+
+    /// The pool's frame capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().capacity
+    }
+
+    /// Number of pages currently resident (always `<= capacity`).
+    pub fn resident_pages(&self) -> usize {
+        self.inner.lock().slots.len()
+    }
+
+    /// Number of currently pinned frames.
+    pub fn pinned_frames(&self) -> usize {
+        self.inner.lock().slots.iter().filter(|f| f.pins > 0).count()
     }
 
     /// Allocate a fresh page (resident immediately, marked dirty).
     pub fn allocate_page(&self) -> StorageResult<PageId> {
         let mut inner = self.inner.lock();
         let pid = inner.pager.allocate_page()?;
-        inner.clock += 1;
-        let clock = inner.clock;
-        inner.frames.insert(pid, Frame { page: Page::new(), dirty: true, last_used: clock });
-        inner.evict_if_needed()?;
+        let frame =
+            Frame { pid, page: Arc::new(Page::new()), dirty: true, pins: 0, referenced: true };
+        inner.install(frame)?;
         Ok(pid)
     }
 
     /// Run `f` with read access to the page.
     pub fn with_page<R>(&self, pid: PageId, f: impl FnOnce(&Page) -> R) -> StorageResult<R> {
         let mut inner = self.inner.lock();
-        inner.load(pid)?;
-        inner.clock += 1;
-        let clock = inner.clock;
-        let frame = inner.frames.get_mut(&pid).expect("frame was just loaded");
-        frame.last_used = clock;
-        let result = f(&frame.page);
-        inner.evict_if_needed()?;
-        Ok(result)
+        let slot = inner.load(pid)?;
+        Ok(f(&inner.slots[slot].page))
     }
 
     /// Run `f` with write access to the page; the page is marked dirty.
@@ -126,15 +203,23 @@ impl BufferPool {
         f: impl FnOnce(&mut Page) -> R,
     ) -> StorageResult<R> {
         let mut inner = self.inner.lock();
-        inner.load(pid)?;
-        inner.clock += 1;
-        let clock = inner.clock;
-        let frame = inner.frames.get_mut(&pid).expect("frame was just loaded");
-        frame.last_used = clock;
+        let slot = inner.load(pid)?;
+        let frame = &mut inner.slots[slot];
         frame.dirty = true;
-        let result = f(&mut frame.page);
-        inner.evict_if_needed()?;
-        Ok(result)
+        // In-place unless a pinned reader still holds the Arc (copy-on-write).
+        Ok(f(Arc::make_mut(&mut frame.page)))
+    }
+
+    /// Pin a page: the returned guard keeps the frame resident and readable
+    /// without holding the pool lock. Used by range scans to walk B+tree
+    /// leaves without copying entries.
+    pub fn pin(&self, pid: PageId) -> StorageResult<PinnedPage<'_>> {
+        let mut inner = self.inner.lock();
+        let slot = inner.load(pid)?;
+        let frame = &mut inner.slots[slot];
+        frame.pins += 1;
+        let page = Arc::clone(&frame.page);
+        Ok(PinnedPage { pool: self, pid, page })
     }
 
     /// The catalog root recorded in the file header.
@@ -162,60 +247,103 @@ impl BufferPool {
         self.inner.lock().stats = BufferStats::default();
     }
 
-    /// Write all dirty pages and the header to disk and fsync.
+    /// Write all dirty pages and the header to disk and fsync. Pages are
+    /// written through a borrow of the resident frame — nothing is cloned
+    /// and no intermediate id list is collected.
     pub fn flush(&self) -> StorageResult<()> {
         let mut inner = self.inner.lock();
-        let dirty: Vec<PageId> =
-            inner.frames.iter().filter(|(_, f)| f.dirty).map(|(pid, _)| *pid).collect();
-        for pid in dirty {
-            let page = inner.frames[&pid].page.clone();
-            inner.pager.write_page(pid, &page)?;
-            inner.frames.get_mut(&pid).expect("present").dirty = false;
-            inner.stats.flushes += 1;
+        let Inner { pager, slots, stats, .. } = &mut *inner;
+        for frame in slots.iter_mut() {
+            if frame.dirty {
+                pager.write_page(frame.pid, &frame.page)?;
+                frame.dirty = false;
+                stats.flushes += 1;
+            }
         }
         inner.pager.sync()?;
         Ok(())
     }
 
-    /// Drop every clean resident page (dirty pages are flushed first). Used
-    /// by benchmarks to measure cold-cache behaviour.
+    /// Drop every unpinned resident page (dirty pages are flushed first).
+    /// Used by benchmarks to measure cold-cache behaviour.
     pub fn clear_cache(&self) -> StorageResult<()> {
         self.flush()?;
         let mut inner = self.inner.lock();
-        inner.frames.clear();
+        let Inner { slots, map, hand, .. } = &mut *inner;
+        slots.retain(|f| f.pins > 0);
+        map.clear();
+        for (i, frame) in slots.iter().enumerate() {
+            map.insert(frame.pid, i);
+        }
+        *hand = 0;
         Ok(())
     }
 }
 
 impl Inner {
-    fn load(&mut self, pid: PageId) -> StorageResult<()> {
-        if self.frames.contains_key(&pid) {
+    /// Ensure `pid` is resident, returning its slot index.
+    fn load(&mut self, pid: PageId) -> StorageResult<usize> {
+        if let Some(&slot) = self.map.get(&pid) {
             self.stats.hits += 1;
-            return Ok(());
+            self.slots[slot].referenced = true;
+            return Ok(slot);
         }
         self.stats.misses += 1;
         let page = self.pager.read_page(pid)?;
-        self.clock += 1;
-        let clock = self.clock;
-        self.frames.insert(pid, Frame { page, dirty: false, last_used: clock });
-        Ok(())
+        let frame = Frame { pid, page: Arc::new(page), dirty: false, pins: 0, referenced: true };
+        self.install(frame)
     }
 
-    fn evict_if_needed(&mut self) -> StorageResult<()> {
-        while self.frames.len() > self.capacity {
-            // Find the least recently used frame.
-            let victim = self
-                .frames
-                .iter()
-                .min_by_key(|(_, f)| f.last_used)
-                .map(|(pid, _)| *pid)
-                .expect("frames is non-empty");
-            let frame = self.frames.remove(&victim).expect("victim exists");
-            if frame.dirty {
-                self.pager.write_page(victim, &frame.page)?;
-                self.stats.evictions += 1;
+    /// Place a frame into the pool, evicting if at capacity.
+    fn install(&mut self, frame: Frame) -> StorageResult<usize> {
+        let pid = frame.pid;
+        let slot = if self.slots.len() < self.capacity {
+            self.slots.push(frame);
+            self.slots.len() - 1
+        } else {
+            let victim = self.find_victim()?;
+            self.evict_slot(victim)?;
+            self.slots[victim] = frame;
+            victim
+        };
+        self.map.insert(pid, slot);
+        Ok(slot)
+    }
+
+    /// Clock sweep: clear reference bits until an unpinned, unreferenced
+    /// frame comes up. Two full sweeps without a victim means every frame is
+    /// pinned — a caller bug surfaced as an error rather than unbounded
+    /// growth.
+    fn find_victim(&mut self) -> StorageResult<usize> {
+        let len = self.slots.len();
+        debug_assert!(len > 0);
+        for _ in 0..2 * len {
+            let i = self.hand;
+            self.hand = (self.hand + 1) % len;
+            let frame = &mut self.slots[i];
+            if frame.pins > 0 {
+                continue;
             }
+            if frame.referenced {
+                frame.referenced = false;
+                continue;
+            }
+            return Ok(i);
         }
+        Err(StorageError::PoolExhausted(self.capacity))
+    }
+
+    /// Write back (when dirty) and forget the frame in `slot`. The slot
+    /// itself is left for the caller to refill.
+    fn evict_slot(&mut self, slot: usize) -> StorageResult<()> {
+        let frame = &self.slots[slot];
+        debug_assert_eq!(frame.pins, 0, "evicting a pinned frame");
+        if frame.dirty {
+            self.pager.write_page(frame.pid, &frame.page)?;
+            self.stats.writebacks += 1;
+        }
+        self.stats.evictions += 1;
+        self.map.remove(&frame.pid);
         Ok(())
     }
 }
@@ -258,7 +386,76 @@ mod tests {
             assert_eq!(v, i as u64);
         }
         assert!(pool.stats().evictions > 0);
+        assert!(pool.stats().writebacks > 0);
         assert!(pool.stats().misses > 0);
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let (_dir, pool) = pool(8);
+        for _ in 0..100 {
+            let pid = pool.allocate_page().unwrap();
+            pool.with_page_mut(pid, |p| p.write_u64(0, 1)).unwrap();
+            assert!(pool.resident_pages() <= 8, "pool exceeded its frame capacity");
+        }
+        assert_eq!(pool.resident_pages(), 8);
+        assert!(pool.stats().evictions >= 92);
+    }
+
+    #[test]
+    fn pinned_frames_are_never_evicted() {
+        let (_dir, pool) = pool(8);
+        let first = pool.allocate_page().unwrap();
+        pool.with_page_mut(first, |p| p.write_u64(0, 42)).unwrap();
+        let pin = pool.pin(first).unwrap();
+        assert_eq!(pin.read_u64(0), 42);
+        // Push far more pages than capacity through the pool; the pinned
+        // frame must survive every sweep.
+        for i in 0..64u64 {
+            let pid = pool.allocate_page().unwrap();
+            pool.with_page_mut(pid, |p| p.write_u64(0, i)).unwrap();
+        }
+        assert!(pool.resident_pages() <= 8);
+        assert_eq!(pool.pinned_frames(), 1);
+        // The pinned guard still reads its snapshot without a pool access.
+        assert_eq!(pin.read_u64(0), 42);
+        drop(pin);
+        assert_eq!(pool.pinned_frames(), 0);
+        // Now the frame can be evicted like any other.
+        for i in 0..32u64 {
+            let pid = pool.allocate_page().unwrap();
+            pool.with_page_mut(pid, |p| p.write_u64(0, i)).unwrap();
+        }
+        assert!(pool.resident_pages() <= 8);
+    }
+
+    #[test]
+    fn all_pinned_pool_reports_exhaustion() {
+        let (_dir, pool) = pool(8);
+        let mut pins = Vec::new();
+        for _ in 0..8 {
+            let pid = pool.allocate_page().unwrap();
+            pins.push(pool.pin(pid).unwrap());
+        }
+        // Ninth page cannot be installed anywhere.
+        let err = pool.allocate_page();
+        assert!(matches!(err, Err(StorageError::PoolExhausted(_))));
+        drop(pins);
+        assert!(pool.allocate_page().is_ok());
+    }
+
+    #[test]
+    fn pinned_snapshot_survives_concurrent_write() {
+        let (_dir, pool) = pool(8);
+        let pid = pool.allocate_page().unwrap();
+        pool.with_page_mut(pid, |p| p.write_u64(0, 1)).unwrap();
+        let pin = pool.pin(pid).unwrap();
+        // Copy-on-write: the mutation goes to a fresh Arc, the pin keeps its
+        // snapshot.
+        pool.with_page_mut(pid, |p| p.write_u64(0, 2)).unwrap();
+        assert_eq!(pin.read_u64(0), 1);
+        drop(pin);
+        assert_eq!(pool.with_page(pid, |p| p.read_u64(0)).unwrap(), 2);
     }
 
     #[test]
@@ -297,6 +494,7 @@ mod tests {
     fn hit_ratio_computation() {
         let s = BufferStats { hits: 3, misses: 1, ..Default::default() };
         assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
+        assert_eq!(s.page_reads(), 4);
         assert_eq!(BufferStats::default().hit_ratio(), 0.0);
     }
 }

@@ -43,11 +43,26 @@ pub struct TableMeta {
     pub indexes: Vec<IndexMeta>,
 }
 
+/// Metadata for one raw (table-less) B+tree index. Raw indexes map
+/// application-encoded keys to `u64` payloads without a backing heap table —
+/// the persistence vehicle for covering indexes such as the node-interval
+/// index, where the key carries the whole entry and fetching a heap row per
+/// hit would defeat the point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RawIndexMeta {
+    /// Index name (unique across raw indexes).
+    pub name: String,
+    /// Root page of the backing B+tree.
+    pub root_page: u64,
+}
+
 /// The full catalog.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Catalog {
     /// All tables, in creation order. A table's position is its `TableId`.
     pub tables: Vec<TableMeta>,
+    /// Raw B+tree indexes, in creation order. Position is the `RawIndexId`.
+    pub raw_indexes: Vec<RawIndexMeta>,
 }
 
 impl Catalog {

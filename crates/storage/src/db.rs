@@ -5,9 +5,9 @@
 //! SQL engine: Crimson's queries are point lookups, range scans and full
 //! scans, all of which are expressed directly.
 
-use crate::btree::BTree;
+use crate::btree::{BTree, RangeIter};
 use crate::buffer::{BufferPool, BufferStats};
-use crate::catalog::{Catalog, IndexMeta, TableMeta};
+use crate::catalog::{Catalog, IndexMeta, RawIndexMeta, TableMeta};
 use crate::error::{StorageError, StorageResult};
 use crate::heap::{HeapFile, RecordId};
 use crate::page::PageId;
@@ -21,12 +21,17 @@ use std::path::Path;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TableId(pub usize);
 
+/// Identifier of a raw B+tree index (its position in the catalog).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RawIndexId(pub usize);
+
 /// An embedded, disk-backed record store with secondary B+tree indexes.
 pub struct Database {
     pool: BufferPool,
     catalog: Catalog,
     heaps: HashMap<usize, HeapFile>,
     indexes: HashMap<(usize, String), BTree>,
+    raw: Vec<BTree>,
 }
 
 impl std::fmt::Debug for Database {
@@ -49,7 +54,13 @@ impl Database {
     pub fn create_with_capacity(path: impl AsRef<Path>, pages: usize) -> StorageResult<Self> {
         let pager = Pager::create(path)?;
         let pool = BufferPool::with_capacity(pager, pages);
-        Ok(Database { pool, catalog: Catalog::new(), heaps: HashMap::new(), indexes: HashMap::new() })
+        Ok(Database {
+            pool,
+            catalog: Catalog::new(),
+            heaps: HashMap::new(),
+            indexes: HashMap::new(),
+            raw: Vec::new(),
+        })
     }
 
     /// Open an existing database file.
@@ -70,7 +81,9 @@ impl Database {
                 indexes.insert((tid, idx.column.clone()), BTree::open(PageId(idx.root_page)));
             }
         }
-        Ok(Database { pool, catalog, heaps, indexes })
+        let raw =
+            catalog.raw_indexes.iter().map(|r| BTree::open(PageId(r.root_page))).collect();
+        Ok(Database { pool, catalog, heaps, indexes, raw })
     }
 
     // ------------------------------------------------------------------
@@ -300,6 +313,78 @@ impl Database {
     ) -> StorageResult<Vec<(RecordId, Row)>> {
         let rids = self.index_lookup(table, column, value)?;
         rids.into_iter().map(|rid| Ok((rid, self.get(table, rid)?))).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Raw (table-less) B+tree indexes
+    // ------------------------------------------------------------------
+
+    /// Create a raw B+tree index mapping application-encoded keys to `u64`
+    /// payloads, with no backing heap table. Use for covering indexes where
+    /// the key bytes carry the whole entry (e.g. the node-interval index).
+    pub fn create_raw_index(&mut self, name: &str) -> StorageResult<RawIndexId> {
+        if self.catalog.raw_indexes.iter().any(|r| r.name == name) {
+            return Err(StorageError::AlreadyExists(name.to_string()));
+        }
+        let btree = BTree::create(&self.pool)?;
+        self.catalog
+            .raw_indexes
+            .push(RawIndexMeta { name: name.to_string(), root_page: btree.root().0 });
+        self.raw.push(btree);
+        self.catalog.save(&self.pool)?;
+        Ok(RawIndexId(self.raw.len() - 1))
+    }
+
+    /// Look up a raw index id by name.
+    pub fn raw_index(&self, name: &str) -> StorageResult<RawIndexId> {
+        self.catalog
+            .raw_indexes
+            .iter()
+            .position(|r| r.name == name)
+            .map(RawIndexId)
+            .ok_or_else(|| StorageError::UnknownIndex(name.to_string()))
+    }
+
+    /// Insert a key/value pair into a raw index. Root splits are persisted
+    /// in the catalog.
+    pub fn raw_insert(&mut self, id: RawIndexId, key: &[u8], value: u64) -> StorageResult<()> {
+        let btree = self
+            .raw
+            .get_mut(id.0)
+            .ok_or_else(|| StorageError::UnknownIndex(format!("raw #{}", id.0)))?;
+        let old_root = btree.root();
+        btree.insert(&self.pool, key, value)?;
+        if btree.root() != old_root {
+            self.catalog.raw_indexes[id.0].root_page = btree.root().0;
+            self.catalog.save(&self.pool)?;
+        }
+        Ok(())
+    }
+
+    /// Point lookup in a raw index.
+    pub fn raw_get(&self, id: RawIndexId, key: &[u8]) -> StorageResult<Option<u64>> {
+        self.raw_btree(id)?.get(&self.pool, key)
+    }
+
+    /// Range scan over a raw index: `low ≤ key < high`, `None` = unbounded.
+    /// The iterator yields `(key, value)` pairs straight from pinned leaf
+    /// frames — no heap rows are fetched.
+    pub fn raw_range(
+        &self,
+        id: RawIndexId,
+        low: Option<&[u8]>,
+        high: Option<&[u8]>,
+    ) -> StorageResult<RangeIter<'_>> {
+        self.raw_btree(id)?.range(&self.pool, low, high)
+    }
+
+    /// Number of entries in a raw index (full scan).
+    pub fn raw_len(&self, id: RawIndexId) -> StorageResult<usize> {
+        self.raw_btree(id)?.len(&self.pool)
+    }
+
+    fn raw_btree(&self, id: RawIndexId) -> StorageResult<&BTree> {
+        self.raw.get(id.0).ok_or_else(|| StorageError::UnknownIndex(format!("raw #{}", id.0)))
     }
 
     // ------------------------------------------------------------------
@@ -570,6 +655,46 @@ mod tests {
         }
         assert!(db.buffer_stats().evictions > 0);
         assert!(db.page_count() > 16);
+    }
+
+    #[test]
+    fn raw_index_roundtrip_and_persistence() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("db.crdb");
+        {
+            let mut db = Database::create(&path).unwrap();
+            let idx = db.create_raw_index("intervals").unwrap();
+            assert!(matches!(
+                db.create_raw_index("intervals"),
+                Err(StorageError::AlreadyExists(_))
+            ));
+            // Enough entries to split the root so the catalog root update is
+            // exercised.
+            for i in 0..5000u64 {
+                let mut key = i.to_be_bytes().to_vec();
+                key.extend_from_slice(&[0xAB; 9]); // covering payload bytes
+                db.raw_insert(idx, &key, i * 2).unwrap();
+            }
+            db.flush().unwrap();
+        }
+        let db = Database::open(&path).unwrap();
+        let idx = db.raw_index("intervals").unwrap();
+        assert!(db.raw_index("missing").is_err());
+        let mut probe = 1234u64.to_be_bytes().to_vec();
+        probe.extend_from_slice(&[0xAB; 9]);
+        assert_eq!(db.raw_get(idx, &probe).unwrap(), Some(2468));
+        assert_eq!(db.raw_len(idx).unwrap(), 5000);
+        // Bounded range scan decodes covering keys without heap access.
+        let low = 100u64.to_be_bytes();
+        let high = 110u64.to_be_bytes();
+        let hits: Vec<(Vec<u8>, u64)> = db
+            .raw_range(idx, Some(&low), Some(&high))
+            .unwrap()
+            .collect::<StorageResult<_>>()
+            .unwrap();
+        assert_eq!(hits.len(), 10);
+        assert_eq!(hits[0].1, 200);
+        assert_eq!(&hits[0].0[8..], &[0xAB; 9]);
     }
 
     #[test]

@@ -39,6 +39,9 @@ pub enum StorageError {
     DuplicateKey(String),
     /// Stored bytes could not be decoded (corruption or version skew).
     Corrupted(String),
+    /// Every buffer-pool frame is pinned; no page can be brought in. The
+    /// payload is the pool's frame capacity.
+    PoolExhausted(usize),
 }
 
 impl fmt::Display for StorageError {
@@ -60,6 +63,9 @@ impl fmt::Display for StorageError {
             StorageError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
             StorageError::DuplicateKey(k) => write!(f, "duplicate key {k} in unique index"),
             StorageError::Corrupted(m) => write!(f, "corrupted data: {m}"),
+            StorageError::PoolExhausted(cap) => {
+                write!(f, "all {cap} buffer-pool frames are pinned")
+            }
         }
     }
 }

@@ -54,7 +54,7 @@ pub mod pager;
 pub mod schema;
 pub mod value;
 
-pub use db::Database;
+pub use db::{Database, RawIndexId, TableId};
 pub use error::{StorageError, StorageResult};
 pub use heap::RecordId;
 pub use page::{PageId, PAGE_SIZE};
