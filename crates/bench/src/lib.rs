@@ -2,7 +2,10 @@
 //!
 //! The real content of this crate lives in `benches/`; this library exposes
 //! small utilities (workload construction, result printing) shared by the
-//! individual benchmark targets. See `EXPERIMENTS.md` for the experiment
-//! index.
+//! individual benchmark targets, plus a Criterion-free [`smoke`] profile
+//! that runs scaled-down versions of the scoreboard experiments under
+//! `cargo test -p bench` (use `--release` for representative numbers). See
+//! `EXPERIMENTS.md` for the experiment index.
 
+pub mod smoke;
 pub mod workloads;

@@ -1,0 +1,175 @@
+//! Criterion-free smoke profile for the benchmark workloads.
+//!
+//! `cargo bench` pays Criterion's warm-up and measurement windows on every
+//! target — minutes of wall clock. This module runs scaled-down versions of
+//! the scoreboard experiments (E4 structure queries, E6 projection, E7
+//! pattern match) as plain functions returning their page-read counters, and
+//! the `#[cfg(test)]` block below pins the interval-index cost advantage in
+//! the ordinary test suite: `cargo test -p bench` (or `--release` for truer
+//! numbers) exercises every bench code path in seconds.
+
+use crate::workloads;
+use crimson::prelude::*;
+use rand::prelude::*;
+
+/// Page-read counters for one workload run on the interval-index path and
+/// the pre-index reference path.
+#[derive(Debug, Clone, Copy)]
+pub struct SmokeCost {
+    /// Buffer-pool page reads (hits + misses) on the interval-index path.
+    pub interval_reads: u64,
+    /// Buffer-pool page reads on the label-walk / BFS reference path.
+    pub reference_reads: u64,
+}
+
+impl SmokeCost {
+    /// `reference_reads / interval_reads`, the scoreboard ratio.
+    pub fn speedup(&self) -> f64 {
+        self.reference_reads as f64 / self.interval_reads.max(1) as f64
+    }
+}
+
+/// E4 smoke: LCA + ancestor tests over random leaf pairs of a simulated
+/// tree. Returns the interval-vs-reference page-read costs of the LCA batch.
+pub fn structure_queries(leaves: usize, pairs: usize, seed: u64) -> SmokeCost {
+    let tree = workloads::simulated_tree(leaves, seed);
+    let (_dir, repo, handle) = workloads::repository_with_tree(&tree, 16, 4096);
+    let stored = repo.leaves(handle).expect("leaves");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pairs: Vec<(StoredNodeId, StoredNodeId)> = (0..pairs)
+        .map(|_| {
+            (
+                *stored.choose(&mut rng).expect("non-empty"),
+                *stored.choose(&mut rng).expect("non-empty"),
+            )
+        })
+        .collect();
+
+    repo.clear_cache().expect("clear cache");
+    repo.reset_buffer_stats();
+    for &(a, b) in &pairs {
+        let lca = repo.lca(a, b).expect("lca");
+        assert!(repo.is_ancestor(lca, a).expect("ancestor test"));
+    }
+    let interval_reads = repo.buffer_stats().page_reads();
+
+    repo.clear_cache().expect("clear cache");
+    repo.reset_buffer_stats();
+    for &(a, b) in &pairs {
+        let _ = repo.lca_label_walk(a, b).expect("reference lca");
+    }
+    let reference_reads = repo.buffer_stats().page_reads();
+    SmokeCost { interval_reads, reference_reads }
+}
+
+/// E4 smoke: minimal spanning clade of random leaf sets.
+pub fn spanning_clade(leaves: usize, set_size: usize, seed: u64) -> SmokeCost {
+    let tree = workloads::simulated_tree(leaves, seed);
+    let (_dir, repo, handle) = workloads::repository_with_tree(&tree, 16, 4096);
+    let stored = repo.leaves(handle).expect("leaves");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let set: Vec<StoredNodeId> =
+        stored.choose_multiple(&mut rng, set_size).copied().collect();
+
+    repo.clear_cache().expect("clear cache");
+    repo.reset_buffer_stats();
+    let fast = repo.minimal_spanning_clade(&set).expect("clade");
+    let interval_reads = repo.buffer_stats().page_reads();
+
+    repo.clear_cache().expect("clear cache");
+    repo.reset_buffer_stats();
+    let reference = repo.minimal_spanning_clade_reference(&set).expect("reference clade");
+    let reference_reads = repo.buffer_stats().page_reads();
+    assert_eq!(fast.len(), reference.len(), "clade implementations disagree");
+    SmokeCost { interval_reads, reference_reads }
+}
+
+/// E6 smoke: projection of an evenly spread leaf sample.
+pub fn projection(leaves: usize, sample: usize, seed: u64) -> SmokeCost {
+    let tree = workloads::simulated_tree(leaves, seed);
+    let (_dir, repo, handle) = workloads::repository_with_tree(&tree, 16, 8192);
+    let stored = repo.leaves(handle).expect("leaves");
+    let step = (stored.len() / sample).max(1);
+    let sample: Vec<StoredNodeId> = stored.iter().step_by(step).copied().collect();
+
+    repo.clear_cache().expect("clear cache");
+    repo.reset_buffer_stats();
+    let fast = repo.project(handle, &sample).expect("projection");
+    let interval_reads = repo.buffer_stats().page_reads();
+
+    repo.clear_cache().expect("clear cache");
+    repo.reset_buffer_stats();
+    let reference = repo.project_reference(handle, &sample).expect("reference projection");
+    let reference_reads = repo.buffer_stats().page_reads();
+    assert!(
+        phylo::ops::isomorphic_with_lengths(&fast, &reference, 1e-9),
+        "projection implementations disagree"
+    );
+    SmokeCost { interval_reads, reference_reads }
+}
+
+/// E7 smoke: pattern match of a positive (projected) pattern, which rides on
+/// the projection path end to end.
+pub fn pattern_match(leaves: usize, pattern_size: usize, seed: u64) -> SmokeCost {
+    let tree = workloads::simulated_tree(leaves, seed);
+    let (_dir, repo, handle) = workloads::repository_with_tree(&tree, 16, 8192);
+    let names = workloads::leaf_subset(&tree, pattern_size);
+    let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+    let pattern = phylo::ops::project_by_names(&tree, &refs).expect("pattern");
+
+    repo.clear_cache().expect("clear cache");
+    repo.reset_buffer_stats();
+    let result = repo.pattern_match(handle, &pattern).expect("match");
+    assert!(result.exact_topology, "positive pattern must match exactly");
+    let interval_reads = repo.buffer_stats().page_reads();
+
+    // Reference cost: the same projection through the pre-index path (the
+    // comparison half of pattern match is identical either way).
+    let sample: Vec<StoredNodeId> = names
+        .iter()
+        .map(|n| repo.require_species_node(handle, n).expect("species"))
+        .collect();
+    repo.clear_cache().expect("clear cache");
+    repo.reset_buffer_stats();
+    let _ = repo.project_reference(handle, &sample).expect("reference projection");
+    let reference_reads = repo.buffer_stats().page_reads();
+    SmokeCost { interval_reads, reference_reads }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_structure_queries() {
+        let cost = structure_queries(800, 32, 42);
+        eprintln!("smoke E4 lca: {cost:?} ({:.1}x)", cost.speedup());
+        assert!(cost.interval_reads > 0);
+        assert!(
+            cost.reference_reads > cost.interval_reads,
+            "interval LCA must not read more pages than the label walk"
+        );
+    }
+
+    #[test]
+    fn smoke_spanning_clade() {
+        let cost = spanning_clade(800, 16, 42);
+        eprintln!("smoke E4 clade: {cost:?} ({:.1}x)", cost.speedup());
+        assert!(cost.speedup() >= 5.0, "clade must be ≥5× cheaper, got {cost:?}");
+    }
+
+    #[test]
+    fn smoke_projection() {
+        let cost = projection(800, 100, 21);
+        eprintln!("smoke E6 projection: {cost:?} ({:.1}x)", cost.speedup());
+        assert!(cost.speedup() >= 5.0, "projection must be ≥5× cheaper, got {cost:?}");
+    }
+
+    #[test]
+    fn smoke_pattern_match() {
+        let cost = pattern_match(800, 32, 33);
+        eprintln!("smoke E7 pattern match: {cost:?} ({:.1}x)", cost.speedup());
+        assert!(cost.interval_reads > 0);
+        assert!(cost.reference_reads > cost.interval_reads);
+    }
+}

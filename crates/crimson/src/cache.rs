@@ -65,6 +65,7 @@ impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
     }
 
     /// `true` when nothing is cached.
+    #[allow(dead_code)] // pairs with `len`; exercised by the tests below
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }

@@ -15,6 +15,27 @@
 //! * **Structure queries** ([`query`]) — least common ancestor,
 //!   ancestor/descendant, minimal spanning clade, tree projection and tree
 //!   pattern match, all executed against the disk-resident repository.
+//!
+//! ## The interval index behind structure queries
+//!
+//! At load time the repository persists pre/post-order interval labels as a
+//! covering raw B+tree index (layout in [`labeling::interval`]):
+//!
+//! * `ivl_by_pre`, keyed `(tree_id, pre)` with `(end, parent_pre, node,
+//!   is_leaf)` riding in the key and the node row's heap locator as the
+//!   value. A node's subtree is the contiguous range `[(t, pre), (t, end)]`,
+//!   so `minimal_spanning_clade` and dense projections are **single range
+//!   scans**, and the LCA walk lifts through `parent_pre` without touching
+//!   node rows.
+//! * `ivl_by_node`, mapping a stored node id to its packed `(pre, end)`
+//!   interval: `is_ancestor` is two point lookups and two integer
+//!   comparisons.
+//!
+//! Decoded node rows and interval entries are held in small two-generation
+//! LRU caches, so repeated LCA/projection queries skip row decoding
+//! entirely. The pre-index label-walk/BFS implementations survive as
+//! `*_reference` methods — the property tests cross-validate against them,
+//! and `crimson-bench`'s smoke profile asserts the ≥5× page-read advantage.
 //! * **Sampling** ([`sampling`]) — uniform random sampling, sampling with
 //!   respect to an evolutionary time, and user-supplied species lists (§2.2).
 //! * **Benchmark Manager** ([`benchmark`]) — samples the gold standard,

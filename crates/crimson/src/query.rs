@@ -28,20 +28,12 @@
 
 use crate::error::{CrimsonError, CrimsonResult};
 use crate::repository::{NodeRecord, Repository, StoredNodeId, TreeHandle, TREE_SHIFT};
-use labeling::interval::{interval_key_prefix, IntervalEntry, INTERVAL_KEY_PREFIX};
+use labeling::interval::{interval_key_prefix, interval_range_end, IntervalEntry};
 use phylo::ops;
 use phylo::{NodeId, Tree};
 use reconstruction::compare::{robinson_foulds, RfResult};
 use std::collections::VecDeque;
 use std::sync::Arc;
-
-/// Exclusive upper bound of the key range covering `[.., (tree, end)]`.
-fn clade_high_key(tree: u64, end: u32) -> [u8; INTERVAL_KEY_PREFIX] {
-    match end.checked_add(1) {
-        Some(next) => interval_key_prefix(tree, next),
-        None => interval_key_prefix(tree + 1, 0),
-    }
-}
 
 /// When the clade span exceeds `SPARSE_FACTOR * selection size`, projection
 /// resolves pair LCAs by per-pair interval walks instead of scanning the
@@ -103,11 +95,14 @@ impl Repository {
         let lca = self.lca(min.1, max.1)?;
         let (lp, le) = self.interval_of(lca)?;
         let low = interval_key_prefix(tree, lp);
-        let high = clade_high_key(tree, le);
+        let high = interval_range_end(tree, le);
         let mut out = Vec::with_capacity((le - lp + 1) as usize);
         for item in self.db.raw_range(self.ivl_by_pre, Some(&low), Some(&high))? {
-            let (_, sid) = item?;
-            out.push(StoredNodeId(sid));
+            let (key, _) = item?;
+            let (_, entry) = IntervalEntry::decode_key(&key).ok_or_else(|| {
+                CrimsonError::CorruptRepository("malformed interval-index key".to_string())
+            })?;
+            out.push(StoredNodeId((tree << TREE_SHIFT) | entry.node as u64));
         }
         Ok(out)
     }
@@ -190,58 +185,73 @@ impl Repository {
             return Ok(out);
         }
 
-        // Consecutive-pair LCAs through the interval index.
+        // Consecutive-pair LCAs through the interval index, then row fetches
+        // for output nodes only. The dense path's scan also yields every
+        // node's heap locator, so each row costs a single page read instead
+        // of an index descent.
         let lca_all = self.lca(sel[0].1, sel[sel.len() - 1].1)?;
         let (lp, le) = self.interval_of(lca_all)?;
         let span = (le - lp) as u64 + 1;
-        let pair_lcas: Vec<StoredNodeId> = if span <= SPARSE_FACTOR * sel.len() as u64 {
-            self.pair_lcas_by_scan(tree, &sel, lp, le)?
-        } else {
-            let mut out = Vec::with_capacity(sel.len() - 1);
-            for pair in sel.windows(2) {
-                out.push(self.lca(pair[0].1, pair[1].1)?);
+        let (records, lca_records) = if span <= SPARSE_FACTOR * sel.len() as u64 {
+            let (sel_locs, lca_locs) = self.pair_lcas_by_scan(tree, &sel, lp, le)?;
+            let mut records = Vec::with_capacity(sel_locs.len());
+            for (sid, rid) in sel_locs {
+                records.push(self.node_record_by_locator(sid, rid)?);
             }
-            out
+            let mut lca_records = Vec::with_capacity(lca_locs.len());
+            for (sid, rid) in lca_locs {
+                lca_records.push(self.node_record_by_locator(sid, rid)?);
+            }
+            (records, lca_records)
+        } else {
+            let mut records = Vec::with_capacity(sel.len());
+            for &(_, sid) in &sel {
+                records.push(self.node_record_arc(sid)?);
+            }
+            let mut lca_records = Vec::with_capacity(sel.len() - 1);
+            for pair in sel.windows(2) {
+                let sid = self.lca(pair[0].1, pair[1].1)?;
+                lca_records.push(self.node_record_arc(sid)?);
+            }
+            (records, lca_records)
         };
-
-        // Fetch rows only for output nodes and run the insertion loop.
-        let mut records = Vec::with_capacity(sel.len());
-        for &(_, sid) in &sel {
-            records.push(self.node_record_arc(sid)?);
-        }
-        let mut lca_records = Vec::with_capacity(pair_lcas.len());
-        for &sid in &pair_lcas {
-            lca_records.push(self.node_record_arc(sid)?);
-        }
         assemble_projection(&records, &lca_records)
     }
 
-    /// For consecutive selected ranks, the LCA entries harvested from one
-    /// pre-order range scan over the clade `[lo, hi_end]` of `tree`.
+    /// For consecutive selected ranks, the selected nodes' and pair-LCAs'
+    /// `(stored id, heap locator)` pairs harvested from one pre-order range
+    /// scan over the clade `[lo, hi_end]` of `tree`.
     ///
     /// The scan keeps the current root path on a stack (pop everything whose
     /// interval closed before the incoming entry); when the next selected
     /// rank arrives, the LCA with the previous selected rank is the deepest
     /// stack entry whose rank does not exceed it.
+    #[allow(clippy::type_complexity)]
     fn pair_lcas_by_scan(
         &self,
         tree: u64,
         sel: &[(u32, StoredNodeId)],
         lo: u32,
         hi_end: u32,
-    ) -> CrimsonResult<Vec<StoredNodeId>> {
+    ) -> CrimsonResult<(
+        Vec<(StoredNodeId, storage::RecordId)>,
+        Vec<(StoredNodeId, storage::RecordId)>,
+    )> {
+        let sid_of = |entry: &IntervalEntry| StoredNodeId((tree << TREE_SHIFT) | entry.node as u64);
         let low = interval_key_prefix(tree, lo);
-        let high = clade_high_key(tree, hi_end);
-        let mut stack: Vec<IntervalEntry> = Vec::new();
-        let mut out = Vec::with_capacity(sel.len() - 1);
+        let high = interval_range_end(tree, hi_end);
+        let mut stack: Vec<(IntervalEntry, storage::RecordId)> = Vec::new();
+        let mut selected = Vec::with_capacity(sel.len());
+        let mut lcas = Vec::with_capacity(sel.len() - 1);
         let mut next_sel = 0usize;
         let mut prev_pre: Option<u32> = None;
         for item in self.db.raw_range(self.ivl_by_pre, Some(&low), Some(&high))? {
-            let (key, _) = item?;
+            let (key, rid_raw) = item?;
+            let rid = storage::RecordId::from_u64(rid_raw);
             let (_, entry) = IntervalEntry::decode_key(&key).ok_or_else(|| {
                 CrimsonError::CorruptRepository("malformed interval-index key".to_string())
             })?;
-            while stack.last().map_or(false, |top| top.end < entry.pre) {
+            while stack.last().map_or(false, |(top, _)| top.end < entry.pre) {
                 stack.pop();
             }
             if next_sel < sel.len() && entry.pre == sel[next_sel].0 {
@@ -249,8 +259,8 @@ impl Repository {
                     // Stack ranks ascend; every stack entry covers the
                     // current rank, so the deepest one with pre <= prev also
                     // covers prev — the pair LCA.
-                    let idx = stack.partition_point(|e| e.pre <= prev);
-                    let anc = idx
+                    let idx = stack.partition_point(|(e, _)| e.pre <= prev);
+                    let (anc, anc_rid) = idx
                         .checked_sub(1)
                         .and_then(|i| stack.get(i))
                         .ok_or_else(|| {
@@ -259,15 +269,16 @@ impl Repository {
                                 entry.pre
                             ))
                         })?;
-                    out.push(StoredNodeId((tree << TREE_SHIFT) | anc.node as u64));
+                    lcas.push((sid_of(anc), *anc_rid));
                 }
+                selected.push((sid_of(&entry), rid));
                 prev_pre = Some(entry.pre);
                 next_sel += 1;
                 if next_sel == sel.len() {
-                    return Ok(out);
+                    return Ok((selected, lcas));
                 }
             }
-            stack.push(entry);
+            stack.push((entry, rid));
         }
         Err(CrimsonError::CorruptRepository(format!(
             "interval scan found {next_sel} of {} selected ranks in [{lo}, {hi_end}]",

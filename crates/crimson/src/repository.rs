@@ -19,7 +19,7 @@
 use crate::cache::LruCache;
 use crate::error::{CrimsonError, CrimsonResult};
 use labeling::hierarchical::HierarchicalDewey;
-use labeling::interval::{interval_key_prefix, IntervalEntry, IntervalLabels};
+use labeling::interval::{interval_key_prefix, interval_range_end, IntervalEntry, IntervalLabels};
 use parking_lot::Mutex;
 use phylo::traverse::Traverse;
 use phylo::Tree;
@@ -269,6 +269,12 @@ impl Repository {
         self.db.buffer_stats()
     }
 
+    /// `(resident pages, frame capacity)` of the underlying buffer pool.
+    /// Residency never exceeds capacity, whatever the file size.
+    pub fn buffer_utilization(&self) -> (usize, usize) {
+        (self.db.pool().resident_pages(), self.db.pool().capacity())
+    }
+
     /// Reset buffer-pool statistics.
     pub fn reset_buffer_stats(&self) {
         self.db.reset_buffer_stats()
@@ -278,10 +284,7 @@ impl Repository {
     /// cold-start query behaviour.
     pub fn clear_cache(&self) -> CrimsonResult<()> {
         self.db.clear_cache()?;
-        let mut records = self.record_cache.lock();
-        records.clear();
-        debug_assert!(records.is_empty());
-        drop(records);
+        self.record_cache.lock().clear();
         self.entry_cache.lock().clear();
         Ok(())
     }
@@ -366,8 +369,10 @@ impl Repository {
         }
 
         // Insert nodes in pre-order (keeps heap locality aligned with the
-        // dominant access pattern).
+        // dominant access pattern), remembering each row's physical record
+        // id — the interval index stores it as a direct row locator.
         let mut leaf_count = 0u64;
+        let mut row_ids = vec![storage::RecordId { page: 0, slot: 0 }; tree.node_count()];
         for node in tree.preorder() {
             let is_leaf = tree.is_leaf(node);
             if is_leaf {
@@ -376,7 +381,7 @@ impl Repository {
             let label = labels.label(node);
             let label_bytes: Vec<u8> =
                 label.path.iter().flat_map(|c| c.to_le_bytes()).collect();
-            self.db.insert(
+            row_ids[node.index()] = self.db.insert(
                 self.nodes_table,
                 &[
                     Value::Int(node_sid(node).0 as i64),
@@ -406,14 +411,17 @@ impl Repository {
         }
 
         // Persist the interval index: one covering entry per node keyed by
-        // `(tree_id, pre)` (the structure-query access path), plus the node
-        // id → packed interval map that makes `is_ancestor` two integer
-        // comparisons. Entries arrive in pre-order, i.e. in key order, so
-        // the B+tree build is append-friendly.
+        // `(tree_id, pre)` whose value is the node row's physical record id
+        // (a direct heap locator, so scan consumers fetch rows without an
+        // index descent), plus the node id → packed interval map that makes
+        // `is_ancestor` two integer comparisons. Entries arrive in
+        // pre-order, i.e. in key order, so the B+tree build is
+        // append-friendly.
         let intervals = IntervalLabels::build(tree);
         for entry in intervals.entries(tree) {
             let sid = node_sid(phylo::NodeId(entry.node));
-            self.db.raw_insert(self.ivl_by_pre, &entry.encode_key(tree_id), sid.0)?;
+            let rid = row_ids[entry.node as usize];
+            self.db.raw_insert(self.ivl_by_pre, &entry.encode_key(tree_id), rid.to_u64())?;
             let packed = ((entry.pre as u64) << 32) | entry.end as u64;
             self.db.raw_insert(self.ivl_by_node, &sid.0.to_be_bytes(), packed)?;
         }
@@ -537,6 +545,29 @@ impl Repository {
         Ok(rec)
     }
 
+    /// Fetch a node row through its physical record id (the locator the
+    /// interval index stores), skipping the node-id index descent. One heap
+    /// page read on a cache miss.
+    pub(crate) fn node_record_by_locator(
+        &self,
+        id: StoredNodeId,
+        rid: storage::RecordId,
+    ) -> CrimsonResult<Arc<NodeRecord>> {
+        if let Some(rec) = self.record_cache.lock().get(&id) {
+            return Ok(rec);
+        }
+        let row = self.db.get(self.nodes_table, rid)?;
+        let rec = Arc::new(decode_node_row(&row));
+        if rec.id != id {
+            return Err(CrimsonError::CorruptRepository(format!(
+                "interval index locator {rid} resolves to node {} instead of {id}",
+                rec.id
+            )));
+        }
+        self.record_cache.lock().insert(id, Arc::clone(&rec));
+        Ok(rec)
+    }
+
     /// Fetch a node row straight from the node table, bypassing the record
     /// cache. Reference path for the cache-effectiveness assertions.
     pub fn node_record_uncached(&self, id: StoredNodeId) -> CrimsonResult<NodeRecord> {
@@ -647,26 +678,29 @@ impl Repository {
     }
 
     /// The full interval entry of the node ranked `pre` in `tree` — one
-    /// covering-key probe in the `ivl_by_pre` index, cached across queries.
+    /// allocation-free covering-key probe in the `ivl_by_pre` index (the
+    /// entry decodes straight from the in-page key bytes), cached across
+    /// queries.
     pub(crate) fn interval_entry(&self, tree: u64, pre: u32) -> CrimsonResult<IntervalEntry> {
         let cache_key = (tree << 32) | pre as u64;
         if let Some(entry) = self.entry_cache.lock().get(&cache_key) {
             return Ok(entry);
         }
         let low = interval_key_prefix(tree, pre);
-        let high = interval_key_prefix(tree, pre.checked_add(1).unwrap_or(u32::MAX));
-        let mut iter = self.db.raw_range(self.ivl_by_pre, Some(&low), Some(&high))?;
-        let (key, _) = iter
-            .next()
-            .transpose()?
+        let high = interval_range_end(tree, pre);
+        let entry = self
+            .db
+            .raw_first_in_range(self.ivl_by_pre, &low, &high, |key, _| {
+                IntervalEntry::decode_key(key).map(|(_, entry)| entry)
+            })?
             .ok_or_else(|| {
                 CrimsonError::CorruptRepository(format!(
                     "interval index has no entry for tree {tree}, pre {pre}"
                 ))
+            })?
+            .ok_or_else(|| {
+                CrimsonError::CorruptRepository("malformed interval-index key".to_string())
             })?;
-        let (_, entry) = IntervalEntry::decode_key(&key).ok_or_else(|| {
-            CrimsonError::CorruptRepository("malformed interval-index key".to_string())
-        })?;
         self.entry_cache.lock().insert(cache_key, entry);
         Ok(entry)
     }

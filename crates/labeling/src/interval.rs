@@ -47,6 +47,16 @@ pub fn interval_key_prefix(tree_id: u64, pre: u32) -> [u8; INTERVAL_KEY_PREFIX] 
     key
 }
 
+/// Exclusive upper bound of the key range covering ranks `..= end` of
+/// `tree_id` — i.e. the first key past `(tree_id, end)`. Handles the
+/// `end == u32::MAX` edge by rolling over to the next tree id.
+pub fn interval_range_end(tree_id: u64, end: u32) -> [u8; INTERVAL_KEY_PREFIX] {
+    match end.checked_add(1) {
+        Some(next) => interval_key_prefix(tree_id, next),
+        None => interval_key_prefix(tree_id + 1, 0),
+    }
+}
+
 /// One node's stored interval entry — everything the structure-query engine
 /// needs, packed into a covering index key.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

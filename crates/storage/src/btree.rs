@@ -356,6 +356,63 @@ impl BTree {
         }
     }
 
+    /// Visit the first entry with `low ≤ key < high`, calling `f` on the
+    /// borrowed in-page key bytes and the value. `None` when the range is
+    /// empty. The allocation-free point probe for covering-key indexes:
+    /// nothing is pinned beyond the call and no key bytes are copied.
+    pub fn first_in_range<R>(
+        &self,
+        pool: &BufferPool,
+        low: &[u8],
+        high: &[u8],
+        f: impl FnOnce(&[u8], u64) -> R,
+    ) -> StorageResult<Option<R>> {
+        let mut page = self.descend_in_place(pool, low, true)?;
+        let mut f = Some(f);
+        loop {
+            enum Step<R> {
+                Found(Option<R>),
+                Next(PageId),
+            }
+            let step = pool.with_page(page, |p| -> StorageResult<Step<R>> {
+                if p.bytes()[0] != TYPE_LEAF {
+                    return Err(StorageError::Corrupted(
+                        "leaf chain contains an internal node".into(),
+                    ));
+                }
+                let count = p.read_u16(1) as usize;
+                let next = PageId(p.read_u64(3));
+                let mut off = NODE_HEADER;
+                for _ in 0..count {
+                    let klen = p.read_u16(off) as usize;
+                    off += 2;
+                    if off + klen + 8 > PAGE_SIZE {
+                        return Err(StorageError::Corrupted("leaf entry overruns page".into()));
+                    }
+                    let key = p.read_bytes(off, klen);
+                    if key >= low {
+                        if key >= high {
+                            return Ok(Step::Found(None));
+                        }
+                        let value = p.read_u64(off + klen);
+                        let f = f.take().expect("first_in_range visits at most one entry");
+                        return Ok(Step::Found(Some(f(key, value))));
+                    }
+                    off += klen + 8;
+                }
+                if next.is_null() {
+                    Ok(Step::Found(None))
+                } else {
+                    Ok(Step::Next(next))
+                }
+            })??;
+            match step {
+                Step::Found(result) => return Ok(result),
+                Step::Next(next) => page = next,
+            }
+        }
+    }
+
     /// Range scan over `low..high` (byte-wise, low inclusive, high exclusive).
     /// `None` bounds mean unbounded.
     ///

@@ -182,10 +182,13 @@ impl BufferPool {
     /// Allocate a fresh page (resident immediately, marked dirty).
     pub fn allocate_page(&self) -> StorageResult<PageId> {
         let mut inner = self.inner.lock();
+        // Secure a frame slot before advancing the pager's page counter, so
+        // a pinned-full pool errors out without leaking a file page.
+        let slot = inner.reserve_slot()?;
         let pid = inner.pager.allocate_page()?;
         let frame =
             Frame { pid, page: Arc::new(Page::new()), dirty: true, pins: 0, referenced: true };
-        inner.install(frame)?;
+        inner.place(frame, slot);
         Ok(pid)
     }
 
@@ -294,20 +297,38 @@ impl Inner {
         self.install(frame)
     }
 
-    /// Place a frame into the pool, evicting if at capacity.
-    fn install(&mut self, frame: Frame) -> StorageResult<usize> {
+    /// Free up a slot for a new frame: `None` while below capacity (append),
+    /// otherwise the index of a just-evicted victim.
+    fn reserve_slot(&mut self) -> StorageResult<Option<usize>> {
+        if self.slots.len() < self.capacity {
+            return Ok(None);
+        }
+        let victim = self.find_victim()?;
+        self.evict_slot(victim)?;
+        Ok(Some(victim))
+    }
+
+    /// Put a frame into a reserved slot (or append) and index it.
+    fn place(&mut self, frame: Frame, slot: Option<usize>) -> usize {
         let pid = frame.pid;
-        let slot = if self.slots.len() < self.capacity {
-            self.slots.push(frame);
-            self.slots.len() - 1
-        } else {
-            let victim = self.find_victim()?;
-            self.evict_slot(victim)?;
-            self.slots[victim] = frame;
-            victim
+        let slot = match slot {
+            Some(i) => {
+                self.slots[i] = frame;
+                i
+            }
+            None => {
+                self.slots.push(frame);
+                self.slots.len() - 1
+            }
         };
         self.map.insert(pid, slot);
-        Ok(slot)
+        slot
+    }
+
+    /// Place a frame into the pool, evicting if at capacity.
+    fn install(&mut self, frame: Frame) -> StorageResult<usize> {
+        let slot = self.reserve_slot()?;
+        Ok(self.place(frame, slot))
     }
 
     /// Clock sweep: clear reference bits until an unpinned, unreferenced
@@ -437,9 +458,12 @@ mod tests {
             let pid = pool.allocate_page().unwrap();
             pins.push(pool.pin(pid).unwrap());
         }
-        // Ninth page cannot be installed anywhere.
+        // Ninth page cannot be installed anywhere — and the failed attempt
+        // must not advance the file's page counter (no leaked pages).
+        let before = pool.page_count();
         let err = pool.allocate_page();
         assert!(matches!(err, Err(StorageError::PoolExhausted(_))));
+        assert_eq!(pool.page_count(), before, "failed allocation leaked a file page");
         drop(pins);
         assert!(pool.allocate_page().is_ok());
     }

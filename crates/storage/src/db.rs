@@ -378,6 +378,19 @@ impl Database {
         self.raw_btree(id)?.range(&self.pool, low, high)
     }
 
+    /// Visit the first raw-index entry in `low ≤ key < high` with `f` on
+    /// the borrowed in-page key bytes — an allocation-free point probe for
+    /// covering keys.
+    pub fn raw_first_in_range<R>(
+        &self,
+        id: RawIndexId,
+        low: &[u8],
+        high: &[u8],
+        f: impl FnOnce(&[u8], u64) -> R,
+    ) -> StorageResult<Option<R>> {
+        self.raw_btree(id)?.first_in_range(&self.pool, low, high, f)
+    }
+
     /// Number of entries in a raw index (full scan).
     pub fn raw_len(&self, id: RawIndexId) -> StorageResult<usize> {
         self.raw_btree(id)?.len(&self.pool)

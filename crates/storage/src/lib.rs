@@ -6,16 +6,33 @@
 //! for that DBMS: a small, disk-backed, page-oriented storage engine with
 //!
 //! * a file-backed **pager** ([`pager::Pager`]) managing fixed-size pages,
-//! * an LRU **buffer pool** ([`buffer::BufferPool`]) with pin-free
-//!   closure-based access and dirty-page write-back,
+//! * a fixed-capacity **buffer pool** ([`buffer::BufferPool`]) with clock
+//!   (second-chance) eviction, `Arc<Page>` frames, frame pinning for
+//!   in-flight scans, and zero-clone write-back — see below,
 //! * **slotted-page heap files** ([`heap::HeapFile`]) holding variable-length
 //!   records addressed by [`heap::RecordId`],
 //! * **B+tree indexes** ([`btree::BTree`]) over order-preserving binary keys,
 //!   supporting point lookups and range scans (the access paths Crimson needs
 //!   for species names, node labels and cumulative evolutionary time),
+//! * **raw indexes** ([`db::Database::create_raw_index`]): table-less
+//!   B+trees for covering keys — the persistence vehicle of the interval
+//!   index behind Crimson's structure queries,
 //! * a typed **row/schema layer** ([`schema`], [`value`]) and a **catalog**
-//!   ([`catalog`]) persisting table and index metadata,
+//!   ([`catalog`]) persisting table, index and raw-index metadata,
 //! * a [`db::Database`] facade tying the pieces together.
+//!
+//! ## Buffer-pool eviction policy
+//!
+//! Residency is bounded by a fixed frame capacity; the pool never grows past
+//! it whatever the file size. Eviction is clock second-chance: every access
+//! sets a frame's reference bit, and the clock hand sweeps slots clearing
+//! bits until it finds an unpinned, unreferenced victim. Dirty victims are
+//! written back through a borrow of the frame (`Page` is never cloned on the
+//! write path). Pinned frames ([`buffer::BufferPool::pin`]) are skipped by
+//! the sweep; a pool whose every frame is pinned surfaces
+//! [`StorageError::PoolExhausted`] instead of growing. Range scans pin one
+//! leaf at a time and decode entries lazily from the pinned frame, so a scan
+//! neither copies whole leaves nor has its leaf evicted mid-read.
 //!
 //! The engine intentionally supports exactly the operational envelope the
 //! paper's workload requires — bulk load, point/range reads, secondary
