@@ -5,10 +5,10 @@
 //! This regenerates the head-to-head table the demo shows: reconstruction
 //! quality (Robinson–Foulds) per algorithm, sample size and sequence length.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crimson::benchmark::{BenchmarkManager, BenchmarkSpec, DistanceSource, Method};
 use crimson::prelude::*;
 use crimson_bench::workloads;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn print_quality_table() {

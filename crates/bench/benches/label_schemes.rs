@@ -6,8 +6,8 @@
 //! label by the constant `f`. This bench prints the label-size table and
 //! measures LCA latency per scheme as the tree gets deeper.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crimson_bench::workloads;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use labeling::prelude::*;
 use phylo::{NodeId, Tree};
 use rand::rngs::StdRng;
@@ -26,7 +26,9 @@ const FRAME_DEPTHS: [usize; 5] = [2, 4, 8, 16, 32];
 fn query_pairs(tree: &Tree, count: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
     let mut rng = StdRng::seed_from_u64(seed);
     let n = tree.node_count() as u32;
-    (0..count).map(|_| (NodeId(rng.gen_range(0..n)), NodeId(rng.gen_range(0..n)))).collect()
+    (0..count)
+        .map(|_| (NodeId(rng.gen_range(0..n)), NodeId(rng.gen_range(0..n))))
+        .collect()
 }
 
 /// Print the E3 label-size table (bytes per label vs depth, per scheme).
@@ -39,9 +41,15 @@ fn print_label_size_table() {
         let tree = workloads::deep_tree(depth);
         let schemes: Vec<(String, LabelStats)> = vec![
             ("flat-dewey".to_string(), FlatDewey::build(&tree).stats()),
-            ("hierarchical(f=16)".to_string(), HierarchicalDewey::build(&tree, 16).stats()),
+            (
+                "hierarchical(f=16)".to_string(),
+                HierarchicalDewey::build(&tree, 16).stats(),
+            ),
             ("interval".to_string(), IntervalLabels::build(&tree).stats()),
-            ("parent-pointer".to_string(), ParentPointers::build(&tree).stats()),
+            (
+                "parent-pointer".to_string(),
+                ParentPointers::build(&tree).stats(),
+            ),
         ];
         for (name, stats) in schemes {
             println!(
@@ -70,7 +78,10 @@ fn print_label_size_table() {
             analytic_total / (1024.0 * 1024.0)
         );
         for (name, stats) in [
-            ("hierarchical(f=16)", HierarchicalDewey::build(&tree, 16).stats()),
+            (
+                "hierarchical(f=16)",
+                HierarchicalDewey::build(&tree, 16).stats(),
+            ),
             ("interval", IntervalLabels::build(&tree).stats()),
             ("parent-pointer", ParentPointers::build(&tree).stats()),
         ] {
@@ -124,13 +135,17 @@ fn bench_lca_by_scheme(c: &mut Criterion) {
                 })
             });
         }
-        group.bench_with_input(BenchmarkId::new("hierarchical-f16", depth), &pairs, |b, pairs| {
-            b.iter(|| {
-                for &(x, y) in pairs {
-                    black_box(hier.lca(x, y));
-                }
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("hierarchical-f16", depth),
+            &pairs,
+            |b, pairs| {
+                b.iter(|| {
+                    for &(x, y) in pairs {
+                        black_box(hier.lca(x, y));
+                    }
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("interval", depth), &pairs, |b, pairs| {
             b.iter(|| {
                 for &(x, y) in pairs {
@@ -138,13 +153,17 @@ fn bench_lca_by_scheme(c: &mut Criterion) {
                 }
             })
         });
-        group.bench_with_input(BenchmarkId::new("parent-pointer", depth), &pairs, |b, pairs| {
-            b.iter(|| {
-                for &(x, y) in pairs {
-                    black_box(parent.lca(x, y));
-                }
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("parent-pointer", depth),
+            &pairs,
+            |b, pairs| {
+                b.iter(|| {
+                    for &(x, y) in pairs {
+                        black_box(parent.lca(x, y));
+                    }
+                })
+            },
+        );
     }
     group.finish();
 
@@ -168,11 +187,15 @@ fn bench_lca_by_scheme(c: &mut Criterion) {
 fn bench_build_cost(c: &mut Criterion) {
     let mut group = c.benchmark_group("E3_index_build");
     let tree = workloads::deep_tree(10_000);
-    group.bench_function("flat-dewey", |b| b.iter(|| black_box(FlatDewey::build(&tree))));
+    group.bench_function("flat-dewey", |b| {
+        b.iter(|| black_box(FlatDewey::build(&tree)))
+    });
     group.bench_function("hierarchical-f16", |b| {
         b.iter(|| black_box(HierarchicalDewey::build(&tree, 16)))
     });
-    group.bench_function("interval", |b| b.iter(|| black_box(IntervalLabels::build(&tree))));
+    group.bench_function("interval", |b| {
+        b.iter(|| black_box(IntervalLabels::build(&tree)))
+    });
     group.finish();
 }
 

@@ -1,9 +1,9 @@
 //! Experiment E10 — data loading (§3): Newick/NEXUS parsing and the three
 //! load modes (tree only, tree + species, append species).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crimson::prelude::*;
 use crimson_bench::workloads;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench_parsing(c: &mut Criterion) {
@@ -18,7 +18,12 @@ fn bench_parsing(c: &mut Criterion) {
         let newick_text = phylo::newick::write(&tree);
         let gold = workloads::gold_standard(taxa.min(2_000), 200, 51);
         let nexus_text = phylo::nexus::write(&gold.to_nexus());
-        println!("{:<10} {:<20} {:.1}", taxa, "newick", newick_text.len() as f64 / 1024.0);
+        println!(
+            "{:<10} {:<20} {:.1}",
+            taxa,
+            "newick",
+            newick_text.len() as f64 / 1024.0
+        );
         println!(
             "{:<10} {:<20} {:.1}",
             gold.taxon_count(),
@@ -46,23 +51,39 @@ fn bench_parsing(c: &mut Criterion) {
                 let dir = tempfile::tempdir().expect("tempdir");
                 let mut repo = Repository::create(
                     dir.path().join("load.crimson"),
-                    RepositoryOptions { frame_depth: 16, buffer_pool_pages: 4096 },
+                    RepositoryOptions {
+                        frame_depth: 16,
+                        buffer_pool_pages: 4096,
+                    },
                 )
                 .expect("create");
-                black_box(repo.load_nexus("gold", doc, LoadMode::TreeOnly).expect("load"))
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("tree_with_species", taxa), &doc, |b, doc| {
-            b.iter(|| {
-                let dir = tempfile::tempdir().expect("tempdir");
-                let mut repo = Repository::create(
-                    dir.path().join("load.crimson"),
-                    RepositoryOptions { frame_depth: 16, buffer_pool_pages: 4096 },
+                black_box(
+                    repo.load_nexus("gold", doc, LoadMode::TreeOnly)
+                        .expect("load"),
                 )
-                .expect("create");
-                black_box(repo.load_nexus("gold", doc, LoadMode::TreeWithSpecies).expect("load"))
             })
         });
+        group.bench_with_input(
+            BenchmarkId::new("tree_with_species", taxa),
+            &doc,
+            |b, doc| {
+                b.iter(|| {
+                    let dir = tempfile::tempdir().expect("tempdir");
+                    let mut repo = Repository::create(
+                        dir.path().join("load.crimson"),
+                        RepositoryOptions {
+                            frame_depth: 16,
+                            buffer_pool_pages: 4096,
+                        },
+                    )
+                    .expect("create");
+                    black_box(
+                        repo.load_nexus("gold", doc, LoadMode::TreeWithSpecies)
+                            .expect("load"),
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -1,8 +1,8 @@
 //! Experiment E7 — tree pattern match (§2.2): matching positive and perturbed
 //! patterns of growing size against stored trees.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crimson_bench::workloads;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use phylo::Tree;
 use std::collections::HashMap;
 use std::hint::black_box;

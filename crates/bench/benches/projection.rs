@@ -5,8 +5,8 @@
 //! checks touches only the sampled root paths, so its cost scales with the
 //! sample, not with the stored tree.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crimson_bench::workloads;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench_projection(c: &mut Criterion) {
@@ -22,7 +22,10 @@ fn bench_projection(c: &mut Criterion) {
         for &sample_size in &[10usize, 100, 1_000] {
             let sample = repo.sample_uniform(handle, sample_size, 5).expect("sample");
             let projected = repo.project(handle, &sample).expect("projection");
-            println!("{tree_leaves:<13} {sample_size:<8} {}", projected.node_count());
+            println!(
+                "{tree_leaves:<13} {sample_size:<8} {}",
+                projected.node_count()
+            );
             group.bench_with_input(
                 BenchmarkId::new(format!("tree{tree_leaves}"), sample_size),
                 &sample,
@@ -39,9 +42,13 @@ fn bench_projection(c: &mut Criterion) {
     for &sample_size in &[10usize, 100, 1_000] {
         let names = workloads::leaf_subset(&tree, sample_size);
         let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(sample_size), &refs, |b, refs| {
-            b.iter(|| black_box(phylo::ops::project_by_names(&tree, refs).expect("projection")))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(sample_size),
+            &refs,
+            |b, refs| {
+                b.iter(|| black_box(phylo::ops::project_by_names(&tree, refs).expect("projection")))
+            },
+        );
     }
     group.finish();
 }

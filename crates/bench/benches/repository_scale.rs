@@ -6,9 +6,9 @@
 //! access by name/time beats loading the whole tree into memory — provided
 //! point queries stay cheap.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crimson::prelude::*;
 use crimson_bench::workloads;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -30,7 +30,9 @@ fn print_load_table() {
             // page_count isn't exposed on Repository; approximate via node
             // count * row size is not meaningful here, so report pages from
             // the storage layer through the flush-size proxy: bytes on disk.
-            std::fs::metadata(_dir.path().join("bench.crimson")).map(|m| m.len()).unwrap_or(0)
+            std::fs::metadata(_dir.path().join("bench.crimson"))
+                .map(|m| m.len())
+                .unwrap_or(0)
         };
         println!(
             "{:<10} {:<10} {:<11.1} {:<9} {:<8.1}",
@@ -56,13 +58,17 @@ fn bench_point_queries(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(1);
         let mut probe_names = names.clone();
         probe_names.shuffle(&mut rng);
-        group.bench_with_input(BenchmarkId::from_parameter(label), &probe_names, |b, probes| {
-            b.iter(|| {
-                for name in probes.iter().take(64) {
-                    black_box(repo.species_node(handle, name).expect("lookup"));
-                }
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &probe_names,
+            |b, probes| {
+                b.iter(|| {
+                    for name in probes.iter().take(64) {
+                        black_box(repo.species_node(handle, name).expect("lookup"));
+                    }
+                })
+            },
+        );
     }
     group.finish();
 
@@ -95,7 +101,10 @@ fn bench_point_queries(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(11);
         let pairs: Vec<(StoredNodeId, StoredNodeId)> = (0..64)
             .map(|_| {
-                (*leaves.choose(&mut rng).expect("leaf"), *leaves.choose(&mut rng).expect("leaf"))
+                (
+                    *leaves.choose(&mut rng).expect("leaf"),
+                    *leaves.choose(&mut rng).expect("leaf"),
+                )
             })
             .collect();
         group.bench_with_input(BenchmarkId::from_parameter(pages), &pairs, |b, pairs| {

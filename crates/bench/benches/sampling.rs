@@ -2,8 +2,8 @@
 //! with respect to an evolutionary time (§2.2), including the worked Figure 1
 //! example printed as a correctness table.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crimson_bench::workloads;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use phylo::builder::figure1_tree;
 use std::hint::black_box;
 
@@ -45,7 +45,10 @@ fn bench_sampling(c: &mut Criterion) {
             let mut seed = 0;
             b.iter(|| {
                 seed += 1;
-                black_box(repo.sample_by_time(handle, height * 0.5, k, seed).expect("sample"))
+                black_box(
+                    repo.sample_by_time(handle, height * 0.5, k, seed)
+                        .expect("sample"),
+                )
             })
         });
     }
@@ -59,7 +62,10 @@ fn bench_sampling(c: &mut Criterion) {
             &fraction,
             |b, &fraction| {
                 b.iter(|| {
-                    black_box(repo.time_frontier(handle, height * fraction).expect("frontier"))
+                    black_box(
+                        repo.time_frontier(handle, height * fraction)
+                            .expect("frontier"),
+                    )
                 })
             },
         );

@@ -5,9 +5,9 @@
 //! only the rows a query touches are read (labels + a bounded number of
 //! frame hops), not the whole tree.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crimson::prelude::*;
 use crimson_bench::workloads;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -43,13 +43,17 @@ fn bench_repository_lca(c: &mut Criterion) {
                 }
             })
         });
-        group.bench_with_input(BenchmarkId::new("is_ancestor", leaves), &pairs, |b, pairs| {
-            b.iter(|| {
-                for &(x, y) in pairs {
-                    black_box(repo.is_ancestor(x, y).expect("ancestor test"));
-                }
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("is_ancestor", leaves),
+            &pairs,
+            |b, pairs| {
+                b.iter(|| {
+                    for &(x, y) in pairs {
+                        black_box(repo.is_ancestor(x, y).expect("ancestor test"));
+                    }
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -62,7 +66,12 @@ fn bench_spanning_clade(c: &mut Criterion) {
     for &set_size in &[2usize, 8, 32] {
         let mut rng = StdRng::seed_from_u64(set_size as u64);
         let sets: Vec<Vec<StoredNodeId>> = (0..8)
-            .map(|_| stored_leaves.choose_multiple(&mut rng, set_size).copied().collect())
+            .map(|_| {
+                stored_leaves
+                    .choose_multiple(&mut rng, set_size)
+                    .copied()
+                    .collect()
+            })
             .collect();
         group.bench_with_input(BenchmarkId::from_parameter(set_size), &sets, |b, sets| {
             b.iter(|| {

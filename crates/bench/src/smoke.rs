@@ -59,7 +59,10 @@ pub fn structure_queries(leaves: usize, pairs: usize, seed: u64) -> SmokeCost {
         let _ = repo.lca_label_walk(a, b).expect("reference lca");
     }
     let reference_reads = repo.buffer_stats().page_reads();
-    SmokeCost { interval_reads, reference_reads }
+    SmokeCost {
+        interval_reads,
+        reference_reads,
+    }
 }
 
 /// E4 smoke: minimal spanning clade of random leaf sets.
@@ -68,8 +71,10 @@ pub fn spanning_clade(leaves: usize, set_size: usize, seed: u64) -> SmokeCost {
     let (_dir, repo, handle) = workloads::repository_with_tree(&tree, 16, 4096);
     let stored = repo.leaves(handle).expect("leaves");
     let mut rng = StdRng::seed_from_u64(seed);
-    let set: Vec<StoredNodeId> =
-        stored.choose_multiple(&mut rng, set_size).copied().collect();
+    let set: Vec<StoredNodeId> = stored
+        .choose_multiple(&mut rng, set_size)
+        .copied()
+        .collect();
 
     repo.clear_cache().expect("clear cache");
     repo.reset_buffer_stats();
@@ -78,10 +83,19 @@ pub fn spanning_clade(leaves: usize, set_size: usize, seed: u64) -> SmokeCost {
 
     repo.clear_cache().expect("clear cache");
     repo.reset_buffer_stats();
-    let reference = repo.minimal_spanning_clade_reference(&set).expect("reference clade");
+    let reference = repo
+        .minimal_spanning_clade_reference(&set)
+        .expect("reference clade");
     let reference_reads = repo.buffer_stats().page_reads();
-    assert_eq!(fast.len(), reference.len(), "clade implementations disagree");
-    SmokeCost { interval_reads, reference_reads }
+    assert_eq!(
+        fast.len(),
+        reference.len(),
+        "clade implementations disagree"
+    );
+    SmokeCost {
+        interval_reads,
+        reference_reads,
+    }
 }
 
 /// E6 smoke: projection of an evenly spread leaf sample.
@@ -99,13 +113,18 @@ pub fn projection(leaves: usize, sample: usize, seed: u64) -> SmokeCost {
 
     repo.clear_cache().expect("clear cache");
     repo.reset_buffer_stats();
-    let reference = repo.project_reference(handle, &sample).expect("reference projection");
+    let reference = repo
+        .project_reference(handle, &sample)
+        .expect("reference projection");
     let reference_reads = repo.buffer_stats().page_reads();
     assert!(
         phylo::ops::isomorphic_with_lengths(&fast, &reference, 1e-9),
         "projection implementations disagree"
     );
-    SmokeCost { interval_reads, reference_reads }
+    SmokeCost {
+        interval_reads,
+        reference_reads,
+    }
 }
 
 /// E7 smoke: pattern match of a positive (projected) pattern, which rides on
@@ -131,9 +150,114 @@ pub fn pattern_match(leaves: usize, pattern_size: usize, seed: u64) -> SmokeCost
         .collect();
     repo.clear_cache().expect("clear cache");
     repo.reset_buffer_stats();
-    let _ = repo.project_reference(handle, &sample).expect("reference projection");
+    let _ = repo
+        .project_reference(handle, &sample)
+        .expect("reference projection");
     let reference_reads = repo.buffer_stats().page_reads();
-    SmokeCost { interval_reads, reference_reads }
+    SmokeCost {
+        interval_reads,
+        reference_reads,
+    }
+}
+
+/// Page-write and WAL cost of the E4 load workload, with logging on and off.
+/// The WAL goes to its own file, so the data-file page writes of a logged
+/// load should stay close to the unlogged baseline — the smoke test pins the
+/// regression below 2×.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadCost {
+    /// Data-file page writes (checkpoint flushes + eviction write-backs)
+    /// for the logged load.
+    pub logged_page_writes: u64,
+    /// Data-file page writes for the unlogged baseline load.
+    pub unlogged_page_writes: u64,
+    /// WAL bytes appended by the logged load.
+    pub wal_bytes: u64,
+    /// WAL records appended by the logged load.
+    pub wal_appends: u64,
+}
+
+impl LoadCost {
+    /// `logged / unlogged` data-page-write ratio — the WAL overhead factor.
+    pub fn write_overhead(&self) -> f64 {
+        self.logged_page_writes as f64 / self.unlogged_page_writes.max(1) as f64
+    }
+}
+
+/// E4 load smoke: load the same simulated tree into a logged and an unlogged
+/// repository (including a final checkpoint each) and compare data-file page
+/// writes.
+pub fn load_workload(leaves: usize, seed: u64) -> LoadCost {
+    let tree = workloads::simulated_tree(leaves, seed);
+    let run = |logging: bool| {
+        let dir = tempfile::tempdir().expect("temp dir");
+        let mut repo = crimson::repository::Repository::create(
+            dir.path().join("load.crimson"),
+            crimson::repository::RepositoryOptions {
+                frame_depth: 16,
+                buffer_pool_pages: 4096,
+            },
+        )
+        .expect("create repository");
+        repo.set_logging(logging).expect("toggle logging");
+        repo.reset_buffer_stats();
+        repo.load_tree("bench", &tree).expect("load tree");
+        repo.flush().expect("checkpoint");
+        repo.buffer_stats()
+    };
+    let logged = run(true);
+    let unlogged = run(false);
+    LoadCost {
+        logged_page_writes: logged.page_writes(),
+        unlogged_page_writes: unlogged.page_writes(),
+        wal_bytes: logged.wal_bytes,
+        wal_appends: logged.wal_appends,
+    }
+}
+
+/// Recovery smoke: commit one load, crash partway through a second, reopen
+/// and return the recovery report (the caller asserts on it). Panics if the
+/// recovered repository fails its integrity check or loses the committed
+/// tree.
+pub fn recovery_workload(leaves: usize, seed: u64) -> storage::RecoveryReport {
+    let tree = workloads::simulated_tree(leaves, seed);
+    let victim = workloads::simulated_tree(leaves, seed + 1);
+    let dir = tempfile::tempdir().expect("temp dir");
+    let path = dir.path().join("recovery.crimson");
+    {
+        let mut repo = crimson::repository::Repository::create(
+            &path,
+            crimson::repository::RepositoryOptions {
+                frame_depth: 16,
+                buffer_pool_pages: 256,
+            },
+        )
+        .expect("create repository");
+        repo.load_tree("committed", &tree)
+            .expect("load committed tree");
+        repo.inject_crash(storage::CrashPoint::WalAppend(3));
+        assert!(
+            repo.load_tree("victim", &victim).is_err(),
+            "injected crash must interrupt"
+        );
+        // Crash: drop without flush.
+    }
+    let repo = crimson::repository::Repository::open(
+        &path,
+        crimson::repository::RepositoryOptions::default(),
+    )
+    .expect("reopen");
+    let report = repo.recovery_report().expect("recovery report");
+    repo.integrity_check().expect("integrity after recovery");
+    let rec = repo
+        .tree_by_name("committed")
+        .expect("committed tree survives");
+    assert_eq!(rec.leaf_count as usize, tree.leaf_count());
+    assert!(
+        repo.find_tree("victim").expect("lookup").is_none(),
+        "loser load must vanish"
+    );
+    report
 }
 
 #[cfg(test)]
@@ -155,14 +279,20 @@ mod tests {
     fn smoke_spanning_clade() {
         let cost = spanning_clade(800, 16, 42);
         eprintln!("smoke E4 clade: {cost:?} ({:.1}x)", cost.speedup());
-        assert!(cost.speedup() >= 5.0, "clade must be ≥5× cheaper, got {cost:?}");
+        assert!(
+            cost.speedup() >= 5.0,
+            "clade must be ≥5× cheaper, got {cost:?}"
+        );
     }
 
     #[test]
     fn smoke_projection() {
         let cost = projection(800, 100, 21);
         eprintln!("smoke E6 projection: {cost:?} ({:.1}x)", cost.speedup());
-        assert!(cost.speedup() >= 5.0, "projection must be ≥5× cheaper, got {cost:?}");
+        assert!(
+            cost.speedup() >= 5.0,
+            "projection must be ≥5× cheaper, got {cost:?}"
+        );
     }
 
     #[test]
@@ -171,5 +301,35 @@ mod tests {
         eprintln!("smoke E7 pattern match: {cost:?} ({:.1}x)", cost.speedup());
         assert!(cost.interval_reads > 0);
         assert!(cost.reference_reads > cost.interval_reads);
+    }
+
+    #[test]
+    fn smoke_load_wal_overhead() {
+        let cost = load_workload(800, 42);
+        eprintln!(
+            "smoke E4 load: {cost:?} ({:.2}x page writes)",
+            cost.write_overhead()
+        );
+        assert!(cost.wal_appends > 0, "a logged load must append to the WAL");
+        assert!(cost.wal_bytes > 0);
+        assert!(
+            cost.write_overhead() < 2.0,
+            "WAL must not double the load's data-file page writes, got {cost:?}"
+        );
+    }
+
+    #[test]
+    fn smoke_recovery() {
+        let report = recovery_workload(400, 9);
+        eprintln!("smoke recovery: {report:?}");
+        assert!(
+            report.committed_txns >= 1,
+            "the committed load must replay: {report:?}"
+        );
+        assert!(
+            report.loser_txns >= 1,
+            "the interrupted load must be undone: {report:?}"
+        );
+        assert!(report.pages_redone > 0);
     }
 }

@@ -59,7 +59,10 @@ pub fn repository_with_tree(
     let dir = tempfile::tempdir().expect("temp dir");
     let mut repo = Repository::create(
         dir.path().join("bench.crimson"),
-        RepositoryOptions { frame_depth, buffer_pool_pages },
+        RepositoryOptions {
+            frame_depth,
+            buffer_pool_pages,
+        },
     )
     .expect("create repository");
     let handle = repo.load_tree("bench", tree).expect("load tree");
@@ -75,10 +78,15 @@ pub fn repository_with_gold(
     let dir = tempfile::tempdir().expect("temp dir");
     let mut repo = Repository::create(
         dir.path().join("bench.crimson"),
-        RepositoryOptions { frame_depth, buffer_pool_pages },
+        RepositoryOptions {
+            frame_depth,
+            buffer_pool_pages,
+        },
     )
     .expect("create repository");
-    let handle = repo.load_gold_standard("gold", gold).expect("load gold standard");
+    let handle = repo
+        .load_gold_standard("gold", gold)
+        .expect("load gold standard");
     (dir, repo, handle)
 }
 

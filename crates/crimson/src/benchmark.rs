@@ -19,7 +19,9 @@ use crate::repository::{Repository, TreeHandle};
 use crate::sampling::SamplingStrategy;
 use phylo::distance::patristic_matrix;
 use phylo::Tree;
-use reconstruction::compare::{robinson_foulds, rooted_robinson_foulds, triplet_distance, RfResult};
+use reconstruction::compare::{
+    robinson_foulds, rooted_robinson_foulds, triplet_distance, RfResult,
+};
 use reconstruction::distance::{jc_corrected_matrix, k2p_corrected_matrix, p_distance_matrix};
 use reconstruction::{neighbor_joining, upgma};
 use serde::{Deserialize, Serialize};
@@ -289,7 +291,10 @@ mod tests {
         let dir = tempdir().unwrap();
         let mut repo = Repository::create(
             dir.path().join("repo.crimson"),
-            RepositoryOptions { frame_depth: 8, buffer_pool_pages: 1024 },
+            RepositoryOptions {
+                frame_depth: 8,
+                buffer_pool_pages: 1024,
+            },
         )
         .unwrap();
         let gold = GoldStandardBuilder::new()
@@ -342,7 +347,10 @@ mod tests {
                 seed: 2,
             })
             .unwrap();
-        assert_eq!(report.rf.distance, 0, "UPGMA on ultrametric true distances must be exact");
+        assert_eq!(
+            report.rf.distance, 0,
+            "UPGMA on ultrametric true distances must be exact"
+        );
     }
 
     #[test]

@@ -105,9 +105,13 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(CrimsonError::UnknownTree("gold".into()).to_string().contains("gold"));
+        assert!(CrimsonError::UnknownTree("gold".into())
+            .to_string()
+            .contains("gold"));
         assert!(CrimsonError::UnknownNode(9).to_string().contains('9'));
-        assert!(CrimsonError::InvalidSample("too big".into()).to_string().contains("too big"));
+        assert!(CrimsonError::InvalidSample("too big".into())
+            .to_string()
+            .contains("too big"));
     }
 
     #[test]

@@ -71,7 +71,11 @@ pub struct HistoryEntry {
 }
 
 impl Repository {
-    /// Record a query in the history. Returns the new entry's id.
+    /// Record a query in the history. Returns the new entry's id. The write
+    /// is atomic: it joins the enclosing transaction (loads record their
+    /// history entry in the same transaction as the data) or auto-commits
+    /// on its own. The id counter only advances on success, so a failed or
+    /// rolled-back write does not burn an id.
     pub fn record_query(
         &mut self,
         kind: QueryKind,
@@ -79,9 +83,8 @@ impl Repository {
         summary: &str,
     ) -> CrimsonResult<u64> {
         let id = self.next_history_id;
-        self.next_history_id += 1;
-        let params_text = serde_json::to_string(&params)
-            .map_err(|e| CrimsonError::History(e.to_string()))?;
+        let params_text =
+            serde_json::to_string(&params).map_err(|e| CrimsonError::History(e.to_string()))?;
         self.db.insert(
             self.history_table,
             &[
@@ -91,6 +94,7 @@ impl Repository {
                 Value::text(summary),
             ],
         )?;
+        self.next_history_id = id + 1;
         Ok(id)
     }
 
@@ -107,7 +111,12 @@ impl Repository {
                     serde_json::from_str(row.values[2].as_text().unwrap_or("null"))
                         .map_err(|e| CrimsonError::History(e.to_string()))?;
                 let summary = row.values[3].as_text().unwrap_or("").to_string();
-                Ok(HistoryEntry { id, kind, params, summary })
+                Ok(HistoryEntry {
+                    id,
+                    kind,
+                    params,
+                    summary,
+                })
             })
             .collect()
     }
@@ -122,7 +131,11 @@ impl Repository {
 
     /// Entries of a given kind, in execution order.
     pub fn history_of_kind(&self, kind: QueryKind) -> CrimsonResult<Vec<HistoryEntry>> {
-        Ok(self.query_history()?.into_iter().filter(|e| e.kind == kind).collect())
+        Ok(self
+            .query_history()?
+            .into_iter()
+            .filter(|e| e.kind == kind)
+            .collect())
     }
 }
 
@@ -135,9 +148,11 @@ mod tests {
 
     fn repo() -> (tempfile::TempDir, Repository) {
         let dir = tempdir().unwrap();
-        let repo =
-            Repository::create(dir.path().join("repo.crimson"), RepositoryOptions::default())
-                .unwrap();
+        let repo = Repository::create(
+            dir.path().join("repo.crimson"),
+            RepositoryOptions::default(),
+        )
+        .unwrap();
         (dir, repo)
     }
 
@@ -145,10 +160,18 @@ mod tests {
     fn record_and_list() {
         let (_d, mut repo) = repo();
         let id0 = repo
-            .record_query(QueryKind::Sampling, json!({"k": 16, "seed": 1}), "sampled 16 species")
+            .record_query(
+                QueryKind::Sampling,
+                json!({"k": 16, "seed": 1}),
+                "sampled 16 species",
+            )
             .unwrap();
         let id1 = repo
-            .record_query(QueryKind::Projection, json!({"leaves": 16}), "projected 31 nodes")
+            .record_query(
+                QueryKind::Projection,
+                json!({"leaves": 16}),
+                "projected 31 nodes",
+            )
             .unwrap();
         assert_eq!(id0, 0);
         assert_eq!(id1, 1);
@@ -162,14 +185,107 @@ mod tests {
     #[test]
     fn fetch_by_id_and_kind() {
         let (_d, mut repo) = repo();
-        repo.record_query(QueryKind::Lca, json!({"a": 1, "b": 2}), "lca = 0").unwrap();
-        repo.record_query(QueryKind::Lca, json!({"a": 3, "b": 4}), "lca = 1").unwrap();
-        repo.record_query(QueryKind::Benchmark, json!({"method": "nj"}), "rf = 2").unwrap();
+        repo.record_query(QueryKind::Lca, json!({"a": 1, "b": 2}), "lca = 0")
+            .unwrap();
+        repo.record_query(QueryKind::Lca, json!({"a": 3, "b": 4}), "lca = 1")
+            .unwrap();
+        repo.record_query(QueryKind::Benchmark, json!({"method": "nj"}), "rf = 2")
+            .unwrap();
         let entry = repo.history_entry(1).unwrap();
         assert_eq!(entry.params["a"], 3);
         assert_eq!(repo.history_of_kind(QueryKind::Lca).unwrap().len(), 2);
         assert_eq!(repo.history_of_kind(QueryKind::Benchmark).unwrap().len(), 1);
         assert!(repo.history_entry(99).is_err());
+    }
+
+    const ALL_KINDS: [QueryKind; 7] = [
+        QueryKind::Load,
+        QueryKind::Sampling,
+        QueryKind::Projection,
+        QueryKind::Lca,
+        QueryKind::SpanningClade,
+        QueryKind::PatternMatch,
+        QueryKind::Benchmark,
+    ];
+
+    #[test]
+    fn every_kind_roundtrips_record_list_fetch() {
+        let (_d, mut repo) = repo();
+        for (i, kind) in ALL_KINDS.iter().enumerate() {
+            let id = repo
+                .record_query(
+                    *kind,
+                    json!({"kind_index": i, "nested": json!({"a": json!([1, 2, 3])})}),
+                    &format!("summary #{i}"),
+                )
+                .unwrap();
+            assert_eq!(id, i as u64);
+        }
+        // list: all entries in execution order with their kinds intact.
+        let all = repo.query_history().unwrap();
+        assert_eq!(all.len(), ALL_KINDS.len());
+        for (i, entry) in all.iter().enumerate() {
+            assert_eq!(entry.kind, ALL_KINDS[i]);
+            assert_eq!(entry.id, i as u64);
+        }
+        // fetch-params: each entry's JSON payload survives the round-trip.
+        for (i, kind) in ALL_KINDS.iter().enumerate() {
+            let entry = repo.history_entry(i as u64).unwrap();
+            assert_eq!(entry.kind, *kind);
+            assert_eq!(entry.params["kind_index"], i);
+            assert_eq!(entry.params["nested"]["a"][2], 3);
+            assert_eq!(entry.summary, format!("summary #{i}"));
+            assert_eq!(repo.history_of_kind(*kind).unwrap().len(), 1);
+        }
+    }
+
+    #[test]
+    fn every_kind_survives_flush_and_reopen() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("repo.crimson");
+        {
+            let mut repo = Repository::create(&path, RepositoryOptions::default()).unwrap();
+            for (i, kind) in ALL_KINDS.iter().enumerate() {
+                repo.record_query(*kind, json!({"i": i}), &format!("s{i}"))
+                    .unwrap();
+            }
+            repo.flush().unwrap();
+        }
+        let repo = Repository::open(&path, RepositoryOptions::default()).unwrap();
+        let all = repo.query_history().unwrap();
+        assert_eq!(all.len(), ALL_KINDS.len());
+        for (i, entry) in all.iter().enumerate() {
+            assert_eq!(entry.kind, ALL_KINDS[i]);
+            assert_eq!(entry.params["i"], i);
+        }
+    }
+
+    #[test]
+    fn every_kind_survives_crash_recovery() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("repo.crimson");
+        {
+            let mut repo = Repository::create(&path, RepositoryOptions::default()).unwrap();
+            for (i, kind) in ALL_KINDS.iter().enumerate() {
+                repo.record_query(*kind, json!({"i": i}), &format!("s{i}"))
+                    .unwrap();
+            }
+            // Crash: drop without flush — the dirty pages are lost and the
+            // entries must come back through WAL replay.
+        }
+        let repo = Repository::open(&path, RepositoryOptions::default()).unwrap();
+        let report = repo
+            .recovery_report()
+            .expect("reopen after crash reports recovery");
+        assert!(
+            report.committed_txns > 0,
+            "history transactions must replay: {report:?}"
+        );
+        let all = repo.query_history().unwrap();
+        assert_eq!(all.len(), ALL_KINDS.len());
+        for (i, kind) in ALL_KINDS.iter().enumerate() {
+            assert_eq!(all[i].kind, *kind);
+        }
     }
 
     #[test]
@@ -178,8 +294,12 @@ mod tests {
         let path = dir.path().join("repo.crimson");
         {
             let mut repo = Repository::create(&path, RepositoryOptions::default()).unwrap();
-            repo.record_query(QueryKind::Load, json!({"tree": "gold"}), "loaded 1000 nodes")
-                .unwrap();
+            repo.record_query(
+                QueryKind::Load,
+                json!({"tree": "gold"}),
+                "loaded 1000 nodes",
+            )
+            .unwrap();
             repo.flush().unwrap();
         }
         let mut repo = Repository::open(&path, RepositoryOptions::default()).unwrap();
@@ -187,7 +307,9 @@ mod tests {
         assert_eq!(all.len(), 1);
         assert_eq!(all[0].kind, QueryKind::Load);
         // New ids continue after the persisted ones.
-        let id = repo.record_query(QueryKind::Sampling, json!({}), "sampled").unwrap();
+        let id = repo
+            .record_query(QueryKind::Sampling, json!({}), "sampled")
+            .unwrap();
         assert_eq!(id, 1);
     }
 }

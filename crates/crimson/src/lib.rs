@@ -77,6 +77,8 @@ pub mod prelude {
     pub use crate::error::CrimsonError;
     pub use crate::history::QueryKind;
     pub use crate::loader::LoadMode;
-    pub use crate::repository::{Repository, RepositoryOptions, StoredNodeId, TreeHandle};
+    pub use crate::repository::{
+        IntegrityReport, Repository, RepositoryOptions, StoredNodeId, TreeHandle,
+    };
     pub use crate::sampling::SamplingStrategy;
 }

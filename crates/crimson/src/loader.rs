@@ -41,19 +41,24 @@ pub struct LoadReport {
 
 impl Repository {
     /// Load a Newick string as a new tree (structure only — Newick carries no
-    /// sequences).
+    /// sequences). The load and its Query-Repository history entry are one
+    /// atomic transaction: after a crash either both are visible or neither.
     pub fn load_newick(&mut self, name: &str, text: &str) -> CrimsonResult<LoadReport> {
         let tree = newick::parse(text).map_err(phylo::PhyloError::from)?;
         let node_count = tree.node_count();
-        let handle = self.load_tree(name, &tree)?;
-        let report = LoadReport {
-            handle,
-            nodes_loaded: node_count,
-            species_loaded: 0,
-            messages: vec![format!("loaded tree `{name}` with {node_count} nodes from Newick")],
-        };
-        self.record_load(name, &report)?;
-        Ok(report)
+        self.with_txn(|repo| {
+            let handle = repo.load_tree(name, &tree)?;
+            let report = LoadReport {
+                handle,
+                nodes_loaded: node_count,
+                species_loaded: 0,
+                messages: vec![format!(
+                    "loaded tree `{name}` with {node_count} nodes from Newick"
+                )],
+            };
+            repo.record_load(name, &report)?;
+            Ok(report)
+        })
     }
 
     /// Load a NEXUS document according to `mode`.
@@ -69,7 +74,6 @@ impl Repository {
         doc: &NexusDocument,
         mode: LoadMode,
     ) -> CrimsonResult<LoadReport> {
-        let mut messages = Vec::new();
         match mode {
             LoadMode::TreeOnly | LoadMode::TreeWithSpecies => {
                 let named = doc.trees.first().ok_or_else(|| {
@@ -80,40 +84,51 @@ impl Repository {
                     )))
                 })?;
                 let node_count = named.tree.node_count();
-                let handle = self.load_tree(name, &named.tree)?;
-                messages.push(format!(
-                    "loaded tree `{}` ({} nodes, {} leaves) from NEXUS tree `{}`",
-                    name,
-                    node_count,
-                    named.tree.leaf_count(),
-                    named.name
-                ));
-                let mut species_loaded = 0;
-                if mode == LoadMode::TreeWithSpecies && !doc.sequences.is_empty() {
-                    species_loaded = self.load_species(handle, &doc.sequences)?;
-                    messages.push(format!("loaded {species_loaded} species sequences"));
-                }
-                let report = LoadReport { handle, nodes_loaded: node_count, species_loaded, messages };
-                self.record_load(name, &report)?;
-                Ok(report)
+                // The whole load — tree, species, history entry — is one
+                // atomic transaction.
+                self.with_txn(|repo| {
+                    let mut messages = Vec::new();
+                    let handle = repo.load_tree(name, &named.tree)?;
+                    messages.push(format!(
+                        "loaded tree `{}` ({} nodes, {} leaves) from NEXUS tree `{}`",
+                        name,
+                        node_count,
+                        named.tree.leaf_count(),
+                        named.name
+                    ));
+                    let mut species_loaded = 0;
+                    if mode == LoadMode::TreeWithSpecies && !doc.sequences.is_empty() {
+                        species_loaded = repo.load_species(handle, &doc.sequences)?;
+                        messages.push(format!("loaded {species_loaded} species sequences"));
+                    }
+                    let report = LoadReport {
+                        handle,
+                        nodes_loaded: node_count,
+                        species_loaded,
+                        messages,
+                    };
+                    repo.record_load(name, &report)?;
+                    Ok(report)
+                })
             }
             LoadMode::AppendSpecies => {
                 let record = self.tree_by_name(name)?;
                 if doc.sequences.is_empty() {
                     return Err(CrimsonError::MissingSequences(name.to_string()));
                 }
-                let species_loaded = self.load_species(record.handle, &doc.sequences)?;
-                messages.push(format!(
-                    "appended {species_loaded} species sequences to tree `{name}`"
-                ));
-                let report = LoadReport {
-                    handle: record.handle,
-                    nodes_loaded: 0,
-                    species_loaded,
-                    messages,
-                };
-                self.record_load(name, &report)?;
-                Ok(report)
+                self.with_txn(|repo| {
+                    let species_loaded = repo.load_species(record.handle, &doc.sequences)?;
+                    let report = LoadReport {
+                        handle: record.handle,
+                        nodes_loaded: 0,
+                        species_loaded,
+                        messages: vec![format!(
+                            "appended {species_loaded} species sequences to tree `{name}`"
+                        )],
+                    };
+                    repo.record_load(name, &report)?;
+                    Ok(report)
+                })
             }
         }
     }
@@ -130,22 +145,27 @@ impl Repository {
         self.load_nexus(name, &doc, mode)
     }
 
-    /// Append raw species sequences to an existing tree.
+    /// Append raw species sequences to an existing tree (atomically, with
+    /// the history entry).
     pub fn append_species(
         &mut self,
         name: &str,
         sequences: &HashMap<String, String>,
     ) -> CrimsonResult<LoadReport> {
         let record = self.tree_by_name(name)?;
-        let species_loaded = self.load_species(record.handle, sequences)?;
-        let report = LoadReport {
-            handle: record.handle,
-            nodes_loaded: 0,
-            species_loaded,
-            messages: vec![format!("appended {species_loaded} species sequences to `{name}`")],
-        };
-        self.record_load(name, &report)?;
-        Ok(report)
+        self.with_txn(|repo| {
+            let species_loaded = repo.load_species(record.handle, sequences)?;
+            let report = LoadReport {
+                handle: record.handle,
+                nodes_loaded: 0,
+                species_loaded,
+                messages: vec![format!(
+                    "appended {species_loaded} species sequences to `{name}`"
+                )],
+            };
+            repo.record_load(name, &report)?;
+            Ok(report)
+        })
     }
 
     /// Export a stored tree (and its species data) back to a NEXUS document —
@@ -159,7 +179,7 @@ impl Repository {
         // Attach sequences when present; taxa without sequences still get a
         // TAXA entry.
         for leaf_name in leaf_names {
-            match self.sequences_for(record.handle, &[leaf_name.clone()]) {
+            match self.sequences_for(record.handle, std::slice::from_ref(&leaf_name)) {
                 Ok(seqs) => doc.push_sequence(leaf_name.clone(), seqs[&leaf_name].clone()),
                 Err(_) => doc.taxa.push(leaf_name),
             }
@@ -196,7 +216,10 @@ mod tests {
         let dir = tempdir().unwrap();
         let repo = Repository::create(
             dir.path().join("repo.crimson"),
-            RepositoryOptions { frame_depth: 4, buffer_pool_pages: 512 },
+            RepositoryOptions {
+                frame_depth: 4,
+                buffer_pool_pages: 512,
+            },
         )
         .unwrap();
         (dir, repo)
@@ -217,9 +240,16 @@ mod tests {
     #[test]
     fn load_nexus_tree_with_species() {
         let (_d, mut repo) = repo();
-        let gold = GoldStandardBuilder::new().leaves(10).sequence_length(30).seed(4).build().unwrap();
+        let gold = GoldStandardBuilder::new()
+            .leaves(10)
+            .sequence_length(30)
+            .seed(4)
+            .build()
+            .unwrap();
         let doc = gold.to_nexus();
-        let report = repo.load_nexus("gold", &doc, LoadMode::TreeWithSpecies).unwrap();
+        let report = repo
+            .load_nexus("gold", &doc, LoadMode::TreeWithSpecies)
+            .unwrap();
         assert_eq!(report.nodes_loaded, gold.tree.node_count());
         assert_eq!(report.species_loaded, 10);
         assert_eq!(repo.species_count(report.handle).unwrap(), 10);
@@ -228,14 +258,21 @@ mod tests {
     #[test]
     fn load_nexus_tree_only_then_append() {
         let (_d, mut repo) = repo();
-        let gold = GoldStandardBuilder::new().leaves(8).sequence_length(20).seed(6).build().unwrap();
+        let gold = GoldStandardBuilder::new()
+            .leaves(8)
+            .sequence_length(20)
+            .seed(6)
+            .build()
+            .unwrap();
         let doc = gold.to_nexus();
         let report = repo.load_nexus("gold", &doc, LoadMode::TreeOnly).unwrap();
         assert_eq!(report.species_loaded, 0);
         assert_eq!(repo.species_count(report.handle).unwrap(), 0);
         // Append the species data afterwards (§3: "append species data to an
         // existing phylogenetic tree").
-        let report = repo.load_nexus("gold", &doc, LoadMode::AppendSpecies).unwrap();
+        let report = repo
+            .load_nexus("gold", &doc, LoadMode::AppendSpecies)
+            .unwrap();
         assert_eq!(report.species_loaded, 8);
         assert_eq!(repo.species_count(report.handle).unwrap(), 8);
     }
@@ -243,7 +280,12 @@ mod tests {
     #[test]
     fn append_to_missing_tree_errors() {
         let (_d, mut repo) = repo();
-        let gold = GoldStandardBuilder::new().leaves(4).sequence_length(10).seed(1).build().unwrap();
+        let gold = GoldStandardBuilder::new()
+            .leaves(4)
+            .sequence_length(10)
+            .seed(1)
+            .build()
+            .unwrap();
         let doc = gold.to_nexus();
         assert!(matches!(
             repo.load_nexus("ghost", &doc, LoadMode::AppendSpecies),
@@ -255,16 +297,24 @@ mod tests {
     fn load_errors_are_reported() {
         let (_d, mut repo) = repo();
         assert!(repo.load_newick("bad", "((A,B)").is_err());
-        assert!(repo.load_nexus_text("bad", "not nexus at all", LoadMode::TreeOnly).is_err());
+        assert!(repo
+            .load_nexus_text("bad", "not nexus at all", LoadMode::TreeOnly)
+            .is_err());
         let nexus_without_trees = "#NEXUS\nBEGIN TAXA;\nTAXLABELS A B;\nEND;\n";
-        assert!(repo.load_nexus_text("bad", nexus_without_trees, LoadMode::TreeOnly).is_err());
+        assert!(repo
+            .load_nexus_text("bad", nexus_without_trees, LoadMode::TreeOnly)
+            .is_err());
     }
 
     #[test]
     fn export_roundtrip() {
         let (_d, mut repo) = repo();
-        let gold =
-            GoldStandardBuilder::new().leaves(12).sequence_length(25).seed(8).build().unwrap();
+        let gold = GoldStandardBuilder::new()
+            .leaves(12)
+            .sequence_length(25)
+            .seed(8)
+            .build()
+            .unwrap();
         repo.load_gold_standard("gold", &gold).unwrap();
         let doc = repo.export_nexus("gold").unwrap();
         assert_eq!(doc.sequences.len(), 12);

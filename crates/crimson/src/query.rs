@@ -84,20 +84,26 @@ impl Repository {
                 ));
             }
             let (pre, _) = self.interval_of(n)?;
-            if min.map_or(true, |(p, _)| pre < p) {
+            if min.is_none_or(|(p, _)| pre < p) {
                 min = Some((pre, n));
             }
-            if max.map_or(true, |(p, _)| pre > p) {
+            if max.is_none_or(|(p, _)| pre > p) {
                 max = Some((pre, n));
             }
         }
-        let (min, max) = (min.expect("nodes is non-empty"), max.expect("nodes is non-empty"));
+        let (min, max) = (
+            min.expect("nodes is non-empty"),
+            max.expect("nodes is non-empty"),
+        );
         let lca = self.lca(min.1, max.1)?;
         let (lp, le) = self.interval_of(lca)?;
         let low = interval_key_prefix(tree, lp);
         let high = interval_range_end(tree, le);
         let mut out = Vec::with_capacity((le - lp + 1) as usize);
-        for item in self.db.raw_range(self.ivl_by_pre, Some(&low), Some(&high))? {
+        for item in self
+            .db
+            .raw_range(self.ivl_by_pre, Some(&low), Some(&high))?
+        {
             let (key, _) = item?;
             let (_, entry) = IntervalEntry::decode_key(&key).ok_or_else(|| {
                 CrimsonError::CorruptRepository("malformed interval-index key".to_string())
@@ -245,13 +251,16 @@ impl Repository {
         let mut lcas = Vec::with_capacity(sel.len() - 1);
         let mut next_sel = 0usize;
         let mut prev_pre: Option<u32> = None;
-        for item in self.db.raw_range(self.ivl_by_pre, Some(&low), Some(&high))? {
+        for item in self
+            .db
+            .raw_range(self.ivl_by_pre, Some(&low), Some(&high))?
+        {
             let (key, rid_raw) = item?;
             let rid = storage::RecordId::from_u64(rid_raw);
             let (_, entry) = IntervalEntry::decode_key(&key).ok_or_else(|| {
                 CrimsonError::CorruptRepository("malformed interval-index key".to_string())
             })?;
-            while stack.last().map_or(false, |(top, _)| top.end < entry.pre) {
+            while stack.last().is_some_and(|(top, _)| top.end < entry.pre) {
                 stack.pop();
             }
             if next_sel < sel.len() && entry.pre == sel[next_sel].0 {
@@ -260,15 +269,15 @@ impl Repository {
                     // current rank, so the deepest one with pre <= prev also
                     // covers prev — the pair LCA.
                     let idx = stack.partition_point(|(e, _)| e.pre <= prev);
-                    let (anc, anc_rid) = idx
-                        .checked_sub(1)
-                        .and_then(|i| stack.get(i))
-                        .ok_or_else(|| {
-                            CrimsonError::CorruptRepository(format!(
-                                "no common ancestor on the scan stack for ranks {prev} and {}",
-                                entry.pre
-                            ))
-                        })?;
+                    let (anc, anc_rid) =
+                        idx.checked_sub(1)
+                            .and_then(|i| stack.get(i))
+                            .ok_or_else(|| {
+                                CrimsonError::CorruptRepository(format!(
+                                    "no common ancestor on the scan stack for ranks {prev} and {}",
+                                    entry.pre
+                                ))
+                            })?;
                     lcas.push((sid_of(anc), *anc_rid));
                 }
                 selected.push((sid_of(&entry), rid));
@@ -347,7 +356,9 @@ impl Repository {
     pub fn pattern_match(&self, handle: TreeHandle, pattern: &Tree) -> CrimsonResult<PatternMatch> {
         let names: Vec<String> = pattern.leaf_names();
         if names.is_empty() {
-            return Err(CrimsonError::InvalidSample("pattern has no named leaves".to_string()));
+            return Err(CrimsonError::InvalidSample(
+                "pattern has no named leaves".to_string(),
+            ));
         }
         let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
         let projection = self.project_species(handle, &refs)?;
@@ -356,9 +367,19 @@ impl Repository {
         let rf = if names.len() >= 2 {
             robinson_foulds(&projection, pattern)?
         } else {
-            RfResult { distance: 0, max_distance: 0, normalized: 0.0, shared: 0 }
+            RfResult {
+                distance: 0,
+                max_distance: 0,
+                normalized: 0.0,
+                shared: 0,
+            }
         };
-        Ok(PatternMatch { exact_topology, exact_with_lengths, rf, projection })
+        Ok(PatternMatch {
+            exact_topology,
+            exact_with_lengths,
+            rf,
+            projection,
+        })
     }
 }
 
@@ -390,11 +411,11 @@ fn assemble_projection(
 
         // Pop rightmost-path entries deeper than the LCA.
         let mut last_popped: Option<(Arc<NodeRecord>, NodeId)> = None;
-        while path.last().map_or(false, |(r, _)| r.depth > lca_rec.depth) {
+        while path.last().is_some_and(|(r, _)| r.depth > lca_rec.depth) {
             last_popped = path.pop();
         }
 
-        let top_is_lca = path.last().map_or(false, |(r, _)| r.id == lca_rec.id);
+        let top_is_lca = path.last().is_some_and(|(r, _)| r.id == lca_rec.id);
         let attach_under = if top_is_lca {
             path.last().expect("checked above").1
         } else {
@@ -407,10 +428,7 @@ fn assemble_projection(
             }
             if let Some((child_rec, child_node)) = last_popped {
                 out.attach(lca_node, child_node)?;
-                out.set_branch_length(
-                    child_node,
-                    child_rec.root_distance - lca_rec.root_distance,
-                )?;
+                out.set_branch_length(child_node, child_rec.root_distance - lca_rec.root_distance)?;
             }
             if let Some((parent_dist, parent_node)) = parent_info {
                 out.attach(parent_node, lca_node)?;
@@ -425,7 +443,11 @@ fn assemble_projection(
             out.set_name(leaf_node, name.clone())?;
         }
         out.attach(attach_under, leaf_node)?;
-        let parent_dist = path.last().expect("attach target is on the path").0.root_distance;
+        let parent_dist = path
+            .last()
+            .expect("attach target is on the path")
+            .0
+            .root_distance;
         out.set_branch_length(leaf_node, rec.root_distance - parent_dist)?;
         path.push((Arc::clone(rec), leaf_node));
     }
@@ -453,7 +475,10 @@ mod tests {
         let dir = tempdir().unwrap();
         let mut repo = Repository::create(
             dir.path().join("repo.crimson"),
-            RepositoryOptions { frame_depth: f, buffer_pool_pages: 512 },
+            RepositoryOptions {
+                frame_depth: f,
+                buffer_pool_pages: 512,
+            },
         )
         .unwrap();
         let handle = repo.load_tree("t", tree).unwrap();
@@ -464,13 +489,17 @@ mod tests {
     fn figure2_projection_from_repository() {
         let tree = figure1_tree();
         let (_d, repo, handle) = repo_with(&tree, 2);
-        let projection = repo.project_species(handle, &["Bha", "Lla", "Syn"]).unwrap();
+        let projection = repo
+            .project_species(handle, &["Bha", "Lla", "Syn"])
+            .unwrap();
         // Must equal the in-memory projection (the paper's Figure 2).
         let expected = project_by_names(&tree, &["Bha", "Lla", "Syn"]).unwrap();
-        assert!(ops::isomorphic_with_lengths(&projection, &expected, 1e-9),
+        assert!(
+            ops::isomorphic_with_lengths(&projection, &expected, 1e-9),
             "stored projection:\n{}\nexpected:\n{}",
             phylo::render::ascii(&projection),
-            phylo::render::ascii(&expected));
+            phylo::render::ascii(&expected)
+        );
         // Lla's merged edge weight is 1.5 as in the paper.
         let lla = projection.find_leaf_by_name("Lla").unwrap();
         assert!((projection.branch_length(lla).unwrap() - 1.5).abs() < 1e-9);
@@ -483,8 +512,13 @@ mod tests {
         let (_d, repo, handle) = repo_with(&tree, 3);
         let names = tree.leaf_names();
         for (skip, take) in [(0usize, 2usize), (1, 3), (3, 7), (5, 16), (0, 32)] {
-            let subset: Vec<&str> =
-                names.iter().skip(skip).step_by(2).take(take).map(|s| s.as_str()).collect();
+            let subset: Vec<&str> = names
+                .iter()
+                .skip(skip)
+                .step_by(2)
+                .take(take)
+                .map(|s| s.as_str())
+                .collect();
             if subset.len() < 2 {
                 continue;
             }
@@ -529,7 +563,10 @@ mod tests {
             let dir = tempdir().unwrap();
             let mut repo = Repository::create(
                 dir.path().join("repo.crimson"),
-                RepositoryOptions { frame_depth: 2, buffer_pool_pages: 256 },
+                RepositoryOptions {
+                    frame_depth: 2,
+                    buffer_pool_pages: 256,
+                },
             )
             .unwrap();
             let handle = repo.load_tree("t", &tree).unwrap();
@@ -555,7 +592,11 @@ mod tests {
         assert_eq!(clade.len(), 5);
         let syn = repo.require_species_node(handle, "Syn").unwrap();
         let clade = repo.minimal_spanning_clade(&[lla, syn]).unwrap();
-        assert_eq!(clade.len(), 8, "spanning clade of distant leaves is the whole tree");
+        assert_eq!(
+            clade.len(),
+            8,
+            "spanning clade of distant leaves is the whole tree"
+        );
         assert!(repo.minimal_spanning_clade(&[]).is_err());
     }
 

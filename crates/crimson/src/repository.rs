@@ -30,6 +30,7 @@ use std::sync::Arc;
 use storage::db::{Database, RawIndexId, TableId};
 use storage::schema::{ColumnDef, Schema};
 use storage::value::{Value, ValueType};
+use storage::{CrashPoint, RecoveryReport};
 
 /// Name of the raw index holding covering interval entries keyed by
 /// `(tree_id, pre)`.
@@ -67,7 +68,10 @@ pub struct RepositoryOptions {
 
 impl Default for RepositoryOptions {
     fn default() -> Self {
-        RepositoryOptions { frame_depth: 16, buffer_pool_pages: 4096 }
+        RepositoryOptions {
+            frame_depth: 16,
+            buffer_pool_pages: 4096,
+        }
     }
 }
 
@@ -159,6 +163,28 @@ pub struct Repository {
     /// Interval entries keyed by `(tree_id << 32) | pre` — the LCA walk's
     /// working set.
     entry_cache: Mutex<LruCache<u64, IntervalEntry>>,
+    /// Crash-recovery outcome captured at [`Repository::open`] (`None` for a
+    /// freshly created repository).
+    recovery: Option<RecoveryReport>,
+}
+
+/// Row counts gathered by [`Repository::integrity_check`]. Every row was
+/// verified to belong to a tree listed in the `trees` table, so a report
+/// implies there are no orphan rows from interrupted loads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IntegrityReport {
+    /// Trees in the catalog.
+    pub trees: u64,
+    /// Node rows across all trees.
+    pub nodes: u64,
+    /// Frame rows across all trees.
+    pub frames: u64,
+    /// Species rows across all trees.
+    pub species: u64,
+    /// Entries in each interval index (they always match `nodes`).
+    pub interval_entries: u64,
+    /// Query-history rows (all parsed successfully).
+    pub history_entries: u64,
 }
 
 /// Generation size of the node-record cache (≤ 2 generations resident).
@@ -168,7 +194,9 @@ const ENTRY_CACHE_GEN: usize = 8192;
 
 impl std::fmt::Debug for Repository {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Repository").field("options", &self.options).finish()
+        f.debug_struct("Repository")
+            .field("options", &self.options)
+            .finish()
     }
 }
 
@@ -215,18 +243,33 @@ impl Repository {
             ivl_by_node,
             record_cache: Mutex::new(LruCache::new(RECORD_CACHE_GEN)),
             entry_cache: Mutex::new(LruCache::new(ENTRY_CACHE_GEN)),
+            recovery: None,
         })
     }
 
-    /// Open an existing repository file.
+    /// Open an existing repository file. Opening replays the write-ahead
+    /// log: loads committed before a crash are restored, interrupted loads
+    /// are rolled back; the outcome is available from
+    /// [`Repository::recovery_report`].
     pub fn open(path: impl AsRef<Path>, options: RepositoryOptions) -> CrimsonResult<Self> {
         let db = Database::open_with_capacity(path, options.buffer_pool_pages)?;
+        let recovery = db.recovery_report();
         let trees_table = db.table("trees")?;
         let nodes_table = db.table("nodes")?;
         let frames_table = db.table("frames")?;
         let species_table = db.table("species")?;
         let history_table = db.table("query_history")?;
-        let next_history_id = db.row_count(history_table)? as u64;
+        // Rolled-back transactions may have left gaps in the id sequence;
+        // resume after the highest id actually present (a plain row count
+        // could collide with a surviving id). The unique `query_id` index
+        // yields rows in id order, so only the last one needs decoding.
+        let next_history_id = match db
+            .index_range(history_table, "query_id", None, None)?
+            .last()
+        {
+            Some(&rid) => db.get(history_table, rid)?.values[0].as_int().unwrap_or(-1) as u64 + 1,
+            None => 0,
+        };
         let ivl_by_pre = db.raw_index(IVL_BY_PRE).map_err(|_| {
             CrimsonError::CorruptRepository(format!(
                 "repository file lacks the `{IVL_BY_PRE}` interval index"
@@ -250,6 +293,7 @@ impl Repository {
             ivl_by_node,
             record_cache: Mutex::new(LruCache::new(RECORD_CACHE_GEN)),
             entry_cache: Mutex::new(LruCache::new(ENTRY_CACHE_GEN)),
+            recovery,
         })
     }
 
@@ -258,9 +302,66 @@ impl Repository {
         &self.options
     }
 
-    /// Flush all dirty state to disk.
+    /// The crash-recovery outcome from opening this repository (`None` for
+    /// a freshly created file; a report with zero counters for a clean
+    /// open). Part of the repository stats surfaced to load tooling.
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.recovery
+    }
+
+    /// Checkpoint: write all dirty state to the data file and truncate the
+    /// write-ahead log.
     pub fn flush(&mut self) -> CrimsonResult<()> {
         self.db.flush()?;
+        Ok(())
+    }
+
+    /// Run `f` as one atomic unit: if a transaction is already open, `f`
+    /// joins it (so compound loads nest); otherwise a transaction is
+    /// begun, committed on success and rolled back — with the decoded-row
+    /// caches cleared, since they may hold phantom rows read inside the
+    /// failed unit — on error.
+    pub(crate) fn with_txn<T>(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> CrimsonResult<T>,
+    ) -> CrimsonResult<T> {
+        if self.db.in_transaction() {
+            return f(self);
+        }
+        self.db.begin()?;
+        match f(self) {
+            Ok(value) => match self.db.commit() {
+                Ok(()) => Ok(value),
+                Err(e) => {
+                    self.purge_caches();
+                    Err(e.into())
+                }
+            },
+            Err(e) => {
+                let _ = self.db.rollback();
+                self.purge_caches();
+                Err(e)
+            }
+        }
+    }
+
+    /// Drop the decoded-record and interval-entry caches (they may reference
+    /// rows of a rolled-back transaction).
+    fn purge_caches(&self) {
+        self.record_cache.lock().clear();
+        self.entry_cache.lock().clear();
+    }
+
+    /// Inject a simulated crash into the storage engine (test
+    /// instrumentation for the crash-recovery suites).
+    pub fn inject_crash(&self, point: CrashPoint) {
+        self.db.inject_crash(point)
+    }
+
+    /// Enable or disable write-ahead logging (bench baseline only; disabled
+    /// logging forfeits crash safety).
+    pub fn set_logging(&mut self, enabled: bool) -> CrimsonResult<()> {
+        self.db.set_logging(enabled)?;
         Ok(())
     }
 
@@ -305,7 +406,15 @@ impl Repository {
     /// Nodes are stored with hierarchical Dewey labels (frame depth taken
     /// from the repository options), cumulative root distances, pre-order
     /// ranks and parent links.
+    ///
+    /// The load is one atomic transaction: a failed or interrupted load
+    /// leaves no orphan node/frame/interval rows and is invisible after
+    /// reopening the repository.
     pub fn load_tree(&mut self, name: &str, tree: &Tree) -> CrimsonResult<TreeHandle> {
+        self.with_txn(|repo| repo.load_tree_inner(name, tree))
+    }
+
+    fn load_tree_inner(&mut self, name: &str, tree: &Tree) -> CrimsonResult<TreeHandle> {
         if tree.is_empty() {
             return Err(CrimsonError::Phylo(phylo::PhyloError::EmptyTree));
         }
@@ -379,8 +488,7 @@ impl Repository {
                 leaf_count += 1;
             }
             let label = labels.label(node);
-            let label_bytes: Vec<u8> =
-                label.path.iter().flat_map(|c| c.to_le_bytes()).collect();
+            let label_bytes: Vec<u8> = label.path.iter().flat_map(|c| c.to_le_bytes()).collect();
             row_ids[node.index()] = self.db.insert(
                 self.nodes_table,
                 &[
@@ -421,9 +529,11 @@ impl Repository {
         for entry in intervals.entries(tree) {
             let sid = node_sid(phylo::NodeId(entry.node));
             let rid = row_ids[entry.node as usize];
-            self.db.raw_insert(self.ivl_by_pre, &entry.encode_key(tree_id), rid.to_u64())?;
+            self.db
+                .raw_insert(self.ivl_by_pre, &entry.encode_key(tree_id), rid.to_u64())?;
             let packed = ((entry.pre as u64) << 32) | entry.end as u64;
-            self.db.raw_insert(self.ivl_by_node, &sid.0.to_be_bytes(), packed)?;
+            self.db
+                .raw_insert(self.ivl_by_node, &sid.0.to_be_bytes(), packed)?;
         }
 
         // Insert the tree row last so a partially loaded tree is not visible.
@@ -438,13 +548,21 @@ impl Repository {
                 Value::Int(self.options.frame_depth as i64),
             ],
         )?;
-        self.db.flush()?;
         Ok(handle)
     }
 
     /// Append species (sequence) data to an already loaded tree. Species
-    /// whose name does not match a leaf of the tree are rejected.
+    /// whose name does not match a leaf of the tree are rejected. One
+    /// atomic transaction: either every sequence lands or none do.
     pub fn load_species(
+        &mut self,
+        handle: TreeHandle,
+        sequences: &HashMap<String, String>,
+    ) -> CrimsonResult<usize> {
+        self.with_txn(|repo| repo.load_species_inner(handle, sequences))
+    }
+
+    fn load_species_inner(
         &mut self,
         handle: TreeHandle,
         sequences: &HashMap<String, String>,
@@ -465,21 +583,23 @@ impl Repository {
             )?;
             loaded += 1;
         }
-        self.db.flush()?;
         Ok(loaded)
     }
 
-    /// Load a gold standard: the tree plus all of its sequences.
+    /// Load a gold standard: the tree plus all of its sequences, as a
+    /// single atomic transaction (an interrupted load leaves neither).
     pub fn load_gold_standard(
         &mut self,
         name: &str,
         gold: &GoldStandard,
     ) -> CrimsonResult<TreeHandle> {
-        let handle = self.load_tree(name, &gold.tree)?;
-        if !gold.sequences.is_empty() {
-            self.load_species(handle, &gold.sequences)?;
-        }
-        Ok(handle)
+        self.with_txn(|repo| {
+            let handle = repo.load_tree(name, &gold.tree)?;
+            if !gold.sequences.is_empty() {
+                repo.load_species(handle, &gold.sequences)?;
+            }
+            Ok(handle)
+        })
     }
 
     // ------------------------------------------------------------------
@@ -488,19 +608,26 @@ impl Repository {
 
     /// Look up a tree by name.
     pub fn find_tree(&self, name: &str) -> CrimsonResult<Option<TreeRecord>> {
-        let rows = self.db.lookup_rows(self.trees_table, "name", &Value::text(name))?;
-        Ok(rows.into_iter().next().map(|(_, row)| decode_tree_row(&row)))
+        let rows = self
+            .db
+            .lookup_rows(self.trees_table, "name", &Value::text(name))?;
+        Ok(rows
+            .into_iter()
+            .next()
+            .map(|(_, row)| decode_tree_row(&row)))
     }
 
     /// Look up a tree by name, failing when absent.
     pub fn tree_by_name(&self, name: &str) -> CrimsonResult<TreeRecord> {
-        self.find_tree(name)?.ok_or_else(|| CrimsonError::UnknownTree(name.to_string()))
+        self.find_tree(name)?
+            .ok_or_else(|| CrimsonError::UnknownTree(name.to_string()))
     }
 
     /// Look up a tree by handle.
     pub fn tree_record(&self, handle: TreeHandle) -> CrimsonResult<TreeRecord> {
         let rows =
-            self.db.lookup_rows(self.trees_table, "tree_id", &Value::Int(handle.0 as i64))?;
+            self.db
+                .lookup_rows(self.trees_table, "tree_id", &Value::Int(handle.0 as i64))?;
         rows.into_iter()
             .next()
             .map(|(_, row)| decode_tree_row(&row))
@@ -571,7 +698,9 @@ impl Repository {
     /// Fetch a node row straight from the node table, bypassing the record
     /// cache. Reference path for the cache-effectiveness assertions.
     pub fn node_record_uncached(&self, id: StoredNodeId) -> CrimsonResult<NodeRecord> {
-        let rows = self.db.lookup_rows(self.nodes_table, "node_id", &Value::Int(id.0 as i64))?;
+        let rows = self
+            .db
+            .lookup_rows(self.nodes_table, "node_id", &Value::Int(id.0 as i64))?;
         rows.into_iter()
             .next()
             .map(|(_, row)| decode_node_row(&row))
@@ -580,8 +709,9 @@ impl Repository {
 
     /// Fetch a frame row.
     pub fn frame_record(&self, id: StoredFrameId) -> CrimsonResult<FrameRecord> {
-        let rows =
-            self.db.lookup_rows(self.frames_table, "frame_id", &Value::Int(id.0 as i64))?;
+        let rows = self
+            .db
+            .lookup_rows(self.frames_table, "frame_id", &Value::Int(id.0 as i64))?;
         rows.into_iter()
             .next()
             .map(|(_, row)| decode_frame_row(&row))
@@ -590,8 +720,13 @@ impl Repository {
 
     /// Children of a stored node (via the parent index).
     pub fn children(&self, id: StoredNodeId) -> CrimsonResult<Vec<StoredNodeId>> {
-        let rows = self.db.lookup_rows(self.nodes_table, "parent_id", &Value::Int(id.0 as i64))?;
-        Ok(rows.iter().map(|(_, row)| StoredNodeId(row.values[0].as_int().unwrap_or(0) as u64)).collect())
+        let rows = self
+            .db
+            .lookup_rows(self.nodes_table, "parent_id", &Value::Int(id.0 as i64))?;
+        Ok(rows
+            .iter()
+            .map(|(_, row)| StoredNodeId(row.values[0].as_int().unwrap_or(0) as u64))
+            .collect())
     }
 
     /// The leaf node a species name maps to in the given tree, if any.
@@ -600,7 +735,9 @@ impl Repository {
         handle: TreeHandle,
         name: &str,
     ) -> CrimsonResult<Option<StoredNodeId>> {
-        let rows = self.db.lookup_rows(self.nodes_table, "name", &Value::text(name))?;
+        let rows = self
+            .db
+            .lookup_rows(self.nodes_table, "name", &Value::text(name))?;
         for (_, row) in rows {
             let rec = decode_node_row(&row);
             if rec.tree == handle && rec.is_leaf {
@@ -622,8 +759,11 @@ impl Repository {
 
     /// All leaf node ids of a tree (via the `leaf_of_tree` index).
     pub fn leaves(&self, handle: TreeHandle) -> CrimsonResult<Vec<StoredNodeId>> {
-        let rows =
-            self.db.lookup_rows(self.nodes_table, "leaf_of_tree", &Value::Int(handle.0 as i64))?;
+        let rows = self.db.lookup_rows(
+            self.nodes_table,
+            "leaf_of_tree",
+            &Value::Int(handle.0 as i64),
+        )?;
         Ok(rows
             .iter()
             .map(|(_, row)| StoredNodeId(row.values[0].as_int().unwrap_or(0) as u64))
@@ -638,7 +778,9 @@ impl Repository {
     ) -> CrimsonResult<HashMap<String, String>> {
         let mut out = HashMap::with_capacity(names.len());
         for name in names {
-            let rows = self.db.lookup_rows(self.species_table, "name", &Value::text(name))?;
+            let rows = self
+                .db
+                .lookup_rows(self.species_table, "name", &Value::text(name))?;
             let mut found = false;
             for (_, row) in rows {
                 let tree_id = row.values[1].as_int().unwrap_or(-1) as u64;
@@ -659,8 +801,108 @@ impl Repository {
     /// Number of species rows stored for a tree.
     pub fn species_count(&self, handle: TreeHandle) -> CrimsonResult<usize> {
         let rows =
-            self.db.lookup_rows(self.species_table, "tree_id", &Value::Int(handle.0 as i64))?;
+            self.db
+                .lookup_rows(self.species_table, "tree_id", &Value::Int(handle.0 as i64))?;
         Ok(rows.len())
+    }
+
+    // ------------------------------------------------------------------
+    // Integrity
+    // ------------------------------------------------------------------
+
+    /// Verify cross-table invariants: every node, frame and species row
+    /// belongs to a tree in the catalog; per-tree node and leaf counts
+    /// match the tree row; both interval indexes hold exactly one entry per
+    /// node; every species row points at a leaf of its tree; the query
+    /// history parses in full. Violations — orphan rows from an interrupted
+    /// load, say — surface as [`CrimsonError::CorruptRepository`].
+    pub fn integrity_check(&self) -> CrimsonResult<IntegrityReport> {
+        let trees: HashMap<u64, TreeRecord> = self
+            .list_trees()?
+            .into_iter()
+            .map(|t| (t.handle.0, t))
+            .collect();
+        let mut report = IntegrityReport {
+            trees: trees.len() as u64,
+            ..Default::default()
+        };
+
+        let mut node_counts: HashMap<u64, u64> = HashMap::new();
+        let mut leaf_counts: HashMap<u64, u64> = HashMap::new();
+        for (rid, row) in self.db.scan(self.nodes_table)? {
+            let rec = decode_node_row(&row);
+            let tree_id = rec.tree.0;
+            if !trees.contains_key(&tree_id) {
+                return Err(CrimsonError::CorruptRepository(format!(
+                    "orphan node row {rid} references missing tree {tree_id}"
+                )));
+            }
+            *node_counts.entry(tree_id).or_default() += 1;
+            if rec.is_leaf {
+                *leaf_counts.entry(tree_id).or_default() += 1;
+            }
+            // Every node must be covered by both interval indexes.
+            let (pre, end) = self.interval_of(rec.id)?;
+            if (pre as u64) != rec.preorder || end < pre {
+                return Err(CrimsonError::CorruptRepository(format!(
+                    "interval of node {} ({pre}, {end}) contradicts its pre-order rank {}",
+                    rec.id, rec.preorder
+                )));
+            }
+            report.nodes += 1;
+        }
+        for (tree_id, tree) in &trees {
+            let nodes = node_counts.get(tree_id).copied().unwrap_or(0);
+            let leaves = leaf_counts.get(tree_id).copied().unwrap_or(0);
+            if nodes != tree.node_count || leaves != tree.leaf_count {
+                return Err(CrimsonError::CorruptRepository(format!(
+                    "tree `{}` records {}/{} nodes/leaves but {nodes}/{leaves} rows exist",
+                    tree.name, tree.node_count, tree.leaf_count
+                )));
+            }
+        }
+
+        for (rid, row) in self.db.scan(self.frames_table)? {
+            let rec = decode_frame_row(&row);
+            if !trees.contains_key(&rec.tree.0) {
+                return Err(CrimsonError::CorruptRepository(format!(
+                    "orphan frame row {rid} references missing tree {}",
+                    rec.tree.0
+                )));
+            }
+            report.frames += 1;
+        }
+
+        for (rid, row) in self.db.scan(self.species_table)? {
+            let tree_id = row.values[1].as_int().unwrap_or(-1) as u64;
+            if !trees.contains_key(&tree_id) {
+                return Err(CrimsonError::CorruptRepository(format!(
+                    "orphan species row {rid} references missing tree {tree_id}"
+                )));
+            }
+            let node = StoredNodeId(row.values[2].as_int().unwrap_or(0) as u64);
+            let rec = self.node_record(node)?;
+            if rec.tree.0 != tree_id || !rec.is_leaf {
+                return Err(CrimsonError::CorruptRepository(format!(
+                    "species row {rid} references node {node}, which is not a leaf of tree {tree_id}"
+                )));
+            }
+            report.species += 1;
+        }
+
+        let by_pre = self.db.raw_len(self.ivl_by_pre)? as u64;
+        let by_node = self.db.raw_len(self.ivl_by_node)? as u64;
+        if by_pre != report.nodes || by_node != report.nodes {
+            return Err(CrimsonError::CorruptRepository(format!(
+                "interval indexes hold {by_pre}/{by_node} entries for {} node rows",
+                report.nodes
+            )));
+        }
+        report.interval_entries = by_pre;
+
+        // The history must parse end to end (a torn entry would fail here).
+        report.history_entries = self.query_history()?.len() as u64;
+        Ok(report)
     }
 
     // ------------------------------------------------------------------
@@ -925,7 +1167,11 @@ pub(crate) fn decode_node_row(row: &storage::schema::Row) -> NodeRecord {
     NodeRecord {
         id: StoredNodeId(row.values[0].as_int().unwrap_or(0) as u64),
         tree: TreeHandle(row.values[1].as_int().unwrap_or(0) as u64),
-        parent: if parent_raw < 0 { None } else { Some(StoredNodeId(parent_raw as u64)) },
+        parent: if parent_raw < 0 {
+            None
+        } else {
+            Some(StoredNodeId(parent_raw as u64))
+        },
         name: row.values[3].as_text().map(|s| s.to_string()),
         branch_length: row.values[4].as_float(),
         root_distance: row.values[5].as_float().unwrap_or(0.0),
@@ -945,8 +1191,16 @@ fn decode_frame_row(row: &storage::schema::Row) -> FrameRecord {
         id: StoredFrameId(row.values[0].as_int().unwrap_or(0) as u64),
         tree: TreeHandle(row.values[1].as_int().unwrap_or(0) as u64),
         root_node: StoredNodeId(row.values[2].as_int().unwrap_or(0) as u64),
-        parent_frame: if parent_raw < 0 { None } else { Some(StoredFrameId(parent_raw as u64)) },
-        source_node: if source_raw < 0 { None } else { Some(StoredNodeId(source_raw as u64)) },
+        parent_frame: if parent_raw < 0 {
+            None
+        } else {
+            Some(StoredFrameId(parent_raw as u64))
+        },
+        source_node: if source_raw < 0 {
+            None
+        } else {
+            Some(StoredNodeId(source_raw as u64))
+        },
         rank: row.values[5].as_int().unwrap_or(0) as u64,
     }
 }
@@ -961,7 +1215,10 @@ mod tests {
         let dir = tempdir().unwrap();
         let repo = Repository::create(
             dir.path().join("repo.crimson"),
-            RepositoryOptions { frame_depth: 2, buffer_pool_pages: 256 },
+            RepositoryOptions {
+                frame_depth: 2,
+                buffer_pool_pages: 256,
+            },
         )
         .unwrap();
         (dir, repo)
@@ -1015,11 +1272,17 @@ mod tests {
                 let sa = repo.require_species_node(handle, a).unwrap();
                 let sb = repo.require_species_node(handle, b).unwrap();
                 let stored_lca = repo.lca(sa, sb).unwrap();
-                let mem_lca =
-                    tree.lca(tree.find_leaf_by_name(a).unwrap(), tree.find_leaf_by_name(b).unwrap());
+                let mem_lca = tree.lca(
+                    tree.find_leaf_by_name(a).unwrap(),
+                    tree.find_leaf_by_name(b).unwrap(),
+                );
                 // Compare via names / depth (stored ids differ from NodeIds).
                 let stored_rec = repo.node_record(stored_lca).unwrap();
-                assert_eq!(stored_rec.depth as usize, tree.depth(mem_lca), "lca({a},{b})");
+                assert_eq!(
+                    stored_rec.depth as usize,
+                    tree.depth(mem_lca),
+                    "lca({a},{b})"
+                );
                 assert!(
                     (stored_rec.root_distance - tree.root_distance(mem_lca)).abs() < 1e-12,
                     "lca({a},{b})"
@@ -1034,7 +1297,10 @@ mod tests {
             let dir = tempdir().unwrap();
             let mut repo = Repository::create(
                 dir.path().join("repo.crimson"),
-                RepositoryOptions { frame_depth: f, buffer_pool_pages: 512 },
+                RepositoryOptions {
+                    frame_depth: f,
+                    buffer_pool_pages: 512,
+                },
             )
             .unwrap();
             let tree = caterpillar(60, 1.0);
@@ -1102,7 +1368,9 @@ mod tests {
     fn multiple_trees_coexist() {
         let (_d, mut repo) = repo();
         let h1 = repo.load_tree("fig1", &figure1_tree()).unwrap();
-        let h2 = repo.load_tree("balanced", &balanced_binary(4, 1.0)).unwrap();
+        let h2 = repo
+            .load_tree("balanced", &balanced_binary(4, 1.0))
+            .unwrap();
         assert_ne!(h1, h2);
         assert_eq!(repo.list_trees().unwrap().len(), 2);
         assert_eq!(repo.leaves(h1).unwrap().len(), 5);
@@ -1119,9 +1387,14 @@ mod tests {
         let path = dir.path().join("repo.crimson");
         let handle;
         {
-            let mut repo =
-                Repository::create(&path, RepositoryOptions { frame_depth: 4, buffer_pool_pages: 128 })
-                    .unwrap();
+            let mut repo = Repository::create(
+                &path,
+                RepositoryOptions {
+                    frame_depth: 4,
+                    buffer_pool_pages: 128,
+                },
+            )
+            .unwrap();
             handle = repo.load_tree("fig1", &figure1_tree()).unwrap();
             repo.flush().unwrap();
         }
@@ -1137,8 +1410,14 @@ mod tests {
     #[test]
     fn unknown_lookups_error() {
         let (_d, repo) = repo();
-        assert!(matches!(repo.tree_by_name("ghost"), Err(CrimsonError::UnknownTree(_))));
-        assert!(matches!(repo.node_record(StoredNodeId(999)), Err(CrimsonError::UnknownNode(_))));
+        assert!(matches!(
+            repo.tree_by_name("ghost"),
+            Err(CrimsonError::UnknownTree(_))
+        ));
+        assert!(matches!(
+            repo.node_record(StoredNodeId(999)),
+            Err(CrimsonError::UnknownNode(_))
+        ));
         assert!(matches!(
             repo.tree_record(TreeHandle(42)),
             Err(CrimsonError::UnknownTreeId(42))

@@ -95,7 +95,9 @@ impl Repository {
         seed: u64,
     ) -> CrimsonResult<Vec<StoredNodeId>> {
         if k == 0 {
-            return Err(CrimsonError::InvalidSample("requested 0 species".to_string()));
+            return Err(CrimsonError::InvalidSample(
+                "requested 0 species".to_string(),
+            ));
         }
         let frontier = self.time_frontier(handle, time)?;
         if frontier.is_empty() {
@@ -160,11 +162,7 @@ impl Repository {
     ///
     /// Implemented with a range scan over the `subtree_height` index followed
     /// by a parent check, so only the candidate rows are read.
-    pub fn time_frontier(
-        &self,
-        handle: TreeHandle,
-        time: f64,
-    ) -> CrimsonResult<Vec<StoredNodeId>> {
+    pub fn time_frontier(&self, handle: TreeHandle, time: f64) -> CrimsonResult<Vec<StoredNodeId>> {
         let rids = self.db.index_range(
             self.nodes_table,
             "subtree_height",
@@ -249,9 +247,14 @@ impl Repository {
         names: &[&str],
     ) -> CrimsonResult<Vec<StoredNodeId>> {
         if names.is_empty() {
-            return Err(CrimsonError::InvalidSample("empty species list".to_string()));
+            return Err(CrimsonError::InvalidSample(
+                "empty species list".to_string(),
+            ));
         }
-        names.iter().map(|n| self.require_species_node(handle, n)).collect()
+        names
+            .iter()
+            .map(|n| self.require_species_node(handle, n))
+            .collect()
     }
 
     /// Convenience: the names of a set of stored leaf nodes.
@@ -279,7 +282,10 @@ mod tests {
         let dir = tempdir().unwrap();
         let mut repo = Repository::create(
             dir.path().join("repo.crimson"),
-            RepositoryOptions { frame_depth: f, buffer_pool_pages: 512 },
+            RepositoryOptions {
+                frame_depth: f,
+                buffer_pool_pages: 512,
+            },
         )
         .unwrap();
         let handle = repo.load_tree("t", tree).unwrap();
@@ -350,8 +356,7 @@ mod tests {
         let (_d, repo, handle) = repo_with(&tree, 2);
         for seed in 0..10 {
             let sample = repo.sample_by_time(handle, 1.0, 4, seed).unwrap();
-            let names: HashSet<String> =
-                repo.names_of(&sample).unwrap().into_iter().collect();
+            let names: HashSet<String> = repo.names_of(&sample).unwrap().into_iter().collect();
             assert_eq!(names.len(), 4);
             assert!(names.contains("Bha"));
             assert!(names.contains("Syn"));
@@ -410,9 +415,13 @@ mod tests {
         let tree = figure1_tree();
         let (_d, repo, handle) = repo_with(&tree, 2);
         let sample = repo
-            .sample(handle, &SamplingStrategy::UserList {
-                names: vec!["Bha".into(), "Lla".into(), "Syn".into()],
-            }, 0)
+            .sample(
+                handle,
+                &SamplingStrategy::UserList {
+                    names: vec!["Bha".into(), "Lla".into(), "Syn".into()],
+                },
+                0,
+            )
             .unwrap();
         assert_eq!(sample.len(), 3);
         assert_eq!(repo.names_of(&sample).unwrap(), vec!["Bha", "Lla", "Syn"]);
@@ -424,10 +433,16 @@ mod tests {
     fn strategy_dispatch() {
         let tree = yule_tree(32, 1.0, 2);
         let (_d, repo, handle) = repo_with(&tree, 4);
-        let uniform = repo.sample(handle, &SamplingStrategy::Uniform { k: 8 }, 3).unwrap();
+        let uniform = repo
+            .sample(handle, &SamplingStrategy::Uniform { k: 8 }, 3)
+            .unwrap();
         assert_eq!(uniform.len(), 8);
         let timed = repo
-            .sample(handle, &SamplingStrategy::TimeRespecting { time: 0.1, k: 8 }, 3)
+            .sample(
+                handle,
+                &SamplingStrategy::TimeRespecting { time: 0.1, k: 8 },
+                3,
+            )
             .unwrap();
         assert_eq!(timed.len(), 8);
     }

@@ -1,0 +1,233 @@
+//! Crash-injection harness for the repository layer.
+//!
+//! Each scenario loads a committed baseline tree, injects a simulated crash
+//! at a WAL-append, data-write (eviction / checkpoint flush) or
+//! checkpoint-truncation point, attempts a second load, "dies" (drops the
+//! repository without flushing), reopens, and asserts that exactly the
+//! committed loads are visible:
+//!
+//! * [`Repository::integrity_check`] passes — no orphan node / frame /
+//!   species rows, interval indexes consistent with the node table;
+//! * the interval-index query paths cross-validate against the pre-index
+//!   `*_reference` implementations on the recovered data;
+//! * the Query Repository holds exactly one `Load` entry per committed load
+//!   (loads and their history entries commit atomically).
+
+use crimson::prelude::*;
+use phylo::newick;
+use simulation::birth_death::yule_tree;
+use storage::CrashPoint;
+use tempfile::tempdir;
+
+fn small_opts() -> RepositoryOptions {
+    // A tiny pool forces evictions (steals) during the victim load, so
+    // data-write crash points land on the eviction path too.
+    RepositoryOptions {
+        frame_depth: 4,
+        buffer_pool_pages: 32,
+    }
+}
+
+fn tree_newick(leaves: usize, seed: u64) -> String {
+    newick::write(&yule_tree(leaves, 1.0, seed))
+}
+
+/// Cross-validate the interval-index query paths against the label-walk /
+/// BFS reference paths on the recovered repository.
+fn cross_validate(repo: &Repository, handle: TreeHandle) {
+    let leaves = repo.leaves(handle).expect("leaves");
+    assert!(!leaves.is_empty());
+    for i in 0..20usize {
+        let a = leaves[(i * 7) % leaves.len()];
+        let b = leaves[(i * 13 + 3) % leaves.len()];
+        let fast = repo.lca(a, b).expect("lca");
+        let reference = repo.lca_label_walk(a, b).expect("reference lca");
+        assert_eq!(fast, reference, "lca({a}, {b}) disagrees after recovery");
+    }
+    let sample: Vec<StoredNodeId> = leaves.iter().step_by(5).take(24).copied().collect();
+    // The fast path yields pre-order, the reference BFS order; compare sets.
+    let mut clade = repo.minimal_spanning_clade(&sample).expect("clade");
+    let mut clade_ref = repo
+        .minimal_spanning_clade_reference(&sample)
+        .expect("reference clade");
+    clade.sort_unstable();
+    clade_ref.sort_unstable();
+    assert_eq!(clade, clade_ref, "spanning clade disagrees after recovery");
+    let proj = repo.project(handle, &sample).expect("projection");
+    let proj_ref = repo
+        .project_reference(handle, &sample)
+        .expect("reference projection");
+    assert!(
+        phylo::ops::isomorphic_with_lengths(&proj, &proj_ref, 1e-9),
+        "projection disagrees after recovery"
+    );
+}
+
+/// Run one crash scenario; returns the number of committed trees observed
+/// after recovery (1 = crash interrupted the victim load, 2 = the workload
+/// outran the injection point).
+fn crash_scenario(point: CrashPoint) -> usize {
+    let dir = tempdir().unwrap();
+    let path = dir.path().join("repo.crimson");
+    let base = tree_newick(90, 7);
+    let victim = tree_newick(260, 8);
+    let victim_committed;
+    {
+        let mut repo = Repository::create(&path, small_opts()).unwrap();
+        repo.load_newick("base", &base).unwrap();
+        repo.inject_crash(point);
+        victim_committed = repo.load_newick("victim", &victim).is_ok();
+        // Crash: drop without flush.
+    }
+    let repo = Repository::open(&path, small_opts()).unwrap();
+    let report = repo.recovery_report().expect("reopen must report recovery");
+    let committed = if victim_committed { 2 } else { 1 };
+
+    let integrity = repo
+        .integrity_check()
+        .unwrap_or_else(|e| panic!("integrity check failed after crash at {point:?}: {e}"));
+    assert_eq!(
+        integrity.trees as usize, committed,
+        "crash at {point:?}: wrong tree count (recovery: {report:?})"
+    );
+    // The Query Repository matches the committed loads exactly.
+    let loads = repo.history_of_kind(QueryKind::Load).unwrap();
+    assert_eq!(
+        loads.len(),
+        committed,
+        "crash at {point:?}: history entries must match committed loads"
+    );
+
+    let base_rec = repo
+        .tree_by_name("base")
+        .expect("committed baseline must survive");
+    cross_validate(&repo, base_rec.handle);
+    if victim_committed {
+        let victim_rec = repo
+            .tree_by_name("victim")
+            .expect("committed victim must survive");
+        cross_validate(&repo, victim_rec.handle);
+    } else {
+        assert!(
+            repo.find_tree("victim").unwrap().is_none(),
+            "crash at {point:?}: interrupted load must be invisible"
+        );
+    }
+    committed
+}
+
+#[test]
+fn crash_during_wal_appends_recovers_committed_state() {
+    let mut interrupted = 0;
+    for n in [0u64, 1, 2, 3, 5, 9, 17, 33] {
+        if crash_scenario(CrashPoint::WalAppend(n)) == 1 {
+            interrupted += 1;
+        }
+    }
+    assert!(
+        interrupted >= 4,
+        "most WAL-append points must interrupt the load"
+    );
+}
+
+#[test]
+fn crash_during_evictions_recovers_committed_state() {
+    let mut interrupted = 0;
+    for n in [0u64, 1, 2, 4, 8, 16, 32] {
+        if crash_scenario(CrashPoint::DataWrite(n)) == 1 {
+            interrupted += 1;
+        }
+    }
+    assert!(
+        interrupted >= 3,
+        "most data-write points must interrupt the load"
+    );
+}
+
+#[test]
+fn crash_before_checkpoint_truncation_replays_idempotently() {
+    let dir = tempdir().unwrap();
+    let path = dir.path().join("repo.crimson");
+    let base = tree_newick(90, 11);
+    {
+        let mut repo = Repository::create(&path, small_opts()).unwrap();
+        repo.load_newick("base", &base).unwrap();
+        repo.inject_crash(CrashPoint::CheckpointTruncate);
+        // The checkpoint wrote and fsynced the data file, then "died" before
+        // truncating the log; replaying the log must be harmless.
+        assert!(repo.flush().is_err());
+    }
+    let repo = Repository::open(&path, small_opts()).unwrap();
+    repo.integrity_check()
+        .expect("integrity after checkpoint crash");
+    let base_rec = repo.tree_by_name("base").unwrap();
+    cross_validate(&repo, base_rec.handle);
+    assert_eq!(repo.history_of_kind(QueryKind::Load).unwrap().len(), 1);
+}
+
+#[test]
+fn crash_during_gold_standard_load_loses_tree_and_species_together() {
+    use simulation::gold::GoldStandardBuilder;
+    let dir = tempdir().unwrap();
+    let path = dir.path().join("repo.crimson");
+    let gold = GoldStandardBuilder::new()
+        .leaves(40)
+        .sequence_length(60)
+        .seed(5)
+        .build()
+        .unwrap();
+    {
+        let mut repo = Repository::create(&path, small_opts()).unwrap();
+        repo.load_gold_standard("committed", &gold).unwrap();
+        // Crash partway through the second gold-standard load: the tree may
+        // already be inserted when the species inserts die, but the whole
+        // load is one transaction, so neither may survive.
+        repo.inject_crash(CrashPoint::WalAppend(2));
+        assert!(repo.load_gold_standard("victim", &gold).is_err());
+    }
+    let repo = Repository::open(&path, small_opts()).unwrap();
+    let integrity = repo.integrity_check().unwrap();
+    assert_eq!(integrity.trees, 1);
+    let committed = repo.tree_by_name("committed").unwrap();
+    assert_eq!(repo.species_count(committed.handle).unwrap(), 40);
+    assert!(repo.find_tree("victim").unwrap().is_none());
+    assert_eq!(integrity.species, 40, "no orphan species rows may survive");
+}
+
+#[test]
+fn clean_reopen_reports_empty_recovery() {
+    let dir = tempdir().unwrap();
+    let path = dir.path().join("repo.crimson");
+    {
+        let mut repo = Repository::create(&path, small_opts()).unwrap();
+        repo.load_newick("base", &tree_newick(40, 3)).unwrap();
+        repo.flush().unwrap();
+    }
+    let repo = Repository::open(&path, small_opts()).unwrap();
+    let report = repo
+        .recovery_report()
+        .expect("open of existing file reports recovery");
+    assert!(
+        !report.did_work(),
+        "a checkpointed file needs no recovery: {report:?}"
+    );
+    repo.integrity_check().unwrap();
+}
+
+#[test]
+fn reopen_without_flush_replays_the_load() {
+    let dir = tempdir().unwrap();
+    let path = dir.path().join("repo.crimson");
+    {
+        let mut repo = Repository::create(&path, small_opts()).unwrap();
+        repo.load_newick("base", &tree_newick(120, 13)).unwrap();
+        // No flush: commit durability comes from the WAL alone.
+    }
+    let repo = Repository::open(&path, small_opts()).unwrap();
+    let report = repo.recovery_report().unwrap();
+    assert!(report.committed_txns >= 1);
+    assert!(report.pages_redone > 0);
+    repo.integrity_check().unwrap();
+    let base = repo.tree_by_name("base").unwrap();
+    cross_validate(&repo, base.handle);
+}

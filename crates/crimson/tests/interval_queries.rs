@@ -17,11 +17,18 @@ use rand::prelude::*;
 use simulation::birth_death::yule_tree;
 use tempfile::tempdir;
 
-fn fresh_repo(tree: &Tree, frame_depth: usize, pages: usize) -> (tempfile::TempDir, Repository, TreeHandle) {
+fn fresh_repo(
+    tree: &Tree,
+    frame_depth: usize,
+    pages: usize,
+) -> (tempfile::TempDir, Repository, TreeHandle) {
     let dir = tempdir().unwrap();
     let mut repo = Repository::create(
         dir.path().join("repo.crimson"),
-        RepositoryOptions { frame_depth, buffer_pool_pages: pages },
+        RepositoryOptions {
+            frame_depth,
+            buffer_pool_pages: pages,
+        },
     )
     .unwrap();
     let handle = repo.load_tree("t", tree).unwrap();
@@ -38,7 +45,11 @@ fn tree_from_shape(shape: &[usize]) -> Tree {
     for (i, &s) in shape.iter().enumerate() {
         let parent = ids[s % (i + 1)];
         let child = tree
-            .add_child(parent, Some(format!("n{}", i + 1)), Some((s % 7) as f64 * 0.5 + 0.1))
+            .add_child(
+                parent,
+                Some(format!("n{}", i + 1)),
+                Some((s % 7) as f64 * 0.5 + 0.1),
+            )
             .unwrap();
         ids.push(child);
     }
@@ -63,7 +74,11 @@ fn interval_lca_matches_label_walk_on_random_trees() {
 
         // Random stored-node pairs: leaves and internals alike.
         let clade = repo.minimal_spanning_clade(&[rec.root]).unwrap();
-        assert_eq!(clade.len(), tree.node_count(), "case {case}: root clade is the whole tree");
+        assert_eq!(
+            clade.len(),
+            tree.node_count(),
+            "case {case}: root clade is the whole tree"
+        );
         for _ in 0..60 {
             let a = clade[rng.gen_range(0..clade.len())];
             let b = clade[rng.gen_range(0..clade.len())];
@@ -88,8 +103,10 @@ fn interval_clade_and_projection_match_references_on_random_trees() {
         let leaves = repo.leaves(handle).unwrap();
 
         for set_size in [2usize, 3, 5] {
-            let set: Vec<StoredNodeId> =
-                leaves.choose_multiple(&mut rng, set_size.min(leaves.len())).copied().collect();
+            let set: Vec<StoredNodeId> = leaves
+                .choose_multiple(&mut rng, set_size.min(leaves.len()))
+                .copied()
+                .collect();
             let mut fast = repo.minimal_spanning_clade(&set).unwrap();
             let mut reference = repo.minimal_spanning_clade_reference(&set).unwrap();
             fast.sort();
@@ -119,8 +136,7 @@ fn projection_dense_and_sparse_paths_agree() {
     let leaves = repo.leaves(handle).unwrap();
     let mut rng = StdRng::seed_from_u64(9);
     for take in [2usize, 5, 20, 150, 290] {
-        let set: Vec<StoredNodeId> =
-            leaves.choose_multiple(&mut rng, take).copied().collect();
+        let set: Vec<StoredNodeId> = leaves.choose_multiple(&mut rng, take).copied().collect();
         let fast = repo.project(handle, &set).unwrap();
         let reference = repo.project_reference(handle, &set).unwrap();
         assert!(
@@ -199,9 +215,15 @@ fn repository_scan_stays_within_pool_capacity() {
     for &node in &clade {
         let _ = repo.node_record(node).unwrap();
         let (resident, capacity) = repo.buffer_utilization();
-        assert!(resident <= capacity, "resident {resident} exceeded capacity {capacity}");
+        assert!(
+            resident <= capacity,
+            "resident {resident} exceeded capacity {capacity}"
+        );
     }
-    assert!(repo.buffer_stats().evictions > 0, "a scan larger than the pool must evict");
+    assert!(
+        repo.buffer_stats().evictions > 0,
+        "a scan larger than the pool must evict"
+    );
 }
 
 #[test]

@@ -52,8 +52,10 @@ impl FlatDewey {
 
     /// Render a label the way the paper writes them, e.g. `(2.1.1)`.
     pub fn label_string(&self, node: NodeId) -> String {
-        let parts: Vec<String> =
-            self.labels[node.index()].iter().map(|c| c.to_string()).collect();
+        let parts: Vec<String> = self.labels[node.index()]
+            .iter()
+            .map(|c| c.to_string())
+            .collect();
         format!("({})", parts.join("."))
     }
 

@@ -98,7 +98,10 @@ impl Layer {
 
     /// The label of a layer node.
     pub fn label(&self, node: u32) -> HierLabel {
-        HierLabel { frame: self.frame_of[node as usize], path: self.labels[node as usize].clone() }
+        HierLabel {
+            frame: self.frame_of[node as usize],
+            path: self.labels[node as usize].clone(),
+        }
     }
 }
 
@@ -118,7 +121,10 @@ impl HierarchicalDewey {
         let n = tree.node_count();
         let mut layers = Vec::new();
         if n == 0 {
-            return HierarchicalDewey { frame_depth: f, layers };
+            return HierarchicalDewey {
+                frame_depth: f,
+                layers,
+            };
         }
 
         // ---- Layer 0: decompose the original tree. -----------------------
@@ -156,7 +162,10 @@ impl HierarchicalDewey {
             layers.push(layer);
         }
 
-        HierarchicalDewey { frame_depth: f, layers }
+        HierarchicalDewey {
+            frame_depth: f,
+            layers,
+        }
     }
 
     /// The frame depth `f` the index was built with.
@@ -196,8 +205,11 @@ impl HierarchicalDewey {
         let prefix = la.iter().zip(lb.iter()).take_while(|(x, y)| x == y).count();
         // Walk up from the node whose local depth is smaller (or either if
         // equal) until its local depth equals the prefix length.
-        let (mut node, depth) =
-            if la.len() <= lb.len() { (a, la.len()) } else { (b, lb.len()) };
+        let (mut node, depth) = if la.len() <= lb.len() {
+            (a, la.len())
+        } else {
+            (b, lb.len())
+        };
         for _ in prefix..depth {
             node = layer.parents[node as usize].expect("local depth > 0 implies a parent");
         }
@@ -218,7 +230,9 @@ impl HierarchicalDewey {
                 .parent_frame
                 .expect("target frame must be an ancestor of the node's frame");
             if parent == target_frame {
-                return info.source.expect("non-root frames always record a source node");
+                return info
+                    .source
+                    .expect("non-root frames always record a source node");
             }
             frame = parent;
         }
@@ -268,9 +282,7 @@ impl LcaScheme for HierarchicalDewey {
         if self.layers.is_empty() {
             return LabelStats::from_sizes(std::iter::empty());
         }
-        LabelStats::from_sizes(
-            self.layers[0].labels.iter().map(|path| 4 + path.len() * 4),
-        )
+        LabelStats::from_sizes(self.layers[0].labels.iter().map(|path| 4 + path.len() * 4))
     }
 }
 
@@ -291,7 +303,11 @@ fn decompose_layer(
     let mut stack: Vec<(u32, usize)> = Vec::new();
     for &root in roots {
         let fid = frames.len() as u32;
-        frames.push(FrameInfo { root, parent_frame: None, source: None });
+        frames.push(FrameInfo {
+            root,
+            parent_frame: None,
+            source: None,
+        });
         frame_of[root as usize] = fid;
         labels[root as usize] = Vec::new();
         stack.push((root, 0));
@@ -319,7 +335,12 @@ fn decompose_layer(
             }
         }
     }
-    Layer { parents: parents.to_vec(), frame_of, labels, frames }
+    Layer {
+        parents: parents.to_vec(),
+        frame_of,
+        labels,
+        frames,
+    }
 }
 
 #[cfg(test)]
@@ -413,7 +434,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let ids: Vec<NodeId> = tree.node_ids().collect();
         let pairs: Vec<(NodeId, NodeId)> = (0..500)
-            .map(|_| (ids[rng.gen_range(0..ids.len())], ids[rng.gen_range(0..ids.len())]))
+            .map(|_| {
+                (
+                    ids[rng.gen_range(0..ids.len())],
+                    ids[rng.gen_range(0..ids.len())],
+                )
+            })
             .collect();
         validate_against_reference(&h, &tree, &pairs).unwrap();
     }

@@ -141,7 +141,11 @@ impl IntervalLabels {
             }
             end[node.index()] = e;
         }
-        IntervalLabels { start, end, parents }
+        IntervalLabels {
+            start,
+            end,
+            parents,
+        }
     }
 
     /// The `[start, end]` interval of a node.
@@ -226,7 +230,10 @@ mod tests {
             assert!(s <= e);
             if let Some(p) = tree.parent(node) {
                 let (ps, pe) = iv.interval(p);
-                assert!(ps < s && e <= pe, "child interval must nest inside the parent's");
+                assert!(
+                    ps < s && e <= pe,
+                    "child interval must nest inside the parent's"
+                );
             }
         }
     }
@@ -299,13 +306,15 @@ mod tests {
         let tree = caterpillar(30, 1.0);
         let iv = IntervalLabels::build(&tree);
         let entries = iv.entries(&tree);
-        let mut keys: Vec<Vec<u8>> =
-            entries.iter().map(|e| e.encode_key(7).to_vec()).collect();
+        let mut keys: Vec<Vec<u8>> = entries.iter().map(|e| e.encode_key(7).to_vec()).collect();
         for (entry, key) in entries.iter().zip(&keys) {
             let (tree_id, back) = IntervalEntry::decode_key(key).unwrap();
             assert_eq!(tree_id, 7);
             assert_eq!(&back, entry);
-            assert_eq!(&key[..INTERVAL_KEY_PREFIX], &interval_key_prefix(7, entry.pre));
+            assert_eq!(
+                &key[..INTERVAL_KEY_PREFIX],
+                &interval_key_prefix(7, entry.pre)
+            );
         }
         // Byte order == (tree, pre) order.
         let sorted = keys.clone();

@@ -18,8 +18,7 @@ pub struct ParentPointers {
 impl ParentPointers {
     /// Capture parent pointers and depths from `tree`.
     pub fn build(tree: &Tree) -> Self {
-        let parents: Vec<Option<NodeId>> =
-            tree.node_ids().map(|id| tree.parent(id)).collect();
+        let parents: Vec<Option<NodeId>> = tree.node_ids().map(|id| tree.parent(id)).collect();
         let depths: Vec<u32> = tree.all_depths().into_iter().map(|d| d as u32).collect();
         ParentPointers { parents, depths }
     }

@@ -31,7 +31,11 @@ impl LabelStats {
             nodes,
             total_bytes: total,
             max_bytes: max,
-            mean_bytes: if nodes == 0 { 0.0 } else { total as f64 / nodes as f64 },
+            mean_bytes: if nodes == 0 {
+                0.0
+            } else {
+                total as f64 / nodes as f64
+            },
         }
     }
 }

@@ -18,7 +18,11 @@ pub fn tree_from_shape(shape: &[usize]) -> Tree {
     for (i, &s) in shape.iter().enumerate() {
         let parent = ids[s % (i + 1)];
         let child = tree
-            .add_child(parent, Some(format!("n{}", i + 1)), Some((s % 7) as f64 * 0.5 + 0.1))
+            .add_child(
+                parent,
+                Some(format!("n{}", i + 1)),
+                Some((s % 7) as f64 * 0.5 + 0.1),
+            )
             .expect("parent id is valid");
         ids.push(child);
     }
@@ -59,10 +63,26 @@ fn all_schemes_agree_with_reference() {
 
         for &(a, b) in &pairs {
             let expected = tree.lca(a, b);
-            assert_eq!(flat.lca(a, b), expected, "case {case}: flat-dewey lca({a}, {b})");
-            assert_eq!(hier.lca(a, b), expected, "case {case}: hierarchical lca({a}, {b}) f={f}");
-            assert_eq!(interval.lca(a, b), expected, "case {case}: interval lca({a}, {b})");
-            assert_eq!(parent.lca(a, b), expected, "case {case}: parent lca({a}, {b})");
+            assert_eq!(
+                flat.lca(a, b),
+                expected,
+                "case {case}: flat-dewey lca({a}, {b})"
+            );
+            assert_eq!(
+                hier.lca(a, b),
+                expected,
+                "case {case}: hierarchical lca({a}, {b}) f={f}"
+            );
+            assert_eq!(
+                interval.lca(a, b),
+                expected,
+                "case {case}: interval lca({a}, {b})"
+            );
+            assert_eq!(
+                parent.lca(a, b),
+                expected,
+                "case {case}: parent lca({a}, {b})"
+            );
 
             let expected_anc = tree.is_ancestor(a, b);
             assert_eq!(flat.is_ancestor(a, b), expected_anc, "case {case}");
@@ -82,7 +102,10 @@ fn hierarchical_labels_always_bounded() {
         let tree = tree_from_shape(&shape);
         let hier = HierarchicalDewey::build(&tree, f);
         for node in tree.node_ids() {
-            assert!(hier.label(node).path.len() < f, "case {case}: label exceeds frame depth");
+            assert!(
+                hier.label(node).path.len() < f,
+                "case {case}: label exceeds frame depth"
+            );
         }
         assert!(hier.stats().max_bytes <= 4 + (f - 1) * 4, "case {case}");
     }

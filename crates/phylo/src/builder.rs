@@ -151,7 +151,9 @@ pub fn balanced_binary(levels: usize, edge_len: f64) -> Tree {
         frontier = next;
     }
     for (i, leaf) in frontier.into_iter().enumerate() {
-        b.tree_mut().set_name(leaf, format!("T{i}")).expect("leaf exists");
+        b.tree_mut()
+            .set_name(leaf, format!("T{i}"))
+            .expect("leaf exists");
     }
     b.finish()
 }

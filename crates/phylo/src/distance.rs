@@ -21,7 +21,10 @@ impl DistanceMatrix {
     /// Create a zeroed matrix over the given taxa.
     pub fn zeroed(taxa: Vec<String>) -> Self {
         let n = taxa.len();
-        DistanceMatrix { taxa, values: vec![0.0; n * n] }
+        DistanceMatrix {
+            taxa,
+            values: vec![0.0; n * n],
+        }
     }
 
     /// Number of taxa.
@@ -105,13 +108,17 @@ pub fn patristic_distance(tree: &Tree, a: NodeId, b: NodeId) -> f64 {
 /// Runs in O(n · depth) using per-leaf root paths; adequate for the sample
 /// sizes reconstruction algorithms can handle (≤ a few thousand taxa).
 pub fn patristic_matrix(tree: &Tree) -> Result<DistanceMatrix, PhyloError> {
-    let leaves: Vec<NodeId> =
-        tree.leaf_ids().filter(|&id| tree.name(id).is_some()).collect();
+    let leaves: Vec<NodeId> = tree
+        .leaf_ids()
+        .filter(|&id| tree.name(id).is_some())
+        .collect();
     if leaves.is_empty() {
         return Err(PhyloError::EmptyTree);
     }
-    let taxa: Vec<String> =
-        leaves.iter().map(|&id| tree.name(id).expect("filtered").to_string()).collect();
+    let taxa: Vec<String> = leaves
+        .iter()
+        .map(|&id| tree.name(id).expect("filtered").to_string())
+        .collect();
     let mut m = DistanceMatrix::zeroed(taxa);
 
     // Pre-compute root distances once, then pairwise LCAs via the Euler-free
@@ -122,8 +129,7 @@ pub fn patristic_matrix(tree: &Tree) -> Result<DistanceMatrix, PhyloError> {
     for i in 0..leaves.len() {
         for j in (i + 1)..leaves.len() {
             let lca = lca_with_depths(tree, &depths, leaves[i], leaves[j]);
-            let d = dist[leaves[i].index()] + dist[leaves[j].index()]
-                - 2.0 * dist[lca.index()];
+            let d = dist[leaves[i].index()] + dist[leaves[j].index()] - 2.0 * dist[lca.index()];
             m.set(i, j, d);
         }
     }
@@ -151,9 +157,13 @@ fn lca_with_depths(tree: &Tree, depths: &[usize], a: NodeId, b: NodeId) -> NodeI
 /// Leaf-name set difference helper used when aligning matrices to trees:
 /// returns names present in the matrix but missing from the tree.
 pub fn missing_taxa(matrix: &DistanceMatrix, tree: &Tree) -> Vec<String> {
-    let tree_names: std::collections::HashSet<String> =
-        tree.leaf_names().into_iter().collect();
-    matrix.taxa.iter().filter(|t| !tree_names.contains(*t)).cloned().collect()
+    let tree_names: std::collections::HashSet<String> = tree.leaf_names().into_iter().collect();
+    matrix
+        .taxa
+        .iter()
+        .filter(|t| !tree_names.contains(*t))
+        .cloned()
+        .collect()
 }
 
 #[cfg(test)]

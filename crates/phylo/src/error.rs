@@ -34,7 +34,10 @@ impl fmt::Display for PhyloError {
             PhyloError::UnknownLeaf(name) => write!(f, "unknown leaf name `{name}`"),
             PhyloError::WouldCreateCycle => write!(f, "operation would create a cycle"),
             PhyloError::TooFewLeaves { required, actual } => {
-                write!(f, "operation requires at least {required} leaves, got {actual}")
+                write!(
+                    f,
+                    "operation requires at least {required} leaves, got {actual}"
+                )
             }
             PhyloError::DuplicateName(name) => write!(f, "duplicate taxon name `{name}`"),
             PhyloError::Parse(e) => write!(f, "parse error: {e}"),
@@ -64,13 +67,21 @@ pub struct ParseError {
 impl ParseError {
     /// Create a new parse error at the given byte offset / line.
     pub fn new(offset: usize, line: usize, message: impl Into<String>) -> Self {
-        ParseError { offset, line, message: message.into() }
+        ParseError {
+            offset,
+            line,
+            message: message.into(),
+        }
     }
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}, offset {}: {}", self.line, self.offset, self.message)
+        write!(
+            f,
+            "line {}, offset {}: {}",
+            self.line, self.offset, self.message
+        )
     }
 }
 
@@ -88,7 +99,10 @@ mod tests {
 
     #[test]
     fn display_too_few_leaves() {
-        let e = PhyloError::TooFewLeaves { required: 2, actual: 1 };
+        let e = PhyloError::TooFewLeaves {
+            required: 2,
+            actual: 1,
+        };
         assert!(e.to_string().contains("at least 2"));
     }
 

@@ -68,7 +68,11 @@ pub struct WriteOptions {
 
 impl Default for WriteOptions {
     fn default() -> Self {
-        WriteOptions { branch_lengths: true, internal_names: true, precision: 6 }
+        WriteOptions {
+            branch_lengths: true,
+            internal_names: true,
+            precision: 6,
+        }
     }
 }
 
@@ -77,7 +81,9 @@ impl Default for WriteOptions {
 /// The writer is an explicit `(node, next child index)` state machine so it
 /// never recurses, even on million-level trees.
 pub fn write_with_options(tree: &Tree, opts: &WriteOptions) -> String {
-    let Some(root) = tree.root() else { return ";".to_string() };
+    let Some(root) = tree.root() else {
+        return ";".to_string();
+    };
     let mut out = String::with_capacity(tree.node_count() * 8);
     // (node, next child index)
     let mut stack: Vec<(NodeId, usize)> = vec![(root, 0)];
@@ -133,7 +139,10 @@ fn trim_float(s: &str) -> String {
         return s.to_string();
     }
     let t = s.trim_end_matches('0');
-    let t = t.strip_suffix('.').map(|p| format!("{p}.0")).unwrap_or_else(|| t.to_string());
+    let t = t
+        .strip_suffix('.')
+        .map(|p| format!("{p}.0"))
+        .unwrap_or_else(|| t.to_string());
     t
 }
 
@@ -156,7 +165,11 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(input: &'a str) -> Self {
-        Parser { bytes: input.as_bytes(), pos: 0, line: 1 }
+        Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
     }
 
     fn error(&self, msg: impl Into<String>) -> ParseError {
@@ -246,8 +259,9 @@ impl<'a> Parser<'a> {
                             .ok_or_else(|| self.error("')' without matching '('"))?;
                         tree.add_child(parent, None, None).expect("parent exists");
                     }
-                    let closed =
-                        open.pop().ok_or_else(|| self.error("')' without matching '('"))?;
+                    let closed = open
+                        .pop()
+                        .ok_or_else(|| self.error("')' without matching '('"))?;
                     last = Some(closed);
                     expect_node = false;
                     // Optional label / branch length handled by subsequent
@@ -345,7 +359,8 @@ impl<'a> Parser<'a> {
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.error("branch length is not valid UTF-8"))?;
-        text.parse::<f64>().map_err(|_| self.error(format!("invalid branch length `{text}`")))
+        text.parse::<f64>()
+            .map_err(|_| self.error(format!("invalid branch length `{text}`")))
     }
 
     fn parse_label(&mut self) -> Result<String, ParseError> {
@@ -496,7 +511,8 @@ mod tests {
     fn writer_quotes_awkward_names() {
         let mut t = Tree::new();
         let r = t.add_node();
-        t.add_child(r, Some("needs space".into()), Some(1.0)).unwrap();
+        t.add_child(r, Some("needs space".into()), Some(1.0))
+            .unwrap();
         t.add_child(r, Some("a:b".into()), None).unwrap();
         let text = write(&t);
         assert!(text.contains("'needs space'"));
@@ -512,8 +528,13 @@ mod tests {
         let r = t.add_node();
         t.add_child(r, Some("A".into()), Some(1.0 / 3.0)).unwrap();
         t.add_child(r, Some("B".into()), Some(2.0)).unwrap();
-        let text =
-            write_with_options(&t, &WriteOptions { precision: 2, ..WriteOptions::default() });
+        let text = write_with_options(
+            &t,
+            &WriteOptions {
+                precision: 2,
+                ..WriteOptions::default()
+            },
+        );
         assert!(text.contains("A:0.33"), "got {text}");
         assert!(text.contains("B:2.0"), "got {text}");
     }
@@ -523,7 +544,11 @@ mod tests {
         let t = parse("((A:1,B:2)AB:3,C:4)Root;").unwrap();
         let text = write_with_options(
             &t,
-            &WriteOptions { branch_lengths: false, internal_names: false, precision: 6 },
+            &WriteOptions {
+                branch_lengths: false,
+                internal_names: false,
+                precision: 6,
+            },
         );
         assert_eq!(text, "((A,B),C);");
     }

@@ -57,7 +57,11 @@ impl NexusDocument {
 
     /// Add a tree under a name.
     pub fn push_tree(&mut self, name: impl Into<String>, tree: Tree) {
-        self.trees.push(NamedTree { name: name.into(), rooted: true, tree });
+        self.trees.push(NamedTree {
+            name: name.into(),
+            rooted: true,
+            tree,
+        });
     }
 
     /// Add a sequence for a taxon (also records the taxon label).
@@ -117,10 +121,16 @@ pub fn write(doc: &NexusDocument) -> String {
     }
 
     if !doc.sequences.is_empty() {
-        let nchar =
-            doc.nchar.unwrap_or_else(|| doc.sequences.values().map(|s| s.len()).max().unwrap_or(0));
+        let nchar = doc
+            .nchar
+            .unwrap_or_else(|| doc.sequences.values().map(|s| s.len()).max().unwrap_or(0));
         out.push_str("BEGIN DATA;\n");
-        let _ = writeln!(out, "    DIMENSIONS NTAX={} NCHAR={};", doc.sequences.len(), nchar);
+        let _ = writeln!(
+            out,
+            "    DIMENSIONS NTAX={} NCHAR={};",
+            doc.sequences.len(),
+            nchar
+        );
         let datatype = doc.datatype.clone().unwrap_or_else(|| "DNA".to_string());
         let _ = writeln!(out, "    FORMAT DATATYPE={} MISSING=? GAP=-;", datatype);
         out.push_str("    MATRIX\n");
@@ -132,8 +142,12 @@ pub fn write(doc: &NexusDocument) -> String {
                 emitted.push(t.clone());
             }
         }
-        let mut rest: Vec<_> =
-            doc.sequences.keys().filter(|k| !emitted.contains(k)).cloned().collect();
+        let mut rest: Vec<_> = doc
+            .sequences
+            .keys()
+            .filter(|k| !emitted.contains(k))
+            .cloned()
+            .collect();
         rest.sort();
         for t in rest {
             let _ = writeln!(out, "        {} {}", quote_token(&t), doc.sequences[&t]);
@@ -159,7 +173,9 @@ pub fn write(doc: &NexusDocument) -> String {
 }
 
 fn quote_token(s: &str) -> String {
-    if s.chars().any(|c| c.is_whitespace() || "();,=[]'".contains(c)) {
+    if s.chars()
+        .any(|c| c.is_whitespace() || "();,=[]'".contains(c))
+    {
         format!("'{}'", s.replace('\'', "''"))
     } else {
         s.to_string()
@@ -245,8 +261,9 @@ fn parse_trees_block(lexer: &mut Lexer<'_>, doc: &mut NexusDocument) -> Result<(
             if !text.ends_with(';') {
                 text.push(';');
             }
-            let mut tree = newick::parse(&text)
-                .map_err(|e| ParseError::new(e.offset, e.line, format!("in TREE {name}: {}", e.message)))?;
+            let mut tree = newick::parse(&text).map_err(|e| {
+                ParseError::new(e.offset, e.line, format!("in TREE {name}: {}", e.message))
+            })?;
             if !translate.is_empty() {
                 apply_translate(&mut tree, &translate);
             }
@@ -309,7 +326,10 @@ fn parse_data_block(lexer: &mut Lexer<'_>, doc: &mut NexusDocument) -> Result<()
                 }
                 let taxon = trim_token(&taxon);
                 let seq = seq.trim_end_matches(';').to_string();
-                doc.sequences.entry(taxon.clone()).and_modify(|s| s.push_str(&seq)).or_insert(seq);
+                doc.sequences
+                    .entry(taxon.clone())
+                    .and_modify(|s| s.push_str(&seq))
+                    .or_insert(seq);
                 if !doc.taxa.contains(&taxon) {
                     doc.taxa.push(taxon);
                 }
@@ -351,7 +371,11 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(input: &'a str) -> Self {
-        Lexer { bytes: input.as_bytes(), pos: 0, line: 1 }
+        Lexer {
+            bytes: input.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
     }
 
     fn error(&self, msg: impl Into<String>) -> ParseError {
@@ -515,7 +539,11 @@ END;
         assert_eq!(doc.trees.len(), 1);
         assert_eq!(doc.trees[0].name, "gold");
         assert!(doc.trees[0].rooted);
-        assert!(isomorphic_with_lengths(&doc.trees[0].tree, &figure1_tree(), 1e-9));
+        assert!(isomorphic_with_lengths(
+            &doc.trees[0].tree,
+            &figure1_tree(),
+            1e-9
+        ));
     }
 
     #[test]
@@ -526,7 +554,11 @@ END;
         assert_eq!(back.taxa, doc.taxa);
         assert_eq!(back.sequences, doc.sequences);
         assert_eq!(back.trees.len(), 1);
-        assert!(isomorphic_with_lengths(&back.trees[0].tree, &doc.trees[0].tree, 1e-9));
+        assert!(isomorphic_with_lengths(
+            &back.trees[0].tree,
+            &doc.trees[0].tree,
+            1e-9
+        ));
     }
 
     #[test]
@@ -571,8 +603,7 @@ END;
 
     #[test]
     fn quoted_taxa_names() {
-        let text =
-            "#NEXUS\nBEGIN TAXA;\n TAXLABELS 'Homo sapiens' 'E. coli';\nEND;\n";
+        let text = "#NEXUS\nBEGIN TAXA;\n TAXLABELS 'Homo sapiens' 'E. coli';\nEND;\n";
         let doc = parse(text).unwrap();
         assert_eq!(doc.taxa, vec!["Homo sapiens", "E. coli"]);
     }

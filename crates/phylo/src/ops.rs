@@ -21,7 +21,8 @@ pub fn extract_subtree(tree: &Tree, root: NodeId) -> Tree {
         out.set_name(new_root, name).expect("new root exists");
     }
     if let Some(bl) = tree.branch_length(root) {
-        out.set_branch_length(new_root, bl).expect("new root exists");
+        out.set_branch_length(new_root, bl)
+            .expect("new root exists");
     }
     // Iterative copy to stay safe on very deep trees.
     let mut stack = vec![(root, new_root)];
@@ -45,7 +46,10 @@ pub fn extract_subtree(tree: &Tree, root: NodeId) -> Tree {
 /// No unary suppression is performed; see [`suppress_unary`] / [`project`].
 pub fn induced_subtree(tree: &Tree, leaves: &[NodeId]) -> Result<Tree, PhyloError> {
     if leaves.is_empty() {
-        return Err(PhyloError::TooFewLeaves { required: 1, actual: 0 });
+        return Err(PhyloError::TooFewLeaves {
+            required: 1,
+            actual: 0,
+        });
     }
     for &l in leaves {
         tree.try_node(l)?;
@@ -65,7 +69,9 @@ pub fn induced_subtree(tree: &Tree, leaves: &[NodeId]) -> Result<Tree, PhyloErro
             if cur == lca {
                 break;
             }
-            cur = tree.parent(cur).expect("walked past the root before reaching the LCA");
+            cur = tree
+                .parent(cur)
+                .expect("walked past the root before reaching the LCA");
         }
     }
     // Copy the kept nodes in pre-order from the LCA.
@@ -81,9 +87,15 @@ pub fn induced_subtree(tree: &Tree, leaves: &[NodeId]) -> Result<Tree, PhyloErro
             continue;
         }
         let parent = tree.parent(node).expect("non-root kept node has a parent");
-        let new_parent = *map.get(&parent).expect("pre-order guarantees the parent was copied");
+        let new_parent = *map
+            .get(&parent)
+            .expect("pre-order guarantees the parent was copied");
         let copied = out
-            .add_child(new_parent, tree.name(node).map(|s| s.to_string()), tree.branch_length(node))
+            .add_child(
+                new_parent,
+                tree.name(node).map(|s| s.to_string()),
+                tree.branch_length(node),
+            )
             .expect("parent exists");
         map.insert(node, copied);
     }
@@ -100,7 +112,9 @@ pub fn induced_subtree(tree: &Tree, leaves: &[NodeId]) -> Result<Tree, PhyloErro
 ///
 /// Returns a *new* tree with dense node ids.
 pub fn suppress_unary(tree: &Tree) -> Tree {
-    let Some(root) = tree.root() else { return Tree::new() };
+    let Some(root) = tree.root() else {
+        return Tree::new();
+    };
 
     // Walk down from the root skipping unary chains.
     let mut effective_root = root;
@@ -212,13 +226,18 @@ pub fn isomorphic(a: &Tree, b: &Tree) -> bool {
 /// lengths agree within `tol`.
 pub fn isomorphic_with_lengths(a: &Tree, b: &Tree, tol: f64) -> bool {
     fn signature(tree: &Tree, node: NodeId, tol: f64) -> String {
-        let bl = tree.branch_length(node).map(|l| format!("{:.*}", decimals(tol), l));
+        let bl = tree
+            .branch_length(node)
+            .map(|l| format!("{:.*}", decimals(tol), l));
         let bl = bl.unwrap_or_default();
         if tree.is_leaf(node) {
             return format!("{}:{}", tree.name(node).unwrap_or(""), bl);
         }
-        let mut parts: Vec<String> =
-            tree.children(node).iter().map(|&c| signature(tree, c, tol)).collect();
+        let mut parts: Vec<String> = tree
+            .children(node)
+            .iter()
+            .map(|&c| signature(tree, c, tol))
+            .collect();
         parts.sort();
         format!("({}):{}", parts.join(","), bl)
     }
@@ -255,12 +274,14 @@ pub fn degree_histogram(tree: &Tree) -> HashMap<usize, usize> {
 
 /// `true` if no interior node has out-degree 1 (reconstruction-style tree).
 pub fn is_unary_free(tree: &Tree) -> bool {
-    tree.node_ids().all(|id| tree.is_leaf(id) || tree.degree(id) != 1)
+    tree.node_ids()
+        .all(|id| tree.is_leaf(id) || tree.degree(id) != 1)
 }
 
 /// `true` if every interior node has out-degree exactly 2.
 pub fn is_binary(tree: &Tree) -> bool {
-    tree.node_ids().all(|id| tree.is_leaf(id) || tree.degree(id) == 2)
+    tree.node_ids()
+        .all(|id| tree.is_leaf(id) || tree.degree(id) == 2)
 }
 
 /// Relabel a tree's leaves using the provided map (names not present in the
@@ -476,8 +497,10 @@ mod tests {
         // Root distances from the projection root equal original distances
         // minus the (constant) distance from the original root to the LCA.
         let orig_lca = {
-            let ids: Vec<NodeId> =
-                refs.iter().map(|n| t.find_leaf_by_name(n).unwrap()).collect();
+            let ids: Vec<NodeId> = refs
+                .iter()
+                .map(|n| t.find_leaf_by_name(n).unwrap())
+                .collect();
             let mut l = ids[0];
             for &x in &ids[1..] {
                 l = t.lca(l, x);
@@ -488,7 +511,10 @@ mod tests {
         for name in &refs {
             let orig = t.root_distance(t.find_leaf_by_name(name).unwrap());
             let proj = p.root_distance(p.find_leaf_by_name(name).unwrap());
-            assert!((orig - offset - proj).abs() < 1e-9, "distance mismatch for {name}");
+            assert!(
+                (orig - offset - proj).abs() < 1e-9,
+                "distance mismatch for {name}"
+            );
         }
     }
 }

@@ -51,10 +51,16 @@ pub fn ascii(tree: &Tree) -> String {
 
 /// Render with explicit [`RenderOptions`].
 pub fn ascii_with_options(tree: &Tree, opts: &RenderOptions) -> String {
-    let Some(root) = tree.root() else { return String::from("(empty tree)\n") };
+    let Some(root) = tree.root() else {
+        return String::from("(empty tree)\n");
+    };
     let mut out = String::new();
     let mut printed = 0usize;
-    let distances = if opts.root_distances { Some(tree.all_root_distances()) } else { None };
+    let distances = if opts.root_distances {
+        Some(tree.all_root_distances())
+    } else {
+        None
+    };
 
     // Iterative DFS carrying the prefix string and whether the node is the
     // last child of its parent.
@@ -102,8 +108,10 @@ pub fn ascii_with_options(tree: &Tree, opts: &RenderOptions) -> String {
 
 /// A single-line summary of a tree: node/leaf counts, depth and total length.
 pub fn summary(tree: &Tree) -> String {
-    let total_length: f64 =
-        tree.node_ids().map(|id| tree.branch_length(id).unwrap_or(0.0)).sum();
+    let total_length: f64 = tree
+        .node_ids()
+        .map(|id| tree.branch_length(id).unwrap_or(0.0))
+        .sum();
     format!(
         "nodes={} leaves={} depth={} total_branch_length={}",
         tree.node_count(),
@@ -163,15 +171,27 @@ mod tests {
         let t = figure1_tree();
         let text = ascii_with_options(
             &t,
-            &RenderOptions { root_distances: true, ..RenderOptions::default() },
+            &RenderOptions {
+                root_distances: true,
+                ..RenderOptions::default()
+            },
         );
-        assert!(text.contains("(d=3)"), "expected cumulative distance for Lla/Spy:\n{text}");
+        assert!(
+            text.contains("(d=3)"),
+            "expected cumulative distance for Lla/Spy:\n{text}"
+        );
     }
 
     #[test]
     fn ascii_truncation() {
         let t = caterpillar(100, 1.0);
-        let text = ascii_with_options(&t, &RenderOptions { max_nodes: 10, ..Default::default() });
+        let text = ascii_with_options(
+            &t,
+            &RenderOptions {
+                max_nodes: 10,
+                ..Default::default()
+            },
+        );
         assert!(text.contains("truncated"));
         assert!(text.lines().count() <= 12);
     }

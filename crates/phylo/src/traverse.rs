@@ -120,31 +120,51 @@ pub trait Traverse {
 
 impl Traverse for Tree {
     fn preorder(&self) -> PreOrder<'_> {
-        PreOrder { tree: self, stack: self.root().into_iter().collect() }
+        PreOrder {
+            tree: self,
+            stack: self.root().into_iter().collect(),
+        }
     }
 
     fn preorder_from(&self, start: NodeId) -> PreOrder<'_> {
-        PreOrder { tree: self, stack: vec![start] }
+        PreOrder {
+            tree: self,
+            stack: vec![start],
+        }
     }
 
     fn postorder(&self) -> PostOrder<'_> {
-        PostOrder { tree: self, stack: self.root().map(|r| (r, 0)).into_iter().collect() }
+        PostOrder {
+            tree: self,
+            stack: self.root().map(|r| (r, 0)).into_iter().collect(),
+        }
     }
 
     fn postorder_from(&self, start: NodeId) -> PostOrder<'_> {
-        PostOrder { tree: self, stack: vec![(start, 0)] }
+        PostOrder {
+            tree: self,
+            stack: vec![(start, 0)],
+        }
     }
 
     fn levelorder(&self) -> LevelOrder<'_> {
-        LevelOrder { tree: self, queue: self.root().into_iter().collect() }
+        LevelOrder {
+            tree: self,
+            queue: self.root().into_iter().collect(),
+        }
     }
 
     fn ancestors(&self, node: NodeId) -> Ancestors<'_> {
-        Ancestors { tree: self, current: Some(node) }
+        Ancestors {
+            tree: self,
+            current: Some(node),
+        }
     }
 
     fn leaves_under(&self, start: NodeId) -> Vec<NodeId> {
-        self.preorder_from(start).filter(|&id| self.is_leaf(id)).collect()
+        self.preorder_from(start)
+            .filter(|&id| self.is_leaf(id))
+            .collect()
     }
 
     fn preorder_ranks(&self) -> Vec<usize> {

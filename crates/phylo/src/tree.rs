@@ -49,7 +49,12 @@ pub struct Node {
 
 impl Node {
     fn new() -> Self {
-        Node { parent: None, children: Vec::new(), name: None, branch_length: None }
+        Node {
+            parent: None,
+            children: Vec::new(),
+            name: None,
+            branch_length: None,
+        }
     }
 
     /// `true` when the node has no children.
@@ -81,12 +86,18 @@ impl Default for Tree {
 impl Tree {
     /// Create an empty tree with no nodes.
     pub fn new() -> Self {
-        Tree { nodes: Vec::new(), root: None }
+        Tree {
+            nodes: Vec::new(),
+            root: None,
+        }
     }
 
     /// Create an empty tree with capacity for `n` nodes.
     pub fn with_capacity(n: usize) -> Self {
-        Tree { nodes: Vec::with_capacity(n), root: None }
+        Tree {
+            nodes: Vec::with_capacity(n),
+            root: None,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -223,7 +234,9 @@ impl Tree {
 
     /// Borrow a node, returning an error for out-of-range ids.
     pub fn try_node(&self, id: NodeId) -> Result<&Node, PhyloError> {
-        self.nodes.get(id.index()).ok_or(PhyloError::InvalidNode(id.0))
+        self.nodes
+            .get(id.index())
+            .ok_or(PhyloError::InvalidNode(id.0))
     }
 
     /// Parent of `id`, or `None` for the root.
@@ -280,7 +293,9 @@ impl Tree {
 
     /// Collect the names of all leaves (unnamed leaves are skipped).
     pub fn leaf_names(&self) -> Vec<String> {
-        self.leaf_ids().filter_map(|id| self.name(id).map(|s| s.to_string())).collect()
+        self.leaf_ids()
+            .filter_map(|id| self.name(id).map(|s| s.to_string()))
+            .collect()
     }
 
     /// Find the first leaf whose name equals `name`.

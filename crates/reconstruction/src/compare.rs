@@ -32,7 +32,10 @@ pub enum CompareError {
 impl fmt::Display for CompareError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CompareError::LeafSetMismatch { only_in_a, only_in_b } => write!(
+            CompareError::LeafSetMismatch {
+                only_in_a,
+                only_in_b,
+            } => write!(
                 f,
                 "leaf sets differ (only in first: {only_in_a:?}; only in second: {only_in_b:?})"
             ),
@@ -102,7 +105,9 @@ fn leaf_index(tree: &Tree) -> Result<HashMap<String, usize>, CompareError> {
             .name(leaf)
             .ok_or_else(|| CompareError::BadLeaves(format!("leaf {leaf} is unnamed")))?;
         if map.insert(name.to_string(), i).is_some() {
-            return Err(CompareError::BadLeaves(format!("duplicate leaf name `{name}`")));
+            return Err(CompareError::BadLeaves(format!(
+                "duplicate leaf name `{name}`"
+            )));
         }
     }
     Ok(map)
@@ -119,7 +124,10 @@ fn check_same_leaves(
     let mut only_in_b: Vec<String> = b.keys().filter(|k| !a.contains_key(*k)).cloned().collect();
     only_in_a.sort();
     only_in_b.sort();
-    Err(CompareError::LeafSetMismatch { only_in_a, only_in_b })
+    Err(CompareError::LeafSetMismatch {
+        only_in_a,
+        only_in_b,
+    })
 }
 
 /// Compute, for every node, the bitset of leaf indices (according to `index`)
@@ -137,7 +145,10 @@ fn node_leafsets(tree: &Tree, index: &HashMap<String, usize>) -> HashMap<NodeId,
             }
         } else {
             for &c in tree.children(node) {
-                let child_set = sets.get(&c).expect("post-order visits children first").clone();
+                let child_set = sets
+                    .get(&c)
+                    .expect("post-order visits children first")
+                    .clone();
                 union_into(&mut set, &child_set);
             }
         }
@@ -161,7 +172,11 @@ fn splits(tree: &Tree, index: &HashMap<String, usize>) -> HashSet<LeafSet> {
         if size <= 1 || size >= n - 1 {
             continue; // trivial split
         }
-        let canonical = if get_bit(set, 0) { complement(set, n) } else { set.clone() };
+        let canonical = if get_bit(set, 0) {
+            complement(set, n)
+        } else {
+            set.clone()
+        };
         out.insert(canonical);
     }
     out
@@ -194,15 +209,29 @@ pub fn robinson_foulds(a: &Tree, b: &Tree) -> Result<RfResult, CompareError> {
     let ib = leaf_index(b)?;
     check_same_leaves(&ia, &ib)?;
     if ia.len() < 3 {
-        return Ok(RfResult { distance: 0, max_distance: 0, normalized: 0.0, shared: 0 });
+        return Ok(RfResult {
+            distance: 0,
+            max_distance: 0,
+            normalized: 0.0,
+            shared: 0,
+        });
     }
     let sa = splits(a, &ia);
     let sb = splits(b, &ia);
     let shared = sa.intersection(&sb).count();
     let distance = (sa.len() - shared) + (sb.len() - shared);
     let max_distance = sa.len() + sb.len();
-    let normalized = if max_distance == 0 { 0.0 } else { distance as f64 / max_distance as f64 };
-    Ok(RfResult { distance, max_distance, normalized, shared })
+    let normalized = if max_distance == 0 {
+        0.0
+    } else {
+        distance as f64 / max_distance as f64
+    };
+    Ok(RfResult {
+        distance,
+        max_distance,
+        normalized,
+        shared,
+    })
 }
 
 /// Robinson–Foulds distance over **rooted clades**; appropriate when both
@@ -217,8 +246,17 @@ pub fn rooted_robinson_foulds(a: &Tree, b: &Tree) -> Result<RfResult, CompareErr
     let shared = ca.intersection(&cb).count();
     let distance = (ca.len() - shared) + (cb.len() - shared);
     let max_distance = ca.len() + cb.len();
-    let normalized = if max_distance == 0 { 0.0 } else { distance as f64 / max_distance as f64 };
-    Ok(RfResult { distance, max_distance, normalized, shared })
+    let normalized = if max_distance == 0 {
+        0.0
+    } else {
+        distance as f64 / max_distance as f64
+    };
+    Ok(RfResult {
+        distance,
+        max_distance,
+        normalized,
+        shared,
+    })
 }
 
 /// Majority-rule consensus of a set of trees over the same leaf set: the tree
@@ -274,7 +312,8 @@ pub fn majority_consensus(trees: &[Tree]) -> Result<Tree, CompareError> {
         let mut single = empty_set(n);
         set_bit(&mut single, i);
         let parent = tightest_superset(&placed, &single);
-        tree.add_child(parent, Some(name.clone()), None).expect("parent exists");
+        tree.add_child(parent, Some(name.clone()), None)
+            .expect("parent exists");
     }
     Ok(tree)
 }
@@ -287,7 +326,7 @@ fn tightest_superset(placed: &[(LeafSet, NodeId)], target: &LeafSet) -> NodeId {
     for (clade, node) in placed {
         if is_superset(clade, target) {
             let size = count_bits(clade);
-            if best.map_or(true, |(bs, _)| size < bs) {
+            if best.is_none_or(|(bs, _)| size < bs) {
                 best = Some((size, *node));
             }
         }
@@ -310,10 +349,14 @@ pub fn triplet_distance(a: &Tree, b: &Tree) -> Result<f64, CompareError> {
     if names.len() < 3 {
         return Err(CompareError::TooFewLeaves(3));
     }
-    let leaves_a: Vec<NodeId> =
-        names.iter().map(|n| a.find_leaf_by_name(n).expect("leaf exists")).collect();
-    let leaves_b: Vec<NodeId> =
-        names.iter().map(|n| b.find_leaf_by_name(n).expect("leaf exists")).collect();
+    let leaves_a: Vec<NodeId> = names
+        .iter()
+        .map(|n| a.find_leaf_by_name(n).expect("leaf exists"))
+        .collect();
+    let leaves_b: Vec<NodeId> = names
+        .iter()
+        .map(|n| b.find_leaf_by_name(n).expect("leaf exists"))
+        .collect();
     let depths_a = a.all_depths();
     let depths_b = b.all_depths();
 
@@ -420,7 +463,10 @@ mod tests {
         let a = t("((A,B),C);");
         let b = t("((A,B),D);");
         match robinson_foulds(&a, &b) {
-            Err(CompareError::LeafSetMismatch { only_in_a, only_in_b }) => {
+            Err(CompareError::LeafSetMismatch {
+                only_in_a,
+                only_in_b,
+            }) => {
                 assert_eq!(only_in_a, vec!["C"]);
                 assert_eq!(only_in_b, vec!["D"]);
             }
@@ -434,7 +480,10 @@ mod tests {
         let r = a.add_node();
         a.add_child(r, None, None).unwrap();
         a.add_child(r, Some("X".into()), None).unwrap();
-        assert!(matches!(robinson_foulds(&a, &a.clone()), Err(CompareError::BadLeaves(_))));
+        assert!(matches!(
+            robinson_foulds(&a, &a.clone()),
+            Err(CompareError::BadLeaves(_))
+        ));
     }
 
     #[test]
@@ -451,7 +500,10 @@ mod tests {
         let a = t("((A,B),C);");
         let b = t("((A,C),B);");
         let d = triplet_distance(&a, &b).unwrap();
-        assert!((d - 1.0).abs() < 1e-12, "single triplet fully differs, got {d}");
+        assert!(
+            (d - 1.0).abs() < 1e-12,
+            "single triplet fully differs, got {d}"
+        );
         let c = t("(A,B,C);"); // unresolved
         let d2 = triplet_distance(&a, &c).unwrap();
         assert!((d2 - 1.0).abs() < 1e-12);
@@ -515,8 +567,7 @@ mod tests {
         // (they are siblings) — the difference shows up in branch lengths,
         // which RF ignores by design.
         let gold = figure1_tree();
-        let projection =
-            phylo::ops::project_by_names(&gold, &["Bha", "Lla", "Syn"]).unwrap();
+        let projection = phylo::ops::project_by_names(&gold, &["Bha", "Lla", "Syn"]).unwrap();
         let pattern = t("((Bha:0.75,Lla:1.5):1.5,Syn:2.5);");
         assert_eq!(robinson_foulds(&projection, &pattern).unwrap().distance, 0);
     }

@@ -40,11 +40,21 @@ impl fmt::Display for DistanceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DistanceError::TooFewSequences(n) => write!(f, "need at least 2 sequences, got {n}"),
-            DistanceError::UnequalLengths { taxon, len, expected } => {
-                write!(f, "sequence for `{taxon}` has length {len}, expected {expected}")
+            DistanceError::UnequalLengths {
+                taxon,
+                len,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "sequence for `{taxon}` has length {len}, expected {expected}"
+                )
             }
             DistanceError::Saturated { a, b, p } => {
-                write!(f, "pair ({a}, {b}) is saturated (p = {p:.3}); correction undefined")
+                write!(
+                    f,
+                    "pair ({a}, {b}) is saturated (p = {p:.3}); correction undefined"
+                )
             }
         }
     }
@@ -67,7 +77,11 @@ fn validate(sequences: &HashMap<String, String>) -> Result<Vec<String>, Distance
     for t in &taxa {
         let len = sequences[t].len();
         if len != expected {
-            return Err(DistanceError::UnequalLengths { taxon: t.clone(), len, expected });
+            return Err(DistanceError::UnequalLengths {
+                taxon: t.clone(),
+                len,
+                expected,
+            });
         }
     }
     Ok(taxa)
@@ -100,7 +114,10 @@ fn transition_transversion_fractions(a: &str, b: &str) -> (f64, f64) {
             transversions += 1;
         }
     }
-    (transitions as f64 / a.len() as f64, transversions as f64 / a.len() as f64)
+    (
+        transitions as f64 / a.len() as f64,
+        transversions as f64 / a.len() as f64,
+    )
 }
 
 /// Raw p-distance matrix (proportion of differing sites).
@@ -150,7 +167,8 @@ pub fn k2p_corrected_matrix(
     let mut m = DistanceMatrix::zeroed(taxa.clone());
     for i in 0..taxa.len() {
         for j in (i + 1)..taxa.len() {
-            let (p, q) = transition_transversion_fractions(&sequences[&taxa[i]], &sequences[&taxa[j]]);
+            let (p, q) =
+                transition_transversion_fractions(&sequences[&taxa[i]], &sequences[&taxa[j]]);
             let a = 1.0 - 2.0 * p - q;
             let b = 1.0 - 2.0 * q;
             if a <= 0.0 || b <= 0.0 {
@@ -171,7 +189,10 @@ mod tests {
     use super::*;
 
     fn seqs(pairs: &[(&str, &str)]) -> HashMap<String, String> {
-        pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
     }
 
     #[test]
@@ -193,7 +214,10 @@ mod tests {
         let praw = p.get_by_name("A", "B").unwrap();
         let pjc = jc.get_by_name("A", "B").unwrap();
         assert!(praw > 0.0);
-        assert!(pjc > praw, "JC correction must inflate the distance ({pjc} vs {praw})");
+        assert!(
+            pjc > praw,
+            "JC correction must inflate the distance ({pjc} vs {praw})"
+        );
     }
 
     #[test]
@@ -206,7 +230,10 @@ mod tests {
     #[test]
     fn saturation_detected() {
         let s = seqs(&[("A", "AAAA"), ("B", "CCCC")]);
-        assert!(matches!(jc_corrected_matrix(&s), Err(DistanceError::Saturated { .. })));
+        assert!(matches!(
+            jc_corrected_matrix(&s),
+            Err(DistanceError::Saturated { .. })
+        ));
     }
 
     #[test]
@@ -217,8 +244,14 @@ mod tests {
             ("A", "ACGTACGTACGTACGTACGTACGTACGTACGT"),
             ("B", "ACGTACGTACGTACGAACGTACGCACGTACGT"),
         ]);
-        let p = p_distance_matrix(&s).unwrap().get_by_name("A", "B").unwrap();
-        let k = k2p_corrected_matrix(&s).unwrap().get_by_name("A", "B").unwrap();
+        let p = p_distance_matrix(&s)
+            .unwrap()
+            .get_by_name("A", "B")
+            .unwrap();
+        let k = k2p_corrected_matrix(&s)
+            .unwrap()
+            .get_by_name("A", "B")
+            .unwrap();
         assert!(k >= p);
     }
 
@@ -233,7 +266,10 @@ mod tests {
     #[test]
     fn validation_errors() {
         let one = seqs(&[("A", "ACGT")]);
-        assert!(matches!(p_distance_matrix(&one), Err(DistanceError::TooFewSequences(1))));
+        assert!(matches!(
+            p_distance_matrix(&one),
+            Err(DistanceError::TooFewSequences(1))
+        ));
         let ragged = seqs(&[("A", "ACGT"), ("B", "AC")]);
         assert!(matches!(
             p_distance_matrix(&ragged),
@@ -243,7 +279,12 @@ mod tests {
 
     #[test]
     fn matrices_are_symmetric_with_zero_diagonal() {
-        let s = seqs(&[("A", "ACGTAC"), ("B", "ACGTAA"), ("C", "ACCTAA"), ("D", "GCCTAA")]);
+        let s = seqs(&[
+            ("A", "ACGTAC"),
+            ("B", "ACGTAA"),
+            ("C", "ACCTAA"),
+            ("D", "GCCTAA"),
+        ]);
         for m in [
             p_distance_matrix(&s).unwrap(),
             jc_corrected_matrix(&s).unwrap(),

@@ -7,6 +7,10 @@
 //! code (which works on rooted [`Tree`]s) can consume it directly, and the
 //! comparison metrics treat trees as unrooted when appropriate.
 
+// Index loops over small fixed matrices mirror the textbook formulas;
+// iterator adaptors would obscure them.
+#![allow(clippy::needless_range_loop)]
+
 use phylo::distance::DistanceMatrix;
 use phylo::{NodeId, PhyloError, Tree};
 
@@ -37,8 +41,9 @@ pub fn neighbor_joining(matrix: &DistanceMatrix) -> Result<Tree, PhyloError> {
         tree.set_name(node, name.clone())?;
         active.push(node);
     }
-    let mut dist: Vec<Vec<f64>> =
-        (0..n).map(|i| (0..n).map(|j| matrix.get(i, j)).collect()).collect();
+    let mut dist: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..n).map(|j| matrix.get(i, j)).collect())
+        .collect();
 
     while active.len() > 3 {
         let m = active.len();

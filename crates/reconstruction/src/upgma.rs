@@ -7,6 +7,10 @@
 //! the "weak" baseline algorithm in the benchmark experiments, contrasted
 //! with Neighbor-Joining which only needs additivity.
 
+// Index loops over small fixed matrices mirror the textbook formulas;
+// iterator adaptors would obscure them.
+#![allow(clippy::needless_range_loop)]
+
 use phylo::distance::DistanceMatrix;
 use phylo::{PhyloError, Tree};
 
@@ -39,10 +43,15 @@ pub fn upgma(matrix: &DistanceMatrix) -> Result<Tree, PhyloError> {
     for name in &matrix.taxa {
         let node = tree.add_node();
         tree.set_name(node, name.clone())?;
-        clusters.push(Cluster { node, size: 1, height: 0.0 });
+        clusters.push(Cluster {
+            node,
+            size: 1,
+            height: 0.0,
+        });
     }
-    let mut dist: Vec<Vec<f64>> =
-        (0..n).map(|i| (0..n).map(|j| matrix.get(i, j)).collect()).collect();
+    let mut dist: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..n).map(|j| matrix.get(i, j)).collect())
+        .collect();
 
     while clusters.len() > 1 {
         // Find the closest pair (i < j).
@@ -87,7 +96,11 @@ pub fn upgma(matrix: &DistanceMatrix) -> Result<Tree, PhyloError> {
             row.remove(lo);
         }
         // Append the merged cluster.
-        clusters.push(Cluster { node: new_node, size: merged_size, height });
+        clusters.push(Cluster {
+            node: new_node,
+            size: merged_size,
+            height,
+        });
         for (row, &d) in dist.iter_mut().zip(new_row.iter()) {
             row.push(d);
         }

@@ -165,18 +165,30 @@ impl GoldStandardBuilder {
         };
         let tree = birth_death_tree(&config);
         let sequences = if self.sequence_length > 0 {
-            evolve_sequences(&tree, &self.model, self.sequence_length, self.seed ^ 0xA5A5_5A5A)
+            evolve_sequences(
+                &tree,
+                &self.model,
+                self.sequence_length,
+                self.seed ^ 0xA5A5_5A5A,
+            )
         } else {
             HashMap::new()
         };
-        Ok(GoldStandard { tree, sequences, model: self.model, seed: self.seed })
+        Ok(GoldStandard {
+            tree,
+            sequences,
+            model: self.model,
+            seed: self.seed,
+        })
     }
 }
 
 fn validate_model(model: &Model) -> Result<(), GoldError> {
     let check_rate = |rate: f64| {
         if rate <= 0.0 {
-            Err(GoldError::InvalidModel(format!("rate must be positive, got {rate}")))
+            Err(GoldError::InvalidModel(format!(
+                "rate must be positive, got {rate}"
+            )))
         } else {
             Ok(())
         }
@@ -184,7 +196,9 @@ fn validate_model(model: &Model) -> Result<(), GoldError> {
     let check_freqs = |freqs: &[f64; 4]| {
         let sum: f64 = freqs.iter().sum();
         if freqs.iter().any(|&f| f <= 0.0) || (sum - 1.0).abs() > 1e-6 {
-            Err(GoldError::InvalidModel(format!("base frequencies must be positive and sum to 1, got {freqs:?}")))
+            Err(GoldError::InvalidModel(format!(
+                "base frequencies must be positive and sum to 1, got {freqs:?}"
+            )))
         } else {
             Ok(())
         }
@@ -194,7 +208,9 @@ fn validate_model(model: &Model) -> Result<(), GoldError> {
         Model::K2p { rate, kappa } => {
             check_rate(*rate)?;
             if *kappa <= 0.0 {
-                return Err(GoldError::InvalidModel("kappa must be positive".to_string()));
+                return Err(GoldError::InvalidModel(
+                    "kappa must be positive".to_string(),
+                ));
             }
             Ok(())
         }
@@ -205,7 +221,9 @@ fn validate_model(model: &Model) -> Result<(), GoldError> {
         Model::Hky85 { rate, kappa, freqs } => {
             check_rate(*rate)?;
             if *kappa <= 0.0 {
-                return Err(GoldError::InvalidModel("kappa must be positive".to_string()));
+                return Err(GoldError::InvalidModel(
+                    "kappa must be positive".to_string(),
+                ));
             }
             check_freqs(freqs)
         }
@@ -218,7 +236,12 @@ mod tests {
 
     #[test]
     fn default_build() {
-        let gold = GoldStandardBuilder::new().leaves(32).sequence_length(100).seed(1).build().unwrap();
+        let gold = GoldStandardBuilder::new()
+            .leaves(32)
+            .sequence_length(100)
+            .seed(1)
+            .build()
+            .unwrap();
         assert_eq!(gold.taxon_count(), 32);
         assert_eq!(gold.sequences.len(), 32);
         assert_eq!(gold.sequence_length(), 100);
@@ -227,15 +250,29 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = GoldStandardBuilder::new().leaves(16).sequence_length(64).seed(5).build().unwrap();
-        let b = GoldStandardBuilder::new().leaves(16).sequence_length(64).seed(5).build().unwrap();
+        let a = GoldStandardBuilder::new()
+            .leaves(16)
+            .sequence_length(64)
+            .seed(5)
+            .build()
+            .unwrap();
+        let b = GoldStandardBuilder::new()
+            .leaves(16)
+            .sequence_length(64)
+            .seed(5)
+            .build()
+            .unwrap();
         assert_eq!(phylo::newick::write(&a.tree), phylo::newick::write(&b.tree));
         assert_eq!(a.sequences, b.sequences);
     }
 
     #[test]
     fn no_sequences_when_length_zero() {
-        let gold = GoldStandardBuilder::new().leaves(8).sequence_length(0).build().unwrap();
+        let gold = GoldStandardBuilder::new()
+            .leaves(8)
+            .sequence_length(0)
+            .build()
+            .unwrap();
         assert!(gold.sequences.is_empty());
         assert_eq!(gold.sequence_length(), 0);
     }
@@ -247,7 +284,10 @@ mod tests {
             .birth_rate(1.0)
             .death_rate(0.3)
             .sequence_length(50)
-            .model(Model::K2p { rate: 0.5, kappa: 2.0 })
+            .model(Model::K2p {
+                rate: 0.5,
+                kappa: 2.0,
+            })
             .seed(9)
             .build()
             .unwrap();
@@ -268,19 +308,31 @@ mod tests {
             .is_err());
         assert!(GoldStandardBuilder::new()
             .leaves(8)
-            .model(Model::Hky85 { rate: 1.0, kappa: 2.0, freqs: [0.5, 0.5, 0.2, 0.2] })
+            .model(Model::Hky85 {
+                rate: 1.0,
+                kappa: 2.0,
+                freqs: [0.5, 0.5, 0.2, 0.2]
+            })
             .build()
             .is_err());
         assert!(GoldStandardBuilder::new()
             .leaves(8)
-            .model(Model::K2p { rate: 1.0, kappa: -1.0 })
+            .model(Model::K2p {
+                rate: 1.0,
+                kappa: -1.0
+            })
             .build()
             .is_err());
     }
 
     #[test]
     fn nexus_export_roundtrips_through_parser() {
-        let gold = GoldStandardBuilder::new().leaves(12).sequence_length(40).seed(3).build().unwrap();
+        let gold = GoldStandardBuilder::new()
+            .leaves(12)
+            .sequence_length(40)
+            .seed(3)
+            .build()
+            .unwrap();
         let doc = gold.to_nexus();
         let text = phylo::nexus::write(&doc);
         let parsed = phylo::nexus::parse(&text).unwrap();

@@ -18,6 +18,10 @@
 //!
 //! Bases are indexed A=0, C=1, G=2, T=3 throughout.
 
+// Index loops over small fixed matrices mirror the textbook formulas;
+// iterator adaptors would obscure them.
+#![allow(clippy::needless_range_loop)]
+
 use phylo::traverse::Traverse;
 use phylo::{NodeId, Tree};
 use rand::rngs::StdRng;
@@ -190,7 +194,11 @@ fn matrix_exp(q: &Matrix4, t: f64) -> Matrix4 {
     // Scale so the largest |entry·t| is small, then square back.
     let max_entry = q.iter().flatten().fold(0.0f64, |m, &v| m.max(v.abs()));
     let scaled_norm = max_entry * t;
-    let squarings = if scaled_norm > 0.25 { (scaled_norm / 0.25).log2().ceil() as u32 } else { 0 };
+    let squarings = if scaled_norm > 0.25 {
+        (scaled_norm / 0.25).log2().ceil() as u32
+    } else {
+        0
+    };
     let factor = t / f64::from(1u32 << squarings.min(31));
     // Taylor series exp(A) ≈ Σ A^k / k! for the scaled matrix A = Q·factor.
     let a = scale(q, factor);
@@ -283,15 +291,19 @@ pub fn evolve_sequences(
     let Some(root) = tree.root() else { return out };
 
     let equilibrium = model.equilibrium();
-    let root_seq: Vec<u8> =
-        (0..length).map(|_| sample_categorical(&mut rng, &equilibrium)).collect();
+    let root_seq: Vec<u8> = (0..length)
+        .map(|_| sample_categorical(&mut rng, &equilibrium))
+        .collect();
 
     // Iterative DFS carrying each node's sequence; sequences for finished
     // subtrees are dropped as soon as possible to bound memory.
     let mut sequences: HashMap<NodeId, Vec<u8>> = HashMap::new();
     sequences.insert(root, root_seq);
     for node in tree.preorder() {
-        let seq = sequences.get(&node).expect("parent sequence present in pre-order").clone();
+        let seq = sequences
+            .get(&node)
+            .expect("parent sequence present in pre-order")
+            .clone();
         if tree.is_leaf(node) {
             if let Some(name) = tree.name(node) {
                 out.insert(name.to_string(), bases_to_string(&seq));
@@ -302,8 +314,10 @@ pub fn evolve_sequences(
         for &child in tree.children(node) {
             let t = tree.branch_length(child).unwrap_or(0.0);
             let p = model.transition_probs(t);
-            let child_seq: Vec<u8> =
-                seq.iter().map(|&b| sample_row(&mut rng, &p[b as usize])).collect();
+            let child_seq: Vec<u8> = seq
+                .iter()
+                .map(|&b| sample_row(&mut rng, &p[b as usize]))
+                .collect();
             sequences.insert(child, child_seq);
         }
         sequences.remove(&node);
@@ -382,7 +396,10 @@ mod tests {
     #[test]
     fn k2p_reduces_to_jc69_when_kappa_is_one() {
         let jc = Model::Jc69 { rate: 1.0 };
-        let k2p = Model::K2p { rate: 1.0, kappa: 1.0 };
+        let k2p = Model::K2p {
+            rate: 1.0,
+            kappa: 1.0,
+        };
         for t in [0.05, 0.3, 2.0] {
             let a = jc.transition_probs(t);
             let b = k2p.transition_probs(t);
@@ -396,7 +413,10 @@ mod tests {
 
     #[test]
     fn k2p_transitions_more_likely_than_transversions() {
-        let m = Model::K2p { rate: 1.0, kappa: 4.0 };
+        let m = Model::K2p {
+            rate: 1.0,
+            kappa: 4.0,
+        };
         let p = m.transition_probs(0.2);
         // A -> G (transition) vs A -> C (transversion)
         assert!(p[0][2] > p[0][1]);
@@ -426,7 +446,11 @@ mod tests {
     #[test]
     fn hky85_matrix_properties() {
         let freqs = [0.35, 0.15, 0.25, 0.25];
-        let m = Model::Hky85 { rate: 1.0, kappa: 3.0, freqs };
+        let m = Model::Hky85 {
+            rate: 1.0,
+            kappa: 3.0,
+            freqs,
+        };
         for t in [0.0, 0.1, 1.0, 10.0] {
             let p = m.transition_probs(t);
             rows_sum_to_one(&p);
@@ -435,7 +459,11 @@ mod tests {
         let p = m.transition_probs(0.9);
         for j in 0..4 {
             let out: f64 = (0..4).map(|i| freqs[i] * p[i][j]).sum();
-            assert!((out - freqs[j]).abs() < 1e-6, "column {j}: {out} vs {}", freqs[j]);
+            assert!(
+                (out - freqs[j]).abs() < 1e-6,
+                "column {j}: {out} vs {}",
+                freqs[j]
+            );
         }
         // κ > 1 favours transitions.
         assert!(p[0][2] > p[0][1]);
@@ -445,13 +473,22 @@ mod tests {
     fn hky85_reduces_to_f81_when_kappa_is_one() {
         let freqs = [0.4, 0.3, 0.2, 0.1];
         let f81 = Model::F81 { rate: 1.0, freqs };
-        let hky = Model::Hky85 { rate: 1.0, kappa: 1.0, freqs };
+        let hky = Model::Hky85 {
+            rate: 1.0,
+            kappa: 1.0,
+            freqs,
+        };
         for t in [0.1, 0.6] {
             let a = f81.transition_probs(t);
             let b = hky.transition_probs(t);
             for i in 0..4 {
                 for j in 0..4 {
-                    assert!((a[i][j] - b[i][j]).abs() < 1e-4, "t={t} i={i} j={j}: {} vs {}", a[i][j], b[i][j]);
+                    assert!(
+                        (a[i][j] - b[i][j]).abs() < 1e-4,
+                        "t={t} i={i} j={j}: {} vs {}",
+                        a[i][j],
+                        b[i][j]
+                    );
                 }
             }
         }
@@ -484,8 +521,7 @@ mod tests {
         // average be more similar than Lla and Syn (patristic distance 6.5)
         // for a moderate rate. Use a long sequence to tame variance.
         let tree = figure1_tree();
-        let seqs =
-            evolve_sequences(&tree, &Model::Jc69 { rate: 0.15 }, 4000, 99);
+        let seqs = evolve_sequences(&tree, &Model::Jc69 { rate: 0.15 }, 4000, 99);
         let close = p_distance(&seqs["Lla"], &seqs["Spy"]);
         let far = p_distance(&seqs["Lla"], &seqs["Syn"]);
         assert!(close < far, "close={close} far={far}");

@@ -35,8 +35,15 @@ pub const MAX_KEY_SIZE: usize = 1024;
 
 #[derive(Debug, Clone)]
 enum Node {
-    Leaf { keys: Vec<Vec<u8>>, values: Vec<u64>, next: PageId },
-    Internal { keys: Vec<Vec<u8>>, children: Vec<PageId> },
+    Leaf {
+        keys: Vec<Vec<u8>>,
+        values: Vec<u64>,
+        next: PageId,
+    },
+    Internal {
+        keys: Vec<Vec<u8>>,
+        children: Vec<PageId>,
+    },
 }
 
 impl Node {
@@ -121,7 +128,9 @@ impl Node {
                     let klen = page.read_u16(off) as usize;
                     off += 2;
                     if off + klen + 8 > PAGE_SIZE {
-                        return Err(StorageError::Corrupted("internal entry overruns page".into()));
+                        return Err(StorageError::Corrupted(
+                            "internal entry overruns page".into(),
+                        ));
                     }
                     keys.push(page.read_bytes(off, klen).to_vec());
                     off += klen;
@@ -130,7 +139,9 @@ impl Node {
                 }
                 Ok(Node::Internal { keys, children })
             }
-            other => Err(StorageError::Corrupted(format!("unknown B+tree node type {other}"))),
+            other => Err(StorageError::Corrupted(format!(
+                "unknown B+tree node type {other}"
+            ))),
         }
     }
 }
@@ -152,7 +163,11 @@ impl BTree {
     /// Create an empty tree (a single empty leaf).
     pub fn create(pool: &BufferPool) -> StorageResult<Self> {
         let root = pool.allocate_page()?;
-        let node = Node::Leaf { keys: Vec::new(), values: Vec::new(), next: PageId::NULL };
+        let node = Node::Leaf {
+            keys: Vec::new(),
+            values: Vec::new(),
+            next: PageId::NULL,
+        };
         write_node(pool, root, &node)?;
         Ok(BTree { root })
     }
@@ -179,8 +194,10 @@ impl BTree {
             InsertResult::Split(sep, right) => {
                 // Grow the tree by one level.
                 let new_root = pool.allocate_page()?;
-                let node =
-                    Node::Internal { keys: vec![sep], children: vec![self.root, right] };
+                let node = Node::Internal {
+                    keys: vec![sep],
+                    children: vec![self.root, right],
+                };
                 write_node(pool, new_root, &node)?;
                 self.root = new_root;
                 Ok(())
@@ -196,7 +213,11 @@ impl BTree {
         value: u64,
     ) -> StorageResult<InsertResult> {
         match read_node(pool, page)? {
-            Node::Leaf { mut keys, mut values, next } => {
+            Node::Leaf {
+                mut keys,
+                mut values,
+                next,
+            } => {
                 // Upper bound keeps equal keys in insertion order.
                 let pos = keys.partition_point(|k| k.as_slice() <= key);
                 keys.insert(pos, key.to_vec());
@@ -218,14 +239,24 @@ impl BTree {
                 let left_values = values[..mid].to_vec();
                 let right_page = pool.allocate_page()?;
                 let sep = right_keys[0].clone();
-                let right_node = Node::Leaf { keys: right_keys, values: right_values, next };
-                let left_node =
-                    Node::Leaf { keys: left_keys, values: left_values, next: right_page };
+                let right_node = Node::Leaf {
+                    keys: right_keys,
+                    values: right_values,
+                    next,
+                };
+                let left_node = Node::Leaf {
+                    keys: left_keys,
+                    values: left_values,
+                    next: right_page,
+                };
                 write_node(pool, right_page, &right_node)?;
                 write_node(pool, page, &left_node)?;
                 Ok(InsertResult::Split(sep, right_page))
             }
-            Node::Internal { mut keys, mut children } => {
+            Node::Internal {
+                mut keys,
+                mut children,
+            } => {
                 let idx = keys.partition_point(|k| k.as_slice() <= key);
                 let child = children[idx];
                 match self.insert_rec(pool, child, key, value)? {
@@ -252,12 +283,18 @@ impl BTree {
                         write_node(
                             pool,
                             right_page,
-                            &Node::Internal { keys: right_keys, children: right_children },
+                            &Node::Internal {
+                                keys: right_keys,
+                                children: right_children,
+                            },
                         )?;
                         write_node(
                             pool,
                             page,
-                            &Node::Internal { keys: left_keys, children: left_children },
+                            &Node::Internal {
+                                keys: left_keys,
+                                children: left_children,
+                            },
                         )?;
                         Ok(InsertResult::Split(promote, right_page))
                     }
@@ -319,12 +356,7 @@ impl BTree {
 
     /// Remove *one* entry matching `key` (and `value`, when given). Returns
     /// `true` if an entry was removed. Nodes are not rebalanced.
-    pub fn delete(
-        &self,
-        pool: &BufferPool,
-        key: &[u8],
-        value: Option<u64>,
-    ) -> StorageResult<bool> {
+    pub fn delete(&self, pool: &BufferPool, key: &[u8], value: Option<u64>) -> StorageResult<bool> {
         // Walk to the leaf, tracking the path (root never shrinks here).
         let mut page = self.root;
         loop {
@@ -334,7 +366,11 @@ impl BTree {
                     let idx = keys.partition_point(|k| k.as_slice() <= key);
                     page = children[idx];
                 }
-                Node::Leaf { mut keys, mut values, next } => {
+                Node::Leaf {
+                    mut keys,
+                    mut values,
+                    next,
+                } => {
                     let start = keys.partition_point(|k| k.as_slice() < key);
                     let mut found = None;
                     for i in start..keys.len() {
@@ -505,8 +541,11 @@ impl BTree {
                                 ));
                             }
                             let entry_key = p.read_bytes(off, klen);
-                            let descend_right =
-                                if lower { entry_key < key } else { entry_key <= key };
+                            let descend_right = if lower {
+                                entry_key < key
+                            } else {
+                                entry_key <= key
+                            };
                             if !descend_right {
                                 break;
                             }
@@ -515,9 +554,9 @@ impl BTree {
                         }
                         Ok(Some(child))
                     }
-                    other => {
-                        Err(StorageError::Corrupted(format!("unknown B+tree node type {other}")))
-                    }
+                    other => Err(StorageError::Corrupted(format!(
+                        "unknown B+tree node type {other}"
+                    ))),
                 }
             })??;
             match next {
@@ -555,11 +594,19 @@ impl<'a> LeafCursor<'a> {
     fn pin(pool: &'a BufferPool, pid: PageId) -> StorageResult<LeafCursor<'a>> {
         let page = pool.pin(pid)?;
         if page.bytes()[0] != TYPE_LEAF {
-            return Err(StorageError::Corrupted("leaf chain contains an internal node".into()));
+            return Err(StorageError::Corrupted(
+                "leaf chain contains an internal node".into(),
+            ));
         }
         let count = page.read_u16(1) as usize;
         let next = PageId(page.read_u64(3));
-        Ok(LeafCursor { page, count, index: 0, offset: NODE_HEADER, next })
+        Ok(LeafCursor {
+            page,
+            count,
+            index: 0,
+            offset: NODE_HEADER,
+            next,
+        })
     }
 
     /// Borrow the next entry's key and value without copying, advancing the
@@ -658,7 +705,10 @@ fn read_node(pool: &BufferPool, page: PageId) -> StorageResult<Node> {
 }
 
 fn write_node(pool: &BufferPool, page: PageId, node: &Node) -> StorageResult<()> {
-    debug_assert!(node.serialized_size() <= PAGE_SIZE, "node does not fit in a page");
+    debug_assert!(
+        node.serialized_size() <= PAGE_SIZE,
+        "node does not fit in a page"
+    );
     debug_assert!(node.key_count() < u16::MAX as usize);
     pool.with_page_mut(page, |p| node.write_to(p))
 }
@@ -676,7 +726,7 @@ mod tests {
     fn pool() -> (tempfile::TempDir, BufferPool) {
         let dir = tempdir().unwrap();
         let pager = Pager::create(dir.path().join("t.crdb")).unwrap();
-        (dir, BufferPool::with_capacity(pager, 256))
+        (dir, BufferPool::with_capacity(pager, 256).unwrap())
     }
 
     #[test]
@@ -709,17 +759,27 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         keys.shuffle(&mut rng);
         for &k in &keys {
-            tree.insert(&pool, &Value::Int(k as i64).key_bytes(), k).unwrap();
+            tree.insert(&pool, &Value::Int(k as i64).key_bytes(), k)
+                .unwrap();
         }
-        assert!(tree.height(&pool).unwrap() > 1, "5000 keys must split the root");
+        assert!(
+            tree.height(&pool).unwrap() > 1,
+            "5000 keys must split the root"
+        );
         assert_eq!(tree.len(&pool).unwrap(), 5000);
         // Point lookups.
         for k in [0u64, 1, 777, 2500, 4999] {
-            assert_eq!(tree.get(&pool, &Value::Int(k as i64).key_bytes()).unwrap(), Some(k));
+            assert_eq!(
+                tree.get(&pool, &Value::Int(k as i64).key_bytes()).unwrap(),
+                Some(k)
+            );
         }
         // Full scan is sorted.
-        let all: Vec<(Vec<u8>, u64)> =
-            tree.range(&pool, None, None).unwrap().collect::<StorageResult<_>>().unwrap();
+        let all: Vec<(Vec<u8>, u64)> = tree
+            .range(&pool, None, None)
+            .unwrap()
+            .collect::<StorageResult<_>>()
+            .unwrap();
         assert_eq!(all.len(), 5000);
         for w in all.windows(2) {
             assert!(w[0].0 <= w[1].0);
@@ -735,7 +795,8 @@ mod tests {
         let (_d, pool) = pool();
         let mut tree = BTree::create(&pool).unwrap();
         for k in 0..1000i64 {
-            tree.insert(&pool, &Value::Int(k).key_bytes(), k as u64).unwrap();
+            tree.insert(&pool, &Value::Int(k).key_bytes(), k as u64)
+                .unwrap();
         }
         let low = Value::Int(100).key_bytes();
         let high = Value::Int(200).key_bytes();
@@ -746,8 +807,11 @@ mod tests {
             .collect();
         assert_eq!(hits, (100..200).map(|v| v as u64).collect::<Vec<_>>());
         // Unbounded low.
-        let hits: Vec<u64> =
-            tree.range(&pool, None, Some(&Value::Int(5).key_bytes())).unwrap().map(|r| r.unwrap().1).collect();
+        let hits: Vec<u64> = tree
+            .range(&pool, None, Some(&Value::Int(5).key_bytes()))
+            .unwrap()
+            .map(|r| r.unwrap().1)
+            .collect();
         assert_eq!(hits, vec![0, 1, 2, 3, 4]);
         // Unbounded high.
         let hits: Vec<u64> = tree
@@ -758,7 +822,11 @@ mod tests {
         assert_eq!(hits, vec![995, 996, 997, 998, 999]);
         // Empty range.
         let hits: Vec<u64> = tree
-            .range(&pool, Some(&Value::Int(500).key_bytes()), Some(&Value::Int(500).key_bytes()))
+            .range(
+                &pool,
+                Some(&Value::Int(500).key_bytes()),
+                Some(&Value::Int(500).key_bytes()),
+            )
             .unwrap()
             .map(|r| r.unwrap().1)
             .collect();
@@ -790,7 +858,8 @@ mod tests {
         let mut times: Vec<f64> = (0..2000).map(|i| i as f64 * 0.01).collect();
         times.shuffle(&mut rng);
         for (i, t) in times.iter().enumerate() {
-            tree.insert(&pool, &Value::Float(*t).key_bytes(), i as u64).unwrap();
+            tree.insert(&pool, &Value::Float(*t).key_bytes(), i as u64)
+                .unwrap();
         }
         // "All nodes with time >= 15.0" — the paper's sampling predicate.
         let low = Value::Float(15.0).key_bytes();
@@ -803,11 +872,16 @@ mod tests {
         let (_d, pool) = pool();
         let mut tree = BTree::create(&pool).unwrap();
         for k in 0..100i64 {
-            tree.insert(&pool, &Value::Int(k).key_bytes(), k as u64).unwrap();
+            tree.insert(&pool, &Value::Int(k).key_bytes(), k as u64)
+                .unwrap();
         }
-        assert!(tree.delete(&pool, &Value::Int(42).key_bytes(), None).unwrap());
+        assert!(tree
+            .delete(&pool, &Value::Int(42).key_bytes(), None)
+            .unwrap());
         assert_eq!(tree.get(&pool, &Value::Int(42).key_bytes()).unwrap(), None);
-        assert!(!tree.delete(&pool, &Value::Int(42).key_bytes(), None).unwrap());
+        assert!(!tree
+            .delete(&pool, &Value::Int(42).key_bytes(), None)
+            .unwrap());
         assert_eq!(tree.len(&pool).unwrap(), 99);
         // Delete by (key, value) pair among duplicates.
         tree.insert(&pool, b"dup", 1).unwrap();
@@ -831,18 +905,22 @@ mod tests {
         let root;
         {
             let pager = Pager::create(&path).unwrap();
-            let pool = BufferPool::with_capacity(pager, 64);
+            let pool = BufferPool::with_capacity(pager, 64).unwrap();
             let mut tree = BTree::create(&pool).unwrap();
             for k in 0..3000i64 {
-                tree.insert(&pool, &Value::Int(k).key_bytes(), (k * 2) as u64).unwrap();
+                tree.insert(&pool, &Value::Int(k).key_bytes(), (k * 2) as u64)
+                    .unwrap();
             }
             root = tree.root();
             pool.flush().unwrap();
         }
         let pager = Pager::open(&path).unwrap();
-        let pool = BufferPool::with_capacity(pager, 64);
+        let pool = BufferPool::with_capacity(pager, 64).unwrap();
         let tree = BTree::open(root);
-        assert_eq!(tree.get(&pool, &Value::Int(1234).key_bytes()).unwrap(), Some(2468));
+        assert_eq!(
+            tree.get(&pool, &Value::Int(1234).key_bytes()).unwrap(),
+            Some(2468)
+        );
         assert_eq!(tree.len(&pool).unwrap(), 3000);
     }
 
@@ -865,13 +943,17 @@ mod tests {
         // Forces constant eviction during index build.
         let dir = tempdir().unwrap();
         let pager = Pager::create(dir.path().join("t.crdb")).unwrap();
-        let pool = BufferPool::with_capacity(pager, 8);
+        let pool = BufferPool::with_capacity(pager, 8).unwrap();
         let mut tree = BTree::create(&pool).unwrap();
         for k in 0..2000i64 {
-            tree.insert(&pool, &Value::Int(k).key_bytes(), k as u64).unwrap();
+            tree.insert(&pool, &Value::Int(k).key_bytes(), k as u64)
+                .unwrap();
         }
         for k in [0i64, 999, 1500, 1999] {
-            assert_eq!(tree.get(&pool, &Value::Int(k).key_bytes()).unwrap(), Some(k as u64));
+            assert_eq!(
+                tree.get(&pool, &Value::Int(k).key_bytes()).unwrap(),
+                Some(k as u64)
+            );
         }
         assert!(pool.stats().evictions > 0);
     }

@@ -1,5 +1,6 @@
 //! Buffer pool: a fixed-capacity clock (second-chance) page cache between
-//! the pager and the access methods.
+//! the pager and the access methods, and the enforcement point of the
+//! write-ahead-logging protocol.
 //!
 //! The paper argues that "simulation trees are huge, yet the portions
 //! retrieved by a single query are relatively small", so queries must not
@@ -22,9 +23,35 @@
 //!   the frame (copy-on-write in that rare case).
 //! * **Pinning.** [`BufferPool::pin`] hands out a [`PinnedPage`] guard that
 //!   keeps the frame resident (the clock skips pinned frames) and gives
-//!   lock-free read access to the page bytes for the guard's lifetime. Range
-//!   scans pin one leaf at a time instead of copying every entry out of the
-//!   page under the pool lock.
+//!   lock-free read access to the page bytes for the guard's lifetime.
+//!
+//! ## Transactions and WAL-before-data
+//!
+//! The pool owns the [`Wal`] and the state of the (single) active
+//! transaction:
+//!
+//! * [`BufferPool::begin_txn`] snapshots the file-header state; every
+//!   subsequent `with_page_mut`/`allocate_page` captures the page's
+//!   before-image on first touch (a cheap `Arc` clone — copy-on-write does
+//!   the actual copy only when the page is then mutated).
+//! * [`BufferPool::commit_txn`] appends the after-image of every dirtied
+//!   page plus a commit record to the log ("group" logging — one image per
+//!   distinct page, however many operations touched it) and optionally
+//!   fsyncs.
+//! * [`BufferPool::rollback_txn`] restores the captured before-images in
+//!   memory and rolls the header snapshot back.
+//! * **Eviction** enforces WAL-before-data: a dirty page of the *active*
+//!   transaction is *stolen* — its before-image is appended as an undo
+//!   record and the log fsynced before the data-file write; a page whose
+//!   latest committed image is not yet durable forces a log fsync first.
+//!   Either way the log always covers a data write before it happens.
+//! * [`BufferPool::flush`] is a **checkpoint**: fsync the log, write every
+//!   dirty page and the header to the data file, fsync it, then truncate
+//!   the log.
+//!
+//! Mutations performed outside any transaction (as the lower-level unit
+//! tests and the `logging(false)` bench baseline do) bypass the log and
+//! carry no crash-safety contract — exactly the pre-WAL behaviour.
 //!
 //! Closure-based access (`with_page` / `with_page_mut`) remains the bread
 //! and butter API; all state sits behind a single `parking_lot::Mutex`,
@@ -34,12 +61,13 @@
 use crate::error::{StorageError, StorageResult};
 use crate::page::{Page, PageId};
 use crate::pager::Pager;
+use crate::wal::{self, Lsn, RecoveryReport, Wal, WalRecordKind};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 
-/// Statistics counters exposed for the repository-scale experiment (E9) and
-/// the interval-index page-read assertions.
+/// Statistics counters exposed for the repository-scale experiment (E9),
+/// the interval-index page-read assertions and the WAL-overhead bench.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BufferStats {
     /// Number of page requests satisfied from the cache.
@@ -52,6 +80,14 @@ pub struct BufferStats {
     pub flushes: u64,
     /// Number of dirty pages written back during eviction.
     pub writebacks: u64,
+    /// WAL records appended.
+    pub wal_appends: u64,
+    /// WAL bytes appended.
+    pub wal_bytes: u64,
+    /// WAL fsync calls.
+    pub wal_syncs: u64,
+    /// Transactions committed with at least one logged page.
+    pub commits: u64,
 }
 
 impl BufferStats {
@@ -69,6 +105,27 @@ impl BufferStats {
     pub fn page_reads(&self) -> u64 {
         self.hits + self.misses
     }
+
+    /// Total data-file page writes (checkpoint flushes + eviction
+    /// write-backs) — the "page writes" a workload cost.
+    pub fn page_writes(&self) -> u64 {
+        self.flushes + self.writebacks
+    }
+}
+
+/// A point at which a simulated crash can be injected, for the
+/// crash-recovery test harness. Once the point trips, every subsequent disk
+/// write fails as if the process had died; the test then reopens the files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Fail the `n+1`-th WAL append from now with a torn half-write.
+    WalAppend(u64),
+    /// Fail the `n+1`-th data-file page write from now (eviction write-back
+    /// or checkpoint flush).
+    DataWrite(u64),
+    /// Fail the next checkpoint after the data file is durable but before
+    /// the log is truncated.
+    CheckpointTruncate,
 }
 
 struct Frame {
@@ -77,10 +134,38 @@ struct Frame {
     dirty: bool,
     pins: u32,
     referenced: bool,
+    /// LSN of the last WAL record covering this frame's content (commit
+    /// image or steal undo); 0 when never logged. Eviction must not write
+    /// the frame to the data file until the log is durable past this point.
+    rec_lsn: Lsn,
+}
+
+/// Before-image captured on a transaction's first touch of a page.
+struct UndoEntry {
+    /// `None` for pages allocated inside the transaction (their "before"
+    /// state is nonexistence).
+    image: Option<Arc<Page>>,
+    /// Whether the frame was already dirty (from an earlier committed but
+    /// not yet checkpointed transaction) when captured.
+    prior_dirty: bool,
+}
+
+struct TxnState {
+    id: u64,
+    /// Pages dirtied by this transaction, in id order (deterministic log).
+    dirty: BTreeSet<PageId>,
+    undo: HashMap<PageId, UndoEntry>,
+    /// Pages whose before-image was already logged because the page was
+    /// stolen (written to the data file before commit).
+    stolen: HashSet<PageId>,
+    /// Header snapshot at begin: (page_count, catalog_root, user_meta,
+    /// checkpoint_lsn).
+    header: (u64, PageId, PageId, u64),
 }
 
 struct Inner {
     pager: Pager,
+    wal: Wal,
     /// Frame slots; `slots.len() <= capacity` always holds.
     slots: Vec<Frame>,
     /// Page id → slot index.
@@ -89,9 +174,20 @@ struct Inner {
     hand: usize,
     capacity: usize,
     stats: BufferStats,
+    /// Whether transactional mutations are logged. Disabled only by the
+    /// bench baseline; see [`BufferPool::set_logging`].
+    logging: bool,
+    txn: Option<TxnState>,
+    recovery: Option<RecoveryReport>,
+    /// Fault injection: fail after this many more data-file page writes.
+    data_writes_until_crash: Option<u64>,
+    /// Fault injection: fail the next checkpoint before truncating the log.
+    checkpoint_truncate_crash: bool,
+    crashed: bool,
 }
 
-/// A fixed-capacity clock buffer pool wrapping a [`Pager`].
+/// A fixed-capacity clock buffer pool wrapping a [`Pager`] and the
+/// database's [`Wal`].
 pub struct BufferPool {
     inner: Mutex<Inner>,
 }
@@ -144,24 +240,44 @@ impl BufferPool {
     /// Default number of resident pages (~8 MiB with 8 KiB pages).
     pub const DEFAULT_CAPACITY: usize = 1024;
 
-    /// Wrap a pager with the default capacity.
-    pub fn new(pager: Pager) -> Self {
+    /// Wrap a pager with the default capacity. Opening an existing file runs
+    /// crash recovery against its WAL before the pool is usable.
+    pub fn new(pager: Pager) -> StorageResult<Self> {
         Self::with_capacity(pager, Self::DEFAULT_CAPACITY)
     }
 
-    /// Wrap a pager with an explicit page capacity (minimum 8).
-    pub fn with_capacity(pager: Pager, capacity: usize) -> Self {
+    /// Wrap a pager with an explicit page capacity (minimum 8). For a
+    /// freshly created file the sibling WAL is truncated; for an existing
+    /// file the WAL is replayed (redo committed transactions, undo losers)
+    /// before the pool is handed out.
+    pub fn with_capacity(pager: Pager, capacity: usize) -> StorageResult<Self> {
+        let mut pager = pager;
+        let wal_file = wal::wal_path_for(pager.path());
+        let (wal, recovery) = if pager.is_fresh() {
+            (Wal::create(&wal_file)?, None)
+        } else {
+            let mut wal = Wal::open(&wal_file)?;
+            let report = wal::recover(&mut pager, &mut wal)?;
+            (wal, Some(report))
+        };
         let capacity = capacity.max(8);
-        BufferPool {
+        Ok(BufferPool {
             inner: Mutex::new(Inner {
                 pager,
+                wal,
                 slots: Vec::with_capacity(capacity.min(4096)),
                 map: HashMap::new(),
                 hand: 0,
                 capacity,
                 stats: BufferStats::default(),
+                logging: true,
+                txn: None,
+                recovery,
+                data_writes_until_crash: None,
+                checkpoint_truncate_crash: false,
+                crashed: false,
             }),
-        }
+        })
     }
 
     /// The pool's frame capacity in pages.
@@ -176,8 +292,123 @@ impl BufferPool {
 
     /// Number of currently pinned frames.
     pub fn pinned_frames(&self) -> usize {
-        self.inner.lock().slots.iter().filter(|f| f.pins > 0).count()
+        self.inner
+            .lock()
+            .slots
+            .iter()
+            .filter(|f| f.pins > 0)
+            .count()
     }
+
+    /// The recovery outcome from opening this pool's file, if the file
+    /// pre-existed (a fresh file needs no recovery).
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.inner.lock().recovery
+    }
+
+    /// Enable or disable write-ahead logging for subsequent transactions.
+    /// Disabled logging restores the pre-WAL behaviour (no crash safety);
+    /// it exists for the bench baseline. Fails while a transaction is open.
+    pub fn set_logging(&self, enabled: bool) -> StorageResult<()> {
+        let mut inner = self.inner.lock();
+        if inner.txn.is_some() {
+            return Err(StorageError::TransactionActive);
+        }
+        inner.logging = enabled;
+        Ok(())
+    }
+
+    /// Whether transactional mutations are currently logged.
+    pub fn logging(&self) -> bool {
+        self.inner.lock().logging
+    }
+
+    /// Inject a simulated crash (see [`CrashPoint`]). Test instrumentation
+    /// for the crash-recovery suites.
+    pub fn inject_crash(&self, point: CrashPoint) {
+        let mut inner = self.inner.lock();
+        match point {
+            CrashPoint::WalAppend(n) => inner.wal.inject_crash_after_appends(n),
+            CrashPoint::DataWrite(n) => inner.data_writes_until_crash = Some(n),
+            CrashPoint::CheckpointTruncate => inner.checkpoint_truncate_crash = true,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions
+    // ------------------------------------------------------------------
+
+    /// Begin a transaction. The engine is single-writer: a second `begin`
+    /// while one is open is an error, not a queue.
+    pub fn begin_txn(&self) -> StorageResult<u64> {
+        let mut inner = self.inner.lock();
+        if inner.txn.is_some() {
+            return Err(StorageError::TransactionActive);
+        }
+        let id = inner.wal.next_txn_id();
+        let header = (
+            inner.pager.page_count(),
+            inner.pager.catalog_root(),
+            inner.pager.user_meta(),
+            inner.pager.checkpoint_lsn(),
+        );
+        inner.txn = Some(TxnState {
+            id,
+            dirty: BTreeSet::new(),
+            undo: HashMap::new(),
+            stolen: HashSet::new(),
+            header,
+        });
+        Ok(id)
+    }
+
+    /// `true` while a transaction is open.
+    pub fn in_txn(&self) -> bool {
+        self.inner.lock().txn.is_some()
+    }
+
+    /// Commit the open transaction: append the after-image of every dirtied
+    /// page and a commit record to the log; `sync` additionally fsyncs
+    /// (group fsync — one call covers the whole transaction). On a log
+    /// failure mid-commit the transaction is rolled back in memory and the
+    /// error returned.
+    pub fn commit_txn(&self, sync: bool) -> StorageResult<Lsn> {
+        let mut inner = self.inner.lock();
+        let txn = inner.txn.take().ok_or(StorageError::NoActiveTransaction)?;
+        if !inner.logging || txn.dirty.is_empty() {
+            return Ok(inner.wal.end_lsn());
+        }
+        match inner.log_commit(&txn, sync) {
+            Ok(lsn) => {
+                for pid in &txn.dirty {
+                    if let Some(&slot) = inner.map.get(pid) {
+                        inner.slots[slot].rec_lsn = lsn;
+                    }
+                }
+                Ok(lsn)
+            }
+            Err(e) => {
+                // The commit never became durable; restore memory so the
+                // caller sees pre-transaction state.
+                let _ = inner.rollback_with(txn);
+                Err(e)
+            }
+        }
+    }
+
+    /// Roll back the open transaction: restore every captured before-image
+    /// in memory and reset the header snapshot. Nothing is appended to the
+    /// log (a transaction without a commit record is a loser by
+    /// definition).
+    pub fn rollback_txn(&self) -> StorageResult<()> {
+        let mut inner = self.inner.lock();
+        let txn = inner.txn.take().ok_or(StorageError::NoActiveTransaction)?;
+        inner.rollback_with(txn)
+    }
+
+    // ------------------------------------------------------------------
+    // Page access
+    // ------------------------------------------------------------------
 
     /// Allocate a fresh page (resident immediately, marked dirty).
     pub fn allocate_page(&self) -> StorageResult<PageId> {
@@ -186,9 +417,22 @@ impl BufferPool {
         // a pinned-full pool errors out without leaking a file page.
         let slot = inner.reserve_slot()?;
         let pid = inner.pager.allocate_page()?;
-        let frame =
-            Frame { pid, page: Arc::new(Page::new()), dirty: true, pins: 0, referenced: true };
+        let frame = Frame {
+            pid,
+            page: Arc::new(Page::new()),
+            dirty: true,
+            pins: 0,
+            referenced: true,
+            rec_lsn: 0,
+        };
         inner.place(frame, slot);
+        if let Some(txn) = &mut inner.txn {
+            txn.dirty.insert(pid);
+            txn.undo.entry(pid).or_insert(UndoEntry {
+                image: None,
+                prior_dirty: false,
+            });
+        }
         Ok(pid)
     }
 
@@ -199,7 +443,8 @@ impl BufferPool {
         Ok(f(&inner.slots[slot].page))
     }
 
-    /// Run `f` with write access to the page; the page is marked dirty.
+    /// Run `f` with write access to the page; the page is marked dirty and,
+    /// inside a transaction, its before-image is captured on first touch.
     pub fn with_page_mut<R>(
         &self,
         pid: PageId,
@@ -207,10 +452,23 @@ impl BufferPool {
     ) -> StorageResult<R> {
         let mut inner = self.inner.lock();
         let slot = inner.load(pid)?;
-        let frame = &mut inner.slots[slot];
+        let Inner {
+            slots, txn, wal, ..
+        } = &mut *inner;
+        let frame = &mut slots[slot];
+        if let Some(txn) = txn {
+            txn.dirty.insert(pid);
+            txn.undo.entry(pid).or_insert_with(|| UndoEntry {
+                image: Some(Arc::clone(&frame.page)),
+                prior_dirty: frame.dirty,
+            });
+        }
         frame.dirty = true;
-        // In-place unless a pinned reader still holds the Arc (copy-on-write).
-        Ok(f(Arc::make_mut(&mut frame.page)))
+        // In-place unless a pinned reader or an undo snapshot still holds
+        // the Arc (copy-on-write in that case).
+        let page = Arc::make_mut(&mut frame.page);
+        page.set_lsn(wal.end_lsn());
+        Ok(f(page))
     }
 
     /// Pin a page: the returned guard keeps the frame resident and readable
@@ -222,7 +480,11 @@ impl BufferPool {
         let frame = &mut inner.slots[slot];
         frame.pins += 1;
         let page = Arc::clone(&frame.page);
-        Ok(PinnedPage { pool: self, pid, page })
+        Ok(PinnedPage {
+            pool: self,
+            pid,
+            page,
+        })
     }
 
     /// The catalog root recorded in the file header.
@@ -230,7 +492,8 @@ impl BufferPool {
         self.inner.lock().pager.catalog_root()
     }
 
-    /// Record the catalog root in the file header (persisted on flush).
+    /// Record the catalog root in the file header (persisted on commit and
+    /// checkpoint).
     pub fn set_catalog_root(&self, pid: PageId) {
         self.inner.lock().pager.set_catalog_root(pid);
     }
@@ -240,31 +503,35 @@ impl BufferPool {
         self.inner.lock().pager.page_count()
     }
 
-    /// Copy of the current statistics counters.
+    /// Copy of the current statistics counters (buffer activity plus WAL
+    /// activity).
     pub fn stats(&self) -> BufferStats {
-        self.inner.lock().stats
+        let inner = self.inner.lock();
+        let mut stats = inner.stats;
+        let wal = inner.wal.stats();
+        stats.wal_appends = wal.appends;
+        stats.wal_bytes = wal.bytes;
+        stats.wal_syncs = wal.syncs;
+        stats.commits = wal.commits;
+        stats
     }
 
     /// Reset statistics counters (useful between benchmark phases).
     pub fn reset_stats(&self) {
-        self.inner.lock().stats = BufferStats::default();
+        let mut inner = self.inner.lock();
+        inner.stats = BufferStats::default();
+        inner.wal.reset_stats();
     }
 
-    /// Write all dirty pages and the header to disk and fsync. Pages are
-    /// written through a borrow of the resident frame — nothing is cloned
-    /// and no intermediate id list is collected.
+    /// Checkpoint: fsync the log, write all dirty pages and the header to
+    /// the data file, fsync it, then truncate the log. Fails while a
+    /// transaction is open (commit or roll back first).
     pub fn flush(&self) -> StorageResult<()> {
         let mut inner = self.inner.lock();
-        let Inner { pager, slots, stats, .. } = &mut *inner;
-        for frame in slots.iter_mut() {
-            if frame.dirty {
-                pager.write_page(frame.pid, &frame.page)?;
-                frame.dirty = false;
-                stats.flushes += 1;
-            }
+        if inner.txn.is_some() {
+            return Err(StorageError::TransactionActive);
         }
-        inner.pager.sync()?;
-        Ok(())
+        inner.checkpoint()
     }
 
     /// Drop every unpinned resident page (dirty pages are flushed first).
@@ -272,7 +539,9 @@ impl BufferPool {
     pub fn clear_cache(&self) -> StorageResult<()> {
         self.flush()?;
         let mut inner = self.inner.lock();
-        let Inner { slots, map, hand, .. } = &mut *inner;
+        let Inner {
+            slots, map, hand, ..
+        } = &mut *inner;
         slots.retain(|f| f.pins > 0);
         map.clear();
         for (i, frame) in slots.iter().enumerate() {
@@ -284,6 +553,143 @@ impl BufferPool {
 }
 
 impl Inner {
+    fn sim_crashed(&self) -> bool {
+        self.crashed || self.wal.crashed()
+    }
+
+    /// Fault-injection gate in front of every data-file page write.
+    fn data_write_gate(&mut self) -> StorageResult<()> {
+        if self.sim_crashed() {
+            return Err(wal::simulated_crash());
+        }
+        if let Some(n) = self.data_writes_until_crash {
+            if n == 0 {
+                self.crashed = true;
+                return Err(wal::simulated_crash());
+            }
+            self.data_writes_until_crash = Some(n - 1);
+        }
+        Ok(())
+    }
+
+    /// Append the commit group for `txn`: one after-image per dirtied page
+    /// (stolen pages are re-read from the data file — their latest content
+    /// lives there) and a commit record carrying the header state.
+    fn log_commit(&mut self, txn: &TxnState, sync: bool) -> StorageResult<Lsn> {
+        for &pid in &txn.dirty {
+            let image: Arc<Page> = match self.map.get(&pid) {
+                Some(&slot) => Arc::clone(&self.slots[slot].page),
+                None => Arc::new(self.pager.read_page(pid)?),
+            };
+            self.wal
+                .append_image(WalRecordKind::PageImage, txn.id, pid, image.bytes())?;
+        }
+        let lsn = self.wal.append_commit(
+            txn.id,
+            self.pager.page_count(),
+            self.pager.catalog_root().0,
+            self.pager.user_meta().0,
+        )?;
+        if sync {
+            self.wal.sync()?;
+        }
+        Ok(lsn)
+    }
+
+    /// Restore a transaction's before-images in memory and roll the header
+    /// snapshot back. Works even after a simulated crash (no disk writes).
+    fn rollback_with(&mut self, txn: TxnState) -> StorageResult<()> {
+        let mut deferred_installs: Vec<Frame> = Vec::new();
+        for (pid, undo) in &txn.undo {
+            let stolen = txn.stolen.contains(pid);
+            match &undo.image {
+                Some(image) => {
+                    if let Some(&slot) = self.map.get(pid) {
+                        let frame = &mut self.slots[slot];
+                        frame.page = Arc::clone(image);
+                        // Stolen pages left uncommitted content on disk; the
+                        // restored image must eventually be written back.
+                        frame.dirty = undo.prior_dirty || stolen;
+                        frame.rec_lsn = 0;
+                    } else if stolen {
+                        // Evicted after the steal: the disk copy is
+                        // uncommitted garbage; reinstall the before-image as
+                        // a dirty frame.
+                        deferred_installs.push(Frame {
+                            pid: *pid,
+                            page: Arc::clone(image),
+                            dirty: true,
+                            pins: 0,
+                            referenced: true,
+                            rec_lsn: 0,
+                        });
+                    }
+                }
+                None => {
+                    // Allocated inside the transaction: forget the frame.
+                    // The slot is orphaned under the NULL sentinel and gets
+                    // recycled by the clock sweep.
+                    if let Some(slot) = self.map.remove(pid) {
+                        let frame = &mut self.slots[slot];
+                        debug_assert_eq!(frame.pins, 0, "rolling back a pinned allocation");
+                        frame.pid = PageId::NULL;
+                        frame.page = Arc::new(Page::new());
+                        frame.dirty = false;
+                        frame.referenced = false;
+                        frame.rec_lsn = 0;
+                    }
+                }
+            }
+        }
+        // Install outside the undo iteration so evictions triggered by
+        // capacity pressure see consistent state.
+        let mut result = Ok(());
+        for frame in deferred_installs {
+            if let Err(e) = self.install(frame) {
+                result = Err(e);
+            }
+        }
+        self.pager
+            .restore_header(txn.header.0, txn.header.1, txn.header.2, txn.header.3);
+        result
+    }
+
+    /// Write every dirty page and the header to the data file, fsync, then
+    /// truncate the log.
+    fn checkpoint(&mut self) -> StorageResult<()> {
+        if self.sim_crashed() {
+            return Err(wal::simulated_crash());
+        }
+        self.wal.sync()?;
+        for slot in 0..self.slots.len() {
+            if !self.slots[slot].dirty {
+                continue;
+            }
+            self.data_write_gate()?;
+            let Inner {
+                pager,
+                slots,
+                stats,
+                ..
+            } = &mut *self;
+            let frame = &mut slots[slot];
+            pager.write_page(frame.pid, &frame.page)?;
+            frame.dirty = false;
+            stats.flushes += 1;
+        }
+        self.pager.set_checkpoint_lsn(self.wal.end_lsn());
+        self.pager.sync()?;
+        if self.checkpoint_truncate_crash {
+            self.crashed = true;
+            return Err(wal::simulated_crash());
+        }
+        // Truncate even when logging is currently disabled: a stale log
+        // from an earlier logged phase must never replay over the newer
+        // checkpointed data.
+        self.wal.reset()?;
+        Ok(())
+    }
+
     /// Ensure `pid` is resident, returning its slot index.
     fn load(&mut self, pid: PageId) -> StorageResult<usize> {
         if let Some(&slot) = self.map.get(&pid) {
@@ -293,7 +699,14 @@ impl Inner {
         }
         self.stats.misses += 1;
         let page = self.pager.read_page(pid)?;
-        let frame = Frame { pid, page: Arc::new(page), dirty: false, pins: 0, referenced: true };
+        let frame = Frame {
+            pid,
+            page: Arc::new(page),
+            dirty: false,
+            pins: 0,
+            referenced: true,
+            rec_lsn: 0,
+        };
         self.install(frame)
     }
 
@@ -354,17 +767,58 @@ impl Inner {
         Err(StorageError::PoolExhausted(self.capacity))
     }
 
-    /// Write back (when dirty) and forget the frame in `slot`. The slot
-    /// itself is left for the caller to refill.
+    /// Write back (when dirty, WAL-first) and forget the frame in `slot`.
+    /// The slot itself is left for the caller to refill.
     fn evict_slot(&mut self, slot: usize) -> StorageResult<()> {
-        let frame = &self.slots[slot];
-        debug_assert_eq!(frame.pins, 0, "evicting a pinned frame");
-        if frame.dirty {
-            self.pager.write_page(frame.pid, &frame.page)?;
-            self.stats.writebacks += 1;
+        let (pid, dirty) = {
+            let frame = &self.slots[slot];
+            debug_assert_eq!(frame.pins, 0, "evicting a pinned frame");
+            (frame.pid, frame.dirty)
+        };
+        if dirty && !pid.is_null() {
+            // Steal: an uncommitted dirty page is about to reach the data
+            // file. Record the steal whether or not logging is on — runtime
+            // rollback needs it to know the disk copy must be overwritten —
+            // and, when logging, make the before-image durable first so
+            // crash recovery can undo it too.
+            let mut must_sync = false;
+            if let Some(txn) = &mut self.txn {
+                if txn.dirty.contains(&pid) && !txn.stolen.contains(&pid) {
+                    if self.logging {
+                        let before: Arc<Page> = match txn.undo.get(&pid) {
+                            Some(UndoEntry {
+                                image: Some(img), ..
+                            }) => Arc::clone(img),
+                            _ => Arc::new(Page::new()),
+                        };
+                        self.wal
+                            .append_image(WalRecordKind::Undo, txn.id, pid, before.bytes())?;
+                        must_sync = true;
+                    }
+                    txn.stolen.insert(pid);
+                }
+            }
+            if self.logging {
+                // WAL-before-data: the log must cover this page's latest
+                // commit record before its content reaches the data file.
+                if must_sync || self.slots[slot].rec_lsn > self.wal.durable_lsn() {
+                    self.wal.sync()?;
+                }
+            }
+            self.data_write_gate()?;
+            let Inner {
+                pager,
+                slots,
+                stats,
+                ..
+            } = &mut *self;
+            pager.write_page(pid, &slots[slot].page)?;
+            stats.writebacks += 1;
         }
         self.stats.evictions += 1;
-        self.map.remove(&frame.pid);
+        if self.map.get(&pid) == Some(&slot) {
+            self.map.remove(&pid);
+        }
         Ok(())
     }
 }
@@ -377,7 +831,7 @@ mod tests {
     fn pool(capacity: usize) -> (tempfile::TempDir, BufferPool) {
         let dir = tempdir().unwrap();
         let pager = Pager::create(dir.path().join("t.crdb")).unwrap();
-        (dir, BufferPool::with_capacity(pager, capacity))
+        (dir, BufferPool::with_capacity(pager, capacity).unwrap())
     }
 
     #[test]
@@ -417,7 +871,10 @@ mod tests {
         for _ in 0..100 {
             let pid = pool.allocate_page().unwrap();
             pool.with_page_mut(pid, |p| p.write_u64(0, 1)).unwrap();
-            assert!(pool.resident_pages() <= 8, "pool exceeded its frame capacity");
+            assert!(
+                pool.resident_pages() <= 8,
+                "pool exceeded its frame capacity"
+            );
         }
         assert_eq!(pool.resident_pages(), 8);
         assert!(pool.stats().evictions >= 92);
@@ -463,7 +920,11 @@ mod tests {
         let before = pool.page_count();
         let err = pool.allocate_page();
         assert!(matches!(err, Err(StorageError::PoolExhausted(_))));
-        assert_eq!(pool.page_count(), before, "failed allocation leaked a file page");
+        assert_eq!(
+            pool.page_count(),
+            before,
+            "failed allocation leaked a file page"
+        );
         drop(pins);
         assert!(pool.allocate_page().is_ok());
     }
@@ -489,16 +950,19 @@ mod tests {
         let pid;
         {
             let pager = Pager::create(&path).unwrap();
-            let pool = BufferPool::new(pager);
+            let pool = BufferPool::new(pager).unwrap();
             pid = pool.allocate_page().unwrap();
-            pool.with_page_mut(pid, |p| p.write_bytes(0, b"persist me")).unwrap();
+            pool.with_page_mut(pid, |p| p.write_bytes(0, b"persist me"))
+                .unwrap();
             pool.set_catalog_root(pid);
             pool.flush().unwrap();
         }
         let pager = Pager::open(&path).unwrap();
-        let pool = BufferPool::new(pager);
+        let pool = BufferPool::new(pager).unwrap();
         assert_eq!(pool.catalog_root(), pid);
-        let bytes = pool.with_page(pid, |p| p.read_bytes(0, 10).to_vec()).unwrap();
+        let bytes = pool
+            .with_page(pid, |p| p.read_bytes(0, 10).to_vec())
+            .unwrap();
         assert_eq!(&bytes, b"persist me");
     }
 
@@ -516,9 +980,332 @@ mod tests {
 
     #[test]
     fn hit_ratio_computation() {
-        let s = BufferStats { hits: 3, misses: 1, ..Default::default() };
+        let s = BufferStats {
+            hits: 3,
+            misses: 1,
+            ..Default::default()
+        };
         assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
         assert_eq!(s.page_reads(), 4);
         assert_eq!(BufferStats::default().hit_ratio(), 0.0);
+    }
+
+    // ------------------------------------------------------------------
+    // Transaction semantics
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn committed_txn_survives_crash_without_checkpoint() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("t.crdb");
+        let pid;
+        {
+            let pager = Pager::create(&path).unwrap();
+            let pool = BufferPool::with_capacity(pager, 16).unwrap();
+            pool.begin_txn().unwrap();
+            pid = pool.allocate_page().unwrap();
+            pool.with_page_mut(pid, |p| p.write_u64(0, 4242)).unwrap();
+            pool.commit_txn(true).unwrap();
+            // Crash: no flush — the dirty page dies with the pool.
+        }
+        let pager = Pager::open(&path).unwrap();
+        let pool = BufferPool::with_capacity(pager, 16).unwrap();
+        let report = pool.recovery_report().expect("reopen must report recovery");
+        assert_eq!(report.committed_txns, 1);
+        assert!(report.pages_redone >= 1);
+        assert_eq!(pool.with_page(pid, |p| p.read_u64(0)).unwrap(), 4242);
+    }
+
+    #[test]
+    fn uncommitted_txn_vanishes_on_crash() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("t.crdb");
+        let committed;
+        {
+            let pager = Pager::create(&path).unwrap();
+            let pool = BufferPool::with_capacity(pager, 16).unwrap();
+            pool.begin_txn().unwrap();
+            committed = pool.allocate_page().unwrap();
+            pool.with_page_mut(committed, |p| p.write_u64(0, 1))
+                .unwrap();
+            pool.commit_txn(true).unwrap();
+            // Second transaction never commits.
+            pool.begin_txn().unwrap();
+            pool.with_page_mut(committed, |p| p.write_u64(0, 999))
+                .unwrap();
+            let extra = pool.allocate_page().unwrap();
+            pool.with_page_mut(extra, |p| p.write_u64(0, 7)).unwrap();
+        }
+        let pager = Pager::open(&path).unwrap();
+        let pool = BufferPool::with_capacity(pager, 16).unwrap();
+        assert_eq!(pool.with_page(committed, |p| p.read_u64(0)).unwrap(), 1);
+        // The loser's allocation never made it into the page count.
+        assert_eq!(pool.page_count(), committed.0 + 1);
+    }
+
+    #[test]
+    fn rollback_restores_pages_and_header() {
+        let (_dir, pool) = pool(16);
+        pool.begin_txn().unwrap();
+        let base = pool.allocate_page().unwrap();
+        pool.with_page_mut(base, |p| p.write_u64(0, 10)).unwrap();
+        pool.commit_txn(false).unwrap();
+        let count_before = pool.page_count();
+
+        pool.begin_txn().unwrap();
+        pool.with_page_mut(base, |p| p.write_u64(0, 20)).unwrap();
+        let fresh = pool.allocate_page().unwrap();
+        pool.with_page_mut(fresh, |p| p.write_u64(0, 30)).unwrap();
+        pool.set_catalog_root(fresh);
+        pool.rollback_txn().unwrap();
+
+        assert_eq!(pool.with_page(base, |p| p.read_u64(0)).unwrap(), 10);
+        assert_eq!(
+            pool.page_count(),
+            count_before,
+            "rollback must undo allocations"
+        );
+        assert!(
+            pool.catalog_root().is_null(),
+            "rollback must restore the header"
+        );
+    }
+
+    #[test]
+    fn steal_then_commit_persists() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("t.crdb");
+        let mut pids = Vec::new();
+        {
+            let pager = Pager::create(&path).unwrap();
+            // Tiny pool: the transaction dirties far more pages than fit, so
+            // most get stolen (written before commit).
+            let pool = BufferPool::with_capacity(pager, 8).unwrap();
+            pool.begin_txn().unwrap();
+            for i in 0..64u64 {
+                let pid = pool.allocate_page().unwrap();
+                pool.with_page_mut(pid, |p| p.write_u64(0, i * 3)).unwrap();
+                pids.push(pid);
+            }
+            pool.commit_txn(true).unwrap();
+        }
+        let pager = Pager::open(&path).unwrap();
+        let pool = BufferPool::with_capacity(pager, 8).unwrap();
+        for (i, pid) in pids.iter().enumerate() {
+            assert_eq!(
+                pool.with_page(*pid, |p| p.read_u64(0)).unwrap(),
+                i as u64 * 3
+            );
+        }
+    }
+
+    #[test]
+    fn steal_then_crash_rolls_back() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("t.crdb");
+        let base;
+        {
+            let pager = Pager::create(&path).unwrap();
+            let pool = BufferPool::with_capacity(pager, 8).unwrap();
+            pool.begin_txn().unwrap();
+            base = pool.allocate_page().unwrap();
+            pool.with_page_mut(base, |p| p.write_u64(0, 123)).unwrap();
+            pool.commit_txn(true).unwrap();
+            pool.flush().unwrap();
+            // Loser transaction overwrites the committed page AND dirties
+            // enough pages to force the overwrite onto disk (steal).
+            pool.begin_txn().unwrap();
+            pool.with_page_mut(base, |p| p.write_u64(0, 666)).unwrap();
+            for i in 0..32u64 {
+                let pid = pool.allocate_page().unwrap();
+                pool.with_page_mut(pid, |p| p.write_u64(0, i)).unwrap();
+            }
+            assert!(pool.stats().writebacks > 0, "steal must have happened");
+            // Crash without commit.
+        }
+        // The data file now contains uncommitted content; recovery must undo
+        // it from the logged before-image.
+        let pager = Pager::open(&path).unwrap();
+        let pool = BufferPool::with_capacity(pager, 8).unwrap();
+        let report = pool.recovery_report().unwrap();
+        assert!(report.loser_txns >= 1);
+        assert!(report.pages_undone >= 1);
+        assert_eq!(pool.with_page(base, |p| p.read_u64(0)).unwrap(), 123);
+    }
+
+    #[test]
+    fn runtime_rollback_after_steal_restores_memory() {
+        let (_dir, pool) = pool(8);
+        pool.begin_txn().unwrap();
+        let base = pool.allocate_page().unwrap();
+        pool.with_page_mut(base, |p| p.write_u64(0, 5)).unwrap();
+        pool.commit_txn(false).unwrap();
+        pool.begin_txn().unwrap();
+        pool.with_page_mut(base, |p| p.write_u64(0, 50)).unwrap();
+        // Force the modified page out of the pool (steal).
+        for _ in 0..32 {
+            let pid = pool.allocate_page().unwrap();
+            pool.with_page_mut(pid, |p| p.write_u64(0, 1)).unwrap();
+        }
+        pool.rollback_txn().unwrap();
+        assert_eq!(pool.with_page(base, |p| p.read_u64(0)).unwrap(), 5);
+        // And the restored content reaches disk at the next checkpoint.
+        pool.flush().unwrap();
+        assert_eq!(pool.with_page(base, |p| p.read_u64(0)).unwrap(), 5);
+    }
+
+    #[test]
+    fn double_begin_and_stray_commit_error() {
+        let (_dir, pool) = pool(8);
+        pool.begin_txn().unwrap();
+        assert!(matches!(
+            pool.begin_txn(),
+            Err(StorageError::TransactionActive)
+        ));
+        pool.commit_txn(false).unwrap();
+        assert!(matches!(
+            pool.commit_txn(false),
+            Err(StorageError::NoActiveTransaction)
+        ));
+        assert!(matches!(
+            pool.rollback_txn(),
+            Err(StorageError::NoActiveTransaction)
+        ));
+    }
+
+    #[test]
+    fn flush_during_txn_is_rejected() {
+        let (_dir, pool) = pool(8);
+        pool.begin_txn().unwrap();
+        assert!(matches!(pool.flush(), Err(StorageError::TransactionActive)));
+        pool.rollback_txn().unwrap();
+        pool.flush().unwrap();
+    }
+
+    #[test]
+    fn checkpoint_truncates_the_log() {
+        let (_dir, pool) = pool(16);
+        pool.begin_txn().unwrap();
+        let pid = pool.allocate_page().unwrap();
+        pool.with_page_mut(pid, |p| p.write_u64(0, 9)).unwrap();
+        pool.commit_txn(true).unwrap();
+        assert!(pool.stats().wal_bytes > 0);
+        pool.flush().unwrap();
+        pool.reset_stats();
+        // A fresh commit after the checkpoint starts a new log generation.
+        pool.begin_txn().unwrap();
+        pool.with_page_mut(pid, |p| p.write_u64(0, 10)).unwrap();
+        pool.commit_txn(true).unwrap();
+        let stats = pool.stats();
+        assert!(stats.wal_appends >= 2); // image + commit
+        assert_eq!(stats.commits, 1);
+    }
+
+    #[test]
+    fn mutation_stamps_the_page_rec_lsn() {
+        let (_dir, pool) = pool(16);
+        pool.begin_txn().unwrap();
+        let pid = pool.allocate_page().unwrap();
+        assert_eq!(
+            pool.with_page(pid, |p| p.lsn()).unwrap(),
+            0,
+            "fresh page: no mutation yet"
+        );
+        pool.with_page_mut(pid, |p| p.write_u64(0, 1)).unwrap();
+        let lsn0 = pool.with_page(pid, |p| p.lsn()).unwrap();
+        assert!(lsn0 > 0, "mutation must stamp a recovery LSN");
+        pool.commit_txn(true).unwrap();
+        // The next mutation happens at a later log-tail position.
+        pool.begin_txn().unwrap();
+        pool.with_page_mut(pid, |p| p.write_u64(0, 2)).unwrap();
+        let lsn1 = pool.with_page(pid, |p| p.lsn()).unwrap();
+        assert!(lsn1 > lsn0, "recLSNs are monotone: {lsn1} vs {lsn0}");
+        pool.commit_txn(true).unwrap();
+    }
+
+    #[test]
+    fn unlogged_rollback_restores_stolen_pages() {
+        let (_dir, pool) = pool(8);
+        pool.set_logging(false).unwrap();
+        pool.begin_txn().unwrap();
+        let base = pool.allocate_page().unwrap();
+        pool.with_page_mut(base, |p| p.write_u64(0, 5)).unwrap();
+        pool.commit_txn(false).unwrap();
+        pool.begin_txn().unwrap();
+        pool.with_page_mut(base, |p| p.write_u64(0, 500)).unwrap();
+        // Push the uncommitted page out of the pool (unlogged steal).
+        for _ in 0..32 {
+            let pid = pool.allocate_page().unwrap();
+            pool.with_page_mut(pid, |p| p.write_u64(0, 1)).unwrap();
+        }
+        assert!(pool.stats().writebacks > 0);
+        pool.rollback_txn().unwrap();
+        assert_eq!(
+            pool.with_page(base, |p| p.read_u64(0)).unwrap(),
+            5,
+            "rollback must restore a page stolen in unlogged mode"
+        );
+        pool.set_logging(true).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_truncates_a_stale_log_in_unlogged_mode() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("t.crdb");
+        let pid;
+        {
+            let pager = Pager::create(&path).unwrap();
+            let pool = BufferPool::with_capacity(pager, 16).unwrap();
+            // Logged commit leaves an after-image of value 1 in the WAL.
+            pool.begin_txn().unwrap();
+            pid = pool.allocate_page().unwrap();
+            pool.with_page_mut(pid, |p| p.write_u64(0, 1)).unwrap();
+            pool.commit_txn(true).unwrap();
+            // Unlogged phase overwrites it and checkpoints; the stale log
+            // must be truncated so it can never replay over value 2.
+            pool.set_logging(false).unwrap();
+            pool.begin_txn().unwrap();
+            pool.with_page_mut(pid, |p| p.write_u64(0, 2)).unwrap();
+            pool.commit_txn(false).unwrap();
+            pool.flush().unwrap();
+        }
+        let pager = Pager::open(&path).unwrap();
+        let pool = BufferPool::with_capacity(pager, 16).unwrap();
+        assert!(!pool.recovery_report().unwrap().did_work());
+        assert_eq!(pool.with_page(pid, |p| p.read_u64(0)).unwrap(), 2);
+    }
+
+    #[test]
+    fn unlogged_mode_skips_the_wal() {
+        let (_dir, pool) = pool(16);
+        pool.set_logging(false).unwrap();
+        pool.begin_txn().unwrap();
+        let pid = pool.allocate_page().unwrap();
+        pool.with_page_mut(pid, |p| p.write_u64(0, 1)).unwrap();
+        pool.commit_txn(true).unwrap();
+        assert_eq!(pool.stats().wal_appends, 0);
+        // Rollback still works in memory without the log.
+        pool.begin_txn().unwrap();
+        pool.with_page_mut(pid, |p| p.write_u64(0, 2)).unwrap();
+        pool.rollback_txn().unwrap();
+        assert_eq!(pool.with_page(pid, |p| p.read_u64(0)).unwrap(), 1);
+        pool.set_logging(true).unwrap();
+    }
+
+    #[test]
+    fn injected_wal_crash_fails_commit_and_rolls_back() {
+        let (_dir, pool) = pool(16);
+        pool.begin_txn().unwrap();
+        let pid = pool.allocate_page().unwrap();
+        pool.with_page_mut(pid, |p| p.write_u64(0, 77)).unwrap();
+        pool.commit_txn(true).unwrap();
+        pool.begin_txn().unwrap();
+        pool.with_page_mut(pid, |p| p.write_u64(0, 88)).unwrap();
+        pool.inject_crash(CrashPoint::WalAppend(0));
+        assert!(pool.commit_txn(true).is_err());
+        // The failed commit rolled back in memory.
+        assert_eq!(pool.with_page(pid, |p| p.read_u64(0)).unwrap(), 77);
+        // The pool is dead for writes from here on.
+        assert!(pool.flush().is_err());
     }
 }

@@ -92,8 +92,7 @@ impl Catalog {
         loop {
             let chunk_len = remaining.len().min(CAT_PAYLOAD);
             let (chunk, rest) = remaining.split_at(chunk_len);
-            let existing_next =
-                pool.with_page(current, |p| PageId(p.read_u64(CAT_NEXT)))?;
+            let existing_next = pool.with_page(current, |p| PageId(p.read_u64(CAT_NEXT)))?;
             let next = if rest.is_empty() {
                 PageId::NULL
             } else if existing_next.is_null() {
@@ -128,7 +127,10 @@ impl Catalog {
             let (chunk, next) = pool.with_page(current, |p| {
                 let len = p.read_u32(CAT_LEN) as usize;
                 let next = PageId(p.read_u64(CAT_NEXT));
-                (p.read_bytes(CAT_HEADER, len.min(CAT_PAYLOAD)).to_vec(), next)
+                (
+                    p.read_bytes(CAT_HEADER, len.min(CAT_PAYLOAD)).to_vec(),
+                    next,
+                )
             })?;
             payload.extend_from_slice(&chunk);
             if next.is_null() {
@@ -155,7 +157,7 @@ mod tests {
     fn pool() -> (tempfile::TempDir, BufferPool) {
         let dir = tempdir().unwrap();
         let pager = Pager::create(dir.path().join("t.crdb")).unwrap();
-        (dir, BufferPool::with_capacity(pager, 64))
+        (dir, BufferPool::with_capacity(pager, 64).unwrap())
     }
 
     fn sample_table(name: &str) -> TableMeta {
@@ -201,7 +203,8 @@ mod tests {
         let mut cat = Catalog::new();
         // Large catalog spanning multiple pages.
         for i in 0..200 {
-            cat.tables.push(sample_table(&format!("table_with_a_rather_long_name_{i}")));
+            cat.tables
+                .push(sample_table(&format!("table_with_a_rather_long_name_{i}")));
         }
         cat.save(&pool).unwrap();
         let back = Catalog::load(&pool).unwrap();
@@ -219,14 +222,14 @@ mod tests {
         let path = dir.path().join("t.crdb");
         {
             let pager = Pager::create(&path).unwrap();
-            let pool = BufferPool::new(pager);
+            let pool = BufferPool::new(pager).unwrap();
             let mut cat = Catalog::new();
             cat.tables.push(sample_table("persisted"));
             cat.save(&pool).unwrap();
             pool.flush().unwrap();
         }
         let pager = Pager::open(&path).unwrap();
-        let pool = BufferPool::new(pager);
+        let pool = BufferPool::new(pager).unwrap();
         let cat = Catalog::load(&pool).unwrap();
         assert_eq!(cat.tables.len(), 1);
         assert_eq!(cat.tables[0].name, "persisted");

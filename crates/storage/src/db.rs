@@ -6,7 +6,7 @@
 //! scans, all of which are expressed directly.
 
 use crate::btree::{BTree, RangeIter};
-use crate::buffer::{BufferPool, BufferStats};
+use crate::buffer::{BufferPool, BufferStats, CrashPoint};
 use crate::catalog::{Catalog, IndexMeta, RawIndexMeta, TableMeta};
 use crate::error::{StorageError, StorageResult};
 use crate::heap::{HeapFile, RecordId};
@@ -14,6 +14,7 @@ use crate::page::PageId;
 use crate::pager::Pager;
 use crate::schema::{Row, Schema};
 use crate::value::Value;
+use crate::wal::RecoveryReport;
 use std::collections::HashMap;
 use std::path::Path;
 
@@ -53,7 +54,7 @@ impl Database {
     /// (in pages). Used by the repository-scale experiment (E9).
     pub fn create_with_capacity(path: impl AsRef<Path>, pages: usize) -> StorageResult<Self> {
         let pager = Pager::create(path)?;
-        let pool = BufferPool::with_capacity(pager, pages);
+        let pool = BufferPool::with_capacity(pager, pages)?;
         Ok(Database {
             pool,
             catalog: Catalog::new(),
@@ -69,21 +70,139 @@ impl Database {
     }
 
     /// Open an existing database file with an explicit buffer-pool capacity.
+    /// Opening runs crash recovery against the sibling write-ahead log;
+    /// committed transactions since the last checkpoint are replayed and
+    /// interrupted ones rolled back before the catalog is read (see
+    /// [`Database::recovery_report`]).
     pub fn open_with_capacity(path: impl AsRef<Path>, pages: usize) -> StorageResult<Self> {
         let pager = Pager::open(path)?;
-        let pool = BufferPool::with_capacity(pager, pages);
-        let catalog = Catalog::load(&pool)?;
+        let pool = BufferPool::with_capacity(pager, pages)?;
+        let mut db = Database {
+            pool,
+            catalog: Catalog::new(),
+            heaps: HashMap::new(),
+            indexes: HashMap::new(),
+            raw: Vec::new(),
+        };
+        db.reload_meta()?;
+        Ok(db)
+    }
+
+    /// (Re)build the in-memory catalog, heap and index handles from the
+    /// on-disk catalog. Called at open and after a transaction rollback
+    /// (rolled-back DDL may have invalidated cached roots and table ids).
+    fn reload_meta(&mut self) -> StorageResult<()> {
+        let catalog = Catalog::load(&self.pool)?;
         let mut heaps = HashMap::new();
         let mut indexes = HashMap::new();
         for (tid, table) in catalog.tables.iter().enumerate() {
-            heaps.insert(tid, HeapFile::open(&pool, PageId(table.heap_first_page))?);
+            heaps.insert(
+                tid,
+                HeapFile::open(&self.pool, PageId(table.heap_first_page))?,
+            );
             for idx in &table.indexes {
-                indexes.insert((tid, idx.column.clone()), BTree::open(PageId(idx.root_page)));
+                indexes.insert(
+                    (tid, idx.column.clone()),
+                    BTree::open(PageId(idx.root_page)),
+                );
             }
         }
-        let raw =
-            catalog.raw_indexes.iter().map(|r| BTree::open(PageId(r.root_page))).collect();
-        Ok(Database { pool, catalog, heaps, indexes, raw })
+        let raw = catalog
+            .raw_indexes
+            .iter()
+            .map(|r| BTree::open(PageId(r.root_page)))
+            .collect();
+        self.catalog = catalog;
+        self.heaps = heaps;
+        self.indexes = indexes;
+        self.raw = raw;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions
+    // ------------------------------------------------------------------
+
+    /// Begin an explicit transaction. Every mutation until
+    /// [`Database::commit`] is atomic: it either becomes durable as a group
+    /// or is invisible after a crash or [`Database::rollback`]. The engine
+    /// is single-writer; nested `begin` is an error.
+    pub fn begin(&mut self) -> StorageResult<()> {
+        self.pool.begin_txn()?;
+        Ok(())
+    }
+
+    /// Commit the open transaction: page after-images and a commit record
+    /// are appended to the write-ahead log and fsynced (group fsync).
+    pub fn commit(&mut self) -> StorageResult<()> {
+        match self.pool.commit_txn(true) {
+            Ok(_) => Ok(()),
+            Err(e) => {
+                // The pool already rolled the pages back; bring the cached
+                // metadata in line with them.
+                let _ = self.reload_meta();
+                Err(e)
+            }
+        }
+    }
+
+    /// Roll back the open transaction: all page mutations, allocations and
+    /// catalog changes since `begin` are undone in memory.
+    pub fn rollback(&mut self) -> StorageResult<()> {
+        let result = self.pool.rollback_txn();
+        let reload = self.reload_meta();
+        result.and(reload)
+    }
+
+    /// `true` while an explicit transaction is open.
+    pub fn in_transaction(&self) -> bool {
+        self.pool.in_txn()
+    }
+
+    /// Run `f` inside the open transaction, or wrap it in an implicit
+    /// (auto-commit) transaction of its own. Auto-commits append to the log
+    /// without fsyncing — they are atomic on crash but only become durable
+    /// at the next explicit commit, eviction or checkpoint.
+    fn autocommit<T>(&mut self, f: impl FnOnce(&mut Self) -> StorageResult<T>) -> StorageResult<T> {
+        if self.pool.in_txn() {
+            return f(self);
+        }
+        self.pool.begin_txn()?;
+        match f(self) {
+            Ok(v) => match self.pool.commit_txn(false) {
+                Ok(_) => Ok(v),
+                Err(e) => {
+                    // The pool rolled the pages back; the cached catalog /
+                    // heap / index handles must follow them.
+                    let _ = self.reload_meta();
+                    Err(e)
+                }
+            },
+            Err(e) => {
+                if self.pool.rollback_txn().is_ok() {
+                    let _ = self.reload_meta();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// The crash-recovery outcome from opening this database, when the file
+    /// pre-existed. `None` for a freshly created database.
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.pool.recovery_report()
+    }
+
+    /// Enable or disable write-ahead logging (bench baseline only; disabled
+    /// logging forfeits crash safety). Fails inside a transaction.
+    pub fn set_logging(&mut self, enabled: bool) -> StorageResult<()> {
+        self.pool.set_logging(enabled)
+    }
+
+    /// Inject a simulated crash at the given point (test instrumentation
+    /// for the crash-recovery suites; see [`CrashPoint`]).
+    pub fn inject_crash(&self, point: CrashPoint) {
+        self.pool.inject_crash(point)
     }
 
     // ------------------------------------------------------------------
@@ -92,6 +211,10 @@ impl Database {
 
     /// Create a table and return its id.
     pub fn create_table(&mut self, name: &str, schema: Schema) -> StorageResult<TableId> {
+        self.autocommit(|db| db.create_table_inner(name, schema))
+    }
+
+    fn create_table_inner(&mut self, name: &str, schema: Schema) -> StorageResult<TableId> {
         if self.catalog.table_id(name).is_some() {
             return Err(StorageError::AlreadyExists(name.to_string()));
         }
@@ -136,10 +259,22 @@ impl Database {
         column: &str,
         unique: bool,
     ) -> StorageResult<()> {
+        self.autocommit(|db| db.create_index_inner(table, column, unique))
+    }
+
+    fn create_index_inner(
+        &mut self,
+        table: TableId,
+        column: &str,
+        unique: bool,
+    ) -> StorageResult<()> {
         let meta = self.table_meta(table)?;
         let col_idx = meta.schema.column_index(column)?;
         if meta.indexes.iter().any(|i| i.column == column) {
-            return Err(StorageError::AlreadyExists(format!("{}.{}", meta.name, column)));
+            return Err(StorageError::AlreadyExists(format!(
+                "{}.{}",
+                meta.name, column
+            )));
         }
         let index_name = format!("{}_{}_idx", meta.name, column);
         let mut btree = BTree::create(&self.pool)?;
@@ -174,6 +309,10 @@ impl Database {
 
     /// Insert a row, maintaining all indexes. Returns the new record id.
     pub fn insert(&mut self, table: TableId, values: &[Value]) -> StorageResult<RecordId> {
+        self.autocommit(|db| db.insert_inner(table, values))
+    }
+
+    fn insert_inner(&mut self, table: TableId, values: &[Value]) -> StorageResult<RecordId> {
         let meta = self.table_meta(table)?.clone();
         let bytes = meta.schema.encode_row(values)?;
         // Unique checks before any mutation.
@@ -187,13 +326,18 @@ impl Database {
                 }
             }
         }
-        let heap = self.heaps.get_mut(&table.0).expect("heap loaded for every table");
+        let heap = self
+            .heaps
+            .get_mut(&table.0)
+            .expect("heap loaded for every table");
         let rid = heap.insert(&self.pool, &bytes)?;
         for idx in &meta.indexes {
             let col = meta.schema.column_index(&idx.column)?;
             let key = Self::index_key(&values[col], rid, idx.unique);
-            let btree =
-                self.indexes.get_mut(&(table.0, idx.column.clone())).expect("index loaded");
+            let btree = self
+                .indexes
+                .get_mut(&(table.0, idx.column.clone()))
+                .expect("index loaded");
             let old_root = btree.root();
             btree.insert(&self.pool, &key, rid.to_u64())?;
             if btree.root() != old_root {
@@ -221,6 +365,10 @@ impl Database {
 
     /// Delete a row by record id, maintaining indexes.
     pub fn delete(&mut self, table: TableId, rid: RecordId) -> StorageResult<()> {
+        self.autocommit(|db| db.delete_inner(table, rid))
+    }
+
+    fn delete_inner(&mut self, table: TableId, rid: RecordId) -> StorageResult<()> {
         let meta = self.table_meta(table)?.clone();
         let row = self.get(table, rid)?;
         for idx in &meta.indexes {
@@ -312,7 +460,9 @@ impl Database {
         value: &Value,
     ) -> StorageResult<Vec<(RecordId, Row)>> {
         let rids = self.index_lookup(table, column, value)?;
-        rids.into_iter().map(|rid| Ok((rid, self.get(table, rid)?))).collect()
+        rids.into_iter()
+            .map(|rid| Ok((rid, self.get(table, rid)?)))
+            .collect()
     }
 
     // ------------------------------------------------------------------
@@ -323,13 +473,18 @@ impl Database {
     /// payloads, with no backing heap table. Use for covering indexes where
     /// the key bytes carry the whole entry (e.g. the node-interval index).
     pub fn create_raw_index(&mut self, name: &str) -> StorageResult<RawIndexId> {
+        self.autocommit(|db| db.create_raw_index_inner(name))
+    }
+
+    fn create_raw_index_inner(&mut self, name: &str) -> StorageResult<RawIndexId> {
         if self.catalog.raw_indexes.iter().any(|r| r.name == name) {
             return Err(StorageError::AlreadyExists(name.to_string()));
         }
         let btree = BTree::create(&self.pool)?;
-        self.catalog
-            .raw_indexes
-            .push(RawIndexMeta { name: name.to_string(), root_page: btree.root().0 });
+        self.catalog.raw_indexes.push(RawIndexMeta {
+            name: name.to_string(),
+            root_page: btree.root().0,
+        });
         self.raw.push(btree);
         self.catalog.save(&self.pool)?;
         Ok(RawIndexId(self.raw.len() - 1))
@@ -348,6 +503,10 @@ impl Database {
     /// Insert a key/value pair into a raw index. Root splits are persisted
     /// in the catalog.
     pub fn raw_insert(&mut self, id: RawIndexId, key: &[u8], value: u64) -> StorageResult<()> {
+        self.autocommit(|db| db.raw_insert_inner(id, key, value))
+    }
+
+    fn raw_insert_inner(&mut self, id: RawIndexId, key: &[u8], value: u64) -> StorageResult<()> {
         let btree = self
             .raw
             .get_mut(id.0)
@@ -397,15 +556,22 @@ impl Database {
     }
 
     fn raw_btree(&self, id: RawIndexId) -> StorageResult<&BTree> {
-        self.raw.get(id.0).ok_or_else(|| StorageError::UnknownIndex(format!("raw #{}", id.0)))
+        self.raw
+            .get(id.0)
+            .ok_or_else(|| StorageError::UnknownIndex(format!("raw #{}", id.0)))
     }
 
     // ------------------------------------------------------------------
     // Maintenance
     // ------------------------------------------------------------------
 
-    /// Flush all dirty pages and the catalog to disk.
+    /// Checkpoint: persist the catalog, write every dirty page and the
+    /// header to the data file, fsync it, and truncate the write-ahead log.
+    /// Fails while a transaction is open (commit or roll back first).
     pub fn flush(&mut self) -> StorageResult<()> {
+        if self.pool.in_txn() {
+            return Err(StorageError::TransactionActive);
+        }
         self.catalog.save(&self.pool)?;
         self.pool.flush()
     }
@@ -500,8 +666,9 @@ mod tests {
     fn create_insert_get() {
         let (_d, mut db) = fresh();
         let t = db.create_table("species", species_schema()).unwrap();
-        let rid =
-            db.insert(t, &[Value::text("Bha"), Value::Int(1), Value::Float(2.25)]).unwrap();
+        let rid = db
+            .insert(t, &[Value::text("Bha"), Value::Int(1), Value::Float(2.25)])
+            .unwrap();
         let row = db.get(t, rid).unwrap();
         assert_eq!(row.values[0], Value::text("Bha"));
         assert_eq!(db.row_count(t).unwrap(), 1);
@@ -524,7 +691,9 @@ mod tests {
     fn schema_validation_on_insert() {
         let (_d, mut db) = fresh();
         let t = db.create_table("species", species_schema()).unwrap();
-        assert!(db.insert(t, &[Value::Int(1), Value::Int(2), Value::Null]).is_err());
+        assert!(db
+            .insert(t, &[Value::Int(1), Value::Int(2), Value::Null])
+            .is_err());
         assert!(db.insert(t, &[Value::text("x")]).is_err());
     }
 
@@ -533,11 +702,13 @@ mod tests {
         let (_d, mut db) = fresh();
         let t = db.create_table("species", species_schema()).unwrap();
         db.create_index(t, "name", true).unwrap();
-        db.insert(t, &[Value::text("Bha"), Value::Int(1), Value::Null]).unwrap();
+        db.insert(t, &[Value::text("Bha"), Value::Int(1), Value::Null])
+            .unwrap();
         let err = db.insert(t, &[Value::text("Bha"), Value::Int(2), Value::Null]);
         assert!(matches!(err, Err(StorageError::DuplicateKey(_))));
         // Different key is fine.
-        db.insert(t, &[Value::text("Lla"), Value::Int(2), Value::Null]).unwrap();
+        db.insert(t, &[Value::text("Lla"), Value::Int(2), Value::Null])
+            .unwrap();
     }
 
     #[test]
@@ -546,12 +717,29 @@ mod tests {
         let t = db.create_table("nodes", species_schema()).unwrap();
         db.create_index(t, "name", false).unwrap();
         for i in 0..10 {
-            db.insert(t, &[Value::text("dup"), Value::Int(i), Value::Null]).unwrap();
+            db.insert(t, &[Value::text("dup"), Value::Int(i), Value::Null])
+                .unwrap();
         }
-        db.insert(t, &[Value::text("solo"), Value::Int(99), Value::Null]).unwrap();
-        assert_eq!(db.index_lookup(t, "name", &Value::text("dup")).unwrap().len(), 10);
-        assert_eq!(db.index_lookup(t, "name", &Value::text("solo")).unwrap().len(), 1);
-        assert_eq!(db.index_lookup(t, "name", &Value::text("missing")).unwrap().len(), 0);
+        db.insert(t, &[Value::text("solo"), Value::Int(99), Value::Null])
+            .unwrap();
+        assert_eq!(
+            db.index_lookup(t, "name", &Value::text("dup"))
+                .unwrap()
+                .len(),
+            10
+        );
+        assert_eq!(
+            db.index_lookup(t, "name", &Value::text("solo"))
+                .unwrap()
+                .len(),
+            1
+        );
+        assert_eq!(
+            db.index_lookup(t, "name", &Value::text("missing"))
+                .unwrap()
+                .len(),
+            0
+        );
         let rows = db.lookup_rows(t, "name", &Value::text("solo")).unwrap();
         assert_eq!(rows[0].1.values[1], Value::Int(99));
     }
@@ -561,8 +749,15 @@ mod tests {
         let (_d, mut db) = fresh();
         let t = db.create_table("nodes", species_schema()).unwrap();
         for i in 0..50 {
-            db.insert(t, &[Value::text(format!("n{i}")), Value::Int(i), Value::Float(i as f64)])
-                .unwrap();
+            db.insert(
+                t,
+                &[
+                    Value::text(format!("n{i}")),
+                    Value::Int(i),
+                    Value::Float(i as f64),
+                ],
+            )
+            .unwrap();
         }
         db.create_index(t, "node_id", true).unwrap();
         let hits = db.index_lookup(t, "node_id", &Value::Int(31)).unwrap();
@@ -577,15 +772,29 @@ mod tests {
         let t = db.create_table("nodes", species_schema()).unwrap();
         db.create_index(t, "time", false).unwrap();
         for i in 0..100 {
-            db.insert(t, &[Value::text(format!("n{i}")), Value::Int(i), Value::Float(i as f64 * 0.1)])
-                .unwrap();
+            db.insert(
+                t,
+                &[
+                    Value::text(format!("n{i}")),
+                    Value::Int(i),
+                    Value::Float(i as f64 * 0.1),
+                ],
+            )
+            .unwrap();
         }
         // time >= 5.0 (the paper's "total weight exceeds t" predicate)
-        let hits = db.index_range(t, "time", Some(&Value::Float(5.0)), None).unwrap();
+        let hits = db
+            .index_range(t, "time", Some(&Value::Float(5.0)), None)
+            .unwrap();
         assert_eq!(hits.len(), 50);
         // 2.0 <= time < 3.0
         let hits = db
-            .index_range(t, "time", Some(&Value::Float(2.0)), Some(&Value::Float(3.0)))
+            .index_range(
+                t,
+                "time",
+                Some(&Value::Float(2.0)),
+                Some(&Value::Float(3.0)),
+            )
             .unwrap();
         assert_eq!(hits.len(), 10);
         // Results come back ordered by time.
@@ -603,12 +812,25 @@ mod tests {
         let (_d, mut db) = fresh();
         let t = db.create_table("nodes", species_schema()).unwrap();
         db.create_index(t, "name", false).unwrap();
-        let rid = db.insert(t, &[Value::text("gone"), Value::Int(1), Value::Null]).unwrap();
-        db.insert(t, &[Value::text("kept"), Value::Int(2), Value::Null]).unwrap();
+        let rid = db
+            .insert(t, &[Value::text("gone"), Value::Int(1), Value::Null])
+            .unwrap();
+        db.insert(t, &[Value::text("kept"), Value::Int(2), Value::Null])
+            .unwrap();
         db.delete(t, rid).unwrap();
         assert!(db.get(t, rid).is_err());
-        assert_eq!(db.index_lookup(t, "name", &Value::text("gone")).unwrap().len(), 0);
-        assert_eq!(db.index_lookup(t, "name", &Value::text("kept")).unwrap().len(), 1);
+        assert_eq!(
+            db.index_lookup(t, "name", &Value::text("gone"))
+                .unwrap()
+                .len(),
+            0
+        );
+        assert_eq!(
+            db.index_lookup(t, "name", &Value::text("kept"))
+                .unwrap()
+                .len(),
+            1
+        );
         assert_eq!(db.row_count(t).unwrap(), 1);
     }
 
@@ -617,7 +839,11 @@ mod tests {
         let (_d, mut db) = fresh();
         let t = db.create_table("nodes", species_schema()).unwrap();
         for i in 0..20 {
-            db.insert(t, &[Value::text(format!("n{i}")), Value::Int(i), Value::Null]).unwrap();
+            db.insert(
+                t,
+                &[Value::text(format!("n{i}")), Value::Int(i), Value::Null],
+            )
+            .unwrap();
         }
         let rows = db.scan(t).unwrap();
         assert_eq!(rows.len(), 20);
@@ -635,7 +861,11 @@ mod tests {
             for i in 0..1000 {
                 db.insert(
                     t,
-                    &[Value::text(format!("sp{i}")), Value::Int(i), Value::Float(i as f64)],
+                    &[
+                        Value::text(format!("sp{i}")),
+                        Value::Int(i),
+                        Value::Float(i as f64),
+                    ],
                 )
                 .unwrap();
             }
@@ -647,8 +877,9 @@ mod tests {
         let hits = db.index_lookup(t, "name", &Value::text("sp500")).unwrap();
         assert_eq!(hits.len(), 1);
         assert_eq!(db.get(t, hits[0]).unwrap().values[1], Value::Int(500));
-        let range =
-            db.index_range(t, "time", Some(&Value::Float(990.0)), None).unwrap();
+        let range = db
+            .index_range(t, "time", Some(&Value::Float(990.0)), None)
+            .unwrap();
         assert_eq!(range.len(), 10);
     }
 
@@ -659,8 +890,15 @@ mod tests {
         let t = db.create_table("nodes", species_schema()).unwrap();
         db.create_index(t, "node_id", true).unwrap();
         for i in 0..2000 {
-            db.insert(t, &[Value::text(format!("n{i}")), Value::Int(i), Value::Float(i as f64)])
-                .unwrap();
+            db.insert(
+                t,
+                &[
+                    Value::text(format!("n{i}")),
+                    Value::Int(i),
+                    Value::Float(i as f64),
+                ],
+            )
+            .unwrap();
         }
         for probe in [0i64, 555, 1999] {
             let hits = db.index_lookup(t, "node_id", &Value::Int(probe)).unwrap();
@@ -715,8 +953,14 @@ mod tests {
         let (_d, mut db) = fresh();
         let t = db.create_table("nodes", species_schema()).unwrap();
         db.create_index(t, "name", false).unwrap();
-        assert!(matches!(db.create_index(t, "name", false), Err(StorageError::AlreadyExists(_))));
-        assert!(matches!(db.create_index(t, "ghost", false), Err(StorageError::UnknownColumn(_))));
+        assert!(matches!(
+            db.create_index(t, "name", false),
+            Err(StorageError::AlreadyExists(_))
+        ));
+        assert!(matches!(
+            db.create_index(t, "ghost", false),
+            Err(StorageError::UnknownColumn(_))
+        ));
         assert!(db.index_lookup(t, "ghost", &Value::Int(1)).is_err());
     }
 
@@ -724,9 +968,14 @@ mod tests {
     fn unique_index_creation_fails_on_existing_duplicates() {
         let (_d, mut db) = fresh();
         let t = db.create_table("nodes", species_schema()).unwrap();
-        db.insert(t, &[Value::text("dup"), Value::Int(1), Value::Null]).unwrap();
-        db.insert(t, &[Value::text("dup"), Value::Int(2), Value::Null]).unwrap();
-        assert!(matches!(db.create_index(t, "name", true), Err(StorageError::DuplicateKey(_))));
+        db.insert(t, &[Value::text("dup"), Value::Int(1), Value::Null])
+            .unwrap();
+        db.insert(t, &[Value::text("dup"), Value::Int(2), Value::Null])
+            .unwrap();
+        assert!(matches!(
+            db.create_index(t, "name", true),
+            Err(StorageError::DuplicateKey(_))
+        ));
     }
 
     #[test]
@@ -735,7 +984,11 @@ mod tests {
         let t = db.create_table("nodes", species_schema()).unwrap();
         db.create_index(t, "node_id", true).unwrap();
         for i in 0..500 {
-            db.insert(t, &[Value::text(format!("n{i}")), Value::Int(i), Value::Null]).unwrap();
+            db.insert(
+                t,
+                &[Value::text(format!("n{i}")), Value::Int(i), Value::Null],
+            )
+            .unwrap();
         }
         db.clear_cache().unwrap();
         db.reset_buffer_stats();

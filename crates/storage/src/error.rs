@@ -42,6 +42,12 @@ pub enum StorageError {
     /// Every buffer-pool frame is pinned; no page can be brought in. The
     /// payload is the pool's frame capacity.
     PoolExhausted(usize),
+    /// A transaction is already open (the engine is single-writer) or the
+    /// attempted operation (checkpoint, logging toggle) is illegal while
+    /// one is open.
+    TransactionActive,
+    /// `commit`/`rollback` was called with no open transaction.
+    NoActiveTransaction,
 }
 
 impl fmt::Display for StorageError {
@@ -65,6 +71,12 @@ impl fmt::Display for StorageError {
             StorageError::Corrupted(m) => write!(f, "corrupted data: {m}"),
             StorageError::PoolExhausted(cap) => {
                 write!(f, "all {cap} buffer-pool frames are pinned")
+            }
+            StorageError::TransactionActive => {
+                write!(f, "a transaction is already active")
+            }
+            StorageError::NoActiveTransaction => {
+                write!(f, "no transaction is active")
             }
         }
     }
@@ -92,9 +104,15 @@ mod tests {
     #[test]
     fn display_variants() {
         assert!(StorageError::InvalidPage(7).to_string().contains("7"));
-        assert!(StorageError::UnknownTable("t".into()).to_string().contains("`t`"));
-        assert!(StorageError::RecordTooLarge(123456).to_string().contains("123456"));
-        assert!(StorageError::InvalidRecord { page: 3, slot: 9 }.to_string().contains("slot 9"));
+        assert!(StorageError::UnknownTable("t".into())
+            .to_string()
+            .contains("`t`"));
+        assert!(StorageError::RecordTooLarge(123456)
+            .to_string()
+            .contains("123456"));
+        assert!(StorageError::InvalidRecord { page: 3, slot: 9 }
+            .to_string()
+            .contains("slot 9"));
     }
 
     #[test]

@@ -10,7 +10,12 @@
 //! ```
 //!
 //! * header: `slot_count: u16`, `free_end: u16`, `next_page: u64`
-//! * slot: `offset: u16`, `len: u16` (offset 0 marks a deleted slot)
+//! * slot: `offset: u16`, `len: u16`. A deleted slot keeps its cell offset
+//!   and length but has the high bit of the offset set (the tombstone bit —
+//!   offsets are < 8192, so bit 15 is always free); legacy tombstones with
+//!   offset 0 are also recognised. Keeping the cell location lets a later
+//!   insert of a compatible (equal-or-smaller) record reclaim the dead cell
+//!   instead of growing the file.
 //!
 //! Records are addressed by [`RecordId`] = (page, slot), which is the stable
 //! physical id the rest of the system (indexes, node labels) refers to.
@@ -25,6 +30,16 @@ const HDR_FREE_END: usize = 2;
 const HDR_NEXT_PAGE: usize = 4;
 const HEADER_SIZE: usize = 12;
 const SLOT_SIZE: usize = 4;
+/// High bit of a slot's offset field: set when the slot is a tombstone whose
+/// cell can be reclaimed. Cell offsets are bounded by `PAGE_SIZE` (8192), so
+/// bit 15 never collides with a live offset.
+const TOMBSTONE: u16 = 0x8000;
+
+/// `true` when a raw slot offset denotes a live record.
+#[inline]
+fn slot_is_live(offset_raw: u16) -> bool {
+    offset_raw != 0 && offset_raw & TOMBSTONE == 0
+}
 
 /// Maximum record payload that fits on one page.
 pub const MAX_RECORD_SIZE: usize = PAGE_SIZE - HEADER_SIZE - SLOT_SIZE;
@@ -47,7 +62,10 @@ impl RecordId {
 
     /// Inverse of [`RecordId::to_u64`].
     pub fn from_u64(v: u64) -> Self {
-        RecordId { page: v >> 16, slot: (v & 0xFFFF) as u16 }
+        RecordId {
+            page: v >> 16,
+            slot: (v & 0xFFFF) as u16,
+        }
     }
 }
 
@@ -69,7 +87,10 @@ impl HeapFile {
     pub fn create(pool: &BufferPool) -> StorageResult<Self> {
         let first = pool.allocate_page()?;
         pool.with_page_mut(first, init_heap_page)?;
-        Ok(HeapFile { first_page: first, last_page: first })
+        Ok(HeapFile {
+            first_page: first,
+            last_page: first,
+        })
     }
 
     /// Re-open a heap file given its first page (walks to find the tail).
@@ -82,7 +103,10 @@ impl HeapFile {
             }
             last = next;
         }
-        Ok(HeapFile { first_page, last_page: last })
+        Ok(HeapFile {
+            first_page,
+            last_page: last,
+        })
     }
 
     /// First page id (persisted in the catalog).
@@ -90,15 +114,23 @@ impl HeapFile {
         self.first_page
     }
 
-    /// Insert a record, returning its id.
+    /// Insert a record, returning its id. The tail page is tried first
+    /// (fresh slot, then a compatible tombstoned slot whose dead cell is
+    /// large enough); only when the tail has no room does the file grow.
     pub fn insert(&mut self, pool: &BufferPool, data: &[u8]) -> StorageResult<RecordId> {
         if data.len() > MAX_RECORD_SIZE {
             return Err(StorageError::RecordTooLarge(data.len()));
         }
-        // Try the tail page first.
-        let inserted = pool.with_page_mut(self.last_page, |p| try_insert(p, data))?;
+        // Try the tail page first: append into free space, or reclaim a
+        // compatible dead slot before growing the file.
+        let inserted = pool.with_page_mut(self.last_page, |p| {
+            try_insert(p, data).or_else(|| try_reuse(p, data))
+        })?;
         if let Some(slot) = inserted {
-            return Ok(RecordId { page: self.last_page.0, slot });
+            return Ok(RecordId {
+                page: self.last_page.0,
+                slot,
+            });
         }
         // Allocate and link a new tail page.
         let new_page = pool.allocate_page()?;
@@ -108,7 +140,10 @@ impl HeapFile {
         let slot = pool
             .with_page_mut(new_page, |p| try_insert(p, data))?
             .expect("fresh page always has room for a record below MAX_RECORD_SIZE");
-        Ok(RecordId { page: new_page.0, slot })
+        Ok(RecordId {
+            page: new_page.0,
+            slot,
+        })
     }
 
     /// Fetch a record's bytes.
@@ -116,16 +151,27 @@ impl HeapFile {
         pool.with_page(PageId(rid.page), |p| read_slot(p, rid.slot))?
     }
 
-    /// Delete a record (its slot is tombstoned; space is not compacted).
+    /// Delete a record. The slot is tombstoned with its cell location kept,
+    /// so a later insert of an equal-or-smaller record can reclaim the dead
+    /// cell (space is never compacted).
     pub fn delete(&self, pool: &BufferPool, rid: RecordId) -> StorageResult<()> {
         pool.with_page_mut(PageId(rid.page), |p| {
             let slot_count = p.read_u16(HDR_SLOT_COUNT);
             if rid.slot >= slot_count {
-                return Err(StorageError::InvalidRecord { page: rid.page, slot: rid.slot });
+                return Err(StorageError::InvalidRecord {
+                    page: rid.page,
+                    slot: rid.slot,
+                });
             }
             let slot_off = HEADER_SIZE + rid.slot as usize * SLOT_SIZE;
-            p.write_u16(slot_off, 0);
-            p.write_u16(slot_off + 2, 0);
+            let offset = p.read_u16(slot_off);
+            if !slot_is_live(offset) {
+                return Err(StorageError::InvalidRecord {
+                    page: rid.page,
+                    slot: rid.slot,
+                });
+            }
+            p.write_u16(slot_off, offset | TOMBSTONE);
             Ok(())
         })?
     }
@@ -142,13 +188,20 @@ impl HeapFile {
         let fits = pool.with_page_mut(PageId(rid.page), |p| -> StorageResult<bool> {
             let slot_count = p.read_u16(HDR_SLOT_COUNT);
             if rid.slot >= slot_count {
-                return Err(StorageError::InvalidRecord { page: rid.page, slot: rid.slot });
+                return Err(StorageError::InvalidRecord {
+                    page: rid.page,
+                    slot: rid.slot,
+                });
             }
             let slot_off = HEADER_SIZE + rid.slot as usize * SLOT_SIZE;
-            let offset = p.read_u16(slot_off) as usize;
+            let offset_raw = p.read_u16(slot_off);
+            let offset = offset_raw as usize;
             let len = p.read_u16(slot_off + 2) as usize;
-            if offset == 0 {
-                return Err(StorageError::InvalidRecord { page: rid.page, slot: rid.slot });
+            if !slot_is_live(offset_raw) {
+                return Err(StorageError::InvalidRecord {
+                    page: rid.page,
+                    slot: rid.slot,
+                });
             }
             if data.len() <= len {
                 p.write_bytes(offset, data);
@@ -189,7 +242,7 @@ impl HeapFile {
                 let mut live = 0usize;
                 for s in 0..slot_count {
                     let slot_off = HEADER_SIZE + s as usize * SLOT_SIZE;
-                    if p.read_u16(slot_off) != 0 {
+                    if slot_is_live(p.read_u16(slot_off)) {
                         live += 1;
                     }
                 }
@@ -225,12 +278,15 @@ impl<'a> ScanIter<'a> {
                 let slot_count = p.read_u16(HDR_SLOT_COUNT);
                 for s in 0..slot_count {
                     let slot_off = HEADER_SIZE + s as usize * SLOT_SIZE;
-                    let offset = p.read_u16(slot_off) as usize;
+                    let offset_raw = p.read_u16(slot_off);
                     let len = p.read_u16(slot_off + 2) as usize;
-                    if offset != 0 {
+                    if slot_is_live(offset_raw) {
                         self.buffer.push((
-                            RecordId { page: page.0, slot: s },
-                            p.read_bytes(offset, len).to_vec(),
+                            RecordId {
+                                page: page.0,
+                                slot: s,
+                            },
+                            p.read_bytes(offset_raw as usize, len).to_vec(),
                         ));
                     }
                 }
@@ -300,12 +356,37 @@ fn read_slot(p: &Page, slot: u16) -> StorageResult<Vec<u8>> {
         return Err(StorageError::InvalidRecord { page: 0, slot });
     }
     let slot_off = HEADER_SIZE + slot as usize * SLOT_SIZE;
-    let offset = p.read_u16(slot_off) as usize;
+    let offset_raw = p.read_u16(slot_off);
     let len = p.read_u16(slot_off + 2) as usize;
-    if offset == 0 {
+    if !slot_is_live(offset_raw) {
         return Err(StorageError::InvalidRecord { page: 0, slot });
     }
-    Ok(p.read_bytes(offset, len).to_vec())
+    Ok(p.read_bytes(offset_raw as usize, len).to_vec())
+}
+
+/// Reclaim a tombstoned slot whose dead cell is large enough for `data`.
+/// Returns the slot on success. The cell keeps its original length bound in
+/// the page (shrinkage inside a reused cell is not reclaimed), but no new
+/// free space or slot-directory space is consumed.
+fn try_reuse(p: &mut Page, data: &[u8]) -> Option<u16> {
+    let slot_count = p.read_u16(HDR_SLOT_COUNT);
+    for s in 0..slot_count {
+        let slot_off = HEADER_SIZE + s as usize * SLOT_SIZE;
+        let offset_raw = p.read_u16(slot_off);
+        if offset_raw & TOMBSTONE == 0 {
+            continue;
+        }
+        let offset = offset_raw & !TOMBSTONE;
+        let len = p.read_u16(slot_off + 2) as usize;
+        if offset == 0 || len < data.len() {
+            continue;
+        }
+        p.write_bytes(offset as usize, data);
+        p.write_u16(slot_off, offset);
+        p.write_u16(slot_off + 2, data.len() as u16);
+        return Some(s);
+    }
+    None
 }
 
 #[cfg(test)]
@@ -317,12 +398,15 @@ mod tests {
     fn pool() -> (tempfile::TempDir, BufferPool) {
         let dir = tempdir().unwrap();
         let pager = Pager::create(dir.path().join("t.crdb")).unwrap();
-        (dir, BufferPool::with_capacity(pager, 64))
+        (dir, BufferPool::with_capacity(pager, 64).unwrap())
     }
 
     #[test]
     fn record_id_packing() {
-        let rid = RecordId { page: 123456, slot: 789 };
+        let rid = RecordId {
+            page: 123456,
+            slot: 789,
+        };
         assert_eq!(RecordId::from_u64(rid.to_u64()), rid);
         assert_eq!(rid.to_string(), "r123456:789");
     }
@@ -361,7 +445,10 @@ mod tests {
         let (_d, pool) = pool();
         let mut heap = HeapFile::create(&pool).unwrap();
         let too_big = vec![0u8; MAX_RECORD_SIZE + 1];
-        assert!(matches!(heap.insert(&pool, &too_big), Err(StorageError::RecordTooLarge(_))));
+        assert!(matches!(
+            heap.insert(&pool, &too_big),
+            Err(StorageError::RecordTooLarge(_))
+        ));
         let just_fits = vec![0u8; MAX_RECORD_SIZE];
         assert!(heap.insert(&pool, &just_fits).is_ok());
     }
@@ -374,8 +461,11 @@ mod tests {
         let b = heap.insert(&pool, b"b").unwrap();
         let c = heap.insert(&pool, b"c").unwrap();
         heap.delete(&pool, b).unwrap();
-        let rows: Vec<(RecordId, Vec<u8>)> =
-            heap.scan(&pool).unwrap().collect::<StorageResult<Vec<_>>>().unwrap();
+        let rows: Vec<(RecordId, Vec<u8>)> = heap
+            .scan(&pool)
+            .unwrap()
+            .collect::<StorageResult<Vec<_>>>()
+            .unwrap();
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].0, a);
         assert_eq!(rows[1].0, c);
@@ -398,6 +488,52 @@ mod tests {
         assert_ne!(moved, rid);
         assert_eq!(heap.get(&pool, moved).unwrap(), bigger);
         assert!(heap.get(&pool, rid).is_err());
+    }
+
+    #[test]
+    fn delete_insert_roundtrip_reuses_slots_without_growing() {
+        let (_d, pool) = pool();
+        let mut heap = HeapFile::create(&pool).unwrap();
+        // Fill the single page close to capacity with equal-sized records
+        // (14 × (500 + 4) bytes ≈ 7 KiB of the 8 KiB page).
+        let payload = vec![3u8; 500];
+        let mut rids = Vec::new();
+        for _ in 0..14 {
+            let rid = heap.insert(&pool, &payload).unwrap();
+            assert_eq!(rid.page, heap.first_page().0, "fill must stay on one page");
+            rids.push(rid);
+        }
+        let pages_before = pool.page_count();
+        // Delete/insert cycles of compatible records must reclaim the dead
+        // slots on the (only) page instead of growing the file.
+        for round in 0..10 {
+            for i in (0..rids.len()).step_by(2) {
+                heap.delete(&pool, rids[i]).unwrap();
+            }
+            for i in (0..rids.len()).step_by(2) {
+                let fresh = vec![round as u8; 500];
+                let rid = heap.insert(&pool, &fresh).unwrap();
+                assert_eq!(rid.page, rids[i].page, "reinsert must reuse a dead slot");
+                rids[i] = rid;
+                assert_eq!(heap.get(&pool, rid).unwrap(), fresh);
+            }
+        }
+        assert_eq!(pool.page_count(), pages_before, "page count must stay flat");
+        // Smaller records also fit dead cells; the slot directory never grows.
+        heap.delete(&pool, rids[0]).unwrap();
+        let small = heap.insert(&pool, b"tiny").unwrap();
+        assert_eq!(small.page, rids[0].page);
+        assert_eq!(heap.get(&pool, small).unwrap(), b"tiny");
+        assert_eq!(pool.page_count(), pages_before);
+    }
+
+    #[test]
+    fn double_delete_errors() {
+        let (_d, pool) = pool();
+        let mut heap = HeapFile::create(&pool).unwrap();
+        let rid = heap.insert(&pool, b"once").unwrap();
+        heap.delete(&pool, rid).unwrap();
+        assert!(heap.delete(&pool, rid).is_err());
     }
 
     #[test]
@@ -433,7 +569,10 @@ mod tests {
         let (_d, pool) = pool();
         let mut heap = HeapFile::create(&pool).unwrap();
         let rid = heap.insert(&pool, b"x").unwrap();
-        let bogus = RecordId { page: rid.page, slot: 99 };
+        let bogus = RecordId {
+            page: rid.page,
+            slot: 99,
+        };
         assert!(heap.get(&pool, bogus).is_err());
         assert!(heap.delete(&pool, bogus).is_err());
     }
@@ -446,19 +585,25 @@ mod tests {
         let rids: Vec<RecordId>;
         {
             let pager = Pager::create(&path).unwrap();
-            let pool = BufferPool::with_capacity(pager, 16);
+            let pool = BufferPool::with_capacity(pager, 16).unwrap();
             let mut heap = HeapFile::create(&pool).unwrap();
             first = heap.first_page();
             rids = (0..500)
-                .map(|i| heap.insert(&pool, format!("record-{i}").as_bytes()).unwrap())
+                .map(|i| {
+                    heap.insert(&pool, format!("record-{i}").as_bytes())
+                        .unwrap()
+                })
                 .collect();
             pool.flush().unwrap();
         }
         let pager = Pager::open(&path).unwrap();
-        let pool = BufferPool::with_capacity(pager, 16);
+        let pool = BufferPool::with_capacity(pager, 16).unwrap();
         let heap = HeapFile::open(&pool, first).unwrap();
         for (i, rid) in rids.iter().enumerate() {
-            assert_eq!(heap.get(&pool, *rid).unwrap(), format!("record-{i}").as_bytes());
+            assert_eq!(
+                heap.get(&pool, *rid).unwrap(),
+                format!("record-{i}").as_bytes()
+            );
         }
     }
 }

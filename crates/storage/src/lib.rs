@@ -6,6 +6,9 @@
 //! for that DBMS: a small, disk-backed, page-oriented storage engine with
 //!
 //! * a file-backed **pager** ([`pager::Pager`]) managing fixed-size pages,
+//! * a **write-ahead log** ([`wal::Wal`]) with CRC-framed physical
+//!   page-image records, group fsync on commit, redo/undo crash recovery
+//!   and log truncation at checkpoints — see below,
 //! * a fixed-capacity **buffer pool** ([`buffer::BufferPool`]) with clock
 //!   (second-chance) eviction, `Arc<Page>` frames, frame pinning for
 //!   in-flight scans, and zero-clone write-back — see below,
@@ -34,10 +37,26 @@
 //! leaf at a time and decode entries lazily from the pinned frame, so a scan
 //! neither copies whole leaves nor has its leaf evicted mid-read.
 //!
+//! ## Transactions, write-ahead logging and recovery
+//!
+//! Every [`db::Database`] mutation runs inside a transaction — the caller's
+//! explicit [`db::Database::begin`]/[`db::Database::commit`]/
+//! [`db::Database::rollback`], or an implicit auto-commit per operation. At
+//! commit the after-image of every dirtied page plus a commit record is
+//! appended to the sibling `.wal` file (one fsync covers the group); the
+//! buffer pool enforces WAL-before-data on eviction and flush, logging a
+//! before-image first whenever an uncommitted dirty page must be stolen.
+//! [`db::Database::flush`] is a checkpoint: it makes the data file durable
+//! and truncates the log. Opening an existing file replays the log — redo
+//! for committed transactions, undo for losers — before anything reads the
+//! catalog ([`db::Database::recovery_report`]). `ARCHITECTURE.md` documents
+//! the on-disk formats and the recovery protocol in full.
+//!
 //! The engine intentionally supports exactly the operational envelope the
 //! paper's workload requires — bulk load, point/range reads, secondary
-//! indexes, and durable flush — rather than a full transactional SQL system.
-//! See `DESIGN.md` §2 for the substitution argument.
+//! indexes, atomic durable transactions — rather than a SQL surface or
+//! multi-writer concurrency. See `DESIGN.md` §2 for the substitution
+//! argument.
 //!
 //! ```
 //! use storage::db::Database;
@@ -70,10 +89,13 @@ pub mod page;
 pub mod pager;
 pub mod schema;
 pub mod value;
+pub mod wal;
 
+pub use buffer::CrashPoint;
 pub use db::{Database, RawIndexId, TableId};
 pub use error::{StorageError, StorageResult};
 pub use heap::RecordId;
 pub use page::{PageId, PAGE_SIZE};
 pub use schema::{ColumnDef, Row, Schema};
 pub use value::{Value, ValueType};
+pub use wal::RecoveryReport;

@@ -36,9 +36,18 @@ impl std::fmt::Display for PageId {
 
 /// An owned page buffer. The buffer pool hands out access to these via
 /// closures; they are plain byte arrays with helper accessors.
+///
+/// Each page carries an in-memory **recovery LSN** (recLSN): the log-tail
+/// position at the moment of the page's latest mutation, stamped by the
+/// buffer pool. It marks *from where* in the log records affecting this
+/// page can start, and is 0 for a page never mutated in this process. It is
+/// not part of the 8 KiB on-disk payload (page layouts are unchanged); the
+/// authoritative WAL-before-data bookkeeping — the LSN of the page's last
+/// *logged* record — lives on the buffer pool's frame.
 #[derive(Clone)]
 pub struct Page {
     data: Box<[u8]>,
+    lsn: u64,
 }
 
 impl Default for Page {
@@ -50,13 +59,37 @@ impl Default for Page {
 impl Page {
     /// A zero-filled page.
     pub fn new() -> Self {
-        Page { data: vec![0u8; PAGE_SIZE].into_boxed_slice() }
+        Page {
+            data: vec![0u8; PAGE_SIZE].into_boxed_slice(),
+            lsn: 0,
+        }
     }
 
     /// Wrap an existing full-size buffer.
     pub fn from_bytes(data: Vec<u8>) -> Self {
-        assert_eq!(data.len(), PAGE_SIZE, "page buffers must be PAGE_SIZE bytes");
-        Page { data: data.into_boxed_slice() }
+        assert_eq!(
+            data.len(),
+            PAGE_SIZE,
+            "page buffers must be PAGE_SIZE bytes"
+        );
+        Page {
+            data: data.into_boxed_slice(),
+            lsn: 0,
+        }
+    }
+
+    /// The page's recovery LSN: the log-tail position at its latest
+    /// mutation, 0 when never mutated in this process.
+    #[inline]
+    pub fn lsn(&self) -> u64 {
+        self.lsn
+    }
+
+    /// Stamp the page's recovery LSN. Called by the buffer pool on every
+    /// mutation.
+    #[inline]
+    pub fn set_lsn(&mut self, lsn: u64) {
+        self.lsn = lsn;
     }
 
     /// Immutable view of the raw bytes.

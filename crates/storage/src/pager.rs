@@ -20,10 +20,31 @@ const FORMAT_VERSION: u32 = 1;
 //   12..20  page count (u64)
 //   20..28  catalog root page (u64)
 //   28..36  user metadata page (u64, reserved)
+//   36..44  checkpoint LSN (u64): the WAL position of the last checkpoint
 const HDR_VERSION: usize = 8;
 const HDR_PAGE_COUNT: usize = 12;
 const HDR_CATALOG_ROOT: usize = 20;
 const HDR_USER_META: usize = 28;
+const HDR_CHECKPOINT_LSN: usize = 36;
+
+/// Parse a little-endian `u32` out of the header, surfacing a typed
+/// corruption error instead of panicking when the slice is short.
+fn header_u32(header: &[u8], offset: usize, what: &str) -> StorageResult<u32> {
+    header
+        .get(offset..offset + 4)
+        .and_then(|s| s.try_into().ok())
+        .map(u32::from_le_bytes)
+        .ok_or_else(|| StorageError::InvalidDatabase(format!("header truncated reading {what}")))
+}
+
+/// Parse a little-endian `u64` out of the header (typed error, no panic).
+fn header_u64(header: &[u8], offset: usize, what: &str) -> StorageResult<u64> {
+    header
+        .get(offset..offset + 8)
+        .and_then(|s| s.try_into().ok())
+        .map(u64::from_le_bytes)
+        .ok_or_else(|| StorageError::InvalidDatabase(format!("header truncated reading {what}")))
+}
 
 /// The pager: owns the file handle and the header page.
 pub struct Pager {
@@ -32,7 +53,9 @@ pub struct Pager {
     page_count: u64,
     catalog_root: PageId,
     user_meta: PageId,
+    checkpoint_lsn: u64,
     header_dirty: bool,
+    fresh: bool,
 }
 
 impl std::fmt::Debug for Pager {
@@ -61,7 +84,9 @@ impl Pager {
             page_count: 1, // header page
             catalog_root: PageId::NULL,
             user_meta: PageId::NULL,
+            checkpoint_lsn: 0,
             header_dirty: true,
+            fresh: true,
         };
         pager.write_header()?;
         Ok(pager)
@@ -71,32 +96,84 @@ impl Pager {
     pub fn open(path: impl AsRef<Path>) -> StorageResult<Self> {
         let path = path.as_ref().to_path_buf();
         let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
+        let file_len = file.metadata()?.len();
+        if file_len < PAGE_SIZE as u64 {
+            return Err(StorageError::InvalidDatabase(format!(
+                "file is {file_len} bytes, too short to hold the {PAGE_SIZE}-byte header page"
+            )));
+        }
         let mut header = vec![0u8; PAGE_SIZE];
         file.seek(SeekFrom::Start(0))?;
         file.read_exact(&mut header)?;
         if &header[0..8] != MAGIC {
-            return Err(StorageError::InvalidDatabase("bad magic number".to_string()));
+            return Err(StorageError::InvalidDatabase(
+                "bad magic number".to_string(),
+            ));
         }
-        let version = u32::from_le_bytes(header[HDR_VERSION..HDR_VERSION + 4].try_into().unwrap());
+        let version = header_u32(&header, HDR_VERSION, "format version")?;
         if version != FORMAT_VERSION {
             return Err(StorageError::InvalidDatabase(format!(
-                "unsupported format version {version}"
+                "unsupported format version {version} (this build reads version {FORMAT_VERSION})"
             )));
         }
-        let page_count =
-            u64::from_le_bytes(header[HDR_PAGE_COUNT..HDR_PAGE_COUNT + 8].try_into().unwrap());
-        let catalog_root =
-            u64::from_le_bytes(header[HDR_CATALOG_ROOT..HDR_CATALOG_ROOT + 8].try_into().unwrap());
-        let user_meta =
-            u64::from_le_bytes(header[HDR_USER_META..HDR_USER_META + 8].try_into().unwrap());
+        let page_count = header_u64(&header, HDR_PAGE_COUNT, "page count")?;
+        if page_count == 0 {
+            return Err(StorageError::InvalidDatabase(
+                "header records zero pages (the header page itself is page 0)".to_string(),
+            ));
+        }
+        let catalog_root = header_u64(&header, HDR_CATALOG_ROOT, "catalog root")?;
+        if catalog_root >= page_count {
+            return Err(StorageError::InvalidDatabase(format!(
+                "catalog root {catalog_root} lies beyond the page count {page_count}"
+            )));
+        }
+        let user_meta = header_u64(&header, HDR_USER_META, "user metadata page")?;
+        let checkpoint_lsn = header_u64(&header, HDR_CHECKPOINT_LSN, "checkpoint LSN")?;
         Ok(Pager {
             file,
             path,
             page_count,
             catalog_root: PageId(catalog_root),
             user_meta: PageId(user_meta),
+            checkpoint_lsn,
             header_dirty: false,
+            fresh: false,
         })
+    }
+
+    /// `true` when this pager was just created (no recovery needed).
+    pub(crate) fn is_fresh(&self) -> bool {
+        self.fresh
+    }
+
+    /// The WAL position recorded by the last checkpoint.
+    pub fn checkpoint_lsn(&self) -> u64 {
+        self.checkpoint_lsn
+    }
+
+    /// Record the WAL position of a checkpoint (persisted on the next header
+    /// write).
+    pub fn set_checkpoint_lsn(&mut self, lsn: u64) {
+        self.checkpoint_lsn = lsn;
+        self.header_dirty = true;
+    }
+
+    /// Overwrite the in-memory header state wholesale. Used by crash
+    /// recovery (restoring the state of the last committed transaction) and
+    /// by transaction rollback (restoring the begin-time snapshot).
+    pub(crate) fn restore_header(
+        &mut self,
+        page_count: u64,
+        catalog_root: PageId,
+        user_meta: PageId,
+        checkpoint_lsn: u64,
+    ) {
+        self.page_count = page_count;
+        self.catalog_root = catalog_root;
+        self.user_meta = user_meta;
+        self.checkpoint_lsn = checkpoint_lsn;
+        self.header_dirty = true;
     }
 
     /// Path of the underlying database file.
@@ -187,6 +264,7 @@ impl Pager {
         page.write_u64(HDR_PAGE_COUNT, self.page_count);
         page.write_u64(HDR_CATALOG_ROOT, self.catalog_root.0);
         page.write_u64(HDR_USER_META, self.user_meta.0);
+        page.write_u64(HDR_CHECKPOINT_LSN, self.checkpoint_lsn);
         self.file.seek(SeekFrom::Start(0))?;
         self.file.write_all(page.bytes())?;
         self.header_dirty = false;
@@ -244,11 +322,86 @@ mod tests {
     }
 
     #[test]
+    fn open_rejects_truncated_file() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("t.crdb");
+        {
+            let mut pager = Pager::create(&path).unwrap();
+            pager.sync().unwrap();
+        }
+        // Chop the header page short; open must fail with a typed error, not
+        // a panic.
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(100).unwrap();
+        drop(file);
+        match Pager::open(&path) {
+            Err(StorageError::InvalidDatabase(msg)) => {
+                assert!(msg.contains("too short"), "unexpected message: {msg}")
+            }
+            other => panic!("expected InvalidDatabase, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn open_rejects_wrong_version() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("t.crdb");
+        {
+            let mut pager = Pager::create(&path).unwrap();
+            pager.sync().unwrap();
+        }
+        // Rewrite the version field with a future version number.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[HDR_VERSION..HDR_VERSION + 4].copy_from_slice(&99u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        match Pager::open(&path) {
+            Err(StorageError::InvalidDatabase(msg)) => {
+                assert!(msg.contains("version 99"), "unexpected message: {msg}")
+            }
+            other => panic!("expected InvalidDatabase, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn open_rejects_corrupt_header_fields() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("t.crdb");
+        {
+            let mut pager = Pager::create(&path).unwrap();
+            pager.sync().unwrap();
+        }
+        // A catalog root beyond the page count is structural corruption.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[HDR_CATALOG_ROOT..HDR_CATALOG_ROOT + 8].copy_from_slice(&77u64.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            Pager::open(&path),
+            Err(StorageError::InvalidDatabase(_))
+        ));
+    }
+
+    #[test]
+    fn checkpoint_lsn_roundtrips_through_header() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("t.crdb");
+        {
+            let mut pager = Pager::create(&path).unwrap();
+            pager.set_checkpoint_lsn(0xAB_CDEF);
+            pager.sync().unwrap();
+        }
+        let pager = Pager::open(&path).unwrap();
+        assert_eq!(pager.checkpoint_lsn(), 0xAB_CDEF);
+    }
+
+    #[test]
     fn open_rejects_non_database() {
         let dir = tempdir().unwrap();
         let path = dir.path().join("junk.bin");
         std::fs::write(&path, vec![0u8; PAGE_SIZE]).unwrap();
-        assert!(matches!(Pager::open(&path), Err(StorageError::InvalidDatabase(_))));
+        assert!(matches!(
+            Pager::open(&path),
+            Err(StorageError::InvalidDatabase(_))
+        ));
     }
 
     #[test]
@@ -264,9 +417,15 @@ mod tests {
     fn out_of_range_page_errors() {
         let dir = tempdir().unwrap();
         let mut pager = Pager::create(dir.path().join("t.crdb")).unwrap();
-        assert!(matches!(pager.read_page(PageId(5)), Err(StorageError::InvalidPage(5))));
+        assert!(matches!(
+            pager.read_page(PageId(5)),
+            Err(StorageError::InvalidPage(5))
+        ));
         let page = Page::new();
-        assert!(matches!(pager.write_page(PageId(5), &page), Err(StorageError::InvalidPage(5))));
+        assert!(matches!(
+            pager.write_page(PageId(5), &page),
+            Err(StorageError::InvalidPage(5))
+        ));
     }
 
     #[test]

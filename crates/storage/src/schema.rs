@@ -18,12 +18,20 @@ pub struct ColumnDef {
 impl ColumnDef {
     /// A nullable column.
     pub fn new(name: impl Into<String>, value_type: ValueType) -> Self {
-        ColumnDef { name: name.into(), value_type, nullable: true }
+        ColumnDef {
+            name: name.into(),
+            value_type,
+            nullable: true,
+        }
     }
 
     /// A NOT NULL column.
     pub fn not_null(name: impl Into<String>, value_type: ValueType) -> Self {
-        ColumnDef { name: name.into(), value_type, nullable: false }
+        ColumnDef {
+            name: name.into(),
+            value_type,
+            nullable: false,
+        }
     }
 }
 
@@ -143,9 +151,9 @@ impl Row {
     /// Cell in the named column of `schema`.
     pub fn get_named<'a>(&'a self, schema: &Schema, name: &str) -> StorageResult<&'a Value> {
         let idx = schema.column_index(name)?;
-        self.values.get(idx).ok_or_else(|| {
-            StorageError::SchemaMismatch(format!("row is missing column `{name}`"))
-        })
+        self.values
+            .get(idx)
+            .ok_or_else(|| StorageError::SchemaMismatch(format!("row is missing column `{name}`")))
     }
 }
 
@@ -186,7 +194,10 @@ mod tests {
         assert!(row.values[1].is_null());
         // NOT NULL column rejects NULL.
         let bad = vec![Value::Null, Value::Null, Value::Int(1), Value::Null];
-        assert!(matches!(schema.encode_row(&bad), Err(StorageError::SchemaMismatch(_))));
+        assert!(matches!(
+            schema.encode_row(&bad),
+            Err(StorageError::SchemaMismatch(_))
+        ));
     }
 
     #[test]
@@ -199,7 +210,10 @@ mod tests {
     fn wrong_type_rejected() {
         let schema = species_schema();
         let values = vec![Value::Int(5), Value::Null, Value::Int(1), Value::Null];
-        assert!(matches!(schema.encode_row(&values), Err(StorageError::SchemaMismatch(_))));
+        assert!(matches!(
+            schema.encode_row(&values),
+            Err(StorageError::SchemaMismatch(_))
+        ));
     }
 
     #[test]

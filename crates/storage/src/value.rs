@@ -49,7 +49,9 @@ impl ValueType {
             4 => ValueType::Bytes,
             5 => ValueType::Bool,
             other => {
-                return Err(StorageError::Corrupted(format!("unknown value type tag {other}")))
+                return Err(StorageError::Corrupted(format!(
+                    "unknown value type tag {other}"
+                )))
             }
         })
     }
@@ -197,11 +199,14 @@ impl Value {
                 let raw = read_array::<4>(buf, p)?;
                 p += 4;
                 let len = u32::from_le_bytes(raw) as usize;
-                let bytes = buf.get(p..p + len).ok_or_else(|| truncated("cell payload"))?;
+                let bytes = buf
+                    .get(p..p + len)
+                    .ok_or_else(|| truncated("cell payload"))?;
                 p += len;
                 if tag == 3 {
-                    let s = std::str::from_utf8(bytes)
-                        .map_err(|_| StorageError::Corrupted("invalid UTF-8 in text cell".into()))?;
+                    let s = std::str::from_utf8(bytes).map_err(|_| {
+                        StorageError::Corrupted("invalid UTF-8 in text cell".into())
+                    })?;
                     Value::Text(s.to_string())
                 } else {
                     Value::Bytes(bytes.to_vec())
@@ -292,12 +297,18 @@ fn escape_bytes(data: &[u8], out: &mut Vec<u8>) {
 /// flipped; negative numbers are bitwise inverted. NaN maps above +inf.
 fn encode_f64_orderable(v: f64) -> [u8; 8] {
     let bits = v.to_bits();
-    let transformed = if bits & (1 << 63) == 0 { bits | (1 << 63) } else { !bits };
+    let transformed = if bits & (1 << 63) == 0 {
+        bits | (1 << 63)
+    } else {
+        !bits
+    };
     transformed.to_be_bytes()
 }
 
 fn read_array<const N: usize>(buf: &[u8], pos: usize) -> StorageResult<[u8; N]> {
-    let slice = buf.get(pos..pos + N).ok_or_else(|| truncated("fixed-width cell"))?;
+    let slice = buf
+        .get(pos..pos + N)
+        .ok_or_else(|| truncated("fixed-width cell"))?;
     let mut out = [0u8; N];
     out.copy_from_slice(slice);
     Ok(out)
@@ -336,8 +347,13 @@ mod tests {
 
     #[test]
     fn multiple_cells_sequential_decode() {
-        let values =
-            vec![Value::Int(5), Value::text("abc"), Value::Null, Value::Float(1.5), Value::Bool(true)];
+        let values = vec![
+            Value::Int(5),
+            Value::text("abc"),
+            Value::Null,
+            Value::Float(1.5),
+            Value::Bool(true),
+        ];
         let mut buf = Vec::new();
         for v in &values {
             v.encode_cell(&mut buf);
@@ -376,7 +392,17 @@ mod tests {
 
     #[test]
     fn float_key_order() {
-        let values = [f64::NEG_INFINITY, -1e9, -1.5, -0.0, 0.0, 1e-12, 2.5, 1e300, f64::INFINITY];
+        let values = [
+            f64::NEG_INFINITY,
+            -1e9,
+            -1.5,
+            -0.0,
+            0.0,
+            1e-12,
+            2.5,
+            1e300,
+            f64::INFINITY,
+        ];
         for i in 0..values.len() {
             for j in 0..values.len() {
                 let a = Value::Float(values[i]).key_bytes();
@@ -407,7 +433,7 @@ mod tests {
         // compared as keys with appended suffixes.
         let mut a_with_suffix = Value::text("ab").key_bytes();
         a_with_suffix.extend_from_slice(&[0xFF; 8]);
-        assert!(a_with_suffix < a || a_with_suffix > a);
+        assert!(a_with_suffix != a);
     }
 
     #[test]
@@ -442,8 +468,13 @@ mod tests {
 
     #[test]
     fn type_tags_roundtrip() {
-        for t in [ValueType::Int, ValueType::Float, ValueType::Text, ValueType::Bytes, ValueType::Bool]
-        {
+        for t in [
+            ValueType::Int,
+            ValueType::Float,
+            ValueType::Text,
+            ValueType::Bytes,
+            ValueType::Bool,
+        ] {
             assert_eq!(ValueType::from_tag(t.tag()).unwrap(), t);
         }
         assert!(ValueType::from_tag(77).is_err());

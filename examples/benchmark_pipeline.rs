@@ -51,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for &sample_size in &[16usize, 64, 256] {
         for strategy in [
             SamplingStrategy::Uniform { k: sample_size },
-            SamplingStrategy::TimeRespecting { time: 0.5, k: sample_size },
+            SamplingStrategy::TimeRespecting {
+                time: 0.5,
+                k: sample_size,
+            },
         ] {
             let strategy_name = match &strategy {
                 SamplingStrategy::Uniform { .. } => "uniform",
@@ -86,7 +89,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The query repository now holds every run for later recall.
     let history = repo.history_of_kind(crimson::history::QueryKind::Benchmark)?;
-    println!("\n{} benchmark runs recorded in the query repository", history.len());
+    println!(
+        "\n{} benchmark runs recorded in the query repository",
+        history.len()
+    );
     repo.flush()?;
     Ok(())
 }

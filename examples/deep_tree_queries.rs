@@ -19,13 +19,17 @@ use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("{:<10} {:<22} {:>14} {:>14} {:>12}", "depth", "scheme", "max label B", "mean label B", "1k LCAs ms");
+    println!(
+        "{:<10} {:<22} {:>14} {:>14} {:>12}",
+        "depth", "scheme", "max label B", "mean label B", "1k LCAs ms"
+    );
     for depth in [1_000usize, 5_000, 10_000] {
         let tree = caterpillar(depth, 1.0);
         let mut rng = StdRng::seed_from_u64(7);
         let n = tree.node_count() as u32;
-        let pairs: Vec<(NodeId, NodeId)> =
-            (0..1_000).map(|_| (NodeId(rng.gen_range(0..n)), NodeId(rng.gen_range(0..n)))).collect();
+        let pairs: Vec<(NodeId, NodeId)> = (0..1_000)
+            .map(|_| (NodeId(rng.gen_range(0..n)), NodeId(rng.gen_range(0..n))))
+            .collect();
 
         let flat = FlatDewey::build(&tree);
         let hier = HierarchicalDewey::build(&tree, 16);
@@ -57,11 +61,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dir = tempfile_dir()?;
     let mut repo = Repository::create(
         dir.join("deep.crimson"),
-        RepositoryOptions { frame_depth: 16, buffer_pool_pages: 4096 },
+        RepositoryOptions {
+            frame_depth: 16,
+            buffer_pool_pages: 4096,
+        },
     )?;
     let start = Instant::now();
     let handle = repo.load_tree("deep", &tree)?;
-    println!("  load: {:.1} ms for {} nodes", start.elapsed().as_secs_f64() * 1e3, tree.node_count());
+    println!(
+        "  load: {:.1} ms for {} nodes",
+        start.elapsed().as_secs_f64() * 1e3,
+        tree.node_count()
+    );
 
     let leaves = repo.leaves(handle)?;
     let mut rng = StdRng::seed_from_u64(3);

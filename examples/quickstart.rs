@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Create a repository and load the Figure 1 tree from Newick.
     let mut repo = Repository::create(
         &db_path,
-        RepositoryOptions { frame_depth: 2, buffer_pool_pages: 256 },
+        RepositoryOptions {
+            frame_depth: 2,
+            buffer_pool_pages: 256,
+        },
     )?;
     let report = repo.load_newick("figure1", FIG1_NEWICK)?;
     let handle = report.handle;
@@ -35,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. The paper's Figure 2: project onto {Bha, Lla, Syn}.
     let projection = repo.project_species(handle, &["Bha", "Lla", "Syn"])?;
-    println!("== Projection onto {{Bha, Lla, Syn}} (Figure 2) ==\n{}", render::ascii(&projection));
+    println!(
+        "== Projection onto {{Bha, Lla, Syn}} (Figure 2) ==\n{}",
+        render::ascii(&projection)
+    );
 
     // 4. The §2.1 worked example: LCA of Lla and Syn via the stored labels.
     let lla = repo.require_species_node(handle, "Lla")?;

@@ -21,12 +21,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let gold = GoldStandardBuilder::new()
         .leaves(64)
         .sequence_length(120)
-        .model(Model::Hky85 { rate: 0.2, kappa: 2.5, freqs: [0.3, 0.2, 0.2, 0.3] })
+        .model(Model::Hky85 {
+            rate: 0.2,
+            kappa: 2.5,
+            freqs: [0.3, 0.2, 0.2, 0.3],
+        })
         .seed(7)
         .build()?;
     let nexus_path = dir.join("gold.nex");
     std::fs::write(&nexus_path, phylo::nexus::write(&gold.to_nexus()))?;
-    println!("wrote {} ({} bytes)", nexus_path.display(), std::fs::metadata(&nexus_path)?.len());
+    println!(
+        "wrote {} ({} bytes)",
+        nexus_path.display(),
+        std::fs::metadata(&nexus_path)?.len()
+    );
 
     let mut repo = Repository::create(&db_path, RepositoryOptions::default())?;
     let nexus_text = std::fs::read_to_string(&nexus_path)?;

@@ -37,7 +37,10 @@ fn nj_on_true_distances_is_exact_through_the_whole_stack() {
                 seed,
             })
             .unwrap();
-        assert_eq!(report.rf.distance, 0, "seed {seed}: NJ must be exact on true distances");
+        assert_eq!(
+            report.rf.distance, 0,
+            "seed {seed}: NJ must be exact on true distances"
+        );
         assert_eq!(report.sample_size, 40);
     }
 }
@@ -70,9 +73,13 @@ fn sequence_reconstruction_beats_random_baseline() {
     let mut cur = random_tree.add_node();
     for (i, name) in names.iter().enumerate() {
         if i + 1 == names.len() {
-            random_tree.add_child(cur, Some(name.clone()), Some(1.0)).unwrap();
+            random_tree
+                .add_child(cur, Some(name.clone()), Some(1.0))
+                .unwrap();
         } else {
-            random_tree.add_child(cur, Some(name.clone()), Some(1.0)).unwrap();
+            random_tree
+                .add_child(cur, Some(name.clone()), Some(1.0))
+                .unwrap();
             cur = random_tree.add_child(cur, None, Some(1.0)).unwrap();
         }
     }
@@ -84,7 +91,11 @@ fn sequence_reconstruction_beats_random_baseline() {
         random_rf.normalized
     );
     // And with 1000 sites it should actually be quite good.
-    assert!(report.rf.normalized < 0.5, "got {:.3}", report.rf.normalized);
+    assert!(
+        report.rf.normalized < 0.5,
+        "got {:.3}",
+        report.rf.normalized
+    );
 }
 
 #[test]
@@ -116,7 +127,12 @@ fn upgma_vs_nj_headtohead_produces_reports_for_both() {
         assert_eq!(report.reconstruction.leaf_count(), 24);
     }
     // Both runs were recorded in the query repository.
-    assert_eq!(repo.history_of_kind(crimson::history::QueryKind::Benchmark).unwrap().len(), 2);
+    assert_eq!(
+        repo.history_of_kind(crimson::history::QueryKind::Benchmark)
+            .unwrap()
+            .len(),
+        2
+    );
 }
 
 #[test]
@@ -146,7 +162,12 @@ fn repository_persists_full_state_across_reopen() {
     assert_eq!(record.handle, handle);
     assert_eq!(record.leaf_count, 80);
     assert_eq!(repo.species_count(handle).unwrap(), 80);
-    assert_eq!(repo.history_of_kind(crimson::history::QueryKind::Benchmark).unwrap().len(), 1);
+    assert_eq!(
+        repo.history_of_kind(crimson::history::QueryKind::Benchmark)
+            .unwrap()
+            .len(),
+        1
+    );
     // Structure queries still work from disk.
     let leaves = repo.leaves(handle).unwrap();
     let lca = repo.lca(leaves[0], leaves[leaves.len() - 1]).unwrap();
@@ -164,9 +185,13 @@ fn gold_standard_nexus_roundtrip_through_repository() {
     let dir = tempfile::tempdir().unwrap();
     let mut repo =
         Repository::create(dir.path().join("e8d.crimson"), RepositoryOptions::default()).unwrap();
-    let report = repo.load_nexus_text("gold", &nexus_text, LoadMode::TreeWithSpecies).unwrap();
+    let report = repo
+        .load_nexus_text("gold", &nexus_text, LoadMode::TreeWithSpecies)
+        .unwrap();
     assert_eq!(report.species_loaded, 40);
-    let stored = repo.project(report.handle, &repo.leaves(report.handle).unwrap()).unwrap();
+    let stored = repo
+        .project(report.handle, &repo.leaves(report.handle).unwrap())
+        .unwrap();
     assert!(phylo::ops::isomorphic(&stored, &gold.tree));
     // Sequences survived the roundtrip byte for byte.
     let names: Vec<String> = gold.sequences.keys().cloned().collect();

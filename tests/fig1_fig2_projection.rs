@@ -14,10 +14,18 @@ fn figure1_tree_matches_newick_form() {
     let parsed = phylo::newick::parse(FIG1_NEWICK).unwrap();
     assert!(ops::isomorphic_with_lengths(&built, &parsed, 1e-9));
     // Edge weights / cumulative evolutionary times from Figure 1.
-    for (name, expected) in [("Bha", 2.25), ("Lla", 3.0), ("Spy", 3.0), ("Syn", 2.5), ("Bsu", 1.25)]
-    {
+    for (name, expected) in [
+        ("Bha", 2.25),
+        ("Lla", 3.0),
+        ("Spy", 3.0),
+        ("Syn", 2.5),
+        ("Bsu", 1.25),
+    ] {
         let leaf = built.find_leaf_by_name(name).unwrap();
-        assert!((built.root_distance(leaf) - expected).abs() < 1e-12, "{name}");
+        assert!(
+            (built.root_distance(leaf) - expected).abs() < 1e-12,
+            "{name}"
+        );
     }
 }
 
@@ -40,11 +48,16 @@ fn figure2_projection_through_repository() {
     let dir = tempfile::tempdir().unwrap();
     let mut repo = Repository::create(
         dir.path().join("e1.crimson"),
-        RepositoryOptions { frame_depth: 2, buffer_pool_pages: 256 },
+        RepositoryOptions {
+            frame_depth: 2,
+            buffer_pool_pages: 256,
+        },
     )
     .unwrap();
     let handle = repo.load_newick("fig1", FIG1_NEWICK).unwrap().handle;
-    let projection = repo.project_species(handle, &["Bha", "Lla", "Syn"]).unwrap();
+    let projection = repo
+        .project_species(handle, &["Bha", "Lla", "Syn"])
+        .unwrap();
     let expected = phylo::newick::parse("((Bha:0.75,Lla:1.5):1.5,Syn:2.5);").unwrap();
     assert!(
         ops::isomorphic_with_lengths(&projection, &expected, 1e-9),
@@ -54,7 +67,10 @@ fn figure2_projection_through_repository() {
     // Projection preserves root-to-leaf evolutionary times.
     for (name, expected) in [("Bha", 2.25), ("Lla", 3.0), ("Syn", 2.5)] {
         let leaf = projection.find_leaf_by_name(name).unwrap();
-        assert!((projection.root_distance(leaf) - expected).abs() < 1e-9, "{name}");
+        assert!(
+            (projection.root_distance(leaf) - expected).abs() < 1e-9,
+            "{name}"
+        );
     }
 }
 
@@ -64,14 +80,23 @@ fn projection_roundtrips_through_nexus_output() {
     let dir = tempfile::tempdir().unwrap();
     let mut repo = Repository::create(
         dir.path().join("e1b.crimson"),
-        RepositoryOptions { frame_depth: 2, buffer_pool_pages: 256 },
+        RepositoryOptions {
+            frame_depth: 2,
+            buffer_pool_pages: 256,
+        },
     )
     .unwrap();
     let handle = repo.load_newick("fig1", FIG1_NEWICK).unwrap().handle;
-    let projection = repo.project_species(handle, &["Bha", "Lla", "Syn"]).unwrap();
+    let projection = repo
+        .project_species(handle, &["Bha", "Lla", "Syn"])
+        .unwrap();
     let mut doc = phylo::nexus::NexusDocument::new();
     doc.push_tree("projection", projection.clone());
     let text = phylo::nexus::write(&doc);
     let parsed = phylo::nexus::parse(&text).unwrap();
-    assert!(ops::isomorphic_with_lengths(&parsed.trees[0].tree, &projection, 1e-6));
+    assert!(ops::isomorphic_with_lengths(
+        &parsed.trees[0].tree,
+        &projection,
+        1e-6
+    ));
 }

@@ -15,8 +15,14 @@ fn layered_structure_and_source_nodes() {
     // With frame depth 2 the depth-3 tree cannot fit in one frame, so layer 0
     // has several frames and a layer above exists — the Figure 4 shape.
     let layer0 = index.layer(0);
-    assert!(layer0.frame_count() > 1, "layer 0 must be decomposed into multiple subtrees");
-    assert!(index.layer_count() >= 2, "a layer-1 tree over the layer-0 subtrees must exist");
+    assert!(
+        layer0.frame_count() > 1,
+        "layer 0 must be decomposed into multiple subtrees"
+    );
+    assert!(
+        index.layer_count() >= 2,
+        "a layer-1 tree over the layer-0 subtrees must exist"
+    );
 
     // Every split-off frame records its source node = the parent of its root
     // (the dotted edge from node 6 to node 3 in Figure 4).
@@ -61,7 +67,10 @@ fn stored_frames_mirror_figure4() {
     let dir = tempfile::tempdir().unwrap();
     let mut repo = Repository::create(
         dir.path().join("e2.crimson"),
-        RepositoryOptions { frame_depth: 2, buffer_pool_pages: 256 },
+        RepositoryOptions {
+            frame_depth: 2,
+            buffer_pool_pages: 256,
+        },
     )
     .unwrap();
     let tree = figure1_tree();
@@ -102,7 +111,10 @@ fn stored_lca_agrees_with_all_schemes_on_simulated_tree() {
     let dir = tempfile::tempdir().unwrap();
     let mut repo = Repository::create(
         dir.path().join("e2b.crimson"),
-        RepositoryOptions { frame_depth: 4, buffer_pool_pages: 1024 },
+        RepositoryOptions {
+            frame_depth: 4,
+            buffer_pool_pages: 1024,
+        },
     )
     .unwrap();
     let handle = repo.load_tree("sim", &tree).unwrap();
@@ -115,8 +127,12 @@ fn stored_lca_agrees_with_all_schemes_on_simulated_tree() {
             assert_eq!(flat.lca(a, b), expected);
             assert_eq!(hier.lca(a, b), expected);
             assert_eq!(interval.lca(a, b), expected);
-            let sa = repo.require_species_node(handle, tree.name(a).unwrap()).unwrap();
-            let sb = repo.require_species_node(handle, tree.name(b).unwrap()).unwrap();
+            let sa = repo
+                .require_species_node(handle, tree.name(a).unwrap())
+                .unwrap();
+            let sb = repo
+                .require_species_node(handle, tree.name(b).unwrap())
+                .unwrap();
             let stored = repo.node_record(repo.lca(sa, sb).unwrap()).unwrap();
             assert_eq!(stored.depth as usize, tree.depth(expected));
             assert!((stored.root_distance - tree.root_distance(expected)).abs() < 1e-9);

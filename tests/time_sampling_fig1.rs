@@ -10,7 +10,10 @@ fn repo() -> (tempfile::TempDir, Repository, TreeHandle) {
     let dir = tempfile::tempdir().unwrap();
     let mut repo = Repository::create(
         dir.path().join("e5.crimson"),
-        RepositoryOptions { frame_depth: 2, buffer_pool_pages: 256 },
+        RepositoryOptions {
+            frame_depth: 2,
+            buffer_pool_pages: 256,
+        },
     )
     .unwrap();
     let handle = repo.load_tree("fig1", &figure1_tree()).unwrap();
@@ -21,7 +24,11 @@ fn repo() -> (tempfile::TempDir, Repository, TreeHandle) {
 fn frontier_is_the_papers_four_nodes() {
     let (_d, repo, handle) = repo();
     let frontier = repo.time_frontier(handle, 1.0).unwrap();
-    assert_eq!(frontier.len(), 4, "the paper lists exactly four frontier nodes");
+    assert_eq!(
+        frontier.len(),
+        4,
+        "the paper lists exactly four frontier nodes"
+    );
     let mut named: Vec<String> = Vec::new();
     let mut unnamed_depths = Vec::new();
     for node in frontier {
@@ -56,7 +63,10 @@ fn sampling_four_species_matches_paper_outcomes() {
         seen_spy |= spy;
     }
     // Over 20 seeds both outcomes listed in the paper occur.
-    assert!(seen_lla && seen_spy, "both paper outcomes should appear across seeds");
+    assert!(
+        seen_lla && seen_spy,
+        "both paper outcomes should appear across seeds"
+    );
 }
 
 #[test]
@@ -67,7 +77,11 @@ fn uniform_sampling_covers_all_species_eventually() {
         let sample = repo.sample_uniform(handle, 2, seed).unwrap();
         seen.extend(repo.names_of(&sample).unwrap());
     }
-    assert_eq!(seen.len(), 5, "every species should be drawn across 30 two-species samples");
+    assert_eq!(
+        seen.len(),
+        5,
+        "every species should be drawn across 30 two-species samples"
+    );
 }
 
 #[test]
@@ -83,6 +97,8 @@ fn sample_then_project_then_compare_is_consistent() {
         let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
         let stored = repo.project(handle, &sample).unwrap();
         let expected = phylo::ops::project_by_names(&tree, &refs).unwrap();
-        assert!(phylo::ops::isomorphic_with_lengths(&stored, &expected, 1e-9));
+        assert!(phylo::ops::isomorphic_with_lengths(
+            &stored, &expected, 1e-9
+        ));
     }
 }

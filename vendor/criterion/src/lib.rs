@@ -20,12 +20,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// A two-part id (`function/parameter`).
     pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { id: format!("{function}/{parameter}") }
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
     }
 
     /// An id that is just the parameter.
     pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -159,7 +163,10 @@ impl Criterion {
 
     /// Start a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { criterion: self, name: name.into() }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
     }
 
     /// Run a single stand-alone benchmark.

@@ -247,7 +247,11 @@ pub mod seq {
                 let j = i + bounded_u64(rng, (idx.len() - i) as u64) as usize;
                 idx.swap(i, j);
             }
-            idx[..amount].iter().map(|&i| &self[i]).collect::<Vec<_>>().into_iter()
+            idx[..amount]
+                .iter()
+                .map(|&i| &self[i])
+                .collect::<Vec<_>>()
+                .into_iter()
         }
     }
 }
@@ -314,7 +318,11 @@ mod tests {
         let mut distinct = picked.clone();
         distinct.sort();
         distinct.dedup();
-        assert_eq!(distinct.len(), 10, "choose_multiple returns distinct elements");
+        assert_eq!(
+            distinct.len(),
+            10,
+            "choose_multiple returns distinct elements"
+        );
     }
 
     #[test]

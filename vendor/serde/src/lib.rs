@@ -253,7 +253,9 @@ impl Serialize for f64 {
 
 impl Deserialize for f64 {
     fn deserialize_value(value: &Value) -> Result<Self, DeError> {
-        value.as_f64().ok_or_else(|| DeError::msg("expected number"))
+        value
+            .as_f64()
+            .ok_or_else(|| DeError::msg("expected number"))
     }
 }
 
@@ -277,7 +279,10 @@ impl Serialize for String {
 
 impl Deserialize for String {
     fn deserialize_value(value: &Value) -> Result<Self, DeError> {
-        value.as_str().map(str::to_string).ok_or_else(|| DeError::msg("expected string"))
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::msg("expected string"))
     }
 }
 
@@ -287,7 +292,7 @@ impl Serialize for str {
     }
 }
 
-impl<'a, T: Serialize + ?Sized> Serialize for &'a T {
+impl<T: Serialize + ?Sized> Serialize for &T {
     fn serialize_value(&self) -> Value {
         (**self).serialize_value()
     }
@@ -342,11 +347,16 @@ impl<A: Serialize, B: Serialize> Serialize for (A, B) {
 
 impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
     fn deserialize_value(value: &Value) -> Result<Self, DeError> {
-        let items = value.as_array().ok_or_else(|| DeError::msg("expected 2-tuple"))?;
+        let items = value
+            .as_array()
+            .ok_or_else(|| DeError::msg("expected 2-tuple"))?;
         if items.len() != 2 {
             return Err(DeError::msg("expected 2-tuple"));
         }
-        Ok((A::deserialize_value(&items[0])?, B::deserialize_value(&items[1])?))
+        Ok((
+            A::deserialize_value(&items[0])?,
+            B::deserialize_value(&items[1])?,
+        ))
     }
 }
 
@@ -355,7 +365,9 @@ impl<V: Serialize> Serialize for HashMap<String, V> {
         let mut keys: Vec<&String> = self.keys().collect();
         keys.sort();
         Value::Object(
-            keys.into_iter().map(|k| (k.clone(), self[k].serialize_value())).collect(),
+            keys.into_iter()
+                .map(|k| (k.clone(), self[k].serialize_value()))
+                .collect(),
         )
     }
 }
@@ -374,7 +386,11 @@ impl<V: Deserialize> Deserialize for HashMap<String, V> {
 
 impl<V: Serialize> Serialize for BTreeMap<String, V> {
     fn serialize_value(&self) -> Value {
-        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.serialize_value())).collect())
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize_value()))
+                .collect(),
+        )
     }
 }
 
@@ -399,7 +415,10 @@ mod tests {
         assert_eq!(42u32.serialize_value(), Value::Int(42));
         assert_eq!(u32::deserialize_value(&Value::Int(42)).unwrap(), 42);
         assert!(u32::deserialize_value(&Value::Int(-1)).is_err());
-        assert_eq!(Option::<u32>::deserialize_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Option::<u32>::deserialize_value(&Value::Null).unwrap(),
+            None
+        );
         assert_eq!(
             Vec::<u8>::deserialize_value(&vec![1u8, 2, 3].serialize_value()).unwrap(),
             vec![1, 2, 3]

@@ -69,14 +69,13 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
 fn skip_type(tokens: &[TokenTree], mut i: usize) -> usize {
     let mut angle_depth = 0i32;
     while i < tokens.len() {
-        match &tokens[i] {
-            TokenTree::Punct(p) => match p.as_char() {
+        if let TokenTree::Punct(p) = &tokens[i] {
+            match p.as_char() {
                 '<' => angle_depth += 1,
                 '>' => angle_depth -= 1,
                 ',' if angle_depth == 0 => return i,
                 _ => {}
-            },
-            _ => {}
+            }
         }
         i += 1;
     }
@@ -214,9 +213,7 @@ fn gen_serialize(p: &Parsed) -> String {
             let pairs: Vec<String> = fields
                 .iter()
                 .map(|f| {
-                    format!(
-                        "(\"{f}\".to_string(), ::serde::Serialize::serialize_value(&self.{f}))"
-                    )
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::serialize_value(&self.{f}))")
                 })
                 .collect();
             format!("::serde::Value::Object(vec![{}])", pairs.join(", "))
@@ -391,12 +388,16 @@ fn gen_deserialize(p: &Parsed) -> String {
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let parsed = parse(input);
-    gen_serialize(&parsed).parse().expect("generated Serialize impl parses")
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl parses")
 }
 
 /// Derive `serde::Deserialize` (shim).
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let parsed = parse(input);
-    gen_deserialize(&parsed).parse().expect("generated Deserialize impl parses")
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl parses")
 }

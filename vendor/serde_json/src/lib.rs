@@ -119,7 +119,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(text: &'a str) -> Self {
-        Parser { bytes: text.as_bytes(), pos: 0 }
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
     }
 
     fn err(&self, msg: &str) -> Error {
@@ -270,7 +273,9 @@ impl<'a> Parser<'a> {
                 return Ok(Value::Int(i));
             }
         }
-        text.parse::<f64>().map(Value::Float).map_err(|_| self.err("invalid number"))
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.err("invalid number"))
     }
 
     fn parse_array(&mut self) -> Result<Value> {
@@ -396,8 +401,8 @@ mod tests {
 
     #[test]
     fn parses_numbers_and_unicode() {
-        let v: Value = from_str("{\"a\": -12, \"b\": 2.5e3, \"c\": \"\\u00e9\\ud83d\\ude00\"}")
-            .unwrap();
+        let v: Value =
+            from_str("{\"a\": -12, \"b\": 2.5e3, \"c\": \"\\u00e9\\ud83d\\ude00\"}").unwrap();
         assert_eq!(v["a"], -12);
         assert_eq!(v["b"].as_f64(), Some(2500.0));
         assert_eq!(v["c"].as_str(), Some("é😀"));

@@ -26,7 +26,11 @@ impl TempDir {
                 .unwrap_or(0);
             let candidate = base.join(format!(".tmp-crimson-{pid}-{n}-{nanos}"));
             match std::fs::create_dir(&candidate) {
-                Ok(()) => return Ok(TempDir { path: Some(candidate) }),
+                Ok(()) => {
+                    return Ok(TempDir {
+                        path: Some(candidate),
+                    })
+                }
                 Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => continue,
                 Err(e) => return Err(e),
             }
@@ -35,12 +39,16 @@ impl TempDir {
 
     /// The directory's path.
     pub fn path(&self) -> &Path {
-        self.path.as_deref().expect("TempDir path is present until drop")
+        self.path
+            .as_deref()
+            .expect("TempDir path is present until drop")
     }
 
     /// Persist the directory (skip deletion on drop) and return its path.
     pub fn keep(mut self) -> PathBuf {
-        self.path.take().expect("TempDir path is present until drop")
+        self.path
+            .take()
+            .expect("TempDir path is present until drop")
     }
 
     /// Delete the directory now, reporting any I/O error.
