@@ -160,6 +160,67 @@ pub fn pattern_match(leaves: usize, pattern_size: usize, seed: u64) -> SmokeCost
     }
 }
 
+/// Aggregate throughput of one mixed read batch at a given worker count —
+/// the concurrent-reads workload behind the scaling smoke.
+#[derive(Debug, Clone, Copy)]
+pub struct ConcurrencyCost {
+    /// Worker threads the batch ran with.
+    pub threads: usize,
+    /// Queries in the batch.
+    pub queries: usize,
+    /// Wall-clock seconds for the measured run.
+    pub seconds: f64,
+}
+
+impl ConcurrencyCost {
+    /// Aggregate queries per second.
+    pub fn qps(&self) -> f64 {
+        self.queries as f64 / self.seconds.max(1e-9)
+    }
+}
+
+/// Concurrent-reads smoke: build an in-file repository from a simulated
+/// tree, fan a deterministic mixed batch (LCA / ancestor / clade /
+/// projection) across `threads` snapshot-reader workers via [`QueryBatch`],
+/// and measure aggregate throughput. One warm-up pass puts the reader's
+/// record/interval caches and the buffer pool in the same steady state for
+/// every thread count, so the numbers isolate scaling, not cache luck.
+pub fn concurrent_reads(
+    leaves: usize,
+    queries: usize,
+    threads: usize,
+    seed: u64,
+) -> ConcurrencyCost {
+    let tree = workloads::simulated_tree(leaves, seed);
+    let (_dir, repo, handle) = workloads::repository_with_tree(&tree, 16, 8192);
+    let batch = workloads::mixed_read_batch(&repo, handle, queries, seed);
+    let reader = repo.reader().expect("snapshot reader");
+    // Warm-up: fills the reader caches; results are checked for errors once.
+    for result in batch.execute_on(&reader, threads) {
+        result.expect("warm-up query");
+    }
+    // Best of three runs: a single ~10 ms window is at the mercy of whatever
+    // else the machine (or a parallel test binary) is doing; the fastest run
+    // is the one that measures the engine rather than the scheduler.
+    let mut seconds = f64::MAX;
+    for _ in 0..3 {
+        let start = std::time::Instant::now();
+        let results = batch.execute_on(&reader, threads);
+        let elapsed = start.elapsed().as_secs_f64();
+        assert!(
+            results.iter().all(|r| r.is_ok()),
+            "measured batch must succeed"
+        );
+        assert_eq!(results.len(), batch.len());
+        seconds = seconds.min(elapsed);
+    }
+    ConcurrencyCost {
+        threads,
+        queries: batch.len(),
+        seconds,
+    }
+}
+
 /// Page-write and WAL cost of the E4 load workload, with logging on and off.
 /// The WAL goes to its own file, so the data-file page writes of a logged
 /// load should stay close to the unlogged baseline — the smoke test pins the
@@ -301,6 +362,49 @@ mod tests {
         eprintln!("smoke E7 pattern match: {cost:?} ({:.1}x)", cost.speedup());
         assert!(cost.interval_reads > 0);
         assert!(cost.reference_reads > cost.interval_reads);
+    }
+
+    #[test]
+    fn smoke_concurrent_reads() {
+        // The 800-leaf profile at 1/2/4/8 worker threads. The scaling
+        // assertion only binds where the hardware can express it.
+        let mut costs = Vec::new();
+        for threads in [1usize, 2, 4, 8] {
+            let cost = concurrent_reads(800, 2000, threads, 7);
+            eprintln!(
+                "smoke concurrent reads: {} threads → {:.0} q/s ({} queries in {:.3}s)",
+                cost.threads,
+                cost.qps(),
+                cost.queries,
+                cost.seconds
+            );
+            costs.push(cost);
+        }
+        let single = costs[0].qps();
+        assert!(single > 0.0);
+        // The ≥2.5x assertion only binds when the measurement can be fair:
+        // at least 4 hardware threads AND the test binary running serially
+        // (RUST_TEST_THREADS=1, as CI's dedicated smoke step sets) — under
+        // default libtest parallelism the sibling smoke tests occupy the
+        // other cores for the whole window and the number measures the
+        // scheduler, not the engine.
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let serial = std::env::var("RUST_TEST_THREADS").as_deref() == Ok("1");
+        if hw >= 4 && serial {
+            let four = costs[2].qps();
+            assert!(
+                four >= 2.5 * single,
+                "4-thread QueryBatch must reach ≥2.5x single-thread throughput, \
+                 got {four:.0} vs {single:.0} q/s on {hw} hardware threads"
+            );
+        } else {
+            eprintln!(
+                "skipping the ≥2.5x scaling assertion: {hw} hardware thread(s), \
+                 serial run = {serial}"
+            );
+        }
     }
 
     #[test]

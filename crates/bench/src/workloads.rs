@@ -90,6 +90,46 @@ pub fn repository_with_gold(
     (dir, repo, handle)
 }
 
+/// A mixed read batch over a loaded tree: LCA pairs, ancestor tests,
+/// three-node spanning clades and small projections in a deterministic
+/// shuffle — the per-query profile the concurrent-reads smoke measures at
+/// several worker counts.
+pub fn mixed_read_batch(
+    repo: &Repository,
+    handle: TreeHandle,
+    queries: usize,
+    seed: u64,
+) -> QueryBatch {
+    use rand::prelude::*;
+    let leaves = repo.leaves(handle).expect("leaves");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut batch = QueryBatch::new();
+    while batch.len() < queries {
+        let a = *leaves.choose(&mut rng).expect("non-empty");
+        let b = *leaves.choose(&mut rng).expect("non-empty");
+        match batch.len() % 16 {
+            0 => {
+                let c = *leaves.choose(&mut rng).expect("non-empty");
+                batch.push(BatchQuery::SpanningClade(vec![a, b, c]));
+            }
+            8 => {
+                let sel: Vec<StoredNodeId> = leaves
+                    .choose_multiple(&mut rng, 8.min(leaves.len()))
+                    .copied()
+                    .collect();
+                batch.push(BatchQuery::Project(handle, sel));
+            }
+            n if n % 2 == 0 => {
+                batch.push(BatchQuery::Lca(a, b));
+            }
+            _ => {
+                batch.push(BatchQuery::IsAncestor(a, b));
+            }
+        };
+    }
+    batch
+}
+
 /// Evenly spaced leaf-name subsets of a tree, for projection/pattern inputs.
 pub fn leaf_subset(tree: &Tree, count: usize) -> Vec<String> {
     let names = tree.leaf_names();

@@ -1,4 +1,5 @@
-//! A small two-generation (S3-FIFO-style) LRU cache with O(1) operations.
+//! A small two-generation (S3-FIFO-style) LRU cache with O(1) operations,
+//! plus a sharded-lock wrapper for concurrent readers.
 //!
 //! Used by the repository for decoded [`crate::repository::NodeRecord`]s and
 //! interval-index entries, so repeated structure queries skip both the
@@ -10,9 +11,14 @@
 //! it, at a fraction of the bookkeeping.
 //!
 //! The cache never holds more than `2 * gen_capacity` entries.
+//!
+//! [`ShardedCache`] spreads entries across independently locked
+//! [`LruCache`] shards (by key hash), so the many reader threads of the
+//! concurrent query path never serialize on one cache mutex.
 
+use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::hash::Hash;
+use std::hash::{Hash, Hasher};
 
 /// Two-generation LRU cache.
 #[derive(Debug)]
@@ -84,6 +90,68 @@ impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
     }
 }
 
+/// Number of independently locked shards. A power of two so the hash mix
+/// below spreads sequential keys evenly.
+const CACHE_SHARDS: usize = 16;
+
+/// A concurrent two-generation cache: [`CACHE_SHARDS`] independently locked
+/// [`LruCache`]s, addressed by key hash. All operations take `&self`, so
+/// reader threads share one cache without an exclusive borrow; the short
+/// per-shard critical sections keep contention negligible.
+#[derive(Debug)]
+pub struct ShardedCache<K: Hash + Eq + Clone, V: Clone> {
+    shards: Vec<Mutex<LruCache<K, V>>>,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> ShardedCache<K, V> {
+    /// A cache holding at most `2 * gen_capacity` entries across all
+    /// shards (each shard gets an equal slice of the generation budget).
+    pub fn new(gen_capacity: usize) -> Self {
+        let per_shard = (gen_capacity / CACHE_SHARDS).max(1);
+        ShardedCache {
+            shards: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(LruCache::new(per_shard)))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<LruCache<K, V>> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % CACHE_SHARDS]
+    }
+
+    /// Fetch a value, promoting cold hits to the hot generation.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.shard(key).lock().get(key)
+    }
+
+    /// Insert a value into its shard's hot generation.
+    pub fn insert(&self, key: K, value: V) {
+        self.shard(&key).lock().insert(key, value);
+    }
+
+    /// Number of entries currently cached (all shards).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Summed `(hits, misses)` counters across shards.
+    pub fn stats(&self) -> (u64, u64) {
+        self.shards.iter().fold((0, 0), |(h, m), s| {
+            let (sh, sm) = s.lock().stats();
+            (h + sh, m + sm)
+        })
+    }
+
+    /// Drop all entries and reset counters.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().clear();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,5 +191,41 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.stats(), (0, 0));
+    }
+
+    #[test]
+    fn sharded_cache_roundtrip_and_bound() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::new(64);
+        for i in 0..10_000u64 {
+            cache.insert(i, i * 2);
+            // Per-shard bound: 2 * per-shard generation, summed over shards.
+            assert!(cache.len() <= 2 * 64 + 2 * CACHE_SHARDS, "at {i}");
+        }
+        assert_eq!(cache.get(&9_999), Some(19_998));
+        assert_eq!(cache.get(&0), None, "ancient entries age out");
+        let (hits, misses) = cache.stats();
+        assert_eq!((hits, misses), (1, 1));
+        cache.clear();
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.stats(), (0, 0));
+    }
+
+    #[test]
+    fn sharded_cache_concurrent_access() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::new(1024);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let cache = &cache;
+                s.spawn(move || {
+                    for i in 0..2_000u64 {
+                        let key = (i * 4 + t) % 512;
+                        cache.insert(key, key * 10);
+                        if let Some(v) = cache.get(&key) {
+                            assert_eq!(v, key * 10, "torn cache value");
+                        }
+                    }
+                });
+            }
+        });
     }
 }

@@ -36,6 +36,11 @@ pub enum CrimsonError {
     /// panic; surfaced as a typed error so callers can distinguish a damaged
     /// repository file from a caller mistake.
     CorruptRepository(String),
+    /// A snapshot read exhausted its retry budget against a continuously
+    /// committing writer; the underlying failure may be an artifact of the
+    /// mixed read view rather than real corruption. Retry when the write
+    /// burst subsides.
+    Busy(String),
 }
 
 impl fmt::Display for CrimsonError {
@@ -56,6 +61,7 @@ impl fmt::Display for CrimsonError {
             }
             CrimsonError::History(m) => write!(f, "query history error: {m}"),
             CrimsonError::CorruptRepository(m) => write!(f, "corrupt repository: {m}"),
+            CrimsonError::Busy(m) => write!(f, "repository busy: {m}"),
         }
     }
 }

@@ -7,8 +7,9 @@
 //! short human-readable result summary.
 
 use crate::error::{CrimsonError, CrimsonResult};
-use crate::repository::Repository;
+use crate::repository::{ReadCtx, Repository};
 use serde::{Deserialize, Serialize};
+use storage::db::DbRead;
 use storage::value::Value;
 
 /// The kind of query an entry records.
@@ -70,37 +71,10 @@ pub struct HistoryEntry {
     pub summary: String,
 }
 
-impl Repository {
-    /// Record a query in the history. Returns the new entry's id. The write
-    /// is atomic: it joins the enclosing transaction (loads record their
-    /// history entry in the same transaction as the data) or auto-commits
-    /// on its own. The id counter only advances on success, so a failed or
-    /// rolled-back write does not burn an id.
-    pub fn record_query(
-        &mut self,
-        kind: QueryKind,
-        params: serde_json::Value,
-        summary: &str,
-    ) -> CrimsonResult<u64> {
-        let id = self.next_history_id;
-        let params_text =
-            serde_json::to_string(&params).map_err(|e| CrimsonError::History(e.to_string()))?;
-        self.db.insert(
-            self.history_table,
-            &[
-                Value::Int(id as i64),
-                Value::text(kind.as_str()),
-                Value::text(params_text),
-                Value::text(summary),
-            ],
-        )?;
-        self.next_history_id = id + 1;
-        Ok(id)
-    }
-
+impl<'a, D: DbRead> ReadCtx<'a, D> {
     /// All recorded queries in execution order.
     pub fn query_history(&self) -> CrimsonResult<Vec<HistoryEntry>> {
-        let mut rows = self.db.scan(self.history_table)?;
+        let mut rows = self.db.scan(self.tables.history)?;
         rows.sort_by_key(|(_, row)| row.values[0].as_int().unwrap_or(0));
         rows.iter()
             .map(|(_, row)| {
@@ -136,6 +110,50 @@ impl Repository {
             .into_iter()
             .filter(|e| e.kind == kind)
             .collect())
+    }
+}
+
+impl Repository {
+    /// Record a query in the history. Returns the new entry's id. The write
+    /// is atomic: it joins the enclosing transaction (loads record their
+    /// history entry in the same transaction as the data) or auto-commits
+    /// on its own. The id counter only advances on success, so a failed or
+    /// rolled-back write does not burn an id.
+    pub fn record_query(
+        &mut self,
+        kind: QueryKind,
+        params: serde_json::Value,
+        summary: &str,
+    ) -> CrimsonResult<u64> {
+        let id = self.next_history_id;
+        let params_text =
+            serde_json::to_string(&params).map_err(|e| CrimsonError::History(e.to_string()))?;
+        self.db.insert(
+            self.tables.history,
+            &[
+                Value::Int(id as i64),
+                Value::text(kind.as_str()),
+                Value::text(params_text),
+                Value::text(summary),
+            ],
+        )?;
+        self.next_history_id = id + 1;
+        Ok(id)
+    }
+
+    /// All recorded queries in execution order.
+    pub fn query_history(&self) -> CrimsonResult<Vec<HistoryEntry>> {
+        self.ctx().query_history()
+    }
+
+    /// Fetch one history entry by id.
+    pub fn history_entry(&self, id: u64) -> CrimsonResult<HistoryEntry> {
+        self.ctx().history_entry(id)
+    }
+
+    /// Entries of a given kind, in execution order.
+    pub fn history_of_kind(&self, kind: QueryKind) -> CrimsonResult<Vec<HistoryEntry>> {
+        self.ctx().history_of_kind(kind)
     }
 }
 

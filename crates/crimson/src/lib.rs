@@ -43,6 +43,12 @@
 //!   algorithm and scores the result against the projection.
 //! * **Query Repository** ([`history`]) — records executed queries so they
 //!   can be recalled and re-run, as the Crimson GUI does.
+//! * **Concurrent readers** ([`reader`]) — Crimson is pitched as a shared
+//!   service; [`reader::RepositoryReader`] handles (from
+//!   [`Repository::reader`]) serve every structure query from other
+//!   threads against the last *committed* snapshot, never blocking behind
+//!   an in-flight load, and [`batch::QueryBatch`] fans a batch of queries
+//!   across a scoped worker pool, returning results in submission order.
 //!
 //! ```no_run
 //! use crimson::prelude::*;
@@ -59,24 +65,30 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod benchmark;
 pub(crate) mod cache;
 pub mod error;
 pub mod history;
 pub mod loader;
 pub mod query;
+pub mod reader;
 pub mod repository;
 pub mod sampling;
 
+pub use batch::{BatchOutput, BatchQuery, QueryBatch};
 pub use error::CrimsonError;
+pub use reader::RepositoryReader;
 pub use repository::{Repository, RepositoryOptions, StoredNodeId, TreeHandle};
 
 /// Commonly used items.
 pub mod prelude {
+    pub use crate::batch::{BatchOutput, BatchQuery, QueryBatch};
     pub use crate::benchmark::{BenchmarkManager, BenchmarkReport, BenchmarkSpec, Method};
     pub use crate::error::CrimsonError;
     pub use crate::history::QueryKind;
     pub use crate::loader::LoadMode;
+    pub use crate::reader::RepositoryReader;
     pub use crate::repository::{
         IntegrityReport, Repository, RepositoryOptions, StoredNodeId, TreeHandle,
     };

@@ -25,15 +25,21 @@
 //! The pre-index implementations (label walks + BFS) are kept as
 //! `*_reference` methods: the property tests cross-validate against them and
 //! the benchmark suite uses them as the page-read baseline.
+//!
+//! Everything here is implemented on the shared [`ReadCtx`] engine, so the
+//! same code serves the writer's `Repository` (current view) and concurrent
+//! [`crate::reader::RepositoryReader`]s (committed-snapshot view); all of
+//! it takes `&self`.
 
 use crate::error::{CrimsonError, CrimsonResult};
-use crate::repository::{NodeRecord, Repository, StoredNodeId, TreeHandle, TREE_SHIFT};
+use crate::repository::{NodeRecord, ReadCtx, Repository, StoredNodeId, TreeHandle, TREE_SHIFT};
 use labeling::interval::{interval_key_prefix, interval_range_end, IntervalEntry};
 use phylo::ops;
 use phylo::{NodeId, Tree};
 use reconstruction::compare::{robinson_foulds, RfResult};
 use std::collections::VecDeque;
 use std::sync::Arc;
+use storage::db::DbRead;
 
 /// When the clade span exceeds `SPARSE_FACTOR * selection size`, projection
 /// resolves pair LCAs by per-pair interval walks instead of scanning the
@@ -55,18 +61,11 @@ pub struct PatternMatch {
     pub projection: Tree,
 }
 
-impl Repository {
+impl<'a, D: DbRead> ReadCtx<'a, D> {
     // ------------------------------------------------------------------
     // Minimal spanning clade
     // ------------------------------------------------------------------
 
-    /// Minimal spanning clade of a set of nodes: all nodes in the subtree
-    /// rooted at their least common ancestor (§2.2), in pre-order.
-    ///
-    /// Each input node's interval is fetched exactly once; the LCA of the
-    /// whole set is the LCA of its minimum- and maximum-rank members; and
-    /// the clade itself is **one contiguous range scan** over the interval
-    /// index — no per-node row fetch, no breadth-first search.
     pub fn minimal_spanning_clade(
         &self,
         nodes: &[StoredNodeId],
@@ -100,23 +99,30 @@ impl Repository {
         let low = interval_key_prefix(tree, lp);
         let high = interval_range_end(tree, le);
         let mut out = Vec::with_capacity((le - lp + 1) as usize);
-        for item in self
-            .db
-            .raw_range(self.ivl_by_pre, Some(&low), Some(&high))?
-        {
-            let (key, _) = item?;
-            let (_, entry) = IntervalEntry::decode_key(&key).ok_or_else(|| {
-                CrimsonError::CorruptRepository("malformed interval-index key".to_string())
-            })?;
-            out.push(StoredNodeId((tree << TREE_SHIFT) | entry.node as u64));
+        let mut malformed = false;
+        self.db.raw_scan(
+            self.tables.ivl_by_pre,
+            Some(&low),
+            Some(&high),
+            &mut |key, _| match IntervalEntry::decode_key(key) {
+                Some((_, entry)) => {
+                    out.push(StoredNodeId((tree << TREE_SHIFT) | entry.node as u64));
+                    Ok(true)
+                }
+                None => {
+                    malformed = true;
+                    Ok(false)
+                }
+            },
+        )?;
+        if malformed {
+            return Err(CrimsonError::CorruptRepository(
+                "malformed interval-index key".to_string(),
+            ));
         }
         Ok(out)
     }
 
-    /// Reference implementation of the minimal spanning clade from before
-    /// the interval index: fold pairwise label-walk LCAs, then breadth-first
-    /// collection through the parent index with one row fetch per node.
-    /// Kept for cross-validation and as the page-read baseline.
     pub fn minimal_spanning_clade_reference(
         &self,
         nodes: &[StoredNodeId],
@@ -143,23 +149,6 @@ impl Repository {
     // Tree projection
     // ------------------------------------------------------------------
 
-    /// Project the stored tree onto a set of leaf nodes, following the
-    /// paper's algorithm: sort the leaves by pre-order, insert them left to
-    /// right, and determine each insertion point from the LCA of consecutive
-    /// leaves along the rightmost path of the partial tree. Unary nodes
-    /// never arise; edge weights are differences of stored cumulative root
-    /// distances.
-    ///
-    /// The consecutive-pair LCAs come from the interval index: a **single
-    /// range scan** over `[pre(lca), end(lca)]` with an ancestor stack when
-    /// the selection is dense in its clade, or per-pair interval walks when
-    /// it is sparse (span > `SPARSE_FACTOR`× the selection size). Node rows
-    /// are fetched (through the record cache) only for nodes that appear in
-    /// the output — ~2k rows for k selected leaves, independent of tree
-    /// size.
-    ///
-    /// The result is an in-memory [`Tree`] whose leaves carry the stored
-    /// species names.
     pub fn project(&self, handle: TreeHandle, leaves: &[StoredNodeId]) -> CrimsonResult<Tree> {
         if leaves.is_empty() {
             return Err(CrimsonError::InvalidSample("empty leaf set".to_string()));
@@ -251,43 +240,57 @@ impl Repository {
         let mut lcas = Vec::with_capacity(sel.len() - 1);
         let mut next_sel = 0usize;
         let mut prev_pre: Option<u32> = None;
-        for item in self
-            .db
-            .raw_range(self.ivl_by_pre, Some(&low), Some(&high))?
-        {
-            let (key, rid_raw) = item?;
-            let rid = storage::RecordId::from_u64(rid_raw);
-            let (_, entry) = IntervalEntry::decode_key(&key).ok_or_else(|| {
-                CrimsonError::CorruptRepository("malformed interval-index key".to_string())
-            })?;
-            while stack.last().is_some_and(|(top, _)| top.end < entry.pre) {
-                stack.pop();
-            }
-            if next_sel < sel.len() && entry.pre == sel[next_sel].0 {
-                if let Some(prev) = prev_pre {
-                    // Stack ranks ascend; every stack entry covers the
-                    // current rank, so the deepest one with pre <= prev also
-                    // covers prev — the pair LCA.
-                    let idx = stack.partition_point(|(e, _)| e.pre <= prev);
-                    let (anc, anc_rid) =
-                        idx.checked_sub(1)
-                            .and_then(|i| stack.get(i))
-                            .ok_or_else(|| {
-                                CrimsonError::CorruptRepository(format!(
+        let mut fail: Option<CrimsonError> = None;
+        let mut complete = false;
+        self.db.raw_scan(
+            self.tables.ivl_by_pre,
+            Some(&low),
+            Some(&high),
+            &mut |key, rid_raw| {
+                let rid = storage::RecordId::from_u64(rid_raw);
+                let Some((_, entry)) = IntervalEntry::decode_key(key) else {
+                    fail = Some(CrimsonError::CorruptRepository(
+                        "malformed interval-index key".to_string(),
+                    ));
+                    return Ok(false);
+                };
+                while stack.last().is_some_and(|(top, _)| top.end < entry.pre) {
+                    stack.pop();
+                }
+                if next_sel < sel.len() && entry.pre == sel[next_sel].0 {
+                    if let Some(prev) = prev_pre {
+                        // Stack ranks ascend; every stack entry covers the
+                        // current rank, so the deepest one with pre <= prev
+                        // also covers prev — the pair LCA.
+                        let idx = stack.partition_point(|(e, _)| e.pre <= prev);
+                        match idx.checked_sub(1).and_then(|i| stack.get(i)) {
+                            Some((anc, anc_rid)) => lcas.push((sid_of(anc), *anc_rid)),
+                            None => {
+                                fail = Some(CrimsonError::CorruptRepository(format!(
                                     "no common ancestor on the scan stack for ranks {prev} and {}",
                                     entry.pre
-                                ))
-                            })?;
-                    lcas.push((sid_of(anc), *anc_rid));
+                                )));
+                                return Ok(false);
+                            }
+                        }
+                    }
+                    selected.push((sid_of(&entry), rid));
+                    prev_pre = Some(entry.pre);
+                    next_sel += 1;
+                    if next_sel == sel.len() {
+                        complete = true;
+                        return Ok(false);
+                    }
                 }
-                selected.push((sid_of(&entry), rid));
-                prev_pre = Some(entry.pre);
-                next_sel += 1;
-                if next_sel == sel.len() {
-                    return Ok((selected, lcas));
-                }
-            }
-            stack.push((entry, rid));
+                stack.push((entry, rid));
+                Ok(true)
+            },
+        )?;
+        if let Some(e) = fail {
+            return Err(e);
+        }
+        if complete {
+            return Ok((selected, lcas));
         }
         Err(CrimsonError::CorruptRepository(format!(
             "interval scan found {next_sel} of {} selected ranks in [{lo}, {hi_end}]",
@@ -295,9 +298,6 @@ impl Repository {
         )))
     }
 
-    /// Reference implementation of projection from before the interval
-    /// index: per-pair label-walk LCAs and uncached row fetches. Kept for
-    /// cross-validation and as the page-read baseline.
     pub fn project_reference(
         &self,
         handle: TreeHandle,
@@ -337,7 +337,6 @@ impl Repository {
         assemble_projection(&records, &lca_records)
     }
 
-    /// Project by species names (§3 "user input" selection).
     pub fn project_species(&self, handle: TreeHandle, names: &[&str]) -> CrimsonResult<Tree> {
         let mut leaves = Vec::with_capacity(names.len());
         for name in names {
@@ -350,9 +349,6 @@ impl Repository {
     // Tree pattern match
     // ------------------------------------------------------------------
 
-    /// Tree pattern match (§2.2): project the stored tree onto the pattern's
-    /// leaves and compare the projection with the pattern — exactly for an
-    /// exact match, by Robinson–Foulds distance for an approximate one.
     pub fn pattern_match(&self, handle: TreeHandle, pattern: &Tree) -> CrimsonResult<PatternMatch> {
         let names: Vec<String> = pattern.leaf_names();
         if names.is_empty() {
@@ -383,13 +379,84 @@ impl Repository {
     }
 }
 
+impl Repository {
+    /// Minimal spanning clade of a set of nodes: all nodes in the subtree
+    /// rooted at their least common ancestor (§2.2), in pre-order.
+    ///
+    /// Each input node's interval is fetched exactly once; the LCA of the
+    /// whole set is the LCA of its minimum- and maximum-rank members; and
+    /// the clade itself is **one contiguous range scan** over the interval
+    /// index — no per-node row fetch, no breadth-first search.
+    pub fn minimal_spanning_clade(
+        &self,
+        nodes: &[StoredNodeId],
+    ) -> CrimsonResult<Vec<StoredNodeId>> {
+        self.ctx().minimal_spanning_clade(nodes)
+    }
+
+    /// Reference implementation of the minimal spanning clade from before
+    /// the interval index: fold pairwise label-walk LCAs, then breadth-first
+    /// collection through the parent index with one row fetch per node.
+    /// Kept for cross-validation and as the page-read baseline.
+    pub fn minimal_spanning_clade_reference(
+        &self,
+        nodes: &[StoredNodeId],
+    ) -> CrimsonResult<Vec<StoredNodeId>> {
+        self.ctx().minimal_spanning_clade_reference(nodes)
+    }
+
+    /// Project the stored tree onto a set of leaf nodes, following the
+    /// paper's algorithm: sort the leaves by pre-order, insert them left to
+    /// right, and determine each insertion point from the LCA of consecutive
+    /// leaves along the rightmost path of the partial tree. Unary nodes
+    /// never arise; edge weights are differences of stored cumulative root
+    /// distances.
+    ///
+    /// The consecutive-pair LCAs come from the interval index: a **single
+    /// range scan** over `[pre(lca), end(lca)]` with an ancestor stack when
+    /// the selection is dense in its clade, or per-pair interval walks when
+    /// it is sparse (span > `SPARSE_FACTOR`× the selection size). Node rows
+    /// are fetched (through the record cache) only for nodes that appear in
+    /// the output — ~2k rows for k selected leaves, independent of tree
+    /// size.
+    ///
+    /// The result is an in-memory [`Tree`] whose leaves carry the stored
+    /// species names.
+    pub fn project(&self, handle: TreeHandle, leaves: &[StoredNodeId]) -> CrimsonResult<Tree> {
+        self.ctx().project(handle, leaves)
+    }
+
+    /// Reference implementation of projection from before the interval
+    /// index: per-pair label-walk LCAs and uncached row fetches. Kept for
+    /// cross-validation and as the page-read baseline.
+    pub fn project_reference(
+        &self,
+        handle: TreeHandle,
+        leaves: &[StoredNodeId],
+    ) -> CrimsonResult<Tree> {
+        self.ctx().project_reference(handle, leaves)
+    }
+
+    /// Project by species names (§3 "user input" selection).
+    pub fn project_species(&self, handle: TreeHandle, names: &[&str]) -> CrimsonResult<Tree> {
+        self.ctx().project_species(handle, names)
+    }
+
+    /// Tree pattern match (§2.2): project the stored tree onto the pattern's
+    /// leaves and compare the projection with the pattern — exactly for an
+    /// exact match, by Robinson–Foulds distance for an approximate one.
+    pub fn pattern_match(&self, handle: TreeHandle, pattern: &Tree) -> CrimsonResult<PatternMatch> {
+        self.ctx().pattern_match(handle, pattern)
+    }
+}
+
 /// The paper's left-to-right insertion algorithm, decoupled from how the
 /// consecutive-pair LCAs were resolved: `records` are the selected nodes in
 /// pre-order and `lca_records[i]` is the LCA of `records[i]` and
 /// `records[i + 1]`. Maintains the rightmost path of the partial projection;
 /// unary nodes never arise; edge weights are differences of stored
 /// cumulative root distances.
-fn assemble_projection(
+pub(crate) fn assemble_projection(
     records: &[Arc<NodeRecord>],
     lca_records: &[Arc<NodeRecord>],
 ) -> CrimsonResult<Tree> {

@@ -1,0 +1,363 @@
+//! Concurrent snapshot readers for the repository.
+//!
+//! Crimson is pitched as a shared service: many researchers query the same
+//! repository while new gold standards keep loading. [`RepositoryReader`]
+//! is the handle that makes that concurrent: it is `Send + Sync`, shares
+//! the writer's buffer pool, and serves every read from the last
+//! **committed** state — the storage layer's before-image overlay makes the
+//! writer's in-flight transaction invisible, so readers never block behind
+//! a load and never observe a half-loaded tree.
+//!
+//! ## The snapshot-read rule
+//!
+//! A single page read is always committed-consistent. A multi-page
+//! operation (an LCA walk, a clade scan, a projection) could still straddle
+//! a commit — the first pages read pre-commit, the rest post-commit. The
+//! reader brackets every public operation with the pool's read generation
+//! and retries the operation when the generation moved. Retries are cheap
+//! (the touched pages are hot) and rare (one per commit per in-flight
+//! operation); queries over already-loaded trees return identical results
+//! either way, so the retry only exists to rule out torn *index structure*
+//! reads, which would otherwise surface as spurious errors.
+//!
+//! Each reader carries its own record/interval caches (sharded, see
+//! [`crate::cache::ShardedCache`]). Cached rows are immutable once loaded
+//! and readers only ever observe committed rows, so the caches never need
+//! invalidation — exactly the same argument the writer's caches rely on.
+
+use crate::cache::ShardedCache;
+use crate::error::CrimsonResult;
+use crate::history::{HistoryEntry, QueryKind};
+use crate::query::PatternMatch;
+use crate::repository::{
+    FrameRecord, IntegrityReport, NodeRecord, ReadCtx, Repository, StoredFrameId, StoredNodeId,
+    Tables, TreeHandle, TreeRecord, ENTRY_CACHE_GEN, RECORD_CACHE_GEN,
+};
+use labeling::interval::IntervalEntry;
+use phylo::Tree;
+use std::collections::HashMap;
+use std::sync::Arc;
+use storage::db::DbReader;
+
+/// Retry bound for operations that keep losing the race against a rapid
+/// committer. Far beyond anything a real workload produces (one retry per
+/// commit landing inside the operation); after this many attempts the last
+/// result is returned as-is.
+const MAX_RETRIES: usize = 64;
+
+/// A concurrent snapshot reader over a [`Repository`], created by
+/// [`Repository::reader`]. All methods take `&self`; share one reader
+/// across threads or create one per thread — both are supported, the
+/// former shares its caches, the latter isolates them.
+pub struct RepositoryReader {
+    db: DbReader,
+    tables: Tables,
+    records: ShardedCache<StoredNodeId, Arc<NodeRecord>>,
+    entries: ShardedCache<u64, IntervalEntry>,
+}
+
+impl std::fmt::Debug for RepositoryReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RepositoryReader")
+            .field("generation", &self.db.generation())
+            .finish()
+    }
+}
+
+impl RepositoryReader {
+    pub(crate) fn new(repo: &Repository) -> CrimsonResult<RepositoryReader> {
+        Ok(RepositoryReader {
+            db: repo.db.reader()?,
+            tables: repo.tables,
+            records: ShardedCache::new(RECORD_CACHE_GEN),
+            entries: ShardedCache::new(ENTRY_CACHE_GEN),
+        })
+    }
+
+    /// The storage read generation this reader currently observes (advances
+    /// with every commit or rollback).
+    pub fn generation(&self) -> u64 {
+        self.db.generation()
+    }
+
+    /// Run `f` over the snapshot read engine, retrying when a commit lands
+    /// mid-operation (see the module docs for why that is both rare and
+    /// cheap).
+    fn read<R>(&self, f: impl Fn(&ReadCtx<'_, DbReader>) -> CrimsonResult<R>) -> CrimsonResult<R> {
+        let mut last = None;
+        for _ in 0..MAX_RETRIES {
+            let gen = self.db.stable_generation();
+            let ctx = ReadCtx {
+                db: &self.db,
+                tables: self.tables,
+                records: &self.records,
+                entries: &self.entries,
+            };
+            let out = f(&ctx);
+            if self.db.generation() == gen {
+                return out;
+            }
+            last = Some(out);
+        }
+        // Every bracket lost the race against a committing writer — only
+        // possible when the operation itself takes longer than the writer's
+        // inter-commit gap, continuously. Either way the result may mix two
+        // committed states, so the committed-snapshot contract cannot be
+        // honoured; report Busy rather than serving a possibly-torn value
+        // or phantom corruption.
+        let detail = match &last.expect("MAX_RETRIES is positive") {
+            Ok(_) => "the last attempt succeeded but its bracket did not hold".to_string(),
+            Err(e) => format!("the last attempt failed with: {e}"),
+        };
+        Err(crate::error::CrimsonError::Busy(format!(
+            "read retried {MAX_RETRIES} times against a continuously committing writer; {detail}"
+        )))
+    }
+
+    // ------------------------------------------------------------------
+    // Catalog
+    // ------------------------------------------------------------------
+
+    /// Look up a tree by name.
+    pub fn find_tree(&self, name: &str) -> CrimsonResult<Option<TreeRecord>> {
+        self.read(|ctx| ctx.find_tree(name))
+    }
+
+    /// Look up a tree by name, failing when absent.
+    pub fn tree_by_name(&self, name: &str) -> CrimsonResult<TreeRecord> {
+        self.read(|ctx| ctx.tree_by_name(name))
+    }
+
+    /// Look up a tree by handle.
+    pub fn tree_record(&self, handle: TreeHandle) -> CrimsonResult<TreeRecord> {
+        self.read(|ctx| ctx.tree_record(handle))
+    }
+
+    /// All trees committed so far.
+    pub fn list_trees(&self) -> CrimsonResult<Vec<TreeRecord>> {
+        self.read(|ctx| ctx.list_trees())
+    }
+
+    // ------------------------------------------------------------------
+    // Nodes, frames, species
+    // ------------------------------------------------------------------
+
+    /// Fetch a node row (through this reader's record cache).
+    pub fn node_record(&self, id: StoredNodeId) -> CrimsonResult<NodeRecord> {
+        self.read(|ctx| ctx.node_record(id))
+    }
+
+    /// Fetch a frame row.
+    pub fn frame_record(&self, id: StoredFrameId) -> CrimsonResult<FrameRecord> {
+        self.read(|ctx| ctx.frame_record(id))
+    }
+
+    /// Children of a stored node (via the parent index).
+    pub fn children(&self, id: StoredNodeId) -> CrimsonResult<Vec<StoredNodeId>> {
+        self.read(|ctx| ctx.children(id))
+    }
+
+    /// All leaf node ids of a tree.
+    pub fn leaves(&self, handle: TreeHandle) -> CrimsonResult<Vec<StoredNodeId>> {
+        self.read(|ctx| ctx.leaves(handle))
+    }
+
+    /// The leaf node a species name maps to in the given tree, if any.
+    pub fn species_node(
+        &self,
+        handle: TreeHandle,
+        name: &str,
+    ) -> CrimsonResult<Option<StoredNodeId>> {
+        self.read(|ctx| ctx.species_node(handle, name))
+    }
+
+    /// The leaf node a species name maps to, failing when absent.
+    pub fn require_species_node(
+        &self,
+        handle: TreeHandle,
+        name: &str,
+    ) -> CrimsonResult<StoredNodeId> {
+        self.read(|ctx| ctx.require_species_node(handle, name))
+    }
+
+    /// Sequences stored for the given species names.
+    pub fn sequences_for(
+        &self,
+        handle: TreeHandle,
+        names: &[String],
+    ) -> CrimsonResult<HashMap<String, String>> {
+        self.read(|ctx| ctx.sequences_for(handle, names))
+    }
+
+    /// Number of species rows stored for a tree.
+    pub fn species_count(&self, handle: TreeHandle) -> CrimsonResult<usize> {
+        self.read(|ctx| ctx.species_count(handle))
+    }
+
+    // ------------------------------------------------------------------
+    // Structure queries
+    // ------------------------------------------------------------------
+
+    /// The packed `[pre, end]` interval of a stored node.
+    pub fn interval_of(&self, id: StoredNodeId) -> CrimsonResult<(u32, u32)> {
+        self.read(|ctx| ctx.interval_of(id))
+    }
+
+    /// Least common ancestor over the interval index (see
+    /// [`Repository::lca`]).
+    pub fn lca(&self, a: StoredNodeId, b: StoredNodeId) -> CrimsonResult<StoredNodeId> {
+        self.read(|ctx| ctx.lca(a, b))
+    }
+
+    /// Ancestor-or-self test: two interval lookups, two comparisons.
+    pub fn is_ancestor(&self, ancestor: StoredNodeId, node: StoredNodeId) -> CrimsonResult<bool> {
+        self.read(|ctx| ctx.is_ancestor(ancestor, node))
+    }
+
+    /// Reference LCA over the stored hierarchical Dewey labels (see
+    /// [`Repository::lca_label_walk`]); kept on the reader so the
+    /// concurrency stress harness can cross-validate under load.
+    pub fn lca_label_walk(&self, a: StoredNodeId, b: StoredNodeId) -> CrimsonResult<StoredNodeId> {
+        self.read(|ctx| ctx.lca_label_walk(a, b))
+    }
+
+    /// Minimal spanning clade (one LCA + one interval range scan).
+    pub fn minimal_spanning_clade(
+        &self,
+        nodes: &[StoredNodeId],
+    ) -> CrimsonResult<Vec<StoredNodeId>> {
+        self.read(|ctx| ctx.minimal_spanning_clade(nodes))
+    }
+
+    /// Reference spanning clade (label-walk LCA + BFS row fetches).
+    pub fn minimal_spanning_clade_reference(
+        &self,
+        nodes: &[StoredNodeId],
+    ) -> CrimsonResult<Vec<StoredNodeId>> {
+        self.read(|ctx| ctx.minimal_spanning_clade_reference(nodes))
+    }
+
+    /// Tree projection onto a leaf selection (see [`Repository::project`]).
+    pub fn project(&self, handle: TreeHandle, leaves: &[StoredNodeId]) -> CrimsonResult<Tree> {
+        self.read(|ctx| ctx.project(handle, leaves))
+    }
+
+    /// Reference projection (per-pair label walks, uncached rows).
+    pub fn project_reference(
+        &self,
+        handle: TreeHandle,
+        leaves: &[StoredNodeId],
+    ) -> CrimsonResult<Tree> {
+        self.read(|ctx| ctx.project_reference(handle, leaves))
+    }
+
+    /// Project by species names.
+    pub fn project_species(&self, handle: TreeHandle, names: &[&str]) -> CrimsonResult<Tree> {
+        self.read(|ctx| ctx.project_species(handle, names))
+    }
+
+    /// Tree pattern match (projection + comparison).
+    pub fn pattern_match(&self, handle: TreeHandle, pattern: &Tree) -> CrimsonResult<PatternMatch> {
+        self.read(|ctx| ctx.pattern_match(handle, pattern))
+    }
+
+    // ------------------------------------------------------------------
+    // History and integrity
+    // ------------------------------------------------------------------
+
+    /// All recorded queries in execution order.
+    pub fn query_history(&self) -> CrimsonResult<Vec<HistoryEntry>> {
+        self.read(|ctx| ctx.query_history())
+    }
+
+    /// Entries of a given kind, in execution order.
+    pub fn history_of_kind(&self, kind: QueryKind) -> CrimsonResult<Vec<HistoryEntry>> {
+        self.read(|ctx| ctx.history_of_kind(kind))
+    }
+
+    /// Fetch one history entry by id.
+    pub fn history_entry(&self, id: u64) -> CrimsonResult<HistoryEntry> {
+        self.read(|ctx| ctx.history_entry(id))
+    }
+
+    /// Cross-table invariant check over the committed state.
+    pub fn integrity_check(&self) -> CrimsonResult<IntegrityReport> {
+        self.read(|ctx| ctx.integrity_check())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repository::RepositoryOptions;
+    use phylo::builder::figure1_tree;
+    use tempfile::tempdir;
+
+    #[test]
+    fn reader_matches_writer_on_quiet_repository() {
+        let dir = tempdir().unwrap();
+        let mut repo = Repository::create(
+            dir.path().join("r.crimson"),
+            RepositoryOptions {
+                frame_depth: 2,
+                buffer_pool_pages: 256,
+            },
+        )
+        .unwrap();
+        let tree = figure1_tree();
+        let handle = repo.load_tree("fig1", &tree).unwrap();
+        let reader = repo.reader().unwrap();
+
+        assert_eq!(reader.tree_by_name("fig1").unwrap().handle, handle);
+        assert_eq!(reader.leaves(handle).unwrap().len(), 5);
+        let lla = reader.require_species_node(handle, "Lla").unwrap();
+        let spy = reader.require_species_node(handle, "Spy").unwrap();
+        assert_eq!(
+            reader.lca(lla, spy).unwrap(),
+            repo.lca(lla, spy).unwrap(),
+            "reader and writer disagree on an LCA"
+        );
+        assert_eq!(
+            reader.lca(lla, spy).unwrap(),
+            reader.lca_label_walk(lla, spy).unwrap()
+        );
+        let clade = reader.minimal_spanning_clade(&[lla, spy]).unwrap();
+        assert_eq!(clade, repo.minimal_spanning_clade(&[lla, spy]).unwrap());
+        let p = reader
+            .project_species(handle, &["Bha", "Lla", "Syn"])
+            .unwrap();
+        assert_eq!(p.leaf_count(), 3);
+        reader.integrity_check().unwrap();
+    }
+
+    #[test]
+    fn reader_does_not_see_uncommitted_tree() {
+        let dir = tempdir().unwrap();
+        let mut repo = Repository::create(
+            dir.path().join("r.crimson"),
+            RepositoryOptions {
+                frame_depth: 2,
+                buffer_pool_pages: 256,
+            },
+        )
+        .unwrap();
+        repo.load_tree("first", &figure1_tree()).unwrap();
+        let reader = repo.reader().unwrap();
+        assert_eq!(reader.list_trees().unwrap().len(), 1);
+
+        // Open a transaction by hand and load inside it: the reader must
+        // keep seeing exactly one tree until the commit.
+        repo.db.begin().unwrap();
+        repo.load_tree("second", &figure1_tree()).unwrap();
+        assert_eq!(repo.list_trees().unwrap().len(), 2, "writer sees its load");
+        assert_eq!(
+            reader.list_trees().unwrap().len(),
+            1,
+            "reader must not see the in-flight load"
+        );
+        assert!(reader.find_tree("second").unwrap().is_none());
+        repo.db.commit().unwrap();
+        assert_eq!(reader.list_trees().unwrap().len(), 2);
+        assert!(reader.find_tree("second").unwrap().is_some());
+    }
+}

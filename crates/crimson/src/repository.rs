@@ -15,19 +15,28 @@
 //! Secondary indexes give the access paths the paper calls out: species name
 //! → node, node id → row, cumulative evolutionary time → nodes (a B+tree
 //! range scan), parent → children.
+//!
+//! ## The read surface
+//!
+//! Every pure read — catalog lookups, node/frame fetches, LCA and the
+//! structure queries in [`crate::query`] — is implemented once on
+//! [`ReadCtx`], generic over [`storage::DbRead`]. The writer's `Repository`
+//! methods delegate to it over the live [`Database`]; concurrent
+//! [`crate::reader::RepositoryReader`]s delegate to it over a snapshot
+//! [`storage::DbReader`]. All of these take `&self`; only loading,
+//! checkpointing and history recording take `&mut self`.
 
-use crate::cache::LruCache;
+use crate::cache::ShardedCache;
 use crate::error::{CrimsonError, CrimsonResult};
 use labeling::hierarchical::HierarchicalDewey;
 use labeling::interval::{interval_key_prefix, interval_range_end, IntervalEntry, IntervalLabels};
-use parking_lot::Mutex;
 use phylo::traverse::Traverse;
 use phylo::Tree;
 use simulation::gold::GoldStandard;
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
-use storage::db::{Database, RawIndexId, TableId};
+use storage::db::{Database, DbRead, RawIndexId, TableId};
 use storage::schema::{ColumnDef, Schema};
 use storage::value::{Value, ValueType};
 use storage::{CrashPoint, RecoveryReport};
@@ -141,28 +150,38 @@ pub struct TreeRecord {
     pub frame_depth: u64,
 }
 
+/// The table and raw-index handles a repository file carries. Stable for
+/// the lifetime of the file (tables are created once at
+/// [`Repository::create`]), so snapshot readers copy it freely.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Tables {
+    pub trees: TableId,
+    pub nodes: TableId,
+    pub frames: TableId,
+    pub species: TableId,
+    pub history: TableId,
+    /// Covering interval index keyed by `(tree_id, pre)`; see
+    /// [`labeling::interval`] for the entry layout.
+    pub ivl_by_pre: RawIndexId,
+    /// Stored node id → packed `(pre << 32) | end` interval.
+    pub ivl_by_node: RawIndexId,
+}
+
 /// The Crimson repository: Tree Repository + Species Repository + Query
-/// Repository rolled into one database file.
+/// Repository rolled into one database file. This value is the single
+/// writer; spawn [`crate::reader::RepositoryReader`]s (via
+/// [`Repository::reader`]) for concurrent snapshot reads.
 pub struct Repository {
     pub(crate) db: Database,
     pub(crate) options: RepositoryOptions,
-    pub(crate) trees_table: TableId,
-    pub(crate) nodes_table: TableId,
-    pub(crate) frames_table: TableId,
-    pub(crate) species_table: TableId,
-    pub(crate) history_table: TableId,
+    pub(crate) tables: Tables,
     pub(crate) next_history_id: u64,
-    /// Covering interval index keyed by `(tree_id, pre)`; see
-    /// [`labeling::interval`] for the entry layout.
-    pub(crate) ivl_by_pre: RawIndexId,
-    /// Stored node id → packed `(pre << 32) | end` interval.
-    pub(crate) ivl_by_node: RawIndexId,
     /// Decoded node rows; node rows are immutable once loaded, so entries
     /// never need invalidation.
-    record_cache: Mutex<LruCache<StoredNodeId, Arc<NodeRecord>>>,
+    record_cache: ShardedCache<StoredNodeId, Arc<NodeRecord>>,
     /// Interval entries keyed by `(tree_id << 32) | pre` — the LCA walk's
     /// working set.
-    entry_cache: Mutex<LruCache<u64, IntervalEntry>>,
+    entry_cache: ShardedCache<u64, IntervalEntry>,
     /// Crash-recovery outcome captured at [`Repository::open`] (`None` for a
     /// freshly created repository).
     recovery: Option<RecoveryReport>,
@@ -188,9 +207,9 @@ pub struct IntegrityReport {
 }
 
 /// Generation size of the node-record cache (≤ 2 generations resident).
-const RECORD_CACHE_GEN: usize = 4096;
+pub(crate) const RECORD_CACHE_GEN: usize = 4096;
 /// Generation size of the interval-entry cache.
-const ENTRY_CACHE_GEN: usize = 8192;
+pub(crate) const ENTRY_CACHE_GEN: usize = 8192;
 
 impl std::fmt::Debug for Repository {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -201,6 +220,456 @@ impl std::fmt::Debug for Repository {
 }
 
 pub(crate) const TREE_SHIFT: u64 = 32;
+
+// ---------------------------------------------------------------------------
+// The shared read surface
+// ---------------------------------------------------------------------------
+
+/// The repository's read engine: every pure read is implemented here once,
+/// generic over [`DbRead`]. `Repository` instantiates it over the live
+/// [`Database`] (the writer sees its own uncommitted state);
+/// [`crate::reader::RepositoryReader`] instantiates it over a
+/// [`storage::DbReader`] snapshot (concurrent readers see the last
+/// committed state).
+pub(crate) struct ReadCtx<'a, D> {
+    pub(crate) db: &'a D,
+    pub(crate) tables: Tables,
+    pub(crate) records: &'a ShardedCache<StoredNodeId, Arc<NodeRecord>>,
+    pub(crate) entries: &'a ShardedCache<u64, IntervalEntry>,
+}
+
+impl<'a, D> Clone for ReadCtx<'a, D> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<'a, D> Copy for ReadCtx<'a, D> {}
+
+impl<'a, D: DbRead> ReadCtx<'a, D> {
+    // ------------------------------------------------------------------
+    // Catalog access
+    // ------------------------------------------------------------------
+
+    pub fn find_tree(&self, name: &str) -> CrimsonResult<Option<TreeRecord>> {
+        let rows = self
+            .db
+            .lookup_rows(self.tables.trees, "name", &Value::text(name))?;
+        Ok(rows
+            .into_iter()
+            .next()
+            .map(|(_, row)| decode_tree_row(&row)))
+    }
+
+    pub fn tree_by_name(&self, name: &str) -> CrimsonResult<TreeRecord> {
+        self.find_tree(name)?
+            .ok_or_else(|| CrimsonError::UnknownTree(name.to_string()))
+    }
+
+    pub fn tree_record(&self, handle: TreeHandle) -> CrimsonResult<TreeRecord> {
+        let rows =
+            self.db
+                .lookup_rows(self.tables.trees, "tree_id", &Value::Int(handle.0 as i64))?;
+        rows.into_iter()
+            .next()
+            .map(|(_, row)| decode_tree_row(&row))
+            .ok_or(CrimsonError::UnknownTreeId(handle.0))
+    }
+
+    pub fn list_trees(&self) -> CrimsonResult<Vec<TreeRecord>> {
+        let rows = self.db.scan(self.tables.trees)?;
+        Ok(rows.iter().map(|(_, row)| decode_tree_row(row)).collect())
+    }
+
+    // ------------------------------------------------------------------
+    // Node / frame access
+    // ------------------------------------------------------------------
+
+    pub fn node_record(&self, id: StoredNodeId) -> CrimsonResult<NodeRecord> {
+        Ok((*self.node_record_arc(id)?).clone())
+    }
+
+    pub fn node_record_arc(&self, id: StoredNodeId) -> CrimsonResult<Arc<NodeRecord>> {
+        if let Some(rec) = self.records.get(&id) {
+            return Ok(rec);
+        }
+        let rec = Arc::new(self.node_record_uncached(id)?);
+        self.records.insert(id, Arc::clone(&rec));
+        Ok(rec)
+    }
+
+    /// Fetch a node row through its physical record id (the locator the
+    /// interval index stores), skipping the node-id index descent. One heap
+    /// page read on a cache miss.
+    pub fn node_record_by_locator(
+        &self,
+        id: StoredNodeId,
+        rid: storage::RecordId,
+    ) -> CrimsonResult<Arc<NodeRecord>> {
+        if let Some(rec) = self.records.get(&id) {
+            return Ok(rec);
+        }
+        let row = self.db.get(self.tables.nodes, rid)?;
+        let rec = Arc::new(decode_node_row(&row));
+        if rec.id != id {
+            return Err(CrimsonError::CorruptRepository(format!(
+                "interval index locator {rid} resolves to node {} instead of {id}",
+                rec.id
+            )));
+        }
+        self.records.insert(id, Arc::clone(&rec));
+        Ok(rec)
+    }
+
+    pub fn node_record_uncached(&self, id: StoredNodeId) -> CrimsonResult<NodeRecord> {
+        let rows = self
+            .db
+            .lookup_rows(self.tables.nodes, "node_id", &Value::Int(id.0 as i64))?;
+        rows.into_iter()
+            .next()
+            .map(|(_, row)| decode_node_row(&row))
+            .ok_or(CrimsonError::UnknownNode(id.0))
+    }
+
+    pub fn frame_record(&self, id: StoredFrameId) -> CrimsonResult<FrameRecord> {
+        let rows = self
+            .db
+            .lookup_rows(self.tables.frames, "frame_id", &Value::Int(id.0 as i64))?;
+        rows.into_iter()
+            .next()
+            .map(|(_, row)| decode_frame_row(&row))
+            .ok_or(CrimsonError::UnknownNode(id.0))
+    }
+
+    pub fn children(&self, id: StoredNodeId) -> CrimsonResult<Vec<StoredNodeId>> {
+        let rows = self
+            .db
+            .lookup_rows(self.tables.nodes, "parent_id", &Value::Int(id.0 as i64))?;
+        Ok(rows
+            .iter()
+            .map(|(_, row)| StoredNodeId(row.values[0].as_int().unwrap_or(0) as u64))
+            .collect())
+    }
+
+    pub fn species_node(
+        &self,
+        handle: TreeHandle,
+        name: &str,
+    ) -> CrimsonResult<Option<StoredNodeId>> {
+        let rows = self
+            .db
+            .lookup_rows(self.tables.nodes, "name", &Value::text(name))?;
+        for (_, row) in rows {
+            let rec = decode_node_row(&row);
+            if rec.tree == handle && rec.is_leaf {
+                return Ok(Some(rec.id));
+            }
+        }
+        Ok(None)
+    }
+
+    pub fn require_species_node(
+        &self,
+        handle: TreeHandle,
+        name: &str,
+    ) -> CrimsonResult<StoredNodeId> {
+        self.species_node(handle, name)?
+            .ok_or_else(|| CrimsonError::UnknownSpecies(name.to_string()))
+    }
+
+    pub fn leaves(&self, handle: TreeHandle) -> CrimsonResult<Vec<StoredNodeId>> {
+        let rows = self.db.lookup_rows(
+            self.tables.nodes,
+            "leaf_of_tree",
+            &Value::Int(handle.0 as i64),
+        )?;
+        Ok(rows
+            .iter()
+            .map(|(_, row)| StoredNodeId(row.values[0].as_int().unwrap_or(0) as u64))
+            .collect())
+    }
+
+    pub fn sequences_for(
+        &self,
+        handle: TreeHandle,
+        names: &[String],
+    ) -> CrimsonResult<HashMap<String, String>> {
+        let mut out = HashMap::with_capacity(names.len());
+        for name in names {
+            let rows = self
+                .db
+                .lookup_rows(self.tables.species, "name", &Value::text(name))?;
+            let mut found = false;
+            for (_, row) in rows {
+                let tree_id = row.values[1].as_int().unwrap_or(-1) as u64;
+                if tree_id == handle.0 {
+                    let seq = row.values[3].as_text().unwrap_or("").to_string();
+                    out.insert(name.clone(), seq);
+                    found = true;
+                    break;
+                }
+            }
+            if !found {
+                return Err(CrimsonError::MissingSequences(name.clone()));
+            }
+        }
+        Ok(out)
+    }
+
+    pub fn species_count(&self, handle: TreeHandle) -> CrimsonResult<usize> {
+        let rows =
+            self.db
+                .lookup_rows(self.tables.species, "tree_id", &Value::Int(handle.0 as i64))?;
+        Ok(rows.len())
+    }
+
+    // ------------------------------------------------------------------
+    // Integrity
+    // ------------------------------------------------------------------
+
+    pub fn integrity_check(&self) -> CrimsonResult<IntegrityReport> {
+        let trees: HashMap<u64, TreeRecord> = self
+            .list_trees()?
+            .into_iter()
+            .map(|t| (t.handle.0, t))
+            .collect();
+        let mut report = IntegrityReport {
+            trees: trees.len() as u64,
+            ..Default::default()
+        };
+
+        let mut node_counts: HashMap<u64, u64> = HashMap::new();
+        let mut leaf_counts: HashMap<u64, u64> = HashMap::new();
+        for (rid, row) in self.db.scan(self.tables.nodes)? {
+            let rec = decode_node_row(&row);
+            let tree_id = rec.tree.0;
+            if !trees.contains_key(&tree_id) {
+                return Err(CrimsonError::CorruptRepository(format!(
+                    "orphan node row {rid} references missing tree {tree_id}"
+                )));
+            }
+            *node_counts.entry(tree_id).or_default() += 1;
+            if rec.is_leaf {
+                *leaf_counts.entry(tree_id).or_default() += 1;
+            }
+            // Every node must be covered by both interval indexes.
+            let (pre, end) = self.interval_of(rec.id)?;
+            if (pre as u64) != rec.preorder || end < pre {
+                return Err(CrimsonError::CorruptRepository(format!(
+                    "interval of node {} ({pre}, {end}) contradicts its pre-order rank {}",
+                    rec.id, rec.preorder
+                )));
+            }
+            report.nodes += 1;
+        }
+        for (tree_id, tree) in &trees {
+            let nodes = node_counts.get(tree_id).copied().unwrap_or(0);
+            let leaves = leaf_counts.get(tree_id).copied().unwrap_or(0);
+            if nodes != tree.node_count || leaves != tree.leaf_count {
+                return Err(CrimsonError::CorruptRepository(format!(
+                    "tree `{}` records {}/{} nodes/leaves but {nodes}/{leaves} rows exist",
+                    tree.name, tree.node_count, tree.leaf_count
+                )));
+            }
+        }
+
+        for (rid, row) in self.db.scan(self.tables.frames)? {
+            let rec = decode_frame_row(&row);
+            if !trees.contains_key(&rec.tree.0) {
+                return Err(CrimsonError::CorruptRepository(format!(
+                    "orphan frame row {rid} references missing tree {}",
+                    rec.tree.0
+                )));
+            }
+            report.frames += 1;
+        }
+
+        for (rid, row) in self.db.scan(self.tables.species)? {
+            let tree_id = row.values[1].as_int().unwrap_or(-1) as u64;
+            if !trees.contains_key(&tree_id) {
+                return Err(CrimsonError::CorruptRepository(format!(
+                    "orphan species row {rid} references missing tree {tree_id}"
+                )));
+            }
+            let node = StoredNodeId(row.values[2].as_int().unwrap_or(0) as u64);
+            let rec = self.node_record(node)?;
+            if rec.tree.0 != tree_id || !rec.is_leaf {
+                return Err(CrimsonError::CorruptRepository(format!(
+                    "species row {rid} references node {node}, which is not a leaf of tree {tree_id}"
+                )));
+            }
+            report.species += 1;
+        }
+
+        let by_pre = self.db.raw_len(self.tables.ivl_by_pre)? as u64;
+        let by_node = self.db.raw_len(self.tables.ivl_by_node)? as u64;
+        if by_pre != report.nodes || by_node != report.nodes {
+            return Err(CrimsonError::CorruptRepository(format!(
+                "interval indexes hold {by_pre}/{by_node} entries for {} node rows",
+                report.nodes
+            )));
+        }
+        report.interval_entries = by_pre;
+
+        // The history must parse end to end (a torn entry would fail here).
+        report.history_entries = self.query_history()?.len() as u64;
+        Ok(report)
+    }
+
+    // ------------------------------------------------------------------
+    // Structure primitives over the persistent interval index
+    // ------------------------------------------------------------------
+
+    pub fn interval_of(&self, id: StoredNodeId) -> CrimsonResult<(u32, u32)> {
+        let packed = self
+            .db
+            .raw_get(self.tables.ivl_by_node, &id.0.to_be_bytes())?
+            .ok_or(CrimsonError::UnknownNode(id.0))?;
+        Ok(((packed >> 32) as u32, packed as u32))
+    }
+
+    /// The full interval entry of the node ranked `pre` in `tree` — one
+    /// allocation-free covering-key probe in the `ivl_by_pre` index (the
+    /// entry decodes straight from the in-page key bytes), cached across
+    /// queries.
+    pub fn interval_entry(&self, tree: u64, pre: u32) -> CrimsonResult<IntervalEntry> {
+        let cache_key = (tree << 32) | pre as u64;
+        if let Some(entry) = self.entries.get(&cache_key) {
+            return Ok(entry);
+        }
+        let low = interval_key_prefix(tree, pre);
+        let high = interval_range_end(tree, pre);
+        let entry = self
+            .db
+            .raw_first_in_range(self.tables.ivl_by_pre, &low, &high, |key, _| {
+                IntervalEntry::decode_key(key).map(|(_, entry)| entry)
+            })?
+            .ok_or_else(|| {
+                CrimsonError::CorruptRepository(format!(
+                    "interval index has no entry for tree {tree}, pre {pre}"
+                ))
+            })?
+            .ok_or_else(|| {
+                CrimsonError::CorruptRepository("malformed interval-index key".to_string())
+            })?;
+        self.entries.insert(cache_key, entry);
+        Ok(entry)
+    }
+
+    /// Least common ancestor of two stored nodes, computed entirely inside
+    /// the interval index (see [`Repository::lca`]).
+    pub fn lca(&self, a: StoredNodeId, b: StoredNodeId) -> CrimsonResult<StoredNodeId> {
+        if a == b {
+            return Ok(a);
+        }
+        let tree = a.0 >> TREE_SHIFT;
+        if tree != b.0 >> TREE_SHIFT {
+            return Err(CrimsonError::InvalidSample(format!(
+                "lca({a}, {b}): nodes belong to different trees"
+            )));
+        }
+        let (pa, ea) = self.interval_of(a)?;
+        let (pb, eb) = self.interval_of(b)?;
+        if pa <= pb && pb <= ea {
+            return Ok(a);
+        }
+        if pb <= pa && pa <= eb {
+            return Ok(b);
+        }
+        let (lo, hi) = if pa < pb { (pa, pb) } else { (pb, pa) };
+        let mut entry = self.interval_entry(tree, lo)?;
+        loop {
+            if entry.parent_pre == entry.pre {
+                // The root covers every rank of its tree, so reaching it
+                // without covering `hi` means the index contradicts itself.
+                return Err(CrimsonError::CorruptRepository(format!(
+                    "interval walk reached the root of tree {tree} without covering pre {hi}"
+                )));
+            }
+            entry = self.interval_entry(tree, entry.parent_pre)?;
+            if entry.covers(hi) {
+                return Ok(StoredNodeId((tree << TREE_SHIFT) | entry.node as u64));
+            }
+        }
+    }
+
+    pub fn is_ancestor(&self, ancestor: StoredNodeId, node: StoredNodeId) -> CrimsonResult<bool> {
+        if ancestor == node {
+            return Ok(true);
+        }
+        if ancestor.0 >> TREE_SHIFT != node.0 >> TREE_SHIFT {
+            return Ok(false);
+        }
+        let (pa, ea) = self.interval_of(ancestor)?;
+        let (pn, _) = self.interval_of(node)?;
+        Ok(pa <= pn && pn <= ea)
+    }
+
+    // ------------------------------------------------------------------
+    // Reference structure primitives over stored hierarchical labels
+    // ------------------------------------------------------------------
+
+    /// Least common ancestor computed from the stored hierarchical Dewey
+    /// labels (see [`Repository::lca_label_walk`]).
+    pub fn lca_label_walk(&self, a: StoredNodeId, b: StoredNodeId) -> CrimsonResult<StoredNodeId> {
+        if a == b {
+            return Ok(a);
+        }
+        let ra = self.node_record_uncached(a)?;
+        let rb = self.node_record_uncached(b)?;
+        if ra.frame == rb.frame {
+            return self.local_lca(&ra, &rb);
+        }
+        // Cross-frame: walk the frame chains (two-pointer by frame rank),
+        // replacing each node by the source node of its frame as we lift it.
+        let mut na = ra;
+        let mut nb = rb;
+        let mut fa = self.frame_record(na.frame)?;
+        let mut fb = self.frame_record(nb.frame)?;
+        while fa.id != fb.id {
+            if fa.rank >= fb.rank {
+                let source = fa.source_node.ok_or_else(|| missing_source(&fa))?;
+                na = self.node_record_uncached(source)?;
+                fa = self.frame_record(na.frame)?;
+            } else {
+                let source = fb.source_node.ok_or_else(|| missing_source(&fb))?;
+                nb = self.node_record_uncached(source)?;
+                fb = self.frame_record(nb.frame)?;
+            }
+        }
+        self.local_lca(&na, &nb)
+    }
+
+    /// LCA of two nodes known to share a frame: longest common prefix of the
+    /// local labels, resolved to a node by walking at most `f` parent links.
+    fn local_lca(&self, a: &NodeRecord, b: &NodeRecord) -> CrimsonResult<StoredNodeId> {
+        debug_assert_eq!(a.frame, b.frame);
+        let prefix = a
+            .local_label
+            .iter()
+            .zip(b.local_label.iter())
+            .take_while(|(x, y)| x == y)
+            .count();
+        let (mut cur, depth) = if a.local_label.len() <= b.local_label.len() {
+            (a.clone(), a.local_label.len())
+        } else {
+            (b.clone(), b.local_label.len())
+        };
+        for _ in prefix..depth {
+            let parent = cur.parent.ok_or_else(|| {
+                CrimsonError::CorruptRepository(format!(
+                    "node {} sits below its frame root yet has no parent",
+                    cur.id
+                ))
+            })?;
+            cur = self.node_record_uncached(parent)?;
+        }
+        Ok(cur.id)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The writer
+// ---------------------------------------------------------------------------
 
 impl Repository {
     // ------------------------------------------------------------------
@@ -233,16 +702,18 @@ impl Repository {
         Ok(Repository {
             db,
             options,
-            trees_table,
-            nodes_table,
-            frames_table,
-            species_table,
-            history_table,
+            tables: Tables {
+                trees: trees_table,
+                nodes: nodes_table,
+                frames: frames_table,
+                species: species_table,
+                history: history_table,
+                ivl_by_pre,
+                ivl_by_node,
+            },
             next_history_id: 0,
-            ivl_by_pre,
-            ivl_by_node,
-            record_cache: Mutex::new(LruCache::new(RECORD_CACHE_GEN)),
-            entry_cache: Mutex::new(LruCache::new(ENTRY_CACHE_GEN)),
+            record_cache: ShardedCache::new(RECORD_CACHE_GEN),
+            entry_cache: ShardedCache::new(ENTRY_CACHE_GEN),
             recovery: None,
         })
     }
@@ -283,18 +754,37 @@ impl Repository {
         Ok(Repository {
             db,
             options,
-            trees_table,
-            nodes_table,
-            frames_table,
-            species_table,
-            history_table,
+            tables: Tables {
+                trees: trees_table,
+                nodes: nodes_table,
+                frames: frames_table,
+                species: species_table,
+                history: history_table,
+                ivl_by_pre,
+                ivl_by_node,
+            },
             next_history_id,
-            ivl_by_pre,
-            ivl_by_node,
-            record_cache: Mutex::new(LruCache::new(RECORD_CACHE_GEN)),
-            entry_cache: Mutex::new(LruCache::new(ENTRY_CACHE_GEN)),
+            record_cache: ShardedCache::new(RECORD_CACHE_GEN),
+            entry_cache: ShardedCache::new(ENTRY_CACHE_GEN),
             recovery,
         })
+    }
+
+    /// The read engine over the writer's own (current) view.
+    pub(crate) fn ctx(&self) -> ReadCtx<'_, Database> {
+        ReadCtx {
+            db: &self.db,
+            tables: self.tables,
+            records: &self.record_cache,
+            entries: &self.entry_cache,
+        }
+    }
+
+    /// A concurrent snapshot reader for this repository. Readers run on
+    /// other threads while this value keeps loading: they see the last
+    /// committed state and never block behind an in-flight transaction.
+    pub fn reader(&self) -> CrimsonResult<crate::reader::RepositoryReader> {
+        crate::reader::RepositoryReader::new(self)
     }
 
     /// The options this repository was opened with.
@@ -338,9 +828,19 @@ impl Repository {
                 }
             },
             Err(e) => {
-                let _ = self.db.rollback();
+                let rollback = self.db.rollback();
                 self.purge_caches();
-                Err(e)
+                match rollback {
+                    Ok(()) => Err(e),
+                    // A failed rollback may leave stolen uncommitted pages
+                    // readable as committed; that is strictly worse than the
+                    // original error and must not be swallowed. Reopening
+                    // replays the WAL undo records and restores consistency.
+                    Err(rb) => Err(CrimsonError::CorruptRepository(format!(
+                        "transaction failed ({e}) and its rollback also failed ({rb}); \
+                         reopen the repository to recover from the write-ahead log"
+                    ))),
+                }
             }
         }
     }
@@ -348,8 +848,8 @@ impl Repository {
     /// Drop the decoded-record and interval-entry caches (they may reference
     /// rows of a rolled-back transaction).
     fn purge_caches(&self) {
-        self.record_cache.lock().clear();
-        self.entry_cache.lock().clear();
+        self.record_cache.clear();
+        self.entry_cache.clear();
     }
 
     /// Inject a simulated crash into the storage engine (test
@@ -385,16 +885,15 @@ impl Repository {
     /// cold-start query behaviour.
     pub fn clear_cache(&self) -> CrimsonResult<()> {
         self.db.clear_cache()?;
-        self.record_cache.lock().clear();
-        self.entry_cache.lock().clear();
+        self.record_cache.clear();
+        self.entry_cache.clear();
         Ok(())
     }
 
     /// `(hits, misses)` of the decoded-record cache, plus the number of
     /// resident entries: `((hits, misses), len)`.
     pub fn record_cache_stats(&self) -> ((u64, u64), usize) {
-        let cache = self.record_cache.lock();
-        (cache.stats(), cache.len())
+        (self.record_cache.stats(), self.record_cache.len())
     }
 
     // ------------------------------------------------------------------
@@ -459,7 +958,7 @@ impl Repository {
         for fid in 0..frame_count as u32 {
             let frame = layer0.frame(fid);
             self.db.insert(
-                self.frames_table,
+                self.tables.frames,
                 &[
                     Value::Int(frame_sid(fid).0 as i64),
                     Value::Int(tree_id as i64),
@@ -490,7 +989,7 @@ impl Repository {
             let label = labels.label(node);
             let label_bytes: Vec<u8> = label.path.iter().flat_map(|c| c.to_le_bytes()).collect();
             row_ids[node.index()] = self.db.insert(
-                self.nodes_table,
+                self.tables.nodes,
                 &[
                     Value::Int(node_sid(node).0 as i64),
                     Value::Int(tree_id as i64),
@@ -529,16 +1028,19 @@ impl Repository {
         for entry in intervals.entries(tree) {
             let sid = node_sid(phylo::NodeId(entry.node));
             let rid = row_ids[entry.node as usize];
-            self.db
-                .raw_insert(self.ivl_by_pre, &entry.encode_key(tree_id), rid.to_u64())?;
+            self.db.raw_insert(
+                self.tables.ivl_by_pre,
+                &entry.encode_key(tree_id),
+                rid.to_u64(),
+            )?;
             let packed = ((entry.pre as u64) << 32) | entry.end as u64;
             self.db
-                .raw_insert(self.ivl_by_node, &sid.0.to_be_bytes(), packed)?;
+                .raw_insert(self.tables.ivl_by_node, &sid.0.to_be_bytes(), packed)?;
         }
 
         // Insert the tree row last so a partially loaded tree is not visible.
         self.db.insert(
-            self.trees_table,
+            self.tables.trees,
             &[
                 Value::Int(tree_id as i64),
                 Value::text(name),
@@ -573,7 +1075,7 @@ impl Repository {
                 .species_node(handle, name)?
                 .ok_or_else(|| CrimsonError::UnknownSpecies(name.clone()))?;
             self.db.insert(
-                self.species_table,
+                self.tables.species,
                 &[
                     Value::text(name),
                     Value::Int(handle.0 as i64),
@@ -602,46 +1104,8 @@ impl Repository {
         })
     }
 
-    // ------------------------------------------------------------------
-    // Catalog access
-    // ------------------------------------------------------------------
-
-    /// Look up a tree by name.
-    pub fn find_tree(&self, name: &str) -> CrimsonResult<Option<TreeRecord>> {
-        let rows = self
-            .db
-            .lookup_rows(self.trees_table, "name", &Value::text(name))?;
-        Ok(rows
-            .into_iter()
-            .next()
-            .map(|(_, row)| decode_tree_row(&row)))
-    }
-
-    /// Look up a tree by name, failing when absent.
-    pub fn tree_by_name(&self, name: &str) -> CrimsonResult<TreeRecord> {
-        self.find_tree(name)?
-            .ok_or_else(|| CrimsonError::UnknownTree(name.to_string()))
-    }
-
-    /// Look up a tree by handle.
-    pub fn tree_record(&self, handle: TreeHandle) -> CrimsonResult<TreeRecord> {
-        let rows =
-            self.db
-                .lookup_rows(self.trees_table, "tree_id", &Value::Int(handle.0 as i64))?;
-        rows.into_iter()
-            .next()
-            .map(|(_, row)| decode_tree_row(&row))
-            .ok_or(CrimsonError::UnknownTreeId(handle.0))
-    }
-
-    /// All trees currently loaded.
-    pub fn list_trees(&self) -> CrimsonResult<Vec<TreeRecord>> {
-        let rows = self.db.scan(self.trees_table)?;
-        Ok(rows.iter().map(|(_, row)| decode_tree_row(row)).collect())
-    }
-
     fn next_tree_id(&self) -> CrimsonResult<u64> {
-        let rows = self.db.scan(self.trees_table)?;
+        let rows = self.db.scan(self.tables.trees)?;
         let max = rows
             .iter()
             .map(|(_, row)| row.values[0].as_int().unwrap_or(0) as u64)
@@ -651,82 +1115,56 @@ impl Repository {
     }
 
     // ------------------------------------------------------------------
-    // Node / frame access
+    // Read surface (delegates to the shared engine; all `&self`)
     // ------------------------------------------------------------------
+
+    /// Look up a tree by name.
+    pub fn find_tree(&self, name: &str) -> CrimsonResult<Option<TreeRecord>> {
+        self.ctx().find_tree(name)
+    }
+
+    /// Look up a tree by name, failing when absent.
+    pub fn tree_by_name(&self, name: &str) -> CrimsonResult<TreeRecord> {
+        self.ctx().tree_by_name(name)
+    }
+
+    /// Look up a tree by handle.
+    pub fn tree_record(&self, handle: TreeHandle) -> CrimsonResult<TreeRecord> {
+        self.ctx().tree_record(handle)
+    }
+
+    /// All trees currently loaded.
+    pub fn list_trees(&self) -> CrimsonResult<Vec<TreeRecord>> {
+        self.ctx().list_trees()
+    }
 
     /// Fetch a node row (served from the repository's record cache when
     /// warm; node rows are immutable once loaded, so cached entries never go
     /// stale).
     pub fn node_record(&self, id: StoredNodeId) -> CrimsonResult<NodeRecord> {
-        Ok((*self.node_record_arc(id)?).clone())
+        self.ctx().node_record(id)
     }
 
     /// Fetch a node row as a shared handle — the zero-copy variant the query
     /// engine uses internally.
     pub fn node_record_arc(&self, id: StoredNodeId) -> CrimsonResult<Arc<NodeRecord>> {
-        if let Some(rec) = self.record_cache.lock().get(&id) {
-            return Ok(rec);
-        }
-        let rec = Arc::new(self.node_record_uncached(id)?);
-        self.record_cache.lock().insert(id, Arc::clone(&rec));
-        Ok(rec)
-    }
-
-    /// Fetch a node row through its physical record id (the locator the
-    /// interval index stores), skipping the node-id index descent. One heap
-    /// page read on a cache miss.
-    pub(crate) fn node_record_by_locator(
-        &self,
-        id: StoredNodeId,
-        rid: storage::RecordId,
-    ) -> CrimsonResult<Arc<NodeRecord>> {
-        if let Some(rec) = self.record_cache.lock().get(&id) {
-            return Ok(rec);
-        }
-        let row = self.db.get(self.nodes_table, rid)?;
-        let rec = Arc::new(decode_node_row(&row));
-        if rec.id != id {
-            return Err(CrimsonError::CorruptRepository(format!(
-                "interval index locator {rid} resolves to node {} instead of {id}",
-                rec.id
-            )));
-        }
-        self.record_cache.lock().insert(id, Arc::clone(&rec));
-        Ok(rec)
+        self.ctx().node_record_arc(id)
     }
 
     /// Fetch a node row straight from the node table, bypassing the record
     /// cache. Reference path for the cache-effectiveness assertions.
     pub fn node_record_uncached(&self, id: StoredNodeId) -> CrimsonResult<NodeRecord> {
-        let rows = self
-            .db
-            .lookup_rows(self.nodes_table, "node_id", &Value::Int(id.0 as i64))?;
-        rows.into_iter()
-            .next()
-            .map(|(_, row)| decode_node_row(&row))
-            .ok_or(CrimsonError::UnknownNode(id.0))
+        self.ctx().node_record_uncached(id)
     }
 
     /// Fetch a frame row.
     pub fn frame_record(&self, id: StoredFrameId) -> CrimsonResult<FrameRecord> {
-        let rows = self
-            .db
-            .lookup_rows(self.frames_table, "frame_id", &Value::Int(id.0 as i64))?;
-        rows.into_iter()
-            .next()
-            .map(|(_, row)| decode_frame_row(&row))
-            .ok_or(CrimsonError::UnknownNode(id.0))
+        self.ctx().frame_record(id)
     }
 
     /// Children of a stored node (via the parent index).
     pub fn children(&self, id: StoredNodeId) -> CrimsonResult<Vec<StoredNodeId>> {
-        let rows = self
-            .db
-            .lookup_rows(self.nodes_table, "parent_id", &Value::Int(id.0 as i64))?;
-        Ok(rows
-            .iter()
-            .map(|(_, row)| StoredNodeId(row.values[0].as_int().unwrap_or(0) as u64))
-            .collect())
+        self.ctx().children(id)
     }
 
     /// The leaf node a species name maps to in the given tree, if any.
@@ -735,16 +1173,7 @@ impl Repository {
         handle: TreeHandle,
         name: &str,
     ) -> CrimsonResult<Option<StoredNodeId>> {
-        let rows = self
-            .db
-            .lookup_rows(self.nodes_table, "name", &Value::text(name))?;
-        for (_, row) in rows {
-            let rec = decode_node_row(&row);
-            if rec.tree == handle && rec.is_leaf {
-                return Ok(Some(rec.id));
-            }
-        }
-        Ok(None)
+        self.ctx().species_node(handle, name)
     }
 
     /// The leaf node a species name maps to, failing when absent.
@@ -753,21 +1182,12 @@ impl Repository {
         handle: TreeHandle,
         name: &str,
     ) -> CrimsonResult<StoredNodeId> {
-        self.species_node(handle, name)?
-            .ok_or_else(|| CrimsonError::UnknownSpecies(name.to_string()))
+        self.ctx().require_species_node(handle, name)
     }
 
     /// All leaf node ids of a tree (via the `leaf_of_tree` index).
     pub fn leaves(&self, handle: TreeHandle) -> CrimsonResult<Vec<StoredNodeId>> {
-        let rows = self.db.lookup_rows(
-            self.nodes_table,
-            "leaf_of_tree",
-            &Value::Int(handle.0 as i64),
-        )?;
-        Ok(rows
-            .iter()
-            .map(|(_, row)| StoredNodeId(row.values[0].as_int().unwrap_or(0) as u64))
-            .collect())
+        self.ctx().leaves(handle)
     }
 
     /// Sequences stored for the given species names.
@@ -776,39 +1196,13 @@ impl Repository {
         handle: TreeHandle,
         names: &[String],
     ) -> CrimsonResult<HashMap<String, String>> {
-        let mut out = HashMap::with_capacity(names.len());
-        for name in names {
-            let rows = self
-                .db
-                .lookup_rows(self.species_table, "name", &Value::text(name))?;
-            let mut found = false;
-            for (_, row) in rows {
-                let tree_id = row.values[1].as_int().unwrap_or(-1) as u64;
-                if tree_id == handle.0 {
-                    let seq = row.values[3].as_text().unwrap_or("").to_string();
-                    out.insert(name.clone(), seq);
-                    found = true;
-                    break;
-                }
-            }
-            if !found {
-                return Err(CrimsonError::MissingSequences(name.clone()));
-            }
-        }
-        Ok(out)
+        self.ctx().sequences_for(handle, names)
     }
 
     /// Number of species rows stored for a tree.
     pub fn species_count(&self, handle: TreeHandle) -> CrimsonResult<usize> {
-        let rows =
-            self.db
-                .lookup_rows(self.species_table, "tree_id", &Value::Int(handle.0 as i64))?;
-        Ok(rows.len())
+        self.ctx().species_count(handle)
     }
-
-    // ------------------------------------------------------------------
-    // Integrity
-    // ------------------------------------------------------------------
 
     /// Verify cross-table invariants: every node, frame and species row
     /// belongs to a tree in the catalog; per-tree node and leaf counts
@@ -817,134 +1211,13 @@ impl Repository {
     /// history parses in full. Violations — orphan rows from an interrupted
     /// load, say — surface as [`CrimsonError::CorruptRepository`].
     pub fn integrity_check(&self) -> CrimsonResult<IntegrityReport> {
-        let trees: HashMap<u64, TreeRecord> = self
-            .list_trees()?
-            .into_iter()
-            .map(|t| (t.handle.0, t))
-            .collect();
-        let mut report = IntegrityReport {
-            trees: trees.len() as u64,
-            ..Default::default()
-        };
-
-        let mut node_counts: HashMap<u64, u64> = HashMap::new();
-        let mut leaf_counts: HashMap<u64, u64> = HashMap::new();
-        for (rid, row) in self.db.scan(self.nodes_table)? {
-            let rec = decode_node_row(&row);
-            let tree_id = rec.tree.0;
-            if !trees.contains_key(&tree_id) {
-                return Err(CrimsonError::CorruptRepository(format!(
-                    "orphan node row {rid} references missing tree {tree_id}"
-                )));
-            }
-            *node_counts.entry(tree_id).or_default() += 1;
-            if rec.is_leaf {
-                *leaf_counts.entry(tree_id).or_default() += 1;
-            }
-            // Every node must be covered by both interval indexes.
-            let (pre, end) = self.interval_of(rec.id)?;
-            if (pre as u64) != rec.preorder || end < pre {
-                return Err(CrimsonError::CorruptRepository(format!(
-                    "interval of node {} ({pre}, {end}) contradicts its pre-order rank {}",
-                    rec.id, rec.preorder
-                )));
-            }
-            report.nodes += 1;
-        }
-        for (tree_id, tree) in &trees {
-            let nodes = node_counts.get(tree_id).copied().unwrap_or(0);
-            let leaves = leaf_counts.get(tree_id).copied().unwrap_or(0);
-            if nodes != tree.node_count || leaves != tree.leaf_count {
-                return Err(CrimsonError::CorruptRepository(format!(
-                    "tree `{}` records {}/{} nodes/leaves but {nodes}/{leaves} rows exist",
-                    tree.name, tree.node_count, tree.leaf_count
-                )));
-            }
-        }
-
-        for (rid, row) in self.db.scan(self.frames_table)? {
-            let rec = decode_frame_row(&row);
-            if !trees.contains_key(&rec.tree.0) {
-                return Err(CrimsonError::CorruptRepository(format!(
-                    "orphan frame row {rid} references missing tree {}",
-                    rec.tree.0
-                )));
-            }
-            report.frames += 1;
-        }
-
-        for (rid, row) in self.db.scan(self.species_table)? {
-            let tree_id = row.values[1].as_int().unwrap_or(-1) as u64;
-            if !trees.contains_key(&tree_id) {
-                return Err(CrimsonError::CorruptRepository(format!(
-                    "orphan species row {rid} references missing tree {tree_id}"
-                )));
-            }
-            let node = StoredNodeId(row.values[2].as_int().unwrap_or(0) as u64);
-            let rec = self.node_record(node)?;
-            if rec.tree.0 != tree_id || !rec.is_leaf {
-                return Err(CrimsonError::CorruptRepository(format!(
-                    "species row {rid} references node {node}, which is not a leaf of tree {tree_id}"
-                )));
-            }
-            report.species += 1;
-        }
-
-        let by_pre = self.db.raw_len(self.ivl_by_pre)? as u64;
-        let by_node = self.db.raw_len(self.ivl_by_node)? as u64;
-        if by_pre != report.nodes || by_node != report.nodes {
-            return Err(CrimsonError::CorruptRepository(format!(
-                "interval indexes hold {by_pre}/{by_node} entries for {} node rows",
-                report.nodes
-            )));
-        }
-        report.interval_entries = by_pre;
-
-        // The history must parse end to end (a torn entry would fail here).
-        report.history_entries = self.query_history()?.len() as u64;
-        Ok(report)
+        self.ctx().integrity_check()
     }
-
-    // ------------------------------------------------------------------
-    // Structure primitives over the persistent interval index
-    // ------------------------------------------------------------------
 
     /// The packed `[pre, end]` interval of a stored node: one point lookup
     /// in the `ivl_by_node` raw index, no row decode.
     pub fn interval_of(&self, id: StoredNodeId) -> CrimsonResult<(u32, u32)> {
-        let packed = self
-            .db
-            .raw_get(self.ivl_by_node, &id.0.to_be_bytes())?
-            .ok_or(CrimsonError::UnknownNode(id.0))?;
-        Ok(((packed >> 32) as u32, packed as u32))
-    }
-
-    /// The full interval entry of the node ranked `pre` in `tree` — one
-    /// allocation-free covering-key probe in the `ivl_by_pre` index (the
-    /// entry decodes straight from the in-page key bytes), cached across
-    /// queries.
-    pub(crate) fn interval_entry(&self, tree: u64, pre: u32) -> CrimsonResult<IntervalEntry> {
-        let cache_key = (tree << 32) | pre as u64;
-        if let Some(entry) = self.entry_cache.lock().get(&cache_key) {
-            return Ok(entry);
-        }
-        let low = interval_key_prefix(tree, pre);
-        let high = interval_range_end(tree, pre);
-        let entry = self
-            .db
-            .raw_first_in_range(self.ivl_by_pre, &low, &high, |key, _| {
-                IntervalEntry::decode_key(key).map(|(_, entry)| entry)
-            })?
-            .ok_or_else(|| {
-                CrimsonError::CorruptRepository(format!(
-                    "interval index has no entry for tree {tree}, pre {pre}"
-                ))
-            })?
-            .ok_or_else(|| {
-                CrimsonError::CorruptRepository("malformed interval-index key".to_string())
-            })?;
-        self.entry_cache.lock().insert(cache_key, entry);
-        Ok(entry)
+        self.ctx().interval_of(id)
     }
 
     /// Least common ancestor of two stored nodes, computed entirely inside
@@ -958,58 +1231,15 @@ impl Repository {
     /// LCA. Each step is one probe of the compact covering index — no node
     /// row is fetched or decoded on this path.
     pub fn lca(&self, a: StoredNodeId, b: StoredNodeId) -> CrimsonResult<StoredNodeId> {
-        if a == b {
-            return Ok(a);
-        }
-        let tree = a.0 >> TREE_SHIFT;
-        if tree != b.0 >> TREE_SHIFT {
-            return Err(CrimsonError::InvalidSample(format!(
-                "lca({a}, {b}): nodes belong to different trees"
-            )));
-        }
-        let (pa, ea) = self.interval_of(a)?;
-        let (pb, eb) = self.interval_of(b)?;
-        if pa <= pb && pb <= ea {
-            return Ok(a);
-        }
-        if pb <= pa && pa <= eb {
-            return Ok(b);
-        }
-        let (lo, hi) = if pa < pb { (pa, pb) } else { (pb, pa) };
-        let mut entry = self.interval_entry(tree, lo)?;
-        loop {
-            if entry.parent_pre == entry.pre {
-                // The root covers every rank of its tree, so reaching it
-                // without covering `hi` means the index contradicts itself.
-                return Err(CrimsonError::CorruptRepository(format!(
-                    "interval walk reached the root of tree {tree} without covering pre {hi}"
-                )));
-            }
-            entry = self.interval_entry(tree, entry.parent_pre)?;
-            if entry.covers(hi) {
-                return Ok(StoredNodeId((tree << TREE_SHIFT) | entry.node as u64));
-            }
-        }
+        self.ctx().lca(a, b)
     }
 
     /// `true` when `ancestor` is an ancestor-or-self of `node`: two interval
     /// lookups and two integer comparisons (§2.2's LCA test, at the cost the
     /// XML-indexing literature promises for interval labels).
     pub fn is_ancestor(&self, ancestor: StoredNodeId, node: StoredNodeId) -> CrimsonResult<bool> {
-        if ancestor == node {
-            return Ok(true);
-        }
-        if ancestor.0 >> TREE_SHIFT != node.0 >> TREE_SHIFT {
-            return Ok(false);
-        }
-        let (pa, ea) = self.interval_of(ancestor)?;
-        let (pn, _) = self.interval_of(node)?;
-        Ok(pa <= pn && pn <= ea)
+        self.ctx().is_ancestor(ancestor, node)
     }
-
-    // ------------------------------------------------------------------
-    // Reference structure primitives over stored hierarchical labels
-    // ------------------------------------------------------------------
 
     /// Least common ancestor computed from the stored hierarchical Dewey
     /// labels (local prefix within a frame; source-node hops across frames),
@@ -1020,59 +1250,7 @@ impl Repository {
     /// the baseline for the page-read comparisons. It pays one full row
     /// decode per node visited.
     pub fn lca_label_walk(&self, a: StoredNodeId, b: StoredNodeId) -> CrimsonResult<StoredNodeId> {
-        if a == b {
-            return Ok(a);
-        }
-        let ra = self.node_record_uncached(a)?;
-        let rb = self.node_record_uncached(b)?;
-        if ra.frame == rb.frame {
-            return self.local_lca(&ra, &rb);
-        }
-        // Cross-frame: walk the frame chains (two-pointer by frame rank),
-        // replacing each node by the source node of its frame as we lift it.
-        let mut na = ra;
-        let mut nb = rb;
-        let mut fa = self.frame_record(na.frame)?;
-        let mut fb = self.frame_record(nb.frame)?;
-        while fa.id != fb.id {
-            if fa.rank >= fb.rank {
-                let source = fa.source_node.ok_or_else(|| missing_source(&fa))?;
-                na = self.node_record_uncached(source)?;
-                fa = self.frame_record(na.frame)?;
-            } else {
-                let source = fb.source_node.ok_or_else(|| missing_source(&fb))?;
-                nb = self.node_record_uncached(source)?;
-                fb = self.frame_record(nb.frame)?;
-            }
-        }
-        self.local_lca(&na, &nb)
-    }
-
-    /// LCA of two nodes known to share a frame: longest common prefix of the
-    /// local labels, resolved to a node by walking at most `f` parent links.
-    fn local_lca(&self, a: &NodeRecord, b: &NodeRecord) -> CrimsonResult<StoredNodeId> {
-        debug_assert_eq!(a.frame, b.frame);
-        let prefix = a
-            .local_label
-            .iter()
-            .zip(b.local_label.iter())
-            .take_while(|(x, y)| x == y)
-            .count();
-        let (mut cur, depth) = if a.local_label.len() <= b.local_label.len() {
-            (a.clone(), a.local_label.len())
-        } else {
-            (b.clone(), b.local_label.len())
-        };
-        for _ in prefix..depth {
-            let parent = cur.parent.ok_or_else(|| {
-                CrimsonError::CorruptRepository(format!(
-                    "node {} sits below its frame root yet has no parent",
-                    cur.id
-                ))
-            })?;
-            cur = self.node_record_uncached(parent)?;
-        }
-        Ok(cur.id)
+        self.ctx().lca_label_walk(a, b)
     }
 }
 

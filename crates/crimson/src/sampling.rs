@@ -164,14 +164,14 @@ impl Repository {
     /// by a parent check, so only the candidate rows are read.
     pub fn time_frontier(&self, handle: TreeHandle, time: f64) -> CrimsonResult<Vec<StoredNodeId>> {
         let rids = self.db.index_range(
-            self.nodes_table,
+            self.tables.nodes,
             "subtree_height",
             None,
             Some(&Value::Float(time + f64::EPSILON.max(time.abs() * 1e-12))),
         )?;
         let mut frontier = Vec::new();
         for rid in rids {
-            let row = self.db.get(self.nodes_table, rid)?;
+            let row = self.db.get(self.tables.nodes, rid)?;
             let rec = crate::repository::decode_node_row(&row);
             if rec.tree != handle || rec.subtree_height > time {
                 continue;
@@ -199,14 +199,14 @@ impl Repository {
         time: f64,
     ) -> CrimsonResult<Vec<StoredNodeId>> {
         let rids = self.db.index_range(
-            self.nodes_table,
+            self.tables.nodes,
             "root_dist",
             Some(&Value::Float(time)),
             None,
         )?;
         let mut frontier = Vec::new();
         for rid in rids {
-            let row = self.db.get(self.nodes_table, rid)?;
+            let row = self.db.get(self.tables.nodes, rid)?;
             let rec = crate::repository::decode_node_row(&row);
             if rec.tree != handle {
                 continue;

@@ -244,9 +244,11 @@ fn parse_trees_block(lexer: &mut Lexer<'_>, doc: &mut NexusDocument) -> Result<(
                 return Err(lexer.error("TREE command without a name"));
             };
             let name = trim_token(name_tok.trim_end_matches('='));
-            // Collect raw text up to ';' — the Newick parser handles the rest.
+            // Collect raw text up to the statement-terminating ';' (one
+            // inside a quoted label or comment does not count) — the Newick
+            // parser handles the rest.
             let mut rooted = true;
-            let raw = lexer.take_until_semicolon();
+            let raw = lexer.take_newick_statement();
             let raw = raw.trim();
             let raw = raw.strip_prefix('=').unwrap_or(raw).trim();
             let raw = if let Some(rest) = raw.strip_prefix("[&U]") {
@@ -468,6 +470,9 @@ impl<'a> Lexer<'a> {
 
     /// Consume raw text (including `[...]` annotations) up to and including
     /// the next ';' and return it without the ';'.
+    /// Consume up to the next ';' without any quote or comment awareness —
+    /// for commands whose content is prose or key=value tokens (a
+    /// `TITLE Bob's taxa;` apostrophe is not a label delimiter).
     fn take_until_semicolon(&mut self) -> String {
         let start = self.pos;
         while let Some(&b) = self.bytes.get(self.pos) {
@@ -477,6 +482,49 @@ impl<'a> Lexer<'a> {
             }
             if b == b';' {
                 return String::from_utf8_lossy(&self.bytes[start..self.pos - 1]).to_string();
+            }
+        }
+        String::from_utf8_lossy(&self.bytes[start..self.pos]).to_string()
+    }
+
+    /// Consume a statement that carries Newick content (a `TREE` command).
+    /// A ';' inside a quoted Newick label ('like;this', with '' as the
+    /// escaped quote) or inside a [...] comment does not terminate the
+    /// statement. For quotes a plain toggle suffices — the '' escape
+    /// flips out and straight back in. Quote tracking is suspended inside
+    /// comments (an apostrophe in [Bob's tree] is prose, not a label
+    /// delimiter), and bracket tracking inside quotes (a quoted label may
+    /// legally contain brackets).
+    fn take_newick_statement(&mut self) -> String {
+        let start = self.pos;
+        let mut in_quotes = false;
+        let mut comment_depth = 0usize;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            self.pos += 1;
+            if b == b'\n' {
+                self.line += 1;
+            }
+            if in_quotes {
+                if b == b'\'' {
+                    in_quotes = false;
+                }
+                continue;
+            }
+            if comment_depth > 0 {
+                match b {
+                    b'[' => comment_depth += 1,
+                    b']' => comment_depth -= 1,
+                    _ => {}
+                }
+                continue;
+            }
+            match b {
+                b'\'' => in_quotes = true,
+                b'[' => comment_depth = 1,
+                b';' => {
+                    return String::from_utf8_lossy(&self.bytes[start..self.pos - 1]).to_string()
+                }
+                _ => {}
             }
         }
         String::from_utf8_lossy(&self.bytes[start..self.pos]).to_string()

@@ -1,0 +1,206 @@
+//! Property tests for Newick/NEXUS round-tripping on randomized trees.
+//!
+//! The parsers' example-based tests cover the grammar corner by corner;
+//! these tests cover the *space*: hundreds of randomized trees with the
+//! features that historically break Newick implementations — labels that
+//! need quoting (spaces, embedded quotes, parens, colons, semicolons),
+//! zero-length branches, missing branch lengths, unnamed interior nodes and
+//! unary (single-child) nodes — each serialized, re-parsed and compared
+//! node-for-node.
+//!
+//! Two properties are checked per tree:
+//! 1. **Round-trip fidelity**: `parse(write(T))` equals `T` structurally
+//!    (same child lists in order, same names, branch lengths within the
+//!    writer's 6-decimal precision).
+//! 2. **Write idempotency**: `write(parse(write(T))) == write(T)` byte for
+//!    byte — the serialized form is a fixed point, so lossy formatting
+//!    cannot hide behind tolerance.
+
+use phylo::{newick, nexus, NodeId, Tree};
+use rand::prelude::*;
+
+/// Label pool covering the quoting-relevant alphabet: plain tokens,
+/// whitespace, embedded single quotes (doubled on write), structural
+/// characters, underscores (which Newick keeps verbatim when unquoted) and
+/// comment brackets.
+fn random_label(rng: &mut StdRng, salt: usize) -> String {
+    let base = match rng.gen_range(0usize..8) {
+        0 => "Taxon".to_string(),
+        1 => "Bacillus halodurans".to_string(), // space → quoted
+        2 => "O'Hara".to_string(),              // quote → doubled
+        3 => "weird(paren".to_string(),         // paren → quoted
+        4 => "colon:in:name".to_string(),       // colon → quoted
+        5 => "semi;colon".to_string(),          // semicolon → quoted
+        6 => "under_score".to_string(),         // kept verbatim
+        7 => "brack[et]".to_string(),           // comment chars → quoted
+        _ => unreachable!(),
+    };
+    format!("{base}_{salt}")
+}
+
+/// Grow a random tree with `target` leaves. Interior nodes get 1–4
+/// children (1 ⇒ unary node), optional names, and branch lengths that are
+/// `None`, exactly zero, or a 4-decimal value (exact at the writer's
+/// 6-decimal precision).
+fn random_tree(rng: &mut StdRng, target: usize) -> Tree {
+    let mut tree = Tree::new();
+    let root = tree.add_node();
+    tree.set_root(root).unwrap();
+    let mut leaves = vec![root];
+    let mut salt = 0usize;
+    while leaves.len() < target {
+        // Expand a random current leaf into an interior node.
+        let idx = rng.gen_range(0usize..leaves.len());
+        let node = leaves.swap_remove(idx);
+        let arity = match rng.gen_range(0usize..10) {
+            0 => 1, // unary
+            1..=6 => 2,
+            7 | 8 => 3,
+            _ => 4,
+        };
+        for _ in 0..arity {
+            let child = tree.add_node();
+            tree.attach(node, child).unwrap();
+            match rng.gen_range(0usize..4) {
+                0 => {}                                           // no branch length
+                1 => tree.set_branch_length(child, 0.0).unwrap(), // zero-length
+                _ => {
+                    let len = rng.gen_range(1i64..20_000) as f64 / 1e4;
+                    tree.set_branch_length(child, len).unwrap();
+                }
+            }
+            leaves.push(child);
+        }
+        // Interior nodes are named half the time.
+        if rng.gen_bool(0.5) {
+            salt += 1;
+            tree.set_name(node, random_label(rng, salt)).unwrap();
+        }
+    }
+    // Every leaf gets a (possibly awkward) unique name.
+    for (i, leaf) in leaves.into_iter().enumerate() {
+        tree.set_name(leaf, random_label(rng, 10_000 + i)).unwrap();
+    }
+    tree
+}
+
+/// Structural equality: same shape (child lists in order), same names,
+/// branch lengths equal within `tol`.
+fn assert_trees_equal(a: &Tree, b: &Tree, tol: f64, what: &str) {
+    assert_eq!(a.node_count(), b.node_count(), "{what}: node counts differ");
+    let mut stack: Vec<(NodeId, NodeId)> = vec![(a.root_unchecked(), b.root_unchecked())];
+    while let Some((na, nb)) = stack.pop() {
+        assert_eq!(a.name(na), b.name(nb), "{what}: names differ");
+        match (a.branch_length(na), b.branch_length(nb)) {
+            (None, None) => {}
+            (Some(x), Some(y)) => {
+                assert!(
+                    (x - y).abs() <= tol,
+                    "{what}: branch lengths differ: {x} vs {y}"
+                )
+            }
+            (x, y) => panic!("{what}: branch length presence differs: {x:?} vs {y:?}"),
+        }
+        let ca = a.children(na);
+        let cb = b.children(nb);
+        assert_eq!(ca.len(), cb.len(), "{what}: arity differs at {na:?}");
+        stack.extend(ca.iter().copied().zip(cb.iter().copied()));
+    }
+}
+
+#[test]
+fn newick_roundtrips_randomized_trees() {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for case in 0..200 {
+        let target = rng.gen_range(2usize..60);
+        let tree = random_tree(&mut rng, target);
+        let text = newick::write(&tree);
+        let back = newick::parse(&text)
+            .unwrap_or_else(|e| panic!("case {case}: reparse failed: {e:?}\n{text}"));
+        assert_trees_equal(&tree, &back, 1e-6, &format!("case {case}"));
+        // Idempotency: the serialized form is a fixed point.
+        assert_eq!(
+            newick::write(&back),
+            text,
+            "case {case}: write/parse/write is not a fixed point"
+        );
+    }
+}
+
+#[test]
+fn newick_roundtrips_unary_chains_and_zero_lengths() {
+    // A pathological shape no simulator produces: a pure unary chain with
+    // zero-length branches and quoted labels at both ends.
+    let mut tree = Tree::new();
+    let root = tree.add_node();
+    tree.set_root(root).unwrap();
+    tree.set_name(root, "root node".to_string()).unwrap();
+    let mut cur = root;
+    for i in 0..12 {
+        let child = tree.add_node();
+        tree.attach(cur, child).unwrap();
+        tree.set_branch_length(child, 0.0).unwrap();
+        if i == 11 {
+            tree.set_name(child, "tip's end".to_string()).unwrap();
+        }
+        cur = child;
+    }
+    let text = newick::write(&tree);
+    let back = newick::parse(&text).unwrap();
+    assert_trees_equal(&tree, &back, 0.0, "unary chain");
+    assert_eq!(newick::write(&back), text);
+}
+
+#[test]
+fn nexus_statement_lexing_survives_comments_and_quotes() {
+    // An apostrophe inside a [...] comment is prose, not a label delimiter:
+    // it must not desynchronize the statement lexer's quote tracking. And a
+    // quoted label may contain brackets and semicolons.
+    let text = "#NEXUS\nBEGIN SETS;\nTITLE Bob's_taxa;\nEND;\n\
+        BEGIN TREES;\n\
+        TREE a = [Bob's tree] (left:1.0,right:2.0);\n\
+        TREE b = ('semi;colon':1.0,'brack[et':2.0);\n\
+        END;\n";
+    let doc = nexus::parse(text).expect("comments with apostrophes must parse");
+    assert_eq!(doc.trees.len(), 2);
+    assert_eq!(doc.trees[0].tree.leaf_count(), 2);
+    let names = doc.trees[1].tree.leaf_names();
+    assert!(names.contains(&"semi;colon".to_string()), "{names:?}");
+    assert!(names.contains(&"brack[et".to_string()), "{names:?}");
+}
+
+#[test]
+fn nexus_roundtrips_randomized_documents() {
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    for case in 0..40 {
+        let mut doc = nexus::NexusDocument::new();
+        let n_trees = rng.gen_range(1usize..4);
+        let mut trees = Vec::new();
+        for t in 0..n_trees {
+            let leaves = rng.gen_range(2usize..25);
+            let tree = random_tree(&mut rng, leaves);
+            doc.push_tree(format!("tree_{t}"), tree.clone());
+            trees.push(tree);
+        }
+        // Sequences for the first tree's leaves (names may need quoting).
+        for name in trees[0].leaf_names() {
+            let seq: String = (0..rng.gen_range(4usize..12))
+                .map(|_| ['A', 'C', 'G', 'T'][rng.gen_range(0usize..4)])
+                .collect();
+            doc.push_sequence(name, seq);
+        }
+        let text = nexus::write(&doc);
+        let back = nexus::parse(&text)
+            .unwrap_or_else(|e| panic!("case {case}: reparse failed: {e:?}\n{text}"));
+        assert_eq!(back.trees.len(), trees.len(), "case {case}");
+        for (i, tree) in trees.iter().enumerate() {
+            assert_trees_equal(
+                tree,
+                &back.trees[i].tree,
+                1e-6,
+                &format!("case {case}, tree {i}"),
+            );
+        }
+        assert_eq!(back.sequences, doc.sequences, "case {case}: sequences");
+    }
+}

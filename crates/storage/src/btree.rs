@@ -13,7 +13,7 @@
 //! load-once/query-many, so space reclamation is not worth the complexity
 //! (documented trade-off, see DESIGN.md).
 
-use crate::buffer::{BufferPool, PinnedPage};
+use crate::buffer::{BufferPool, PageSource, PinnedPage};
 use crate::error::{StorageError, StorageResult};
 use crate::page::{Page, PageId, PAGE_SIZE};
 
@@ -306,8 +306,10 @@ impl BTree {
     /// Look up the first value stored under exactly `key`.
     ///
     /// The descent and the leaf probe both read entries in place through the
-    /// buffer pool — no node is materialized and no key bytes are copied.
-    pub fn get(&self, pool: &BufferPool, key: &[u8]) -> StorageResult<Option<u64>> {
+    /// page source — no node is materialized and no key bytes are copied.
+    /// Generic over [`PageSource`], so the same descent serves the writer's
+    /// current view and concurrent snapshot readers.
+    pub fn get<S: PageSource>(&self, pool: S, key: &[u8]) -> StorageResult<Option<u64>> {
         let leaf = self.descend_in_place(pool, key, false)?;
         pool.with_page(leaf, |p| {
             let count = p.read_u16(1) as usize;
@@ -332,7 +334,7 @@ impl BTree {
     }
 
     /// Collect every value stored under exactly `key`.
-    pub fn get_all(&self, pool: &BufferPool, key: &[u8]) -> StorageResult<Vec<u64>> {
+    pub fn get_all<S: PageSource>(&self, pool: S, key: &[u8]) -> StorageResult<Vec<u64>> {
         let mut out = Vec::new();
         let upper = {
             let mut k = key.to_vec();
@@ -350,7 +352,7 @@ impl BTree {
     }
 
     /// `true` if at least one entry has exactly `key`.
-    pub fn contains(&self, pool: &BufferPool, key: &[u8]) -> StorageResult<bool> {
+    pub fn contains<S: PageSource>(&self, pool: S, key: &[u8]) -> StorageResult<bool> {
         Ok(self.get(pool, key)?.is_some())
     }
 
@@ -396,9 +398,9 @@ impl BTree {
     /// borrowed in-page key bytes and the value. `None` when the range is
     /// empty. The allocation-free point probe for covering-key indexes:
     /// nothing is pinned beyond the call and no key bytes are copied.
-    pub fn first_in_range<R>(
+    pub fn first_in_range<S: PageSource, R>(
         &self,
-        pool: &BufferPool,
+        pool: S,
         low: &[u8],
         high: &[u8],
         f: impl FnOnce(&[u8], u64) -> R,
@@ -457,12 +459,12 @@ impl BTree {
     /// entries before `low` are compared in place without allocating, and
     /// the scan stops at the first key past `high` without touching the rest
     /// of the leaf chain.
-    pub fn range<'a>(
+    pub fn range<S: PageSource>(
         &self,
-        pool: &'a BufferPool,
+        pool: S,
         low: Option<&[u8]>,
         high: Option<&[u8]>,
-    ) -> StorageResult<RangeIter<'a>> {
+    ) -> StorageResult<RangeIter<S>> {
         let start_page = match low {
             // Lower-bound descent: when duplicates of `low` straddle a split,
             // the leftmost leaf that can contain `low` must be visited.
@@ -480,7 +482,7 @@ impl BTree {
     }
 
     /// Number of entries in the tree (full scan).
-    pub fn len(&self, pool: &BufferPool) -> StorageResult<usize> {
+    pub fn len<S: PageSource>(&self, pool: S) -> StorageResult<usize> {
         let mut count = 0usize;
         for item in self.range(pool, None, None)? {
             item?;
@@ -490,13 +492,13 @@ impl BTree {
     }
 
     /// `true` when the tree holds no entries.
-    pub fn is_empty(&self, pool: &BufferPool) -> StorageResult<bool> {
+    pub fn is_empty<S: PageSource>(&self, pool: S) -> StorageResult<bool> {
         Ok(self.len(pool)? == 0)
     }
 
     /// Height of the tree (1 = a single leaf). Used by the labeling ablation
     /// to report index depth.
-    pub fn height(&self, pool: &BufferPool) -> StorageResult<usize> {
+    pub fn height<S: PageSource>(&self, pool: S) -> StorageResult<usize> {
         let mut h = 1usize;
         let mut page = self.root;
         loop {
@@ -517,9 +519,9 @@ impl BTree {
     /// key)` (point lookups); with `lower = true` it follows
     /// `partition_point(k < key)`, landing on the leftmost leaf that can
     /// contain `key` — required when duplicates of `key` straddle a split.
-    fn descend_in_place(
+    fn descend_in_place<S: PageSource>(
         &self,
-        pool: &BufferPool,
+        pool: S,
         key: &[u8],
         lower: bool,
     ) -> StorageResult<PageId> {
@@ -566,7 +568,7 @@ impl BTree {
         }
     }
 
-    fn leftmost_leaf(&self, pool: &BufferPool) -> StorageResult<PageId> {
+    fn leftmost_leaf<S: PageSource>(&self, pool: S) -> StorageResult<PageId> {
         let mut page = self.root;
         loop {
             match read_node(pool, page)? {
@@ -577,9 +579,10 @@ impl BTree {
     }
 }
 
-/// Position within one pinned leaf page.
-struct LeafCursor<'a> {
-    page: PinnedPage<'a>,
+/// Position within one pinned leaf page. [`PinnedPage`] is an owned guard,
+/// so the cursor carries no borrow of the pool.
+struct LeafCursor {
+    page: PinnedPage,
     /// Total entries in the leaf.
     count: usize,
     /// Index of the next entry to decode.
@@ -590,9 +593,9 @@ struct LeafCursor<'a> {
     next: PageId,
 }
 
-impl<'a> LeafCursor<'a> {
-    fn pin(pool: &'a BufferPool, pid: PageId) -> StorageResult<LeafCursor<'a>> {
-        let page = pool.pin(pid)?;
+impl LeafCursor {
+    fn pin<S: PageSource>(pool: S, pid: PageId) -> StorageResult<LeafCursor> {
+        let page = pool.pin_page(pid)?;
         if page.bytes()[0] != TYPE_LEAF {
             return Err(StorageError::Corrupted(
                 "leaf chain contains an internal node".into(),
@@ -628,16 +631,18 @@ impl<'a> LeafCursor<'a> {
 }
 
 /// Iterator over a key range, walking the leaf chain one pinned frame at a
-/// time. Only yielded keys are copied out of the page.
-pub struct RangeIter<'a> {
-    pool: &'a BufferPool,
-    cursor: Option<LeafCursor<'a>>,
+/// time. Only yielded keys are copied out of the page. Generic over the
+/// [`PageSource`], so the same scan serves the writer's current view and
+/// concurrent snapshot readers.
+pub struct RangeIter<S: PageSource> {
+    pool: S,
+    cursor: Option<LeafCursor>,
     low: Option<Vec<u8>>,
     high: Option<Vec<u8>>,
     exhausted: bool,
 }
 
-impl<'a> RangeIter<'a> {
+impl<S: PageSource> RangeIter<S> {
     fn step(&mut self) -> StorageResult<Option<(Vec<u8>, u64)>> {
         loop {
             let Some(cursor) = self.cursor.as_mut() else {
@@ -681,7 +686,7 @@ impl<'a> RangeIter<'a> {
     }
 }
 
-impl<'a> Iterator for RangeIter<'a> {
+impl<S: PageSource> Iterator for RangeIter<S> {
     type Item = StorageResult<(Vec<u8>, u64)>;
 
     fn next(&mut self) -> Option<Self::Item> {
@@ -700,7 +705,7 @@ impl<'a> Iterator for RangeIter<'a> {
     }
 }
 
-fn read_node(pool: &BufferPool, page: PageId) -> StorageResult<Node> {
+fn read_node<S: PageSource>(pool: S, page: PageId) -> StorageResult<Node> {
     pool.with_page(page, Node::read_from)?
 }
 

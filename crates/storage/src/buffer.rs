@@ -1,6 +1,7 @@
-//! Buffer pool: a fixed-capacity clock (second-chance) page cache between
-//! the pager and the access methods, and the enforcement point of the
-//! write-ahead-logging protocol.
+//! Buffer pool: a sharded, latch-based clock (second-chance) page cache
+//! between the pager and the access methods, the enforcement point of the
+//! write-ahead-logging protocol, and the provider of snapshot reads for
+//! concurrent readers.
 //!
 //! The paper argues that "simulation trees are huge, yet the portions
 //! retrieved by a single query are relatively small", so queries must not
@@ -10,41 +11,64 @@
 //!
 //! ## Design
 //!
-//! * **Fixed capacity.** Frames live in a pre-sized slot vector; residency
-//!   never exceeds `capacity` pages, regardless of file size.
-//! * **Clock eviction.** Each frame carries a reference bit set on access;
-//!   the clock hand sweeps slots, clearing reference bits and evicting the
-//!   first unpinned, unreferenced frame. This approximates LRU without
-//!   maintaining a recency list on every page hit.
+//! * **Sharded page table.** Frames are indexed by a set of shard maps
+//!   (page-id → frame), each behind its own short-held mutex, so concurrent
+//!   readers touching different pages never contend on a single lock.
+//! * **Per-frame latches.** Each frame carries a read/write latch over its
+//!   page content plus an atomic pin count and reference bit. Many readers
+//!   latch a frame shared; the single writer latches it exclusive only for
+//!   the duration of one page mutation.
+//! * **Writer/IO latch.** The pager (file I/O), the write-ahead log and the
+//!   single-transaction state live behind one mutex — the *io latch*. Cache
+//!   hits never touch it; misses, mutations and eviction serialize on it,
+//!   which is exactly the WAL-before-data ordering anyway.
+//! * **Latch order** (deadlock freedom): io latch → shard map → frame
+//!   latch → snapshot overlay. A thread holding a later lock never acquires
+//!   an earlier one.
+//! * **Fixed capacity, clock eviction.** Residency never exceeds `capacity`
+//!   pages globally (not per shard). The clock hand sweeps shards round-robin
+//!   clearing reference bits; the first unpinned, unreferenced frame is the
+//!   victim. Eviction only runs under the io latch.
 //! * **`Arc<Page>` frames, zero-clone writes.** Frames hold `Arc<Page>`;
-//!   flush and eviction write through a borrow of the frame's page — no
-//!   `Page` is ever cloned on the write-back path. Mutation goes through
-//!   `Arc::make_mut`, which is in-place unless a pinned reader still holds
-//!   the frame (copy-on-write in that rare case).
-//! * **Pinning.** [`BufferPool::pin`] hands out a [`PinnedPage`] guard that
-//!   keeps the frame resident (the clock skips pinned frames) and gives
-//!   lock-free read access to the page bytes for the guard's lifetime.
+//!   flush and eviction write through a borrow of the frame's page. Mutation
+//!   goes through `Arc::make_mut` (copy-on-write only when a pinned reader
+//!   or an undo snapshot still holds the old revision).
+//! * **Pinning.** [`BufferPool::pin`] hands out an owned [`PinnedPage`]
+//!   guard that keeps the frame resident (the clock skips pinned frames) and
+//!   gives lock-free read access to the page bytes for the guard's lifetime.
+//!
+//! ## Snapshot reads
+//!
+//! Concurrent readers must never observe an in-flight transaction. The pool
+//! keeps a **before-image overlay**: when a transaction first touches a
+//! page, the pristine `Arc<Page>` (the same capture the undo log needs) is
+//! also published in an overlay map. A snapshot read
+//! ([`BufferPool::with_page_snapshot`] / [`BufferPool::pin_snapshot`], or
+//! the [`Snapshot`] page source) reads the current frame first and then
+//! consults the overlay — if the page was touched by the open transaction,
+//! the before-image wins. Readers therefore always see the last *committed*
+//! state and never block behind an in-flight load.
+//!
+//! Commit and rollback retire the overlay inside a **view transition**: the
+//! [`BufferPool::read_generation`] counter goes odd, the overlay is cleared
+//! (commit) or the before-images are restored into the frames (rollback),
+//! and the counter goes even again. A reader that observes a generation
+//! change across a multi-page operation retries it; see
+//! `crimson::reader::RepositoryReader`.
 //!
 //! ## Transactions and WAL-before-data
 //!
-//! The pool owns the [`Wal`] and the state of the (single) active
-//! transaction:
-//!
 //! * [`BufferPool::begin_txn`] snapshots the file-header state; every
 //!   subsequent `with_page_mut`/`allocate_page` captures the page's
-//!   before-image on first touch (a cheap `Arc` clone — copy-on-write does
-//!   the actual copy only when the page is then mutated).
+//!   before-image on first touch (a cheap `Arc` clone).
 //! * [`BufferPool::commit_txn`] appends the after-image of every dirtied
-//!   page plus a commit record to the log ("group" logging — one image per
-//!   distinct page, however many operations touched it) and optionally
-//!   fsyncs.
+//!   page plus a commit record to the log and optionally fsyncs.
 //! * [`BufferPool::rollback_txn`] restores the captured before-images in
 //!   memory and rolls the header snapshot back.
 //! * **Eviction** enforces WAL-before-data: a dirty page of the *active*
 //!   transaction is *stolen* — its before-image is appended as an undo
 //!   record and the log fsynced before the data-file write; a page whose
 //!   latest committed image is not yet durable forces a log fsync first.
-//!   Either way the log always covers a data write before it happens.
 //! * [`BufferPool::flush`] is a **checkpoint**: fsync the log, write every
 //!   dirty page and the header to the data file, fsync it, then truncate
 //!   the log.
@@ -52,19 +76,24 @@
 //! Mutations performed outside any transaction (as the lower-level unit
 //! tests and the `logging(false)` bench baseline do) bypass the log and
 //! carry no crash-safety contract — exactly the pre-WAL behaviour.
-//!
-//! Closure-based access (`with_page` / `with_page_mut`) remains the bread
-//! and butter API; all state sits behind a single `parking_lot::Mutex`,
-//! which is sufficient for the engine's one-writer-at-a-time usage while
-//! still being `Send + Sync`.
 
 use crate::error::{StorageError, StorageResult};
 use crate::page::{Page, PageId};
 use crate::pager::Pager;
 use crate::wal::{self, Lsn, RecoveryReport, Wal, WalRecordKind};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Number of page-table shards. Page ids are assigned sequentially, so a
+/// simple modulo spreads consecutive pages across all shards.
+const SHARD_COUNT: usize = 16;
+
+#[inline]
+fn shard_of(pid: PageId) -> usize {
+    (pid.0 % SHARD_COUNT as u64) as usize
+}
 
 /// Statistics counters exposed for the repository-scale experiment (E9),
 /// the interval-index page-read assertions and the WAL-overhead bench.
@@ -113,6 +142,45 @@ impl BufferStats {
     }
 }
 
+/// Atomic counterpart of [`BufferStats`]: every counter is an `AtomicU64`,
+/// so concurrent readers update hit/miss accounting without taking any
+/// lock — and without losing increments, which keeps the exact cold-vs-warm
+/// ratios the interval-index tests assert.
+#[derive(Debug, Default)]
+struct AtomicStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    flushes: AtomicU64,
+    writebacks: AtomicU64,
+}
+
+impl AtomicStats {
+    fn snapshot(&self) -> BufferStats {
+        BufferStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            writebacks: self.writebacks.load(Ordering::Relaxed),
+            ..BufferStats::default()
+        }
+    }
+
+    fn reset(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+        self.flushes.store(0, Ordering::Relaxed);
+        self.writebacks.store(0, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 /// A point at which a simulated crash can be injected, for the
 /// crash-recovery test harness. Once the point trips, every subsequent disk
 /// write fails as if the process had died; the test then reopens the files.
@@ -128,16 +196,69 @@ pub enum CrashPoint {
     CheckpointTruncate,
 }
 
-struct Frame {
-    pid: PageId,
+/// Latched page content of one frame.
+struct FrameBody {
     page: Arc<Page>,
     dirty: bool,
-    pins: u32,
-    referenced: bool,
     /// LSN of the last WAL record covering this frame's content (commit
     /// image or steal undo); 0 when never logged. Eviction must not write
     /// the frame to the data file until the log is durable past this point.
     rec_lsn: Lsn,
+}
+
+/// One resident page: identity and pin/reference state are atomic (checked
+/// under the shard lock where it matters), the content sits behind a
+/// read/write latch.
+struct Frame {
+    pid: PageId,
+    pins: AtomicU32,
+    referenced: AtomicBool,
+    body: RwLock<FrameBody>,
+}
+
+impl Frame {
+    fn new(pid: PageId, page: Arc<Page>, dirty: bool, pins: u32) -> Arc<Frame> {
+        Arc::new(Frame {
+            pid,
+            pins: AtomicU32::new(pins),
+            referenced: AtomicBool::new(true),
+            body: RwLock::new(FrameBody {
+                page,
+                dirty,
+                rec_lsn: 0,
+            }),
+        })
+    }
+}
+
+/// One page-table shard: page id → slot, plus the shard's clock hand.
+#[derive(Default)]
+struct ShardMap {
+    map: HashMap<PageId, usize>,
+    slots: Vec<Arc<Frame>>,
+    hand: usize,
+}
+
+impl ShardMap {
+    /// Remove the frame at `idx`, keeping the map and hand consistent.
+    fn remove_slot(&mut self, idx: usize) -> Arc<Frame> {
+        let frame = self.slots.swap_remove(idx);
+        self.map.remove(&frame.pid);
+        if idx < self.slots.len() {
+            let moved = self.slots[idx].pid;
+            self.map.insert(moved, idx);
+        }
+        if self.hand >= self.slots.len() {
+            self.hand = 0;
+        }
+        frame
+    }
+
+    fn insert(&mut self, frame: Arc<Frame>) {
+        let pid = frame.pid;
+        self.slots.push(frame);
+        self.map.insert(pid, self.slots.len() - 1);
+    }
 }
 
 /// Before-image captured on a transaction's first touch of a page.
@@ -163,22 +284,18 @@ struct TxnState {
     header: (u64, PageId, PageId, u64),
 }
 
-struct Inner {
+/// Everything the single writer serializes on: file I/O, the log and the
+/// open transaction.
+struct IoState {
     pager: Pager,
     wal: Wal,
-    /// Frame slots; `slots.len() <= capacity` always holds.
-    slots: Vec<Frame>,
-    /// Page id → slot index.
-    map: HashMap<PageId, usize>,
-    /// Clock hand position for the second-chance sweep.
-    hand: usize,
-    capacity: usize,
-    stats: BufferStats,
     /// Whether transactional mutations are logged. Disabled only by the
     /// bench baseline; see [`BufferPool::set_logging`].
     logging: bool,
     txn: Option<TxnState>,
     recovery: Option<RecoveryReport>,
+    /// Global clock cursor: which shard the next eviction sweep starts at.
+    sweep_shard: usize,
     /// Fault injection: fail after this many more data-file page writes.
     data_writes_until_crash: Option<u64>,
     /// Fault injection: fail the next checkpoint before truncating the log.
@@ -186,53 +303,134 @@ struct Inner {
     crashed: bool,
 }
 
-/// A fixed-capacity clock buffer pool wrapping a [`Pager`] and the
-/// database's [`Wal`].
+impl IoState {
+    fn sim_crashed(&self) -> bool {
+        self.crashed || self.wal.crashed()
+    }
+
+    /// Fault-injection gate in front of every data-file page write.
+    fn data_write_gate(&mut self) -> StorageResult<()> {
+        if self.sim_crashed() {
+            return Err(wal::simulated_crash());
+        }
+        if let Some(n) = self.data_writes_until_crash {
+            if n == 0 {
+                self.crashed = true;
+                return Err(wal::simulated_crash());
+            }
+            self.data_writes_until_crash = Some(n - 1);
+        }
+        Ok(())
+    }
+}
+
+/// A sharded, latch-based, fixed-capacity clock buffer pool wrapping a
+/// [`Pager`] and the database's [`Wal`]. `Sync`: any number of reader
+/// threads may hit the cache, pin pages and take snapshot reads while the
+/// single writer runs transactions.
 pub struct BufferPool {
-    inner: Mutex<Inner>,
+    shards: Vec<Mutex<ShardMap>>,
+    io: Mutex<IoState>,
+    /// Before-image overlay of the open transaction: page id → pristine
+    /// content (`None` for pages allocated inside the transaction). Snapshot
+    /// reads prefer this over the frame content.
+    overlay: RwLock<HashMap<PageId, Option<Arc<Page>>>>,
+    /// Read-view generation: even when the committed view is stable, odd
+    /// while commit/rollback retires the overlay. Bumped by two per
+    /// transition, so it doubles as a "did anything commit?" counter for
+    /// snapshot readers' cached metadata.
+    view_gen: AtomicU64,
+    resident: AtomicUsize,
+    capacity: usize,
+    stats: AtomicStats,
 }
 
 impl std::fmt::Debug for BufferPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.lock();
         f.debug_struct("BufferPool")
-            .field("capacity", &inner.capacity)
-            .field("resident", &inner.slots.len())
-            .field("stats", &inner.stats)
+            .field("capacity", &self.capacity)
+            .field("resident", &self.resident.load(Ordering::Relaxed))
+            .field("stats", &self.stats.snapshot())
             .finish()
     }
 }
 
-/// RAII guard for a pinned page: keeps the frame resident and readable
-/// without holding the pool lock. Dropping the guard unpins the frame.
-pub struct PinnedPage<'a> {
-    pool: &'a BufferPool,
+/// Owned RAII guard for a pinned page: keeps the frame resident and readable
+/// without holding any pool lock. Dropping the guard unpins the frame.
+/// Snapshot pins of overlay pages carry no frame (nothing to unpin).
+pub struct PinnedPage {
     pid: PageId,
     page: Arc<Page>,
+    frame: Option<Arc<Frame>>,
 }
 
-impl<'a> PinnedPage<'a> {
+impl PinnedPage {
     /// The pinned page's id.
     pub fn page_id(&self) -> PageId {
         self.pid
     }
 }
 
-impl<'a> std::ops::Deref for PinnedPage<'a> {
+impl std::ops::Deref for PinnedPage {
     type Target = Page;
     fn deref(&self) -> &Page {
         &self.page
     }
 }
 
-impl<'a> Drop for PinnedPage<'a> {
+impl Drop for PinnedPage {
     fn drop(&mut self) {
-        let mut inner = self.pool.inner.lock();
-        if let Some(&slot) = inner.map.get(&self.pid) {
-            let frame = &mut inner.slots[slot];
-            debug_assert!(frame.pins > 0, "unpinning a frame that is not pinned");
-            frame.pins = frame.pins.saturating_sub(1);
+        if let Some(frame) = &self.frame {
+            let prev = frame.pins.fetch_sub(1, Ordering::AcqRel);
+            debug_assert!(prev > 0, "unpinning a frame that is not pinned");
         }
+    }
+}
+
+/// Read-only page access, implemented by the pool's *current* view
+/// (`&BufferPool`) and its *committed-snapshot* view ([`Snapshot`]). The
+/// B+tree, heap and catalog read paths are generic over this, which is what
+/// lets the same descent code serve the writer and concurrent snapshot
+/// readers.
+pub trait PageSource: Copy {
+    /// Run `f` with read access to the page.
+    fn with_page<R>(&self, pid: PageId, f: impl FnOnce(&Page) -> R) -> StorageResult<R>;
+    /// Pin the page, keeping its content readable without pool locks.
+    fn pin_page(&self, pid: PageId) -> StorageResult<PinnedPage>;
+    /// The catalog root this view should read metadata from.
+    fn catalog_root(&self) -> PageId;
+}
+
+impl PageSource for &BufferPool {
+    fn with_page<R>(&self, pid: PageId, f: impl FnOnce(&Page) -> R) -> StorageResult<R> {
+        BufferPool::with_page(self, pid, f)
+    }
+
+    fn pin_page(&self, pid: PageId) -> StorageResult<PinnedPage> {
+        BufferPool::pin(self, pid)
+    }
+
+    fn catalog_root(&self) -> PageId {
+        BufferPool::catalog_root(self)
+    }
+}
+
+/// The committed-snapshot view of a pool: reads route through the
+/// before-image overlay, so an in-flight transaction is invisible.
+#[derive(Clone, Copy)]
+pub struct Snapshot<'a>(pub &'a BufferPool);
+
+impl PageSource for Snapshot<'_> {
+    fn with_page<R>(&self, pid: PageId, f: impl FnOnce(&Page) -> R) -> StorageResult<R> {
+        self.0.with_page_snapshot(pid, f)
+    }
+
+    fn pin_page(&self, pid: PageId) -> StorageResult<PinnedPage> {
+        self.0.pin_snapshot(pid)
+    }
+
+    fn catalog_root(&self) -> PageId {
+        self.0.committed_catalog_root()
     }
 }
 
@@ -262,76 +460,107 @@ impl BufferPool {
         };
         let capacity = capacity.max(8);
         Ok(BufferPool {
-            inner: Mutex::new(Inner {
+            shards: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(ShardMap::default()))
+                .collect(),
+            io: Mutex::new(IoState {
                 pager,
                 wal,
-                slots: Vec::with_capacity(capacity.min(4096)),
-                map: HashMap::new(),
-                hand: 0,
-                capacity,
-                stats: BufferStats::default(),
                 logging: true,
                 txn: None,
                 recovery,
+                sweep_shard: 0,
                 data_writes_until_crash: None,
                 checkpoint_truncate_crash: false,
                 crashed: false,
             }),
+            overlay: RwLock::new(HashMap::new()),
+            view_gen: AtomicU64::new(0),
+            resident: AtomicUsize::new(0),
+            capacity,
+            stats: AtomicStats::default(),
         })
     }
 
     /// The pool's frame capacity in pages.
     pub fn capacity(&self) -> usize {
-        self.inner.lock().capacity
+        self.capacity
     }
 
     /// Number of pages currently resident (always `<= capacity`).
     pub fn resident_pages(&self) -> usize {
-        self.inner.lock().slots.len()
+        self.resident.load(Ordering::Relaxed)
     }
 
     /// Number of currently pinned frames.
     pub fn pinned_frames(&self) -> usize {
-        self.inner
-            .lock()
-            .slots
+        self.shards
             .iter()
-            .filter(|f| f.pins > 0)
-            .count()
+            .map(|s| {
+                s.lock()
+                    .slots
+                    .iter()
+                    .filter(|f| f.pins.load(Ordering::Relaxed) > 0)
+                    .count()
+            })
+            .sum()
     }
 
     /// The recovery outcome from opening this pool's file, if the file
     /// pre-existed (a fresh file needs no recovery).
     pub fn recovery_report(&self) -> Option<RecoveryReport> {
-        self.inner.lock().recovery
+        self.io.lock().recovery
     }
 
     /// Enable or disable write-ahead logging for subsequent transactions.
     /// Disabled logging restores the pre-WAL behaviour (no crash safety);
     /// it exists for the bench baseline. Fails while a transaction is open.
     pub fn set_logging(&self, enabled: bool) -> StorageResult<()> {
-        let mut inner = self.inner.lock();
-        if inner.txn.is_some() {
+        let mut io = self.io.lock();
+        if io.txn.is_some() {
             return Err(StorageError::TransactionActive);
         }
-        inner.logging = enabled;
+        io.logging = enabled;
         Ok(())
     }
 
     /// Whether transactional mutations are currently logged.
     pub fn logging(&self) -> bool {
-        self.inner.lock().logging
+        self.io.lock().logging
     }
 
     /// Inject a simulated crash (see [`CrashPoint`]). Test instrumentation
     /// for the crash-recovery suites.
     pub fn inject_crash(&self, point: CrashPoint) {
-        let mut inner = self.inner.lock();
+        let mut io = self.io.lock();
         match point {
-            CrashPoint::WalAppend(n) => inner.wal.inject_crash_after_appends(n),
-            CrashPoint::DataWrite(n) => inner.data_writes_until_crash = Some(n),
-            CrashPoint::CheckpointTruncate => inner.checkpoint_truncate_crash = true,
+            CrashPoint::WalAppend(n) => io.wal.inject_crash_after_appends(n),
+            CrashPoint::DataWrite(n) => io.data_writes_until_crash = Some(n),
+            CrashPoint::CheckpointTruncate => io.checkpoint_truncate_crash = true,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Read-view generation
+    // ------------------------------------------------------------------
+
+    /// The snapshot-read generation: even while the committed view is
+    /// stable, odd while a commit or rollback retires the overlay. A reader
+    /// that sees the generation change across a multi-page operation must
+    /// retry it; a reader that caches derived metadata (catalog roots) keys
+    /// the cache by this value.
+    pub fn read_generation(&self) -> u64 {
+        self.view_gen.load(Ordering::SeqCst)
+    }
+
+    fn begin_view_change(&self) {
+        let prev = self.view_gen.fetch_add(1, Ordering::SeqCst);
+        debug_assert!(prev.is_multiple_of(2), "nested view transition");
+    }
+
+    fn end_view_change(&self) {
+        let prev = self.view_gen.fetch_add(1, Ordering::SeqCst);
+        debug_assert!(prev % 2 == 1, "unbalanced view transition");
     }
 
     // ------------------------------------------------------------------
@@ -341,18 +570,18 @@ impl BufferPool {
     /// Begin a transaction. The engine is single-writer: a second `begin`
     /// while one is open is an error, not a queue.
     pub fn begin_txn(&self) -> StorageResult<u64> {
-        let mut inner = self.inner.lock();
-        if inner.txn.is_some() {
+        let mut io = self.io.lock();
+        if io.txn.is_some() {
             return Err(StorageError::TransactionActive);
         }
-        let id = inner.wal.next_txn_id();
+        let id = io.wal.next_txn_id();
         let header = (
-            inner.pager.page_count(),
-            inner.pager.catalog_root(),
-            inner.pager.user_meta(),
-            inner.pager.checkpoint_lsn(),
+            io.pager.page_count(),
+            io.pager.catalog_root(),
+            io.pager.user_meta(),
+            io.pager.checkpoint_lsn(),
         );
-        inner.txn = Some(TxnState {
+        io.txn = Some(TxnState {
             id,
             dirty: BTreeSet::new(),
             undo: HashMap::new(),
@@ -364,7 +593,7 @@ impl BufferPool {
 
     /// `true` while a transaction is open.
     pub fn in_txn(&self) -> bool {
-        self.inner.lock().txn.is_some()
+        self.io.lock().txn.is_some()
     }
 
     /// Commit the open transaction: append the after-image of every dirtied
@@ -373,24 +602,38 @@ impl BufferPool {
     /// failure mid-commit the transaction is rolled back in memory and the
     /// error returned.
     pub fn commit_txn(&self, sync: bool) -> StorageResult<Lsn> {
-        let mut inner = self.inner.lock();
-        let txn = inner.txn.take().ok_or(StorageError::NoActiveTransaction)?;
-        if !inner.logging || txn.dirty.is_empty() {
-            return Ok(inner.wal.end_lsn());
+        let mut io = self.io.lock();
+        let txn = io.txn.take().ok_or(StorageError::NoActiveTransaction)?;
+        if txn.dirty.is_empty() {
+            // A read-only transaction changed nothing: the committed view is
+            // untouched, so the generation must not advance (readers would
+            // pointlessly rebuild their cached catalogs).
+            debug_assert!(self.overlay.read().is_empty());
+            return Ok(io.wal.end_lsn());
         }
-        match inner.log_commit(&txn, sync) {
+        if !io.logging {
+            // Unlogged but dirty: nothing to log, yet the committed view
+            // still advances — retire the overlay so snapshot readers
+            // observe the new state.
+            self.retire_overlay();
+            return Ok(io.wal.end_lsn());
+        }
+        match self.log_commit(&mut io, &txn, sync) {
             Ok(lsn) => {
+                self.begin_view_change();
                 for pid in &txn.dirty {
-                    if let Some(&slot) = inner.map.get(pid) {
-                        inner.slots[slot].rec_lsn = lsn;
+                    if let Some(frame) = self.lookup_frame(*pid) {
+                        frame.body.write().rec_lsn = lsn;
                     }
                 }
+                self.overlay.write().clear();
+                self.end_view_change();
                 Ok(lsn)
             }
             Err(e) => {
                 // The commit never became durable; restore memory so the
                 // caller sees pre-transaction state.
-                let _ = inner.rollback_with(txn);
+                let _ = self.rollback_with(&mut io, txn);
                 Err(e)
             }
         }
@@ -401,114 +644,250 @@ impl BufferPool {
     /// log (a transaction without a commit record is a loser by
     /// definition).
     pub fn rollback_txn(&self) -> StorageResult<()> {
-        let mut inner = self.inner.lock();
-        let txn = inner.txn.take().ok_or(StorageError::NoActiveTransaction)?;
-        inner.rollback_with(txn)
+        let mut io = self.io.lock();
+        let txn = io.txn.take().ok_or(StorageError::NoActiveTransaction)?;
+        self.rollback_with(&mut io, txn)
+    }
+
+    /// Clear the overlay inside a view transition (commit with nothing to
+    /// undo / nothing logged).
+    fn retire_overlay(&self) {
+        self.begin_view_change();
+        self.overlay.write().clear();
+        self.end_view_change();
     }
 
     // ------------------------------------------------------------------
     // Page access
     // ------------------------------------------------------------------
 
+    /// Look a frame up in its shard without counting a hit or touching the
+    /// reference bit (internal bookkeeping paths).
+    fn lookup_frame(&self, pid: PageId) -> Option<Arc<Frame>> {
+        let shard = self.shards[shard_of(pid)].lock();
+        shard.map.get(&pid).map(|&i| Arc::clone(&shard.slots[i]))
+    }
+
+    /// Look a frame up in its shard, marking it referenced and optionally
+    /// pinning it (the pin increment happens under the shard lock, so it
+    /// cannot race with victim selection).
+    fn lookup_accessed(&self, pid: PageId, pin: bool) -> Option<Arc<Frame>> {
+        let shard = self.shards[shard_of(pid)].lock();
+        shard.map.get(&pid).map(|&i| {
+            let frame = &shard.slots[i];
+            frame.referenced.store(true, Ordering::Relaxed);
+            if pin {
+                frame.pins.fetch_add(1, Ordering::AcqRel);
+            }
+            Arc::clone(frame)
+        })
+    }
+
+    /// Ensure `pid` is resident, returning its frame. Fast path: shard
+    /// lookup only. Miss path: serialize on the io latch, re-check (another
+    /// reader may have installed it while we waited), then read from disk
+    /// and install, evicting if at capacity.
+    fn load_frame(&self, pid: PageId, pin: bool) -> StorageResult<Arc<Frame>> {
+        if let Some(frame) = self.lookup_accessed(pid, pin) {
+            AtomicStats::bump(&self.stats.hits);
+            return Ok(frame);
+        }
+        let mut io = self.io.lock();
+        self.load_frame_in_io(&mut io, pid, pin)
+    }
+
+    /// Miss path with the io latch already held (also used by the writer's
+    /// mutation path, which holds io for the transaction bookkeeping).
+    fn load_frame_in_io(
+        &self,
+        io: &mut IoState,
+        pid: PageId,
+        pin: bool,
+    ) -> StorageResult<Arc<Frame>> {
+        if let Some(frame) = self.lookup_accessed(pid, pin) {
+            AtomicStats::bump(&self.stats.hits);
+            return Ok(frame);
+        }
+        AtomicStats::bump(&self.stats.misses);
+        let page = io.pager.read_page(pid)?;
+        let frame = Frame::new(pid, Arc::new(page), false, if pin { 1 } else { 0 });
+        self.install(io, Arc::clone(&frame))?;
+        Ok(frame)
+    }
+
     /// Allocate a fresh page (resident immediately, marked dirty).
     pub fn allocate_page(&self) -> StorageResult<PageId> {
-        let mut inner = self.inner.lock();
-        // Secure a frame slot before advancing the pager's page counter, so
-        // a pinned-full pool errors out without leaking a file page.
-        let slot = inner.reserve_slot()?;
-        let pid = inner.pager.allocate_page()?;
-        let frame = Frame {
-            pid,
-            page: Arc::new(Page::new()),
-            dirty: true,
-            pins: 0,
-            referenced: true,
-            rec_lsn: 0,
-        };
-        inner.place(frame, slot);
-        if let Some(txn) = &mut inner.txn {
+        let mut io = self.io.lock();
+        // Secure capacity before advancing the pager's page counter, so a
+        // pinned-full pool errors out without leaking a file page.
+        self.reserve(&mut io)?;
+        let pid = io.pager.allocate_page()?;
+        let frame = Frame::new(pid, Arc::new(Page::new()), true, 0);
+        self.shards[shard_of(pid)].lock().insert(frame);
+        self.resident.fetch_add(1, Ordering::Relaxed);
+        if let Some(txn) = &mut io.txn {
             txn.dirty.insert(pid);
-            txn.undo.entry(pid).or_insert(UndoEntry {
-                image: None,
-                prior_dirty: false,
-            });
+            if let std::collections::hash_map::Entry::Vacant(slot) = txn.undo.entry(pid) {
+                slot.insert(UndoEntry {
+                    image: None,
+                    prior_dirty: false,
+                });
+                self.overlay.write().insert(pid, None);
+            }
         }
         Ok(pid)
     }
 
-    /// Run `f` with read access to the page.
+    /// Run `f` with read access to the page (the *current* view: inside a
+    /// transaction the writer sees its own uncommitted mutations).
     pub fn with_page<R>(&self, pid: PageId, f: impl FnOnce(&Page) -> R) -> StorageResult<R> {
-        let mut inner = self.inner.lock();
-        let slot = inner.load(pid)?;
-        Ok(f(&inner.slots[slot].page))
+        let frame = self.load_frame(pid, false)?;
+        let body = frame.body.read();
+        Ok(f(&body.page))
+    }
+
+    /// Run `f` with read access to the last *committed* content of the
+    /// page: if the open transaction touched it, the before-image overlay
+    /// wins. The frame is read first and the overlay second — the writer
+    /// publishes the before-image (under the frame latch) before mutating,
+    /// so an overlay miss proves the frame content is committed.
+    pub fn with_page_snapshot<R>(
+        &self,
+        pid: PageId,
+        f: impl FnOnce(&Page) -> R,
+    ) -> StorageResult<R> {
+        let frame = self.load_frame(pid, false)?;
+        let body = frame.body.read();
+        if let Some(entry) = self.overlay.read().get(&pid) {
+            return Ok(match entry {
+                Some(image) => f(image),
+                // Allocated inside the open transaction: its committed
+                // content is nonexistence. No committed structure can reach
+                // this page; serve an empty page for robustness.
+                None => f(&Page::new()),
+            });
+        }
+        Ok(f(&body.page))
     }
 
     /// Run `f` with write access to the page; the page is marked dirty and,
-    /// inside a transaction, its before-image is captured on first touch.
+    /// inside a transaction, its before-image is captured on first touch
+    /// (for the undo log and the snapshot-read overlay).
     pub fn with_page_mut<R>(
         &self,
         pid: PageId,
         f: impl FnOnce(&mut Page) -> R,
     ) -> StorageResult<R> {
-        let mut inner = self.inner.lock();
-        let slot = inner.load(pid)?;
-        let Inner {
-            slots, txn, wal, ..
-        } = &mut *inner;
-        let frame = &mut slots[slot];
-        if let Some(txn) = txn {
+        let mut io = self.io.lock();
+        let frame = self.load_frame_in_io(&mut io, pid, false)?;
+        let mut body = frame.body.write();
+        if let Some(txn) = &mut io.txn {
             txn.dirty.insert(pid);
-            txn.undo.entry(pid).or_insert_with(|| UndoEntry {
-                image: Some(Arc::clone(&frame.page)),
-                prior_dirty: frame.dirty,
-            });
+            if let std::collections::hash_map::Entry::Vacant(slot) = txn.undo.entry(pid) {
+                slot.insert(UndoEntry {
+                    image: Some(Arc::clone(&body.page)),
+                    prior_dirty: body.dirty,
+                });
+                // Publish the before-image for snapshot readers *before*
+                // the mutation below (both happen under the frame latch, so
+                // a reader holding the read latch sees either none of this
+                // or all of it).
+                self.overlay
+                    .write()
+                    .insert(pid, Some(Arc::clone(&body.page)));
+            }
         }
-        frame.dirty = true;
+        body.dirty = true;
         // In-place unless a pinned reader or an undo snapshot still holds
         // the Arc (copy-on-write in that case).
-        let page = Arc::make_mut(&mut frame.page);
-        page.set_lsn(wal.end_lsn());
+        let end_lsn = io.wal.end_lsn();
+        let page = Arc::make_mut(&mut body.page);
+        page.set_lsn(end_lsn);
         Ok(f(page))
     }
 
     /// Pin a page: the returned guard keeps the frame resident and readable
-    /// without holding the pool lock. Used by range scans to walk B+tree
+    /// without holding any pool lock. Used by range scans to walk B+tree
     /// leaves without copying entries.
-    pub fn pin(&self, pid: PageId) -> StorageResult<PinnedPage<'_>> {
-        let mut inner = self.inner.lock();
-        let slot = inner.load(pid)?;
-        let frame = &mut inner.slots[slot];
-        frame.pins += 1;
-        let page = Arc::clone(&frame.page);
+    pub fn pin(&self, pid: PageId) -> StorageResult<PinnedPage> {
+        let frame = self.load_frame(pid, true)?;
+        let page = Arc::clone(&frame.body.read().page);
         Ok(PinnedPage {
-            pool: self,
             pid,
             page,
+            frame: Some(frame),
         })
     }
 
-    /// The catalog root recorded in the file header.
+    /// Pin the last *committed* content of a page (see
+    /// [`BufferPool::with_page_snapshot`] for the overlay rule). Overlay
+    /// hits return a guard backed by the before-image `Arc` alone — there
+    /// is no frame to keep resident, the guard owns the bytes.
+    pub fn pin_snapshot(&self, pid: PageId) -> StorageResult<PinnedPage> {
+        let frame = self.load_frame(pid, true)?;
+        // The frame latch must be HELD across the overlay check (same rule
+        // as `with_page_snapshot`): dropping it first would open a window
+        // for a rollback to restore the frame and clear the overlay, after
+        // which the pre-restore clone would be served as "committed".
+        let body = frame.body.read();
+        let overlay_hit = self.overlay.read().get(&pid).map(|entry| match entry {
+            Some(image) => Arc::clone(image),
+            None => Arc::new(Page::new()),
+        });
+        let page = match &overlay_hit {
+            Some(image) => Arc::clone(image),
+            None => Arc::clone(&body.page),
+        };
+        drop(body);
+        if overlay_hit.is_some() {
+            // Drop the frame pin; the overlay image is self-contained.
+            frame.pins.fetch_sub(1, Ordering::AcqRel);
+            return Ok(PinnedPage {
+                pid,
+                page,
+                frame: None,
+            });
+        }
+        Ok(PinnedPage {
+            pid,
+            page,
+            frame: Some(frame),
+        })
+    }
+
+    /// The catalog root recorded in the file header (current view: inside a
+    /// transaction this is the writer's own, possibly uncommitted, value).
     pub fn catalog_root(&self) -> PageId {
-        self.inner.lock().pager.catalog_root()
+        self.io.lock().pager.catalog_root()
+    }
+
+    /// The catalog root of the last committed state: while a transaction is
+    /// open, the value snapshotted at `begin_txn`.
+    pub fn committed_catalog_root(&self) -> PageId {
+        let io = self.io.lock();
+        match &io.txn {
+            Some(txn) => txn.header.1,
+            None => io.pager.catalog_root(),
+        }
     }
 
     /// Record the catalog root in the file header (persisted on commit and
     /// checkpoint).
     pub fn set_catalog_root(&self, pid: PageId) {
-        self.inner.lock().pager.set_catalog_root(pid);
+        self.io.lock().pager.set_catalog_root(pid);
     }
 
     /// Number of pages in the underlying file.
     pub fn page_count(&self) -> u64 {
-        self.inner.lock().pager.page_count()
+        self.io.lock().pager.page_count()
     }
 
     /// Copy of the current statistics counters (buffer activity plus WAL
     /// activity).
     pub fn stats(&self) -> BufferStats {
-        let inner = self.inner.lock();
-        let mut stats = inner.stats;
-        let wal = inner.wal.stats();
+        let mut stats = self.stats.snapshot();
+        let io = self.io.lock();
+        let wal = io.wal.stats();
         stats.wal_appends = wal.appends;
         stats.wal_bytes = wal.bytes;
         stats.wal_syncs = wal.syncs;
@@ -518,125 +897,107 @@ impl BufferPool {
 
     /// Reset statistics counters (useful between benchmark phases).
     pub fn reset_stats(&self) {
-        let mut inner = self.inner.lock();
-        inner.stats = BufferStats::default();
-        inner.wal.reset_stats();
+        self.stats.reset();
+        self.io.lock().wal.reset_stats();
     }
 
     /// Checkpoint: fsync the log, write all dirty pages and the header to
     /// the data file, fsync it, then truncate the log. Fails while a
     /// transaction is open (commit or roll back first).
     pub fn flush(&self) -> StorageResult<()> {
-        let mut inner = self.inner.lock();
-        if inner.txn.is_some() {
+        let mut io = self.io.lock();
+        if io.txn.is_some() {
             return Err(StorageError::TransactionActive);
         }
-        inner.checkpoint()
+        self.checkpoint(&mut io)
     }
 
     /// Drop every unpinned resident page (dirty pages are flushed first).
     /// Used by benchmarks to measure cold-cache behaviour.
     pub fn clear_cache(&self) -> StorageResult<()> {
         self.flush()?;
-        let mut inner = self.inner.lock();
-        let Inner {
-            slots, map, hand, ..
-        } = &mut *inner;
-        slots.retain(|f| f.pins > 0);
-        map.clear();
-        for (i, frame) in slots.iter().enumerate() {
-            map.insert(frame.pid, i);
-        }
-        *hand = 0;
-        Ok(())
-    }
-}
-
-impl Inner {
-    fn sim_crashed(&self) -> bool {
-        self.crashed || self.wal.crashed()
-    }
-
-    /// Fault-injection gate in front of every data-file page write.
-    fn data_write_gate(&mut self) -> StorageResult<()> {
-        if self.sim_crashed() {
-            return Err(wal::simulated_crash());
-        }
-        if let Some(n) = self.data_writes_until_crash {
-            if n == 0 {
-                self.crashed = true;
-                return Err(wal::simulated_crash());
+        let _io = self.io.lock();
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            let mut i = 0;
+            while i < shard.slots.len() {
+                if shard.slots[i].pins.load(Ordering::Acquire) == 0 {
+                    shard.remove_slot(i);
+                    self.resident.fetch_sub(1, Ordering::Relaxed);
+                } else {
+                    i += 1;
+                }
             }
-            self.data_writes_until_crash = Some(n - 1);
+            shard.hand = 0;
         }
         Ok(())
     }
+
+    // ------------------------------------------------------------------
+    // Internals (all called with the io latch held)
+    // ------------------------------------------------------------------
 
     /// Append the commit group for `txn`: one after-image per dirtied page
     /// (stolen pages are re-read from the data file — their latest content
     /// lives there) and a commit record carrying the header state.
-    fn log_commit(&mut self, txn: &TxnState, sync: bool) -> StorageResult<Lsn> {
+    fn log_commit(&self, io: &mut IoState, txn: &TxnState, sync: bool) -> StorageResult<Lsn> {
         for &pid in &txn.dirty {
-            let image: Arc<Page> = match self.map.get(&pid) {
-                Some(&slot) => Arc::clone(&self.slots[slot].page),
-                None => Arc::new(self.pager.read_page(pid)?),
+            let image: Arc<Page> = match self.lookup_frame(pid) {
+                Some(frame) => Arc::clone(&frame.body.read().page),
+                None => Arc::new(io.pager.read_page(pid)?),
             };
-            self.wal
+            io.wal
                 .append_image(WalRecordKind::PageImage, txn.id, pid, image.bytes())?;
         }
-        let lsn = self.wal.append_commit(
+        let lsn = io.wal.append_commit(
             txn.id,
-            self.pager.page_count(),
-            self.pager.catalog_root().0,
-            self.pager.user_meta().0,
+            io.pager.page_count(),
+            io.pager.catalog_root().0,
+            io.pager.user_meta().0,
         )?;
         if sync {
-            self.wal.sync()?;
+            io.wal.sync()?;
         }
         Ok(lsn)
     }
 
     /// Restore a transaction's before-images in memory and roll the header
     /// snapshot back. Works even after a simulated crash (no disk writes).
-    fn rollback_with(&mut self, txn: TxnState) -> StorageResult<()> {
-        let mut deferred_installs: Vec<Frame> = Vec::new();
+    /// The whole restore happens inside one view transition: snapshot
+    /// readers either still see the overlay or the already-restored frames —
+    /// both are the same committed bytes.
+    fn rollback_with(&self, io: &mut IoState, txn: TxnState) -> StorageResult<()> {
+        self.begin_view_change();
+        let mut deferred_installs: Vec<Arc<Frame>> = Vec::new();
         for (pid, undo) in &txn.undo {
             let stolen = txn.stolen.contains(pid);
             match &undo.image {
                 Some(image) => {
-                    if let Some(&slot) = self.map.get(pid) {
-                        let frame = &mut self.slots[slot];
-                        frame.page = Arc::clone(image);
+                    if let Some(frame) = self.lookup_frame(*pid) {
+                        let mut body = frame.body.write();
+                        body.page = Arc::clone(image);
                         // Stolen pages left uncommitted content on disk; the
                         // restored image must eventually be written back.
-                        frame.dirty = undo.prior_dirty || stolen;
-                        frame.rec_lsn = 0;
+                        body.dirty = undo.prior_dirty || stolen;
+                        body.rec_lsn = 0;
                     } else if stolen {
                         // Evicted after the steal: the disk copy is
                         // uncommitted garbage; reinstall the before-image as
                         // a dirty frame.
-                        deferred_installs.push(Frame {
-                            pid: *pid,
-                            page: Arc::clone(image),
-                            dirty: true,
-                            pins: 0,
-                            referenced: true,
-                            rec_lsn: 0,
-                        });
+                        deferred_installs.push(Frame::new(*pid, Arc::clone(image), true, 0));
                     }
                 }
                 None => {
                     // Allocated inside the transaction: forget the frame.
-                    // The slot is orphaned under the NULL sentinel and gets
-                    // recycled by the clock sweep.
-                    if let Some(slot) = self.map.remove(pid) {
-                        let frame = &mut self.slots[slot];
-                        debug_assert_eq!(frame.pins, 0, "rolling back a pinned allocation");
-                        frame.pid = PageId::NULL;
-                        frame.page = Arc::new(Page::new());
-                        frame.dirty = false;
-                        frame.referenced = false;
-                        frame.rec_lsn = 0;
+                    let mut shard = self.shards[shard_of(*pid)].lock();
+                    if let Some(&idx) = shard.map.get(pid) {
+                        debug_assert_eq!(
+                            shard.slots[idx].pins.load(Ordering::Relaxed),
+                            0,
+                            "rolling back a pinned allocation"
+                        );
+                        shard.remove_slot(idx);
+                        self.resident.fetch_sub(1, Ordering::Relaxed);
                     }
                 }
             }
@@ -645,180 +1006,161 @@ impl Inner {
         // capacity pressure see consistent state.
         let mut result = Ok(());
         for frame in deferred_installs {
-            if let Err(e) = self.install(frame) {
+            if let Err(e) = self.install(io, frame) {
                 result = Err(e);
             }
         }
-        self.pager
+        io.pager
             .restore_header(txn.header.0, txn.header.1, txn.header.2, txn.header.3);
+        self.overlay.write().clear();
+        self.end_view_change();
         result
     }
 
     /// Write every dirty page and the header to the data file, fsync, then
     /// truncate the log.
-    fn checkpoint(&mut self) -> StorageResult<()> {
-        if self.sim_crashed() {
+    fn checkpoint(&self, io: &mut IoState) -> StorageResult<()> {
+        if io.sim_crashed() {
             return Err(wal::simulated_crash());
         }
-        self.wal.sync()?;
-        for slot in 0..self.slots.len() {
-            if !self.slots[slot].dirty {
-                continue;
+        io.wal.sync()?;
+        for shard in &self.shards {
+            let frames: Vec<Arc<Frame>> = shard.lock().slots.to_vec();
+            for frame in frames {
+                let mut body = frame.body.write();
+                if !body.dirty {
+                    continue;
+                }
+                io.data_write_gate()?;
+                io.pager.write_page(frame.pid, &body.page)?;
+                body.dirty = false;
+                AtomicStats::bump(&self.stats.flushes);
             }
-            self.data_write_gate()?;
-            let Inner {
-                pager,
-                slots,
-                stats,
-                ..
-            } = &mut *self;
-            let frame = &mut slots[slot];
-            pager.write_page(frame.pid, &frame.page)?;
-            frame.dirty = false;
-            stats.flushes += 1;
         }
-        self.pager.set_checkpoint_lsn(self.wal.end_lsn());
-        self.pager.sync()?;
-        if self.checkpoint_truncate_crash {
-            self.crashed = true;
+        let end = io.wal.end_lsn();
+        io.pager.set_checkpoint_lsn(end);
+        io.pager.sync()?;
+        if io.checkpoint_truncate_crash {
+            io.crashed = true;
             return Err(wal::simulated_crash());
         }
         // Truncate even when logging is currently disabled: a stale log
         // from an earlier logged phase must never replay over the newer
         // checkpointed data.
-        self.wal.reset()?;
+        io.wal.reset()?;
         Ok(())
     }
 
-    /// Ensure `pid` is resident, returning its slot index.
-    fn load(&mut self, pid: PageId) -> StorageResult<usize> {
-        if let Some(&slot) = self.map.get(&pid) {
-            self.stats.hits += 1;
-            self.slots[slot].referenced = true;
-            return Ok(slot);
+    /// Ensure a free capacity slot exists (evicting while at capacity).
+    fn reserve(&self, io: &mut IoState) -> StorageResult<()> {
+        while self.resident.load(Ordering::Relaxed) >= self.capacity {
+            self.evict_one(io)?;
         }
-        self.stats.misses += 1;
-        let page = self.pager.read_page(pid)?;
-        let frame = Frame {
-            pid,
-            page: Arc::new(page),
-            dirty: false,
-            pins: 0,
-            referenced: true,
-            rec_lsn: 0,
-        };
-        self.install(frame)
+        Ok(())
     }
 
-    /// Free up a slot for a new frame: `None` while below capacity (append),
-    /// otherwise the index of a just-evicted victim.
-    fn reserve_slot(&mut self) -> StorageResult<Option<usize>> {
-        if self.slots.len() < self.capacity {
-            return Ok(None);
-        }
-        let victim = self.find_victim()?;
-        self.evict_slot(victim)?;
-        Ok(Some(victim))
+    /// Place a frame into its shard, evicting if at capacity.
+    fn install(&self, io: &mut IoState, frame: Arc<Frame>) -> StorageResult<()> {
+        self.reserve(io)?;
+        self.shards[shard_of(frame.pid)].lock().insert(frame);
+        self.resident.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
-    /// Put a frame into a reserved slot (or append) and index it.
-    fn place(&mut self, frame: Frame, slot: Option<usize>) -> usize {
-        let pid = frame.pid;
-        let slot = match slot {
-            Some(i) => {
-                self.slots[i] = frame;
-                i
+    /// Clock sweep: walk the shards round-robin clearing reference bits
+    /// until an unpinned, unreferenced frame comes up; write it back (when
+    /// dirty, WAL-first) and forget it. Two full sweeps without a victim
+    /// means every frame is pinned — a caller bug surfaced as an error
+    /// rather than unbounded growth.
+    fn evict_one(&self, io: &mut IoState) -> StorageResult<()> {
+        let total = self.resident.load(Ordering::Relaxed);
+        let budget = 2 * total + SHARD_COUNT;
+        let mut steps = 0usize;
+        while steps < budget {
+            let si = io.sweep_shard % SHARD_COUNT;
+            io.sweep_shard = io.sweep_shard.wrapping_add(1);
+            let victim = {
+                let mut shard = self.shards[si].lock();
+                let n = shard.slots.len();
+                if n == 0 {
+                    steps += 1;
+                    None
+                } else {
+                    let mut found = None;
+                    for _ in 0..n {
+                        let i = shard.hand % shard.slots.len();
+                        shard.hand = (shard.hand + 1) % shard.slots.len();
+                        steps += 1;
+                        let frame = &shard.slots[i];
+                        if frame.pins.load(Ordering::Acquire) > 0 {
+                            continue;
+                        }
+                        if frame.referenced.swap(false, Ordering::Relaxed) {
+                            continue;
+                        }
+                        found = Some(i);
+                        break;
+                    }
+                    found.map(|i| shard.remove_slot(i))
+                }
+            };
+            if let Some(frame) = victim {
+                self.resident.fetch_sub(1, Ordering::Relaxed);
+                if let Err(e) = self.write_back_evicted(io, &frame) {
+                    // Keep the frame (and its dirty content) resident so an
+                    // injected-crash test still sees consistent memory.
+                    self.shards[shard_of(frame.pid)].lock().insert(frame);
+                    self.resident.fetch_add(1, Ordering::Relaxed);
+                    return Err(e);
+                }
+                AtomicStats::bump(&self.stats.evictions);
+                return Ok(());
             }
-            None => {
-                self.slots.push(frame);
-                self.slots.len() - 1
-            }
-        };
-        self.map.insert(pid, slot);
-        slot
-    }
-
-    /// Place a frame into the pool, evicting if at capacity.
-    fn install(&mut self, frame: Frame) -> StorageResult<usize> {
-        let slot = self.reserve_slot()?;
-        Ok(self.place(frame, slot))
-    }
-
-    /// Clock sweep: clear reference bits until an unpinned, unreferenced
-    /// frame comes up. Two full sweeps without a victim means every frame is
-    /// pinned — a caller bug surfaced as an error rather than unbounded
-    /// growth.
-    fn find_victim(&mut self) -> StorageResult<usize> {
-        let len = self.slots.len();
-        debug_assert!(len > 0);
-        for _ in 0..2 * len {
-            let i = self.hand;
-            self.hand = (self.hand + 1) % len;
-            let frame = &mut self.slots[i];
-            if frame.pins > 0 {
-                continue;
-            }
-            if frame.referenced {
-                frame.referenced = false;
-                continue;
-            }
-            return Ok(i);
         }
         Err(StorageError::PoolExhausted(self.capacity))
     }
 
-    /// Write back (when dirty, WAL-first) and forget the frame in `slot`.
-    /// The slot itself is left for the caller to refill.
-    fn evict_slot(&mut self, slot: usize) -> StorageResult<()> {
-        let (pid, dirty) = {
-            let frame = &self.slots[slot];
-            debug_assert_eq!(frame.pins, 0, "evicting a pinned frame");
-            (frame.pid, frame.dirty)
-        };
-        if dirty && !pid.is_null() {
-            // Steal: an uncommitted dirty page is about to reach the data
-            // file. Record the steal whether or not logging is on — runtime
-            // rollback needs it to know the disk copy must be overwritten —
-            // and, when logging, make the before-image durable first so
-            // crash recovery can undo it too.
-            let mut must_sync = false;
-            if let Some(txn) = &mut self.txn {
-                if txn.dirty.contains(&pid) && !txn.stolen.contains(&pid) {
-                    if self.logging {
-                        let before: Arc<Page> = match txn.undo.get(&pid) {
-                            Some(UndoEntry {
-                                image: Some(img), ..
-                            }) => Arc::clone(img),
-                            _ => Arc::new(Page::new()),
-                        };
-                        self.wal
-                            .append_image(WalRecordKind::Undo, txn.id, pid, before.bytes())?;
-                        must_sync = true;
-                    }
-                    txn.stolen.insert(pid);
-                }
-            }
-            if self.logging {
-                // WAL-before-data: the log must cover this page's latest
-                // commit record before its content reaches the data file.
-                if must_sync || self.slots[slot].rec_lsn > self.wal.durable_lsn() {
-                    self.wal.sync()?;
-                }
-            }
-            self.data_write_gate()?;
-            let Inner {
-                pager,
-                slots,
-                stats,
-                ..
-            } = &mut *self;
-            pager.write_page(pid, &slots[slot].page)?;
-            stats.writebacks += 1;
+    /// Write back a just-evicted frame (WAL-before-data, stealing the
+    /// before-image of an uncommitted page first).
+    fn write_back_evicted(&self, io: &mut IoState, frame: &Arc<Frame>) -> StorageResult<()> {
+        let pid = frame.pid;
+        let body = frame.body.read();
+        if !body.dirty || pid.is_null() {
+            return Ok(());
         }
-        self.stats.evictions += 1;
-        if self.map.get(&pid) == Some(&slot) {
-            self.map.remove(&pid);
+        // Steal: an uncommitted dirty page is about to reach the data
+        // file. Record the steal whether or not logging is on — runtime
+        // rollback needs it to know the disk copy must be overwritten —
+        // and, when logging, make the before-image durable first so
+        // crash recovery can undo it too.
+        let mut must_sync = false;
+        let logging = io.logging;
+        if let Some(txn) = &mut io.txn {
+            if txn.dirty.contains(&pid) && !txn.stolen.contains(&pid) {
+                if logging {
+                    let before: Arc<Page> = match txn.undo.get(&pid) {
+                        Some(UndoEntry {
+                            image: Some(img), ..
+                        }) => Arc::clone(img),
+                        _ => Arc::new(Page::new()),
+                    };
+                    io.wal
+                        .append_image(WalRecordKind::Undo, txn.id, pid, before.bytes())?;
+                    must_sync = true;
+                }
+                txn.stolen.insert(pid);
+            }
         }
+        if logging {
+            // WAL-before-data: the log must cover this page's latest
+            // commit record before its content reaches the data file.
+            if must_sync || body.rec_lsn > io.wal.durable_lsn() {
+                io.wal.sync()?;
+            }
+        }
+        io.data_write_gate()?;
+        io.pager.write_page(pid, &body.page)?;
+        AtomicStats::bump(&self.stats.writebacks);
         Ok(())
     }
 }
@@ -1307,5 +1649,127 @@ mod tests {
         assert_eq!(pool.with_page(pid, |p| p.read_u64(0)).unwrap(), 77);
         // The pool is dead for writes from here on.
         assert!(pool.flush().is_err());
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot reads
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn snapshot_read_hides_in_flight_transaction() {
+        let (_dir, pool) = pool(16);
+        pool.begin_txn().unwrap();
+        let pid = pool.allocate_page().unwrap();
+        pool.with_page_mut(pid, |p| p.write_u64(0, 1)).unwrap();
+        pool.commit_txn(false).unwrap();
+
+        pool.begin_txn().unwrap();
+        pool.with_page_mut(pid, |p| p.write_u64(0, 999)).unwrap();
+        // The writer sees its own mutation; a snapshot read sees the last
+        // committed value.
+        assert_eq!(pool.with_page(pid, |p| p.read_u64(0)).unwrap(), 999);
+        assert_eq!(pool.with_page_snapshot(pid, |p| p.read_u64(0)).unwrap(), 1);
+        let gen_before = pool.read_generation();
+        pool.commit_txn(false).unwrap();
+        assert!(pool.read_generation() > gen_before, "commit bumps the view");
+        assert_eq!(
+            pool.with_page_snapshot(pid, |p| p.read_u64(0)).unwrap(),
+            999
+        );
+    }
+
+    #[test]
+    fn snapshot_read_hides_stolen_uncommitted_pages() {
+        let (_dir, pool) = pool(8);
+        pool.begin_txn().unwrap();
+        let base = pool.allocate_page().unwrap();
+        pool.with_page_mut(base, |p| p.write_u64(0, 7)).unwrap();
+        pool.commit_txn(false).unwrap();
+        pool.begin_txn().unwrap();
+        pool.with_page_mut(base, |p| p.write_u64(0, 700)).unwrap();
+        // Evict the uncommitted page to disk (steal).
+        for _ in 0..32 {
+            let pid = pool.allocate_page().unwrap();
+            pool.with_page_mut(pid, |p| p.write_u64(0, 1)).unwrap();
+        }
+        assert!(pool.stats().writebacks > 0, "steal must have happened");
+        // Even though the disk copy holds 700, the snapshot read serves the
+        // overlay's before-image.
+        assert_eq!(pool.with_page_snapshot(base, |p| p.read_u64(0)).unwrap(), 7);
+        pool.rollback_txn().unwrap();
+        assert_eq!(pool.with_page(base, |p| p.read_u64(0)).unwrap(), 7);
+        assert_eq!(pool.with_page_snapshot(base, |p| p.read_u64(0)).unwrap(), 7);
+    }
+
+    #[test]
+    fn snapshot_pin_serves_before_image() {
+        let (_dir, pool) = pool(16);
+        pool.begin_txn().unwrap();
+        let pid = pool.allocate_page().unwrap();
+        pool.with_page_mut(pid, |p| p.write_u64(0, 11)).unwrap();
+        pool.commit_txn(false).unwrap();
+        pool.begin_txn().unwrap();
+        pool.with_page_mut(pid, |p| p.write_u64(0, 22)).unwrap();
+        let pin = pool.pin_snapshot(pid).unwrap();
+        assert_eq!(pin.read_u64(0), 11);
+        assert_eq!(pin.page_id(), pid);
+        // Overlay-backed pins hold no frame pin.
+        assert_eq!(pool.pinned_frames(), 0);
+        drop(pin);
+        pool.commit_txn(false).unwrap();
+        let pin = pool.pin_snapshot(pid).unwrap();
+        assert_eq!(pin.read_u64(0), 22);
+        assert_eq!(pool.pinned_frames(), 1);
+    }
+
+    #[test]
+    fn committed_catalog_root_ignores_in_flight_change() {
+        let (_dir, pool) = pool(16);
+        let pid = pool.allocate_page().unwrap();
+        pool.set_catalog_root(pid);
+        pool.begin_txn().unwrap();
+        let other = pool.allocate_page().unwrap();
+        pool.set_catalog_root(other);
+        assert_eq!(pool.catalog_root(), other);
+        assert_eq!(pool.committed_catalog_root(), pid);
+        pool.commit_txn(false).unwrap();
+        assert_eq!(pool.committed_catalog_root(), other);
+    }
+
+    #[test]
+    fn concurrent_readers_count_every_access() {
+        use std::sync::atomic::AtomicU64;
+        let (_dir, pool) = pool(64);
+        let mut pids = Vec::new();
+        for i in 0..32u64 {
+            let pid = pool.allocate_page().unwrap();
+            pool.with_page_mut(pid, |p| p.write_u64(0, i * 7)).unwrap();
+            pids.push(pid);
+        }
+        pool.flush().unwrap();
+        pool.reset_stats();
+        let done = AtomicU64::new(0);
+        const READERS: usize = 4;
+        const ROUNDS: usize = 500;
+        std::thread::scope(|s| {
+            for t in 0..READERS {
+                let pool = &pool;
+                let pids = &pids;
+                let done = &done;
+                s.spawn(move || {
+                    for r in 0..ROUNDS {
+                        let idx = (t * 31 + r * 17) % pids.len();
+                        let v = pool.with_page(pids[idx], |p| p.read_u64(0)).unwrap();
+                        assert_eq!(v, idx as u64 * 7, "torn read");
+                        done.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(done.load(Ordering::Relaxed), (READERS * ROUNDS) as u64);
+        // Atomic counters lose nothing: every access is either a hit or a
+        // miss, and all pages stayed resident (no eviction pressure).
+        let stats = pool.stats();
+        assert_eq!(stats.page_reads(), (READERS * ROUNDS) as u64);
     }
 }

@@ -6,7 +6,7 @@
 //! hex dump and avoids inventing yet another binary format for a structure
 //! that is read once per open and written only on DDL or flush.
 
-use crate::buffer::BufferPool;
+use crate::buffer::{BufferPool, PageSource};
 use crate::error::{StorageError, StorageResult};
 use crate::page::{PageId, PAGE_SIZE};
 use crate::schema::Schema;
@@ -115,9 +115,11 @@ impl Catalog {
     }
 
     /// Load the catalog from the page chain recorded in the file header.
-    /// A null root yields an empty catalog (fresh database).
-    pub fn load(pool: &BufferPool) -> StorageResult<Catalog> {
-        let first = pool.catalog_root();
+    /// A null root yields an empty catalog (fresh database). Generic over
+    /// the [`PageSource`]: snapshot readers load the last committed catalog
+    /// through the overlay-aware view.
+    pub fn load<S: PageSource>(pool: S) -> StorageResult<Catalog> {
+        let first = PageSource::catalog_root(&pool);
         if first.is_null() {
             return Ok(Catalog::new());
         }

@@ -4,9 +4,21 @@
 //! It deliberately looks like a minimal embedded record store rather than a
 //! SQL engine: Crimson's queries are point lookups, range scans and full
 //! scans, all of which are expressed directly.
+//!
+//! ## Concurrent reads
+//!
+//! The engine is single-writer, many-reader. The [`Database`] value is the
+//! writer: mutations take `&mut self` and serialize on the buffer pool's io
+//! latch. Any number of [`DbReader`] handles (see [`Database::reader`]) may
+//! read concurrently from other threads: a reader routes every page access
+//! through the pool's committed-[`Snapshot`] view, so an in-flight
+//! transaction is invisible, and refreshes its cached catalog (table roots,
+//! heap heads) whenever the pool's read generation advances — i.e. after
+//! every commit. The [`DbRead`] trait abstracts over the two, which lets
+//! higher layers write their query engines once.
 
 use crate::btree::{BTree, RangeIter};
-use crate::buffer::{BufferPool, BufferStats, CrashPoint};
+use crate::buffer::{BufferPool, BufferStats, CrashPoint, PageSource, Snapshot};
 use crate::catalog::{Catalog, IndexMeta, RawIndexMeta, TableMeta};
 use crate::error::{StorageError, StorageResult};
 use crate::heap::{HeapFile, RecordId};
@@ -15,8 +27,10 @@ use crate::pager::Pager;
 use crate::schema::{Row, Schema};
 use crate::value::Value;
 use crate::wal::RecoveryReport;
+use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::Arc;
 
 /// Identifier of a table (its position in the catalog).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -26,19 +40,287 @@ pub struct TableId(pub usize);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RawIndexId(pub usize);
 
-/// An embedded, disk-backed record store with secondary B+tree indexes.
-pub struct Database {
-    pool: BufferPool,
+/// Read-only record-store surface shared by the writer ([`Database`], which
+/// reads its own current state) and concurrent snapshot readers
+/// ([`DbReader`], which read the last committed state). Higher layers write
+/// their query engines generically over this trait.
+pub trait DbRead {
+    /// Fetch a row by record id.
+    fn get(&self, table: TableId, rid: RecordId) -> StorageResult<Row>;
+    /// Scan every row of a table, in physical order.
+    fn scan(&self, table: TableId) -> StorageResult<Vec<(RecordId, Row)>>;
+    /// Number of rows in a table.
+    fn row_count(&self, table: TableId) -> StorageResult<usize>;
+    /// Exact-match lookup through the index on `column`, returning full rows.
+    fn lookup_rows(
+        &self,
+        table: TableId,
+        column: &str,
+        value: &Value,
+    ) -> StorageResult<Vec<(RecordId, Row)>>;
+    /// Range scan through the index on `column`: `low ≤ value < high`.
+    fn index_range(
+        &self,
+        table: TableId,
+        column: &str,
+        low: Option<&Value>,
+        high: Option<&Value>,
+    ) -> StorageResult<Vec<RecordId>>;
+    /// Point lookup in a raw index.
+    fn raw_get(&self, id: RawIndexId, key: &[u8]) -> StorageResult<Option<u64>>;
+    /// Number of entries in a raw index (full scan).
+    fn raw_len(&self, id: RawIndexId) -> StorageResult<usize>;
+    /// Visit the first raw-index entry in `low ≤ key < high` with `f` on
+    /// the borrowed in-page key bytes.
+    fn raw_first_in_range<R>(
+        &self,
+        id: RawIndexId,
+        low: &[u8],
+        high: &[u8],
+        f: impl FnOnce(&[u8], u64) -> R,
+    ) -> StorageResult<Option<R>>;
+    /// Walk a raw-index key range in order, calling `f` per entry; `f`
+    /// returning `Ok(false)` stops the scan early.
+    fn raw_scan(
+        &self,
+        id: RawIndexId,
+        low: Option<&[u8]>,
+        high: Option<&[u8]>,
+        f: &mut dyn FnMut(&[u8], u64) -> StorageResult<bool>,
+    ) -> StorageResult<()>;
+}
+
+/// In-memory handles derived from the on-disk catalog: table metadata, heap
+/// files and B+tree roots. The writer owns one (kept in lockstep with its
+/// mutations); every [`DbReader`] owns its own copy (rebuilt from the
+/// committed catalog when the read generation advances).
+#[derive(Clone)]
+struct Meta {
     catalog: Catalog,
     heaps: HashMap<usize, HeapFile>,
     indexes: HashMap<(usize, String), BTree>,
     raw: Vec<BTree>,
 }
 
+impl Meta {
+    fn empty() -> Meta {
+        Meta {
+            catalog: Catalog::new(),
+            heaps: HashMap::new(),
+            indexes: HashMap::new(),
+            raw: Vec::new(),
+        }
+    }
+
+    /// Build the handles from the catalog read through `src`. `for_write`
+    /// additionally locates every heap's tail page (needed only by
+    /// `insert`); readers skip that walk, so their per-commit catalog
+    /// refresh costs O(catalog pages), not O(heap pages).
+    fn load_from<S: PageSource>(src: S, for_write: bool) -> StorageResult<Meta> {
+        let catalog = Catalog::load(src)?;
+        let mut heaps = HashMap::new();
+        let mut indexes = HashMap::new();
+        for (tid, table) in catalog.tables.iter().enumerate() {
+            let first = PageId(table.heap_first_page);
+            let heap = if for_write {
+                HeapFile::open(src, first)?
+            } else {
+                HeapFile::open_read_only(first)
+            };
+            heaps.insert(tid, heap);
+            for idx in &table.indexes {
+                indexes.insert(
+                    (tid, idx.column.clone()),
+                    BTree::open(PageId(idx.root_page)),
+                );
+            }
+        }
+        let raw = catalog
+            .raw_indexes
+            .iter()
+            .map(|r| BTree::open(PageId(r.root_page)))
+            .collect();
+        Ok(Meta {
+            catalog,
+            heaps,
+            indexes,
+            raw,
+        })
+    }
+
+    fn table_meta(&self, table: TableId) -> StorageResult<&TableMeta> {
+        self.catalog
+            .tables
+            .get(table.0)
+            .ok_or_else(|| StorageError::UnknownTable(format!("#{}", table.0)))
+    }
+
+    fn index_meta(&self, table: TableId, column: &str) -> StorageResult<&IndexMeta> {
+        self.table_meta(table)?
+            .indexes
+            .iter()
+            .find(|i| i.column == column)
+            .ok_or_else(|| StorageError::UnknownIndex(column.to_string()))
+    }
+
+    fn heap(&self, table: TableId) -> StorageResult<&HeapFile> {
+        self.heaps
+            .get(&table.0)
+            .ok_or_else(|| StorageError::UnknownTable(format!("#{}", table.0)))
+    }
+
+    fn index(&self, table: TableId, column: &str) -> StorageResult<&BTree> {
+        self.indexes
+            .get(&(table.0, column.to_string()))
+            .ok_or_else(|| StorageError::UnknownIndex(column.to_string()))
+    }
+
+    fn raw_btree(&self, id: RawIndexId) -> StorageResult<&BTree> {
+        self.raw
+            .get(id.0)
+            .ok_or_else(|| StorageError::UnknownIndex(format!("raw #{}", id.0)))
+    }
+
+    // ---- read operations, generic over the page source ----
+
+    fn get<S: PageSource>(&self, src: S, table: TableId, rid: RecordId) -> StorageResult<Row> {
+        let meta = self.table_meta(table)?;
+        let heap = self.heap(table)?;
+        let bytes = heap.get(src, rid)?;
+        meta.schema.decode_row(&bytes)
+    }
+
+    fn scan<S: PageSource>(&self, src: S, table: TableId) -> StorageResult<Vec<(RecordId, Row)>> {
+        let meta = self.table_meta(table)?;
+        let heap = self.heap(table)?;
+        let mut out = Vec::new();
+        for item in heap.scan(src)? {
+            let (rid, bytes) = item?;
+            out.push((rid, meta.schema.decode_row(&bytes)?));
+        }
+        Ok(out)
+    }
+
+    fn row_count<S: PageSource>(&self, src: S, table: TableId) -> StorageResult<usize> {
+        self.heap(table)?.len(src)
+    }
+
+    fn index_lookup<S: PageSource>(
+        &self,
+        src: S,
+        table: TableId,
+        column: &str,
+        value: &Value,
+    ) -> StorageResult<Vec<RecordId>> {
+        let idx_meta = self.index_meta(table, column)?;
+        let btree = self.index(table, column)?;
+        if idx_meta.unique {
+            Ok(btree
+                .get(src, &value.key_bytes())?
+                .map(RecordId::from_u64)
+                .into_iter()
+                .collect())
+        } else {
+            // Non-unique keys carry a record-id suffix; scan the value prefix.
+            let low = value.key_bytes();
+            let mut high = low.clone();
+            high.extend_from_slice(&[0xFF; 9]);
+            let mut out = Vec::new();
+            for item in btree.range(src, Some(&low), Some(&high))? {
+                let (_, v) = item?;
+                out.push(RecordId::from_u64(v));
+            }
+            Ok(out)
+        }
+    }
+
+    fn index_range<S: PageSource>(
+        &self,
+        src: S,
+        table: TableId,
+        column: &str,
+        low: Option<&Value>,
+        high: Option<&Value>,
+    ) -> StorageResult<Vec<RecordId>> {
+        let _ = self.index_meta(table, column)?;
+        let btree = self.index(table, column)?;
+        let low_key = low.map(|v| v.key_bytes());
+        let high_key = high.map(|v| v.key_bytes());
+        let mut out = Vec::new();
+        for item in btree.range(src, low_key.as_deref(), high_key.as_deref())? {
+            let (_, v) = item?;
+            out.push(RecordId::from_u64(v));
+        }
+        Ok(out)
+    }
+
+    fn lookup_rows<S: PageSource>(
+        &self,
+        src: S,
+        table: TableId,
+        column: &str,
+        value: &Value,
+    ) -> StorageResult<Vec<(RecordId, Row)>> {
+        let rids = self.index_lookup(src, table, column, value)?;
+        rids.into_iter()
+            .map(|rid| Ok((rid, self.get(src, table, rid)?)))
+            .collect()
+    }
+
+    fn raw_get<S: PageSource>(
+        &self,
+        src: S,
+        id: RawIndexId,
+        key: &[u8],
+    ) -> StorageResult<Option<u64>> {
+        self.raw_btree(id)?.get(src, key)
+    }
+
+    fn raw_len<S: PageSource>(&self, src: S, id: RawIndexId) -> StorageResult<usize> {
+        self.raw_btree(id)?.len(src)
+    }
+
+    fn raw_first_in_range<S: PageSource, R>(
+        &self,
+        src: S,
+        id: RawIndexId,
+        low: &[u8],
+        high: &[u8],
+        f: impl FnOnce(&[u8], u64) -> R,
+    ) -> StorageResult<Option<R>> {
+        self.raw_btree(id)?.first_in_range(src, low, high, f)
+    }
+
+    fn raw_scan<S: PageSource>(
+        &self,
+        src: S,
+        id: RawIndexId,
+        low: Option<&[u8]>,
+        high: Option<&[u8]>,
+        f: &mut dyn FnMut(&[u8], u64) -> StorageResult<bool>,
+    ) -> StorageResult<()> {
+        for item in self.raw_btree(id)?.range(src, low, high)? {
+            let (key, value) = item?;
+            if !f(&key, value)? {
+                break;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An embedded, disk-backed record store with secondary B+tree indexes.
+/// This value is the single writer; spawn [`DbReader`]s for concurrent
+/// snapshot reads.
+pub struct Database {
+    pool: Arc<BufferPool>,
+    meta: Meta,
+}
+
 impl std::fmt::Debug for Database {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Database")
-            .field("tables", &self.catalog.tables.len())
+            .field("tables", &self.meta.catalog.tables.len())
             .field("buffer", &self.pool)
             .finish()
     }
@@ -56,11 +338,8 @@ impl Database {
         let pager = Pager::create(path)?;
         let pool = BufferPool::with_capacity(pager, pages)?;
         Ok(Database {
-            pool,
-            catalog: Catalog::new(),
-            heaps: HashMap::new(),
-            indexes: HashMap::new(),
-            raw: Vec::new(),
+            pool: Arc::new(pool),
+            meta: Meta::empty(),
         })
     }
 
@@ -78,11 +357,8 @@ impl Database {
         let pager = Pager::open(path)?;
         let pool = BufferPool::with_capacity(pager, pages)?;
         let mut db = Database {
-            pool,
-            catalog: Catalog::new(),
-            heaps: HashMap::new(),
-            indexes: HashMap::new(),
-            raw: Vec::new(),
+            pool: Arc::new(pool),
+            meta: Meta::empty(),
         };
         db.reload_meta()?;
         Ok(db)
@@ -92,31 +368,15 @@ impl Database {
     /// on-disk catalog. Called at open and after a transaction rollback
     /// (rolled-back DDL may have invalidated cached roots and table ids).
     fn reload_meta(&mut self) -> StorageResult<()> {
-        let catalog = Catalog::load(&self.pool)?;
-        let mut heaps = HashMap::new();
-        let mut indexes = HashMap::new();
-        for (tid, table) in catalog.tables.iter().enumerate() {
-            heaps.insert(
-                tid,
-                HeapFile::open(&self.pool, PageId(table.heap_first_page))?,
-            );
-            for idx in &table.indexes {
-                indexes.insert(
-                    (tid, idx.column.clone()),
-                    BTree::open(PageId(idx.root_page)),
-                );
-            }
-        }
-        let raw = catalog
-            .raw_indexes
-            .iter()
-            .map(|r| BTree::open(PageId(r.root_page)))
-            .collect();
-        self.catalog = catalog;
-        self.heaps = heaps;
-        self.indexes = indexes;
-        self.raw = raw;
+        self.meta = Meta::load_from(&*self.pool, true)?;
         Ok(())
+    }
+
+    /// A concurrent snapshot reader over this database's buffer pool.
+    /// Readers see the last committed state only; they never block behind —
+    /// and are never torn by — the writer's in-flight transaction.
+    pub fn reader(&self) -> StorageResult<DbReader> {
+        DbReader::new(Arc::clone(&self.pool))
     }
 
     // ------------------------------------------------------------------
@@ -215,7 +475,7 @@ impl Database {
     }
 
     fn create_table_inner(&mut self, name: &str, schema: Schema) -> StorageResult<TableId> {
-        if self.catalog.table_id(name).is_some() {
+        if self.meta.catalog.table_id(name).is_some() {
             return Err(StorageError::AlreadyExists(name.to_string()));
         }
         let heap = HeapFile::create(&self.pool)?;
@@ -225,16 +485,17 @@ impl Database {
             heap_first_page: heap.first_page().0,
             indexes: Vec::new(),
         };
-        self.catalog.tables.push(meta);
-        let tid = self.catalog.tables.len() - 1;
-        self.heaps.insert(tid, heap);
-        self.catalog.save(&self.pool)?;
+        self.meta.catalog.tables.push(meta);
+        let tid = self.meta.catalog.tables.len() - 1;
+        self.meta.heaps.insert(tid, heap);
+        self.meta.catalog.save(&self.pool)?;
         Ok(TableId(tid))
     }
 
     /// Look up a table id by name.
     pub fn table(&self, name: &str) -> StorageResult<TableId> {
-        self.catalog
+        self.meta
+            .catalog
             .table_id(name)
             .map(TableId)
             .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
@@ -242,12 +503,17 @@ impl Database {
 
     /// The schema of a table.
     pub fn schema(&self, table: TableId) -> StorageResult<&Schema> {
-        self.table_meta(table).map(|t| &t.schema)
+        self.meta.table_meta(table).map(|t| &t.schema)
     }
 
     /// Names of all tables in creation order.
     pub fn table_names(&self) -> Vec<String> {
-        self.catalog.tables.iter().map(|t| t.name.clone()).collect()
+        self.meta
+            .catalog
+            .tables
+            .iter()
+            .map(|t| t.name.clone())
+            .collect()
     }
 
     /// Create a secondary index over `column`. Existing rows are indexed
@@ -268,7 +534,7 @@ impl Database {
         column: &str,
         unique: bool,
     ) -> StorageResult<()> {
-        let meta = self.table_meta(table)?;
+        let meta = self.meta.table_meta(table)?;
         let col_idx = meta.schema.column_index(column)?;
         if meta.indexes.iter().any(|i| i.column == column) {
             return Err(StorageError::AlreadyExists(format!(
@@ -280,26 +546,28 @@ impl Database {
         let mut btree = BTree::create(&self.pool)?;
         // Index existing rows.
         let schema = meta.schema.clone();
-        let heap = self.heap(table)?.clone();
-        for item in heap.scan(&self.pool)? {
+        let heap = self.meta.heap(table)?.clone();
+        for item in heap.scan(&*self.pool)? {
             let (rid, bytes) = item?;
             let row = schema.decode_row(&bytes)?;
             let value = &row.values[col_idx];
             let key = Self::index_key(value, rid, unique);
-            if unique && btree.contains(&self.pool, &key)? {
+            if unique && btree.contains(&*self.pool, &key)? {
                 return Err(StorageError::DuplicateKey(format!("{value:?}")));
             }
             btree.insert(&self.pool, &key, rid.to_u64())?;
         }
         let root = btree.root();
-        self.catalog.tables[table.0].indexes.push(IndexMeta {
+        self.meta.catalog.tables[table.0].indexes.push(IndexMeta {
             name: index_name,
             column: column.to_string(),
             unique,
             root_page: root.0,
         });
-        self.indexes.insert((table.0, column.to_string()), btree);
-        self.catalog.save(&self.pool)?;
+        self.meta
+            .indexes
+            .insert((table.0, column.to_string()), btree);
+        self.meta.catalog.save(&self.pool)?;
         Ok(())
     }
 
@@ -313,20 +581,21 @@ impl Database {
     }
 
     fn insert_inner(&mut self, table: TableId, values: &[Value]) -> StorageResult<RecordId> {
-        let meta = self.table_meta(table)?.clone();
+        let meta = self.meta.table_meta(table)?.clone();
         let bytes = meta.schema.encode_row(values)?;
         // Unique checks before any mutation.
         for idx in &meta.indexes {
             if idx.unique {
                 let col = meta.schema.column_index(&idx.column)?;
                 let key = values[col].key_bytes();
-                let btree = self.index(table, &idx.column)?;
-                if btree.contains(&self.pool, &key)? {
+                let btree = self.meta.index(table, &idx.column)?;
+                if btree.contains(&*self.pool, &key)? {
                     return Err(StorageError::DuplicateKey(format!("{:?}", values[col])));
                 }
             }
         }
         let heap = self
+            .meta
             .heaps
             .get_mut(&table.0)
             .expect("heap loaded for every table");
@@ -335,6 +604,7 @@ impl Database {
             let col = meta.schema.column_index(&idx.column)?;
             let key = Self::index_key(&values[col], rid, idx.unique);
             let btree = self
+                .meta
                 .indexes
                 .get_mut(&(table.0, idx.column.clone()))
                 .expect("index loaded");
@@ -343,13 +613,13 @@ impl Database {
             if btree.root() != old_root {
                 // Root split: persist the new root page in the catalog.
                 let root = btree.root().0;
-                let entry = self.catalog.tables[table.0]
+                let entry = self.meta.catalog.tables[table.0]
                     .indexes
                     .iter_mut()
                     .find(|i| i.column == idx.column)
                     .expect("index metadata exists");
                 entry.root_page = root;
-                self.catalog.save(&self.pool)?;
+                self.meta.catalog.save(&self.pool)?;
             }
         }
         Ok(rid)
@@ -357,10 +627,7 @@ impl Database {
 
     /// Fetch a row by record id.
     pub fn get(&self, table: TableId, rid: RecordId) -> StorageResult<Row> {
-        let meta = self.table_meta(table)?;
-        let heap = self.heap(table)?;
-        let bytes = heap.get(&self.pool, rid)?;
-        meta.schema.decode_row(&bytes)
+        self.meta.get(&*self.pool, table, rid)
     }
 
     /// Delete a row by record id, maintaining indexes.
@@ -369,33 +636,26 @@ impl Database {
     }
 
     fn delete_inner(&mut self, table: TableId, rid: RecordId) -> StorageResult<()> {
-        let meta = self.table_meta(table)?.clone();
+        let meta = self.meta.table_meta(table)?.clone();
         let row = self.get(table, rid)?;
         for idx in &meta.indexes {
             let col = meta.schema.column_index(&idx.column)?;
             let key = Self::index_key(&row.values[col], rid, idx.unique);
-            let btree = self.index(table, &idx.column)?;
+            let btree = self.meta.index(table, &idx.column)?;
             btree.delete(&self.pool, &key, Some(rid.to_u64()))?;
         }
-        let heap = self.heap(table)?.clone();
+        let heap = self.meta.heap(table)?.clone();
         heap.delete(&self.pool, rid)
     }
 
     /// Scan every row of a table, in physical order.
     pub fn scan(&self, table: TableId) -> StorageResult<Vec<(RecordId, Row)>> {
-        let meta = self.table_meta(table)?;
-        let heap = self.heap(table)?;
-        let mut out = Vec::new();
-        for item in heap.scan(&self.pool)? {
-            let (rid, bytes) = item?;
-            out.push((rid, meta.schema.decode_row(&bytes)?));
-        }
-        Ok(out)
+        self.meta.scan(&*self.pool, table)
     }
 
     /// Number of rows in a table.
     pub fn row_count(&self, table: TableId) -> StorageResult<usize> {
-        self.heap(table)?.len(&self.pool)
+        self.meta.row_count(&*self.pool, table)
     }
 
     // ------------------------------------------------------------------
@@ -409,26 +669,7 @@ impl Database {
         column: &str,
         value: &Value,
     ) -> StorageResult<Vec<RecordId>> {
-        let idx_meta = self.index_meta(table, column)?;
-        let btree = self.index(table, column)?;
-        if idx_meta.unique {
-            Ok(btree
-                .get(&self.pool, &value.key_bytes())?
-                .map(RecordId::from_u64)
-                .into_iter()
-                .collect())
-        } else {
-            // Non-unique keys carry a record-id suffix; scan the value prefix.
-            let low = value.key_bytes();
-            let mut high = low.clone();
-            high.extend_from_slice(&[0xFF; 9]);
-            let mut out = Vec::new();
-            for item in btree.range(&self.pool, Some(&low), Some(&high))? {
-                let (_, v) = item?;
-                out.push(RecordId::from_u64(v));
-            }
-            Ok(out)
-        }
+        self.meta.index_lookup(&*self.pool, table, column, value)
     }
 
     /// Range scan through the index on `column`: `low ≤ value < high`
@@ -440,16 +681,7 @@ impl Database {
         low: Option<&Value>,
         high: Option<&Value>,
     ) -> StorageResult<Vec<RecordId>> {
-        let _ = self.index_meta(table, column)?;
-        let btree = self.index(table, column)?;
-        let low_key = low.map(|v| v.key_bytes());
-        let high_key = high.map(|v| v.key_bytes());
-        let mut out = Vec::new();
-        for item in btree.range(&self.pool, low_key.as_deref(), high_key.as_deref())? {
-            let (_, v) = item?;
-            out.push(RecordId::from_u64(v));
-        }
-        Ok(out)
+        self.meta.index_range(&*self.pool, table, column, low, high)
     }
 
     /// Convenience: fetch full rows through [`Database::index_lookup`].
@@ -459,10 +691,7 @@ impl Database {
         column: &str,
         value: &Value,
     ) -> StorageResult<Vec<(RecordId, Row)>> {
-        let rids = self.index_lookup(table, column, value)?;
-        rids.into_iter()
-            .map(|rid| Ok((rid, self.get(table, rid)?)))
-            .collect()
+        self.meta.lookup_rows(&*self.pool, table, column, value)
     }
 
     // ------------------------------------------------------------------
@@ -477,22 +706,23 @@ impl Database {
     }
 
     fn create_raw_index_inner(&mut self, name: &str) -> StorageResult<RawIndexId> {
-        if self.catalog.raw_indexes.iter().any(|r| r.name == name) {
+        if self.meta.catalog.raw_indexes.iter().any(|r| r.name == name) {
             return Err(StorageError::AlreadyExists(name.to_string()));
         }
         let btree = BTree::create(&self.pool)?;
-        self.catalog.raw_indexes.push(RawIndexMeta {
+        self.meta.catalog.raw_indexes.push(RawIndexMeta {
             name: name.to_string(),
             root_page: btree.root().0,
         });
-        self.raw.push(btree);
-        self.catalog.save(&self.pool)?;
-        Ok(RawIndexId(self.raw.len() - 1))
+        self.meta.raw.push(btree);
+        self.meta.catalog.save(&self.pool)?;
+        Ok(RawIndexId(self.meta.raw.len() - 1))
     }
 
     /// Look up a raw index id by name.
     pub fn raw_index(&self, name: &str) -> StorageResult<RawIndexId> {
-        self.catalog
+        self.meta
+            .catalog
             .raw_indexes
             .iter()
             .position(|r| r.name == name)
@@ -508,21 +738,32 @@ impl Database {
 
     fn raw_insert_inner(&mut self, id: RawIndexId, key: &[u8], value: u64) -> StorageResult<()> {
         let btree = self
+            .meta
             .raw
             .get_mut(id.0)
             .ok_or_else(|| StorageError::UnknownIndex(format!("raw #{}", id.0)))?;
         let old_root = btree.root();
         btree.insert(&self.pool, key, value)?;
         if btree.root() != old_root {
-            self.catalog.raw_indexes[id.0].root_page = btree.root().0;
-            self.catalog.save(&self.pool)?;
+            self.meta.catalog.raw_indexes[id.0].root_page = btree.root().0;
+            self.meta.catalog.save(&self.pool)?;
         }
         Ok(())
     }
 
+    /// Remove one entry with exactly `key` from a raw index. Returns `true`
+    /// when an entry was removed. Used by repair/corruption tooling and the
+    /// integrity-check test harness.
+    pub fn raw_delete(&mut self, id: RawIndexId, key: &[u8]) -> StorageResult<bool> {
+        self.autocommit(|db| {
+            let btree = db.meta.raw_btree(id)?.clone();
+            btree.delete(&db.pool, key, None)
+        })
+    }
+
     /// Point lookup in a raw index.
     pub fn raw_get(&self, id: RawIndexId, key: &[u8]) -> StorageResult<Option<u64>> {
-        self.raw_btree(id)?.get(&self.pool, key)
+        self.meta.raw_get(&*self.pool, id, key)
     }
 
     /// Range scan over a raw index: `low ≤ key < high`, `None` = unbounded.
@@ -533,8 +774,8 @@ impl Database {
         id: RawIndexId,
         low: Option<&[u8]>,
         high: Option<&[u8]>,
-    ) -> StorageResult<RangeIter<'_>> {
-        self.raw_btree(id)?.range(&self.pool, low, high)
+    ) -> StorageResult<RangeIter<&BufferPool>> {
+        self.meta.raw_btree(id)?.range(&*self.pool, low, high)
     }
 
     /// Visit the first raw-index entry in `low ≤ key < high` with `f` on
@@ -547,18 +788,12 @@ impl Database {
         high: &[u8],
         f: impl FnOnce(&[u8], u64) -> R,
     ) -> StorageResult<Option<R>> {
-        self.raw_btree(id)?.first_in_range(&self.pool, low, high, f)
+        self.meta.raw_first_in_range(&*self.pool, id, low, high, f)
     }
 
     /// Number of entries in a raw index (full scan).
     pub fn raw_len(&self, id: RawIndexId) -> StorageResult<usize> {
-        self.raw_btree(id)?.len(&self.pool)
-    }
-
-    fn raw_btree(&self, id: RawIndexId) -> StorageResult<&BTree> {
-        self.raw
-            .get(id.0)
-            .ok_or_else(|| StorageError::UnknownIndex(format!("raw #{}", id.0)))
+        self.meta.raw_len(&*self.pool, id)
     }
 
     // ------------------------------------------------------------------
@@ -572,7 +807,7 @@ impl Database {
         if self.pool.in_txn() {
             return Err(StorageError::TransactionActive);
         }
-        self.catalog.save(&self.pool)?;
+        self.meta.catalog.save(&self.pool)?;
         self.pool.flush()
     }
 
@@ -612,32 +847,233 @@ impl Database {
         }
         key
     }
+}
 
-    fn table_meta(&self, table: TableId) -> StorageResult<&TableMeta> {
-        self.catalog
-            .tables
-            .get(table.0)
-            .ok_or_else(|| StorageError::UnknownTable(format!("#{}", table.0)))
+impl DbRead for Database {
+    fn get(&self, table: TableId, rid: RecordId) -> StorageResult<Row> {
+        Database::get(self, table, rid)
     }
 
-    fn index_meta(&self, table: TableId, column: &str) -> StorageResult<&IndexMeta> {
-        self.table_meta(table)?
-            .indexes
-            .iter()
-            .find(|i| i.column == column)
-            .ok_or_else(|| StorageError::UnknownIndex(column.to_string()))
+    fn scan(&self, table: TableId) -> StorageResult<Vec<(RecordId, Row)>> {
+        Database::scan(self, table)
     }
 
-    fn heap(&self, table: TableId) -> StorageResult<&HeapFile> {
-        self.heaps
-            .get(&table.0)
-            .ok_or_else(|| StorageError::UnknownTable(format!("#{}", table.0)))
+    fn row_count(&self, table: TableId) -> StorageResult<usize> {
+        Database::row_count(self, table)
     }
 
-    fn index(&self, table: TableId, column: &str) -> StorageResult<&BTree> {
-        self.indexes
-            .get(&(table.0, column.to_string()))
-            .ok_or_else(|| StorageError::UnknownIndex(column.to_string()))
+    fn lookup_rows(
+        &self,
+        table: TableId,
+        column: &str,
+        value: &Value,
+    ) -> StorageResult<Vec<(RecordId, Row)>> {
+        Database::lookup_rows(self, table, column, value)
+    }
+
+    fn index_range(
+        &self,
+        table: TableId,
+        column: &str,
+        low: Option<&Value>,
+        high: Option<&Value>,
+    ) -> StorageResult<Vec<RecordId>> {
+        Database::index_range(self, table, column, low, high)
+    }
+
+    fn raw_get(&self, id: RawIndexId, key: &[u8]) -> StorageResult<Option<u64>> {
+        Database::raw_get(self, id, key)
+    }
+
+    fn raw_len(&self, id: RawIndexId) -> StorageResult<usize> {
+        Database::raw_len(self, id)
+    }
+
+    fn raw_first_in_range<R>(
+        &self,
+        id: RawIndexId,
+        low: &[u8],
+        high: &[u8],
+        f: impl FnOnce(&[u8], u64) -> R,
+    ) -> StorageResult<Option<R>> {
+        Database::raw_first_in_range(self, id, low, high, f)
+    }
+
+    fn raw_scan(
+        &self,
+        id: RawIndexId,
+        low: Option<&[u8]>,
+        high: Option<&[u8]>,
+        f: &mut dyn FnMut(&[u8], u64) -> StorageResult<bool>,
+    ) -> StorageResult<()> {
+        self.meta.raw_scan(&*self.pool, id, low, high, f)
+    }
+}
+
+/// Cached reader-side metadata, keyed by the pool's read generation.
+struct CachedMeta {
+    gen: u64,
+    meta: Meta,
+}
+
+/// A concurrent snapshot reader over a database's buffer pool. `Send +
+/// Sync`: share one across threads or create one per thread — they are
+/// cheap (an `Arc` plus cached catalog handles).
+///
+/// Every read routes through the pool's committed-[`Snapshot`] view: pages
+/// touched by the writer's open transaction read as their before-images, so
+/// a reader observes the last committed state and never blocks behind an
+/// in-flight load. The cached catalog handles are rebuilt whenever the
+/// pool's read generation advances (i.e. after every commit or rollback).
+///
+/// A multi-page operation that straddles a commit can still observe a mix
+/// of old and new pages; callers detect this by bracketing the operation
+/// with [`DbReader::stable_generation`] / [`DbReader::generation`] and
+/// retrying on a change (see `crimson`'s `RepositoryReader`).
+pub struct DbReader {
+    pool: Arc<BufferPool>,
+    meta: RwLock<CachedMeta>,
+}
+
+impl DbReader {
+    fn new(pool: Arc<BufferPool>) -> StorageResult<DbReader> {
+        let gen = Self::stable_gen(&pool);
+        let meta = Meta::load_from(Snapshot(&pool), false)?;
+        Ok(DbReader {
+            pool,
+            meta: RwLock::new(CachedMeta { gen, meta }),
+        })
+    }
+
+    fn stable_gen(pool: &BufferPool) -> u64 {
+        loop {
+            let gen = pool.read_generation();
+            if gen.is_multiple_of(2) {
+                return gen;
+            }
+            // A commit/rollback is retiring the overlay right now; the
+            // transition is a few map operations, so spin briefly.
+            std::thread::yield_now();
+        }
+    }
+
+    /// The current read generation (possibly odd while a commit retires the
+    /// overlay).
+    pub fn generation(&self) -> u64 {
+        self.pool.read_generation()
+    }
+
+    /// The current *stable* (even) read generation, waiting out an
+    /// in-progress view transition. Bracket a multi-page operation with
+    /// this and [`DbReader::generation`]: if the value changed, retry.
+    pub fn stable_generation(&self) -> u64 {
+        Self::stable_gen(&self.pool)
+    }
+
+    /// Look up a table id by name in the committed catalog.
+    pub fn table(&self, name: &str) -> StorageResult<TableId> {
+        self.with_meta(|meta, _| {
+            meta.catalog
+                .table_id(name)
+                .map(TableId)
+                .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+        })
+    }
+
+    /// Look up a raw index id by name in the committed catalog.
+    pub fn raw_index(&self, name: &str) -> StorageResult<RawIndexId> {
+        self.with_meta(|meta, _| {
+            meta.catalog
+                .raw_indexes
+                .iter()
+                .position(|r| r.name == name)
+                .map(RawIndexId)
+                .ok_or_else(|| StorageError::UnknownIndex(name.to_string()))
+        })
+    }
+
+    /// Run `f` against metadata that matches the current committed state,
+    /// rebuilding the cached handles first when a commit has landed since
+    /// the last call.
+    fn with_meta<R>(
+        &self,
+        f: impl FnOnce(&Meta, Snapshot<'_>) -> StorageResult<R>,
+    ) -> StorageResult<R> {
+        let gen = self.stable_generation();
+        {
+            let cached = self.meta.read();
+            if cached.gen == gen {
+                return f(&cached.meta, Snapshot(&self.pool));
+            }
+        }
+        let mut cached = self.meta.write();
+        let gen = self.stable_generation();
+        if cached.gen != gen {
+            cached.meta = Meta::load_from(Snapshot(&self.pool), false)?;
+            cached.gen = gen;
+        }
+        f(&cached.meta, Snapshot(&self.pool))
+    }
+}
+
+impl DbRead for DbReader {
+    fn get(&self, table: TableId, rid: RecordId) -> StorageResult<Row> {
+        self.with_meta(|m, s| m.get(s, table, rid))
+    }
+
+    fn scan(&self, table: TableId) -> StorageResult<Vec<(RecordId, Row)>> {
+        self.with_meta(|m, s| m.scan(s, table))
+    }
+
+    fn row_count(&self, table: TableId) -> StorageResult<usize> {
+        self.with_meta(|m, s| m.row_count(s, table))
+    }
+
+    fn lookup_rows(
+        &self,
+        table: TableId,
+        column: &str,
+        value: &Value,
+    ) -> StorageResult<Vec<(RecordId, Row)>> {
+        self.with_meta(|m, s| m.lookup_rows(s, table, column, value))
+    }
+
+    fn index_range(
+        &self,
+        table: TableId,
+        column: &str,
+        low: Option<&Value>,
+        high: Option<&Value>,
+    ) -> StorageResult<Vec<RecordId>> {
+        self.with_meta(|m, s| m.index_range(s, table, column, low, high))
+    }
+
+    fn raw_get(&self, id: RawIndexId, key: &[u8]) -> StorageResult<Option<u64>> {
+        self.with_meta(|m, s| m.raw_get(s, id, key))
+    }
+
+    fn raw_len(&self, id: RawIndexId) -> StorageResult<usize> {
+        self.with_meta(|m, s| m.raw_len(s, id))
+    }
+
+    fn raw_first_in_range<R>(
+        &self,
+        id: RawIndexId,
+        low: &[u8],
+        high: &[u8],
+        f: impl FnOnce(&[u8], u64) -> R,
+    ) -> StorageResult<Option<R>> {
+        self.with_meta(|m, s| m.raw_first_in_range(s, id, low, high, f))
+    }
+
+    fn raw_scan(
+        &self,
+        id: RawIndexId,
+        low: Option<&[u8]>,
+        high: Option<&[u8]>,
+        f: &mut dyn FnMut(&[u8], u64) -> StorageResult<bool>,
+    ) -> StorageResult<()> {
+        self.with_meta(|m, s| m.raw_scan(s, id, low, high, f))
     }
 }
 
@@ -996,5 +1432,145 @@ mod tests {
         assert_eq!(hits.len(), 1);
         assert!(db.buffer_stats().misses > 0);
         assert_eq!(db.buffer_stats().hit_ratio(), db.buffer_stats().hit_ratio());
+    }
+
+    #[test]
+    fn raw_delete_removes_entry() {
+        let (_d, mut db) = fresh();
+        let idx = db.create_raw_index("ivl").unwrap();
+        db.raw_insert(idx, b"key-a", 1).unwrap();
+        db.raw_insert(idx, b"key-b", 2).unwrap();
+        assert!(db.raw_delete(idx, b"key-a").unwrap());
+        assert!(!db.raw_delete(idx, b"key-a").unwrap());
+        assert_eq!(db.raw_get(idx, b"key-a").unwrap(), None);
+        assert_eq!(db.raw_get(idx, b"key-b").unwrap(), Some(2));
+        assert_eq!(db.raw_len(idx).unwrap(), 1);
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot readers
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn reader_sees_committed_rows_only() {
+        let (_d, mut db) = fresh();
+        let t = db.create_table("species", species_schema()).unwrap();
+        db.create_index(t, "name", true).unwrap();
+        db.insert(t, &[Value::text("Bha"), Value::Int(1), Value::Null])
+            .unwrap();
+        let reader = db.reader().unwrap();
+        assert_eq!(reader.table("species").unwrap(), t);
+        assert_eq!(reader.row_count(t).unwrap(), 1);
+
+        // An open transaction's inserts are invisible to the reader...
+        db.begin().unwrap();
+        db.insert(t, &[Value::text("Lla"), Value::Int(2), Value::Null])
+            .unwrap();
+        assert_eq!(db.row_count(t).unwrap(), 2, "writer sees its own insert");
+        assert_eq!(reader.row_count(t).unwrap(), 1, "reader must not");
+        assert!(reader
+            .lookup_rows(t, "name", &Value::text("Lla"))
+            .unwrap()
+            .is_empty());
+
+        // ...until the commit lands.
+        db.commit().unwrap();
+        assert_eq!(reader.row_count(t).unwrap(), 2);
+        let rows = reader.lookup_rows(t, "name", &Value::text("Lla")).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].1.values[1], Value::Int(2));
+    }
+
+    #[test]
+    fn reader_survives_rollback() {
+        let (_d, mut db) = fresh();
+        let t = db.create_table("species", species_schema()).unwrap();
+        db.insert(t, &[Value::text("Bha"), Value::Int(1), Value::Null])
+            .unwrap();
+        let reader = db.reader().unwrap();
+        db.begin().unwrap();
+        for i in 0..50 {
+            db.insert(
+                t,
+                &[
+                    Value::text(format!("x{i}")),
+                    Value::Int(10 + i),
+                    Value::Null,
+                ],
+            )
+            .unwrap();
+        }
+        assert_eq!(reader.row_count(t).unwrap(), 1);
+        db.rollback().unwrap();
+        assert_eq!(reader.row_count(t).unwrap(), 1);
+        assert_eq!(db.row_count(t).unwrap(), 1);
+    }
+
+    #[test]
+    fn reader_refreshes_catalog_after_ddl() {
+        let (_d, mut db) = fresh();
+        let t = db.create_table("first", species_schema()).unwrap();
+        db.insert(t, &[Value::text("a"), Value::Int(1), Value::Null])
+            .unwrap();
+        let reader = db.reader().unwrap();
+        assert!(reader.table("second").is_err());
+        let t2 = db.create_table("second", species_schema()).unwrap();
+        db.insert(t2, &[Value::text("b"), Value::Int(2), Value::Null])
+            .unwrap();
+        // The reader picks up the new table after the auto-commits.
+        assert_eq!(reader.table("second").unwrap(), t2);
+        assert_eq!(reader.row_count(t2).unwrap(), 1);
+    }
+
+    #[test]
+    fn concurrent_readers_during_writes() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let (_d, mut db) = fresh();
+        let t = db.create_table("nodes", species_schema()).unwrap();
+        db.create_index(t, "node_id", true).unwrap();
+        for i in 0..200 {
+            db.insert(
+                t,
+                &[Value::text(format!("n{i}")), Value::Int(i), Value::Null],
+            )
+            .unwrap();
+        }
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let reader = db.reader().unwrap();
+                let stop = &stop;
+                s.spawn(move || {
+                    let mut rounds = 0u64;
+                    while !stop.load(Ordering::Relaxed) || rounds < 50 {
+                        // Row counts only ever grow by whole committed
+                        // transactions of 10 rows.
+                        let n = reader.row_count(t).unwrap();
+                        assert!(n >= 200 && (n - 200) % 10 == 0, "torn count {n}");
+                        let rows = reader.lookup_rows(t, "node_id", &Value::Int(42)).unwrap();
+                        assert_eq!(rows.len(), 1);
+                        rounds += 1;
+                        if rounds > 5000 {
+                            break;
+                        }
+                    }
+                });
+            }
+            // Writer: 20 transactions of 10 rows each.
+            for batch in 0..20 {
+                db.begin().unwrap();
+                for i in 0..10 {
+                    let id = 1000 + batch * 10 + i;
+                    db.insert(
+                        t,
+                        &[Value::text(format!("w{id}")), Value::Int(id), Value::Null],
+                    )
+                    .unwrap();
+                }
+                db.commit().unwrap();
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        assert_eq!(db.row_count(t).unwrap(), 400);
     }
 }

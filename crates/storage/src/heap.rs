@@ -20,7 +20,7 @@
 //! Records are addressed by [`RecordId`] = (page, slot), which is the stable
 //! physical id the rest of the system (indexes, node labels) refers to.
 
-use crate::buffer::BufferPool;
+use crate::buffer::{BufferPool, PageSource};
 use crate::error::{StorageError, StorageResult};
 use crate::page::{Page, PageId, PAGE_SIZE};
 use serde::{Deserialize, Serialize};
@@ -93,8 +93,19 @@ impl HeapFile {
         })
     }
 
+    /// Open a heap file for read-only use: the tail pointer is left at the
+    /// first page instead of being located (only [`HeapFile::insert`] needs
+    /// the tail), so opening costs zero page reads. Snapshot readers rebuild
+    /// their catalog handles on every commit; this keeps that rebuild cheap.
+    pub fn open_read_only(first_page: PageId) -> Self {
+        HeapFile {
+            first_page,
+            last_page: first_page,
+        }
+    }
+
     /// Re-open a heap file given its first page (walks to find the tail).
-    pub fn open(pool: &BufferPool, first_page: PageId) -> StorageResult<Self> {
+    pub fn open<S: PageSource>(pool: S, first_page: PageId) -> StorageResult<Self> {
         let mut last = first_page;
         loop {
             let next = pool.with_page(last, |p| PageId(p.read_u64(HDR_NEXT_PAGE)))?;
@@ -147,7 +158,7 @@ impl HeapFile {
     }
 
     /// Fetch a record's bytes.
-    pub fn get(&self, pool: &BufferPool, rid: RecordId) -> StorageResult<Vec<u8>> {
+    pub fn get<S: PageSource>(&self, pool: S, rid: RecordId) -> StorageResult<Vec<u8>> {
         pool.with_page(PageId(rid.page), |p| read_slot(p, rid.slot))?
     }
 
@@ -222,7 +233,7 @@ impl HeapFile {
     /// Scan every live record. Returns `(RecordId, bytes)` pairs in physical
     /// order. The whole scan materializes page-by-page, never holding more
     /// than one page's records at a time in the closure.
-    pub fn scan<'a>(&self, pool: &'a BufferPool) -> StorageResult<ScanIter<'a>> {
+    pub fn scan<S: PageSource>(&self, pool: S) -> StorageResult<ScanIter<S>> {
         Ok(ScanIter {
             pool,
             current_page: self.first_page,
@@ -233,7 +244,7 @@ impl HeapFile {
     }
 
     /// Count live records.
-    pub fn len(&self, pool: &BufferPool) -> StorageResult<usize> {
+    pub fn len<S: PageSource>(&self, pool: S) -> StorageResult<usize> {
         let mut count = 0usize;
         let mut page = self.first_page;
         loop {
@@ -258,16 +269,18 @@ impl HeapFile {
     }
 }
 
-/// Iterator over the live records of a heap file.
-pub struct ScanIter<'a> {
-    pool: &'a BufferPool,
+/// Iterator over the live records of a heap file. Generic over the
+/// [`PageSource`], so the same scan serves the writer's current view and
+/// concurrent snapshot readers.
+pub struct ScanIter<S: PageSource> {
+    pool: S,
     current_page: PageId,
     buffer: Vec<(RecordId, Vec<u8>)>,
     buffer_pos: usize,
     done: bool,
 }
 
-impl<'a> ScanIter<'a> {
+impl<S: PageSource> ScanIter<S> {
     fn refill(&mut self) -> StorageResult<()> {
         let pool = self.pool;
         self.buffer.clear();
@@ -302,7 +315,7 @@ impl<'a> ScanIter<'a> {
     }
 }
 
-impl<'a> Iterator for ScanIter<'a> {
+impl<S: PageSource> Iterator for ScanIter<S> {
     type Item = StorageResult<(RecordId, Vec<u8>)>;
 
     fn next(&mut self) -> Option<Self::Item> {

@@ -24,18 +24,33 @@
 //!   ([`catalog`]) persisting table, index and raw-index metadata,
 //! * a [`db::Database`] facade tying the pieces together.
 //!
-//! ## Buffer-pool eviction policy
+//! ## Buffer pool: sharded latches, clock eviction, snapshot reads
 //!
 //! Residency is bounded by a fixed frame capacity; the pool never grows past
-//! it whatever the file size. Eviction is clock second-chance: every access
-//! sets a frame's reference bit, and the clock hand sweeps slots clearing
-//! bits until it finds an unpinned, unreferenced victim. Dirty victims are
-//! written back through a borrow of the frame (`Page` is never cloned on the
-//! write path). Pinned frames ([`buffer::BufferPool::pin`]) are skipped by
-//! the sweep; a pool whose every frame is pinned surfaces
-//! [`StorageError::PoolExhausted`] instead of growing. Range scans pin one
-//! leaf at a time and decode entries lazily from the pinned frame, so a scan
-//! neither copies whole leaves nor has its leaf evicted mid-read.
+//! it whatever the file size. The page table is sharded (16 short-held
+//! mutexes) and each frame carries its own read/write latch, atomic pin
+//! count and reference bit, so any number of reader threads hit the cache
+//! concurrently; file I/O, the WAL and the single open transaction
+//! serialize on one writer/io latch (latch order: io → shard map → frame →
+//! overlay). All statistics counters are atomic. Eviction is clock
+//! second-chance: every access sets a frame's reference bit, and the hand
+//! sweeps shards round-robin clearing bits until it finds an unpinned,
+//! unreferenced victim. Dirty victims are written back through a borrow of
+//! the frame (`Page` is never cloned on the write path). Pinned frames
+//! ([`buffer::BufferPool::pin`]) are skipped by the sweep; a pool whose
+//! every frame is pinned surfaces [`StorageError::PoolExhausted`] instead
+//! of growing. Range scans pin one leaf at a time and decode entries lazily
+//! from the pinned frame, so a scan neither copies whole leaves nor has its
+//! leaf evicted mid-read.
+//!
+//! Concurrent readers see **committed snapshots**: a transaction's first
+//! touch of a page publishes its before-image in an overlay, and the
+//! snapshot view ([`buffer::Snapshot`], [`db::DbReader`]) prefers the
+//! overlay — an in-flight transaction is invisible, and readers never block
+//! behind it. The [`buffer::PageSource`] trait makes the B+tree, heap and
+//! catalog read paths generic over the current view vs. the snapshot view;
+//! `ARCHITECTURE.md` documents the latching protocol and the snapshot-read
+//! rule in full.
 //!
 //! ## Transactions, write-ahead logging and recovery
 //!
@@ -54,9 +69,9 @@
 //!
 //! The engine intentionally supports exactly the operational envelope the
 //! paper's workload requires — bulk load, point/range reads, secondary
-//! indexes, atomic durable transactions — rather than a SQL surface or
-//! multi-writer concurrency. See `DESIGN.md` §2 for the substitution
-//! argument.
+//! indexes, atomic durable transactions, single-writer/many-reader
+//! concurrency — rather than a SQL surface or multi-writer concurrency.
+//! See `DESIGN.md` §2 for the substitution argument.
 //!
 //! ```
 //! use storage::db::Database;
@@ -91,8 +106,8 @@ pub mod schema;
 pub mod value;
 pub mod wal;
 
-pub use buffer::CrashPoint;
-pub use db::{Database, RawIndexId, TableId};
+pub use buffer::{CrashPoint, PageSource, PinnedPage, Snapshot};
+pub use db::{Database, DbRead, DbReader, RawIndexId, TableId};
 pub use error::{StorageError, StorageResult};
 pub use heap::RecordId;
 pub use page::{PageId, PAGE_SIZE};
