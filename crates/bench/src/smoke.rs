@@ -276,6 +276,126 @@ pub fn load_workload(leaves: usize, seed: u64) -> LoadCost {
     }
 }
 
+/// Wall-clock and WAL cost of loading one simulated tree through the bulk
+/// fast path versus the row-at-a-time reference path (same tree, fresh
+/// repository each, followed by a checkpoint).
+#[derive(Debug, Clone, Copy)]
+pub struct BulkLoadCost {
+    /// Node rows loaded (tree nodes).
+    pub rows: usize,
+    /// Wall-clock seconds of the bulk `load_tree` (excluding checkpoint).
+    pub bulk_seconds: f64,
+    /// Wall-clock seconds of `load_tree_reference`.
+    pub reference_seconds: f64,
+    /// WAL bytes appended by the bulk load (including its checkpoint).
+    pub wal_bytes: u64,
+    /// Data-file page writes of the bulk load (checkpoint + evictions).
+    pub data_page_writes: u64,
+}
+
+impl BulkLoadCost {
+    /// `reference_seconds / bulk_seconds` — the load fast-path speedup.
+    pub fn speedup(&self) -> f64 {
+        self.reference_seconds / self.bulk_seconds.max(1e-9)
+    }
+
+    /// Bulk-path load throughput in rows per second.
+    pub fn rows_per_sec(&self) -> f64 {
+        self.rows as f64 / self.bulk_seconds.max(1e-9)
+    }
+
+    /// WAL bytes per data byte written — the log-overhead ratio the bulk
+    /// path budgets at ≤ 1.1× (one after-image per loaded page).
+    pub fn wal_ratio(&self) -> f64 {
+        let data = (self.data_page_writes as f64) * storage::PAGE_SIZE as f64;
+        self.wal_bytes as f64 / data.max(1.0)
+    }
+}
+
+/// Load smoke for the bulk fast path: time `load_tree` (bulk) and
+/// `load_tree_reference` (row-at-a-time) on the same simulated tree in fresh
+/// repositories, cross-validating that both answer a sample of LCA queries
+/// identically and pass their integrity checks. Best-of-`runs` timing keeps
+/// the ratio honest on noisy runners.
+pub fn bulk_load_workload(leaves: usize, seed: u64, runs: usize) -> BulkLoadCost {
+    let tree = workloads::simulated_tree(leaves, seed);
+    let rows = tree.node_count();
+    let time_load = |reference: bool| -> (f64, u64, u64) {
+        let mut best = f64::MAX;
+        let mut wal_bytes = 0;
+        let mut page_writes = 0;
+        for _ in 0..runs.max(1) {
+            let dir = tempfile::tempdir().expect("temp dir");
+            let mut repo = crimson::repository::Repository::create(
+                dir.path().join("load.crimson"),
+                crimson::repository::RepositoryOptions {
+                    frame_depth: 16,
+                    buffer_pool_pages: 4096,
+                },
+            )
+            .expect("create repository");
+            repo.reset_buffer_stats();
+            let start = std::time::Instant::now();
+            if reference {
+                repo.load_tree_reference("bench", &tree).expect("load");
+            } else {
+                repo.load_tree("bench", &tree).expect("load");
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            repo.flush().expect("checkpoint");
+            let stats = repo.buffer_stats();
+            if elapsed < best {
+                best = elapsed;
+                wal_bytes = stats.wal_bytes;
+                page_writes = stats.page_writes();
+            }
+        }
+        (best, wal_bytes, page_writes)
+    };
+    // Cross-validate once: both paths must answer the same queries
+    // identically and pass integrity.
+    {
+        let dir = tempfile::tempdir().expect("temp dir");
+        let opts = crimson::repository::RepositoryOptions {
+            frame_depth: 16,
+            buffer_pool_pages: 4096,
+        };
+        let mut bulk =
+            crimson::repository::Repository::create(dir.path().join("bulk.crimson"), opts.clone())
+                .expect("create");
+        let mut reference =
+            crimson::repository::Repository::create(dir.path().join("ref.crimson"), opts)
+                .expect("create");
+        let hb = bulk.load_tree("bench", &tree).expect("bulk load");
+        let hr = reference
+            .load_tree_reference("bench", &tree)
+            .expect("reference load");
+        let leaves_b = bulk.leaves(hb).expect("leaves");
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            let a = *leaves_b.choose(&mut rng).expect("non-empty");
+            let b = *leaves_b.choose(&mut rng).expect("non-empty");
+            assert_eq!(
+                bulk.lca(a, b).expect("lca"),
+                reference.lca(a, b).expect("lca"),
+                "bulk and reference repositories disagree on lca({a}, {b})"
+            );
+        }
+        bulk.integrity_check().expect("bulk integrity");
+        reference.integrity_check().expect("reference integrity");
+        let _ = hr;
+    }
+    let (bulk_seconds, wal_bytes, data_page_writes) = time_load(false);
+    let (reference_seconds, _, _) = time_load(true);
+    BulkLoadCost {
+        rows,
+        bulk_seconds,
+        reference_seconds,
+        wal_bytes,
+        data_page_writes,
+    }
+}
+
 /// Recovery smoke: commit one load, crash partway through a second, reopen
 /// and return the recovery report (the caller asserts on it). Panics if the
 /// recovered repository fails its integrity check or loses the committed
@@ -420,6 +540,87 @@ mod tests {
             cost.write_overhead() < 2.0,
             "WAL must not double the load's data-file page writes, got {cost:?}"
         );
+    }
+
+    /// Repo-root path of the machine-readable bench report.
+    fn bench_report_path() -> std::path::PathBuf {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_load.json")
+    }
+
+    #[test]
+    fn smoke_bulk_load() {
+        let leaves = 800;
+        let cost = bulk_load_workload(leaves, 42, 2);
+        eprintln!(
+            "smoke bulk load: {} rows, bulk {:.3}s ({:.0} rows/s) vs reference {:.3}s → {:.1}x, \
+             WAL ratio {:.3}",
+            cost.rows,
+            cost.bulk_seconds,
+            cost.rows_per_sec(),
+            cost.reference_seconds,
+            cost.speedup(),
+            cost.wal_ratio()
+        );
+        assert!(
+            cost.wal_ratio() <= 1.1,
+            "bulk load must log at most 1.1 bytes per data byte, got {:.3}",
+            cost.wal_ratio()
+        );
+        // The load-throughput assertion binds under the same conditions as
+        // the concurrency scaling one: enough hardware threads and a serial
+        // test run (CI's dedicated release smoke step); under default
+        // libtest parallelism the sibling smokes pollute the timing.
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let serial = std::env::var("RUST_TEST_THREADS").as_deref() == Ok("1");
+        if hw >= 4 && serial {
+            let floor = if cfg!(debug_assertions) { 2.0 } else { 5.0 };
+            assert!(
+                cost.speedup() >= floor,
+                "bulk load must be ≥{floor}x faster than the row-at-a-time path, \
+                 got {:.2}x ({cost:?})",
+                cost.speedup()
+            );
+        } else {
+            eprintln!(
+                "skipping the bulk speedup assertion: {hw} hardware thread(s), serial = {serial}"
+            );
+        }
+        // Machine-readable perf trajectory: the read-path ratios from the
+        // sibling smoke profiles plus the load numbers, written at the repo
+        // root so successive PRs can be compared.
+        let clade = spanning_clade(leaves, 16, 42);
+        let proj = projection(leaves, 100, 21);
+        let pattern = pattern_match(leaves, 32, 33);
+        let report = serde_json::json!({
+            "profile": serde_json::json!({
+                "leaves": leaves,
+                "seed": 42,
+                "release": !cfg!(debug_assertions)
+            }),
+            "load": serde_json::json!({
+                "rows": cost.rows,
+                "bulk_seconds": cost.bulk_seconds,
+                "reference_seconds": cost.reference_seconds,
+                "speedup": cost.speedup(),
+                "bulk_rows_per_sec": cost.rows_per_sec(),
+                "wal_bytes": cost.wal_bytes,
+                "wal_bytes_per_data_byte": cost.wal_ratio()
+            }),
+            "read_path_page_read_ratios": serde_json::json!({
+                "spanning_clade": clade.speedup(),
+                "projection": proj.speedup(),
+                "pattern_match": pattern.speedup()
+            })
+        });
+        let path = bench_report_path();
+        std::fs::write(
+            &path,
+            serde_json::to_string(&report).expect("serialize report"),
+        )
+        .expect("write BENCH_load.json");
+        eprintln!("wrote {}", path.display());
     }
 
     #[test]

@@ -39,6 +39,13 @@ pub struct LoadReport {
     pub messages: Vec<String>,
 }
 
+/// Human-readable load throughput for the status messages: the GUI-style
+/// progress line now carries the bulk path's rows/sec.
+fn throughput(rows: usize, elapsed: std::time::Duration) -> String {
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    format!("{:.0} rows/s", rows as f64 / secs)
+}
+
 impl Repository {
     /// Load a Newick string as a new tree (structure only — Newick carries no
     /// sequences). The load and its Query-Repository history entry are one
@@ -47,13 +54,15 @@ impl Repository {
         let tree = newick::parse(text).map_err(phylo::PhyloError::from)?;
         let node_count = tree.node_count();
         self.with_txn(|repo| {
+            let start = std::time::Instant::now();
             let handle = repo.load_tree(name, &tree)?;
             let report = LoadReport {
                 handle,
                 nodes_loaded: node_count,
                 species_loaded: 0,
                 messages: vec![format!(
-                    "loaded tree `{name}` with {node_count} nodes from Newick"
+                    "loaded tree `{name}` with {node_count} nodes from Newick ({})",
+                    throughput(node_count, start.elapsed())
                 )],
             };
             repo.record_load(name, &report)?;
@@ -88,13 +97,15 @@ impl Repository {
                 // atomic transaction.
                 self.with_txn(|repo| {
                     let mut messages = Vec::new();
+                    let start = std::time::Instant::now();
                     let handle = repo.load_tree(name, &named.tree)?;
                     messages.push(format!(
-                        "loaded tree `{}` ({} nodes, {} leaves) from NEXUS tree `{}`",
+                        "loaded tree `{}` ({} nodes, {} leaves) from NEXUS tree `{}` ({})",
                         name,
                         node_count,
                         named.tree.leaf_count(),
-                        named.name
+                        named.name,
+                        throughput(node_count, start.elapsed())
                     ));
                     let mut species_loaded = 0;
                     if mode == LoadMode::TreeWithSpecies && !doc.sequences.is_empty() {

@@ -206,6 +206,11 @@ pub struct IntegrityReport {
     pub history_entries: u64,
 }
 
+/// Fill factor for bulk-built heap and index pages: nearly full (the
+/// workload is load-once/query-many) with headroom so later point inserts
+/// into a loaded tree's key range don't split immediately.
+pub(crate) const BULK_FILL: f64 = 0.9;
+
 /// Generation size of the node-record cache (≤ 2 generations resident).
 pub(crate) const RECORD_CACHE_GEN: usize = 4096;
 /// Generation size of the interval-entry cache.
@@ -909,11 +914,220 @@ impl Repository {
     /// The load is one atomic transaction: a failed or interrupted load
     /// leaves no orphan node/frame/interval rows and is invisible after
     /// reopening the repository.
+    ///
+    /// This is the bulk fast path: one DFS computes every per-node scalar
+    /// (pre/end ranks, parent rank, depth, root distance, subtree height),
+    /// then a single pre-order emission streams node rows straight into the
+    /// storage engine's bulk appenders — heap pages are filled sequentially,
+    /// secondary indexes and both interval indexes are packed bottom-up —
+    /// instead of paying a root-to-leaf descent and a whole-node rewrite
+    /// per row. [`Repository::load_tree_reference`] keeps the row-at-a-time
+    /// path for cross-validation.
     pub fn load_tree(&mut self, name: &str, tree: &Tree) -> CrimsonResult<TreeHandle> {
         self.with_txn(|repo| repo.load_tree_inner(name, tree))
     }
 
+    /// Load a tree through the original row-at-a-time path: one
+    /// [`Database::insert`] per frame/node row and one `raw_insert` per
+    /// interval entry, each paying a full B+tree descent. Kept as the
+    /// reference implementation the bulk property tests cross-validate
+    /// against, and as the cost baseline the load bench measures the bulk
+    /// path's speedup over.
+    pub fn load_tree_reference(&mut self, name: &str, tree: &Tree) -> CrimsonResult<TreeHandle> {
+        self.with_txn(|repo| repo.load_tree_reference_inner(name, tree))
+    }
+
     fn load_tree_inner(&mut self, name: &str, tree: &Tree) -> CrimsonResult<TreeHandle> {
+        if tree.is_empty() {
+            return Err(CrimsonError::Phylo(phylo::PhyloError::EmptyTree));
+        }
+        if self.find_tree(name)?.is_some() {
+            return Err(CrimsonError::DuplicateTree(name.to_string()));
+        }
+        let tree_id = self.next_tree_id()?;
+        let handle = TreeHandle(tree_id);
+
+        let labels = HierarchicalDewey::build(tree, self.options.frame_depth);
+        let layer0 = labels.layer(0);
+        let node_sid = |n: phylo::NodeId| StoredNodeId((tree_id << TREE_SHIFT) | n.0 as u64);
+        let frame_sid = |f: u32| StoredFrameId((tree_id << TREE_SHIFT) | f as u64);
+
+        // One iterative DFS computes every per-node scalar the row needs:
+        // pre-order rank on entry; subtree end rank and height on exit. This
+        // replaces five separate traversals (root distances, depths,
+        // pre-order ranks, heights, interval labels) of the reference path.
+        let n = tree.node_count();
+        let mut pre_of = vec![0u32; n];
+        let mut end_of = vec![0u32; n];
+        let mut parent_pre = vec![0u32; n];
+        let mut root_dist = vec![0.0f64; n];
+        let mut depth_of = vec![0u64; n];
+        let mut height_of = vec![0.0f64; n];
+        // Pre-order sequence of arena ids: the emission order.
+        let mut order: Vec<phylo::NodeId> = Vec::with_capacity(n);
+        let mut leaf_count = 0u64;
+        let root = tree.root_unchecked();
+        order.push(root);
+        let mut next_pre = 1u32;
+        let mut stack: Vec<(phylo::NodeId, usize)> = vec![(root, 0)];
+        while let Some(&(node, child_idx)) = stack.last() {
+            let children = tree.children(node);
+            if child_idx < children.len() {
+                stack.last_mut().expect("just peeked").1 += 1;
+                let child = children[child_idx];
+                let ci = child.index();
+                pre_of[ci] = next_pre;
+                next_pre += 1;
+                parent_pre[ci] = pre_of[node.index()];
+                root_dist[ci] = root_dist[node.index()] + tree.node(child).branch_length_or_zero();
+                depth_of[ci] = depth_of[node.index()] + 1;
+                order.push(child);
+                stack.push((child, 0));
+            } else {
+                end_of[node.index()] = next_pre - 1;
+                if children.is_empty() {
+                    leaf_count += 1;
+                }
+                stack.pop();
+                if let Some(&(parent, _)) = stack.last() {
+                    let lifted = height_of[node.index()] + tree.node(node).branch_length_or_zero();
+                    if lifted > height_of[parent.index()] {
+                        height_of[parent.index()] = lifted;
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), n);
+
+        // Frame ranks (number of ancestor frames) for the cross-frame walk.
+        let frame_count = layer0.frame_count();
+        let mut frame_rank = vec![0u64; frame_count];
+        for fid in 0..frame_count as u32 {
+            let mut rank = 0u64;
+            let mut cur = fid;
+            while let Some(parent) = layer0.frame(cur).parent_frame {
+                rank += 1;
+                cur = parent;
+            }
+            frame_rank[fid as usize] = rank;
+        }
+
+        // Frame rows, streamed through the bulk appender (frame ids ascend,
+        // so the unique frame_id index packs bottom-up).
+        let mut next_frame = 0u32;
+        self.db
+            .bulk_insert_with(self.tables.frames, BULK_FILL, |values| {
+                if next_frame as usize == frame_count {
+                    return Ok(false);
+                }
+                let fid = next_frame;
+                next_frame += 1;
+                let frame = layer0.frame(fid);
+                values.push(Value::Int(frame_sid(fid).0 as i64));
+                values.push(Value::Int(tree_id as i64));
+                values.push(Value::Int(node_sid(phylo::NodeId(frame.root)).0 as i64));
+                values.push(match frame.parent_frame {
+                    Some(p) => Value::Int(frame_sid(p).0 as i64),
+                    None => Value::Int(-1),
+                });
+                values.push(match frame.source {
+                    Some(s) => Value::Int(node_sid(phylo::NodeId(s)).0 as i64),
+                    None => Value::Int(-1),
+                });
+                values.push(Value::Int(frame_rank[fid as usize] as i64));
+                Ok(true)
+            })?;
+
+        // Node rows in pre-order (heap locality aligned with the dominant
+        // access pattern), one streaming emission: each row is encoded into
+        // the engine's reusable buffer and appended to sequentially filled
+        // heap pages; the six secondary indexes are packed bottom-up from
+        // the buffered key runs. The returned physical record ids feed the
+        // interval index below as direct row locators.
+        let mut emit = 0usize;
+        let row_ids = self
+            .db
+            .bulk_insert_with(self.tables.nodes, BULK_FILL, |values| {
+                let Some(&node) = order.get(emit) else {
+                    return Ok(false);
+                };
+                emit += 1;
+                let ai = node.index();
+                let is_leaf = tree.is_leaf(node);
+                let label = labels.label(node);
+                let label_bytes: Vec<u8> =
+                    label.path.iter().flat_map(|c| c.to_le_bytes()).collect();
+                values.push(Value::Int(node_sid(node).0 as i64));
+                values.push(Value::Int(tree_id as i64));
+                values.push(match tree.parent(node) {
+                    Some(p) => Value::Int(node_sid(p).0 as i64),
+                    None => Value::Int(-1),
+                });
+                values.push(match tree.name(node) {
+                    Some(n) => Value::text(n),
+                    None => Value::Null,
+                });
+                values.push(match tree.branch_length(node) {
+                    Some(l) => Value::Float(l),
+                    None => Value::Null,
+                });
+                values.push(Value::Float(root_dist[ai]));
+                values.push(Value::Int(depth_of[ai] as i64));
+                values.push(Value::Int(pre_of[ai] as i64));
+                values.push(Value::Int(frame_sid(label.frame).0 as i64));
+                values.push(Value::bytes(label_bytes));
+                values.push(Value::Bool(is_leaf));
+                values.push(Value::Int(if is_leaf { tree_id as i64 } else { -1 }));
+                values.push(Value::Float(height_of[ai]));
+                Ok(true)
+            })?;
+
+        // Both interval indexes as sorted bottom-up bulk builds: covering
+        // entries keyed by `(tree_id, pre)` carrying the heap locator, and
+        // the node id → packed `(pre, end)` map. Pre-order emission makes
+        // the first run sorted; ascending arena ids make the second.
+        self.db.bulk_raw_insert(
+            self.tables.ivl_by_pre,
+            BULK_FILL,
+            order.iter().enumerate().map(|(rank, &node)| {
+                let ai = node.index();
+                let entry = IntervalEntry {
+                    pre: pre_of[ai],
+                    end: end_of[ai],
+                    parent_pre: parent_pre[ai],
+                    node: node.0,
+                    is_leaf: tree.is_leaf(node),
+                };
+                debug_assert_eq!(entry.pre as usize, rank);
+                (entry.encode_key(tree_id), row_ids[rank].to_u64())
+            }),
+        )?;
+        self.db.bulk_raw_insert(
+            self.tables.ivl_by_node,
+            BULK_FILL,
+            (0..n).map(|ai| {
+                let sid = (tree_id << TREE_SHIFT) | ai as u64;
+                let packed = ((pre_of[ai] as u64) << 32) | end_of[ai] as u64;
+                (sid.to_be_bytes(), packed)
+            }),
+        )?;
+
+        // Insert the tree row last so a partially loaded tree is not visible.
+        self.db.insert(
+            self.tables.trees,
+            &[
+                Value::Int(tree_id as i64),
+                Value::text(name),
+                Value::Int(node_sid(root).0 as i64),
+                Value::Int(n as i64),
+                Value::Int(leaf_count as i64),
+                Value::Int(self.options.frame_depth as i64),
+            ],
+        )?;
+        Ok(handle)
+    }
+
+    fn load_tree_reference_inner(&mut self, name: &str, tree: &Tree) -> CrimsonResult<TreeHandle> {
         if tree.is_empty() {
             return Err(CrimsonError::Phylo(phylo::PhyloError::EmptyTree));
         }
@@ -1069,22 +1283,29 @@ impl Repository {
         handle: TreeHandle,
         sequences: &HashMap<String, String>,
     ) -> CrimsonResult<usize> {
-        let mut loaded = 0usize;
+        // Resolve every species to its leaf first (reads), then stream the
+        // rows through the bulk appender in one pass.
+        let mut resolved: Vec<(&String, StoredNodeId, &String)> =
+            Vec::with_capacity(sequences.len());
         for (name, seq) in sequences {
             let node = self
                 .species_node(handle, name)?
                 .ok_or_else(|| CrimsonError::UnknownSpecies(name.clone()))?;
-            self.db.insert(
-                self.tables.species,
-                &[
-                    Value::text(name),
-                    Value::Int(handle.0 as i64),
-                    Value::Int(node.0 as i64),
-                    Value::text(seq.clone()),
-                ],
-            )?;
-            loaded += 1;
+            resolved.push((name, node, seq));
         }
+        let loaded = resolved.len();
+        let mut iter = resolved.into_iter();
+        self.db
+            .bulk_insert_with(self.tables.species, BULK_FILL, |values| {
+                let Some((name, node, seq)) = iter.next() else {
+                    return Ok(false);
+                };
+                values.push(Value::text(name));
+                values.push(Value::Int(handle.0 as i64));
+                values.push(Value::Int(node.0 as i64));
+                values.push(Value::text(seq.clone()));
+                Ok(true)
+            })?;
         Ok(loaded)
     }
 

@@ -512,6 +512,100 @@ impl BTree {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Bulk loading
+    // ------------------------------------------------------------------
+
+    /// Build a tree from a strictly ascending run of `(key, value)` entries,
+    /// packing leaves bottom-up at the given fill factor. Equivalent to
+    /// [`BTree::create`] followed by [`BTree::bulk_append`].
+    pub fn bulk_build<K, I>(pool: &BufferPool, fill: f64, entries: I) -> StorageResult<Self>
+    where
+        K: AsRef<[u8]>,
+        I: IntoIterator<Item = (K, u64)>,
+    {
+        let mut tree = BTree::create(pool)?;
+        tree.bulk_append(pool, fill, entries)?;
+        Ok(tree)
+    }
+
+    /// Append a sorted run of `(key, value)` entries bottom-up.
+    ///
+    /// Keys must be strictly ascending and sort after every key already in
+    /// the tree; violations return [`StorageError::BulkOutOfOrder`] /
+    /// [`StorageError::DuplicateKey`]. A violation at the *first* entry is
+    /// detected before any page is written, but a mid-run violation aborts
+    /// an append that has already rewritten pages — run inside a
+    /// transaction (as every [`crate::db::Database`] bulk path does) so the
+    /// error rolls the partial run back. Instead of one root-to-leaf
+    /// descent and a whole-node rewrite per entry, the
+    /// run is packed into fresh leaves at `fill` × the page's entry capacity
+    /// and the internal levels are stitched together bottom-up; only the
+    /// rightmost spine of the existing tree is rewritten, and every other
+    /// page is dirtied exactly once, freshly packed. On an empty tree this
+    /// is a full bulk build. Returns the number of entries appended.
+    pub fn bulk_append<K, I>(
+        &mut self,
+        pool: &BufferPool,
+        fill: f64,
+        entries: I,
+    ) -> StorageResult<usize>
+    where
+        K: AsRef<[u8]>,
+        I: IntoIterator<Item = (K, u64)>,
+    {
+        let mut loader = BulkLoader::seed(pool, self.root)?;
+        loader.set_fill(fill);
+        for (key, value) in entries {
+            loader.push(key.as_ref(), value)?;
+        }
+        let (root, pushed) = loader.finish()?;
+        self.root = root;
+        Ok(pushed)
+    }
+
+    /// The largest key currently in the tree (a rightmost-spine walk), or
+    /// `None` when the tree is empty. Used to decide whether a sorted run
+    /// can be bulk-appended.
+    pub fn last_key<S: PageSource>(&self, pool: S) -> StorageResult<Option<Vec<u8>>> {
+        let mut page = self.root;
+        loop {
+            enum Step {
+                Leaf(Option<Vec<u8>>),
+                Child(PageId),
+            }
+            let step = pool.with_page(page, |p| -> StorageResult<Step> {
+                let count = p.read_u16(1) as usize;
+                let is_leaf = p.bytes()[0] == TYPE_LEAF;
+                let mut off = NODE_HEADER;
+                let mut last_key = None;
+                let mut last_child = PageId(p.read_u64(3));
+                for _ in 0..count {
+                    let klen = p.read_u16(off) as usize;
+                    off += 2;
+                    if off + klen + 8 > PAGE_SIZE {
+                        return Err(StorageError::Corrupted("entry overruns page".into()));
+                    }
+                    if is_leaf {
+                        last_key = Some(p.read_bytes(off, klen).to_vec());
+                    } else {
+                        last_child = PageId(p.read_u64(off + klen));
+                    }
+                    off += klen + 8;
+                }
+                if is_leaf {
+                    Ok(Step::Leaf(last_key))
+                } else {
+                    Ok(Step::Child(last_child))
+                }
+            })??;
+            match step {
+                Step::Leaf(key) => return Ok(key),
+                Step::Child(child) => page = child,
+            }
+        }
+    }
+
     /// Walk from the root to the leaf responsible for `key`, scanning
     /// internal entries in place (no per-level key materialization).
     ///
@@ -576,6 +670,267 @@ impl BTree {
                 Node::Internal { children, .. } => page = children[0],
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bottom-up bulk loader
+// ---------------------------------------------------------------------------
+
+/// One level of the bottom-up bulk builder: the page currently being packed
+/// at that height. Entries are accumulated in the exact on-page byte layout
+/// (`key_len u16 | key | u64`), so finalizing a page is a single block copy.
+struct BulkLevel {
+    /// Page the pending entries will be written to (already allocated).
+    page: PageId,
+    /// Serialized entries, identical to the on-page layout.
+    buf: Vec<u8>,
+    /// Entries in `buf`.
+    count: usize,
+    /// Internal levels: the node's leftmost child (the header pointer).
+    /// Unused (NULL) at the leaf level, where the header pointer chains
+    /// siblings instead.
+    leftmost: PageId,
+}
+
+/// Bottom-up builder packing a sorted run into B+tree pages.
+///
+/// `levels[0]` is the leaf level. Seeding loads the rightmost spine of the
+/// existing tree into the level builders, so an append continues exactly
+/// where the tree ends: the spine pages are rewritten in place (their left
+/// siblings keep pointing at them) and every other page is written exactly
+/// once, when it is full or at `finish`.
+struct BulkLoader<'a> {
+    pool: &'a BufferPool,
+    levels: Vec<BulkLevel>,
+    /// Per-page entry-byte budget: `fill × (PAGE_SIZE - NODE_HEADER)`.
+    budget: usize,
+    /// Last key admitted (strict-order validation); starts as the largest
+    /// key already in the tree.
+    last_key: Vec<u8>,
+    have_last: bool,
+    /// Entries pushed so far.
+    pushed: usize,
+    /// Root of the seeded tree (returned unchanged when nothing is pushed).
+    seed_root: PageId,
+}
+
+impl<'a> BulkLoader<'a> {
+    /// Minimum accepted fill factor; lower values would degenerate into one
+    /// entry per page.
+    const MIN_FILL: f64 = 0.1;
+
+    fn seed(pool: &'a BufferPool, root: PageId) -> StorageResult<BulkLoader<'a>> {
+        // Walk the rightmost spine top-down, then reverse so levels[0] is
+        // the leaf level.
+        let mut spine: Vec<(PageId, BulkLevel, bool)> = Vec::new();
+        let mut last_key = Vec::new();
+        let mut have_last = false;
+        let mut page = root;
+        loop {
+            let (level, is_leaf, next_child) =
+                pool.with_page(page, |p| -> StorageResult<(BulkLevel, bool, PageId)> {
+                    let is_leaf = match p.bytes()[0] {
+                        TYPE_LEAF => true,
+                        TYPE_INTERNAL => false,
+                        other => {
+                            return Err(StorageError::Corrupted(format!(
+                                "unknown B+tree node type {other}"
+                            )))
+                        }
+                    };
+                    let count = p.read_u16(1) as usize;
+                    let header_ptr = PageId(p.read_u64(3));
+                    let mut off = NODE_HEADER;
+                    let mut last_child = header_ptr;
+                    for _ in 0..count {
+                        let klen = p.read_u16(off) as usize;
+                        off += 2;
+                        if off + klen + 8 > PAGE_SIZE {
+                            return Err(StorageError::Corrupted("entry overruns page".into()));
+                        }
+                        if is_leaf {
+                            last_key.clear();
+                            last_key.extend_from_slice(p.read_bytes(off, klen));
+                            have_last = true;
+                        } else {
+                            last_child = PageId(p.read_u64(off + klen));
+                        }
+                        off += klen + 8;
+                    }
+                    if is_leaf && !header_ptr.is_null() {
+                        return Err(StorageError::Corrupted(
+                            "rightmost leaf has a right sibling".into(),
+                        ));
+                    }
+                    let level = BulkLevel {
+                        page: PageId::NULL, // patched below
+                        buf: p.read_bytes(NODE_HEADER, off - NODE_HEADER).to_vec(),
+                        count,
+                        leftmost: if is_leaf { PageId::NULL } else { header_ptr },
+                    };
+                    Ok((level, is_leaf, last_child))
+                })??;
+            let mut level = level;
+            level.page = page;
+            spine.push((page, level, is_leaf));
+            if is_leaf {
+                break;
+            }
+            page = next_child;
+        }
+        let levels: Vec<BulkLevel> = spine.into_iter().rev().map(|(_, l, _)| l).collect();
+        Ok(BulkLoader {
+            pool,
+            levels,
+            budget: PAGE_SIZE - NODE_HEADER, // patched by `with_fill`
+            last_key,
+            have_last,
+            pushed: 0,
+            seed_root: root,
+        })
+    }
+
+    fn set_fill(&mut self, fill: f64) {
+        let fill = fill.clamp(Self::MIN_FILL, 1.0);
+        self.budget = ((PAGE_SIZE - NODE_HEADER) as f64 * fill) as usize;
+    }
+
+    fn push(&mut self, key: &[u8], value: u64) -> StorageResult<()> {
+        if key.len() > MAX_KEY_SIZE {
+            return Err(StorageError::RecordTooLarge(key.len()));
+        }
+        if self.have_last {
+            match self.last_key.as_slice().cmp(key) {
+                std::cmp::Ordering::Less => {}
+                std::cmp::Ordering::Equal => {
+                    return Err(StorageError::DuplicateKey(format!(
+                        "bulk load repeats key {key:?}"
+                    )));
+                }
+                std::cmp::Ordering::Greater => {
+                    return Err(StorageError::BulkOutOfOrder(format!(
+                        "key {key:?} sorts before the previous key {:?}",
+                        self.last_key
+                    )));
+                }
+            }
+        }
+        let entry_size = 2 + key.len() + 8;
+        if self.levels[0].count > 0 && self.levels[0].buf.len() + entry_size > self.budget {
+            self.roll_leaf(key)?;
+        }
+        let leaf = &mut self.levels[0];
+        leaf.buf
+            .extend_from_slice(&(key.len() as u16).to_le_bytes());
+        leaf.buf.extend_from_slice(key);
+        leaf.buf.extend_from_slice(&value.to_le_bytes());
+        leaf.count += 1;
+        self.last_key.clear();
+        self.last_key.extend_from_slice(key);
+        self.have_last = true;
+        self.pushed += 1;
+        Ok(())
+    }
+
+    /// Finalize the full leaf, start its successor (chained via the leaf's
+    /// next pointer) and promote the separator — the first key of the new
+    /// leaf — one level up.
+    fn roll_leaf(&mut self, first_key: &[u8]) -> StorageResult<()> {
+        let new_page = self.pool.allocate_page()?;
+        let old_page = self.levels[0].page;
+        self.flush_page(0, new_page)?;
+        let leaf = &mut self.levels[0];
+        leaf.page = new_page;
+        leaf.buf.clear();
+        leaf.count = 0;
+        self.promote(1, old_page, first_key, new_page)
+    }
+
+    /// Register a page split at `level - 1` with its parent: `old_page` kept
+    /// its entries, `new_page` continues them, `sep` is the smallest key in
+    /// `new_page`'s subtree.
+    fn promote(
+        &mut self,
+        level: usize,
+        old_page: PageId,
+        sep: &[u8],
+        new_page: PageId,
+    ) -> StorageResult<()> {
+        if self.levels.len() == level {
+            // The child level outgrew a single page for the first time: a
+            // new top level whose leftmost child is the page everything so
+            // far was packed into.
+            let page = self.pool.allocate_page()?;
+            self.levels.push(BulkLevel {
+                page,
+                buf: Vec::new(),
+                count: 0,
+                leftmost: old_page,
+            });
+        }
+        let entry_size = 2 + sep.len() + 8;
+        if self.levels[level].count > 0 && self.levels[level].buf.len() + entry_size > self.budget {
+            // This internal page is full too: finalize it, start a fresh one
+            // whose leftmost child is `new_page`, and promote the separator
+            // further up (it moves up, exactly as in a top-down split).
+            let fresh = self.pool.allocate_page()?;
+            let old_internal = self.levels[level].page;
+            let leftmost = self.levels[level].leftmost;
+            self.flush_page(level, leftmost)?;
+            let node = &mut self.levels[level];
+            node.page = fresh;
+            node.buf.clear();
+            node.count = 0;
+            node.leftmost = new_page;
+            return self.promote(level + 1, old_internal, sep, fresh);
+        }
+        let node = &mut self.levels[level];
+        node.buf
+            .extend_from_slice(&(sep.len() as u16).to_le_bytes());
+        node.buf.extend_from_slice(sep);
+        node.buf.extend_from_slice(&new_page.0.to_le_bytes());
+        node.count += 1;
+        Ok(())
+    }
+
+    /// Write the level's pending page: type byte, count, header pointer
+    /// (next sibling for leaves, leftmost child for internal nodes) and the
+    /// accumulated entry bytes, in one page mutation.
+    fn flush_page(&self, level: usize, header_ptr: PageId) -> StorageResult<()> {
+        let l = &self.levels[level];
+        debug_assert!(NODE_HEADER + l.buf.len() <= PAGE_SIZE);
+        debug_assert!(l.count < u16::MAX as usize);
+        self.pool.with_page_mut(l.page, |p| {
+            p.bytes_mut()[0] = if level == 0 { TYPE_LEAF } else { TYPE_INTERNAL };
+            p.write_u16(1, l.count as u16);
+            p.write_u64(3, header_ptr.0);
+            p.write_bytes(NODE_HEADER, &l.buf);
+        })?;
+        // Bulk-packed pages are write-once: hint the clock hand that they
+        // can be evicted without a second chance, so a load larger than the
+        // pool streams through it instead of flushing the working set.
+        self.pool.hint_cold(l.page);
+        Ok(())
+    }
+
+    /// Finalize every level bottom-up and return the new root and the
+    /// number of entries appended. When nothing was pushed, no page was (or
+    /// is) touched and the seeded root is returned unchanged.
+    fn finish(self) -> StorageResult<(PageId, usize)> {
+        if self.pushed == 0 {
+            return Ok((self.seed_root, 0));
+        }
+        for level in 0..self.levels.len() {
+            let header_ptr = if level == 0 {
+                PageId::NULL
+            } else {
+                self.levels[level].leftmost
+            };
+            self.flush_page(level, header_ptr)?;
+        }
+        let root = self.levels.last().expect("at least the leaf level").page;
+        Ok((root, self.pushed))
     }
 }
 
@@ -941,6 +1296,241 @@ mod tests {
         let key = format!("{}{:04}", "x".repeat(300), 150);
         assert_eq!(tree.get(&pool, key.as_bytes()).unwrap(), Some(150));
         assert!(tree.height(&pool).unwrap() >= 2);
+    }
+
+    // ------------------------------------------------------------------
+    // Bulk loading
+    // ------------------------------------------------------------------
+
+    fn int_entries(range: std::ops::Range<i64>) -> Vec<(Vec<u8>, u64)> {
+        range
+            .map(|k| (Value::Int(k).key_bytes(), k as u64))
+            .collect()
+    }
+
+    fn assert_full_scan(pool: &BufferPool, tree: &BTree, expected: &[(Vec<u8>, u64)]) {
+        let all: Vec<(Vec<u8>, u64)> = tree
+            .range(pool, None, None)
+            .unwrap()
+            .collect::<StorageResult<_>>()
+            .unwrap();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn bulk_build_empty_input() {
+        let (_d, pool) = pool();
+        let before = pool.page_count();
+        let tree = BTree::bulk_build(&pool, 1.0, Vec::<(Vec<u8>, u64)>::new()).unwrap();
+        assert!(tree.is_empty(&pool).unwrap());
+        assert_eq!(tree.height(&pool).unwrap(), 1);
+        assert_eq!(tree.last_key(&pool).unwrap(), None);
+        // Only the (empty) root leaf was allocated.
+        assert_eq!(pool.page_count(), before + 1);
+    }
+
+    #[test]
+    fn bulk_build_single_key() {
+        let (_d, pool) = pool();
+        let tree = BTree::bulk_build(&pool, 1.0, vec![(b"only".to_vec(), 7u64)]).unwrap();
+        assert_eq!(tree.get(&pool, b"only").unwrap(), Some(7));
+        assert_eq!(tree.len(&pool).unwrap(), 1);
+        assert_eq!(tree.height(&pool).unwrap(), 1);
+        assert_eq!(tree.last_key(&pool).unwrap(), Some(b"only".to_vec()));
+    }
+
+    #[test]
+    fn bulk_build_matches_insert_built_tree() {
+        let (_d, pool) = pool();
+        let entries = int_entries(0..5000);
+        let bulk = BTree::bulk_build(&pool, 1.0, entries.clone()).unwrap();
+        let mut inserted = BTree::create(&pool).unwrap();
+        for (k, v) in &entries {
+            inserted.insert(&pool, k, *v).unwrap();
+        }
+        let from_bulk: Vec<(Vec<u8>, u64)> = bulk
+            .range(&pool, None, None)
+            .unwrap()
+            .collect::<StorageResult<_>>()
+            .unwrap();
+        let from_insert: Vec<(Vec<u8>, u64)> = inserted
+            .range(&pool, None, None)
+            .unwrap()
+            .collect::<StorageResult<_>>()
+            .unwrap();
+        assert_eq!(from_bulk, from_insert);
+        // Point lookups and bounded ranges behave identically.
+        for probe in [0i64, 1, 2499, 4999] {
+            assert_eq!(
+                bulk.get(&pool, &Value::Int(probe).key_bytes()).unwrap(),
+                Some(probe as u64)
+            );
+        }
+        assert_eq!(
+            bulk.get(&pool, &Value::Int(5000).key_bytes()).unwrap(),
+            None
+        );
+        let low = Value::Int(100).key_bytes();
+        let high = Value::Int(200).key_bytes();
+        let hits: Vec<u64> = bulk
+            .range(&pool, Some(&low), Some(&high))
+            .unwrap()
+            .map(|r| r.unwrap().1)
+            .collect();
+        assert_eq!(hits, (100..200u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bulk_build_exact_leaf_capacity_boundaries() {
+        // Entries sized so an exact number fit per leaf: key 12 bytes + 2
+        // length + 8 value = 22 bytes; (PAGE_SIZE - NODE_HEADER) / 22 = 371.
+        let per_leaf = (PAGE_SIZE - NODE_HEADER) / 22;
+        for n in [
+            per_leaf - 1,
+            per_leaf,
+            per_leaf + 1,
+            2 * per_leaf,
+            2 * per_leaf + 1,
+        ] {
+            let (_d, pool) = pool();
+            let entries: Vec<(Vec<u8>, u64)> = (0..n)
+                .map(|i| (format!("key-{i:08}").into_bytes(), i as u64))
+                .collect();
+            let tree = BTree::bulk_build(&pool, 1.0, entries.clone()).unwrap();
+            assert_full_scan(&pool, &tree, &entries);
+            let expected_height = if n <= per_leaf { 1 } else { 2 };
+            assert_eq!(tree.height(&pool).unwrap(), expected_height, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn bulk_build_fill_factors_change_page_count() {
+        let mut heights = Vec::new();
+        let mut pages = Vec::new();
+        for fill in [0.5, 0.75, 1.0] {
+            let (_d, pool) = pool();
+            let before = pool.page_count();
+            let entries = int_entries(0..20_000);
+            let tree = BTree::bulk_build(&pool, fill, entries.clone()).unwrap();
+            assert_eq!(tree.len(&pool).unwrap(), 20_000, "fill {fill}");
+            assert_full_scan(&pool, &tree, &entries);
+            heights.push(tree.height(&pool).unwrap());
+            pages.push(pool.page_count() - before);
+        }
+        // Lower fill factors spread the same entries over more pages.
+        assert!(pages[0] > pages[1], "0.5 must use more pages than 0.75");
+        assert!(pages[1] > pages[2], "0.75 must use more pages than 1.0");
+        // Half-full leaves need roughly twice the pages of packed ones.
+        assert!(pages[0] as f64 >= 1.8 * pages[2] as f64);
+        assert!(heights.iter().all(|&h| h >= 2));
+    }
+
+    #[test]
+    fn bulk_build_rejects_unsorted_and_duplicates() {
+        let (_d, pool) = pool();
+        let unsorted = vec![(b"b".to_vec(), 1u64), (b"a".to_vec(), 2u64)];
+        assert!(matches!(
+            BTree::bulk_build(&pool, 1.0, unsorted),
+            Err(StorageError::BulkOutOfOrder(_))
+        ));
+        let dup = vec![(b"a".to_vec(), 1u64), (b"a".to_vec(), 2u64)];
+        assert!(matches!(
+            BTree::bulk_build(&pool, 1.0, dup),
+            Err(StorageError::DuplicateKey(_))
+        ));
+        // Oversized keys are rejected like on the insert path.
+        let big = vec![(vec![1u8; MAX_KEY_SIZE + 1], 1u64)];
+        assert!(matches!(
+            BTree::bulk_build(&pool, 1.0, big),
+            Err(StorageError::RecordTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn bulk_append_extends_existing_tree() {
+        let (_d, pool) = pool();
+        let mut tree = BTree::bulk_build(&pool, 0.9, int_entries(0..3000)).unwrap();
+        let appended = tree
+            .bulk_append(&pool, 0.9, int_entries(3000..6000))
+            .unwrap();
+        assert_eq!(appended, 3000);
+        assert_full_scan(&pool, &tree, &int_entries(0..6000));
+        assert_eq!(
+            tree.last_key(&pool).unwrap(),
+            Some(Value::Int(5999).key_bytes())
+        );
+        // A run whose first entry does not sort after the existing keys is
+        // rejected before any page is touched.
+        assert!(matches!(
+            tree.bulk_append(&pool, 0.9, int_entries(100..200)),
+            Err(StorageError::BulkOutOfOrder(_))
+        ));
+        assert!(matches!(
+            tree.bulk_append(&pool, 0.9, int_entries(5999..6001)),
+            Err(StorageError::DuplicateKey(_))
+        ));
+        assert_full_scan(&pool, &tree, &int_entries(0..6000));
+        // Ordinary inserts still work on a bulk-built tree.
+        tree.insert(&pool, &Value::Int(-1).key_bytes(), 999)
+            .unwrap();
+        assert_eq!(
+            tree.get(&pool, &Value::Int(-1).key_bytes()).unwrap(),
+            Some(999)
+        );
+        assert_eq!(tree.len(&pool).unwrap(), 6001);
+    }
+
+    #[test]
+    fn bulk_append_onto_insert_built_tree() {
+        let (_d, pool) = pool();
+        let mut tree = BTree::create(&pool).unwrap();
+        // Insert in shuffled order so the spine is a realistic split product.
+        let mut keys: Vec<i64> = (0..2000).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        keys.shuffle(&mut rng);
+        for &k in &keys {
+            tree.insert(&pool, &Value::Int(k).key_bytes(), k as u64)
+                .unwrap();
+        }
+        tree.bulk_append(&pool, 1.0, int_entries(2000..4000))
+            .unwrap();
+        assert_full_scan(&pool, &tree, &int_entries(0..4000));
+        assert!(tree.height(&pool).unwrap() >= 2);
+    }
+
+    #[test]
+    fn bulk_build_persists_across_reopen() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("t.crdb");
+        let root;
+        {
+            let pager = Pager::create(&path).unwrap();
+            let pool = BufferPool::with_capacity(pager, 64).unwrap();
+            let tree = BTree::bulk_build(&pool, 0.8, int_entries(0..10_000)).unwrap();
+            root = tree.root();
+            pool.flush().unwrap();
+        }
+        let pager = Pager::open(&path).unwrap();
+        let pool = BufferPool::with_capacity(pager, 64).unwrap();
+        let tree = BTree::open(root);
+        assert_eq!(tree.len(&pool).unwrap(), 10_000);
+        assert_eq!(
+            tree.get(&pool, &Value::Int(1234).key_bytes()).unwrap(),
+            Some(1234)
+        );
+    }
+
+    #[test]
+    fn bulk_build_under_eviction_pressure() {
+        // A pool far smaller than the output forces constant eviction while
+        // packing; the cold hints must not break correctness.
+        let dir = tempdir().unwrap();
+        let pager = Pager::create(dir.path().join("t.crdb")).unwrap();
+        let pool = BufferPool::with_capacity(pager, 8).unwrap();
+        let entries = int_entries(0..20_000);
+        let tree = BTree::bulk_build(&pool, 1.0, entries.clone()).unwrap();
+        assert!(pool.stats().evictions > 0);
+        assert_full_scan(&pool, &tree, &entries);
     }
 
     #[test]

@@ -115,6 +115,8 @@ pub struct BufferStats {
     pub wal_bytes: u64,
     /// WAL fsync calls.
     pub wal_syncs: u64,
+    /// Full page images appended to the WAL (after-images + steal undos).
+    pub wal_page_images: u64,
     /// Transactions committed with at least one logged page.
     pub commits: u64,
 }
@@ -855,6 +857,18 @@ impl BufferPool {
         })
     }
 
+    /// Sequential-fill hint: clear the frame's reference bit so the clock
+    /// hand may evict it on its first sweep instead of granting the usual
+    /// second chance. Bulk loaders call this on pages they have packed and
+    /// will never touch again — a load larger than the pool then streams
+    /// through it without flushing the hot working set (spine, catalog).
+    pub fn hint_cold(&self, pid: PageId) {
+        let shard = self.shards[shard_of(pid)].lock();
+        if let Some(&i) = shard.map.get(&pid) {
+            shard.slots[i].referenced.store(false, Ordering::Relaxed);
+        }
+    }
+
     /// The catalog root recorded in the file header (current view: inside a
     /// transaction this is the writer's own, possibly uncommitted, value).
     pub fn catalog_root(&self) -> PageId {
@@ -891,6 +905,7 @@ impl BufferPool {
         stats.wal_appends = wal.appends;
         stats.wal_bytes = wal.bytes;
         stats.wal_syncs = wal.syncs;
+        stats.wal_page_images = wal.page_images;
         stats.commits = wal.commits;
         stats
     }
@@ -1138,15 +1153,21 @@ impl BufferPool {
         if let Some(txn) = &mut io.txn {
             if txn.dirty.contains(&pid) && !txn.stolen.contains(&pid) {
                 if logging {
-                    let before: Arc<Page> = match txn.undo.get(&pid) {
-                        Some(UndoEntry {
-                            image: Some(img), ..
-                        }) => Arc::clone(img),
-                        _ => Arc::new(Page::new()),
-                    };
-                    io.wal
-                        .append_image(WalRecordKind::Undo, txn.id, pid, before.bytes())?;
-                    must_sync = true;
+                    // A page *allocated inside* this transaction needs no
+                    // undo record: its before-state is nonexistence. If the
+                    // transaction loses, the page lies beyond the committed
+                    // page count and recovery skips it — so a bulk load that
+                    // overflows the pool streams fresh pages to disk with no
+                    // log traffic and no per-eviction fsync.
+                    if let Some(UndoEntry {
+                        image: Some(img), ..
+                    }) = txn.undo.get(&pid)
+                    {
+                        let before = Arc::clone(img);
+                        io.wal
+                            .append_image(WalRecordKind::Undo, txn.id, pid, before.bytes())?;
+                        must_sync = true;
+                    }
                 }
                 txn.stolen.insert(pid);
             }

@@ -625,6 +625,168 @@ impl Database {
         Ok(rid)
     }
 
+    /// Bulk-insert the rows yielded by `produce`, maintaining all indexes.
+    ///
+    /// `produce` is called with a cleared buffer; it fills in one row's
+    /// values and returns `Ok(true)`, or returns `Ok(false)` to end the
+    /// stream — so a million-row load reuses one `Vec<Value>` and one encode
+    /// buffer instead of allocating per row. Rows stream through the heap's
+    /// batched appender; index entries are buffered, sorted, and applied as
+    /// one bottom-up bulk build per index (at `fill` × page capacity) when
+    /// the run sorts after the index's existing keys, falling back to
+    /// ordinary sorted inserts otherwise. Unique-index violations (within
+    /// the batch or against existing rows) abort with
+    /// [`StorageError::DuplicateKey`]. The catalog is saved once at the end
+    /// instead of once per root split; run inside an explicit transaction,
+    /// the save (like everything else) only becomes visible at commit.
+    pub fn bulk_insert_with<F>(
+        &mut self,
+        table: TableId,
+        fill: f64,
+        produce: F,
+    ) -> StorageResult<Vec<RecordId>>
+    where
+        F: FnMut(&mut Vec<Value>) -> StorageResult<bool>,
+    {
+        self.autocommit(|db| db.bulk_insert_with_inner(table, fill, produce))
+    }
+
+    /// Bulk-insert pre-built rows (convenience wrapper over
+    /// [`Database::bulk_insert_with`]).
+    pub fn bulk_insert<I>(
+        &mut self,
+        table: TableId,
+        fill: f64,
+        rows: I,
+    ) -> StorageResult<Vec<RecordId>>
+    where
+        I: IntoIterator<Item = Vec<Value>>,
+    {
+        let mut iter = rows.into_iter();
+        self.bulk_insert_with(table, fill, move |values| match iter.next() {
+            Some(row) => {
+                *values = row;
+                Ok(true)
+            }
+            None => Ok(false),
+        })
+    }
+
+    fn bulk_insert_with_inner<F>(
+        &mut self,
+        table: TableId,
+        fill: f64,
+        mut produce: F,
+    ) -> StorageResult<Vec<RecordId>>
+    where
+        F: FnMut(&mut Vec<Value>) -> StorageResult<bool>,
+    {
+        let meta = self.meta.table_meta(table)?.clone();
+        let pool = Arc::clone(&self.pool);
+        let mut index_runs: Vec<Vec<(Vec<u8>, u64)>> = vec![Vec::new(); meta.indexes.len()];
+        let index_cols: Vec<usize> = meta
+            .indexes
+            .iter()
+            .map(|idx| meta.schema.column_index(&idx.column))
+            .collect::<StorageResult<_>>()?;
+        let mut rids = Vec::new();
+        {
+            let heap = self
+                .meta
+                .heaps
+                .get_mut(&table.0)
+                .expect("heap loaded for every table");
+            let mut writer = heap.begin_bulk(&pool)?;
+            let mut values: Vec<Value> = Vec::new();
+            let mut row_buf: Vec<u8> = Vec::new();
+            loop {
+                values.clear();
+                if !produce(&mut values)? {
+                    break;
+                }
+                meta.schema.encode_row_into(&values, &mut row_buf)?;
+                let rid = writer.append(&row_buf)?;
+                for (run, (idx, &col)) in index_runs
+                    .iter_mut()
+                    .zip(meta.indexes.iter().zip(&index_cols))
+                {
+                    run.push((Self::index_key(&values[col], rid, idx.unique), rid.to_u64()));
+                }
+                rids.push(rid);
+            }
+            writer.finish()?;
+        }
+        let mut catalog_dirty = false;
+        for (idx, run) in meta.indexes.iter().zip(index_runs) {
+            catalog_dirty |= self.bulk_index_apply(table, &idx.column, idx.unique, fill, run)?;
+        }
+        if catalog_dirty {
+            self.meta.catalog.save(&self.pool)?;
+        }
+        Ok(rids)
+    }
+
+    /// Apply one index's sorted entry run: bulk-append when the run sorts
+    /// after every existing key (always true for a fresh index), ordinary
+    /// sorted inserts otherwise. Returns whether the root moved.
+    fn bulk_index_apply(
+        &mut self,
+        table: TableId,
+        column: &str,
+        unique: bool,
+        fill: f64,
+        mut run: Vec<(Vec<u8>, u64)>,
+    ) -> StorageResult<bool> {
+        if run.is_empty() {
+            return Ok(false);
+        }
+        run.sort_unstable();
+        if unique {
+            for pair in run.windows(2) {
+                if pair[0].0 == pair[1].0 {
+                    return Err(StorageError::DuplicateKey(format!(
+                        "bulk insert repeats unique key {:?} in index `{column}`",
+                        pair[0].0
+                    )));
+                }
+            }
+        }
+        let pool = Arc::clone(&self.pool);
+        let btree = self
+            .meta
+            .indexes
+            .get_mut(&(table.0, column.to_string()))
+            .expect("index loaded");
+        let old_root = btree.root();
+        let appendable = match btree.last_key(&*pool)? {
+            None => true,
+            Some(max) => run[0].0.as_slice() > max.as_slice(),
+        };
+        if appendable {
+            btree.bulk_append(&pool, fill, run)?;
+        } else {
+            for (key, value) in run {
+                if unique && btree.contains(&*pool, &key)? {
+                    return Err(StorageError::DuplicateKey(format!(
+                        "bulk insert duplicates existing unique key {key:?} in index `{column}`"
+                    )));
+                }
+                btree.insert(&pool, &key, value)?;
+            }
+        }
+        if btree.root() != old_root {
+            let root = btree.root().0;
+            let entry = self.meta.catalog.tables[table.0]
+                .indexes
+                .iter_mut()
+                .find(|i| i.column == column)
+                .expect("index metadata exists");
+            entry.root_page = root;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
     /// Fetch a row by record id.
     pub fn get(&self, table: TableId, rid: RecordId) -> StorageResult<Row> {
         self.meta.get(&*self.pool, table, rid)
@@ -749,6 +911,55 @@ impl Database {
             self.meta.catalog.save(&self.pool)?;
         }
         Ok(())
+    }
+
+    /// Bulk-insert a strictly ascending run of `(key, value)` entries into a
+    /// raw index, packing fresh leaves bottom-up at `fill` × page capacity.
+    ///
+    /// Every key must sort after the index's existing keys (the covering
+    /// interval indexes satisfy this by construction: keys embed a
+    /// monotonically increasing tree id). Out-of-order or duplicate input is
+    /// rejected with a typed error, and the enclosing (or automatic)
+    /// transaction rolls any partially written run back. The catalog
+    /// is saved once at the end when the root moved; inside an explicit
+    /// transaction nothing becomes visible until commit. Returns the number
+    /// of entries loaded.
+    pub fn bulk_raw_insert<K, I>(
+        &mut self,
+        id: RawIndexId,
+        fill: f64,
+        entries: I,
+    ) -> StorageResult<usize>
+    where
+        K: AsRef<[u8]>,
+        I: IntoIterator<Item = (K, u64)>,
+    {
+        self.autocommit(|db| db.bulk_raw_insert_inner(id, fill, entries))
+    }
+
+    fn bulk_raw_insert_inner<K, I>(
+        &mut self,
+        id: RawIndexId,
+        fill: f64,
+        entries: I,
+    ) -> StorageResult<usize>
+    where
+        K: AsRef<[u8]>,
+        I: IntoIterator<Item = (K, u64)>,
+    {
+        let pool = Arc::clone(&self.pool);
+        let btree = self
+            .meta
+            .raw
+            .get_mut(id.0)
+            .ok_or_else(|| StorageError::UnknownIndex(format!("raw #{}", id.0)))?;
+        let old_root = btree.root();
+        let loaded = btree.bulk_append(&pool, fill, entries)?;
+        if btree.root() != old_root {
+            self.meta.catalog.raw_indexes[id.0].root_page = btree.root().0;
+            self.meta.catalog.save(&self.pool)?;
+        }
+        Ok(loaded)
     }
 
     /// Remove one entry with exactly `key` from a raw index. Returns `true`
@@ -1445,6 +1656,250 @@ mod tests {
         assert_eq!(db.raw_get(idx, b"key-a").unwrap(), None);
         assert_eq!(db.raw_get(idx, b"key-b").unwrap(), Some(2));
         assert_eq!(db.raw_len(idx).unwrap(), 1);
+    }
+
+    // ------------------------------------------------------------------
+    // Bulk loading
+    // ------------------------------------------------------------------
+
+    fn species_row(i: i64) -> Vec<Value> {
+        vec![
+            Value::text(format!("sp{i:05}")),
+            Value::Int(i),
+            Value::Float(i as f64 * 0.5),
+        ]
+    }
+
+    #[test]
+    fn bulk_insert_builds_fresh_indexes_bottom_up() {
+        let (_d, mut db) = fresh();
+        let t = db.create_table("species", species_schema()).unwrap();
+        db.create_index(t, "node_id", true).unwrap();
+        db.create_index(t, "name", false).unwrap();
+        db.create_index(t, "time", false).unwrap();
+        let rids = db.bulk_insert(t, 0.9, (0..5000).map(species_row)).unwrap();
+        assert_eq!(rids.len(), 5000);
+        assert_eq!(db.row_count(t).unwrap(), 5000);
+        // Unique point lookups, non-unique lookups and range scans all work.
+        for probe in [0i64, 1234, 4999] {
+            let hits = db.index_lookup(t, "node_id", &Value::Int(probe)).unwrap();
+            assert_eq!(hits.len(), 1, "probe {probe}");
+            let row = db.get(t, hits[0]).unwrap();
+            assert_eq!(row.values[0], Value::text(format!("sp{probe:05}")));
+        }
+        assert_eq!(
+            db.index_lookup(t, "name", &Value::text("sp00777"))
+                .unwrap()
+                .len(),
+            1
+        );
+        let range = db
+            .index_range(
+                t,
+                "time",
+                Some(&Value::Float(100.0)),
+                Some(&Value::Float(110.0)),
+            )
+            .unwrap();
+        assert_eq!(range.len(), 20);
+        // Ordinary inserts keep working on the bulk-built indexes.
+        db.insert(
+            t,
+            &[Value::text("zzz"), Value::Int(5000), Value::Float(1.0)],
+        )
+        .unwrap();
+        assert_eq!(
+            db.index_lookup(t, "node_id", &Value::Int(5000))
+                .unwrap()
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn bulk_insert_second_batch_appends_or_falls_back() {
+        let (_d, mut db) = fresh();
+        let t = db.create_table("species", species_schema()).unwrap();
+        db.create_index(t, "node_id", true).unwrap();
+        db.create_index(t, "name", false).unwrap();
+        db.bulk_insert(t, 0.9, (0..1000).map(species_row)).unwrap();
+        // Second batch: node_id keys sort after the first batch (bulk
+        // append); the interleaving names force the per-row fallback.
+        let rows: Vec<Vec<Value>> = (1000..2000)
+            .map(|i| {
+                vec![
+                    Value::text(format!("aa{i:05}")), // sorts before sp*
+                    Value::Int(i),
+                    Value::Float(i as f64),
+                ]
+            })
+            .collect();
+        db.bulk_insert(t, 0.9, rows).unwrap();
+        assert_eq!(db.row_count(t).unwrap(), 2000);
+        for probe in [0i64, 999, 1000, 1999] {
+            assert_eq!(
+                db.index_lookup(t, "node_id", &Value::Int(probe))
+                    .unwrap()
+                    .len(),
+                1,
+                "probe {probe}"
+            );
+        }
+        assert_eq!(
+            db.index_lookup(t, "name", &Value::text("aa01500"))
+                .unwrap()
+                .len(),
+            1
+        );
+        assert_eq!(
+            db.index_lookup(t, "name", &Value::text("sp00500"))
+                .unwrap()
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn bulk_insert_rejects_duplicate_unique_keys() {
+        let (_d, mut db) = fresh();
+        let t = db.create_table("species", species_schema()).unwrap();
+        db.create_index(t, "node_id", true).unwrap();
+        // Duplicate within the batch.
+        let rows = vec![species_row(1), species_row(1)];
+        assert!(matches!(
+            db.bulk_insert(t, 1.0, rows),
+            Err(StorageError::DuplicateKey(_))
+        ));
+        // The failed bulk rolled back: nothing landed.
+        assert_eq!(db.row_count(t).unwrap(), 0);
+        // Duplicate against an existing row (fallback path).
+        db.insert(t, &species_row(5)).unwrap();
+        let rows = vec![species_row(3), species_row(5)];
+        assert!(matches!(
+            db.bulk_insert(t, 1.0, rows),
+            Err(StorageError::DuplicateKey(_))
+        ));
+        assert_eq!(db.row_count(t).unwrap(), 1);
+    }
+
+    #[test]
+    fn bulk_insert_validates_schema() {
+        let (_d, mut db) = fresh();
+        let t = db.create_table("species", species_schema()).unwrap();
+        let rows = vec![vec![Value::Int(1), Value::Int(2), Value::Null]];
+        assert!(matches!(
+            db.bulk_insert(t, 1.0, rows),
+            Err(StorageError::SchemaMismatch(_))
+        ));
+        assert_eq!(db.row_count(t).unwrap(), 0);
+    }
+
+    #[test]
+    fn bulk_insert_persists_across_reopen() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("db.crdb");
+        {
+            let mut db = Database::create(&path).unwrap();
+            let t = db.create_table("species", species_schema()).unwrap();
+            db.create_index(t, "node_id", true).unwrap();
+            db.create_index(t, "time", false).unwrap();
+            db.begin().unwrap();
+            db.bulk_insert(t, 0.9, (0..3000).map(species_row)).unwrap();
+            db.commit().unwrap();
+            db.flush().unwrap();
+        }
+        let db = Database::open(&path).unwrap();
+        let t = db.table("species").unwrap();
+        assert_eq!(db.row_count(t).unwrap(), 3000);
+        let hits = db.index_lookup(t, "node_id", &Value::Int(2500)).unwrap();
+        assert_eq!(hits.len(), 1);
+        let range = db
+            .index_range(t, "time", Some(&Value::Float(1495.0)), None)
+            .unwrap();
+        assert_eq!(range.len(), 10);
+    }
+
+    #[test]
+    fn bulk_raw_insert_appends_sorted_runs() {
+        let (_d, mut db) = fresh();
+        let idx = db.create_raw_index("ivl").unwrap();
+        let first: Vec<([u8; 8], u64)> = (0..4000u64).map(|i| (i.to_be_bytes(), i)).collect();
+        assert_eq!(db.bulk_raw_insert(idx, 0.9, first).unwrap(), 4000);
+        let second: Vec<([u8; 8], u64)> = (4000..8000u64).map(|i| (i.to_be_bytes(), i)).collect();
+        assert_eq!(db.bulk_raw_insert(idx, 0.9, second).unwrap(), 4000);
+        assert_eq!(db.raw_len(idx).unwrap(), 8000);
+        for probe in [0u64, 3999, 4000, 7999] {
+            assert_eq!(db.raw_get(idx, &probe.to_be_bytes()).unwrap(), Some(probe));
+        }
+        // Out-of-order and duplicate runs are rejected with typed errors.
+        let stale: Vec<([u8; 8], u64)> = vec![(100u64.to_be_bytes(), 1)];
+        assert!(matches!(
+            db.bulk_raw_insert(idx, 0.9, stale),
+            Err(StorageError::BulkOutOfOrder(_))
+        ));
+        let dup: Vec<([u8; 8], u64)> = vec![(7999u64.to_be_bytes(), 1)];
+        assert!(matches!(
+            db.bulk_raw_insert(idx, 0.9, dup),
+            Err(StorageError::DuplicateKey(_))
+        ));
+        assert_eq!(db.raw_len(idx).unwrap(), 8000);
+    }
+
+    #[test]
+    fn bulk_apis_join_open_transaction_and_roll_back() {
+        let (_d, mut db) = fresh();
+        let t = db.create_table("species", species_schema()).unwrap();
+        db.create_index(t, "node_id", true).unwrap();
+        let idx = db.create_raw_index("ivl").unwrap();
+        db.begin().unwrap();
+        db.bulk_insert(t, 0.9, (0..500).map(species_row)).unwrap();
+        db.bulk_raw_insert(idx, 0.9, (0..500u64).map(|i| (i.to_be_bytes(), i)))
+            .unwrap();
+        assert_eq!(db.row_count(t).unwrap(), 500);
+        db.rollback().unwrap();
+        assert_eq!(db.row_count(t).unwrap(), 0);
+        assert_eq!(db.raw_len(idx).unwrap(), 0);
+        assert_eq!(
+            db.index_lookup(t, "node_id", &Value::Int(42))
+                .unwrap()
+                .len(),
+            0
+        );
+        // The structures still work after the rollback.
+        db.insert(t, &species_row(1)).unwrap();
+        db.raw_insert(idx, &1u64.to_be_bytes(), 1).unwrap();
+        assert_eq!(db.row_count(t).unwrap(), 1);
+        assert_eq!(db.raw_len(idx).unwrap(), 1);
+    }
+
+    #[test]
+    fn bulk_load_wal_bytes_stay_near_data_bytes() {
+        use crate::page::PAGE_SIZE;
+        let dir = tempdir().unwrap();
+        // A pool far smaller than the load forces eviction (and steals)
+        // mid-transaction; fresh pages must still reach the log exactly
+        // once, as their commit-time after-image.
+        let mut db = Database::create_with_capacity(dir.path().join("db.crdb"), 64).unwrap();
+        let t = db.create_table("species", species_schema()).unwrap();
+        db.create_index(t, "node_id", true).unwrap();
+        db.reset_buffer_stats();
+        db.begin().unwrap();
+        db.bulk_insert(t, 0.9, (0..20_000).map(species_row))
+            .unwrap();
+        db.commit().unwrap();
+        let stats = db.buffer_stats();
+        assert!(stats.evictions > 0, "the load must overflow the pool");
+        db.flush().unwrap();
+        let data_bytes = (db.buffer_stats().page_writes() * PAGE_SIZE as u64) as f64;
+        let ratio = db.buffer_stats().wal_bytes as f64 / data_bytes;
+        assert!(
+            ratio <= 1.1,
+            "WAL bytes must stay within 1.1x of data bytes, got {ratio:.3} \
+             ({} WAL bytes, {} page writes)",
+            db.buffer_stats().wal_bytes,
+            db.buffer_stats().page_writes()
+        );
+        assert!(db.buffer_stats().wal_page_images > 0);
     }
 
     // ------------------------------------------------------------------

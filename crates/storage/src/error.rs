@@ -37,6 +37,9 @@ pub enum StorageError {
     SchemaMismatch(String),
     /// A unique index rejected a duplicate key.
     DuplicateKey(String),
+    /// A bulk load received keys that are not strictly increasing, or that
+    /// do not sort after every key already in the target structure.
+    BulkOutOfOrder(String),
     /// Stored bytes could not be decoded (corruption or version skew).
     Corrupted(String),
     /// Every buffer-pool frame is pinned; no page can be brought in. The
@@ -68,6 +71,9 @@ impl fmt::Display for StorageError {
             StorageError::AlreadyExists(n) => write!(f, "`{n}` already exists"),
             StorageError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
             StorageError::DuplicateKey(k) => write!(f, "duplicate key {k} in unique index"),
+            StorageError::BulkOutOfOrder(m) => {
+                write!(f, "bulk load keys out of order: {m}")
+            }
             StorageError::Corrupted(m) => write!(f, "corrupted data: {m}"),
             StorageError::PoolExhausted(cap) => {
                 write!(f, "all {cap} buffer-pool frames are pinned")

@@ -157,6 +157,44 @@ impl HeapFile {
         })
     }
 
+    /// Start a bulk append: a push-style writer that fills pages
+    /// sequentially. The existing tail page is used first through the
+    /// ordinary per-row path (so tombstoned cells there are still
+    /// reclaimed); once it is full, rows are batched and each fresh page is
+    /// written with a single page mutation — no tail-chain walk, no
+    /// per-row latch round trip.
+    pub fn begin_bulk<'h, 'p>(
+        &'h mut self,
+        pool: &'p BufferPool,
+    ) -> StorageResult<HeapBulkWriter<'h, 'p>> {
+        Ok(HeapBulkWriter {
+            pool,
+            tail_open: true,
+            page: self.last_page,
+            buf: Vec::with_capacity(PAGE_SIZE),
+            lens: Vec::new(),
+            used: HEADER_SIZE,
+            heap: self,
+        })
+    }
+
+    /// Append every record produced by `rows` (see [`HeapFile::begin_bulk`]
+    /// for the page-filling strategy), returning the new record ids in
+    /// order.
+    pub fn bulk_append<I, K>(&mut self, pool: &BufferPool, rows: I) -> StorageResult<Vec<RecordId>>
+    where
+        I: IntoIterator<Item = K>,
+        K: AsRef<[u8]>,
+    {
+        let mut writer = self.begin_bulk(pool)?;
+        let mut rids = Vec::new();
+        for row in rows {
+            rids.push(writer.append(row.as_ref())?);
+        }
+        writer.finish()?;
+        Ok(rids)
+    }
+
     /// Fetch a record's bytes.
     pub fn get<S: PageSource>(&self, pool: S, rid: RecordId) -> StorageResult<Vec<u8>> {
         pool.with_page(PageId(rid.page), |p| read_slot(p, rid.slot))?
@@ -266,6 +304,123 @@ impl HeapFile {
             page = next;
         }
         Ok(count)
+    }
+}
+
+/// Push-style bulk appender over a heap file (see
+/// [`HeapFile::begin_bulk`]).
+///
+/// Rows aimed at a fresh page are batched in a flat buffer and written with
+/// one page mutation when the page is full (or at [`HeapBulkWriter::finish`]);
+/// the page's successor is allocated first so the next-pointer lands in the
+/// same mutation — every fresh page is dirtied exactly once. Record ids are
+/// handed out immediately (the target page is allocated before buffering
+/// starts), so callers can stream rows and index entries in one pass.
+pub struct HeapBulkWriter<'h, 'p> {
+    heap: &'h mut HeapFile,
+    pool: &'p BufferPool,
+    /// While `true`, rows go through the ordinary per-row path on the
+    /// pre-existing tail page, which still reclaims tombstoned cells there.
+    tail_open: bool,
+    /// Page the buffered rows will be written to (already allocated).
+    page: PageId,
+    /// Cell bytes of the buffered rows, concatenated in append order.
+    buf: Vec<u8>,
+    /// Length of each buffered row.
+    lens: Vec<u16>,
+    /// Bytes of `page` consumed by the header plus buffered cells + slots.
+    used: usize,
+}
+
+impl HeapBulkWriter<'_, '_> {
+    /// Append one record, returning its id.
+    pub fn append(&mut self, data: &[u8]) -> StorageResult<RecordId> {
+        if data.len() > MAX_RECORD_SIZE {
+            return Err(StorageError::RecordTooLarge(data.len()));
+        }
+        if self.tail_open {
+            // The pre-existing tail: fresh slot or a reclaimable tombstone.
+            let inserted = self.pool.with_page_mut(self.page, |p| {
+                try_insert(p, data).or_else(|| try_reuse(p, data))
+            })?;
+            if let Some(slot) = inserted {
+                return Ok(RecordId {
+                    page: self.page.0,
+                    slot,
+                });
+            }
+            // Tail full: link a fresh page and switch to batching.
+            let fresh = self.pool.allocate_page()?;
+            self.pool
+                .with_page_mut(self.page, |p| p.write_u64(HDR_NEXT_PAGE, fresh.0))?;
+            self.pool.hint_cold(self.page);
+            self.tail_open = false;
+            self.page = fresh;
+            self.heap.last_page = fresh;
+            self.used = HEADER_SIZE;
+        } else if self.used + data.len() + SLOT_SIZE > PAGE_SIZE {
+            // Current fresh page is full: allocate its successor first so
+            // the chain pointer is part of the page's single write.
+            let next = self.pool.allocate_page()?;
+            self.flush(next)?;
+            self.page = next;
+            self.heap.last_page = next;
+            self.used = HEADER_SIZE;
+        }
+        let slot = self.lens.len() as u16;
+        self.buf.extend_from_slice(data);
+        self.lens.push(data.len() as u16);
+        self.used += data.len() + SLOT_SIZE;
+        Ok(RecordId {
+            page: self.page.0,
+            slot,
+        })
+    }
+
+    /// Write the buffered rows to `self.page` in one mutation, replicating
+    /// the per-row layout exactly (cells packed downward from the page end,
+    /// slots in append order).
+    fn flush(&mut self, next: PageId) -> StorageResult<()> {
+        let lens = std::mem::take(&mut self.lens);
+        let buf = std::mem::take(&mut self.buf);
+        self.pool.with_page_mut(self.page, |p| {
+            let mut cell_end = PAGE_SIZE;
+            let mut src = 0usize;
+            for (i, &len) in lens.iter().enumerate() {
+                let len = len as usize;
+                cell_end -= len;
+                p.write_bytes(cell_end, &buf[src..src + len]);
+                src += len;
+                let slot_off = HEADER_SIZE + i * SLOT_SIZE;
+                p.write_u16(slot_off, cell_end as u16);
+                p.write_u16(slot_off + 2, len as u16);
+            }
+            p.write_u16(HDR_SLOT_COUNT, lens.len() as u16);
+            p.write_u16(HDR_FREE_END, cell_end as u16);
+            p.write_u64(HDR_NEXT_PAGE, next.0);
+        })?;
+        // Bulk-filled pages are write-once; let the clock evict them without
+        // a second chance.
+        self.pool.hint_cold(self.page);
+        Ok(())
+    }
+
+    /// Flush the pending page (if any) and end the bulk append. Must be
+    /// called; dropping the writer flushes best-effort but swallows errors.
+    pub fn finish(mut self) -> StorageResult<()> {
+        if !self.tail_open && !self.lens.is_empty() {
+            self.flush(PageId::NULL)?;
+        }
+        self.lens.clear();
+        Ok(())
+    }
+}
+
+impl Drop for HeapBulkWriter<'_, '_> {
+    fn drop(&mut self) {
+        if !self.tail_open && !self.lens.is_empty() {
+            let _ = self.flush(PageId::NULL);
+        }
     }
 }
 
@@ -538,6 +693,184 @@ mod tests {
         assert_eq!(small.page, rids[0].page);
         assert_eq!(heap.get(&pool, small).unwrap(), b"tiny");
         assert_eq!(pool.page_count(), pages_before);
+    }
+
+    // ------------------------------------------------------------------
+    // Bulk append
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn bulk_append_roundtrip_and_scan_order() {
+        let (_d, pool) = pool();
+        let mut heap = HeapFile::create(&pool).unwrap();
+        let rows: Vec<Vec<u8>> = (0..500)
+            .map(|i| format!("bulk-row-{i:04}").into_bytes())
+            .collect();
+        let rids = heap.bulk_append(&pool, &rows).unwrap();
+        assert_eq!(rids.len(), rows.len());
+        for (rid, row) in rids.iter().zip(&rows) {
+            assert_eq!(&heap.get(&pool, *rid).unwrap(), row);
+        }
+        assert_eq!(heap.len(&pool).unwrap(), 500);
+        // Physical scan yields the rows in append order.
+        let scanned: Vec<(RecordId, Vec<u8>)> = heap
+            .scan(&pool)
+            .unwrap()
+            .collect::<StorageResult<_>>()
+            .unwrap();
+        assert_eq!(scanned.len(), 500);
+        for ((rid, bytes), expected) in scanned.iter().zip(&rows) {
+            assert_eq!(bytes, expected);
+            assert!(heap.get(&pool, *rid).is_ok());
+        }
+    }
+
+    #[test]
+    fn bulk_append_matches_row_at_a_time_layout() {
+        // The same rows inserted one-by-one and bulk-appended must land on
+        // the same number of pages (the bulk path replicates the slotted
+        // layout exactly).
+        let rows: Vec<Vec<u8>> = (0..300).map(|i| vec![i as u8; 100 + (i % 7)]).collect();
+        let (_d1, pool1) = pool();
+        let mut one_by_one = HeapFile::create(&pool1).unwrap();
+        for row in &rows {
+            one_by_one.insert(&pool1, row).unwrap();
+        }
+        let (_d2, pool2) = pool();
+        let mut bulk = HeapFile::create(&pool2).unwrap();
+        let rids = bulk.bulk_append(&pool2, &rows).unwrap();
+        assert_eq!(pool1.page_count(), pool2.page_count());
+        // And the record ids agree page-for-page, slot-for-slot.
+        let mut slow = HeapFile::create(&pool1).unwrap();
+        let slow_rids: Vec<RecordId> = rows
+            .iter()
+            .map(|r| slow.insert(&pool1, r).unwrap())
+            .collect();
+        for (a, b) in rids.iter().zip(&slow_rids) {
+            assert_eq!(a.slot, b.slot);
+        }
+    }
+
+    #[test]
+    fn bulk_append_continues_after_existing_rows() {
+        let (_d, pool) = pool();
+        let mut heap = HeapFile::create(&pool).unwrap();
+        let a = heap.insert(&pool, b"existing-1").unwrap();
+        let b = heap.insert(&pool, b"existing-2").unwrap();
+        let rows: Vec<Vec<u8>> = (0..200).map(|i| vec![7u8; 200 + i % 5]).collect();
+        let rids = heap.bulk_append(&pool, &rows).unwrap();
+        // Bulk rows start on the old tail page, after the existing slots.
+        assert_eq!(rids[0].page, a.page);
+        assert_eq!(rids[0].slot, 2);
+        assert_eq!(heap.get(&pool, a).unwrap(), b"existing-1");
+        assert_eq!(heap.get(&pool, b).unwrap(), b"existing-2");
+        assert_eq!(heap.len(&pool).unwrap(), 202);
+        // Inserting after the bulk lands on the new tail, not the first page.
+        let tail_rid = heap.insert(&pool, b"after-bulk").unwrap();
+        assert_eq!(tail_rid.page, rids.last().unwrap().page);
+    }
+
+    #[test]
+    fn bulk_append_reclaims_tail_tombstones_before_growing() {
+        // Regression for delete→bulk-load churn: tombstoned cells on the
+        // tail page must be reclaimed before fresh pages are allocated.
+        let (_d, pool) = pool();
+        let mut heap = HeapFile::create(&pool).unwrap();
+        let payload = vec![3u8; 500];
+        // 16 × (500 + 4) + 12 header bytes ≈ 8.1 KiB: the page is full, so
+        // reclaiming dead cells is a bulk row's only way to stay on it.
+        let rids: Vec<RecordId> = (0..16)
+            .map(|_| heap.insert(&pool, &payload).unwrap())
+            .collect();
+        let rids = &rids[..14];
+        let pages_before = pool.page_count();
+        for round in 0..10 {
+            // Tombstone every other slot, then bulk-load compatible rows.
+            for rid in rids.iter().step_by(2) {
+                heap.delete(&pool, *rid).unwrap();
+            }
+            let fresh: Vec<Vec<u8>> = (0..7).map(|_| vec![round as u8; 500]).collect();
+            let new_rids = heap.bulk_append(&pool, &fresh).unwrap();
+            for (new_rid, row) in new_rids.iter().zip(&fresh) {
+                assert_eq!(
+                    new_rid.page,
+                    heap.first_page().0,
+                    "bulk row must reuse a dead slot on the tail page"
+                );
+                assert_eq!(&heap.get(&pool, *new_rid).unwrap(), row);
+            }
+            assert_eq!(
+                pool.page_count(),
+                pages_before,
+                "page count must stay flat under delete→bulk churn"
+            );
+        }
+        // A bulk larger than the reclaimable space spills to fresh pages
+        // only after the tail is exhausted.
+        for rid in rids.iter().step_by(2) {
+            heap.delete(&pool, *rid).unwrap();
+        }
+        let big: Vec<Vec<u8>> = (0..30).map(|i| vec![i as u8; 500]).collect();
+        let new_rids = heap.bulk_append(&pool, &big).unwrap();
+        assert_eq!(
+            new_rids[0].page,
+            heap.first_page().0,
+            "tail reclaimed first"
+        );
+        assert!(new_rids.last().unwrap().page > heap.first_page().0);
+        assert!(pool.page_count() > pages_before);
+    }
+
+    #[test]
+    fn bulk_append_oversized_row_rejected() {
+        let (_d, pool) = pool();
+        let mut heap = HeapFile::create(&pool).unwrap();
+        let too_big = vec![0u8; MAX_RECORD_SIZE + 1];
+        assert!(matches!(
+            heap.bulk_append(&pool, [&too_big]),
+            Err(StorageError::RecordTooLarge(_))
+        ));
+        // Max-size rows bulk-fill one page each.
+        let just_fits = vec![0u8; MAX_RECORD_SIZE];
+        let rids = heap.bulk_append(&pool, vec![&just_fits; 3]).unwrap();
+        assert_eq!(rids.len(), 3);
+        for rid in &rids {
+            assert_eq!(heap.get(&pool, *rid).unwrap().len(), MAX_RECORD_SIZE);
+        }
+    }
+
+    #[test]
+    fn bulk_append_empty_iterator_is_noop() {
+        let (_d, pool) = pool();
+        let mut heap = HeapFile::create(&pool).unwrap();
+        let pages = pool.page_count();
+        let rids = heap.bulk_append(&pool, Vec::<Vec<u8>>::new()).unwrap();
+        assert!(rids.is_empty());
+        assert_eq!(pool.page_count(), pages);
+        assert_eq!(heap.len(&pool).unwrap(), 0);
+    }
+
+    #[test]
+    fn bulk_append_survives_flush_and_reopen() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("t.crdb");
+        let first;
+        let rids: Vec<RecordId>;
+        let rows: Vec<Vec<u8>> = (0..1000).map(|i| format!("r{i}").into_bytes()).collect();
+        {
+            let pager = Pager::create(&path).unwrap();
+            let pool = BufferPool::with_capacity(pager, 16).unwrap();
+            let mut heap = HeapFile::create(&pool).unwrap();
+            first = heap.first_page();
+            rids = heap.bulk_append(&pool, &rows).unwrap();
+            pool.flush().unwrap();
+        }
+        let pager = Pager::open(&path).unwrap();
+        let pool = BufferPool::with_capacity(pager, 16).unwrap();
+        let heap = HeapFile::open(&pool, first).unwrap();
+        for (rid, row) in rids.iter().zip(&rows) {
+            assert_eq!(&heap.get(&pool, *rid).unwrap(), row);
+        }
     }
 
     #[test]

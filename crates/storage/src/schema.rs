@@ -103,12 +103,21 @@ impl Schema {
 
     /// Encode a validated row into record bytes.
     pub fn encode_row(&self, values: &[Value]) -> StorageResult<Vec<u8>> {
-        self.validate(values)?;
         let mut out = Vec::with_capacity(values.len() * 12);
-        for v in values {
-            v.encode_cell(&mut out);
-        }
+        self.encode_row_into(values, &mut out)?;
         Ok(out)
+    }
+
+    /// Encode a validated row into a caller-supplied buffer (cleared first).
+    /// The bulk-load path encodes every row through one reusable buffer, so
+    /// a million-row load performs no per-row allocation here.
+    pub fn encode_row_into(&self, values: &[Value], out: &mut Vec<u8>) -> StorageResult<()> {
+        self.validate(values)?;
+        out.clear();
+        for v in values {
+            v.encode_cell(out);
+        }
+        Ok(())
     }
 
     /// Decode record bytes into a [`Row`].

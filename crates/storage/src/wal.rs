@@ -120,6 +120,10 @@ pub struct WalStats {
     pub syncs: u64,
     /// Committed transactions.
     pub commits: u64,
+    /// Full page images appended (commit after-images + steal undo images).
+    /// `bytes / (page_images × PAGE_SIZE)` is the log-bytes-per-data-byte
+    /// ratio the bulk-load bench budgets (≤ 1.1×).
+    pub page_images: u64,
 }
 
 /// Outcome of crash recovery, reported by
@@ -315,7 +319,9 @@ impl Wal {
         body.extend_from_slice(&txn.to_le_bytes());
         body.extend_from_slice(&pid.0.to_le_bytes());
         body.extend_from_slice(image);
-        self.append_frame(&body)
+        let lsn = self.append_frame(&body)?;
+        self.stats.page_images += 1;
+        Ok(lsn)
     }
 
     /// Append a commit record carrying the file-header state.
