@@ -5,7 +5,7 @@
 //! This regenerates the head-to-head table the demo shows: reconstruction
 //! quality (Robinson–Foulds) per algorithm, sample size and sequence length.
 
-use crimson::benchmark::{BenchmarkManager, BenchmarkSpec, DistanceSource, Method};
+use crimson::experiment::{DistanceSource, EvalSpec, ExperimentRunner, Method};
 use crimson::prelude::*;
 use crimson_bench::workloads;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -18,7 +18,7 @@ fn print_quality_table() {
     );
     let gold = workloads::gold_standard(2_000, 600, 77);
     let (_dir, mut repo, handle) = workloads::repository_with_gold(&gold, 16, 8192);
-    let mut manager = BenchmarkManager::new(&mut repo, handle);
+    let mut manager = ExperimentRunner::new(&mut repo, handle);
     for &sample_size in &[16usize, 64, 256] {
         for (method, source) in [
             (Method::Upgma, DistanceSource::SequencesJc),
@@ -26,7 +26,7 @@ fn print_quality_table() {
             (Method::NeighborJoining, DistanceSource::TruePatristic),
         ] {
             let report = manager
-                .run(&BenchmarkSpec {
+                .evaluate(&EvalSpec {
                     strategy: SamplingStrategy::Uniform { k: sample_size },
                     method,
                     distance_source: source,
@@ -63,10 +63,10 @@ fn bench_pipeline(c: &mut Criterion) {
                     let mut seed = 0u64;
                     b.iter(|| {
                         seed += 1;
-                        let mut manager = BenchmarkManager::new(&mut repo, handle);
+                        let mut manager = ExperimentRunner::new(&mut repo, handle);
                         black_box(
                             manager
-                                .run(&BenchmarkSpec {
+                                .evaluate(&EvalSpec {
                                     strategy: SamplingStrategy::Uniform { k },
                                     method,
                                     distance_source: DistanceSource::SequencesJc,

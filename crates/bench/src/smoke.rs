@@ -396,6 +396,135 @@ pub fn bulk_load_workload(leaves: usize, seed: u64, runs: usize) -> BulkLoadCost
     }
 }
 
+/// Cost of one persisted experiment sweep — the evaluation workload.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalSweepCost {
+    /// Grid cells executed and persisted (method × sampling × replicate).
+    pub runs: usize,
+    /// Worker threads the sweep fanned across.
+    pub workers: usize,
+    /// Wall-clock seconds of the whole persisted sweep.
+    pub seconds: f64,
+}
+
+impl EvalSweepCost {
+    /// Aggregate persisted evaluation runs per second.
+    pub fn sweeps_per_sec(&self) -> f64 {
+        self.runs as f64 / self.seconds.max(1e-9)
+    }
+}
+
+/// Evaluation smoke: load a gold standard, run a full persisted experiment
+/// sweep (2 methods × 3 samplings × 3 replicates) at the given worker
+/// count, and measure aggregate throughput. The sweep is verified to have
+/// persisted every cell and to pass `integrity_check`.
+pub fn eval_sweep(leaves: usize, sites: usize, workers: usize, seed: u64) -> EvalSweepCost {
+    let gold = workloads::gold_standard(leaves, sites, seed);
+    let (_dir, mut repo, handle) = workloads::repository_with_gold(&gold, 16, 4096);
+    let spec = ExperimentSpec {
+        name: format!("bench-sweep-w{workers}"),
+        methods: vec![Method::Upgma, Method::NeighborJoining],
+        strategies: vec![
+            SamplingStrategy::Uniform { k: 12 },
+            SamplingStrategy::Uniform { k: 16 },
+            SamplingStrategy::TimeRespecting { time: 1e6, k: 12 },
+        ],
+        replicates: 3,
+        distance_source: DistanceSource::SequencesJc,
+        compute_triplets: false,
+        seed,
+        workers,
+    };
+    let start = std::time::Instant::now();
+    let record = ExperimentRunner::new(&mut repo, handle)
+        .run(&spec)
+        .expect("experiment sweep");
+    let seconds = start.elapsed().as_secs_f64();
+    assert_eq!(record.runs, 18, "full grid must persist");
+    repo.integrity_check().expect("integrity after sweep");
+    EvalSweepCost {
+        runs: record.runs as usize,
+        workers,
+        seconds,
+    }
+}
+
+/// Wall-clock cost of comparing two large stored trees: index-native
+/// (streaming the interval index) versus materialize-then-compare (two full
+/// projections plus the bitset comparison).
+#[derive(Debug, Clone, Copy)]
+pub struct CompareCost {
+    /// Leaves per tree.
+    pub leaves: usize,
+    /// Seconds for the index-native comparison (best of runs).
+    pub native_seconds: f64,
+    /// Seconds for materialize-then-compare (best of runs).
+    pub materialized_seconds: f64,
+}
+
+impl CompareCost {
+    /// `materialized / native` — how much the index-native path saves.
+    pub fn speedup(&self) -> f64 {
+        self.materialized_seconds / self.native_seconds.max(1e-9)
+    }
+}
+
+/// Comparison smoke: store two simulated trees over the same leaf-name set
+/// and time RF (unrooted + rooted) through both paths, cross-validating
+/// that they produce identical distances. Caches are dropped before every
+/// timed run so both paths pay their page reads.
+pub fn compare_workload(leaves: usize, seed: u64, runs: usize) -> CompareCost {
+    let a = workloads::simulated_tree(leaves, seed);
+    let b = workloads::simulated_tree(leaves, seed + 1);
+    let dir = tempfile::tempdir().expect("temp dir");
+    let mut repo = crimson::repository::Repository::create(
+        dir.path().join("compare.crimson"),
+        crimson::repository::RepositoryOptions {
+            frame_depth: 16,
+            buffer_pool_pages: 8192,
+        },
+    )
+    .expect("create repository");
+    let ha = repo.load_tree("a", &a).expect("load a");
+    let hb = repo.load_tree("b", &b).expect("load b");
+    let leaves_a = repo.leaves(ha).expect("leaves a");
+    let leaves_b = repo.leaves(hb).expect("leaves b");
+
+    // Cross-validate once: both paths must agree exactly.
+    let native = repo.compare_stored(ha, hb, false).expect("native compare");
+    let ta = repo.project(ha, &leaves_a).expect("materialize a");
+    let tb = repo.project(hb, &leaves_b).expect("materialize b");
+    let rf = reconstruction::compare::robinson_foulds(&ta, &tb).expect("materialized rf");
+    let rrf =
+        reconstruction::compare::rooted_robinson_foulds(&ta, &tb).expect("materialized rooted rf");
+    assert_eq!(native.rf, rf, "comparison paths disagree");
+    assert_eq!(native.rooted_rf, rrf, "rooted comparison paths disagree");
+
+    let mut native_seconds = f64::MAX;
+    let mut materialized_seconds = f64::MAX;
+    for _ in 0..runs.max(1) {
+        repo.clear_cache().expect("clear cache");
+        let start = std::time::Instant::now();
+        let cmp = repo.compare_stored(ha, hb, false).expect("native compare");
+        native_seconds = native_seconds.min(start.elapsed().as_secs_f64());
+        assert_eq!(cmp.rf, rf);
+
+        repo.clear_cache().expect("clear cache");
+        let start = std::time::Instant::now();
+        let ta = repo.project(ha, &leaves_a).expect("materialize a");
+        let tb = repo.project(hb, &leaves_b).expect("materialize b");
+        let m_rf = reconstruction::compare::robinson_foulds(&ta, &tb).expect("rf");
+        let _ = reconstruction::compare::rooted_robinson_foulds(&ta, &tb).expect("rrf");
+        materialized_seconds = materialized_seconds.min(start.elapsed().as_secs_f64());
+        assert_eq!(m_rf, rf);
+    }
+    CompareCost {
+        leaves,
+        native_seconds,
+        materialized_seconds,
+    }
+}
+
 /// Recovery smoke: commit one load, crash partway through a second, reopen
 /// and return the recovery report (the caller asserts on it). Panics if the
 /// recovered repository fails its integrity check or loses the committed
@@ -620,6 +749,77 @@ mod tests {
             serde_json::to_string(&report).expect("serialize report"),
         )
         .expect("write BENCH_load.json");
+        eprintln!("wrote {}", path.display());
+    }
+
+    #[test]
+    fn smoke_eval_sweep() {
+        // The evaluation workload: a full persisted sweep at 1 and 4
+        // workers, plus the index-native vs materialize-then-compare
+        // ratio on a large stored pair. Writes BENCH_eval.json at the
+        // repo root (the release CI step asserts on and uploads it).
+        let leaves = 200;
+        let sites = 150;
+        let single = eval_sweep(leaves, sites, 1, 42);
+        let multi = eval_sweep(leaves, sites, 4, 42);
+        eprintln!(
+            "smoke eval sweep: {} runs in {:.3}s @1 worker ({:.1} runs/s), {:.3}s @4 workers ({:.1} runs/s)",
+            single.runs,
+            single.seconds,
+            single.sweeps_per_sec(),
+            multi.seconds,
+            multi.sweeps_per_sec()
+        );
+        assert_eq!(single.runs, multi.runs);
+
+        // 10k-leaf pair in release (the acceptance target); a lighter pair
+        // under the dev profile so plain `cargo test` stays fast.
+        let compare_leaves = if cfg!(debug_assertions) {
+            2_000
+        } else {
+            10_000
+        };
+        let compare = compare_workload(compare_leaves, 11, 2);
+        eprintln!(
+            "smoke compare: {} leaves, index-native {:.4}s vs materialized {:.4}s → {:.1}x",
+            compare.leaves,
+            compare.native_seconds,
+            compare.materialized_seconds,
+            compare.speedup()
+        );
+        assert!(
+            compare.speedup() > 1.0,
+            "index-native comparison must beat materialize-then-compare, got {compare:?}"
+        );
+
+        let report = serde_json::json!({
+            "profile": serde_json::json!({
+                "sweep_leaves": leaves,
+                "sweep_sites": sites,
+                "compare_leaves": compare.leaves,
+                "release": !cfg!(debug_assertions)
+            }),
+            "sweep": serde_json::json!({
+                "runs": single.runs,
+                "grid": "2 methods x 3 samplings x 3 replicates",
+                "seconds_1_worker": single.seconds,
+                "seconds_4_workers": multi.seconds,
+                "runs_per_sec_1_worker": single.sweeps_per_sec(),
+                "runs_per_sec_4_workers": multi.sweeps_per_sec()
+            }),
+            "compare": serde_json::json!({
+                "leaves": compare.leaves,
+                "native_seconds": compare.native_seconds,
+                "materialized_seconds": compare.materialized_seconds,
+                "native_over_materialized_speedup": compare.speedup()
+            })
+        });
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_eval.json");
+        std::fs::write(
+            &path,
+            serde_json::to_string(&report).expect("serialize report"),
+        )
+        .expect("write BENCH_eval.json");
         eprintln!("wrote {}", path.display());
     }
 

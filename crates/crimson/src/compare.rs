@@ -1,0 +1,245 @@
+//! Index-native tree comparison: Robinson–Foulds and triplet distances
+//! computed straight off the persistent interval index.
+//!
+//! The evaluation pipeline's workhorse is "how far is this tree from that
+//! one". Before this module, answering it for *stored* trees meant
+//! materializing both as in-memory [`Tree`]s (a full projection each) and
+//! running the bitset comparison — everything PR 1's interval index avoids,
+//! paid right back. Here a stored tree is exposed as a
+//! [`reconstruction::compare::CladeSource`]: one contiguous range scan over
+//! `ivl_by_pre` yields every node's `(pre, end)` clade interval in
+//! pre-order, which is exactly the stream the Day-style streaming comparison
+//! consumes. Internal structure never decodes a node row; only **leaf** rows
+//! are fetched (through their heap locators, via the record cache), because
+//! leaf names are the only cross-tree identity.
+//!
+//! Everything is implemented on [`ReadCtx`], so the same code serves the
+//! writer's [`Repository`] and concurrent snapshot
+//! [`crate::reader::RepositoryReader`]s.
+
+use crate::error::{CrimsonError, CrimsonResult};
+use crate::repository::{ReadCtx, Repository, StoredNodeId, TreeHandle, TREE_SHIFT};
+use labeling::interval::{interval_key_prefix, interval_range_end, IntervalEntry};
+use phylo::Tree;
+use reconstruction::compare::{compare_sources, CladeSource, NodeVisitor, SourceComparison};
+use storage::db::DbRead;
+
+/// A stored tree's topology, streamed off the `ivl_by_pre` covering index.
+///
+/// Obtained from [`Repository::clade_source`] (or the reader equivalent) and
+/// consumed by [`reconstruction::compare::compare_sources`]; the structural
+/// part of the stream is one range scan, and only leaf rows are decoded for
+/// their names.
+pub struct StoredCladeSource<'a, D: DbRead> {
+    ctx: ReadCtx<'a, D>,
+    handle: TreeHandle,
+    nodes: u64,
+}
+
+impl<D: DbRead> CladeSource for StoredCladeSource<'_, D> {
+    type Error = CrimsonError;
+
+    fn node_count_hint(&self) -> usize {
+        self.nodes as usize
+    }
+
+    fn for_each_node(&self, visit: &mut NodeVisitor<'_>) -> CrimsonResult<()> {
+        let tree = self.handle.0;
+        let low = interval_key_prefix(tree, 0);
+        let high = interval_range_end(tree, (self.nodes.saturating_sub(1)) as u32);
+        let mut entries: Vec<(IntervalEntry, storage::RecordId)> =
+            Vec::with_capacity(self.nodes as usize);
+        let mut malformed = false;
+        self.ctx.db.raw_scan(
+            self.ctx.tables.ivl_by_pre,
+            Some(&low),
+            Some(&high),
+            &mut |key, rid| match IntervalEntry::decode_key(key) {
+                Some((_, entry)) => {
+                    entries.push((entry, storage::RecordId::from_u64(rid)));
+                    Ok(true)
+                }
+                None => {
+                    malformed = true;
+                    Ok(false)
+                }
+            },
+        )?;
+        if malformed {
+            return Err(CrimsonError::CorruptRepository(
+                "malformed interval-index key".to_string(),
+            ));
+        }
+        if entries.len() as u64 != self.nodes {
+            return Err(CrimsonError::CorruptRepository(format!(
+                "tree #{tree} catalogs {} nodes but its interval range holds {}",
+                self.nodes,
+                entries.len()
+            )));
+        }
+        // Leaf names through the heap locators the index carries — one page
+        // read per cold leaf row, no B+tree descent, nothing for internal
+        // nodes.
+        let mut names: Vec<Option<String>> = Vec::with_capacity(entries.len());
+        for (entry, rid) in &entries {
+            if entry.is_leaf {
+                let sid = StoredNodeId((tree << TREE_SHIFT) | entry.node as u64);
+                let rec = self.ctx.node_record_by_locator(sid, *rid)?;
+                names.push(rec.name.clone());
+            } else {
+                names.push(None);
+            }
+        }
+        for ((entry, _), name) in entries.iter().zip(&names) {
+            visit(entry.pre, entry.end, entry.node, name.as_deref());
+        }
+        Ok(())
+    }
+}
+
+impl<'a, D: DbRead> ReadCtx<'a, D> {
+    /// The stored tree as a streaming clade source.
+    pub fn clade_source(&self, handle: TreeHandle) -> CrimsonResult<StoredCladeSource<'a, D>> {
+        let rec = self.tree_record(handle)?;
+        Ok(StoredCladeSource {
+            ctx: *self,
+            handle,
+            nodes: rec.node_count,
+        })
+    }
+
+    /// Compare two stored trees without materializing either.
+    pub fn compare_stored(
+        &self,
+        a: TreeHandle,
+        b: TreeHandle,
+        triplets: bool,
+    ) -> CrimsonResult<SourceComparison> {
+        let sa = self.clade_source(a)?;
+        let sb = self.clade_source(b)?;
+        compare_sources::<_, _, CrimsonError>(&sa, &sb, triplets)
+    }
+
+    /// Compare a stored tree against an in-memory one (the stored tree is
+    /// the reference side; per-clade agreement describes the in-memory
+    /// tree's nodes).
+    pub fn compare_stored_with_tree(
+        &self,
+        a: TreeHandle,
+        b: &Tree,
+        triplets: bool,
+    ) -> CrimsonResult<SourceComparison> {
+        let sa = self.clade_source(a)?;
+        compare_sources::<_, _, CrimsonError>(&sa, b, triplets)
+    }
+}
+
+impl Repository {
+    /// Robinson–Foulds (rooted and unrooted), per-clade agreement and —
+    /// when `triplets` is set — triplet distance between two stored trees,
+    /// computed inside the interval index: one range scan per tree, leaf
+    /// rows only, no tree materialization.
+    pub fn compare_stored(
+        &self,
+        a: TreeHandle,
+        b: TreeHandle,
+        triplets: bool,
+    ) -> CrimsonResult<SourceComparison> {
+        self.ctx().compare_stored(a, b, triplets)
+    }
+
+    /// Compare a stored tree (reference side) against an in-memory tree.
+    pub fn compare_stored_with_tree(
+        &self,
+        a: TreeHandle,
+        b: &Tree,
+        triplets: bool,
+    ) -> CrimsonResult<SourceComparison> {
+        self.ctx().compare_stored_with_tree(a, b, triplets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repository::RepositoryOptions;
+    use phylo::builder::{balanced_binary, figure1_tree};
+    use reconstruction::compare::{robinson_foulds, rooted_robinson_foulds, triplet_distance};
+    use simulation::birth_death::yule_tree;
+    use tempfile::tempdir;
+
+    fn repo() -> (tempfile::TempDir, Repository) {
+        let dir = tempdir().unwrap();
+        let repo = Repository::create(
+            dir.path().join("cmp.crimson"),
+            RepositoryOptions {
+                frame_depth: 8,
+                buffer_pool_pages: 1024,
+            },
+        )
+        .unwrap();
+        (dir, repo)
+    }
+
+    #[test]
+    fn stored_comparison_matches_materialized_comparison() {
+        let (_d, mut repo) = repo();
+        let a = yule_tree(60, 1.0, 3);
+        let b = yule_tree(60, 1.0, 4); // same leaf-name set, other topology
+        let ha = repo.load_tree("a", &a).unwrap();
+        let hb = repo.load_tree("b", &b).unwrap();
+
+        let cmp = repo.compare_stored(ha, hb, true).unwrap();
+        assert_eq!(cmp.rf, robinson_foulds(&a, &b).unwrap());
+        assert_eq!(cmp.rooted_rf, rooted_robinson_foulds(&a, &b).unwrap());
+        let t = triplet_distance(&a, &b).unwrap();
+        assert!((cmp.triplet.unwrap() - t).abs() < 1e-15);
+
+        // Stored vs in-memory agrees too, in both pairings.
+        let with_tree = repo.compare_stored_with_tree(ha, &b, true).unwrap();
+        assert_eq!(with_tree.rf, cmp.rf);
+        assert_eq!(with_tree.rooted_rf, cmp.rooted_rf);
+        assert!((with_tree.triplet.unwrap() - t).abs() < 1e-15);
+    }
+
+    #[test]
+    fn identical_stored_trees_have_zero_distance() {
+        let (_d, mut repo) = repo();
+        let tree = balanced_binary(5, 1.0);
+        let ha = repo.load_tree("a", &tree).unwrap();
+        // Same topology under a different name: ids differ, structure equal.
+        let hb = repo.load_tree("b", &tree).unwrap();
+        let cmp = repo.compare_stored(ha, hb, false).unwrap();
+        assert_eq!(cmp.rf.distance, 0);
+        assert_eq!(cmp.rooted_rf.distance, 0);
+        assert!(cmp.clades.iter().all(|c| c.agrees));
+    }
+
+    #[test]
+    fn stored_comparison_from_snapshot_reader() {
+        let (_d, mut repo) = repo();
+        let a = yule_tree(40, 1.0, 7);
+        let b = yule_tree(40, 1.0, 8);
+        let ha = repo.load_tree("a", &a).unwrap();
+        let hb = repo.load_tree("b", &b).unwrap();
+        let reader = repo.reader().unwrap();
+        let via_reader = reader.compare_stored(ha, hb, false).unwrap();
+        let via_writer = repo.compare_stored(ha, hb, false).unwrap();
+        assert_eq!(via_reader.rf, via_writer.rf);
+        assert_eq!(via_reader.rooted_rf, via_writer.rooted_rf);
+    }
+
+    #[test]
+    fn stored_comparison_errors() {
+        let (_d, mut repo) = repo();
+        let ha = repo.load_tree("fig", &figure1_tree()).unwrap();
+        // Unknown handle.
+        assert!(repo.compare_stored(ha, TreeHandle(99), false).is_err());
+        // Different leaf sets.
+        let other = repo.load_tree("bal", &balanced_binary(3, 1.0)).unwrap();
+        assert!(matches!(
+            repo.compare_stored(ha, other, false),
+            Err(CrimsonError::Compare(_))
+        ));
+    }
+}

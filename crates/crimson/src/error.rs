@@ -26,6 +26,10 @@ pub enum CrimsonError {
     InvalidSample(String),
     /// The repository already contains a tree with this name.
     DuplicateTree(String),
+    /// The repository already contains an experiment with this name.
+    DuplicateExperiment(String),
+    /// The named experiment does not exist in the repository.
+    UnknownExperiment(String),
     /// The operation needs species sequence data that was never loaded.
     MissingSequences(String),
     /// Serialization of query history failed.
@@ -56,6 +60,10 @@ impl fmt::Display for CrimsonError {
             CrimsonError::UnknownNode(id) => write!(f, "unknown stored node {id}"),
             CrimsonError::InvalidSample(m) => write!(f, "invalid sample: {m}"),
             CrimsonError::DuplicateTree(name) => write!(f, "tree `{name}` already loaded"),
+            CrimsonError::DuplicateExperiment(name) => {
+                write!(f, "experiment `{name}` already exists")
+            }
+            CrimsonError::UnknownExperiment(name) => write!(f, "unknown experiment `{name}`"),
             CrimsonError::MissingSequences(name) => {
                 write!(f, "no sequence data loaded for tree `{name}`")
             }

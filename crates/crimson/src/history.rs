@@ -27,12 +27,15 @@ pub enum QueryKind {
     SpanningClade,
     /// A tree pattern match.
     PatternMatch,
-    /// A full benchmark run.
+    /// A single transient benchmark run.
     Benchmark,
+    /// A persisted experiment sweep (methods × samplings × replicates).
+    Experiment,
 }
 
 impl QueryKind {
-    fn as_str(self) -> &'static str {
+    /// The stable on-disk name of this kind; inverse of [`QueryKind::parse`].
+    pub fn name(self) -> &'static str {
         match self {
             QueryKind::Load => "load",
             QueryKind::Sampling => "sampling",
@@ -41,10 +44,13 @@ impl QueryKind {
             QueryKind::SpanningClade => "spanning_clade",
             QueryKind::PatternMatch => "pattern_match",
             QueryKind::Benchmark => "benchmark",
+            QueryKind::Experiment => "experiment",
         }
     }
 
-    fn from_str(s: &str) -> Option<Self> {
+    /// Parse a stable on-disk name back into a kind; inverse of
+    /// [`QueryKind::name`].
+    pub fn parse(s: &str) -> Option<Self> {
         Some(match s {
             "load" => QueryKind::Load,
             "sampling" => QueryKind::Sampling,
@@ -53,6 +59,7 @@ impl QueryKind {
             "spanning_clade" => QueryKind::SpanningClade,
             "pattern_match" => QueryKind::PatternMatch,
             "benchmark" => QueryKind::Benchmark,
+            "experiment" => QueryKind::Experiment,
             _ => return None,
         })
     }
@@ -79,7 +86,7 @@ impl<'a, D: DbRead> ReadCtx<'a, D> {
         rows.iter()
             .map(|(_, row)| {
                 let id = row.values[0].as_int().unwrap_or(0) as u64;
-                let kind = QueryKind::from_str(row.values[1].as_text().unwrap_or(""))
+                let kind = QueryKind::parse(row.values[1].as_text().unwrap_or(""))
                     .ok_or_else(|| CrimsonError::History("unknown query kind".to_string()))?;
                 let params: serde_json::Value =
                     serde_json::from_str(row.values[2].as_text().unwrap_or("null"))
@@ -132,7 +139,7 @@ impl Repository {
             self.tables.history,
             &[
                 Value::Int(id as i64),
-                Value::text(kind.as_str()),
+                Value::text(kind.name()),
                 Value::text(params_text),
                 Value::text(summary),
             ],
@@ -216,7 +223,7 @@ mod tests {
         assert!(repo.history_entry(99).is_err());
     }
 
-    const ALL_KINDS: [QueryKind; 7] = [
+    const ALL_KINDS: [QueryKind; 8] = [
         QueryKind::Load,
         QueryKind::Sampling,
         QueryKind::Projection,
@@ -224,7 +231,21 @@ mod tests {
         QueryKind::SpanningClade,
         QueryKind::PatternMatch,
         QueryKind::Benchmark,
+        QueryKind::Experiment,
     ];
+
+    #[test]
+    fn every_kind_name_parse_round_trips() {
+        for kind in ALL_KINDS {
+            assert_eq!(
+                QueryKind::parse(kind.name()),
+                Some(kind),
+                "kind {kind:?} must round-trip through its on-disk name"
+            );
+        }
+        assert_eq!(QueryKind::parse("no_such_kind"), None);
+        assert_eq!(QueryKind::parse(""), None);
+    }
 
     #[test]
     fn every_kind_roundtrips_record_list_fetch() {

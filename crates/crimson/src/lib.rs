@@ -37,10 +37,16 @@
 //! `*_reference` methods — the property tests cross-validate against them,
 //! and `crimson-bench`'s smoke profile asserts the ≥5× page-read advantage.
 //! * **Sampling** ([`sampling`]) — uniform random sampling, sampling with
-//!   respect to an evolutionary time, and user-supplied species lists (§2.2).
-//! * **Benchmark Manager** ([`benchmark`]) — samples the gold standard,
-//!   projects the induced subtree, hands the species data to a reconstruction
-//!   algorithm and scores the result against the projection.
+//!   respect to an evolutionary time, and user-supplied species lists (§2.2),
+//!   available on the writer and on snapshot readers alike.
+//! * **Experiment subsystem** ([`experiment`]) — the Benchmark Manager grown
+//!   into a persistent pipeline: evaluation sweeps fan out across snapshot
+//!   workers, reconstructed trees are stored like any other tree, and spec,
+//!   metrics and per-clade agreement rows land in catalog tables inside one
+//!   atomic transaction.
+//! * **Index-native comparison** ([`compare`]) — Robinson–Foulds and triplet
+//!   distances between stored trees computed by streaming the interval
+//!   index ([`compare::StoredCladeSource`]), never materializing a tree.
 //! * **Query Repository** ([`history`]) — records executed queries so they
 //!   can be recalled and re-run, as the Crimson GUI does.
 //! * **Concurrent readers** ([`reader`]) — Crimson is pitched as a shared
@@ -66,9 +72,10 @@
 #![warn(missing_docs)]
 
 pub mod batch;
-pub mod benchmark;
 pub(crate) mod cache;
+pub mod compare;
 pub mod error;
+pub mod experiment;
 pub mod history;
 pub mod loader;
 pub mod query;
@@ -78,14 +85,22 @@ pub mod sampling;
 
 pub use batch::{BatchOutput, BatchQuery, QueryBatch};
 pub use error::CrimsonError;
+pub use experiment::{
+    DistanceSource, EvalReport, EvalSpec, ExperimentRecord, ExperimentResult, ExperimentRunner,
+    ExperimentSpec, Method,
+};
 pub use reader::RepositoryReader;
 pub use repository::{Repository, RepositoryOptions, StoredNodeId, TreeHandle};
 
 /// Commonly used items.
 pub mod prelude {
     pub use crate::batch::{BatchOutput, BatchQuery, QueryBatch};
-    pub use crate::benchmark::{BenchmarkManager, BenchmarkReport, BenchmarkSpec, Method};
+    pub use crate::compare::StoredCladeSource;
     pub use crate::error::CrimsonError;
+    pub use crate::experiment::{
+        CladeRow, DistanceSource, EvalReport, EvalSpec, ExperimentRecord, ExperimentResult,
+        ExperimentRunner, ExperimentSpec, Method,
+    };
     pub use crate::history::QueryKind;
     pub use crate::loader::LoadMode;
     pub use crate::reader::RepositoryReader;

@@ -262,6 +262,141 @@ impl RepositoryReader {
     }
 
     // ------------------------------------------------------------------
+    // Sampling (deterministic per seed, identical to the writer's draws)
+    // ------------------------------------------------------------------
+
+    /// Execute a sampling strategy, returning the selected leaf nodes.
+    pub fn sample(
+        &self,
+        handle: TreeHandle,
+        strategy: &crate::sampling::SamplingStrategy,
+        seed: u64,
+    ) -> CrimsonResult<Vec<StoredNodeId>> {
+        self.read(|ctx| ctx.sample(handle, strategy, seed))
+    }
+
+    /// Uniformly sample `k` distinct species from the tree.
+    pub fn sample_uniform(
+        &self,
+        handle: TreeHandle,
+        k: usize,
+        seed: u64,
+    ) -> CrimsonResult<Vec<StoredNodeId>> {
+        self.read(|ctx| ctx.sample_uniform(handle, k, seed))
+    }
+
+    /// Sample `k` species with respect to evolutionary time `time`.
+    pub fn sample_by_time(
+        &self,
+        handle: TreeHandle,
+        time: f64,
+        k: usize,
+        seed: u64,
+    ) -> CrimsonResult<Vec<StoredNodeId>> {
+        self.read(|ctx| ctx.sample_by_time(handle, time, k, seed))
+    }
+
+    /// The evolutionary-time frontier (see [`Repository::time_frontier`]).
+    pub fn time_frontier(&self, handle: TreeHandle, time: f64) -> CrimsonResult<Vec<StoredNodeId>> {
+        self.read(|ctx| ctx.time_frontier(handle, time))
+    }
+
+    /// Resolve an explicit list of species names to leaf nodes.
+    pub fn sample_by_names(
+        &self,
+        handle: TreeHandle,
+        names: &[&str],
+    ) -> CrimsonResult<Vec<StoredNodeId>> {
+        self.read(|ctx| ctx.sample_by_names(handle, names))
+    }
+
+    /// The names of a set of stored leaf nodes.
+    pub fn names_of(&self, nodes: &[StoredNodeId]) -> CrimsonResult<Vec<String>> {
+        self.read(|ctx| ctx.names_of(nodes))
+    }
+
+    // ------------------------------------------------------------------
+    // Index-native tree comparison
+    // ------------------------------------------------------------------
+
+    /// Compare two stored trees inside the interval index (see
+    /// [`Repository::compare_stored`]).
+    pub fn compare_stored(
+        &self,
+        a: TreeHandle,
+        b: TreeHandle,
+        triplets: bool,
+    ) -> CrimsonResult<reconstruction::compare::SourceComparison> {
+        self.read(|ctx| ctx.compare_stored(a, b, triplets))
+    }
+
+    /// Compare a stored tree (reference side) against an in-memory tree.
+    pub fn compare_stored_with_tree(
+        &self,
+        a: TreeHandle,
+        b: &Tree,
+        triplets: bool,
+    ) -> CrimsonResult<reconstruction::compare::SourceComparison> {
+        self.read(|ctx| ctx.compare_stored_with_tree(a, b, triplets))
+    }
+
+    // ------------------------------------------------------------------
+    // Experiments
+    // ------------------------------------------------------------------
+
+    /// Evaluate one experiment grid cell against this snapshot — the unit
+    /// of work [`crate::experiment::ExperimentRunner`] fans across workers.
+    pub(crate) fn evaluate_cell(
+        &self,
+        gold: TreeHandle,
+        method: crate::experiment::Method,
+        distance_source: crate::experiment::DistanceSource,
+        strategy: &crate::sampling::SamplingStrategy,
+        seed: u64,
+        compute_triplets: bool,
+    ) -> CrimsonResult<crate::experiment::CellEval> {
+        self.read(|ctx| {
+            ctx.evaluate_cell(
+                gold,
+                method,
+                distance_source,
+                strategy,
+                seed,
+                compute_triplets,
+            )
+        })
+    }
+
+    /// All persisted experiments, in id order.
+    pub fn list_experiments(&self) -> CrimsonResult<Vec<crate::experiment::ExperimentRecord>> {
+        self.read(|ctx| ctx.list_experiments())
+    }
+
+    /// Look up an experiment by name, failing when absent.
+    pub fn experiment_by_name(
+        &self,
+        name: &str,
+    ) -> CrimsonResult<crate::experiment::ExperimentRecord> {
+        self.read(|ctx| ctx.experiment_by_name(name))
+    }
+
+    /// All result rows of an experiment, in grid-cell order.
+    pub fn experiment_results(
+        &self,
+        experiment: u64,
+    ) -> CrimsonResult<Vec<crate::experiment::ExperimentResult>> {
+        self.read(|ctx| ctx.experiment_results(experiment))
+    }
+
+    /// The per-clade agreement rows of one result.
+    pub fn experiment_clades(
+        &self,
+        result: u64,
+    ) -> CrimsonResult<Vec<crate::experiment::CladeRow>> {
+        self.read(|ctx| ctx.experiment_clades(result))
+    }
+
+    // ------------------------------------------------------------------
     // History and integrity
     // ------------------------------------------------------------------
 

@@ -160,6 +160,12 @@ pub(crate) struct Tables {
     pub frames: TableId,
     pub species: TableId,
     pub history: TableId,
+    /// Experiment catalog: one row per persisted evaluation sweep.
+    pub experiments: TableId,
+    /// One row per experiment grid cell (method × sampling × replicate).
+    pub experiment_results: TableId,
+    /// Per-clade agreement rows of each result's stored reconstruction.
+    pub experiment_clades: TableId,
     /// Covering interval index keyed by `(tree_id, pre)`; see
     /// [`labeling::interval`] for the entry layout.
     pub ivl_by_pre: RawIndexId,
@@ -204,6 +210,15 @@ pub struct IntegrityReport {
     pub interval_entries: u64,
     /// Query-history rows (all parsed successfully).
     pub history_entries: u64,
+    /// Experiment rows (each referencing an existing gold tree, with a
+    /// parseable spec).
+    pub experiments: u64,
+    /// Experiment result rows (each referencing an existing experiment and
+    /// stored reconstruction).
+    pub experiment_results: u64,
+    /// Per-clade agreement rows (each referencing an existing result and a
+    /// stored node of its reconstruction).
+    pub experiment_clades: u64,
 }
 
 /// Fill factor for bulk-built heap and index pages: nearly full (the
@@ -515,6 +530,69 @@ impl<'a, D: DbRead> ReadCtx<'a, D> {
         }
         report.interval_entries = by_pre;
 
+        // Experiment catalog: every experiment references an existing gold
+        // tree with a parseable spec; every result an existing experiment
+        // and stored reconstruction; every clade row an existing result and
+        // a stored node of that result's reconstruction. An interrupted
+        // experiment commit would surface here as an orphan.
+        let mut experiment_ids = std::collections::HashSet::new();
+        for (rid, row) in self.db.scan(self.tables.experiments)? {
+            let exp_id = row.values[0].as_int().unwrap_or(-1) as u64;
+            let gold = row.values[2].as_int().unwrap_or(-1) as u64;
+            if !trees.contains_key(&gold) {
+                return Err(CrimsonError::CorruptRepository(format!(
+                    "experiment row {rid} references missing gold tree {gold}"
+                )));
+            }
+            serde_json::from_str::<serde_json::Value>(row.values[3].as_text().unwrap_or(""))
+                .map_err(|e| {
+                    CrimsonError::CorruptRepository(format!(
+                        "experiment row {rid} carries an unparseable spec: {e}"
+                    ))
+                })?;
+            experiment_ids.insert(exp_id);
+            report.experiments += 1;
+        }
+        let mut result_recon: HashMap<u64, u64> = HashMap::new();
+        for (rid, row) in self.db.scan(self.tables.experiment_results)? {
+            let result_id = row.values[0].as_int().unwrap_or(-1) as u64;
+            let exp_id = row.values[1].as_int().unwrap_or(-1) as u64;
+            let recon = row.values[8].as_int().unwrap_or(-1) as u64;
+            if !experiment_ids.contains(&exp_id) {
+                return Err(CrimsonError::CorruptRepository(format!(
+                    "experiment result row {rid} references missing experiment {exp_id}"
+                )));
+            }
+            if !trees.contains_key(&recon) {
+                return Err(CrimsonError::CorruptRepository(format!(
+                    "experiment result row {rid} references missing reconstruction tree {recon}"
+                )));
+            }
+            result_recon.insert(result_id, recon);
+            report.experiment_results += 1;
+        }
+        for (rid, row) in self.db.scan(self.tables.experiment_clades)? {
+            let result_id = row.values[0].as_int().unwrap_or(-1) as u64;
+            let node = StoredNodeId(row.values[1].as_int().unwrap_or(0) as u64);
+            let Some(&recon) = result_recon.get(&result_id) else {
+                return Err(CrimsonError::CorruptRepository(format!(
+                    "clade row {rid} references missing experiment result {result_id}"
+                )));
+            };
+            if node.0 >> TREE_SHIFT != recon {
+                return Err(CrimsonError::CorruptRepository(format!(
+                    "clade row {rid} node {node} does not belong to reconstruction tree {recon}"
+                )));
+            }
+            // The node must exist in the interval index of its tree.
+            self.interval_of(node).map_err(|_| {
+                CrimsonError::CorruptRepository(format!(
+                    "clade row {rid} references unknown stored node {node}"
+                ))
+            })?;
+            report.experiment_clades += 1;
+        }
+
         // The history must parse end to end (a torn entry would fail here).
         report.history_entries = self.query_history()?.len() as u64;
         Ok(report)
@@ -701,6 +779,14 @@ impl Repository {
         db.create_index(species_table, "tree_id", false)?;
         let history_table = db.create_table("query_history", history_schema())?;
         db.create_index(history_table, "query_id", true)?;
+        let experiments_table = db.create_table("experiments", experiments_schema())?;
+        db.create_index(experiments_table, "exp_id", true)?;
+        db.create_index(experiments_table, "name", true)?;
+        let results_table = db.create_table("experiment_results", experiment_results_schema())?;
+        db.create_index(results_table, "result_id", true)?;
+        db.create_index(results_table, "exp_id", false)?;
+        let clades_table = db.create_table("experiment_clades", experiment_clades_schema())?;
+        db.create_index(clades_table, "result_id", false)?;
         let ivl_by_pre = db.create_raw_index(IVL_BY_PRE)?;
         let ivl_by_node = db.create_raw_index(IVL_BY_NODE)?;
         db.flush()?;
@@ -713,6 +799,9 @@ impl Repository {
                 frames: frames_table,
                 species: species_table,
                 history: history_table,
+                experiments: experiments_table,
+                experiment_results: results_table,
+                experiment_clades: clades_table,
                 ivl_by_pre,
                 ivl_by_node,
             },
@@ -728,13 +817,42 @@ impl Repository {
     /// are rolled back; the outcome is available from
     /// [`Repository::recovery_report`].
     pub fn open(path: impl AsRef<Path>, options: RepositoryOptions) -> CrimsonResult<Self> {
-        let db = Database::open_with_capacity(path, options.buffer_pool_pages)?;
+        let mut db = Database::open_with_capacity(path, options.buffer_pool_pages)?;
         let recovery = db.recovery_report();
         let trees_table = db.table("trees")?;
         let nodes_table = db.table("nodes")?;
         let frames_table = db.table("frames")?;
         let species_table = db.table("species")?;
         let history_table = db.table("query_history")?;
+        // Repositories written before the experiment subsystem existed lack
+        // its catalog tables; create them on open so older files stay
+        // loadable and become experiment-capable in place.
+        let experiments_table = match db.table("experiments") {
+            Ok(t) => t,
+            Err(_) => {
+                let t = db.create_table("experiments", experiments_schema())?;
+                db.create_index(t, "exp_id", true)?;
+                db.create_index(t, "name", true)?;
+                t
+            }
+        };
+        let results_table = match db.table("experiment_results") {
+            Ok(t) => t,
+            Err(_) => {
+                let t = db.create_table("experiment_results", experiment_results_schema())?;
+                db.create_index(t, "result_id", true)?;
+                db.create_index(t, "exp_id", false)?;
+                t
+            }
+        };
+        let clades_table = match db.table("experiment_clades") {
+            Ok(t) => t,
+            Err(_) => {
+                let t = db.create_table("experiment_clades", experiment_clades_schema())?;
+                db.create_index(t, "result_id", false)?;
+                t
+            }
+        };
         // Rolled-back transactions may have left gaps in the id sequence;
         // resume after the highest id actually present (a plain row count
         // could collide with a surviving id). The unique `query_id` index
@@ -765,6 +883,9 @@ impl Repository {
                 frames: frames_table,
                 species: species_table,
                 history: history_table,
+                experiments: experiments_table,
+                experiment_results: results_table,
+                experiment_clades: clades_table,
                 ivl_by_pre,
                 ivl_by_node,
             },
@@ -1542,6 +1663,57 @@ fn history_schema() -> Schema {
         ColumnDef::not_null("kind", ValueType::Text),
         ColumnDef::not_null("params", ValueType::Text),
         ColumnDef::not_null("summary", ValueType::Text),
+    ])
+}
+
+fn experiments_schema() -> Schema {
+    Schema::new(vec![
+        ColumnDef::not_null("exp_id", ValueType::Int),
+        ColumnDef::not_null("name", ValueType::Text),
+        ColumnDef::not_null("gold_tree", ValueType::Int),
+        // The full ExperimentSpec as JSON — what `rerun` replays.
+        ColumnDef::not_null("spec", ValueType::Text),
+        ColumnDef::not_null("seed", ValueType::Int),
+        ColumnDef::not_null("runs", ValueType::Int),
+        ColumnDef::not_null("wall_ms", ValueType::Float),
+    ])
+}
+
+fn experiment_results_schema() -> Schema {
+    Schema::new(vec![
+        ColumnDef::not_null("result_id", ValueType::Int),
+        ColumnDef::not_null("exp_id", ValueType::Int),
+        ColumnDef::not_null("method", ValueType::Text),
+        ColumnDef::not_null("strategy", ValueType::Text),
+        ColumnDef::not_null("strategy_index", ValueType::Int),
+        ColumnDef::not_null("replicate", ValueType::Int),
+        ColumnDef::not_null("cell_seed", ValueType::Int),
+        ColumnDef::not_null("sample_size", ValueType::Int),
+        // Handle of the persisted reconstructed tree.
+        ColumnDef::not_null("recon_tree", ValueType::Int),
+        ColumnDef::not_null("rf_dist", ValueType::Int),
+        ColumnDef::not_null("rf_max", ValueType::Int),
+        ColumnDef::not_null("rf_shared", ValueType::Int),
+        ColumnDef::not_null("rrf_dist", ValueType::Int),
+        ColumnDef::not_null("rrf_max", ValueType::Int),
+        ColumnDef::not_null("rrf_shared", ValueType::Int),
+        ColumnDef::new("triplet", ValueType::Float),
+        ColumnDef::not_null("sampling_ms", ValueType::Float),
+        ColumnDef::not_null("projection_ms", ValueType::Float),
+        ColumnDef::not_null("distances_ms", ValueType::Float),
+        ColumnDef::not_null("reconstruction_ms", ValueType::Float),
+        ColumnDef::not_null("comparison_ms", ValueType::Float),
+        ColumnDef::not_null("persist_ms", ValueType::Float),
+    ])
+}
+
+fn experiment_clades_schema() -> Schema {
+    Schema::new(vec![
+        ColumnDef::not_null("result_id", ValueType::Int),
+        // Stored node id of the clade's root in the reconstructed tree.
+        ColumnDef::not_null("node_id", ValueType::Int),
+        ColumnDef::not_null("size", ValueType::Int),
+        ColumnDef::not_null("agrees", ValueType::Bool),
     ])
 }
 

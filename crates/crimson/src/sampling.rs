@@ -10,12 +10,13 @@
 //! under each frontier node.
 
 use crate::error::{CrimsonError, CrimsonResult};
-use crate::repository::{Repository, StoredNodeId, TreeHandle};
+use crate::repository::{ReadCtx, Repository, StoredNodeId, TreeHandle};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use storage::db::DbRead;
 use storage::value::Value;
 
 /// How to select species for a benchmark run.
@@ -41,7 +42,21 @@ pub enum SamplingStrategy {
     },
 }
 
-impl Repository {
+impl SamplingStrategy {
+    /// Short label for reports and history entries.
+    pub fn label(&self) -> String {
+        match self {
+            SamplingStrategy::Uniform { k } => format!("uniform(k={k})"),
+            SamplingStrategy::TimeRespecting { time, k } => format!("time(t={time},k={k})"),
+            SamplingStrategy::UserList { names } => format!("user({} names)", names.len()),
+        }
+    }
+}
+
+/// Sampling runs on the shared read engine, so the writer's `Repository`
+/// and concurrent snapshot [`crate::reader::RepositoryReader`]s — the
+/// experiment sweep's workers — execute identical, deterministic draws.
+impl<D: DbRead> ReadCtx<'_, D> {
     /// Execute a sampling strategy, returning the selected leaf nodes.
     pub fn sample(
         &self,
@@ -266,6 +281,73 @@ impl Repository {
                 rec.name.ok_or(CrimsonError::UnknownNode(n.0))
             })
             .collect()
+    }
+}
+
+impl Repository {
+    /// Execute a sampling strategy, returning the selected leaf nodes.
+    pub fn sample(
+        &self,
+        handle: TreeHandle,
+        strategy: &SamplingStrategy,
+        seed: u64,
+    ) -> CrimsonResult<Vec<StoredNodeId>> {
+        self.ctx().sample(handle, strategy, seed)
+    }
+
+    /// Uniformly sample `k` distinct species from the tree.
+    pub fn sample_uniform(
+        &self,
+        handle: TreeHandle,
+        k: usize,
+        seed: u64,
+    ) -> CrimsonResult<Vec<StoredNodeId>> {
+        self.ctx().sample_uniform(handle, k, seed)
+    }
+
+    /// Sample `k` species with respect to evolutionary time `time` (§2.2).
+    pub fn sample_by_time(
+        &self,
+        handle: TreeHandle,
+        time: f64,
+        k: usize,
+        seed: u64,
+    ) -> CrimsonResult<Vec<StoredNodeId>> {
+        self.ctx().sample_by_time(handle, time, k, seed)
+    }
+
+    /// The evolutionary-time frontier used by [`Repository::sample_by_time`].
+    pub fn time_frontier(&self, handle: TreeHandle, time: f64) -> CrimsonResult<Vec<StoredNodeId>> {
+        self.ctx().time_frontier(handle, time)
+    }
+
+    /// The literal frontier from the paper's prose: the minimal nodes whose
+    /// cumulative distance from the root is at least `time`.
+    pub fn root_distance_frontier(
+        &self,
+        handle: TreeHandle,
+        time: f64,
+    ) -> CrimsonResult<Vec<StoredNodeId>> {
+        self.ctx().root_distance_frontier(handle, time)
+    }
+
+    /// All leaves in the subtree rooted at `node`.
+    pub fn leaves_under(&self, node: StoredNodeId) -> CrimsonResult<Vec<StoredNodeId>> {
+        self.ctx().leaves_under(node)
+    }
+
+    /// Resolve an explicit list of species names to leaf nodes.
+    pub fn sample_by_names(
+        &self,
+        handle: TreeHandle,
+        names: &[&str],
+    ) -> CrimsonResult<Vec<StoredNodeId>> {
+        self.ctx().sample_by_names(handle, names)
+    }
+
+    /// Convenience: the names of a set of stored leaf nodes.
+    pub fn names_of(&self, nodes: &[StoredNodeId]) -> CrimsonResult<Vec<String>> {
+        self.ctx().names_of(nodes)
     }
 }
 

@@ -395,6 +395,664 @@ pub fn triplet_distance(a: &Tree, b: &Tree) -> Result<f64, CompareError> {
     Ok(differing as f64 / total as f64)
 }
 
+// ---------------------------------------------------------------------------
+// Abstract clade sources and streaming comparison
+// ---------------------------------------------------------------------------
+
+/// Visitor of a pre-order node stream: `(pre, end, node, leaf_name)`.
+pub type NodeVisitor<'a> = dyn FnMut(u32, u32, u32, Option<&str>) + 'a;
+
+/// An abstract supplier of a rooted tree's structure, streamed in pre-order.
+///
+/// The comparison metrics above require two materialized [`Tree`]s; this
+/// trait decouples them from where the topology lives. Anything that can
+/// enumerate its nodes in pre-order with subtree intervals — an in-memory
+/// tree, or a database range scan over a persistent interval index — can be
+/// compared without building a `Tree` first. [`compare_sources`] computes
+/// rooted and unrooted Robinson–Foulds (and optionally the triplet distance)
+/// exactly, in one pass over each source plus `O(n log n)` bookkeeping,
+/// using the interval technique of Day's linear-time comparison.
+pub trait CladeSource {
+    /// Error produced while streaming (must subsume comparison errors).
+    type Error: From<CompareError>;
+
+    /// Stream every node in pre-order. For each node the visitor receives
+    /// `(pre, end, node, leaf_name)`: the node's pre-order rank, the largest
+    /// pre-order rank in its subtree, a source-local node id, and — for
+    /// childless nodes (`pre == end`) — the leaf's name. Internal nodes may
+    /// pass `None`; leaf nodes with `None` make the comparison fail with
+    /// [`CompareError::BadLeaves`].
+    fn for_each_node(&self, visit: &mut NodeVisitor<'_>) -> Result<(), Self::Error>;
+
+    /// Optional node-count hint used only for preallocation.
+    fn node_count_hint(&self) -> usize {
+        0
+    }
+}
+
+impl CladeSource for Tree {
+    type Error = CompareError;
+
+    fn node_count_hint(&self) -> usize {
+        self.node_count()
+    }
+
+    fn for_each_node(&self, visit: &mut NodeVisitor<'_>) -> Result<(), CompareError> {
+        if self.is_empty() {
+            return Ok(());
+        }
+        let n = self.node_count();
+        let mut pre_of = vec![0u32; n];
+        let mut end_of = vec![0u32; n];
+        let mut order: Vec<NodeId> = Vec::with_capacity(n);
+        let root = self.root_unchecked();
+        order.push(root);
+        let mut next_pre = 1u32;
+        let mut stack: Vec<(NodeId, usize)> = vec![(root, 0)];
+        while let Some(&(node, child_idx)) = stack.last() {
+            let children = self.children(node);
+            if child_idx < children.len() {
+                stack.last_mut().expect("just peeked").1 += 1;
+                let child = children[child_idx];
+                pre_of[child.index()] = next_pre;
+                next_pre += 1;
+                order.push(child);
+                stack.push((child, 0));
+            } else {
+                end_of[node.index()] = next_pre - 1;
+                stack.pop();
+            }
+        }
+        for &node in &order {
+            let ai = node.index();
+            let name = if self.is_leaf(node) {
+                self.name(node)
+            } else {
+                None
+            };
+            visit(pre_of[ai], end_of[ai], node.0, name);
+        }
+        Ok(())
+    }
+}
+
+/// Whether one internal node's clade of the second source agrees with the
+/// first source — the per-clade data an experiment stores so that *where* a
+/// reconstruction went wrong stays queryable, not just how far off it was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CladeAgreement {
+    /// Source-local node id (as streamed by the [`CladeSource`]).
+    pub node: u32,
+    /// Number of leaves in the clade.
+    pub size: u32,
+    /// `true` when the first source contains the same clade.
+    pub agrees: bool,
+}
+
+/// Everything [`compare_sources`] computes in its two streaming passes.
+#[derive(Debug, Clone)]
+pub struct SourceComparison {
+    /// Unrooted Robinson–Foulds over bipartitions.
+    pub rf: RfResult,
+    /// Rooted Robinson–Foulds over clades.
+    pub rooted_rf: RfResult,
+    /// Triplet distance, when requested.
+    pub triplet: Option<f64>,
+    /// Per-clade agreement for every non-trivial internal node of the
+    /// *second* source (sized `2 ..= n-1` leaves).
+    pub clades: Vec<CladeAgreement>,
+}
+
+/// Aggregates of a set of leaf ranks: enough to decide, in O(1), whether the
+/// set is exactly the contiguous interval `[min, max]` (`count` matches).
+#[derive(Debug, Clone, Copy)]
+struct Agg {
+    min: u32,
+    max: u32,
+    count: u32,
+}
+
+impl Agg {
+    const EMPTY: Agg = Agg {
+        min: u32::MAX,
+        max: 0,
+        count: 0,
+    };
+
+    fn push(&mut self, rank: u32) {
+        self.min = self.min.min(rank);
+        self.max = self.max.max(rank);
+        self.count += 1;
+    }
+
+    fn merge(&mut self, other: Agg) {
+        if other.count == 0 {
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+    }
+
+    /// The set is exactly the interval `[min, max]`.
+    fn contiguous(&self) -> bool {
+        self.count > 0 && self.max - self.min + 1 == self.count
+    }
+}
+
+/// Sparse table for O(1) range-minimum queries over the adjacent-leaf LCA
+/// depths; `min(l, r)` is inclusive on both ends.
+struct Rmq {
+    levels: Vec<Vec<u32>>,
+}
+
+impl Rmq {
+    fn new(values: &[u32]) -> Rmq {
+        let mut levels = vec![values.to_vec()];
+        let mut width = 1usize;
+        while width * 2 <= values.len() {
+            let prev = levels.last().expect("seeded with one level");
+            let next: Vec<u32> = (0..prev.len() - width)
+                .map(|i| prev[i].min(prev[i + width]))
+                .collect();
+            levels.push(next);
+            width *= 2;
+        }
+        Rmq { levels }
+    }
+
+    fn min(&self, l: usize, r: usize) -> u32 {
+        debug_assert!(l <= r);
+        let k = (usize::BITS - 1 - (r - l + 1).leading_zeros()) as usize;
+        let row = &self.levels[k];
+        row[l].min(row[r + 1 - (1usize << k)])
+    }
+}
+
+/// The first source, digested: leaf ranks by name, the clade/split interval
+/// sets, and (when triplets are wanted) adjacent-leaf LCA depths. Every
+/// clade of a tree is a contiguous interval of its pre-order leaf ranks, so
+/// set equality against this source reduces to an interval lookup.
+struct CladeIndex {
+    names: Vec<String>,
+    rank: HashMap<String, u32>,
+    /// Non-trivial rooted clades as leaf-rank intervals (deduped).
+    clades: HashSet<(u32, u32)>,
+    /// Canonical unrooted split sides (the side not containing rank 0),
+    /// which are intervals too: a clade not containing rank 0 is `[lo, hi]`
+    /// with `lo > 0`; a prefix clade `[0, hi]` canonicalizes to the suffix
+    /// `[hi+1, n-1]`.
+    splits: HashSet<(u32, u32)>,
+    adj: Option<Rmq>,
+}
+
+impl CladeIndex {
+    fn build<A: CladeSource>(a: &A, want_depths: bool) -> Result<CladeIndex, A::Error> {
+        struct Open {
+            pre: u32,
+            end: u32,
+            leaf_lo: u32,
+        }
+        let mut stack: Vec<Open> = Vec::new();
+        let mut names: Vec<String> = Vec::new();
+        let mut rank: HashMap<String, u32> = HashMap::new();
+        // (is_root, leaf_lo, leaf_hi) per internal node; filtered below once
+        // the leaf count is known.
+        let mut intervals: Vec<(bool, u32, u32)> = Vec::with_capacity(a.node_count_hint());
+        let mut adj: Vec<u32> = Vec::new();
+        let mut prev_leaf_pre = 0u32;
+        let mut err: Option<CompareError> = None;
+        a.for_each_node(&mut |pre, end, node, name| {
+            if err.is_some() {
+                return;
+            }
+            while stack.last().is_some_and(|o| o.end < pre) {
+                let o = stack.pop().expect("just checked");
+                intervals.push((
+                    o.pre == 0,
+                    o.leaf_lo,
+                    (names.len() as u32).saturating_sub(1),
+                ));
+            }
+            if pre == end {
+                let Some(name) = name else {
+                    err = Some(CompareError::BadLeaves(format!("leaf {node} is unnamed")));
+                    return;
+                };
+                let r = names.len() as u32;
+                if rank.insert(name.to_string(), r).is_some() {
+                    err = Some(CompareError::BadLeaves(format!(
+                        "duplicate leaf name `{name}`"
+                    )));
+                    return;
+                }
+                if want_depths && r > 0 {
+                    // LCA of consecutive leaves: the deepest open ancestor
+                    // that was already open at the previous leaf. Stack
+                    // index equals node depth.
+                    let idx = stack.partition_point(|o| o.pre <= prev_leaf_pre);
+                    adj.push(idx.saturating_sub(1) as u32);
+                }
+                prev_leaf_pre = pre;
+                names.push(name.to_string());
+            } else {
+                stack.push(Open {
+                    pre,
+                    end,
+                    leaf_lo: names.len() as u32,
+                });
+            }
+        })?;
+        if let Some(e) = err {
+            return Err(A::Error::from(e));
+        }
+        while let Some(o) = stack.pop() {
+            intervals.push((
+                o.pre == 0,
+                o.leaf_lo,
+                (names.len() as u32).saturating_sub(1),
+            ));
+        }
+        let n = names.len() as u32;
+        let mut clades = HashSet::new();
+        let mut splits = HashSet::new();
+        for &(is_root, lo, hi) in &intervals {
+            let size = hi - lo + 1;
+            if size >= 2 && size < n {
+                clades.insert((lo, hi));
+            }
+            if !is_root && size >= 2 && n >= 2 && size <= n - 2 {
+                let side = if lo == 0 { (hi + 1, n - 1) } else { (lo, hi) };
+                splits.insert(side);
+            }
+        }
+        Ok(CladeIndex {
+            names,
+            rank,
+            clades,
+            splits,
+            adj: if want_depths && !adj.is_empty() {
+                Some(Rmq::new(&adj))
+            } else {
+                None
+            },
+        })
+    }
+}
+
+fn rf_result(sa: usize, sb: usize, shared: usize) -> RfResult {
+    let distance = (sa - shared) + (sb - shared);
+    let max_distance = sa + sb;
+    RfResult {
+        distance,
+        max_distance,
+        normalized: if max_distance == 0 {
+            0.0
+        } else {
+            distance as f64 / max_distance as f64
+        },
+        shared,
+    }
+}
+
+/// Compare two [`CladeSource`]s: rooted and unrooted Robinson–Foulds,
+/// per-clade agreement of the second source against the first, and — when
+/// `triplets` is set — the exact triplet distance. Produces the same values
+/// as [`robinson_foulds`] / [`rooted_robinson_foulds`] /
+/// [`triplet_distance`] on the materialized trees, without materializing
+/// anything: one pre-order pass over each source.
+///
+/// The interval technique: number leaves `0..n` by their pre-order position
+/// in the *first* source. Every clade of the first source is then a
+/// contiguous rank interval. Stream the second source computing, per clade,
+/// the `(min, max, count)` aggregates of its leaves' ranks — the clade
+/// matches one of the first source's iff it is contiguous
+/// (`max - min + 1 == count`) and its interval is present. Unrooted splits
+/// canonicalize to the side not containing rank 0; for second-source clades
+/// that *do* contain rank 0 (the ancestors of that leaf), the complement's
+/// aggregates are assembled from the sibling subtrees hanging off the
+/// ancestor chain, still inside the single pass.
+pub fn compare_sources<A, B, E>(a: &A, b: &B, triplets: bool) -> Result<SourceComparison, E>
+where
+    A: CladeSource,
+    B: CladeSource,
+    E: From<A::Error> + From<B::Error> + From<CompareError>,
+{
+    let index = CladeIndex::build(a, triplets).map_err(E::from)?;
+    compare_against_index(&index, b, triplets).map_err(E::from)
+}
+
+fn compare_against_index<B: CladeSource>(
+    index: &CladeIndex,
+    b: &B,
+    triplets: bool,
+) -> Result<SourceComparison, B::Error> {
+    let n = index.names.len() as u32;
+
+    struct Open {
+        pre: u32,
+        end: u32,
+        node: u32,
+        leaf_lo: u32,
+        agg: Agg,
+    }
+    struct Closed {
+        node: u32,
+        pre: u32,
+        b_lo: u32,
+        b_hi: u32,
+        agg: Agg,
+        is_root: bool,
+    }
+
+    let mut stack: Vec<Open> = Vec::new();
+    let mut closed: Vec<Closed> = Vec::with_capacity(b.node_count_hint());
+    let mut seen = vec![false; n as usize];
+    let mut only_in_b: Vec<String> = Vec::new();
+    let mut perm: Vec<u32> = vec![0; n as usize]; // A-rank -> B-rank
+    let mut b_adj: Vec<u32> = Vec::new();
+    let mut b_leaves = 0u32;
+    let mut prev_leaf_pre = 0u32;
+    // The ancestor chain of leaf rank 0 ("x"), snapshot at its arrival, and
+    // the per-chain-depth classes of leaves *outside* the next-deeper chain
+    // node — the building blocks of the complement aggregates.
+    let mut chain: Vec<(u32, u32)> = Vec::new(); // (pre, end) per depth
+    let mut class_agg: Vec<Agg> = Vec::new();
+    let mut chain_live = 0usize;
+    let mut err: Option<CompareError> = None;
+
+    b.for_each_node(&mut |pre, end, node, name| {
+        if err.is_some() {
+            return;
+        }
+        while stack.last().is_some_and(|o| o.end < pre) {
+            let o = stack.pop().expect("just checked");
+            if let Some(parent) = stack.last_mut() {
+                parent.agg.merge(o.agg);
+            }
+            closed.push(Closed {
+                node: o.node,
+                pre: o.pre,
+                b_lo: o.leaf_lo,
+                b_hi: b_leaves.saturating_sub(1),
+                agg: o.agg,
+                is_root: o.pre == 0,
+            });
+        }
+        if pre == end {
+            let Some(name) = name else {
+                err = Some(CompareError::BadLeaves(format!("leaf {node} is unnamed")));
+                return;
+            };
+            let Some(&rank) = index.rank.get(name) else {
+                only_in_b.push(name.to_string());
+                return;
+            };
+            if seen[rank as usize] {
+                err = Some(CompareError::BadLeaves(format!(
+                    "duplicate leaf name `{name}`"
+                )));
+                return;
+            }
+            seen[rank as usize] = true;
+            if triplets && b_leaves > 0 {
+                let idx = stack.partition_point(|o| o.pre <= prev_leaf_pre);
+                b_adj.push(idx.saturating_sub(1) as u32);
+            }
+            prev_leaf_pre = pre;
+            perm[rank as usize] = b_leaves;
+            if rank == 0 {
+                // Snapshot x's ancestor chain *before* pushing x: each open
+                // level's aggregate so far is exactly its class of pre-x
+                // leaves (leaves under it but not under the next open
+                // child, which is x's ancestor too).
+                chain = stack.iter().map(|o| (o.pre, o.end)).collect();
+                class_agg = stack.iter().map(|o| o.agg).collect();
+                chain_live = chain.len();
+            } else if chain_live > 0 && pre > chain[0].0 {
+                // Post-x leaves: assign to the deepest chain node still
+                // covering this pre rank.
+                while chain_live > 0 && chain[chain_live - 1].1 < pre {
+                    chain_live -= 1;
+                }
+                if chain_live > 0 {
+                    class_agg[chain_live - 1].push(rank);
+                }
+            }
+            if let Some(top) = stack.last_mut() {
+                top.agg.push(rank);
+            }
+            b_leaves += 1;
+        } else {
+            stack.push(Open {
+                pre,
+                end,
+                node,
+                leaf_lo: b_leaves,
+                agg: Agg::EMPTY,
+            });
+        }
+    })?;
+    if let Some(e) = err {
+        return Err(B::Error::from(e));
+    }
+    // Final drain: the rightmost root-to-leaf path (including the root's
+    // last child) only closes at end of stream.
+    while let Some(o) = stack.pop() {
+        if let Some(parent) = stack.last_mut() {
+            parent.agg.merge(o.agg);
+        }
+        closed.push(Closed {
+            node: o.node,
+            pre: o.pre,
+            b_lo: o.leaf_lo,
+            b_hi: b_leaves.saturating_sub(1),
+            agg: o.agg,
+            is_root: o.pre == 0,
+        });
+    }
+
+    // Leaf-set checks, mirroring `leaf_index` + `check_same_leaves`.
+    let mut only_in_a: Vec<String> = index
+        .names
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !seen[*i])
+        .map(|(_, name)| name.clone())
+        .collect();
+    if !only_in_a.is_empty() || !only_in_b.is_empty() {
+        only_in_a.sort();
+        only_in_b.sort();
+        return Err(B::Error::from(CompareError::LeafSetMismatch {
+            only_in_a,
+            only_in_b,
+        }));
+    }
+
+    // Complement aggregates for the chain: comp(depth d) = union of the
+    // classes strictly above d.
+    let mut comp: Vec<Agg> = Vec::with_capacity(chain.len());
+    let mut running = Agg::EMPTY;
+    for &class in &class_agg {
+        comp.push(running);
+        running.merge(class);
+    }
+    let chain_depth: HashMap<u32, usize> = chain
+        .iter()
+        .enumerate()
+        .map(|(d, &(pre, _))| (pre, d))
+        .collect();
+
+    // Rooted clades + per-clade agreement.
+    let mut clade_keys: HashSet<(u32, u32)> = HashSet::new();
+    let mut sb_clades = 0usize;
+    let mut shared_clades = 0usize;
+    let mut agreement = Vec::new();
+    for c in &closed {
+        let size = c.agg.count;
+        if size < 2 || n < 1 || size > n - 1 {
+            continue;
+        }
+        let agrees = c.agg.contiguous() && index.clades.contains(&(c.agg.min, c.agg.max));
+        agreement.push(CladeAgreement {
+            node: c.node,
+            size,
+            agrees,
+        });
+        if clade_keys.insert((c.b_lo, c.b_hi)) {
+            sb_clades += 1;
+            if agrees {
+                shared_clades += 1;
+            }
+        }
+    }
+    let rooted_rf = rf_result(index.clades.len(), sb_clades, shared_clades);
+
+    // Unrooted splits. Two *distinct* clades carry the same split exactly
+    // when they are complements — disjoint and jointly covering, i.e. the
+    // two sides of a full-leaf-set bifurcation (possibly wrapped in unary
+    // chains). In the source's own leaf-rank space every clade is an
+    // interval, so a clade's complement is itself a clade only when the
+    // clade is a prefix (complement = the completing suffix) or a suffix
+    // (complement = the completing prefix) and that completing interval
+    // exists as a clade. Skip the x-containing side of each such pair so
+    // the split counts once — exactly as the HashSet canonicalization in
+    // `splits` collapses it.
+    let split_filter = |c: &&Closed| {
+        let size = c.agg.count;
+        !c.is_root && size >= 2 && n >= 2 && size <= n - 2
+    };
+    let partner_intervals: HashSet<(u32, u32)> = closed
+        .iter()
+        .filter(split_filter)
+        .filter(|c| c.agg.min != 0)
+        .map(|c| (c.b_lo, c.b_hi))
+        .collect();
+    let mut split_keys: HashSet<(u32, u32)> = HashSet::new();
+    let mut sb_splits = 0usize;
+    let mut shared_splits = 0usize;
+    for c in closed.iter().filter(split_filter) {
+        let contains_x = c.agg.min == 0;
+        if contains_x {
+            let has_partner = (c.b_lo == 0
+                && c.b_hi + 1 < n
+                && partner_intervals.contains(&(c.b_hi + 1, n - 1)))
+                || (c.b_hi + 1 == n && c.b_lo > 0 && partner_intervals.contains(&(0, c.b_lo - 1)));
+            if has_partner {
+                continue;
+            }
+        }
+        if !split_keys.insert((c.b_lo, c.b_hi)) {
+            continue;
+        }
+        sb_splits += 1;
+        let side = if contains_x {
+            match chain_depth.get(&c.pre) {
+                Some(&d) => comp[d],
+                // A clade containing rank 0 is by construction on the
+                // chain; treat a miss as a non-matching side rather than
+                // panicking on a malformed source.
+                None => Agg::EMPTY,
+            }
+        } else {
+            c.agg
+        };
+        if side.contiguous() && index.splits.contains(&(side.min, side.max)) {
+            shared_splits += 1;
+        }
+    }
+    let rf = rf_result(index.splits.len(), sb_splits, shared_splits);
+
+    // Triplet distance over range-min LCA depths.
+    let triplet = if triplets {
+        if n < 3 {
+            return Err(B::Error::from(CompareError::TooFewLeaves(3)));
+        }
+        let rmq_a = index
+            .adj
+            .as_ref()
+            .expect("index built with depths when triplets are requested");
+        let rmq_b = Rmq::new(&b_adj);
+        let da = |i: u32, j: u32| rmq_a.min(i as usize, j as usize - 1);
+        let db = |i: u32, j: u32| {
+            let (lo, hi) = if perm[i as usize] < perm[j as usize] {
+                (perm[i as usize], perm[j as usize])
+            } else {
+                (perm[j as usize], perm[i as usize])
+            };
+            rmq_b.min(lo as usize, hi as usize - 1)
+        };
+        let topology = |dxy: u32, dxz: u32, dyz: u32| -> u8 {
+            if dxy > dxz && dxy > dyz {
+                0
+            } else if dxz > dxy && dxz > dyz {
+                1
+            } else if dyz > dxy && dyz > dxz {
+                2
+            } else {
+                3
+            }
+        };
+        let mut differing = 0usize;
+        let mut total = 0usize;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                for k in (j + 1)..n {
+                    let ta = topology(da(i, j), da(i, k), da(j, k));
+                    let tb = topology(db(i, j), db(i, k), db(j, k));
+                    if ta != tb {
+                        differing += 1;
+                    }
+                    total += 1;
+                }
+            }
+        }
+        Some(differing as f64 / total as f64)
+    } else {
+        None
+    };
+
+    Ok(SourceComparison {
+        rf,
+        rooted_rf,
+        triplet,
+        clades: agreement,
+    })
+}
+
+/// Unrooted Robinson–Foulds over two [`CladeSource`]s.
+pub fn robinson_foulds_sources<A, B, E>(a: &A, b: &B) -> Result<RfResult, E>
+where
+    A: CladeSource,
+    B: CladeSource,
+    E: From<A::Error> + From<B::Error> + From<CompareError>,
+{
+    compare_sources(a, b, false).map(|c: SourceComparison| c.rf)
+}
+
+/// Rooted Robinson–Foulds over two [`CladeSource`]s.
+pub fn rooted_robinson_foulds_sources<A, B, E>(a: &A, b: &B) -> Result<RfResult, E>
+where
+    A: CladeSource,
+    B: CladeSource,
+    E: From<A::Error> + From<B::Error> + From<CompareError>,
+{
+    compare_sources(a, b, false).map(|c: SourceComparison| c.rooted_rf)
+}
+
+/// Triplet distance over two [`CladeSource`]s.
+pub fn triplet_distance_sources<A, B, E>(a: &A, b: &B) -> Result<f64, E>
+where
+    A: CladeSource,
+    B: CladeSource,
+    E: From<A::Error> + From<B::Error> + From<CompareError>,
+{
+    compare_sources(a, b, true).map(|c: SourceComparison| {
+        c.triplet
+            .expect("triplets were requested from compare_sources")
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -557,6 +1215,160 @@ mod tests {
         let a = t("((A,B),C);");
         let b = t("((A,B),D);");
         assert!(majority_consensus(&[a, b]).is_err());
+    }
+
+    /// Cross-validate the streaming source path against the bitset path on
+    /// a pair of trees over the same leaf set.
+    fn assert_sources_match(a: &Tree, b: &Tree) {
+        let cmp: SourceComparison =
+            compare_sources::<_, _, CompareError>(a, b, a.leaf_count() >= 3).unwrap();
+        let rf = robinson_foulds(a, b).unwrap();
+        assert_eq!(cmp.rf, rf, "unrooted RF disagrees");
+        let rrf = rooted_robinson_foulds(a, b).unwrap();
+        assert_eq!(cmp.rooted_rf, rrf, "rooted RF disagrees");
+        if a.leaf_count() >= 3 {
+            let t = triplet_distance(a, b).unwrap();
+            let ts = cmp.triplet.expect("triplets requested");
+            assert!(
+                (t - ts).abs() < 1e-15,
+                "triplet distance disagrees: {t} vs {ts}"
+            );
+        }
+    }
+
+    #[test]
+    fn sources_match_bitset_path_on_fixtures() {
+        let fixtures = [
+            ("((A,B),(C,D));", "((A,B),(C,D));"),
+            ("((A,B),(C,D));", "((A,C),(B,D));"),
+            ("(A,B,C,D);", "((A,B),(C,D));"),
+            ("((A,B),(C,D));", "(A,(B,(C,D)));"),
+            ("(((A,B),C),(D,E));", "(((A,C),B),(D,E));"),
+            ("((A,B),C);", "((A,C),B);"),
+            ("(A,B,C);", "((A,B),C);"),
+            ("(A,B);", "(B,A);"),
+            (
+                "((((A,B),C),D),(E,(F,(G,H))));",
+                "((A,(B,(C,D))),((E,F),(G,H)));",
+            ),
+            // Multifurcations and asymmetric shapes.
+            ("((A,B,C),(D,E),F);", "(((A,D),B),((C,E),F));"),
+        ];
+        for (na, nb) in fixtures {
+            let a = t(na);
+            let b = t(nb);
+            assert_sources_match(&a, &b);
+            assert_sources_match(&b, &a);
+        }
+        let fig = figure1_tree();
+        assert_sources_match(&fig, &fig.clone());
+    }
+
+    #[test]
+    fn sources_match_on_pseudorandom_trees() {
+        // Deterministic pseudo-random binary trees over the same leaf set,
+        // grown by splitting a leaf chosen by a linear-congruential walk.
+        fn random_tree(n: usize, mut state: u64) -> Tree {
+            let mut tree = Tree::new();
+            let root = tree.add_node();
+            let mut leaves = vec![root];
+            while leaves.len() < n {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let pick = (state >> 33) as usize % leaves.len();
+                let leaf = leaves.swap_remove(pick);
+                let l = tree.add_child(leaf, None, Some(1.0)).unwrap();
+                let r = tree.add_child(leaf, None, Some(1.0)).unwrap();
+                leaves.push(l);
+                leaves.push(r);
+            }
+            for (i, &leaf) in leaves.iter().enumerate() {
+                tree.set_name(leaf, format!("T{i}")).unwrap();
+            }
+            tree
+        }
+        for (n, sa, sb) in [(4usize, 1u64, 2u64), (7, 3, 4), (12, 5, 6), (33, 7, 8)] {
+            let a = random_tree(n, sa);
+            let b = random_tree(n, sb);
+            assert_sources_match(&a, &b);
+            assert_sources_match(&a, &a.clone());
+        }
+    }
+
+    #[test]
+    fn sources_report_leaf_errors_like_the_bitset_path() {
+        let a = t("((A,B),C);");
+        let b = t("((A,B),D);");
+        match robinson_foulds_sources::<_, _, CompareError>(&a, &b) {
+            Err(CompareError::LeafSetMismatch {
+                only_in_a,
+                only_in_b,
+            }) => {
+                assert_eq!(only_in_a, vec!["C"]);
+                assert_eq!(only_in_b, vec!["D"]);
+            }
+            other => panic!("expected mismatch, got {other:?}"),
+        }
+        let mut unnamed = Tree::new();
+        let r = unnamed.add_node();
+        unnamed.add_child(r, None, None).unwrap();
+        unnamed.add_child(r, Some("X".into()), None).unwrap();
+        assert!(matches!(
+            robinson_foulds_sources::<_, _, CompareError>(&unnamed, &unnamed.clone()),
+            Err(CompareError::BadLeaves(_))
+        ));
+        // Triplets on two leaves fail exactly like `triplet_distance`.
+        let two = t("(A,B);");
+        assert!(matches!(
+            triplet_distance_sources::<_, _, CompareError>(&two, &t("(B,A);")),
+            Err(CompareError::TooFewLeaves(3))
+        ));
+    }
+
+    #[test]
+    fn clade_agreement_flags_the_broken_clade() {
+        let a = t("(((A,B),C),(D,E));");
+        let b = t("(((A,C),B),(D,E));");
+        let cmp: SourceComparison = compare_sources::<_, _, CompareError>(&a, &b, false).unwrap();
+        // b's internal clades: {A,C} (wrong), {A,B,C} (right), {D,E}
+        // (right); the root is trivial and excluded.
+        let mut by_size: Vec<(u32, bool)> = cmp.clades.iter().map(|c| (c.size, c.agrees)).collect();
+        by_size.sort();
+        assert_eq!(by_size, vec![(2, false), (2, true), (3, true)]);
+        // Identical trees agree everywhere.
+        let same: SourceComparison =
+            compare_sources::<_, _, CompareError>(&a, &a.clone(), false).unwrap();
+        assert!(same.clades.iter().all(|c| c.agrees));
+    }
+
+    #[test]
+    fn rooted_sources_respect_unary_dedup() {
+        // A unary chain repeats the same clade; the bitset path collapses it
+        // through its HashSet, the streaming path through interval dedup.
+        // Both directions matter: as the second source, the unary wrapper of
+        // a bifurcating root's child carries the root split under a second
+        // interval key and must still count once (the complement-partner
+        // rule, not positional root-child detection).
+        let a = t("(((A,B)),(C,D));"); // ((A,B)) is a unary wrapper
+        let b = t("((A,B),(C,D));");
+        assert_sources_match(&a, &b);
+        assert_sources_match(&b, &a);
+        assert_sources_match(&a, &a.clone());
+        // Unary wrapper on the side NOT containing the anchor leaf, and a
+        // unary root above the bifurcation.
+        let c = t("((A,B),((C,D)));");
+        assert_sources_match(&b, &c);
+        assert_sources_match(&c, &b);
+        let d = t("(((A,B),(C,D)));");
+        assert_sources_match(&b, &d);
+        assert_sources_match(&d, &b);
+        // Larger complement-pair case: prefix/suffix clades deep under a
+        // bifurcating root with extra structure on both sides.
+        let e = t("((((A,B)),C),((D,E),F));");
+        let f = t("(((A,B),C),((D,(E,F))));");
+        assert_sources_match(&e, &f);
+        assert_sources_match(&f, &e);
     }
 
     #[test]

@@ -37,14 +37,20 @@ pub mod distance;
 pub mod nj;
 pub mod upgma;
 
-pub use compare::{majority_consensus, robinson_foulds, triplet_distance, RfResult};
+pub use compare::{
+    compare_sources, majority_consensus, robinson_foulds, triplet_distance, CladeAgreement,
+    CladeSource, RfResult, SourceComparison,
+};
 pub use distance::{jc_corrected_matrix, k2p_corrected_matrix, p_distance_matrix, DistanceError};
 pub use nj::neighbor_joining;
 pub use upgma::upgma;
 
 /// Commonly used items.
 pub mod prelude {
-    pub use crate::compare::{majority_consensus, robinson_foulds, triplet_distance, RfResult};
+    pub use crate::compare::{
+        compare_sources, majority_consensus, robinson_foulds, triplet_distance, CladeAgreement,
+        CladeSource, RfResult, SourceComparison,
+    };
     pub use crate::distance::{
         jc_corrected_matrix, k2p_corrected_matrix, p_distance_matrix, DistanceError,
     };

@@ -13,7 +13,7 @@
 //! cargo run --release --example benchmark_pipeline
 //! ```
 
-use crimson::benchmark::{BenchmarkManager, BenchmarkSpec, DistanceSource, Method};
+use crimson::experiment::{DistanceSource, EvalSpec, ExperimentRunner, Method};
 use crimson::prelude::*;
 use simulation::gold::GoldStandardBuilder;
 use simulation::seqevo::Model;
@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3–6. Run the benchmark matrix.
     println!("{:-^100}", " benchmark runs ");
-    let mut manager = BenchmarkManager::new(&mut repo, handle);
+    let mut manager = ExperimentRunner::new(&mut repo, handle);
     for &sample_size in &[16usize, 64, 256] {
         for strategy in [
             SamplingStrategy::Uniform { k: sample_size },
@@ -66,7 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 (Method::NeighborJoining, DistanceSource::SequencesJc),
                 (Method::NeighborJoining, DistanceSource::TruePatristic),
             ] {
-                let report = manager.run(&BenchmarkSpec {
+                let report = manager.evaluate(&EvalSpec {
                     strategy: strategy.clone(),
                     method,
                     distance_source: source,
@@ -92,6 +92,64 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\n{} benchmark runs recorded in the query repository",
         history.len()
+    );
+
+    // 7. A *persisted* experiment sweep: the grid fans across snapshot
+    //    workers, every reconstruction is stored as an ordinary tree, and
+    //    spec, metrics and per-clade agreement rows land in the experiment
+    //    catalog — one atomic transaction, re-runnable from its stored spec.
+    println!("\n{:-^100}", " persisted experiment sweep ");
+    let spec = crimson::experiment::ExperimentSpec {
+        name: "demo-sweep".to_string(),
+        methods: vec![Method::Upgma, Method::NeighborJoining],
+        strategies: vec![
+            SamplingStrategy::Uniform { k: 32 },
+            SamplingStrategy::Uniform { k: 64 },
+            SamplingStrategy::TimeRespecting { time: 1e6, k: 48 },
+        ],
+        replicates: 3,
+        distance_source: DistanceSource::SequencesJc,
+        compute_triplets: false,
+        seed: 2026,
+        workers: 4,
+    };
+    let record = ExperimentRunner::new(&mut repo, handle).run(&spec)?;
+    println!(
+        "experiment `{}` (id {}): {} runs persisted in {:.0} ms",
+        record.name, record.id, record.runs, record.wall_ms
+    );
+    for result in repo.experiment_results(record.id)? {
+        let clades = repo.experiment_clades(result.id)?;
+        let agreeing = clades.iter().filter(|c| c.agrees).count();
+        println!(
+            "  {:<6} strategy#{} rep{}  {:>3} taxa  RF={:<3} nRF={:.3}  clades {agreeing}/{} agree  tree #{}",
+            result.method.name(),
+            result.strategy_index,
+            result.replicate,
+            result.sample_size,
+            result.rf.distance,
+            result.rf.normalized,
+            clades.len(),
+            result.recon.0,
+        );
+    }
+    // Stored reconstructions compare index-natively — no materialization.
+    // Methods of the same (strategy, replicate) cell score the same sample,
+    // so UPGMA's and NJ's stored trees share a leaf set.
+    let results = repo.experiment_results(record.id)?;
+    let upgma = &results[0]; // (UPGMA, strategy 0, replicate 0)
+    let nj = results
+        .iter()
+        .find(|r| {
+            r.method == Method::NeighborJoining
+                && r.strategy_index == upgma.strategy_index
+                && r.replicate == upgma.replicate
+        })
+        .expect("the grid contains both methods");
+    let cmp = repo.compare_stored(upgma.recon, nj.recon, false)?;
+    println!(
+        "\nindex-native RF between stored UPGMA #{} and NJ #{} reconstructions: {} (normalized {:.3})",
+        upgma.recon.0, nj.recon.0, cmp.rf.distance, cmp.rf.normalized
     );
     repo.flush()?;
     Ok(())

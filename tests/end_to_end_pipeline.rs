@@ -2,7 +2,7 @@
 //! pipeline across crates: gold standard generation → repository load →
 //! sampling → projection → reconstruction → comparison, plus persistence.
 
-use crimson::benchmark::{BenchmarkManager, BenchmarkSpec, DistanceSource, Method};
+use crimson::experiment::{DistanceSource, EvalSpec, ExperimentRunner, Method};
 use crimson::prelude::*;
 use reconstruction::prelude::*;
 use simulation::gold::GoldStandardBuilder;
@@ -26,10 +26,10 @@ fn nj_on_true_distances_is_exact_through_the_whole_stack() {
         Repository::create(dir.path().join("e8.crimson"), RepositoryOptions::default()).unwrap();
     let handle = repo.load_gold_standard("gold", &gold).unwrap();
 
-    let mut manager = BenchmarkManager::new(&mut repo, handle);
+    let mut manager = ExperimentRunner::new(&mut repo, handle);
     for seed in 0..3u64 {
         let report = manager
-            .run(&BenchmarkSpec {
+            .evaluate(&EvalSpec {
                 strategy: SamplingStrategy::Uniform { k: 40 },
                 method: Method::NeighborJoining,
                 distance_source: DistanceSource::TruePatristic,
@@ -55,9 +55,9 @@ fn sequence_reconstruction_beats_random_baseline() {
         Repository::create(dir.path().join("e8b.crimson"), RepositoryOptions::default()).unwrap();
     let handle = repo.load_gold_standard("gold", &gold).unwrap();
 
-    let mut manager = BenchmarkManager::new(&mut repo, handle);
+    let mut manager = ExperimentRunner::new(&mut repo, handle);
     let report = manager
-        .run(&BenchmarkSpec {
+        .evaluate(&EvalSpec {
             strategy: SamplingStrategy::Uniform { k: 32 },
             method: Method::NeighborJoining,
             distance_source: DistanceSource::SequencesJc,
@@ -105,10 +105,10 @@ fn upgma_vs_nj_headtohead_produces_reports_for_both() {
     let mut repo =
         Repository::create(dir.path().join("e8c.crimson"), RepositoryOptions::default()).unwrap();
     let handle = repo.load_gold_standard("gold", &gold).unwrap();
-    let mut manager = BenchmarkManager::new(&mut repo, handle);
+    let mut manager = ExperimentRunner::new(&mut repo, handle);
     let reports = manager
-        .compare_methods(
-            &BenchmarkSpec {
+        .evaluate_methods(
+            &EvalSpec {
                 strategy: SamplingStrategy::Uniform { k: 24 },
                 distance_source: DistanceSource::SequencesJc,
                 compute_triplets: true,
@@ -144,9 +144,9 @@ fn repository_persists_full_state_across_reopen() {
     {
         let mut repo = Repository::create(&path, RepositoryOptions::default()).unwrap();
         handle = repo.load_gold_standard("gold", &gold).unwrap();
-        let mut manager = BenchmarkManager::new(&mut repo, handle);
+        let mut manager = ExperimentRunner::new(&mut repo, handle);
         manager
-            .run(&BenchmarkSpec {
+            .evaluate(&EvalSpec {
                 strategy: SamplingStrategy::Uniform { k: 16 },
                 method: Method::Upgma,
                 distance_source: DistanceSource::SequencesP,
