@@ -570,6 +570,119 @@ pub fn recovery_workload(leaves: usize, seed: u64) -> storage::RecoveryReport {
     report
 }
 
+/// Scrub profile: full-file verification throughput on a large repository,
+/// the overhead of the throttled incremental mode, and a detection/repair
+/// pass over deliberately corrupted on-disk pages.
+#[derive(Debug, Clone)]
+pub struct ScrubProfile {
+    /// Leaves in the scrubbed repository's tree.
+    pub leaves: usize,
+    /// Pages in the database file.
+    pub pages: u64,
+    /// Wall-clock seconds for one clean full scrub pass.
+    pub clean_seconds: f64,
+    /// Wall-clock seconds for a throttled pass (64-page chunks, 200 µs
+    /// pauses) — the "background" profile.
+    pub throttled_seconds: f64,
+    /// Pages corrupted on disk before the detection pass.
+    pub corrupted: u64,
+    /// Wall-clock seconds for the detection/repair pass.
+    pub detect_seconds: f64,
+    /// Pages the detection pass healed in place.
+    pub pages_repaired: u64,
+    /// Pages the detection pass quarantined (no repair source).
+    pub pages_quarantined: u64,
+}
+
+impl ScrubProfile {
+    /// Clean-pass verification throughput.
+    pub fn pages_per_sec(&self) -> f64 {
+        self.pages as f64 / self.clean_seconds.max(1e-9)
+    }
+}
+
+/// Scrub smoke: load one large simulated tree, checkpoint, then time a
+/// clean scrub, a throttled scrub, and a pass over a file with eight
+/// corrupted pages (which the scrub must detect — and, with the pages
+/// still buffer-resident, repair from memory).
+pub fn scrub_workload(leaves: usize, seed: u64) -> ScrubProfile {
+    use std::io::{Read, Seek, SeekFrom, Write};
+    let tree = workloads::simulated_tree(leaves, seed);
+    let dir = tempfile::tempdir().expect("temp dir");
+    let path = dir.path().join("scrub.crimson");
+    let mut repo = crimson::repository::Repository::create(
+        &path,
+        crimson::repository::RepositoryOptions {
+            frame_depth: 16,
+            // Large enough to keep the whole file resident: the repair
+            // phase below heals from the in-memory copies.
+            buffer_pool_pages: 32_768,
+        },
+    )
+    .expect("create repository");
+    repo.load_tree("scrub", &tree).expect("load tree");
+    repo.flush().expect("checkpoint");
+    let pages = std::fs::metadata(&path).expect("file metadata").len() / storage::PAGE_SIZE as u64;
+
+    let start = std::time::Instant::now();
+    let clean = repo
+        .scrub(storage::ScrubOptions::default())
+        .expect("clean scrub");
+    let clean_seconds = start.elapsed().as_secs_f64();
+    assert_eq!(clean.pages.pages_quarantined, 0, "clean file: {clean:?}");
+    assert!(clean.integrity.is_some(), "clean scrub runs integrity");
+
+    let start = std::time::Instant::now();
+    repo.scrub(storage::ScrubOptions {
+        chunk_pages: 64,
+        throttle: Some(std::time::Duration::from_micros(200)),
+    })
+    .expect("throttled scrub");
+    let throttled_seconds = start.elapsed().as_secs_f64();
+
+    // Corrupt eight pages behind the pool's back, then let the scrub find
+    // them. The frames are still resident, so the damage is healable.
+    let corrupted = 8u64.min(pages.saturating_sub(2));
+    {
+        let mut f = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&path)
+            .expect("open db file");
+        for i in 0..corrupted {
+            let offset = (2 + i) * storage::PAGE_SIZE as u64 + 1024;
+            f.seek(SeekFrom::Start(offset)).expect("seek");
+            let mut b = [0u8; 1];
+            f.read_exact(&mut b).expect("read");
+            b[0] ^= 0xFF;
+            f.seek(SeekFrom::Start(offset)).expect("seek");
+            f.write_all(&b).expect("write");
+        }
+        f.sync_all().expect("sync");
+    }
+    let start = std::time::Instant::now();
+    let repair = repo
+        .scrub(storage::ScrubOptions::default())
+        .expect("repair scrub");
+    let detect_seconds = start.elapsed().as_secs_f64();
+    let detected = repair.pages.pages_repaired + repair.pages.pages_quarantined;
+    assert_eq!(
+        detected, corrupted,
+        "every corrupted page must be detected: {repair:?}"
+    );
+
+    ScrubProfile {
+        leaves,
+        pages,
+        clean_seconds,
+        throttled_seconds,
+        corrupted,
+        detect_seconds,
+        pages_repaired: repair.pages.pages_repaired,
+        pages_quarantined: repair.pages.pages_quarantined,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -820,6 +933,62 @@ mod tests {
             serde_json::to_string(&report).expect("serialize report"),
         )
         .expect("write BENCH_eval.json");
+        eprintln!("wrote {}", path.display());
+    }
+
+    #[test]
+    fn smoke_scrub() {
+        // 10k-leaf repository in release (the acceptance target); lighter
+        // under the dev profile so plain `cargo test` stays fast. Writes
+        // BENCH_scrub.json at the repo root (CI uploads it with the other
+        // bench artifacts).
+        let leaves = if cfg!(debug_assertions) {
+            2_000
+        } else {
+            10_000
+        };
+        let profile = scrub_workload(leaves, 42);
+        eprintln!(
+            "smoke scrub: {} pages verified in {:.3}s ({:.0} pages/s), throttled {:.3}s, \
+             {} corrupted → {} repaired + {} quarantined in {:.3}s",
+            profile.pages,
+            profile.clean_seconds,
+            profile.pages_per_sec(),
+            profile.throttled_seconds,
+            profile.corrupted,
+            profile.pages_repaired,
+            profile.pages_quarantined,
+            profile.detect_seconds
+        );
+        assert!(profile.pages > 0);
+        assert_eq!(
+            profile.pages_repaired + profile.pages_quarantined,
+            profile.corrupted
+        );
+
+        let report = serde_json::json!({
+            "profile": serde_json::json!({
+                "leaves": profile.leaves,
+                "seed": 42,
+                "release": !cfg!(debug_assertions)
+            }),
+            "scrub": serde_json::json!({
+                "pages": profile.pages,
+                "clean_seconds": profile.clean_seconds,
+                "pages_per_sec": profile.pages_per_sec(),
+                "throttled_seconds": profile.throttled_seconds,
+                "corrupted_pages": profile.corrupted,
+                "detect_seconds": profile.detect_seconds,
+                "pages_repaired": profile.pages_repaired,
+                "pages_quarantined": profile.pages_quarantined
+            })
+        });
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_scrub.json");
+        std::fs::write(
+            &path,
+            serde_json::to_string(&report).expect("serialize report"),
+        )
+        .expect("write BENCH_scrub.json");
         eprintln!("wrote {}", path.display());
     }
 

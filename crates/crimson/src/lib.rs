@@ -89,8 +89,10 @@ pub use experiment::{
     DistanceSource, EvalReport, EvalSpec, ExperimentRecord, ExperimentResult, ExperimentRunner,
     ExperimentSpec, Method,
 };
-pub use reader::RepositoryReader;
-pub use repository::{Repository, RepositoryOptions, StoredNodeId, TreeHandle};
+pub use reader::{ReadRetry, RepositoryReader};
+pub use repository::{
+    DegradedReport, Repository, RepositoryOptions, ScrubReport, StoredNodeId, TreeHandle,
+};
 
 /// Commonly used items.
 pub mod prelude {
@@ -103,9 +105,10 @@ pub mod prelude {
     };
     pub use crate::history::QueryKind;
     pub use crate::loader::LoadMode;
-    pub use crate::reader::RepositoryReader;
+    pub use crate::reader::{ReadRetry, RepositoryReader};
     pub use crate::repository::{
-        IntegrityReport, Repository, RepositoryOptions, StoredNodeId, TreeHandle,
+        DegradedReport, IntegrityReport, Repository, RepositoryOptions, ScrubReport, StoredNodeId,
+        TreeHandle,
     };
     pub use crate::sampling::SamplingStrategy;
 }

@@ -37,13 +37,63 @@ use labeling::interval::IntervalEntry;
 use phylo::Tree;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Duration;
 use storage::db::DbReader;
 
-/// Retry bound for operations that keep losing the race against a rapid
-/// committer. Far beyond anything a real workload produces (one retry per
-/// commit landing inside the operation); after this many attempts the last
-/// result is returned as-is.
-const MAX_RETRIES: usize = 64;
+/// Retry/backoff policy for snapshot reads racing a rapid committer: a
+/// bounded number of attempts with **jittered exponential backoff** between
+/// them. A bare spin (the old behaviour, reachable with
+/// `base_delay: Duration::ZERO`) keeps every retry phase-locked to the
+/// writer's commit cadence; backing off with jitter desynchronises the
+/// reader so it lands in an inter-commit gap after a couple of attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadRetry {
+    /// Maximum bracket attempts before giving up with
+    /// [`CrimsonError::Busy`](crate::error::CrimsonError::Busy).
+    pub attempts: usize,
+    /// Backoff before the second attempt; doubles per retry. Zero disables
+    /// sleeping entirely (pure spin).
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+}
+
+impl Default for ReadRetry {
+    fn default() -> Self {
+        ReadRetry {
+            attempts: 64,
+            base_delay: Duration::from_micros(20),
+            max_delay: Duration::from_millis(2),
+        }
+    }
+}
+
+impl ReadRetry {
+    /// Sleep before retry number `attempt` (1-based): exponential in the
+    /// attempt, with deterministic jitter drawn from `salt` spreading
+    /// concurrent readers over `[delay/2, delay]`.
+    fn backoff(&self, attempt: usize, salt: u64) {
+        if self.base_delay.is_zero() {
+            return;
+        }
+        let shift = (attempt - 1).min(16) as u32;
+        let ceiling = self.max_delay.max(self.base_delay);
+        let delay = self
+            .base_delay
+            .saturating_mul(1u32 << shift.min(31))
+            .min(ceiling);
+        let nanos = delay.as_nanos() as u64;
+        // splitmix64: cheap, seedable, good enough to decorrelate readers.
+        let mut z = salt
+            .wrapping_add(attempt as u64)
+            .wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let jittered = nanos / 2 + z % (nanos / 2 + 1);
+        std::thread::sleep(Duration::from_nanos(jittered));
+    }
+}
 
 /// A concurrent snapshot reader over a [`Repository`], created by
 /// [`Repository::reader`]. All methods take `&self`; share one reader
@@ -54,6 +104,7 @@ pub struct RepositoryReader {
     tables: Tables,
     records: ShardedCache<StoredNodeId, Arc<NodeRecord>>,
     entries: ShardedCache<u64, IntervalEntry>,
+    retry: ReadRetry,
 }
 
 impl std::fmt::Debug for RepositoryReader {
@@ -71,6 +122,7 @@ impl RepositoryReader {
             tables: repo.tables,
             records: ShardedCache::new(RECORD_CACHE_GEN),
             entries: ShardedCache::new(ENTRY_CACHE_GEN),
+            retry: ReadRetry::default(),
         })
     }
 
@@ -80,12 +132,32 @@ impl RepositoryReader {
         self.db.generation()
     }
 
-    /// Run `f` over the snapshot read engine, retrying when a commit lands
-    /// mid-operation (see the module docs for why that is both rare and
-    /// cheap).
+    /// Replace the retry/backoff policy for this reader's snapshot brackets.
+    pub fn set_read_retry(&mut self, retry: ReadRetry) {
+        self.retry = ReadRetry {
+            attempts: retry.attempts.max(1),
+            ..retry
+        };
+    }
+
+    /// This reader's retry/backoff policy.
+    pub fn read_retry(&self) -> ReadRetry {
+        self.retry
+    }
+
+    /// Run `f` over the snapshot read engine, retrying — with jittered
+    /// exponential backoff — when a commit lands mid-operation (see the
+    /// module docs for why that is both rare and cheap).
     fn read<R>(&self, f: impl Fn(&ReadCtx<'_, DbReader>) -> CrimsonResult<R>) -> CrimsonResult<R> {
         let mut last = None;
-        for _ in 0..MAX_RETRIES {
+        let attempts = self.retry.attempts.max(1);
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                // Back off before re-bracketing: a phase-locked spin against
+                // a fast committer can lose every race; sleeping a jittered,
+                // growing interval lands the retry in an inter-commit gap.
+                self.retry.backoff(attempt, self.db.generation());
+            }
             let gen = self.db.stable_generation();
             let ctx = ReadCtx {
                 db: &self.db,
@@ -105,12 +177,12 @@ impl RepositoryReader {
         // committed states, so the committed-snapshot contract cannot be
         // honoured; report Busy rather than serving a possibly-torn value
         // or phantom corruption.
-        let detail = match &last.expect("MAX_RETRIES is positive") {
+        let detail = match &last.expect("attempts is at least 1") {
             Ok(_) => "the last attempt succeeded but its bracket did not hold".to_string(),
             Err(e) => format!("the last attempt failed with: {e}"),
         };
         Err(crate::error::CrimsonError::Busy(format!(
-            "read retried {MAX_RETRIES} times against a continuously committing writer; {detail}"
+            "read retried {attempts} times against a continuously committing writer; {detail}"
         )))
     }
 

@@ -78,13 +78,18 @@
 //! carry no crash-safety contract — exactly the pre-WAL behaviour.
 
 use crate::error::{StorageError, StorageResult};
+use crate::io::{
+    fatal_crash_error, shared_schedule, FaultIo, FaultSchedule, FileKind, RetryPolicy,
+    SharedFaultSchedule,
+};
 use crate::page::{Page, PageId};
-use crate::pager::Pager;
+use crate::pager::{PageVerdict, Pager};
 use crate::wal::{self, Lsn, RecoveryReport, Wal, WalRecordKind};
 use parking_lot::{Mutex, RwLock};
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Number of page-table shards. Page ids are assigned sequentially, so a
 /// simple modulo spreads consecutive pages across all shards.
@@ -119,6 +124,13 @@ pub struct BufferStats {
     pub wal_page_images: u64,
     /// Transactions committed with at least one logged page.
     pub commits: u64,
+    /// Checksum failures detected on page reads (before repair).
+    pub corrupt_pages: u64,
+    /// Corrupt pages successfully repaired (from the WAL or from a resident
+    /// frame).
+    pub repaired_pages: u64,
+    /// Corrupt pages that could not be repaired and were quarantined.
+    pub quarantined_pages: u64,
 }
 
 impl BufferStats {
@@ -155,6 +167,9 @@ struct AtomicStats {
     evictions: AtomicU64,
     flushes: AtomicU64,
     writebacks: AtomicU64,
+    corrupt_pages: AtomicU64,
+    repaired_pages: AtomicU64,
+    quarantined_pages: AtomicU64,
 }
 
 impl AtomicStats {
@@ -165,6 +180,9 @@ impl AtomicStats {
             evictions: self.evictions.load(Ordering::Relaxed),
             flushes: self.flushes.load(Ordering::Relaxed),
             writebacks: self.writebacks.load(Ordering::Relaxed),
+            corrupt_pages: self.corrupt_pages.load(Ordering::Relaxed),
+            repaired_pages: self.repaired_pages.load(Ordering::Relaxed),
+            quarantined_pages: self.quarantined_pages.load(Ordering::Relaxed),
             ..BufferStats::default()
         }
     }
@@ -175,6 +193,9 @@ impl AtomicStats {
         self.evictions.store(0, Ordering::Relaxed);
         self.flushes.store(0, Ordering::Relaxed);
         self.writebacks.store(0, Ordering::Relaxed);
+        self.corrupt_pages.store(0, Ordering::Relaxed);
+        self.repaired_pages.store(0, Ordering::Relaxed);
+        self.quarantined_pages.store(0, Ordering::Relaxed);
     }
 
     #[inline]
@@ -196,6 +217,49 @@ pub enum CrashPoint {
     /// Fail the next checkpoint after the data file is durable but before
     /// the log is truncated.
     CheckpointTruncate,
+}
+
+/// Options controlling an incremental scrub pass (see
+/// [`BufferPool::scrub`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ScrubOptions {
+    /// Pages verified per io-latch acquisition: the latch is released (and
+    /// readers/writer admitted) between chunks.
+    pub chunk_pages: usize,
+    /// Optional sleep between chunks, throttling the scrub's I/O rate.
+    pub throttle: Option<Duration>,
+}
+
+impl Default for ScrubOptions {
+    fn default() -> Self {
+        ScrubOptions {
+            chunk_pages: 256,
+            throttle: None,
+        }
+    }
+}
+
+/// Outcome of a scrub pass: one counter per verdict, so
+/// `pages_scanned == ok + backfilled + repaired + quarantined +
+/// skipped_dirty`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScrubStats {
+    /// Pages examined (every page except the header).
+    pub pages_scanned: u64,
+    /// Pages whose stored checksum matched the disk bytes.
+    pub pages_ok: u64,
+    /// Pages with no stored checksum (v1 files, fresh allocations) whose
+    /// checksum was computed and recorded.
+    pub pages_backfilled: u64,
+    /// Checksum-failed pages repaired from a resident frame or the WAL.
+    pub pages_repaired: u64,
+    /// Checksum-failed pages that could not be repaired (includes pages
+    /// already quarantined before this pass).
+    pub pages_quarantined: u64,
+    /// Checksum-failed pages dirtied by the open transaction: skipped —
+    /// memory holds the truth and commit/checkpoint will overwrite the bad
+    /// sectors.
+    pub pages_skipped_dirty: u64,
 }
 
 /// Latched page content of one frame.
@@ -298,29 +362,44 @@ struct IoState {
     recovery: Option<RecoveryReport>,
     /// Global clock cursor: which shard the next eviction sweep starts at.
     sweep_shard: usize,
-    /// Fault injection: fail after this many more data-file page writes.
-    data_writes_until_crash: Option<u64>,
-    /// Fault injection: fail the next checkpoint before truncating the log.
-    checkpoint_truncate_crash: bool,
-    crashed: bool,
+    /// Shared fault schedule, when fault injection is active. The same
+    /// schedule object drives the [`FaultIo`] wrappers around the pager's
+    /// and the WAL's file handles.
+    fault: Option<SharedFaultSchedule>,
+    /// Set (with the failure message) the first time an fsync fails: the
+    /// durability of previously acknowledged writes is unknown, so the
+    /// writer refuses all further mutation until the database is reopened.
+    poisoned: Option<String>,
+    /// Degraded mode: mutation entry points fail with `ReadOnly`.
+    read_only: bool,
+    /// Pages that failed their checksum and could not be repaired:
+    /// page id → (expected CRC, found CRC). Reads fail fast with
+    /// `CorruptPage` instead of re-reading the bad sectors.
+    quarantined: BTreeMap<u64, (u32, u32)>,
 }
 
 impl IoState {
+    /// Whether an injected sticky crash has fired: every subsequent I/O
+    /// (and the next checkpoint) must keep failing until reopen.
     fn sim_crashed(&self) -> bool {
-        self.crashed || self.wal.crashed()
+        self.fault.as_ref().is_some_and(|s| s.lock().crashed())
     }
 
-    /// Fault-injection gate in front of every data-file page write.
-    fn data_write_gate(&mut self) -> StorageResult<()> {
-        if self.sim_crashed() {
-            return Err(wal::simulated_crash());
+    /// Record an fsync failure: the writer is poisoned until reopen.
+    fn poison(&mut self, why: &StorageError) {
+        if self.poisoned.is_none() {
+            self.poisoned = Some(why.to_string());
         }
-        if let Some(n) = self.data_writes_until_crash {
-            if n == 0 {
-                self.crashed = true;
-                return Err(wal::simulated_crash());
-            }
-            self.data_writes_until_crash = Some(n - 1);
+    }
+
+    /// Gate for mutation entry points: degraded mode and poisoning both
+    /// refuse writes with a typed error.
+    fn check_writable(&self) -> StorageResult<()> {
+        if self.read_only {
+            return Err(StorageError::ReadOnly);
+        }
+        if let Some(m) = &self.poisoned {
+            return Err(StorageError::WriterPoisoned(m.clone()));
         }
         Ok(())
     }
@@ -472,9 +551,10 @@ impl BufferPool {
                 txn: None,
                 recovery,
                 sweep_shard: 0,
-                data_writes_until_crash: None,
-                checkpoint_truncate_crash: false,
-                crashed: false,
+                fault: None,
+                poisoned: None,
+                read_only: false,
+                quarantined: BTreeMap::new(),
             }),
             overlay: RwLock::new(HashMap::new()),
             view_gen: AtomicU64::new(0),
@@ -532,14 +612,91 @@ impl BufferPool {
     }
 
     /// Inject a simulated crash (see [`CrashPoint`]). Test instrumentation
-    /// for the crash-recovery suites.
+    /// for the crash-recovery suites; implemented as a [`FaultSchedule`]
+    /// rule on the shared fault-injection layer.
     pub fn inject_crash(&self, point: CrashPoint) {
         let mut io = self.io.lock();
+        let schedule = Self::ensure_schedule(&mut io);
+        let mut schedule = schedule.lock();
         match point {
-            CrashPoint::WalAppend(n) => io.wal.inject_crash_after_appends(n),
-            CrashPoint::DataWrite(n) => io.data_writes_until_crash = Some(n),
-            CrashPoint::CheckpointTruncate => io.checkpoint_truncate_crash = true,
+            CrashPoint::WalAppend(n) => schedule.crash_at_wal_append(n),
+            CrashPoint::DataWrite(n) => schedule.crash_at_data_write(n),
+            CrashPoint::CheckpointTruncate => schedule.crash_at_checkpoint_truncate(),
         }
+    }
+
+    /// Install `schedule` as this pool's fault-injection layer: both the
+    /// pager's and the WAL's file handles are wrapped in [`FaultIo`] driven
+    /// by it. Fails if a schedule is already installed (the wrappers are
+    /// not stackable).
+    pub fn install_fault_schedule(&self, schedule: SharedFaultSchedule) -> StorageResult<()> {
+        let mut io = self.io.lock();
+        if io.fault.is_some() {
+            return Err(StorageError::Corrupted(
+                "a fault schedule is already installed".into(),
+            ));
+        }
+        let s = Arc::clone(&schedule);
+        io.pager
+            .wrap_io(move |inner| Box::new(FaultIo::new(inner, FileKind::Data, s)));
+        let s = Arc::clone(&schedule);
+        io.wal
+            .wrap_io(move |inner| Box::new(FaultIo::new(inner, FileKind::Wal, s)));
+        io.fault = Some(schedule);
+        Ok(())
+    }
+
+    /// The installed fault schedule, if any (shared handle: callers may
+    /// arm rules or read stats through it).
+    pub fn fault_schedule(&self) -> Option<SharedFaultSchedule> {
+        self.io.lock().fault.as_ref().map(Arc::clone)
+    }
+
+    /// Lazily install an inert shared schedule (used by `inject_crash` so
+    /// legacy crash points ride the same mechanism).
+    fn ensure_schedule(io: &mut IoState) -> SharedFaultSchedule {
+        if let Some(s) = &io.fault {
+            return Arc::clone(s);
+        }
+        let schedule = shared_schedule(FaultSchedule::inert());
+        let s = Arc::clone(&schedule);
+        io.pager
+            .wrap_io(move |inner| Box::new(FaultIo::new(inner, FileKind::Data, s)));
+        let s = Arc::clone(&schedule);
+        io.wal
+            .wrap_io(move |inner| Box::new(FaultIo::new(inner, FileKind::Wal, s)));
+        io.fault = Some(Arc::clone(&schedule));
+        schedule
+    }
+
+    /// Set the transient-I/O retry policy on both underlying files.
+    pub fn set_io_retry_policy(&self, policy: RetryPolicy) {
+        let mut io = self.io.lock();
+        io.pager.set_retry_policy(policy);
+        io.wal.set_retry_policy(policy);
+    }
+
+    /// Switch the pool into (or out of) read-only mode: mutation entry
+    /// points fail with [`StorageError::ReadOnly`]. Used by the degraded
+    /// open path.
+    pub fn set_read_only(&self, read_only: bool) {
+        self.io.lock().read_only = read_only;
+    }
+
+    /// Whether the pool is in read-only (degraded) mode.
+    pub fn read_only(&self) -> bool {
+        self.io.lock().read_only
+    }
+
+    /// Whether an earlier fsync failure poisoned the writer. Cleared only
+    /// by reopening the database.
+    pub fn is_poisoned(&self) -> bool {
+        self.io.lock().poisoned.is_some()
+    }
+
+    /// Page ids currently quarantined (checksum failure, repair failed).
+    pub fn quarantined_pages(&self) -> Vec<u64> {
+        self.io.lock().quarantined.keys().copied().collect()
     }
 
     // ------------------------------------------------------------------
@@ -576,6 +733,7 @@ impl BufferPool {
         if io.txn.is_some() {
             return Err(StorageError::TransactionActive);
         }
+        io.check_writable()?;
         let id = io.wal.next_txn_id();
         let header = (
             io.pager.page_count(),
@@ -612,6 +770,13 @@ impl BufferPool {
             // pointlessly rebuild their cached catalogs).
             debug_assert!(self.overlay.read().is_empty());
             return Ok(io.wal.end_lsn());
+        }
+        if let Err(e) = io.check_writable() {
+            // An fsync failed mid-transaction (eviction write-back):
+            // durability is unknown, so the commit must not be
+            // acknowledged. Restore pre-transaction memory instead.
+            let _ = self.rollback_with(&mut io, txn);
+            return Err(e);
         }
         if !io.logging {
             // Unlogged but dirty: nothing to log, yet the committed view
@@ -711,15 +876,68 @@ impl BufferPool {
             return Ok(frame);
         }
         AtomicStats::bump(&self.stats.misses);
-        let page = io.pager.read_page(pid)?;
+        if let Some(&(expected, found)) = io.quarantined.get(&pid.0) {
+            return Err(StorageError::CorruptPage {
+                page: pid.0,
+                expected,
+                found,
+            });
+        }
+        let page = match io.pager.read_page(pid) {
+            Ok(page) => page,
+            Err(StorageError::CorruptPage {
+                page,
+                expected,
+                found,
+            }) => {
+                AtomicStats::bump(&self.stats.corrupt_pages);
+                match self.try_repair(io, pid) {
+                    Some(repaired) => repaired,
+                    None => {
+                        io.quarantined.insert(page, (expected, found));
+                        AtomicStats::bump(&self.stats.quarantined_pages);
+                        return Err(StorageError::CorruptPage {
+                            page,
+                            expected,
+                            found,
+                        });
+                    }
+                }
+            }
+            Err(e) => return Err(e),
+        };
         let frame = Frame::new(pid, Arc::new(page), false, if pin { 1 } else { 0 });
         self.install(io, Arc::clone(&frame))?;
         Ok(frame)
     }
 
+    /// Attempt to repair a checksum-failed page from the WAL: the latest
+    /// committed after-image in the (not yet truncated) log is authoritative
+    /// for the page's content. Returns the repaired page after writing it
+    /// back to the data file (which also refreshes the stored checksum).
+    /// Refuses to repair a page the open transaction has dirtied: the WAL
+    /// image predates the transaction's (possibly stolen) writes, and the
+    /// in-memory undo images already hold the truth.
+    fn try_repair(&self, io: &mut IoState, pid: PageId) -> Option<Page> {
+        if let Some(txn) = &io.txn {
+            if txn.dirty.contains(&pid) {
+                return None;
+            }
+        }
+        let image = io.wal.latest_committed_image(pid).ok()??;
+        if image.len() != crate::page::PAGE_SIZE {
+            return None;
+        }
+        let page = Page::from_bytes(image);
+        io.pager.write_page(pid, &page).ok()?;
+        AtomicStats::bump(&self.stats.repaired_pages);
+        Some(page)
+    }
+
     /// Allocate a fresh page (resident immediately, marked dirty).
     pub fn allocate_page(&self) -> StorageResult<PageId> {
         let mut io = self.io.lock();
+        io.check_writable()?;
         // Secure capacity before advancing the pager's page counter, so a
         // pinned-full pool errors out without leaking a file page.
         self.reserve(&mut io)?;
@@ -781,6 +999,7 @@ impl BufferPool {
         f: impl FnOnce(&mut Page) -> R,
     ) -> StorageResult<R> {
         let mut io = self.io.lock();
+        io.check_writable()?;
         let frame = self.load_frame_in_io(&mut io, pid, false)?;
         let mut body = frame.body.write();
         if let Some(txn) = &mut io.txn {
@@ -924,6 +1143,7 @@ impl BufferPool {
         if io.txn.is_some() {
             return Err(StorageError::TransactionActive);
         }
+        io.check_writable()?;
         self.checkpoint(&mut io)
     }
 
@@ -944,6 +1164,102 @@ impl BufferPool {
                 }
             }
             shard.hand = 0;
+        }
+        Ok(())
+    }
+
+    /// Incremental media scrub: verify every page's checksum against the
+    /// disk bytes, backfilling missing checksums, repairing failures (from a
+    /// resident frame or the WAL) and quarantining what cannot be repaired.
+    /// Works in chunks, releasing the io latch (and optionally sleeping)
+    /// between chunks so concurrent readers and the writer are not starved.
+    pub fn scrub(&self, opts: ScrubOptions) -> StorageResult<ScrubStats> {
+        let chunk = opts.chunk_pages.max(1) as u64;
+        let mut stats = ScrubStats::default();
+        let mut next: u64 = 1;
+        loop {
+            {
+                let mut io = self.io.lock();
+                let count = io.pager.page_count();
+                if next >= count {
+                    break;
+                }
+                let end = (next + chunk).min(count);
+                for pid_no in next..end {
+                    self.scrub_page(&mut io, PageId(pid_no), &mut stats)?;
+                }
+                next = end;
+            }
+            if let Some(pause) = opts.throttle {
+                std::thread::sleep(pause);
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Verify (and if needed repair) one page under the io latch.
+    fn scrub_page(
+        &self,
+        io: &mut IoState,
+        pid: PageId,
+        stats: &mut ScrubStats,
+    ) -> StorageResult<()> {
+        stats.pages_scanned += 1;
+        if io.quarantined.contains_key(&pid.0) {
+            stats.pages_quarantined += 1;
+            return Ok(());
+        }
+        match io.pager.verify_page(pid) {
+            Ok(PageVerdict::Verified) => stats.pages_ok += 1,
+            Ok(PageVerdict::Unverified) => {
+                io.pager.backfill_checksum(pid)?;
+                stats.pages_backfilled += 1;
+            }
+            Err(StorageError::CorruptPage {
+                page,
+                expected,
+                found,
+            }) => {
+                AtomicStats::bump(&self.stats.corrupt_pages);
+                if io.txn.as_ref().is_some_and(|t| t.dirty.contains(&pid)) {
+                    // The open transaction's writes live in memory (and its
+                    // undo images); commit or rollback will overwrite the
+                    // bad sectors. Quarantining would fail those paths.
+                    stats.pages_skipped_dirty += 1;
+                    return Ok(());
+                }
+                if !io.read_only {
+                    // Memory first: a resident frame holds the logically
+                    // current content (possibly newer than any WAL image).
+                    if let Some(frame) = self.lookup_frame(pid) {
+                        let (page, rec_lsn) = {
+                            let body = frame.body.read();
+                            (Arc::clone(&body.page), body.rec_lsn)
+                        };
+                        if rec_lsn > io.wal.durable_lsn() {
+                            // WAL-before-data still applies to repair
+                            // writes.
+                            if let Err(e) = io.wal.sync() {
+                                io.poison(&e);
+                                return Err(e);
+                            }
+                        }
+                        io.pager.write_page(pid, &page)?;
+                        frame.body.write().dirty = false;
+                        AtomicStats::bump(&self.stats.repaired_pages);
+                        stats.pages_repaired += 1;
+                        return Ok(());
+                    }
+                    if self.try_repair(io, pid).is_some() {
+                        stats.pages_repaired += 1;
+                        return Ok(());
+                    }
+                }
+                io.quarantined.insert(page, (expected, found));
+                AtomicStats::bump(&self.stats.quarantined_pages);
+                stats.pages_quarantined += 1;
+            }
+            Err(e) => return Err(e),
         }
         Ok(())
     }
@@ -971,7 +1287,13 @@ impl BufferPool {
             io.pager.user_meta().0,
         )?;
         if sync {
-            io.wal.sync()?;
+            if let Err(e) = io.wal.sync() {
+                // A failed fsync leaves the kernel's dirty state unknown —
+                // retrying it could silently succeed against already-dropped
+                // writes. Poison the writer instead; reads stay available.
+                io.poison(&e);
+                return Err(e);
+            }
         }
         Ok(lsn)
     }
@@ -1036,9 +1358,12 @@ impl BufferPool {
     /// truncate the log.
     fn checkpoint(&self, io: &mut IoState) -> StorageResult<()> {
         if io.sim_crashed() {
-            return Err(wal::simulated_crash());
+            return Err(StorageError::Io(fatal_crash_error()));
         }
-        io.wal.sync()?;
+        if let Err(e) = io.wal.sync() {
+            io.poison(&e);
+            return Err(e);
+        }
         for shard in &self.shards {
             let frames: Vec<Arc<Frame>> = shard.lock().slots.to_vec();
             for frame in frames {
@@ -1046,7 +1371,6 @@ impl BufferPool {
                 if !body.dirty {
                     continue;
                 }
-                io.data_write_gate()?;
                 io.pager.write_page(frame.pid, &body.page)?;
                 body.dirty = false;
                 AtomicStats::bump(&self.stats.flushes);
@@ -1054,10 +1378,9 @@ impl BufferPool {
         }
         let end = io.wal.end_lsn();
         io.pager.set_checkpoint_lsn(end);
-        io.pager.sync()?;
-        if io.checkpoint_truncate_crash {
-            io.crashed = true;
-            return Err(wal::simulated_crash());
+        if let Err(e) = io.pager.sync() {
+            io.poison(&e);
+            return Err(e);
         }
         // Truncate even when logging is currently disabled: a stale log
         // from an earlier logged phase must never replay over the newer
@@ -1176,10 +1499,12 @@ impl BufferPool {
             // WAL-before-data: the log must cover this page's latest
             // commit record before its content reaches the data file.
             if must_sync || body.rec_lsn > io.wal.durable_lsn() {
-                io.wal.sync()?;
+                if let Err(e) = io.wal.sync() {
+                    io.poison(&e);
+                    return Err(e);
+                }
             }
         }
-        io.data_write_gate()?;
         io.pager.write_page(pid, &body.page)?;
         AtomicStats::bump(&self.stats.writebacks);
         Ok(())

@@ -18,10 +18,13 @@
 //! higher layers write their query engines once.
 
 use crate::btree::{BTree, RangeIter};
-use crate::buffer::{BufferPool, BufferStats, CrashPoint, PageSource, Snapshot};
+use crate::buffer::{
+    BufferPool, BufferStats, CrashPoint, PageSource, ScrubOptions, ScrubStats, Snapshot,
+};
 use crate::catalog::{Catalog, IndexMeta, RawIndexMeta, TableMeta};
 use crate::error::{StorageError, StorageResult};
 use crate::heap::{HeapFile, RecordId};
+use crate::io::{RetryPolicy, SharedFaultSchedule};
 use crate::page::PageId;
 use crate::pager::Pager;
 use crate::schema::{Row, Schema};
@@ -463,6 +466,70 @@ impl Database {
     /// for the crash-recovery suites; see [`CrashPoint`]).
     pub fn inject_crash(&self, point: CrashPoint) {
         self.pool.inject_crash(point)
+    }
+
+    /// Install a deterministic fault-injection schedule over the data and
+    /// log files (see [`crate::io::FaultSchedule`]). Fails if one is
+    /// already installed.
+    pub fn install_fault_schedule(&self, schedule: SharedFaultSchedule) -> StorageResult<()> {
+        self.pool.install_fault_schedule(schedule)
+    }
+
+    /// The installed fault schedule, if any.
+    pub fn fault_schedule(&self) -> Option<SharedFaultSchedule> {
+        self.pool.fault_schedule()
+    }
+
+    /// Set the transient-I/O retry policy for both the data file and the
+    /// write-ahead log.
+    pub fn set_io_retry_policy(&self, policy: RetryPolicy) {
+        self.pool.set_io_retry_policy(policy)
+    }
+
+    /// Open an existing database in **degraded read-only mode**: mutation
+    /// entry points fail with [`StorageError::ReadOnly`], and a verification
+    /// pass quarantines every page whose checksum fails (without attempting
+    /// repair writes), so intact data stays readable around the damage.
+    /// Crash recovery still runs first — it rewrites every page covered by
+    /// the log, which is itself a repair.
+    pub fn open_degraded(path: impl AsRef<Path>, pages: usize) -> StorageResult<Self> {
+        let pager = Pager::open(path)?;
+        let pool = BufferPool::with_capacity(pager, pages)?;
+        pool.set_read_only(true);
+        pool.scrub(ScrubOptions::default())?;
+        let mut db = Database {
+            pool: Arc::new(pool),
+            meta: Meta::empty(),
+        };
+        // Read-only catalog load: skip the heap tail-page walk (only
+        // `insert` needs it, and inserts are refused) so damage in a heap
+        // chain cannot block the open.
+        db.meta = Meta::load_from(&*db.pool, false)?;
+        Ok(db)
+    }
+
+    /// Whether this database is in read-only (degraded) mode.
+    pub fn read_only(&self) -> bool {
+        self.pool.read_only()
+    }
+
+    /// Whether an earlier fsync failure poisoned the writer (reads keep
+    /// working; reopen to recover from the log).
+    pub fn is_poisoned(&self) -> bool {
+        self.pool.is_poisoned()
+    }
+
+    /// Page ids quarantined after unrepairable checksum failures.
+    pub fn quarantined_pages(&self) -> Vec<u64> {
+        self.pool.quarantined_pages()
+    }
+
+    /// Incremental media scrub: verify every page's checksum, backfilling
+    /// missing ones, repairing failures from a resident frame or the WAL
+    /// and quarantining what cannot be repaired. See
+    /// [`BufferPool::scrub`].
+    pub fn scrub(&self, opts: ScrubOptions) -> StorageResult<ScrubStats> {
+        self.pool.scrub(opts)
     }
 
     // ------------------------------------------------------------------

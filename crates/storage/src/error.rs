@@ -51,6 +51,23 @@ pub enum StorageError {
     TransactionActive,
     /// `commit`/`rollback` was called with no open transaction.
     NoActiveTransaction,
+    /// A page failed its checksum on read: the stored CRC32 and the CRC32
+    /// of the bytes actually read disagree (media corruption).
+    CorruptPage {
+        /// Page id that failed verification.
+        page: u64,
+        /// Checksum recorded when the page was last written.
+        expected: u32,
+        /// Checksum of the bytes read from disk.
+        found: u32,
+    },
+    /// An fsync failed earlier, so durability of previously acknowledged
+    /// writes is unknown; the writer refuses further mutations. Readers
+    /// keep serving the last committed snapshot.
+    WriterPoisoned(String),
+    /// The database was opened in (degraded) read-only mode; mutation was
+    /// refused.
+    ReadOnly,
 }
 
 impl fmt::Display for StorageError {
@@ -83,6 +100,21 @@ impl fmt::Display for StorageError {
             }
             StorageError::NoActiveTransaction => {
                 write!(f, "no transaction is active")
+            }
+            StorageError::CorruptPage {
+                page,
+                expected,
+                found,
+            } => write!(
+                f,
+                "corrupt page {page}: checksum mismatch \
+                 (expected {expected:#010x}, found {found:#010x})"
+            ),
+            StorageError::WriterPoisoned(m) => {
+                write!(f, "writer poisoned by earlier fsync failure: {m}")
+            }
+            StorageError::ReadOnly => {
+                write!(f, "database is open in read-only (degraded) mode")
             }
         }
     }

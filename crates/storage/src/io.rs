@@ -1,0 +1,796 @@
+//! Injectable storage I/O: the seam between the engine and the disk.
+//!
+//! Everything the pager and the write-ahead log do to a file goes through
+//! the [`StorageIo`] trait — positioned reads and writes over page-sized
+//! extents, fsync and truncation. Two implementations ship:
+//!
+//! * [`DiskIo`] — a plain `std::fs::File`, the production path.
+//! * [`FaultIo`] — a deterministic, seed-driven wrapper that injects media
+//!   faults on a programmable [`FaultSchedule`]: single-bit flips on read or
+//!   write, torn (partial-extent) writes, transient `EIO`-style errors, and
+//!   failing or lying fsyncs. The schedule is shared (one `Arc` covers both
+//!   the data file and the log), so cross-file triggers — "after the next
+//!   data fsync, kill the next log write" — are expressible, which is how
+//!   the legacy [`crate::buffer::CrashPoint`] machinery is implemented on
+//!   top of it.
+//!
+//! ## Error taxonomy
+//!
+//! Injected faults come in two severities, distinguished by
+//! [`std::io::ErrorKind`] so retry policies can tell them apart:
+//!
+//! * **Transient** faults use `ErrorKind::Interrupted`. The operation may
+//!   succeed if retried; the pager and log retry these with bounded
+//!   exponential backoff (see [`RetryPolicy`]).
+//! * **Fatal** faults (simulated process death, the sticky post-crash state)
+//!   use `ErrorKind::Other` and keep failing forever. They are never
+//!   retried.
+
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// Positioned I/O over a database or log file. All offsets are absolute byte
+/// positions; implementations must not assume sequential access.
+#[allow(clippy::len_without_is_empty)]
+pub trait StorageIo: Send {
+    /// Read up to `buf.len()` bytes at `offset`. Short reads at end-of-file
+    /// are allowed (the pager zero-fills); a return of 0 means end-of-file.
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<usize>;
+
+    /// Write all of `data` at `offset`, extending the file as needed.
+    fn write_at(&mut self, offset: u64, data: &[u8]) -> io::Result<()>;
+
+    /// Flush file content (and metadata) to stable storage.
+    fn sync(&mut self) -> io::Result<()>;
+
+    /// Truncate or extend the file to `len` bytes.
+    fn set_len(&mut self, len: u64) -> io::Result<()>;
+
+    /// Current file length in bytes.
+    fn len(&mut self) -> io::Result<u64>;
+}
+
+/// Production I/O: a plain file handle.
+#[derive(Debug)]
+pub struct DiskIo {
+    file: std::fs::File,
+}
+
+impl DiskIo {
+    /// Wrap an open file handle.
+    pub fn new(file: std::fs::File) -> Self {
+        DiskIo { file }
+    }
+}
+
+impl StorageIo for DiskIo {
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
+        self.file.seek(SeekFrom::Start(offset))?;
+        let mut total = 0;
+        while total < buf.len() {
+            let n = self.file.read(&mut buf[total..])?;
+            if n == 0 {
+                break;
+            }
+            total += n;
+        }
+        Ok(total)
+    }
+
+    fn write_at(&mut self, offset: u64, data: &[u8]) -> io::Result<()> {
+        self.file.seek(SeekFrom::Start(offset))?;
+        self.file.write_all(data)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_all()
+    }
+
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        self.file.set_len(len)
+    }
+
+    fn len(&mut self) -> io::Result<u64> {
+        Ok(self.file.metadata()?.len())
+    }
+}
+
+/// Which file an I/O operation targets. The two halves of the engine share
+/// one [`FaultSchedule`], so schedules can express cross-file rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// The main database file (pages).
+    Data,
+    /// The write-ahead log.
+    Wal,
+}
+
+/// How often to retry transient I/O errors, and how long to back off
+/// between attempts. The delay doubles per attempt, capped at `max_delay` —
+/// bounded exponential backoff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). 1 disables retrying.
+    pub attempts: u32,
+    /// Backoff before the first retry.
+    pub base_delay: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            base_delay: Duration::from_micros(250),
+            max_delay: Duration::from_millis(10),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff to sleep before retry number `retry` (1-based).
+    pub fn delay_for(&self, retry: u32) -> Duration {
+        let factor = 1u32 << retry.saturating_sub(1).min(16);
+        self.base_delay.saturating_mul(factor).min(self.max_delay)
+    }
+
+    /// Run `op` with this policy: transient failures
+    /// (`ErrorKind::Interrupted`) are retried with exponential backoff,
+    /// everything else surfaces immediately.
+    pub fn run<T>(&self, mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                    attempt += 1;
+                    if attempt >= self.attempts {
+                        return Err(e);
+                    }
+                    std::thread::sleep(self.delay_for(attempt));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Probabilities (per matching operation) of each injected fault kind.
+/// All default to zero; a schedule with a zeroed config only fires its
+/// deterministic one-shot rules.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultConfig {
+    /// Transient `EIO` on read (retryable).
+    pub read_error: f64,
+    /// Flip one random bit in the bytes returned by a read (transient
+    /// in-memory corruption; a re-read sees the true content).
+    pub read_bit_flip: f64,
+    /// Transient `EIO` on write, before any byte reaches the file.
+    pub write_error: f64,
+    /// Flip one random bit in the bytes written (persisted corruption).
+    pub write_bit_flip: f64,
+    /// Write only a prefix of the extent, then fail transiently (a torn
+    /// write: the tail of the extent keeps its old content).
+    pub torn_write: f64,
+    /// Fail fsync. The buffer pool treats this as poisoning the writer.
+    pub sync_error: f64,
+    /// Report fsync success without having synced ("lying fsync").
+    pub sync_lie: f64,
+}
+
+impl FaultConfig {
+    /// A light mixed-fault profile for randomized robustness matrices.
+    pub fn light() -> Self {
+        FaultConfig {
+            read_error: 0.002,
+            read_bit_flip: 0.001,
+            write_error: 0.002,
+            write_bit_flip: 0.0005,
+            torn_write: 0.0,
+            sync_error: 0.0,
+            sync_lie: 0.0,
+        }
+    }
+}
+
+/// Counters describing what a [`FaultSchedule`] observed and injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Read operations observed.
+    pub reads: u64,
+    /// Write operations observed.
+    pub writes: u64,
+    /// Sync operations observed.
+    pub syncs: u64,
+    /// Transient read errors injected.
+    pub read_errors: u64,
+    /// Transient write errors injected.
+    pub write_errors: u64,
+    /// Bits flipped in read buffers.
+    pub read_bit_flips: u64,
+    /// Bits flipped in written bytes.
+    pub write_bit_flips: u64,
+    /// Torn (partial) writes injected.
+    pub torn_writes: u64,
+    /// fsync failures injected.
+    pub sync_errors: u64,
+    /// fsyncs silently skipped ("lying fsync").
+    pub sync_lies: u64,
+}
+
+/// A deterministic, seed-driven fault plan shared by the data file and the
+/// write-ahead log. Two layers:
+///
+/// * **One-shot rules** ported from the legacy `CrashPoint` machinery:
+///   crash (torn half-write, then sticky failure) at the n-th WAL append,
+///   crash at the n-th data-page write, crash between checkpoint data-sync
+///   and log truncation.
+/// * **Probabilistic faults** from a [`FaultConfig`], drawn from a
+///   seed-driven generator so every run of a given seed injects the exact
+///   same faults at the exact same operations.
+///
+/// Once a one-shot crash trips, the schedule is *sticky*: every subsequent
+/// operation on either file fails fatally, as if the process had died.
+#[derive(Debug)]
+pub struct FaultSchedule {
+    rng: u64,
+    config: FaultConfig,
+    /// Remaining probabilistic faults allowed (None = unlimited).
+    fault_budget: Option<u64>,
+    // One-shot deterministic rules (the CrashPoint port).
+    wal_appends_until_crash: Option<u64>,
+    data_writes_until_crash: Option<u64>,
+    /// Armed by `CrashPoint::CheckpointTruncate`; converted into
+    /// `wal_poisoned` by the next data-file sync.
+    checkpoint_truncate_crash: bool,
+    /// The next WAL operation dies (set between checkpoint data-sync and
+    /// log truncation).
+    wal_poisoned: bool,
+    crashed: bool,
+    stats: FaultStats,
+    /// Human-readable fault event log (bounded), for test diagnostics.
+    events: Vec<String>,
+}
+
+const EVENT_CAP: usize = 256;
+
+/// The size boundary separating header writes from page/record writes.
+/// WAL record frames start at byte 16; data pages at byte `PAGE_SIZE`.
+const WAL_RECORD_START: u64 = 16;
+
+/// What the schedule tells a [`FaultIo`] to do for one write.
+enum WriteAction {
+    Proceed,
+    /// Write only this many leading bytes, then fail.
+    Torn(usize),
+    /// Fail without writing (transient if `fatal` is false).
+    Fail {
+        fatal: bool,
+    },
+}
+
+/// The canonical fatal error: the same message the legacy crash-injection
+/// hooks produced, so existing suites keep matching.
+pub(crate) fn fatal_crash_error() -> io::Error {
+    io::Error::other("simulated crash (fault injection)")
+}
+
+fn transient_error(what: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::Interrupted,
+        format!("injected transient I/O error ({what})"),
+    )
+}
+
+impl FaultSchedule {
+    /// An inert schedule: no probabilistic faults, no one-shot rules. Rules
+    /// are armed later (this is what `inject_crash` installs lazily).
+    pub fn inert() -> Self {
+        Self::from_seed(0, FaultConfig::default())
+    }
+
+    /// A seed-driven schedule with the given fault probabilities.
+    pub fn from_seed(seed: u64, config: FaultConfig) -> Self {
+        FaultSchedule {
+            rng: seed ^ 0x9E37_79B9_7F4A_7C15,
+            config,
+            fault_budget: None,
+            wal_appends_until_crash: None,
+            data_writes_until_crash: None,
+            checkpoint_truncate_crash: false,
+            wal_poisoned: false,
+            crashed: false,
+            stats: FaultStats::default(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Cap the number of probabilistic faults this schedule may inject.
+    pub fn with_fault_budget(mut self, budget: u64) -> Self {
+        self.fault_budget = Some(budget);
+        self
+    }
+
+    /// Stop injecting: clear every rule and probability (the sticky crashed
+    /// state is cleared too). Used by tests to end the fault phase.
+    pub fn disarm(&mut self) {
+        self.config = FaultConfig::default();
+        self.wal_appends_until_crash = None;
+        self.data_writes_until_crash = None;
+        self.checkpoint_truncate_crash = false;
+        self.wal_poisoned = false;
+        self.crashed = false;
+    }
+
+    /// Arm: crash (torn half-write then sticky failure) at the `n+1`-th WAL
+    /// record append from now.
+    pub fn crash_at_wal_append(&mut self, n: u64) {
+        self.wal_appends_until_crash = Some(n);
+    }
+
+    /// Arm: crash at the `n+1`-th data-file page write from now (nothing of
+    /// that write reaches the file).
+    pub fn crash_at_data_write(&mut self, n: u64) {
+        self.data_writes_until_crash = Some(n);
+    }
+
+    /// Arm: crash after the next checkpoint makes the data file durable but
+    /// before it truncates the log.
+    pub fn crash_at_checkpoint_truncate(&mut self) {
+        self.checkpoint_truncate_crash = true;
+    }
+
+    /// `true` once a one-shot crash rule tripped; every operation on either
+    /// file now fails.
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Counters of observed and injected operations.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// The (bounded) log of injected fault events, newest last.
+    pub fn events(&self) -> &[String] {
+        &self.events
+    }
+
+    fn note(&mut self, event: String) {
+        if self.events.len() < EVENT_CAP {
+            self.events.push(event);
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // splitmix64: deterministic, cheap, good enough for fault placement.
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if let Some(0) = self.fault_budget {
+            return false;
+        }
+        let hit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64 * 1.0 < p;
+        if hit {
+            if let Some(b) = &mut self.fault_budget {
+                *b -= 1;
+            }
+        }
+        hit
+    }
+
+    fn before_read(&mut self, kind: FileKind, offset: u64, len: usize) -> io::Result<()> {
+        self.stats.reads += 1;
+        if self.crashed {
+            return Err(fatal_crash_error());
+        }
+        if self.chance(self.config.read_error) {
+            self.stats.read_errors += 1;
+            self.note(format!("transient read error: {kind:?} @{offset}+{len}"));
+            return Err(transient_error("read"));
+        }
+        Ok(())
+    }
+
+    fn after_read(&mut self, kind: FileKind, offset: u64, buf: &mut [u8]) {
+        if buf.is_empty() {
+            return;
+        }
+        if self.chance(self.config.read_bit_flip) {
+            let bit = (self.next_u64() as usize) % (buf.len() * 8);
+            buf[bit / 8] ^= 1 << (bit % 8);
+            self.stats.read_bit_flips += 1;
+            self.note(format!("read bit flip: {kind:?} @{offset} bit {bit}"));
+        }
+    }
+
+    /// Decide what happens to a write, and optionally corrupt the payload
+    /// (the caller passes a mutable copy).
+    fn on_write(&mut self, kind: FileKind, offset: u64, data: &mut [u8]) -> WriteAction {
+        self.stats.writes += 1;
+        if self.crashed {
+            return WriteAction::Fail { fatal: true };
+        }
+        if self.wal_poisoned && kind == FileKind::Wal {
+            self.crashed = true;
+            self.note("crash: WAL write after checkpoint data-sync".into());
+            return WriteAction::Fail { fatal: true };
+        }
+        // One-shot crash rules, counted over record/page writes only (file
+        // header writes sit below the boundary and are not counted — this
+        // is what keeps the legacy CrashPoint counting semantics).
+        if kind == FileKind::Wal && offset >= WAL_RECORD_START {
+            if let Some(n) = self.wal_appends_until_crash {
+                if n == 0 {
+                    self.crashed = true;
+                    self.note(format!("crash: torn WAL append @{offset}"));
+                    return WriteAction::Torn(data.len() / 2);
+                }
+                self.wal_appends_until_crash = Some(n - 1);
+            }
+        }
+        if kind == FileKind::Data && offset >= crate::page::PAGE_SIZE as u64 {
+            if let Some(n) = self.data_writes_until_crash {
+                if n == 0 {
+                    self.crashed = true;
+                    self.note(format!("crash: data write @{offset}"));
+                    return WriteAction::Fail { fatal: true };
+                }
+                self.data_writes_until_crash = Some(n - 1);
+            }
+        }
+        if self.chance(self.config.write_error) {
+            self.stats.write_errors += 1;
+            self.note(format!("transient write error: {kind:?} @{offset}"));
+            return WriteAction::Fail { fatal: false };
+        }
+        if !data.is_empty() && self.chance(self.config.torn_write) {
+            self.stats.torn_writes += 1;
+            let keep = (self.next_u64() as usize) % data.len();
+            self.note(format!("torn write: {kind:?} @{offset} kept {keep}"));
+            return WriteAction::Torn(keep);
+        }
+        if !data.is_empty() && self.chance(self.config.write_bit_flip) {
+            let bit = (self.next_u64() as usize) % (data.len() * 8);
+            data[bit / 8] ^= 1 << (bit % 8);
+            self.stats.write_bit_flips += 1;
+            self.note(format!("write bit flip: {kind:?} @{offset} bit {bit}"));
+        }
+        WriteAction::Proceed
+    }
+
+    /// Decide what happens to an fsync. `Ok(true)` = really sync,
+    /// `Ok(false)` = lie (skip the sync, report success).
+    fn on_sync(&mut self, kind: FileKind) -> io::Result<bool> {
+        self.stats.syncs += 1;
+        if self.crashed {
+            return Err(fatal_crash_error());
+        }
+        if self.wal_poisoned && kind == FileKind::Wal {
+            self.crashed = true;
+            self.note("crash: WAL sync after checkpoint data-sync".into());
+            return Err(fatal_crash_error());
+        }
+        if self.chance(self.config.sync_error) {
+            self.stats.sync_errors += 1;
+            self.note(format!("fsync failure: {kind:?}"));
+            // fsync failure is NOT transient: after a failed fsync the
+            // kernel may have dropped the dirty pages, so retrying and
+            // succeeding proves nothing (fsyncgate). Surface it fatally.
+            return Err(io::Error::other("injected fsync failure"));
+        }
+        if kind == FileKind::Data && self.checkpoint_truncate_crash {
+            // The data file becomes durable; the *next* WAL operation (the
+            // log truncation, or anything else) dies.
+            self.checkpoint_truncate_crash = false;
+            self.wal_poisoned = true;
+        }
+        if self.chance(self.config.sync_lie) {
+            self.stats.sync_lies += 1;
+            self.note(format!("lying fsync: {kind:?}"));
+            return Ok(false);
+        }
+        Ok(true)
+    }
+
+    fn on_set_len(&mut self, kind: FileKind) -> io::Result<()> {
+        if self.crashed {
+            return Err(fatal_crash_error());
+        }
+        if self.wal_poisoned && kind == FileKind::Wal {
+            self.crashed = true;
+            self.note("crash: WAL truncation after checkpoint data-sync".into());
+            return Err(fatal_crash_error());
+        }
+        Ok(())
+    }
+}
+
+/// A shared, thread-safe handle to a [`FaultSchedule`].
+pub type SharedFaultSchedule = Arc<Mutex<FaultSchedule>>;
+
+/// Wrap a schedule for sharing between the data file and the log.
+pub fn shared_schedule(schedule: FaultSchedule) -> SharedFaultSchedule {
+    Arc::new(Mutex::new(schedule))
+}
+
+/// Fault-injecting I/O: consults a shared [`FaultSchedule`] around every
+/// operation on the wrapped [`StorageIo`].
+pub struct FaultIo {
+    inner: Box<dyn StorageIo>,
+    kind: FileKind,
+    schedule: SharedFaultSchedule,
+}
+
+impl FaultIo {
+    /// Wrap `inner`, attributing its operations to `kind` on `schedule`.
+    pub fn new(inner: Box<dyn StorageIo>, kind: FileKind, schedule: SharedFaultSchedule) -> Self {
+        FaultIo {
+            inner,
+            kind,
+            schedule,
+        }
+    }
+}
+
+impl StorageIo for FaultIo {
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
+        self.schedule
+            .lock()
+            .before_read(self.kind, offset, buf.len())?;
+        let n = self.inner.read_at(offset, buf)?;
+        self.schedule
+            .lock()
+            .after_read(self.kind, offset, &mut buf[..n]);
+        Ok(n)
+    }
+
+    fn write_at(&mut self, offset: u64, data: &[u8]) -> io::Result<()> {
+        let mut copy = data.to_vec();
+        let action = self.schedule.lock().on_write(self.kind, offset, &mut copy);
+        match action {
+            WriteAction::Proceed => self.inner.write_at(offset, &copy),
+            WriteAction::Torn(keep) => {
+                let _ = self.inner.write_at(offset, &copy[..keep]);
+                if self.schedule.lock().crashed() {
+                    Err(fatal_crash_error())
+                } else {
+                    Err(transient_error("torn write"))
+                }
+            }
+            WriteAction::Fail { fatal } => Err(if fatal {
+                fatal_crash_error()
+            } else {
+                transient_error("write")
+            }),
+        }
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        if self.schedule.lock().on_sync(self.kind)? {
+            self.inner.sync()
+        } else {
+            Ok(()) // lying fsync
+        }
+    }
+
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        self.schedule.lock().on_set_len(self.kind)?;
+        self.inner.set_len(len)
+    }
+
+    fn len(&mut self) -> io::Result<u64> {
+        self.inner.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs::OpenOptions;
+    use tempfile::tempdir;
+
+    fn disk(path: &std::path::Path) -> Box<dyn StorageIo> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .unwrap();
+        Box::new(DiskIo::new(file))
+    }
+
+    #[test]
+    fn disk_io_roundtrip_and_short_read() {
+        let dir = tempdir().unwrap();
+        let mut io = disk(&dir.path().join("f"));
+        io.write_at(10, b"hello").unwrap();
+        let mut buf = [0u8; 5];
+        assert_eq!(io.read_at(10, &mut buf).unwrap(), 5);
+        assert_eq!(&buf, b"hello");
+        // Reading past the end is a short read, not an error.
+        let mut big = [0u8; 32];
+        let n = io.read_at(12, &mut big).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(&big[..3], b"llo");
+        assert_eq!(io.len().unwrap(), 15);
+        io.set_len(4).unwrap();
+        assert_eq!(io.len().unwrap(), 4);
+        io.sync().unwrap();
+    }
+
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut s = FaultSchedule::from_seed(seed, FaultConfig::light());
+            let mut hits = Vec::new();
+            for i in 0..2000u64 {
+                if s.before_read(FileKind::Data, i, 64).is_err() {
+                    hits.push(i);
+                }
+            }
+            hits
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds must differ");
+        assert!(!run(7).is_empty(), "light profile must inject something");
+    }
+
+    #[test]
+    fn wal_append_crash_counts_record_writes_only() {
+        let dir = tempdir().unwrap();
+        let schedule = shared_schedule(FaultSchedule::inert());
+        schedule.lock().crash_at_wal_append(1);
+        let mut io = FaultIo::new(disk(&dir.path().join("w")), FileKind::Wal, schedule.clone());
+        // Header writes (offset < 16) never count.
+        io.write_at(0, &[0u8; 16]).unwrap();
+        io.write_at(0, &[0u8; 16]).unwrap();
+        // First record append passes, second dies torn.
+        io.write_at(16, &[1u8; 100]).unwrap();
+        let err = io.write_at(116, &[2u8; 100]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Other);
+        assert!(schedule.lock().crashed());
+        // Torn: exactly half of the failed frame reached the file.
+        assert_eq!(io.len().unwrap(), 116 + 50);
+        // Sticky: everything fails from here.
+        assert!(io.write_at(0, &[0u8; 4]).is_err());
+        assert!(io.sync().is_err());
+    }
+
+    #[test]
+    fn checkpoint_truncate_rule_arms_on_data_sync() {
+        let dir = tempdir().unwrap();
+        let schedule = shared_schedule(FaultSchedule::inert());
+        schedule.lock().crash_at_checkpoint_truncate();
+        let mut data = FaultIo::new(
+            disk(&dir.path().join("d")),
+            FileKind::Data,
+            schedule.clone(),
+        );
+        let mut wal = FaultIo::new(disk(&dir.path().join("w")), FileKind::Wal, schedule.clone());
+        // WAL traffic before the data sync is unaffected.
+        wal.write_at(16, &[1u8; 8]).unwrap();
+        data.write_at(8192, &[2u8; 8]).unwrap();
+        data.sync().unwrap(); // checkpoint data durable; rule arms
+        assert!(wal.write_at(0, &[0u8; 16]).is_err(), "truncation must die");
+        assert!(schedule.lock().crashed());
+    }
+
+    #[test]
+    fn transient_faults_are_interrupted_kind_and_retryable() {
+        let dir = tempdir().unwrap();
+        // read_error probability 1: every read fails transiently.
+        let schedule = shared_schedule(FaultSchedule::from_seed(
+            1,
+            FaultConfig {
+                read_error: 1.0,
+                ..FaultConfig::default()
+            },
+        ));
+        let mut io = FaultIo::new(
+            disk(&dir.path().join("f")),
+            FileKind::Data,
+            schedule.clone(),
+        );
+        io.write_at(0, b"abc").unwrap();
+        let mut buf = [0u8; 3];
+        let err = io.read_at(0, &mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        // Disarm: reads work again (the fault was transient, the bytes are
+        // intact on disk).
+        schedule.lock().disarm();
+        assert_eq!(io.read_at(0, &mut buf).unwrap(), 3);
+        assert_eq!(&buf, b"abc");
+    }
+
+    #[test]
+    fn write_bit_flips_persist_to_disk() {
+        let dir = tempdir().unwrap();
+        let schedule = shared_schedule(FaultSchedule::from_seed(
+            3,
+            FaultConfig {
+                write_bit_flip: 1.0,
+                ..FaultConfig::default()
+            },
+        ));
+        let mut io = FaultIo::new(
+            disk(&dir.path().join("f")),
+            FileKind::Data,
+            schedule.clone(),
+        );
+        io.write_at(0, &[0u8; 64]).unwrap();
+        schedule.lock().disarm();
+        let mut buf = [0u8; 64];
+        io.read_at(0, &mut buf).unwrap();
+        let ones: u32 = buf.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(ones, 1, "exactly one bit must have flipped");
+        assert_eq!(schedule.lock().stats().write_bit_flips, 1);
+    }
+
+    #[test]
+    fn retry_policy_retries_transient_only() {
+        let policy = RetryPolicy {
+            attempts: 3,
+            base_delay: Duration::from_micros(1),
+            max_delay: Duration::from_micros(4),
+        };
+        let mut left = 2;
+        let out = policy.run(|| {
+            if left > 0 {
+                left -= 1;
+                Err(transient_error("test"))
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(out.unwrap(), 42);
+        // Fatal errors are never retried.
+        let mut calls = 0;
+        let out: io::Result<()> = policy.run(|| {
+            calls += 1;
+            Err(fatal_crash_error())
+        });
+        assert!(out.is_err());
+        assert_eq!(calls, 1);
+        // Exhausting attempts surfaces the transient error.
+        let mut calls = 0;
+        let out: io::Result<()> = policy.run(|| {
+            calls += 1;
+            Err(transient_error("test"))
+        });
+        assert!(out.is_err());
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn fault_budget_caps_probabilistic_faults() {
+        let mut s = FaultSchedule::from_seed(
+            5,
+            FaultConfig {
+                read_error: 1.0,
+                ..FaultConfig::default()
+            },
+        )
+        .with_fault_budget(2);
+        let mut failures = 0;
+        for i in 0..100 {
+            if s.before_read(FileKind::Data, i, 8).is_err() {
+                failures += 1;
+            }
+        }
+        assert_eq!(failures, 2);
+    }
+}

@@ -100,16 +100,21 @@ pub mod catalog;
 pub mod db;
 pub mod error;
 pub mod heap;
+pub mod io;
 pub mod page;
 pub mod pager;
 pub mod schema;
 pub mod value;
 pub mod wal;
 
-pub use buffer::{CrashPoint, PageSource, PinnedPage, Snapshot};
+pub use buffer::{CrashPoint, PageSource, PinnedPage, ScrubOptions, ScrubStats, Snapshot};
 pub use db::{Database, DbRead, DbReader, RawIndexId, TableId};
 pub use error::{StorageError, StorageResult};
 pub use heap::RecordId;
+pub use io::{
+    shared_schedule, FaultConfig, FaultSchedule, FaultStats, FileKind, RetryPolicy,
+    SharedFaultSchedule,
+};
 pub use page::{PageId, PAGE_SIZE};
 pub use schema::{ColumnDef, Row, Schema};
 pub use value::{Value, ValueType};

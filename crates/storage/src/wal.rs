@@ -42,11 +42,12 @@
 //! half-written transaction.
 
 use crate::error::{StorageError, StorageResult};
+use crate::io::{DiskIo, RetryPolicy, StorageIo};
 use crate::page::{PageId, PAGE_SIZE};
 use crate::pager::Pager;
-use std::collections::HashMap;
-use std::fs::{File, OpenOptions};
-use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::collections::{HashMap, HashSet};
+use std::fs::OpenOptions;
+use std::io;
 use std::path::{Path, PathBuf};
 
 const WAL_MAGIC: &[u8; 8] = b"CRIMWAL1";
@@ -155,7 +156,7 @@ impl RecoveryReport {
 
 /// The write-ahead log file.
 pub struct Wal {
-    file: File,
+    io: Box<dyn StorageIo>,
     path: PathBuf,
     /// Absolute LSN of file offset 0.
     base: Lsn,
@@ -165,10 +166,7 @@ pub struct Wal {
     durable: Lsn,
     next_txn: u64,
     stats: WalStats,
-    /// Fault injection: fail (with a torn half-write) after this many more
-    /// appends.
-    crash_after_appends: Option<u64>,
-    crashed: bool,
+    retry: RetryPolicy,
 }
 
 impl std::fmt::Debug for Wal {
@@ -193,24 +191,24 @@ impl Wal {
     /// Create a fresh (empty) log, truncating any existing file.
     pub fn create(path: impl AsRef<Path>) -> StorageResult<Self> {
         let path = path.as_ref().to_path_buf();
-        let mut file = OpenOptions::new()
+        let file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(true)
             .open(&path)?;
-        write_header(&mut file, 0)?;
-        Ok(Wal {
-            file,
+        let mut wal = Wal {
+            io: Box::new(DiskIo::new(file)),
             path,
             base: 0,
             end: WAL_HEADER,
             durable: WAL_HEADER,
             next_txn: 1,
             stats: WalStats::default(),
-            crash_after_appends: None,
-            crashed: false,
-        })
+            retry: RetryPolicy::default(),
+        };
+        wal.write_header(0)?;
+        Ok(wal)
     }
 
     /// Open an existing log (creating an empty one when absent), dropping any
@@ -220,42 +218,75 @@ impl Wal {
         if !path.exists() {
             return Self::create(path);
         }
-        let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
-        let len = file.metadata()?.len();
+        let file = OpenOptions::new().read(true).write(true).open(&path)?;
+        let mut io: Box<dyn StorageIo> = Box::new(DiskIo::new(file));
+        let len = io.len()?;
         if len < WAL_HEADER {
             // Interrupted creation: start over.
-            drop(file);
+            drop(io);
             return Self::create(path);
         }
         let mut header = [0u8; WAL_HEADER as usize];
-        file.seek(SeekFrom::Start(0))?;
-        file.read_exact(&mut header)?;
+        let n = io.read_at(0, &mut header)?;
+        if n < WAL_HEADER as usize {
+            return Err(StorageError::Corrupted(
+                "write-ahead log header too short".to_string(),
+            ));
+        }
         if &header[0..8] != WAL_MAGIC {
             return Err(StorageError::InvalidDatabase(
                 "write-ahead log has a bad magic number".to_string(),
             ));
         }
-        let base = u64::from_le_bytes(header[8..16].try_into().map_err(|_| {
-            StorageError::Corrupted("write-ahead log header too short".to_string())
-        })?);
+        let base = u64::from_le_bytes(header[8..16].try_into().expect("16-byte header"));
         let mut wal = Wal {
-            file,
+            io,
             path,
             base,
             end: base + WAL_HEADER,
             durable: base + WAL_HEADER,
             next_txn: 1,
             stats: WalStats::default(),
-            crash_after_appends: None,
-            crashed: false,
+            retry: RetryPolicy::default(),
         };
         // Position end after the last intact record and drop any torn tail.
         let (metas, _torn) = wal.scan_raw()?;
         wal.next_txn = metas.iter().map(|m| m.txn).max().unwrap_or(0) + 1;
         let valid = wal.end - wal.base;
-        wal.file.set_len(valid)?;
+        wal.io.set_len(valid)?;
         wal.durable = wal.end;
         Ok(wal)
+    }
+
+    /// Replace the I/O backend in place: `f` receives the current backend
+    /// and returns the one to use from now on (typically wrapping it in a
+    /// fault injector).
+    pub(crate) fn wrap_io(&mut self, f: impl FnOnce(Box<dyn StorageIo>) -> Box<dyn StorageIo>) {
+        struct Placeholder;
+        impl StorageIo for Placeholder {
+            fn read_at(&mut self, _: u64, _: &mut [u8]) -> io::Result<usize> {
+                Err(io::Error::other("I/O backend is being replaced"))
+            }
+            fn write_at(&mut self, _: u64, _: &[u8]) -> io::Result<()> {
+                Err(io::Error::other("I/O backend is being replaced"))
+            }
+            fn sync(&mut self) -> io::Result<()> {
+                Err(io::Error::other("I/O backend is being replaced"))
+            }
+            fn set_len(&mut self, _: u64) -> io::Result<()> {
+                Err(io::Error::other("I/O backend is being replaced"))
+            }
+            fn len(&mut self) -> io::Result<u64> {
+                Err(io::Error::other("I/O backend is being replaced"))
+            }
+        }
+        let current = std::mem::replace(&mut self.io, Box::new(Placeholder));
+        self.io = f(current);
+    }
+
+    /// Configure how transient I/O errors are retried.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
     }
 
     /// Absolute LSN of the end of the log (next append position).
@@ -283,24 +314,6 @@ impl Wal {
         let id = self.next_txn;
         self.next_txn += 1;
         id
-    }
-
-    /// Inject a simulated crash: the `n+1`-th append from now writes half a
-    /// frame (a torn record) and fails; every later write fails too.
-    pub fn inject_crash_after_appends(&mut self, n: u64) {
-        self.crash_after_appends = Some(n);
-    }
-
-    /// `true` once a simulated crash tripped.
-    pub fn crashed(&self) -> bool {
-        self.crashed
-    }
-
-    fn check_crashed(&self) -> StorageResult<()> {
-        if self.crashed {
-            return Err(simulated_crash());
-        }
-        Ok(())
     }
 
     /// Append a page image (after-image at commit; `undo = true` for a
@@ -344,37 +357,28 @@ impl Wal {
     }
 
     fn append_frame(&mut self, body: &[u8]) -> StorageResult<Lsn> {
-        self.check_crashed()?;
         let mut frame = Vec::with_capacity(FRAME_HEADER + body.len());
         frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(body).to_le_bytes());
         frame.extend_from_slice(body);
-        if let Some(n) = self.crash_after_appends {
-            if n == 0 {
-                // Torn write: half the frame reaches the disk, then the
-                // process "dies".
-                self.crashed = true;
-                let half = &frame[..frame.len() / 2];
-                self.file.seek(SeekFrom::Start(self.end - self.base))?;
-                let _ = self.file.write_all(half);
-                return Err(simulated_crash());
-            }
-            self.crash_after_appends = Some(n - 1);
-        }
         let lsn = self.end;
-        self.file.seek(SeekFrom::Start(self.end - self.base))?;
-        self.file.write_all(&frame)?;
+        let offset = self.end - self.base;
+        let io = &mut self.io;
+        // A retried append rewrites the whole frame at the same offset, so a
+        // torn transient write is repaired by its own retry.
+        self.retry.run(|| io.write_at(offset, &frame))?;
         self.end += frame.len() as u64;
         self.stats.appends += 1;
         self.stats.bytes += frame.len() as u64;
         Ok(lsn)
     }
 
-    /// Make the whole log durable (no-op when already durable).
+    /// Make the whole log durable (no-op when already durable). fsync
+    /// failures are *not* retried: after a failed fsync the kernel may have
+    /// dropped the dirty pages, so a retry that succeeds proves nothing.
     pub fn sync(&mut self) -> StorageResult<()> {
-        self.check_crashed()?;
         if self.durable < self.end {
-            self.file.sync_data()?;
+            self.io.sync()?;
             self.durable = self.end;
             self.stats.syncs += 1;
         }
@@ -384,13 +388,23 @@ impl Wal {
     /// Truncate the log (checkpoint). The base LSN advances so LSNs remain
     /// monotone across truncations.
     pub fn reset(&mut self) -> StorageResult<()> {
-        self.check_crashed()?;
         self.base = self.end;
-        write_header(&mut self.file, self.base)?;
-        self.file.set_len(WAL_HEADER)?;
-        self.file.sync_data()?;
+        let base = self.base;
+        self.write_header(base)?;
+        self.io.set_len(WAL_HEADER)?;
+        self.io.sync()?;
         self.end = self.base + WAL_HEADER;
         self.durable = self.end;
+        Ok(())
+    }
+
+    fn write_header(&mut self, base: u64) -> StorageResult<()> {
+        let mut header = [0u8; WAL_HEADER as usize];
+        header[0..8].copy_from_slice(WAL_MAGIC);
+        header[8..16].copy_from_slice(&base.to_le_bytes());
+        let io = &mut self.io;
+        self.retry.run(|| io.write_at(0, &header))?;
+        self.io.sync()?;
         Ok(())
     }
 
@@ -398,17 +412,22 @@ impl Wal {
     /// stopped at a torn tail. Positions `self.end` after the last intact
     /// record.
     pub(crate) fn scan_raw(&mut self) -> StorageResult<(Vec<RecordMeta>, bool)> {
-        let file_len = self.file.metadata()?.len();
+        let file_len = self.io.len()?;
         let mut metas = Vec::new();
         let mut offset = WAL_HEADER;
         let mut torn = false;
-        self.file.seek(SeekFrom::Start(offset))?;
         let mut header = [0u8; FRAME_HEADER];
         while offset + FRAME_HEADER as u64 <= file_len {
-            self.file.seek(SeekFrom::Start(offset))?;
-            if self.file.read_exact(&mut header).is_err() {
-                torn = true;
-                break;
+            let retry = self.retry;
+            let io = &mut self.io;
+            let got = retry.run(|| io.read_at(offset, &mut header));
+            match got {
+                Ok(n) if n == FRAME_HEADER => {}
+                Ok(_) => {
+                    torn = true;
+                    break;
+                }
+                Err(e) => return Err(e.into()),
             }
             let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as u64;
             let crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
@@ -420,9 +439,16 @@ impl Wal {
                 break;
             }
             let mut body = vec![0u8; len as usize];
-            if self.file.read_exact(&mut body).is_err() {
-                torn = true;
-                break;
+            let body_offset = offset + FRAME_HEADER as u64;
+            let io = &mut self.io;
+            let got = retry.run(|| io.read_at(body_offset, &mut body));
+            match got {
+                Ok(n) if n == body.len() => {}
+                Ok(_) => {
+                    torn = true;
+                    break;
+                }
+                Err(e) => return Err(e.into()),
             }
             if crc32(&body) != crc {
                 torn = true;
@@ -445,23 +471,43 @@ impl Wal {
     }
 
     /// Read a page image at the file offset recorded by
-    /// [`Wal::scan_raw`].
+    /// [`Wal::scan_raw`]. Frame CRCs were already validated by the scan, so
+    /// the bytes returned here are exactly what the logger wrote.
     pub(crate) fn read_image_at(&mut self, image_offset: u64) -> StorageResult<Vec<u8>> {
         let mut image = vec![0u8; PAGE_SIZE];
-        self.file.seek(SeekFrom::Start(image_offset))?;
-        self.file.read_exact(&mut image)?;
+        let io = &mut self.io;
+        let n = self.retry.run(|| io.read_at(image_offset, &mut image))?;
+        if n < PAGE_SIZE {
+            return Err(StorageError::Corrupted(
+                "write-ahead log image truncated".to_string(),
+            ));
+        }
         Ok(image)
     }
-}
 
-fn write_header(file: &mut File, base: u64) -> io::Result<()> {
-    let mut header = [0u8; WAL_HEADER as usize];
-    header[0..8].copy_from_slice(WAL_MAGIC);
-    header[8..16].copy_from_slice(&base.to_le_bytes());
-    file.seek(SeekFrom::Start(0))?;
-    file.write_all(&header)?;
-    file.sync_data()?;
-    Ok(())
+    /// The latest *committed* after-image of `pid` still present in the
+    /// un-truncated log, re-validating frame CRCs along the way. This is
+    /// the WAL-based repair source for a page that fails its checksum on
+    /// disk: every committed write since the last checkpoint is still in
+    /// the log, so the newest committed image *is* the page's true content.
+    ///
+    /// Returns `None` when the log holds no committed image for the page
+    /// (e.g. the page was last written before the last checkpoint).
+    pub(crate) fn latest_committed_image(&mut self, pid: PageId) -> StorageResult<Option<Vec<u8>>> {
+        let (metas, _torn) = self.scan_raw()?;
+        let committed: HashSet<u64> = metas
+            .iter()
+            .filter(|m| m.kind == WalRecordKind::Commit)
+            .map(|m| m.txn)
+            .collect();
+        let best = metas.iter().rfind(|m| {
+            m.kind == WalRecordKind::PageImage && m.pid == pid.0 && committed.contains(&m.txn)
+        });
+        match best {
+            Some(m) => Ok(Some(self.read_image_at(m.image_offset)?)),
+            None => Ok(None),
+        }
+    }
 }
 
 fn decode_body(file_offset: u64, body: &[u8]) -> Option<RecordMeta> {
@@ -500,11 +546,6 @@ fn decode_body(file_offset: u64, body: &[u8]) -> Option<RecordMeta> {
             })
         }
     }
-}
-
-/// The error every write operation returns once an injected crash tripped.
-pub(crate) fn simulated_crash() -> StorageError {
-    StorageError::Io(io::Error::other("simulated crash (fault injection)"))
 }
 
 // ---------------------------------------------------------------------------
@@ -733,13 +774,17 @@ mod tests {
 
     #[test]
     fn injected_crash_tears_the_append() {
+        use crate::io::{shared_schedule, FaultIo, FaultSchedule, FileKind};
         let dir = tempdir().unwrap();
         let path = dir.path().join("t.wal");
         let mut wal = Wal::create(&path).unwrap();
         wal.append_commit(1, 2, 0, 0).unwrap();
-        wal.inject_crash_after_appends(0);
+        let schedule = shared_schedule(FaultSchedule::inert());
+        schedule.lock().crash_at_wal_append(0);
+        let s = schedule.clone();
+        wal.wrap_io(move |inner| Box::new(FaultIo::new(inner, FileKind::Wal, s)));
         assert!(wal.append_commit(2, 3, 0, 0).is_err());
-        assert!(wal.crashed());
+        assert!(schedule.lock().crashed());
         // Everything after the crash fails.
         assert!(wal.append_commit(3, 4, 0, 0).is_err());
         assert!(wal.sync().is_err());
@@ -748,6 +793,28 @@ mod tests {
         let (metas, _) = wal.scan_raw().unwrap();
         assert_eq!(metas.len(), 1);
         assert_eq!(metas[0].txn, 1);
+    }
+
+    #[test]
+    fn latest_committed_image_picks_newest_committed() {
+        let dir = tempdir().unwrap();
+        let mut wal = Wal::create(dir.path().join("t.wal")).unwrap();
+        let old = vec![1u8; PAGE_SIZE];
+        let new = vec![2u8; PAGE_SIZE];
+        let uncommitted = vec![3u8; PAGE_SIZE];
+        wal.append_image(WalRecordKind::PageImage, 1, PageId(5), &old)
+            .unwrap();
+        wal.append_commit(1, 6, 0, 0).unwrap();
+        wal.append_image(WalRecordKind::PageImage, 2, PageId(5), &new)
+            .unwrap();
+        wal.append_commit(2, 6, 0, 0).unwrap();
+        // A later image from a transaction that never committed must not win.
+        wal.append_image(WalRecordKind::PageImage, 3, PageId(5), &uncommitted)
+            .unwrap();
+        wal.sync().unwrap();
+        let got = wal.latest_committed_image(PageId(5)).unwrap().unwrap();
+        assert_eq!(got, new);
+        assert!(wal.latest_committed_image(PageId(9)).unwrap().is_none());
     }
 
     #[test]
