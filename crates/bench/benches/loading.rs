@@ -54,6 +54,7 @@ fn bench_parsing(c: &mut Criterion) {
                     RepositoryOptions {
                         frame_depth: 16,
                         buffer_pool_pages: 4096,
+                        ..Default::default()
                     },
                 )
                 .expect("create");
@@ -74,6 +75,7 @@ fn bench_parsing(c: &mut Criterion) {
                         RepositoryOptions {
                             frame_depth: 16,
                             buffer_pool_pages: 4096,
+                            ..Default::default()
                         },
                     )
                     .expect("create");

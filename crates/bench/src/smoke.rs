@@ -257,6 +257,7 @@ pub fn load_workload(leaves: usize, seed: u64) -> LoadCost {
             crimson::repository::RepositoryOptions {
                 frame_depth: 16,
                 buffer_pool_pages: 4096,
+                ..Default::default()
             },
         )
         .expect("create repository");
@@ -331,6 +332,7 @@ pub fn bulk_load_workload(leaves: usize, seed: u64, runs: usize) -> BulkLoadCost
                 crimson::repository::RepositoryOptions {
                     frame_depth: 16,
                     buffer_pool_pages: 4096,
+                    ..Default::default()
                 },
             )
             .expect("create repository");
@@ -359,6 +361,7 @@ pub fn bulk_load_workload(leaves: usize, seed: u64, runs: usize) -> BulkLoadCost
         let opts = crimson::repository::RepositoryOptions {
             frame_depth: 16,
             buffer_pool_pages: 4096,
+            ..Default::default()
         };
         let mut bulk =
             crimson::repository::Repository::create(dir.path().join("bulk.crimson"), opts.clone())
@@ -434,6 +437,7 @@ pub fn eval_sweep(leaves: usize, sites: usize, workers: usize, seed: u64) -> Eva
         compute_triplets: false,
         seed,
         workers,
+        cell_commits: false,
     };
     let start = std::time::Instant::now();
     let record = ExperimentRunner::new(&mut repo, handle)
@@ -482,6 +486,7 @@ pub fn compare_workload(leaves: usize, seed: u64, runs: usize) -> CompareCost {
         crimson::repository::RepositoryOptions {
             frame_depth: 16,
             buffer_pool_pages: 8192,
+            ..Default::default()
         },
     )
     .expect("create repository");
@@ -540,6 +545,7 @@ pub fn recovery_workload(leaves: usize, seed: u64) -> storage::RecoveryReport {
             crimson::repository::RepositoryOptions {
                 frame_depth: 16,
                 buffer_pool_pages: 256,
+                ..Default::default()
             },
         )
         .expect("create repository");
@@ -568,6 +574,198 @@ pub fn recovery_workload(leaves: usize, seed: u64) -> storage::RecoveryReport {
         "loser load must vanish"
     );
     report
+}
+
+/// Throughput and fsync cost of `threads` concurrent committers pushing a
+/// fixed number of small transactions through the group-commit path.
+#[derive(Debug, Clone, Copy)]
+pub struct CommitCost {
+    /// Committer threads.
+    pub threads: usize,
+    /// Transactions committed (each dirties one page, each fsynced
+    /// synchronously — by leading or riding a group round).
+    pub commits: u64,
+    /// Wall-clock seconds for the whole storm.
+    pub seconds: f64,
+    /// WAL fsync calls actually issued.
+    pub wal_syncs: u64,
+    /// Fsyncs avoided by riding a shared group round.
+    pub fsyncs_saved: u64,
+    /// WAL bytes appended.
+    pub wal_bytes: u64,
+}
+
+impl CommitCost {
+    /// Aggregate durable commits per second.
+    pub fn commits_per_sec(&self) -> f64 {
+        self.commits as f64 / self.seconds.max(1e-9)
+    }
+
+    /// Fsyncs issued per committed transaction — below 1.0 whenever group
+    /// commit batches, and well below under contention.
+    pub fn fsyncs_per_commit(&self) -> f64 {
+        self.wal_syncs as f64 / self.commits.max(1) as f64
+    }
+
+    /// WAL bytes per dirtied data byte (one page per transaction) — the
+    /// log amplification of the commit path.
+    pub fn wal_amplification(&self) -> f64 {
+        self.wal_bytes as f64 / (self.commits as f64 * storage::PAGE_SIZE as f64).max(1.0)
+    }
+}
+
+/// Writer-scalability smoke: `threads` committers split `total_txns` small
+/// synchronous transactions (one dirtied page each) over a shared buffer
+/// pool. Every commit blocks until durable, so the measured throughput is
+/// the group-commit pipeline's, not an async queue's.
+pub fn commit_workload(threads: usize, total_txns: usize) -> CommitCost {
+    use storage::buffer::BufferPool;
+    use storage::pager::Pager;
+    let dir = tempfile::tempdir().expect("temp dir");
+    let pager = Pager::create(dir.path().join("commit.crdb")).expect("create db");
+    let pool = std::sync::Arc::new(BufferPool::with_capacity(pager, 8192).expect("buffer pool"));
+    pool.reset_stats();
+    let per_thread = total_txns / threads;
+    let start = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let pool = &pool;
+            scope.spawn(move || {
+                for k in 0..per_thread {
+                    pool.begin_txn_blocking().expect("begin");
+                    let pid = pool.allocate_page().expect("allocate");
+                    pool.with_page_mut(pid, |p| p.write_u64(0, (t * per_thread + k) as u64))
+                        .expect("write");
+                    pool.commit_txn(true).expect("commit");
+                }
+            });
+        }
+    });
+    let seconds = start.elapsed().as_secs_f64();
+    let stats = pool.stats();
+    assert_eq!(stats.commits, (per_thread * threads) as u64);
+    CommitCost {
+        threads,
+        commits: stats.commits,
+        seconds,
+        wal_syncs: stats.wal_syncs,
+        fsyncs_saved: stats.fsyncs_saved,
+        wal_bytes: stats.wal_bytes,
+    }
+}
+
+/// Read tail latency with and without a concurrent writer + background
+/// checkpointer, and the checkpoint activity observed during the busy phase.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointTail {
+    /// p99 of single-query read latency with the repository quiescent.
+    pub quiescent_p99_us: f64,
+    /// p99 while a writer bulk-loads trees and the background checkpointer
+    /// flushes behind it.
+    pub busy_p99_us: f64,
+    /// Queries measured in each phase.
+    pub queries: usize,
+    /// Data-page flushes during the busy phase (evidence the background
+    /// checkpointer actually ran).
+    pub busy_flushes: u64,
+    /// Snapshot-read retries during the busy phase.
+    pub busy_reader_retries: u64,
+}
+
+fn p99_us(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    let idx = ((samples.len() as f64) * 0.99).ceil() as usize;
+    samples[idx.saturating_sub(1).min(samples.len() - 1)] * 1e6
+}
+
+/// Checkpoint-tail smoke: load a base tree into a repository with an
+/// aggressive background [`CheckpointPolicy`], measure per-query LCA read
+/// latency on a snapshot reader while the repository is quiescent, then
+/// again while the main thread keeps bulk-loading trees (group commits +
+/// background checkpoints running behind the reads).
+pub fn checkpoint_read_tail(leaves: usize, queries: usize, seed: u64) -> CheckpointTail {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let tree = workloads::simulated_tree(leaves, seed);
+    let dir = tempfile::tempdir().expect("temp dir");
+    let mut repo = crimson::repository::Repository::create(
+        dir.path().join("tail.crimson"),
+        crimson::repository::RepositoryOptions {
+            frame_depth: 16,
+            buffer_pool_pages: 8192,
+            checkpoint: Some(crimson::CheckpointPolicy {
+                wal_bytes: Some(128 * 1024),
+                interval: Some(std::time::Duration::from_millis(25)),
+            }),
+            ..Default::default()
+        },
+    )
+    .expect("create repository");
+    assert!(repo.has_checkpointer());
+    let handle = repo.load_tree("base", &tree).expect("load base");
+    let stored = repo.leaves(handle).expect("leaves");
+    let reader = repo.reader().expect("snapshot reader");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pairs: Vec<(StoredNodeId, StoredNodeId)> = (0..queries)
+        .map(|_| {
+            (
+                *stored.choose(&mut rng).expect("non-empty"),
+                *stored.choose(&mut rng).expect("non-empty"),
+            )
+        })
+        .collect();
+    let measure = |reader: &crimson::reader::RepositoryReader| -> Vec<f64> {
+        pairs
+            .iter()
+            .map(|&(a, b)| {
+                let start = std::time::Instant::now();
+                let _ = reader.lca(a, b).expect("lca");
+                start.elapsed().as_secs_f64()
+            })
+            .collect()
+    };
+    // Warm-up, then the quiescent baseline.
+    let _ = measure(&reader);
+    let quiescent = measure(&reader);
+
+    // Busy phase: the writer keeps committing bulk loads (each a group
+    // commit) so the checkpointer's wal_bytes trigger keeps firing, while
+    // the reader re-measures the same query stream.
+    let baseline_stats = repo.buffer_stats();
+    let stop = AtomicBool::new(false);
+    let mut busy = Vec::new();
+    std::thread::scope(|scope| {
+        let reader_ref = &reader;
+        let stop_ref = &stop;
+        let pairs_ref = &pairs;
+        let h = scope.spawn(move || {
+            let mut samples = Vec::new();
+            'outer: loop {
+                for &(a, b) in pairs_ref {
+                    if stop_ref.load(Ordering::Relaxed) && samples.len() >= pairs_ref.len() {
+                        break 'outer;
+                    }
+                    let start = std::time::Instant::now();
+                    let _ = reader_ref.lca(a, b).expect("lca under load");
+                    samples.push(start.elapsed().as_secs_f64());
+                }
+            }
+            samples
+        });
+        for i in 0..6u64 {
+            let w = workloads::simulated_tree(leaves / 2, seed + 10 + i);
+            repo.load_tree(&format!("busy{i}"), &w).expect("busy load");
+        }
+        stop.store(true, Ordering::Relaxed);
+        busy = h.join().expect("reader thread");
+    });
+    let stats = repo.buffer_stats();
+    CheckpointTail {
+        quiescent_p99_us: p99_us(quiescent),
+        busy_p99_us: p99_us(busy),
+        queries,
+        busy_flushes: stats.flushes - baseline_stats.flushes,
+        busy_reader_retries: stats.reader_retries - baseline_stats.reader_retries,
+    }
 }
 
 /// Scrub profile: full-file verification throughput on a large repository,
@@ -617,6 +815,7 @@ pub fn scrub_workload(leaves: usize, seed: u64) -> ScrubProfile {
             // Large enough to keep the whole file resident: the repair
             // phase below heals from the in-memory copies.
             buffer_pool_pages: 32_768,
+            ..Default::default()
         },
     )
     .expect("create repository");
@@ -784,9 +983,18 @@ mod tests {
         );
     }
 
-    /// Repo-root path of the machine-readable bench report.
-    fn bench_report_path() -> std::path::PathBuf {
-        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_load.json")
+    /// Repo-root path of a machine-readable bench report. Debug builds are
+    /// labelled `BENCH_<name>.debug.json` (gitignored): only release-mode
+    /// numbers may land under the committed `BENCH_<name>.json` names.
+    fn report_path(name: &str) -> std::path::PathBuf {
+        let file = if cfg!(debug_assertions) {
+            format!("BENCH_{name}.debug.json")
+        } else {
+            format!("BENCH_{name}.json")
+        };
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(file)
     }
 
     #[test]
@@ -856,7 +1064,7 @@ mod tests {
                 "pattern_match": pattern.speedup()
             })
         });
-        let path = bench_report_path();
+        let path = report_path("load");
         std::fs::write(
             &path,
             serde_json::to_string(&report).expect("serialize report"),
@@ -927,7 +1135,7 @@ mod tests {
                 "native_over_materialized_speedup": compare.speedup()
             })
         });
-        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_eval.json");
+        let path = report_path("eval");
         std::fs::write(
             &path,
             serde_json::to_string(&report).expect("serialize report"),
@@ -983,12 +1191,130 @@ mod tests {
                 "pages_quarantined": profile.pages_quarantined
             })
         });
-        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_scrub.json");
+        let path = report_path("scrub");
         std::fs::write(
             &path,
             serde_json::to_string(&report).expect("serialize report"),
         )
         .expect("write BENCH_scrub.json");
+        eprintln!("wrote {}", path.display());
+    }
+
+    #[test]
+    fn smoke_group_commit() {
+        // Writer scalability: the same total transaction count split across
+        // 1 / 4 / 16 / 64 committer threads, every commit synchronously
+        // durable. Group commit must both batch fsyncs under contention and
+        // scale aggregate commits/s. Writes BENCH_commit.json at the repo
+        // root (the CI writer-scalability job asserts on and uploads it).
+        let total = if cfg!(debug_assertions) { 256 } else { 2048 };
+        let mut costs = Vec::new();
+        for threads in [1usize, 4, 16, 64] {
+            let cost = commit_workload(threads, total);
+            eprintln!(
+                "smoke group commit: {:2} threads → {:7.0} commits/s, \
+                 {:.3} fsyncs/txn ({} saved), wal amp {:.3}",
+                cost.threads,
+                cost.commits_per_sec(),
+                cost.fsyncs_per_commit(),
+                cost.fsyncs_saved,
+                cost.wal_amplification()
+            );
+            assert!(
+                cost.wal_amplification() <= 1.1,
+                "commit path must log ≤1.1 bytes per data byte: {cost:?}"
+            );
+            costs.push(cost);
+        }
+        let serial_run = costs[0];
+        let sixteen = costs[2];
+        // Under contention the pipeline must batch: followers ride the
+        // leader's fsync, so the 16-thread storm needs well under one fsync
+        // per transaction.
+        assert!(
+            sixteen.fsyncs_saved > 0,
+            "16 committers never shared an fsync round: {sixteen:?}"
+        );
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let serial = std::env::var("RUST_TEST_THREADS").as_deref() == Ok("1");
+        if hw >= 4 && serial {
+            assert!(
+                sixteen.fsyncs_per_commit() < 0.5,
+                "16 committers must average <0.5 fsyncs per commit, got {:.3}",
+                sixteen.fsyncs_per_commit()
+            );
+            if !cfg!(debug_assertions) {
+                assert!(
+                    sixteen.commits_per_sec() >= 4.0 * serial_run.commits_per_sec(),
+                    "16 committers must reach ≥4x serial throughput, got {:.0} vs {:.0}",
+                    sixteen.commits_per_sec(),
+                    serial_run.commits_per_sec()
+                );
+            }
+        } else {
+            eprintln!("skipping contended assertions: {hw} hardware thread(s), serial = {serial}");
+        }
+
+        // Read tail latency under a background checkpointer + writer.
+        let tail = checkpoint_read_tail(800, 2000, 17);
+        eprintln!(
+            "smoke checkpoint tail: p99 {:.1}µs quiescent vs {:.1}µs busy \
+             ({} flushes, {} reader retries during busy phase)",
+            tail.quiescent_p99_us, tail.busy_p99_us, tail.busy_flushes, tail.busy_reader_retries
+        );
+        assert!(
+            tail.busy_flushes > 0,
+            "the background checkpointer must have flushed during the busy phase"
+        );
+        if hw >= 4 && serial && !cfg!(debug_assertions) {
+            assert!(
+                tail.busy_p99_us <= 2.0 * tail.quiescent_p99_us.max(5.0),
+                "p99 read during background checkpoint must stay within 2x of quiescent: \
+                 {:.1}µs vs {:.1}µs",
+                tail.busy_p99_us,
+                tail.quiescent_p99_us
+            );
+        }
+
+        let report = serde_json::json!({
+            "profile": serde_json::json!({
+                "total_txns": total,
+                "pages_per_txn": 1,
+                "release": !cfg!(debug_assertions)
+            }),
+            "commit_throughput": costs
+                .iter()
+                .map(|c| {
+                    serde_json::json!({
+                        "threads": c.threads,
+                        "commits": c.commits,
+                        "seconds": c.seconds,
+                        "commits_per_sec": c.commits_per_sec(),
+                        "wal_syncs": c.wal_syncs,
+                        "fsyncs_per_commit": c.fsyncs_per_commit(),
+                        "fsyncs_saved": c.fsyncs_saved,
+                        "wal_amplification": c.wal_amplification()
+                    })
+                })
+                .collect::<Vec<_>>(),
+            "speedup_16_vs_1": sixteen.commits_per_sec() / serial_run.commits_per_sec().max(1e-9),
+            "read_tail_under_checkpoint": serde_json::json!({
+                "queries": tail.queries,
+                "quiescent_p99_us": tail.quiescent_p99_us,
+                "busy_p99_us": tail.busy_p99_us,
+                "busy_over_quiescent": tail.busy_p99_us / tail.quiescent_p99_us.max(1e-9),
+                "busy_flushes": tail.busy_flushes,
+                "busy_reader_retries": tail.busy_reader_retries
+            })
+        });
+        let path = report_path("commit");
+        std::fs::write(
+            &path,
+            serde_json::to_string(&report).expect("serialize report"),
+        )
+        .expect("write BENCH_commit.json");
         eprintln!("wrote {}", path.display());
     }
 

@@ -62,6 +62,7 @@ pub fn repository_with_tree(
         RepositoryOptions {
             frame_depth,
             buffer_pool_pages,
+            ..Default::default()
         },
     )
     .expect("create repository");
@@ -81,6 +82,7 @@ pub fn repository_with_gold(
         RepositoryOptions {
             frame_depth,
             buffer_pool_pages,
+            ..Default::default()
         },
     )
     .expect("create repository");

@@ -175,6 +175,7 @@ mod tests {
             RepositoryOptions {
                 frame_depth: 8,
                 buffer_pool_pages: 1024,
+                ..Default::default()
             },
         )
         .unwrap();

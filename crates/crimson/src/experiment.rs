@@ -223,6 +223,19 @@ pub struct ExperimentSpec {
     pub seed: u64,
     /// Worker threads evaluating grid cells against committed snapshots.
     pub workers: usize,
+    /// Commit every finished grid cell as its own transaction instead of
+    /// one sweep-wide transaction. Cell commits ride the storage engine's
+    /// group-commit path (concurrent with evaluation, one fsync per batch
+    /// under [`crate::Durability::Sync`], none until the next group fsync
+    /// under `Async`), results become visible to readers as they land, and
+    /// a provisional catalog row keeps the results→experiments linkage
+    /// intact throughout. On a mid-sweep failure the committed result and
+    /// clade rows are cleaned up, but reconstructed trees of completed
+    /// cells survive as ordinary trees — resume under a fresh name.
+    /// Defaults to `false` (the historical all-or-nothing sweep); absent in
+    /// stored specs from older repositories.
+    #[serde(default)]
+    pub cell_commits: bool,
 }
 
 /// One persisted experiment (a row of the `experiments` table).
@@ -682,10 +695,87 @@ fn run_sweep(
         serde_json::to_string(spec).map_err(|e| CrimsonError::History(e.to_string()))?;
 
     let reader = repo.reader()?;
-    let workers = spec.workers.clamp(1, n_cells);
+    // Never spawn more workers than there are grid cells (surplus workers
+    // exit immediately but their spawn/join cost lands in the measured
+    // wall-clock) or than the machine has cores (oversubscribed snapshot
+    // workers contend instead of evaluating).
+    let cores = std::thread::available_parallelism().map_or(usize::MAX, |n| n.get());
+    let workers = spec.workers.clamp(1, n_cells).min(cores);
     let start = Instant::now();
 
-    let (runs, wall_ms) = repo.with_txn(|repo| {
+    let (runs, wall_ms) = if spec.cell_commits {
+        run_grid_cell_commits(
+            repo,
+            &reader,
+            gold,
+            &gold_record,
+            spec,
+            &spec_json,
+            &cells,
+            workers,
+            exp_id,
+            result_base,
+            start,
+        )?
+    } else {
+        repo.with_txn(|repo| {
+            let recon_handles = evaluate_grid(
+                repo,
+                &reader,
+                gold,
+                spec,
+                &cells,
+                workers,
+                |repo, i, eval| {
+                    persist_cell(repo, exp_id, result_base + i as u64, spec, cells[i], eval)
+                },
+            )?;
+            let runs = recon_handles.len() as u64;
+            // Measured once, before the commit: both the catalog row and the
+            // returned record carry this same figure.
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            insert_experiment_row(repo, exp_id, gold, spec, &spec_json, runs, wall_ms)?;
+            record_experiment_history(
+                repo,
+                exp_id,
+                gold,
+                &gold_record,
+                spec,
+                &spec_json,
+                result_base,
+                &recon_handles,
+            )?;
+            Ok((runs, wall_ms))
+        })?
+    };
+
+    Ok(ExperimentRecord {
+        id: exp_id,
+        name: spec.name.clone(),
+        gold,
+        spec: spec.clone(),
+        seed: spec.seed,
+        runs,
+        wall_ms,
+    })
+}
+
+/// Evaluate the full grid with a pool of snapshot workers, handing every
+/// finished cell to `persist` in deterministic grid order (out-of-order
+/// arrivals are buffered until their turn). Factored out of [`run_sweep`]
+/// so the one-big-transaction and per-cell-commit paths share the
+/// scheduling machinery.
+fn evaluate_grid(
+    repo: &mut Repository,
+    reader: &crate::reader::RepositoryReader,
+    gold: TreeHandle,
+    spec: &ExperimentSpec,
+    cells: &[Cell],
+    workers: usize,
+    mut persist: impl FnMut(&mut Repository, usize, &CellEval) -> CrimsonResult<TreeHandle>,
+) -> CrimsonResult<Vec<TreeHandle>> {
+    let n_cells = cells.len();
+    {
         let cursor = AtomicUsize::new(0);
         let poison = AtomicBool::new(false);
         let recon_handles = std::thread::scope(|scope| -> CrimsonResult<Vec<TreeHandle>> {
@@ -747,14 +837,7 @@ fn run_sweep(
                     Err(_) => break 'recv,
                 }
                 while let Some(eval) = pending.remove(&next) {
-                    match persist_cell(
-                        repo,
-                        exp_id,
-                        result_base + next as u64,
-                        spec,
-                        cells[next],
-                        &eval,
-                    ) {
+                    match persist(repo, next, &eval) {
                         Ok(handle) => recon_handles.push(handle),
                         Err(e) => {
                             failure = Some(e);
@@ -776,58 +859,181 @@ fn run_sweep(
             }
             Ok(recon_handles)
         })?;
+        Ok(recon_handles)
+    }
+}
 
-        let runs = recon_handles.len() as u64;
-        // Measured once, before the commit: both the catalog row and the
-        // returned record carry this same figure.
-        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-        repo.db.insert(
-            repo.tables.experiments,
-            &[
-                Value::Int(exp_id as i64),
-                Value::text(spec.name.as_str()),
-                Value::Int(gold.0 as i64),
-                Value::text(spec_json.as_str()),
-                Value::Int(spec.seed as i64),
-                Value::Int(runs as i64),
-                Value::Float(wall_ms),
-            ],
-        )?;
-        let spec_value: serde_json::Value =
-            serde_json::from_str(&spec_json).map_err(|e| CrimsonError::History(e.to_string()))?;
-        repo.record_query(
-            QueryKind::Experiment,
-            json!({
-                "experiment": exp_id,
-                "name": spec.name,
-                "gold_tree": gold.0,
-                "seed": spec.seed,
-                "spec": spec_value,
-                "runs": runs,
-                "recon_trees": recon_handles.iter().map(|h| h.0).collect::<Vec<u64>>(),
-                "result_ids": (0..runs).map(|i| result_base + i).collect::<Vec<u64>>(),
-            }),
-            &format!(
-                "experiment `{}`: {} runs ({} methods × {} samplings × {} replicates) on `{}`",
-                spec.name,
-                runs,
-                spec.methods.len(),
-                spec.strategies.len(),
-                spec.replicates,
-                gold_record.name
-            ),
-        )?;
-        Ok((runs, wall_ms))
+/// The per-cell-commit sweep: a provisional catalog row is committed before
+/// any result row (so readers and [`Repository::integrity_check`] never see
+/// a result without its experiment), each finished cell commits as its own
+/// transaction through the repository's configured durability mode, and a
+/// final transaction replaces the provisional row with the real figures and
+/// writes the history entry. Returns `(runs, wall_ms)`.
+#[allow(clippy::too_many_arguments)]
+fn run_grid_cell_commits(
+    repo: &mut Repository,
+    reader: &crate::reader::RepositoryReader,
+    gold: TreeHandle,
+    gold_record: &TreeRecord,
+    spec: &ExperimentSpec,
+    spec_json: &str,
+    cells: &[Cell],
+    workers: usize,
+    exp_id: u64,
+    result_base: u64,
+    start: Instant,
+) -> CrimsonResult<(u64, f64)> {
+    let n_cells = cells.len();
+    // Provisional row: the grid size as `runs`, zero wall-clock. A crash
+    // mid-sweep leaves it plus a prefix of committed cells — a consistent,
+    // queryable state (the zero wall-clock marks it unfinished).
+    repo.with_txn(|repo| {
+        insert_experiment_row(repo, exp_id, gold, spec, spec_json, n_cells as u64, 0.0)
     })?;
 
-    Ok(ExperimentRecord {
-        id: exp_id,
-        name: spec.name.clone(),
-        gold,
-        spec: spec.clone(),
-        seed: spec.seed,
-        runs,
-        wall_ms,
+    let evaluated = evaluate_grid(repo, reader, gold, spec, cells, workers, |repo, i, eval| {
+        repo.with_txn(|repo| {
+            persist_cell(repo, exp_id, result_base + i as u64, spec, cells[i], eval)
+        })
+    });
+    let recon_handles = match evaluated {
+        Ok(handles) => handles,
+        Err(e) => {
+            // Best-effort cleanup of the committed prefix; the original
+            // failure is what the caller needs to see.
+            let _ = cleanup_partial_sweep(repo, exp_id, result_base, n_cells as u64);
+            return Err(e);
+        }
+    };
+
+    let runs = recon_handles.len() as u64;
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    repo.with_txn(|repo| {
+        // No in-place update API: replace the provisional row under the
+        // same id, in the same transaction as the history entry.
+        delete_experiment_row(repo, exp_id)?;
+        insert_experiment_row(repo, exp_id, gold, spec, spec_json, runs, wall_ms)?;
+        record_experiment_history(
+            repo,
+            exp_id,
+            gold,
+            gold_record,
+            spec,
+            spec_json,
+            result_base,
+            &recon_handles,
+        )
+    })?;
+    Ok((runs, wall_ms))
+}
+
+/// Insert one row of the `experiments` catalog table. Joins the caller's
+/// open transaction (auto-commits otherwise).
+fn insert_experiment_row(
+    repo: &mut Repository,
+    exp_id: u64,
+    gold: TreeHandle,
+    spec: &ExperimentSpec,
+    spec_json: &str,
+    runs: u64,
+    wall_ms: f64,
+) -> CrimsonResult<()> {
+    repo.db.insert(
+        repo.tables.experiments,
+        &[
+            Value::Int(exp_id as i64),
+            Value::text(spec.name.as_str()),
+            Value::Int(gold.0 as i64),
+            Value::text(spec_json),
+            Value::Int(spec.seed as i64),
+            Value::Int(runs as i64),
+            Value::Float(wall_ms),
+        ],
+    )?;
+    Ok(())
+}
+
+/// Delete the `experiments` row carrying `exp_id` (via its unique index).
+fn delete_experiment_row(repo: &mut Repository, exp_id: u64) -> CrimsonResult<()> {
+    for rid in repo.db.index_lookup(
+        repo.tables.experiments,
+        "exp_id",
+        &Value::Int(exp_id as i64),
+    )? {
+        repo.db.delete(repo.tables.experiments, rid)?;
+    }
+    Ok(())
+}
+
+/// Write the sweep's history entry (shared by both sweep paths; joins the
+/// caller's open transaction).
+#[allow(clippy::too_many_arguments)]
+fn record_experiment_history(
+    repo: &mut Repository,
+    exp_id: u64,
+    gold: TreeHandle,
+    gold_record: &TreeRecord,
+    spec: &ExperimentSpec,
+    spec_json: &str,
+    result_base: u64,
+    recon_handles: &[TreeHandle],
+) -> CrimsonResult<()> {
+    let runs = recon_handles.len() as u64;
+    let spec_value: serde_json::Value =
+        serde_json::from_str(spec_json).map_err(|e| CrimsonError::History(e.to_string()))?;
+    repo.record_query(
+        QueryKind::Experiment,
+        json!({
+            "experiment": exp_id,
+            "name": spec.name,
+            "gold_tree": gold.0,
+            "seed": spec.seed,
+            "spec": spec_value,
+            "runs": runs,
+            "recon_trees": recon_handles.iter().map(|h| h.0).collect::<Vec<u64>>(),
+            "result_ids": (0..runs).map(|i| result_base + i).collect::<Vec<u64>>(),
+        }),
+        &format!(
+            "experiment `{}`: {} runs ({} methods × {} samplings × {} replicates) on `{}`",
+            spec.name,
+            runs,
+            spec.methods.len(),
+            spec.strategies.len(),
+            spec.replicates,
+            gold_record.name
+        ),
+    )?;
+    Ok(())
+}
+
+/// Best-effort rollback of an interrupted per-cell-commit sweep: every
+/// committed result row, its clade rows and the provisional catalog row are
+/// deleted, restoring the results→experiments invariant. Reconstructed
+/// trees of completed cells survive as ordinary standalone trees (the
+/// engine has no tree-delete path), so a retry needs a fresh name.
+fn cleanup_partial_sweep(
+    repo: &mut Repository,
+    exp_id: u64,
+    result_base: u64,
+    n_cells: u64,
+) -> CrimsonResult<()> {
+    repo.with_txn(|repo| {
+        for result_id in result_base..result_base + n_cells {
+            let key = Value::Int(result_id as i64);
+            for rid in repo
+                .db
+                .index_lookup(repo.tables.experiment_clades, "result_id", &key)?
+            {
+                repo.db.delete(repo.tables.experiment_clades, rid)?;
+            }
+            for rid in repo
+                .db
+                .index_lookup(repo.tables.experiment_results, "result_id", &key)?
+            {
+                repo.db.delete(repo.tables.experiment_results, rid)?;
+            }
+        }
+        delete_experiment_row(repo, exp_id)
     })
 }
 
@@ -952,6 +1158,7 @@ mod tests {
             RepositoryOptions {
                 frame_depth: 8,
                 buffer_pool_pages: 1024,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -1168,6 +1375,7 @@ mod tests {
             compute_triplets: false,
             seed: 77,
             workers: 4,
+            cell_commits: false,
         };
         let record = ExperimentRunner::new(&mut repo, handle).run(&spec).unwrap();
         assert_eq!(record.runs, 8);
@@ -1233,6 +1441,7 @@ mod tests {
             compute_triplets: false,
             seed: 1,
             workers: 1,
+            cell_commits: false,
         };
         ExperimentRunner::new(&mut repo, handle).run(&spec).unwrap();
         assert!(matches!(
@@ -1255,6 +1464,7 @@ mod tests {
             compute_triplets: false,
             seed: 1,
             workers: 2,
+            cell_commits: false,
         };
         assert!(ExperimentRunner::new(&mut repo, handle).run(&spec).is_err());
         assert_eq!(repo.list_trees().unwrap().len(), trees_before);
@@ -1285,6 +1495,7 @@ mod tests {
             compute_triplets: false,
             seed: 0,
             workers: 1,
+            cell_commits: false,
         };
         assert!(runner.run(&bad).is_err());
     }
@@ -1301,6 +1512,7 @@ mod tests {
             compute_triplets: false,
             seed: 5,
             workers: 2,
+            cell_commits: false,
         };
         let first = ExperimentRunner::new(&mut repo, handle).run(&spec).unwrap();
         let second = ExperimentRunner::new(&mut repo, handle)

@@ -91,8 +91,10 @@ pub use experiment::{
 };
 pub use reader::{ReadRetry, RepositoryReader};
 pub use repository::{
-    DegradedReport, Repository, RepositoryOptions, ScrubReport, StoredNodeId, TreeHandle,
+    DegradedReport, Durability, Repository, RepositoryOptions, ScrubReport, StoredNodeId,
+    TreeHandle,
 };
+pub use storage::CheckpointPolicy;
 
 /// Commonly used items.
 pub mod prelude {
@@ -107,8 +109,9 @@ pub mod prelude {
     pub use crate::loader::LoadMode;
     pub use crate::reader::{ReadRetry, RepositoryReader};
     pub use crate::repository::{
-        DegradedReport, IntegrityReport, Repository, RepositoryOptions, ScrubReport, StoredNodeId,
-        TreeHandle,
+        DegradedReport, Durability, IntegrityReport, Repository, RepositoryOptions, ScrubReport,
+        StoredNodeId, TreeHandle,
     };
     pub use crate::sampling::SamplingStrategy;
+    pub use storage::CheckpointPolicy;
 }

@@ -545,6 +545,7 @@ mod tests {
             RepositoryOptions {
                 frame_depth: f,
                 buffer_pool_pages: 512,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -633,6 +634,7 @@ mod tests {
                 RepositoryOptions {
                     frame_depth: 2,
                     buffer_pool_pages: 256,
+                    ..Default::default()
                 },
             )
             .unwrap();

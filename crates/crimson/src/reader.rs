@@ -153,6 +153,10 @@ impl RepositoryReader {
         let attempts = self.retry.attempts.max(1);
         for attempt in 0..attempts {
             if attempt > 0 {
+                // Count the retry in the pool's shared statistics: the
+                // writer-side harnesses assert that background checkpoints
+                // do not spike this.
+                self.db.note_snapshot_retry();
                 // Back off before re-bracketing: a phase-locked spin against
                 // a fast committer can lose every race; sleeping a jittered,
                 // growing interval lands the retry in an inter-commit gap.
@@ -177,6 +181,7 @@ impl RepositoryReader {
         // committed states, so the committed-snapshot contract cannot be
         // honoured; report Busy rather than serving a possibly-torn value
         // or phantom corruption.
+        self.db.note_snapshot_retry();
         let detail = match &last.expect("attempts is at least 1") {
             Ok(_) => "the last attempt succeeded but its bracket did not hold".to_string(),
             Err(e) => format!("the last attempt failed with: {e}"),
@@ -508,6 +513,7 @@ mod tests {
             RepositoryOptions {
                 frame_depth: 2,
                 buffer_pool_pages: 256,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -545,6 +551,7 @@ mod tests {
             RepositoryOptions {
                 frame_depth: 2,
                 buffer_pool_pages: 256,
+                ..Default::default()
             },
         )
         .unwrap();

@@ -39,8 +39,10 @@ use std::sync::Arc;
 use storage::db::{Database, DbRead, RawIndexId, TableId};
 use storage::schema::{ColumnDef, Schema};
 use storage::value::{Value, ValueType};
+use storage::wal::Lsn;
 use storage::{
-    CrashPoint, RecoveryReport, RetryPolicy, ScrubOptions, ScrubStats, SharedFaultSchedule,
+    CheckpointPolicy, CheckpointerGuard, CrashPoint, RecoveryReport, RetryPolicy, ScrubOptions,
+    ScrubStats, SharedFaultSchedule,
 };
 
 /// Name of the raw index holding covering interval entries keyed by
@@ -68,6 +70,21 @@ pub struct TreeHandle(pub u64);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct StoredFrameId(pub u64);
 
+/// When a repository transaction becomes durable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Durability {
+    /// Every commit blocks until its group fsync completes (the default).
+    /// Concurrent committers share one fsync via the storage engine's
+    /// commit queue, so this is already batched, not one-fsync-per-commit.
+    #[default]
+    Sync,
+    /// Commits return as soon as the commit record is *logged*: atomic on
+    /// crash but not yet durable. The next group fsync, synchronous commit
+    /// or checkpoint covers them; call [`Repository::wait_durable`] (or
+    /// [`Repository::sync`]) at a batch boundary to force the fsync.
+    Async,
+}
+
 /// Options controlling repository creation.
 #[derive(Debug, Clone)]
 pub struct RepositoryOptions {
@@ -75,6 +92,12 @@ pub struct RepositoryOptions {
     pub frame_depth: usize,
     /// Buffer-pool capacity in pages.
     pub buffer_pool_pages: usize,
+    /// When commits become durable (see [`Durability`]).
+    pub durability: Durability,
+    /// Start a background checkpoint thread with this policy. `None` (the
+    /// default) keeps the historical behaviour: checkpoints happen only on
+    /// explicit [`Repository::flush`] and on close.
+    pub checkpoint: Option<CheckpointPolicy>,
 }
 
 impl Default for RepositoryOptions {
@@ -82,6 +105,8 @@ impl Default for RepositoryOptions {
         RepositoryOptions {
             frame_depth: 16,
             buffer_pool_pages: 4096,
+            durability: Durability::Sync,
+            checkpoint: None,
         }
     }
 }
@@ -180,10 +205,17 @@ pub(crate) struct Tables {
 /// writer; spawn [`crate::reader::RepositoryReader`]s (via
 /// [`Repository::reader`]) for concurrent snapshot reads.
 pub struct Repository {
+    /// Background checkpointer, when [`RepositoryOptions::checkpoint`] is
+    /// set. Declared before `db` so the guard's drop stops and joins the
+    /// thread before the database tears down.
+    checkpointer: Option<CheckpointerGuard>,
     pub(crate) db: Database,
     pub(crate) options: RepositoryOptions,
     pub(crate) tables: Tables,
     pub(crate) next_history_id: u64,
+    /// Highest commit LSN returned by an asynchronous commit; the target
+    /// [`Repository::sync`] waits on. Always 0 under [`Durability::Sync`].
+    last_commit: Lsn,
     /// Decoded node rows; node rows are immutable once loaded, so entries
     /// never need invalidation.
     record_cache: ShardedCache<StoredNodeId, Arc<NodeRecord>>,
@@ -830,7 +862,9 @@ impl Repository {
         let ivl_by_pre = db.create_raw_index(IVL_BY_PRE)?;
         let ivl_by_node = db.create_raw_index(IVL_BY_NODE)?;
         db.flush()?;
+        let checkpointer = options.checkpoint.map(|p| db.start_checkpointer(p));
         Ok(Repository {
+            checkpointer,
             db,
             options,
             tables: Tables {
@@ -846,6 +880,7 @@ impl Repository {
                 ivl_by_node,
             },
             next_history_id: 0,
+            last_commit: 0,
             record_cache: ShardedCache::new(RECORD_CACHE_GEN),
             entry_cache: ShardedCache::new(ENTRY_CACHE_GEN),
             recovery: None,
@@ -914,7 +949,9 @@ impl Repository {
                 "repository file lacks the `{IVL_BY_NODE}` interval index"
             ))
         })?;
+        let checkpointer = options.checkpoint.map(|p| db.start_checkpointer(p));
         Ok(Repository {
+            checkpointer,
             db,
             options,
             tables: Tables {
@@ -930,6 +967,7 @@ impl Repository {
                 ivl_by_node,
             },
             next_history_id,
+            last_commit: 0,
             record_cache: ShardedCache::new(RECORD_CACHE_GEN),
             entry_cache: ShardedCache::new(ENTRY_CACHE_GEN),
             recovery,
@@ -972,12 +1010,15 @@ impl Repository {
             })?,
         };
         let repo = Repository {
+            // Mutation is refused in degraded mode; never checkpoint.
+            checkpointer: None,
             db,
             options,
             tables,
             // Writes are refused in degraded mode, so the history id
             // sequence is never consumed.
             next_history_id: 0,
+            last_commit: 0,
             record_cache: ShardedCache::new(RECORD_CACHE_GEN),
             entry_cache: ShardedCache::new(ENTRY_CACHE_GEN),
             recovery,
@@ -1084,6 +1125,33 @@ impl Repository {
         Ok(())
     }
 
+    /// Block until every commit issued through this repository is durable
+    /// on disk. A no-op under [`Durability::Sync`] (each commit already
+    /// waited); under [`Durability::Async`] this forces the group fsync
+    /// covering the last asynchronous commit — the natural call at a bulk
+    /// load's batch boundary.
+    pub fn sync(&self) -> CrimsonResult<()> {
+        self.db.wait_durable(self.last_commit)?;
+        Ok(())
+    }
+
+    /// Block until the write-ahead log is durable up to `lsn` (leading or
+    /// following a group fsync as needed).
+    pub fn wait_durable(&self, lsn: Lsn) -> CrimsonResult<()> {
+        self.db.wait_durable(lsn)?;
+        Ok(())
+    }
+
+    /// Absolute LSN up to which the write-ahead log is known durable.
+    pub fn durable_lsn(&self) -> Lsn {
+        self.db.durable_lsn()
+    }
+
+    /// Whether a background checkpointer is running for this repository.
+    pub fn has_checkpointer(&self) -> bool {
+        self.checkpointer.is_some()
+    }
+
     /// Run `f` as one atomic unit: if a transaction is already open, `f`
     /// joins it (so compound loads nest); otherwise a transaction is
     /// begun, committed on success and rolled back — with the decoded-row
@@ -1098,13 +1166,26 @@ impl Repository {
         }
         self.db.begin()?;
         match f(self) {
-            Ok(value) => match self.db.commit() {
-                Ok(()) => Ok(value),
-                Err(e) => {
-                    self.purge_caches();
-                    Err(e.into())
+            Ok(value) => {
+                // Route the commit through the configured durability mode:
+                // synchronous commits ride the storage engine's group fsync
+                // (blocking on the durable-LSN watermark); asynchronous ones
+                // return at log-append time and remember the commit LSN so
+                // [`Repository::sync`] can force the covering fsync later.
+                let committed = match self.options.durability {
+                    Durability::Sync => self.db.commit(),
+                    Durability::Async => self.db.commit_async().map(|lsn| {
+                        self.last_commit = self.last_commit.max(lsn);
+                    }),
+                };
+                match committed {
+                    Ok(()) => Ok(value),
+                    Err(e) => {
+                        self.purge_caches();
+                        Err(e.into())
+                    }
                 }
-            },
+            }
             Err(e) => {
                 let rollback = self.db.rollback();
                 self.purge_caches();
@@ -1995,6 +2076,7 @@ mod tests {
             RepositoryOptions {
                 frame_depth: 2,
                 buffer_pool_pages: 256,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -2077,6 +2159,7 @@ mod tests {
                 RepositoryOptions {
                     frame_depth: f,
                     buffer_pool_pages: 512,
+                    ..Default::default()
                 },
             )
             .unwrap();
@@ -2169,6 +2252,7 @@ mod tests {
                 RepositoryOptions {
                     frame_depth: 4,
                     buffer_pool_pages: 128,
+                    ..Default::default()
                 },
             )
             .unwrap();

@@ -367,6 +367,7 @@ mod tests {
             RepositoryOptions {
                 frame_depth: f,
                 buffer_pool_pages: 512,
+                ..Default::default()
             },
         )
         .unwrap();

@@ -40,6 +40,7 @@ fn small_opts() -> RepositoryOptions {
     RepositoryOptions {
         frame_depth: 4,
         buffer_pool_pages: 64,
+        ..Default::default()
     }
 }
 

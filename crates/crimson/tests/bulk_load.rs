@@ -15,6 +15,7 @@ fn options(frame_depth: usize) -> RepositoryOptions {
     RepositoryOptions {
         frame_depth,
         buffer_pool_pages: 512,
+        ..Default::default()
     }
 }
 
@@ -174,6 +175,7 @@ fn bulk_load_crash_recovers_to_pre_load_state() {
                 RepositoryOptions {
                     frame_depth: 8,
                     buffer_pool_pages: 64,
+                    ..Default::default()
                 },
             )
             .unwrap();

@@ -32,6 +32,7 @@ fn four_readers_cross_validate_while_writer_loads() {
         RepositoryOptions {
             frame_depth: 8,
             buffer_pool_pages: 2048,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -116,6 +117,9 @@ fn four_readers_cross_validate_while_writer_loads() {
 
         // The writer keeps the repository busy the whole time: new trees,
         // history rows, checkpoints. None of this may disturb the readers.
+        // The group-commit counters are sampled after every load: they must
+        // grow monotonically under concurrency (no lost or torn updates).
+        let mut prev = baseline_stats;
         for i in 0..WRITER_LOADS {
             let tree = yule_tree(150 + i * 20, 1.0, 100 + i as u64);
             let handle = repo
@@ -131,6 +135,17 @@ fn four_readers_cross_validate_while_writer_loads() {
             if i % 2 == 1 {
                 repo.flush().expect("checkpoint under readers");
             }
+            let now = repo.buffer_stats();
+            assert!(now.group_commits > prev.group_commits, "load {i} committed");
+            assert!(now.group_commit_members >= prev.group_commit_members);
+            assert!(now.fsyncs_saved >= prev.fsyncs_saved);
+            assert!(now.reader_retries >= prev.reader_retries);
+            assert_eq!(
+                now.fsyncs_saved,
+                now.group_commit_members - now.group_commits,
+                "members-minus-rounds identity broken at load {i}"
+            );
+            prev = now;
         }
     });
 
@@ -166,6 +181,7 @@ fn reader_created_on_empty_repository_sees_later_loads() {
         RepositoryOptions {
             frame_depth: 4,
             buffer_pool_pages: 512,
+            ..Default::default()
         },
     )
     .unwrap();

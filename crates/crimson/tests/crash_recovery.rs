@@ -25,6 +25,7 @@ fn small_opts() -> RepositoryOptions {
     RepositoryOptions {
         frame_depth: 4,
         buffer_pool_pages: 32,
+        ..Default::default()
     }
 }
 
@@ -142,6 +143,53 @@ fn crash_during_evictions_recovers_committed_state() {
         interrupted >= 3,
         "most data-write points must interrupt the load"
     );
+}
+
+#[test]
+fn crash_at_group_fsync_is_all_or_nothing_and_cross_validates() {
+    // The group fsync is the batched durability point: when it fails, the
+    // victim load surfaces an error and the writer is poisoned, but the
+    // victim's log records may already sit in the WAL file (fsync failure
+    // leaves durability *indeterminate*, not rolled back). After reopen the
+    // victim is therefore recovered fully or not at all — and whatever is
+    // present must pass the integrity check and agree with the `*_reference`
+    // query paths.
+    for n in [0u64, 1] {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("repo.crimson");
+        let base = tree_newick(90, 21);
+        let victim = tree_newick(200, 22);
+        let victim_committed;
+        {
+            let mut repo = Repository::create(&path, small_opts()).unwrap();
+            repo.load_newick("base", &base).unwrap();
+            repo.inject_crash(CrashPoint::WalSync(n));
+            victim_committed = repo.load_newick("victim", &victim).is_ok();
+            // Crash: drop without flush.
+        }
+        let repo = Repository::open(&path, small_opts()).unwrap();
+        let integrity = repo
+            .integrity_check()
+            .unwrap_or_else(|e| panic!("integrity failed after group-fsync crash {n}: {e}"));
+        // All-or-nothing per member: the victim is a whole tree or absent.
+        let victim_present = repo.find_tree("victim").unwrap().is_some();
+        if victim_committed {
+            assert!(victim_present, "acknowledged load must survive (n={n})");
+        }
+        let committed = if victim_present { 2 } else { 1 };
+        assert_eq!(integrity.trees as usize, committed, "n={n}");
+        assert_eq!(
+            repo.history_of_kind(QueryKind::Load).unwrap().len(),
+            committed,
+            "n={n}: loads and history commit atomically"
+        );
+        let base_rec = repo.tree_by_name("base").unwrap();
+        cross_validate(&repo, base_rec.handle);
+        if victim_present {
+            let victim_rec = repo.tree_by_name("victim").unwrap();
+            cross_validate(&repo, victim_rec.handle);
+        }
+    }
 }
 
 #[test]

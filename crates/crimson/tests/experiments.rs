@@ -23,6 +23,7 @@ fn opts() -> RepositoryOptions {
     RepositoryOptions {
         frame_depth: 8,
         buffer_pool_pages: 1024,
+        ..Default::default()
     }
 }
 
@@ -42,6 +43,7 @@ fn grid_spec(name: &str, seed: u64, workers: usize) -> ExperimentSpec {
         compute_triplets: false,
         seed,
         workers,
+        cell_commits: false,
     }
 }
 
@@ -211,6 +213,7 @@ fn cell_seeds_differ_across_replicates_and_methods() {
         compute_triplets: false,
         seed: 5,
         workers: 2,
+        cell_commits: false,
     };
     let record = ExperimentRunner::new(&mut repo, handle).run(&spec).unwrap();
     let results = repo.experiment_results(record.id).unwrap();
@@ -230,6 +233,117 @@ fn cell_seeds_differ_across_replicates_and_methods() {
     );
 }
 
+#[test]
+fn cell_commits_sweep_matches_single_transaction_sweep() {
+    // The incremental path (one group commit per cell + a finalizing
+    // transaction) must persist exactly the same grid as the one-shot
+    // transaction, and leave the same queryable record behind.
+    let gold = build_gold(64, 200, 53);
+    let dir = tempdir().unwrap();
+    let path = dir.path().join("cells.crimson");
+    let (mono_fp, cells_fp, cells_id) = {
+        let mut repo = Repository::create(&path, opts()).unwrap();
+        let handle = repo.load_gold_standard("gold", &gold).unwrap();
+        let mono = grid_spec("mono", 77, 2);
+        let mut cells = grid_spec("cells", 77, 2);
+        cells.cell_commits = true;
+        let a = ExperimentRunner::new(&mut repo, handle).run(&mono).unwrap();
+        let b = ExperimentRunner::new(&mut repo, handle)
+            .run(&cells)
+            .unwrap();
+        assert_eq!(a.runs, b.runs, "both sweeps cover the full grid");
+        let record = repo.experiment_by_name("cells").unwrap();
+        assert_eq!(record.runs, 18, "final row replaces the provisional one");
+        assert!(record.wall_ms > 0.0, "final row carries the measured time");
+        repo.integrity_check().unwrap();
+        (footprint(&repo, a.id), footprint(&repo, b.id), b.id)
+    };
+    assert_eq!(
+        mono_fp, cells_fp,
+        "cell commits must not change the metrics"
+    );
+
+    // Reopen without flush: every per-cell group commit was durable.
+    let repo = Repository::open(&path, opts()).unwrap();
+    repo.integrity_check().unwrap();
+    assert_eq!(footprint(&repo, cells_id), cells_fp);
+    assert_eq!(
+        repo.history_of_kind(QueryKind::Experiment).unwrap().len(),
+        2
+    );
+}
+
+#[test]
+fn crash_mid_cell_commits_sweep_keeps_committed_prefix() {
+    // With per-cell commits an interrupted sweep is *not* all-or-nothing —
+    // that is the point: the committed prefix of cells survives, anchored
+    // by the provisional experiment row, and the integrity check stays
+    // green. A retry under a fresh name completes the study.
+    let gold = build_gold(96, 150, 17);
+    let dir = tempdir().unwrap();
+    let path = dir.path().join("crash-cells.crimson");
+    let small = RepositoryOptions {
+        frame_depth: 8,
+        buffer_pool_pages: 32,
+        ..Default::default()
+    };
+    let mut spec = ExperimentSpec {
+        name: "doomed".to_string(),
+        methods: vec![Method::Upgma, Method::NeighborJoining],
+        strategies: vec![SamplingStrategy::Uniform { k: 24 }],
+        replicates: 3,
+        distance_source: DistanceSource::SequencesJc,
+        compute_triplets: false,
+        seed: 23,
+        workers: 2,
+        cell_commits: true,
+    };
+    let handle;
+    {
+        let mut repo = Repository::create(&path, small.clone()).unwrap();
+        handle = repo.load_gold_standard("gold", &gold).unwrap();
+        repo.flush().unwrap();
+        // Deep enough that the provisional row and some cells commit first.
+        repo.inject_crash(CrashPoint::WalAppend(60));
+        let run = ExperimentRunner::new(&mut repo, handle).run(&spec);
+        assert!(run.is_err(), "injected crash must interrupt the sweep");
+        // Crash: drop without flush (the in-process cleanup also died).
+    }
+
+    let mut repo = Repository::open(&path, small).unwrap();
+    repo.recovery_report().expect("reopen reports recovery");
+    let report = repo.integrity_check().unwrap();
+    assert_eq!(
+        report.experiments, 1,
+        "the provisional row anchors the prefix"
+    );
+    assert!(
+        (report.experiment_results as usize) < 6,
+        "the crash must interrupt before the grid completes"
+    );
+    let record = repo.experiment_by_name("doomed").unwrap();
+    let committed = repo.experiment_results(record.id).unwrap();
+    assert_eq!(committed.len() as u64, report.experiment_results);
+    for r in &committed {
+        // Each committed cell is complete: metrics, clade rows and a
+        // queryable reconstruction landed in its own group commit.
+        assert!(!repo.experiment_clades(r.id).unwrap().is_empty());
+        assert_eq!(
+            repo.leaves(r.recon).unwrap().len(),
+            r.sample_size,
+            "committed cell's reconstruction must be intact"
+        );
+    }
+
+    // The study completes under a fresh name on the recovered repository.
+    spec.name = "retry".to_string();
+    let retry = ExperimentRunner::new(&mut repo, handle).run(&spec).unwrap();
+    assert_eq!(retry.runs, 6);
+    let after = repo.integrity_check().unwrap();
+    assert_eq!(after.experiments, 2);
+    assert_eq!(after.experiment_results as usize, 6 + committed.len());
+}
+
 /// Arm a crash point, attempt a sweep (it must fail), "die" without
 /// flushing, reopen and verify that recovery leaves no trace of the
 /// experiment; then retry the identical sweep successfully.
@@ -242,6 +356,7 @@ fn crash_scenario(point: CrashPoint, label: &str) {
         // A tiny pool forces evictions mid-sweep so data-write crash
         // points land on the steal path as well as the commit path.
         buffer_pool_pages: 32,
+        ..Default::default()
     };
     let spec = ExperimentSpec {
         name: "doomed".to_string(),
@@ -252,6 +367,7 @@ fn crash_scenario(point: CrashPoint, label: &str) {
         compute_triplets: false,
         seed: 23,
         workers: 2,
+        cell_commits: false,
     };
     let handle;
     {
@@ -318,6 +434,7 @@ fn crash_at_checkpoint_truncate_after_sweep_keeps_the_experiment() {
         compute_triplets: false,
         seed: 31,
         workers: 2,
+        cell_commits: false,
     };
     let (exp_id, before) = {
         let mut repo = Repository::create(&path, opts()).unwrap();

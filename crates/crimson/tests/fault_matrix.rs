@@ -15,6 +15,7 @@ fn small_opts() -> RepositoryOptions {
     RepositoryOptions {
         frame_depth: 4,
         buffer_pool_pages: 48,
+        ..Default::default()
     }
 }
 
@@ -167,6 +168,7 @@ fn experiment_sweeps_under_fault_schedules() {
             compute_triplets: false,
             seed,
             workers: 2,
+            cell_commits: false,
         };
         let gold = baseline.gold;
         match ExperimentRunner::new(&mut repo, gold).run(&spec) {

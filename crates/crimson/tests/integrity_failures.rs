@@ -22,6 +22,7 @@ fn build_repo(dir: &tempfile::TempDir) -> std::path::PathBuf {
         RepositoryOptions {
             frame_depth: 2,
             buffer_pool_pages: 256,
+            ..Default::default()
         },
     )
     .unwrap();

@@ -28,6 +28,7 @@ fn fresh_repo(
         RepositoryOptions {
             frame_depth,
             buffer_pool_pages: pages,
+            ..Default::default()
         },
     )
     .unwrap();

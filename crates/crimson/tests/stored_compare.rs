@@ -37,6 +37,7 @@ fn index_native_distances_equal_materialized_compare_on_random_trees() {
         RepositoryOptions {
             frame_depth: 8,
             buffer_pool_pages: 4096,
+            ..Default::default()
         },
     )
     .unwrap();

@@ -84,12 +84,12 @@ use crate::io::{
 };
 use crate::page::{Page, PageId};
 use crate::pager::{PageVerdict, Pager};
-use crate::wal::{self, Lsn, RecoveryReport, Wal, WalRecordKind};
+use crate::wal::{self, CommitHandles, Lsn, RecoveryReport, Wal, WalRecordKind};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex};
+use std::time::{Duration, Instant};
 
 /// Number of page-table shards. Page ids are assigned sequentially, so a
 /// simple modulo spreads consecutive pages across all shards.
@@ -131,6 +131,18 @@ pub struct BufferStats {
     pub repaired_pages: u64,
     /// Corrupt pages that could not be repaired and were quarantined.
     pub quarantined_pages: u64,
+    /// Group-commit fsync rounds that made at least one commit durable.
+    pub group_commits: u64,
+    /// Commit records covered by those rounds (sum of group sizes).
+    pub group_commit_members: u64,
+    /// Fsyncs avoided by group commit: `group_commit_members -
+    /// group_commits` (every member beyond the first in a round rode a
+    /// shared fsync).
+    pub fsyncs_saved: u64,
+    /// Snapshot-read retries observed by readers (generation changes and
+    /// `Busy` give-ups), reported via [`BufferPool::note_reader_retry`].
+    /// Background checkpoints must not spike this.
+    pub reader_retries: u64,
 }
 
 impl BufferStats {
@@ -214,6 +226,9 @@ pub enum CrashPoint {
     /// Fail the `n+1`-th data-file page write from now (eviction write-back
     /// or checkpoint flush).
     DataWrite(u64),
+    /// Fail the `n+1`-th WAL fsync from now — the group fsync covering every
+    /// member of an in-flight commit batch.
+    WalSync(u64),
     /// Fail the next checkpoint after the data file is durable but before
     /// the log is truncated.
     CheckpointTruncate,
@@ -260,6 +275,52 @@ pub struct ScrubStats {
     /// memory holds the truth and commit/checkpoint will overwrite the bad
     /// sectors.
     pub pages_skipped_dirty: u64,
+}
+
+/// When the background checkpointer fires (see
+/// [`BufferPool::start_checkpointer`]). Both triggers are optional; with
+/// neither set the thread idles (useful for tests that drive
+/// [`BufferPool::checkpoint_background`] by hand).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Checkpoint once the un-truncated log backlog reaches this many bytes.
+    pub wal_bytes: Option<u64>,
+    /// Checkpoint at least this often regardless of backlog.
+    pub interval: Option<Duration>,
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> Self {
+        CheckpointPolicy {
+            wal_bytes: Some(8 * 1024 * 1024),
+            interval: Some(Duration::from_secs(5)),
+        }
+    }
+}
+
+/// RAII handle for the background checkpoint thread: dropping it stops and
+/// joins the thread. The thread holds only a `Weak` pool reference, so the
+/// pool's lifetime is never extended by its own checkpointer.
+pub struct CheckpointerGuard {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for CheckpointerGuard {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for CheckpointerGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CheckpointerGuard")
+            .field("stopped", &self.stop.load(Ordering::Relaxed))
+            .finish()
+    }
 }
 
 /// Latched page content of one frame.
@@ -366,10 +427,6 @@ struct IoState {
     /// schedule object drives the [`FaultIo`] wrappers around the pager's
     /// and the WAL's file handles.
     fault: Option<SharedFaultSchedule>,
-    /// Set (with the failure message) the first time an fsync fails: the
-    /// durability of previously acknowledged writes is unknown, so the
-    /// writer refuses all further mutation until the database is reopened.
-    poisoned: Option<String>,
     /// Degraded mode: mutation entry points fail with `ReadOnly`.
     read_only: bool,
     /// Pages that failed their checksum and could not be repaired:
@@ -385,11 +442,11 @@ impl IoState {
         self.fault.as_ref().is_some_and(|s| s.lock().crashed())
     }
 
-    /// Record an fsync failure: the writer is poisoned until reopen.
+    /// Record a fatal log/fsync failure: the writer is poisoned until
+    /// reopen. Stored in the WAL's shared state so a group-commit leader
+    /// (which never holds the io latch) can set it too.
     fn poison(&mut self, why: &StorageError) {
-        if self.poisoned.is_none() {
-            self.poisoned = Some(why.to_string());
-        }
+        self.wal.poison(&why.to_string());
     }
 
     /// Gate for mutation entry points: degraded mode and poisoning both
@@ -398,8 +455,8 @@ impl IoState {
         if self.read_only {
             return Err(StorageError::ReadOnly);
         }
-        if let Some(m) = &self.poisoned {
-            return Err(StorageError::WriterPoisoned(m.clone()));
+        if let Some(m) = self.wal.poisoned() {
+            return Err(StorageError::WriterPoisoned(m));
         }
         Ok(())
     }
@@ -424,6 +481,18 @@ pub struct BufferPool {
     resident: AtomicUsize,
     capacity: usize,
     stats: AtomicStats,
+    /// The WAL's concurrency handles: the durable-LSN watermark, the group
+    /// fsync path and the poison slot — all reachable without the io latch,
+    /// which is what lets `wait_durable` lead or follow a group commit while
+    /// the next transaction already holds io.
+    commit: CommitHandles,
+    /// Parking lot for `begin_txn_blocking`: committers wait here for the
+    /// single writer slot instead of spinning on `TransactionActive`.
+    txn_slot: StdMutex<()>,
+    txn_cv: StdCondvar,
+    /// Snapshot-read retries reported by readers (see
+    /// [`BufferPool::note_reader_retry`]).
+    reader_retries: AtomicU64,
 }
 
 impl std::fmt::Debug for BufferPool {
@@ -540,6 +609,7 @@ impl BufferPool {
             (wal, Some(report))
         };
         let capacity = capacity.max(8);
+        let commit = wal.commit_handles();
         Ok(BufferPool {
             shards: (0..SHARD_COUNT)
                 .map(|_| Mutex::new(ShardMap::default()))
@@ -552,7 +622,6 @@ impl BufferPool {
                 recovery,
                 sweep_shard: 0,
                 fault: None,
-                poisoned: None,
                 read_only: false,
                 quarantined: BTreeMap::new(),
             }),
@@ -561,6 +630,10 @@ impl BufferPool {
             resident: AtomicUsize::new(0),
             capacity,
             stats: AtomicStats::default(),
+            commit,
+            txn_slot: StdMutex::new(()),
+            txn_cv: StdCondvar::new(),
+            reader_retries: AtomicU64::new(0),
         })
     }
 
@@ -621,6 +694,7 @@ impl BufferPool {
         match point {
             CrashPoint::WalAppend(n) => schedule.crash_at_wal_append(n),
             CrashPoint::DataWrite(n) => schedule.crash_at_data_write(n),
+            CrashPoint::WalSync(n) => schedule.crash_at_wal_sync(n),
             CrashPoint::CheckpointTruncate => schedule.crash_at_checkpoint_truncate(),
         }
     }
@@ -691,7 +765,7 @@ impl BufferPool {
     /// Whether an earlier fsync failure poisoned the writer. Cleared only
     /// by reopening the database.
     pub fn is_poisoned(&self) -> bool {
-        self.io.lock().poisoned.is_some()
+        self.commit.poisoned().is_some()
     }
 
     /// Page ids currently quarantined (checksum failure, repair failed).
@@ -756,13 +830,62 @@ impl BufferPool {
         self.io.lock().txn.is_some()
     }
 
+    /// Begin a transaction, waiting for the writer slot instead of failing
+    /// with [`StorageError::TransactionActive`]. Concurrent committers use
+    /// this: the slot frees as soon as the previous commit leaves the io
+    /// latch — before its group fsync completes — so the next transaction
+    /// prepares while the leader syncs (the commit pipeline).
+    pub fn begin_txn_blocking(&self) -> StorageResult<u64> {
+        loop {
+            match self.begin_txn() {
+                Err(StorageError::TransactionActive) => {
+                    let guard = self.txn_slot.lock().unwrap_or_else(|e| e.into_inner());
+                    // Bounded wait: a missed wakeup costs one short timeout.
+                    let _ = self.txn_cv.wait_timeout(guard, Duration::from_millis(2));
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Wake committers parked in [`BufferPool::begin_txn_blocking`].
+    fn notify_txn_slot(&self) {
+        drop(self.txn_slot.lock().unwrap_or_else(|e| e.into_inner()));
+        self.txn_cv.notify_all();
+    }
+
     /// Commit the open transaction: append the after-image of every dirtied
-    /// page and a commit record to the log; `sync` additionally fsyncs
-    /// (group fsync — one call covers the whole transaction). On a log
-    /// failure mid-commit the transaction is rolled back in memory and the
-    /// error returned.
+    /// page and a commit record to the log. With `sync` the call returns
+    /// only once the commit record is durable — by leading a group fsync
+    /// that covers every commit enqueued so far, or by following a
+    /// concurrent leader's round ([`BufferPool::wait_durable`]). Without
+    /// `sync` the commit is acknowledged at its commit LSN and the caller
+    /// may make it durable later. On a log failure mid-commit the
+    /// transaction is rolled back in memory and the error returned.
+    ///
+    /// The fsync happens *outside* the io latch, so the next committer
+    /// (parked in [`BufferPool::begin_txn_blocking`]) starts preparing its
+    /// transaction while this one waits for durability — that overlap is
+    /// the group-commit pipeline.
     pub fn commit_txn(&self, sync: bool) -> StorageResult<Lsn> {
-        let mut io = self.io.lock();
+        let result = {
+            let mut io = self.io.lock();
+            self.commit_in_io(&mut io)
+        };
+        // The writer slot freed (the txn was taken on every path but
+        // `NoActiveTransaction`, where there is nothing to free).
+        self.notify_txn_slot();
+        let lsn = result?;
+        if sync {
+            self.wait_durable(lsn)?;
+        }
+        Ok(lsn)
+    }
+
+    /// The io-latched half of a commit: log the after-images and the commit
+    /// record (write-through or enqueued for the group leader), advance the
+    /// committed view. Never fsyncs.
+    fn commit_in_io(&self, io: &mut IoState) -> StorageResult<Lsn> {
         let txn = io.txn.take().ok_or(StorageError::NoActiveTransaction)?;
         if txn.dirty.is_empty() {
             // A read-only transaction changed nothing: the committed view is
@@ -775,7 +898,7 @@ impl BufferPool {
             // An fsync failed mid-transaction (eviction write-back):
             // durability is unknown, so the commit must not be
             // acknowledged. Restore pre-transaction memory instead.
-            let _ = self.rollback_with(&mut io, txn);
+            let _ = self.rollback_with(io, txn);
             return Err(e);
         }
         if !io.logging {
@@ -785,7 +908,7 @@ impl BufferPool {
             self.retire_overlay();
             return Ok(io.wal.end_lsn());
         }
-        match self.log_commit(&mut io, &txn, sync) {
+        match self.log_commit(io, &txn) {
             Ok(lsn) => {
                 self.begin_view_change();
                 for pid in &txn.dirty {
@@ -798,10 +921,47 @@ impl BufferPool {
                 Ok(lsn)
             }
             Err(e) => {
-                // The commit never became durable; restore memory so the
+                // The commit never reached the log; restore memory so the
                 // caller sees pre-transaction state.
-                let _ = self.rollback_with(&mut io, txn);
+                let _ = self.rollback_with(io, txn);
                 Err(e)
+            }
+        }
+    }
+
+    /// Absolute LSN up to which the log is known durable.
+    pub fn durable_lsn(&self) -> Lsn {
+        self.commit.durable()
+    }
+
+    /// Block until the log is durable up to `lsn` (a commit LSN returned by
+    /// [`BufferPool::commit_txn`]). The caller either becomes the
+    /// group-commit leader — draining the commit queue and issuing ONE
+    /// fsync that covers every member — or parks on the durable-LSN
+    /// watermark while a concurrent leader's round covers it. A failed
+    /// group fsync poisons the writer: the leader surfaces the I/O error,
+    /// every follower of the failed round gets `WriterPoisoned` — never a
+    /// partially durable group.
+    pub fn wait_durable(&self, lsn: Lsn) -> StorageResult<()> {
+        loop {
+            if self.commit.durable() >= lsn {
+                return Ok(());
+            }
+            if let Some(m) = self.commit.poisoned() {
+                return Err(StorageError::WriterPoisoned(m));
+            }
+            match self.commit.try_lead_sync() {
+                Ok(true) => self.commit.notify_all(),
+                Ok(false) => self.commit.wait_for_progress(),
+                Err(e) => {
+                    // A failed fsync leaves the kernel's dirty state
+                    // unknown — retrying it could silently succeed against
+                    // already-dropped writes. Poison the writer instead;
+                    // reads stay available.
+                    self.commit.poison(&e.to_string());
+                    self.commit.notify_all();
+                    return Err(e);
+                }
             }
         }
     }
@@ -811,9 +971,13 @@ impl BufferPool {
     /// log (a transaction without a commit record is a loser by
     /// definition).
     pub fn rollback_txn(&self) -> StorageResult<()> {
-        let mut io = self.io.lock();
-        let txn = io.txn.take().ok_or(StorageError::NoActiveTransaction)?;
-        self.rollback_with(&mut io, txn)
+        let result = {
+            let mut io = self.io.lock();
+            let txn = io.txn.take().ok_or(StorageError::NoActiveTransaction)?;
+            self.rollback_with(&mut io, txn)
+        };
+        self.notify_txn_slot();
+        result
     }
 
     /// Clear the overlay inside a view transition (commit with nothing to
@@ -929,6 +1093,9 @@ impl BufferPool {
             return None;
         }
         let page = Page::from_bytes(image);
+        // WAL-before-data applies to repair writes too: the commit record
+        // covering this image may still be waiting on a group fsync.
+        io.wal.sync().ok()?;
         io.pager.write_page(pid, &page).ok()?;
         AtomicStats::bump(&self.stats.repaired_pages);
         Some(page)
@@ -1126,13 +1293,26 @@ impl BufferPool {
         stats.wal_syncs = wal.syncs;
         stats.wal_page_images = wal.page_images;
         stats.commits = wal.commits;
+        stats.group_commits = wal.group_rounds;
+        stats.group_commit_members = wal.group_members;
+        stats.fsyncs_saved = wal.group_members.saturating_sub(wal.group_rounds);
+        stats.reader_retries = self.reader_retries.load(Ordering::Relaxed);
         stats
     }
 
     /// Reset statistics counters (useful between benchmark phases).
     pub fn reset_stats(&self) {
         self.stats.reset();
+        self.reader_retries.store(0, Ordering::Relaxed);
         self.io.lock().wal.reset_stats();
+    }
+
+    /// Report a snapshot-read retry (a reader observed a view-generation
+    /// change mid-operation, or gave up with `Busy`). Counted so the stress
+    /// harness and the commit bench can assert background checkpoints do
+    /// not spike reader retries.
+    pub fn note_reader_retry(&self) {
+        AtomicStats::bump(&self.reader_retries);
     }
 
     /// Checkpoint: fsync the log, write all dirty pages and the header to
@@ -1145,6 +1325,118 @@ impl BufferPool {
         }
         io.check_writable()?;
         self.checkpoint(&mut io)
+    }
+
+    /// Bytes of log not yet truncated by a checkpoint (the backlog the
+    /// checkpoint policy's `wal_bytes` trigger watches).
+    pub fn wal_backlog_bytes(&self) -> u64 {
+        let io = self.io.lock();
+        io.wal.end_lsn() - io.wal.start_lsn()
+    }
+
+    /// Start the background checkpoint thread. It wakes every 25 ms, and
+    /// when `policy` says a checkpoint is due runs
+    /// [`BufferPool::checkpoint_background`]. Returns a guard that stops
+    /// and joins the thread on drop; the thread also exits by itself once
+    /// the pool is dropped (it holds only a `Weak` reference).
+    pub fn start_checkpointer(self: &Arc<Self>, policy: CheckpointPolicy) -> CheckpointerGuard {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let weak = Arc::downgrade(self);
+        let handle = std::thread::Builder::new()
+            .name("checkpointer".into())
+            .spawn(move || {
+                let mut last = Instant::now();
+                while !stop_flag.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(25));
+                    let Some(pool) = weak.upgrade() else { break };
+                    if pool.commit.poisoned().is_some() {
+                        continue;
+                    }
+                    let backlog = pool.wal_backlog_bytes();
+                    let due_bytes = policy.wal_bytes.is_some_and(|limit| backlog >= limit);
+                    let due_time =
+                        policy.interval.is_some_and(|iv| last.elapsed() >= iv) && backlog > 0;
+                    if !(due_bytes || due_time) {
+                        continue;
+                    }
+                    // Errors are not fatal here: poisoning (the only
+                    // unrecoverable case) is recorded in the shared slot and
+                    // surfaces to every writer; anything else retries on the
+                    // next due tick.
+                    let _ = pool.checkpoint_background();
+                    last = Instant::now();
+                }
+            })
+            .expect("spawn checkpointer thread");
+        CheckpointerGuard {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// One background checkpoint pass, built to coexist with concurrent
+    /// committers and snapshot readers:
+    ///
+    /// 1. **Durability first** (no io latch): lead a group-commit round so
+    ///    the whole log — every commit enqueued so far — is durable. This
+    ///    is the WAL-before-data gate for everything written below.
+    /// 2. **Incremental pre-flush**: walk the shards one at a time, each
+    ///    under a short io-latch hold, writing committed dirty frames
+    ///    (`rec_lsn <= durable`, not touched by the open transaction) to
+    ///    the data file. Commits and readers interleave between shards.
+    /// 3. **Truncate**: if no transaction is active, take the io latch once
+    ///    more for a full [`checkpoint`](Self::flush) — now cheap, the
+    ///    dirty set was pre-flushed. With a transaction open, return
+    ///    `Ok(false)`; the next pass retries.
+    pub fn checkpoint_background(&self) -> StorageResult<bool> {
+        if let Some(m) = self.commit.poisoned() {
+            return Err(StorageError::WriterPoisoned(m));
+        }
+        // Phase 1: group-durability without the io latch.
+        if let Err(e) = self.commit.lead_sync_blocking() {
+            self.commit.poison(&e.to_string());
+            self.commit.notify_all();
+            return Err(e);
+        }
+        self.commit.notify_all();
+        let durable = self.commit.durable();
+        // Phase 2: pre-flush committed dirty frames shard by shard.
+        for shard in &self.shards {
+            let mut io = self.io.lock();
+            if io.read_only || io.sim_crashed() {
+                return Ok(false);
+            }
+            io.check_writable()?;
+            // Snapshot the shard under io (installs and evictions hold io,
+            // so the set is stable while we write).
+            let frames: Vec<Arc<Frame>> = shard.lock().slots.to_vec();
+            for frame in frames {
+                if io
+                    .txn
+                    .as_ref()
+                    .is_some_and(|t| t.dirty.contains(&frame.pid))
+                {
+                    continue;
+                }
+                let mut body = frame.body.write();
+                if !body.dirty || body.rec_lsn > durable {
+                    continue;
+                }
+                io.pager.write_page(frame.pid, &body.page)?;
+                body.dirty = false;
+                AtomicStats::bump(&self.stats.flushes);
+            }
+        }
+        // Phase 3: full checkpoint (header + data fsync + log truncation)
+        // only at a transaction-free moment.
+        let mut io = self.io.lock();
+        if io.txn.is_some() {
+            return Ok(false);
+        }
+        io.check_writable()?;
+        self.checkpoint(&mut io)?;
+        Ok(true)
     }
 
     /// Drop every unpinned resident page (dirty pages are flushed first).
@@ -1270,8 +1562,10 @@ impl BufferPool {
 
     /// Append the commit group for `txn`: one after-image per dirtied page
     /// (stolen pages are re-read from the data file — their latest content
-    /// lives there) and a commit record carrying the header state.
-    fn log_commit(&self, io: &mut IoState, txn: &TxnState, sync: bool) -> StorageResult<Lsn> {
+    /// lives there) and a commit record carrying the header state. Never
+    /// fsyncs — durability is the commit queue's business
+    /// ([`BufferPool::wait_durable`]).
+    fn log_commit(&self, io: &mut IoState, txn: &TxnState) -> StorageResult<Lsn> {
         for &pid in &txn.dirty {
             let image: Arc<Page> = match self.lookup_frame(pid) {
                 Some(frame) => Arc::clone(&frame.body.read().page),
@@ -1280,22 +1574,12 @@ impl BufferPool {
             io.wal
                 .append_image(WalRecordKind::PageImage, txn.id, pid, image.bytes())?;
         }
-        let lsn = io.wal.append_commit(
+        io.wal.append_commit(
             txn.id,
             io.pager.page_count(),
             io.pager.catalog_root().0,
             io.pager.user_meta().0,
-        )?;
-        if sync {
-            if let Err(e) = io.wal.sync() {
-                // A failed fsync leaves the kernel's dirty state unknown —
-                // retrying it could silently succeed against already-dropped
-                // writes. Poison the writer instead; reads stay available.
-                io.poison(&e);
-                return Err(e);
-            }
-        }
-        Ok(lsn)
+        )
     }
 
     /// Restore a transaction's before-images in memory and roll the header

@@ -19,7 +19,8 @@
 
 use crate::btree::{BTree, RangeIter};
 use crate::buffer::{
-    BufferPool, BufferStats, CrashPoint, PageSource, ScrubOptions, ScrubStats, Snapshot,
+    BufferPool, BufferStats, CheckpointPolicy, CheckpointerGuard, CrashPoint, PageSource,
+    ScrubOptions, ScrubStats, Snapshot,
 };
 use crate::catalog::{Catalog, IndexMeta, RawIndexMeta, TableMeta};
 use crate::error::{StorageError, StorageResult};
@@ -29,7 +30,7 @@ use crate::page::PageId;
 use crate::pager::Pager;
 use crate::schema::{Row, Schema};
 use crate::value::Value;
-use crate::wal::RecoveryReport;
+use crate::wal::{Lsn, RecoveryReport};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::path::Path;
@@ -407,6 +408,40 @@ impl Database {
                 Err(e)
             }
         }
+    }
+
+    /// Commit the open transaction *asynchronously*: the commit is logged
+    /// and visible (atomic on crash) but not yet durable. The returned
+    /// commit LSN can be handed to [`Database::wait_durable`]; the next
+    /// synchronous commit, group fsync or checkpoint also covers it.
+    pub fn commit_async(&mut self) -> StorageResult<Lsn> {
+        match self.pool.commit_txn(false) {
+            Ok(lsn) => Ok(lsn),
+            Err(e) => {
+                // The pool already rolled the pages back; bring the cached
+                // metadata in line with them.
+                let _ = self.reload_meta();
+                Err(e)
+            }
+        }
+    }
+
+    /// Block until the log is durable up to `lsn` (leading or following a
+    /// group fsync — see `BufferPool::wait_durable`).
+    pub fn wait_durable(&self, lsn: Lsn) -> StorageResult<()> {
+        self.pool.wait_durable(lsn)
+    }
+
+    /// Absolute LSN up to which the write-ahead log is known durable.
+    pub fn durable_lsn(&self) -> Lsn {
+        self.pool.durable_lsn()
+    }
+
+    /// Start the background checkpoint thread on this database's buffer
+    /// pool (see `BufferPool::start_checkpointer`). The returned guard
+    /// stops and joins the thread when dropped.
+    pub fn start_checkpointer(&self, policy: CheckpointPolicy) -> CheckpointerGuard {
+        self.pool.start_checkpointer(policy)
     }
 
     /// Roll back the open transaction: all page mutations, allocations and
@@ -1246,6 +1281,13 @@ impl DbReader {
     /// this and [`DbReader::generation`]: if the value changed, retry.
     pub fn stable_generation(&self) -> u64 {
         Self::stable_gen(&self.pool)
+    }
+
+    /// Report a snapshot retry (generation change mid-operation or a `Busy`
+    /// give-up) into the pool's `reader_retries` counter, so checkpoints'
+    /// effect on reader tail latency is observable.
+    pub fn note_snapshot_retry(&self) {
+        self.pool.note_reader_retry();
     }
 
     /// Look up a table id by name in the committed catalog.

@@ -244,6 +244,9 @@ pub struct FaultSchedule {
     // One-shot deterministic rules (the CrashPoint port).
     wal_appends_until_crash: Option<u64>,
     data_writes_until_crash: Option<u64>,
+    /// Crash at the `n+1`-th WAL fsync — the group-commit fsync covering a
+    /// whole batch of commit records.
+    wal_syncs_until_crash: Option<u64>,
     /// Armed by `CrashPoint::CheckpointTruncate`; converted into
     /// `wal_poisoned` by the next data-file sync.
     checkpoint_truncate_crash: bool,
@@ -301,6 +304,7 @@ impl FaultSchedule {
             fault_budget: None,
             wal_appends_until_crash: None,
             data_writes_until_crash: None,
+            wal_syncs_until_crash: None,
             checkpoint_truncate_crash: false,
             wal_poisoned: false,
             crashed: false,
@@ -321,6 +325,7 @@ impl FaultSchedule {
         self.config = FaultConfig::default();
         self.wal_appends_until_crash = None;
         self.data_writes_until_crash = None;
+        self.wal_syncs_until_crash = None;
         self.checkpoint_truncate_crash = false;
         self.wal_poisoned = false;
         self.crashed = false;
@@ -336,6 +341,12 @@ impl FaultSchedule {
     /// that write reaches the file).
     pub fn crash_at_data_write(&mut self, n: u64) {
         self.data_writes_until_crash = Some(n);
+    }
+
+    /// Arm: crash at the `n+1`-th WAL fsync from now (the log content
+    /// written so far stays on disk; the sync and everything after fail).
+    pub fn crash_at_wal_sync(&mut self, n: u64) {
+        self.wal_syncs_until_crash = Some(n);
     }
 
     /// Arm: crash after the next checkpoint makes the data file durable but
@@ -482,6 +493,16 @@ impl FaultSchedule {
             self.crashed = true;
             self.note("crash: WAL sync after checkpoint data-sync".into());
             return Err(fatal_crash_error());
+        }
+        if kind == FileKind::Wal {
+            if let Some(n) = self.wal_syncs_until_crash {
+                if n == 0 {
+                    self.crashed = true;
+                    self.note("crash: WAL group fsync".into());
+                    return Err(fatal_crash_error());
+                }
+                self.wal_syncs_until_crash = Some(n - 1);
+            }
         }
         if self.chance(self.config.sync_error) {
             self.stats.sync_errors += 1;

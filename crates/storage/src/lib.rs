@@ -107,7 +107,10 @@ pub mod schema;
 pub mod value;
 pub mod wal;
 
-pub use buffer::{CrashPoint, PageSource, PinnedPage, ScrubOptions, ScrubStats, Snapshot};
+pub use buffer::{
+    CheckpointPolicy, CheckpointerGuard, CrashPoint, PageSource, PinnedPage, ScrubOptions,
+    ScrubStats, Snapshot,
+};
 pub use db::{Database, DbRead, DbReader, RawIndexId, TableId};
 pub use error::{StorageError, StorageResult};
 pub use heap::RecordId;

@@ -26,6 +26,16 @@
 //! or damaged sidecar likewise degrades to "unverified" (never a false
 //! corruption report) and heals at the next checkpoint.
 //!
+//! [`Pager::write_page`] records the new checksum **in memory only**; the
+//! sidecar file is rewritten at the next [`Pager::sync`]. Between
+//! checkpoints, disk pages can therefore be newer than the persisted
+//! sidecar — from eviction write-backs and from the background
+//! checkpointer's pre-flush of committed dirty pages. That window is safe
+//! because every such write is WAL-covered (WAL-before-data): after a
+//! crash, recovery rewrites each covered page from the log and the
+//! checkpoint that ends recovery persists fresh checksums. The sidecar is
+//! only ever trusted for pages the log no longer covers.
+//!
 //! All file I/O goes through the injectable [`StorageIo`] seam; transient
 //! failures (`ErrorKind::Interrupted`) are retried with bounded exponential
 //! backoff per the configured [`RetryPolicy`].

@@ -8,9 +8,9 @@
 //! * **Redo.** At commit, the after-image of every page the transaction
 //!   dirtied is appended, followed by a [`WalRecordKind::Commit`] record
 //!   carrying the file-header state (page count, catalog root). One fsync
-//!   per explicit commit makes the whole group durable ("group fsync");
-//!   implicit auto-commits defer the fsync to the next explicit commit,
-//!   eviction or checkpoint.
+//!   covers every commit record written since the previous fsync ("group
+//!   fsync"); implicit auto-commits defer the fsync to the next explicit
+//!   commit, eviction or checkpoint.
 //! * **Undo.** Dirty pages of the *active* transaction may be stolen
 //!   (written to the data file before commit) under memory pressure. Before
 //!   the data write, the page's before-image is appended as a
@@ -29,6 +29,32 @@
 //! its transaction start, so it supersedes any earlier committed image, and a
 //! later committed image supersedes an aborted steal.)
 //!
+//! ## The commit queue
+//!
+//! The log is split into three coordination domains so that committers never
+//! serialize behind each other's fsyncs:
+//!
+//! * the **enqueue side** ([`WalQueue`]): appends — always made under the
+//!   buffer pool's io latch, which is what keeps the log in commit order —
+//!   encode their frame and push it onto a pending queue, advancing the
+//!   logical `end` LSN. When no group-commit leader holds the file, the
+//!   appender opportunistically drains the queue through to the file
+//!   ("write-through"), so single-threaded behaviour — including where
+//!   write errors surface — is identical to a direct write.
+//! * the **file side** ([`WalFile`]): the file handle, its `flushed` cursor
+//!   and the write/fsync machinery, behind its own mutex. Whoever holds it
+//!   is the group-commit *leader*: it drains every pending frame (one
+//!   `write_at` per frame, in enqueue order) and issues ONE fsync that
+//!   durably covers every commit record drained so far.
+//! * the **shared side** ([`WalShared`]): the durable-LSN watermark,
+//!   fsync/group accounting, the poison slot and the follower parking lot.
+//!   Followers of a group commit block on the watermark (bounded condvar
+//!   waits), never on the fsync itself.
+//!
+//! Lock order is `io latch → WalFile → WalQueue`; the leader takes only the
+//! file and queue locks, so it can never deadlock against a committer
+//! holding the io latch.
+//!
 //! ## On-disk format
 //!
 //! File header (16 bytes): magic `CRIMWAL1`, then the base LSN (`u64`). LSNs
@@ -45,10 +71,13 @@ use crate::error::{StorageError, StorageResult};
 use crate::io::{DiskIo, RetryPolicy, StorageIo};
 use crate::page::{PageId, PAGE_SIZE};
 use crate::pager::Pager;
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fs::OpenOptions;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard, TryLockError};
+use std::time::Duration;
 
 const WAL_MAGIC: &[u8; 8] = b"CRIMWAL1";
 const WAL_HEADER: u64 = 16;
@@ -57,6 +86,14 @@ const FRAME_HEADER: usize = 8;
 /// Log sequence number: a monotone byte position in the log. LSN 0 is "never
 /// logged".
 pub type Lsn = u64;
+
+/// Lock a std mutex, ignoring poisoning: every guarded structure here is
+/// kept consistent before any operation that could panic, and a poisoned
+/// commit path must keep failing loudly through the WAL poison slot, not by
+/// propagating lock panics.
+fn lock<T>(m: &StdMutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Kinds of log record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,6 +162,12 @@ pub struct WalStats {
     /// `bytes / (page_images × PAGE_SIZE)` is the log-bytes-per-data-byte
     /// ratio the bulk-load bench budgets (≤ 1.1×).
     pub page_images: u64,
+    /// Group-commit fsync rounds that covered at least one commit record.
+    pub group_rounds: u64,
+    /// Commit records made durable across those rounds (the sum of group
+    /// sizes; `group_members - group_rounds` is the number of fsyncs group
+    /// commit saved).
+    pub group_members: u64,
 }
 
 /// Outcome of crash recovery, reported by
@@ -154,19 +197,206 @@ impl RecoveryReport {
     }
 }
 
-/// The write-ahead log file.
-pub struct Wal {
+/// One encoded record waiting in the commit queue: framed bytes not yet
+/// written to the log file.
+struct PendingFrame {
+    bytes: Vec<u8>,
+    /// 1 when the frame is a commit record (group-size accounting).
+    commits: u64,
+}
+
+/// The in-memory tail of the log: frames enqueued (under the io latch) but
+/// not yet written to the file. Guarded by its own short-lived mutex so
+/// enqueues never block behind a leader's in-flight group fsync.
+#[derive(Default)]
+struct WalQueue {
+    frames: VecDeque<PendingFrame>,
+}
+
+/// The log file and its write cursor. Holding its mutex makes a thread the
+/// group-commit leader: only the leader writes or fsyncs the file.
+struct WalFile {
     io: Box<dyn StorageIo>,
-    path: PathBuf,
+    retry: RetryPolicy,
     /// Absolute LSN of file offset 0.
     base: Lsn,
-    /// Absolute end-of-log LSN (next append position).
-    end: Lsn,
+    /// Absolute LSN up to which frames have been written to the file.
+    flushed: Lsn,
+    /// Commit records written to the file since the last fsync.
+    unsynced_commits: u64,
+}
+
+/// State shared between committers and the group-commit leader without any
+/// file or io lock: the durable watermark, sync accounting, the poison slot
+/// and the follower parking lot.
+pub(crate) struct WalShared {
     /// Absolute LSN up to which the log is known durable (fsynced).
-    durable: Lsn,
+    durable: AtomicU64,
+    syncs: AtomicU64,
+    group_rounds: AtomicU64,
+    group_members: AtomicU64,
+    /// First fatal log failure, if any. Once set, every writer surfaces
+    /// `WriterPoisoned`; readers keep serving committed memory.
+    poisoned: StdMutex<Option<String>>,
+    wait_lock: StdMutex<()>,
+    wait_cv: Condvar,
+}
+
+impl WalShared {
+    fn new(durable: Lsn) -> Arc<WalShared> {
+        Arc::new(WalShared {
+            durable: AtomicU64::new(durable),
+            syncs: AtomicU64::new(0),
+            group_rounds: AtomicU64::new(0),
+            group_members: AtomicU64::new(0),
+            poisoned: StdMutex::new(None),
+            wait_lock: StdMutex::new(()),
+            wait_cv: Condvar::new(),
+        })
+    }
+
+    pub(crate) fn durable(&self) -> Lsn {
+        self.durable.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn poisoned(&self) -> Option<String> {
+        lock(&self.poisoned).clone()
+    }
+
+    /// Record the first fatal failure (first writer wins).
+    pub(crate) fn poison(&self, why: &str) {
+        let mut slot = lock(&self.poisoned);
+        if slot.is_none() {
+            *slot = Some(why.to_string());
+        }
+    }
+
+    /// Wake every follower parked on the durable watermark.
+    pub(crate) fn notify_all(&self) {
+        drop(lock(&self.wait_lock));
+        self.wait_cv.notify_all();
+    }
+
+    /// Park until the leader makes progress. The wait is bounded so a lost
+    /// wakeup costs at most one short timeout, not a hang.
+    pub(crate) fn wait_for_progress(&self) {
+        let guard = lock(&self.wait_lock);
+        let _ = self.wait_cv.wait_timeout(guard, Duration::from_millis(2));
+    }
+}
+
+/// Write every pending frame to the file, in enqueue order, one `write_at`
+/// per frame at the `flushed` cursor. On failure the frame goes back to the
+/// queue front: the cursor has not advanced, so a later drain retries the
+/// same frame at the same offset (a torn transient write is repaired by its
+/// own retry, and `flushed + pending` always accounts for `end`).
+fn drain_into(f: &mut WalFile, queue: &StdMutex<WalQueue>) -> StorageResult<()> {
+    loop {
+        let Some(frame) = lock(queue).frames.pop_front() else {
+            return Ok(());
+        };
+        let offset = f.flushed - f.base;
+        let retry = f.retry;
+        let io = &mut f.io;
+        if let Err(e) = retry.run(|| io.write_at(offset, &frame.bytes)) {
+            lock(queue).frames.push_front(frame);
+            return Err(e.into());
+        }
+        f.flushed += frame.bytes.len() as u64;
+        f.unsynced_commits += frame.commits;
+    }
+}
+
+/// Fsync the file if the durable watermark is behind the flushed cursor,
+/// then publish the new watermark and the group accounting. fsync failures
+/// are *not* retried: after a failed fsync the kernel may have dropped the
+/// dirty pages, so a retry that succeeds proves nothing.
+fn sync_flushed(f: &mut WalFile, shared: &WalShared) -> StorageResult<()> {
+    if shared.durable() < f.flushed {
+        f.io.sync()?;
+        shared.syncs.fetch_add(1, Ordering::Relaxed);
+        if f.unsynced_commits > 0 {
+            shared.group_rounds.fetch_add(1, Ordering::Relaxed);
+            shared
+                .group_members
+                .fetch_add(f.unsynced_commits, Ordering::Relaxed);
+            f.unsynced_commits = 0;
+        }
+        shared.durable.store(f.flushed, Ordering::Release);
+    }
+    Ok(())
+}
+
+/// The WAL's concurrency handles, cloneable onto the buffer pool so
+/// `wait_durable` can lead or follow a group commit without the io latch.
+#[derive(Clone)]
+pub(crate) struct CommitHandles {
+    file: Arc<StdMutex<WalFile>>,
+    queue: Arc<StdMutex<WalQueue>>,
+    shared: Arc<WalShared>,
+}
+
+impl CommitHandles {
+    pub(crate) fn durable(&self) -> Lsn {
+        self.shared.durable()
+    }
+
+    pub(crate) fn poisoned(&self) -> Option<String> {
+        self.shared.poisoned()
+    }
+
+    pub(crate) fn poison(&self, why: &str) {
+        self.shared.poison(why);
+    }
+
+    pub(crate) fn notify_all(&self) {
+        self.shared.notify_all();
+    }
+
+    pub(crate) fn wait_for_progress(&self) {
+        self.shared.wait_for_progress();
+    }
+
+    /// Try to become the group-commit leader. `Ok(true)`: led a round
+    /// (drained the queue and fsynced whatever was behind the watermark).
+    /// `Ok(false)`: another leader holds the file — park and re-check.
+    /// `Err`: the round failed; the caller decides about poisoning.
+    pub(crate) fn try_lead_sync(&self) -> StorageResult<bool> {
+        let mut f = match self.file.try_lock() {
+            Ok(f) => f,
+            Err(TryLockError::WouldBlock) => return Ok(false),
+            Err(TryLockError::Poisoned(e)) => e.into_inner(),
+        };
+        drain_into(&mut f, &self.queue)?;
+        sync_flushed(&mut f, &self.shared)?;
+        Ok(true)
+    }
+
+    /// Lead a group-commit round, waiting for the file if another leader
+    /// holds it (background-checkpoint path).
+    pub(crate) fn lead_sync_blocking(&self) -> StorageResult<()> {
+        let mut f = lock(&self.file);
+        drain_into(&mut f, &self.queue)?;
+        sync_flushed(&mut f, &self.shared)
+    }
+}
+
+/// The write-ahead log.
+pub struct Wal {
+    file: Arc<StdMutex<WalFile>>,
+    queue: Arc<StdMutex<WalQueue>>,
+    shared: Arc<WalShared>,
+    path: PathBuf,
+    /// Mirror of the file-side base LSN (changes only at open/reset, which
+    /// both hold the file lock).
+    base: Lsn,
+    /// Absolute end-of-log LSN: the next *enqueue* position. Advanced under
+    /// the io latch, which serializes appends and keeps the log in commit
+    /// order.
+    end: Lsn,
     next_txn: u64,
+    /// Enqueue-side counters; fsync and group counters live in `shared`.
     stats: WalStats,
-    retry: RetryPolicy,
 }
 
 impl std::fmt::Debug for Wal {
@@ -174,7 +404,7 @@ impl std::fmt::Debug for Wal {
         f.debug_struct("Wal")
             .field("path", &self.path)
             .field("end", &self.end)
-            .field("durable", &self.durable)
+            .field("durable", &self.shared.durable())
             .finish()
     }
 }
@@ -188,6 +418,26 @@ pub fn wal_path_for(db_path: &Path) -> PathBuf {
 }
 
 impl Wal {
+    fn from_parts(io: Box<dyn StorageIo>, path: PathBuf, base: Lsn) -> Self {
+        let start = base + WAL_HEADER;
+        Wal {
+            file: Arc::new(StdMutex::new(WalFile {
+                io,
+                retry: RetryPolicy::default(),
+                base,
+                flushed: start,
+                unsynced_commits: 0,
+            })),
+            queue: Arc::new(StdMutex::new(WalQueue::default())),
+            shared: WalShared::new(start),
+            path,
+            base,
+            end: start,
+            next_txn: 1,
+            stats: WalStats::default(),
+        }
+    }
+
     /// Create a fresh (empty) log, truncating any existing file.
     pub fn create(path: impl AsRef<Path>) -> StorageResult<Self> {
         let path = path.as_ref().to_path_buf();
@@ -197,17 +447,11 @@ impl Wal {
             .create(true)
             .truncate(true)
             .open(&path)?;
-        let mut wal = Wal {
-            io: Box::new(DiskIo::new(file)),
-            path,
-            base: 0,
-            end: WAL_HEADER,
-            durable: WAL_HEADER,
-            next_txn: 1,
-            stats: WalStats::default(),
-            retry: RetryPolicy::default(),
-        };
-        wal.write_header(0)?;
+        let wal = Self::from_parts(Box::new(DiskIo::new(file)), path, 0);
+        {
+            let mut f = lock(&wal.file);
+            write_header(&mut f, 0)?;
+        }
         Ok(wal)
     }
 
@@ -239,22 +483,17 @@ impl Wal {
             ));
         }
         let base = u64::from_le_bytes(header[8..16].try_into().expect("16-byte header"));
-        let mut wal = Wal {
-            io,
-            path,
-            base,
-            end: base + WAL_HEADER,
-            durable: base + WAL_HEADER,
-            next_txn: 1,
-            stats: WalStats::default(),
-            retry: RetryPolicy::default(),
-        };
+        let mut wal = Self::from_parts(io, path, base);
         // Position end after the last intact record and drop any torn tail.
         let (metas, _torn) = wal.scan_raw()?;
         wal.next_txn = metas.iter().map(|m| m.txn).max().unwrap_or(0) + 1;
         let valid = wal.end - wal.base;
-        wal.io.set_len(valid)?;
-        wal.durable = wal.end;
+        {
+            let mut f = lock(&wal.file);
+            f.io.set_len(valid)?;
+            f.flushed = wal.end;
+        }
+        wal.shared.durable.store(wal.end, Ordering::Release);
         Ok(wal)
     }
 
@@ -280,13 +519,14 @@ impl Wal {
                 Err(io::Error::other("I/O backend is being replaced"))
             }
         }
-        let current = std::mem::replace(&mut self.io, Box::new(Placeholder));
-        self.io = f(current);
+        let mut file = lock(&self.file);
+        let current = std::mem::replace(&mut file.io, Box::new(Placeholder));
+        file.io = f(current);
     }
 
     /// Configure how transient I/O errors are retried.
     pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
-        self.retry = policy;
+        lock(&self.file).retry = policy;
     }
 
     /// Absolute LSN of the end of the log (next append position).
@@ -294,19 +534,53 @@ impl Wal {
         self.end
     }
 
+    /// Absolute LSN of the first record position in the (un-truncated) log.
+    /// `end_lsn() - start_lsn()` is the current log backlog in bytes.
+    pub fn start_lsn(&self) -> Lsn {
+        self.base + WAL_HEADER
+    }
+
     /// Absolute LSN up to which the log is durable.
     pub fn durable_lsn(&self) -> Lsn {
-        self.durable
+        self.shared.durable()
     }
 
     /// Counters since the last [`Wal::reset_stats`].
     pub fn stats(&self) -> WalStats {
-        self.stats
+        WalStats {
+            syncs: self.shared.syncs.load(Ordering::Relaxed),
+            group_rounds: self.shared.group_rounds.load(Ordering::Relaxed),
+            group_members: self.shared.group_members.load(Ordering::Relaxed),
+            ..self.stats
+        }
     }
 
     /// Reset activity counters.
     pub fn reset_stats(&mut self) {
         self.stats = WalStats::default();
+        self.shared.syncs.store(0, Ordering::Relaxed);
+        self.shared.group_rounds.store(0, Ordering::Relaxed);
+        self.shared.group_members.store(0, Ordering::Relaxed);
+    }
+
+    /// The concurrency handles the buffer pool parks committers on.
+    pub(crate) fn commit_handles(&self) -> CommitHandles {
+        CommitHandles {
+            file: Arc::clone(&self.file),
+            queue: Arc::clone(&self.queue),
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Record a fatal log failure: every subsequent writer surfaces
+    /// `WriterPoisoned`.
+    pub(crate) fn poison(&self, why: &str) {
+        self.shared.poison(why);
+    }
+
+    /// The recorded fatal failure, if any.
+    pub(crate) fn poisoned(&self) -> Option<String> {
+        self.shared.poisoned()
     }
 
     /// Allocate the next transaction id.
@@ -332,7 +606,7 @@ impl Wal {
         body.extend_from_slice(&txn.to_le_bytes());
         body.extend_from_slice(&pid.0.to_le_bytes());
         body.extend_from_slice(image);
-        let lsn = self.append_frame(&body)?;
+        let lsn = self.append_frame(&body, 0)?;
         self.stats.page_images += 1;
         Ok(lsn)
     }
@@ -351,75 +625,91 @@ impl Wal {
         body.extend_from_slice(&page_count.to_le_bytes());
         body.extend_from_slice(&catalog_root.to_le_bytes());
         body.extend_from_slice(&user_meta.to_le_bytes());
-        let lsn = self.append_frame(&body)?;
+        let lsn = self.append_frame(&body, 1)?;
         self.stats.commits += 1;
         Ok(lsn)
     }
 
-    fn append_frame(&mut self, body: &[u8]) -> StorageResult<Lsn> {
+    fn append_frame(&mut self, body: &[u8], commits: u64) -> StorageResult<Lsn> {
         let mut frame = Vec::with_capacity(FRAME_HEADER + body.len());
         frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(body).to_le_bytes());
         frame.extend_from_slice(body);
         let lsn = self.end;
-        let offset = self.end - self.base;
-        let io = &mut self.io;
-        // A retried append rewrites the whole frame at the same offset, so a
-        // torn transient write is repaired by its own retry.
-        self.retry.run(|| io.write_at(offset, &frame))?;
-        self.end += frame.len() as u64;
+        let len = frame.len() as u64;
+        lock(&self.queue).frames.push_back(PendingFrame {
+            bytes: frame,
+            commits,
+        });
+        self.end += len;
+        // Opportunistic write-through: when no group-commit leader holds the
+        // file, drain here so write failures surface at the append site (the
+        // legacy contract — a failed append rolls its transaction back).
+        // Under contention the enqueue stands and the leader writes it.
+        let drained = match self.file.try_lock() {
+            Ok(mut f) => drain_into(&mut f, &self.queue),
+            Err(TryLockError::WouldBlock) => Ok(()),
+            Err(TryLockError::Poisoned(e)) => drain_into(&mut e.into_inner(), &self.queue),
+        };
+        if let Err(e) = drained {
+            // Un-enqueue this frame. Appends are serialized by the io latch
+            // and a failed drain stops at the failing frame, so this frame
+            // is still the newest entry; removing it and giving back its LSN
+            // range lets the caller roll back as if nothing had been logged.
+            let popped = lock(&self.queue)
+                .frames
+                .pop_back()
+                .expect("failed append leaves its frame queued");
+            debug_assert_eq!(popped.bytes.len() as u64, len);
+            self.end = lsn;
+            return Err(e);
+        }
         self.stats.appends += 1;
-        self.stats.bytes += frame.len() as u64;
+        self.stats.bytes += len;
         Ok(lsn)
     }
 
-    /// Make the whole log durable (no-op when already durable). fsync
-    /// failures are *not* retried: after a failed fsync the kernel may have
-    /// dropped the dirty pages, so a retry that succeeds proves nothing.
+    /// Make the whole log durable (no-op when already durable): drain the
+    /// commit queue to the file and fsync if the durable watermark is
+    /// behind.
     pub fn sync(&mut self) -> StorageResult<()> {
-        if self.durable < self.end {
-            self.io.sync()?;
-            self.durable = self.end;
-            self.stats.syncs += 1;
-        }
-        Ok(())
+        let mut f = lock(&self.file);
+        drain_into(&mut f, &self.queue)?;
+        sync_flushed(&mut f, &self.shared)
     }
 
     /// Truncate the log (checkpoint). The base LSN advances so LSNs remain
     /// monotone across truncations.
     pub fn reset(&mut self) -> StorageResult<()> {
+        let mut f = lock(&self.file);
+        drain_into(&mut f, &self.queue)?;
         self.base = self.end;
-        let base = self.base;
-        self.write_header(base)?;
-        self.io.set_len(WAL_HEADER)?;
-        self.io.sync()?;
+        f.base = self.base;
+        write_header(&mut f, self.base)?;
+        f.io.set_len(WAL_HEADER)?;
+        f.io.sync()?;
         self.end = self.base + WAL_HEADER;
-        self.durable = self.end;
-        Ok(())
-    }
-
-    fn write_header(&mut self, base: u64) -> StorageResult<()> {
-        let mut header = [0u8; WAL_HEADER as usize];
-        header[0..8].copy_from_slice(WAL_MAGIC);
-        header[8..16].copy_from_slice(&base.to_le_bytes());
-        let io = &mut self.io;
-        self.retry.run(|| io.write_at(0, &header))?;
-        self.io.sync()?;
+        f.flushed = self.end;
+        f.unsynced_commits = 0;
+        self.shared.durable.store(self.end, Ordering::Release);
         Ok(())
     }
 
     /// Scan all intact records, returning their headers and whether the scan
-    /// stopped at a torn tail. Positions `self.end` after the last intact
+    /// stopped at a torn tail. Drains any pending frames first (the scan
+    /// reads the file), then positions `self.end` after the last intact
     /// record.
     pub(crate) fn scan_raw(&mut self) -> StorageResult<(Vec<RecordMeta>, bool)> {
-        let file_len = self.io.len()?;
+        let mut f = lock(&self.file);
+        drain_into(&mut f, &self.queue)?;
+        let file_len = f.io.len()?;
         let mut metas = Vec::new();
         let mut offset = WAL_HEADER;
         let mut torn = false;
         let mut header = [0u8; FRAME_HEADER];
         while offset + FRAME_HEADER as u64 <= file_len {
-            let retry = self.retry;
-            let io = &mut self.io;
+            let retry = f.retry;
+            let io = &mut f.io;
             let got = retry.run(|| io.read_at(offset, &mut header));
             match got {
                 Ok(n) if n == FRAME_HEADER => {}
@@ -440,7 +730,7 @@ impl Wal {
             }
             let mut body = vec![0u8; len as usize];
             let body_offset = offset + FRAME_HEADER as u64;
-            let io = &mut self.io;
+            let io = &mut f.io;
             let got = retry.run(|| io.read_at(body_offset, &mut body));
             match got {
                 Ok(n) if n == body.len() => {}
@@ -467,6 +757,7 @@ impl Wal {
             torn = true;
         }
         self.end = self.base + offset;
+        f.flushed = self.end;
         Ok((metas, torn))
     }
 
@@ -475,8 +766,10 @@ impl Wal {
     /// the bytes returned here are exactly what the logger wrote.
     pub(crate) fn read_image_at(&mut self, image_offset: u64) -> StorageResult<Vec<u8>> {
         let mut image = vec![0u8; PAGE_SIZE];
-        let io = &mut self.io;
-        let n = self.retry.run(|| io.read_at(image_offset, &mut image))?;
+        let mut f = lock(&self.file);
+        let retry = f.retry;
+        let io = &mut f.io;
+        let n = retry.run(|| io.read_at(image_offset, &mut image))?;
         if n < PAGE_SIZE {
             return Err(StorageError::Corrupted(
                 "write-ahead log image truncated".to_string(),
@@ -508,6 +801,17 @@ impl Wal {
             None => Ok(None),
         }
     }
+}
+
+fn write_header(f: &mut WalFile, base: u64) -> StorageResult<()> {
+    let mut header = [0u8; WAL_HEADER as usize];
+    header[0..8].copy_from_slice(WAL_MAGIC);
+    header[8..16].copy_from_slice(&base.to_le_bytes());
+    let retry = f.retry;
+    let io = &mut f.io;
+    retry.run(|| io.write_at(0, &header))?;
+    f.io.sync()?;
+    Ok(())
 }
 
 fn decode_body(file_offset: u64, body: &[u8]) -> Option<RecordMeta> {
@@ -815,6 +1119,44 @@ mod tests {
         let got = wal.latest_committed_image(PageId(5)).unwrap().unwrap();
         assert_eq!(got, new);
         assert!(wal.latest_committed_image(PageId(9)).unwrap().is_none());
+    }
+
+    #[test]
+    fn group_accounting_counts_rounds_and_members() {
+        let dir = tempdir().unwrap();
+        let mut wal = Wal::create(dir.path().join("t.wal")).unwrap();
+        // Three commit records, one fsync: one round of three members.
+        wal.append_commit(1, 2, 0, 0).unwrap();
+        wal.append_commit(2, 2, 0, 0).unwrap();
+        wal.append_commit(3, 2, 0, 0).unwrap();
+        wal.sync().unwrap();
+        let stats = wal.stats();
+        assert_eq!(stats.group_rounds, 1);
+        assert_eq!(stats.group_members, 3);
+        // A sync with nothing new is free.
+        wal.sync().unwrap();
+        assert_eq!(wal.stats().syncs, 1);
+        // A lone commit is a round of one.
+        wal.append_commit(4, 2, 0, 0).unwrap();
+        wal.sync().unwrap();
+        let stats = wal.stats();
+        assert_eq!(stats.group_rounds, 2);
+        assert_eq!(stats.group_members, 4);
+    }
+
+    #[test]
+    fn commit_handles_lead_and_observe_durability() {
+        let dir = tempdir().unwrap();
+        let mut wal = Wal::create(dir.path().join("t.wal")).unwrap();
+        let handles = wal.commit_handles();
+        let lsn = wal.append_commit(1, 2, 0, 0).unwrap();
+        // Write-through happened, but durability requires a led round.
+        assert!(handles.durable() <= lsn);
+        assert!(handles.try_lead_sync().unwrap());
+        assert!(handles.durable() > lsn);
+        assert!(handles.poisoned().is_none());
+        handles.poison("test poison");
+        assert_eq!(handles.poisoned().as_deref(), Some("test poison"));
     }
 
     #[test]

@@ -1,0 +1,359 @@
+//! Group-commit integration tests: concurrent committers pipelining through
+//! the commit queue and sharing fsync rounds, async commit + `wait_durable`,
+//! and crash injection at the WAL-append and group-fsync points.
+//!
+//! The crash scenarios pin the batched-fsync contract: a failed group round
+//! never commits a *partial* member. Every member of a failed round either
+//! surfaces an error to its committer (`WriterPoisoned` / the leader's I/O
+//! error) — and on reopen each member's transaction is recovered fully or
+//! not at all, never page-by-page.
+
+use std::sync::Arc;
+use std::thread;
+
+use storage::buffer::BufferPool;
+use storage::pager::Pager;
+use storage::{CrashPoint, PageId, StorageError};
+use tempfile::tempdir;
+
+/// Byte offset inside each page where the per-transaction marker lives.
+const MARKER_OFF: usize = 64;
+
+fn make_pool(path: &std::path::Path, capacity: usize) -> Arc<BufferPool> {
+    let pager = Pager::create(path).unwrap();
+    Arc::new(BufferPool::with_capacity(pager, capacity).unwrap())
+}
+
+fn reopen_pool(path: &std::path::Path, capacity: usize) -> BufferPool {
+    let pager = Pager::open(path).unwrap();
+    BufferPool::with_capacity(pager, capacity).unwrap()
+}
+
+/// `true` iff `pid` exists in the reopened pool and carries `code` at the
+/// marker offset. Out-of-range pages (rolled-back allocations) read as "no".
+fn has_marker(pool: &BufferPool, pid: PageId, code: u64) -> bool {
+    pool.with_page(pid, |p| p.read_u64(MARKER_OFF))
+        .map(|v| v == code)
+        .unwrap_or(false)
+}
+
+/// Run one marker transaction: begin (blocking on the writer slot), dirty
+/// `pages` fresh pages with `code`, commit with the requested durability.
+/// Returns `true` on a successful commit; on any failure the transaction is
+/// rolled back (or was already rolled back by the pool) and `false` is
+/// returned. The allocated page ids are recorded either way so crash tests
+/// can assert all-or-nothing visibility after reopen.
+fn marker_txn(pool: &BufferPool, code: u64, pages: usize, pids_out: &mut Vec<PageId>) -> bool {
+    if pool.begin_txn_blocking().is_err() {
+        return false;
+    }
+    for _ in 0..pages {
+        let prepared = pool.allocate_page().and_then(|pid| {
+            pool.with_page_mut(pid, |p| p.write_u64(MARKER_OFF, code))
+                .map(|_| pid)
+        });
+        match prepared {
+            Ok(pid) => pids_out.push(pid),
+            Err(_) => {
+                // We hold the writer slot (begin succeeded), so this rolls
+                // back our own transaction, never a sibling's.
+                let _ = pool.rollback_txn();
+                return false;
+            }
+        }
+    }
+    pool.commit_txn(true).is_ok()
+}
+
+#[test]
+fn concurrent_committers_share_group_fsync_rounds() {
+    const THREADS: u64 = 8;
+    const TXNS_PER_THREAD: u64 = 24;
+    let dir = tempdir().unwrap();
+    let path = dir.path().join("db.crdb");
+    let pool = make_pool(&path, 256);
+    pool.reset_stats();
+
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let pool = Arc::clone(&pool);
+        handles.push(thread::spawn(move || {
+            let mut written: Vec<(PageId, u64)> = Vec::new();
+            for k in 0..TXNS_PER_THREAD {
+                let code = 0xBEEF_0000 + t * 1000 + k;
+                let mut pids = Vec::new();
+                assert!(
+                    marker_txn(&pool, code, 1, &mut pids),
+                    "commit {t}/{k} failed without fault injection"
+                );
+                written.push((pids[0], code));
+            }
+            written
+        }));
+    }
+    let mut written: Vec<(PageId, u64)> = Vec::new();
+    for h in handles {
+        written.extend(h.join().unwrap());
+    }
+
+    // Every committed marker is visible in the live pool.
+    for &(pid, code) in &written {
+        assert_eq!(
+            pool.with_page(pid, |p| p.read_u64(MARKER_OFF)).unwrap(),
+            code
+        );
+    }
+
+    let stats = pool.stats();
+    let total = THREADS * TXNS_PER_THREAD;
+    assert_eq!(stats.commits, total);
+    assert!(stats.group_commits >= 1);
+    assert_eq!(
+        stats.fsyncs_saved,
+        stats.group_commit_members - stats.group_commits,
+        "fsyncs_saved must be the members-minus-rounds identity"
+    );
+    // The pipeline must have batched at least one round: with 8 committers
+    // racing, followers enqueue while the leader fsyncs.
+    assert!(
+        stats.fsyncs_saved > 0,
+        "8 threads x 24 txns never shared an fsync round: {stats:?}"
+    );
+    assert!(
+        stats.wal_syncs < total,
+        "group commit must issue fewer fsyncs than commits ({} vs {total})",
+        stats.wal_syncs
+    );
+
+    // Durability: everything survives a crash-reopen (no flush).
+    drop(pool);
+    let pool = reopen_pool(&path, 256);
+    for &(pid, code) in &written {
+        assert!(has_marker(&pool, pid, code), "marker {code:#x} lost");
+    }
+}
+
+#[test]
+fn async_commits_ride_one_group_fsync() {
+    const TXNS: u64 = 12;
+    let dir = tempdir().unwrap();
+    let path = dir.path().join("db.crdb");
+    let pool = make_pool(&path, 64);
+    pool.reset_stats();
+
+    let mut written = Vec::new();
+    let mut last_lsn = 0;
+    for k in 0..TXNS {
+        let code = 0xACE_0000 + k;
+        pool.begin_txn().unwrap();
+        let pid = pool.allocate_page().unwrap();
+        pool.with_page_mut(pid, |p| p.write_u64(MARKER_OFF, code))
+            .unwrap();
+        let lsn = pool.commit_txn(false).unwrap();
+        assert!(lsn > last_lsn, "commit LSNs must be monotone");
+        last_lsn = lsn;
+        written.push((pid, code));
+    }
+    // Async commits are acknowledged at their log position, before any
+    // fsync: the durable watermark lags the last commit LSN.
+    assert!(
+        pool.durable_lsn() < last_lsn,
+        "async commits must not be durable before wait_durable"
+    );
+    assert_eq!(pool.stats().wal_syncs, 0, "async commits must not fsync");
+
+    pool.wait_durable(last_lsn).unwrap();
+    assert!(pool.durable_lsn() >= last_lsn);
+
+    let stats = pool.stats();
+    assert_eq!(stats.commits, TXNS);
+    assert_eq!(stats.wal_syncs, 1, "one group fsync covers the batch");
+    assert_eq!(stats.group_commits, 1);
+    assert_eq!(stats.group_commit_members, TXNS);
+    assert_eq!(stats.fsyncs_saved, TXNS - 1);
+
+    drop(pool);
+    let pool = reopen_pool(&path, 64);
+    for &(pid, code) in &written {
+        assert!(has_marker(&pool, pid, code), "marker {code:#x} lost");
+    }
+}
+
+/// Crash at a WAL append in the middle of a concurrent commit storm. Each
+/// member transaction dirties three pages; after reopen every member must be
+/// recovered fully or not at all (a commit that returned an error may be
+/// durable — indeterminate — but never torn).
+#[test]
+fn crash_at_wal_append_mid_batch_is_all_or_nothing_per_member() {
+    const THREADS: u64 = 6;
+    const TXNS_PER_THREAD: u64 = 8;
+    const PAGES_PER_TXN: usize = 3;
+    let dir = tempdir().unwrap();
+    let path = dir.path().join("db.crdb");
+    let pool = make_pool(&path, 128);
+
+    // Committed baseline, durable before any fault is armed.
+    let mut base_pids = Vec::new();
+    assert!(marker_txn(&pool, 0xBA5E, 4, &mut base_pids));
+
+    // Trip mid-batch: each member appends 3 page images + 1 commit record,
+    // so append 25 lands inside the storm, after a handful of commits.
+    pool.inject_crash(CrashPoint::WalAppend(25));
+
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let pool = Arc::clone(&pool);
+        handles.push(thread::spawn(move || {
+            let mut results: Vec<(Vec<PageId>, u64, bool)> = Vec::new();
+            for k in 0..TXNS_PER_THREAD {
+                let code = 0xC0DE_0000 + t * 1000 + k;
+                let mut pids = Vec::new();
+                let ok = marker_txn(&pool, code, PAGES_PER_TXN, &mut pids);
+                results.push((pids, code, ok));
+            }
+            results
+        }));
+    }
+    let mut results = Vec::new();
+    for h in handles {
+        results.extend(h.join().unwrap());
+    }
+    let committed = results.iter().filter(|(_, _, ok)| *ok).count();
+    let failed = results.len() - committed;
+    assert!(committed >= 1, "some commits must beat the crash point");
+    assert!(failed >= 1, "the crash must interrupt the storm");
+
+    // Crash: drop without flush, reopen, recover.
+    drop(pool);
+    let pool = reopen_pool(&path, 128);
+    pool.recovery_report().expect("reopen must report recovery");
+    for pid in &base_pids {
+        assert!(has_marker(&pool, *pid, 0xBA5E), "baseline lost");
+    }
+    for (pids, code, ok) in &results {
+        let present = pids
+            .iter()
+            .filter(|p| has_marker(&pool, **p, *code))
+            .count();
+        if *ok {
+            assert_eq!(
+                present, PAGES_PER_TXN,
+                "acknowledged member {code:#x} must survive in full"
+            );
+        } else {
+            assert!(
+                present == 0 || present == PAGES_PER_TXN,
+                "failed member {code:#x} recovered partially ({present}/{PAGES_PER_TXN} pages)"
+            );
+        }
+    }
+}
+
+/// Crash at the group fsync itself: the round's members all fail (the
+/// leader with the I/O error, followers with `WriterPoisoned`), the writer
+/// is poisoned, reads keep serving committed memory, and reopen recovers
+/// each member all-or-nothing.
+#[test]
+fn crash_at_group_fsync_never_commits_a_partial_group() {
+    const THREADS: u64 = 6;
+    const PAGES_PER_TXN: usize = 2;
+    let dir = tempdir().unwrap();
+    let path = dir.path().join("db.crdb");
+    let pool = make_pool(&path, 64);
+
+    let mut base_pids = Vec::new();
+    assert!(marker_txn(&pool, 0xBA5E, 4, &mut base_pids));
+
+    // The very next WAL fsync — the group fsync of the storm below — fails.
+    pool.inject_crash(CrashPoint::WalSync(0));
+
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let pool = Arc::clone(&pool);
+        handles.push(thread::spawn(move || {
+            let code = 0xF5C_0000 + t;
+            let mut pids = Vec::new();
+            if pool.begin_txn_blocking().is_err() {
+                return (pids, code, Err(None));
+            }
+            for _ in 0..PAGES_PER_TXN {
+                match pool.allocate_page().and_then(|pid| {
+                    pool.with_page_mut(pid, |p| p.write_u64(MARKER_OFF, code))
+                        .map(|_| pid)
+                }) {
+                    Ok(pid) => pids.push(pid),
+                    Err(_) => {
+                        let _ = pool.rollback_txn();
+                        return (pids, code, Err(None));
+                    }
+                }
+            }
+            (pids, code, pool.commit_txn(true).map(|_| ()).map_err(Some))
+        }));
+    }
+    let mut results = Vec::new();
+    for h in handles {
+        results.push(h.join().unwrap());
+    }
+
+    // No member of the failed round may report success, and the surfaced
+    // errors are the fsync failure (leader) or WriterPoisoned (followers and
+    // later committers) — never a silent partial acknowledgement.
+    for (_, code, outcome) in &results {
+        let err = outcome
+            .as_ref()
+            .expect_err(&format!("member {code:#x} must not commit"));
+        if let Some(e) = err {
+            assert!(
+                matches!(e, StorageError::Io(_) | StorageError::WriterPoisoned(_)),
+                "member {code:#x}: unexpected error {e:?}"
+            );
+        }
+    }
+    assert!(
+        pool.is_poisoned(),
+        "a failed group fsync poisons the writer"
+    );
+
+    // Reads still serve the committed baseline from memory.
+    for pid in &base_pids {
+        assert_eq!(
+            pool.with_page(*pid, |p| p.read_u64(MARKER_OFF)).unwrap(),
+            0xBA5E
+        );
+    }
+    // Further write attempts surface WriterPoisoned, they don't hang or lie.
+    let attempt = pool.begin_txn().and_then(|_| {
+        let pid = pool.allocate_page()?;
+        pool.with_page_mut(pid, |p| p.write_u64(MARKER_OFF, 1))?;
+        pool.commit_txn(true).map(|_| ())
+    });
+    assert!(
+        matches!(
+            attempt,
+            Err(StorageError::WriterPoisoned(_) | StorageError::Io(_))
+        ),
+        "writes after poisoning must fail: {attempt:?}"
+    );
+
+    // Crash-reopen: the baseline survives; every member of the failed round
+    // is recovered fully or not at all (its durability was indeterminate).
+    drop(pool);
+    let pool = reopen_pool(&path, 64);
+    for pid in &base_pids {
+        assert!(has_marker(&pool, *pid, 0xBA5E), "baseline lost");
+    }
+    for (pids, code, _) in &results {
+        if pids.len() < PAGES_PER_TXN {
+            continue; // never reached its commit; nothing to check
+        }
+        let present = pids
+            .iter()
+            .filter(|p| has_marker(&pool, **p, *code))
+            .count();
+        assert!(
+            present == 0 || present == PAGES_PER_TXN,
+            "member {code:#x} recovered partially ({present}/{PAGES_PER_TXN} pages)"
+        );
+    }
+}

@@ -112,6 +112,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         compute_triplets: false,
         seed: 2026,
         workers: 4,
+        cell_commits: false,
     };
     let record = ExperimentRunner::new(&mut repo, handle).run(&spec)?;
     println!(

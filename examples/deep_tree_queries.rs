@@ -64,6 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         RepositoryOptions {
             frame_depth: 16,
             buffer_pool_pages: 4096,
+            ..Default::default()
         },
     )?;
     let start = Instant::now();

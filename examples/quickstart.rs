@@ -23,6 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         RepositoryOptions {
             frame_depth: 2,
             buffer_pool_pages: 256,
+            ..Default::default()
         },
     )?;
     let report = repo.load_newick("figure1", FIG1_NEWICK)?;

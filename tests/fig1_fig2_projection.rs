@@ -51,6 +51,7 @@ fn figure2_projection_through_repository() {
         RepositoryOptions {
             frame_depth: 2,
             buffer_pool_pages: 256,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -83,6 +84,7 @@ fn projection_roundtrips_through_nexus_output() {
         RepositoryOptions {
             frame_depth: 2,
             buffer_pool_pages: 256,
+            ..Default::default()
         },
     )
     .unwrap();

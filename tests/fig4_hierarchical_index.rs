@@ -70,6 +70,7 @@ fn stored_frames_mirror_figure4() {
         RepositoryOptions {
             frame_depth: 2,
             buffer_pool_pages: 256,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -114,6 +115,7 @@ fn stored_lca_agrees_with_all_schemes_on_simulated_tree() {
         RepositoryOptions {
             frame_depth: 4,
             buffer_pool_pages: 1024,
+            ..Default::default()
         },
     )
     .unwrap();

@@ -13,6 +13,7 @@ fn repo() -> (tempfile::TempDir, Repository, TreeHandle) {
         RepositoryOptions {
             frame_depth: 2,
             buffer_pool_pages: 256,
+            ..Default::default()
         },
     )
     .unwrap();

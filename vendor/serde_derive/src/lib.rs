@@ -16,8 +16,15 @@
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 #[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: a missing key deserializes to `Default::default()`.
+    default: bool,
+}
+
+#[derive(Debug, Clone)]
 enum Fields {
-    Named(Vec<String>),
+    Named(Vec<Field>),
     Tuple(usize),
     Unit,
 }
@@ -31,6 +38,57 @@ enum Shape {
 struct Parsed {
     name: String,
     shape: Shape,
+}
+
+/// `true` when the bracket group `g` (the `[...]` of an attribute) is
+/// exactly `[serde(default)]`.
+fn serde_attr_default(g: &proc_macro::Group) -> bool {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    match (toks.first(), toks.get(1), toks.len()) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(inner)), 2)
+            if id.to_string() == "serde" && inner.delimiter() == Delimiter::Parenthesis =>
+        {
+            let inner: Vec<TokenTree> = inner.stream().into_iter().collect();
+            matches!((inner.first(), inner.len()),
+                (Some(TokenTree::Ident(i)), 1) if i.to_string() == "default")
+        }
+        _ => false,
+    }
+}
+
+/// Like [`skip_attrs_and_vis`], but for named-struct fields, where the one
+/// supported serde attribute — `#[serde(default)]` — is collected instead
+/// of rejected. Returns the new cursor and whether the flag was seen.
+fn skip_field_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut default = false;
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => match tokens.get(i + 1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    if g.to_string().trim_start().starts_with("[serde") {
+                        if serde_attr_default(g) {
+                            default = true;
+                        } else {
+                            panic!(
+                                "serde shim derive: the only supported field attribute is                                  #[serde(default)]"
+                            );
+                        }
+                    }
+                    i += 2;
+                }
+                _ => return (i, default),
+            },
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) / pub(super)
+                    }
+                }
+            }
+            _ => return (i, default),
+        }
+    }
 }
 
 /// Skip attributes (`#[...]`, including doc comments) and visibility
@@ -82,12 +140,13 @@ fn skip_type(tokens: &[TokenTree], mut i: usize) -> usize {
     i
 }
 
-fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
     let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        i = skip_attrs_and_vis(&tokens, i);
+        let (next, default) = skip_field_attrs(&tokens, i);
+        i = next;
         if i >= tokens.len() {
             break;
         }
@@ -102,7 +161,7 @@ fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
         }
         i = skip_type(&tokens, i);
         i += 1; // past the comma (or end)
-        fields.push(name);
+        fields.push(Field { name, default });
     }
     fields
 }
@@ -213,6 +272,7 @@ fn gen_serialize(p: &Parsed) -> String {
             let pairs: Vec<String> = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!("(\"{f}\".to_string(), ::serde::Serialize::serialize_value(&self.{f}))")
                 })
                 .collect();
@@ -252,10 +312,11 @@ fn gen_serialize(p: &Parsed) -> String {
                         )
                     }
                     Fields::Named(fs) => {
-                        let binders = fs.join(", ");
+                        let binders = fs.iter().map(|f| f.name.as_str()).collect::<Vec<_>>().join(", ");
                         let pairs: Vec<String> = fs
                             .iter()
                             .map(|f| {
+                                let f = &f.name;
                                 format!(
                                     "(\"{f}\".to_string(), ::serde::Serialize::serialize_value({f}))"
                                 )
@@ -279,14 +340,26 @@ fn gen_serialize(p: &Parsed) -> String {
     )
 }
 
-fn gen_named_constructor(path: &str, fields: &[String], source: &str) -> String {
+fn gen_named_constructor(path: &str, fields: &[Field], source: &str) -> String {
     let inits: Vec<String> = fields
         .iter()
         .map(|f| {
-            format!(
-                "{f}: ::serde::Deserialize::deserialize_value({source}.get(\"{f}\")\
-                 .unwrap_or(&::serde::Value::Null))?"
-            )
+            let name = &f.name;
+            if f.default {
+                // `#[serde(default)]`: a document written before the field
+                // existed simply lacks the key; fall back to the type's
+                // `Default` instead of failing on `Null`.
+                format!(
+                    "{name}: match {source}.get(\"{name}\") {{ \
+                     Some(__fv) => ::serde::Deserialize::deserialize_value(__fv)?, \
+                     None => ::core::default::Default::default() }}"
+                )
+            } else {
+                format!(
+                    "{name}: ::serde::Deserialize::deserialize_value({source}.get(\"{name}\")\
+                     .unwrap_or(&::serde::Value::Null))?"
+                )
+            }
         })
         .collect();
     format!("{path} {{ {} }}", inits.join(", "))
@@ -385,7 +458,7 @@ fn gen_deserialize(p: &Parsed) -> String {
 }
 
 /// Derive `serde::Serialize` (shim).
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let parsed = parse(input);
     gen_serialize(&parsed)
@@ -394,7 +467,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derive `serde::Deserialize` (shim).
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let parsed = parse(input);
     gen_deserialize(&parsed)
