@@ -668,8 +668,13 @@ pub struct CheckpointTail {
     /// Data-page flushes during the busy phase (evidence the background
     /// checkpointer actually ran).
     pub busy_flushes: u64,
-    /// Snapshot-read retries during the busy phase.
+    /// Snapshot-read retries during the busy phase. Under versioned reads
+    /// this counts cold snapshot-retired re-pins and must stay flat.
     pub busy_reader_retries: u64,
+    /// Queries that failed `Busy` during the busy phase. The versioned-read
+    /// contract makes this invariantly zero; tracked in BENCH_commit.json
+    /// so a regression is visible across PRs.
+    pub busy_errors: u64,
 }
 
 fn p99_us(mut samples: Vec<f64>) -> f64 {
@@ -733,38 +738,48 @@ pub fn checkpoint_read_tail(leaves: usize, queries: usize, seed: u64) -> Checkpo
     let baseline_stats = repo.buffer_stats();
     let stop = AtomicBool::new(false);
     let mut busy = Vec::new();
+    let mut busy_errors = 0u64;
     std::thread::scope(|scope| {
         let reader_ref = &reader;
         let stop_ref = &stop;
         let pairs_ref = &pairs;
         let h = scope.spawn(move || {
             let mut samples = Vec::new();
+            let mut errors = 0u64;
             'outer: loop {
                 for &(a, b) in pairs_ref {
                     if stop_ref.load(Ordering::Relaxed) && samples.len() >= pairs_ref.len() {
                         break 'outer;
                     }
                     let start = std::time::Instant::now();
-                    let _ = reader_ref.lca(a, b).expect("lca under load");
-                    samples.push(start.elapsed().as_secs_f64());
+                    match reader_ref.lca(a, b) {
+                        Ok(_) => samples.push(start.elapsed().as_secs_f64()),
+                        Err(crimson::CrimsonError::Busy(_)) => errors += 1,
+                        Err(e) => panic!("lca under load: {e}"),
+                    }
                 }
             }
-            samples
+            (samples, errors)
         });
         for i in 0..6u64 {
             let w = workloads::simulated_tree(leaves / 2, seed + 10 + i);
             repo.load_tree(&format!("busy{i}"), &w).expect("busy load");
         }
         stop.store(true, Ordering::Relaxed);
-        busy = h.join().expect("reader thread");
+        (busy, busy_errors) = h.join().expect("reader thread");
     });
     let stats = repo.buffer_stats();
+    // Stat deltas saturate: a stats reset mid-run (or any counter the pool
+    // rebuilds) must read as zero, not underflow-panic in debug.
     CheckpointTail {
         quiescent_p99_us: p99_us(quiescent),
         busy_p99_us: p99_us(busy),
         queries,
-        busy_flushes: stats.flushes - baseline_stats.flushes,
-        busy_reader_retries: stats.reader_retries - baseline_stats.reader_retries,
+        busy_flushes: stats.flushes.saturating_sub(baseline_stats.flushes),
+        busy_reader_retries: stats
+            .reader_retries
+            .saturating_sub(baseline_stats.reader_retries),
+        busy_errors,
     }
 }
 
@@ -1261,12 +1276,20 @@ mod tests {
         let tail = checkpoint_read_tail(800, 2000, 17);
         eprintln!(
             "smoke checkpoint tail: p99 {:.1}µs quiescent vs {:.1}µs busy \
-             ({} flushes, {} reader retries during busy phase)",
-            tail.quiescent_p99_us, tail.busy_p99_us, tail.busy_flushes, tail.busy_reader_retries
+             ({} flushes, {} reader retries, {} busy errors during busy phase)",
+            tail.quiescent_p99_us,
+            tail.busy_p99_us,
+            tail.busy_flushes,
+            tail.busy_reader_retries,
+            tail.busy_errors
         );
         assert!(
             tail.busy_flushes > 0,
             "the background checkpointer must have flushed during the busy phase"
+        );
+        assert_eq!(
+            tail.busy_errors, 0,
+            "versioned reads must never surface Busy under a committing writer"
         );
         if hw >= 4 && serial && !cfg!(debug_assertions) {
             assert!(
@@ -1306,7 +1329,8 @@ mod tests {
                 "busy_p99_us": tail.busy_p99_us,
                 "busy_over_quiescent": tail.busy_p99_us / tail.quiescent_p99_us.max(1e-9),
                 "busy_flushes": tail.busy_flushes,
-                "busy_reader_retries": tail.busy_reader_retries
+                "busy_reader_retries": tail.busy_reader_retries,
+                "busy_errors": tail.busy_errors
             })
         });
         let path = report_path("commit");

@@ -9,13 +9,19 @@
 //! in submission order. No extra dependencies: plain `std::thread::scope`
 //! plus an atomic work cursor.
 //!
-//! Because workers run on snapshot readers, a batch can execute *while the
-//! writer keeps loading trees* — queries see the last committed state and
-//! never wait for the load to finish.
+//! The executor pins **one snapshot epoch for the whole batch**
+//! ([`RepositoryReader::pin`]): every query in the batch evaluates the same
+//! committed state, so the batch's results are mutually consistent even
+//! while the writer keeps loading trees mid-batch — queries see the state
+//! as of the pin and never wait for a load to finish. If the pinned epoch
+//! is retired mid-batch (the writer out-ran the bounded version chain — the
+//! stress harness shows this is unreachable at the current depth), the
+//! affected query transparently falls back to the reader's own re-pinning
+//! path rather than failing the batch.
 
-use crate::error::CrimsonResult;
+use crate::error::{CrimsonError, CrimsonResult};
 use crate::query::PatternMatch;
-use crate::reader::RepositoryReader;
+use crate::reader::{PinnedReader, RepositoryReader};
 use crate::repository::{NodeRecord, Repository, StoredNodeId, TreeHandle};
 use parking_lot::Mutex;
 use phylo::Tree;
@@ -97,9 +103,11 @@ impl QueryBatch {
     }
 
     /// Execute the batch against an existing reader (its caches stay warm
-    /// across batches). `threads` is clamped to `[1, batch size]`; workers
-    /// pull queries off a shared atomic cursor, so an expensive projection
-    /// does not stall the rest of the batch behind a static partition.
+    /// across batches). One snapshot epoch is pinned up front and shared by
+    /// every query, so the whole batch reads one committed state. `threads`
+    /// is clamped to `[1, batch size]`; workers pull queries off a shared
+    /// atomic cursor, so an expensive projection does not stall the rest of
+    /// the batch behind a static partition.
     pub fn execute_on(
         &self,
         reader: &RepositoryReader,
@@ -109,6 +117,11 @@ impl QueryBatch {
         if n == 0 {
             return Vec::new();
         }
+        // Pin the batch's epoch. Pinning only fails on a storage-level
+        // error resolving the epoch's catalog; degrade to per-query
+        // snapshots (each query pins its own epoch) rather than failing
+        // the batch outright.
+        let pinned = reader.pin().ok();
         let workers = threads.clamp(1, n);
         let cursor = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<CrimsonResult<BatchOutput>>>> =
@@ -118,12 +131,24 @@ impl QueryBatch {
                 let cursor = &cursor;
                 let slots = &slots;
                 let queries = &self.queries;
+                let pinned = pinned.as_ref();
                 scope.spawn(move || loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
                     }
-                    let out = run_query(reader, &queries[i]);
+                    let out = match pinned {
+                        Some(pin) => match run_query_pinned(pin, &queries[i]) {
+                            // The pinned epoch outlived the bounded version
+                            // chain: serve this query through the reader's
+                            // re-pinning path instead of failing it.
+                            Err(CrimsonError::Storage(
+                                storage::StorageError::SnapshotRetired { .. },
+                            )) => run_query(reader, &queries[i]),
+                            out => out,
+                        },
+                        None => run_query(reader, &queries[i]),
+                    };
                     *slots[i].lock() = Some(out);
                 });
             }
@@ -132,6 +157,25 @@ impl QueryBatch {
             .into_iter()
             .map(|slot| slot.into_inner().expect("worker filled every slot"))
             .collect()
+    }
+}
+
+fn run_query_pinned(reader: &PinnedReader<'_>, query: &BatchQuery) -> CrimsonResult<BatchOutput> {
+    match query {
+        BatchQuery::Lca(a, b) => reader.lca(*a, *b).map(BatchOutput::Node),
+        BatchQuery::IsAncestor(a, b) => reader.is_ancestor(*a, *b).map(BatchOutput::Flag),
+        BatchQuery::SpanningClade(nodes) => {
+            reader.minimal_spanning_clade(nodes).map(BatchOutput::Nodes)
+        }
+        BatchQuery::Project(handle, leaves) => {
+            reader.project(*handle, leaves).map(BatchOutput::Tree)
+        }
+        BatchQuery::PatternMatch(handle, pattern) => reader
+            .pattern_match(*handle, pattern)
+            .map(|m| BatchOutput::Match(Box::new(m))),
+        BatchQuery::NodeRecord(id) => reader
+            .node_record(*id)
+            .map(|r| BatchOutput::Record(Box::new(r))),
     }
 }
 

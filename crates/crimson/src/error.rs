@@ -40,10 +40,13 @@ pub enum CrimsonError {
     /// panic; surfaced as a typed error so callers can distinguish a damaged
     /// repository file from a caller mistake.
     CorruptRepository(String),
-    /// A snapshot read exhausted its retry budget against a continuously
-    /// committing writer; the underlying failure may be an artifact of the
-    /// mixed read view rather than real corruption. Retry when the write
-    /// burst subsides.
+    /// A snapshot read exhausted its re-pin budget: every pinned epoch was
+    /// retired mid-operation because the writer committed past the pool's
+    /// bounded per-page version chains each time. With versioned reads this
+    /// is a cold fallback (the stress harness shows it is unreachable at
+    /// the shipped chain depth), kept so the snapshot contract degrades
+    /// loudly instead of serving a torn view. Retry when the write burst
+    /// subsides.
     Busy(String),
 }
 

@@ -803,6 +803,10 @@ fn evaluate_grid(
                         break;
                     }
                     let cell = cells[i];
+                    // One pinned snapshot epoch per cell (reader.read()
+                    // pins before the first page touch): the whole cell —
+                    // sampling, distance estimation, comparison — sees one
+                    // committed state even while sibling cells commit.
                     let out = reader.evaluate_cell(
                         gold,
                         spec.methods[cell.mi],

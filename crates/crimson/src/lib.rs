@@ -89,7 +89,7 @@ pub use experiment::{
     DistanceSource, EvalReport, EvalSpec, ExperimentRecord, ExperimentResult, ExperimentRunner,
     ExperimentSpec, Method,
 };
-pub use reader::{ReadRetry, RepositoryReader};
+pub use reader::{PinnedReader, ReadRetry, RepositoryReader};
 pub use repository::{
     DegradedReport, Durability, Repository, RepositoryOptions, ScrubReport, StoredNodeId,
     TreeHandle,
@@ -107,7 +107,7 @@ pub mod prelude {
     };
     pub use crate::history::QueryKind;
     pub use crate::loader::LoadMode;
-    pub use crate::reader::{ReadRetry, RepositoryReader};
+    pub use crate::reader::{PinnedReader, ReadRetry, RepositoryReader};
     pub use crate::repository::{
         DegradedReport, Durability, IntegrityReport, Repository, RepositoryOptions, ScrubReport,
         StoredNodeId, TreeHandle,

@@ -3,22 +3,37 @@
 //! Crimson is pitched as a shared service: many researchers query the same
 //! repository while new gold standards keep loading. [`RepositoryReader`]
 //! is the handle that makes that concurrent: it is `Send + Sync`, shares
-//! the writer's buffer pool, and serves every read from the last
-//! **committed** state — the storage layer's before-image overlay makes the
-//! writer's in-flight transaction invisible, so readers never block behind
-//! a load and never observe a half-loaded tree.
+//! the writer's buffer pool, and serves every read from a **pinned
+//! committed snapshot** — the storage layer's per-page version chains make
+//! the writer's in-flight transaction (and every commit that lands after
+//! the pin) invisible, so readers never block behind a load and never
+//! observe a half-loaded tree.
 //!
 //! ## The snapshot-read rule
 //!
-//! A single page read is always committed-consistent. A multi-page
-//! operation (an LCA walk, a clade scan, a projection) could still straddle
-//! a commit — the first pages read pre-commit, the rest post-commit. The
-//! reader brackets every public operation with the pool's read generation
-//! and retries the operation when the generation moved. Retries are cheap
-//! (the touched pages are hot) and rare (one per commit per in-flight
-//! operation); queries over already-loaded trees return identical results
-//! either way, so the retry only exists to rule out torn *index structure*
-//! reads, which would otherwise surface as spurious errors.
+//! A single page read is always committed-consistent, but a multi-page
+//! operation (an LCA walk, a clade scan, a projection) must not straddle a
+//! commit — the first pages read pre-commit, the rest post-commit. Every
+//! public operation therefore **pins a snapshot epoch** before its first
+//! page touch ([`storage::db::DbReader::pin_epoch`]) and runs entirely
+//! against that epoch's view ([`storage::EpochView`]): the pool keeps the
+//! last `K = `[`storage::buffer::VERSION_CHAIN_CAP`] committed versions of
+//! every recently-written page, and the pinned read resolves each page to
+//! the newest version at or below its epoch. Commits landing mid-operation
+//! are simply never seen — the operation completes against a frozen state
+//! without retrying, however fast the writer commits.
+//!
+//! The one residual failure is [`storage::StorageError::SnapshotRetired`]:
+//! the version chain is bounded, so a read that holds its pin while the
+//! writer commits more than K new versions of a page the read then touches
+//! finds its epoch garbage-collected. The reader handles it by re-pinning
+//! a fresh epoch and re-running the operation, bounded by [`ReadRetry`];
+//! exhausting that budget surfaces
+//! [`CrimsonError::Busy`](crate::error::CrimsonError::Busy). The
+//! concurrency stress harness drives a group-commit-cadence writer against
+//! four readers and observes zero retirements at K = 4, so the fallback is
+//! cold in practice — kept only so the contract degrades loudly instead of
+//! serving a torn view if a future workload breaks the bound.
 //!
 //! Each reader carries its own record/interval caches (sharded, see
 //! [`crate::cache::ShardedCache`]). Cached rows are immutable once loaded
@@ -26,7 +41,7 @@
 //! invalidation — exactly the same argument the writer's caches rely on.
 
 use crate::cache::ShardedCache;
-use crate::error::CrimsonResult;
+use crate::error::{CrimsonError, CrimsonResult};
 use crate::history::{HistoryEntry, QueryKind};
 use crate::query::PatternMatch;
 use crate::repository::{
@@ -36,19 +51,36 @@ use crate::repository::{
 use labeling::interval::IntervalEntry;
 use phylo::Tree;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use storage::db::DbReader;
+use storage::{EpochView, StorageError};
 
-/// Retry/backoff policy for snapshot reads racing a rapid committer: a
+/// Monotone id source for per-reader backoff salts: every reader gets its
+/// own splitmix64-whitened seed, so concurrent readers that do hit the
+/// (cold) re-pin path sleep *different* jittered intervals instead of
+/// phase-locking to each other.
+static READER_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// splitmix64 — cheap, seedable, good enough to decorrelate readers.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Retry/backoff policy for the **cold** snapshot-retired fallback: a
 /// bounded number of attempts with **jittered exponential backoff** between
-/// them. A bare spin (the old behaviour, reachable with
-/// `base_delay: Duration::ZERO`) keeps every retry phase-locked to the
-/// writer's commit cadence; backing off with jitter desynchronises the
-/// reader so it lands in an inter-commit gap after a couple of attempts.
+/// them. Under versioned reads an attempt only fails when the writer
+/// committed more than [`storage::buffer::VERSION_CHAIN_CAP`] versions of a
+/// touched page while the read held its pin; backing off with per-reader
+/// jitter desynchronises the re-pin from the commit cadence (and from other
+/// readers) so the retry lands inside the version window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReadRetry {
-    /// Maximum bracket attempts before giving up with
+    /// Maximum pin attempts before giving up with
     /// [`CrimsonError::Busy`](crate::error::CrimsonError::Busy).
     pub attempts: usize,
     /// Backoff before the second attempt; doubles per retry. Zero disables
@@ -83,13 +115,7 @@ impl ReadRetry {
             .saturating_mul(1u32 << shift.min(31))
             .min(ceiling);
         let nanos = delay.as_nanos() as u64;
-        // splitmix64: cheap, seedable, good enough to decorrelate readers.
-        let mut z = salt
-            .wrapping_add(attempt as u64)
-            .wrapping_add(0x9e37_79b9_7f4a_7c15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^= z >> 31;
+        let z = splitmix64(salt.wrapping_add(attempt as u64));
         let jittered = nanos / 2 + z % (nanos / 2 + 1);
         std::thread::sleep(Duration::from_nanos(jittered));
     }
@@ -105,6 +131,10 @@ pub struct RepositoryReader {
     records: ShardedCache<StoredNodeId, Arc<NodeRecord>>,
     entries: ShardedCache<u64, IntervalEntry>,
     retry: ReadRetry,
+    /// Per-reader backoff salt (whitened instance counter): distinct per
+    /// reader by construction, so the jittered backoffs of concurrent
+    /// readers are decorrelated even when they retire at the same instant.
+    salt: u64,
 }
 
 impl std::fmt::Debug for RepositoryReader {
@@ -123,6 +153,7 @@ impl RepositoryReader {
             records: ShardedCache::new(RECORD_CACHE_GEN),
             entries: ShardedCache::new(ENTRY_CACHE_GEN),
             retry: ReadRetry::default(),
+            salt: splitmix64(READER_SEQ.fetch_add(1, Ordering::Relaxed)),
         })
     }
 
@@ -132,7 +163,8 @@ impl RepositoryReader {
         self.db.generation()
     }
 
-    /// Replace the retry/backoff policy for this reader's snapshot brackets.
+    /// Replace the retry/backoff policy for this reader's (cold)
+    /// snapshot-retired fallback.
     pub fn set_read_retry(&mut self, retry: ReadRetry) {
         self.retry = ReadRetry {
             attempts: retry.attempts.max(1),
@@ -145,49 +177,74 @@ impl RepositoryReader {
         self.retry
     }
 
-    /// Run `f` over the snapshot read engine, retrying — with jittered
-    /// exponential backoff — when a commit lands mid-operation (see the
-    /// module docs for why that is both rare and cheap).
-    fn read<R>(&self, f: impl Fn(&ReadCtx<'_, DbReader>) -> CrimsonResult<R>) -> CrimsonResult<R> {
-        let mut last = None;
+    /// Pin a snapshot of the current committed state. Every query method on
+    /// the returned [`PinnedReader`] evaluates against this one frozen
+    /// epoch — commits landing after the pin are invisible until the pin is
+    /// dropped. Use it to make a *group* of reads mutually consistent (the
+    /// batch executor pins one epoch per batch) or to hold a stable view
+    /// open across writer activity.
+    pub fn pin(&self) -> CrimsonResult<PinnedReader<'_>> {
+        let pin = self.db.pin_epoch();
+        let view = self.db.at_epoch(&pin)?;
+        Ok(PinnedReader {
+            reader: self,
+            _pin: pin,
+            view,
+        })
+    }
+
+    /// Run `f` against a freshly pinned snapshot epoch: pin, resolve the
+    /// epoch view, run, unpin. The operation never races the writer — its
+    /// epoch's page versions are immutable — so the only reason to loop is
+    /// the cold [`StorageError::SnapshotRetired`] fallback (the writer
+    /// committed past the bounded version chain mid-operation), in which
+    /// case we re-pin a fresh epoch after a jittered backoff.
+    fn read<R>(
+        &self,
+        f: impl Fn(&ReadCtx<'_, EpochView<'_>>) -> CrimsonResult<R>,
+    ) -> CrimsonResult<R> {
         let attempts = self.retry.attempts.max(1);
+        let mut last = String::new();
         for attempt in 0..attempts {
             if attempt > 0 {
-                // Count the retry in the pool's shared statistics: the
-                // writer-side harnesses assert that background checkpoints
-                // do not spike this.
+                // Count the re-pin in the pool's shared statistics: the
+                // concurrency harnesses assert this stays flat (zero) under
+                // a continuously committing writer.
                 self.db.note_snapshot_retry();
-                // Back off before re-bracketing: a phase-locked spin against
-                // a fast committer can lose every race; sleeping a jittered,
-                // growing interval lands the retry in an inter-commit gap.
-                self.retry.backoff(attempt, self.db.generation());
+                // Back off before re-pinning so the fresh epoch has a full
+                // version window ahead of it; per-reader salt keeps
+                // concurrent readers from phase-locking on the same
+                // schedule.
+                self.retry.backoff(attempt, self.salt);
             }
-            let gen = self.db.stable_generation();
-            let ctx = ReadCtx {
-                db: &self.db,
-                tables: self.tables,
-                records: &self.records,
-                entries: &self.entries,
-            };
-            let out = f(&ctx);
-            if self.db.generation() == gen {
-                return out;
+            let pin = self.db.pin_epoch();
+            let out = self
+                .db
+                .at_epoch(&pin)
+                .map_err(CrimsonError::from)
+                .and_then(|view| {
+                    let ctx = ReadCtx {
+                        db: &view,
+                        tables: self.tables,
+                        records: &self.records,
+                        entries: &self.entries,
+                    };
+                    f(&ctx)
+                });
+            match out {
+                Err(e) if snapshot_retired(&e) => last = e.to_string(),
+                other => return other,
             }
-            last = Some(out);
         }
-        // Every bracket lost the race against a committing writer — only
-        // possible when the operation itself takes longer than the writer's
-        // inter-commit gap, continuously. Either way the result may mix two
-        // committed states, so the committed-snapshot contract cannot be
-        // honoured; report Busy rather than serving a possibly-torn value
-        // or phantom corruption.
+        // Every pinned attempt outlived its version chain — the writer
+        // committed more than the chain capacity of versions of some page
+        // this operation touches, every time. Report Busy rather than
+        // serving a possibly-torn value; the stress harness shows this is
+        // unreachable at the current chain depth.
         self.db.note_snapshot_retry();
-        let detail = match &last.expect("attempts is at least 1") {
-            Ok(_) => "the last attempt succeeded but its bracket did not hold".to_string(),
-            Err(e) => format!("the last attempt failed with: {e}"),
-        };
-        Err(crate::error::CrimsonError::Busy(format!(
-            "read retried {attempts} times against a continuously committing writer; {detail}"
+        Err(CrimsonError::Busy(format!(
+            "read re-pinned {attempts} times against a continuously committing writer; \
+             the last attempt failed with: {last}"
         )))
     }
 
@@ -495,6 +552,164 @@ impl RepositoryReader {
     /// Cross-table invariant check over the committed state.
     pub fn integrity_check(&self) -> CrimsonResult<IntegrityReport> {
         self.read(|ctx| ctx.integrity_check())
+    }
+}
+
+/// `true` when the error is the (cold) snapshot-retired signal — the only
+/// failure [`RepositoryReader::read`] re-pins on.
+fn snapshot_retired(e: &CrimsonError) -> bool {
+    matches!(
+        e,
+        CrimsonError::Storage(StorageError::SnapshotRetired { .. })
+    )
+}
+
+/// A [`RepositoryReader`] frozen at one snapshot epoch, created by
+/// [`RepositoryReader::pin`]. Every query evaluates against the same
+/// committed state however many commits land while the pin is held, which
+/// makes a *group* of reads mutually consistent — the property the batch
+/// executor and the experiment sweep rely on. Shares the parent reader's
+/// row caches.
+///
+/// Holding the pin keeps the epoch's page versions alive in the pool, so
+/// drop it promptly when done. A query can still fail with
+/// [`StorageError::SnapshotRetired`] if the writer commits more versions of
+/// a touched page than the bounded chain keeps (unreachable in the stress
+/// harness at the current depth); callers who need to absorb even that fall
+/// back to the parent reader's re-pinning methods.
+pub struct PinnedReader<'a> {
+    reader: &'a RepositoryReader,
+    _pin: storage::EpochPin,
+    view: EpochView<'a>,
+}
+
+impl std::fmt::Debug for PinnedReader<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PinnedReader")
+            .field("epoch", &self.view.epoch())
+            .finish()
+    }
+}
+
+impl PinnedReader<'_> {
+    /// The pinned snapshot epoch (the commit sequence this view reads as
+    /// of).
+    pub fn epoch(&self) -> u64 {
+        self.view.epoch()
+    }
+
+    /// Run `f` against the pinned epoch view with the parent reader's
+    /// caches.
+    fn run<R>(
+        &self,
+        f: impl FnOnce(&ReadCtx<'_, EpochView<'_>>) -> CrimsonResult<R>,
+    ) -> CrimsonResult<R> {
+        let ctx = ReadCtx {
+            db: &self.view,
+            tables: self.reader.tables,
+            records: &self.reader.records,
+            entries: &self.reader.entries,
+        };
+        f(&ctx)
+    }
+
+    /// Look up a tree by name.
+    pub fn find_tree(&self, name: &str) -> CrimsonResult<Option<TreeRecord>> {
+        self.run(|ctx| ctx.find_tree(name))
+    }
+
+    /// Look up a tree by name, failing when absent.
+    pub fn tree_by_name(&self, name: &str) -> CrimsonResult<TreeRecord> {
+        self.run(|ctx| ctx.tree_by_name(name))
+    }
+
+    /// All trees committed as of the pinned epoch.
+    pub fn list_trees(&self) -> CrimsonResult<Vec<TreeRecord>> {
+        self.run(|ctx| ctx.list_trees())
+    }
+
+    /// Fetch a node row (through the parent reader's record cache).
+    pub fn node_record(&self, id: StoredNodeId) -> CrimsonResult<NodeRecord> {
+        self.run(|ctx| ctx.node_record(id))
+    }
+
+    /// All leaf node ids of a tree.
+    pub fn leaves(&self, handle: TreeHandle) -> CrimsonResult<Vec<StoredNodeId>> {
+        self.run(|ctx| ctx.leaves(handle))
+    }
+
+    /// The leaf node a species name maps to in the given tree, if any.
+    pub fn species_node(
+        &self,
+        handle: TreeHandle,
+        name: &str,
+    ) -> CrimsonResult<Option<StoredNodeId>> {
+        self.run(|ctx| ctx.species_node(handle, name))
+    }
+
+    /// Least common ancestor over the interval index.
+    pub fn lca(&self, a: StoredNodeId, b: StoredNodeId) -> CrimsonResult<StoredNodeId> {
+        self.run(|ctx| ctx.lca(a, b))
+    }
+
+    /// Ancestor-or-self test.
+    pub fn is_ancestor(&self, ancestor: StoredNodeId, node: StoredNodeId) -> CrimsonResult<bool> {
+        self.run(|ctx| ctx.is_ancestor(ancestor, node))
+    }
+
+    /// Reference LCA over the stored hierarchical labels.
+    pub fn lca_label_walk(&self, a: StoredNodeId, b: StoredNodeId) -> CrimsonResult<StoredNodeId> {
+        self.run(|ctx| ctx.lca_label_walk(a, b))
+    }
+
+    /// Minimal spanning clade (one LCA + one interval range scan).
+    pub fn minimal_spanning_clade(
+        &self,
+        nodes: &[StoredNodeId],
+    ) -> CrimsonResult<Vec<StoredNodeId>> {
+        self.run(|ctx| ctx.minimal_spanning_clade(nodes))
+    }
+
+    /// Reference spanning clade (label-walk LCA + BFS row fetches).
+    pub fn minimal_spanning_clade_reference(
+        &self,
+        nodes: &[StoredNodeId],
+    ) -> CrimsonResult<Vec<StoredNodeId>> {
+        self.run(|ctx| ctx.minimal_spanning_clade_reference(nodes))
+    }
+
+    /// Tree projection onto a leaf selection.
+    pub fn project(&self, handle: TreeHandle, leaves: &[StoredNodeId]) -> CrimsonResult<Tree> {
+        self.run(|ctx| ctx.project(handle, leaves))
+    }
+
+    /// Reference projection (per-pair label walks, uncached rows).
+    pub fn project_reference(
+        &self,
+        handle: TreeHandle,
+        leaves: &[StoredNodeId],
+    ) -> CrimsonResult<Tree> {
+        self.run(|ctx| ctx.project_reference(handle, leaves))
+    }
+
+    /// Tree pattern match (projection + comparison).
+    pub fn pattern_match(&self, handle: TreeHandle, pattern: &Tree) -> CrimsonResult<PatternMatch> {
+        self.run(|ctx| ctx.pattern_match(handle, pattern))
+    }
+
+    /// Compare two stored trees inside the interval index.
+    pub fn compare_stored(
+        &self,
+        a: TreeHandle,
+        b: TreeHandle,
+        triplets: bool,
+    ) -> CrimsonResult<reconstruction::compare::SourceComparison> {
+        self.run(|ctx| ctx.compare_stored(a, b, triplets))
+    }
+
+    /// The names of a set of stored leaf nodes.
+    pub fn names_of(&self, nodes: &[StoredNodeId]) -> CrimsonResult<Vec<String>> {
+        self.run(|ctx| ctx.names_of(nodes))
     }
 }
 

@@ -1289,6 +1289,20 @@ impl Repository {
         (self.db.pool().resident_pages(), self.db.pool().capacity())
     }
 
+    /// Number of pages holding stored MVCC version state (pending or
+    /// committed history). The concurrency harness's leak check: this
+    /// returns to zero once no reader epoch is pinned and no transaction
+    /// is open.
+    pub fn version_pages(&self) -> usize {
+        self.db.pool().version_pages()
+    }
+
+    /// Number of live pinned reader epochs (pin count, not distinct
+    /// epochs).
+    pub fn pinned_epochs(&self) -> usize {
+        self.db.pool().pinned_epochs()
+    }
+
     /// Reset buffer-pool statistics.
     pub fn reset_buffer_stats(&self) {
         self.db.reset_buffer_stats()

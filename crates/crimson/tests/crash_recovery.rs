@@ -279,3 +279,30 @@ fn reopen_without_flush_replays_the_load() {
     let base = repo.tree_by_name("base").unwrap();
     cross_validate(&repo, base.handle);
 }
+
+#[test]
+fn async_commit_survives_clean_close() {
+    // Clean-close durability for `Durability::Async`: an acknowledged
+    // async commit sits in the pipelined WAL queue until some later sync.
+    // Dropping the repository without flush() or sync() must drain and
+    // fsync that queue (the pool's flush-on-drop), so the tree is present
+    // on reopen rather than silently vanishing.
+    let dir = tempdir().unwrap();
+    let path = dir.path().join("repo.crimson");
+    let opts = RepositoryOptions {
+        durability: Durability::Async,
+        ..small_opts()
+    };
+    {
+        let mut repo = Repository::create(&path, opts.clone()).unwrap();
+        repo.load_newick("async_tree", &tree_newick(80, 29))
+            .unwrap();
+        // No flush, no sync: drop while the commit may still be queued.
+    }
+    let repo = Repository::open(&path, opts).unwrap();
+    repo.integrity_check().unwrap();
+    let tree = repo
+        .tree_by_name("async_tree")
+        .expect("async-committed tree lost across a clean close");
+    cross_validate(&repo, tree.handle);
+}

@@ -23,8 +23,8 @@
 //!   hits never touch it; misses, mutations and eviction serialize on it,
 //!   which is exactly the WAL-before-data ordering anyway.
 //! * **Latch order** (deadlock freedom): io latch → shard map → frame
-//!   latch → snapshot overlay. A thread holding a later lock never acquires
-//!   an earlier one.
+//!   latch → mvcc registry → version map. A thread holding a later lock
+//!   never acquires an earlier one.
 //! * **Fixed capacity, clock eviction.** Residency never exceeds `capacity`
 //!   pages globally (not per shard). The clock hand sweeps shards round-robin
 //!   clearing reference bits; the first unpinned, unreferenced frame is the
@@ -37,24 +37,47 @@
 //!   guard that keeps the frame resident (the clock skips pinned frames) and
 //!   gives lock-free read access to the page bytes for the guard's lifetime.
 //!
-//! ## Snapshot reads
+//! ## Versioned snapshot reads (MVCC)
 //!
-//! Concurrent readers must never observe an in-flight transaction. The pool
-//! keeps a **before-image overlay**: when a transaction first touches a
-//! page, the pristine `Arc<Page>` (the same capture the undo log needs) is
-//! also published in an overlay map. A snapshot read
-//! ([`BufferPool::with_page_snapshot`] / [`BufferPool::pin_snapshot`], or
-//! the [`Snapshot`] page source) reads the current frame first and then
-//! consults the overlay — if the page was touched by the open transaction,
-//! the before-image wins. Readers therefore always see the last *committed*
-//! state and never block behind an in-flight load.
+//! Concurrent readers must never observe an in-flight transaction — and
+//! must never be starved into giving up by a continuously committing
+//! writer. The pool keeps **bounded per-page version chains**: when a
+//! transaction first touches a page, the pristine `Arc<Page>` (the same
+//! capture the undo log needs) is published as the chain's *pending*
+//! before-image; at commit the pending image graduates into the chain's
+//! *committed* history, stamped with the epoch range it was current for.
+//! Each chain keeps at most [`BufferPool::VERSION_CHAIN_CAP`] committed
+//! versions.
 //!
-//! Commit and rollback retire the overlay inside a **view transition**: the
-//! [`BufferPool::read_generation`] counter goes odd, the overlay is cleared
-//! (commit) or the before-images are restored into the frames (rollback),
-//! and the counter goes even again. A reader that observes a generation
-//! change across a multi-page operation retries it; see
-//! `crimson::reader::RepositoryReader`.
+//! A reader **pins an epoch** ([`BufferPool::pin_epoch`]) — the commit
+//! sequence of the last published commit — and reads every page *as of*
+//! that epoch ([`BufferPool::with_page_at`] / [`BufferPool::pin_at`]): the
+//! chain entry with the smallest `valid_through >= epoch` governs; with no
+//! governing entry the pending image (if the open transaction touched the
+//! page) and then the live frame serve. Because a pinned epoch keeps its
+//! versions alive, a multi-page read runs start to finish against one
+//! frozen view and **never retries**, however fast the writer commits.
+//!
+//! Versions retire via **lazy GC on commit**: entries no pinned epoch can
+//! govern are dropped, and a chain past its cap sheds its oldest entries,
+//! raising the pool-wide [`BufferPool::version_floor`]. A reader whose
+//! epoch sinks below the floor gets [`StorageError::SnapshotRetired`] and
+//! re-pins — the only (cold) retry left, reachable only when a pinned
+//! read outlives `VERSION_CHAIN_CAP` commits that all touch its pages.
+//! When the last pin drops, all committed versions are cleared eagerly: a
+//! fresh pin at the current epoch always reads live frames.
+//!
+//! The writer's own committed view ([`BufferPool::with_page_snapshot`] /
+//! [`BufferPool::pin_snapshot`], or the [`Snapshot`] page source) is the
+//! degenerate epoch `commit_seq`: only the pending before-image can
+//! govern, so those paths check just the pending slot.
+//!
+//! Commit and rollback publish inside a **view transition**: the
+//! [`BufferPool::read_generation`] counter goes odd, pending images
+//! graduate (commit) or are restored into the frames (rollback), and the
+//! counter goes even again. Readers no longer retry on generation changes;
+//! the counter survives as a cheap "did anything commit?" key for cached
+//! reader metadata (catalog roots).
 //!
 //! ## Transactions and WAL-before-data
 //!
@@ -139,10 +162,15 @@ pub struct BufferStats {
     /// group_commits` (every member beyond the first in a round rode a
     /// shared fsync).
     pub fsyncs_saved: u64,
-    /// Snapshot-read retries observed by readers (generation changes and
-    /// `Busy` give-ups), reported via [`BufferPool::note_reader_retry`].
-    /// Background checkpoints must not spike this.
+    /// Snapshot-read retries observed by readers (today only the cold
+    /// re-pin after [`StorageError::SnapshotRetired`]), reported via
+    /// [`BufferPool::note_reader_retry`]. Under MVCC this stays flat in
+    /// steady state; the stress harness asserts it.
     pub reader_retries: u64,
+    /// Versioned reads served from a stored (non-live) chain entry — the
+    /// reads that would have raced the writer under the old
+    /// generation-retry scheme.
+    pub version_reads: u64,
 }
 
 impl BufferStats {
@@ -182,6 +210,7 @@ struct AtomicStats {
     corrupt_pages: AtomicU64,
     repaired_pages: AtomicU64,
     quarantined_pages: AtomicU64,
+    version_reads: AtomicU64,
 }
 
 impl AtomicStats {
@@ -195,6 +224,7 @@ impl AtomicStats {
             corrupt_pages: self.corrupt_pages.load(Ordering::Relaxed),
             repaired_pages: self.repaired_pages.load(Ordering::Relaxed),
             quarantined_pages: self.quarantined_pages.load(Ordering::Relaxed),
+            version_reads: self.version_reads.load(Ordering::Relaxed),
             ..BufferStats::default()
         }
     }
@@ -208,6 +238,7 @@ impl AtomicStats {
         self.corrupt_pages.store(0, Ordering::Relaxed);
         self.repaired_pages.store(0, Ordering::Relaxed);
         self.quarantined_pages.store(0, Ordering::Relaxed);
+        self.version_reads.store(0, Ordering::Relaxed);
     }
 
     #[inline]
@@ -388,6 +419,59 @@ impl ShardMap {
     }
 }
 
+/// One stored page image: `None` means the page did not exist (it was
+/// allocated by a later transaction); versioned reads serve an empty page.
+type VersionImage = Option<Arc<Page>>;
+
+/// Bounded multi-version history of one page.
+///
+/// `committed` holds past images in ascending `valid_through` order: the
+/// entry `(T, image)` is the page's content for every epoch in
+/// `(prev_T, T]`, where `prev_T` is the previous entry's stamp (or the
+/// pool-wide version floor minus one for the oldest entry — the floor is
+/// raised whenever an older entry is dropped, so the oldest entry's range
+/// is never under-covered). `pending` is the open transaction's
+/// before-image — the content current *through the present commit
+/// sequence* — and graduates into `committed` when the transaction
+/// commits.
+#[derive(Default)]
+struct VersionChain {
+    committed: Vec<(u64, VersionImage)>,
+    pending: Option<VersionImage>,
+}
+
+impl VersionChain {
+    /// The committed entry governing `epoch`: the one with the smallest
+    /// `valid_through >= epoch`. `None` means the chain stores nothing for
+    /// this epoch — the pending image or the live frame is current.
+    fn governing(&self, epoch: u64) -> Option<&VersionImage> {
+        let idx = self.committed.partition_point(|&(t, _)| t < epoch);
+        self.committed.get(idx).map(|(_, image)| image)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.committed.is_empty() && self.pending.is_none()
+    }
+}
+
+/// The epoch registry and commit sequencing — everything versioned reads
+/// coordinate with the committer on. One short mutex: pinning an epoch
+/// reads `commit_seq` and registers under the *same* lock GC takes, so a
+/// pin can never race a commit into pinning an epoch whose versions were
+/// just collected.
+struct MvccState {
+    /// Sequence of the last published commit. Epoch 0 is the state at
+    /// open.
+    commit_seq: u64,
+    /// Pinned epochs → pin count. The smallest key is the GC horizon.
+    epochs: BTreeMap<u64, usize>,
+    /// Commit sequence → catalog root published by that commit, seeded
+    /// with `(0, root-at-open)`. A pinned reader resolves its catalog from
+    /// the governing (largest `seq <= epoch`) entry. GC keeps the
+    /// governing entry for the oldest pin and everything newer.
+    roots: BTreeMap<u64, PageId>,
+}
+
 /// Before-image captured on a transaction's first touch of a page.
 struct UndoEntry {
     /// `None` for pages allocated inside the transaction (their "before"
@@ -469,14 +553,23 @@ impl IoState {
 pub struct BufferPool {
     shards: Vec<Mutex<ShardMap>>,
     io: Mutex<IoState>,
-    /// Before-image overlay of the open transaction: page id → pristine
-    /// content (`None` for pages allocated inside the transaction). Snapshot
-    /// reads prefer this over the frame content.
-    overlay: RwLock<HashMap<PageId, Option<Arc<Page>>>>,
+    /// Per-page version chains: the open transaction's pending
+    /// before-image plus up to [`BufferPool::VERSION_CHAIN_CAP`] committed
+    /// historical images. Versioned reads prefer a governing chain entry
+    /// over the frame content.
+    versions: RwLock<HashMap<PageId, VersionChain>>,
+    /// Epoch registry + commit sequencing (see [`MvccState`]).
+    mvcc: Mutex<MvccState>,
+    /// Oldest epoch the version chains can still serve. Raised (under the
+    /// version-map write lock) whenever a committed entry is dropped while
+    /// an epoch below it could still be pinned; readers check it after
+    /// acquiring the version-map read lock, so a passed check guarantees
+    /// the epoch's entries are present for the whole lookup.
+    version_floor: AtomicU64,
     /// Read-view generation: even when the committed view is stable, odd
-    /// while commit/rollback retires the overlay. Bumped by two per
-    /// transition, so it doubles as a "did anything commit?" counter for
-    /// snapshot readers' cached metadata.
+    /// while commit/rollback publishes the version transition. Bumped by
+    /// two per transition, so it doubles as a "did anything commit?"
+    /// counter for snapshot readers' cached metadata.
     view_gen: AtomicU64,
     resident: AtomicUsize,
     capacity: usize,
@@ -507,7 +600,8 @@ impl std::fmt::Debug for BufferPool {
 
 /// Owned RAII guard for a pinned page: keeps the frame resident and readable
 /// without holding any pool lock. Dropping the guard unpins the frame.
-/// Snapshot pins of overlay pages carry no frame (nothing to unpin).
+/// Pins served from a stored version or pending before-image carry no
+/// frame (nothing to unpin; the guard owns the bytes).
 pub struct PinnedPage {
     pid: PageId,
     page: Arc<Page>,
@@ -534,6 +628,42 @@ impl Drop for PinnedPage {
             let prev = frame.pins.fetch_sub(1, Ordering::AcqRel);
             debug_assert!(prev > 0, "unpinning a frame that is not pinned");
         }
+    }
+}
+
+/// RAII guard for a pinned snapshot epoch (see [`BufferPool::pin_epoch`]).
+/// While it lives, every page version needed to read as of [`Self::epoch`]
+/// survives garbage collection (subject to the per-chain cap). Dropping
+/// the guard unregisters the epoch; when the last pin drops, stored
+/// versions are cleared eagerly.
+pub struct EpochPin {
+    pool: Arc<BufferPool>,
+    epoch: u64,
+}
+
+impl EpochPin {
+    /// The pinned commit sequence.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The pool this epoch is pinned on.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+}
+
+impl std::fmt::Debug for EpochPin {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochPin")
+            .field("epoch", &self.epoch)
+            .finish()
+    }
+}
+
+impl Drop for EpochPin {
+    fn drop(&mut self) {
+        self.pool.unpin_epoch(self.epoch);
     }
 }
 
@@ -565,8 +695,10 @@ impl PageSource for &BufferPool {
     }
 }
 
-/// The committed-snapshot view of a pool: reads route through the
-/// before-image overlay, so an in-flight transaction is invisible.
+/// The committed-snapshot view of a pool: reads route through the pending
+/// before-images, so an in-flight transaction is invisible. For reads
+/// frozen at a *pinned epoch* (stable across commits too), see
+/// [`BufferPool::pin_epoch`] and `db::EpochSnapshot`.
 #[derive(Clone, Copy)]
 pub struct Snapshot<'a>(pub &'a BufferPool);
 
@@ -587,6 +719,16 @@ impl PageSource for Snapshot<'_> {
 impl BufferPool {
     /// Default number of resident pages (~8 MiB with 8 KiB pages).
     pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// Hard cap on committed versions kept per page chain. Commit-time GC
+    /// is pin-aware — a chain holds at most one entry per live pinned
+    /// epoch, so ordinary operation never reaches the cap however many
+    /// commits a pin is held across. The cap only bites when more than
+    /// this many *distinct* pinned epochs demand versions of one page;
+    /// then the oldest pins are retired and their readers re-pin via
+    /// [`StorageError::SnapshotRetired`], bounding the memory a crowd of
+    /// stalled readers can pin.
+    pub const VERSION_CHAIN_CAP: usize = 4;
 
     /// Wrap a pager with the default capacity. Opening an existing file runs
     /// crash recovery against its WAL before the pool is usable.
@@ -610,6 +752,7 @@ impl BufferPool {
         };
         let capacity = capacity.max(8);
         let commit = wal.commit_handles();
+        let initial_root = pager.catalog_root();
         Ok(BufferPool {
             shards: (0..SHARD_COUNT)
                 .map(|_| Mutex::new(ShardMap::default()))
@@ -625,7 +768,13 @@ impl BufferPool {
                 read_only: false,
                 quarantined: BTreeMap::new(),
             }),
-            overlay: RwLock::new(HashMap::new()),
+            versions: RwLock::new(HashMap::new()),
+            mvcc: Mutex::new(MvccState {
+                commit_seq: 0,
+                epochs: BTreeMap::new(),
+                roots: BTreeMap::from([(0, initial_root)]),
+            }),
+            version_floor: AtomicU64::new(0),
             view_gen: AtomicU64::new(0),
             resident: AtomicUsize::new(0),
             capacity,
@@ -778,10 +927,10 @@ impl BufferPool {
     // ------------------------------------------------------------------
 
     /// The snapshot-read generation: even while the committed view is
-    /// stable, odd while a commit or rollback retires the overlay. A reader
-    /// that sees the generation change across a multi-page operation must
-    /// retry it; a reader that caches derived metadata (catalog roots) keys
-    /// the cache by this value.
+    /// stable, odd while a commit or rollback publishes its version
+    /// transition. Readers no longer retry on generation changes (pinned
+    /// epochs froze their view); a reader that caches derived metadata
+    /// (catalog roots) still keys the cache by this value.
     pub fn read_generation(&self) -> u64 {
         self.view_gen.load(Ordering::SeqCst)
     }
@@ -891,7 +1040,7 @@ impl BufferPool {
             // A read-only transaction changed nothing: the committed view is
             // untouched, so the generation must not advance (readers would
             // pointlessly rebuild their cached catalogs).
-            debug_assert!(self.overlay.read().is_empty());
+            debug_assert!(self.versions.read().values().all(|c| c.pending.is_none()));
             return Ok(io.wal.end_lsn());
         }
         if let Err(e) = io.check_writable() {
@@ -903,9 +1052,11 @@ impl BufferPool {
         }
         if !io.logging {
             // Unlogged but dirty: nothing to log, yet the committed view
-            // still advances — retire the overlay so snapshot readers
-            // observe the new state.
-            self.retire_overlay();
+            // still advances — publish the version transition so snapshot
+            // readers observe the new state.
+            self.begin_view_change();
+            self.publish_commit(io.pager.catalog_root());
+            self.end_view_change();
             return Ok(io.wal.end_lsn());
         }
         match self.log_commit(io, &txn) {
@@ -916,7 +1067,7 @@ impl BufferPool {
                         frame.body.write().rec_lsn = lsn;
                     }
                 }
-                self.overlay.write().clear();
+                self.publish_commit(io.pager.catalog_root());
                 self.end_view_change();
                 Ok(lsn)
             }
@@ -980,12 +1131,319 @@ impl BufferPool {
         result
     }
 
-    /// Clear the overlay inside a view transition (commit with nothing to
-    /// undo / nothing logged).
-    fn retire_overlay(&self) {
-        self.begin_view_change();
-        self.overlay.write().clear();
-        self.end_view_change();
+    // ------------------------------------------------------------------
+    // MVCC: epoch pinning and version publication
+    // ------------------------------------------------------------------
+
+    /// Publish a commit's version transition (io latch held, inside a view
+    /// change): graduate every pending before-image into its chain's
+    /// committed history stamped `valid_through = commit_seq` (its epoch
+    /// range ends at the pre-commit sequence), then garbage-collect
+    /// **pin-aware**: a committed entry survives exactly while some
+    /// registered epoch still resolves to it, so a pinned snapshot is
+    /// never retired by ordinary writer progress, however many commits
+    /// land while the pin is held — and a chain holds at most one entry
+    /// per live pinned epoch. Only when more than
+    /// [`BufferPool::VERSION_CHAIN_CAP`] *distinct* pinned epochs demand
+    /// versions of one page does the hard cap win: the oldest entries are
+    /// shed and the version floor rises past them, retiring the oldest
+    /// pins (their readers re-pin via [`StorageError::SnapshotRetired`]).
+    /// Finally the commit sequence advances and the new catalog root is
+    /// recorded.
+    fn publish_commit(&self, catalog_root: PageId) {
+        let mut mvcc = self.mvcc.lock();
+        let prev_seq = mvcc.commit_seq;
+        let next_seq = prev_seq + 1;
+        let min_pinned = mvcc.epochs.keys().next().copied();
+        {
+            let epochs = &mvcc.epochs;
+            let mut versions = self.versions.write();
+            let mut floor = self.version_floor.load(Ordering::Relaxed);
+            // With no pin at all, nothing can read stored history (a fresh
+            // pin lands at `next_seq`, which the live frames serve).
+            floor = floor.max(min_pinned.unwrap_or(next_seq));
+            versions.retain(|_, chain| {
+                if let Some(image) = chain.pending.take() {
+                    // Keep history only while somebody can still read it.
+                    if min_pinned.is_some() {
+                        chain.committed.push((prev_seq, image));
+                    }
+                }
+                // An entry `(t, _)` serves epochs in `(prev_t, t]`; pins
+                // are never created in the past, so an entry covering no
+                // registered epoch can never be read again — drop it.
+                let mut prev: Option<u64> = None;
+                chain.committed.retain(|&(t, _)| {
+                    let needed = match prev {
+                        None => epochs.range(..=t).next().is_some(),
+                        Some(p) => epochs.range(p + 1..=t).next().is_some(),
+                    };
+                    prev = Some(t);
+                    needed
+                });
+                if chain.committed.len() > Self::VERSION_CHAIN_CAP {
+                    // More than CAP distinct pinned epochs demand versions
+                    // of this one page: the hard bound wins. Shedding the
+                    // oldest entries makes their epochs unservable
+                    // pool-wide; readers pinned there re-pin via
+                    // `SnapshotRetired`.
+                    let excess = chain.committed.len() - Self::VERSION_CHAIN_CAP;
+                    floor = floor.max(chain.committed[excess - 1].0 + 1);
+                    chain.committed.drain(..excess);
+                }
+                !chain.is_empty()
+            });
+            // Stored under the version-map write lock: a reader that
+            // passes the floor check under the read lock is guaranteed its
+            // entries stayed present for the whole lookup.
+            self.version_floor.store(floor, Ordering::Relaxed);
+        }
+        mvcc.commit_seq = next_seq;
+        mvcc.roots.insert(next_seq, catalog_root);
+        // Trim the root map the same pin-aware way: keep the root each
+        // registered epoch resolves to, plus the new current root.
+        let mvcc = &mut *mvcc;
+        let (epochs, roots) = (&mvcc.epochs, &mut mvcc.roots);
+        let mut needed: std::collections::BTreeSet<u64> = epochs
+            .keys()
+            .filter_map(|&e| roots.range(..=e).next_back().map(|(&s, _)| s))
+            .collect();
+        needed.insert(next_seq);
+        roots.retain(|s, _| needed.contains(s));
+    }
+
+    /// Pin the current commit sequence as a snapshot epoch. While the
+    /// returned guard lives, every version needed to read *as of* that
+    /// epoch survives GC — a pinned snapshot is only ever retired when
+    /// more than [`BufferPool::VERSION_CHAIN_CAP`] distinct pinned epochs
+    /// crowd one page's chain (see [`StorageError::SnapshotRetired`]).
+    /// The sequence read and the registration happen under one lock — the
+    /// same lock commit-time GC takes — so a pin never races a commit
+    /// into pinning an epoch whose versions were just collected.
+    pub fn pin_epoch(self: &Arc<Self>) -> EpochPin {
+        let mut mvcc = self.mvcc.lock();
+        let epoch = mvcc.commit_seq;
+        *mvcc.epochs.entry(epoch).or_insert(0) += 1;
+        EpochPin {
+            pool: Arc::clone(self),
+            epoch,
+        }
+    }
+
+    /// Drop one pin on `epoch`. When the registry empties, all committed
+    /// versions are cleared eagerly: no reader can need stored history any
+    /// more, and a fresh pin lands on the current sequence, which the live
+    /// frames serve.
+    fn unpin_epoch(&self, epoch: u64) {
+        let mut mvcc = self.mvcc.lock();
+        match mvcc.epochs.get_mut(&epoch) {
+            Some(count) if *count > 1 => *count -= 1,
+            Some(_) => {
+                mvcc.epochs.remove(&epoch);
+            }
+            None => debug_assert!(false, "unpinning an unregistered epoch"),
+        }
+        if mvcc.epochs.is_empty() {
+            let commit_seq = mvcc.commit_seq;
+            {
+                let mut versions = self.versions.write();
+                versions.retain(|_, chain| {
+                    chain.committed.clear();
+                    chain.pending.is_some()
+                });
+                self.version_floor.store(commit_seq, Ordering::Relaxed);
+            }
+            let keep_from = mvcc
+                .roots
+                .range(..=commit_seq)
+                .next_back()
+                .map(|(&s, _)| s)
+                .unwrap_or(0);
+            let tail = mvcc.roots.split_off(&keep_from);
+            mvcc.roots = tail;
+        }
+    }
+
+    /// Admission check for a versioned read. Callers hold the version-map
+    /// lock, so a pass means the epoch's entries stay present for the
+    /// whole lookup (the floor only rises under the write lock).
+    fn check_epoch(&self, epoch: u64) -> StorageResult<()> {
+        let floor = self.version_floor.load(Ordering::Relaxed);
+        if epoch < floor {
+            return Err(StorageError::SnapshotRetired { epoch, floor });
+        }
+        Ok(())
+    }
+
+    /// The commit sequence a new pin would get (the current epoch).
+    pub fn current_epoch(&self) -> u64 {
+        self.mvcc.lock().commit_seq
+    }
+
+    /// Oldest epoch versioned reads can still serve.
+    pub fn version_floor(&self) -> u64 {
+        self.version_floor.load(Ordering::Relaxed)
+    }
+
+    /// Number of pinned reader epochs (pin count, not distinct epochs).
+    pub fn pinned_epochs(&self) -> usize {
+        self.mvcc.lock().epochs.values().sum()
+    }
+
+    /// Number of pages holding any stored version state (pending or
+    /// committed) — the stress harness's leak check: this returns to zero
+    /// once readers drop and no transaction is open.
+    pub fn version_pages(&self) -> usize {
+        self.versions.read().len()
+    }
+
+    /// Total stored version entries across all chains (committed images
+    /// plus pending before-images).
+    pub fn version_entries(&self) -> usize {
+        self.versions
+            .read()
+            .values()
+            .map(|c| c.committed.len() + usize::from(c.pending.is_some()))
+            .sum()
+    }
+
+    /// The catalog-root entry governing `epoch`: the `(commit sequence,
+    /// root)` pair published by the largest `seq <= epoch` commit. The
+    /// sequence doubles as a snapshot-metadata cache key — two epochs with
+    /// the same governing sequence have no commit between them, so every
+    /// page (hence any derived metadata) is identical.
+    pub fn catalog_entry_at(&self, epoch: u64) -> StorageResult<(u64, PageId)> {
+        let mvcc = self.mvcc.lock();
+        let floor = self.version_floor.load(Ordering::Relaxed);
+        if epoch < floor {
+            return Err(StorageError::SnapshotRetired { epoch, floor });
+        }
+        Ok(mvcc
+            .roots
+            .range(..=epoch)
+            .next_back()
+            .map(|(&seq, &root)| (seq, root))
+            .unwrap_or_else(|| {
+                debug_assert!(false, "no governing catalog root for epoch {epoch}");
+                (0, PageId(0))
+            }))
+    }
+
+    /// Run `f` with read access to the page *as of* `epoch` (a sequence
+    /// pinned via [`BufferPool::pin_epoch`]). A governing committed chain
+    /// entry serves without touching the frame; otherwise the live frame
+    /// is read with the chain re-checked under the frame latch — the same
+    /// latch the writer publishes pending before-images under, so the read
+    /// sees either the pre-mutation frame or the published image, never a
+    /// torn mix.
+    pub fn with_page_at<R>(
+        &self,
+        epoch: u64,
+        pid: PageId,
+        f: impl FnOnce(&Page) -> R,
+    ) -> StorageResult<R> {
+        {
+            let versions = self.versions.read();
+            self.check_epoch(epoch)?;
+            if let Some(image) = versions.get(&pid).and_then(|c| c.governing(epoch)) {
+                AtomicStats::bump(&self.stats.version_reads);
+                return Ok(match image {
+                    Some(page) => f(page),
+                    None => f(&Page::new()),
+                });
+            }
+        }
+        let frame = self.load_frame(pid, false)?;
+        let body = frame.body.read();
+        let versions = self.versions.read();
+        self.check_epoch(epoch)?;
+        if let Some(chain) = versions.get(&pid) {
+            if let Some(image) = chain.governing(epoch) {
+                AtomicStats::bump(&self.stats.version_reads);
+                return Ok(match image {
+                    Some(page) => f(page),
+                    None => f(&Page::new()),
+                });
+            }
+            if let Some(pending) = &chain.pending {
+                return Ok(match pending {
+                    Some(image) => f(image),
+                    None => f(&Page::new()),
+                });
+            }
+        }
+        Ok(f(&body.page))
+    }
+
+    /// Pin the content of `pid` *as of* `epoch` (see
+    /// [`BufferPool::with_page_at`]). Chain and pending hits return a
+    /// guard backed by the stored image alone — no frame to keep resident.
+    pub fn pin_at(&self, epoch: u64, pid: PageId) -> StorageResult<PinnedPage> {
+        {
+            let versions = self.versions.read();
+            self.check_epoch(epoch)?;
+            if let Some(image) = versions.get(&pid).and_then(|c| c.governing(epoch)) {
+                AtomicStats::bump(&self.stats.version_reads);
+                let page = match image {
+                    Some(page) => Arc::clone(page),
+                    None => Arc::new(Page::new()),
+                };
+                return Ok(PinnedPage {
+                    pid,
+                    page,
+                    frame: None,
+                });
+            }
+        }
+        let frame = self.load_frame(pid, true)?;
+        // The frame latch is held across the chain check (the same rule as
+        // `pin_snapshot`): dropping it first would open a window for a
+        // rollback to restore the frame and clear the pending image, after
+        // which the pre-restore clone would be served as committed.
+        let body = frame.body.read();
+        let hit = {
+            let versions = self.versions.read();
+            self.check_epoch(epoch).map(|()| {
+                versions.get(&pid).and_then(|chain| {
+                    let governed = chain.governing(epoch);
+                    if governed.is_some() {
+                        AtomicStats::bump(&self.stats.version_reads);
+                    }
+                    governed
+                        .or(chain.pending.as_ref())
+                        .map(|image| match image {
+                            Some(page) => Arc::clone(page),
+                            None => Arc::new(Page::new()),
+                        })
+                })
+            })
+        };
+        match hit {
+            Err(e) => {
+                drop(body);
+                frame.pins.fetch_sub(1, Ordering::AcqRel);
+                Err(e)
+            }
+            Ok(Some(page)) => {
+                drop(body);
+                // Drop the frame pin; the stored image is self-contained.
+                frame.pins.fetch_sub(1, Ordering::AcqRel);
+                Ok(PinnedPage {
+                    pid,
+                    page,
+                    frame: None,
+                })
+            }
+            Ok(None) => {
+                let page = Arc::clone(&body.page);
+                drop(body);
+                Ok(PinnedPage {
+                    pid,
+                    page,
+                    frame: Some(frame),
+                })
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1119,7 +1577,12 @@ impl BufferPool {
                     image: None,
                     prior_dirty: false,
                 });
-                self.overlay.write().insert(pid, None);
+                // Pending before-image "the page does not exist": snapshot
+                // and versioned readers at pre-commit epochs serve an
+                // empty page. A reused id (rollback recycled it) never
+                // carries committed entries — only committed pages get
+                // history, and committed ids are never reallocated.
+                self.versions.write().entry(pid).or_default().pending = Some(None);
             }
         }
         Ok(pid)
@@ -1134,10 +1597,10 @@ impl BufferPool {
     }
 
     /// Run `f` with read access to the last *committed* content of the
-    /// page: if the open transaction touched it, the before-image overlay
-    /// wins. The frame is read first and the overlay second — the writer
+    /// page: if the open transaction touched it, its pending before-image
+    /// wins. The frame is read first and the chain second — the writer
     /// publishes the before-image (under the frame latch) before mutating,
-    /// so an overlay miss proves the frame content is committed.
+    /// so a pending miss proves the frame content is committed.
     pub fn with_page_snapshot<R>(
         &self,
         pid: PageId,
@@ -1145,8 +1608,13 @@ impl BufferPool {
     ) -> StorageResult<R> {
         let frame = self.load_frame(pid, false)?;
         let body = frame.body.read();
-        if let Some(entry) = self.overlay.read().get(&pid) {
-            return Ok(match entry {
+        if let Some(pending) = self
+            .versions
+            .read()
+            .get(&pid)
+            .and_then(|chain| chain.pending.as_ref())
+        {
+            return Ok(match pending {
                 Some(image) => f(image),
                 // Allocated inside the open transaction: its committed
                 // content is nonexistence. No committed structure can reach
@@ -1159,7 +1627,7 @@ impl BufferPool {
 
     /// Run `f` with write access to the page; the page is marked dirty and,
     /// inside a transaction, its before-image is captured on first touch
-    /// (for the undo log and the snapshot-read overlay).
+    /// (for the undo log and the version chain's pending slot).
     pub fn with_page_mut<R>(
         &self,
         pid: PageId,
@@ -1176,13 +1644,12 @@ impl BufferPool {
                     image: Some(Arc::clone(&body.page)),
                     prior_dirty: body.dirty,
                 });
-                // Publish the before-image for snapshot readers *before*
-                // the mutation below (both happen under the frame latch, so
-                // a reader holding the read latch sees either none of this
-                // or all of it).
-                self.overlay
-                    .write()
-                    .insert(pid, Some(Arc::clone(&body.page)));
+                // Publish the before-image for snapshot and versioned
+                // readers *before* the mutation below (both happen under
+                // the frame latch, so a reader holding the read latch sees
+                // either none of this or all of it).
+                self.versions.write().entry(pid).or_default().pending =
+                    Some(Some(Arc::clone(&body.page)));
             }
         }
         body.dirty = true;
@@ -1208,27 +1675,32 @@ impl BufferPool {
     }
 
     /// Pin the last *committed* content of a page (see
-    /// [`BufferPool::with_page_snapshot`] for the overlay rule). Overlay
+    /// [`BufferPool::with_page_snapshot`] for the pending rule). Pending
     /// hits return a guard backed by the before-image `Arc` alone — there
     /// is no frame to keep resident, the guard owns the bytes.
     pub fn pin_snapshot(&self, pid: PageId) -> StorageResult<PinnedPage> {
         let frame = self.load_frame(pid, true)?;
-        // The frame latch must be HELD across the overlay check (same rule
+        // The frame latch must be HELD across the pending check (same rule
         // as `with_page_snapshot`): dropping it first would open a window
-        // for a rollback to restore the frame and clear the overlay, after
-        // which the pre-restore clone would be served as "committed".
+        // for a rollback to restore the frame and clear the pending image,
+        // after which the pre-restore clone would be served as "committed".
         let body = frame.body.read();
-        let overlay_hit = self.overlay.read().get(&pid).map(|entry| match entry {
-            Some(image) => Arc::clone(image),
-            None => Arc::new(Page::new()),
-        });
-        let page = match &overlay_hit {
+        let pending_hit = self
+            .versions
+            .read()
+            .get(&pid)
+            .and_then(|chain| chain.pending.as_ref())
+            .map(|entry| match entry {
+                Some(image) => Arc::clone(image),
+                None => Arc::new(Page::new()),
+            });
+        let page = match &pending_hit {
             Some(image) => Arc::clone(image),
             None => Arc::clone(&body.page),
         };
         drop(body);
-        if overlay_hit.is_some() {
-            // Drop the frame pin; the overlay image is self-contained.
+        if pending_hit.is_some() {
+            // Drop the frame pin; the before-image is self-contained.
             frame.pins.fetch_sub(1, Ordering::AcqRel);
             return Ok(PinnedPage {
                 pid,
@@ -1585,8 +2057,8 @@ impl BufferPool {
     /// Restore a transaction's before-images in memory and roll the header
     /// snapshot back. Works even after a simulated crash (no disk writes).
     /// The whole restore happens inside one view transition: snapshot
-    /// readers either still see the overlay or the already-restored frames —
-    /// both are the same committed bytes.
+    /// readers either still see the pending before-images or the
+    /// already-restored frames — both are the same committed bytes.
     fn rollback_with(&self, io: &mut IoState, txn: TxnState) -> StorageResult<()> {
         self.begin_view_change();
         let mut deferred_installs: Vec<Arc<Frame>> = Vec::new();
@@ -1633,7 +2105,13 @@ impl BufferPool {
         }
         io.pager
             .restore_header(txn.header.0, txn.header.1, txn.header.2, txn.header.3);
-        self.overlay.write().clear();
+        // Drop the pending before-images (the frames above now hold the
+        // same bytes); committed history stays — pinned readers still need
+        // it, and the rolled-back transaction never touched it.
+        self.versions.write().retain(|_, chain| {
+            chain.pending = None;
+            !chain.committed.is_empty()
+        });
         self.end_view_change();
         result
     }
@@ -1792,6 +2270,29 @@ impl BufferPool {
         io.pager.write_page(pid, &body.page)?;
         AtomicStats::bump(&self.stats.writebacks);
         Ok(())
+    }
+}
+
+impl Drop for BufferPool {
+    /// Clean-close durability: an asynchronously acknowledged commit may
+    /// still sit in the WAL's pending frame queue — drain it and fsync
+    /// once, so a clean close never loses an acknowledged commit. Skipped
+    /// when the writer is poisoned (a failed fsync is never retried, per
+    /// the poisoning rule), in read-only mode, after a simulated crash
+    /// (crash tests rely on drop-without-flush), or with a transaction
+    /// still open (an uncommitted loser must not reach the disk ordering
+    /// a commit implies). A failure here is ignored: recovery replays the
+    /// log, and retrying the fsync could silently succeed against
+    /// already-dropped kernel pages.
+    fn drop(&mut self) {
+        if self.commit.poisoned().is_some() {
+            return;
+        }
+        let io = self.io.get_mut();
+        if io.read_only || io.txn.is_some() || io.sim_crashed() || !io.logging {
+            return;
+        }
+        let _ = io.wal.sync();
     }
 }
 
@@ -2324,7 +2825,7 @@ mod tests {
         }
         assert!(pool.stats().writebacks > 0, "steal must have happened");
         // Even though the disk copy holds 700, the snapshot read serves the
-        // overlay's before-image.
+        // pending before-image.
         assert_eq!(pool.with_page_snapshot(base, |p| p.read_u64(0)).unwrap(), 7);
         pool.rollback_txn().unwrap();
         assert_eq!(pool.with_page(base, |p| p.read_u64(0)).unwrap(), 7);

@@ -14,24 +14,28 @@
 //! through the pool's committed-[`Snapshot`] view, so an in-flight
 //! transaction is invisible, and refreshes its cached catalog (table roots,
 //! heap heads) whenever the pool's read generation advances — i.e. after
-//! every commit. The [`DbRead`] trait abstracts over the two, which lets
+//! every commit. A reader that must see one *frozen* commit point across a
+//! multi-page operation pins an epoch ([`DbReader::pin_epoch`]) and reads
+//! through the resulting [`EpochView`] ([`DbReader::at_epoch`]) — the
+//! buffer pool's version chains serve every page as of that commit
+//! sequence. The [`DbRead`] trait abstracts over all of these, which lets
 //! higher layers write their query engines once.
 
 use crate::btree::{BTree, RangeIter};
 use crate::buffer::{
-    BufferPool, BufferStats, CheckpointPolicy, CheckpointerGuard, CrashPoint, PageSource,
-    ScrubOptions, ScrubStats, Snapshot,
+    BufferPool, BufferStats, CheckpointPolicy, CheckpointerGuard, CrashPoint, EpochPin, PageSource,
+    PinnedPage, ScrubOptions, ScrubStats, Snapshot,
 };
 use crate::catalog::{Catalog, IndexMeta, RawIndexMeta, TableMeta};
 use crate::error::{StorageError, StorageResult};
 use crate::heap::{HeapFile, RecordId};
 use crate::io::{RetryPolicy, SharedFaultSchedule};
-use crate::page::PageId;
+use crate::page::{Page, PageId};
 use crate::pager::Pager;
 use crate::schema::{Row, Schema};
 use crate::value::Value;
 use crate::wal::{Lsn, RecoveryReport};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
@@ -1229,6 +1233,35 @@ struct CachedMeta {
     meta: Meta,
 }
 
+/// Entries kept in a reader's pinned-epoch metadata cache. Read brackets
+/// are short, so a handful of recent commit points covers the traffic.
+const EPOCH_META_CACHE: usize = 8;
+
+/// A [`PageSource`] frozen at a pinned snapshot epoch: every page resolves
+/// to its newest version at or before the epoch, and the catalog root is
+/// the one the governing commit published. Reads through this source are
+/// stable across any number of concurrent commits — no retry bracket.
+#[derive(Clone, Copy)]
+pub struct EpochSnapshot<'a> {
+    pool: &'a BufferPool,
+    epoch: u64,
+    root: PageId,
+}
+
+impl PageSource for EpochSnapshot<'_> {
+    fn with_page<R>(&self, pid: PageId, f: impl FnOnce(&Page) -> R) -> StorageResult<R> {
+        self.pool.with_page_at(self.epoch, pid, f)
+    }
+
+    fn pin_page(&self, pid: PageId) -> StorageResult<PinnedPage> {
+        self.pool.pin_at(self.epoch, pid)
+    }
+
+    fn catalog_root(&self) -> PageId {
+        self.root
+    }
+}
+
 /// A concurrent snapshot reader over a database's buffer pool. `Send +
 /// Sync`: share one across threads or create one per thread — they are
 /// cheap (an `Arc` plus cached catalog handles).
@@ -1239,13 +1272,17 @@ struct CachedMeta {
 /// in-flight load. The cached catalog handles are rebuilt whenever the
 /// pool's read generation advances (i.e. after every commit or rollback).
 ///
-/// A multi-page operation that straddles a commit can still observe a mix
-/// of old and new pages; callers detect this by bracketing the operation
-/// with [`DbReader::stable_generation`] / [`DbReader::generation`] and
-/// retrying on a change (see `crimson`'s `RepositoryReader`).
+/// For a multi-page operation that must not observe a concurrent commit
+/// mid-flight, pin an epoch ([`DbReader::pin_epoch`]) and run it against
+/// the frozen [`EpochView`] ([`DbReader::at_epoch`]): the version chains
+/// keep every page the epoch needs, so the operation completes without
+/// retrying (see `crimson`'s `RepositoryReader`).
 pub struct DbReader {
     pool: Arc<BufferPool>,
     meta: RwLock<CachedMeta>,
+    /// Pinned-epoch metadata cache, keyed by the governing commit
+    /// sequence (most recent first, bounded at [`EPOCH_META_CACHE`]).
+    epoch_meta: Mutex<Vec<(u64, Arc<Meta>)>>,
 }
 
 impl DbReader {
@@ -1255,7 +1292,61 @@ impl DbReader {
         Ok(DbReader {
             pool,
             meta: RwLock::new(CachedMeta { gen, meta }),
+            epoch_meta: Mutex::new(Vec::new()),
         })
+    }
+
+    /// Pin the current commit sequence as a snapshot epoch (see
+    /// [`BufferPool::pin_epoch`]). Pair with [`DbReader::at_epoch`] to
+    /// read a view frozen at the pinned sequence.
+    pub fn pin_epoch(&self) -> EpochPin {
+        self.pool.pin_epoch()
+    }
+
+    /// A read view frozen at `pin`'s epoch: the catalog and every page
+    /// resolve as of that commit sequence, stable across concurrent
+    /// commits for the life of the pin. Fails with
+    /// [`StorageError::SnapshotRetired`] if the epoch's versions were
+    /// already collected (re-pin and retry).
+    pub fn at_epoch(&self, pin: &EpochPin) -> StorageResult<EpochView<'_>> {
+        let epoch = pin.epoch();
+        let (seq, root) = self.pool.catalog_entry_at(epoch)?;
+        let source = EpochSnapshot {
+            pool: &self.pool,
+            epoch,
+            root,
+        };
+        let meta = self.epoch_meta_for(seq, source)?;
+        Ok(EpochView {
+            reader: self,
+            epoch,
+            root,
+            meta,
+        })
+    }
+
+    /// The cached metadata for the commit point `seq`, built through
+    /// `source` on a miss. Two pins with the same governing sequence share
+    /// one `Meta` — no commit happened between them, so every derived
+    /// handle is identical.
+    fn epoch_meta_for(&self, seq: u64, source: EpochSnapshot<'_>) -> StorageResult<Arc<Meta>> {
+        {
+            let mut cache = self.epoch_meta.lock();
+            if let Some(pos) = cache.iter().position(|(s, _)| *s == seq) {
+                let entry = cache.remove(pos);
+                let meta = Arc::clone(&entry.1);
+                cache.insert(0, entry);
+                return Ok(meta);
+            }
+        }
+        // Build outside the cache lock: catalog loading reads pages.
+        let meta = Arc::new(Meta::load_from(source, false)?);
+        let mut cache = self.epoch_meta.lock();
+        if !cache.iter().any(|(s, _)| *s == seq) {
+            cache.insert(0, (seq, Arc::clone(&meta)));
+            cache.truncate(EPOCH_META_CACHE);
+        }
+        Ok(meta)
     }
 
     fn stable_gen(pool: &BufferPool) -> u64 {
@@ -1394,6 +1485,129 @@ impl DbRead for DbReader {
         f: &mut dyn FnMut(&[u8], u64) -> StorageResult<bool>,
     ) -> StorageResult<()> {
         self.with_meta(|m, s| m.raw_scan(s, id, low, high, f))
+    }
+}
+
+/// A [`DbRead`] view frozen at a pinned snapshot epoch (see
+/// [`DbReader::pin_epoch`] / [`DbReader::at_epoch`]): every read resolves
+/// against the version chains as of one commit sequence, so a multi-page
+/// operation — or a whole batch of operations — runs against a single
+/// frozen state with no retry bracket, however fast the writer commits.
+///
+/// Borrows its [`DbReader`] (whose bounded cache owns the catalog
+/// metadata); the caller keeps the [`EpochPin`] alive for as long as the
+/// view is used.
+#[derive(Clone)]
+pub struct EpochView<'a> {
+    reader: &'a DbReader,
+    epoch: u64,
+    root: PageId,
+    meta: Arc<Meta>,
+}
+
+impl EpochView<'_> {
+    /// The pinned commit sequence this view reads at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Look up a table id by name in the epoch's catalog.
+    pub fn table(&self, name: &str) -> StorageResult<TableId> {
+        self.meta
+            .catalog
+            .table_id(name)
+            .map(TableId)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    /// Look up a raw index id by name in the epoch's catalog.
+    pub fn raw_index(&self, name: &str) -> StorageResult<RawIndexId> {
+        self.meta
+            .catalog
+            .raw_indexes
+            .iter()
+            .position(|r| r.name == name)
+            .map(RawIndexId)
+            .ok_or_else(|| StorageError::UnknownIndex(name.to_string()))
+    }
+
+    fn source(&self) -> EpochSnapshot<'_> {
+        EpochSnapshot {
+            pool: &self.reader.pool,
+            epoch: self.epoch,
+            root: self.root,
+        }
+    }
+}
+
+impl std::fmt::Debug for EpochView<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochView")
+            .field("epoch", &self.epoch)
+            .finish()
+    }
+}
+
+impl DbRead for EpochView<'_> {
+    fn get(&self, table: TableId, rid: RecordId) -> StorageResult<Row> {
+        self.meta.get(self.source(), table, rid)
+    }
+
+    fn scan(&self, table: TableId) -> StorageResult<Vec<(RecordId, Row)>> {
+        self.meta.scan(self.source(), table)
+    }
+
+    fn row_count(&self, table: TableId) -> StorageResult<usize> {
+        self.meta.row_count(self.source(), table)
+    }
+
+    fn lookup_rows(
+        &self,
+        table: TableId,
+        column: &str,
+        value: &Value,
+    ) -> StorageResult<Vec<(RecordId, Row)>> {
+        self.meta.lookup_rows(self.source(), table, column, value)
+    }
+
+    fn index_range(
+        &self,
+        table: TableId,
+        column: &str,
+        low: Option<&Value>,
+        high: Option<&Value>,
+    ) -> StorageResult<Vec<RecordId>> {
+        self.meta
+            .index_range(self.source(), table, column, low, high)
+    }
+
+    fn raw_get(&self, id: RawIndexId, key: &[u8]) -> StorageResult<Option<u64>> {
+        self.meta.raw_get(self.source(), id, key)
+    }
+
+    fn raw_len(&self, id: RawIndexId) -> StorageResult<usize> {
+        self.meta.raw_len(self.source(), id)
+    }
+
+    fn raw_first_in_range<R>(
+        &self,
+        id: RawIndexId,
+        low: &[u8],
+        high: &[u8],
+        f: impl FnOnce(&[u8], u64) -> R,
+    ) -> StorageResult<Option<R>> {
+        self.meta
+            .raw_first_in_range(self.source(), id, low, high, f)
+    }
+
+    fn raw_scan(
+        &self,
+        id: RawIndexId,
+        low: Option<&[u8]>,
+        high: Option<&[u8]>,
+        f: &mut dyn FnMut(&[u8], u64) -> StorageResult<bool>,
+    ) -> StorageResult<()> {
+        self.meta.raw_scan(self.source(), id, low, high, f)
     }
 }
 
@@ -2136,5 +2350,116 @@ mod tests {
             stop.store(true, Ordering::Relaxed);
         });
         assert_eq!(db.row_count(t).unwrap(), 400);
+    }
+
+    // ------------------------------------------------------------------
+    // Versioned (epoch-pinned) reads
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn pinned_epoch_sees_frozen_state_across_commits() {
+        let (_d, mut db) = fresh();
+        let t = db.create_table("species", species_schema()).unwrap();
+        for i in 0..5 {
+            db.insert(t, &species_row(i)).unwrap();
+        }
+        let reader = db.reader().unwrap();
+        let pin = reader.pin_epoch();
+        let view = reader.at_epoch(&pin).unwrap();
+        assert_eq!(view.row_count(t).unwrap(), 5);
+
+        // Many commits land while the pin is held; the pinned view must
+        // not move, however many versions of the hot pages are published.
+        for batch in 0..20 {
+            db.begin().unwrap();
+            for i in 0..10 {
+                db.insert(t, &species_row(100 + batch * 10 + i)).unwrap();
+            }
+            db.commit().unwrap();
+            assert_eq!(
+                view.row_count(t).unwrap(),
+                5,
+                "pinned epoch moved after commit {batch}"
+            );
+        }
+        assert_eq!(db.row_count(t).unwrap(), 205, "writer sees every commit");
+        assert!(
+            db.pool().version_pages() > 0,
+            "held pin must keep versions alive"
+        );
+
+        // A fresh pin sees the new state; dropping every pin lets GC clear
+        // all stored history (no leaked versions).
+        let pin2 = reader.pin_epoch();
+        let view2 = reader.at_epoch(&pin2).unwrap();
+        assert_eq!(view2.row_count(t).unwrap(), 205);
+        drop(view2);
+        drop(pin2);
+        drop(view);
+        drop(pin);
+        assert_eq!(db.pool().pinned_epochs(), 0);
+        assert_eq!(
+            db.pool().version_pages(),
+            0,
+            "version chains must clear once no epoch is pinned"
+        );
+        assert_eq!(db.pool().version_floor(), db.pool().current_epoch());
+    }
+
+    #[test]
+    fn crowded_pins_retire_oldest_epoch() {
+        let (_d, mut db) = fresh();
+        let t = db.create_table("species", species_schema()).unwrap();
+        db.insert(t, &species_row(0)).unwrap();
+        let reader = db.reader().unwrap();
+
+        // One pin per inter-commit window, each insert dirtying the same
+        // heap page: after more than VERSION_CHAIN_CAP distinct pinned
+        // epochs crowd that page's chain, the hard cap retires the oldest.
+        let mut pins = Vec::new();
+        for i in 1..=(crate::buffer::BufferPool::VERSION_CHAIN_CAP as i64 + 2) {
+            pins.push(reader.pin_epoch());
+            db.insert(t, &species_row(i)).unwrap();
+        }
+        let oldest = reader.at_epoch(&pins[0]);
+        assert!(
+            matches!(oldest, Err(StorageError::SnapshotRetired { .. })),
+            "oldest pin must be retired by the chain cap, got {oldest:?}"
+        );
+        // The newest pins still resolve, and a retired reader recovers by
+        // re-pinning.
+        let newest = pins.last().unwrap();
+        assert!(reader.at_epoch(newest).is_ok());
+        drop(pins);
+        let fresh_pin = reader.pin_epoch();
+        let view = reader.at_epoch(&fresh_pin).unwrap();
+        assert_eq!(
+            view.row_count(t).unwrap(),
+            crate::buffer::BufferPool::VERSION_CHAIN_CAP + 3
+        );
+    }
+
+    #[test]
+    fn async_commit_survives_clean_close_without_explicit_flush() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("db.crdb");
+        {
+            let mut db = Database::create(&path).unwrap();
+            let t = db.create_table("species", species_schema()).unwrap();
+            db.begin().unwrap();
+            db.insert(t, &species_row(7)).unwrap();
+            // Acknowledged but not yet durable: the frames sit in the
+            // pipelined commit queue until some later sync.
+            db.commit_async().unwrap();
+            // Clean close with no flush/wait: Drop must drain + fsync the
+            // pending WAL frames.
+        }
+        let db = Database::open(&path).unwrap();
+        let t = db.table("species").unwrap();
+        assert_eq!(
+            db.row_count(t).unwrap(),
+            1,
+            "async commit lost across a clean close"
+        );
     }
 }

@@ -68,6 +68,15 @@ pub enum StorageError {
     /// The database was opened in (degraded) read-only mode; mutation was
     /// refused.
     ReadOnly,
+    /// A versioned read asked for a snapshot epoch whose page versions have
+    /// already been garbage-collected (the bounded version chain dropped
+    /// them). The reader should re-pin a fresh epoch and retry.
+    SnapshotRetired {
+        /// The epoch the reader had pinned.
+        epoch: u64,
+        /// The oldest epoch the pool can still serve.
+        floor: u64,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -116,6 +125,11 @@ impl fmt::Display for StorageError {
             StorageError::ReadOnly => {
                 write!(f, "database is open in read-only (degraded) mode")
             }
+            StorageError::SnapshotRetired { epoch, floor } => write!(
+                f,
+                "snapshot epoch {epoch} retired: oldest readable epoch is {floor}; \
+                 re-pin and retry"
+            ),
         }
     }
 }

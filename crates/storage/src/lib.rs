@@ -32,7 +32,8 @@
 //! count and reference bit, so any number of reader threads hit the cache
 //! concurrently; file I/O, the WAL and the single open transaction
 //! serialize on one writer/io latch (latch order: io → shard map → frame →
-//! overlay). All statistics counters are atomic. Eviction is clock
+//! mvcc registry → version map). All statistics counters are atomic.
+//! Eviction is clock
 //! second-chance: every access sets a frame's reference bit, and the hand
 //! sweeps shards round-robin clearing bits until it finds an unpinned,
 //! unreferenced victim. Dirty victims are written back through a borrow of
@@ -43,13 +44,18 @@
 //! from the pinned frame, so a scan neither copies whole leaves nor has its
 //! leaf evicted mid-read.
 //!
-//! Concurrent readers see **committed snapshots**: a transaction's first
-//! touch of a page publishes its before-image in an overlay, and the
-//! snapshot view ([`buffer::Snapshot`], [`db::DbReader`]) prefers the
-//! overlay — an in-flight transaction is invisible, and readers never block
-//! behind it. The [`buffer::PageSource`] trait makes the B+tree, heap and
-//! catalog read paths generic over the current view vs. the snapshot view;
-//! `ARCHITECTURE.md` documents the latching protocol and the snapshot-read
+//! Concurrent readers see **versioned committed snapshots** (MVCC): a
+//! transaction's first touch of a page publishes its before-image into a
+//! bounded per-page version chain, and each commit graduates those images
+//! into committed history stamped with the commit sequence. A reader pins
+//! a snapshot **epoch** ([`buffer::BufferPool::pin_epoch`],
+//! [`db::DbReader::at_epoch`]) and reads every page as of that sequence —
+//! an in-flight transaction is invisible, readers never block behind the
+//! writer, and a pinned multi-page read never retries however fast commits
+//! land. The [`buffer::PageSource`] trait makes the B+tree, heap and
+//! catalog read paths generic over the current view, the committed view
+//! ([`buffer::Snapshot`]) and the pinned-epoch view ([`db::EpochSnapshot`]);
+//! `ARCHITECTURE.md` documents the latching protocol and the epoch-pinning
 //! rule in full.
 //!
 //! ## Transactions, write-ahead logging and recovery
@@ -108,10 +114,10 @@ pub mod value;
 pub mod wal;
 
 pub use buffer::{
-    CheckpointPolicy, CheckpointerGuard, CrashPoint, PageSource, PinnedPage, ScrubOptions,
-    ScrubStats, Snapshot,
+    CheckpointPolicy, CheckpointerGuard, CrashPoint, EpochPin, PageSource, PinnedPage,
+    ScrubOptions, ScrubStats, Snapshot,
 };
-pub use db::{Database, DbRead, DbReader, RawIndexId, TableId};
+pub use db::{Database, DbRead, DbReader, EpochSnapshot, EpochView, RawIndexId, TableId};
 pub use error::{StorageError, StorageResult};
 pub use heap::RecordId;
 pub use io::{
