@@ -17,12 +17,109 @@
 //! writer's [`Repository`] and concurrent snapshot
 //! [`crate::reader::RepositoryReader`]s.
 
+use crate::content::TreeContent;
 use crate::error::{CrimsonError, CrimsonResult};
-use crate::repository::{ReadCtx, Repository, StoredNodeId, TreeHandle, TREE_SHIFT};
+use crate::repository::{
+    ReadCtx, Repository, StoredNodeId, TreeHandle, TreeStatsRecord, TREE_SHIFT,
+};
+use labeling::clade_hash::CladeRef;
 use labeling::interval::{interval_key_prefix, interval_range_end, IntervalEntry};
+use phylo::traverse::Traverse;
 use phylo::Tree;
-use reconstruction::compare::{compare_sources, CladeSource, NodeVisitor, SourceComparison};
+use reconstruction::compare::{
+    compare_sources, CladeAgreement, CladeSource, NodeVisitor, RfResult, SourceComparison,
+};
 use storage::db::DbRead;
+
+/// The [`RfResult`] of comparing a tree against an identical copy: zero
+/// distance, every one of the `shared` non-trivial clades/splits present on
+/// both sides — exactly what the streaming pass computes, without streaming.
+fn rf_identical(shared: u64) -> RfResult {
+    RfResult {
+        distance: 0,
+        max_distance: 2 * shared as usize,
+        normalized: 0.0,
+        shared: shared as usize,
+    }
+}
+
+/// Assemble the [`SourceComparison`] of two content-identical trees from one
+/// side's clade counts.
+fn identical_comparison(
+    rooted_clades: u64,
+    unrooted_splits: u64,
+    clades: Vec<CladeAgreement>,
+    triplets: bool,
+) -> SourceComparison {
+    SourceComparison {
+        rf: rf_identical(unrooted_splits),
+        rooted_rf: rf_identical(rooted_clades),
+        triplet: triplets.then_some(0.0),
+        clades,
+    }
+}
+
+/// The agreement rows of an in-memory tree compared against an identical
+/// copy (arena node ids, as [`Tree`]'s own clade stream exposes them).
+fn tree_agreement(tree: &Tree, n_leaves: u32) -> Vec<CladeAgreement> {
+    let n = tree.node_count();
+    let mut sizes = vec![0u32; n];
+    for v in tree.postorder() {
+        if tree.is_leaf(v) {
+            sizes[v.index()] = 1;
+        }
+        if let Some(p) = tree.parent(v) {
+            sizes[p.index()] += sizes[v.index()];
+        }
+    }
+    let mut out = Vec::new();
+    for v in tree.preorder() {
+        let size = sizes[v.index()];
+        if size >= 2 && size < n_leaves {
+            out.push(CladeAgreement {
+                node: v.0,
+                size,
+                agrees: true,
+            });
+        }
+    }
+    out
+}
+
+/// The comparison of two in-memory trees, synthesized in O(n) when their
+/// canonical root hashes match — or `None` when they differ (or the hash is
+/// ambiguous: duplicate/missing leaf names), in which case the caller runs
+/// the streaming comparison. The experiment runner probes this before every
+/// cell comparison, so reconstructions that recover the reference exactly
+/// skip the bitset pass and the O(n³) triplet count outright.
+pub(crate) fn equal_tree_comparison(
+    a: &Tree,
+    b: &Tree,
+    triplets: bool,
+) -> Option<SourceComparison> {
+    if a.is_empty() || b.is_empty() {
+        return None;
+    }
+    let n_leaves = b.leaf_ids().count() as u32;
+    if triplets && n_leaves < 3 {
+        return None;
+    }
+    if !labeling::clade_hash::distinct_named_leaves(a)
+        || !labeling::clade_hash::distinct_named_leaves(b)
+    {
+        return None;
+    }
+    if labeling::clade_hash::root_hash(a)? != labeling::clade_hash::root_hash(b)? {
+        return None;
+    }
+    let counts = TreeContent::compute(b).counts;
+    Some(identical_comparison(
+        counts.rooted,
+        counts.unrooted,
+        tree_agreement(b, n_leaves),
+        triplets,
+    ))
+}
 
 /// A stored tree's topology, streamed off the `ivl_by_pre` covering index.
 ///
@@ -45,10 +142,71 @@ impl<D: DbRead> CladeSource for StoredCladeSource<'_, D> {
 
     fn for_each_node(&self, visit: &mut NodeVisitor<'_>) -> CrimsonResult<()> {
         let tree = self.handle.0;
-        let low = interval_key_prefix(tree, 0);
-        let high = interval_range_end(tree, (self.nodes.saturating_sub(1)) as u32);
-        let mut entries: Vec<(IntervalEntry, storage::RecordId)> =
-            Vec::with_capacity(self.nodes as usize);
+        let entries = self.load_span(tree, 0, (self.nodes.saturating_sub(1)) as u32)?;
+        // A cold tree materializes fewer interval entries than its logical
+        // node count: the difference must be covered exactly by its
+        // structural-sharing bridges.
+        let refs = if (entries.len() as u64) < self.nodes {
+            self.ctx.clade_refs_of(self.handle)?
+        } else {
+            Vec::new()
+        };
+        let bridged: u64 = refs.iter().map(|r| (r.end - r.pre + 1) as u64).sum();
+        if entries.len() as u64 + bridged != self.nodes {
+            return Err(CrimsonError::CorruptRepository(format!(
+                "tree #{tree} catalogs {} nodes but its interval range holds {} (+{} bridged)",
+                self.nodes,
+                entries.len(),
+                bridged
+            )));
+        }
+        // Leaf names through the heap locators the index carries — one page
+        // read per cold leaf row, no B+tree descent, nothing for internal
+        // nodes.
+        let mut names: Vec<Option<String>> = Vec::with_capacity(entries.len());
+        for (entry, rid) in &entries {
+            if entry.is_leaf {
+                let sid = StoredNodeId((tree << TREE_SHIFT) | entry.node as u64);
+                let rec = self.ctx.node_record_by_locator(sid, *rid)?;
+                names.push(rec.name.clone());
+            } else {
+                names.push(None);
+            }
+        }
+        // Interleave the materialized entries with the bridged spans in
+        // logical pre order: bridges occupy exactly the pre gaps, and both
+        // sequences are already sorted, so a two-pointer merge suffices.
+        let mut rit = refs.iter().peekable();
+        for ((entry, _), name) in entries.iter().zip(&names) {
+            while let Some(r) = rit.peek() {
+                if r.pre < entry.pre {
+                    self.visit_bridge(r, visit)?;
+                    rit.next();
+                } else {
+                    break;
+                }
+            }
+            visit(entry.pre, entry.end, entry.node, name.as_deref());
+        }
+        for r in rit {
+            self.visit_bridge(r, visit)?;
+        }
+        Ok(())
+    }
+}
+
+impl<D: DbRead> StoredCladeSource<'_, D> {
+    /// One contiguous `ivl_by_pre` range scan over `[lo_pre, hi_pre]` of
+    /// `tree`, yielding decoded entries with their heap locators.
+    fn load_span(
+        &self,
+        tree: u64,
+        lo_pre: u32,
+        hi_pre: u32,
+    ) -> CrimsonResult<Vec<(IntervalEntry, storage::RecordId)>> {
+        let low = interval_key_prefix(tree, lo_pre);
+        let high = interval_range_end(tree, hi_pre);
+        let mut entries: Vec<(IntervalEntry, storage::RecordId)> = Vec::new();
         let mut malformed = false;
         self.ctx.db.raw_scan(
             self.ctx.tables.ivl_by_pre,
@@ -70,28 +228,33 @@ impl<D: DbRead> CladeSource for StoredCladeSource<'_, D> {
                 "malformed interval-index key".to_string(),
             ));
         }
-        if entries.len() as u64 != self.nodes {
+        Ok(entries)
+    }
+
+    /// Stream one bridged span by scanning its canonical source range and
+    /// shifting every rank into this tree's logical numbering. Bridged
+    /// nodes have no rows in this tree, so the source-local id exposed to
+    /// the visitor is the node's logical pre-order rank.
+    fn visit_bridge(&self, r: &CladeRef, visit: &mut NodeVisitor<'_>) -> CrimsonResult<()> {
+        let span = self.load_span(r.src_tree, r.src_pre, r.src_end)?;
+        if span.len() as u64 != (r.src_end - r.src_pre + 1) as u64 {
             return Err(CrimsonError::CorruptRepository(format!(
-                "tree #{tree} catalogs {} nodes but its interval range holds {}",
-                self.nodes,
-                entries.len()
+                "bridge into tree #{} spans {} nodes but its source range holds {}",
+                r.src_tree,
+                r.src_end - r.src_pre + 1,
+                span.len()
             )));
         }
-        // Leaf names through the heap locators the index carries — one page
-        // read per cold leaf row, no B+tree descent, nothing for internal
-        // nodes.
-        let mut names: Vec<Option<String>> = Vec::with_capacity(entries.len());
-        for (entry, rid) in &entries {
-            if entry.is_leaf {
-                let sid = StoredNodeId((tree << TREE_SHIFT) | entry.node as u64);
-                let rec = self.ctx.node_record_by_locator(sid, *rid)?;
-                names.push(rec.name.clone());
+        for (entry, rid) in &span {
+            let name = if entry.is_leaf {
+                let sid = StoredNodeId((r.src_tree << TREE_SHIFT) | entry.node as u64);
+                self.ctx.node_record_by_locator(sid, *rid)?.name.clone()
             } else {
-                names.push(None);
-            }
-        }
-        for ((entry, _), name) in entries.iter().zip(&names) {
-            visit(entry.pre, entry.end, entry.node, name.as_deref());
+                None
+            };
+            let pre = r.pre + (entry.pre - r.src_pre);
+            let end = r.pre + (entry.end - r.src_pre);
+            visit(pre, end, pre, name.as_deref());
         }
         Ok(())
     }
@@ -108,13 +271,38 @@ impl<'a, D: DbRead> ReadCtx<'a, D> {
         })
     }
 
-    /// Compare two stored trees without materializing either.
+    /// Compare two stored trees without materializing either. When both
+    /// carry content addresses with equal root hashes (and unambiguous leaf
+    /// names), the result is synthesized from the stored clade counts in
+    /// O(1) — no index scan, no leaf-row fetches, no streaming comparison.
+    ///
+    /// The short-circuited result leaves `clades` empty: on an identical
+    /// pair every non-trivial clade agrees, so the per-clade listing carries
+    /// no information and enumerating it would cost exactly the O(n) scan
+    /// the short-circuit exists to avoid (the agreeing-clade count is still
+    /// exact in `rooted_rf.shared`). Callers that need the full listing for
+    /// an identical pair can stream it via
+    /// [`ReadCtx::compare_stored_with_tree`], whose in-memory side makes
+    /// the enumeration a pure CPU pass.
     pub fn compare_stored(
         &self,
         a: TreeHandle,
         b: TreeHandle,
         triplets: bool,
     ) -> CrimsonResult<SourceComparison> {
+        if let (Some(sa), Some(sb)) = (self.tree_stats(a)?, self.tree_stats(b)?) {
+            if Self::short_circuit_applies(&sa, &sb) {
+                let rec = self.tree_record(b)?;
+                if !(triplets && rec.leaf_count < 3) {
+                    return Ok(identical_comparison(
+                        sb.rooted_clades,
+                        sb.unrooted_splits,
+                        Vec::new(),
+                        triplets,
+                    ));
+                }
+            }
+        }
         let sa = self.clade_source(a)?;
         let sb = self.clade_source(b)?;
         compare_sources::<_, _, CrimsonError>(&sa, &sb, triplets)
@@ -122,15 +310,50 @@ impl<'a, D: DbRead> ReadCtx<'a, D> {
 
     /// Compare a stored tree against an in-memory one (the stored tree is
     /// the reference side; per-clade agreement describes the in-memory
-    /// tree's nodes).
+    /// tree's nodes). Short-circuits like [`ReadCtx::compare_stored`] when
+    /// the in-memory tree's root hash matches the stored content address —
+    /// the in-memory side is hashed, but the stored side is never streamed
+    /// and no leaf row is fetched.
     pub fn compare_stored_with_tree(
         &self,
         a: TreeHandle,
         b: &Tree,
         triplets: bool,
     ) -> CrimsonResult<SourceComparison> {
+        if let Some(sa) = self.tree_stats(a)? {
+            if !sa.cold && sa.distinct_leaves && !b.is_empty() {
+                let content = TreeContent::compute(b);
+                let root_hash = content.hashes[b.root_unchecked().index()];
+                let n_leaves = b.leaf_ids().count() as u32;
+                if root_hash == sa.root_hash
+                    && content.distinct_leaves
+                    && !(triplets && n_leaves < 3)
+                {
+                    let clades = tree_agreement(b, n_leaves);
+                    return Ok(identical_comparison(
+                        content.counts.rooted,
+                        content.counts.unrooted,
+                        clades,
+                        triplets,
+                    ));
+                }
+            }
+        }
         let sa = self.clade_source(a)?;
         compare_sources::<_, _, CrimsonError>(&sa, b, triplets)
+    }
+
+    /// The equal-hash short-circuit is sound only when both sides carry a
+    /// content address, the addresses match, and every leaf name is present
+    /// and unique on both sides (duplicate or missing names make the hash
+    /// ambiguous). Cold trees never short-circuit: their agreement rows
+    /// would describe only the materialized spine.
+    fn short_circuit_applies(sa: &TreeStatsRecord, sb: &TreeStatsRecord) -> bool {
+        sa.root_hash == sb.root_hash
+            && sa.distinct_leaves
+            && sb.distinct_leaves
+            && !sa.cold
+            && !sb.cold
     }
 }
 
@@ -228,6 +451,58 @@ mod tests {
         let via_writer = repo.compare_stored(ha, hb, false).unwrap();
         assert_eq!(via_reader.rf, via_writer.rf);
         assert_eq!(via_reader.rooted_rf, via_writer.rooted_rf);
+    }
+
+    #[test]
+    fn short_circuit_matches_streamed_identical_comparison() {
+        let (_d, mut repo) = repo();
+        let tree = yule_tree(120, 1.0, 12);
+        let ha = repo.load_tree("a", &tree).unwrap();
+        let hb = repo.load_tree("b", &tree).unwrap();
+        // Hash-equal hot trees take the O(1) path …
+        let fast = repo.compare_stored(ha, hb, true).unwrap();
+        // … a cold copy blocks it, so this streams through the same code
+        // the pre-hash build used (stitched), giving the ground truth.
+        let hc = repo.store_tree_shared("c", &tree, u32::MAX).unwrap();
+        let slow = repo.compare_stored(ha, hc, true).unwrap();
+        assert_eq!(fast.rf, slow.rf);
+        assert_eq!(fast.rooted_rf, slow.rooted_rf);
+        assert_eq!(fast.triplet, slow.triplet);
+        assert_eq!(fast.rf.distance, 0);
+        // The O(1) path omits the (all-agreeing) per-clade listing; the
+        // agreeing-clade count is still exact.
+        assert!(fast.clades.is_empty());
+        assert_eq!(fast.rooted_rf.shared, slow.clades.len());
+        assert!(slow.clades.iter().all(|c| c.agrees));
+        // The in-memory pairing short-circuits to the same numbers and, with
+        // the tree in memory, still enumerates the full agreement listing.
+        let with_tree = repo.compare_stored_with_tree(ha, &tree, true).unwrap();
+        assert_eq!(with_tree.rf, fast.rf);
+        assert_eq!(with_tree.rooted_rf, fast.rooted_rf);
+        assert_eq!(with_tree.triplet, Some(0.0));
+        assert_eq!(with_tree.clades.len(), slow.clades.len());
+        assert!(with_tree.clades.iter().all(|c| c.agrees));
+    }
+
+    #[test]
+    fn cold_stored_tree_streams_through_its_bridges() {
+        let (_d, mut repo) = repo();
+        let a = yule_tree(150, 1.0, 31);
+        let b = yule_tree(150, 1.0, 32); // same leaf names, other topology
+        let ha = repo.load_tree("a", &a).unwrap();
+        let hb = repo.load_tree("b", &b).unwrap();
+        // A cold copy of `b` bridges every large subtree into the hot copy.
+        let hc = repo.store_tree_shared("b-cold", &b, 1).unwrap();
+        assert!(!repo.clade_refs_of(hc).unwrap().is_empty());
+        let hot = repo.compare_stored(ha, hb, true).unwrap();
+        let cold = repo.compare_stored(ha, hc, true).unwrap();
+        assert_eq!(cold.rf, hot.rf);
+        assert_eq!(cold.rooted_rf, hot.rooted_rf);
+        assert_eq!(cold.triplet, hot.triplet);
+        assert_eq!(cold.rf, robinson_foulds(&a, &b).unwrap());
+        // Cold trees work on either side of the comparison.
+        let reversed = repo.compare_stored(hc, ha, false).unwrap();
+        assert_eq!(reversed.rf.distance, hot.rf.distance);
     }
 
     #[test]

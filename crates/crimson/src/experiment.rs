@@ -387,10 +387,23 @@ impl<D: DbRead> ReadCtx<'_, D> {
 
         // One streaming pass per tree yields RF (both flavours), triplets
         // and the per-clade agreement of the reconstruction — the same
-        // engine the index-native stored-tree comparison runs on.
+        // engine the index-native stored-tree comparison runs on. When the
+        // reconstruction recovers the reference exactly, the canonical root
+        // hashes match and the whole comparison (including the O(n³)
+        // triplet count) is synthesized in O(n) instead.
         let start = Instant::now();
-        let cmp: SourceComparison =
-            compare_sources::<_, _, CrimsonError>(&reference, &reconstruction, compute_triplets)?;
+        let cmp: SourceComparison = match crate::compare::equal_tree_comparison(
+            &reference,
+            &reconstruction,
+            compute_triplets,
+        ) {
+            Some(cmp) => cmp,
+            None => compare_sources::<_, _, CrimsonError>(
+                &reference,
+                &reconstruction,
+                compute_triplets,
+            )?,
+        };
         timings.comparison_ms = start.elapsed().as_secs_f64() * 1e3;
 
         Ok(CellEval {
@@ -1041,8 +1054,10 @@ fn cleanup_partial_sweep(
     })
 }
 
-/// Persist one finished grid cell: the reconstructed tree (bulk-load path),
-/// its result row and its per-clade agreement rows. Runs inside the
+/// Persist one finished grid cell: the reconstructed tree (deduplicated —
+/// a cell whose reconstruction is content-identical to an already stored
+/// tree references the canonical copy instead of writing a second one), its
+/// result row and its per-clade agreement rows. Runs inside the
 /// experiment's transaction.
 fn persist_cell(
     repo: &mut Repository,
@@ -1055,18 +1070,46 @@ fn persist_cell(
     let start = Instant::now();
     let method = spec.methods[cell.mi];
     let tree_name = format!("{}/{}-s{}-r{}", spec.name, method.name(), cell.si, cell.ri);
-    let recon = repo.load_tree(&tree_name, &eval.reconstruction)?;
+    let (recon, deduped) = repo.store_tree_dedup(&tree_name, &eval.reconstruction)?;
+
+    // Agreement rows name stored nodes. On a fresh store the
+    // reconstruction's arena ids carry over verbatim; on a dedup hit they
+    // mean nothing in the canonical tree, so each clade is remapped through
+    // its content hash (equal trees hold every clade of one another).
+    let node_ids: Vec<i64> = if deduped {
+        let hashes = labeling::clade_hash::tree_hashes(&eval.reconstruction);
+        let node_map = repo.ctx().hash_to_node_map(recon)?;
+        eval.clades
+            .iter()
+            .map(|c| {
+                node_map
+                    .get(&hashes[c.node as usize])
+                    .map(|sid| sid.0 as i64)
+                    .ok_or_else(|| {
+                        CrimsonError::CorruptRepository(format!(
+                            "canonical tree #{} lacks a clade of its duplicate",
+                            recon.0
+                        ))
+                    })
+            })
+            .collect::<CrimsonResult<_>>()?
+    } else {
+        eval.clades
+            .iter()
+            .map(|c| ((recon.0 << TREE_SHIFT) | c.node as u64) as i64)
+            .collect()
+    };
 
     let strategy_json = serde_json::to_string(&spec.strategies[cell.si])
         .map_err(|e| CrimsonError::History(e.to_string()))?;
-    let mut clades = eval.clades.iter();
+    let mut clades = eval.clades.iter().zip(&node_ids);
     repo.db
         .bulk_insert_with(repo.tables.experiment_clades, BULK_FILL, |values| {
-            let Some(c) = clades.next() else {
+            let Some((c, &node_id)) = clades.next() else {
                 return Ok(false);
             };
             values.push(Value::Int(result_id as i64));
-            values.push(Value::Int(((recon.0 << TREE_SHIFT) | c.node as u64) as i64));
+            values.push(Value::Int(node_id));
             values.push(Value::Int(c.size as i64));
             values.push(Value::Bool(c.agrees));
             Ok(true)

@@ -74,6 +74,7 @@
 pub mod batch;
 pub(crate) mod cache;
 pub mod compare;
+pub mod content;
 pub mod error;
 pub mod experiment;
 pub mod history;
@@ -84,15 +85,17 @@ pub mod repository;
 pub mod sampling;
 
 pub use batch::{BatchOutput, BatchQuery, QueryBatch};
+pub use content::{CladeCounts, ContentStats};
 pub use error::CrimsonError;
 pub use experiment::{
     DistanceSource, EvalReport, EvalSpec, ExperimentRecord, ExperimentResult, ExperimentRunner,
     ExperimentSpec, Method,
 };
+pub use labeling::clade_hash::CladeHash;
 pub use reader::{PinnedReader, ReadRetry, RepositoryReader};
 pub use repository::{
     DegradedReport, Durability, Repository, RepositoryOptions, ScrubReport, StoredNodeId,
-    TreeHandle,
+    TreeHandle, TreeStatsRecord,
 };
 pub use storage::CheckpointPolicy;
 
@@ -100,6 +103,7 @@ pub use storage::CheckpointPolicy;
 pub mod prelude {
     pub use crate::batch::{BatchOutput, BatchQuery, QueryBatch};
     pub use crate::compare::StoredCladeSource;
+    pub use crate::content::{CladeCounts, ContentStats};
     pub use crate::error::CrimsonError;
     pub use crate::experiment::{
         CladeRow, DistanceSource, EvalReport, EvalSpec, ExperimentRecord, ExperimentResult,
@@ -110,7 +114,7 @@ pub mod prelude {
     pub use crate::reader::{PinnedReader, ReadRetry, RepositoryReader};
     pub use crate::repository::{
         DegradedReport, Durability, IntegrityReport, Repository, RepositoryOptions, ScrubReport,
-        StoredNodeId, TreeHandle,
+        StoredNodeId, TreeHandle, TreeStatsRecord,
     };
     pub use crate::sampling::SamplingStrategy;
     pub use storage::CheckpointPolicy;

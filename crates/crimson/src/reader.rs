@@ -475,6 +475,60 @@ impl RepositoryReader {
     }
 
     // ------------------------------------------------------------------
+    // Content addresses
+    // ------------------------------------------------------------------
+
+    /// The content-address summary row of a tree (see
+    /// [`Repository::tree_stats`]).
+    pub fn tree_stats(
+        &self,
+        handle: TreeHandle,
+    ) -> CrimsonResult<Option<crate::repository::TreeStatsRecord>> {
+        self.read(|ctx| ctx.tree_stats(handle))
+    }
+
+    /// O(1) whole-tree equality via stored root hashes.
+    pub fn trees_equal(&self, a: TreeHandle, b: TreeHandle) -> CrimsonResult<bool> {
+        self.read(|ctx| ctx.trees_equal(a, b))
+    }
+
+    /// O(1) subtree equality between two stored nodes.
+    pub fn subtrees_equal(&self, a: StoredNodeId, b: StoredNodeId) -> CrimsonResult<bool> {
+        self.read(|ctx| ctx.subtrees_equal(a, b))
+    }
+
+    /// The canonical clade hash of the subtree rooted at a stored node.
+    pub fn subtree_hash(&self, id: StoredNodeId) -> CrimsonResult<labeling::CladeHash> {
+        self.read(|ctx| ctx.node_content_hash(id))
+    }
+
+    /// Stored trees whose content address equals `hash` (no-scan lookup).
+    pub fn trees_with_root_hash(
+        &self,
+        hash: labeling::CladeHash,
+    ) -> CrimsonResult<Vec<TreeHandle>> {
+        self.read(|ctx| ctx.trees_with_root_hash(hash))
+    }
+
+    /// Every published stored subtree whose content address equals `hash`.
+    pub fn subtrees_with_hash(
+        &self,
+        hash: labeling::CladeHash,
+    ) -> CrimsonResult<Vec<(TreeHandle, u32, u32)>> {
+        self.read(|ctx| ctx.subtrees_with_hash(hash))
+    }
+
+    /// The structural-sharing reference rows of a cold tree.
+    pub fn clade_refs_of(&self, handle: TreeHandle) -> CrimsonResult<Vec<labeling::CladeRef>> {
+        self.read(|ctx| ctx.clade_refs_of(handle))
+    }
+
+    /// Aggregate sharing statistics across the repository snapshot.
+    pub fn content_stats(&self) -> CrimsonResult<crate::content::ContentStats> {
+        self.read(|ctx| ctx.content_stats())
+    }
+
+    // ------------------------------------------------------------------
     // Experiments
     // ------------------------------------------------------------------
 

@@ -28,6 +28,7 @@
 
 use crate::cache::ShardedCache;
 use crate::error::{CrimsonError, CrimsonResult};
+use labeling::clade_hash::{self, CladeHash};
 use labeling::hierarchical::HierarchicalDewey;
 use labeling::interval::{interval_key_prefix, interval_range_end, IntervalEntry, IntervalLabels};
 use phylo::traverse::Traverse;
@@ -51,6 +52,32 @@ const IVL_BY_PRE: &str = "ivl_by_pre";
 /// Name of the raw index mapping a stored node id to its packed
 /// `(pre, end)` interval.
 const IVL_BY_NODE: &str = "ivl_by_node";
+/// Name of the raw index holding per-node canonical clade hashes, keyed
+/// `(tree_id, pre, hash)` → packed `(pre, end)` span (see
+/// [`labeling::clade_hash`]).
+const HASH_BY_PRE: &str = "clade_hash_by_pre";
+/// Name of the global content-address index, keyed `(hash, tree_id, pre)` →
+/// packed `(pre, end)` span. A 16-byte prefix scan answers "which stored
+/// trees/subtrees equal this one" without touching a node row.
+const HASH_IDX: &str = "clade_hash_idx";
+/// Name of the raw index holding structural-sharing reference rows of cold
+/// trees (see [`labeling::clade_hash::CladeRef`]).
+const CLADE_REFS: &str = "clade_refs";
+
+/// Minimum node-span for a subtree to be published in the global
+/// content-address index. Tree roots are always published; smaller internal
+/// subtrees are only addressable through their tree's `hash_by_pre` range.
+/// Keeps the per-load point-insert count (the global index interleaves
+/// across trees, so it cannot ride the bulk appender) a small fraction of
+/// the node count on realistic tree shapes.
+pub(crate) const HASH_IDX_MIN_SPAN: u32 = 32;
+
+/// `tree_stats.flags` bit: every leaf is named and the names are distinct —
+/// the precondition under which hash equality implies metric equality.
+pub(crate) const STATS_FLAG_DISTINCT_LEAVES: i64 = 1;
+/// `tree_stats.flags` bit: the tree is stored cold (structurally shared);
+/// bridged subtree spans live in other trees, reachable via `clade_refs`.
+pub(crate) const STATS_FLAG_COLD: i64 = 2;
 
 /// Identifier of a node stored in the repository (stable across sessions).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -177,6 +204,29 @@ pub struct TreeRecord {
     pub frame_depth: u64,
 }
 
+/// Content-address summary row of a stored tree: its canonical root hash
+/// plus the distinct rooted-clade and unrooted-split counts the comparison
+/// metrics are defined over. Written at load time (or by
+/// [`Repository::backfill_clade_hashes`] for pre-hash files); the
+/// ingredients of the O(1) equal-tree compare short-circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeStatsRecord {
+    /// The tree this row summarizes.
+    pub handle: TreeHandle,
+    /// Canonical hash of the root clade — the whole-tree content address.
+    pub root_hash: CladeHash,
+    /// Number of distinct non-trivial rooted clades (leaf sets of size
+    /// `2..=n-1`), i.e. `|clades(T)|` of the comparison module.
+    pub rooted_clades: u64,
+    /// Number of distinct non-trivial unrooted splits (`|splits(T)|`).
+    pub unrooted_splits: u64,
+    /// Every leaf is named and the names are distinct.
+    pub distinct_leaves: bool,
+    /// Stored cold: duplicate subtrees are bridged by reference rows
+    /// instead of materialized.
+    pub cold: bool,
+}
+
 /// The table and raw-index handles a repository file carries. Stable for
 /// the lifetime of the file (tables are created once at
 /// [`Repository::create`]), so snapshot readers copy it freely.
@@ -193,11 +243,19 @@ pub(crate) struct Tables {
     pub experiment_results: TableId,
     /// Per-clade agreement rows of each result's stored reconstruction.
     pub experiment_clades: TableId,
+    /// One content-address summary row per hashed tree.
+    pub tree_stats: TableId,
     /// Covering interval index keyed by `(tree_id, pre)`; see
     /// [`labeling::interval`] for the entry layout.
     pub ivl_by_pre: RawIndexId,
     /// Stored node id → packed `(pre << 32) | end` interval.
     pub ivl_by_node: RawIndexId,
+    /// Per-node clade hashes keyed `(tree_id, pre, hash)`.
+    pub hash_by_pre: RawIndexId,
+    /// Global content-address index keyed `(hash, tree_id, pre)`.
+    pub hash_idx: RawIndexId,
+    /// Structural-sharing reference rows of cold trees.
+    pub clade_refs: RawIndexId,
 }
 
 /// The Crimson repository: Tree Repository + Species Repository + Query
@@ -253,6 +311,18 @@ pub struct IntegrityReport {
     /// Per-clade agreement rows (each referencing an existing result and a
     /// stored node of its reconstruction).
     pub experiment_clades: u64,
+    /// Trees carrying a content-address (`tree_stats`) row. Trees loaded by
+    /// a pre-hash build may lack one until backfilled.
+    pub hashed_trees: u64,
+    /// Entries in the per-tree clade-hash index (one per materialized node
+    /// plus one per bridge of every hashed tree).
+    pub hash_entries: u64,
+    /// Entries in the global content-address index (verified to reference
+    /// existing hashed spans of fully materialized trees).
+    pub global_hash_entries: u64,
+    /// Structural-sharing reference rows (each verified to bridge to an
+    /// existing, hash-identical span of a fully materialized tree).
+    pub clade_refs: u64,
 }
 
 /// Salvage survey produced by [`Repository::open_degraded`]: which pages
@@ -553,10 +623,125 @@ impl<'a, D: DbRead> ReadCtx<'a, D> {
             }
             report.nodes += 1;
         }
+        // Content-address catalog, loaded before the per-tree row-count
+        // check: cold (structurally shared) trees materialize fewer node
+        // rows than their logical node count, and only their stats rows and
+        // bridge references say by how many.
+        let mut stats: HashMap<u64, TreeStatsRecord> = HashMap::new();
+        for (rid, row) in self.db.scan(self.tables.tree_stats)? {
+            let Some(rec) = decode_tree_stats_row(&row) else {
+                return Err(CrimsonError::CorruptRepository(format!(
+                    "tree_stats row {rid} is malformed"
+                )));
+            };
+            if !trees.contains_key(&rec.handle.0) {
+                return Err(CrimsonError::CorruptRepository(format!(
+                    "orphan tree_stats row {rid} references missing tree {}",
+                    rec.handle.0
+                )));
+            }
+            if stats.insert(rec.handle.0, rec).is_some() {
+                return Err(CrimsonError::CorruptRepository(format!(
+                    "tree {} carries duplicate tree_stats rows",
+                    rec.handle.0
+                )));
+            }
+        }
+        report.hashed_trees = stats.len() as u64;
+
+        let mut refs_by_tree: HashMap<u64, Vec<clade_hash::CladeRef>> = HashMap::new();
+        {
+            let mut malformed = false;
+            let mut all_refs: Vec<(u64, clade_hash::CladeRef)> = Vec::new();
+            self.db
+                .raw_scan(self.tables.clade_refs, None, None, &mut |key, value| {
+                    match clade_hash::CladeRef::decode(key, value) {
+                        Some((tree, r)) => {
+                            all_refs.push((tree, r));
+                            Ok(true)
+                        }
+                        None => {
+                            malformed = true;
+                            Ok(false)
+                        }
+                    }
+                })?;
+            if malformed {
+                return Err(CrimsonError::CorruptRepository(
+                    "malformed clade-ref key".to_string(),
+                ));
+            }
+            for (tree, r) in all_refs {
+                refs_by_tree.entry(tree).or_default().push(r);
+            }
+        }
+        // Every bridge must sit in a cold, hashed tree and point at a
+        // hash-identical span of a fully materialized (hot) hashed tree —
+        // so reference chains cannot exist and every read bottoms out after
+        // one hop.
+        for (tree_id, refs) in &refs_by_tree {
+            let Some(st) = stats.get(tree_id) else {
+                return Err(CrimsonError::CorruptRepository(format!(
+                    "tree {tree_id} carries bridges but no content address"
+                )));
+            };
+            if !st.cold {
+                return Err(CrimsonError::CorruptRepository(format!(
+                    "fully materialized tree {tree_id} carries bridges"
+                )));
+            }
+            for r in refs {
+                report.clade_refs += 1;
+                let Some(src) = stats.get(&r.src_tree) else {
+                    return Err(CrimsonError::CorruptRepository(format!(
+                        "bridge in tree {tree_id} references unhashed tree {}",
+                        r.src_tree
+                    )));
+                };
+                if src.cold {
+                    return Err(CrimsonError::CorruptRepository(format!(
+                        "bridge in tree {tree_id} chains into cold tree {}",
+                        r.src_tree
+                    )));
+                }
+                if r.end - r.pre != r.src_end - r.src_pre {
+                    return Err(CrimsonError::CorruptRepository(format!(
+                        "bridge at rank {} of tree {tree_id} spans a different width than its source",
+                        r.pre
+                    )));
+                }
+                let here = self.subtree_hash_at(TreeHandle(*tree_id), r.pre)?;
+                let there = self.subtree_hash_at(TreeHandle(r.src_tree), r.src_pre)?;
+                match (here, there) {
+                    (Some((ha, ea)), Some((hb, eb)))
+                        if ha == hb && ea == r.end && eb == r.src_end => {}
+                    _ => {
+                        return Err(CrimsonError::CorruptRepository(format!(
+                            "bridge at rank {} of tree {tree_id} contradicts its source span",
+                            r.pre
+                        )));
+                    }
+                }
+            }
+        }
+
         for (tree_id, tree) in &trees {
             let nodes = node_counts.get(tree_id).copied().unwrap_or(0);
             let leaves = leaf_counts.get(tree_id).copied().unwrap_or(0);
-            if nodes != tree.node_count || leaves != tree.leaf_count {
+            let bridged: u64 = refs_by_tree
+                .get(tree_id)
+                .map(|rs| rs.iter().map(|r| (r.end - r.pre + 1) as u64).sum())
+                .unwrap_or(0);
+            if stats.get(tree_id).is_some_and(|s| s.cold) {
+                // The catalog keeps logical counts; bridged nodes (leaves
+                // included) live only in the canonical source tree.
+                if nodes + bridged != tree.node_count || leaves > tree.leaf_count {
+                    return Err(CrimsonError::CorruptRepository(format!(
+                        "cold tree `{}` records {}/{} nodes/leaves but {nodes}(+{bridged} bridged)/{leaves} rows exist",
+                        tree.name, tree.node_count, tree.leaf_count
+                    )));
+                }
+            } else if nodes != tree.node_count || leaves != tree.leaf_count {
                 return Err(CrimsonError::CorruptRepository(format!(
                     "tree `{}` records {}/{} nodes/leaves but {nodes}/{leaves} rows exist",
                     tree.name, tree.node_count, tree.leaf_count
@@ -601,6 +786,139 @@ impl<'a, D: DbRead> ReadCtx<'a, D> {
             )));
         }
         report.interval_entries = by_pre;
+
+        // Per-tree clade hashes: a hot hashed tree carries one entry per
+        // node, a cold tree one per materialized node plus one per bridge,
+        // and an unhashed (pre-hash) tree none. The stats root hash must
+        // match the entry stored at rank 0.
+        let mut hash_counts: HashMap<u64, u64> = HashMap::new();
+        let mut qualifying: HashMap<u64, u64> = HashMap::new();
+        {
+            let mut malformed = false;
+            self.db
+                .raw_scan(self.tables.hash_by_pre, None, None, &mut |key, value| {
+                    let Some((tree, pre, _)) = clade_hash::decode_hash_by_pre_key(key) else {
+                        malformed = true;
+                        return Ok(false);
+                    };
+                    let (lo, hi) = clade_hash::unpack_span(value);
+                    *hash_counts.entry(tree).or_default() += 1;
+                    if pre == lo && (pre == 0 || hi - lo + 1 >= HASH_IDX_MIN_SPAN) {
+                        *qualifying.entry(tree).or_default() += 1;
+                    }
+                    Ok(true)
+                })?;
+            if malformed {
+                return Err(CrimsonError::CorruptRepository(
+                    "malformed clade-hash entry".to_string(),
+                ));
+            }
+        }
+        for tree_id in hash_counts.keys() {
+            if !trees.contains_key(tree_id) {
+                return Err(CrimsonError::CorruptRepository(format!(
+                    "orphan clade-hash entries reference missing tree {tree_id}"
+                )));
+            }
+        }
+        for (tree_id, tree) in &trees {
+            let have = hash_counts.get(tree_id).copied().unwrap_or(0);
+            let expected = match stats.get(tree_id) {
+                None => 0,
+                Some(st) if st.cold => {
+                    let refs = refs_by_tree.get(tree_id);
+                    let bridged: u64 = refs
+                        .map(|rs| rs.iter().map(|r| (r.end - r.pre + 1) as u64).sum())
+                        .unwrap_or(0);
+                    let n_refs = refs.map_or(0, |rs| rs.len() as u64);
+                    tree.node_count - bridged + n_refs
+                }
+                Some(_) => tree.node_count,
+            };
+            if have != expected {
+                return Err(CrimsonError::CorruptRepository(format!(
+                    "tree `{}` holds {have} clade-hash entries, expected {expected}",
+                    tree.name
+                )));
+            }
+            report.hash_entries += have;
+            if let Some(st) = stats.get(tree_id) {
+                match self.subtree_hash_at(st.handle, 0)? {
+                    Some((h, end)) if h == st.root_hash && end as u64 == tree.node_count - 1 => {}
+                    _ => {
+                        return Err(CrimsonError::CorruptRepository(format!(
+                            "stats root hash of tree `{}` contradicts its stored entry",
+                            tree.name
+                        )));
+                    }
+                }
+            }
+        }
+
+        // Global hash index: every entry must decode, belong to a hot
+        // hashed tree, agree with that tree's per-tree entry, and meet the
+        // publication threshold; conversely every qualifying span of a hot
+        // hashed tree must be published.
+        {
+            let mut malformed = false;
+            let mut entries: Vec<(CladeHash, u64, u32)> = Vec::new();
+            self.db
+                .raw_scan(self.tables.hash_idx, None, None, &mut |key, _| {
+                    match clade_hash::decode_hash_idx_key(key) {
+                        Some((hash, tree, pre)) => {
+                            entries.push((hash, tree, pre));
+                            Ok(true)
+                        }
+                        None => {
+                            malformed = true;
+                            Ok(false)
+                        }
+                    }
+                })?;
+            if malformed {
+                return Err(CrimsonError::CorruptRepository(
+                    "malformed global hash-index entry".to_string(),
+                ));
+            }
+            for (hash, tree, pre) in entries {
+                let Some(st) = stats.get(&tree) else {
+                    return Err(CrimsonError::CorruptRepository(format!(
+                        "global hash index references unhashed tree {tree}"
+                    )));
+                };
+                if st.cold {
+                    return Err(CrimsonError::CorruptRepository(format!(
+                        "global hash index references cold tree {tree}"
+                    )));
+                }
+                match self.subtree_hash_at(TreeHandle(tree), pre)? {
+                    Some((h, end)) if h == hash => {
+                        if pre != 0 && end - pre + 1 < HASH_IDX_MIN_SPAN {
+                            return Err(CrimsonError::CorruptRepository(format!(
+                                "global hash index publishes sub-threshold span at rank {pre} of tree {tree}"
+                            )));
+                        }
+                    }
+                    _ => {
+                        return Err(CrimsonError::CorruptRepository(format!(
+                            "global hash index contradicts per-tree entry at rank {pre} of tree {tree}"
+                        )));
+                    }
+                }
+                report.global_hash_entries += 1;
+            }
+            let expected_global: u64 = trees
+                .keys()
+                .filter(|id| stats.get(id).is_some_and(|s| !s.cold))
+                .map(|id| qualifying.get(id).copied().unwrap_or(0))
+                .sum();
+            if report.global_hash_entries != expected_global {
+                return Err(CrimsonError::CorruptRepository(format!(
+                    "global hash index holds {} entries, expected {expected_global}",
+                    report.global_hash_entries
+                )));
+            }
+        }
 
         // Experiment catalog: every experiment references an existing gold
         // tree with a parseable spec; every result an existing experiment
@@ -859,8 +1177,13 @@ impl Repository {
         db.create_index(results_table, "exp_id", false)?;
         let clades_table = db.create_table("experiment_clades", experiment_clades_schema())?;
         db.create_index(clades_table, "result_id", false)?;
+        let stats_table = db.create_table("tree_stats", tree_stats_schema())?;
+        db.create_index(stats_table, "tree_id", true)?;
         let ivl_by_pre = db.create_raw_index(IVL_BY_PRE)?;
         let ivl_by_node = db.create_raw_index(IVL_BY_NODE)?;
+        let hash_by_pre = db.create_raw_index(HASH_BY_PRE)?;
+        let hash_idx = db.create_raw_index(HASH_IDX)?;
+        let clade_refs = db.create_raw_index(CLADE_REFS)?;
         db.flush()?;
         let checkpointer = options.checkpoint.map(|p| db.start_checkpointer(p));
         Ok(Repository {
@@ -876,8 +1199,12 @@ impl Repository {
                 experiments: experiments_table,
                 experiment_results: results_table,
                 experiment_clades: clades_table,
+                tree_stats: stats_table,
                 ivl_by_pre,
                 ivl_by_node,
+                hash_by_pre,
+                hash_idx,
+                clade_refs,
             },
             next_history_id: 0,
             last_commit: 0,
@@ -928,6 +1255,20 @@ impl Repository {
                 t
             }
         };
+        // Files written before content-addressed storage lack the stats
+        // table and the hash indexes; create them empty on open. Trees
+        // already stored in the file simply have no stats row yet — every
+        // hash read degrades gracefully until
+        // [`Repository::backfill_clade_hashes`] (or the next checkpoint,
+        // which runs it) fills the gap.
+        let stats_table = match db.table("tree_stats") {
+            Ok(t) => t,
+            Err(_) => {
+                let t = db.create_table("tree_stats", tree_stats_schema())?;
+                db.create_index(t, "tree_id", true)?;
+                t
+            }
+        };
         // Rolled-back transactions may have left gaps in the id sequence;
         // resume after the highest id actually present (a plain row count
         // could collide with a surviving id). The unique `query_id` index
@@ -949,6 +1290,18 @@ impl Repository {
                 "repository file lacks the `{IVL_BY_NODE}` interval index"
             ))
         })?;
+        let hash_by_pre = match db.raw_index(HASH_BY_PRE) {
+            Ok(id) => id,
+            Err(_) => db.create_raw_index(HASH_BY_PRE)?,
+        };
+        let hash_idx = match db.raw_index(HASH_IDX) {
+            Ok(id) => id,
+            Err(_) => db.create_raw_index(HASH_IDX)?,
+        };
+        let clade_refs = match db.raw_index(CLADE_REFS) {
+            Ok(id) => id,
+            Err(_) => db.create_raw_index(CLADE_REFS)?,
+        };
         let checkpointer = options.checkpoint.map(|p| db.start_checkpointer(p));
         Ok(Repository {
             checkpointer,
@@ -963,8 +1316,12 @@ impl Repository {
                 experiments: experiments_table,
                 experiment_results: results_table,
                 experiment_clades: clades_table,
+                tree_stats: stats_table,
                 ivl_by_pre,
                 ivl_by_node,
+                hash_by_pre,
+                hash_idx,
+                clade_refs,
             },
             next_history_id,
             last_commit: 0,
@@ -998,6 +1355,7 @@ impl Repository {
             experiments: db.table("experiments")?,
             experiment_results: db.table("experiment_results")?,
             experiment_clades: db.table("experiment_clades")?,
+            tree_stats: db.table("tree_stats")?,
             ivl_by_pre: db.raw_index(IVL_BY_PRE).map_err(|_| {
                 CrimsonError::CorruptRepository(format!(
                     "repository file lacks the `{IVL_BY_PRE}` interval index"
@@ -1006,6 +1364,21 @@ impl Repository {
             ivl_by_node: db.raw_index(IVL_BY_NODE).map_err(|_| {
                 CrimsonError::CorruptRepository(format!(
                     "repository file lacks the `{IVL_BY_NODE}` interval index"
+                ))
+            })?,
+            hash_by_pre: db.raw_index(HASH_BY_PRE).map_err(|_| {
+                CrimsonError::CorruptRepository(format!(
+                    "repository file lacks the `{HASH_BY_PRE}` clade-hash index"
+                ))
+            })?,
+            hash_idx: db.raw_index(HASH_IDX).map_err(|_| {
+                CrimsonError::CorruptRepository(format!(
+                    "repository file lacks the `{HASH_IDX}` content-address index"
+                ))
+            })?,
+            clade_refs: db.raw_index(CLADE_REFS).map_err(|_| {
+                CrimsonError::CorruptRepository(format!(
+                    "repository file lacks the `{CLADE_REFS}` reference index"
                 ))
             })?,
         };
@@ -1119,8 +1492,13 @@ impl Repository {
     }
 
     /// Checkpoint: write all dirty state to the data file and truncate the
-    /// write-ahead log.
+    /// write-ahead log. Before checkpointing, any tree stored by a pre-hash
+    /// build gets its content address backfilled, so old files upgrade in
+    /// place the first time they are flushed by a hash-aware build.
     pub fn flush(&mut self) -> CrimsonResult<()> {
+        if !self.db.read_only() && !self.db.is_poisoned() {
+            self.backfill_clade_hashes()?;
+        }
         self.db.flush()?;
         Ok(())
     }
@@ -1385,6 +1763,14 @@ impl Repository {
         let mut root_dist = vec![0.0f64; n];
         let mut depth_of = vec![0u64; n];
         let mut height_of = vec![0.0f64; n];
+        // Canonical clade hashes and leaf-rank intervals, computed in the
+        // same DFS (children are final at a node's post-order exit): the
+        // content address comes for free with the load.
+        let mut hash_of = vec![CladeHash([0u8; clade_hash::CLADE_HASH_LEN]); n];
+        let mut leaf_lo = vec![u32::MAX; n];
+        let mut leaf_hi = vec![0u32; n];
+        let mut hash_scratch: Vec<CladeHash> = Vec::new();
+        let mut next_leaf_rank = 0u32;
         // Pre-order sequence of arena ids: the emission order.
         let mut order: Vec<phylo::NodeId> = Vec::with_capacity(n);
         let mut leaf_count = 0u64;
@@ -1406,16 +1792,28 @@ impl Repository {
                 order.push(child);
                 stack.push((child, 0));
             } else {
-                end_of[node.index()] = next_pre - 1;
+                let ni = node.index();
+                end_of[ni] = next_pre - 1;
                 if children.is_empty() {
                     leaf_count += 1;
+                    hash_of[ni] = CladeHash::leaf(tree.name(node));
+                    leaf_lo[ni] = next_leaf_rank;
+                    leaf_hi[ni] = next_leaf_rank;
+                    next_leaf_rank += 1;
+                } else {
+                    hash_scratch.clear();
+                    hash_scratch.extend(children.iter().map(|c| hash_of[c.index()]));
+                    hash_of[ni] = CladeHash::internal(&mut hash_scratch);
                 }
                 stack.pop();
                 if let Some(&(parent, _)) = stack.last() {
-                    let lifted = height_of[node.index()] + tree.node(node).branch_length_or_zero();
-                    if lifted > height_of[parent.index()] {
-                        height_of[parent.index()] = lifted;
+                    let pi = parent.index();
+                    let lifted = height_of[ni] + tree.node(node).branch_length_or_zero();
+                    if lifted > height_of[pi] {
+                        height_of[pi] = lifted;
                     }
+                    leaf_lo[pi] = leaf_lo[pi].min(leaf_lo[ni]);
+                    leaf_hi[pi] = leaf_hi[pi].max(leaf_hi[ni]);
                 }
             }
         }
@@ -1532,6 +1930,24 @@ impl Repository {
                 let packed = ((pre_of[ai] as u64) << 32) | end_of[ai] as u64;
                 (sid.to_be_bytes(), packed)
             }),
+        )?;
+
+        // The content address: per-node hashes in `(tree_id, pre)` order (a
+        // sorted bulk run like the interval index), the global hash entries,
+        // and the stats row the equal-tree short-circuit reads.
+        let counts = crate::content::count_clades(
+            order
+                .iter()
+                .map(|&v| (leaf_lo[v.index()], leaf_hi[v.index()])),
+            leaf_count as u32,
+        );
+        self.insert_content_address(
+            tree_id,
+            order
+                .iter()
+                .map(|&v| (pre_of[v.index()], end_of[v.index()], hash_of[v.index()])),
+            counts,
+            clade_hash::distinct_named_leaves(tree),
         )?;
 
         // Insert the tree row last so a partially loaded tree is not visible.
@@ -1674,6 +2090,20 @@ impl Repository {
                 .raw_insert(self.tables.ivl_by_node, &sid.0.to_be_bytes(), packed)?;
         }
 
+        // Content-address rows, computed standalone (the bulk path folds
+        // this into its single DFS; the property tests cross-validate the
+        // two paths' hashes and stats byte for byte).
+        let content = crate::content::TreeContent::compute(tree);
+        self.insert_content_address(
+            tree_id,
+            tree.preorder().map(|v| {
+                let (pre, end) = intervals.interval(v);
+                (pre, end, content.hashes[v.index()])
+            }),
+            content.counts,
+            content.distinct_leaves,
+        )?;
+
         // Insert the tree row last so a partially loaded tree is not visible.
         self.db.insert(
             self.tables.trees,
@@ -1747,7 +2177,7 @@ impl Repository {
         })
     }
 
-    fn next_tree_id(&self) -> CrimsonResult<u64> {
+    pub(crate) fn next_tree_id(&self) -> CrimsonResult<u64> {
         let rows = self.db.scan(self.tables.trees)?;
         let max = rows
             .iter()
@@ -2016,6 +2446,30 @@ fn experiment_clades_schema() -> Schema {
         ColumnDef::not_null("size", ValueType::Int),
         ColumnDef::not_null("agrees", ValueType::Bool),
     ])
+}
+
+fn tree_stats_schema() -> Schema {
+    Schema::new(vec![
+        ColumnDef::not_null("tree_id", ValueType::Int),
+        // The 16-byte canonical root-clade hash.
+        ColumnDef::not_null("root_hash", ValueType::Bytes),
+        ColumnDef::not_null("rooted_clades", ValueType::Int),
+        ColumnDef::not_null("unrooted_splits", ValueType::Int),
+        // Bit 0: distinct named leaves; bit 1: stored cold.
+        ColumnDef::not_null("flags", ValueType::Int),
+    ])
+}
+
+pub(crate) fn decode_tree_stats_row(row: &storage::schema::Row) -> Option<TreeStatsRecord> {
+    let flags = row.values[4].as_int().unwrap_or(0);
+    Some(TreeStatsRecord {
+        handle: TreeHandle(row.values[0].as_int().unwrap_or(0) as u64),
+        root_hash: CladeHash::from_slice(row.values[1].as_bytes().unwrap_or(&[]))?,
+        rooted_clades: row.values[2].as_int().unwrap_or(0) as u64,
+        unrooted_splits: row.values[3].as_int().unwrap_or(0) as u64,
+        distinct_leaves: flags & STATS_FLAG_DISTINCT_LEAVES != 0,
+        cold: flags & STATS_FLAG_COLD != 0,
+    })
 }
 
 fn decode_tree_row(row: &storage::schema::Row) -> TreeRecord {

@@ -281,6 +281,101 @@ fn reopen_without_flush_replays_the_load() {
 }
 
 #[test]
+fn crash_mid_dedup_store_leaves_no_dangling_hash_state() {
+    // Crash partway through a content-addressed store (the miss path: a
+    // full load plus hash-index and stats writes, all one transaction).
+    // Recovery must leave the hash catalog exactly per-tree complete — the
+    // integrity invariants reject dangling `hash_by_pre` / `hash_idx`
+    // entries or stats rows for a vanished tree — and the retried store
+    // must succeed and then dedup.
+    for point in [
+        CrashPoint::WalAppend(2),
+        CrashPoint::WalAppend(9),
+        CrashPoint::DataWrite(1),
+        CrashPoint::DataWrite(8),
+    ] {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("repo.crimson");
+        let base = yule_tree(90, 1.0, 7);
+        let victim = yule_tree(260, 1.0, 8);
+        let victim_committed;
+        {
+            let mut repo = Repository::create(&path, small_opts()).unwrap();
+            let (_, hit) = repo.store_tree_dedup("base", &base).unwrap();
+            assert!(!hit);
+            repo.inject_crash(point);
+            victim_committed = repo.store_tree_dedup("victim", &victim).is_ok();
+            // Crash: drop without flush.
+        }
+        let mut repo = Repository::open(&path, small_opts()).unwrap();
+        let integrity = repo.integrity_check().unwrap_or_else(|e| {
+            panic!("integrity failed after dedup-store crash at {point:?}: {e}")
+        });
+        let committed = if victim_committed { 2 } else { 1 };
+        assert_eq!(integrity.trees as usize, committed, "crash at {point:?}");
+        // Every surviving tree carries a complete content address and the
+        // hash indexes hold entries for surviving trees only.
+        assert_eq!(integrity.hashed_trees, integrity.trees);
+        assert_eq!(integrity.clade_refs, 0);
+        if !victim_committed {
+            assert!(repo.find_tree("victim").unwrap().is_none());
+            let (_, hit) = repo.store_tree_dedup("victim", &victim).unwrap();
+            assert!(!hit, "retried store must be a fresh miss at {point:?}");
+        }
+        // The recovered (or retried) content addresses still dedup.
+        let victim_handle = repo.tree_by_name("victim").unwrap().handle;
+        let (dup, hit) = repo.store_tree_dedup("victim-dup", &victim).unwrap();
+        assert!(hit, "identical tree must dedup after recovery at {point:?}");
+        assert_eq!(dup, victim_handle);
+        repo.integrity_check().unwrap();
+    }
+}
+
+#[test]
+fn crash_mid_shared_store_leaves_no_dangling_bridges() {
+    // Crash partway through a structurally-shared (cold) store: bridge
+    // reference rows, spine hash entries and the stats row are one
+    // transaction, so recovery must roll them back together — a bridge
+    // whose owning tree vanished would fail the integrity invariants.
+    for point in [CrashPoint::WalAppend(2), CrashPoint::DataWrite(1)] {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("repo.crimson");
+        let tree = yule_tree(260, 1.0, 31);
+        let victim_committed;
+        {
+            let mut repo = Repository::create(&path, small_opts()).unwrap();
+            repo.load_tree("hot", &tree).unwrap();
+            repo.inject_crash(point);
+            victim_committed = repo.store_tree_shared("cold", &tree, 1).is_ok();
+            // Crash: drop without flush.
+        }
+        let mut repo = Repository::open(&path, small_opts()).unwrap();
+        let integrity = repo.integrity_check().unwrap_or_else(|e| {
+            panic!("integrity failed after shared-store crash at {point:?}: {e}")
+        });
+        if !victim_committed {
+            assert_eq!(integrity.trees, 1, "crash at {point:?}");
+            assert_eq!(
+                integrity.clade_refs, 0,
+                "no bridge may survive its tree at {point:?}"
+            );
+            assert!(repo.find_tree("cold").unwrap().is_none());
+            // Retry: the interrupted cold store succeeds from scratch.
+            let hc = repo.store_tree_shared("cold", &tree, 1).unwrap();
+            assert!(!repo.clade_refs_of(hc).unwrap().is_empty());
+        }
+        let integrity = repo.integrity_check().unwrap();
+        assert_eq!(integrity.trees, 2);
+        assert!(integrity.clade_refs > 0, "crash at {point:?}");
+        // The cold tree reads transparently through its bridges.
+        let hot = repo.tree_by_name("hot").unwrap().handle;
+        let cold = repo.tree_by_name("cold").unwrap().handle;
+        let cmp = repo.compare_stored(hot, cold, false).unwrap();
+        assert_eq!(cmp.rf.distance, 0);
+    }
+}
+
+#[test]
 fn async_commit_survives_clean_close() {
     // Clean-close durability for `Durability::Async`: an acknowledged
     // async commit sits in the pipelined WAL queue until some later sync.

@@ -44,12 +44,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod clade_hash;
 pub mod dewey;
 pub mod hierarchical;
 pub mod interval;
 pub mod parent;
 pub mod scheme;
 
+pub use clade_hash::{tree_hashes, CladeHash, CladeRef};
 pub use dewey::FlatDewey;
 pub use hierarchical::HierarchicalDewey;
 pub use interval::{IntervalEntry, IntervalLabels};

@@ -152,6 +152,76 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nindex-native RF between stored UPGMA #{} and NJ #{} reconstructions: {} (normalized {:.3})",
         upgma.recon.0, nj.recon.0, cmp.rf.distance, cmp.rf.normalized
     );
+    // 8. Content-addressed storage: every stored tree carries a canonical
+    //    128-bit per-clade hash, so whole-tree equality is a stats-row probe
+    //    and duplicate reconstructions deduplicate on store.
+    println!("\n{:-^100}", " content-addressed storage ");
+
+    // Re-storing the gold standard is a dedup hit — no bytes written, the
+    // canonical handle comes back.
+    let (canon, hit) = repo.store_tree_dedup("gold_again", &gold.tree)?;
+    println!(
+        "store_tree_dedup(gold again) -> tree #{} (dedup hit: {hit})",
+        canon.0
+    );
+    assert!(hit && canon == handle);
+
+    // Hash-equal stored trees compare in O(1): `trees_equal` is two index
+    // probes, and `compare_stored` short-circuits off the stats rows
+    // (distances zero, shared counts exact) without streaming a single
+    // interval row.
+    let stats = repo.tree_stats(handle)?.expect("gold standard is hashed");
+    println!(
+        "gold root hash {:032x}: {} rooted clades, {} unrooted splits",
+        stats.root_hash.to_u128(),
+        stats.rooted_clades,
+        stats.unrooted_splits
+    );
+    println!(
+        "trees_equal(gold, gold)      = {}",
+        repo.trees_equal(handle, handle)?
+    );
+    println!(
+        "trees_equal(upgma, nj)       = {}",
+        repo.trees_equal(upgma.recon, nj.recon)?
+    );
+    println!(
+        "trees_with_root_hash(gold)   = {:?}",
+        repo.trees_with_root_hash(stats.root_hash)?
+    );
+
+    // The global hash index also answers subtree queries: every stored
+    // occurrence of a clade (tree roots plus spans of >= 32 nodes) by hash.
+    let occurrences = repo.subtrees_with_hash(stats.root_hash)?;
+    println!(
+        "subtrees_with_hash(gold root) -> {} occurrence(s)",
+        occurrences.len()
+    );
+
+    // A cold store keeps only the spine: subtrees already present in a hot
+    // tree become bridge rows instead of node rows, and reads stay
+    // transparent (the comparison below streams through the bridges).
+    let cold = repo.store_tree_shared("gold_cold", &gold.tree, 32)?;
+    let refs = repo.clade_refs_of(cold)?;
+    let cmp = repo.compare_stored(handle, cold, false)?;
+    println!(
+        "store_tree_shared(gold) -> tree #{}: {} bridge rows, RF vs canonical = {}",
+        cold.0,
+        refs.len(),
+        cmp.rf.distance
+    );
+
+    let cs = repo.content_stats()?;
+    println!(
+        "content stats: {}/{} trees hashed, {} cold; {} logical nodes, {} stored, {} bridged via {} refs",
+        cs.hashed_trees,
+        cs.trees,
+        cs.cold_trees,
+        cs.logical_nodes,
+        cs.stored_nodes,
+        cs.bridged_nodes,
+        cs.dedup_refs
+    );
     repo.flush()?;
     Ok(())
 }
