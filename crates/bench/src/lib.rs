@@ -7,5 +7,6 @@
 //! `cargo test -p bench` (use `--release` for representative numbers). See
 //! `EXPERIMENTS.md` for the experiment index.
 
+pub mod serve;
 pub mod smoke;
 pub mod workloads;

@@ -1683,4 +1683,138 @@ mod tests {
         );
         assert!(report.pages_redone > 0);
     }
+
+    #[test]
+    fn smoke_serve() {
+        // The served-engine workload: aggregate read q/s and tail latency
+        // over loopback TCP at 1/8/64 connections, the batched-vs-unbatched
+        // dispatch ratio at 8 connections, and a mixed read/write level
+        // with one writer streaming async loads through the group-commit
+        // queue. Writes BENCH_serve.json at the repo root (the CI serve
+        // job asserts on and uploads it).
+        use crate::serve::{serve_mixed, serve_reads, ServeProfile};
+
+        let profile = ServeProfile::smoke();
+        let mut levels = Vec::new();
+        for connections in [1usize, 8, 64] {
+            let level = serve_reads(&profile, connections, true);
+            eprintln!(
+                "smoke serve: {:2} conns → {:7.0} q/s, p50 {:.2}ms p99 {:.2}ms, \
+                 coalesced {:.0}% over {} batches",
+                level.connections,
+                level.qps,
+                level.p50_ms,
+                level.p99_ms,
+                level.coalesced_fraction * 100.0,
+                level.read_batches
+            );
+            levels.push(level);
+        }
+        let unbatched8 = serve_reads(&profile, 8, false);
+        let batched8 = levels[1];
+        let batch_ratio = batched8.qps / unbatched8.qps.max(1e-9);
+        eprintln!(
+            "smoke serve: 8-conn batched {:.0} q/s vs unbatched {:.0} q/s (ratio {:.2})",
+            batched8.qps, unbatched8.qps, batch_ratio
+        );
+        let mixed = serve_mixed(&profile, 8);
+        eprintln!(
+            "smoke serve mixed: {:7.0} read q/s (p50 {:.2}ms p99 {:.2}ms) \
+             alongside {} writes (write p99 {:.2}ms)",
+            mixed.reads.qps,
+            mixed.reads.p50_ms,
+            mixed.reads.p99_ms,
+            mixed.writes,
+            mixed.write_p99_ms
+        );
+
+        // Invariants that hold on any hardware: every level completed all
+        // its reads error-free (run_reader panics otherwise), batching
+        // actually coalesced at 8+ connections, and the writer made
+        // progress under read pressure.
+        assert!(
+            batched8.coalesced_fraction > 0.0,
+            "8 pipelined connections must produce at least one coalesced batch"
+        );
+        assert_eq!(
+            unbatched8.coalesced_fraction, 0.0,
+            "coalesce=false must not batch"
+        );
+        assert!(mixed.writes > 0, "the mixed-level writer must land trees");
+
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let serial = std::env::var("RUST_TEST_THREADS").as_deref() == Ok("1");
+        if hw >= 4 && serial {
+            // The serving claims, asserted only where they are meaningful:
+            // connection scaling, batched-dispatch advantage, bounded tail.
+            assert!(
+                levels[2].qps >= 3.0 * levels[0].qps,
+                "64-conn aggregate read q/s must be ≥3x the 1-conn figure: \
+                 {:.0} vs {:.0}",
+                levels[2].qps,
+                levels[0].qps
+            );
+            if !cfg!(debug_assertions) {
+                assert!(
+                    batch_ratio >= 1.0,
+                    "batched dispatch must not lose to per-request dispatch \
+                     at 8 connections: ratio {batch_ratio:.2}"
+                );
+                assert!(
+                    mixed.reads.p99_ms <= 5.0 * mixed.reads.p50_ms.max(0.05),
+                    "read p99 must stay within 5x p50 under mixed load: \
+                     p50 {:.2}ms p99 {:.2}ms",
+                    mixed.reads.p50_ms,
+                    mixed.reads.p99_ms
+                );
+            }
+        } else {
+            eprintln!(
+                "skipping serve scaling assertions: {hw} hardware thread(s), serial = {serial}"
+            );
+        }
+
+        let level_json = |l: &crate::serve::ServeLevel| {
+            serde_json::json!({
+                "connections": l.connections,
+                "qps": l.qps,
+                "p50_ms": l.p50_ms,
+                "p99_ms": l.p99_ms,
+                "coalesced_fraction": l.coalesced_fraction,
+                "read_batches": l.read_batches
+            })
+        };
+        let report = serde_json::json!({
+            "profile": serde_json::json!({
+                "leaves": profile.leaves,
+                "ops_per_conn": profile.ops_per_conn,
+                "pipeline": profile.pipeline,
+                "dispatch_workers": profile.workers,
+                "hw_threads": hw,
+                "release": !cfg!(debug_assertions)
+            }),
+            "read_levels": levels.iter().map(level_json).collect::<Vec<_>>(),
+            "scaling_64_vs_1": levels[2].qps / levels[0].qps.max(1e-9),
+            "batched_vs_unbatched_8conn": serde_json::json!({
+                "batched_qps": batched8.qps,
+                "unbatched_qps": unbatched8.qps,
+                "ratio": batch_ratio
+            }),
+            "mixed_8conn": serde_json::json!({
+                "reads": level_json(&mixed.reads),
+                "p99_over_p50": mixed.reads.p99_ms / mixed.reads.p50_ms.max(1e-9),
+                "writes": mixed.writes,
+                "write_p99_ms": mixed.write_p99_ms
+            })
+        });
+        let path = report_path("serve");
+        std::fs::write(
+            &path,
+            serde_json::to_string(&report).expect("serialize report"),
+        )
+        .expect("write BENCH_serve.json");
+        eprintln!("wrote {}", path.display());
+    }
 }

@@ -163,6 +163,22 @@ impl RepositoryReader {
         self.db.generation()
     }
 
+    /// Block until the write-ahead log is durable up to `lsn` (leading or
+    /// following a group fsync as needed). This is the durability *barrier*
+    /// side of [`crate::repository::Durability::Async`]: it does not need —
+    /// and must not hold — the single writer, so a server session can
+    /// release the writer after an asynchronous commit and wait here while
+    /// other sessions' commits ride the same fsync round.
+    pub fn wait_durable(&self, lsn: storage::wal::Lsn) -> CrimsonResult<()> {
+        self.db.wait_durable(lsn)?;
+        Ok(())
+    }
+
+    /// Absolute LSN up to which the write-ahead log is known durable.
+    pub fn durable_lsn(&self) -> storage::wal::Lsn {
+        self.db.durable_lsn()
+    }
+
     /// Replace the retry/backoff policy for this reader's (cold)
     /// snapshot-retired fallback.
     pub fn set_read_retry(&mut self, retry: ReadRetry) {
@@ -764,6 +780,27 @@ impl PinnedReader<'_> {
     /// The names of a set of stored leaf nodes.
     pub fn names_of(&self, nodes: &[StoredNodeId]) -> CrimsonResult<Vec<String>> {
         self.run(|ctx| ctx.names_of(nodes))
+    }
+
+    /// Look up a tree by handle.
+    pub fn tree_record(&self, handle: TreeHandle) -> CrimsonResult<TreeRecord> {
+        self.run(|ctx| ctx.tree_record(handle))
+    }
+
+    /// Uniformly sample `k` distinct species from the tree (deterministic
+    /// per seed, identical to the writer's draws).
+    pub fn sample_uniform(
+        &self,
+        handle: TreeHandle,
+        k: usize,
+        seed: u64,
+    ) -> CrimsonResult<Vec<StoredNodeId>> {
+        self.run(|ctx| ctx.sample_uniform(handle, k, seed))
+    }
+
+    /// Cross-table invariant check over the pinned committed state.
+    pub fn integrity_check(&self) -> CrimsonResult<IntegrityReport> {
+        self.run(|ctx| ctx.integrity_check())
     }
 }
 

@@ -1525,6 +1525,26 @@ impl Repository {
         self.db.durable_lsn()
     }
 
+    /// The highest commit LSN this repository has logged through the
+    /// asynchronous commit path (zero when every commit was synchronous).
+    /// Hand it to [`Repository::wait_durable`] — or to
+    /// [`crate::reader::RepositoryReader::wait_durable`], which does not
+    /// need the writer — to turn an acknowledged-but-buffered commit into a
+    /// durable one.
+    pub fn last_commit_lsn(&self) -> Lsn {
+        self.last_commit
+    }
+
+    /// Switch the durability mode commits route through from now on (see
+    /// [`Durability`]). The server front end keeps the writer in
+    /// [`Durability::Async`] permanently and implements per-request
+    /// synchronous semantics by waiting on [`Repository::last_commit_lsn`]
+    /// *after* releasing the writer, so concurrent sessions' fsync waits
+    /// collapse into shared group rounds.
+    pub fn set_durability(&mut self, durability: Durability) {
+        self.options.durability = durability;
+    }
+
     /// Whether a background checkpointer is running for this repository.
     pub fn has_checkpointer(&self) -> bool {
         self.checkpointer.is_some()

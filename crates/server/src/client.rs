@@ -1,0 +1,173 @@
+//! The thin blocking client.
+//!
+//! [`Client`] owns one TCP connection. Two call styles:
+//!
+//! * **Synchronous**: [`Client::call`] sends one request and blocks for its
+//!   response — the simple path for scripts and examples.
+//! * **Pipelined**: [`Client::send`] pushes a request and returns its
+//!   correlation id immediately; [`Client::recv`] (or
+//!   [`Client::recv_matching`]) collects responses in whatever order the
+//!   server produced them. This is how a single connection keeps the
+//!   server's dispatch batching fed.
+//!
+//! The client never interprets engine errors: a typed
+//! [`Response::Error`] is returned like any other response, and only
+//! transport-level failures (socket errors, framing violations from the
+//! server — which a correct server never produces) surface as
+//! [`ClientError`].
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::frame::{encode_frame, FrameBuf, FrameError, DEFAULT_MAX_PAYLOAD};
+use crate::msg::{Request, Response, WireDurability};
+use crate::wire::WireError;
+
+/// Transport-level client failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket error.
+    Io(std::io::Error),
+    /// The server's byte stream violated the framing protocol.
+    Frame(FrameError),
+    /// The server sent a payload that does not decode as a response.
+    BadResponse(WireError),
+    /// The connection closed before the awaited response arrived.
+    Disconnected,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket error: {e}"),
+            ClientError::Frame(e) => write!(f, "framing error from server: {e}"),
+            ClientError::BadResponse(e) => write!(f, "undecodable response: {e}"),
+            ClientError::Disconnected => write!(f, "connection closed mid-call"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// Result alias for client calls.
+pub type ClientResult<T> = Result<T, ClientError>;
+
+/// One blocking connection to a crimson server.
+pub struct Client {
+    stream: TcpStream,
+    fb: FrameBuf,
+    next_correlation: u64,
+    /// Responses that arrived while waiting for a different correlation.
+    pending: HashMap<u64, Response>,
+    read_buf: Vec<u8>,
+}
+
+impl Client {
+    /// Connect to `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> ClientResult<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            fb: FrameBuf::new(DEFAULT_MAX_PAYLOAD),
+            next_correlation: 1,
+            pending: HashMap::new(),
+            read_buf: vec![0u8; 16 * 1024],
+        })
+    }
+
+    /// Send a request without waiting; returns its correlation id.
+    pub fn send(&mut self, req: &Request) -> ClientResult<u64> {
+        let correlation = self.next_correlation;
+        self.next_correlation += 1;
+        let frame = encode_frame(&req.encode(correlation));
+        self.stream.write_all(&frame)?;
+        Ok(correlation)
+    }
+
+    /// Receive the next response in arrival order.
+    pub fn recv(&mut self) -> ClientResult<(u64, Response)> {
+        // Serve from the reorder buffer first.
+        if let Some(&k) = self.pending.keys().next() {
+            let resp = self.pending.remove(&k).expect("key just seen");
+            return Ok((k, resp));
+        }
+        self.read_one()
+    }
+
+    /// Receive (buffering others) until the response for `correlation`
+    /// arrives.
+    pub fn recv_matching(&mut self, correlation: u64) -> ClientResult<Response> {
+        if let Some(resp) = self.pending.remove(&correlation) {
+            return Ok(resp);
+        }
+        loop {
+            let (corr, resp) = self.read_one()?;
+            if corr == correlation {
+                return Ok(resp);
+            }
+            self.pending.insert(corr, resp);
+        }
+    }
+
+    /// Send one request and block for its response.
+    pub fn call(&mut self, req: &Request) -> ClientResult<Response> {
+        let corr = self.send(req)?;
+        self.recv_matching(corr)
+    }
+
+    fn read_one(&mut self) -> ClientResult<(u64, Response)> {
+        loop {
+            match self.fb.next_frame() {
+                Ok(Some(payload)) => {
+                    let (corr, resp) =
+                        Response::decode(&payload).map_err(ClientError::BadResponse)?;
+                    return Ok((corr, resp));
+                }
+                Ok(None) => {}
+                Err(e) => return Err(ClientError::Frame(e)),
+            }
+            let n = self.stream.read(&mut self.read_buf)?;
+            if n == 0 {
+                return Err(ClientError::Disconnected);
+            }
+            let chunk = self.read_buf[..n].to_vec();
+            self.fb.push(&chunk);
+        }
+    }
+
+    // -- convenience wrappers ------------------------------------------
+
+    /// Attach this session to a tenant.
+    pub fn attach(&mut self, tenant: &str) -> ClientResult<Response> {
+        self.call(&Request::Attach {
+            tenant: tenant.to_string(),
+        })
+    }
+
+    /// Load a Newick tree with the given durability.
+    pub fn load_tree(
+        &mut self,
+        name: &str,
+        newick: &str,
+        durability: WireDurability,
+    ) -> ClientResult<Response> {
+        self.call(&Request::LoadTree {
+            name: name.to_string(),
+            newick: newick.to_string(),
+            durability,
+        })
+    }
+
+    /// Durability barrier for all acknowledged async writes on the tenant.
+    pub fn wait_durable(&mut self) -> ClientResult<Response> {
+        self.call(&Request::WaitDurable)
+    }
+}

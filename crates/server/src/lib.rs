@@ -1,0 +1,40 @@
+//! Network serving layer for the Crimson phylogenetic engine.
+//!
+//! This crate exposes a [`Repository`](crimson::Repository)-per-tenant
+//! engine over a length-prefixed, CRC-framed binary protocol on TCP:
+//!
+//! * [`frame`] — the transport framing (`[magic][len][crc][payload]`) and
+//!   the streaming reassembly buffer;
+//! * [`msg`] — the request/response messages and their codec, with
+//!   client-chosen correlation ids enabling pipelining;
+//! * [`wire`] — the typed error codes every engine and protocol failure
+//!   maps onto;
+//! * [`tenant`] — directory-per-tenant repository namespaces, each with a
+//!   single serialized writer and a shared snapshot reader;
+//! * [`dispatch`] — the bounded job queue and worker pool that coalesces
+//!   adjacent reads into pinned-epoch batches and routes writes through
+//!   the group-commit path;
+//! * [`server`] — the accept loop, per-connection threads, admission
+//!   control, and graceful drain shutdown;
+//! * [`client`] — the thin blocking client (synchronous or pipelined).
+//!
+//! See `ARCHITECTURE.md` §Server for the full protocol and state-machine
+//! description.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod dispatch;
+pub mod frame;
+pub mod msg;
+pub mod server;
+pub mod tenant;
+pub mod wire;
+
+pub use client::{Client, ClientError, ClientResult};
+pub use dispatch::{DispatchConfig, ServerStats};
+pub use frame::{FrameBuf, FrameError, DEFAULT_MAX_PAYLOAD};
+pub use msg::{Request, Response, WireDurability};
+pub use server::{Server, ServerConfig};
+pub use tenant::{TenantMap, TenantOptions};
+pub use wire::{ErrorCode, WireError};

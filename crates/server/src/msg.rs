@@ -1,0 +1,1046 @@
+//! Request/response messages and their binary codec.
+//!
+//! A frame payload is `[correlation u64][tag u8][body…]`, all little-endian.
+//! The correlation id is chosen by the client and echoed verbatim in the
+//! response, which is what makes pipelining work: a connection may have many
+//! requests in flight and responses may return out of submission order
+//! (reads overtake a slow write, batch peers complete together).
+//!
+//! Strings are `u32` length + UTF-8 bytes; vectors are `u32` count +
+//! elements; `f64` travels as its IEEE-754 bit pattern. Decoding is strictly
+//! bounds-checked: a truncated or trailing-garbage body yields a typed
+//! [`ErrorCode::BadMessage`] reject, never a panic, and never desynchronises
+//! the connection (framing already isolated the payload).
+
+use crate::wire::{ErrorCode, WireError};
+
+/// Per-request durability of a write, mirroring
+/// [`crimson::repository::Durability`] on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireDurability {
+    /// The response is sent only after the commit is fsync-durable.
+    #[default]
+    Sync,
+    /// The response is sent at log-append time; pair with
+    /// [`Request::WaitDurable`] before disconnect.
+    Async,
+}
+
+/// One sampling strategy in a wire experiment spec.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WireStrategy {
+    /// Uniform sample of `k` species.
+    Uniform {
+        /// Sample size.
+        k: u32,
+    },
+    /// Time-respecting sample of `k` species at evolutionary time `time`.
+    TimeRespecting {
+        /// Evolutionary time of the sampling frontier.
+        time: f64,
+        /// Sample size.
+        k: u32,
+    },
+}
+
+/// A reconstruction method selector on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireMethod {
+    /// UPGMA clustering.
+    Upgma,
+    /// Neighbor-Joining.
+    NeighborJoining,
+}
+
+/// The experiment sweep a [`Request::RunExperiment`] asks for.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireExperimentSpec {
+    /// Unique experiment name within the tenant.
+    pub name: String,
+    /// Name of the stored gold-standard tree to evaluate against.
+    pub gold: String,
+    /// Methods under evaluation.
+    pub methods: Vec<WireMethod>,
+    /// Sampling strategies of the grid.
+    pub strategies: Vec<WireStrategy>,
+    /// Replicates per (method, strategy) cell.
+    pub replicates: u32,
+    /// Root seed.
+    pub seed: u64,
+    /// Requested evaluation workers (the server clamps).
+    pub workers: u32,
+    /// Whether to compute triplet distances.
+    pub compute_triplets: bool,
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe; also reports the server's protocol limits.
+    Ping,
+    /// Bind this session to a tenant namespace (creating it if the server
+    /// allows). Subsequent requests address this tenant until the next
+    /// attach.
+    Attach {
+        /// Path-safe tenant name.
+        tenant: String,
+    },
+    /// Load a Newick tree under a unique name (write).
+    LoadTree {
+        /// Tree name in the tenant's catalog.
+        name: String,
+        /// Newick source text.
+        newick: String,
+        /// When to acknowledge: after fsync, or at log append.
+        durability: WireDurability,
+    },
+    /// All trees in the tenant's catalog.
+    ListTrees,
+    /// Look up a tree by name.
+    TreeByName {
+        /// Catalog name.
+        name: String,
+    },
+    /// All leaf node ids of a tree.
+    Leaves {
+        /// Tree handle.
+        tree: u64,
+    },
+    /// Least common ancestor of two stored nodes.
+    Lca {
+        /// First node.
+        a: u64,
+        /// Second node.
+        b: u64,
+    },
+    /// Ancestor-or-self test.
+    IsAncestor {
+        /// Candidate ancestor.
+        ancestor: u64,
+        /// Candidate descendant.
+        node: u64,
+    },
+    /// Minimal spanning clade of a node set, in pre-order.
+    SpanningClade {
+        /// The spanned nodes.
+        nodes: Vec<u64>,
+    },
+    /// Projection of a tree onto a leaf selection, returned as Newick.
+    Project {
+        /// Tree handle.
+        tree: u64,
+        /// Selected leaves.
+        leaves: Vec<u64>,
+    },
+    /// Uniform random sample of `k` leaves (deterministic per seed).
+    SampleUniform {
+        /// Tree handle.
+        tree: u64,
+        /// Sample size.
+        k: u32,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Index-native comparison of two stored trees.
+    CompareStored {
+        /// Reference tree.
+        a: u64,
+        /// Comparison tree.
+        b: u64,
+        /// Also compute the cubic triplet distance.
+        triplets: bool,
+    },
+    /// Run a persisted experiment sweep (write; may take a while).
+    RunExperiment {
+        /// The sweep grid.
+        spec: WireExperimentSpec,
+    },
+    /// Durability barrier: block until every write acknowledged on this
+    /// tenant (by any session) is fsync-durable.
+    WaitDurable,
+    /// Cross-table invariant check over the committed snapshot.
+    IntegrityCheck,
+    /// Server dispatch/admission statistics (admin; not tenant-scoped).
+    Stats,
+}
+
+/// Catalog summary of one stored tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireTree {
+    /// Tree handle.
+    pub id: u64,
+    /// Catalog name.
+    pub name: String,
+    /// Number of leaves.
+    pub leaf_count: u64,
+}
+
+/// Robinson–Foulds numbers of one comparison side.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireRf {
+    /// Splits in exactly one tree.
+    pub distance: u64,
+    /// Maximum possible distance.
+    pub max_distance: u64,
+    /// Shared splits.
+    pub shared: u64,
+    /// `distance / max_distance`.
+    pub normalized: f64,
+}
+
+/// The comparison report of [`Request::CompareStored`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireComparison {
+    /// Unrooted RF over bipartitions.
+    pub rf: WireRf,
+    /// Rooted RF over clades.
+    pub rooted_rf: WireRf,
+    /// Triplet distance when requested.
+    pub triplet: Option<f64>,
+}
+
+/// The integrity counters of [`Request::IntegrityCheck`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WireIntegrity {
+    /// Trees in the catalog.
+    pub trees: u64,
+    /// Node rows.
+    pub nodes: u64,
+    /// Species rows.
+    pub species: u64,
+    /// Interval-index entries.
+    pub interval_entries: u64,
+    /// Experiment rows.
+    pub experiments: u64,
+    /// Experiment result rows.
+    pub experiment_results: u64,
+}
+
+/// Server-wide dispatch and admission statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WireStats {
+    /// Read requests executed by the dispatch pool.
+    pub reads: u64,
+    /// Pinned-epoch executions the pool ran (a batch serves ≥1 read).
+    pub read_batches: u64,
+    /// Reads that shared their batch with at least one other read — the
+    /// coalescing numerator.
+    pub coalesced_reads: u64,
+    /// Write requests executed.
+    pub writes: u64,
+    /// Requests shed with [`ErrorCode::Overloaded`].
+    pub overloaded: u64,
+    /// Frames rejected at the protocol layer.
+    pub protocol_rejects: u64,
+    /// Currently open connections.
+    pub connections: u64,
+    /// Current depth of the read dispatch queue.
+    pub queue_depth: u64,
+}
+
+/// A server response. `Error` carries the typed code; every other variant
+/// is the success payload of the matching request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Typed failure.
+    Error(WireError),
+    /// Liveness reply: max payload bytes, then server version.
+    Pong {
+        /// The connection's frame payload ceiling.
+        max_payload: u64,
+    },
+    /// Session is now bound to the echoed tenant.
+    Attached {
+        /// Tenant name.
+        tenant: String,
+    },
+    /// A tree was loaded and committed.
+    TreeLoaded {
+        /// New tree handle.
+        tree: u64,
+        /// Leaves in the tree.
+        leaves: u64,
+        /// The commit's LSN (what [`Request::WaitDurable`] flushes to).
+        commit_lsn: u64,
+    },
+    /// Catalog listing.
+    Trees(Vec<WireTree>),
+    /// Single catalog row.
+    Tree(WireTree),
+    /// A set of stored node ids.
+    Nodes(Vec<u64>),
+    /// A single stored node id.
+    Node(u64),
+    /// A boolean reply.
+    Flag(bool),
+    /// A Newick-serialized tree.
+    Newick(String),
+    /// A comparison report.
+    Comparison(WireComparison),
+    /// A persisted experiment summary.
+    Experiment {
+        /// Experiment id.
+        id: u64,
+        /// Grid cells persisted.
+        runs: u64,
+        /// Sweep wall-clock milliseconds.
+        wall_ms: f64,
+    },
+    /// The durability barrier completed up to this LSN.
+    Durable {
+        /// Durable LSN.
+        lsn: u64,
+    },
+    /// Integrity counters.
+    Integrity(WireIntegrity),
+    /// Server statistics.
+    Stats(WireStats),
+}
+
+// ---------------------------------------------------------------------
+// Codec plumbing
+// ---------------------------------------------------------------------
+
+/// Reason a payload failed to decode (reported as
+/// [`ErrorCode::BadMessage`]).
+pub type DecodeError = WireError;
+
+fn bad(msg: impl Into<String>) -> DecodeError {
+    WireError::new(ErrorCode::BadMessage, msg)
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.buf.len() - self.pos < n {
+            return Err(bad(format!(
+                "truncated message: needed {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn flag(&mut self) -> Result<bool, DecodeError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(bad(format!("invalid boolean byte {v}"))),
+        }
+    }
+
+    fn str(&mut self) -> Result<String, DecodeError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|e| bad(format!("invalid UTF-8 string: {e}")))
+    }
+
+    fn vec_u64(&mut self) -> Result<Vec<u64>, DecodeError> {
+        let n = self.u32()? as usize;
+        // The count is attacker-controlled: bound the pre-allocation by
+        // what the payload could actually hold.
+        if self.buf.len() - self.pos < n * 8 {
+            return Err(bad(format!("u64 vector of {n} overruns the payload")));
+        }
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.u64()?);
+        }
+        Ok(v)
+    }
+
+    fn finish(self) -> Result<(), DecodeError> {
+        if self.pos != self.buf.len() {
+            return Err(bad(format!(
+                "{} trailing bytes after message body",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_vec_u64(out: &mut Vec<u8>, v: &[u64]) {
+    put_u32(out, v.len() as u32);
+    for x in v {
+        put_u64(out, *x);
+    }
+}
+
+// Request tags.
+const REQ_PING: u8 = 1;
+const REQ_ATTACH: u8 = 2;
+const REQ_LOAD_TREE: u8 = 3;
+const REQ_LIST_TREES: u8 = 4;
+const REQ_TREE_BY_NAME: u8 = 5;
+const REQ_LEAVES: u8 = 6;
+const REQ_LCA: u8 = 7;
+const REQ_IS_ANCESTOR: u8 = 8;
+const REQ_SPANNING_CLADE: u8 = 9;
+const REQ_PROJECT: u8 = 10;
+const REQ_SAMPLE_UNIFORM: u8 = 11;
+const REQ_COMPARE_STORED: u8 = 12;
+const REQ_RUN_EXPERIMENT: u8 = 13;
+const REQ_WAIT_DURABLE: u8 = 14;
+const REQ_INTEGRITY_CHECK: u8 = 15;
+const REQ_STATS: u8 = 16;
+
+// Response tags.
+const RESP_ERROR: u8 = 0;
+const RESP_PONG: u8 = 1;
+const RESP_ATTACHED: u8 = 2;
+const RESP_TREE_LOADED: u8 = 3;
+const RESP_TREES: u8 = 4;
+const RESP_TREE: u8 = 5;
+const RESP_NODES: u8 = 6;
+const RESP_NODE: u8 = 7;
+const RESP_FLAG: u8 = 8;
+const RESP_NEWICK: u8 = 9;
+const RESP_COMPARISON: u8 = 10;
+const RESP_EXPERIMENT: u8 = 11;
+const RESP_DURABLE: u8 = 12;
+const RESP_INTEGRITY: u8 = 13;
+const RESP_STATS: u8 = 14;
+
+impl Request {
+    /// `true` for requests the dispatch pool executes against a shared
+    /// snapshot reader; `false` for writes and session/control traffic.
+    pub fn is_read(&self) -> bool {
+        matches!(
+            self,
+            Request::ListTrees
+                | Request::TreeByName { .. }
+                | Request::Leaves { .. }
+                | Request::Lca { .. }
+                | Request::IsAncestor { .. }
+                | Request::SpanningClade { .. }
+                | Request::Project { .. }
+                | Request::SampleUniform { .. }
+                | Request::CompareStored { .. }
+                | Request::IntegrityCheck
+        )
+    }
+
+    /// Encode a full frame payload: correlation id + tagged body.
+    pub fn encode(&self, correlation: u64) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        put_u64(&mut out, correlation);
+        match self {
+            Request::Ping => out.push(REQ_PING),
+            Request::Attach { tenant } => {
+                out.push(REQ_ATTACH);
+                put_str(&mut out, tenant);
+            }
+            Request::LoadTree {
+                name,
+                newick,
+                durability,
+            } => {
+                out.push(REQ_LOAD_TREE);
+                put_str(&mut out, name);
+                put_str(&mut out, newick);
+                out.push(match durability {
+                    WireDurability::Sync => 0,
+                    WireDurability::Async => 1,
+                });
+            }
+            Request::ListTrees => out.push(REQ_LIST_TREES),
+            Request::TreeByName { name } => {
+                out.push(REQ_TREE_BY_NAME);
+                put_str(&mut out, name);
+            }
+            Request::Leaves { tree } => {
+                out.push(REQ_LEAVES);
+                put_u64(&mut out, *tree);
+            }
+            Request::Lca { a, b } => {
+                out.push(REQ_LCA);
+                put_u64(&mut out, *a);
+                put_u64(&mut out, *b);
+            }
+            Request::IsAncestor { ancestor, node } => {
+                out.push(REQ_IS_ANCESTOR);
+                put_u64(&mut out, *ancestor);
+                put_u64(&mut out, *node);
+            }
+            Request::SpanningClade { nodes } => {
+                out.push(REQ_SPANNING_CLADE);
+                put_vec_u64(&mut out, nodes);
+            }
+            Request::Project { tree, leaves } => {
+                out.push(REQ_PROJECT);
+                put_u64(&mut out, *tree);
+                put_vec_u64(&mut out, leaves);
+            }
+            Request::SampleUniform { tree, k, seed } => {
+                out.push(REQ_SAMPLE_UNIFORM);
+                put_u64(&mut out, *tree);
+                put_u32(&mut out, *k);
+                put_u64(&mut out, *seed);
+            }
+            Request::CompareStored { a, b, triplets } => {
+                out.push(REQ_COMPARE_STORED);
+                put_u64(&mut out, *a);
+                put_u64(&mut out, *b);
+                out.push(*triplets as u8);
+            }
+            Request::RunExperiment { spec } => {
+                out.push(REQ_RUN_EXPERIMENT);
+                put_str(&mut out, &spec.name);
+                put_str(&mut out, &spec.gold);
+                put_u32(&mut out, spec.methods.len() as u32);
+                for m in &spec.methods {
+                    out.push(match m {
+                        WireMethod::Upgma => 0,
+                        WireMethod::NeighborJoining => 1,
+                    });
+                }
+                put_u32(&mut out, spec.strategies.len() as u32);
+                for s in &spec.strategies {
+                    match s {
+                        WireStrategy::Uniform { k } => {
+                            out.push(0);
+                            put_u32(&mut out, *k);
+                        }
+                        WireStrategy::TimeRespecting { time, k } => {
+                            out.push(1);
+                            put_f64(&mut out, *time);
+                            put_u32(&mut out, *k);
+                        }
+                    }
+                }
+                put_u32(&mut out, spec.replicates);
+                put_u64(&mut out, spec.seed);
+                put_u32(&mut out, spec.workers);
+                out.push(spec.compute_triplets as u8);
+            }
+            Request::WaitDurable => out.push(REQ_WAIT_DURABLE),
+            Request::IntegrityCheck => out.push(REQ_INTEGRITY_CHECK),
+            Request::Stats => out.push(REQ_STATS),
+        }
+        out
+    }
+
+    /// Decode a full frame payload into `(correlation, request)`.
+    pub fn decode(payload: &[u8]) -> Result<(u64, Request), DecodeError> {
+        let mut r = Reader::new(payload);
+        let correlation = r.u64()?;
+        let tag = r.u8()?;
+        let req = match tag {
+            REQ_PING => Request::Ping,
+            REQ_ATTACH => Request::Attach { tenant: r.str()? },
+            REQ_LOAD_TREE => {
+                let name = r.str()?;
+                let newick = r.str()?;
+                let durability = match r.u8()? {
+                    0 => WireDurability::Sync,
+                    1 => WireDurability::Async,
+                    v => return Err(bad(format!("invalid durability byte {v}"))),
+                };
+                Request::LoadTree {
+                    name,
+                    newick,
+                    durability,
+                }
+            }
+            REQ_LIST_TREES => Request::ListTrees,
+            REQ_TREE_BY_NAME => Request::TreeByName { name: r.str()? },
+            REQ_LEAVES => Request::Leaves { tree: r.u64()? },
+            REQ_LCA => Request::Lca {
+                a: r.u64()?,
+                b: r.u64()?,
+            },
+            REQ_IS_ANCESTOR => Request::IsAncestor {
+                ancestor: r.u64()?,
+                node: r.u64()?,
+            },
+            REQ_SPANNING_CLADE => Request::SpanningClade {
+                nodes: r.vec_u64()?,
+            },
+            REQ_PROJECT => Request::Project {
+                tree: r.u64()?,
+                leaves: r.vec_u64()?,
+            },
+            REQ_SAMPLE_UNIFORM => Request::SampleUniform {
+                tree: r.u64()?,
+                k: r.u32()?,
+                seed: r.u64()?,
+            },
+            REQ_COMPARE_STORED => Request::CompareStored {
+                a: r.u64()?,
+                b: r.u64()?,
+                triplets: r.flag()?,
+            },
+            REQ_RUN_EXPERIMENT => {
+                let name = r.str()?;
+                let gold = r.str()?;
+                let n_methods = r.u32()? as usize;
+                if n_methods > 16 {
+                    return Err(bad(format!("{n_methods} methods in experiment spec")));
+                }
+                let mut methods = Vec::with_capacity(n_methods);
+                for _ in 0..n_methods {
+                    methods.push(match r.u8()? {
+                        0 => WireMethod::Upgma,
+                        1 => WireMethod::NeighborJoining,
+                        v => return Err(bad(format!("invalid method byte {v}"))),
+                    });
+                }
+                let n_strategies = r.u32()? as usize;
+                if n_strategies > 64 {
+                    return Err(bad(format!("{n_strategies} strategies in experiment spec")));
+                }
+                let mut strategies = Vec::with_capacity(n_strategies);
+                for _ in 0..n_strategies {
+                    strategies.push(match r.u8()? {
+                        0 => WireStrategy::Uniform { k: r.u32()? },
+                        1 => WireStrategy::TimeRespecting {
+                            time: r.f64()?,
+                            k: r.u32()?,
+                        },
+                        v => return Err(bad(format!("invalid strategy byte {v}"))),
+                    });
+                }
+                Request::RunExperiment {
+                    spec: WireExperimentSpec {
+                        name,
+                        gold,
+                        methods,
+                        strategies,
+                        replicates: r.u32()?,
+                        seed: r.u64()?,
+                        workers: r.u32()?,
+                        compute_triplets: r.flag()?,
+                    },
+                }
+            }
+            REQ_WAIT_DURABLE => Request::WaitDurable,
+            REQ_INTEGRITY_CHECK => Request::IntegrityCheck,
+            REQ_STATS => Request::Stats,
+            other => return Err(bad(format!("unknown request opcode {other}"))),
+        };
+        r.finish()?;
+        Ok((correlation, req))
+    }
+}
+
+fn put_rf(out: &mut Vec<u8>, rf: &WireRf) {
+    put_u64(out, rf.distance);
+    put_u64(out, rf.max_distance);
+    put_u64(out, rf.shared);
+    put_f64(out, rf.normalized);
+}
+
+fn get_rf(r: &mut Reader<'_>) -> Result<WireRf, DecodeError> {
+    Ok(WireRf {
+        distance: r.u64()?,
+        max_distance: r.u64()?,
+        shared: r.u64()?,
+        normalized: r.f64()?,
+    })
+}
+
+impl Response {
+    /// Encode a full frame payload: correlation id + tagged body.
+    pub fn encode(&self, correlation: u64) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        put_u64(&mut out, correlation);
+        match self {
+            Response::Error(e) => {
+                out.push(RESP_ERROR);
+                put_u16(&mut out, e.code.as_u16());
+                put_str(&mut out, &e.message);
+            }
+            Response::Pong { max_payload } => {
+                out.push(RESP_PONG);
+                put_u64(&mut out, *max_payload);
+            }
+            Response::Attached { tenant } => {
+                out.push(RESP_ATTACHED);
+                put_str(&mut out, tenant);
+            }
+            Response::TreeLoaded {
+                tree,
+                leaves,
+                commit_lsn,
+            } => {
+                out.push(RESP_TREE_LOADED);
+                put_u64(&mut out, *tree);
+                put_u64(&mut out, *leaves);
+                put_u64(&mut out, *commit_lsn);
+            }
+            Response::Trees(trees) => {
+                out.push(RESP_TREES);
+                put_u32(&mut out, trees.len() as u32);
+                for t in trees {
+                    put_u64(&mut out, t.id);
+                    put_str(&mut out, &t.name);
+                    put_u64(&mut out, t.leaf_count);
+                }
+            }
+            Response::Tree(t) => {
+                out.push(RESP_TREE);
+                put_u64(&mut out, t.id);
+                put_str(&mut out, &t.name);
+                put_u64(&mut out, t.leaf_count);
+            }
+            Response::Nodes(nodes) => {
+                out.push(RESP_NODES);
+                put_vec_u64(&mut out, nodes);
+            }
+            Response::Node(n) => {
+                out.push(RESP_NODE);
+                put_u64(&mut out, *n);
+            }
+            Response::Flag(f) => {
+                out.push(RESP_FLAG);
+                out.push(*f as u8);
+            }
+            Response::Newick(s) => {
+                out.push(RESP_NEWICK);
+                put_str(&mut out, s);
+            }
+            Response::Comparison(c) => {
+                out.push(RESP_COMPARISON);
+                put_rf(&mut out, &c.rf);
+                put_rf(&mut out, &c.rooted_rf);
+                match c.triplet {
+                    None => out.push(0),
+                    Some(t) => {
+                        out.push(1);
+                        put_f64(&mut out, t);
+                    }
+                }
+            }
+            Response::Experiment { id, runs, wall_ms } => {
+                out.push(RESP_EXPERIMENT);
+                put_u64(&mut out, *id);
+                put_u64(&mut out, *runs);
+                put_f64(&mut out, *wall_ms);
+            }
+            Response::Durable { lsn } => {
+                out.push(RESP_DURABLE);
+                put_u64(&mut out, *lsn);
+            }
+            Response::Integrity(i) => {
+                out.push(RESP_INTEGRITY);
+                put_u64(&mut out, i.trees);
+                put_u64(&mut out, i.nodes);
+                put_u64(&mut out, i.species);
+                put_u64(&mut out, i.interval_entries);
+                put_u64(&mut out, i.experiments);
+                put_u64(&mut out, i.experiment_results);
+            }
+            Response::Stats(s) => {
+                out.push(RESP_STATS);
+                put_u64(&mut out, s.reads);
+                put_u64(&mut out, s.read_batches);
+                put_u64(&mut out, s.coalesced_reads);
+                put_u64(&mut out, s.writes);
+                put_u64(&mut out, s.overloaded);
+                put_u64(&mut out, s.protocol_rejects);
+                put_u64(&mut out, s.connections);
+                put_u64(&mut out, s.queue_depth);
+            }
+        }
+        out
+    }
+
+    /// Decode a full frame payload into `(correlation, response)`.
+    pub fn decode(payload: &[u8]) -> Result<(u64, Response), DecodeError> {
+        let mut r = Reader::new(payload);
+        let correlation = r.u64()?;
+        let tag = r.u8()?;
+        let resp = match tag {
+            RESP_ERROR => {
+                let code = crate::wire::ErrorCode::from_u16(r.u16()?);
+                let message = r.str()?;
+                Response::Error(WireError { code, message })
+            }
+            RESP_PONG => Response::Pong {
+                max_payload: r.u64()?,
+            },
+            RESP_ATTACHED => Response::Attached { tenant: r.str()? },
+            RESP_TREE_LOADED => Response::TreeLoaded {
+                tree: r.u64()?,
+                leaves: r.u64()?,
+                commit_lsn: r.u64()?,
+            },
+            RESP_TREES => {
+                let n = r.u32()? as usize;
+                if n > 1_000_000 {
+                    return Err(bad(format!("{n} trees in listing")));
+                }
+                let mut trees = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    trees.push(WireTree {
+                        id: r.u64()?,
+                        name: r.str()?,
+                        leaf_count: r.u64()?,
+                    });
+                }
+                Response::Trees(trees)
+            }
+            RESP_TREE => Response::Tree(WireTree {
+                id: r.u64()?,
+                name: r.str()?,
+                leaf_count: r.u64()?,
+            }),
+            RESP_NODES => Response::Nodes(r.vec_u64()?),
+            RESP_NODE => Response::Node(r.u64()?),
+            RESP_FLAG => Response::Flag(r.flag()?),
+            RESP_NEWICK => Response::Newick(r.str()?),
+            RESP_COMPARISON => {
+                let rf = get_rf(&mut r)?;
+                let rooted_rf = get_rf(&mut r)?;
+                let triplet = if r.flag()? { Some(r.f64()?) } else { None };
+                Response::Comparison(WireComparison {
+                    rf,
+                    rooted_rf,
+                    triplet,
+                })
+            }
+            RESP_EXPERIMENT => Response::Experiment {
+                id: r.u64()?,
+                runs: r.u64()?,
+                wall_ms: r.f64()?,
+            },
+            RESP_DURABLE => Response::Durable { lsn: r.u64()? },
+            RESP_INTEGRITY => Response::Integrity(WireIntegrity {
+                trees: r.u64()?,
+                nodes: r.u64()?,
+                species: r.u64()?,
+                interval_entries: r.u64()?,
+                experiments: r.u64()?,
+                experiment_results: r.u64()?,
+            }),
+            RESP_STATS => Response::Stats(WireStats {
+                reads: r.u64()?,
+                read_batches: r.u64()?,
+                coalesced_reads: r.u64()?,
+                writes: r.u64()?,
+                overloaded: r.u64()?,
+                protocol_rejects: r.u64()?,
+                connections: r.u64()?,
+                queue_depth: r.u64()?,
+            }),
+            other => return Err(bad(format!("unknown response opcode {other}"))),
+        };
+        r.finish()?;
+        Ok((correlation, resp))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_req(req: Request) {
+        let payload = req.encode(0xDEAD_BEEF_0000_0001);
+        let (corr, back) = Request::decode(&payload).expect("decode");
+        assert_eq!(corr, 0xDEAD_BEEF_0000_0001);
+        assert_eq!(back, req);
+    }
+
+    fn round_trip_resp(resp: Response) {
+        let payload = resp.encode(42);
+        let (corr, back) = Response::decode(&payload).expect("decode");
+        assert_eq!(corr, 42);
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_req(Request::Ping);
+        round_trip_req(Request::Attach {
+            tenant: "alpha".into(),
+        });
+        round_trip_req(Request::LoadTree {
+            name: "t1".into(),
+            newick: "((A:1,B:1):1,C:2);".into(),
+            durability: WireDurability::Async,
+        });
+        round_trip_req(Request::ListTrees);
+        round_trip_req(Request::TreeByName { name: "t1".into() });
+        round_trip_req(Request::Leaves { tree: 7 });
+        round_trip_req(Request::Lca { a: 1, b: 2 });
+        round_trip_req(Request::IsAncestor {
+            ancestor: 3,
+            node: 4,
+        });
+        round_trip_req(Request::SpanningClade {
+            nodes: vec![1, 2, 3, u64::MAX],
+        });
+        round_trip_req(Request::Project {
+            tree: 9,
+            leaves: vec![5, 6],
+        });
+        round_trip_req(Request::SampleUniform {
+            tree: 9,
+            k: 16,
+            seed: 77,
+        });
+        round_trip_req(Request::CompareStored {
+            a: 1,
+            b: 2,
+            triplets: true,
+        });
+        round_trip_req(Request::RunExperiment {
+            spec: WireExperimentSpec {
+                name: "sweep".into(),
+                gold: "gold".into(),
+                methods: vec![WireMethod::Upgma, WireMethod::NeighborJoining],
+                strategies: vec![
+                    WireStrategy::Uniform { k: 12 },
+                    WireStrategy::TimeRespecting { time: 1e6, k: 8 },
+                ],
+                replicates: 3,
+                seed: 42,
+                workers: 4,
+                compute_triplets: false,
+            },
+        });
+        round_trip_req(Request::WaitDurable);
+        round_trip_req(Request::IntegrityCheck);
+        round_trip_req(Request::Stats);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_resp(Response::Error(WireError::new(
+            crate::wire::ErrorCode::Overloaded,
+            "queue full",
+        )));
+        round_trip_resp(Response::Pong { max_payload: 8192 });
+        round_trip_resp(Response::Attached {
+            tenant: "beta".into(),
+        });
+        round_trip_resp(Response::TreeLoaded {
+            tree: 3,
+            leaves: 100,
+            commit_lsn: 555,
+        });
+        round_trip_resp(Response::Trees(vec![WireTree {
+            id: 1,
+            name: "a".into(),
+            leaf_count: 10,
+        }]));
+        round_trip_resp(Response::Nodes(vec![9, 8, 7]));
+        round_trip_resp(Response::Node(11));
+        round_trip_resp(Response::Flag(true));
+        round_trip_resp(Response::Newick("(A,B);".into()));
+        round_trip_resp(Response::Comparison(WireComparison {
+            rf: WireRf {
+                distance: 4,
+                max_distance: 10,
+                shared: 6,
+                normalized: 0.4,
+            },
+            rooted_rf: WireRf {
+                distance: 0,
+                max_distance: 0,
+                shared: 0,
+                normalized: 0.0,
+            },
+            triplet: Some(0.25),
+        }));
+        round_trip_resp(Response::Experiment {
+            id: 1,
+            runs: 18,
+            wall_ms: 12.5,
+        });
+        round_trip_resp(Response::Durable { lsn: 999 });
+        round_trip_resp(Response::Integrity(WireIntegrity {
+            trees: 2,
+            nodes: 30,
+            species: 10,
+            interval_entries: 30,
+            experiments: 1,
+            experiment_results: 18,
+        }));
+        round_trip_resp(Response::Stats(WireStats {
+            reads: 100,
+            read_batches: 10,
+            coalesced_reads: 90,
+            writes: 5,
+            overloaded: 1,
+            protocol_rejects: 0,
+            connections: 8,
+            queue_depth: 3,
+        }));
+    }
+
+    #[test]
+    fn truncated_and_trailing_bytes_are_typed_rejects() {
+        let payload = Request::Lca { a: 1, b: 2 }.encode(5);
+        for cut in 1..payload.len() {
+            let err = Request::decode(&payload[..cut]).expect_err("truncation must fail");
+            assert_eq!(err.code, crate::wire::ErrorCode::BadMessage);
+        }
+        let mut extended = payload.clone();
+        extended.push(0);
+        let err = Request::decode(&extended).expect_err("trailing bytes must fail");
+        assert_eq!(err.code, crate::wire::ErrorCode::BadMessage);
+    }
+
+    #[test]
+    fn unknown_opcode_is_typed() {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.push(250);
+        let err = Request::decode(&payload).expect_err("unknown opcode");
+        assert_eq!(err.code, crate::wire::ErrorCode::BadMessage);
+    }
+}

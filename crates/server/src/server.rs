@@ -1,0 +1,400 @@
+//! The TCP server: accept loop, per-connection reader/writer threads,
+//! session state, admission control, and graceful drain shutdown.
+//!
+//! Threading model (no async runtime — the build environment is
+//! dependency-free, so this is plain blocking I/O):
+//!
+//! * one accept thread, polling a non-blocking listener;
+//! * per connection, a **reader thread** (frame reassembly → decode →
+//!   admission → dispatch) and a **writer thread** (drains an mpsc channel
+//!   of encoded frames into the socket). Responses are produced by dispatch
+//!   workers on other threads; the channel is what lets them complete out
+//!   of submission order while the socket writes stay serialized.
+//!
+//! Admission has two gates, both checked on the reader thread before a job
+//! is enqueued: the per-connection in-flight window, and the global
+//! dispatch queue budget. Both reject with a typed
+//! [`ErrorCode::Overloaded`] response — the connection survives, the client
+//! backs off.
+//!
+//! Shutdown is a drain: the accept loop stops, reader threads stop pulling
+//! new frames and reject stragglers with [`ErrorCode::ShuttingDown`],
+//! in-flight jobs finish and their responses flush, then sockets close.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use crate::dispatch::{DispatchConfig, Dispatcher, Job, Reply, ServerStats};
+use crate::frame::{encode_frame, FrameBuf, DEFAULT_MAX_PAYLOAD};
+use crate::msg::{Request, Response};
+use crate::tenant::{Tenant, TenantMap, TenantOptions};
+use crate::wire::{ErrorCode, WireError};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:0` (port 0 = ephemeral).
+    pub addr: String,
+    /// Dispatch pool settings.
+    pub dispatch: DispatchConfig,
+    /// Tenant namespace settings.
+    pub tenants: TenantOptions,
+    /// Per-connection in-flight request window; frames beyond it are shed
+    /// with `Overloaded`.
+    pub conn_window: usize,
+    /// Per-connection frame payload ceiling.
+    pub max_payload: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            dispatch: DispatchConfig::default(),
+            tenants: TenantOptions::default(),
+            conn_window: 64,
+            max_payload: DEFAULT_MAX_PAYLOAD,
+        }
+    }
+}
+
+/// A running server; dropping it without calling [`Server::shutdown`]
+/// aborts rather than drains.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+/// State shared by the accept loop and every connection.
+struct Shared {
+    dispatcher: Dispatcher,
+    tenants: TenantMap,
+    stats: Arc<ServerStats>,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+    /// Connection reader/writer threads still running (joined on
+    /// shutdown by polling — threads deregister themselves).
+    live_conns: AtomicUsize,
+}
+
+impl Server {
+    /// Bind, start the dispatch pool and the accept loop, return
+    /// immediately.
+    pub fn start(
+        config: ServerConfig,
+        root: impl Into<std::path::PathBuf>,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stats = Arc::new(ServerStats::default());
+        let dispatcher = Dispatcher::start(config.dispatch.clone(), Arc::clone(&stats));
+        let tenants = TenantMap::new(root, config.tenants.clone())?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(Shared {
+            dispatcher,
+            tenants,
+            stats,
+            config,
+            shutdown: Arc::clone(&shutdown),
+            live_conns: AtomicUsize::new(0),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("crimson-accept".to_string())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .expect("spawn accept thread");
+        Ok(Server {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            shared,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared statistics counters.
+    pub fn stats(&self) -> Arc<ServerStats> {
+        Arc::clone(&self.shared.stats)
+    }
+
+    /// Graceful shutdown: stop accepting, let connections drain their
+    /// in-flight requests, stop the dispatch pool, join everything.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // Connection threads observe the flag within one poll interval and
+        // deregister; wait for them before stopping the pool so every
+        // in-flight job still has a live reply channel.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while self.shared.live_conns.load(Ordering::Acquire) > 0
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // Dispatcher::shutdown drains the queue before stopping workers.
+        let shared = self.shared;
+        // The Arc is also held by any connection threads that missed the
+        // deadline; only the sole owner can take the dispatcher.
+        match Arc::try_unwrap(shared) {
+            Ok(s) => s.dispatcher.shutdown(),
+            Err(_) => { /* stragglers hold the pool; process exit reaps them */ }
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.live_conns.fetch_add(1, Ordering::AcqRel);
+                shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+                let conn_shared = Arc::clone(&shared);
+                let _ = std::thread::Builder::new()
+                    .name("crimson-conn".to_string())
+                    .spawn(move || {
+                        handle_connection(stream, &conn_shared);
+                        conn_shared.live_conns.fetch_sub(1, Ordering::AcqRel);
+                        conn_shared
+                            .stats
+                            .connections
+                            .fetch_sub(1, Ordering::Relaxed);
+                    });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Per-connection session state owned by the reader thread.
+struct Session {
+    tenant: Option<Arc<Tenant>>,
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let (frame_tx, frame_rx) = mpsc::channel::<Vec<u8>>();
+    let writer_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let writer_thread = std::thread::Builder::new()
+        .name("crimson-conn-writer".to_string())
+        .spawn(move || writer_loop(writer_stream, frame_rx))
+        .expect("spawn connection writer");
+
+    reader_loop(stream, shared, &frame_tx);
+
+    // Dropping our sender once every outstanding Reply clone is gone ends
+    // the writer loop; in-flight jobs still hold clones, so the writer
+    // stays alive until their responses flush.
+    drop(frame_tx);
+    let _ = writer_thread.join();
+}
+
+fn writer_loop(mut stream: TcpStream, frames: mpsc::Receiver<Vec<u8>>) {
+    while let Ok(frame) = frames.recv() {
+        if stream.write_all(&frame).is_err() {
+            // Peer is gone: keep draining the channel so dispatch workers
+            // never block on a dead connection's replies.
+            for _ in frames.iter() {}
+            return;
+        }
+    }
+    let _ = stream.flush();
+}
+
+fn reader_loop(mut stream: TcpStream, shared: &Shared, frame_tx: &mpsc::Sender<Vec<u8>>) {
+    let mut fb = FrameBuf::new(shared.config.max_payload);
+    let mut session = Session { tenant: None };
+    let in_flight = Arc::new(AtomicUsize::new(0));
+    let mut read_buf = [0u8; 16 * 1024];
+    let mut draining = false;
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) && !draining {
+            draining = true;
+        }
+        if draining && in_flight.load(Ordering::Acquire) == 0 {
+            // All accepted work answered; close cleanly.
+            return;
+        }
+        // Pull every complete frame out of the buffer before reading more.
+        loop {
+            match fb.next_frame() {
+                Ok(Some(payload)) => {
+                    if draining {
+                        let corr = if payload.len() >= 8 {
+                            u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"))
+                        } else {
+                            0
+                        };
+                        shed(
+                            frame_tx,
+                            corr,
+                            ErrorCode::ShuttingDown,
+                            "server is shutting down",
+                        );
+                        continue;
+                    }
+                    handle_payload(&payload, shared, &mut session, frame_tx, &in_flight);
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    // Framing violations poison the stream: one typed
+                    // reject, then close. In-flight responses still flush
+                    // through the writer thread.
+                    shared
+                        .stats
+                        .protocol_rejects
+                        .fetch_add(1, Ordering::Relaxed);
+                    let resp = Response::Error(e.to_wire());
+                    let _ = frame_tx.send(encode_frame(&resp.encode(0)));
+                    return;
+                }
+            }
+        }
+        match stream.read(&mut read_buf) {
+            Ok(0) => {
+                if fb.pending() > 0 {
+                    // Torn mid-frame disconnect: nothing to reply to
+                    // (the frame never completed); just close.
+                    shared
+                        .stats
+                        .protocol_rejects
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                return;
+            }
+            Ok(n) => fb.push(&read_buf[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Timeout tick: loop to re-check the shutdown flag.
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Send a typed error without touching the in-flight window.
+fn shed(frame_tx: &mpsc::Sender<Vec<u8>>, correlation: u64, code: ErrorCode, msg: &str) {
+    let resp = Response::Error(WireError::new(code, msg));
+    let _ = frame_tx.send(encode_frame(&resp.encode(correlation)));
+}
+
+fn handle_payload(
+    payload: &[u8],
+    shared: &Shared,
+    session: &mut Session,
+    frame_tx: &mpsc::Sender<Vec<u8>>,
+    in_flight: &Arc<AtomicUsize>,
+) {
+    let (correlation, request) = match Request::decode(payload) {
+        Ok(ok) => ok,
+        Err(e) => {
+            // The frame was well-formed, so the stream is still in sync:
+            // reject just this message, keep the connection.
+            shared
+                .stats
+                .protocol_rejects
+                .fetch_add(1, Ordering::Relaxed);
+            let corr = if payload.len() >= 8 {
+                u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"))
+            } else {
+                0
+            };
+            let _ = frame_tx.send(encode_frame(&Response::Error(e).encode(corr)));
+            return;
+        }
+    };
+
+    // Session/control requests answered inline on the reader thread.
+    match &request {
+        Request::Ping => {
+            let resp = Response::Pong {
+                max_payload: shared.config.max_payload as u64,
+            };
+            let _ = frame_tx.send(encode_frame(&resp.encode(correlation)));
+            return;
+        }
+        Request::Stats => {
+            let resp = Response::Stats(shared.stats.snapshot(shared.dispatcher.queue_depth()));
+            let _ = frame_tx.send(encode_frame(&resp.encode(correlation)));
+            return;
+        }
+        Request::Attach { tenant } => {
+            match shared.tenants.attach(tenant) {
+                Ok(t) => {
+                    let name = t.name.clone();
+                    session.tenant = Some(t);
+                    let resp = Response::Attached { tenant: name };
+                    let _ = frame_tx.send(encode_frame(&resp.encode(correlation)));
+                }
+                Err(e) => {
+                    let _ = frame_tx.send(encode_frame(&Response::Error(e).encode(correlation)));
+                }
+            }
+            return;
+        }
+        _ => {}
+    }
+
+    let Some(tenant) = session.tenant.as_ref() else {
+        shed(
+            frame_tx,
+            correlation,
+            ErrorCode::NoTenant,
+            "no tenant attached: send Attach first",
+        );
+        return;
+    };
+
+    // Admission gate 1: the per-connection window.
+    if in_flight.load(Ordering::Acquire) >= shared.config.conn_window {
+        shared.stats.overloaded.fetch_add(1, Ordering::Relaxed);
+        shed(
+            frame_tx,
+            correlation,
+            ErrorCode::Overloaded,
+            "per-connection in-flight window full",
+        );
+        return;
+    }
+
+    in_flight.fetch_add(1, Ordering::AcqRel);
+    let job = Job {
+        tenant: Arc::clone(tenant),
+        correlation,
+        request,
+        reply: Reply::new(frame_tx.clone(), Arc::clone(in_flight)),
+    };
+    // Admission gate 2: the global queue budget (checked in submit).
+    if let Err(job) = shared.dispatcher.submit(job) {
+        in_flight.fetch_sub(1, Ordering::AcqRel);
+        let (code, msg) = if shared.shutdown.load(Ordering::Acquire) {
+            (ErrorCode::ShuttingDown, "server is shutting down")
+        } else {
+            (ErrorCode::Overloaded, "dispatch queue full")
+        };
+        shed(frame_tx, job.correlation, code, msg);
+    }
+}

@@ -1,0 +1,250 @@
+//! Satellite: hostile and broken byte streams. Every case must end in a
+//! typed reject or a clean close — never a hang, never a server panic, and
+//! never a poisoned server (a fresh connection always works afterwards).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crimson_server::frame::{encode_frame, FrameBuf, DEFAULT_MAX_PAYLOAD, MAGIC};
+use crimson_server::msg::{Request, Response};
+use crimson_server::server::{Server, ServerConfig};
+use crimson_server::wire::ErrorCode;
+use crimson_server::Client;
+
+fn start_server() -> (Server, tempfile::TempDir) {
+    let dir = tempfile::tempdir().unwrap();
+    let server = Server::start(ServerConfig::default(), dir.path()).unwrap();
+    (server, dir)
+}
+
+/// Read frames from a raw socket until one decodes, EOF, or timeout.
+/// Returns `None` on clean EOF.
+fn read_response(stream: &mut TcpStream) -> Option<(u64, Response)> {
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut fb = FrameBuf::new(DEFAULT_MAX_PAYLOAD);
+    let mut buf = [0u8; 4096];
+    loop {
+        if let Some(payload) = fb.next_frame().expect("server frames are always valid") {
+            return Some(Response::decode(&payload).expect("server payloads always decode"));
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return None,
+            Ok(n) => fb.push(&buf[..n]),
+            Err(e) => panic!("read timed out or failed: {e}"),
+        }
+    }
+}
+
+/// Garbage at the frame boundary: typed BadFrame reject, then close.
+#[test]
+fn garbage_bytes_get_typed_reject_then_close() {
+    let (server, _dir) = start_server();
+    let mut s = TcpStream::connect(server.addr()).unwrap();
+    s.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+    match read_response(&mut s) {
+        Some((_, Response::Error(e))) => {
+            assert_eq!(e.code, ErrorCode::BadFrame);
+            assert!(e.code.closes_connection());
+        }
+        other => panic!("expected BadFrame, got {other:?}"),
+    }
+    // And the stream then closes cleanly.
+    assert!(read_response(&mut s).is_none(), "server must close");
+    server.shutdown();
+}
+
+/// An oversized length prefix: typed FrameTooLarge before any payload is
+/// accepted.
+#[test]
+fn oversized_frame_rejected_up_front() {
+    let (server, _dir) = start_server();
+    let mut s = TcpStream::connect(server.addr()).unwrap();
+    let mut hdr = Vec::new();
+    hdr.extend_from_slice(&MAGIC.to_le_bytes());
+    hdr.extend_from_slice(&(u32::MAX).to_le_bytes());
+    hdr.extend_from_slice(&0u32.to_le_bytes());
+    s.write_all(&hdr).unwrap();
+    match read_response(&mut s) {
+        Some((_, Response::Error(e))) => assert_eq!(e.code, ErrorCode::FrameTooLarge),
+        other => panic!("expected FrameTooLarge, got {other:?}"),
+    }
+    assert!(read_response(&mut s).is_none(), "server must close");
+    server.shutdown();
+}
+
+/// A corrupted payload (CRC mismatch): typed BadFrame, then close.
+#[test]
+fn corrupt_crc_rejected() {
+    let (server, _dir) = start_server();
+    let mut s = TcpStream::connect(server.addr()).unwrap();
+    let mut frame = encode_frame(&Request::Ping.encode(1));
+    let n = frame.len();
+    frame[n - 1] ^= 0x40;
+    s.write_all(&frame).unwrap();
+    match read_response(&mut s) {
+        Some((_, Response::Error(e))) => assert_eq!(e.code, ErrorCode::BadFrame),
+        other => panic!("expected BadFrame, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+/// A valid frame whose body is not a known request: typed BadMessage with
+/// the sender's correlation id, and the connection SURVIVES.
+#[test]
+fn unknown_opcode_keeps_connection() {
+    let (server, _dir) = start_server();
+    let mut s = TcpStream::connect(server.addr()).unwrap();
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&77u64.to_le_bytes());
+    payload.push(250); // unknown opcode
+    s.write_all(&encode_frame(&payload)).unwrap();
+    match read_response(&mut s) {
+        Some((corr, Response::Error(e))) => {
+            assert_eq!(corr, 77);
+            assert_eq!(e.code, ErrorCode::BadMessage);
+            assert!(!e.code.closes_connection());
+        }
+        other => panic!("expected BadMessage, got {other:?}"),
+    }
+    // Same socket still answers a real request.
+    s.write_all(&encode_frame(&Request::Ping.encode(78)))
+        .unwrap();
+    match read_response(&mut s) {
+        Some((78, Response::Pong { .. })) => {}
+        other => panic!("expected Pong after recovery, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+/// A truncated body inside a valid frame: typed BadMessage, connection
+/// survives.
+#[test]
+fn truncated_body_keeps_connection() {
+    let (server, _dir) = start_server();
+    let mut s = TcpStream::connect(server.addr()).unwrap();
+    let full = Request::Lca { a: 1, b: 2 }.encode(9);
+    s.write_all(&encode_frame(&full[..full.len() - 3])).unwrap();
+    match read_response(&mut s) {
+        Some((9, Response::Error(e))) => assert_eq!(e.code, ErrorCode::BadMessage),
+        other => panic!("expected BadMessage, got {other:?}"),
+    }
+    s.write_all(&encode_frame(&Request::Ping.encode(10)))
+        .unwrap();
+    match read_response(&mut s) {
+        Some((10, Response::Pong { .. })) => {}
+        other => panic!("expected Pong, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+/// Disconnecting mid-frame: the server just closes its side; the next
+/// connection is unaffected.
+#[test]
+fn torn_mid_frame_disconnect_is_clean() {
+    let (server, _dir) = start_server();
+    for cut in [1usize, 6, 11, 14] {
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        let frame = encode_frame(&Request::Ping.encode(1));
+        s.write_all(&frame[..cut.min(frame.len() - 1)]).unwrap();
+        drop(s); // torn disconnect
+    }
+    // Server is alive and correct afterwards.
+    let mut client = Client::connect(server.addr()).unwrap();
+    match client.call(&Request::Ping).unwrap() {
+        Response::Pong { .. } => {}
+        other => panic!("expected Pong, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+/// Fuzz feeder: deterministic pseudo-random byte salads. Every connection
+/// must end in either a typed error response or a clean close within the
+/// timeout — and the server must keep serving fresh connections.
+#[test]
+fn random_byte_fuzz_never_hangs() {
+    let (server, _dir) = start_server();
+    let mut state = 0x1234_5678_9abc_def0u64;
+    let mut next = move || {
+        // splitmix64 — deterministic, dependency-free.
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for round in 0..24 {
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let len = 1 + (next() % 512) as usize;
+        let mut bytes = Vec::with_capacity(len);
+        for _ in 0..len {
+            bytes.push(next() as u8);
+        }
+        // Half the rounds lead with valid magic so deeper layers get
+        // exercised too.
+        if round % 2 == 0 {
+            bytes.splice(0..0, MAGIC.to_le_bytes());
+        }
+        let _ = s.write_all(&bytes);
+        // Drain whatever the server says until close or error; both are
+        // acceptable, hanging is not (read_timeout turns a hang into Err).
+        let mut buf = [0u8; 1024];
+        loop {
+            match s.read(&mut buf) {
+                Ok(0) => break,
+                Ok(_) => continue,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    // Stream still open with no reject: only legal if the
+                    // bytes so far parse as an incomplete frame (the
+                    // server is waiting for the rest). Closing is clean.
+                    break;
+                }
+                Err(_) => break,
+            }
+        }
+    }
+    // After the storm: server still healthy.
+    let mut client = Client::connect(server.addr()).unwrap();
+    match client.call(&Request::Ping).unwrap() {
+        Response::Pong { .. } => {}
+        other => panic!("expected Pong after fuzz, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+/// Pipelining sanity over a raw socket: many requests written as one blob,
+/// responses come back for every correlation id.
+#[test]
+fn pipelined_requests_all_answered() {
+    let (server, _dir) = start_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+    client.attach("pipe").unwrap();
+    match client
+        .load_tree(
+            "t",
+            "((A:1,B:1):1,(C:1,D:1):1);",
+            crimson_server::WireDurability::Sync,
+        )
+        .unwrap()
+    {
+        Response::TreeLoaded { .. } => {}
+        other => panic!("load failed: {other:?}"),
+    }
+    let mut corrs = Vec::new();
+    for _ in 0..32 {
+        corrs.push(client.send(&Request::ListTrees).unwrap());
+    }
+    for corr in corrs {
+        match client.recv_matching(corr).unwrap() {
+            Response::Trees(trees) => assert_eq!(trees.len(), 1),
+            other => panic!("expected Trees, got {other:?}"),
+        }
+    }
+    server.shutdown();
+}

@@ -1381,6 +1381,21 @@ impl DbReader {
         self.pool.note_reader_retry();
     }
 
+    /// Block until the write-ahead log is durable up to `lsn`, leading or
+    /// following a group fsync as needed. Readers expose this so a
+    /// durability barrier can be awaited *without* holding the single
+    /// writer: a server thread that asynchronously committed through the
+    /// writer can release it, then wait here while other connections'
+    /// commits ride the same fsync round.
+    pub fn wait_durable(&self, lsn: Lsn) -> StorageResult<()> {
+        self.pool.wait_durable(lsn)
+    }
+
+    /// Absolute LSN up to which the write-ahead log is known durable.
+    pub fn durable_lsn(&self) -> Lsn {
+        self.pool.durable_lsn()
+    }
+
     /// Look up a table id by name in the committed catalog.
     pub fn table(&self, name: &str) -> StorageResult<TableId> {
         self.with_meta(|meta, _| {

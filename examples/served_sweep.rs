@@ -1,0 +1,108 @@
+//! Served sweep: start a `crimson-server` in-process, attach clients from
+//! several connections across two tenants, load a simulated gold tree, and
+//! drive a reconstruction-quality sweep plus a burst of pipelined structure
+//! queries over the wire — then print the server's dispatch statistics.
+//!
+//! ```bash
+//! cargo run --release --example served_sweep
+//! ```
+
+use crimson_server::{Client, Request, Response, Server, ServerConfig, WireDurability};
+use simulation::yule_tree;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let root = std::env::temp_dir().join("crimson-served-sweep");
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root)?;
+
+    // 1. Serve the repository root. Each tenant gets its own repository
+    //    directory under `root`; the OS picks a loopback port.
+    let server = Server::start(ServerConfig::default(), &root)?;
+    let addr = server.addr();
+    println!("serving {} at {addr}", root.display());
+
+    // 2. Per-tenant setup: load a gold tree (synchronously durable) and run
+    //    a small method x strategy sweep against it, entirely over the wire.
+    for tenant in ["lab-a", "lab-b"] {
+        let mut client = Client::connect(addr)?;
+        client.attach(tenant)?;
+
+        let gold = phylo::newick::write(&yule_tree(96, 1.0, 7));
+        let handle = match client.load_tree("gold", &gold, WireDurability::Sync)? {
+            Response::TreeLoaded { tree, leaves, .. } => {
+                println!("[{tenant}] loaded gold: handle {tree}, {leaves} leaves");
+                tree
+            }
+            other => return Err(format!("load failed: {other:?}").into()),
+        };
+
+        let spec = crimson_server::msg::WireExperimentSpec {
+            name: "served-sweep".into(),
+            gold: "gold".into(),
+            methods: vec![
+                crimson_server::msg::WireMethod::Upgma,
+                crimson_server::msg::WireMethod::NeighborJoining,
+            ],
+            strategies: vec![
+                crimson_server::msg::WireStrategy::Uniform { k: 16 },
+                crimson_server::msg::WireStrategy::Uniform { k: 32 },
+            ],
+            replicates: 2,
+            seed: 42,
+            workers: 2,
+            compute_triplets: true,
+        };
+        match client.call(&Request::RunExperiment { spec })? {
+            Response::Experiment { id, runs, wall_ms } => {
+                println!("[{tenant}] experiment {id}: {runs} runs in {wall_ms} ms");
+            }
+            other => return Err(format!("sweep failed: {other:?}").into()),
+        }
+
+        // Pipeline a burst of reads with a sliding window well inside the
+        // server's per-connection in-flight budget. Adjacent requests
+        // coalesce into shared pinned-snapshot batches server-side.
+        let leaves = match client.call(&Request::Leaves { tree: handle })? {
+            Response::Nodes(ids) => ids,
+            other => return Err(format!("leaves failed: {other:?}").into()),
+        };
+        let total = 256usize;
+        let window = 16usize;
+        let mut sent = 0usize;
+        let mut done = 0usize;
+        let mut in_flight = std::collections::HashSet::new();
+        while done < total {
+            while sent < total && in_flight.len() < window {
+                let req = Request::Lca {
+                    a: leaves[(3 * sent) % leaves.len()],
+                    b: leaves[(7 * sent + 1) % leaves.len()],
+                };
+                in_flight.insert(client.send(&req)?);
+                sent += 1;
+            }
+            let (corr, resp) = client.recv()?;
+            assert!(in_flight.remove(&corr), "unknown correlation {corr}");
+            match resp {
+                Response::Node(_) => done += 1,
+                other => return Err(format!("lca failed: {other:?}").into()),
+            }
+        }
+        println!("[{tenant}] {total} pipelined LCA queries answered");
+    }
+
+    // 3. Dispatch statistics from the server itself, over the wire.
+    let mut client = Client::connect(addr)?;
+    client.attach("lab-a")?;
+    if let Response::Stats(stats) = client.call(&Request::Stats)? {
+        println!(
+            "server: {} reads in {} batches ({} coalesced), {} writes, {} connections",
+            stats.reads, stats.read_batches, stats.coalesced_reads, stats.writes, stats.connections
+        );
+    }
+    drop(client);
+
+    // 4. Graceful shutdown drains in-flight work before the listener closes.
+    server.shutdown();
+    println!("server drained and stopped");
+    Ok(())
+}
